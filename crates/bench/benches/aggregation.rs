@@ -1,0 +1,68 @@
+//! Cost of the paper's core algebra (Eq. 3): building Û, the membership
+//! matrices, and `K = (LᵀL)⁻¹LᵀÛ` as the user count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use donorpulse_core::aggregate::Aggregation;
+use donorpulse_core::membership::{by_dominant_organ, by_region};
+use donorpulse_core::AttentionMatrix;
+use donorpulse_geo::UsState;
+use donorpulse_text::extract::MentionCounts;
+use donorpulse_text::Organ;
+use donorpulse_twitter::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn synthetic_population(
+    n: usize,
+    seed: u64,
+) -> (HashMap<UserId, MentionCounts>, HashMap<UserId, UsState>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mentions = HashMap::with_capacity(n);
+    let mut states = HashMap::with_capacity(n);
+    for i in 0..n {
+        let mut mc = MentionCounts::new();
+        mc.add(Organ::ALL[rng.gen_range(0..6)], rng.gen_range(1..6));
+        if rng.gen_bool(0.2) {
+            mc.add(Organ::ALL[rng.gen_range(0..6)], 1);
+        }
+        mentions.insert(UserId(i as u64), mc);
+        states.insert(
+            UserId(i as u64),
+            UsState::from_index(rng.gen_range(0..UsState::COUNT)).unwrap(),
+        );
+    }
+    (mentions, states)
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation");
+    for &n in &[1_000usize, 10_000, 72_000] {
+        let (mentions, states) = synthetic_population(n, 42);
+        group.bench_with_input(BenchmarkId::new("build_u_hat", n), &mentions, |b, m| {
+            b.iter(|| AttentionMatrix::from_mentions(black_box(m)).unwrap())
+        });
+
+        let attention = AttentionMatrix::from_mentions(&mentions).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("organ_k_eq1_eq3", n),
+            &attention,
+            |b, att| {
+                b.iter(|| {
+                    let membership = by_dominant_organ(black_box(att)).unwrap();
+                    Aggregation::compute(&membership, att.matrix()).unwrap()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("region_membership_eq2", n),
+            &attention,
+            |b, att| b.iter(|| by_region(black_box(att), &states).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

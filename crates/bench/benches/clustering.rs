@@ -1,0 +1,73 @@
+//! Clustering costs: the Fig. 6 agglomerative run over 52 states, the
+//! Fig. 7 K-Means sweep, and the silhouette scorer, plus the metric
+//! ablation (Bhattacharyya vs Euclidean affinity).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use donorpulse_cluster::silhouette::sampled_silhouette_score;
+use donorpulse_cluster::{agglomerative, KMeans, KMeansConfig, Linkage, Metric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthetic attention-like rows: near-one-hot distributions over 6 organs.
+fn attention_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let dominant = rng.gen_range(0..6);
+            let mut row = vec![0.0; 6];
+            let main: f64 = rng.gen_range(0.7..0.95);
+            row[dominant] = main;
+            let mut rest: f64 = 1.0 - main;
+            for (j, slot) in row.iter_mut().enumerate() {
+                if j != dominant {
+                    let share = if j == 5 { rest } else { rng.gen_range(0.0..rest) };
+                    *slot += share;
+                    rest -= share;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+
+    // Fig. 6 core: 52 state rows.
+    let states = attention_rows(52, 1);
+    for metric in [Metric::Bhattacharyya, Metric::Euclidean] {
+        group.bench_with_input(
+            BenchmarkId::new("agglomerative_52_states", metric.name()),
+            &metric,
+            |b, &m| b.iter(|| agglomerative(black_box(&states), m, Linkage::Average).unwrap()),
+        );
+    }
+
+    // Fig. 7 core: K-Means over user attention vectors at several sizes.
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let rows = attention_rows(n, 2);
+        group.bench_with_input(BenchmarkId::new("kmeans_k12", n), &rows, |b, rows| {
+            b.iter(|| KMeans::fit(black_box(rows), KMeansConfig::new(12).with_seed(3)).unwrap())
+        });
+    }
+
+    // Model selection: silhouette on a 2k subsample.
+    let rows = attention_rows(5_000, 4);
+    let model = KMeans::fit(&rows, KMeansConfig::new(12).with_seed(5)).unwrap();
+    group.bench_function("silhouette_sampled_2000", |b| {
+        b.iter(|| {
+            sampled_silhouette_score(
+                black_box(&rows),
+                black_box(&model.labels),
+                Metric::Euclidean,
+                2_000,
+            )
+            .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Throughput of the location-augmentation stage: profile parsing and
+//! GPS point-in-state resolution (Sec. III-A's OpenStreetMap step).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use donorpulse_geo::Geocoder;
+use donorpulse_twitter::{GeneratorConfig, TwitterSimulation};
+
+fn bench_geocoding(c: &mut Criterion) {
+    let mut cfg = GeneratorConfig::paper_scaled(0.01);
+    cfg.seed = 11;
+    let sim = TwitterSimulation::generate(cfg).expect("sim");
+    let profiles: Vec<&str> = sim
+        .users()
+        .iter()
+        .take(3_000)
+        .map(|u| u.profile_location.as_str())
+        .collect();
+    let geocoder = Geocoder::new();
+
+    let mut group = c.benchmark_group("geocoding");
+    group.throughput(Throughput::Elements(profiles.len() as u64));
+
+    group.bench_function("geocoder_build", |b| b.iter(Geocoder::new));
+
+    group.bench_function("profile_parse", |b| {
+        b.iter(|| {
+            profiles
+                .iter()
+                .filter(|p| geocoder.resolve_profile(black_box(p)).state().is_some())
+                .count()
+        })
+    });
+
+    let points: Vec<(f64, f64)> = donorpulse_geo::CITIES
+        .iter()
+        .map(|c| (c.lat, c.lon))
+        .collect();
+    group.bench_function("point_in_state", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .filter(|&&(lat, lon)| geocoder.resolve_point(lat, lon).is_some())
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_geocoding);
+criterion_main!(benches);

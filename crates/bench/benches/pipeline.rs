@@ -1,0 +1,69 @@
+//! Macro benchmarks: the full collection + characterization pipeline at
+//! increasing corpus scales, and its two dominant stages in isolation
+//! (stream filtering, location augmentation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use donorpulse_core::pipeline::Pipeline;
+use donorpulse_geo::Geocoder;
+use donorpulse_text::KeywordQuery;
+use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    for &scale in &[0.005f64, 0.02] {
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end", format!("{scale}")),
+            &scale,
+            |b, &s| {
+                b.iter(|| {
+                    let mut config = donorpulse_bench::config_at_scale(s, 1);
+                    config.run_user_clustering = false;
+                    Pipeline::new().run(black_box(config)).unwrap()
+                })
+            },
+        );
+    }
+
+    // Stage isolation at a fixed scale.
+    let mut cfg = GeneratorConfig::paper_scaled(0.02);
+    cfg.seed = 1;
+    let sim = TwitterSimulation::generate(cfg).expect("sim");
+
+    group.bench_function("stage_collect_stream", |b| {
+        b.iter(|| {
+            let corpus: Corpus = sim
+                .stream()
+                .with_filter(Box::new(KeywordQuery::paper()))
+                .collect();
+            corpus.len()
+        })
+    });
+
+    let collected: Corpus = sim
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .collect();
+    let geocoder = Geocoder::new();
+    group.bench_function("stage_locate_users", |b| {
+        b.iter(|| {
+            let mut located = 0usize;
+            let mut seen = std::collections::HashSet::new();
+            for t in collected.tweets() {
+                if seen.insert(t.user) {
+                    let profile = &sim.users()[t.user.0 as usize].profile_location;
+                    if geocoder.locate(Some(profile), t.geo).state.is_some() {
+                        located += 1;
+                    }
+                }
+            }
+            located
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

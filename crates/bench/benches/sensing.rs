@@ -1,0 +1,71 @@
+//! Benchmarks for the real-time-sensing extensions: daily-series
+//! construction, burst detection, incremental ingestion, and JSONL
+//! corpus archiving.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use donorpulse_core::incremental::IncrementalSensor;
+use donorpulse_core::temporal::{detect_bursts, BurstConfig, DailySeries};
+use donorpulse_geo::Geocoder;
+use donorpulse_text::KeywordQuery;
+use donorpulse_twitter::io::{read_corpus, write_corpus};
+use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation};
+
+fn setup() -> (TwitterSimulation, Corpus) {
+    let mut cfg = GeneratorConfig::paper_scaled(0.02);
+    cfg.seed = 21;
+    let sim = TwitterSimulation::generate(cfg).expect("sim");
+    let corpus: Corpus = sim
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .collect();
+    (sim, corpus)
+}
+
+fn bench_sensing(c: &mut Criterion) {
+    let (sim, corpus) = setup();
+    let mut group = c.benchmark_group("sensing");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+
+    group.bench_function("daily_series_build", |b| {
+        b.iter(|| DailySeries::from_corpus(black_box(&corpus)))
+    });
+
+    let series = DailySeries::from_corpus(&corpus);
+    group.bench_function("burst_detection", |b| {
+        b.iter(|| detect_bursts(black_box(&series), BurstConfig::default()).unwrap())
+    });
+
+    let geocoder = Geocoder::new();
+    group.bench_function("incremental_ingest", |b| {
+        b.iter(|| {
+            let mut sensor = IncrementalSensor::new(&geocoder, |id| {
+                sim.users()
+                    .get(id.0 as usize)
+                    .map(|u| u.profile_location.clone())
+            });
+            for t in corpus.tweets() {
+                sensor.ingest(t);
+            }
+            sensor.located_users()
+        })
+    });
+
+    let mut archive = Vec::new();
+    write_corpus(&corpus, &mut archive).expect("archive");
+    group.throughput(Throughput::Bytes(archive.len() as u64));
+    group.bench_function("jsonl_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(archive.len());
+            write_corpus(black_box(&corpus), &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    group.bench_function("jsonl_read", |b| {
+        b.iter(|| read_corpus(black_box(archive.as_slice())).unwrap().len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensing);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Throughput of the collection-side text machinery: tokenizer,
+//! Aho–Corasick scan, the `Q` filter (both implementations), and organ
+//! extraction. These bound the paper's 385-day live-collection loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use donorpulse_text::extract::OrganExtractor;
+use donorpulse_text::{tokenize, KeywordQuery, TrackFilter};
+use donorpulse_twitter::{GeneratorConfig, TwitterSimulation};
+
+fn sample_tweets(n: usize) -> Vec<String> {
+    let mut cfg = GeneratorConfig::paper_scaled(0.01);
+    cfg.seed = 7;
+    let sim = TwitterSimulation::generate(cfg).expect("sim");
+    (0..n.min(sim.firehose_len()))
+        .map(|i| sim.realize(i).text)
+        .collect()
+}
+
+fn bench_text(c: &mut Criterion) {
+    let tweets = sample_tweets(2_000);
+    let total_bytes: usize = tweets.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+
+    group.bench_function("tokenize", |b| {
+        b.iter(|| {
+            let mut tokens = 0usize;
+            for t in &tweets {
+                tokens += tokenize(black_box(t)).len();
+            }
+            tokens
+        })
+    });
+
+    let query = KeywordQuery::paper();
+    group.bench_function("keyword_query_filter", |b| {
+        b.iter(|| tweets.iter().filter(|t| query.matches(black_box(t))).count())
+    });
+
+    let track = TrackFilter::paper_cartesian();
+    group.bench_function("track_filter_cartesian", |b| {
+        b.iter(|| tweets.iter().filter(|t| track.matches(black_box(t))).count())
+    });
+
+    let extractor = OrganExtractor::new();
+    group.bench_function("organ_extraction", |b| {
+        b.iter(|| {
+            let mut mentions = 0u32;
+            for t in &tweets {
+                mentions += extractor.extract(black_box(t)).total();
+            }
+            mentions
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_text);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+#![forbid(unsafe_code)]
+
+use donorpulse_core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+
+/// Builds the paper-calibrated pipeline configuration at `scale`.
+pub fn config_at_scale(scale: f64, seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::paper_scaled(scale);
+    config.generator.seed = seed;
+    config
+}
+
+/// Runs the full pipeline at `scale` with a fixed seed.
+pub fn run_at_scale(scale: f64, seed: u64) -> PipelineRun {
+    Pipeline::new()
+        .run(config_at_scale(scale, seed))
+        .expect("pipeline run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_runs() {
+        let mut c = config_at_scale(0.003, 1);
+        c.run_user_clustering = false;
+        let run = Pipeline::new().run(c).unwrap();
+        assert!(run.collected_tweets > 0);
+    }
+}

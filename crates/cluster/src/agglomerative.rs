@@ -1,0 +1,241 @@
+//! Agglomerative hierarchical clustering (scipy-compatible linkage).
+//!
+//! The classic bottom-up algorithm: start with every observation as its
+//! own cluster, repeatedly merge the closest pair, and update distances
+//! with the Lance–Williams formula of the chosen linkage. The output is
+//! a [`Dendrogram`] whose merge list follows scipy's `linkage`
+//! convention (leaves `0..n`, the `i`-th merge creates cluster `n + i`).
+//!
+//! Complexity is the straightforward `O(n³)` — the paper clusters 52
+//! states, and even a few thousand observations finish quickly.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::metric::{DistanceMatrix, Metric};
+use crate::{ClusterError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion (Lance–Williams family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — what
+    /// scikit-learn's `AgglomerativeClustering(affinity=…)` computes and
+    /// therefore our Fig. 6 default.
+    Average,
+    /// Ward's minimum-variance criterion (meaningful for Euclidean
+    /// input distances).
+    Ward,
+}
+
+impl Linkage {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+            Linkage::Ward => "ward",
+        }
+    }
+}
+
+/// Clusters `rows` under `metric`/`linkage`, returning the dendrogram.
+pub fn agglomerative(rows: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Result<Dendrogram> {
+    let dm = DistanceMatrix::compute(rows, metric)?;
+    agglomerative_from_distances(&dm, linkage)
+}
+
+/// Clusters from a precomputed distance matrix.
+pub fn agglomerative_from_distances(
+    dm: &DistanceMatrix,
+    linkage: Linkage,
+) -> Result<Dendrogram> {
+    let n = dm.len();
+    if n < 2 {
+        return Err(ClusterError::TooFewObservations {
+            needed: 2,
+            got: n,
+            what: "agglomerative clustering",
+        });
+    }
+
+    // Working copy of the distance matrix; `active[i]` marks live
+    // clusters, `id[i]` the scipy-style cluster id in slot i, `size[i]`
+    // the member count.
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dm.get(i, j)).collect())
+        .collect();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<f64> = vec![1.0; n];
+    let mut merges = Vec::with_capacity(n - 1);
+
+    for step in 0..(n - 1) {
+        // Find the closest active pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i][j];
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (a, b, height) = best.expect("at least two active clusters");
+
+        merges.push(Merge {
+            left: id[a].min(id[b]),
+            right: id[a].max(id[b]),
+            height,
+            size: (size[a] + size[b]) as usize,
+        });
+
+        // Lance–Williams update: slot `a` becomes the merged cluster.
+        let (na, nb) = (size[a], size[b]);
+        for k in 0..n {
+            if !active[k] || k == a || k == b {
+                continue;
+            }
+            let dka = dist[k][a];
+            let dkb = dist[k][b];
+            let nk = size[k];
+            let updated = match linkage {
+                Linkage::Single => dka.min(dkb),
+                Linkage::Complete => dka.max(dkb),
+                Linkage::Average => (na * dka + nb * dkb) / (na + nb),
+                Linkage::Ward => {
+                    let total = na + nb + nk;
+                    (((na + nk) * dka * dka + (nb + nk) * dkb * dkb
+                        - nk * height * height)
+                        / total)
+                        .max(0.0)
+                        .sqrt()
+                }
+            };
+            dist[k][a] = updated;
+            dist[a][k] = updated;
+        }
+        active[b] = false;
+        size[a] += size[b];
+        id[a] = n + step;
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight pairs far apart: (0,1) close, (2,3) close.
+    fn two_pairs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn merges_obvious_pairs_first() {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let d = agglomerative(&two_pairs(), Metric::Euclidean, linkage).unwrap();
+            let m = d.merges();
+            assert_eq!(m.len(), 3, "{}", linkage.name());
+            // First two merges join the tight pairs (order between the
+            // two pairs is tie-dependent but both must appear).
+            let first_two: Vec<(usize, usize)> =
+                m[..2].iter().map(|x| (x.left, x.right)).collect();
+            assert!(first_two.contains(&(0, 1)), "{}", linkage.name());
+            assert!(first_two.contains(&(2, 3)), "{}", linkage.name());
+            // Final merge joins everything.
+            assert_eq!(m[2].size, 4);
+        }
+    }
+
+    #[test]
+    fn cut_recovers_planted_clusters() {
+        let d = agglomerative(&two_pairs(), Metric::Euclidean, Linkage::Average).unwrap();
+        let labels = d.cut(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn single_vs_complete_chain_effect() {
+        // A chain of points: single linkage chains them into one early;
+        // complete linkage resists. Verify heights differ as expected.
+        let chain: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 0.0]).collect();
+        let single = agglomerative(&chain, Metric::Euclidean, Linkage::Single).unwrap();
+        let complete = agglomerative(&chain, Metric::Euclidean, Linkage::Complete).unwrap();
+        let single_max = single
+            .merges()
+            .iter()
+            .map(|m| m.height)
+            .fold(0.0_f64, f64::max);
+        let complete_max = complete
+            .merges()
+            .iter()
+            .map(|m| m.height)
+            .fold(0.0_f64, f64::max);
+        assert!((single_max - 1.0).abs() < 1e-12, "single max {single_max}");
+        assert!((complete_max - 5.0).abs() < 1e-12, "complete max {complete_max}");
+    }
+
+    #[test]
+    fn average_linkage_heights_monotone() {
+        // Average linkage is reducible: merge heights never decrease.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![(i * i) as f64 * 0.1, (i % 3) as f64])
+            .collect();
+        let d = agglomerative(&rows, Metric::Euclidean, Linkage::Average).unwrap();
+        for pair in d.merges().windows(2) {
+            assert!(pair[0].height <= pair[1].height + 1e-12);
+        }
+    }
+
+    #[test]
+    fn works_with_bhattacharyya_on_distributions() {
+        let rows = vec![
+            vec![0.9, 0.05, 0.05],
+            vec![0.85, 0.1, 0.05],
+            vec![0.05, 0.9, 0.05],
+            vec![0.1, 0.85, 0.05],
+        ];
+        let d = agglomerative(&rows, Metric::Bhattacharyya, Linkage::Average).unwrap();
+        let labels = d.cut(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        assert!(agglomerative(&[vec![1.0]], Metric::Euclidean, Linkage::Average).is_err());
+        assert!(agglomerative(&[], Metric::Euclidean, Linkage::Average).is_err());
+    }
+
+    #[test]
+    fn scipy_id_convention() {
+        let d = agglomerative(&two_pairs(), Metric::Euclidean, Linkage::Average).unwrap();
+        let m = d.merges();
+        // The last merge joins the two internal clusters 4 and 5.
+        assert_eq!((m[2].left, m[2].right), (4, 5));
+    }
+}

@@ -1,0 +1,331 @@
+//! The merge tree produced by agglomerative clustering.
+
+use crate::{ClusterError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One merge step (scipy `linkage` row): clusters `left` and `right`
+/// (ids `< n` are leaves, `>= n` are earlier merges) join at `height`
+/// into a cluster of `size` members.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Smaller cluster id of the pair.
+    pub left: usize,
+    /// Larger cluster id of the pair.
+    pub right: usize,
+    /// Linkage distance at which the merge happens.
+    pub height: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// A full merge tree over `n` observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Wraps a merge list; validates the scipy id convention.
+    pub fn new(n: usize, merges: Vec<Merge>) -> Result<Self> {
+        if merges.len() != n.saturating_sub(1) {
+            return Err(ClusterError::InvalidParameter {
+                reason: format!("expected {} merges for {n} leaves, got {}", n - 1, merges.len()),
+            });
+        }
+        for (i, m) in merges.iter().enumerate() {
+            let max_id = n + i;
+            if m.left >= max_id || m.right >= max_id || m.left == m.right {
+                return Err(ClusterError::InvalidParameter {
+                    reason: format!("merge {i} references invalid cluster ids"),
+                });
+            }
+        }
+        Ok(Self { n, merges })
+    }
+
+    /// Number of leaf observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the tree is over zero observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge list in merge order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the tree into exactly `k` clusters, returning a label per
+    /// leaf in `0..k` (labels are assigned in order of first appearance).
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>> {
+        if k == 0 || k > self.n {
+            return Err(ClusterError::InvalidParameter {
+                reason: format!("cannot cut {} leaves into {k} clusters", self.n),
+            });
+        }
+        // Apply the first n - k merges with union-find.
+        let mut parent: Vec<usize> = (0..(2 * self.n - 1)).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (i, m) in self.merges.iter().take(self.n - k).enumerate() {
+            let new_id = self.n + i;
+            let ra = find(&mut parent, m.left);
+            let rb = find(&mut parent, m.right);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        let mut label_of_root: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        Ok(labels)
+    }
+
+    /// Cuts at a height threshold: clusters are the connected components
+    /// of merges with `height <= threshold`.
+    pub fn cut_at_height(&self, threshold: f64) -> Vec<usize> {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.height <= threshold)
+            .count();
+        let k = self.n - applied;
+        self.cut(k).expect("k derived from merge count is valid")
+    }
+
+    /// Leaf ordering for heatmap rendering: the left-to-right order of
+    /// leaves in the tree (scipy's `dendrogram` leaf order).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.n == 1 {
+            return vec![0];
+        }
+        // children[id] = (left, right) for internal nodes.
+        let mut order = Vec::with_capacity(self.n);
+        let root = self.n + self.merges.len() - 1;
+        // Iterative DFS to avoid recursion depth limits on big corpora.
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if node < self.n {
+                order.push(node);
+            } else {
+                let m = &self.merges[node - self.n];
+                // Push right first so left is visited first.
+                stack.push(m.right);
+                stack.push(m.left);
+            }
+        }
+        order
+    }
+
+    /// Cophenetic distance between two leaves: the height of their
+    /// lowest common merge.
+    pub fn cophenetic(&self, a: usize, b: usize) -> Result<f64> {
+        if a >= self.n || b >= self.n {
+            return Err(ClusterError::InvalidParameter {
+                reason: format!("leaf index out of range ({a}, {b}) for n = {}", self.n),
+            });
+        }
+        if a == b {
+            return Ok(0.0);
+        }
+        // Walk merges in order; track each leaf's current cluster id.
+        let mut cluster_of: Vec<usize> = (0..self.n).collect();
+        for (i, m) in self.merges.iter().enumerate() {
+            let new_id = self.n + i;
+            let ca = cluster_of[a];
+            let cb = cluster_of[b];
+            let touches_a = ca == m.left || ca == m.right;
+            let touches_b = cb == m.left || cb == m.right;
+            if touches_a && touches_b {
+                return Ok(m.height);
+            }
+            if touches_a {
+                cluster_of[a] = new_id;
+            }
+            if touches_b {
+                cluster_of[b] = new_id;
+            }
+        }
+        Err(ClusterError::InvalidParameter {
+            reason: "leaves never merged — malformed dendrogram".to_string(),
+        })
+    }
+}
+
+/// Cophenetic correlation coefficient: the Pearson correlation between
+/// the original pairwise distances and the cophenetic distances implied
+/// by the dendrogram — the standard measure of how faithfully a
+/// hierarchical clustering preserves the input geometry (1 = perfect).
+pub fn cophenetic_correlation(
+    dendrogram: &Dendrogram,
+    distances: &crate::metric::DistanceMatrix,
+) -> Result<f64> {
+    let n = dendrogram.len();
+    if distances.len() != n {
+        return Err(ClusterError::InvalidParameter {
+            reason: format!(
+                "dendrogram has {n} leaves but the distance matrix has {}",
+                distances.len()
+            ),
+        });
+    }
+    if n < 3 {
+        return Err(ClusterError::TooFewObservations {
+            needed: 3,
+            got: n,
+            what: "cophenetic correlation",
+        });
+    }
+    let mut original = Vec::with_capacity(n * (n - 1) / 2);
+    let mut cophenetic = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            original.push(distances.get(i, j));
+            cophenetic.push(dendrogram.cophenetic(i, j)?);
+        }
+    }
+    donorpulse_stats::correlation::pearson(&original, &cophenetic)
+        .map(|c| c.r)
+        .map_err(|e| ClusterError::Distance(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::{agglomerative, Linkage};
+    use crate::metric::Metric;
+
+    fn sample() -> Dendrogram {
+        // Leaves 0..4, pairs (0,1) and (2,3) then the root.
+        Dendrogram::new(
+            4,
+            vec![
+                Merge { left: 0, right: 1, height: 1.0, size: 2 },
+                Merge { left: 2, right: 3, height: 2.0, size: 2 },
+                Merge { left: 4, right: 5, height: 5.0, size: 4 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        assert!(Dendrogram::new(3, vec![]).is_err());
+        assert!(Dendrogram::new(
+            2,
+            vec![Merge { left: 0, right: 5, height: 1.0, size: 2 }]
+        )
+        .is_err());
+        assert!(Dendrogram::new(
+            2,
+            vec![Merge { left: 0, right: 0, height: 1.0, size: 2 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cut_all_granularities() {
+        let d = sample();
+        assert_eq!(d.cut(1).unwrap(), vec![0, 0, 0, 0]);
+        let two = d.cut(2).unwrap();
+        assert_eq!(two[0], two[1]);
+        assert_eq!(two[2], two[3]);
+        assert_ne!(two[0], two[2]);
+        let four = d.cut(4).unwrap();
+        assert_eq!(four, vec![0, 1, 2, 3]);
+        assert!(d.cut(0).is_err());
+        assert!(d.cut(5).is_err());
+    }
+
+    #[test]
+    fn cut_at_height_thresholds() {
+        let d = sample();
+        assert_eq!(d.cut_at_height(0.5), vec![0, 1, 2, 3]);
+        let mid = d.cut_at_height(2.5);
+        assert_eq!(mid[0], mid[1]);
+        assert_eq!(mid[2], mid[3]);
+        assert_ne!(mid[0], mid[2]);
+        assert_eq!(d.cut_at_height(10.0), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn leaf_order_contains_all_leaves_and_respects_blocks() {
+        let d = sample();
+        let order = d.leaf_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Leaves of each tight pair must be adjacent in the order.
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert_eq!((pos(0) as i64 - pos(1) as i64).abs(), 1);
+        assert_eq!((pos(2) as i64 - pos(3) as i64).abs(), 1);
+    }
+
+    #[test]
+    fn cophenetic_heights() {
+        let d = sample();
+        assert_eq!(d.cophenetic(0, 1).unwrap(), 1.0);
+        assert_eq!(d.cophenetic(2, 3).unwrap(), 2.0);
+        assert_eq!(d.cophenetic(0, 3).unwrap(), 5.0);
+        assert_eq!(d.cophenetic(1, 1).unwrap(), 0.0);
+        assert!(d.cophenetic(0, 9).is_err());
+    }
+
+    #[test]
+    fn cophenetic_dominates_pairwise_for_single_linkage() {
+        // For single linkage, cophenetic distance <= original distance.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![(i as f64).sin() * 3.0, (i as f64).cos() * 2.0])
+            .collect();
+        let d = agglomerative(&rows, Metric::Euclidean, Linkage::Single).unwrap();
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                let direct = Metric::Euclidean.distance(&rows[i], &rows[j]).unwrap();
+                let coph = d.cophenetic(i, j).unwrap();
+                assert!(coph <= direct + 1e-9, "({i},{j}) coph {coph} > {direct}");
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_for_clean_structure() {
+        use crate::metric::{DistanceMatrix, Metric};
+        // Two tight, well-separated pairs: the tree preserves geometry
+        // almost perfectly.
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.0, 10.1],
+        ];
+        let dm = DistanceMatrix::compute(&rows, Metric::Euclidean).unwrap();
+        let d = agglomerative(&rows, Metric::Euclidean, Linkage::Average).unwrap();
+        let c = cophenetic_correlation(&d, &dm).unwrap();
+        assert!(c > 0.99, "c = {c}");
+        // Mismatched sizes rejected.
+        let small = DistanceMatrix::compute(&rows[..2], Metric::Euclidean).unwrap();
+        assert!(cophenetic_correlation(&d, &small).is_err());
+    }
+
+    #[test]
+    fn single_leaf_order() {
+        let d = Dendrogram::new(1, vec![]).unwrap();
+        assert_eq!(d.leaf_order(), vec![0]);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+}

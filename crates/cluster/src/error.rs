@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors produced by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer observations than required (e.g. k > n for K-Means).
+    TooFewObservations {
+        /// Observations required.
+        needed: usize,
+        /// Observations given.
+        got: usize,
+        /// What was being attempted.
+        what: &'static str,
+    },
+    /// Observations have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality (from the first row).
+        expected: usize,
+        /// Offending row's dimensionality.
+        got: usize,
+        /// Offending row index.
+        row: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The distance computation failed (e.g. negative entries fed to
+    /// Bhattacharyya).
+    Distance(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewObservations { needed, got, what } => {
+                write!(f, "{what}: needs at least {needed} observations, got {got}")
+            }
+            ClusterError::DimensionMismatch { expected, got, row } => write!(
+                f,
+                "row {row} has dimension {got}, expected {expected}"
+            ),
+            ClusterError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            ClusterError::Distance(msg) => write!(f, "distance computation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<donorpulse_stats::StatsError> for ClusterError {
+    fn from(e: donorpulse_stats::StatsError) -> Self {
+        ClusterError::Distance(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ClusterError::TooFewObservations {
+            needed: 12,
+            got: 3,
+            what: "kmeans",
+        };
+        assert!(e.to_string().contains("kmeans"));
+        let d = ClusterError::DimensionMismatch {
+            expected: 6,
+            got: 5,
+            row: 2,
+        };
+        assert!(d.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn stats_error_converts() {
+        let se = donorpulse_stats::StatsError::EmptyInput { what: "x" };
+        let ce: ClusterError = se.into();
+        assert!(matches!(ce, ClusterError::Distance(_)));
+    }
+}

@@ -1,0 +1,42 @@
+//! Clustering substrate for `donorpulse`.
+//!
+//! The paper runs two clusterings (both via scikit-learn in the
+//! original):
+//!
+//! * **Agglomerative hierarchical clustering** of the USA states by the
+//!   Bhattacharyya distance between their organ-attention distributions
+//!   (Fig. 6) — implemented from scratch in [`mod@agglomerative`] with
+//!   single / complete / average / Ward linkage over any [`Metric`],
+//!   producing a scipy-compatible [`Dendrogram`];
+//! * **K-Means** over the user attention matrix `Û` with `k = 12` chosen
+//!   by silhouette coefficient, average cluster size and inertia
+//!   (Fig. 7) — implemented in [`kmeans`] with k-means++ seeding and
+//!   deterministic, seedable behaviour; [`silhouette`] provides the
+//!   model-selection criterion.
+//!
+//! [`validation`] adds adjusted Rand index and purity so integration
+//! tests can score recovered clusters against the simulator's planted
+//! archetypes — a check the original study could never run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod dendrogram;
+pub mod kmeans;
+pub mod metric;
+pub mod render;
+pub mod silhouette;
+pub mod validation;
+
+mod error;
+
+pub use agglomerative::{agglomerative, Linkage};
+pub use dendrogram::Dendrogram;
+pub use error::ClusterError;
+pub use kmeans::{KMeans, KMeansConfig};
+pub use metric::{DistanceMatrix, Metric};
+pub use silhouette::silhouette_score;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,217 @@
+//! Distance metrics and the pairwise distance matrix.
+
+use crate::{ClusterError, Result};
+use donorpulse_stats::distance;
+use serde::{Deserialize, Serialize};
+
+/// Affinity/distance metric for clustering.
+///
+/// The paper uses [`Metric::Bhattacharyya`] for state clustering because
+/// rows of `K` are discrete probability distributions; the others back
+/// the ablation bench that re-runs Fig. 6 under different affinities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Bhattacharyya distance `−ln Σ√(pᵢqᵢ)` (the paper's choice).
+    Bhattacharyya,
+    /// Hellinger distance (bounded metric relative of Bhattacharyya).
+    Hellinger,
+    /// Euclidean (L2).
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// Cosine distance.
+    Cosine,
+    /// Jensen–Shannon divergence.
+    JensenShannon,
+}
+
+impl Metric {
+    /// Distance between two vectors under this metric.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> Result<f64> {
+        let d = match self {
+            Metric::Bhattacharyya => distance::bhattacharyya(a, b)?,
+            Metric::Hellinger => distance::hellinger(a, b)?,
+            Metric::Euclidean => distance::euclidean(a, b)?,
+            Metric::Manhattan => distance::manhattan(a, b)?,
+            Metric::Cosine => distance::cosine(a, b)?,
+            Metric::JensenShannon => distance::js_divergence(a, b)?,
+        };
+        Ok(d)
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Bhattacharyya => "bhattacharyya",
+            Metric::Hellinger => "hellinger",
+            Metric::Euclidean => "euclidean",
+            Metric::Manhattan => "manhattan",
+            Metric::Cosine => "cosine",
+            Metric::JensenShannon => "jensen-shannon",
+        }
+    }
+}
+
+/// A symmetric pairwise distance matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Full row-major storage (kept simple; n is small for states).
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Computes all pairwise distances between `rows` under `metric`.
+    ///
+    /// Infinite distances (possible under Bhattacharyya for disjoint
+    /// supports) are replaced by twice the largest finite distance so
+    /// downstream linkage arithmetic stays finite while disjoint pairs
+    /// still merge last.
+    pub fn compute(rows: &[Vec<f64>], metric: Metric) -> Result<Self> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(ClusterError::TooFewObservations {
+                needed: 1,
+                got: 0,
+                what: "distance matrix",
+            });
+        }
+        let dim = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != dim {
+                return Err(ClusterError::DimensionMismatch {
+                    expected: dim,
+                    got: r.len(),
+                    row: i,
+                });
+            }
+        }
+        let mut data = vec![0.0; n * n];
+        let mut max_finite = 0.0_f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.distance(&rows[i], &rows[j])?;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+                if d.is_finite() {
+                    max_finite = max_finite.max(d);
+                }
+            }
+        }
+        let cap = if max_finite > 0.0 { 2.0 * max_finite } else { 1.0 };
+        for d in &mut data {
+            if !d.is_finite() {
+                *d = cap;
+            }
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Builds directly from a precomputed full matrix (must be square).
+    pub fn from_full(n: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != n * n {
+            return Err(ClusterError::InvalidParameter {
+                reason: format!("expected {n}x{n} entries, got {}", data.len()),
+            });
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between observations `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j]
+    }
+
+    /// The largest pairwise distance.
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.8, 0.1, 0.1],
+            vec![0.7, 0.2, 0.1],
+            vec![0.1, 0.1, 0.8],
+        ]
+    }
+
+    #[test]
+    fn metric_distances_sane() {
+        for m in [
+            Metric::Bhattacharyya,
+            Metric::Hellinger,
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Cosine,
+            Metric::JensenShannon,
+        ] {
+            let r = rows();
+            let near = m.distance(&r[0], &r[1]).unwrap();
+            let far = m.distance(&r[0], &r[2]).unwrap();
+            assert!(near < far, "{}: near {near} !< far {far}", m.name());
+            assert!(m.distance(&r[0], &r[0]).unwrap() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_zero_diagonal() {
+        let dm = DistanceMatrix::compute(&rows(), Metric::Euclidean).unwrap();
+        assert_eq!(dm.len(), 3);
+        assert!(!dm.is_empty());
+        for i in 0..3 {
+            assert_eq!(dm.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(dm.get(i, j), dm.get(j, i));
+            }
+        }
+        assert!(dm.max() > 0.0);
+    }
+
+    #[test]
+    fn infinite_bhattacharyya_capped() {
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let dm = DistanceMatrix::compute(&rows, Metric::Bhattacharyya).unwrap();
+        assert!(dm.get(0, 1).is_finite());
+        // Disjoint pair remains the farthest.
+        assert!(dm.get(0, 1) > dm.get(0, 2));
+        assert!(dm.get(0, 1) > dm.get(1, 2));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(DistanceMatrix::compute(&[], Metric::Euclidean).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            DistanceMatrix::compute(&ragged, Metric::Euclidean),
+            Err(ClusterError::DimensionMismatch { row: 1, .. })
+        ));
+        assert!(DistanceMatrix::from_full(2, vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_full_round_trip() {
+        let dm = DistanceMatrix::from_full(2, vec![0.0, 3.0, 3.0, 0.0]).unwrap();
+        assert_eq!(dm.get(0, 1), 3.0);
+    }
+}

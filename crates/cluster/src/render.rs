@@ -1,0 +1,151 @@
+//! Plain-text rendering of dendrograms and similarity matrices — the
+//! textual equivalent of Fig. 6's heatmap-plus-dendrogram plot.
+
+use crate::dendrogram::Dendrogram;
+use crate::metric::DistanceMatrix;
+
+/// Renders a dendrogram as indented text: each merge prints its height,
+/// leaves are labeled via `label`. Suited to small trees (the 52 states).
+///
+/// ```text
+/// ┬ 0.412
+/// ├─┬ 0.031
+/// │ ├ KS
+/// │ └ LA
+/// └─┬ 0.027
+///   ├ DE
+///   └ RI
+/// ```
+pub fn render_dendrogram(dendrogram: &Dendrogram, label: impl Fn(usize) -> String) -> String {
+    let n = dendrogram.len();
+    if n == 1 {
+        return format!("─ {}\n", label(0));
+    }
+    let root = n + dendrogram.merges().len() - 1;
+    let mut out = String::new();
+    render_node(dendrogram, root, "", true, true, &label, &mut out);
+    out
+}
+
+fn render_node(
+    d: &Dendrogram,
+    node: usize,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    label: &impl Fn(usize) -> String,
+    out: &mut String,
+) {
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "└ "
+    } else {
+        "├ "
+    };
+    let n = d.len();
+    if node < n {
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(&label(node));
+        out.push('\n');
+        return;
+    }
+    let merge = &d.merges()[node - n];
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&format!("┬ {:.3}\n", merge.height));
+    let child_prefix = if is_root {
+        prefix.to_string()
+    } else if is_last {
+        format!("{prefix}  ")
+    } else {
+        format!("{prefix}│ ")
+    };
+    render_node(d, merge.left, &child_prefix, false, false, label, out);
+    render_node(d, merge.right, &child_prefix, true, false, label, out);
+}
+
+/// Renders a similarity/distance matrix in dendrogram leaf order as a
+/// shaded character heatmap (dark = close, light = far), with labels.
+pub fn render_heatmap(
+    distances: &DistanceMatrix,
+    order: &[usize],
+    label: impl Fn(usize) -> String,
+) -> String {
+    const SHADES: [char; 5] = ['█', '▓', '▒', '░', ' '];
+    let max = distances.max().max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for &i in order {
+        let name = label(i);
+        out.push_str(&format!("{name:>4} "));
+        for &j in order {
+            let d = distances.get(i, j);
+            let bucket = ((d / max) * (SHADES.len() as f64 - 1.0)).round() as usize;
+            out.push(SHADES[bucket.min(SHADES.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::{agglomerative, Linkage};
+    use crate::metric::Metric;
+
+    fn two_pairs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn dendrogram_rendering_contains_all_leaves() {
+        let d = agglomerative(&two_pairs(), Metric::Euclidean, Linkage::Average).unwrap();
+        let text = render_dendrogram(&d, |i| format!("L{i}"));
+        for i in 0..4 {
+            assert!(text.contains(&format!("L{i}")), "{text}");
+        }
+        // Three merges -> three height lines.
+        assert_eq!(text.matches('┬').count(), 3, "{text}");
+    }
+
+    #[test]
+    fn dendrogram_heights_printed() {
+        let d = agglomerative(&two_pairs(), Metric::Euclidean, Linkage::Average).unwrap();
+        let text = render_dendrogram(&d, |i| i.to_string());
+        assert!(text.contains("0.100"), "{text}"); // the tight-pair height
+    }
+
+    #[test]
+    fn single_leaf_render() {
+        let d = Dendrogram::new(1, vec![]).unwrap();
+        assert_eq!(render_dendrogram(&d, |_| "only".into()), "─ only\n");
+    }
+
+    #[test]
+    fn heatmap_diagonal_is_darkest() {
+        let dm = DistanceMatrix::compute(&two_pairs(), Metric::Euclidean).unwrap();
+        let text = render_heatmap(&dm, &[0, 1, 2, 3], |i| format!("{i}"));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // First cell of the first row is the self-distance: darkest shade.
+        assert!(lines[0].contains('█'));
+        // Far pair renders light.
+        assert!(lines[0].ends_with(' ') || lines[0].contains('░'), "{text}");
+    }
+
+    #[test]
+    fn heatmap_respects_order() {
+        let dm = DistanceMatrix::compute(&two_pairs(), Metric::Euclidean).unwrap();
+        let a = render_heatmap(&dm, &[0, 1, 2, 3], |i| format!("x{i}"));
+        let b = render_heatmap(&dm, &[3, 2, 1, 0], |i| format!("x{i}"));
+        assert!(a.starts_with("  x0"));
+        assert!(b.starts_with("  x3"));
+    }
+}

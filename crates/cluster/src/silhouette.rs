@@ -1,0 +1,295 @@
+//! Silhouette coefficient — the paper's K-Means model-selection score.
+//!
+//! For each observation `i` with intra-cluster mean distance `a(i)` and
+//! smallest other-cluster mean distance `b(i)`, the silhouette is
+//! `s(i) = (b − a) / max(a, b)`; the score is the mean over all
+//! observations. Singleton clusters get `s(i) = 0` (scikit-learn
+//! convention). The paper reports 0.953 at `k = 12`.
+
+use crate::metric::Metric;
+use crate::{ClusterError, Result};
+
+/// Computes the mean silhouette coefficient of a labeling.
+///
+/// `O(n²)` pairwise distances — use [`sampled_silhouette_score`] for
+/// large corpora.
+pub fn silhouette_score(rows: &[Vec<f64>], labels: &[usize], metric: Metric) -> Result<f64> {
+    validate(rows, labels)?;
+    let n = rows.len();
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Err(ClusterError::InvalidParameter {
+            reason: "silhouette requires at least 2 clusters".to_string(),
+        });
+    }
+    let sizes = {
+        let mut s = vec![0usize; k];
+        for &l in labels {
+            s[l] += 1;
+        }
+        s
+    };
+
+    let mut total = 0.0;
+    for i in 0..n {
+        // Mean distance from i to every cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += metric.distance(&rows[i], &rows[j])?;
+        }
+        let own = labels[i];
+        if sizes[own] <= 1 {
+            continue; // singleton: s(i) = 0
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue; // only one nonempty cluster overall — guarded above
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Per-observation silhouette values (same conventions as
+/// [`silhouette_score`]; singletons get 0). Useful for diagnosing which
+/// clusters are tight and which are smeared (sklearn's
+/// `silhouette_samples`).
+pub fn silhouette_samples(
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    metric: Metric,
+) -> Result<Vec<f64>> {
+    validate(rows, labels)?;
+    let n = rows.len();
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Err(ClusterError::InvalidParameter {
+            reason: "silhouette requires at least 2 clusters".to_string(),
+        });
+    }
+    let sizes = {
+        let mut s = vec![0usize; k];
+        for &l in labels {
+            s[l] += 1;
+        }
+        s
+    };
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += metric.distance(&rows[i], &rows[j])?;
+            }
+        }
+        let own = labels[i];
+        if sizes[own] <= 1 {
+            continue;
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if b.is_finite() && denom > 0.0 {
+            out[i] = (b - a) / denom;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean silhouette per cluster — the per-panel quality readout for
+/// Fig. 7-style displays.
+pub fn per_cluster_silhouette(
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    metric: Metric,
+) -> Result<Vec<f64>> {
+    let samples = silhouette_samples(rows, labels, metric)?;
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    let mut sums = vec![0.0; k];
+    let mut counts = vec![0usize; k];
+    for (&l, &s) in labels.iter().zip(&samples) {
+        sums[l] += s;
+        counts[l] += 1;
+    }
+    Ok(sums
+        .into_iter()
+        .zip(counts)
+        .map(|(s, c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect())
+}
+
+/// Silhouette over a deterministic subsample of at most `max_n`
+/// observations (stride sampling) — the standard trick for scoring
+/// 72k-user labelings where `O(n²)` is prohibitive.
+pub fn sampled_silhouette_score(
+    rows: &[Vec<f64>],
+    labels: &[usize],
+    metric: Metric,
+    max_n: usize,
+) -> Result<f64> {
+    validate(rows, labels)?;
+    if max_n == 0 {
+        return Err(ClusterError::InvalidParameter {
+            reason: "max_n must be positive".to_string(),
+        });
+    }
+    if rows.len() <= max_n {
+        return silhouette_score(rows, labels, metric);
+    }
+    let stride = rows.len().div_ceil(max_n);
+    let idx: Vec<usize> = (0..rows.len()).step_by(stride).collect();
+    let sub_rows: Vec<Vec<f64>> = idx.iter().map(|&i| rows[i].clone()).collect();
+    let sub_labels_raw: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+    // Compact labels: the subsample may miss some clusters entirely.
+    let mut remap = std::collections::HashMap::new();
+    let sub_labels: Vec<usize> = sub_labels_raw
+        .iter()
+        .map(|&l| {
+            let next = remap.len();
+            *remap.entry(l).or_insert(next)
+        })
+        .collect();
+    silhouette_score(&sub_rows, &sub_labels, metric)
+}
+
+fn validate(rows: &[Vec<f64>], labels: &[usize]) -> Result<()> {
+    if rows.len() != labels.len() {
+        return Err(ClusterError::InvalidParameter {
+            reason: format!(
+                "rows ({}) and labels ({}) differ in length",
+                rows.len(),
+                labels.len()
+            ),
+        });
+    }
+    if rows.len() < 2 {
+        return Err(ClusterError::TooFewObservations {
+            needed: 2,
+            got: rows.len(),
+            what: "silhouette",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + i as f64 * 0.01]);
+            labels.push(0);
+        }
+        for i in 0..10 {
+            rows.push(vec![100.0 + i as f64 * 0.01]);
+            labels.push(1);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn well_separated_blobs_score_near_one() {
+        let (rows, labels) = two_blobs();
+        let s = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        assert!(s > 0.99, "score {s}");
+    }
+
+    #[test]
+    fn random_labels_score_poorly() {
+        let (rows, _) = two_blobs();
+        // Alternate labels across both blobs — a terrible clustering.
+        let bad: Vec<usize> = (0..rows.len()).map(|i| i % 2).collect();
+        let s = silhouette_score(&rows, &bad, Metric::Euclidean).unwrap();
+        assert!(s < 0.1, "score {s}");
+    }
+
+    #[test]
+    fn score_bounded() {
+        let (rows, labels) = two_blobs();
+        let s = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let rows = vec![vec![0.0], vec![0.1], vec![50.0]];
+        let labels = vec![0, 0, 1];
+        let s = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        // Cluster 1 is a singleton (s = 0); the other two are tight and
+        // far from cluster 1, so the mean is (s0 + s1 + 0) / 3 ≈ 2/3·1.
+        assert!(s > 0.6, "score {s}");
+    }
+
+    #[test]
+    fn single_cluster_rejected() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        assert!(silhouette_score(&rows, &[0, 0], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        assert!(silhouette_score(&rows, &[0], Metric::Euclidean).is_err());
+        assert!(silhouette_score(&[], &[], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn samples_mean_equals_score() {
+        let (rows, labels) = two_blobs();
+        let samples = silhouette_samples(&rows, &labels, Metric::Euclidean).unwrap();
+        let score = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - score).abs() < 1e-12);
+        assert!(samples.iter().all(|s| (-1.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn per_cluster_breakdown() {
+        let (rows, labels) = two_blobs();
+        let per = per_cluster_silhouette(&rows, &labels, Metric::Euclidean).unwrap();
+        assert_eq!(per.len(), 2);
+        assert!(per.iter().all(|&s| s > 0.99), "{per:?}");
+    }
+
+    #[test]
+    fn sampled_matches_full_on_small_input() {
+        let (rows, labels) = two_blobs();
+        let full = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        let sampled =
+            sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 1000).unwrap();
+        assert_eq!(full, sampled);
+    }
+
+    #[test]
+    fn sampled_close_to_full_on_larger_input() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..4 {
+            for i in 0..100 {
+                rows.push(vec![c as f64 * 50.0 + (i % 10) as f64 * 0.1]);
+                labels.push(c);
+            }
+        }
+        let full = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
+        let sampled =
+            sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 100).unwrap();
+        assert!((full - sampled).abs() < 0.05, "full {full}, sampled {sampled}");
+        assert!(sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 0).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! External cluster validation against planted ground truth.
+//!
+//! The simulator plants user archetypes and state anomalies; these
+//! scores quantify how well the recovered clustering matches them —
+//! a verification the paper's proprietary corpus never allowed.
+
+use crate::{ClusterError, Result};
+
+/// Adjusted Rand index between two labelings (1 = identical partitions,
+/// ~0 = random agreement; can be negative).
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64> {
+    check(a, b)?;
+    let n = a.len();
+    let ka = a.iter().max().map_or(0, |m| m + 1);
+    let kb = b.iter().max().map_or(0, |m| m + 1);
+    // Contingency table.
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let comb2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
+    let sum_ij: f64 = table.iter().flatten().map(|&c| comb2(c)).sum();
+    let sum_a: f64 = table
+        .iter()
+        .map(|row| comb2(row.iter().sum::<u64>()))
+        .sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| comb2(table.iter().map(|row| row[j]).sum::<u64>()))
+        .sum();
+    let total = comb2(n as u64);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate: both partitions trivial (all-one-cluster or
+        // all-singletons agree by construction).
+        return Ok(1.0);
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+/// Purity: fraction of observations belonging to the majority true class
+/// of their assigned cluster.
+pub fn purity(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    check(predicted, truth)?;
+    let kp = predicted.iter().max().map_or(0, |m| m + 1);
+    let kt = truth.iter().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0u64; kt]; kp];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        table[p][t] += 1;
+    }
+    let correct: u64 = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    Ok(correct as f64 / predicted.len() as f64)
+}
+
+fn check(a: &[usize], b: &[usize]) -> Result<()> {
+    if a.len() != b.len() {
+        return Err(ClusterError::InvalidParameter {
+            reason: format!("labelings differ in length ({} vs {})", a.len(), b.len()),
+        });
+    }
+    if a.is_empty() {
+        return Err(ClusterError::TooFewObservations {
+            needed: 1,
+            got: 0,
+            what: "cluster validation",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&labels, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn renamed_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((adjusted_rand_index(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(purity(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Checkerboard: no information shared.
+        let a: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let b: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!(ari.abs() < 0.15, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // sklearn.metrics.adjusted_rand_score([0,0,1,1], [0,0,1,2]) = 0.5714…
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 0, 1, 2];
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!((ari - 0.5714285714).abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn purity_partial() {
+        // Cluster 0 holds {t0, t0, t1} -> majority 2; cluster 1 holds
+        // {t1} -> 1. Purity = 3/4.
+        let predicted = vec![0, 0, 0, 1];
+        let truth = vec![0, 0, 1, 1];
+        assert!((purity(&predicted, &truth).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_is_one_for_refinement() {
+        // Splitting each true class into finer clusters keeps purity 1.
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let refined = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        assert_eq!(purity(&refined, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_cluster() {
+        let a = vec![0, 0, 0];
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(adjusted_rand_index(&[0], &[0, 1]).is_err());
+        assert!(purity(&[], &[]).is_err());
+    }
+}

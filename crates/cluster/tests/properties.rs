@@ -1,0 +1,115 @@
+//! Property-based tests for the clustering substrate.
+
+use donorpulse_cluster::validation::{adjusted_rand_index, purity};
+use donorpulse_cluster::{
+    agglomerative, silhouette_score, Dendrogram, KMeans, KMeansConfig, Linkage, Metric,
+};
+use proptest::prelude::*;
+
+fn rows_strategy(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-50.0..50.0f64, dim), n..=n)
+}
+
+fn distributions(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.01..1.0f64, dim), n..=n).prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| {
+                let s: f64 = r.iter().sum();
+                r.into_iter().map(|v| v / s).collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dendrogram_invariants(rows in rows_strategy(8, 3)) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+            let d: Dendrogram = agglomerative(&rows, Metric::Euclidean, linkage).unwrap();
+            prop_assert_eq!(d.merges().len(), rows.len() - 1);
+            // Final merge covers all leaves.
+            prop_assert_eq!(d.merges().last().unwrap().size, rows.len());
+            // Every cut returns the requested number of clusters.
+            for k in 1..=rows.len() {
+                let labels = d.cut(k).unwrap();
+                let mut distinct = labels.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                prop_assert_eq!(distinct.len(), k);
+            }
+            // Leaf order is a permutation.
+            let mut order = d.leaf_order();
+            order.sort_unstable();
+            prop_assert_eq!(order, (0..rows.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_and_complete_bracket_average(rows in rows_strategy(7, 2)) {
+        // For any dataset, max merge height: single <= average <= complete.
+        let h = |l: Linkage| {
+            agglomerative(&rows, Metric::Euclidean, l)
+                .unwrap()
+                .merges()
+                .iter()
+                .map(|m| m.height)
+                .fold(0.0_f64, f64::max)
+        };
+        let s = h(Linkage::Single);
+        let a = h(Linkage::Average);
+        let c = h(Linkage::Complete);
+        prop_assert!(s <= a + 1e-9);
+        prop_assert!(a <= c + 1e-9);
+    }
+
+    #[test]
+    fn bhattacharyya_clustering_never_panics(rows in distributions(6, 4)) {
+        let _ = agglomerative(&rows, Metric::Bhattacharyya, Linkage::Average).unwrap();
+    }
+
+    #[test]
+    fn kmeans_labels_in_range_and_partition(rows in rows_strategy(20, 3), k in 1usize..6) {
+        let model = KMeans::fit(&rows, KMeansConfig::new(k).with_seed(99)).unwrap();
+        prop_assert_eq!(model.labels.len(), rows.len());
+        prop_assert!(model.labels.iter().all(|&l| l < k));
+        prop_assert!(model.inertia >= 0.0);
+        prop_assert_eq!(model.cluster_sizes().iter().sum::<usize>(), rows.len());
+    }
+
+    #[test]
+    fn kmeans_inertia_nonincreasing_in_k(rows in rows_strategy(24, 2)) {
+        let i2 = KMeans::fit(&rows, KMeansConfig::new(2).with_seed(5)).unwrap().inertia;
+        let i8 = KMeans::fit(&rows, KMeansConfig::new(8).with_seed(5)).unwrap().inertia;
+        // k-means++ with a fixed seed isn't globally optimal, but with 4x
+        // the clusters the inertia should not be meaningfully larger.
+        prop_assert!(i8 <= i2 * 1.05 + 1e-9, "i2 {} i8 {}", i2, i8);
+    }
+
+    #[test]
+    fn silhouette_bounded(rows in rows_strategy(12, 2), seed in 0u64..20) {
+        let model = KMeans::fit(&rows, KMeansConfig::new(3).with_seed(seed)).unwrap();
+        if let Ok(s) = silhouette_score(&rows, &model.labels, Metric::Euclidean) {
+            prop_assert!((-1.0..=1.0).contains(&s), "score {}", s);
+        }
+    }
+
+    #[test]
+    fn ari_symmetric_and_bounded(
+        a in prop::collection::vec(0usize..4, 30),
+        b in prop::collection::vec(0usize..4, 30),
+    ) {
+        let ab = adjusted_rand_index(&a, &b).unwrap();
+        let ba = adjusted_rand_index(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= 1.0 + 1e-9);
+        prop_assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_bounded_and_perfect_on_self(labels in prop::collection::vec(0usize..5, 25)) {
+        let p = purity(&labels, &labels).unwrap();
+        prop_assert!((p - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Eq. 3: `K = (LᵀL)⁻¹ Lᵀ Û` — aggregation of users into group
+//! characterizations.
+//!
+//! For a disjoint 0/1 membership this is exactly the per-group mean of
+//! `Û` rows, but we evaluate the published formula through the linear
+//! algebra substrate so weighted/overlapping memberships work unchanged.
+
+use crate::membership::Membership;
+use crate::Result;
+use donorpulse_linalg::Matrix;
+use donorpulse_text::Organ;
+use serde::Serialize;
+
+/// The aggregation `K` with labeled rows.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Aggregation<G> {
+    /// Row labels (groups, in membership column order).
+    pub groups: Vec<G>,
+    /// Group sizes.
+    pub sizes: Vec<usize>,
+    /// The `g × n` matrix `K`; each row is that group's mean attention
+    /// distribution over the six organs.
+    pub matrix: Matrix,
+}
+
+impl<G: Copy> Aggregation<G> {
+    /// Evaluates Eq. 3 against the (already row-subset) attention matrix
+    /// `u_hat`. `membership.matrix` must have the same number of rows.
+    pub fn compute(membership: &Membership<G>, u_hat: &Matrix) -> Result<Self> {
+        let l = &membership.matrix;
+        let lt = l.transpose();
+        let ltl = lt.matmul(l)?;
+        let k = ltl.inverse()?.matmul(&lt)?.matmul(u_hat)?;
+        Ok(Self {
+            groups: membership.groups.clone(),
+            sizes: membership.sizes.clone(),
+            matrix: k,
+        })
+    }
+
+    /// Evaluates the same least-squares problem through a Householder QR
+    /// factorization of `L` instead of the normal equations — numerically
+    /// preferable for weighted/overlapping memberships, identical (up to
+    /// floating point) for the paper's 0/1 disjoint case.
+    pub fn compute_via_qr(membership: &Membership<G>, u_hat: &Matrix) -> Result<Self> {
+        let k = membership.matrix.least_squares(u_hat)?;
+        Ok(Self {
+            groups: membership.groups.clone(),
+            sizes: membership.sizes.clone(),
+            matrix: k,
+        })
+    }
+
+    /// The characterization row of one group, by label.
+    pub fn row_for(&self, group: G) -> Option<&[f64]>
+    where
+        G: PartialEq,
+    {
+        self.groups
+            .iter()
+            .position(|&g| g == group)
+            .map(|i| self.matrix.row(i))
+    }
+
+    /// Organ attention values for a row, ranked descending — the
+    /// "ranked bins" presentation of Figs. 3–4.
+    pub fn ranked_row(&self, i: usize) -> Vec<(Organ, f64)> {
+        let row = self.matrix.row(i);
+        let mut pairs: Vec<(Organ, f64)> = Organ::ALL
+            .into_iter()
+            .map(|o| (o, row[o.index()]))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite attention"));
+        pairs
+    }
+
+    /// All rows as plain vectors (for clustering).
+    pub fn rows(&self) -> Vec<Vec<f64>> {
+        self.matrix.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionMatrix;
+    use crate::membership::by_dominant_organ;
+    use donorpulse_text::extract::MentionCounts;
+    use donorpulse_twitter::UserId;
+    use std::collections::HashMap;
+
+    fn am() -> AttentionMatrix {
+        let mut map = HashMap::new();
+        // Two heart-dominant users with different minor attention, one
+        // kidney-dominant user.
+        let mut a = MentionCounts::new();
+        a.add(Organ::Heart, 8);
+        a.add(Organ::Kidney, 2);
+        map.insert(UserId(1), a);
+        let mut b = MentionCounts::new();
+        b.add(Organ::Heart, 6);
+        b.add(Organ::Liver, 4);
+        map.insert(UserId(2), b);
+        let mut c = MentionCounts::new();
+        c.add(Organ::Kidney, 5);
+        map.insert(UserId(3), c);
+        AttentionMatrix::from_mentions(&map).unwrap()
+    }
+
+    #[test]
+    fn aggregation_is_group_mean() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let k = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        // Heart group = users 1 and 2: mean of (.8,.2,0,...) and (.6,0,.4,...)
+        let heart = k.row_for(Organ::Heart).unwrap();
+        assert!((heart[Organ::Heart.index()] - 0.7).abs() < 1e-12);
+        assert!((heart[Organ::Kidney.index()] - 0.1).abs() < 1e-12);
+        assert!((heart[Organ::Liver.index()] - 0.2).abs() < 1e-12);
+        // Kidney group = user 3 alone.
+        let kidney = k.row_for(Organ::Kidney).unwrap();
+        assert_eq!(kidney[Organ::Kidney.index()], 1.0);
+    }
+
+    #[test]
+    fn qr_path_matches_normal_equations() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let ne = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        let qr = Aggregation::compute_via_qr(&membership, attention.matrix()).unwrap();
+        assert!(qr.matrix.approx_eq(&ne.matrix, 1e-9));
+        assert_eq!(qr.groups, ne.groups);
+    }
+
+    #[test]
+    fn rows_of_k_are_stochastic() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let k = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        for i in 0..k.matrix.rows() {
+            let s: f64 = k.matrix.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn ranked_row_descending() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let k = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        let ranked = k.ranked_row(0);
+        assert_eq!(ranked[0].0, Organ::Heart);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn row_for_unknown_group_is_none() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let k = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        assert!(k.row_for(Organ::Intestine).is_none());
+    }
+
+    #[test]
+    fn rows_export() {
+        let attention = am();
+        let membership = by_dominant_organ(&attention).unwrap();
+        let k = Aggregation::compute(&membership, attention.matrix()).unwrap();
+        let rows = k.rows();
+        assert_eq!(rows.len(), k.groups.len());
+        assert_eq!(rows[0].len(), Organ::COUNT);
+    }
+}

@@ -1,0 +1,286 @@
+//! The user-attention matrix `Û` (Sec. III-B).
+//!
+//! Each row is one user's normalized distribution of organ mentions
+//! across *all* their collected tweets — the paper argues a user-level
+//! unit of analysis resists the bias of a few heavy posters, and Fig.
+//! 2(b) shows multi-organ attention mostly appears after per-user
+//! aggregation.
+
+use crate::{CoreError, Result};
+use donorpulse_linalg::Matrix;
+use donorpulse_stats::histogram::CategoricalHistogram;
+use donorpulse_text::extract::{MentionCounts, OrganExtractor};
+use donorpulse_text::Organ;
+use donorpulse_twitter::{Corpus, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The normalized contingency matrix `Û = [û_ij]_{m×n}`: rows are users,
+/// columns the six organs, each row summing to 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionMatrix {
+    users: Vec<UserId>,
+    matrix: Matrix,
+    raw_counts: Vec<MentionCounts>,
+}
+
+impl AttentionMatrix {
+    /// Builds `Û` from per-user mention counts. Users with zero mentions
+    /// are dropped (they carry no attention signal); the row order is
+    /// ascending user id for determinism.
+    pub fn from_mentions(mentions: &HashMap<UserId, MentionCounts>) -> Result<Self> {
+        let mut entries: Vec<(&UserId, &MentionCounts)> = mentions
+            .iter()
+            .filter(|(_, mc)| !mc.is_empty())
+            .collect();
+        if entries.is_empty() {
+            return Err(CoreError::EmptyCorpus {
+                what: "attention matrix",
+            });
+        }
+        entries.sort_by_key(|(id, _)| **id);
+
+        let mut rows = Vec::with_capacity(entries.len());
+        let mut users = Vec::with_capacity(entries.len());
+        let mut raw_counts = Vec::with_capacity(entries.len());
+        for (id, mc) in entries {
+            let dist = mc.to_distribution().expect("nonempty counts");
+            rows.push(dist.to_vec());
+            users.push(*id);
+            raw_counts.push(*mc);
+        }
+        let matrix = Matrix::from_rows(&rows)?;
+        Ok(Self {
+            users,
+            matrix,
+            raw_counts,
+        })
+    }
+
+    /// Builds `Û` directly from a corpus (extracts mentions first).
+    pub fn from_corpus(corpus: &Corpus) -> Result<Self> {
+        Self::from_mentions(&corpus.mentions_by_user())
+    }
+
+    /// Number of users (rows `m`).
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Row order of users.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// The matrix `Û` itself.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Row index of a user, if present.
+    pub fn row_of(&self, user: UserId) -> Option<usize> {
+        self.users.binary_search(&user).ok()
+    }
+
+    /// One user's attention distribution.
+    pub fn attention_of(&self, user: UserId) -> Option<&[f64]> {
+        self.row_of(user).map(|i| self.matrix.row(i))
+    }
+
+    /// The raw (un-normalized) mention counts backing row `i`.
+    pub fn raw_counts(&self, i: usize) -> &MentionCounts {
+        &self.raw_counts[i]
+    }
+
+    /// Each user's most-cited organ (Eq. 1's argmax), in row order.
+    pub fn dominant_organs(&self) -> Vec<Organ> {
+        (0..self.user_count())
+            .map(|i| Organ::from_index(self.matrix.row_argmax(i)).expect("column is an organ"))
+            .collect()
+    }
+
+    /// Fig. 2(a): number of users mentioning each organ at least once.
+    pub fn users_per_organ(&self) -> CategoricalHistogram {
+        let mut h = CategoricalHistogram::new();
+        for organ in Organ::ALL {
+            h.add(organ.name(), 0);
+        }
+        for mc in &self.raw_counts {
+            for organ in Organ::ALL {
+                if mc.count(organ) > 0 {
+                    h.increment(organ.name());
+                }
+            }
+        }
+        h
+    }
+
+    /// Fig. 2(b), user side: how many users mention exactly `k` distinct
+    /// organs, for `k = 1..=6` (index 0 ↔ k = 1).
+    pub fn users_by_breadth(&self) -> [u64; Organ::COUNT] {
+        let mut out = [0u64; Organ::COUNT];
+        for mc in &self.raw_counts {
+            let k = mc.distinct();
+            if (1..=Organ::COUNT).contains(&k) {
+                out[k - 1] += 1;
+            }
+        }
+        out
+    }
+
+    /// Fig. 2(b), tweet side: how many *tweets* in `corpus` mention
+    /// exactly `k` distinct organs (index 0 ↔ k = 1). Tweets mentioning
+    /// none are excluded, mirroring the paper's plot.
+    pub fn tweets_by_breadth(corpus: &Corpus) -> [u64; Organ::COUNT] {
+        let extractor = OrganExtractor::new();
+        let mut out = [0u64; Organ::COUNT];
+        for t in corpus.tweets() {
+            let k = extractor.extract(&t.text).distinct();
+            if (1..=Organ::COUNT).contains(&k) {
+                out[k - 1] += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_twitter::{SimInstant, Tweet, TweetId};
+
+    fn mentions(pairs: &[(u64, &[(Organ, u32)])]) -> HashMap<UserId, MentionCounts> {
+        let mut map = HashMap::new();
+        for (id, organs) in pairs {
+            let mut mc = MentionCounts::new();
+            for &(o, c) in *organs {
+                mc.add(o, c);
+            }
+            map.insert(UserId(*id), mc);
+        }
+        map
+    }
+
+    #[test]
+    fn rows_are_normalized_and_sorted() {
+        let m = mentions(&[
+            (3, &[(Organ::Heart, 3), (Organ::Kidney, 1)]),
+            (1, &[(Organ::Liver, 2)]),
+        ]);
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        assert_eq!(am.user_count(), 2);
+        assert_eq!(am.users(), &[UserId(1), UserId(3)]);
+        // Row 0 = user 1: all liver.
+        assert_eq!(am.matrix().row(0)[Organ::Liver.index()], 1.0);
+        // Row 1 = user 3: 0.75 heart / 0.25 kidney.
+        assert!((am.matrix().row(1)[Organ::Heart.index()] - 0.75).abs() < 1e-12);
+        for i in 0..2 {
+            let s: f64 = am.matrix().row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_users_dropped_and_all_empty_errors() {
+        let mut m = mentions(&[(1, &[(Organ::Heart, 1)])]);
+        m.insert(UserId(2), MentionCounts::new());
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        assert_eq!(am.user_count(), 1);
+
+        let empty = mentions(&[]);
+        assert!(matches!(
+            AttentionMatrix::from_mentions(&empty),
+            Err(CoreError::EmptyCorpus { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = mentions(&[(5, &[(Organ::Lung, 4)])]);
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        assert_eq!(am.row_of(UserId(5)), Some(0));
+        assert_eq!(am.row_of(UserId(6)), None);
+        assert_eq!(am.attention_of(UserId(5)).unwrap()[Organ::Lung.index()], 1.0);
+        assert_eq!(am.attention_of(UserId(9)), None);
+        assert_eq!(am.raw_counts(0).count(Organ::Lung), 4);
+    }
+
+    #[test]
+    fn dominant_organs_argmax() {
+        let m = mentions(&[
+            (1, &[(Organ::Heart, 1), (Organ::Kidney, 5)]),
+            (2, &[(Organ::Pancreas, 2)]),
+        ]);
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        assert_eq!(am.dominant_organs(), vec![Organ::Kidney, Organ::Pancreas]);
+    }
+
+    #[test]
+    fn users_per_organ_histogram() {
+        let m = mentions(&[
+            (1, &[(Organ::Heart, 10), (Organ::Kidney, 1)]),
+            (2, &[(Organ::Heart, 1)]),
+        ]);
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        let h = am.users_per_organ();
+        assert_eq!(h.count("heart"), 2);
+        assert_eq!(h.count("kidney"), 1);
+        assert_eq!(h.count("liver"), 0);
+        // All six organs present as categories even with zero counts.
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn breadth_histograms() {
+        let m = mentions(&[
+            (1, &[(Organ::Heart, 2)]),
+            (2, &[(Organ::Heart, 1), (Organ::Kidney, 1)]),
+            (3, &[(Organ::Liver, 9)]),
+        ]);
+        let am = AttentionMatrix::from_mentions(&m).unwrap();
+        assert_eq!(am.users_by_breadth(), [2, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn tweets_by_breadth_counts() {
+        let corpus = Corpus::from_tweets([
+            Tweet {
+                id: TweetId(0),
+                user: UserId(1),
+                created_at: SimInstant(0),
+                text: "kidney donor".into(),
+                geo: None,
+            },
+            Tweet {
+                id: TweetId(1),
+                user: UserId(1),
+                created_at: SimInstant(1),
+                text: "donate heart and lung".into(),
+                geo: None,
+            },
+            Tweet {
+                id: TweetId(2),
+                user: UserId(2),
+                created_at: SimInstant(2),
+                text: "no organs here".into(),
+                geo: None,
+            },
+        ]);
+        assert_eq!(AttentionMatrix::tweets_by_breadth(&corpus), [1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_corpus_matches_from_mentions() {
+        let corpus = Corpus::from_tweets([Tweet {
+            id: TweetId(0),
+            user: UserId(1),
+            created_at: SimInstant(0),
+            text: "kidney kidney heart donor".into(),
+            geo: None,
+        }]);
+        let am = AttentionMatrix::from_corpus(&corpus).unwrap();
+        let row = am.attention_of(UserId(1)).unwrap();
+        assert!((row[Organ::Kidney.index()] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((row[Organ::Heart.index()] - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! Within-tweet organ co-occurrence — the paper's Sec. IV-A discussion.
+//!
+//! The paper argues that dual-organ transplantation (heart–kidney,
+//! liver–kidney, kidney–pancreas) and cascading organ failures make
+//! people "talk about them together in the same tweet". This module
+//! measures that directly: a symmetric pair-count matrix over tweets
+//! that mention two or more distinct organs, with *lift*
+//! (`P(a,b) / (P(a)·P(b))`) as the association strength.
+//!
+//! Interpretation note: with 1.03 distinct organs per tweet (Table I),
+//! ~97% of tweets mention exactly one organ, so per-tweet organ
+//! indicators are strongly *negatively* dependent overall and absolute
+//! lifts sit below 1 for every pair. The informative signal is the
+//! *relative* ordering of lifts/counts across pairs — which recovers the
+//! dual-transplant structure (kidney–pancreas, heart–kidney,
+//! liver–kidney) the paper discusses.
+
+use crate::{CoreError, Result};
+use donorpulse_text::extract::OrganExtractor;
+use donorpulse_text::Organ;
+use donorpulse_twitter::Corpus;
+use serde::Serialize;
+
+/// Co-occurrence statistics over a corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoOccurrence {
+    /// Tweets mentioning at least one organ.
+    pub tweets_with_organs: u64,
+    /// Tweets mentioning ≥ 2 distinct organs.
+    pub multi_organ_tweets: u64,
+    /// Per-organ tweet counts (tweet mentions organ at least once).
+    pub organ_tweets: [u64; Organ::COUNT],
+    /// Symmetric pair counts, indexed `[i][j]` with `i < j` populated.
+    pair_counts: [[u64; Organ::COUNT]; Organ::COUNT],
+}
+
+/// One organ pair with its association measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PairAssociation {
+    /// First organ (lower canonical index).
+    pub a: Organ,
+    /// Second organ.
+    pub b: Organ,
+    /// Tweets mentioning both.
+    pub count: u64,
+    /// Lift `P(a,b) / (P(a)·P(b))`.
+    pub lift: f64,
+    /// Jaccard overlap `|a∩b| / |a∪b|`.
+    pub jaccard: f64,
+}
+
+impl CoOccurrence {
+    /// Scans the corpus once.
+    pub fn compute(corpus: &Corpus) -> Result<Self> {
+        if corpus.is_empty() {
+            return Err(CoreError::EmptyCorpus {
+                what: "co-occurrence",
+            });
+        }
+        let extractor = OrganExtractor::new();
+        let mut organ_tweets = [0u64; Organ::COUNT];
+        let mut pair_counts = [[0u64; Organ::COUNT]; Organ::COUNT];
+        let mut tweets_with_organs = 0;
+        let mut multi_organ_tweets = 0;
+        for t in corpus.tweets() {
+            let mc = extractor.extract(&t.text);
+            let present: Vec<Organ> = Organ::ALL
+                .into_iter()
+                .filter(|&o| mc.count(o) > 0)
+                .collect();
+            if present.is_empty() {
+                continue;
+            }
+            tweets_with_organs += 1;
+            if present.len() >= 2 {
+                multi_organ_tweets += 1;
+            }
+            for &o in &present {
+                organ_tweets[o.index()] += 1;
+            }
+            for (k, &a) in present.iter().enumerate() {
+                for &b in &present[k + 1..] {
+                    pair_counts[a.index()][b.index()] += 1;
+                }
+            }
+        }
+        if tweets_with_organs == 0 {
+            return Err(CoreError::EmptyCorpus {
+                what: "co-occurrence (no organ mentions)",
+            });
+        }
+        Ok(Self {
+            tweets_with_organs,
+            multi_organ_tweets,
+            organ_tweets,
+            pair_counts,
+        })
+    }
+
+    /// Tweets mentioning both organs (order-insensitive).
+    pub fn pair_count(&self, a: Organ, b: Organ) -> u64 {
+        let (i, j) = if a.index() <= b.index() {
+            (a.index(), b.index())
+        } else {
+            (b.index(), a.index())
+        };
+        if i == j {
+            return self.organ_tweets[i];
+        }
+        self.pair_counts[i][j]
+    }
+
+    /// Association measures for every pair with at least one co-mention,
+    /// sorted by descending lift.
+    pub fn associations(&self) -> Vec<PairAssociation> {
+        let n = self.tweets_with_organs as f64;
+        let mut out = Vec::new();
+        for i in 0..Organ::COUNT {
+            for j in (i + 1)..Organ::COUNT {
+                let count = self.pair_counts[i][j];
+                if count == 0 {
+                    continue;
+                }
+                let pa = self.organ_tweets[i] as f64 / n;
+                let pb = self.organ_tweets[j] as f64 / n;
+                let pab = count as f64 / n;
+                let union = self.organ_tweets[i] + self.organ_tweets[j] - count;
+                out.push(PairAssociation {
+                    a: Organ::from_index(i).expect("organ index"),
+                    b: Organ::from_index(j).expect("organ index"),
+                    count,
+                    lift: pab / (pa * pb),
+                    jaccard: count as f64 / union as f64,
+                });
+            }
+        }
+        out.sort_by(|x, y| y.lift.partial_cmp(&x.lift).expect("finite lift"));
+        out
+    }
+
+    /// Plain-text summary of the strongest pairs.
+    pub fn render(&self, top: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "ORGAN CO-OCCURRENCE ({} multi-organ tweets of {})\n",
+            self.multi_organ_tweets, self.tweets_with_organs
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>8} {:>9}",
+            "pair", "tweets", "lift", "jaccard"
+        );
+        for p in self.associations().into_iter().take(top) {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>8} {:>8.2} {:>9.4}",
+                format!("{}+{}", p.a.name(), p.b.name()),
+                p.count,
+                p.lift,
+                p.jaccard
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::shared_run;
+    use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+
+    fn tweet(id: u64, text: &str) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(id),
+            created_at: SimInstant(id),
+            text: text.to_string(),
+            geo: None,
+        }
+    }
+
+    #[test]
+    fn counts_pairs_in_synthetic_corpus() {
+        let corpus = Corpus::from_tweets([
+            tweet(0, "heart and kidney transplant"),
+            tweet(1, "heart donor"),
+            tweet(2, "kidney and pancreas donation"),
+            tweet(3, "heart kidney liver triple feature"),
+            tweet(4, "no organs here"),
+        ]);
+        let co = CoOccurrence::compute(&corpus).unwrap();
+        assert_eq!(co.tweets_with_organs, 4);
+        assert_eq!(co.multi_organ_tweets, 3);
+        assert_eq!(co.pair_count(Organ::Heart, Organ::Kidney), 2);
+        assert_eq!(co.pair_count(Organ::Kidney, Organ::Heart), 2);
+        assert_eq!(co.pair_count(Organ::Kidney, Organ::Pancreas), 1);
+        assert_eq!(co.pair_count(Organ::Heart, Organ::Pancreas), 0);
+        // Self "pair" returns the organ's tweet count.
+        assert_eq!(co.pair_count(Organ::Heart, Organ::Heart), 3);
+    }
+
+    #[test]
+    fn planted_pair_structure_recovered() {
+        // Dual-mention tweets draw the second organ from the user's
+        // co-attention, so pair counts must mirror that structure even
+        // though absolute lifts are < 1 (see the module docs).
+        let run = shared_run();
+        let co = CoOccurrence::compute(&run.usa).unwrap();
+        let assoc = co.associations();
+        assert!(!assoc.is_empty());
+        // Heart+kidney is the most common pair outright (two most
+        // popular organs, strong mutual co-attention).
+        let max_count = assoc.iter().map(|p| p.count).max().unwrap();
+        assert_eq!(
+            co.pair_count(Organ::Heart, Organ::Kidney),
+            max_count,
+            "{assoc:?}"
+        );
+        // Pancreas pairs with kidney far more than with heart
+        // (kidney-pancreas dual transplants; coatt[pancreas][kidney]=.5).
+        assert!(
+            co.pair_count(Organ::Kidney, Organ::Pancreas)
+                > co.pair_count(Organ::Heart, Organ::Pancreas),
+            "{assoc:?}"
+        );
+        // Associations are sorted by lift descending, all positive.
+        for pair in assoc.windows(2) {
+            assert!(pair[0].lift >= pair[1].lift);
+        }
+        assert!(assoc.iter().all(|p| p.lift > 0.0 && p.lift.is_finite()));
+        // And multi-organ tweets are the small minority (organs/tweet
+        // 1.03): under 10% of organ-bearing tweets.
+        assert!(co.multi_organ_tweets * 10 < co.tweets_with_organs);
+    }
+
+    #[test]
+    fn jaccard_bounded_and_consistent() {
+        let corpus = Corpus::from_tweets([
+            tweet(0, "heart kidney"),
+            tweet(1, "heart kidney"),
+            tweet(2, "heart"),
+        ]);
+        let co = CoOccurrence::compute(&corpus).unwrap();
+        let assoc = co.associations();
+        let hk = assoc
+            .iter()
+            .find(|p| p.a == Organ::Heart && p.b == Organ::Kidney)
+            .unwrap();
+        // |a∩b| = 2, |a∪b| = 3.
+        assert!((hk.jaccard - 2.0 / 3.0).abs() < 1e-12);
+        assert!(hk.lift > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        assert!(CoOccurrence::compute(&Corpus::new()).is_err());
+        let no_organs = Corpus::from_tweets([tweet(0, "hello world")]);
+        assert!(CoOccurrence::compute(&no_organs).is_err());
+    }
+
+    #[test]
+    fn render_lists_pairs() {
+        let corpus = Corpus::from_tweets([tweet(0, "heart kidney donor")]);
+        let co = CoOccurrence::compute(&corpus).unwrap();
+        let text = co.render(5);
+        assert!(text.contains("heart+kidney"));
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Errors produced by the characterization pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The corpus contains no usable users for the requested operation.
+    EmptyCorpus {
+        /// What was being computed.
+        what: &'static str,
+    },
+    /// A membership grouping produced no groups (e.g. no located users).
+    NoGroups {
+        /// What was being grouped.
+        what: &'static str,
+    },
+    /// Linear algebra failed (singular LᵀL and similar).
+    Linalg(donorpulse_linalg::LinalgError),
+    /// A statistics routine failed.
+    Stats(donorpulse_stats::StatsError),
+    /// Clustering failed.
+    Cluster(donorpulse_cluster::ClusterError),
+    /// Simulation/generation failed.
+    Simulation(String),
+    /// Invalid caller-supplied parameter.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyCorpus { what } => write!(f, "{what}: empty corpus"),
+            CoreError::NoGroups { what } => write!(f, "{what}: no nonempty groups"),
+            CoreError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics: {e}"),
+            CoreError::Cluster(e) => write!(f, "clustering: {e}"),
+            CoreError::Simulation(msg) => write!(f, "simulation: {msg}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<donorpulse_linalg::LinalgError> for CoreError {
+    fn from(e: donorpulse_linalg::LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<donorpulse_stats::StatsError> for CoreError {
+    fn from(e: donorpulse_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<donorpulse_cluster::ClusterError> for CoreError {
+    fn from(e: donorpulse_cluster::ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::EmptyCorpus { what: "attention" };
+        assert!(e.to_string().contains("attention"));
+        assert!(e.source().is_none());
+        let l: CoreError = donorpulse_linalg::LinalgError::Singular.into();
+        assert!(l.to_string().contains("singular"));
+        assert!(l.source().is_some());
+    }
+}

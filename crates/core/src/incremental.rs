@@ -1,0 +1,315 @@
+//! Incremental sensing: batch results, one tweet at a time.
+//!
+//! The batch [`crate::pipeline::Pipeline`] re-reads the whole corpus;
+//! a deployed social sensor (the paper's stated goal) instead consumes
+//! the stream *as it arrives* and must be able to answer "what does the
+//! characterization look like right now?" at any moment. The
+//! [`IncrementalSensor`] tracks each user's location resolution and
+//! accumulated mentions as tweets stream in, and can snapshot an
+//! [`AttentionMatrix`], a [`RiskMap`], or a [`DailySeries`] at any time.
+//!
+//! Location follows the batch pipeline's semantics exactly: the profile
+//! string resolves a user provisionally, and the user's **first**
+//! (finite) geotag overrides it permanently — including a foreign geotag
+//! voiding a US profile resolution. Because the override is retroactive
+//! in the batch pipeline, the sensor keeps per-user tweet buffers and
+//! derives snapshots from the *current* resolution, so a snapshot after
+//! the full stream is byte-identical to the batch artifacts (tested).
+
+use crate::attention::AttentionMatrix;
+use crate::relative_risk::RiskMap;
+use crate::temporal::DailySeries;
+use crate::{CoreError, Result};
+use donorpulse_geo::{Geocoder, UsState};
+use donorpulse_text::extract::{MentionCounts, OrganExtractor};
+use donorpulse_twitter::{Corpus, Tweet, UserId};
+use std::collections::HashMap;
+
+/// Per-user streaming state.
+#[derive(Debug, Clone)]
+struct UserTrack {
+    /// Current resolution (`None` = unlocated or voided).
+    state: Option<UsState>,
+    /// True once a finite geotag has fixed the resolution.
+    geo_locked: bool,
+    /// The user's collected tweets, in arrival order.
+    tweets: Vec<Tweet>,
+    /// Accumulated organ mentions.
+    mentions: MentionCounts,
+}
+
+/// Streaming state of the sensor.
+pub struct IncrementalSensor<'a> {
+    geocoder: &'a Geocoder,
+    extractor: OrganExtractor,
+    /// Profile-location lookup, provided by the platform adapter
+    /// (in production a user-profile cache; here, the simulation).
+    profile_of: Box<dyn Fn(UserId) -> Option<String> + 'a>,
+    tracks: HashMap<UserId, UserTrack>,
+    tweets_seen: u64,
+}
+
+impl<'a> IncrementalSensor<'a> {
+    /// Creates a sensor around a geocoder and a profile lookup.
+    pub fn new(
+        geocoder: &'a Geocoder,
+        profile_of: impl Fn(UserId) -> Option<String> + 'a,
+    ) -> Self {
+        Self {
+            geocoder,
+            extractor: OrganExtractor::new(),
+            profile_of: Box::new(profile_of),
+            tracks: HashMap::new(),
+            tweets_seen: 0,
+        }
+    }
+
+    /// Ingests one collected (filter-passing) tweet.
+    pub fn ingest(&mut self, tweet: &Tweet) {
+        self.tweets_seen += 1;
+        let track = self.tracks.entry(tweet.user).or_insert_with(|| {
+            let profile = (self.profile_of)(tweet.user);
+            UserTrack {
+                state: self.geocoder.locate(profile.as_deref(), None).state,
+                geo_locked: false,
+                tweets: Vec::new(),
+                mentions: MentionCounts::new(),
+            }
+        });
+        // First finite geotag fixes the resolution permanently — to a
+        // state, or to "outside the USA" (None) for foreign coordinates.
+        if !track.geo_locked {
+            if let Some((lat, lon)) = tweet.geo {
+                if lat.is_finite() && lon.is_finite() {
+                    track.state = self.geocoder.resolve_point(lat, lon);
+                    track.geo_locked = true;
+                }
+            }
+        }
+        track.mentions.merge(&self.extractor.extract(&tweet.text));
+        track.tweets.push(tweet.clone());
+    }
+
+    /// Collected tweets ingested so far (any location).
+    pub fn tweets_seen(&self) -> u64 {
+        self.tweets_seen
+    }
+
+    /// Users located to a US state under the current resolution.
+    pub fn located_users(&self) -> usize {
+        self.tracks.values().filter(|t| t.state.is_some()).count()
+    }
+
+    /// USA tweets under the current resolution.
+    pub fn usa_tweet_count(&self) -> usize {
+        self.tracks
+            .values()
+            .filter(|t| t.state.is_some())
+            .map(|t| t.tweets.len())
+            .sum()
+    }
+
+    /// Snapshot: the USA corpus under the current resolution, in tweet-id
+    /// order (the stream's chronological order).
+    pub fn corpus(&self) -> Corpus {
+        let mut tweets: Vec<Tweet> = self
+            .tracks
+            .values()
+            .filter(|t| t.state.is_some())
+            .flat_map(|t| t.tweets.iter().cloned())
+            .collect();
+        tweets.sort_by_key(|t| t.id);
+        Corpus::from_tweets(tweets)
+    }
+
+    /// Snapshot: the attention matrix `Û` over located users.
+    pub fn attention(&self) -> Result<AttentionMatrix> {
+        let mentions: HashMap<UserId, MentionCounts> = self
+            .tracks
+            .iter()
+            .filter(|(_, t)| t.state.is_some())
+            .map(|(&id, t)| (id, t.mentions))
+            .collect();
+        AttentionMatrix::from_mentions(&mentions)
+    }
+
+    /// Snapshot: the user → state map (located users only).
+    pub fn user_states(&self) -> HashMap<UserId, UsState> {
+        self.tracks
+            .iter()
+            .filter_map(|(&id, t)| t.state.map(|s| (id, s)))
+            .collect()
+    }
+
+    /// Snapshot: the current relative-risk map.
+    pub fn risk_map(&self, alpha: f64) -> Result<RiskMap> {
+        let attention = self.attention()?;
+        RiskMap::compute(&attention, &self.user_states(), alpha)
+    }
+
+    /// Snapshot: the daily mention series over the USA corpus.
+    pub fn daily_series(&self) -> DailySeries {
+        DailySeries::from_corpus(&self.corpus())
+    }
+
+    /// Guards against snapshotting before any located data arrived.
+    pub fn ensure_nonempty(&self) -> Result<()> {
+        if self.located_users() == 0 {
+            return Err(CoreError::EmptyCorpus {
+                what: "incremental sensor",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_text::KeywordQuery;
+    use donorpulse_twitter::{GeneratorConfig, TwitterSimulation};
+
+    fn sim() -> TwitterSimulation {
+        let mut cfg = GeneratorConfig::paper_scaled(0.01);
+        cfg.seed = 808;
+        TwitterSimulation::generate(cfg).expect("sim")
+    }
+
+    fn sensor_for<'a>(
+        sim: &'a TwitterSimulation,
+        geocoder: &'a Geocoder,
+    ) -> IncrementalSensor<'a> {
+        IncrementalSensor::new(geocoder, |id| {
+            sim.users()
+                .get(id.0 as usize)
+                .map(|u| u.profile_location.clone())
+        })
+    }
+
+    #[test]
+    fn incremental_matches_batch_pipeline() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut sensor = sensor_for(&sim, &geocoder);
+        for t in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+            sensor.ingest(&t);
+        }
+        sensor.ensure_nonempty().unwrap();
+
+        // Batch equivalent over the same simulation.
+        let pipeline = crate::pipeline::Pipeline::new();
+        let config = crate::pipeline::PipelineConfig {
+            generator: sim.config().clone(),
+            run_user_clustering: false,
+            ..Default::default()
+        };
+        let batch = pipeline.run_on(&sim, config).unwrap();
+
+        assert_eq!(sensor.tweets_seen(), batch.collected_tweets);
+        assert_eq!(sensor.usa_tweet_count(), batch.usa.len());
+        assert_eq!(sensor.user_states(), batch.user_states);
+        assert_eq!(sensor.corpus().tweets(), batch.usa.tweets());
+        let inc_attention = sensor.attention().unwrap();
+        assert_eq!(inc_attention, batch.attention);
+        // Risk maps agree entry-by-entry.
+        let inc_risk = sensor.risk_map(0.05).unwrap();
+        assert_eq!(inc_risk.entries.len(), batch.risk.entries.len());
+        for (a, b) in inc_risk.entries.iter().zip(&batch.risk.entries) {
+            assert_eq!((a.state, a.organ, a.cases_in), (b.state, b.organ, b.cases_in));
+            assert_eq!(a.risk.map(|r| r.rr), b.risk.map(|r| r.rr));
+        }
+    }
+
+    #[test]
+    fn daily_series_matches_batch() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut sensor = sensor_for(&sim, &geocoder);
+        for t in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+            sensor.ingest(&t);
+        }
+        let incremental = sensor.daily_series();
+        let batch = DailySeries::from_corpus(&sensor.corpus());
+        for day in 0..incremental.days() {
+            assert_eq!(incremental.total(day), batch.total(day), "day {day}");
+        }
+    }
+
+    #[test]
+    fn snapshots_available_mid_stream() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut sensor = sensor_for(&sim, &geocoder);
+        let tweets: Vec<_> = sim
+            .stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .collect();
+        let half = tweets.len() / 2;
+        for t in &tweets[..half] {
+            sensor.ingest(t);
+        }
+        let mid_users = sensor.attention().unwrap().user_count();
+        assert!(mid_users > 0);
+        for t in &tweets[half..] {
+            sensor.ingest(t);
+        }
+        let end_users = sensor.attention().unwrap().user_count();
+        assert!(end_users >= mid_users);
+        assert_eq!(sensor.tweets_seen(), tweets.len() as u64);
+    }
+
+    #[test]
+    fn empty_sensor_guard() {
+        let geocoder = Geocoder::new();
+        let sensor = IncrementalSensor::new(&geocoder, |_| None);
+        assert!(sensor.ensure_nonempty().is_err());
+        assert!(sensor.attention().is_err());
+        assert_eq!(sensor.located_users(), 0);
+    }
+
+    fn tweet(id: u64, user: u64, text: &str, geo: Option<(f64, f64)>) -> Tweet {
+        Tweet {
+            id: donorpulse_twitter::TweetId(id),
+            user: UserId(user),
+            created_at: donorpulse_twitter::SimInstant(id),
+            text: text.to_string(),
+            geo,
+        }
+    }
+
+    #[test]
+    fn late_geotag_upgrades_unlocated_user_retroactively() {
+        let geocoder = Geocoder::new();
+        let mut sensor =
+            IncrementalSensor::new(&geocoder, |_| Some("somewhere nice".to_string()));
+        sensor.ingest(&tweet(0, 1, "kidney donor", None));
+        assert_eq!(sensor.located_users(), 0);
+        sensor.ingest(&tweet(1, 1, "kidney transplant tomorrow", Some((37.69, -97.34))));
+        assert_eq!(sensor.located_users(), 1);
+        assert_eq!(sensor.user_states().get(&UserId(1)), Some(&UsState::Kansas));
+        // Both tweets count retroactively, as in the batch pipeline.
+        assert_eq!(sensor.usa_tweet_count(), 2);
+        let att = sensor.attention().unwrap();
+        assert_eq!(
+            att.raw_counts(0).count(donorpulse_text::Organ::Kidney),
+            2
+        );
+    }
+
+    #[test]
+    fn foreign_geotag_voids_us_profile() {
+        let geocoder = Geocoder::new();
+        let mut sensor =
+            IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        sensor.ingest(&tweet(0, 1, "kidney donor", None));
+        assert_eq!(sensor.located_users(), 1);
+        // First geotag is London: the user is actually abroad.
+        sensor.ingest(&tweet(1, 1, "kidney donor again", Some((51.5, -0.1))));
+        assert_eq!(sensor.located_users(), 0);
+        assert_eq!(sensor.usa_tweet_count(), 0);
+        // A later US geotag does NOT flip it back (first geotag wins,
+        // matching the batch pipeline's first-geotag semantics).
+        sensor.ingest(&tweet(2, 1, "kidney once more", Some((37.69, -97.34))));
+        assert_eq!(sensor.located_users(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! `donorpulse-core` — the paper's primary contribution.
+//!
+//! Pacheco et al. characterize organ-donation awareness from Twitter by
+//! representing each user as a normalized attention distribution over
+//! the six major solid organs (the matrix `Û`, Sec. III-B), then
+//! aggregating users through membership-indicator matrices `L`
+//! (Eqs. 1–2) with the closed form
+//!
+//! ```text
+//! K = (LᵀL)⁻¹ Lᵀ Û          (Eq. 3)
+//! ```
+//!
+//! Rows of `K` are group centroids: organ characterizations when `L`
+//! groups users by their most-cited organ (Fig. 3), state
+//! characterizations when `L` groups them by residence (Fig. 4). On top
+//! of that sit the relative-risk highlighting of Eq. 4 (Fig. 5), the
+//! Bhattacharyya/agglomerative state clustering (Fig. 6), and the
+//! K-Means user clustering with silhouette-driven model selection
+//! (Fig. 7).
+//!
+//! The [`pipeline`] module wires the full system end to end against the
+//! simulated Twitter substrate: stream collection with the `Q` keyword
+//! filter → location augmentation (geo-tag, then profile) → USA filter →
+//! characterizations. [`report`] renders every table and figure of the
+//! paper from a pipeline run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod attention;
+pub mod cooccurrence;
+pub mod incremental;
+pub mod membership;
+pub mod pipeline;
+pub mod region_view;
+pub mod relative_risk;
+pub mod report;
+pub mod roles;
+pub mod spatial;
+pub mod state_clusters;
+pub mod temporal;
+pub mod user_clusters;
+
+mod error;
+
+#[cfg(test)]
+pub(crate) mod testsupport;
+
+pub use aggregate::Aggregation;
+pub use attention::AttentionMatrix;
+pub use error::CoreError;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineRun};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

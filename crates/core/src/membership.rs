@@ -1,0 +1,226 @@
+//! Membership-indicator matrices `L` (Eqs. 1 and 2).
+//!
+//! `L` is an `m × g` 0/1 matrix assigning each user (row of `Û`) to one
+//! group. Eq. 1 groups by the user's most-cited organ; Eq. 2 groups by
+//! region of residence. Groups that end up empty are dropped — `LᵀL`
+//! must be invertible for Eq. 3, and an all-zero column would make it
+//! singular (the paper's data simply never exhibits an empty state).
+
+use crate::attention::AttentionMatrix;
+use crate::{CoreError, Result};
+use donorpulse_geo::UsState;
+use donorpulse_linalg::Matrix;
+use donorpulse_text::Organ;
+use donorpulse_twitter::UserId;
+use std::collections::HashMap;
+
+/// A built membership: the indicator matrix plus the meaning of its
+/// columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Membership<G> {
+    /// Column labels (one per nonempty group).
+    pub groups: Vec<G>,
+    /// The `m × g` indicator matrix, row order matching `Û`.
+    pub matrix: Matrix,
+    /// Users per group (column sums).
+    pub sizes: Vec<usize>,
+}
+
+/// Eq. 1: groups users by their most-cited organ.
+///
+/// Ties (common at Twitter's 1.88 tweets/user: one kidney mention plus
+/// one heart mention is a dead heat) are broken *uniformly* by a hash of
+/// the user id rather than by canonical organ order. A first-index
+/// tie-break would systematically funnel every tied user into the
+/// lowest-indexed organ's group, stripping the other groups of exactly
+/// the co-attention signal Fig. 3 measures; the hash keeps the argmax
+/// deterministic while leaving the group means unbiased.
+pub fn by_dominant_organ(attention: &AttentionMatrix) -> Result<Membership<Organ>> {
+    let dominants: Vec<Organ> = attention
+        .users()
+        .iter()
+        .enumerate()
+        .map(|(i, id)| dominant_with_fair_ties(attention.matrix().row(i), id.0))
+        .collect();
+    let mut present: Vec<Organ> = Vec::new();
+    for organ in Organ::ALL {
+        if dominants.contains(&organ) {
+            present.push(organ);
+        }
+    }
+    build(attention.user_count(), present, |i| Some(dominants[i]))
+}
+
+/// Argmax over an attention row with hash-of-user tie-breaking.
+fn dominant_with_fair_ties(row: &[f64], user_id: u64) -> Organ {
+    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let tied: Vec<usize> = (0..row.len()).filter(|&j| row[j] == max).collect();
+    let pick = if tied.len() == 1 {
+        tied[0]
+    } else {
+        // SplitMix64 finalizer: uniform, deterministic in the user id.
+        let mut z = user_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        tied[(z % tied.len() as u64) as usize]
+    };
+    Organ::from_index(pick).expect("row has organ dimension")
+}
+
+/// Eq. 2: groups users by their (resolved) state of residence. Users
+/// missing from `states` are left out of every group — they do not
+/// contribute to the region characterization, exactly like the paper's
+/// non-located users.
+///
+/// Returns the membership and the row indices that were actually
+/// assigned (needed to subset `Û` before aggregation).
+pub fn by_region(
+    attention: &AttentionMatrix,
+    states: &HashMap<UserId, UsState>,
+) -> Result<(Membership<UsState>, Vec<usize>)> {
+    let assigned: Vec<(usize, UsState)> = attention
+        .users()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, id)| states.get(id).map(|&s| (i, s)))
+        .collect();
+    if assigned.is_empty() {
+        return Err(CoreError::NoGroups {
+            what: "region membership",
+        });
+    }
+    let mut present: Vec<UsState> = Vec::new();
+    for &s in UsState::ALL {
+        if assigned.iter().any(|&(_, st)| st == s) {
+            present.push(s);
+        }
+    }
+    let rows: Vec<usize> = assigned.iter().map(|&(i, _)| i).collect();
+    let state_of_subrow: Vec<UsState> = assigned.iter().map(|&(_, s)| s).collect();
+    let membership = build(rows.len(), present, |sub| Some(state_of_subrow[sub]))?;
+    Ok((membership, rows))
+}
+
+/// Builds a membership over `m` rows given each row's group (or `None`
+/// to leave the row unassigned).
+fn build<G: Copy + PartialEq>(
+    m: usize,
+    groups: Vec<G>,
+    group_of: impl Fn(usize) -> Option<G>,
+) -> Result<Membership<G>> {
+    if groups.is_empty() || m == 0 {
+        return Err(CoreError::NoGroups {
+            what: "membership",
+        });
+    }
+    let mut matrix = Matrix::zeros(m, groups.len())?;
+    let mut sizes = vec![0usize; groups.len()];
+    for i in 0..m {
+        if let Some(g) = group_of(i) {
+            if let Some(col) = groups.iter().position(|&x| x == g) {
+                matrix.set(i, col, 1.0);
+                sizes[col] += 1;
+            }
+        }
+    }
+    if sizes.contains(&0) {
+        return Err(CoreError::NoGroups {
+            what: "membership (empty group column)",
+        });
+    }
+    Ok(Membership {
+        groups,
+        matrix,
+        sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_text::extract::MentionCounts;
+
+    fn attention(pairs: &[(u64, Organ)]) -> AttentionMatrix {
+        let mut map = HashMap::new();
+        for &(id, organ) in pairs {
+            let mut mc = MentionCounts::new();
+            mc.add(organ, 3);
+            map.insert(UserId(id), mc);
+        }
+        AttentionMatrix::from_mentions(&map).unwrap()
+    }
+
+    #[test]
+    fn dominant_organ_membership() {
+        let am = attention(&[
+            (1, Organ::Heart),
+            (2, Organ::Heart),
+            (3, Organ::Kidney),
+        ]);
+        let m = by_dominant_organ(&am).unwrap();
+        assert_eq!(m.groups, vec![Organ::Heart, Organ::Kidney]);
+        assert_eq!(m.sizes, vec![2, 1]);
+        assert_eq!(m.matrix.shape(), (3, 2));
+        // Every row has exactly one 1.
+        for i in 0..3 {
+            let s: f64 = m.matrix.row(i).iter().sum();
+            assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn region_membership_skips_unlocated() {
+        let am = attention(&[
+            (1, Organ::Heart),
+            (2, Organ::Kidney),
+            (3, Organ::Liver),
+        ]);
+        let mut states = HashMap::new();
+        states.insert(UserId(1), UsState::Kansas);
+        states.insert(UserId(3), UsState::Kansas);
+        // User 2 unlocated.
+        let (m, rows) = by_region(&am, &states).unwrap();
+        assert_eq!(m.groups, vec![UsState::Kansas]);
+        assert_eq!(m.sizes, vec![2]);
+        assert_eq!(rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn region_membership_orders_states_canonically() {
+        let am = attention(&[(1, Organ::Heart), (2, Organ::Heart), (3, Organ::Heart)]);
+        let mut states = HashMap::new();
+        states.insert(UserId(1), UsState::Wyoming);
+        states.insert(UserId(2), UsState::Alabama);
+        states.insert(UserId(3), UsState::Kansas);
+        let (m, _) = by_region(&am, &states).unwrap();
+        assert_eq!(
+            m.groups,
+            vec![UsState::Alabama, UsState::Kansas, UsState::Wyoming]
+        );
+    }
+
+    #[test]
+    fn no_located_users_errors() {
+        let am = attention(&[(1, Organ::Heart)]);
+        let states = HashMap::new();
+        assert!(matches!(
+            by_region(&am, &states),
+            Err(CoreError::NoGroups { .. })
+        ));
+    }
+
+    #[test]
+    fn ltl_is_diagonal_group_sizes() {
+        let am = attention(&[
+            (1, Organ::Heart),
+            (2, Organ::Heart),
+            (3, Organ::Kidney),
+        ]);
+        let m = by_dominant_organ(&am).unwrap();
+        let ltl = m.matrix.transpose().matmul(&m.matrix).unwrap();
+        assert_eq!(ltl.get(0, 0), 2.0);
+        assert_eq!(ltl.get(1, 1), 1.0);
+        assert_eq!(ltl.get(0, 1), 0.0);
+    }
+}

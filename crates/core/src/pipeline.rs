@@ -1,0 +1,341 @@
+//! The end-to-end pipeline of Sec. III-A:
+//!
+//! ```text
+//! firehose --(Q filter via Stream API)--> collected tweets
+//!          --(augment: geo-tag > profile via geocoder)--> located users
+//!          --(keep USA)--> usa corpus
+//!          --(Û, L, K, RR, clusterings)--> characterizations
+//! ```
+//!
+//! [`Pipeline::run`] executes everything and returns a [`PipelineRun`]
+//! holding every artifact the paper's tables and figures are derived
+//! from.
+
+use crate::aggregate::Aggregation;
+use crate::attention::AttentionMatrix;
+use crate::membership::{by_dominant_organ, by_region};
+use crate::region_view::RegionCharacterization;
+use crate::relative_risk::RiskMap;
+use crate::state_clusters::StateClustering;
+use crate::user_clusters::{UserClustering, UserClusteringConfig};
+use crate::{CoreError, Result};
+use donorpulse_geo::{Geocoder, UsState};
+use donorpulse_linalg::Matrix;
+use donorpulse_text::{KeywordQuery, Organ};
+use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation, UserId};
+use std::collections::HashMap;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The generative model for the simulated platform.
+    pub generator: GeneratorConfig,
+    /// Significance level for relative-risk highlighting (paper: 0.05).
+    pub alpha: f64,
+    /// User-clustering sweep configuration.
+    pub user_clustering: UserClusteringConfig,
+    /// Whether to run the (comparatively expensive) K-Means stage.
+    pub run_user_clustering: bool,
+    /// Worker threads for stream collection (0 = use all available
+    /// cores). Collection output is identical regardless of the count.
+    pub collection_threads: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            generator: GeneratorConfig::default(),
+            alpha: 0.05,
+            user_clustering: UserClusteringConfig::default(),
+            run_user_clustering: true,
+            collection_threads: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Paper configuration scaled by `scale` (see
+    /// [`GeneratorConfig::paper_scaled`]).
+    pub fn paper_scaled(scale: f64) -> Self {
+        Self {
+            generator: GeneratorConfig::paper_scaled(scale),
+            ..Self::default()
+        }
+    }
+}
+
+/// The pipeline: a geocoder plus configuration.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    geocoder: Geocoder,
+}
+
+/// Everything a pipeline execution produces.
+#[derive(Debug)]
+pub struct PipelineRun {
+    /// Configuration used.
+    pub config: PipelineConfig,
+    /// Size of the simulated firehose (on-topic + chatter).
+    pub firehose_tweets: u64,
+    /// Tweets collected by the `Q` filter (any location) — the paper's
+    /// 975,021.
+    pub collected_tweets: u64,
+    /// The USA-user corpus — the paper's 134,986 tweets.
+    pub usa: Corpus,
+    /// Resolved state per located user.
+    pub user_states: HashMap<UserId, UsState>,
+    /// Users confidently outside the USA (for the accounting note under
+    /// Table I).
+    pub non_us_users: u64,
+    /// Users that could not be located at all.
+    pub unlocated_users: u64,
+    /// `Û` over USA users.
+    pub attention: AttentionMatrix,
+    /// Eq. 1 + Eq. 3: organ characterization (Fig. 3).
+    pub organ_k: Aggregation<Organ>,
+    /// Eq. 2 + Eq. 3: state characterization (Fig. 4).
+    pub region_k: Aggregation<UsState>,
+    /// Fig. 4 signature view.
+    pub regions: RegionCharacterization,
+    /// Eq. 4: relative risks (Fig. 5).
+    pub risk: RiskMap,
+    /// Fig. 6: state clustering.
+    pub state_clusters: StateClustering,
+    /// Fig. 7: user clustering (present unless disabled).
+    pub user_clusters: Option<UserClustering>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline (compiles the offline geocoder).
+    pub fn new() -> Self {
+        Self {
+            geocoder: Geocoder::new(),
+        }
+    }
+
+    /// The geocoder in use.
+    pub fn geocoder(&self) -> &Geocoder {
+        &self.geocoder
+    }
+
+    /// Generates the platform and runs the full pipeline.
+    pub fn run(&self, config: PipelineConfig) -> Result<PipelineRun> {
+        let sim = TwitterSimulation::generate(config.generator.clone())
+            .map_err(CoreError::Simulation)?;
+        self.run_on(&sim, config)
+    }
+
+    /// Runs the pipeline on an existing simulation.
+    pub fn run_on(&self, sim: &TwitterSimulation, config: PipelineConfig) -> Result<PipelineRun> {
+        // --- Collection: Stream API + Q filter. -----------------------
+        // Realization is pure in (seed, index), so collection is
+        // parallelized across cores; the result is byte-identical to a
+        // serial stream read.
+        let query = KeywordQuery::paper();
+        let threads = if config.collection_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.collection_threads
+        };
+        let collected: Corpus = sim.collect_parallel(&query, threads);
+        let collected_tweets = collected.len() as u64;
+
+        // --- Augmentation: locate every collecting user. --------------
+        // Geo-tag (from any of the user's collected tweets) outranks the
+        // profile string, exactly as in Sec. III-A.
+        let mut first_geo: HashMap<UserId, (f64, f64)> = HashMap::new();
+        for t in collected.tweets() {
+            if let Some(geo) = t.geo {
+                first_geo.entry(t.user).or_insert(geo);
+            }
+        }
+        let mut user_states: HashMap<UserId, UsState> = HashMap::new();
+        let mut non_us_users = 0u64;
+        let mut unlocated_users = 0u64;
+        let mut seen: std::collections::HashSet<UserId> = std::collections::HashSet::new();
+        for t in collected.tweets() {
+            if !seen.insert(t.user) {
+                continue;
+            }
+            let profile = &sim.users()[t.user.0 as usize].profile_location;
+            let located = self
+                .geocoder
+                .locate(Some(profile), first_geo.get(&t.user).copied());
+            match located.state {
+                Some(state) => {
+                    user_states.insert(t.user, state);
+                }
+                None if located.non_us => non_us_users += 1,
+                None => unlocated_users += 1,
+            }
+        }
+
+        // --- USA filter. -----------------------------------------------
+        let mut usa = collected;
+        usa.retain(|t| user_states.contains_key(&t.user));
+        if usa.is_empty() {
+            return Err(CoreError::EmptyCorpus {
+                what: "usa corpus",
+            });
+        }
+
+        // --- Characterizations. ----------------------------------------
+        let attention = AttentionMatrix::from_corpus(&usa)?;
+
+        let organ_membership = by_dominant_organ(&attention)?;
+        let organ_k = Aggregation::compute(&organ_membership, attention.matrix())?;
+
+        let (region_membership, region_rows) = by_region(&attention, &user_states)?;
+        let region_u = subset_rows(attention.matrix(), &region_rows)?;
+        let region_k = Aggregation::compute(&region_membership, &region_u)?;
+        let regions = RegionCharacterization::new(&region_k);
+
+        let risk = RiskMap::compute(&attention, &user_states, config.alpha)?;
+        let state_clusters = StateClustering::compute(&region_k)?;
+
+        let user_clusters = if config.run_user_clustering {
+            Some(UserClustering::fit(&attention, config.user_clustering)?)
+        } else {
+            None
+        };
+
+        Ok(PipelineRun {
+            firehose_tweets: sim.firehose_len() as u64,
+            collected_tweets,
+            usa,
+            user_states,
+            non_us_users,
+            unlocated_users,
+            attention,
+            organ_k,
+            region_k,
+            regions,
+            risk,
+            state_clusters,
+            user_clusters,
+            config,
+        })
+    }
+}
+
+/// Extracts the given rows of a matrix into a new matrix.
+fn subset_rows(m: &Matrix, rows: &[usize]) -> Result<Matrix> {
+    let data: Vec<Vec<f64>> = rows.iter().map(|&i| m.row(i).to_vec()).collect();
+    Ok(Matrix::from_rows(&data)?)
+}
+
+impl PipelineRun {
+    /// Fraction of collected tweets attributable to USA users — the
+    /// paper's "134,986 out of 975,021" footnote (≈ 13.8%).
+    pub fn usa_fraction(&self) -> f64 {
+        if self.collected_tweets == 0 {
+            return 0.0;
+        }
+        self.usa.len() as f64 / self.collected_tweets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::shared_run;
+
+    fn run() -> &'static PipelineRun {
+        shared_run()
+    }
+
+    #[test]
+    fn end_to_end_accounting_holds() {
+        let r = run();
+        // Collected is a strict subset of the firehose.
+        assert!(r.collected_tweets > 0);
+        assert!(r.collected_tweets < r.firehose_tweets);
+        // USA corpus is a strict subset of collected.
+        assert!(!r.usa.is_empty());
+        assert!((r.usa.len() as u64) < r.collected_tweets);
+        // USA fraction lands near the paper's 13.8%.
+        let frac = r.usa_fraction();
+        assert!(
+            (0.10..=0.18).contains(&frac),
+            "usa fraction {frac} out of range"
+        );
+        // Every located user has a state; no overlap with rejected sets.
+        assert!(!r.user_states.is_empty());
+    }
+
+    #[test]
+    fn attention_covers_usa_users() {
+        let r = run();
+        assert_eq!(r.attention.user_count(), r.usa.user_count());
+    }
+
+    #[test]
+    fn organ_characterization_rows_stochastic() {
+        let r = run();
+        for i in 0..r.organ_k.matrix.rows() {
+            let s: f64 = r.organ_k.matrix.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // All six organs present as groups at this scale.
+        assert_eq!(r.organ_k.groups.len(), 6);
+    }
+
+    #[test]
+    fn organ_self_attention_dominates() {
+        // Users grouped by dominant organ should, on average, attend to
+        // that organ the most — the diagonal of K dominates its row.
+        let r = run();
+        for (i, &organ) in r.organ_k.groups.iter().enumerate() {
+            let row = r.organ_k.matrix.row(i);
+            let self_att = row[organ.index()];
+            for (j, &v) in row.iter().enumerate() {
+                if j != organ.index() {
+                    assert!(
+                        self_att > v,
+                        "{organ}: self {self_att} <= other {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_characterization_covers_located_states() {
+        let r = run();
+        assert!(r.region_k.groups.len() >= 40, "too few states: {}", r.region_k.groups.len());
+        assert_eq!(r.regions.signatures.len(), r.region_k.groups.len());
+        // Heart tops nearly every state (the motivation for RR). The
+        // least-populous states have few users even at this scale, so
+        // require 75% rather than unanimity.
+        let heart_top = r
+            .region_k
+            .groups
+            .iter()
+            .filter(|&&s| r.regions.top_organ(s) == Some(Organ::Heart))
+            .count();
+        assert!(
+            heart_top * 4 >= r.region_k.groups.len() * 3,
+            "heart tops only {heart_top}/{}",
+            r.region_k.groups.len()
+        );
+    }
+
+    #[test]
+    fn user_clustering_present_and_sized() {
+        let r = run();
+        let uc = r.user_clusters.as_ref().expect("clustering enabled");
+        assert!(uc.chosen_k >= 6);
+        assert_eq!(
+            uc.profiles().iter().map(|p| p.size).sum::<usize>(),
+            r.attention.user_count()
+        );
+    }
+
+    #[test]
+    fn disabling_user_clustering_skips_it() {
+        let mut config = PipelineConfig::paper_scaled(0.005);
+        config.run_user_clustering = false;
+        let r = Pipeline::new().run(config).unwrap();
+        assert!(r.user_clusters.is_none());
+    }
+}

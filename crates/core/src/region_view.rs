@@ -1,0 +1,129 @@
+//! Fig. 4: per-state organ signatures.
+//!
+//! Each state is a row of `K` under the region membership (Eq. 2) — a
+//! distribution of attention over the six organs. The paper observes
+//! that every state has its own "organ signature" despite heart leading
+//! almost everywhere, and that states can be split by their second
+//! most-mentioned organ.
+
+use crate::aggregate::Aggregation;
+use donorpulse_geo::UsState;
+use donorpulse_text::Organ;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One state's signature.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StateSignature {
+    /// The state.
+    pub state: UsState,
+    /// Number of users aggregated.
+    pub users: usize,
+    /// Attention distribution in canonical organ order.
+    pub distribution: [f64; Organ::COUNT],
+    /// Organs ranked by attention, descending.
+    pub ranked: Vec<(Organ, f64)>,
+}
+
+/// The Fig. 4 view over a region aggregation.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegionCharacterization {
+    /// One signature per state, in aggregation row order.
+    pub signatures: Vec<StateSignature>,
+}
+
+impl RegionCharacterization {
+    /// Builds signatures from a region aggregation.
+    pub fn new(aggregation: &Aggregation<UsState>) -> Self {
+        let signatures = aggregation
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, &state)| {
+                let row = aggregation.matrix.row(i);
+                let mut distribution = [0.0; Organ::COUNT];
+                distribution.copy_from_slice(row);
+                StateSignature {
+                    state,
+                    users: aggregation.sizes[i],
+                    distribution,
+                    ranked: aggregation.ranked_row(i),
+                }
+            })
+            .collect();
+        Self { signatures }
+    }
+
+    /// Signature for one state.
+    pub fn signature(&self, state: UsState) -> Option<&StateSignature> {
+        self.signatures.iter().find(|s| s.state == state)
+    }
+
+    /// The most-mentioned organ per state (the paper's point: this is
+    /// heart nearly everywhere, which is why RR is needed).
+    pub fn top_organ(&self, state: UsState) -> Option<Organ> {
+        self.signature(state).map(|s| s.ranked[0].0)
+    }
+
+    /// The second most-mentioned organ per state.
+    pub fn second_organ(&self, state: UsState) -> Option<Organ> {
+        self.signature(state).and_then(|s| s.ranked.get(1)).map(|&(o, _)| o)
+    }
+
+    /// Splits states by their second most-mentioned organ — the grouping
+    /// the paper suggests in Sec. IV-B.
+    pub fn by_second_organ(&self) -> HashMap<Organ, Vec<UsState>> {
+        let mut map: HashMap<Organ, Vec<UsState>> = HashMap::new();
+        for s in &self.signatures {
+            if let Some(&(organ, _)) = s.ranked.get(1) {
+                map.entry(organ).or_default().push(s.state);
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_linalg::Matrix;
+
+    fn aggregation() -> Aggregation<UsState> {
+        // Two states: Kansas kidney-second, Texas liver-second.
+        Aggregation {
+            groups: vec![UsState::Kansas, UsState::Texas],
+            sizes: vec![10, 20],
+            matrix: Matrix::from_rows(&[
+                vec![0.5, 0.3, 0.1, 0.05, 0.03, 0.02],
+                vec![0.5, 0.1, 0.3, 0.05, 0.03, 0.02],
+            ])
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn signatures_built() {
+        let rc = RegionCharacterization::new(&aggregation());
+        assert_eq!(rc.signatures.len(), 2);
+        let ks = rc.signature(UsState::Kansas).unwrap();
+        assert_eq!(ks.users, 10);
+        assert!((ks.distribution[Organ::Heart.index()] - 0.5).abs() < 1e-12);
+        assert!(rc.signature(UsState::Ohio).is_none());
+    }
+
+    #[test]
+    fn top_and_second_organs() {
+        let rc = RegionCharacterization::new(&aggregation());
+        assert_eq!(rc.top_organ(UsState::Kansas), Some(Organ::Heart));
+        assert_eq!(rc.second_organ(UsState::Kansas), Some(Organ::Kidney));
+        assert_eq!(rc.second_organ(UsState::Texas), Some(Organ::Liver));
+    }
+
+    #[test]
+    fn grouping_by_second_organ() {
+        let rc = RegionCharacterization::new(&aggregation());
+        let groups = rc.by_second_organ();
+        assert_eq!(groups[&Organ::Kidney], vec![UsState::Kansas]);
+        assert_eq!(groups[&Organ::Liver], vec![UsState::Texas]);
+    }
+}

@@ -1,0 +1,559 @@
+//! Rendering of every table and figure in the paper from a
+//! [`PipelineRun`].
+//!
+//! Each artifact has a serializable data structure (for JSON export and
+//! for EXPERIMENTS.md bookkeeping) and a plain-text renderer that prints
+//! the same rows/series the paper reports.
+
+use crate::pipeline::PipelineRun;
+use crate::Result;
+use donorpulse_geo::UsState;
+use donorpulse_stats::correlation::{spearman, Correlation};
+use donorpulse_stats::histogram::log_scale_height;
+use donorpulse_text::Organ;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Table I: dataset statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// First/last collection dates and corpus statistics (USA corpus).
+    pub stats: donorpulse_twitter::CorpusStats,
+    /// Tweets collected before the USA filter (the paper's 975,021).
+    pub collected_tweets: u64,
+    /// USA fraction of collected tweets.
+    pub usa_fraction: f64,
+}
+
+impl Table1 {
+    /// Builds the table from a run.
+    pub fn from_run(run: &PipelineRun) -> Self {
+        Self {
+            stats: run.usa.stats(),
+            collected_tweets: run.collected_tweets,
+            usa_fraction: run.usa_fraction(),
+        }
+    }
+
+    /// Plain-text rendering in the paper's row order.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        let _ = writeln!(out, "TABLE I. STATISTICS OF THE DATASET");
+        let _ = writeln!(out, "{:-<46}", "");
+        let mut row = |k: &str, v: String| {
+            let _ = writeln!(out, "{k:<28} {v:>16}");
+        };
+        row("Start Data Collection", s.start.clone().unwrap_or_default());
+        row("Finish Data Collection", s.finish.clone().unwrap_or_default());
+        row("Number of Days", s.days.to_string());
+        row("Tweets collected", s.tweets.to_string());
+        row("Number of Users", s.users.to_string());
+        row("Avg. Tweets / Day", format!("{:.0}", s.avg_tweets_per_day));
+        row("Avg. Tweets / User", format!("{:.2}", s.avg_tweets_per_user));
+        row("Organs mentioned / Tweet", format!("{:.2}", s.organs_per_tweet));
+        row("Organs mentioned / User", format!("{:.2}", s.organs_per_user));
+        let _ = writeln!(
+            out,
+            "* {} out of {} tweets identified as from USA users ({:.1}%)",
+            s.tweets,
+            self.collected_tweets,
+            self.usa_fraction * 100.0
+        );
+        out
+    }
+}
+
+/// Fig. 2(a): users per organ + Spearman against OPTN 2012 transplants.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2a {
+    /// `(organ, users mentioning it)`, canonical order.
+    pub users_per_organ: Vec<(Organ, u64)>,
+    /// Spearman correlation between Twitter popularity and transplant
+    /// counts (paper: r = .84, p < .05).
+    pub spearman: Correlation,
+}
+
+impl Fig2a {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Result<Self> {
+        let hist = run.attention.users_per_organ();
+        let users_per_organ: Vec<(Organ, u64)> = Organ::ALL
+            .into_iter()
+            .map(|o| (o, hist.count(o.name())))
+            .collect();
+        let popularity: Vec<f64> = users_per_organ.iter().map(|&(_, c)| c as f64).collect();
+        let transplants: Vec<f64> = Organ::ALL
+            .iter()
+            .map(|o| o.transplants_2012() as f64)
+            .collect();
+        let spearman = spearman(&popularity, &transplants)?;
+        Ok(Self {
+            users_per_organ,
+            spearman,
+        })
+    }
+
+    /// Plain-text rendering with log-scale bars.
+    pub fn render(&self) -> String {
+        let mut out = String::from("FIG 2(a). USERS PER ORGAN (log scale)\n");
+        for &(organ, count) in &self.users_per_organ {
+            let bar = "#".repeat((log_scale_height(count) * 8.0).round() as usize);
+            let _ = writeln!(out, "{:<10} {:>8}  {}", organ.name(), count, bar);
+        }
+        let _ = writeln!(
+            out,
+            "Spearman vs OPTN 2012 transplants: r = {:.2}, p = {:.4} ({})",
+            self.spearman.r,
+            self.spearman.p_value,
+            if self.spearman.significant_at(0.05) {
+                "significant at .05"
+            } else {
+                "not significant"
+            }
+        );
+        out
+    }
+}
+
+/// Fig. 2(b): users and tweets by number of distinct organs mentioned.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2b {
+    /// Users mentioning exactly k organs (index 0 ↔ k = 1).
+    pub users: [u64; Organ::COUNT],
+    /// Tweets mentioning exactly k organs.
+    pub tweets: [u64; Organ::COUNT],
+}
+
+impl Fig2b {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Self {
+        Self {
+            users: run.attention.users_by_breadth(),
+            tweets: crate::attention::AttentionMatrix::tweets_by_breadth(&run.usa),
+        }
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from("FIG 2(b). MULTI-ORGAN MENTIONS (users vs tweets)\n");
+        let _ = writeln!(out, "{:>8} {:>10} {:>10}", "organs", "users", "tweets");
+        for k in 0..Organ::COUNT {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>10} {:>10}",
+                k + 1,
+                self.users[k],
+                self.tweets[k]
+            );
+        }
+        out
+    }
+}
+
+/// Fig. 3 / Fig. 4 panel: one group's ranked attention distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct RankedPanel {
+    /// Panel label ("heart", "Kansas", "cluster 3 (12.5%)", …).
+    pub label: String,
+    /// Users aggregated into the panel.
+    pub size: usize,
+    /// Organs ranked by attention, descending.
+    pub ranked: Vec<(Organ, f64)>,
+}
+
+impl RankedPanel {
+    fn render_into(&self, out: &mut String) {
+        let _ = writeln!(out, "[{} | {} users]", self.label, self.size);
+        for &(organ, v) in &self.ranked {
+            let bar = "#".repeat((v * 40.0).round() as usize);
+            let _ = writeln!(out, "  {:<10} {:>7.4}  {}", organ.name(), v, bar);
+        }
+    }
+}
+
+/// Fig. 3: organ characterization.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// One panel per organ group.
+    pub panels: Vec<RankedPanel>,
+}
+
+impl Fig3 {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Self {
+        let panels = run
+            .organ_k
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, organ)| RankedPanel {
+                label: organ.name().to_string(),
+                size: run.organ_k.sizes[i],
+                ranked: run.organ_k.ranked_row(i),
+            })
+            .collect();
+        Self { panels }
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from("FIG 3. ORGAN CHARACTERIZATION (rows of K, Eq. 1 + Eq. 3)\n");
+        for p in &self.panels {
+            p.render_into(&mut out);
+        }
+        out
+    }
+}
+
+/// Fig. 4: state characterization.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// One panel per state.
+    pub panels: Vec<RankedPanel>,
+}
+
+impl Fig4 {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Self {
+        let panels = run
+            .regions
+            .signatures
+            .iter()
+            .map(|s| RankedPanel {
+                label: s.state.name().to_string(),
+                size: s.users,
+                ranked: s.ranked.clone(),
+            })
+            .collect();
+        Self { panels }
+    }
+
+    /// Plain-text rendering (compact: top-3 organs per state).
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("FIG 4. STATE CHARACTERIZATION (rows of K, Eq. 2 + Eq. 3; top 3 shown)\n");
+        for p in &self.panels {
+            let top: Vec<String> = p
+                .ranked
+                .iter()
+                .take(3)
+                .map(|(o, v)| format!("{} {:.3}", o.name(), v))
+                .collect();
+            let _ = writeln!(out, "{:<22} ({:>6} users)  {}", p.label, p.size, top.join(" | "));
+        }
+        out
+    }
+}
+
+/// Fig. 5: highlighted organs per state.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5 {
+    /// Significance level.
+    pub alpha: f64,
+    /// `(state, highlighted organs)` for states with ≥1 highlight.
+    pub highlighted: Vec<(UsState, Vec<Organ>)>,
+    /// States analyzed but with no significant excess.
+    pub unhighlighted: Vec<UsState>,
+}
+
+impl Fig5 {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Self {
+        let map = run.risk.highlighted();
+        let mut highlighted: Vec<(UsState, Vec<Organ>)> = map.into_iter().collect();
+        highlighted.sort_by_key(|&(s, _)| s);
+        let mut unhighlighted: Vec<UsState> = run
+            .region_k
+            .groups
+            .iter()
+            .copied()
+            .filter(|s| !highlighted.iter().any(|(h, _)| h == s))
+            .collect();
+        unhighlighted.sort();
+        Self {
+            alpha: run.risk.alpha,
+            highlighted,
+            unhighlighted,
+        }
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "FIG 5. HIGHLIGHTED ORGANS PER STATE (RR, alpha = {})\n",
+            self.alpha
+        );
+        for (state, organs) in &self.highlighted {
+            let names: Vec<&str> = organs.iter().map(|o| o.name()).collect();
+            let _ = writeln!(out, "{:<22} {}", state.name(), names.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "({} states with no significant excess)",
+            self.unhighlighted.len()
+        );
+        out
+    }
+}
+
+/// Fig. 6: state clustering summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6 {
+    /// States in dendrogram leaf order (the heatmap axis).
+    pub leaf_order: Vec<UsState>,
+    /// Flat clusters at k = 4 (the paper reads four zones: liver, lung,
+    /// kidney, heart).
+    pub zones: Vec<Vec<UsState>>,
+    /// Metric and linkage used.
+    pub metric: String,
+    /// Linkage name.
+    pub linkage: String,
+}
+
+impl Fig6 {
+    /// Builds the figure data from a run.
+    pub fn from_run(run: &PipelineRun) -> Result<Self> {
+        let k = 4.min(run.state_clusters.states.len());
+        Ok(Self {
+            leaf_order: run.state_clusters.leaf_order.clone(),
+            zones: run.state_clusters.clusters(k)?,
+            metric: run.state_clusters.metric.name().to_string(),
+            linkage: run.state_clusters.linkage.name().to_string(),
+        })
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "FIG 6. STATE CLUSTERING ({} affinity, {} linkage)\n",
+            self.metric, self.linkage
+        );
+        let order: Vec<&str> = self.leaf_order.iter().map(|s| s.abbr()).collect();
+        let _ = writeln!(out, "leaf order: {}", order.join(" "));
+        for (i, zone) in self.zones.iter().enumerate() {
+            let names: Vec<&str> = zone.iter().map(|s| s.abbr()).collect();
+            let _ = writeln!(out, "zone {}: {}", i + 1, names.join(" "));
+        }
+        out
+    }
+}
+
+/// Fig. 7: user clustering summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7 {
+    /// Chosen k.
+    pub chosen_k: usize,
+    /// Selection sweep.
+    pub sweep: Vec<crate::user_clusters::KCandidate>,
+    /// Cluster panels.
+    pub panels: Vec<RankedPanel>,
+}
+
+impl Fig7 {
+    /// Builds the figure data from a run (`None` if clustering was
+    /// disabled).
+    pub fn from_run(run: &PipelineRun) -> Option<Self> {
+        let uc = run.user_clusters.as_ref()?;
+        let panels = uc
+            .profiles()
+            .iter()
+            .map(|p| RankedPanel {
+                label: format!("cluster {} ({:.1}%)", p.cluster, p.relative_size * 100.0),
+                size: p.size,
+                ranked: p.ranked.clone(),
+            })
+            .collect();
+        Some(Self {
+            chosen_k: uc.chosen_k,
+            sweep: uc.sweep.clone(),
+            panels,
+        })
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!("FIG 7. USER CLUSTERS (K-Means, chosen k = {})\n", self.chosen_k);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12} {:>14} {:>12}",
+            "k", "silhouette", "avg size", "inertia"
+        );
+        for c in &self.sweep {
+            let marker = if c.k == self.chosen_k { " <- chosen" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12.3} {:>14.2} {:>12.2}{}",
+                c.k, c.silhouette, c.avg_cluster_size, c.inertia, marker
+            );
+        }
+        for p in &self.panels {
+            let top: Vec<String> = p
+                .ranked
+                .iter()
+                .take(2)
+                .map(|(o, v)| format!("{} {:.2}", o.name(), v))
+                .collect();
+            let _ = writeln!(out, "{:<24} {:>7} users  {}", p.label, p.size, top.join(" | "));
+        }
+        out
+    }
+}
+
+/// Every artifact of the paper, bundled.
+#[derive(Debug, Clone, Serialize)]
+pub struct PaperReport {
+    /// Table I.
+    pub table1: Table1,
+    /// Fig. 2(a).
+    pub fig2a: Fig2a,
+    /// Fig. 2(b).
+    pub fig2b: Fig2b,
+    /// Fig. 3.
+    pub fig3: Fig3,
+    /// Fig. 4.
+    pub fig4: Fig4,
+    /// Fig. 5.
+    pub fig5: Fig5,
+    /// Fig. 6.
+    pub fig6: Fig6,
+    /// Fig. 7 (absent when user clustering was disabled).
+    pub fig7: Option<Fig7>,
+}
+
+impl PaperReport {
+    /// Builds every artifact from a run.
+    pub fn from_run(run: &PipelineRun) -> Result<Self> {
+        Ok(Self {
+            table1: Table1::from_run(run),
+            fig2a: Fig2a::from_run(run)?,
+            fig2b: Fig2b::from_run(run),
+            fig3: Fig3::from_run(run),
+            fig4: Fig4::from_run(run),
+            fig5: Fig5::from_run(run),
+            fig6: Fig6::from_run(run)?,
+            fig7: Fig7::from_run(run),
+        })
+    }
+
+    /// Renders everything, in paper order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.table1.render());
+        out.push('\n');
+        out.push_str(&self.fig2a.render());
+        out.push('\n');
+        out.push_str(&self.fig2b.render());
+        out.push('\n');
+        out.push_str(&self.fig3.render());
+        out.push('\n');
+        out.push_str(&self.fig4.render());
+        out.push('\n');
+        out.push_str(&self.fig5.render());
+        out.push('\n');
+        out.push_str(&self.fig6.render());
+        if let Some(fig7) = &self.fig7 {
+            out.push('\n');
+            out.push_str(&fig7.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::shared_run;
+
+    fn run() -> &'static PipelineRun {
+        shared_run()
+    }
+
+    #[test]
+    fn full_report_builds_and_renders() {
+        let r = run();
+        let report = PaperReport::from_run(r).unwrap();
+        let text = report.render();
+        assert!(text.contains("TABLE I"));
+        assert!(text.contains("FIG 2(a)"));
+        assert!(text.contains("FIG 3"));
+        assert!(text.contains("FIG 5"));
+        assert!(text.contains("FIG 7"));
+        assert!(text.contains("Spearman"));
+    }
+
+    #[test]
+    fn table1_dates_match_window() {
+        let r = run();
+        let t1 = Table1::from_run(r);
+        // Statistical certainty at thousands of tweets: first/last tweet
+        // land on the window's first/last days.
+        assert_eq!(t1.stats.start.as_deref(), Some("Apr 22 2015"));
+        assert_eq!(t1.stats.finish.as_deref(), Some("May 10 2016"));
+        assert_eq!(t1.stats.days, 385);
+        assert!(t1.render().contains("385"));
+    }
+
+    #[test]
+    fn fig2a_orders_and_correlates() {
+        let r = run();
+        let f = Fig2a::from_run(r).unwrap();
+        // Popularity ordering heart > kidney > ... > intestine (planted).
+        let counts: Vec<u64> = f.users_per_organ.iter().map(|&(_, c)| c).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "popularity order violated: {counts:?}");
+        }
+        // Spearman near the paper's .84 (exactly .8286 for the planted
+        // rank pattern with heart 1st on Twitter, 3rd in transplants).
+        assert!(
+            (f.spearman.r - 0.8286).abs() < 0.06,
+            "spearman r = {}",
+            f.spearman.r
+        );
+    }
+
+    #[test]
+    fn fig2b_tweets_exceed_users_only_at_one() {
+        let r = run();
+        let f = Fig2b::from_run(r);
+        assert!(
+            f.tweets[0] > f.users[0],
+            "k=1: tweets {} !> users {}",
+            f.tweets[0],
+            f.users[0]
+        );
+        for k in 1..Organ::COUNT {
+            assert!(
+                f.users[k] >= f.tweets[k],
+                "k={}: users {} < tweets {}",
+                k + 1,
+                f.users[k],
+                f.tweets[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_finds_planted_kansas_kidney() {
+        let r = run();
+        let f = Fig5::from_run(r);
+        let kansas = f
+            .highlighted
+            .iter()
+            .find(|(s, _)| *s == donorpulse_geo::UsState::Kansas);
+        assert!(
+            kansas.is_some_and(|(_, organs)| organs.contains(&Organ::Kidney)),
+            "Kansas kidney not highlighted: {:?}",
+            f.highlighted
+        );
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = run();
+        let report = PaperReport::from_run(r).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("table1"));
+        assert!(json.contains("fig7"));
+    }
+}

@@ -1,0 +1,324 @@
+//! User-role differentiation — the paper's conclusion suggests the
+//! characterization "might be used to differentiate classes of users
+//! such as health care practitioners, donors, waiting-list candidates,
+//! organ donation advocacy agencies". This module implements that
+//! as a transparent, threshold-based classifier over the observable
+//! per-user behaviour in the collected corpus: activity volume, organ
+//! breadth, and attention concentration.
+//!
+//! The taxonomy is deliberately behavioural (what the data can support)
+//! rather than biographical:
+//!
+//! * **Casual** — a single on-topic tweet; the long tail of Table I's
+//!   1.88 tweets/user distribution.
+//! * **Focused** — repeat posting concentrated on one organ: the
+//!   signature of patients, waiting-list candidates and their families.
+//! * **Engaged** — repeat posting over a couple of organs.
+//! * **Advocate** — high volume across three or more organs: the
+//!   advocacy-agency / practitioner pattern.
+
+use crate::attention::AttentionMatrix;
+use crate::{CoreError, Result};
+use donorpulse_twitter::{Corpus, UserId};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Behavioural role classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum UserRole {
+    /// One on-topic tweet.
+    Casual,
+    /// Repeat posting, single organ.
+    Focused,
+    /// Repeat posting, two organs.
+    Engaged,
+    /// High volume across three or more organs.
+    Advocate,
+}
+
+impl UserRole {
+    /// All roles in presentation order.
+    pub const ALL: [UserRole; 4] = [
+        UserRole::Casual,
+        UserRole::Focused,
+        UserRole::Engaged,
+        UserRole::Advocate,
+    ];
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UserRole::Casual => "casual",
+            UserRole::Focused => "focused",
+            UserRole::Engaged => "engaged",
+            UserRole::Advocate => "advocate",
+        }
+    }
+}
+
+/// Observable per-user features the classifier consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct UserFeatures {
+    /// On-topic tweets in the corpus.
+    pub tweets: u32,
+    /// Distinct organs mentioned.
+    pub organ_breadth: usize,
+    /// Total organ mentions.
+    pub mentions: u32,
+}
+
+/// Classification thresholds (defaults documented on each field).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RoleThresholds {
+    /// Minimum tweets to leave `Casual` (default 2).
+    pub min_repeat_tweets: u32,
+    /// Minimum tweets for `Advocate` (default 5).
+    pub min_advocate_tweets: u32,
+    /// Minimum organ breadth for `Advocate` (default 3).
+    pub min_advocate_breadth: usize,
+}
+
+impl Default for RoleThresholds {
+    fn default() -> Self {
+        Self {
+            min_repeat_tweets: 2,
+            min_advocate_tweets: 5,
+            min_advocate_breadth: 3,
+        }
+    }
+}
+
+impl RoleThresholds {
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_repeat_tweets < 2 {
+            return Err(CoreError::InvalidParameter(
+                "min_repeat_tweets must be at least 2".to_string(),
+            ));
+        }
+        if self.min_advocate_tweets < self.min_repeat_tweets {
+            return Err(CoreError::InvalidParameter(
+                "min_advocate_tweets must be >= min_repeat_tweets".to_string(),
+            ));
+        }
+        if self.min_advocate_breadth < 2 {
+            return Err(CoreError::InvalidParameter(
+                "min_advocate_breadth must be at least 2".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Classifies one user's features.
+    pub fn classify(&self, f: UserFeatures) -> UserRole {
+        if f.tweets < self.min_repeat_tweets {
+            UserRole::Casual
+        } else if f.tweets >= self.min_advocate_tweets
+            && f.organ_breadth >= self.min_advocate_breadth
+        {
+            UserRole::Advocate
+        } else if f.organ_breadth <= 1 {
+            UserRole::Focused
+        } else {
+            UserRole::Engaged
+        }
+    }
+}
+
+/// Role assignment over a whole corpus.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoleBreakdown {
+    /// Role per user.
+    pub roles: HashMap<UserId, UserRole>,
+    /// Features per user (for inspection).
+    pub features: HashMap<UserId, UserFeatures>,
+    /// Users per role.
+    pub counts: HashMap<UserRole, usize>,
+    /// Thresholds used.
+    pub thresholds: RoleThresholds,
+}
+
+impl RoleBreakdown {
+    /// Classifies every user in the corpus.
+    pub fn compute(
+        corpus: &Corpus,
+        attention: &AttentionMatrix,
+        thresholds: RoleThresholds,
+    ) -> Result<Self> {
+        thresholds.validate()?;
+        if corpus.is_empty() {
+            return Err(CoreError::EmptyCorpus { what: "roles" });
+        }
+        let mut tweet_counts: HashMap<UserId, u32> = HashMap::new();
+        for t in corpus.tweets() {
+            *tweet_counts.entry(t.user).or_insert(0) += 1;
+        }
+
+        let mut roles = HashMap::new();
+        let mut features = HashMap::new();
+        let mut counts: HashMap<UserRole, usize> = HashMap::new();
+        for (i, &id) in attention.users().iter().enumerate() {
+            let mc = attention.raw_counts(i);
+            let f = UserFeatures {
+                tweets: tweet_counts.get(&id).copied().unwrap_or(0),
+                organ_breadth: mc.distinct(),
+                mentions: mc.total(),
+            };
+            let role = thresholds.classify(f);
+            *counts.entry(role).or_insert(0) += 1;
+            roles.insert(id, role);
+            features.insert(id, f);
+        }
+        Ok(Self {
+            roles,
+            features,
+            counts,
+            thresholds,
+        })
+    }
+
+    /// Fraction of users in a role.
+    pub fn fraction(&self, role: UserRole) -> f64 {
+        if self.roles.is_empty() {
+            return 0.0;
+        }
+        self.counts.get(&role).copied().unwrap_or(0) as f64 / self.roles.len() as f64
+    }
+
+    /// Plain-text summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("USER ROLES (behavioural classification)\n");
+        for role in UserRole::ALL {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} users ({:>5.1}%)",
+                role.name(),
+                self.counts.get(&role).copied().unwrap_or(0),
+                self.fraction(role) * 100.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::shared_run;
+    use donorpulse_twitter::{SimInstant, Tweet, TweetId};
+
+    fn tweet(id: u64, user: u64, text: &str) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(user),
+            created_at: SimInstant(id),
+            text: text.to_string(),
+            geo: None,
+        }
+    }
+
+    fn classify_corpus(tweets: Vec<Tweet>) -> RoleBreakdown {
+        let corpus = Corpus::from_tweets(tweets);
+        let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
+        RoleBreakdown::compute(&corpus, &attention, RoleThresholds::default()).unwrap()
+    }
+
+    #[test]
+    fn archetypal_users_classified() {
+        let rb = classify_corpus(vec![
+            // User 1: one tweet -> casual.
+            tweet(0, 1, "kidney donor signup"),
+            // User 2: three kidney tweets -> focused.
+            tweet(1, 2, "kidney donor"),
+            tweet(2, 2, "kidney transplant"),
+            tweet(3, 2, "kidney donation drive"),
+            // User 3: two tweets, two organs -> engaged.
+            tweet(4, 3, "kidney donor"),
+            tweet(5, 3, "heart transplant"),
+            // User 4: six tweets, four organs -> advocate.
+            tweet(6, 4, "kidney donor"),
+            tweet(7, 4, "heart donor"),
+            tweet(8, 4, "liver donor"),
+            tweet(9, 4, "lung donor"),
+            tweet(10, 4, "donate a kidney"),
+            tweet(11, 4, "heart donation awareness"),
+        ]);
+        assert_eq!(rb.roles[&UserId(1)], UserRole::Casual);
+        assert_eq!(rb.roles[&UserId(2)], UserRole::Focused);
+        assert_eq!(rb.roles[&UserId(3)], UserRole::Engaged);
+        assert_eq!(rb.roles[&UserId(4)], UserRole::Advocate);
+        assert_eq!(rb.roles.len(), 4);
+        let total: usize = rb.counts.values().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn high_volume_single_organ_is_focused_not_advocate() {
+        let tweets: Vec<Tweet> = (0..10)
+            .map(|i| tweet(i, 1, "kidney donor again"))
+            .collect();
+        let rb = classify_corpus(tweets);
+        assert_eq!(rb.roles[&UserId(1)], UserRole::Focused);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let rb = classify_corpus(vec![
+            tweet(0, 1, "kidney donor"),
+            tweet(1, 2, "heart donor"),
+            tweet(2, 2, "heart donor again"),
+        ]);
+        let total: f64 = UserRole::ALL.iter().map(|&r| rb.fraction(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(rb.render().contains("casual"));
+    }
+
+    #[test]
+    fn thresholds_validated() {
+        let corpus = Corpus::from_tweets(vec![tweet(0, 1, "kidney donor")]);
+        let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
+        let bad = RoleThresholds {
+            min_repeat_tweets: 1,
+            ..Default::default()
+        };
+        assert!(RoleBreakdown::compute(&corpus, &attention, bad).is_err());
+        let bad = RoleThresholds {
+            min_advocate_tweets: 1,
+            ..Default::default()
+        };
+        assert!(RoleBreakdown::compute(&corpus, &attention, bad).is_err());
+        let bad = RoleThresholds {
+            min_advocate_breadth: 1,
+            ..Default::default()
+        };
+        assert!(RoleBreakdown::compute(&corpus, &attention, bad).is_err());
+        assert!(RoleBreakdown::compute(&Corpus::new(), &attention, RoleThresholds::default())
+            .is_err());
+    }
+
+    #[test]
+    fn corpus_scale_distribution_is_plausible() {
+        // On the shared simulated corpus: the activity power law makes
+        // casual users the majority, advocates a small minority.
+        let run = shared_run();
+        let rb = RoleBreakdown::compute(
+            &run.usa,
+            &run.attention,
+            RoleThresholds::default(),
+        )
+        .unwrap();
+        assert!(rb.fraction(UserRole::Casual) > 0.5, "{:?}", rb.counts);
+        assert!(rb.fraction(UserRole::Advocate) < 0.05, "{:?}", rb.counts);
+        // Everyone got a role.
+        assert_eq!(rb.roles.len(), run.attention.user_count());
+        // Advocates exist at this scale.
+        assert!(rb.counts.get(&UserRole::Advocate).copied().unwrap_or(0) > 0);
+        // Focused outnumber engaged (most users are single-organ).
+        assert!(
+            rb.counts[&UserRole::Focused] > rb.counts[&UserRole::Engaged],
+            "{:?}",
+            rb.counts
+        );
+    }
+}

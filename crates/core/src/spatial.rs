@@ -1,0 +1,252 @@
+//! Spatial autocorrelation of organ conversations — Moran's I over the
+//! state contiguity graph.
+//!
+//! The paper frames its regional findings against known geographic
+//! health patterns (the Stroke Belt, Western fatty-liver prevalence) and
+//! asks about "clustering of well-defined borders of adjacent regions".
+//! Moran's I is the standard formalization: for a per-state attribute
+//! `x` (here an organ's attention share) and binary contiguity weights
+//! `w`,
+//!
+//! ```text
+//! I = (n / W) · Σᵢⱼ wᵢⱼ (xᵢ − x̄)(xⱼ − x̄) / Σᵢ (xᵢ − x̄)²
+//! ```
+//!
+//! `I > E[I] = −1/(n−1)` means neighboring states talk alike (regional
+//! clustering); `I < E[I]` means checkerboard dissimilarity. Significance
+//! comes from a label-permutation null.
+//!
+//! Note on the simulator: the planted anomalies are deliberately
+//! *state-level* (Kansas, Delaware, …), not regional, so the simulated
+//! corpus shows little spatial autocorrelation — the honest negative.
+//! The machinery is validated on synthetic contiguous patterns instead.
+
+use crate::region_view::RegionCharacterization;
+use crate::{CoreError, Result};
+use donorpulse_geo::adjacency::are_adjacent;
+use donorpulse_geo::UsState;
+use donorpulse_text::Organ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Moran's I with its permutation significance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MoransI {
+    /// The statistic.
+    pub i: f64,
+    /// Expected value under the null, `−1/(n−1)`.
+    pub expected: f64,
+    /// Permutation p-value for the two-sided test `I ≠ E[I]`.
+    pub p_value: f64,
+    /// States included (those connected to at least one other included
+    /// state).
+    pub n: usize,
+}
+
+impl MoransI {
+    /// True when the spatial pattern is significant at `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Computes Moran's I for an arbitrary per-state attribute.
+///
+/// States whose value is absent, or that have no *included* neighbor
+/// (Alaska, Hawaii, Puerto Rico), drop out — isolated observations carry
+/// no contiguity information.
+pub fn morans_i(
+    values: &[(UsState, f64)],
+    permutations: usize,
+    seed: u64,
+) -> Result<MoransI> {
+    if permutations < 10 {
+        return Err(CoreError::InvalidParameter(format!(
+            "need at least 10 permutations, got {permutations}"
+        )));
+    }
+    // Keep only states with at least one neighbor inside the sample.
+    let states: Vec<UsState> = values.iter().map(|&(s, _)| s).collect();
+    let included: Vec<(UsState, f64)> = values
+        .iter()
+        .copied()
+        .filter(|&(s, _)| states.iter().any(|&t| are_adjacent(s, t)))
+        .collect();
+    let n = included.len();
+    if n < 4 {
+        return Err(CoreError::InvalidParameter(format!(
+            "Moran's I needs at least 4 connected states, got {n}"
+        )));
+    }
+
+    let xs: Vec<f64> = included.iter().map(|&(_, x)| x).collect();
+    let statistic = |xs: &[f64]| -> Result<f64> {
+        let n_f = n as f64;
+        let mean = xs.iter().sum::<f64>() / n_f;
+        let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        if denom <= 0.0 {
+            return Err(CoreError::InvalidParameter(
+                "Moran's I undefined for a constant attribute".to_string(),
+            ));
+        }
+        let mut num = 0.0;
+        let mut w_total = 0.0;
+        for (i, &(si, _)) in included.iter().enumerate() {
+            for (j, &(sj, _)) in included.iter().enumerate() {
+                if i != j && are_adjacent(si, sj) {
+                    num += (xs[i] - mean) * (xs[j] - mean);
+                    w_total += 1.0;
+                }
+            }
+        }
+        Ok((n_f / w_total) * (num / denom))
+    };
+
+    let observed = statistic(&xs)?;
+    let expected = -1.0 / (n as f64 - 1.0);
+
+    // Permutation null: shuffle the attribute over the included states.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled = xs.clone();
+    let mut extreme = 0usize;
+    for _ in 0..permutations {
+        for i in (1..n).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let null_i = statistic(&shuffled)?;
+        if (null_i - expected).abs() >= (observed - expected).abs() {
+            extreme += 1;
+        }
+    }
+    let p_value = (extreme + 1) as f64 / (permutations + 1) as f64;
+
+    Ok(MoransI {
+        i: observed,
+        expected,
+        p_value,
+        n,
+    })
+}
+
+/// Moran's I of one organ's attention share across the characterized
+/// states (rows of the region `K`).
+pub fn organ_morans_i(
+    regions: &RegionCharacterization,
+    organ: Organ,
+    permutations: usize,
+    seed: u64,
+) -> Result<MoransI> {
+    let values: Vec<(UsState, f64)> = regions
+        .signatures
+        .iter()
+        .map(|s| (s.state, s.distribution[organ.index()]))
+        .collect();
+    morans_i(&values, permutations, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_geo::Region;
+
+    /// A strongly regional pattern: high values across the South, low
+    /// elsewhere — Stroke Belt shaped.
+    fn southern_pattern() -> Vec<(UsState, f64)> {
+        UsState::ALL
+            .iter()
+            .map(|&s| {
+                let x = if s.region() == Region::South { 0.9 } else { 0.1 };
+                (s, x)
+            })
+            .collect()
+    }
+
+    /// Spatially random pattern (hash-based).
+    fn scattered_pattern() -> Vec<(UsState, f64)> {
+        UsState::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, ((i * 2_654_435_761) % 97) as f64 / 97.0))
+            .collect()
+    }
+
+    #[test]
+    fn regional_pattern_is_positively_autocorrelated() {
+        let m = morans_i(&southern_pattern(), 200, 1).unwrap();
+        assert!(m.i > 0.5, "I = {}", m.i);
+        assert!(m.significant_at(0.01), "p = {}", m.p_value);
+        // Islands dropped: 52 − AK/HI/PR.
+        assert_eq!(m.n, 49);
+    }
+
+    #[test]
+    fn scattered_pattern_is_not_significant() {
+        let m = morans_i(&scattered_pattern(), 200, 2).unwrap();
+        assert!(
+            !m.significant_at(0.01),
+            "scattered pattern flagged: I = {}, p = {}",
+            m.i,
+            m.p_value
+        );
+        assert!((m.expected + 1.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkerboard_is_negatively_autocorrelated() {
+        // Color the contiguity graph greedily two ways and assign
+        // opposite values — neighbors differ as much as possible.
+        let mut values = Vec::new();
+        let mut color: std::collections::HashMap<UsState, bool> =
+            std::collections::HashMap::new();
+        for &s in UsState::ALL {
+            // Greedy: pick the color least used among already-colored
+            // neighbors.
+            let n_true = donorpulse_geo::adjacency::neighbors(s)
+                .into_iter()
+                .filter(|n| color.get(n) == Some(&true))
+                .count();
+            let n_false = donorpulse_geo::adjacency::neighbors(s)
+                .into_iter()
+                .filter(|n| color.get(n) == Some(&false))
+                .count();
+            let c = n_true <= n_false;
+            color.insert(s, c);
+            values.push((s, if c { 1.0 } else { 0.0 }));
+        }
+        let m = morans_i(&values, 200, 3).unwrap();
+        assert!(m.i < m.expected, "I = {} not below {}", m.i, m.expected);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(morans_i(&southern_pattern(), 5, 1).is_err());
+        // Constant attribute.
+        let flat: Vec<(UsState, f64)> =
+            UsState::ALL.iter().map(|&s| (s, 0.5)).collect();
+        assert!(morans_i(&flat, 50, 1).is_err());
+        // Too few connected states.
+        let tiny = vec![
+            (UsState::Alaska, 1.0),
+            (UsState::Hawaii, 0.0),
+            (UsState::PuertoRico, 0.5),
+        ];
+        assert!(morans_i(&tiny, 50, 1).is_err());
+    }
+
+    #[test]
+    fn organ_shares_on_simulated_corpus_mostly_flat() {
+        // The simulator plants *state-level* anomalies, not regional
+        // ones, so strong positive spatial autocorrelation should be the
+        // exception, not the rule.
+        let run = crate::testsupport::shared_run();
+        let mut significant = 0;
+        for organ in Organ::ALL {
+            let m = organ_morans_i(&run.regions, organ, 100, 9).unwrap();
+            if m.significant_at(0.01) {
+                significant += 1;
+            }
+        }
+        assert!(significant <= 2, "{significant} organs spatially clustered");
+    }
+}

@@ -1,0 +1,339 @@
+//! Temporal awareness sensing — the paper's conclusion in code.
+//!
+//! The paper closes with: *"our findings suggest that the proposed
+//! approach has the potential to characterize the awareness of organ
+//! donation in real-time."* This module supplies that capability: a
+//! per-day organ-attention time series over a corpus and a burst
+//! detector that flags days whose organ share deviates from its trailing
+//! baseline — the signal a viral transplant story or a donation campaign
+//! leaves in the stream. The simulator can plant such events
+//! ([`donorpulse_twitter::genmodel::AwarenessEvent`]), so detection is
+//! tested against ground truth.
+
+use crate::{CoreError, Result};
+use donorpulse_text::extract::OrganExtractor;
+use donorpulse_text::Organ;
+use donorpulse_twitter::{Corpus, COLLECTION_DAYS};
+use serde::Serialize;
+
+/// Daily organ-mention counts over the collection window.
+#[derive(Debug, Clone, Serialize)]
+pub struct DailySeries {
+    /// `counts[day][organ]` — mention counts.
+    counts: Vec<[u64; Organ::COUNT]>,
+}
+
+impl DailySeries {
+    /// Builds the series from a corpus (one pass, one extractor).
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let extractor = OrganExtractor::new();
+        let mut counts = vec![[0u64; Organ::COUNT]; COLLECTION_DAYS as usize];
+        for t in corpus.tweets() {
+            let day = t.created_at.day() as usize;
+            if day >= counts.len() {
+                continue; // outside the window; defensive
+            }
+            let mc = extractor.extract(&t.text);
+            for organ in Organ::ALL {
+                counts[day][organ.index()] += mc.count(organ) as u64;
+            }
+        }
+        Self { counts }
+    }
+
+    /// Number of days covered.
+    pub fn days(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Mention count of `organ` on `day`.
+    pub fn count(&self, day: usize, organ: Organ) -> u64 {
+        self.counts[day][organ.index()]
+    }
+
+    /// Total mentions on `day`.
+    pub fn total(&self, day: usize) -> u64 {
+        self.counts[day].iter().sum()
+    }
+
+    /// Share of `organ` on `day`, `None` when the day has no mentions.
+    pub fn share(&self, day: usize, organ: Organ) -> Option<f64> {
+        let total = self.total(day);
+        (total > 0).then(|| self.count(day, organ) as f64 / total as f64)
+    }
+
+    /// The full share series of one organ (`NaN`-free: empty days yield
+    /// `None`).
+    pub fn share_series(&self, organ: Organ) -> Vec<Option<f64>> {
+        (0..self.days()).map(|d| self.share(d, organ)).collect()
+    }
+}
+
+/// Configuration for burst detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BurstConfig {
+    /// Trailing-baseline window in days.
+    pub window: usize,
+    /// Z-score threshold for a bursting day.
+    pub z_threshold: f64,
+    /// Minimum mentions a day needs to be scored (guards tiny-sample
+    /// share estimates).
+    pub min_daily_mentions: u64,
+    /// Minimum days of usable baseline before scoring begins.
+    pub min_baseline_days: usize,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        Self {
+            window: 28,
+            z_threshold: 4.0,
+            min_daily_mentions: 20,
+            min_baseline_days: 14,
+        }
+    }
+}
+
+/// One detected burst: a maximal run of days where an organ's share sat
+/// above its trailing baseline by more than the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Burst {
+    /// The bursting organ.
+    pub organ: Organ,
+    /// First bursting day (0-based).
+    pub start_day: usize,
+    /// One past the last bursting day.
+    pub end_day: usize,
+    /// Day of the largest z-score.
+    pub peak_day: usize,
+    /// The largest z-score.
+    pub peak_z: f64,
+    /// Organ share on the peak day.
+    pub peak_share: f64,
+    /// Trailing-baseline share at the peak day.
+    pub baseline_share: f64,
+}
+
+impl Burst {
+    /// Duration in days.
+    pub fn duration(&self) -> usize {
+        self.end_day - self.start_day
+    }
+}
+
+/// Detects bursts in a daily series.
+pub fn detect_bursts(series: &DailySeries, config: BurstConfig) -> Result<Vec<Burst>> {
+    if config.window < 2 {
+        return Err(CoreError::InvalidParameter(
+            "burst window must be at least 2 days".to_string(),
+        ));
+    }
+    if config.z_threshold <= 0.0 {
+        return Err(CoreError::InvalidParameter(
+            "z threshold must be positive".to_string(),
+        ));
+    }
+    let mut bursts = Vec::new();
+    for organ in Organ::ALL {
+        let mut current: Option<Burst> = None;
+        // Days already flagged as bursting are excluded from later
+        // baselines — otherwise a long burst contaminates its own
+        // trailing window and truncates itself.
+        let mut flagged = vec![false; series.days()];
+        for day in 0..series.days() {
+            let z = z_score(series, organ, day, &config, &flagged);
+            match z {
+                Some((z, share, baseline)) if z > config.z_threshold => {
+                    flagged[day] = true;
+                    match current.as_mut() {
+                        Some(b) => {
+                            b.end_day = day + 1;
+                            if z > b.peak_z {
+                                b.peak_z = z;
+                                b.peak_day = day;
+                                b.peak_share = share;
+                                b.baseline_share = baseline;
+                            }
+                        }
+                        None => {
+                            current = Some(Burst {
+                                organ,
+                                start_day: day,
+                                end_day: day + 1,
+                                peak_day: day,
+                                peak_z: z,
+                                peak_share: share,
+                                baseline_share: baseline,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(b) = current.take() {
+                        bursts.push(b);
+                    }
+                }
+            }
+        }
+        if let Some(b) = current.take() {
+            bursts.push(b);
+        }
+    }
+    bursts.sort_by_key(|b| (b.start_day, b.organ.index()));
+    Ok(bursts)
+}
+
+/// Z-score of `organ`'s share on `day` against the trailing window,
+/// together with `(share, baseline_mean)`. `None` when the day or its
+/// baseline is too thin.
+fn z_score(
+    series: &DailySeries,
+    organ: Organ,
+    day: usize,
+    config: &BurstConfig,
+    flagged: &[bool],
+) -> Option<(f64, f64, f64)> {
+    if series.total(day) < config.min_daily_mentions {
+        return None;
+    }
+    let share = series.share(day, organ)?;
+    let lo = day.saturating_sub(config.window);
+    let mut baseline = Vec::with_capacity(config.window);
+    for (d, &is_flagged) in flagged.iter().enumerate().take(day).skip(lo) {
+        if !is_flagged && series.total(d) >= config.min_daily_mentions {
+            if let Some(s) = series.share(d, organ) {
+                baseline.push(s);
+            }
+        }
+    }
+    if baseline.len() < config.min_baseline_days {
+        return None;
+    }
+    let n = baseline.len() as f64;
+    let mean = baseline.iter().sum::<f64>() / n;
+    let var = baseline.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+    let sd = var.sqrt();
+    if sd <= 0.0 {
+        return None;
+    }
+    Some(((share - mean) / sd, share, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_text::KeywordQuery;
+    use donorpulse_twitter::genmodel::AwarenessEvent;
+    use donorpulse_twitter::{GeneratorConfig, TwitterSimulation};
+
+    fn corpus_with_event(event: Option<AwarenessEvent>) -> Corpus {
+        let mut cfg = GeneratorConfig::paper_scaled(0.05);
+        cfg.seed = 77;
+        if let Some(e) = event {
+            cfg.events.push(e);
+        }
+        let sim = TwitterSimulation::generate(cfg).expect("sim");
+        sim.stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .collect()
+    }
+
+    #[test]
+    fn series_accounts_every_mention() {
+        let corpus = corpus_with_event(None);
+        let series = DailySeries::from_corpus(&corpus);
+        assert_eq!(series.days(), 385);
+        let series_total: u64 = (0..series.days()).map(|d| series.total(d)).sum();
+        let extractor = OrganExtractor::new();
+        let direct: u64 = corpus
+            .tweets()
+            .iter()
+            .map(|t| extractor.extract(&t.text).total() as u64)
+            .sum();
+        assert_eq!(series_total, direct);
+    }
+
+    #[test]
+    fn shares_sum_to_one_on_active_days() {
+        let corpus = corpus_with_event(None);
+        let series = DailySeries::from_corpus(&corpus);
+        for day in 0..series.days() {
+            if series.total(day) == 0 {
+                continue;
+            }
+            let s: f64 = Organ::ALL
+                .iter()
+                .map(|&o| series.share(day, o).unwrap())
+                .sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn planted_burst_is_detected() {
+        let event = AwarenessEvent {
+            organ: Organ::Pancreas,
+            start_day: 150,
+            end_day: 164,
+            intensity: 0.5,
+        };
+        let corpus = corpus_with_event(Some(event));
+        let series = DailySeries::from_corpus(&corpus);
+        let bursts = detect_bursts(&series, BurstConfig::default()).unwrap();
+        let hit = bursts
+            .iter()
+            .find(|b| b.organ == Organ::Pancreas && b.end_day > 150 && b.start_day < 164)
+            .unwrap_or_else(|| panic!("pancreas burst not found: {bursts:?}"));
+        // The detected window overlaps the planted one.
+        assert!(hit.start_day < 164 && hit.end_day > 150, "{hit:?}");
+        assert!(hit.peak_share > hit.baseline_share * 3.0, "{hit:?}");
+        assert!(hit.duration() >= 7, "{hit:?}");
+    }
+
+    #[test]
+    fn quiet_corpus_has_no_strong_bursts() {
+        let corpus = corpus_with_event(None);
+        let series = DailySeries::from_corpus(&corpus);
+        let bursts = detect_bursts(&series, BurstConfig::default()).unwrap();
+        // At z > 4 with a 28-day baseline, a stationary corpus should
+        // produce at most a couple of noise blips, never a long burst.
+        assert!(bursts.len() <= 3, "{bursts:?}");
+        assert!(bursts.iter().all(|b| b.duration() <= 3), "{bursts:?}");
+    }
+
+    #[test]
+    fn detector_rejects_bad_config() {
+        let corpus = corpus_with_event(None);
+        let series = DailySeries::from_corpus(&corpus);
+        let bad = BurstConfig {
+            window: 1,
+            ..Default::default()
+        };
+        assert!(detect_bursts(&series, bad).is_err());
+        let bad = BurstConfig {
+            z_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(detect_bursts(&series, bad).is_err());
+    }
+
+    #[test]
+    fn event_validation_in_generator() {
+        let mut cfg = GeneratorConfig::paper_scaled(0.01);
+        cfg.events.push(AwarenessEvent {
+            organ: Organ::Heart,
+            start_day: 10,
+            end_day: 10,
+            intensity: 0.5,
+        });
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::paper_scaled(0.01);
+        cfg.events.push(AwarenessEvent {
+            organ: Organ::Heart,
+            start_day: 10,
+            end_day: 20,
+            intensity: 1.5,
+        });
+        assert!(cfg.validate().is_err());
+    }
+}

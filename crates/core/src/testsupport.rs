@@ -1,0 +1,24 @@
+//! Shared fixtures for the unit tests: one reasonably sized pipeline
+//! run, computed once. Statistical shape assertions (heart tops most
+//! states, Kansas kidney highlighted, …) need thousands of located
+//! users; rebuilding that corpus per test would dominate the suite.
+
+use crate::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+use std::sync::OnceLock;
+
+/// A ~130k-user (25% of paper scale) run with the paper's planted
+/// anomalies, shared by every test that checks statistical shape. The
+/// scale matters: the planted relative-risk anomalies are ~1.5× effects
+/// on states holding ~1% of the population, which are only reliably
+/// significant with thousands of located users (the paper had 71,947).
+pub(crate) fn shared_run() -> &'static PipelineRun {
+    static RUN: OnceLock<PipelineRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut config = PipelineConfig::paper_scaled(0.25);
+        config.generator.seed = 20_150_422;
+        config.user_clustering.k_min = 6;
+        config.user_clustering.k_max = 14;
+        config.user_clustering.silhouette_sample = 500;
+        Pipeline::new().run(config).expect("shared pipeline run")
+    })
+}

@@ -1,0 +1,286 @@
+//! Fig. 7: K-Means clustering of users by their full attention vectors.
+//!
+//! Beyond the argmax view of Eq. 1, the paper clusters the raw rows of
+//! `Û` with K-Means and selects `k` by comparing the silhouette
+//! coefficient, the average cluster size and the inertia across a sweep
+//! (they report silhouette 0.953, average size 31,697.42/12 users and
+//! inertia 2,512.27 at `k = 12`). Since six organs exist, `k ≥ 6` is
+//! required for at least one cluster per organ.
+
+use crate::attention::AttentionMatrix;
+use crate::{CoreError, Result};
+use donorpulse_cluster::silhouette::sampled_silhouette_score;
+use donorpulse_cluster::{KMeans, KMeansConfig, Metric};
+use donorpulse_text::Organ;
+use serde::Serialize;
+
+/// Metrics for one candidate `k` in the selection sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct KCandidate {
+    /// Number of clusters.
+    pub k: usize,
+    /// Sampled silhouette coefficient.
+    pub silhouette: f64,
+    /// Within-cluster sum of squares.
+    pub inertia: f64,
+    /// Average cluster size.
+    pub avg_cluster_size: f64,
+}
+
+/// The fitted Fig. 7 artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct UserClustering {
+    /// The fitted model at the chosen `k`.
+    pub model: KMeans,
+    /// The selection sweep (one entry per candidate `k`).
+    pub sweep: Vec<KCandidate>,
+    /// The chosen `k`.
+    pub chosen_k: usize,
+}
+
+/// Configuration for the user-clustering stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct UserClusteringConfig {
+    /// Candidate `k` range (inclusive); the paper sweeps from 6 upward.
+    pub k_min: usize,
+    /// Upper end of the sweep (inclusive).
+    pub k_max: usize,
+    /// Silhouette subsample cap (the paper's 72k users make full
+    /// silhouette O(n²) prohibitive).
+    pub silhouette_sample: usize,
+    /// RNG seed for K-Means.
+    pub seed: u64,
+}
+
+impl Default for UserClusteringConfig {
+    fn default() -> Self {
+        Self {
+            k_min: 6,
+            k_max: 16,
+            silhouette_sample: 2_000,
+            seed: 0xF167,
+        }
+    }
+}
+
+impl UserClustering {
+    /// Sweeps `k`, scores each candidate, and keeps the best silhouette.
+    pub fn fit(attention: &AttentionMatrix, config: UserClusteringConfig) -> Result<Self> {
+        if config.k_min < 2 || config.k_min > config.k_max {
+            return Err(CoreError::InvalidParameter(format!(
+                "invalid k range [{}, {}]",
+                config.k_min, config.k_max
+            )));
+        }
+        let rows: Vec<Vec<f64>> = attention
+            .matrix()
+            .iter_rows()
+            .map(<[f64]>::to_vec)
+            .collect();
+        if rows.len() <= config.k_max {
+            return Err(CoreError::InvalidParameter(format!(
+                "need more than k_max = {} users, got {}",
+                config.k_max,
+                rows.len()
+            )));
+        }
+
+        let mut sweep = Vec::new();
+        let mut best: Option<(usize, f64, KMeans)> = None;
+        for k in config.k_min..=config.k_max {
+            let model = KMeans::fit(
+                &rows,
+                KMeansConfig {
+                    k,
+                    max_iter: 100,
+                    tol: 1e-7,
+                    seed: config.seed,
+                },
+            )?;
+            let silhouette = sampled_silhouette_score(
+                &rows,
+                &model.labels,
+                Metric::Euclidean,
+                config.silhouette_sample,
+            )?;
+            sweep.push(KCandidate {
+                k,
+                silhouette,
+                inertia: model.inertia,
+                avg_cluster_size: model.average_cluster_size(),
+            });
+            let better = match &best {
+                None => true,
+                Some((_, best_s, _)) => silhouette > *best_s,
+            };
+            if better {
+                best = Some((k, silhouette, model));
+            }
+        }
+        let (chosen_k, _, model) = best.expect("nonempty sweep");
+        Ok(Self {
+            model,
+            sweep,
+            chosen_k,
+        })
+    }
+
+    /// Cluster profiles: each cluster's centroid as an organ
+    /// distribution, with its relative size — Fig. 7's panels.
+    pub fn profiles(&self) -> Vec<ClusterProfile> {
+        let n = self.model.labels.len() as f64;
+        let sizes = self.model.cluster_sizes();
+        self.model
+            .centroids
+            .iter()
+            .zip(sizes)
+            .enumerate()
+            .map(|(idx, (centroid, size))| {
+                let mut distribution = [0.0; Organ::COUNT];
+                distribution.copy_from_slice(centroid);
+                let mut ranked: Vec<(Organ, f64)> = Organ::ALL
+                    .into_iter()
+                    .map(|o| (o, distribution[o.index()]))
+                    .collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                ClusterProfile {
+                    cluster: idx,
+                    size,
+                    relative_size: size as f64 / n,
+                    distribution,
+                    ranked,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One Fig. 7 panel.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterProfile {
+    /// Cluster index (K-Means label).
+    pub cluster: usize,
+    /// Members.
+    pub size: usize,
+    /// Fraction of all users.
+    pub relative_size: f64,
+    /// Centroid over organs.
+    pub distribution: [f64; Organ::COUNT],
+    /// Centroid ranked descending.
+    pub ranked: Vec<(Organ, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_text::extract::MentionCounts;
+    use donorpulse_twitter::UserId;
+    use std::collections::HashMap;
+
+    /// 6 planted single-organ archetypes, 40 users each.
+    fn attention() -> AttentionMatrix {
+        let mut map = HashMap::new();
+        let mut next = 0u64;
+        for organ in Organ::ALL {
+            for j in 0..40 {
+                let mut mc = MentionCounts::new();
+                mc.add(organ, 10);
+                // Small deterministic off-organ noise.
+                mc.add(Organ::ALL[(organ.index() + 1 + j % 2) % 6], 1);
+                map.insert(UserId(next), mc);
+                next += 1;
+            }
+        }
+        AttentionMatrix::from_mentions(&map).unwrap()
+    }
+
+    fn config() -> UserClusteringConfig {
+        UserClusteringConfig {
+            k_min: 4,
+            k_max: 10,
+            silhouette_sample: 500,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_range_and_selects_best() {
+        let uc = UserClustering::fit(&attention(), config()).unwrap();
+        assert_eq!(uc.sweep.len(), 7);
+        assert_eq!(uc.sweep[0].k, 4);
+        assert_eq!(uc.sweep.last().unwrap().k, 10);
+        let best = uc
+            .sweep
+            .iter()
+            .max_by(|a, b| a.silhouette.partial_cmp(&b.silhouette).unwrap())
+            .unwrap();
+        assert_eq!(uc.chosen_k, best.k);
+        assert_eq!(uc.model.k(), uc.chosen_k);
+    }
+
+    #[test]
+    fn planted_archetypes_score_high_silhouette() {
+        let uc = UserClustering::fit(&attention(), config()).unwrap();
+        let chosen = uc.sweep.iter().find(|c| c.k == uc.chosen_k).unwrap();
+        assert!(
+            chosen.silhouette > 0.7,
+            "silhouette {} too low",
+            chosen.silhouette
+        );
+    }
+
+    #[test]
+    fn profiles_cover_all_users() {
+        let uc = UserClustering::fit(&attention(), config()).unwrap();
+        let profiles = uc.profiles();
+        assert_eq!(profiles.len(), uc.chosen_k);
+        let total: usize = profiles.iter().map(|p| p.size).sum();
+        assert_eq!(total, 240);
+        let rel: f64 = profiles.iter().map(|p| p.relative_size).sum();
+        assert!((rel - 1.0).abs() < 1e-9);
+        for p in &profiles {
+            // Centroids of distributions are distributions.
+            let s: f64 = p.distribution.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "centroid sums to {s}");
+            // Ranked is descending.
+            for w in p.ranked.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn six_organ_archetypes_recovered_at_k6() {
+        let am = attention();
+        let uc = UserClustering::fit(
+            &am,
+            UserClusteringConfig {
+                k_min: 6,
+                k_max: 6,
+                silhouette_sample: 500,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        // Each cluster's top organ should be distinct: 6 organs, 6 clusters.
+        let mut tops: Vec<Organ> = uc.profiles().iter().map(|p| p.ranked[0].0).collect();
+        tops.sort();
+        tops.dedup();
+        assert_eq!(tops.len(), 6, "profiles collapsed: {tops:?}");
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let am = attention();
+        let mut cfg = config();
+        cfg.k_min = 1;
+        assert!(UserClustering::fit(&am, cfg).is_err());
+        let mut cfg = config();
+        cfg.k_min = 10;
+        cfg.k_max = 5;
+        assert!(UserClustering::fit(&am, cfg).is_err());
+        let mut cfg = config();
+        cfg.k_max = 500; // more than users
+        assert!(UserClustering::fit(&am, cfg).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the paper's core algebra: Û construction,
+//! membership building, Eq. 3 aggregation, and relative risk.
+
+use donorpulse_core::aggregate::Aggregation;
+use donorpulse_core::membership::{by_dominant_organ, by_region};
+use donorpulse_core::relative_risk::RiskMap;
+use donorpulse_core::AttentionMatrix;
+use donorpulse_geo::UsState;
+use donorpulse_text::extract::MentionCounts;
+use donorpulse_text::Organ;
+use donorpulse_twitter::UserId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random population of users with nonzero mention vectors
+/// and optional state assignments.
+fn population(
+    max_users: usize,
+) -> impl Strategy<Value = (HashMap<UserId, MentionCounts>, HashMap<UserId, UsState>)> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u32..6, 6),
+            prop::option::of(0usize..UsState::COUNT),
+        ),
+        1..max_users,
+    )
+    .prop_map(|users| {
+        let mut mentions = HashMap::new();
+        let mut states = HashMap::new();
+        for (i, (counts, state)) in users.into_iter().enumerate() {
+            let mut mc = MentionCounts::new();
+            for (oi, &c) in counts.iter().enumerate() {
+                mc.add(Organ::from_index(oi).unwrap(), c);
+            }
+            if mc.is_empty() {
+                mc.add(Organ::Heart, 1); // keep every user usable
+            }
+            mentions.insert(UserId(i as u64), mc);
+            if let Some(s) = state {
+                states.insert(UserId(i as u64), UsState::from_index(s).unwrap());
+            }
+        }
+        (mentions, states)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u_hat_rows_are_stochastic((mentions, _) in population(40)) {
+        let am = AttentionMatrix::from_mentions(&mentions).unwrap();
+        prop_assert_eq!(am.user_count(), mentions.len());
+        for i in 0..am.user_count() {
+            let s: f64 = am.matrix().row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(am.matrix().row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Users are sorted ascending.
+        for pair in am.users().windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn organ_membership_partitions_users((mentions, _) in population(40)) {
+        let am = AttentionMatrix::from_mentions(&mentions).unwrap();
+        let m = by_dominant_organ(&am).unwrap();
+        // Every row has exactly one 1; group sizes sum to m.
+        prop_assert_eq!(m.sizes.iter().sum::<usize>(), am.user_count());
+        for i in 0..am.user_count() {
+            let s: f64 = m.matrix.row(i).iter().sum();
+            prop_assert_eq!(s, 1.0);
+        }
+        // No empty groups.
+        prop_assert!(m.sizes.iter().all(|&s| s > 0));
+        // The assigned organ always attains the row maximum of Û.
+        for i in 0..am.user_count() {
+            let col = m.matrix.row(i).iter().position(|&v| v == 1.0).unwrap();
+            let organ = m.groups[col];
+            let row = am.matrix().row(i);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(row[organ.index()] == max);
+        }
+    }
+
+    #[test]
+    fn aggregation_rows_are_group_means((mentions, _) in population(30)) {
+        let am = AttentionMatrix::from_mentions(&mentions).unwrap();
+        let m = by_dominant_organ(&am).unwrap();
+        let k = Aggregation::compute(&m, am.matrix()).unwrap();
+        // K rows are stochastic.
+        for g in 0..k.matrix.rows() {
+            let s: f64 = k.matrix.row(g).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8, "row {} sums to {}", g, s);
+        }
+        // Against a direct group-mean computation.
+        for (g, &_organ) in k.groups.iter().enumerate() {
+            let members: Vec<usize> = (0..am.user_count())
+                .filter(|&i| m.matrix.get(i, g) == 1.0)
+                .collect();
+            prop_assert_eq!(members.len(), k.sizes[g]);
+            for j in 0..Organ::COUNT {
+                let mean: f64 = members
+                    .iter()
+                    .map(|&i| am.matrix().get(i, j))
+                    .sum::<f64>()
+                    / members.len() as f64;
+                prop_assert!((k.matrix.get(g, j) - mean).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn region_aggregation_consistent((mentions, states) in population(40)) {
+        let am = AttentionMatrix::from_mentions(&mentions).unwrap();
+        match by_region(&am, &states) {
+            Ok((m, rows)) => {
+                prop_assert_eq!(rows.len(), m.matrix.rows());
+                prop_assert_eq!(m.sizes.iter().sum::<usize>(), rows.len());
+                // Groups listed in canonical state order.
+                for pair in m.groups.windows(2) {
+                    prop_assert!(pair[0] < pair[1]);
+                }
+            }
+            Err(_) => prop_assert!(states.is_empty() ||
+                !am.users().iter().any(|id| states.contains_key(id))),
+        }
+    }
+
+    #[test]
+    fn risk_map_internally_consistent((mentions, states) in population(60)) {
+        let am = AttentionMatrix::from_mentions(&mentions).unwrap();
+        if states.is_empty() || !am.users().iter().any(|id| states.contains_key(id)) {
+            prop_assert!(RiskMap::compute(&am, &states, 0.05).is_err());
+            return Ok(());
+        }
+        let rm = RiskMap::compute(&am, &states, 0.05).unwrap();
+        let located = am.users().iter().filter(|id| states.contains_key(id)).count() as u64;
+        for e in &rm.entries {
+            prop_assert!(e.cases_in <= e.total_in);
+            prop_assert!(e.total_in <= located);
+            if let Some(r) = e.risk {
+                prop_assert!(r.rr > 0.0);
+                prop_assert!(r.ci_low <= r.rr && r.rr <= r.ci_high);
+            }
+        }
+        // Per state: totals agree across organs.
+        for w in rm.entries.windows(2) {
+            if w[0].state == w[1].state {
+                prop_assert_eq!(w[0].total_in, w[1].total_in);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! State adjacency — the contiguity structure behind spatial analyses.
+//!
+//! The paper motivates "identify[ing] clustering of well-defined borders
+//! of adjacent regions and geographic anomalies" (Sec. IV-B.1) and cites
+//! regional patterns like the Stroke Belt. Answering those questions
+//! formally (e.g. with a join-count statistic or Moran's I) requires the
+//! state contiguity graph, embedded here as a symmetric edge list over
+//! land borders. Corner-only touches (Arizona–Colorado, New
+//! Mexico–Utah at Four Corners) are excluded, the usual convention.
+//! Alaska, Hawaii and Puerto Rico have no neighbors.
+
+use crate::state::UsState;
+
+/// Symmetric land-border adjacency, stored once per unordered pair
+/// (lexicographic by variant order).
+const EDGES: &[(UsState, UsState)] = {
+    use UsState::*;
+    &[
+        (Alabama, Florida),
+        (Alabama, Georgia),
+        (Alabama, Mississippi),
+        (Alabama, Tennessee),
+        (Arizona, California),
+        (Arizona, Nevada),
+        (Arizona, NewMexico),
+        (Arizona, Utah),
+        (Arkansas, Louisiana),
+        (Arkansas, Mississippi),
+        (Arkansas, Missouri),
+        (Arkansas, Oklahoma),
+        (Arkansas, Tennessee),
+        (Arkansas, Texas),
+        (California, Nevada),
+        (California, Oregon),
+        (Colorado, Kansas),
+        (Colorado, Nebraska),
+        (Colorado, NewMexico),
+        (Colorado, Oklahoma),
+        (Colorado, Utah),
+        (Colorado, Wyoming),
+        (Connecticut, Massachusetts),
+        (Connecticut, NewYork),
+        (Connecticut, RhodeIsland),
+        (Delaware, Maryland),
+        (Delaware, NewJersey),
+        (Delaware, Pennsylvania),
+        (DistrictOfColumbia, Maryland),
+        (DistrictOfColumbia, Virginia),
+        (Florida, Georgia),
+        (Georgia, NorthCarolina),
+        (Georgia, SouthCarolina),
+        (Georgia, Tennessee),
+        (Idaho, Montana),
+        (Idaho, Nevada),
+        (Idaho, Oregon),
+        (Idaho, Utah),
+        (Idaho, Washington),
+        (Idaho, Wyoming),
+        (Illinois, Indiana),
+        (Illinois, Iowa),
+        (Illinois, Kentucky),
+        (Illinois, Missouri),
+        (Illinois, Wisconsin),
+        (Indiana, Kentucky),
+        (Indiana, Michigan),
+        (Indiana, Ohio),
+        (Iowa, Minnesota),
+        (Iowa, Missouri),
+        (Iowa, Nebraska),
+        (Iowa, SouthDakota),
+        (Iowa, Wisconsin),
+        (Kansas, Missouri),
+        (Kansas, Nebraska),
+        (Kansas, Oklahoma),
+        (Kentucky, Missouri),
+        (Kentucky, Ohio),
+        (Kentucky, Tennessee),
+        (Kentucky, Virginia),
+        (Kentucky, WestVirginia),
+        (Louisiana, Mississippi),
+        (Louisiana, Texas),
+        (Maine, NewHampshire),
+        (Maryland, Pennsylvania),
+        (Maryland, Virginia),
+        (Maryland, WestVirginia),
+        (Massachusetts, NewHampshire),
+        (Massachusetts, NewYork),
+        (Massachusetts, RhodeIsland),
+        (Massachusetts, Vermont),
+        (Michigan, Ohio),
+        (Michigan, Wisconsin),
+        (Minnesota, NorthDakota),
+        (Minnesota, SouthDakota),
+        (Minnesota, Wisconsin),
+        (Mississippi, Tennessee),
+        (Missouri, Nebraska),
+        (Missouri, Oklahoma),
+        (Missouri, Tennessee),
+        (Montana, NorthDakota),
+        (Montana, SouthDakota),
+        (Montana, Wyoming),
+        (Nebraska, SouthDakota),
+        (Nebraska, Wyoming),
+        (Nevada, Oregon),
+        (Nevada, Utah),
+        (NewHampshire, Vermont),
+        (NewJersey, NewYork),
+        (NewJersey, Pennsylvania),
+        (NewMexico, Oklahoma),
+        (NewMexico, Texas),
+        (NewYork, Pennsylvania),
+        (NewYork, Vermont),
+        (NorthCarolina, SouthCarolina),
+        (NorthCarolina, Tennessee),
+        (NorthCarolina, Virginia),
+        (NorthDakota, SouthDakota),
+        (Ohio, Pennsylvania),
+        (Ohio, WestVirginia),
+        (Oklahoma, Texas),
+        (Oregon, Washington),
+        (Pennsylvania, WestVirginia),
+        (SouthDakota, Wyoming),
+        (Tennessee, Virginia),
+        (Utah, Wyoming),
+        (Virginia, WestVirginia),
+    ]
+};
+
+/// True when two states share a land border (symmetric; a state is not
+/// adjacent to itself).
+pub fn are_adjacent(a: UsState, b: UsState) -> bool {
+    if a == b {
+        return false;
+    }
+    EDGES
+        .iter()
+        .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+}
+
+/// All land-border neighbors of a state (empty for Alaska, Hawaii,
+/// Puerto Rico).
+pub fn neighbors(state: UsState) -> Vec<UsState> {
+    EDGES
+        .iter()
+        .filter_map(|&(a, b)| {
+            if a == state {
+                Some(b)
+            } else if b == state {
+                Some(a)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Number of border edges in the graph.
+pub fn edge_count() -> usize {
+    EDGES.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn edges_are_unique_and_canonical() {
+        let mut seen = HashSet::new();
+        for &(a, b) in EDGES {
+            assert!(a < b, "{}-{} not in canonical order", a.abbr(), b.abbr());
+            assert!(seen.insert((a, b)), "duplicate edge {}-{}", a.abbr(), b.abbr());
+        }
+    }
+
+    #[test]
+    fn symmetry_and_irreflexivity() {
+        for &a in UsState::ALL {
+            assert!(!are_adjacent(a, a));
+            for &b in UsState::ALL {
+                assert_eq!(are_adjacent(a, b), are_adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn known_neighbor_facts() {
+        use UsState::*;
+        // Missouri and Tennessee tie the record with 8 neighbors each.
+        assert_eq!(neighbors(Missouri).len(), 8);
+        assert_eq!(neighbors(Tennessee).len(), 8);
+        // Maine borders exactly one state.
+        assert_eq!(neighbors(Maine), vec![NewHampshire]);
+        // Islands and exclaves have none.
+        assert!(neighbors(Hawaii).is_empty());
+        assert!(neighbors(Alaska).is_empty());
+        assert!(neighbors(PuertoRico).is_empty());
+        // Kansas' neighbors (paper's Midwestern context).
+        let ks: HashSet<_> = neighbors(Kansas).into_iter().collect();
+        assert_eq!(
+            ks,
+            [Colorado, Missouri, Nebraska, Oklahoma].into_iter().collect()
+        );
+        // Four Corners touches excluded.
+        assert!(!are_adjacent(Arizona, Colorado));
+        assert!(!are_adjacent(NewMexico, Utah));
+        // DC is adjacent to Maryland and Virginia.
+        assert!(are_adjacent(DistrictOfColumbia, Maryland));
+        assert!(are_adjacent(DistrictOfColumbia, Virginia));
+    }
+
+    #[test]
+    fn contiguous_states_form_one_component() {
+        use std::collections::VecDeque;
+        // BFS from Kansas must reach all 49 contiguous units (48 states
+        // + DC).
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::from([UsState::Kansas]);
+        visited.insert(UsState::Kansas);
+        while let Some(s) = queue.pop_front() {
+            for n in neighbors(s) {
+                if visited.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        assert_eq!(visited.len(), 49, "reached {:?}", visited.len());
+        assert!(!visited.contains(&UsState::Alaska));
+        assert!(!visited.contains(&UsState::Hawaii));
+        assert!(!visited.contains(&UsState::PuertoRico));
+    }
+
+    #[test]
+    fn edge_count_plausible() {
+        // The contiguous-US border graph has 109 edges with DC included
+        // and Four Corners excluded.
+        assert_eq!(edge_count(), EDGES.len());
+        assert!((100..=115).contains(&edge_count()), "{}", edge_count());
+    }
+}

@@ -1,0 +1,275 @@
+//! Place nicknames, non-US markers, and junk location markers.
+//!
+//! Twitter profile locations are free text. Besides proper city/state
+//! names, three more vocabularies matter in practice:
+//!
+//! * **aliases** — nicknames and shorthand people actually type ("nyc",
+//!   "philly", "the windy city", "nola");
+//! * **non-US markers** — foreign country/city names used to *discard*
+//!   users, mirroring the paper's USA filter (only 134,986 of 975,021
+//!   collected tweets could be attributed to USA users);
+//! * **junk markers** — non-places ("earth", "everywhere", "the moon")
+//!   that must resolve to *unknown* rather than being force-matched.
+
+use crate::state::UsState;
+
+/// Nickname → state. All keys lowercase; matched against whole segments
+/// and whole strings, never inside words.
+pub const ALIASES: &[(&str, UsState)] = &[
+    // New York City and boroughs.
+    ("nyc", UsState::NewYork),
+    ("new york city", UsState::NewYork),
+    ("the big apple", UsState::NewYork),
+    ("big apple", UsState::NewYork),
+    ("brooklyn", UsState::NewYork),
+    ("manhattan", UsState::NewYork),
+    ("the bronx", UsState::NewYork),
+    ("bronx", UsState::NewYork),
+    ("queens", UsState::NewYork),
+    ("staten island", UsState::NewYork),
+    ("harlem", UsState::NewYork),
+    ("long island", UsState::NewYork),
+    ("upstate new york", UsState::NewYork),
+    // California.
+    ("la", UsState::California), // dominant Twitter usage: Los Angeles
+    ("l.a.", UsState::California),
+    ("socal", UsState::California),
+    ("norcal", UsState::California),
+    ("cali", UsState::California),
+    ("sf", UsState::California),
+    ("san fran", UsState::California),
+    ("frisco", UsState::California),
+    ("bay area", UsState::California),
+    ("the bay", UsState::California),
+    ("silicon valley", UsState::California),
+    ("hollywood", UsState::California),
+    ("east la", UsState::California),
+    // Illinois.
+    ("chi-town", UsState::Illinois),
+    ("chitown", UsState::Illinois),
+    ("the windy city", UsState::Illinois),
+    ("windy city", UsState::Illinois),
+    ("chi town", UsState::Illinois),
+    // Pennsylvania.
+    ("philly", UsState::Pennsylvania),
+    ("the city of brotherly love", UsState::Pennsylvania),
+    ("pgh", UsState::Pennsylvania),
+    // Nevada.
+    ("vegas", UsState::Nevada),
+    ("sin city", UsState::Nevada),
+    // Louisiana.
+    ("nola", UsState::Louisiana),
+    ("the big easy", UsState::Louisiana),
+    ("big easy", UsState::Louisiana),
+    // Georgia.
+    ("atl", UsState::Georgia),
+    ("hotlanta", UsState::Georgia),
+    // Texas.
+    ("dfw", UsState::Texas),
+    ("htown", UsState::Texas),
+    ("h-town", UsState::Texas),
+    ("h town", UsState::Texas),
+    // Michigan.
+    ("motor city", UsState::Michigan),
+    ("motown", UsState::Michigan),
+    ("the d", UsState::Michigan),
+    // Massachusetts.
+    ("beantown", UsState::Massachusetts),
+    // Minnesota.
+    ("twin cities", UsState::Minnesota),
+    // Tennessee.
+    ("music city", UsState::Tennessee),
+    // Colorado.
+    ("mile high city", UsState::Colorado),
+    ("the mile high city", UsState::Colorado),
+    // Washington (state).
+    ("emerald city", UsState::Washington),
+    // District of Columbia.
+    ("dc", UsState::DistrictOfColumbia),
+    ("d.c.", UsState::DistrictOfColumbia),
+    ("washington, d.c.", UsState::DistrictOfColumbia),
+    ("the district", UsState::DistrictOfColumbia),
+    ("dmv", UsState::DistrictOfColumbia),
+    // New Jersey.
+    ("jersey", UsState::NewJersey),
+    ("the garden state", UsState::NewJersey),
+    // Arizona.
+    ("the valley of the sun", UsState::Arizona),
+    // Florida.
+    ("south beach", UsState::Florida),
+    ("the sunshine state", UsState::Florida),
+    // Utah.
+    ("slc", UsState::Utah),
+    // Missouri.
+    ("stl", UsState::Missouri),
+    ("st louis", UsState::Missouri),
+    ("st. louis", UsState::Missouri),
+    // Minnesota.
+    ("st paul", UsState::Minnesota),
+    ("st. paul", UsState::Minnesota),
+    // Oklahoma.
+    ("okc", UsState::Oklahoma),
+    // State nicknames people actually put in profiles.
+    ("the lone star state", UsState::Texas),
+    ("lone star state", UsState::Texas),
+    ("the golden state", UsState::California),
+    ("golden state", UsState::California),
+    ("the empire state", UsState::NewYork),
+    ("empire state", UsState::NewYork),
+    ("the sunflower state", UsState::Kansas),
+    ("sunflower state", UsState::Kansas),
+    ("the bluegrass state", UsState::Kentucky),
+    ("bluegrass state", UsState::Kentucky),
+    ("the buckeye state", UsState::Ohio),
+    ("buckeye state", UsState::Ohio),
+    ("the hoosier state", UsState::Indiana),
+    ("hoosier state", UsState::Indiana),
+    ("the pelican state", UsState::Louisiana),
+    ("pelican state", UsState::Louisiana),
+    ("the bay state", UsState::Massachusetts),
+    ("bay state", UsState::Massachusetts),
+    ("the ocean state", UsState::RhodeIsland),
+    ("ocean state", UsState::RhodeIsland),
+    ("the first state", UsState::Delaware),
+    ("first state", UsState::Delaware),
+    ("the evergreen state", UsState::Washington),
+    ("evergreen state", UsState::Washington),
+    ("the beaver state", UsState::Oregon),
+    ("beaver state", UsState::Oregon),
+    ("the peach state", UsState::Georgia),
+    ("peach state", UsState::Georgia),
+    ("the badger state", UsState::Wisconsin),
+    ("badger state", UsState::Wisconsin),
+    ("the centennial state", UsState::Colorado),
+    ("centennial state", UsState::Colorado),
+    ("the cornhusker state", UsState::Nebraska),
+    ("cornhusker state", UsState::Nebraska),
+    ("the old dominion", UsState::Virginia),
+    ("old dominion", UsState::Virginia),
+    ("the aloha state", UsState::Hawaii),
+    ("aloha state", UsState::Hawaii),
+    ("the last frontier", UsState::Alaska),
+    ("last frontier", UsState::Alaska),
+    ("the grand canyon state", UsState::Arizona),
+    ("grand canyon state", UsState::Arizona),
+    ("the land of enchantment", UsState::NewMexico),
+    ("land of enchantment", UsState::NewMexico),
+    ("the show me state", UsState::Missouri),
+    ("show me state", UsState::Missouri),
+    ("la isla del encanto", UsState::PuertoRico),
+];
+
+/// Foreign country/city markers: a location containing one of these (as a
+/// whole segment or token phrase) is classified non-US.
+pub const NON_US_MARKERS: &[&str] = &[
+    "canada", "toronto", "montreal", "ottawa", "quebec", "alberta", "ontario",
+    "uk", "united kingdom", "england", "london", "scotland", "wales",
+    "ireland", "dublin", "france", "paris", "germany", "berlin", "munich",
+    "spain", "madrid", "barcelona", "italy", "rome", "milan",
+    "portugal", "lisbon", "netherlands", "amsterdam", "belgium", "brussels",
+    "sweden", "stockholm", "norway", "oslo", "denmark", "copenhagen",
+    "switzerland", "zurich", "austria", "vienna", "greece", "athens greece",
+    "turkey", "istanbul", "russia", "moscow", "poland", "warsaw",
+    "mexico", "mexico city", "guadalajara", "brazil", "sao paulo",
+    "rio de janeiro", "argentina", "buenos aires", "chile", "santiago",
+    "colombia", "bogota", "peru", "lima", "venezuela", "caracas",
+    "india", "mumbai", "delhi", "new delhi", "bangalore", "chennai",
+    "pakistan", "karachi", "lahore", "bangladesh", "dhaka",
+    "china", "beijing", "shanghai", "hong kong", "taiwan", "taipei",
+    "japan", "tokyo", "osaka", "korea", "seoul", "south korea",
+    "philippines", "manila", "indonesia", "jakarta", "malaysia",
+    "kuala lumpur", "singapore", "thailand", "bangkok", "vietnam", "hanoi",
+    "australia", "sydney", "melbourne", "brisbane", "perth",
+    "new zealand", "auckland", "wellington",
+    "nigeria", "lagos", "abuja", "kenya", "nairobi", "ghana", "accra",
+    "south africa", "johannesburg", "cape town", "egypt", "cairo",
+    "morocco", "ethiopia", "uganda", "tanzania",
+    "uae", "dubai", "abu dhabi", "saudi arabia", "riyadh", "qatar", "doha",
+    "israel", "tel aviv", "jerusalem", "lebanon", "beirut", "jordan",
+    "iran", "tehran", "iraq", "baghdad",
+];
+
+/// Non-places: strings that mean "no usable location".
+pub const JUNK_MARKERS: &[&str] = &[
+    "earth",
+    "planet earth",
+    "world",
+    "worldwide",
+    "everywhere",
+    "nowhere",
+    "somewhere",
+    "anywhere",
+    "global",
+    "the internet",
+    "internet",
+    "online",
+    "cyberspace",
+    "the moon",
+    "moon",
+    "mars",
+    "space",
+    "outer space",
+    "the universe",
+    "universe",
+    "hell",
+    "heaven",
+    "paradise",
+    "home",
+    "my house",
+    "your heart",
+    "in my head",
+    "wonderland",
+    "neverland",
+    "narnia",
+    "hogwarts",
+    "middle earth",
+    "the upside down",
+    "unknown",
+    "n/a",
+    "none",
+    "null",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn alias_keys_unique_and_lowercase() {
+        let mut seen = HashSet::new();
+        for (k, _) in ALIASES {
+            assert_eq!(*k, k.to_lowercase(), "{k}");
+            assert!(seen.insert(*k), "duplicate alias {k}");
+        }
+    }
+
+    #[test]
+    fn marker_lists_lowercase_and_disjoint() {
+        let non_us: HashSet<&str> = NON_US_MARKERS.iter().copied().collect();
+        let junk: HashSet<&str> = JUNK_MARKERS.iter().copied().collect();
+        assert_eq!(non_us.len(), NON_US_MARKERS.len(), "dupes in NON_US_MARKERS");
+        assert_eq!(junk.len(), JUNK_MARKERS.len(), "dupes in JUNK_MARKERS");
+        assert!(non_us.is_disjoint(&junk));
+        for m in NON_US_MARKERS.iter().chain(JUNK_MARKERS) {
+            assert_eq!(*m, m.to_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn aliases_do_not_shadow_markers() {
+        let alias_keys: HashSet<&str> = ALIASES.iter().map(|(k, _)| *k).collect();
+        for m in NON_US_MARKERS.iter().chain(JUNK_MARKERS) {
+            assert!(!alias_keys.contains(m), "alias shadows marker {m}");
+        }
+    }
+
+    #[test]
+    fn key_nicknames_present() {
+        let get = |k: &str| ALIASES.iter().find(|(a, _)| *a == k).map(|(_, s)| *s);
+        assert_eq!(get("nyc"), Some(UsState::NewYork));
+        assert_eq!(get("nola"), Some(UsState::Louisiana));
+        assert_eq!(get("philly"), Some(UsState::Pennsylvania));
+        assert_eq!(get("dc"), Some(UsState::DistrictOfColumbia));
+    }
+}

@@ -1,0 +1,510 @@
+//! Embedded table of major US cities.
+//!
+//! This is the core of the OpenStreetMap substitute: roughly 340 cities
+//! covering every state, each with its state, coordinates, and a 2015
+//! population estimate. Population is used to rank candidates when a
+//! city name is ambiguous across states (e.g. "Columbus" resolves to
+//! Ohio over Georgia, "Portland" to Oregon over Maine) — the same
+//! most-prominent-match behaviour a real geocoder exhibits.
+//!
+//! Names are stored lowercase; lookups happen on normalized text.
+
+use crate::state::UsState;
+
+/// One gazetteer city entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// Lowercase city name.
+    pub name: &'static str,
+    /// State the city belongs to.
+    pub state: UsState,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Approximate 2015 population.
+    pub population: u32,
+}
+
+const fn city(
+    name: &'static str,
+    state: UsState,
+    lat: f64,
+    lon: f64,
+    population: u32,
+) -> City {
+    City {
+        name,
+        state,
+        lat,
+        lon,
+        population,
+    }
+}
+
+/// The embedded city table.
+pub const CITIES: &[City] = &[
+    // Alabama
+    city("birmingham", UsState::Alabama, 33.52, -86.80, 212_000),
+    city("montgomery", UsState::Alabama, 32.37, -86.30, 200_000),
+    city("mobile", UsState::Alabama, 30.69, -88.04, 194_000),
+    city("huntsville", UsState::Alabama, 34.73, -86.59, 190_000),
+    city("tuscaloosa", UsState::Alabama, 33.21, -87.57, 99_000),
+    // Alaska
+    city("anchorage", UsState::Alaska, 61.22, -149.90, 298_000),
+    city("fairbanks", UsState::Alaska, 64.84, -147.72, 32_000),
+    city("juneau", UsState::Alaska, 58.30, -134.42, 32_000),
+    // Arizona
+    city("phoenix", UsState::Arizona, 33.45, -112.07, 1_563_000),
+    city("tucson", UsState::Arizona, 32.22, -110.97, 531_000),
+    city("mesa", UsState::Arizona, 33.42, -111.83, 471_000),
+    city("chandler", UsState::Arizona, 33.31, -111.84, 260_000),
+    city("scottsdale", UsState::Arizona, 33.49, -111.92, 237_000),
+    city("tempe", UsState::Arizona, 33.43, -111.94, 175_000),
+    city("flagstaff", UsState::Arizona, 35.20, -111.65, 70_000),
+    // Arkansas
+    city("little rock", UsState::Arkansas, 34.75, -92.29, 198_000),
+    city("fort smith", UsState::Arkansas, 35.39, -94.40, 88_000),
+    city("fayetteville", UsState::Arkansas, 36.08, -94.16, 81_000),
+    // California
+    city("los angeles", UsState::California, 34.05, -118.24, 3_972_000),
+    city("san diego", UsState::California, 32.72, -117.16, 1_395_000),
+    city("san jose", UsState::California, 37.34, -121.89, 1_027_000),
+    city("san francisco", UsState::California, 37.77, -122.42, 865_000),
+    city("fresno", UsState::California, 36.75, -119.77, 520_000),
+    city("sacramento", UsState::California, 38.58, -121.49, 490_000),
+    city("long beach", UsState::California, 33.77, -118.19, 474_000),
+    city("oakland", UsState::California, 37.80, -122.27, 420_000),
+    city("bakersfield", UsState::California, 35.37, -119.02, 374_000),
+    city("anaheim", UsState::California, 33.84, -117.91, 351_000),
+    city("riverside", UsState::California, 33.95, -117.40, 323_000),
+    city("santa ana", UsState::California, 33.75, -117.87, 335_000),
+    city("irvine", UsState::California, 33.68, -117.83, 257_000),
+    city("san bernardino", UsState::California, 34.11, -117.29, 216_000),
+    city("modesto", UsState::California, 37.64, -120.99, 209_000),
+    city("oxnard", UsState::California, 34.20, -119.18, 207_000),
+    city("fontana", UsState::California, 34.09, -117.44, 207_000),
+    city("santa barbara", UsState::California, 34.42, -119.70, 92_000),
+    city("pasadena", UsState::California, 34.15, -118.14, 142_000),
+    city("berkeley", UsState::California, 37.87, -122.27, 120_000),
+    city("palo alto", UsState::California, 37.44, -122.14, 67_000),
+    city("santa monica", UsState::California, 34.02, -118.49, 93_000),
+    // Colorado
+    city("denver", UsState::Colorado, 39.74, -104.99, 682_000),
+    city("colorado springs", UsState::Colorado, 38.83, -104.82, 456_000),
+    city("aurora", UsState::Colorado, 39.73, -104.83, 359_000),
+    city("fort collins", UsState::Colorado, 40.59, -105.08, 161_000),
+    city("boulder", UsState::Colorado, 40.01, -105.27, 107_000),
+    // Connecticut
+    city("bridgeport", UsState::Connecticut, 41.19, -73.20, 148_000),
+    city("new haven", UsState::Connecticut, 41.31, -72.92, 130_000),
+    city("stamford", UsState::Connecticut, 41.05, -73.54, 129_000),
+    city("hartford", UsState::Connecticut, 41.76, -72.67, 124_000),
+    // Delaware
+    city("wilmington", UsState::Delaware, 39.75, -75.55, 72_000),
+    city("dover", UsState::Delaware, 39.16, -75.52, 37_000),
+    // District of Columbia
+    city("washington dc", UsState::DistrictOfColumbia, 38.91, -77.04, 672_000),
+    city("georgetown", UsState::DistrictOfColumbia, 38.91, -77.07, 20_000),
+    // Florida
+    city("jacksonville", UsState::Florida, 30.33, -81.66, 868_000),
+    city("miami", UsState::Florida, 25.76, -80.19, 441_000),
+    city("tampa", UsState::Florida, 27.95, -82.46, 369_000),
+    city("orlando", UsState::Florida, 28.54, -81.38, 270_000),
+    city("st petersburg", UsState::Florida, 27.77, -82.64, 257_000),
+    city("hialeah", UsState::Florida, 25.86, -80.28, 237_000),
+    city("tallahassee", UsState::Florida, 30.44, -84.28, 189_000),
+    city("fort lauderdale", UsState::Florida, 26.12, -80.14, 178_000),
+    city("gainesville", UsState::Florida, 29.65, -82.32, 131_000),
+    city("sarasota", UsState::Florida, 27.34, -82.53, 56_000),
+    city("key west", UsState::Florida, 24.56, -81.78, 27_000),
+    // Georgia
+    city("atlanta", UsState::Georgia, 33.75, -84.39, 463_000),
+    city("augusta", UsState::Georgia, 33.47, -81.97, 197_000),
+    city("columbus", UsState::Georgia, 32.46, -84.99, 200_000),
+    city("savannah", UsState::Georgia, 32.08, -81.09, 146_000),
+    city("athens", UsState::Georgia, 33.96, -83.38, 122_000),
+    city("macon", UsState::Georgia, 32.84, -83.63, 153_000),
+    // Hawaii
+    city("honolulu", UsState::Hawaii, 21.31, -157.86, 352_000),
+    city("hilo", UsState::Hawaii, 19.71, -155.08, 45_000),
+    // Idaho
+    city("boise", UsState::Idaho, 43.62, -116.20, 218_000),
+    city("idaho falls", UsState::Idaho, 43.49, -112.03, 60_000),
+    // Illinois
+    city("chicago", UsState::Illinois, 41.88, -87.63, 2_721_000),
+    city("aurora", UsState::Illinois, 41.76, -88.32, 201_000),
+    city("rockford", UsState::Illinois, 42.27, -89.09, 148_000),
+    city("joliet", UsState::Illinois, 41.53, -88.08, 148_000),
+    city("naperville", UsState::Illinois, 41.75, -88.15, 147_000),
+    city("springfield", UsState::Illinois, 39.78, -89.65, 117_000),
+    city("peoria", UsState::Illinois, 40.69, -89.59, 115_000),
+    city("evanston", UsState::Illinois, 42.04, -87.69, 75_000),
+    // Indiana
+    city("indianapolis", UsState::Indiana, 39.77, -86.16, 853_000),
+    city("fort wayne", UsState::Indiana, 41.08, -85.14, 260_000),
+    city("evansville", UsState::Indiana, 37.97, -87.56, 120_000),
+    city("south bend", UsState::Indiana, 41.68, -86.25, 101_000),
+    city("bloomington", UsState::Indiana, 39.17, -86.53, 84_000),
+    // Iowa
+    city("des moines", UsState::Iowa, 41.60, -93.61, 215_000),
+    city("cedar rapids", UsState::Iowa, 41.98, -91.67, 130_000),
+    city("davenport", UsState::Iowa, 41.52, -90.58, 103_000),
+    city("iowa city", UsState::Iowa, 41.66, -91.53, 74_000),
+    // Kansas
+    city("wichita", UsState::Kansas, 37.69, -97.34, 390_000),
+    city("overland park", UsState::Kansas, 38.98, -94.67, 189_000),
+    city("kansas city", UsState::Missouri, 39.10, -94.58, 481_000),
+    city("kansas city ks", UsState::Kansas, 39.11, -94.63, 151_000),
+    city("olathe", UsState::Kansas, 38.88, -94.82, 135_000),
+    city("topeka", UsState::Kansas, 39.05, -95.68, 127_000),
+    city("lawrence", UsState::Kansas, 38.97, -95.24, 93_000),
+    // Kentucky
+    city("louisville", UsState::Kentucky, 38.25, -85.76, 615_000),
+    city("lexington", UsState::Kentucky, 38.04, -84.50, 314_000),
+    city("bowling green", UsState::Kentucky, 36.99, -86.44, 65_000),
+    // Louisiana
+    city("new orleans", UsState::Louisiana, 29.95, -90.07, 390_000),
+    city("baton rouge", UsState::Louisiana, 30.45, -91.15, 229_000),
+    city("shreveport", UsState::Louisiana, 32.53, -93.75, 197_000),
+    city("lafayette", UsState::Louisiana, 30.22, -92.02, 127_000),
+    // Maine
+    city("portland", UsState::Oregon, 45.52, -122.68, 632_000),
+    city("portland me", UsState::Maine, 43.66, -70.26, 67_000),
+    city("bangor", UsState::Maine, 44.80, -68.77, 32_000),
+    // Maryland
+    city("baltimore", UsState::Maryland, 39.29, -76.61, 622_000),
+    city("annapolis", UsState::Maryland, 38.98, -76.49, 39_000),
+    city("frederick", UsState::Maryland, 39.41, -77.41, 68_000),
+    city("rockville", UsState::Maryland, 39.08, -77.15, 65_000),
+    city("bethesda", UsState::Maryland, 38.98, -77.10, 63_000),
+    // Massachusetts
+    city("boston", UsState::Massachusetts, 42.36, -71.06, 667_000),
+    city("worcester", UsState::Massachusetts, 42.26, -71.80, 184_000),
+    city("springfield ma", UsState::Massachusetts, 42.10, -72.59, 154_000),
+    city("cambridge", UsState::Massachusetts, 42.37, -71.11, 110_000),
+    city("lowell", UsState::Massachusetts, 42.63, -71.32, 110_000),
+    // Michigan
+    city("detroit", UsState::Michigan, 42.33, -83.05, 677_000),
+    city("grand rapids", UsState::Michigan, 42.96, -85.66, 195_000),
+    city("ann arbor", UsState::Michigan, 42.28, -83.74, 117_000),
+    city("lansing", UsState::Michigan, 42.73, -84.56, 115_000),
+    city("flint", UsState::Michigan, 43.01, -83.69, 98_000),
+    // Minnesota
+    city("minneapolis", UsState::Minnesota, 44.98, -93.27, 410_000),
+    city("saint paul", UsState::Minnesota, 44.95, -93.09, 300_000),
+    city("duluth", UsState::Minnesota, 46.79, -92.10, 86_000),
+    // Mississippi
+    city("jackson", UsState::Mississippi, 32.30, -90.18, 170_000),
+    city("gulfport", UsState::Mississippi, 30.37, -89.09, 71_000),
+    city("biloxi", UsState::Mississippi, 30.40, -88.89, 45_000),
+    // Missouri
+    city("saint louis", UsState::Missouri, 38.63, -90.20, 315_000),
+    city("springfield mo", UsState::Missouri, 37.21, -93.29, 166_000),
+    city("independence", UsState::Missouri, 39.09, -94.42, 117_000),
+    // Montana
+    city("billings", UsState::Montana, 45.78, -108.50, 110_000),
+    city("missoula", UsState::Montana, 46.87, -113.99, 71_000),
+    city("bozeman", UsState::Montana, 45.68, -111.04, 43_000),
+    // Nebraska
+    city("omaha", UsState::Nebraska, 41.26, -95.94, 444_000),
+    city("lincoln", UsState::Nebraska, 40.81, -96.68, 277_000),
+    // Nevada
+    city("las vegas", UsState::Nevada, 36.17, -115.14, 624_000),
+    city("henderson", UsState::Nevada, 36.04, -114.98, 285_000),
+    city("reno", UsState::Nevada, 39.53, -119.81, 241_000),
+    // New Hampshire
+    city("manchester", UsState::NewHampshire, 42.99, -71.45, 110_000),
+    city("concord", UsState::NewHampshire, 43.21, -71.54, 43_000),
+    // New Jersey
+    city("newark", UsState::NewJersey, 40.74, -74.17, 281_000),
+    city("jersey city", UsState::NewJersey, 40.73, -74.08, 264_000),
+    city("paterson", UsState::NewJersey, 40.92, -74.17, 147_000),
+    city("trenton", UsState::NewJersey, 40.22, -74.76, 84_000),
+    city("atlantic city", UsState::NewJersey, 39.36, -74.42, 39_000),
+    city("hoboken", UsState::NewJersey, 40.74, -74.03, 54_000),
+    // New Mexico
+    city("albuquerque", UsState::NewMexico, 35.08, -106.65, 559_000),
+    city("santa fe", UsState::NewMexico, 35.69, -105.94, 84_000),
+    city("las cruces", UsState::NewMexico, 32.32, -106.77, 101_000),
+    // New York
+    city("new york", UsState::NewYork, 40.71, -74.01, 8_550_000),
+    city("buffalo", UsState::NewYork, 42.89, -78.88, 258_000),
+    city("rochester", UsState::NewYork, 43.16, -77.61, 210_000),
+    city("yonkers", UsState::NewYork, 40.93, -73.90, 201_000),
+    city("syracuse", UsState::NewYork, 43.05, -76.15, 144_000),
+    city("albany", UsState::NewYork, 42.65, -73.75, 98_000),
+    city("ithaca", UsState::NewYork, 42.44, -76.50, 31_000),
+    // North Carolina
+    city("charlotte", UsState::NorthCarolina, 35.23, -80.84, 827_000),
+    city("raleigh", UsState::NorthCarolina, 35.78, -78.64, 451_000),
+    city("greensboro", UsState::NorthCarolina, 36.07, -79.79, 285_000),
+    city("durham", UsState::NorthCarolina, 35.99, -78.90, 257_000),
+    city("winston-salem", UsState::NorthCarolina, 36.10, -80.24, 241_000),
+    city("asheville", UsState::NorthCarolina, 35.60, -82.55, 89_000),
+    // North Dakota
+    city("fargo", UsState::NorthDakota, 46.88, -96.79, 118_000),
+    city("bismarck", UsState::NorthDakota, 46.81, -100.78, 71_000),
+    // Ohio
+    city("columbus", UsState::Ohio, 39.96, -83.00, 850_000),
+    city("cleveland", UsState::Ohio, 41.50, -81.69, 388_000),
+    city("cincinnati", UsState::Ohio, 39.10, -84.51, 298_000),
+    city("toledo", UsState::Ohio, 41.65, -83.54, 279_000),
+    city("akron", UsState::Ohio, 41.08, -81.52, 197_000),
+    city("dayton", UsState::Ohio, 39.76, -84.19, 140_000),
+    // Oklahoma
+    city("oklahoma city", UsState::Oklahoma, 35.47, -97.52, 631_000),
+    city("tulsa", UsState::Oklahoma, 36.15, -95.99, 403_000),
+    city("norman", UsState::Oklahoma, 35.22, -97.44, 120_000),
+    // Oregon
+    city("salem", UsState::Oregon, 44.94, -123.04, 164_000),
+    city("eugene", UsState::Oregon, 44.05, -123.09, 164_000),
+    city("bend", UsState::Oregon, 44.06, -121.31, 87_000),
+    // Pennsylvania
+    city("philadelphia", UsState::Pennsylvania, 39.95, -75.17, 1_567_000),
+    city("pittsburgh", UsState::Pennsylvania, 40.44, -79.99, 304_000),
+    city("allentown", UsState::Pennsylvania, 40.60, -75.47, 120_000),
+    city("erie", UsState::Pennsylvania, 42.13, -80.09, 99_000),
+    city("scranton", UsState::Pennsylvania, 41.41, -75.66, 77_000),
+    city("harrisburg", UsState::Pennsylvania, 40.27, -76.88, 49_000),
+    // Rhode Island
+    city("providence", UsState::RhodeIsland, 41.82, -71.41, 179_000),
+    city("warwick", UsState::RhodeIsland, 41.70, -71.42, 81_000),
+    // South Carolina
+    city("columbia", UsState::SouthCarolina, 34.00, -81.03, 133_000),
+    city("charleston", UsState::SouthCarolina, 32.78, -79.93, 133_000),
+    city("greenville", UsState::SouthCarolina, 34.85, -82.40, 67_000),
+    city("myrtle beach", UsState::SouthCarolina, 33.69, -78.89, 31_000),
+    // South Dakota
+    city("sioux falls", UsState::SouthDakota, 43.54, -96.73, 171_000),
+    city("rapid city", UsState::SouthDakota, 44.08, -103.23, 74_000),
+    // Tennessee
+    city("memphis", UsState::Tennessee, 35.15, -90.05, 655_000),
+    city("nashville", UsState::Tennessee, 36.16, -86.78, 654_000),
+    city("knoxville", UsState::Tennessee, 35.96, -83.92, 185_000),
+    city("chattanooga", UsState::Tennessee, 35.05, -85.31, 176_000),
+    // Texas
+    city("houston", UsState::Texas, 29.76, -95.37, 2_296_000),
+    city("san antonio", UsState::Texas, 29.42, -98.49, 1_469_000),
+    city("dallas", UsState::Texas, 32.78, -96.80, 1_300_000),
+    city("austin", UsState::Texas, 30.27, -97.74, 931_000),
+    city("fort worth", UsState::Texas, 32.76, -97.33, 833_000),
+    city("el paso", UsState::Texas, 31.76, -106.49, 681_000),
+    city("arlington", UsState::Texas, 32.74, -97.11, 388_000),
+    city("corpus christi", UsState::Texas, 27.80, -97.40, 324_000),
+    city("plano", UsState::Texas, 33.02, -96.70, 284_000),
+    city("laredo", UsState::Texas, 27.53, -99.49, 255_000),
+    city("lubbock", UsState::Texas, 33.58, -101.86, 249_000),
+    city("waco", UsState::Texas, 31.55, -97.15, 132_000),
+    city("galveston", UsState::Texas, 29.30, -94.80, 50_000),
+    // Utah
+    city("salt lake city", UsState::Utah, 40.76, -111.89, 192_000),
+    city("provo", UsState::Utah, 40.23, -111.66, 116_000),
+    city("ogden", UsState::Utah, 41.22, -111.97, 85_000),
+    // Vermont
+    city("burlington", UsState::Vermont, 44.48, -73.21, 42_000),
+    city("montpelier", UsState::Vermont, 44.26, -72.58, 8_000),
+    // Virginia
+    city("virginia beach", UsState::Virginia, 36.85, -75.98, 453_000),
+    city("norfolk", UsState::Virginia, 36.85, -76.29, 246_000),
+    city("chesapeake", UsState::Virginia, 36.77, -76.29, 235_000),
+    city("richmond", UsState::Virginia, 37.54, -77.44, 220_000),
+    city("arlington va", UsState::Virginia, 38.88, -77.10, 230_000),
+    city("alexandria", UsState::Virginia, 38.80, -77.05, 153_000),
+    city("charlottesville", UsState::Virginia, 38.03, -78.48, 46_000),
+    // Washington
+    city("seattle", UsState::Washington, 47.61, -122.33, 684_000),
+    city("spokane", UsState::Washington, 47.66, -117.43, 214_000),
+    city("tacoma", UsState::Washington, 47.25, -122.44, 207_000),
+    city("vancouver", UsState::Washington, 45.64, -122.66, 173_000),
+    city("bellevue", UsState::Washington, 47.61, -122.20, 139_000),
+    city("olympia", UsState::Washington, 47.04, -122.90, 51_000),
+    // West Virginia
+    city("charleston wv", UsState::WestVirginia, 38.35, -81.63, 49_000),
+    city("huntington", UsState::WestVirginia, 38.42, -82.45, 48_000),
+    city("morgantown", UsState::WestVirginia, 39.63, -79.96, 31_000),
+    // Wisconsin
+    city("milwaukee", UsState::Wisconsin, 43.04, -87.91, 600_000),
+    city("madison", UsState::Wisconsin, 43.07, -89.40, 248_000),
+    city("green bay", UsState::Wisconsin, 44.51, -88.01, 105_000),
+    // Wyoming
+    city("cheyenne", UsState::Wyoming, 41.14, -104.82, 63_000),
+    city("casper", UsState::Wyoming, 42.85, -106.33, 60_000),
+    // Puerto Rico
+    city("san juan", UsState::PuertoRico, 18.47, -66.11, 355_000),
+    city("ponce", UsState::PuertoRico, 18.01, -66.61, 146_000),
+    // --- Second-tier cities (coverage expansion) ---
+    city("auburn", UsState::Alabama, 32.61, -85.48, 63_000),
+    city("glendale", UsState::Arizona, 33.54, -112.19, 240_000),
+    city("gilbert", UsState::Arizona, 33.35, -111.79, 237_000),
+    city("yuma", UsState::Arizona, 32.69, -114.62, 93_000),
+    city("jonesboro", UsState::Arkansas, 35.84, -90.70, 74_000),
+    city("stockton", UsState::California, 37.96, -121.29, 306_000),
+    city("chula vista", UsState::California, 32.64, -117.08, 265_000),
+    city("fremont", UsState::California, 37.55, -121.99, 232_000),
+    city("glendale", UsState::California, 34.14, -118.25, 201_000),
+    city("san mateo", UsState::California, 37.56, -122.33, 103_000),
+    city("pueblo", UsState::Colorado, 38.27, -104.61, 110_000),
+    city("lakewood", UsState::Colorado, 39.70, -105.08, 154_000),
+    city("waterbury", UsState::Connecticut, 41.56, -73.04, 108_000),
+    city("new london", UsState::Connecticut, 41.35, -72.10, 27_000),
+    city("newark de", UsState::Delaware, 39.68, -75.75, 33_000),
+    city("cape coral", UsState::Florida, 26.56, -81.95, 180_000),
+    city("pensacola", UsState::Florida, 30.42, -87.22, 53_000),
+    city("west palm beach", UsState::Florida, 26.71, -80.05, 106_000),
+    city("boca raton", UsState::Florida, 26.37, -80.10, 93_000),
+    city("daytona beach", UsState::Florida, 29.21, -81.02, 66_000),
+    city("kailua", UsState::Hawaii, 21.40, -157.74, 38_000),
+    city("wasilla", UsState::Alaska, 61.58, -149.44, 8_000),
+    city("pocatello", UsState::Idaho, 42.87, -112.44, 55_000),
+    city("nampa", UsState::Idaho, 43.58, -116.56, 89_000),
+    city("champaign", UsState::Illinois, 40.11, -88.24, 86_000),
+    city("elgin", UsState::Illinois, 42.04, -88.28, 112_000),
+    city("gary", UsState::Indiana, 41.59, -87.35, 77_000),
+    city("carmel", UsState::Indiana, 39.98, -86.13, 88_000),
+    city("muncie", UsState::Indiana, 40.19, -85.39, 70_000),
+    city("sioux city", UsState::Iowa, 42.50, -96.40, 83_000),
+    city("waterloo", UsState::Iowa, 42.49, -92.34, 68_000),
+    city("salina", UsState::Kansas, 38.84, -97.61, 47_000),
+    city("hutchinson", UsState::Kansas, 38.06, -97.93, 41_000),
+    city("covington", UsState::Kentucky, 39.08, -84.51, 41_000),
+    city("metairie", UsState::Louisiana, 30.00, -90.18, 138_000),
+    city("lake charles", UsState::Louisiana, 30.23, -93.22, 77_000),
+    city("lewiston", UsState::Maine, 44.10, -70.21, 36_000),
+    city("columbia md", UsState::Maryland, 39.20, -76.86, 103_000),
+    city("silver spring", UsState::Maryland, 38.99, -77.03, 76_000),
+    city("gaithersburg", UsState::Maryland, 39.14, -77.20, 67_000),
+    city("new bedford", UsState::Massachusetts, 41.64, -70.93, 95_000),
+    city("quincy", UsState::Massachusetts, 42.25, -71.00, 93_000),
+    city("salem", UsState::Massachusetts, 42.52, -70.90, 43_000),
+    city("sterling heights", UsState::Michigan, 42.58, -83.03, 132_000),
+    city("warren", UsState::Michigan, 42.49, -83.03, 135_000),
+    city("kalamazoo", UsState::Michigan, 42.29, -85.59, 76_000),
+    city("bloomington mn", UsState::Minnesota, 44.84, -93.30, 85_000),
+    city("st cloud", UsState::Minnesota, 45.56, -94.16, 67_000),
+    city("hattiesburg", UsState::Mississippi, 31.33, -89.29, 46_000),
+    city("columbia", UsState::Missouri, 38.95, -92.33, 119_000),
+    city("st joseph", UsState::Missouri, 39.77, -94.85, 77_000),
+    city("great falls", UsState::Montana, 47.51, -111.30, 59_000),
+    city("helena", UsState::Montana, 46.59, -112.04, 31_000),
+    city("grand island", UsState::Nebraska, 40.92, -98.34, 51_000),
+    city("sparks", UsState::Nevada, 39.54, -119.75, 93_000),
+    city("carson city", UsState::Nevada, 39.16, -119.77, 54_000),
+    city("nashua", UsState::NewHampshire, 42.77, -71.47, 87_000),
+    city("edison", UsState::NewJersey, 40.52, -74.41, 102_000),
+    city("camden", UsState::NewJersey, 39.94, -75.12, 77_000),
+    city("elizabeth", UsState::NewJersey, 40.66, -74.21, 128_000),
+    city("roswell", UsState::NewMexico, 33.39, -104.52, 48_000),
+    city("utica", UsState::NewYork, 43.10, -75.23, 61_000),
+    city("white plains", UsState::NewYork, 41.03, -73.76, 58_000),
+    city("niagara falls", UsState::NewYork, 43.10, -79.04, 49_000),
+    city("fayetteville", UsState::NorthCarolina, 35.05, -78.88, 204_000),
+    city("wilmington", UsState::NorthCarolina, 34.23, -77.95, 115_000),
+    city("cary", UsState::NorthCarolina, 35.79, -78.78, 160_000),
+    city("grand forks", UsState::NorthDakota, 47.93, -97.03, 57_000),
+    city("minot", UsState::NorthDakota, 48.23, -101.30, 49_000),
+    city("youngstown", UsState::Ohio, 41.10, -80.65, 65_000),
+    city("canton", UsState::Ohio, 40.80, -81.38, 71_000),
+    city("broken arrow", UsState::Oklahoma, 36.06, -95.79, 107_000),
+    city("lawton", UsState::Oklahoma, 34.60, -98.40, 97_000),
+    city("gresham", UsState::Oregon, 45.50, -122.44, 110_000),
+    city("medford", UsState::Oregon, 42.33, -122.88, 79_000),
+    city("corvallis", UsState::Oregon, 44.56, -123.26, 57_000),
+    city("reading", UsState::Pennsylvania, 40.34, -75.93, 88_000),
+    city("bethlehem", UsState::Pennsylvania, 40.63, -75.37, 75_000),
+    city("lancaster", UsState::Pennsylvania, 40.04, -76.31, 59_000),
+    city("cranston", UsState::RhodeIsland, 41.78, -71.44, 81_000),
+    city("pawtucket", UsState::RhodeIsland, 41.88, -71.38, 72_000),
+    city("north charleston", UsState::SouthCarolina, 32.85, -79.97, 109_000),
+    city("rock hill", UsState::SouthCarolina, 34.92, -81.03, 72_000),
+    city("aberdeen", UsState::SouthDakota, 45.46, -98.49, 28_000),
+    city("clarksville", UsState::Tennessee, 36.53, -87.36, 150_000),
+    city("murfreesboro", UsState::Tennessee, 35.85, -86.39, 126_000),
+    city("amarillo", UsState::Texas, 35.19, -101.85, 199_000),
+    city("brownsville", UsState::Texas, 25.90, -97.50, 183_000),
+    city("mcallen", UsState::Texas, 26.20, -98.23, 141_000),
+    city("killeen", UsState::Texas, 31.12, -97.73, 140_000),
+    city("midland", UsState::Texas, 32.00, -102.08, 132_000),
+    city("abilene", UsState::Texas, 32.45, -99.73, 122_000),
+    city("beaumont", UsState::Texas, 30.08, -94.13, 118_000),
+    city("denton", UsState::Texas, 33.21, -97.13, 131_000),
+    city("orem", UsState::Utah, 40.30, -111.70, 97_000),
+    city("st george", UsState::Utah, 37.10, -113.58, 80_000),
+    city("rutland", UsState::Vermont, 43.61, -72.97, 16_000),
+    city("newport news", UsState::Virginia, 36.98, -76.43, 182_000),
+    city("hampton", UsState::Virginia, 37.03, -76.35, 136_000),
+    city("roanoke", UsState::Virginia, 37.27, -79.94, 99_000),
+    city("lynchburg", UsState::Virginia, 37.41, -79.14, 80_000),
+    city("everett", UsState::Washington, 47.98, -122.20, 108_000),
+    city("kent", UsState::Washington, 47.38, -122.23, 127_000),
+    city("renton", UsState::Washington, 47.48, -122.22, 100_000),
+    city("yakima", UsState::Washington, 46.60, -120.51, 93_000),
+    city("parkersburg", UsState::WestVirginia, 39.27, -81.56, 30_000),
+    city("wheeling", UsState::WestVirginia, 40.06, -80.72, 27_000),
+    city("kenosha", UsState::Wisconsin, 42.58, -87.82, 100_000),
+    city("racine", UsState::Wisconsin, 42.73, -87.78, 78_000),
+    city("appleton", UsState::Wisconsin, 44.26, -88.41, 74_000),
+    city("eau claire", UsState::Wisconsin, 44.81, -91.50, 68_000),
+    city("laramie", UsState::Wyoming, 41.31, -105.59, 32_000),
+    city("gillette", UsState::Wyoming, 44.29, -105.50, 32_000),
+    city("bayamon", UsState::PuertoRico, 18.40, -66.15, 180_000),
+    city("caguas", UsState::PuertoRico, 18.23, -66.04, 131_000),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_state_has_at_least_one_city() {
+        for &s in UsState::ALL {
+            assert!(
+                CITIES.iter().any(|c| c.state == s),
+                "{} has no gazetteer city",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn city_coordinates_inside_state_bbox() {
+        for c in CITIES {
+            assert!(
+                c.state.bounding_box().contains(c.lat, c.lon),
+                "{} not inside {} bbox",
+                c.name,
+                c.state.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_lowercase() {
+        for c in CITIES {
+            assert_eq!(c.name, c.name.to_lowercase(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_names_span_states() {
+        // Intended homonyms: each duplicated name must appear in distinct
+        // states (population ranking handles the ambiguity).
+        use std::collections::HashMap;
+        let mut by_name: HashMap<&str, Vec<UsState>> = HashMap::new();
+        for c in CITIES {
+            by_name.entry(c.name).or_default().push(c.state);
+        }
+        for (name, states) in by_name {
+            let unique: std::collections::HashSet<_> = states.iter().collect();
+            assert_eq!(unique.len(), states.len(), "{name} duplicated within a state");
+        }
+    }
+
+    #[test]
+    fn known_homonyms_prefer_largest() {
+        let columbus: Vec<&City> = CITIES.iter().filter(|c| c.name == "columbus").collect();
+        assert_eq!(columbus.len(), 2);
+        let best = columbus.iter().max_by_key(|c| c.population).unwrap();
+        assert_eq!(best.state, UsState::Ohio);
+    }
+}

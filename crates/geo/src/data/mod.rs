@@ -1,0 +1,8 @@
+//! Embedded gazetteer data: city coordinates, place nicknames, and
+//! non-US / junk location markers.
+
+pub mod aliases;
+pub mod cities;
+
+pub use aliases::{ALIASES, JUNK_MARKERS, NON_US_MARKERS};
+pub use cities::{City, CITIES};

@@ -1,0 +1,212 @@
+//! The gazetteer: indexed lookup over states, cities, aliases, and
+//! non-US / junk markers.
+//!
+//! This is the offline stand-in for the OpenStreetMap lookups the paper
+//! performs on the self-reported profile location. Construction compiles
+//! the embedded tables into hash indexes and Aho–Corasick automata once;
+//! lookups are then cheap enough to run over hundreds of thousands of
+//! profiles.
+
+use crate::data::{City, ALIASES, CITIES, JUNK_MARKERS, NON_US_MARKERS};
+use crate::state::UsState;
+use donorpulse_text::matcher::AhoCorasick;
+use std::collections::HashMap;
+
+/// Compiled lookup structures over the embedded geography data.
+#[derive(Debug)]
+pub struct Gazetteer {
+    city_by_name: HashMap<&'static str, Vec<&'static City>>,
+    alias_by_name: HashMap<&'static str, UsState>,
+    state_name_automaton: AhoCorasick,
+    state_of_name_pattern: Vec<UsState>,
+    city_automaton: AhoCorasick,
+    city_of_pattern: Vec<&'static City>,
+    non_us_automaton: AhoCorasick,
+    junk_exact: HashMap<&'static str, ()>,
+}
+
+impl Default for Gazetteer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gazetteer {
+    /// Compiles the embedded tables.
+    pub fn new() -> Self {
+        let mut city_by_name: HashMap<&'static str, Vec<&'static City>> = HashMap::new();
+        for c in CITIES {
+            city_by_name.entry(c.name).or_default().push(c);
+        }
+        // Highest population first, so index 0 is the canonical resolution.
+        for list in city_by_name.values_mut() {
+            list.sort_by_key(|c| std::cmp::Reverse(c.population));
+        }
+
+        let alias_by_name: HashMap<&'static str, UsState> =
+            ALIASES.iter().copied().collect();
+
+        let mut state_patterns = Vec::with_capacity(UsState::COUNT);
+        let mut state_of_name_pattern = Vec::with_capacity(UsState::COUNT);
+        for &s in UsState::ALL {
+            state_patterns.push(s.name().to_lowercase());
+            state_of_name_pattern.push(s);
+        }
+
+        let mut city_patterns = Vec::with_capacity(CITIES.len());
+        let mut city_of_pattern = Vec::with_capacity(CITIES.len());
+        for c in CITIES {
+            city_patterns.push(c.name);
+            city_of_pattern.push(c);
+        }
+
+        Self {
+            city_by_name,
+            alias_by_name,
+            state_name_automaton: AhoCorasick::new(state_patterns),
+            state_of_name_pattern,
+            city_automaton: AhoCorasick::new(city_patterns),
+            city_of_pattern,
+            non_us_automaton: AhoCorasick::new(NON_US_MARKERS.iter().copied()),
+            junk_exact: JUNK_MARKERS.iter().map(|&m| (m, ())).collect(),
+        }
+    }
+
+    /// Exact city lookup (normalized name). Homonyms resolve to the most
+    /// populous city, matching real-geocoder prominence ranking.
+    pub fn city_exact(&self, name: &str) -> Option<&'static City> {
+        self.city_by_name.get(name).map(|v| v[0])
+    }
+
+    /// Exact city lookup constrained to a state (for "city, ST" inputs
+    /// where the abbreviation pins the state).
+    pub fn city_in_state(&self, name: &str, state: UsState) -> Option<&'static City> {
+        self.city_by_name
+            .get(name)?
+            .iter()
+            .find(|c| c.state == state)
+            .copied()
+    }
+
+    /// Exact alias lookup.
+    pub fn alias_exact(&self, name: &str) -> Option<UsState> {
+        self.alias_by_name.get(name).copied()
+    }
+
+    /// Distinct states whose *full name* occurs (whole-word) in `text`,
+    /// in first-occurrence order.
+    pub fn state_names_in(&self, text: &str) -> Vec<UsState> {
+        self.state_name_automaton
+            .matched_patterns(text)
+            .into_iter()
+            .map(|i| self.state_of_name_pattern[i])
+            .collect()
+    }
+
+    /// Cities whose name occurs (whole-word) in `text`, most populous
+    /// first.
+    pub fn cities_in(&self, text: &str) -> Vec<&'static City> {
+        let mut found: Vec<&'static City> = self
+            .city_automaton
+            .matched_patterns(text)
+            .into_iter()
+            .map(|i| self.city_of_pattern[i])
+            .collect();
+        found.sort_by_key(|c| std::cmp::Reverse(c.population));
+        found
+    }
+
+    /// True when a non-US marker occurs (whole-word) in `text`.
+    pub fn mentions_non_us(&self, text: &str) -> bool {
+        self.non_us_automaton.contains_word(text)
+    }
+
+    /// True when `text` (already trimmed/normalized) is a junk non-place.
+    pub fn is_junk(&self, text: &str) -> bool {
+        self.junk_exact.contains_key(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gz() -> Gazetteer {
+        Gazetteer::new()
+    }
+
+    #[test]
+    fn city_exact_prefers_population() {
+        let g = gz();
+        assert_eq!(g.city_exact("columbus").unwrap().state, UsState::Ohio);
+        assert_eq!(g.city_exact("portland").unwrap().state, UsState::Oregon);
+        assert_eq!(g.city_exact("aurora").unwrap().state, UsState::Colorado);
+        assert_eq!(g.city_exact("kansas city").unwrap().state, UsState::Missouri);
+        assert!(g.city_exact("gotham").is_none());
+    }
+
+    #[test]
+    fn city_in_state_pins_homonyms() {
+        let g = gz();
+        assert_eq!(
+            g.city_in_state("columbus", UsState::Georgia).unwrap().state,
+            UsState::Georgia
+        );
+        assert_eq!(
+            g.city_in_state("aurora", UsState::Illinois).unwrap().state,
+            UsState::Illinois
+        );
+        assert!(g.city_in_state("columbus", UsState::Texas).is_none());
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let g = gz();
+        assert_eq!(g.alias_exact("nyc"), Some(UsState::NewYork));
+        assert_eq!(g.alias_exact("vegas"), Some(UsState::Nevada));
+        assert_eq!(g.alias_exact("notanalias"), None);
+    }
+
+    #[test]
+    fn state_names_found_in_text() {
+        let g = gz();
+        assert_eq!(g.state_names_in("sunny kansas farm"), vec![UsState::Kansas]);
+        assert_eq!(
+            g.state_names_in("from texas to ohio"),
+            vec![UsState::Texas, UsState::Ohio]
+        );
+        // Embedded names don't fire.
+        assert!(g.state_names_in("arkansasx").is_empty());
+        // "district of columbia" is a single state-name match.
+        assert_eq!(
+            g.state_names_in("district of columbia"),
+            vec![UsState::DistrictOfColumbia]
+        );
+    }
+
+    #[test]
+    fn cities_found_in_text_ranked() {
+        let g = gz();
+        let cities = g.cities_in("between chicago and boise");
+        assert_eq!(cities[0].name, "chicago");
+        assert_eq!(cities[1].name, "boise");
+    }
+
+    #[test]
+    fn non_us_detection() {
+        let g = gz();
+        assert!(g.mentions_non_us("london"));
+        assert!(g.mentions_non_us("living in tokyo now"));
+        assert!(!g.mentions_non_us("londonderry street"));
+        assert!(!g.mentions_non_us("wichita"));
+    }
+
+    #[test]
+    fn junk_detection() {
+        let g = gz();
+        assert!(g.is_junk("earth"));
+        assert!(g.is_junk("the moon"));
+        assert!(!g.is_junk("earthly paradise"));
+        assert!(!g.is_junk("boston"));
+    }
+}

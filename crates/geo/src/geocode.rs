@@ -1,0 +1,183 @@
+//! The [`Geocoder`] facade: the paper's location-augmentation step.
+//!
+//! Section III-A of the paper augments each tweet with a location using
+//! either the tweet geo-tag (precise but rare, ~1.4%) or the self-reported
+//! profile location (abundant but noisy), then filters to USA users.
+//! `Geocoder` implements exactly that precedence and classification.
+
+use crate::gazetteer::Gazetteer;
+use crate::parse::{parse_location, ParseOutcome};
+use crate::point::state_of_point;
+use crate::state::UsState;
+use serde::{Deserialize, Serialize};
+
+/// Which signal located a user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocationSource {
+    /// GPS coordinates attached to a tweet.
+    GeoTag,
+    /// Parsed self-reported profile location.
+    Profile,
+    /// Nothing usable.
+    Unlocated,
+}
+
+/// The result of locating one user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Located {
+    /// Resolved US state, `None` for non-US or unknown users.
+    pub state: Option<UsState>,
+    /// The signal that produced the resolution.
+    pub source: LocationSource,
+    /// True when the user is confidently outside the USA (as opposed to
+    /// merely unresolvable).
+    pub non_us: bool,
+}
+
+/// Offline geocoder: compiled gazetteer plus resolution policy.
+///
+/// ```
+/// use donorpulse_geo::{Geocoder, UsState};
+///
+/// let geocoder = Geocoder::new();
+/// // Profile string alone:
+/// let l = geocoder.locate(Some("Wichita, KS"), None);
+/// assert_eq!(l.state, Some(UsState::Kansas));
+/// // A geotag outranks the profile:
+/// let l = geocoder.locate(Some("NYC"), Some((37.69, -97.34)));
+/// assert_eq!(l.state, Some(UsState::Kansas));
+/// ```
+#[derive(Debug, Default)]
+pub struct Geocoder {
+    gazetteer: Gazetteer,
+}
+
+impl Geocoder {
+    /// Builds the geocoder (compiles the embedded gazetteer).
+    pub fn new() -> Self {
+        Self {
+            gazetteer: Gazetteer::new(),
+        }
+    }
+
+    /// Access to the underlying gazetteer.
+    pub fn gazetteer(&self) -> &Gazetteer {
+        &self.gazetteer
+    }
+
+    /// Resolves a profile location string.
+    pub fn resolve_profile(&self, location: &str) -> ParseOutcome {
+        parse_location(&self.gazetteer, location)
+    }
+
+    /// Resolves a GPS coordinate.
+    pub fn resolve_point(&self, lat: f64, lon: f64) -> Option<UsState> {
+        state_of_point(lat, lon)
+    }
+
+    /// Locates a user with the paper's precedence: geo-tag first, then
+    /// the profile string.
+    ///
+    /// A geo-tag outside the USA marks the user non-US immediately (the
+    /// coordinates are ground truth); otherwise the profile is consulted.
+    pub fn locate(&self, profile_location: Option<&str>, geo: Option<(f64, f64)>) -> Located {
+        if let Some((lat, lon)) = geo {
+            match self.resolve_point(lat, lon) {
+                Some(state) => {
+                    return Located {
+                        state: Some(state),
+                        source: LocationSource::GeoTag,
+                        non_us: false,
+                    }
+                }
+                None if lat.is_finite() && lon.is_finite() => {
+                    return Located {
+                        state: None,
+                        source: LocationSource::GeoTag,
+                        non_us: true,
+                    }
+                }
+                None => {}
+            }
+        }
+        match profile_location.map(|loc| self.resolve_profile(loc)) {
+            Some(ParseOutcome::Resolved { state, .. }) => Located {
+                state: Some(state),
+                source: LocationSource::Profile,
+                non_us: false,
+            },
+            Some(ParseOutcome::NonUs) => Located {
+                state: None,
+                source: LocationSource::Profile,
+                non_us: true,
+            },
+            Some(ParseOutcome::Unknown) | None => Located {
+                state: None,
+                source: LocationSource::Unlocated,
+                non_us: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geotag_outranks_profile() {
+        let g = Geocoder::new();
+        // Profile says NYC, GPS says Wichita — GPS wins.
+        let l = g.locate(Some("NYC"), Some((37.69, -97.34)));
+        assert_eq!(l.state, Some(UsState::Kansas));
+        assert_eq!(l.source, LocationSource::GeoTag);
+        assert!(!l.non_us);
+    }
+
+    #[test]
+    fn foreign_geotag_is_non_us_even_with_us_profile() {
+        let g = Geocoder::new();
+        let l = g.locate(Some("Boston, MA"), Some((51.5, -0.1)));
+        assert_eq!(l.state, None);
+        assert!(l.non_us);
+        assert_eq!(l.source, LocationSource::GeoTag);
+    }
+
+    #[test]
+    fn profile_used_without_geotag() {
+        let g = Geocoder::new();
+        let l = g.locate(Some("Wichita, KS"), None);
+        assert_eq!(l.state, Some(UsState::Kansas));
+        assert_eq!(l.source, LocationSource::Profile);
+    }
+
+    #[test]
+    fn non_us_profile() {
+        let g = Geocoder::new();
+        let l = g.locate(Some("London"), None);
+        assert_eq!(l.state, None);
+        assert!(l.non_us);
+    }
+
+    #[test]
+    fn nothing_resolvable() {
+        let g = Geocoder::new();
+        for l in [
+            g.locate(None, None),
+            g.locate(Some(""), None),
+            g.locate(Some("earth"), None),
+        ] {
+            assert_eq!(l.state, None);
+            assert_eq!(l.source, LocationSource::Unlocated);
+            assert!(!l.non_us);
+        }
+    }
+
+    #[test]
+    fn invalid_geotag_falls_back_to_profile() {
+        let g = Geocoder::new();
+        let l = g.locate(Some("Denver, CO"), Some((f64::NAN, f64::NAN)));
+        assert_eq!(l.state, Some(UsState::Colorado));
+        assert_eq!(l.source, LocationSource::Profile);
+    }
+}

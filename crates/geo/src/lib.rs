@@ -1,0 +1,39 @@
+//! Offline US geocoding substrate for `donorpulse`.
+//!
+//! The paper locates Twitter users by augmenting the free-text
+//! self-reported `location` field of the user profile with OpenStreetMap,
+//! falling back on GPS coordinates when a tweet is geo-tagged (~1.4% of
+//! tweets). No network service is available here, so this crate is an
+//! embedded equivalent:
+//!
+//! * [`state`] — the 50 states plus DC and Puerto Rico, with
+//!   abbreviations, FIPS codes, census regions, 2015 population
+//!   estimates, centroids and bounding boxes;
+//! * [`gazetteer`] — ~340 major US cities and common place nicknames
+//!   ("nyc", "nola", "the windy city") mapped to their states, plus
+//!   non-US markers used to discard foreign users (the paper keeps only
+//!   USA users: 134,986 of 975,021 collected tweets);
+//! * [`parse`] — a robust parser for noisy profile strings ("Wichita,
+//!   KS", "NYC ✈ LA", "somewhere on earth");
+//! * [`point`] — GPS `(lat, lon)` → state resolution via bounding boxes
+//!   with nearest-centroid disambiguation;
+//! * [`geocode`] — the [`geocode::Geocoder`] facade combining
+//!   all of the above with the same precedence the paper uses
+//!   (GPS > profile).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod gazetteer;
+pub mod geocode;
+pub mod parse;
+pub mod point;
+pub mod state;
+
+pub mod data;
+
+pub use data::{City, CITIES};
+pub use geocode::{Geocoder, Located, LocationSource};
+pub use parse::{parse_location, ParseOutcome};
+pub use state::{Region, UsState};

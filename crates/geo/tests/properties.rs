@@ -1,0 +1,73 @@
+//! Property-based tests for the geocoding substrate.
+
+use donorpulse_geo::gazetteer::Gazetteer;
+use donorpulse_geo::point::state_of_point;
+use donorpulse_geo::{parse_location, Geocoder, ParseOutcome, UsState};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn gz() -> &'static Gazetteer {
+    static GZ: OnceLock<Gazetteer> = OnceLock::new();
+    GZ.get_or_init(Gazetteer::new)
+}
+
+fn geocoder() -> &'static Geocoder {
+    static GC: OnceLock<Geocoder> = OnceLock::new();
+    GC.get_or_init(Geocoder::new)
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_unicode(raw in "\\PC{0,120}") {
+        let g = gz();
+        let _ = parse_location(g, &raw);
+    }
+
+    #[test]
+    fn parser_deterministic(raw in "\\PC{0,80}") {
+        let g = gz();
+        prop_assert_eq!(parse_location(g, &raw), parse_location(g, &raw));
+    }
+
+    #[test]
+    fn resolved_confidence_in_unit_interval(raw in "\\PC{0,80}") {
+        let g = gz();
+        if let ParseOutcome::Resolved { confidence, .. } = parse_location(g, &raw) {
+            prop_assert!(confidence > 0.0 && confidence <= 1.0);
+        }
+    }
+
+    #[test]
+    fn city_comma_abbr_always_resolves_to_that_state(
+        idx in 0usize..donorpulse_geo::UsState::COUNT,
+        city in "[a-z]{3,12}",
+    ) {
+        let state = UsState::from_index(idx).unwrap();
+        let g = gz();
+        let raw = format!("{city}, {}", state.abbr());
+        match parse_location(g, &raw) {
+            ParseOutcome::Resolved { state: got, .. } => prop_assert_eq!(got, state),
+            other => prop_assert!(false, "expected resolution, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn point_resolution_total_and_stable(lat in -90.0..90.0f64, lon in -180.0..180.0f64) {
+        let a = state_of_point(lat, lon);
+        let b = state_of_point(lat, lon);
+        prop_assert_eq!(a, b);
+        if let Some(s) = a {
+            prop_assert!(s.bounding_box().contains(lat, lon));
+        }
+    }
+
+    #[test]
+    fn locate_never_reports_state_and_non_us_together(
+        profile in proptest::option::of("\\PC{0,60}"),
+        geo in proptest::option::of((-90.0..90.0f64, -180.0..180.0f64)),
+    ) {
+        let g = geocoder();
+        let l = g.locate(profile.as_deref(), geo);
+        prop_assert!(!(l.state.is_some() && l.non_us));
+    }
+}

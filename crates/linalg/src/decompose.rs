@@ -1,0 +1,268 @@
+//! LU decomposition with partial pivoting, and the solves/inverses built
+//! on top of it.
+//!
+//! The paper's Eq. 3 requires `(LᵀL)⁻¹`. `LᵀL` is diagonal when `L` is a
+//! disjoint membership-indicator matrix, but we implement the general
+//! factorization so the aggregation code stays faithful to the published
+//! formula and works for overlapping/weighted memberships too.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Threshold below which a pivot is considered numerically zero.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// An LU decomposition `P·A = L·U` of a square matrix, with partial
+/// pivoting.
+///
+/// `L` (unit lower triangular) and `U` (upper triangular) are packed into
+/// a single matrix; `perm` records the row permutation; `sign` tracks the
+/// permutation parity for determinant computation.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes `a`. Fails when `a` is not square or is singular.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Partial pivoting: find the row with the largest magnitude in
+            // this column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                lu.swap_rows(pivot_row, col);
+                perm.swap(pivot_row, col);
+                sign = -sign;
+            }
+            let pivot = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / pivot;
+                lu.set(r, col, factor);
+                for c in (col + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(col, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix: product of `U`'s diagonal times
+    /// the permutation sign.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "solve_vec",
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diag).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu.get(i, j) * xj;
+            }
+            x[i] = acc;
+        }
+        // Back substitution through U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu.get(i, j) * xj;
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "solve",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols())?;
+        for j in 0..b.cols() {
+            let col = b.column(j);
+            let x = self.solve_vec(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹` by solving against the identity.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim())?)
+    }
+}
+
+impl Matrix {
+    /// Convenience wrapper: inverse via LU decomposition.
+    pub fn inverse(&self) -> Result<Matrix> {
+        LuDecomposition::new(self)?.inverse()
+    }
+
+    /// Convenience wrapper: determinant via LU decomposition. Returns `0`
+    /// for singular matrices instead of an error.
+    pub fn determinant(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        match LuDecomposition::new(self) {
+            Ok(lu) => Ok(lu.determinant()),
+            Err(LinalgError::Singular) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Convenience wrapper: solves `self · x = b`.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        LuDecomposition::new(self)?.solve(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]).unwrap();
+        assert!((a.determinant().unwrap() - (-6.0)).abs() < 1e-12);
+        let i = Matrix::identity(5).unwrap();
+        assert!((i.determinant().unwrap() - 1.0).abs() < 1e-12);
+        // Singular determinant reported as zero, not an error.
+        let s = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(s.determinant().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn determinant_tracks_permutation_sign() {
+        // Needs pivoting: leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!((a.determinant().unwrap() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // x + 2y = 5 ; 3x + 4y = 11  =>  x = 1, y = 2
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve_vec(&[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_vec_length_checked() {
+        let a = Matrix::identity(3).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+        .unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3).unwrap(), 1e-10));
+    }
+
+    #[test]
+    fn inverse_of_diagonal_is_reciprocal_diagonal() {
+        // This is the actual LᵀL case from Eq. 3: diagonal of group sizes.
+        let d = Matrix::diagonal(&[4.0, 9.0, 25.0]).unwrap();
+        let inv = d.inverse().unwrap();
+        assert!((inv.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((inv.get(1, 1) - 1.0 / 9.0).abs() < 1e-12);
+        assert!((inv.get(2, 2) - 0.04).abs() < 1e-12);
+        assert_eq!(inv.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![6.0, 9.0], vec![10.0, 20.0]]).unwrap();
+        let x = a.solve(&b).unwrap();
+        let expected = Matrix::from_rows(&[vec![2.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        assert!(x.approx_eq(&expected, 1e-12));
+        // Mismatched RHS rows.
+        let bad = Matrix::zeros(3, 1).unwrap();
+        assert!(a.solve(&bad).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![1.0, 1.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(2).unwrap(), 1e-12));
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand, `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A square matrix was required but the operand is rectangular.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular,
+    /// A constructor was handed inconsistent row lengths or an empty shape.
+    InvalidShape {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An index was out of bounds.
+    OutOfBounds {
+        /// Requested index `(row, col)`.
+        index: (usize, usize),
+        /// Actual shape of the matrix.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            LinalgError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+
+        assert_eq!(
+            LinalgError::NotSquare { shape: (1, 2) }.to_string(),
+            "expected square matrix, got 1x2"
+        );
+        assert_eq!(LinalgError::Singular.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LinalgError::Singular, LinalgError::Singular);
+        assert_ne!(
+            LinalgError::Singular,
+            LinalgError::NotSquare { shape: (2, 3) }
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense linear algebra substrate for `donorpulse`.
+//!
+//! The paper's aggregation step (Eq. 3) computes
+//! `K = (LᵀL)⁻¹ Lᵀ Û` where `L` is a membership-indicator matrix and `Û`
+//! is the row-normalized user-attention contingency matrix. This crate
+//! provides the minimal — but complete and well-tested — dense matrix
+//! toolkit needed to evaluate that expression and to support the
+//! clustering and statistics crates: row-major [`Matrix`] storage,
+//! arithmetic, transposition, LU decomposition with partial pivoting,
+//! linear solves, and matrix inversion.
+//!
+//! The matrices involved are small (users × 6 organs collapses to at most
+//! `states × organs` after aggregation), so the implementation favours
+//! clarity and numerical robustness over blocked/SIMD kernels. All
+//! operations are `O(n³)` classical algorithms with partial pivoting where
+//! relevant.
+//!
+//! # Example
+//!
+//! ```
+//! use donorpulse_linalg::Matrix;
+//!
+//! // K = (LᵀL)⁻¹ Lᵀ Û  with a 3-user / 2-group membership matrix.
+//! let l = Matrix::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![1.0, 0.0],
+//!     vec![0.0, 1.0],
+//! ]).unwrap();
+//! let u = Matrix::from_rows(&[
+//!     vec![0.5, 0.5],
+//!     vec![0.7, 0.3],
+//!     vec![0.1, 0.9],
+//! ]).unwrap();
+//! let ltl = l.transpose().matmul(&l).unwrap();
+//! let k = ltl.inverse().unwrap()
+//!     .matmul(&l.transpose()).unwrap()
+//!     .matmul(&u).unwrap();
+//! assert!((k.get(0, 0) - 0.6).abs() < 1e-12); // mean of the two group-0 users
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+mod error;
+mod matrix;
+mod ops;
+mod qr;
+mod vector;
+
+pub use decompose::LuDecomposition;
+pub use qr::QrDecomposition;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use vector::{dot, norm2, scale as scale_vec, sub as sub_vec};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

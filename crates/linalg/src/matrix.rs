@@ -1,0 +1,443 @@
+use crate::{LinalgError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the workhorse type of the crate. Storage is a single `Vec<f64>`
+/// of length `rows * cols`; element `(i, j)` lives at `i * cols + j`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with `value`.
+    ///
+    /// Returns an error if either dimension is zero.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: format!("dimensions must be nonzero, got {rows}x{cols}"),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        })
+    }
+
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self> {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Result<Self> {
+        let mut m = Self::zeros(n, n)?;
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from a slice of rows. All rows must be nonempty and
+    /// of equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: "no rows given".to_string(),
+            });
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: "rows are empty".to_string(),
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::InvalidShape {
+                    reason: format!(
+                        "row {i} has length {}, expected {ncols}",
+                        row.len()
+                    ),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: format!("dimensions must be nonzero, got {rows}x{cols}"),
+            });
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidShape {
+                reason: format!(
+                    "data length {} does not match {rows}x{cols}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn diagonal(diag: &[f64]) -> Result<Self> {
+        let mut m = Self::zeros(diag.len(), diag.len())?;
+        for (i, &d) in diag.iter().enumerate() {
+            m.set(i, i, d);
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Returns element `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics when the index is out of bounds; use [`Matrix::try_get`] for
+    /// a fallible variant.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Fallible element access.
+    pub fn try_get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(LinalgError::OutOfBounds {
+                index: (i, j),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Sets element `(i, j)` to `value`.
+    ///
+    /// # Panics
+    /// Panics when the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, yielding the row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Normalizes every row to sum to 1. Rows whose sum is zero (or not
+    /// finite) are left untouched and reported back by index.
+    ///
+    /// The paper's Û matrix (Sec. III-B) is produced exactly this way:
+    /// raw per-user organ mention counts become per-user attention
+    /// distributions.
+    pub fn normalize_rows(&mut self) -> Vec<usize> {
+        let mut skipped = Vec::new();
+        for i in 0..self.rows {
+            let row = self.row_mut(i);
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 && sum.is_finite() {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            } else {
+                skipped.push(i);
+            }
+        }
+        skipped
+    }
+
+    /// Maximum absolute difference between two matrices of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op: "max_abs_diff",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max))
+    }
+
+    /// Approximate equality within `tol` (elementwise absolute).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .max_abs_diff(other)
+                .map(|d| d <= tol)
+                .unwrap_or(false)
+    }
+
+    /// Index of the maximum entry of row `i` (first one on ties), used by
+    /// the paper's Eq. 1 argmax membership assignment.
+    pub fn row_argmax(&self, i: usize) -> usize {
+        let row = self.row(i);
+        let mut best = 0;
+        let mut best_val = row[0];
+        for (j, &v) in row.iter().enumerate().skip(1) {
+            if v > best_val {
+                best = j;
+                best_val = v;
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(10) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self.get(i, j))?;
+            }
+            if self.cols > 10 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_zeros() {
+        let m = Matrix::filled(2, 3, 7.0).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 7.0));
+        let z = Matrix::zeros(3, 1).unwrap();
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(Matrix::zeros(0, 3).is_err());
+        assert!(Matrix::zeros(3, 0).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        match err {
+            LinalgError::InvalidShape { reason } => assert!(reason.contains("row 1")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i = Matrix::identity(4).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_constructor() {
+        let d = Matrix::diagonal(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn get_set_row_column() {
+        let mut m = Matrix::zeros(2, 3).unwrap();
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.column(2), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn try_get_out_of_bounds() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        assert!(matches!(
+            m.try_get(2, 0),
+            Err(LinalgError::OutOfBounds { .. })
+        ));
+        assert_eq!(m.try_get(1, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_panics_out_of_bounds() {
+        let m = Matrix::zeros(2, 2).unwrap();
+        let _ = m.get(0, 5);
+    }
+
+    #[test]
+    fn swap_rows_swaps() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_rows_produces_stochastic_rows() {
+        let mut m = Matrix::from_rows(&[vec![2.0, 2.0], vec![0.0, 0.0], vec![1.0, 3.0]]).unwrap();
+        let skipped = m.normalize_rows();
+        assert_eq!(skipped, vec![1]);
+        assert_eq!(m.row(0), &[0.5, 0.5]);
+        assert_eq!(m.row(2), &[0.25, 0.75]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_argmax_first_on_tie() {
+        let m = Matrix::from_rows(&[vec![1.0, 3.0, 3.0], vec![5.0, 1.0, 2.0]]).unwrap();
+        assert_eq!(m.row_argmax(0), 1);
+        assert_eq!(m.row_argmax(1), 0);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 2.0 + 1e-12]]).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    fn iter_rows_yields_all_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn debug_output_is_bounded() {
+        let m = Matrix::zeros(20, 20).unwrap();
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_rows(&[vec![1.5, -2.0], vec![0.0, 4.25]]).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,247 @@
+//! Arithmetic operations on [`Matrix`]: multiplication, transpose,
+//! elementwise combination, and scalar maps.
+
+use crate::{LinalgError, Matrix, Result};
+
+impl Matrix {
+    /// Matrix product `self * rhs`.
+    ///
+    /// Classical `O(n³)` triple loop with the inner loop arranged for
+    /// row-major locality (`ikj` order).
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols() != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul",
+            });
+        }
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let mut out = Matrix::zeros(m, n)?;
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.get(i, p);
+                if a == 0.0 {
+                    continue; // membership matrices are sparse in practice
+                }
+                let rrow = rhs.row(p);
+                let orow = out.row_mut(i);
+                for j in 0..n {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols() != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+                op: "matvec",
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), self.rows()).expect("nonzero dims");
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let data = self.as_slice().iter().map(|&v| f(v)).collect();
+        Matrix::from_vec(self.rows(), self.cols(), data).expect("same shape")
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Per-column sums (length `cols`).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols()];
+        for row in self.iter_rows() {
+            for (s, v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Per-row sums (length `rows`).
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.iter_rows().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-column means.
+    pub fn column_means(&self) -> Vec<f64> {
+        let n = self.rows() as f64;
+        self.column_sums().into_iter().map(|s| s / n).collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op,
+            });
+        }
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2x3() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m2x3();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected =
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
+        assert!(c.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m2x3();
+        let i3 = Matrix::identity(3).unwrap();
+        assert!(a.matmul(&i3).unwrap().approx_eq(&a, 0.0));
+        let i2 = Matrix::identity(2).unwrap();
+        assert!(i2.matmul(&a).unwrap().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = m2x3();
+        assert!(matches!(
+            a.matmul(&a),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = m2x3();
+        let v = vec![1.0, 0.5, -1.0];
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+        assert!(a.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m2x3();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert!(t.transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m2x3();
+        let sum = a.add(&a).unwrap();
+        assert_eq!(sum.get(1, 2), 12.0);
+        let diff = a.sub(&a).unwrap();
+        assert_eq!(diff.sum(), 0.0);
+        let had = a.hadamard(&a).unwrap();
+        assert_eq!(had.get(0, 2), 9.0);
+        let other = Matrix::zeros(3, 2).unwrap();
+        assert!(a.add(&other).is_err());
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = m2x3();
+        assert_eq!(a.scale(2.0).get(0, 0), 2.0);
+        assert_eq!(a.map(|v| v - 1.0).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sums_and_means() {
+        let a = m2x3();
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.column_sums(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.row_sums(), vec![6.0, 15.0]);
+        assert_eq!(a.column_means(), vec![2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_skips_zero_entries_correctly() {
+        // Sparse-ish membership-style matrix: result must equal dense math.
+        let l = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let u = Matrix::from_rows(&[vec![0.2, 0.8], vec![0.5, 0.5], vec![0.6, 0.4]]).unwrap();
+        let ltu = l.transpose().matmul(&u).unwrap();
+        let expected = Matrix::from_rows(&[vec![0.8, 1.2], vec![0.5, 0.5]]).unwrap();
+        assert!(ltu.approx_eq(&expected, 1e-12));
+    }
+}

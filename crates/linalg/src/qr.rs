@@ -1,0 +1,260 @@
+//! QR decomposition (Householder reflections) and least squares.
+//!
+//! Eq. 3's `K = (LᵀL)⁻¹LᵀÛ` is the normal-equation solution of the least
+//! squares problem `min ‖L·K − Û‖_F`. For a 0/1 disjoint membership the
+//! normal equations are perfectly conditioned (diagonal `LᵀL`), but for
+//! weighted or overlapping memberships they square the condition number;
+//! [`Matrix::least_squares`] solves the same problem through a
+//! Householder QR factorization instead, which is stable whenever `L`
+//! has full column rank.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A thin QR decomposition `A = Q·R` of an `m × n` matrix with `m ≥ n`:
+/// `Q` is `m × n` with orthonormal columns, `R` is `n × n` upper
+/// triangular.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` via Householder reflections.
+    ///
+    /// Errors when `a` has more columns than rows or is column-rank
+    /// deficient (a zero diagonal appears in `R`).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidShape {
+                reason: format!("QR requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        // Work on a copy; accumulate Q implicitly by applying the same
+        // reflections to an identity block.
+        let mut r_full = a.clone();
+        let mut q_full = Matrix::identity(m)?;
+
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                let v = r_full.get(i, k);
+                norm += v * v;
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            let alpha = if r_full.get(k, k) >= 0.0 { -norm } else { norm };
+            let mut v = vec![0.0; m];
+            for (i, slot) in v.iter_mut().enumerate().skip(k) {
+                *slot = r_full.get(i, k);
+            }
+            v[k] -= alpha;
+            let v_norm2: f64 = v.iter().map(|x| x * x).sum();
+            if v_norm2 < 1e-300 {
+                // Column already triangular here; nothing to reflect.
+                continue;
+            }
+
+            // Apply H = I − 2vvᵀ/‖v‖² to R (columns k..n).
+            for j in k..n {
+                let dot: f64 = (k..m).map(|i| v[i] * r_full.get(i, j)).sum();
+                let scale = 2.0 * dot / v_norm2;
+                for (i, &vi) in v.iter().enumerate().skip(k) {
+                    let val = r_full.get(i, j) - scale * vi;
+                    r_full.set(i, j, val);
+                }
+            }
+            // Apply H to Q (all columns) from the right: Q ← Q·H.
+            for row in 0..m {
+                let dot: f64 = (k..m).map(|i| q_full.get(row, i) * v[i]).sum();
+                let scale = 2.0 * dot / v_norm2;
+                for (i, &vi) in v.iter().enumerate().skip(k) {
+                    let val = q_full.get(row, i) - scale * vi;
+                    q_full.set(row, i, val);
+                }
+            }
+        }
+
+        // Extract the thin factors.
+        let mut q = Matrix::zeros(m, n)?;
+        let mut r = Matrix::zeros(n, n)?;
+        for i in 0..m {
+            for j in 0..n {
+                q.set(i, j, q_full.get(i, j));
+            }
+        }
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, r_full.get(i, j));
+            }
+        }
+        Ok(Self { q, r })
+    }
+
+    /// The orthonormal factor `Q` (`m × n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves `A·X = B` in the least-squares sense: `X = R⁻¹·Qᵀ·B`
+    /// (back substitution; `R` is triangular).
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let (m, n) = self.q.shape();
+        if b.rows() != m {
+            return Err(LinalgError::ShapeMismatch {
+                left: (m, n),
+                right: b.shape(),
+                op: "qr_solve",
+            });
+        }
+        let qtb = self.q.transpose().matmul(b)?;
+        let mut x = qtb.clone();
+        // Back substitution, column by column of the RHS.
+        for col in 0..x.cols() {
+            for i in (0..n).rev() {
+                let mut acc = x.get(i, col);
+                for j in (i + 1)..n {
+                    acc -= self.r.get(i, j) * x.get(j, col);
+                }
+                let diag = self.r.get(i, i);
+                if diag.abs() < 1e-12 {
+                    return Err(LinalgError::Singular);
+                }
+                x.set(i, col, acc / diag);
+            }
+        }
+        Ok(x)
+    }
+}
+
+impl Matrix {
+    /// Least-squares solution of `self · X ≈ b` via Householder QR.
+    pub fn least_squares(&self, b: &Matrix) -> Result<Matrix> {
+        QrDecomposition::new(self)?.solve(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 9.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = tall();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let back = qr.q().matmul(qr.r()).unwrap();
+        assert!(back.approx_eq(&a, 1e-10), "{back:?}");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = tall();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(2).unwrap(), 1e-10), "{qtq:?}");
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = tall();
+        let qr = QrDecomposition::new(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..i {
+                assert_eq!(qr.r().get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        // Overdetermined system: compare QR against (AᵀA)⁻¹Aᵀb.
+        let a = tall();
+        let b = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![2.5], vec![4.0]]).unwrap();
+        let qr_x = a.least_squares(&b).unwrap();
+        let at = a.transpose();
+        let normal_x = at
+            .matmul(&a)
+            .unwrap()
+            .inverse()
+            .unwrap()
+            .matmul(&at)
+            .unwrap()
+            .matmul(&b)
+            .unwrap();
+        assert!(qr_x.approx_eq(&normal_x, 1e-9), "{qr_x:?} vs {normal_x:?}");
+    }
+
+    #[test]
+    fn exact_system_recovered() {
+        // Square invertible: least squares = exact solve.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x_true = Matrix::from_rows(&[vec![1.0], vec![-2.0]]).unwrap();
+        let b = a.matmul(&x_true).unwrap();
+        let x = a.least_squares(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        assert!(matches!(
+            QrDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn rhs_shape_checked() {
+        let a = tall();
+        let qr = QrDecomposition::new(&a).unwrap();
+        let bad = Matrix::zeros(3, 1).unwrap();
+        assert!(qr.solve(&bad).is_err());
+    }
+
+    #[test]
+    fn membership_least_squares_is_group_mean() {
+        // The Eq. 3 connection: for a 0/1 disjoint membership, the least
+        // squares solution equals the per-group means.
+        let l = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let u = Matrix::from_rows(&[vec![0.2, 0.8], vec![0.6, 0.4], vec![0.0, 1.0]]).unwrap();
+        let k = l.least_squares(&u).unwrap();
+        assert!((k.get(0, 0) - 0.4).abs() < 1e-10);
+        assert!((k.get(0, 1) - 0.6).abs() < 1e-10);
+        assert!((k.get(1, 1) - 1.0).abs() < 1e-10);
+    }
+}

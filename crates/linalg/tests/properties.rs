@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use donorpulse_linalg::{Matrix, QrDecomposition};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned square matrix built as D + R where D is a
+/// dominant diagonal — guarantees invertibility for inverse round-trips.
+fn diag_dominant(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |mut data| {
+        for i in 0..n {
+            // Make each diagonal strictly dominate its row.
+            data[i * n + i] = (n as f64) + 1.0 + data[i * n + i].abs();
+        }
+        Matrix::from_vec(n, n, data).unwrap()
+    })
+}
+
+fn any_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0..100.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in any_matrix(4, 7)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop(m in any_matrix(5, 5)) {
+        let i = Matrix::identity(5).unwrap();
+        prop_assert!(m.matmul(&i).unwrap().approx_eq(&m, 1e-9));
+        prop_assert!(i.matmul(&m).unwrap().approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in any_matrix(3, 4),
+        b in any_matrix(4, 2),
+        c in any_matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(
+        a in any_matrix(3, 4),
+        b in any_matrix(4, 5),
+    ) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn inverse_round_trip(m in diag_dominant(5)) {
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        prop_assert!(prod.approx_eq(&Matrix::identity(5).unwrap(), 1e-8));
+        let prod2 = inv.matmul(&m).unwrap();
+        prop_assert!(prod2.approx_eq(&Matrix::identity(5).unwrap(), 1e-8));
+    }
+
+    #[test]
+    fn solve_agrees_with_inverse(m in diag_dominant(4), b in any_matrix(4, 3)) {
+        let x1 = m.solve(&b).unwrap();
+        let x2 = m.inverse().unwrap().matmul(&b).unwrap();
+        prop_assert!(x1.approx_eq(&x2, 1e-7));
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        a in diag_dominant(3),
+        b in diag_dominant(3),
+    ) {
+        let lhs = a.matmul(&b).unwrap().determinant().unwrap();
+        let rhs = a.determinant().unwrap() * b.determinant().unwrap();
+        // Relative tolerance: determinants can be large.
+        prop_assert!((lhs - rhs).abs() <= 1e-8 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstruction_and_orthonormality(m in diag_dominant(5)) {
+        // Diag-dominant square matrices are full rank.
+        let qr = QrDecomposition::new(&m).unwrap();
+        prop_assert!(qr.q().matmul(qr.r()).unwrap().approx_eq(&m, 1e-8));
+        let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
+        prop_assert!(qtq.approx_eq(&Matrix::identity(5).unwrap(), 1e-8));
+    }
+
+    #[test]
+    fn qr_least_squares_agrees_with_normal_equations(
+        m in diag_dominant(4),
+        b in any_matrix(4, 2),
+    ) {
+        let qr_x = m.least_squares(&b).unwrap();
+        let mt = m.transpose();
+        let ne_x = mt.matmul(&m).unwrap().inverse().unwrap()
+            .matmul(&mt).unwrap().matmul(&b).unwrap();
+        prop_assert!(qr_x.approx_eq(&ne_x, 1e-6));
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one(m in prop::collection::vec(0.0..10.0f64, 24)) {
+        let mut mat = Matrix::from_vec(4, 6, m).unwrap();
+        let skipped = mat.normalize_rows();
+        for (i, row) in mat.iter_rows().enumerate() {
+            if skipped.contains(&i) {
+                continue;
+            }
+            let s: f64 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_argmax_is_maximal(m in any_matrix(3, 6)) {
+        for i in 0..3 {
+            let j = m.row_argmax(i);
+            let row = m.row(i);
+            for &v in row {
+                prop_assert!(row[j] >= v);
+            }
+        }
+    }
+}

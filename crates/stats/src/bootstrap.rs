@@ -1,0 +1,241 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! The paper reports point estimates (Spearman r, organ shares) without
+//! uncertainty. Resampling gives the library a way to attach intervals
+//! to any statistic of a sample — useful when a characterization is
+//! computed on a small state's users and the reader needs to know how
+//! much to trust it.
+
+use crate::{Result, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A bootstrap estimate with its percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapEstimate {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub ci_low: f64,
+    /// Upper percentile bound.
+    pub ci_high: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub confidence: f64,
+    /// Number of resamples drawn.
+    pub resamples: usize,
+}
+
+/// Bootstrap configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapConfig {
+    /// Number of resamples (≥ 100 recommended).
+    pub resamples: usize,
+    /// Confidence level in `(0, 1)`.
+    pub confidence: f64,
+    /// RNG seed — estimates are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            resamples: 1_000,
+            confidence: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// Percentile bootstrap of an arbitrary statistic over a sample.
+pub fn bootstrap_ci(
+    data: &[f64],
+    config: BootstrapConfig,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> Result<BootstrapEstimate> {
+    validate(data.len(), &config)?;
+    let point = statistic(data);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = Vec::with_capacity(config.resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..config.resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    let (ci_low, ci_high) = percentile_interval(&mut stats, config.confidence);
+    Ok(BootstrapEstimate {
+        point,
+        ci_low,
+        ci_high,
+        confidence: config.confidence,
+        resamples: config.resamples,
+    })
+}
+
+/// Paired bootstrap: resamples index pairs, for statistics over two
+/// aligned samples (e.g. a correlation coefficient).
+pub fn bootstrap_ci_paired(
+    x: &[f64],
+    y: &[f64],
+    config: BootstrapConfig,
+    statistic: impl Fn(&[f64], &[f64]) -> f64,
+) -> Result<BootstrapEstimate> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+            what: "bootstrap_ci_paired",
+        });
+    }
+    validate(x.len(), &config)?;
+    let point = statistic(x, y);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut stats = Vec::with_capacity(config.resamples);
+    let mut rx = vec![0.0; x.len()];
+    let mut ry = vec![0.0; y.len()];
+    for _ in 0..config.resamples {
+        for i in 0..x.len() {
+            let j = rng.gen_range(0..x.len());
+            rx[i] = x[j];
+            ry[i] = y[j];
+        }
+        stats.push(statistic(&rx, &ry));
+    }
+    let (ci_low, ci_high) = percentile_interval(&mut stats, config.confidence);
+    Ok(BootstrapEstimate {
+        point,
+        ci_low,
+        ci_high,
+        confidence: config.confidence,
+        resamples: config.resamples,
+    })
+}
+
+fn validate(n: usize, config: &BootstrapConfig) -> Result<()> {
+    if n == 0 {
+        return Err(StatsError::EmptyInput { what: "bootstrap" });
+    }
+    if config.resamples < 10 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("too few resamples: {}", config.resamples),
+        });
+    }
+    if !(0.0..1.0).contains(&config.confidence) || config.confidence == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("confidence {} outside (0, 1)", config.confidence),
+        });
+    }
+    Ok(())
+}
+
+/// Percentile interval over bootstrap statistics (NaN-tolerant: NaNs
+/// sort last and are excluded from the interval).
+fn percentile_interval(stats: &mut [f64], confidence: f64) -> (f64, f64) {
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| a.is_nan().cmp(&b.is_nan())));
+    let finite = stats.iter().filter(|v| v.is_finite()).count();
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((finite as f64) * alpha).floor() as usize;
+    let hi_idx = (((finite as f64) * (1.0 - alpha)).ceil() as usize).saturating_sub(1);
+    (
+        stats[lo_idx.min(finite.saturating_sub(1))],
+        stats[hi_idx.min(finite.saturating_sub(1))],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::spearman;
+    use crate::descriptive::mean;
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Deterministic ∪-ish sample with mean 10.
+        (0..n).map(|i| 10.0 + ((i * 37) % 21) as f64 - 10.0).collect()
+    }
+
+    #[test]
+    fn ci_brackets_point_estimate() {
+        let data = sample(200);
+        let est = bootstrap_ci(&data, BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
+        assert!(est.ci_low <= est.point && est.point <= est.ci_high);
+        assert!((est.point - mean(&data).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let small = bootstrap_ci(&sample(30), BootstrapConfig::default(), |d| mean(d).unwrap())
+            .unwrap();
+        let large = bootstrap_ci(&sample(3000), BootstrapConfig::default(), |d| mean(d).unwrap())
+            .unwrap();
+        assert!(
+            large.ci_high - large.ci_low < small.ci_high - small.ci_low,
+            "large [{}, {}] vs small [{}, {}]",
+            large.ci_low,
+            large.ci_high,
+            small.ci_low,
+            small.ci_high
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = sample(100);
+        let a = bootstrap_ci(&data, BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
+        let b = bootstrap_ci(&data, BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(
+            &data,
+            BootstrapConfig {
+                seed: 9,
+                ..Default::default()
+            },
+            |d| mean(d).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(a.ci_low, c.ci_low);
+    }
+
+    #[test]
+    fn paired_bootstrap_for_spearman() {
+        // Strongly correlated pairs: the CI should exclude zero.
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + ((v * 13.0) % 7.0)).collect();
+        let est = bootstrap_ci_paired(&x, &y, BootstrapConfig::default(), |a, b| {
+            spearman(a, b).map(|c| c.r).unwrap_or(f64::NAN)
+        })
+        .unwrap();
+        assert!(est.point > 0.9);
+        assert!(est.ci_low > 0.5, "{est:?}");
+        assert!(est.ci_high <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(bootstrap_ci(&[], BootstrapConfig::default(), |d| d.len() as f64).is_err());
+        let bad = BootstrapConfig {
+            resamples: 5,
+            ..Default::default()
+        };
+        assert!(bootstrap_ci(&[1.0], bad, |d| d.len() as f64).is_err());
+        let bad = BootstrapConfig {
+            confidence: 1.5,
+            ..Default::default()
+        };
+        assert!(bootstrap_ci(&[1.0], bad, |d| d.len() as f64).is_err());
+        assert!(
+            bootstrap_ci_paired(&[1.0], &[1.0, 2.0], BootstrapConfig::default(), |_, _| 0.0)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn single_point_sample_degenerates_gracefully() {
+        let est =
+            bootstrap_ci(&[42.0], BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
+        assert_eq!(est.point, 42.0);
+        assert_eq!(est.ci_low, 42.0);
+        assert_eq!(est.ci_high, 42.0);
+    }
+}

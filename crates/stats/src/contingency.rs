@@ -1,0 +1,150 @@
+//! Contingency-table tests: chi-square independence and effect size.
+//!
+//! Before interpreting per-cell anomalies (the paper's per-state
+//! relative risks, Fig. 5), it is good practice to establish that the
+//! organ × state table deviates from independence *globally* — otherwise
+//! the per-cell highlights are guaranteed multiple-testing noise. This
+//! module provides Pearson's chi-square test with the exact chi-square
+//! tail probability, plus Cramér's V as the effect size.
+
+use crate::distribution::chi_square_sf;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a chi-square independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquareTest {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(rows − 1)(cols − 1)`.
+    pub df: f64,
+    /// Tail probability `P(X² ≥ statistic)`.
+    pub p_value: f64,
+    /// Cramér's V effect size in `[0, 1]`.
+    pub cramers_v: f64,
+    /// Total observations.
+    pub n: u64,
+}
+
+impl ChiSquareTest {
+    /// True when `p_value < alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Pearson chi-square test of independence over an `r × c` count table
+/// (rows must be equal length; all-zero rows/columns are rejected since
+/// their expected counts are undefined).
+pub fn chi_square_independence(table: &[Vec<u64>]) -> Result<ChiSquareTest> {
+    let r = table.len();
+    if r < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: r,
+            what: "chi_square rows",
+        });
+    }
+    let c = table[0].len();
+    if c < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: c,
+            what: "chi_square columns",
+        });
+    }
+    for row in table {
+        if row.len() != c {
+            return Err(StatsError::LengthMismatch {
+                left: c,
+                right: row.len(),
+                what: "chi_square row",
+            });
+        }
+    }
+    let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let n: u64 = row_sums.iter().sum();
+    if n == 0 {
+        return Err(StatsError::EmptyInput { what: "chi_square" });
+    }
+    if row_sums.contains(&0) || col_sums.contains(&0) {
+        return Err(StatsError::Undefined {
+            reason: "chi-square undefined with an all-zero row or column".to_string(),
+        });
+    }
+
+    let mut statistic = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &obs) in row.iter().enumerate() {
+            let expected = row_sums[i] as f64 * col_sums[j] as f64 / n as f64;
+            let d = obs as f64 - expected;
+            statistic += d * d / expected;
+        }
+    }
+    let df = ((r - 1) * (c - 1)) as f64;
+    let p_value = chi_square_sf(statistic, df)?;
+    let k = (r.min(c) - 1) as f64;
+    let cramers_v = (statistic / (n as f64 * k)).sqrt().min(1.0);
+    Ok(ChiSquareTest {
+        statistic,
+        df,
+        p_value,
+        cramers_v,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_table_not_significant() {
+        // Perfect independence: rows proportional.
+        let table = vec![vec![10, 20, 30], vec![20, 40, 60]];
+        let t = chi_square_independence(&table).unwrap();
+        assert!(t.statistic.abs() < 1e-9, "{}", t.statistic);
+        assert!((t.p_value - 1.0).abs() < 1e-9);
+        assert!(t.cramers_v < 1e-6);
+        assert!(!t.significant_at(0.05));
+        assert_eq!(t.n, 180);
+        assert_eq!(t.df, 2.0);
+    }
+
+    #[test]
+    fn dependent_table_significant() {
+        // Strong diagonal structure.
+        let table = vec![vec![50, 5], vec![5, 50]];
+        let t = chi_square_independence(&table).unwrap();
+        assert!(t.significant_at(0.001), "p = {}", t.p_value);
+        assert!(t.cramers_v > 0.7, "V = {}", t.cramers_v);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // 2x2 table [[10, 20], [30, 40]]: expected counts 12/18/28/42,
+        // chi2 = 4/12 + 4/18 + 4/28 + 4/42 = 0.79365 (uncorrected),
+        // df = 1, p = 2(1 − Φ(√0.79365)) ≈ 0.3729.
+        let t = chi_square_independence(&[vec![10, 20], vec![30, 40]]).unwrap();
+        assert!((t.statistic - 0.79365).abs() < 1e-4, "{}", t.statistic);
+        assert!((t.p_value - 0.3729).abs() < 1e-3, "{}", t.p_value);
+    }
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        assert!(chi_square_independence(&[vec![1, 2]]).is_err());
+        assert!(chi_square_independence(&[vec![1], vec![2]]).is_err());
+        assert!(chi_square_independence(&[vec![1, 2], vec![3]]).is_err());
+        // All-zero column.
+        assert!(chi_square_independence(&[vec![0, 2], vec![0, 3]]).is_err());
+        // All-zero row.
+        assert!(chi_square_independence(&[vec![0, 0], vec![1, 3]]).is_err());
+    }
+
+    #[test]
+    fn cramers_v_bounded() {
+        let t = chi_square_independence(&[vec![100, 0], vec![0, 100]]).unwrap();
+        assert!((t.cramers_v - 1.0).abs() < 1e-9);
+    }
+}

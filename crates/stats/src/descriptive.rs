@@ -1,0 +1,273 @@
+//! Descriptive statistics: central tendency, dispersion, and quantiles.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput { what: "mean" });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance.
+pub fn sample_variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: data.len(),
+            what: "sample_variance",
+        });
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Population (n) variance.
+pub fn population_variance(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput {
+            what: "population_variance",
+        });
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / data.len() as f64)
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_std(data: &[f64]) -> Result<f64> {
+    sample_variance(data).map(f64::sqrt)
+}
+
+/// Geometric mean of a strictly positive sample — the natural average
+/// for multiplicative quantities such as relative risks (`log RR` is the
+/// paper's approximately-normal scale).
+pub fn geometric_mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput {
+            what: "geometric_mean",
+        });
+    }
+    if data.iter().any(|&x| x <= 0.0 || !x.is_finite()) {
+        return Err(StatsError::InvalidParameter {
+            reason: "geometric mean requires strictly positive finite values".to_string(),
+        });
+    }
+    let log_mean = data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64;
+    Ok(log_mean.exp())
+}
+
+/// Median (average of the two central order statistics for even n).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the numpy/R default).
+///
+/// `q` must lie in `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput { what: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("quantile q={q} outside [0, 1]"),
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        return Ok(sorted[lo]);
+    }
+    let frac = h - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Minimum of a nonempty sample.
+pub fn min(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput { what: "min" });
+    }
+    Ok(data.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of a nonempty sample.
+pub fn max(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput { what: "max" });
+    }
+    Ok(data.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Streaming (Welford) accumulator for mean and variance — handy for the
+/// simulator, which produces hundreds of thousands of observations.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Running unbiased sample variance, or `None` before two observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn mean_of_known_sample() {
+        assert!((mean(&[1.0, 2.0, 3.0, 4.0]).unwrap() - 2.5).abs() < TOL);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variances_known_sample() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&d).unwrap() - 4.0).abs() < TOL);
+        assert!((sample_variance(&d).unwrap() - 32.0 / 7.0).abs() < TOL);
+        assert!(sample_variance(&[1.0]).is_err());
+        assert!(population_variance(&[]).is_err());
+    }
+
+    #[test]
+    fn std_is_sqrt_variance() {
+        let d = [1.0, 3.0, 5.0];
+        assert!((sample_std(&d).unwrap() - sample_variance(&d).unwrap().sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn geometric_mean_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < TOL);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < TOL);
+        assert!((geometric_mean(&[5.0]).unwrap() - 5.0).abs() < TOL);
+        // AM-GM inequality.
+        let d = [1.0, 2.0, 9.0];
+        assert!(geometric_mean(&d).unwrap() <= mean(&d).unwrap());
+        assert!(geometric_mean(&[]).is_err());
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&d, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&d, 1.0).unwrap(), 4.0);
+        assert!((quantile(&d, 0.25).unwrap() - 1.75).abs() < TOL);
+        assert!(quantile(&d, -0.1).is_err());
+        assert!(quantile(&d, 1.1).is_err());
+        assert!(quantile(&d, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn min_max_known() {
+        let d = [3.0, -1.0, 7.0];
+        assert_eq!(min(&d).unwrap(), -1.0);
+        assert_eq!(max(&d).unwrap(), 7.0);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &d {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean().unwrap() - mean(&d).unwrap()).abs() < TOL);
+        assert!((rs.sample_variance().unwrap() - sample_variance(&d).unwrap()).abs() < TOL);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_single_pass() {
+        let d1 = [1.0, 2.0, 3.0];
+        let d2 = [10.0, 20.0, 30.0, 40.0];
+        let mut a = RunningStats::new();
+        d1.iter().for_each(|&x| a.push(x));
+        let mut b = RunningStats::new();
+        d2.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+
+        let all: Vec<f64> = d1.iter().chain(&d2).cloned().collect();
+        assert!((a.mean().unwrap() - mean(&all).unwrap()).abs() < TOL);
+        assert!(
+            (a.sample_variance().unwrap() - sample_variance(&all).unwrap()).abs() < TOL
+        );
+    }
+
+    #[test]
+    fn running_stats_merge_edge_cases() {
+        let mut empty = RunningStats::new();
+        let mut one = RunningStats::new();
+        one.push(5.0);
+        empty.merge(&one);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), Some(5.0));
+        assert_eq!(empty.sample_variance(), None);
+        one.merge(&RunningStats::new());
+        assert_eq!(one.count(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Distances and divergences between vectors and discrete probability
+//! distributions.
+//!
+//! The paper clusters states by the *Bhattacharyya distance* between their
+//! organ-attention distributions (rows of `K`), arguing it is better
+//! suited to discrete probability distributions than Euclidean distance
+//! (Fig. 6, citing Kailath 1967). The companion metrics here support the
+//! ablation bench that re-runs that clustering under Euclidean/cosine
+//! affinities.
+
+use crate::{Result, StatsError};
+
+/// Bhattacharyya coefficient `BC(p, q) = Σ √(pᵢ·qᵢ)` of two nonnegative
+/// vectors. For probability distributions `BC ∈ [0, 1]`.
+pub fn bhattacharyya_coefficient(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "bhattacharyya")?;
+    let mut bc = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a < 0.0 || b < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                reason: "bhattacharyya requires nonnegative entries".to_string(),
+            });
+        }
+        bc += (a * b).sqrt();
+    }
+    Ok(bc)
+}
+
+/// Bhattacharyya distance `D_B = −ln BC(p, q)`.
+///
+/// Returns `+∞` for distributions with disjoint support (`BC = 0`); this
+/// matches the definition and keeps the clustering well-behaved (disjoint
+/// states merge last). The coefficient is clamped to 1 to absorb
+/// floating-point drift so identical distributions get exactly 0.
+pub fn bhattacharyya(p: &[f64], q: &[f64]) -> Result<f64> {
+    let bc = bhattacharyya_coefficient(p, q)?.min(1.0);
+    if bc == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(-bc.ln())
+}
+
+/// Hellinger distance `H = sqrt(1 − BC)`, a bounded metric cousin of
+/// Bhattacharyya.
+pub fn hellinger(p: &[f64], q: &[f64]) -> Result<f64> {
+    let bc = bhattacharyya_coefficient(p, q)?.min(1.0);
+    Ok((1.0 - bc).sqrt())
+}
+
+/// Euclidean (L2) distance.
+pub fn euclidean(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "euclidean")?;
+    Ok(p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Manhattan (L1) distance; twice the total-variation distance for
+/// probability vectors.
+pub fn manhattan(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "manhattan")?;
+    Ok(p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum())
+}
+
+/// Cosine distance `1 − cos(p, q)`. Errors for zero vectors.
+pub fn cosine(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "cosine")?;
+    let dot: f64 = p.iter().zip(q).map(|(a, b)| a * b).sum();
+    let np: f64 = p.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let nq: f64 = q.iter().map(|a| a * a).sum::<f64>().sqrt();
+    if np == 0.0 || nq == 0.0 {
+        return Err(StatsError::Undefined {
+            reason: "cosine distance undefined for zero vector".to_string(),
+        });
+    }
+    Ok((1.0 - (dot / (np * nq))).max(0.0))
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats. Terms with `pᵢ = 0`
+/// contribute zero; `pᵢ > 0` with `qᵢ = 0` yields `+∞`.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "kl_divergence")?;
+    let mut kl = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        if a < 0.0 || b < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                reason: "KL requires nonnegative entries".to_string(),
+            });
+        }
+        if a == 0.0 {
+            continue;
+        }
+        if b == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        kl += a * (a / b).ln();
+    }
+    Ok(kl)
+}
+
+/// Jensen–Shannon divergence (symmetrized, bounded KL; `≤ ln 2`).
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
+    check(p, q, "js_divergence")?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| 0.5 * (a + b)).collect();
+    Ok(0.5 * kl_divergence(p, &m)? + 0.5 * kl_divergence(q, &m)?)
+}
+
+fn check(p: &[f64], q: &[f64], what: &'static str) -> Result<()> {
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+            what,
+        });
+    }
+    if p.is_empty() {
+        return Err(StatsError::EmptyInput { what });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn bhattacharyya_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(bhattacharyya(&p, &p).unwrap().abs() < TOL);
+        assert!((bhattacharyya_coefficient(&p, &p).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bhattacharyya_disjoint_is_infinite() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert_eq!(bhattacharyya(&p, &q).unwrap(), f64::INFINITY);
+        assert!((hellinger(&p, &q).unwrap() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bhattacharyya_known_value() {
+        // BC([.5,.5],[.9,.1]) = sqrt(.45) + sqrt(.05).
+        let bc = bhattacharyya_coefficient(&[0.5, 0.5], &[0.9, 0.1]).unwrap();
+        let expected = 0.45f64.sqrt() + 0.05f64.sqrt();
+        assert!((bc - expected).abs() < TOL);
+        assert!((bhattacharyya(&[0.5, 0.5], &[0.9, 0.1]).unwrap() + expected.ln()).abs() < TOL);
+    }
+
+    #[test]
+    fn bhattacharyya_symmetry() {
+        let p = [0.1, 0.2, 0.7];
+        let q = [0.3, 0.3, 0.4];
+        assert!((bhattacharyya(&p, &q).unwrap() - bhattacharyya(&q, &p).unwrap()).abs() < TOL);
+    }
+
+    #[test]
+    fn bhattacharyya_rejects_negative() {
+        assert!(bhattacharyya(&[-0.1, 1.1], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn euclidean_and_manhattan_known() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 5.0).abs() < TOL);
+        assert!((manhattan(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 7.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        assert!(cosine(&[1.0, 0.0], &[2.0, 0.0]).unwrap().abs() < TOL);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0]).unwrap() - 1.0).abs() < TOL);
+        assert!(cosine(&[0.0, 0.0], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn kl_properties() {
+        let p = [0.5, 0.5];
+        let q = [0.9, 0.1];
+        assert!(kl_divergence(&p, &p).unwrap().abs() < TOL);
+        assert!(kl_divergence(&p, &q).unwrap() > 0.0);
+        // Asymmetric.
+        assert!(
+            (kl_divergence(&p, &q).unwrap() - kl_divergence(&q, &p).unwrap()).abs() > 1e-3
+        );
+        // Absolutely-continuous violation -> infinity.
+        assert_eq!(
+            kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(),
+            f64::INFINITY
+        );
+        // 0 * ln(0/q) term is skipped.
+        assert!(kl_divergence(&[1.0, 0.0], &[0.5, 0.5]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.1, 0.8];
+        let d1 = js_divergence(&p, &q).unwrap();
+        let d2 = js_divergence(&q, &p).unwrap();
+        assert!((d1 - d2).abs() < TOL);
+        assert!(d1 > 0.0 && d1 <= std::f64::consts::LN_2 + TOL);
+        // Disjoint support hits the ln 2 bound exactly.
+        let djs = js_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((djs - std::f64::consts::LN_2).abs() < TOL);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(euclidean(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(bhattacharyya(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Probability distribution primitives: error function, standard normal
+//! pdf/cdf/quantile, and Student's t tail probabilities via the
+//! regularized incomplete beta function.
+//!
+//! These are the numerical kernels behind the paper's two significance
+//! machines: the `z_{α} = 1.96` rule for relative-risk highlighting
+//! (Fig. 5) and the `p < .05` Spearman test (Fig. 2a).
+
+use crate::{Result, StatsError};
+
+/// Error function `erf(x)`, Abramowitz & Stegun 7.1.26 rational
+/// approximation refined with one Newton step against the series for small
+/// `x`. Absolute error below `1.5e-7`, ample for significance testing.
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26 constants.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    if x == 0.0 {
+        return 0.0; // keep erf exactly odd at the origin so normal_cdf(0) = 0.5
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Complementary error function.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal probability density.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile (inverse cdf) via Acklam's algorithm,
+/// refined with one Halley step. Valid for `p ∈ (0, 1)`.
+pub fn normal_quantile(p: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 || p.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("normal_quantile requires p in (0,1), got {p}"),
+        });
+    }
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// Two-sided critical z value for significance level `alpha`
+/// (e.g. `alpha = 0.05 → 1.959963…`, the paper's 1.96).
+pub fn z_critical(alpha: f64) -> Result<f64> {
+    if !(0.0..1.0).contains(&alpha) || alpha == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("z_critical requires alpha in (0,1), got {alpha}"),
+        });
+    }
+    normal_quantile(1.0 - alpha / 2.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction (Lentz's method), following Numerical Recipes `betai`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("incomplete beta requires a,b > 0, got a={a}, b={b}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&x) || x.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("incomplete beta requires x in [0,1], got {x}"),
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry transformation for faster convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(front * beta_cf(a, b, x)? / a)
+    } else {
+        Ok(1.0 - regularized_incomplete_beta(b, a, 1.0 - x)?)
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::Undefined {
+        reason: "incomplete beta continued fraction did not converge".to_string(),
+    })
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)` via the series
+/// expansion for `x < a + 1` and the continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn regularized_gamma_p(a: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("incomplete gamma requires a > 0, got {a}"),
+        });
+    }
+    if x < 0.0 || x.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("incomplete gamma requires x >= 0, got {x}"),
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                let ln = -x + a * x.ln() - ln_gamma(a);
+                return Ok((sum * ln.exp()).clamp(0.0, 1.0));
+            }
+        }
+        Err(StatsError::Undefined {
+            reason: "incomplete gamma series did not converge".to_string(),
+        })
+    } else {
+        // Continued fraction for Q(a, x) = 1 - P(a, x) (modified Lentz).
+        const FPMIN: f64 = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / FPMIN;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < FPMIN {
+                d = FPMIN;
+            }
+            c = b + an / c;
+            if c.abs() < FPMIN {
+                c = FPMIN;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                let ln = -x + a * x.ln() - ln_gamma(a);
+                return Ok((1.0 - ln.exp() * h).clamp(0.0, 1.0));
+            }
+        }
+        Err(StatsError::Undefined {
+            reason: "incomplete gamma continued fraction did not converge".to_string(),
+        })
+    }
+}
+
+/// Chi-square survival function: `P(X >= x)` for `df` degrees of freedom.
+pub fn chi_square_sf(x: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("chi-square requires df > 0, got {df}"),
+        });
+    }
+    Ok(1.0 - regularized_gamma_p(df / 2.0, x / 2.0)?)
+}
+
+/// Two-sided p-value for a Student's t statistic with `df` degrees of
+/// freedom: `P(|T| >= |t|)`.
+pub fn t_two_sided_p(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            reason: format!("t test requires df > 0, got {df}"),
+        });
+    }
+    if t.is_nan() {
+        return Err(StatsError::InvalidParameter {
+            reason: "t statistic is NaN".to_string(),
+        });
+    }
+    if t.is_infinite() {
+        return Ok(0.0);
+    }
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.8427007929).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 2e-7);
+        assert!((erf(3.0) - 0.9999779095).abs() < 2e-7);
+        assert!((erfc(0.5) - (1.0 - erf(0.5))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-5);
+        assert!((normal_cdf(-1.96) - 0.0249979).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!(normal_pdf(5.0) < normal_pdf(0.0));
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99] {
+            let x = normal_quantile(p).unwrap();
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+        assert!(normal_quantile(0.0).is_err());
+        assert!(normal_quantile(1.0).is_err());
+        assert!(normal_quantile(-0.5).is_err());
+    }
+
+    #[test]
+    fn z_critical_at_paper_alpha() {
+        // The paper uses alpha = 0.05 -> z = 1.96.
+        let z = z_critical(0.05).unwrap();
+        assert!((z - 1.959964).abs() < 1e-4);
+        assert!(z_critical(0.0).is_err());
+        assert!(z_critical(1.0).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0).unwrap(), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0).unwrap(), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        let lhs = regularized_incomplete_beta(2.5, 1.5, 0.3).unwrap();
+        let rhs = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7).unwrap();
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1,1) = x (uniform cdf).
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.42).unwrap() - 0.42).abs() < 1e-10);
+        assert!(regularized_incomplete_beta(-1.0, 1.0, 0.5).is_err());
+        assert!(regularized_incomplete_beta(1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn t_two_sided_p_known_values() {
+        // t=2.776, df=4 -> p ≈ 0.05 (classic t-table value).
+        let p = t_two_sided_p(2.776, 4.0).unwrap();
+        assert!((p - 0.05).abs() < 1e-3, "got {p}");
+        // t = 0 -> p = 1.
+        assert!((t_two_sided_p(0.0, 10.0).unwrap() - 1.0).abs() < 1e-12);
+        // Large |t| -> tiny p.
+        assert!(t_two_sided_p(50.0, 10.0).unwrap() < 1e-10);
+        assert_eq!(t_two_sided_p(f64::INFINITY, 5.0).unwrap(), 0.0);
+        assert!(t_two_sided_p(1.0, 0.0).is_err());
+        assert!(t_two_sided_p(f64::NAN, 5.0).is_err());
+    }
+
+    #[test]
+    fn incomplete_gamma_known_values() {
+        // P(1, x) = 1 - e^{-x} (exponential cdf).
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            let p = regularized_gamma_p(1.0, x).unwrap();
+            assert!((p - (1.0 - (-x).exp())).abs() < 1e-12, "x = {x}: {p}");
+        }
+        assert_eq!(regularized_gamma_p(2.0, 0.0).unwrap(), 0.0);
+        assert!(regularized_gamma_p(0.0, 1.0).is_err());
+        assert!(regularized_gamma_p(1.0, -1.0).is_err());
+        // Monotone in x.
+        let lo = regularized_gamma_p(3.0, 1.0).unwrap();
+        let hi = regularized_gamma_p(3.0, 5.0).unwrap();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // Classic table values: chi2 = 3.841, df = 1 -> p = 0.05.
+        let p = chi_square_sf(3.841, 1.0).unwrap();
+        assert!((p - 0.05).abs() < 1e-3, "p = {p}");
+        // chi2 = 11.07, df = 5 -> p = 0.05.
+        let p = chi_square_sf(11.07, 5.0).unwrap();
+        assert!((p - 0.05).abs() < 1e-3, "p = {p}");
+        // chi2 = 0 -> p = 1.
+        assert!((chi_square_sf(0.0, 4.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!(chi_square_sf(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn t_converges_to_normal_for_large_df() {
+        // With df = 10_000 the t distribution is ~ normal: P(|T|>1.96) ≈ 0.05.
+        let p = t_two_sided_p(1.96, 10_000.0).unwrap();
+        assert!((p - 0.05).abs() < 5e-4, "got {p}");
+    }
+}

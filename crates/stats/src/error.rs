@@ -1,0 +1,79 @@
+use std::fmt;
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input sample is empty but the statistic requires data.
+    EmptyInput {
+        /// Statistic that was requested.
+        what: &'static str,
+    },
+    /// Two paired samples have different lengths.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+        /// Statistic that was requested.
+        what: &'static str,
+    },
+    /// Not enough observations for the statistic (e.g. variance of one
+    /// point, correlation of fewer than three pairs).
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations given.
+        got: usize,
+        /// Statistic that was requested.
+        what: &'static str,
+    },
+    /// The statistic is undefined for the given input (e.g. correlation of
+    /// a constant sequence, relative risk with a zero denominator).
+    Undefined {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput { what } => write!(f, "{what}: empty input"),
+            StatsError::LengthMismatch { left, right, what } =>
+
+                write!(f, "{what}: paired samples differ in length ({left} vs {right})"),
+            StatsError::InsufficientData { needed, got, what } => write!(
+                f,
+                "{what}: needs at least {needed} observations, got {got}"
+            ),
+            StatsError::Undefined { reason } => write!(f, "statistic undefined: {reason}"),
+            StatsError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::LengthMismatch {
+            left: 3,
+            right: 5,
+            what: "pearson",
+        };
+        assert!(e.to_string().contains("pearson"));
+        assert!(e.to_string().contains("3 vs 5"));
+        assert!(StatsError::EmptyInput { what: "mean" }
+            .to_string()
+            .contains("mean"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Histograms and binned counts.
+//!
+//! The paper's figures are histogram-shaped: users-per-organ (Fig. 2a),
+//! mention-breadth counts (Fig. 2b), and the per-organ / per-state
+//! attention profiles rendered as ranked log-scale bars (Figs. 3–4).
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A labeled count histogram (category → count), preserving insertion
+/// order so render order is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CategoricalHistogram {
+    labels: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl CategoricalHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a histogram from parallel label/count slices.
+    pub fn from_pairs(pairs: &[(&str, u64)]) -> Self {
+        Self {
+            labels: pairs.iter().map(|(l, _)| l.to_string()).collect(),
+            counts: pairs.iter().map(|&(_, c)| c).collect(),
+        }
+    }
+
+    /// Adds `delta` to the count of `label`, creating it if missing.
+    pub fn add(&mut self, label: &str, delta: u64) {
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => self.counts[i] += delta,
+            None => {
+                self.labels.push(label.to_string());
+                self.counts.push(delta);
+            }
+        }
+    }
+
+    /// Increments the count of `label` by one.
+    pub fn increment(&mut self, label: &str) {
+        self.add(label, 1);
+    }
+
+    /// Count for `label`, zero when absent.
+    pub fn count(&self, label: &str) -> u64 {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map_or(0, |i| self.counts[i])
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no category has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total count across categories.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(label, count)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.labels
+            .iter()
+            .map(String::as_str)
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Returns `(label, count)` pairs sorted by descending count (ties by
+    /// insertion order) — the "ranked bars" view of the paper's plots.
+    pub fn ranked(&self) -> Vec<(&str, u64)> {
+        let mut pairs: Vec<(&str, u64)> = self.iter().collect();
+        pairs.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        pairs
+    }
+
+    /// Normalizes to a probability vector in insertion order. Errors for
+    /// an empty or all-zero histogram.
+    pub fn to_distribution(&self) -> Result<Vec<f64>> {
+        let total = self.total();
+        if total == 0 {
+            return Err(StatsError::Undefined {
+                reason: "cannot normalize an empty histogram".to_string(),
+            });
+        }
+        Ok(self
+            .counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect())
+    }
+}
+
+/// A fixed-width numeric histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo` or at/above `hi`.
+    out_of_range: u64,
+}
+
+impl UniformHistogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                reason: format!("invalid histogram range [{lo}, {hi}) with {bins} bins"),
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            out_of_range: 0,
+        })
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            self.out_of_range += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations that fell outside `[lo, hi)`.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+            .collect()
+    }
+}
+
+/// Log10 of a count for log-scale bar rendering; zero counts map to 0
+/// height rather than −∞. (`log10(1) = 0` also maps to 0: single-count
+/// bars are indistinguishable from empty at log scale, as in the paper's
+/// plots.)
+pub fn log_scale_height(count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        (count as f64).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_add_and_count() {
+        let mut h = CategoricalHistogram::new();
+        h.increment("heart");
+        h.add("heart", 2);
+        h.increment("kidney");
+        assert_eq!(h.count("heart"), 3);
+        assert_eq!(h.count("kidney"), 1);
+        assert_eq!(h.count("liver"), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn ranked_sorts_descending_stable() {
+        let h = CategoricalHistogram::from_pairs(&[("a", 2), ("b", 5), ("c", 2)]);
+        let r = h.ranked();
+        assert_eq!(r, vec![("b", 5), ("a", 2), ("c", 2)]);
+    }
+
+    #[test]
+    fn to_distribution_normalizes() {
+        let h = CategoricalHistogram::from_pairs(&[("a", 1), ("b", 3)]);
+        let d = h.to_distribution().unwrap();
+        assert_eq!(d, vec![0.25, 0.75]);
+        assert!(CategoricalHistogram::new().to_distribution().is_err());
+    }
+
+    #[test]
+    fn uniform_histogram_bins_correctly() {
+        let mut h = UniformHistogram::new(0.0, 10.0, 5).unwrap();
+        for &x in &[0.0, 1.9, 2.0, 9.99, -1.0, 10.0, f64::NAN] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.out_of_range(), 3);
+    }
+
+    #[test]
+    fn uniform_histogram_rejects_bad_params() {
+        assert!(UniformHistogram::new(1.0, 1.0, 5).is_err());
+        assert!(UniformHistogram::new(2.0, 1.0, 5).is_err());
+        assert!(UniformHistogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = UniformHistogram::new(0.0, 4.0, 2).unwrap();
+        let centers: Vec<f64> = h.centers().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn log_scale_heights() {
+        assert_eq!(log_scale_height(0), 0.0);
+        assert_eq!(log_scale_height(1), 0.0);
+        assert!((log_scale_height(1000) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = CategoricalHistogram::from_pairs(&[("x", 7)]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: CategoricalHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistics substrate for `donorpulse`.
+//!
+//! Everything the paper's evaluation leans on statistically lives here:
+//!
+//! * **Descriptive statistics** ([`descriptive`]) — means, variances,
+//!   medians, quantiles used throughout the dataset summary (Table I).
+//! * **Ranking with ties** ([`rank`]) — average-rank assignment, the
+//!   building block of Spearman correlation.
+//! * **Correlation** ([`correlation`]) — Pearson and Spearman coefficients
+//!   with significance tests; the paper reports a Spearman correlation of
+//!   `r = .84, p < .05` between organ popularity on Twitter and national
+//!   transplant counts (Fig. 2a).
+//! * **Relative risk** ([`risk`]) — Eq. 4's inside-vs-outside prevalence
+//!   ratio with the Katz log confidence interval and the significance rule
+//!   `log(RR) − z·σ > 0` at `α = 0.05` used to highlight organs per state
+//!   (Fig. 5).
+//! * **Probability distributions** ([`distribution`]) — `erf`, the normal
+//!   pdf/cdf/quantile, and Student's t tail probabilities (via the
+//!   regularized incomplete beta function) for correlation p-values.
+//! * **Histograms** ([`histogram`]) — the binned/ranked views behind
+//!   Figs. 2–4.
+//! * **Distances** ([`distance`]) — Bhattacharyya (the affinity the paper
+//!   uses for state clustering, Fig. 6), Hellinger, Jensen–Shannon,
+//!   Euclidean, Manhattan, cosine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod contingency;
+pub mod correlation;
+pub mod descriptive;
+pub mod distance;
+pub mod distribution;
+pub mod histogram;
+pub mod rank;
+pub mod risk;
+
+mod error;
+
+pub use error::StatsError;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,127 @@
+//! Ranking with tie handling.
+//!
+//! Spearman correlation (Fig. 2a's popularity-vs-transplants check) is
+//! Pearson correlation applied to ranks; ties receive the average of the
+//! ranks they span, exactly as `scipy.stats.rankdata(method="average")`.
+
+/// Assigns 1-based average ranks to `data`.
+///
+/// Tied values all receive the mean of the positions they occupy. `NaN`
+/// values are ranked last (after every finite value) in input order, which
+/// keeps the function total; callers that care should filter `NaN` first.
+pub fn average_ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        data[a]
+            .partial_cmp(&data[b])
+            .unwrap_or_else(|| data[a].is_nan().cmp(&data[b].is_nan()))
+    });
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the run of equal values starting at sorted position i.
+        let mut j = i + 1;
+        while j < n && data[order[j]] == data[order[i]] {
+            j += 1;
+        }
+        // Positions i..j (0-based) correspond to ranks i+1..=j; average them.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Assigns 1-based *dense* ranks: ties share a rank and the next distinct
+/// value gets the next integer. Useful for the ranked-bin presentation of
+/// Fig. 3 ("values are ranked based on mentions").
+pub fn dense_ranks(data: &[f64]) -> Vec<usize> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in dense_ranks"));
+
+    let mut ranks = vec![0usize; n];
+    let mut rank = 0;
+    let mut prev: Option<f64> = None;
+    for &idx in &order {
+        if prev != Some(data[idx]) {
+            rank += 1;
+            prev = Some(data[idx]);
+        }
+        ranks[idx] = rank;
+    }
+    ranks
+}
+
+/// Returns the permutation that sorts `data` descending (largest first);
+/// ties keep input order (stable). This is the "ranked bars" ordering used
+/// when rendering the paper's histograms.
+pub fn descending_order(data: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.sort_by(|&a, &b| {
+        data[b]
+            .partial_cmp(&data[a])
+            .expect("NaN in descending_order")
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks_without_ties() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_rank() {
+        // 10 appears at ranks 1 and 2 -> both 1.5.
+        assert_eq!(
+            average_ranks(&[10.0, 10.0, 20.0]),
+            vec![1.5, 1.5, 3.0]
+        );
+        // All equal -> all (n+1)/2.
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0, 5.0]), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(average_ranks(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn nan_ranked_last() {
+        let r = average_ranks(&[f64::NAN, 1.0, 2.0]);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(r[2], 2.0);
+        assert_eq!(r[0], 3.0);
+    }
+
+    #[test]
+    fn dense_ranks_collapse_ties() {
+        assert_eq!(dense_ranks(&[10.0, 10.0, 20.0, 30.0]), vec![1, 1, 2, 3]);
+        assert_eq!(dense_ranks(&[3.0, 1.0, 2.0]), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn descending_order_is_stable() {
+        let order = descending_order(&[1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Sum of average ranks is always n(n+1)/2 regardless of ties.
+        let data = [4.0, 4.0, 4.0, 1.0, 9.0, 9.0, 2.0];
+        let n = data.len() as f64;
+        let sum: f64 = average_ranks(&data).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,308 @@
+//! Relative risk with the Katz log confidence interval.
+//!
+//! Eq. 4 of the paper defines the relative risk of organ `i` in region `r`
+//! as `RR_ir = ρ_ir / ρ_in`: the prevalence of users mentioning the organ
+//! *inside* the region over the prevalence *outside* it. Because
+//! `log(RR)` is approximately normal, an organ is *highlighted* in a state
+//! when `log(RR) − z_α · σ_log(RR) > 0` at `α = 0.05` (`z = 1.96`) — i.e.
+//! the lower confidence limit of `RR` exceeds 1 (Fig. 5).
+
+use crate::distribution::z_critical;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 exposure table for relative risk:
+/// `cases_in / total_in` inside the region versus
+/// `cases_out / total_out` outside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RiskTable {
+    /// Users inside the region who mention the organ.
+    pub cases_in: u64,
+    /// All users inside the region.
+    pub total_in: u64,
+    /// Users outside the region who mention the organ.
+    pub cases_out: u64,
+    /// All users outside the region.
+    pub total_out: u64,
+}
+
+/// The relative-risk estimate with its log-scale confidence interval.
+///
+/// ```
+/// use donorpulse_stats::risk::{RelativeRisk, RiskTable};
+///
+/// // 20% prevalence inside vs 10% outside -> RR = 2.
+/// let rr = RelativeRisk::from_table(
+///     RiskTable { cases_in: 200, total_in: 1000, cases_out: 1000, total_out: 10000 },
+///     0.05,
+/// ).unwrap();
+/// assert!((rr.rr - 2.0).abs() < 1e-12);
+/// assert!(rr.is_excess()); // the paper's highlighting rule
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelativeRisk {
+    /// Point estimate `(cases_in/total_in) / (cases_out/total_out)`.
+    pub rr: f64,
+    /// Natural log of the point estimate.
+    pub log_rr: f64,
+    /// Standard error of `log(RR)` (Katz).
+    pub se_log_rr: f64,
+    /// Lower limit of the CI on the RR scale.
+    pub ci_low: f64,
+    /// Upper limit of the CI on the RR scale.
+    pub ci_high: f64,
+    /// Significance level the interval was built at.
+    pub alpha: f64,
+}
+
+impl RelativeRisk {
+    /// Computes the relative risk with a `(1 − alpha)` two-sided CI.
+    ///
+    /// Errors when any margin needed by the estimator is zero: the paper's
+    /// prevalences are undefined for empty regions, and the Katz standard
+    /// error needs nonzero case counts on both sides.
+    pub fn from_table(table: RiskTable, alpha: f64) -> Result<Self> {
+        let RiskTable {
+            cases_in,
+            total_in,
+            cases_out,
+            total_out,
+        } = table;
+        if total_in == 0 || total_out == 0 {
+            return Err(StatsError::Undefined {
+                reason: "relative risk: empty population on one side".to_string(),
+            });
+        }
+        if cases_in > total_in || cases_out > total_out {
+            return Err(StatsError::InvalidParameter {
+                reason: format!(
+                    "cases exceed totals: {cases_in}/{total_in} inside, {cases_out}/{total_out} outside"
+                ),
+            });
+        }
+        if cases_in == 0 || cases_out == 0 {
+            return Err(StatsError::Undefined {
+                reason: "relative risk: zero case count; the log-RR standard error is undefined"
+                    .to_string(),
+            });
+        }
+        let z = z_critical(alpha)?;
+        let p_in = cases_in as f64 / total_in as f64;
+        let p_out = cases_out as f64 / total_out as f64;
+        let rr = p_in / p_out;
+        let log_rr = rr.ln();
+        // Katz: SE(ln RR) = sqrt(1/a − 1/n1 + 1/c − 1/n2).
+        let se_log_rr = (1.0 / cases_in as f64 - 1.0 / total_in as f64
+            + 1.0 / cases_out as f64
+            - 1.0 / total_out as f64)
+            .sqrt();
+        let ci_low = (log_rr - z * se_log_rr).exp();
+        let ci_high = (log_rr + z * se_log_rr).exp();
+        Ok(Self {
+            rr,
+            log_rr,
+            se_log_rr,
+            ci_low,
+            ci_high,
+            alpha,
+        })
+    }
+
+    /// The paper's highlighting rule: the organ significantly exceeds its
+    /// national expectation when `log(RR) − z·σ > 0`, i.e. `ci_low > 1`.
+    pub fn is_excess(&self) -> bool {
+        self.ci_low > 1.0
+    }
+
+    /// Symmetric deficit rule: significantly *below* national expectation
+    /// when `ci_high < 1` (used by the state-similarity discussion, where
+    /// states can also resemble each other in what they under-mention).
+    pub fn is_deficit(&self) -> bool {
+        self.ci_high < 1.0
+    }
+}
+
+/// Convenience: computes the RR of `cases_in/total_in` against the
+/// complement derived from grand totals (`grand_cases`, `grand_total`),
+/// i.e. "this state versus the rest of the USA".
+pub fn relative_risk_vs_rest(
+    cases_in: u64,
+    total_in: u64,
+    grand_cases: u64,
+    grand_total: u64,
+    alpha: f64,
+) -> Result<RelativeRisk> {
+    if grand_cases < cases_in || grand_total < total_in {
+        return Err(StatsError::InvalidParameter {
+            reason: "grand totals smaller than in-region counts".to_string(),
+        });
+    }
+    RelativeRisk::from_table(
+        RiskTable {
+            cases_in,
+            total_in,
+            cases_out: grand_cases - cases_in,
+            total_out: grand_total - total_in,
+        },
+        alpha,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_point_estimate() {
+        // 20% prevalence inside vs 10% outside -> RR = 2.
+        let rr = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 200,
+                total_in: 1000,
+                cases_out: 1000,
+                total_out: 10000,
+            },
+            0.05,
+        )
+        .unwrap();
+        assert!((rr.rr - 2.0).abs() < 1e-12);
+        assert!((rr.log_rr - 2.0f64.ln()).abs() < 1e-12);
+        assert!(rr.ci_low < 2.0 && 2.0 < rr.ci_high);
+    }
+
+    #[test]
+    fn katz_se_formula() {
+        let rr = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 27,
+                total_in: 100,
+                cases_out: 77,
+                total_out: 1000,
+            },
+            0.05,
+        )
+        .unwrap();
+        let expected_se =
+            (1.0 / 27.0 - 1.0 / 100.0 + 1.0 / 77.0 - 1.0 / 1000.0f64).sqrt();
+        assert!((rr.se_log_rr - expected_se).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excess_detection_matches_paper_rule() {
+        // Strong, well-powered excess.
+        let strong = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 500,
+                total_in: 1000,
+                cases_out: 1000,
+                total_out: 10000,
+            },
+            0.05,
+        )
+        .unwrap();
+        assert!(strong.is_excess());
+        assert!(!strong.is_deficit());
+        // Elevated point estimate but tiny sample -> not significant.
+        let weak = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 2,
+                total_in: 10,
+                cases_out: 15,
+                total_out: 100,
+            },
+            0.05,
+        )
+        .unwrap();
+        assert!(weak.rr > 1.0);
+        assert!(!weak.is_excess());
+    }
+
+    #[test]
+    fn deficit_detection() {
+        let deficit = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 50,
+                total_in: 1000,
+                cases_out: 2000,
+                total_out: 10000,
+            },
+            0.05,
+        )
+        .unwrap();
+        assert!(deficit.rr < 1.0);
+        assert!(deficit.is_deficit());
+        assert!(!deficit.is_excess());
+    }
+
+    #[test]
+    fn rejects_degenerate_tables() {
+        let base = RiskTable {
+            cases_in: 1,
+            total_in: 10,
+            cases_out: 1,
+            total_out: 10,
+        };
+        assert!(RelativeRisk::from_table(RiskTable { total_in: 0, ..base }, 0.05).is_err());
+        assert!(RelativeRisk::from_table(RiskTable { total_out: 0, ..base }, 0.05).is_err());
+        assert!(RelativeRisk::from_table(RiskTable { cases_in: 0, ..base }, 0.05).is_err());
+        assert!(RelativeRisk::from_table(RiskTable { cases_out: 0, ..base }, 0.05).is_err());
+        assert!(RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 20,
+                total_in: 10,
+                ..base
+            },
+            0.05
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn vs_rest_subtracts_correctly() {
+        let direct = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 30,
+                total_in: 100,
+                cases_out: 170,
+                total_out: 900,
+            },
+            0.05,
+        )
+        .unwrap();
+        let derived = relative_risk_vs_rest(30, 100, 200, 1000, 0.05).unwrap();
+        assert!((direct.rr - derived.rr).abs() < 1e-12);
+        assert!(relative_risk_vs_rest(30, 100, 20, 1000, 0.05).is_err());
+        assert!(relative_risk_vs_rest(30, 100, 200, 50, 0.05).is_err());
+    }
+
+    #[test]
+    fn rr_of_identical_prevalence_is_one() {
+        let rr = RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 10,
+                total_in: 100,
+                cases_out: 100,
+                total_out: 1000,
+            },
+            0.05,
+        )
+        .unwrap();
+        assert!((rr.rr - 1.0).abs() < 1e-12);
+        assert!(!rr.is_excess());
+        assert!(!rr.is_deficit());
+    }
+
+    #[test]
+    fn tighter_alpha_widens_interval() {
+        let t = RiskTable {
+            cases_in: 60,
+            total_in: 300,
+            cases_out: 300,
+            total_out: 3000,
+        };
+        let a05 = RelativeRisk::from_table(t, 0.05).unwrap();
+        let a01 = RelativeRisk::from_table(t, 0.01).unwrap();
+        assert!(a01.ci_low < a05.ci_low);
+        assert!(a01.ci_high > a05.ci_high);
+    }
+}

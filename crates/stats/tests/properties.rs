@@ -1,0 +1,184 @@
+//! Property-based tests for the statistics substrate.
+
+use donorpulse_stats::correlation::{pearson, spearman};
+use donorpulse_stats::descriptive::{mean, sample_variance, RunningStats};
+use donorpulse_stats::distance::{
+    bhattacharyya, cosine, euclidean, hellinger, js_divergence, manhattan,
+};
+use donorpulse_stats::distribution::{normal_cdf, normal_quantile};
+use donorpulse_stats::rank::average_ranks;
+use donorpulse_stats::bootstrap::{bootstrap_ci, BootstrapConfig};
+use donorpulse_stats::contingency::chi_square_independence;
+use donorpulse_stats::risk::{RelativeRisk, RiskTable};
+use proptest::prelude::*;
+
+/// Strategy: a discrete probability distribution of dimension `n`.
+fn distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01..1.0f64, n).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+fn sample(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, n)
+}
+
+proptest! {
+    #[test]
+    fn correlation_bounded(x in sample(12), y in sample(12)) {
+        if let Ok(c) = pearson(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&c.r));
+            prop_assert!((0.0..=1.0).contains(&c.p_value));
+        }
+        if let Ok(c) = spearman(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&c.r));
+        }
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(x in sample(10), y in sample(10)) {
+        // exp() is strictly monotone -> identical ranks -> identical rho.
+        let y_t: Vec<f64> = y.iter().map(|v| (v / 1e3).exp()).collect();
+        if let (Ok(a), Ok(b)) = (spearman(&x, &y), spearman(&x, &y_t)) {
+            prop_assert!((a.r - b.r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_are_permutation_invariant_sum(x in sample(20)) {
+        let n = x.len() as f64;
+        let total: f64 = average_ranks(&x).iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances_are_symmetric_nonnegative(p in distribution(6), q in distribution(6)) {
+        for f in [bhattacharyya, hellinger, euclidean, manhattan, cosine, js_divergence] {
+            let d1 = f(&p, &q).unwrap();
+            let d2 = f(&q, &p).unwrap();
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero(p in distribution(6)) {
+        prop_assert!(bhattacharyya(&p, &p).unwrap().abs() < 1e-9);
+        prop_assert!(hellinger(&p, &p).unwrap().abs() < 1e-7);
+        prop_assert!(euclidean(&p, &p).unwrap() == 0.0);
+        prop_assert!(js_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_triangle_inequality(
+        p in distribution(5),
+        q in distribution(5),
+        r in distribution(5),
+    ) {
+        let pq = hellinger(&p, &q).unwrap();
+        let qr = hellinger(&q, &r).unwrap();
+        let pr = hellinger(&p, &r).unwrap();
+        prop_assert!(pr <= pq + qr + 1e-9);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(p in 0.001..0.999f64) {
+        let x = normal_quantile(p).unwrap();
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn running_stats_agrees_with_batch(x in sample(30)) {
+        let mut rs = RunningStats::new();
+        x.iter().for_each(|&v| rs.push(v));
+        prop_assert!((rs.mean().unwrap() - mean(&x).unwrap()).abs() < 1e-6);
+        prop_assert!(
+            (rs.sample_variance().unwrap() - sample_variance(&x).unwrap()).abs()
+                < 1e-4 * sample_variance(&x).unwrap().max(1.0)
+        );
+    }
+
+    #[test]
+    fn relative_risk_inversion(
+        a in 1u64..500, extra_in in 1u64..500,
+        c in 1u64..500, extra_out in 1u64..500,
+    ) {
+        let t = RiskTable {
+            cases_in: a,
+            total_in: a + extra_in,
+            cases_out: c,
+            total_out: c + extra_out,
+        };
+        let swapped = RiskTable {
+            cases_in: t.cases_out,
+            total_in: t.total_out,
+            cases_out: t.cases_in,
+            total_out: t.total_in,
+        };
+        let rr = RelativeRisk::from_table(t, 0.05).unwrap();
+        let inv = RelativeRisk::from_table(swapped, 0.05).unwrap();
+        // Swapping inside/outside inverts the RR and mirrors the CI.
+        prop_assert!((rr.rr * inv.rr - 1.0).abs() < 1e-9);
+        prop_assert!((rr.ci_low * inv.ci_high - 1.0).abs() < 1e-6);
+        // CI always brackets the point estimate.
+        prop_assert!(rr.ci_low <= rr.rr && rr.rr <= rr.ci_high);
+        // Excess and deficit are mutually exclusive.
+        prop_assert!(!(rr.is_excess() && rr.is_deficit()));
+    }
+
+    #[test]
+    fn scaling_both_sides_preserves_rr(
+        a in 1u64..100, extra_in in 1u64..100,
+        c in 1u64..100, extra_out in 1u64..100,
+        k in 2u64..10,
+    ) {
+        let t1 = RiskTable { cases_in: a, total_in: a + extra_in, cases_out: c, total_out: c + extra_out };
+        let t2 = RiskTable {
+            cases_in: a * k,
+            total_in: (a + extra_in) * k,
+            cases_out: c * k,
+            total_out: (c + extra_out) * k,
+        };
+        let r1 = RelativeRisk::from_table(t1, 0.05).unwrap();
+        let r2 = RelativeRisk::from_table(t2, 0.05).unwrap();
+        prop_assert!((r1.rr - r2.rr).abs() < 1e-9);
+        // More data shrinks the interval.
+        prop_assert!(r2.ci_high - r2.ci_low <= r1.ci_high - r1.ci_low + 1e-9);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point(data in prop::collection::vec(-50.0..50.0f64, 5..60)) {
+        let cfg = BootstrapConfig { resamples: 200, confidence: 0.9, seed: 3 };
+        let est = bootstrap_ci(&data, cfg, |d| d.iter().sum::<f64>() / d.len() as f64).unwrap();
+        prop_assert!(est.ci_low <= est.point + 1e-12);
+        prop_assert!(est.point <= est.ci_high + 1e-12);
+        prop_assert!(est.ci_low <= est.ci_high);
+    }
+
+    #[test]
+    fn chi_square_never_negative(
+        table in prop::collection::vec(prop::collection::vec(1u64..50, 3..5), 2..5)
+    ) {
+        // Rows are ragged-protected: truncate to the first row's width.
+        let width = table[0].len();
+        let table: Vec<Vec<u64>> = table.into_iter().map(|mut r| { r.truncate(width); r })
+            .filter(|r| r.len() == width).collect();
+        if table.len() < 2 { return Ok(()); }
+        let t = chi_square_independence(&table).unwrap();
+        prop_assert!(t.statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&t.p_value));
+        prop_assert!((0.0..=1.0).contains(&t.cramers_v));
+    }
+
+    #[test]
+    fn proportional_rows_are_independent(
+        base in prop::collection::vec(1u64..20, 3..6),
+        k in 2u64..5,
+    ) {
+        let scaled: Vec<u64> = base.iter().map(|&v| v * k).collect();
+        let t = chi_square_independence(&[base, scaled]).unwrap();
+        prop_assert!(t.statistic < 1e-9, "chi2 = {}", t.statistic);
+        prop_assert!(t.p_value > 0.999);
+    }
+}

@@ -1,0 +1,253 @@
+//! Organ mention extraction — the raw signal behind the attention matrix.
+//!
+//! For each tweet the extractor counts how many times each organ is
+//! mentioned (whole-word over the organ lexicon). The paper reports 1.03
+//! organs mentioned per tweet and 1.13 per user (Table I): most tweets
+//! talk about a single organ, and multi-organ attention mostly emerges
+//! when tweets are aggregated per user (Fig. 2b) — which is exactly why
+//! the characterization is user-based.
+
+use crate::matcher::AhoCorasick;
+use crate::normalize::normalize;
+use crate::organ::Organ;
+use serde::{Deserialize, Serialize};
+
+/// Per-organ mention counts for one piece of text (or one user's
+/// aggregated texts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MentionCounts {
+    counts: [u32; Organ::COUNT],
+}
+
+impl MentionCounts {
+    /// An all-zero count vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count for one organ.
+    pub fn count(&self, organ: Organ) -> u32 {
+        self.counts[organ.index()]
+    }
+
+    /// Adds `delta` mentions of `organ`.
+    pub fn add(&mut self, organ: Organ, delta: u32) {
+        self.counts[organ.index()] += delta;
+    }
+
+    /// Merges another count vector into this one (used when aggregating a
+    /// user's tweets).
+    pub fn merge(&mut self, other: &MentionCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total mentions across organs.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of *distinct* organs mentioned — the x axis of Fig. 2(b).
+    pub fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// True when nothing was mentioned.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The organ with the most mentions (first in canonical order on
+    /// ties), or `None` when empty — Eq. 1's `argmax`.
+    pub fn dominant(&self) -> Option<Organ> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for i in 1..Organ::COUNT {
+            if self.counts[i] > self.counts[best] {
+                best = i;
+            }
+        }
+        Organ::from_index(best)
+    }
+
+    /// Raw counts in canonical organ order — one row of the (un-normalized)
+    /// contingency matrix `U`.
+    pub fn as_array(&self) -> [u32; Organ::COUNT] {
+        self.counts
+    }
+
+    /// Normalized attention distribution (row of `Û`), or `None` when the
+    /// vector is empty.
+    pub fn to_distribution(&self) -> Option<[f64; Organ::COUNT]> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let mut out = [0.0; Organ::COUNT];
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = c as f64 / total as f64;
+        }
+        Some(out)
+    }
+}
+
+impl FromIterator<Organ> for MentionCounts {
+    fn from_iter<I: IntoIterator<Item = Organ>>(iter: I) -> Self {
+        let mut mc = MentionCounts::new();
+        for organ in iter {
+            mc.add(organ, 1);
+        }
+        mc
+    }
+}
+
+/// A reusable organ-mention extractor (compile the automaton once, scan
+/// many tweets).
+#[derive(Debug, Clone)]
+pub struct OrganExtractor {
+    automaton: AhoCorasick,
+    organ_of_pattern: Vec<Organ>,
+}
+
+impl Default for OrganExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrganExtractor {
+    /// Builds the extractor over the full organ lexicon.
+    pub fn new() -> Self {
+        let mut patterns = Vec::new();
+        let mut organ_of_pattern = Vec::new();
+        for organ in Organ::ALL {
+            for term in organ.lexicon() {
+                patterns.push(*term);
+                organ_of_pattern.push(organ);
+            }
+        }
+        Self {
+            automaton: AhoCorasick::new(patterns),
+            organ_of_pattern,
+        }
+    }
+
+    /// Counts organ mentions in `raw_text` (every occurrence counts, so a
+    /// tweet saying "kidney kidney kidney" records three mentions).
+    pub fn extract(&self, raw_text: &str) -> MentionCounts {
+        let text = normalize(raw_text);
+        let mut counts = MentionCounts::new();
+        for m in self.automaton.find_words(&text) {
+            counts.add(self.organ_of_pattern[m.pattern], 1);
+        }
+        counts
+    }
+}
+
+/// One-shot convenience wrapper around [`OrganExtractor`].
+pub fn extract_mentions(raw_text: &str) -> MentionCounts {
+    OrganExtractor::new().extract(raw_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_organ_single_mention() {
+        let mc = extract_mentions("I registered as a kidney donor");
+        assert_eq!(mc.count(Organ::Kidney), 1);
+        assert_eq!(mc.total(), 1);
+        assert_eq!(mc.distinct(), 1);
+        assert_eq!(mc.dominant(), Some(Organ::Kidney));
+    }
+
+    #[test]
+    fn multiple_organs_one_tweet() {
+        let mc = extract_mentions("heart and lung transplant, also a liver");
+        assert_eq!(mc.count(Organ::Heart), 1);
+        assert_eq!(mc.count(Organ::Lung), 1);
+        assert_eq!(mc.count(Organ::Liver), 1);
+        assert_eq!(mc.distinct(), 3);
+    }
+
+    #[test]
+    fn repeated_mentions_counted() {
+        let mc = extract_mentions("kidney kidney KIDNEYS");
+        assert_eq!(mc.count(Organ::Kidney), 3);
+    }
+
+    #[test]
+    fn synonyms_resolve() {
+        let mc = extract_mentions("renal failure and hepatic disease, pulmonary too");
+        assert_eq!(mc.count(Organ::Kidney), 1);
+        assert_eq!(mc.count(Organ::Liver), 1);
+        assert_eq!(mc.count(Organ::Lung), 1);
+    }
+
+    #[test]
+    fn embedded_words_do_not_count() {
+        let mc = extract_mentions("heartless sweetheart hearty");
+        assert!(mc.is_empty());
+        assert_eq!(mc.dominant(), None);
+    }
+
+    #[test]
+    fn hashtag_mentions_count() {
+        let mc = extract_mentions("#kidney #HeartTransplant heart");
+        // "#kidney" -> kidney; "#HeartTransplant" normalizes to
+        // "hearttransplant" (embedded, no match); bare "heart" counts.
+        assert_eq!(mc.count(Organ::Kidney), 1);
+        assert_eq!(mc.count(Organ::Heart), 1);
+    }
+
+    #[test]
+    fn dominant_tie_break_is_canonical_order() {
+        let mut mc = MentionCounts::new();
+        mc.add(Organ::Liver, 2);
+        mc.add(Organ::Kidney, 2);
+        // Kidney precedes Liver in canonical order.
+        assert_eq!(mc.dominant(), Some(Organ::Kidney));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = extract_mentions("kidney donor");
+        let b = extract_mentions("kidney and heart donation");
+        a.merge(&b);
+        assert_eq!(a.count(Organ::Kidney), 2);
+        assert_eq!(a.count(Organ::Heart), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let mut mc = MentionCounts::new();
+        mc.add(Organ::Heart, 3);
+        mc.add(Organ::Lung, 1);
+        let d = mc.to_distribution().unwrap();
+        assert!((d[Organ::Heart.index()] - 0.75).abs() < 1e-12);
+        assert!((d[Organ::Lung.index()] - 0.25).abs() < 1e-12);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(MentionCounts::new().to_distribution(), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let mc: MentionCounts = [Organ::Heart, Organ::Heart, Organ::Liver]
+            .into_iter()
+            .collect();
+        assert_eq!(mc.count(Organ::Heart), 2);
+        assert_eq!(mc.count(Organ::Liver), 1);
+    }
+
+    #[test]
+    fn extractor_is_reusable() {
+        let ex = OrganExtractor::new();
+        assert_eq!(ex.extract("lung").count(Organ::Lung), 1);
+        assert_eq!(ex.extract("liver").count(Organ::Liver), 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's keyword model: `Q = Context × Subject` (Fig. 1) and the
+//! Twitter Stream API `track` filter semantics.
+//!
+//! The collection predicate guarantees every collected tweet contains at
+//! least one *Context* word (an organ-donation term) **and** at least one
+//! *Subject* word (an organ). We model each element of the Cartesian
+//! product as a track phrase (Twitter's `track` parameter matches a
+//! phrase when *all* of its terms appear in the tweet, in any order,
+//! case-insensitively) — so matching any single `(context, subject)` pair
+//! is exactly the paper's conjunction.
+
+use crate::matcher::AhoCorasick;
+use crate::normalize::normalize;
+use serde::{Deserialize, Serialize};
+
+/// Anything that can accept/reject a tweet by its text — the interface a
+/// stream endpoint filters through. Implemented by both [`TrackFilter`]
+/// (faithful Twitter `track` semantics over the expanded Cartesian
+/// product) and [`KeywordQuery`] (the equivalent two-automaton
+/// conjunction, a single scan and much faster at collection scale).
+pub trait TextFilter {
+    /// True when the tweet should be delivered.
+    fn accepts(&self, text: &str) -> bool;
+}
+
+impl TextFilter for TrackFilter {
+    fn accepts(&self, text: &str) -> bool {
+        self.matches(text)
+    }
+}
+
+impl TextFilter for KeywordQuery {
+    fn accepts(&self, text: &str) -> bool {
+        self.matches(text)
+    }
+}
+
+/// Context terms: the organ-donation vocabulary (left set of Fig. 1).
+pub const CONTEXT_TERMS: &[&str] = &[
+    "donor",
+    "donors",
+    "donate",
+    "donated",
+    "donating",
+    "donation",
+    "donations",
+    "transplant",
+    "transplants",
+    "transplanted",
+    "transplantation",
+];
+
+/// Subject terms: every surface form of the six organs (right set of
+/// Fig. 1), flattened from [`crate::Organ::lexicon`].
+pub fn subject_terms() -> Vec<&'static str> {
+    crate::Organ::ALL
+        .into_iter()
+        .flat_map(|o| o.lexicon().iter().copied())
+        .collect()
+}
+
+/// The compiled keyword query `Q = Context × Subject`.
+///
+/// Rather than materializing the full Cartesian product as phrases (the
+/// Stream API would), the filter compiles one automaton per side and
+/// requires a whole-word hit from each — semantically identical and a
+/// single scan cheaper.
+///
+/// ```
+/// use donorpulse_text::KeywordQuery;
+///
+/// let q = KeywordQuery::paper();
+/// assert!(q.matches("be a kidney donor today"));
+/// assert!(!q.matches("my heart is broken"));        // organ, no context
+/// assert!(!q.matches("please donate to the drive")); // context, no organ
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeywordQuery {
+    context: AhoCorasick,
+    subject: AhoCorasick,
+}
+
+impl Default for KeywordQuery {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl KeywordQuery {
+    /// The paper's query: organ-donation context terms × organ lexicon.
+    pub fn paper() -> Self {
+        Self::new(CONTEXT_TERMS.iter().copied(), subject_terms())
+    }
+
+    /// A custom query from arbitrary context/subject sets.
+    pub fn new<C, S>(context: C, subject: S) -> Self
+    where
+        C: IntoIterator,
+        C::Item: Into<String>,
+        S: IntoIterator,
+        S::Item: Into<String>,
+    {
+        Self {
+            context: AhoCorasick::new(context.into_iter().map(|s| normalize(&s.into()))),
+            subject: AhoCorasick::new(subject.into_iter().map(|s| normalize(&s.into()))),
+        }
+    }
+
+    /// True when the tweet text satisfies `Q`: at least one context term
+    /// and at least one subject term, whole-word, case-insensitive.
+    pub fn matches(&self, raw_text: &str) -> bool {
+        let text = normalize(raw_text);
+        self.context.contains_word(&text) && self.subject.contains_word(&text)
+    }
+
+    /// Number of `(context, subject)` pairs in the logical Cartesian
+    /// product — the size of `Q` as the paper defines it.
+    pub fn cartesian_size(&self) -> usize {
+        self.context.pattern_count() * self.subject.pattern_count()
+    }
+}
+
+/// A faithful model of the Twitter Stream API `track` parameter, used by
+/// the simulated stream endpoint.
+///
+/// Each track entry is a *phrase*; a tweet matches the filter when, for
+/// at least one phrase, **every** term of that phrase occurs in the tweet
+/// (whole-word, any order, case-insensitive). This is the documented
+/// behaviour of the real endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrackFilter {
+    phrases: Vec<Vec<String>>,
+}
+
+impl TrackFilter {
+    /// Compiles a track filter from phrases like `"kidney donor"`.
+    pub fn new<I, S>(phrases: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let phrases = phrases
+            .into_iter()
+            .map(|p| {
+                normalize(p.as_ref())
+                    .split(' ')
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .filter(|terms| !terms.is_empty())
+            .collect();
+        Self { phrases }
+    }
+
+    /// Builds the full Cartesian-product track list of the paper's query:
+    /// one two-term phrase per `(context, subject)` pair.
+    pub fn paper_cartesian() -> Self {
+        let mut phrases = Vec::new();
+        for c in CONTEXT_TERMS {
+            for s in subject_terms() {
+                phrases.push(format!("{c} {s}"));
+            }
+        }
+        Self::new(phrases)
+    }
+
+    /// Number of phrases tracked.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// True when no phrases are tracked (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Twitter `track` semantics: any phrase fully present.
+    pub fn matches(&self, raw_text: &str) -> bool {
+        if self.phrases.is_empty() {
+            return false;
+        }
+        let tokens: std::collections::HashSet<String> =
+            crate::token::content_tokens(raw_text).into_iter().collect();
+        self.phrases
+            .iter()
+            .any(|phrase| phrase.iter().all(|term| tokens.contains(term)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_query_requires_both_sides() {
+        let q = KeywordQuery::paper();
+        assert!(q.matches("Be an organ donor, give a kidney"));
+        assert!(q.matches("KIDNEY DONATION saves lives"));
+        assert!(q.matches("she had a liver transplant yesterday"));
+        // Context without subject.
+        assert!(!q.matches("please donate to our charity"));
+        // Subject without context.
+        assert!(!q.matches("my heart is broken"));
+        // Neither.
+        assert!(!q.matches("good morning everyone"));
+    }
+
+    #[test]
+    fn query_is_whole_word() {
+        let q = KeywordQuery::paper();
+        assert!(!q.matches("heartless dictator transplanting nothing"));
+        // "transplanting" is not in the context list, "heartless" embeds
+        // heart — neither side fires.
+    }
+
+    #[test]
+    fn synonyms_count_as_subjects() {
+        let q = KeywordQuery::paper();
+        assert!(q.matches("renal transplant waiting list grows"));
+        assert!(q.matches("pulmonary transplantation program expanded"));
+    }
+
+    #[test]
+    fn hashtags_match_via_normalization() {
+        let q = KeywordQuery::paper();
+        // The '#' is not a word character, so the tag body is word-aligned.
+        assert!(q.matches("#donate your #kidney"));
+    }
+
+    #[test]
+    fn cartesian_size_matches_product() {
+        let q = KeywordQuery::paper();
+        assert_eq!(
+            q.cartesian_size(),
+            CONTEXT_TERMS.len() * subject_terms().len()
+        );
+    }
+
+    #[test]
+    fn custom_query() {
+        let q = KeywordQuery::new(["give"], ["blood"]);
+        assert!(q.matches("Give Blood today"));
+        assert!(!q.matches("give money today"));
+    }
+
+    #[test]
+    fn track_filter_all_terms_any_order() {
+        let f = TrackFilter::new(["kidney donor"]);
+        assert!(f.matches("donor of a kidney"));
+        assert!(f.matches("kidney needed, any donor out there?"));
+        assert!(!f.matches("kidney needed"));
+        assert!(!f.matches("donor needed"));
+    }
+
+    #[test]
+    fn track_filter_multiple_phrases_or() {
+        let f = TrackFilter::new(["heart donor", "liver transplant"]);
+        assert!(f.matches("heart donor registered"));
+        assert!(f.matches("liver transplant done"));
+    }
+
+    #[test]
+    fn track_filter_cross_phrase_terms_do_not_combine() {
+        let f = TrackFilter::new(["heart donor", "liver transplant"]);
+        // "heart" from phrase 1 + "transplant" from phrase 2 is NOT a match.
+        assert!(!f.matches("heart transplant support group"));
+    }
+
+    #[test]
+    fn paper_cartesian_has_full_product() {
+        let f = TrackFilter::paper_cartesian();
+        assert_eq!(f.len(), CONTEXT_TERMS.len() * subject_terms().len());
+        assert!(!f.is_empty());
+        assert!(f.matches("kidney donation drive"));
+        assert!(!f.matches("kidney stones hurt"));
+    }
+
+    #[test]
+    fn empty_filter_matches_nothing() {
+        let f = TrackFilter::new(Vec::<String>::new());
+        assert!(f.is_empty());
+        assert!(!f.matches("anything at all"));
+        let blank = TrackFilter::new(["   "]);
+        assert!(blank.is_empty());
+    }
+
+    #[test]
+    fn track_semantics_equal_keyword_query_on_paper_terms() {
+        // The logical conjunction filter and the expanded Cartesian track
+        // list accept the same tweets (for word-token text).
+        let q = KeywordQuery::paper();
+        let f = TrackFilter::paper_cartesian();
+        for text in [
+            "be a kidney donor",
+            "liver transplantation is amazing",
+            "donate your lungs",
+            "heart surgery went fine",
+            "donated blood today",
+            "pancreas transplant list",
+        ] {
+            assert_eq!(q.matches(text), f.matches(text), "disagree on: {text}");
+        }
+    }
+}

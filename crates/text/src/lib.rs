@@ -1,0 +1,36 @@
+//! Tweet text processing for `donorpulse`.
+//!
+//! The paper collects tweets with the *Twitter Stream API* using a
+//! predicate set `Q = Context × Subject` (Fig. 1): the Cartesian product
+//! of organ-donation context words and organ names. Every collected tweet
+//! therefore contains at least one Context word and at least one Subject
+//! word. This crate reimplements that text machinery from scratch:
+//!
+//! * [`token`] — a tweet-aware tokenizer (hashtags, mentions, URLs,
+//!   numbers, words) over arbitrary unicode;
+//! * [`normalize`] — case folding, accent stripping, and whitespace
+//!   normalization applied before any matching;
+//! * [`matcher`] — a from-scratch Aho–Corasick multi-pattern automaton
+//!   used to scan hundreds of thousands of tweets per second;
+//! * [`keywords`] — the Context/Subject sets and the `Q` filter exactly as
+//!   defined in the paper;
+//! * [`organ`] — the six major solid organs with their mention lexicon
+//!   (plurals, hashtag forms, adjectival forms such as *renal*);
+//! * [`extract`] — per-tweet organ mention extraction, the raw signal
+//!   behind the attention matrix `Û`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod keywords;
+pub mod matcher;
+pub mod normalize;
+pub mod organ;
+pub mod token;
+
+pub use extract::{extract_mentions, MentionCounts};
+pub use keywords::{KeywordQuery, TextFilter, TrackFilter};
+pub use matcher::AhoCorasick;
+pub use organ::Organ;
+pub use token::{tokenize, Token, TokenKind};

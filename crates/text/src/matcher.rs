@@ -1,0 +1,293 @@
+//! A from-scratch Aho–Corasick multi-pattern string matcher.
+//!
+//! The stream filter and the organ extractor both need to scan every
+//! incoming tweet against dozens of patterns (context words, organ
+//! lexicon). A single automaton pass per tweet keeps the collection
+//! pipeline linear in the input size — the property that made the paper's
+//! 385-day live collection feasible.
+//!
+//! The automaton operates on bytes of the (already normalized) haystack.
+//! Matches can optionally be constrained to whole words via
+//! [`AhoCorasick::find_words`], which checks that the match is not
+//! embedded in a longer word-character run (so `heart` does not fire
+//! inside `heartless` unless asked to).
+
+use crate::normalize::is_word_char;
+use std::collections::VecDeque;
+
+/// A match reported by the automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the pattern (in construction order).
+    pub pattern: usize,
+    /// Byte offset of the match start in the haystack.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+}
+
+const ALPHABET: usize = 256;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Dense next-state table over bytes (usize::MAX = no edge yet).
+    next: Box<[u32; ALPHABET]>,
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this node.
+    output: Vec<u32>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Self {
+            next: Box::new([u32::MAX; ALPHABET]),
+            fail: 0,
+            output: Vec::new(),
+        }
+    }
+}
+
+/// The Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    patterns: Vec<String>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from `patterns`. Empty patterns are rejected.
+    ///
+    /// # Panics
+    /// Panics if any pattern is empty — the caller controls the lexicon,
+    /// and an empty pattern would match everywhere.
+    pub fn new<I, S>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let patterns: Vec<String> = patterns.into_iter().map(Into::into).collect();
+        assert!(
+            patterns.iter().all(|p| !p.is_empty()),
+            "empty pattern in AhoCorasick"
+        );
+
+        let mut nodes = vec![Node::new()];
+        // Trie construction.
+        for (pi, pat) in patterns.iter().enumerate() {
+            let mut cur = 0usize;
+            for &b in pat.as_bytes() {
+                let slot = nodes[cur].next[b as usize];
+                cur = if slot == u32::MAX {
+                    nodes.push(Node::new());
+                    let id = (nodes.len() - 1) as u32;
+                    nodes[cur].next[b as usize] = id;
+                    id as usize
+                } else {
+                    slot as usize
+                };
+            }
+            nodes[cur].output.push(pi as u32);
+        }
+
+        // BFS to set failure links and convert to a full goto function.
+        let mut queue = VecDeque::new();
+        for b in 0..ALPHABET {
+            let child = nodes[0].next[b];
+            if child == u32::MAX {
+                nodes[0].next[b] = 0;
+            } else {
+                nodes[child as usize].fail = 0;
+                queue.push_back(child);
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let state = state as usize;
+            for b in 0..ALPHABET {
+                let child = nodes[state].next[b];
+                let fail_next = nodes[nodes[state].fail as usize].next[b];
+                if child == u32::MAX {
+                    nodes[state].next[b] = fail_next;
+                } else {
+                    nodes[child as usize].fail = fail_next;
+                    // Merge outputs of the failure target.
+                    let inherited = nodes[fail_next as usize].output.clone();
+                    nodes[child as usize].output.extend(inherited);
+                    queue.push_back(child);
+                }
+            }
+        }
+
+        Self { nodes, patterns }
+    }
+
+    /// Number of patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// The pattern with index `i`.
+    pub fn pattern(&self, i: usize) -> &str {
+        &self.patterns[i]
+    }
+
+    /// Finds all (possibly overlapping) occurrences of any pattern.
+    pub fn find_all(&self, haystack: &str) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in haystack.as_bytes().iter().enumerate() {
+            state = self.nodes[state as usize].next[b as usize];
+            for &pi in &self.nodes[state as usize].output {
+                let pat_len = self.patterns[pi as usize].len();
+                out.push(Match {
+                    pattern: pi as usize,
+                    start: i + 1 - pat_len,
+                    end: i + 1,
+                });
+            }
+        }
+        out
+    }
+
+    /// Like [`AhoCorasick::find_all`] but only reports matches aligned on
+    /// word boundaries: the byte before `start` and the byte at `end`
+    /// must not be word characters. Multi-word patterns ("organ donor")
+    /// work naturally since spaces are not word characters.
+    pub fn find_words(&self, haystack: &str) -> Vec<Match> {
+        self.find_all(haystack)
+            .into_iter()
+            .filter(|m| {
+                let before_ok = m.start == 0
+                    || haystack[..m.start]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| !is_word_char(c));
+                let after_ok = m.end >= haystack.len()
+                    || haystack[m.end..]
+                        .chars()
+                        .next()
+                        .is_some_and(|c| !is_word_char(c));
+                before_ok && after_ok
+            })
+            .collect()
+    }
+
+    /// True when any pattern occurs in `haystack` (whole-word matching).
+    pub fn contains_word(&self, haystack: &str) -> bool {
+        !self.find_words(haystack).is_empty()
+    }
+
+    /// Indices of the distinct patterns that occur (whole-word) in
+    /// `haystack`, in first-occurrence order.
+    pub fn matched_patterns(&self, haystack: &str) -> Vec<usize> {
+        let mut seen = vec![false; self.patterns.len()];
+        let mut out = Vec::new();
+        for m in self.find_words(haystack) {
+            if !seen[m.pattern] {
+                seen[m.pattern] = true;
+                out.push(m.pattern);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AhoCorasick::new(["kidney"]);
+        let m = ac.find_all("need a kidney now");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].pattern, 0);
+        assert_eq!(&"need a kidney now"[m[0].start..m[0].end], "kidney");
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let matches = ac.find_all("ushers");
+        let found: Vec<&str> = matches.iter().map(|m| ac.pattern(m.pattern)).collect();
+        // Classic Aho-Corasick example: "ushers" contains she, he, hers.
+        assert_eq!(found.len(), 3);
+        assert!(found.contains(&"she"));
+        assert!(found.contains(&"he"));
+        assert!(found.contains(&"hers"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let ac = AhoCorasick::new(["heart"]);
+        assert!(ac.contains_word("my heart aches"));
+        assert!(ac.contains_word("heart"));
+        assert!(ac.contains_word("(heart)"));
+        assert!(!ac.contains_word("heartless"));
+        assert!(!ac.contains_word("sweetheart"));
+        assert!(!ac.contains_word("hearts")); // plural is a separate pattern
+    }
+
+    #[test]
+    fn multiword_patterns() {
+        let ac = AhoCorasick::new(["organ donor"]);
+        assert!(ac.contains_word("register as an organ donor today"));
+        assert!(!ac.contains_word("organ donors")); // 's' embeds the tail
+        assert!(!ac.contains_word("organdonor"));
+    }
+
+    #[test]
+    fn matched_patterns_dedup_in_order() {
+        let ac = AhoCorasick::new(["a", "b"]);
+        assert_eq!(ac.matched_patterns("b a b a"), vec![1, 0]);
+    }
+
+    #[test]
+    fn no_match_in_empty_or_disjoint() {
+        let ac = AhoCorasick::new(["liver"]);
+        assert!(ac.find_all("").is_empty());
+        assert!(ac.find_all("lungs and pancreas").is_empty());
+    }
+
+    #[test]
+    fn duplicate_patterns_each_fire() {
+        let ac = AhoCorasick::new(["x", "x"]);
+        let m = ac.find_all("x");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn unicode_haystack_is_safe() {
+        // Patterns are ASCII but the haystack has multi-byte chars around
+        // them; byte-level matching must still be utf8-boundary safe in
+        // the word check.
+        let ac = AhoCorasick::new(["lung"]);
+        assert!(ac.contains_word("❤️ lung ❤️"));
+        assert!(!ac.contains_word("❤️lungs❤️"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pattern")]
+    fn empty_pattern_rejected() {
+        let _ = AhoCorasick::new([""]);
+    }
+
+    #[test]
+    fn suffix_output_inheritance() {
+        // "donation" contains pattern "nation" ending at the same spot.
+        let ac = AhoCorasick::new(["donation", "nation"]);
+        let m = ac.find_all("donation");
+        assert_eq!(m.len(), 2);
+        let words = ac.find_words("donation");
+        // Only "donation" is word-aligned.
+        assert_eq!(words.len(), 1);
+        assert_eq!(ac.pattern(words[0].pattern), "donation");
+    }
+
+    #[test]
+    fn pattern_accessors() {
+        let ac = AhoCorasick::new(["a", "bc"]);
+        assert_eq!(ac.pattern_count(), 2);
+        assert_eq!(ac.pattern(1), "bc");
+    }
+}

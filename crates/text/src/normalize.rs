@@ -1,0 +1,108 @@
+//! Text normalization applied before keyword matching.
+//!
+//! Tweets are messy: mixed case, curly quotes, accents, decorative
+//! unicode. Matching happens over a normalized view — lowercased,
+//! common Latin diacritics folded to ASCII, fancy punctuation mapped to
+//! its plain form, and whitespace collapsed — while the original text is
+//! left untouched for display.
+
+/// Folds a single character: lowercases and strips common Latin
+/// diacritics. Characters without a fold are returned unchanged
+/// (lowercased where possible).
+pub fn fold_char(c: char) -> char {
+    let lower = c.to_lowercase().next().unwrap_or(c);
+    match lower {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' => 'a',
+        'è' | 'é' | 'ê' | 'ë' => 'e',
+        'ì' | 'í' | 'î' | 'ï' => 'i',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' => 'u',
+        'ý' | 'ÿ' => 'y',
+        'ñ' => 'n',
+        'ç' => 'c',
+        '’' | '‘' | 'ʼ' => '\'',
+        '“' | '”' => '"',
+        '–' | '—' | '‐' | '‑' => '-',
+        other => other,
+    }
+}
+
+/// Normalizes a whole string: per-char folding plus whitespace collapse
+/// (any run of unicode whitespace becomes a single ASCII space, leading
+/// and trailing whitespace removed).
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_was_space = true; // trims leading whitespace
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.push(fold_char(c));
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// True for characters that can appear *inside* a word token: letters,
+/// digits, apostrophes and hyphens (so "don't" and "e-mail" stay whole).
+pub fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '-' || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize("HeArT Donor"), "heart donor");
+    }
+
+    #[test]
+    fn strips_accents() {
+        assert_eq!(normalize("José Muñoz çédille"), "jose munoz cedille");
+        assert_eq!(normalize("NAÏVE RÉSUMÉ"), "naive resume");
+    }
+
+    #[test]
+    fn folds_fancy_punctuation() {
+        assert_eq!(normalize("don’t — “quote”"), "don't - \"quote\"");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize("  a\t\tb\n\nc  "), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+    }
+
+    #[test]
+    fn preserves_emoji_and_symbols() {
+        assert_eq!(normalize("I ❤ my donor"), "i ❤ my donor");
+    }
+
+    #[test]
+    fn word_chars() {
+        assert!(is_word_char('a'));
+        assert!(is_word_char('9'));
+        assert!(is_word_char('\''));
+        assert!(is_word_char('-'));
+        assert!(is_word_char('_'));
+        assert!(!is_word_char(' '));
+        assert!(!is_word_char('#'));
+        assert!(!is_word_char('!'));
+    }
+
+    #[test]
+    fn idempotent() {
+        let once = normalize("Liver  TRANSPLANT… très bien");
+        assert_eq!(normalize(&once), once);
+    }
+}

@@ -1,0 +1,181 @@
+//! The six major solid organs and their mention lexicon.
+//!
+//! The paper characterizes conversations about the six most-transplanted
+//! solid organs in the USA: heart, kidney, liver, lung, pancreas, and
+//! intestine. Each organ owns a small lexicon of surface forms (plural,
+//! hashtag-style compounds are handled by the tokenizer, and common
+//! adjectival/medical forms such as *renal* or *hepatic* are included so
+//! clinically-phrased tweets still count).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the six major solid transplant organs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Organ {
+    /// Heart — the most mentioned organ on Twitter in the paper's corpus.
+    Heart,
+    /// Kidney — the most transplanted organ in the USA.
+    Kidney,
+    /// Liver.
+    Liver,
+    /// Lung.
+    Lung,
+    /// Pancreas.
+    Pancreas,
+    /// Intestine — the least mentioned and least transplanted.
+    Intestine,
+}
+
+impl Organ {
+    /// All six organs in canonical order (the column order of `Û` and `K`).
+    pub const ALL: [Organ; 6] = [
+        Organ::Heart,
+        Organ::Kidney,
+        Organ::Liver,
+        Organ::Lung,
+        Organ::Pancreas,
+        Organ::Intestine,
+    ];
+
+    /// Number of organs (the `n` of the paper's `m × n` matrices).
+    pub const COUNT: usize = 6;
+
+    /// Canonical column index of this organ.
+    pub fn index(self) -> usize {
+        match self {
+            Organ::Heart => 0,
+            Organ::Kidney => 1,
+            Organ::Liver => 2,
+            Organ::Lung => 3,
+            Organ::Pancreas => 4,
+            Organ::Intestine => 5,
+        }
+    }
+
+    /// The organ with canonical index `i`.
+    pub fn from_index(i: usize) -> Option<Organ> {
+        Organ::ALL.get(i).copied()
+    }
+
+    /// Lowercase canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Organ::Heart => "heart",
+            Organ::Kidney => "kidney",
+            Organ::Liver => "liver",
+            Organ::Lung => "lung",
+            Organ::Pancreas => "pancreas",
+            Organ::Intestine => "intestine",
+        }
+    }
+
+    /// Surface forms that count as a mention of this organ. All lowercase
+    /// ASCII; matching happens on normalized text.
+    pub fn lexicon(self) -> &'static [&'static str] {
+        match self {
+            Organ::Heart => &["heart", "hearts", "cardiac"],
+            Organ::Kidney => &["kidney", "kidneys", "renal"],
+            Organ::Liver => &["liver", "livers", "hepatic"],
+            Organ::Lung => &["lung", "lungs", "pulmonary"],
+            Organ::Pancreas => &["pancreas", "pancreatic"],
+            Organ::Intestine => &["intestine", "intestines", "intestinal", "bowel"],
+        }
+    }
+
+    /// Resolves a normalized token to an organ, if it is in any lexicon.
+    pub fn from_token(token: &str) -> Option<Organ> {
+        Organ::ALL
+            .into_iter()
+            .find(|o| o.lexicon().contains(&token))
+    }
+
+    /// Number of transplants performed in the USA in 2012 (OPTN/SRTR 2012
+    /// Annual Data Report), the external correlate of Fig. 2(a).
+    pub fn transplants_2012(self) -> u64 {
+        match self {
+            Organ::Heart => 2_378,
+            Organ::Kidney => 16_487,
+            Organ::Liver => 6_256,
+            Organ::Lung => 1_754,
+            Organ::Pancreas => 1_043,
+            Organ::Intestine => 106,
+        }
+    }
+}
+
+impl fmt::Display for Organ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Organ {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_lowercase();
+        Organ::from_token(&lower).ok_or_else(|| format!("unknown organ: {s}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, organ) in Organ::ALL.into_iter().enumerate() {
+            assert_eq!(organ.index(), i);
+            assert_eq!(Organ::from_index(i), Some(organ));
+        }
+        assert_eq!(Organ::from_index(6), None);
+        assert_eq!(Organ::ALL.len(), Organ::COUNT);
+    }
+
+    #[test]
+    fn lexicon_resolves_tokens() {
+        assert_eq!(Organ::from_token("kidneys"), Some(Organ::Kidney));
+        assert_eq!(Organ::from_token("renal"), Some(Organ::Kidney));
+        assert_eq!(Organ::from_token("hepatic"), Some(Organ::Liver));
+        assert_eq!(Organ::from_token("pulmonary"), Some(Organ::Lung));
+        assert_eq!(Organ::from_token("bowel"), Some(Organ::Intestine));
+        assert_eq!(Organ::from_token("spleen"), None);
+    }
+
+    #[test]
+    fn lexicons_are_disjoint_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for organ in Organ::ALL {
+            for term in organ.lexicon() {
+                assert_eq!(&term.to_lowercase(), term, "{term} not lowercase");
+                assert!(seen.insert(*term), "{term} appears in two lexicons");
+            }
+        }
+    }
+
+    #[test]
+    fn from_str_parses_names_and_synonyms() {
+        assert_eq!("Heart".parse::<Organ>().unwrap(), Organ::Heart);
+        assert_eq!("RENAL".parse::<Organ>().unwrap(), Organ::Kidney);
+        assert!("brain".parse::<Organ>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Organ::Pancreas.to_string(), "pancreas");
+    }
+
+    #[test]
+    fn transplant_counts_match_optn_2012_ordering() {
+        // Kidney > liver > heart > lung > pancreas > intestine — the
+        // registry ordering the paper contrasts with Twitter popularity.
+        let t: Vec<u64> = Organ::ALL.iter().map(|o| o.transplants_2012()).collect();
+        assert!(t[Organ::Kidney.index()] > t[Organ::Liver.index()]);
+        assert!(t[Organ::Liver.index()] > t[Organ::Heart.index()]);
+        assert!(t[Organ::Heart.index()] > t[Organ::Lung.index()]);
+        assert!(t[Organ::Lung.index()] > t[Organ::Pancreas.index()]);
+        assert!(t[Organ::Pancreas.index()] > t[Organ::Intestine.index()]);
+    }
+}

@@ -1,0 +1,257 @@
+//! A tweet-aware tokenizer.
+//!
+//! Splits raw tweet text into typed tokens: plain words, `#hashtags`,
+//! `@mentions`, URLs, and numbers. The tokenizer operates on the
+//! *original* text and normalizes each token's matchable form with
+//! [`crate::normalize::normalize`], so downstream matching is
+//! case/diacritic-insensitive while byte offsets still refer to the
+//! original string.
+
+use crate::normalize::{is_word_char, normalize};
+use serde::{Deserialize, Serialize};
+
+/// The type of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A plain word (letters, possibly with internal `'`/`-`/`_`).
+    Word,
+    /// A `#hashtag` (stored without the `#`).
+    Hashtag,
+    /// A `@mention` (stored without the `@`).
+    Mention,
+    /// A URL starting with `http://`, `https://` or `www.`.
+    Url,
+    /// A number (all-digit word, possibly with `.`/`,` separators).
+    Number,
+}
+
+/// One token with its normalized text and source span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Normalized (lowercased, accent-folded) token text, sigil stripped.
+    pub text: String,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the token start in the original string.
+    pub start: usize,
+    /// Byte offset one past the token end in the original string.
+    pub end: usize,
+}
+
+/// Tokenizes tweet text.
+///
+/// Rules, in priority order at each position:
+/// 1. `http://…`, `https://…`, `www.…` — a [`TokenKind::Url`] running to
+///    the next whitespace;
+/// 2. `#` or `@` followed by a word — hashtag / mention (sigil stripped);
+/// 3. a maximal run of word characters — [`TokenKind::Number`] if every
+///    char is an ASCII digit, otherwise [`TokenKind::Word`];
+/// 4. anything else (punctuation, emoji) is skipped.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<(usize, char)> = text.char_indices().collect();
+    let n = bytes.len();
+    let mut i = 0;
+
+    while i < n {
+        let (start, c) = bytes[i];
+
+        // URLs.
+        if starts_url(text, start) {
+            let mut j = i;
+            while j < n && !bytes[j].1.is_whitespace() {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_lowercase(),
+                kind: TokenKind::Url,
+                start,
+                end,
+            });
+            i = j;
+            continue;
+        }
+
+        // Hashtags and mentions.
+        if (c == '#' || c == '@') && i + 1 < n && is_word_char(bytes[i + 1].1) {
+            let mut j = i + 1;
+            while j < n && is_word_char(bytes[j].1) {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            let body_start = bytes[i + 1].0;
+            tokens.push(Token {
+                text: normalize(&text[body_start..end]),
+                kind: if c == '#' {
+                    TokenKind::Hashtag
+                } else {
+                    TokenKind::Mention
+                },
+                start,
+                end,
+            });
+            i = j;
+            continue;
+        }
+
+        // Words and numbers.
+        if is_word_char(c) {
+            let mut j = i;
+            while j < n && is_word_char(bytes[j].1) {
+                j += 1;
+            }
+            let end = if j < n { bytes[j].0 } else { text.len() };
+            let raw = &text[start..end];
+            let kind = if raw.chars().all(|ch| ch.is_ascii_digit()) {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            };
+            tokens.push(Token {
+                text: normalize(raw),
+                kind,
+                start,
+                end,
+            });
+            i = j;
+            continue;
+        }
+
+        i += 1;
+    }
+    tokens
+}
+
+fn starts_url(text: &str, at: usize) -> bool {
+    let rest = &text[at..];
+    let lower_prefix: String = rest.chars().take(8).collect::<String>().to_lowercase();
+    lower_prefix.starts_with("http://")
+        || lower_prefix.starts_with("https://")
+        || lower_prefix.starts_with("www.")
+}
+
+/// Returns only the normalized text of word-like tokens (words, hashtags,
+/// numbers) — the "content tokens" used for keyword matching. Mentions
+/// and URLs are excluded: the paper's predicates are about conversation
+/// content, and Twitter's own `track` parameter does not match inside
+/// URLs or user names.
+pub fn content_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| {
+            matches!(
+                t.kind,
+                TokenKind::Word | TokenKind::Hashtag | TokenKind::Number
+            )
+        })
+        .map(|t| t.text)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(String, TokenKind)> {
+        tokenize(text)
+            .into_iter()
+            .map(|t| (t.text, t.kind))
+            .collect()
+    }
+
+    #[test]
+    fn simple_words() {
+        assert_eq!(
+            kinds("I need a kidney transplant"),
+            vec![
+                ("i".into(), TokenKind::Word),
+                ("need".into(), TokenKind::Word),
+                ("a".into(), TokenKind::Word),
+                ("kidney".into(), TokenKind::Word),
+                ("transplant".into(), TokenKind::Word),
+            ]
+        );
+    }
+
+    #[test]
+    fn hashtags_and_mentions() {
+        let t = kinds("#OrganDonation saves lives @UNOSNews");
+        assert_eq!(t[0], ("organdonation".into(), TokenKind::Hashtag));
+        assert_eq!(t[3], ("unosnews".into(), TokenKind::Mention));
+    }
+
+    #[test]
+    fn urls_are_single_tokens() {
+        let t = tokenize("read https://donate.gov/organs?x=1 now");
+        assert_eq!(t[1].kind, TokenKind::Url);
+        assert_eq!(t[1].text, "https://donate.gov/organs?x=1");
+        assert_eq!(t[2].text, "now");
+        let t2 = tokenize("see www.unos.org");
+        assert_eq!(t2[1].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn numbers_detected() {
+        let t = kinds("22 people die every day");
+        assert_eq!(t[0], ("22".into(), TokenKind::Number));
+        assert_eq!(t[1].1, TokenKind::Word);
+    }
+
+    #[test]
+    fn apostrophes_and_hyphens_stay_inside_words() {
+        let t = kinds("don't be half-hearted");
+        assert_eq!(t[0].0, "don't");
+        assert_eq!(t[2].0, "half-hearted");
+    }
+
+    #[test]
+    fn punctuation_and_emoji_skipped() {
+        let t = kinds("heart!!! ❤️ (liver)");
+        assert_eq!(
+            t,
+            vec![
+                ("heart".into(), TokenKind::Word),
+                ("liver".into(), TokenKind::Word)
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_index_original_text() {
+        let text = "Go #Heart now";
+        let t = tokenize(text);
+        assert_eq!(&text[t[1].start..t[1].end], "#Heart");
+    }
+
+    #[test]
+    fn unicode_words_normalized() {
+        let t = kinds("Doação de órgãos");
+        assert_eq!(t[0].0, "doacao");
+        assert_eq!(t[2].0, "orgaos");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn bare_sigils_are_skipped() {
+        assert!(tokenize("# @ #!").is_empty());
+    }
+
+    #[test]
+    fn trailing_token_at_end_of_string() {
+        let t = tokenize("donate #liver");
+        assert_eq!(t[1].text, "liver");
+        assert_eq!(t[1].end, "donate #liver".len());
+    }
+
+    #[test]
+    fn content_tokens_filter() {
+        let toks = content_tokens("RT @user check https://x.co #kidney 22 donors");
+        assert_eq!(toks, vec!["rt", "check", "kidney", "22", "donors"]);
+    }
+}

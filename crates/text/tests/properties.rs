@@ -1,0 +1,111 @@
+//! Property-based tests for the text substrate.
+
+use donorpulse_text::matcher::AhoCorasick;
+use donorpulse_text::normalize::normalize;
+use donorpulse_text::{extract_mentions, tokenize, KeywordQuery, Organ, TrackFilter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenizer_never_panics_and_spans_are_valid(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert!(t.start < t.end);
+            prop_assert!(t.end <= text.len());
+            prop_assert!(text.is_char_boundary(t.start));
+            prop_assert!(text.is_char_boundary(t.end));
+            prop_assert!(!t.text.is_empty() || !text[t.start..t.end].is_empty());
+        }
+        // Spans are strictly increasing and non-overlapping.
+        for pair in tokens.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(text in "\\PC{0,200}") {
+        let once = normalize(&text);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn normalize_output_has_no_uppercase_ascii(text in "\\PC{0,200}") {
+        let n = normalize(&text);
+        prop_assert!(!n.chars().any(|c| c.is_ascii_uppercase()));
+        prop_assert!(!n.contains("  "));
+    }
+
+    #[test]
+    fn extractor_never_panics(text in "\\PC{0,300}") {
+        let _ = extract_mentions(&text);
+    }
+
+    #[test]
+    fn extraction_is_case_insensitive(words in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let lower = words.join(" ");
+        let upper = lower.to_uppercase();
+        prop_assert_eq!(
+            extract_mentions(&lower).as_array(),
+            extract_mentions(&upper).as_array()
+        );
+    }
+
+    #[test]
+    fn query_matches_imply_extraction_nonempty(
+        ctx_idx in 0usize..5,
+        organ_idx in 0usize..6,
+        pad in "[a-z ]{0,40}",
+    ) {
+        // Any tweet built from a context word and an organ word passes the
+        // filter AND produces at least one extracted mention.
+        let contexts = ["donor", "donate", "donation", "transplant", "transplantation"];
+        let organ = Organ::from_index(organ_idx).unwrap();
+        let text = format!("{} {} {}", contexts[ctx_idx], pad, organ.name());
+        let q = KeywordQuery::paper();
+        prop_assert!(q.matches(&text));
+        let mc = extract_mentions(&text);
+        prop_assert!(mc.count(organ) >= 1);
+    }
+
+    #[test]
+    fn aho_corasick_agrees_with_naive_search(
+        needles in prop::collection::hash_set("[a-c]{1,3}", 1..6),
+        haystack in "[a-c]{0,40}",
+    ) {
+        let needles: Vec<String> = needles.into_iter().collect();
+        let ac = AhoCorasick::new(needles.clone());
+        let mut expected = 0usize;
+        for n in &needles {
+            let mut at = 0;
+            while let Some(pos) = haystack[at..].find(n.as_str()) {
+                expected += 1;
+                at += pos + 1;
+            }
+        }
+        prop_assert_eq!(ac.find_all(&haystack).len(), expected);
+    }
+
+    #[test]
+    fn track_filter_never_panics(
+        phrases in prop::collection::vec("\\PC{0,20}", 0..5),
+        text in "\\PC{0,100}",
+    ) {
+        let f = TrackFilter::new(phrases);
+        let _ = f.matches(&text);
+    }
+
+    #[test]
+    fn mention_counts_merge_is_commutative(
+        a in "[a-z ]{0,60}",
+        b in "[a-z ]{0,60}",
+    ) {
+        let ma = extract_mentions(&a);
+        let mb = extract_mentions(&b);
+        let mut ab = ma;
+        ab.merge(&mb);
+        let mut ba = mb;
+        ba.merge(&ma);
+        prop_assert_eq!(ab.as_array(), ba.as_array());
+        prop_assert_eq!(ab.total(), ma.total() + mb.total());
+    }
+}

@@ -1,0 +1,259 @@
+//! The collected-tweet corpus and its Table I statistics.
+
+use crate::time::{SimInstant, COLLECTION_DAYS};
+use crate::tweet::Tweet;
+use crate::user::UserId;
+use donorpulse_text::extract::{MentionCounts, OrganExtractor};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bag of collected tweets (typically the output of a tracked stream,
+/// possibly further filtered to USA users by the pipeline).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    tweets: Vec<Tweet>,
+}
+
+impl Corpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects every tweet from an iterator.
+    pub fn from_tweets<I: IntoIterator<Item = Tweet>>(tweets: I) -> Self {
+        Self {
+            tweets: tweets.into_iter().collect(),
+        }
+    }
+
+    /// Adds one tweet.
+    pub fn push(&mut self, tweet: Tweet) {
+        self.tweets.push(tweet);
+    }
+
+    /// The tweets, in collection order.
+    pub fn tweets(&self) -> &[Tweet] {
+        &self.tweets
+    }
+
+    /// Number of tweets.
+    pub fn len(&self) -> usize {
+        self.tweets.len()
+    }
+
+    /// True when no tweets were collected.
+    pub fn is_empty(&self) -> bool {
+        self.tweets.is_empty()
+    }
+
+    /// Distinct users appearing in the corpus.
+    pub fn user_count(&self) -> usize {
+        let mut seen: Vec<u64> = self.tweets.iter().map(|t| t.user.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Per-user organ mention counts, aggregated over all their tweets —
+    /// the raw material of the paper's contingency matrix `U`.
+    pub fn mentions_by_user(&self) -> HashMap<UserId, MentionCounts> {
+        let extractor = OrganExtractor::new();
+        let mut map: HashMap<UserId, MentionCounts> = HashMap::new();
+        for t in &self.tweets {
+            let mc = extractor.extract(&t.text);
+            map.entry(t.user).or_default().merge(&mc);
+        }
+        map
+    }
+
+    /// Removes exact duplicates: later tweets by the same user with
+    /// byte-identical text (self-retweets, client double-posts). Returns
+    /// how many were removed. Order is preserved.
+    pub fn dedup_exact(&mut self) -> usize {
+        let mut seen: std::collections::HashSet<(UserId, u64)> =
+            std::collections::HashSet::new();
+        let before = self.tweets.len();
+        self.tweets.retain(|t| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            t.text.hash(&mut h);
+            seen.insert((t.user, h.finish()))
+        });
+        before - self.tweets.len()
+    }
+
+    /// Keeps only tweets satisfying `predicate` (used by the USA filter).
+    pub fn retain(&mut self, predicate: impl FnMut(&Tweet) -> bool) {
+        self.tweets.retain(predicate);
+    }
+
+    /// Computes the Table I summary statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let extractor = OrganExtractor::new();
+        let mut per_user: HashMap<UserId, MentionCounts> = HashMap::new();
+        let mut organs_per_tweet_sum = 0u64;
+        let mut first: Option<SimInstant> = None;
+        let mut last: Option<SimInstant> = None;
+
+        for t in &self.tweets {
+            let mc = extractor.extract(&t.text);
+            organs_per_tweet_sum += mc.distinct() as u64;
+            per_user.entry(t.user).or_default().merge(&mc);
+            first = Some(first.map_or(t.created_at, |f| f.min(t.created_at)));
+            last = Some(last.map_or(t.created_at, |l| l.max(t.created_at)));
+        }
+
+        let n_tweets = self.tweets.len() as u64;
+        let n_users = per_user.len() as u64;
+        let organs_per_user_sum: u64 =
+            per_user.values().map(|mc| mc.distinct() as u64).sum();
+
+        CorpusStats {
+            start: first.map(|t| t.date().to_string()),
+            finish: last.map(|t| t.date().to_string()),
+            days: COLLECTION_DAYS,
+            tweets: n_tweets,
+            users: n_users,
+            avg_tweets_per_day: n_tweets as f64 / COLLECTION_DAYS as f64,
+            avg_tweets_per_user: if n_users > 0 {
+                n_tweets as f64 / n_users as f64
+            } else {
+                0.0
+            },
+            organs_per_tweet: if n_tweets > 0 {
+                organs_per_tweet_sum as f64 / n_tweets as f64
+            } else {
+                0.0
+            },
+            organs_per_user: if n_users > 0 {
+                organs_per_user_sum as f64 / n_users as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl FromIterator<Tweet> for Corpus {
+    fn from_iter<I: IntoIterator<Item = Tweet>>(iter: I) -> Self {
+        Self::from_tweets(iter)
+    }
+}
+
+/// The statistics of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Date of the first collected tweet (e.g. "Apr 22 2015").
+    pub start: Option<String>,
+    /// Date of the last collected tweet.
+    pub finish: Option<String>,
+    /// Days in the collection window (385).
+    pub days: u32,
+    /// Tweets in the corpus.
+    pub tweets: u64,
+    /// Distinct users.
+    pub users: u64,
+    /// Average tweets per day over the window.
+    pub avg_tweets_per_day: f64,
+    /// Average tweets per user.
+    pub avg_tweets_per_user: f64,
+    /// Average distinct organs mentioned per tweet (paper: 1.03).
+    pub organs_per_tweet: f64,
+    /// Average distinct organs mentioned per user (paper: 1.13).
+    pub organs_per_user: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tweet::TweetId;
+
+    fn tweet(id: u64, user: u64, day: u32, text: &str) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(user),
+            created_at: SimInstant::from_day(day, 0),
+            text: text.to_string(),
+            geo: None,
+        }
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let s = Corpus::new().stats();
+        assert_eq!(s.tweets, 0);
+        assert_eq!(s.users, 0);
+        assert_eq!(s.avg_tweets_per_user, 0.0);
+        assert_eq!(s.organs_per_tweet, 0.0);
+        assert_eq!(s.start, None);
+    }
+
+    #[test]
+    fn stats_of_known_corpus() {
+        let c = Corpus::from_tweets([
+            tweet(0, 1, 0, "kidney donor here"),
+            tweet(1, 1, 5, "heart transplant went well"),
+            tweet(2, 2, 10, "donate your liver and kidney"),
+        ]);
+        let s = c.stats();
+        assert_eq!(s.tweets, 3);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.start.as_deref(), Some("Apr 22 2015"));
+        assert_eq!(s.finish.as_deref(), Some("May 02 2015"));
+        // Organs per tweet: 1, 1, 2 -> 4/3.
+        assert!((s.organs_per_tweet - 4.0 / 3.0).abs() < 1e-12);
+        // User 1 mentions {kidney, heart} = 2; user 2 {liver, kidney} = 2.
+        assert!((s.organs_per_user - 2.0).abs() < 1e-12);
+        assert!((s.avg_tweets_per_user - 1.5).abs() < 1e-12);
+        assert!((s.avg_tweets_per_day - 3.0 / 385.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_count_and_mentions() {
+        let c = Corpus::from_tweets([
+            tweet(0, 9, 0, "kidney kidney donor"),
+            tweet(1, 9, 1, "kidney transplant list"),
+        ]);
+        assert_eq!(c.user_count(), 1);
+        let m = c.mentions_by_user();
+        assert_eq!(
+            m[&UserId(9)].count(donorpulse_text::Organ::Kidney),
+            3
+        );
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut c = Corpus::from_tweets([
+            tweet(0, 1, 0, "a kidney donor"),
+            tweet(1, 2, 0, "a liver donor"),
+        ]);
+        c.retain(|t| t.user == UserId(1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.tweets()[0].user, UserId(1));
+    }
+
+    #[test]
+    fn dedup_removes_same_user_same_text_only() {
+        let mut c = Corpus::from_tweets([
+            tweet(0, 1, 0, "kidney donor"),
+            tweet(1, 1, 1, "kidney donor"),   // dup: same user, same text
+            tweet(2, 2, 2, "kidney donor"),   // other user: kept
+            tweet(3, 1, 3, "kidney donor!!"), // different text: kept
+        ]);
+        let removed = c.dedup_exact();
+        assert_eq!(removed, 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.tweets()[0].id, TweetId(0));
+        // Idempotent.
+        assert_eq!(c.dedup_exact(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: Corpus = vec![tweet(0, 1, 0, "x")].into_iter().collect();
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,686 @@
+//! Materializes the simulated population and tweet schedule.
+//!
+//! [`TwitterSimulation::generate`] builds every user profile up front
+//! (they are small) but realizes tweet *text* lazily: the schedule holds
+//! compact `(instant, user, kind)` events, and each event's content is
+//! produced deterministically from `(seed, event index)` when the stream
+//! is consumed. That keeps the full-scale corpus (≈ 2.4M firehose
+//! tweets) streamable without holding gigabytes of strings.
+
+use crate::genmodel::{
+    sample_dirichlet, sample_weighted, Archetype, GeneratorConfig, PowerLawActivity,
+};
+use crate::stream::StreamApi;
+use crate::textgen;
+use crate::time::{SimInstant, COLLECTION_DAYS, SECONDS_PER_DAY};
+use crate::tweet::{Tweet, TweetId};
+use crate::user::{HomeLocation, UserId, UserProfile};
+use donorpulse_geo::data::{City, ALIASES, CITIES, JUNK_MARKERS, NON_US_MARKERS};
+use donorpulse_geo::UsState;
+use donorpulse_text::Organ;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One scheduled tweet event (text realized lazily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledTweet {
+    /// When the tweet is emitted.
+    pub at: SimInstant,
+    /// Index into the users vector.
+    pub user_index: u32,
+    /// On-topic (passes the collection filter) vs chatter.
+    pub on_topic: bool,
+}
+
+/// Foreign metropolises used for non-US geotags. All chosen to lie
+/// outside every state bounding box (Toronto, for instance, would fall
+/// inside New York's box and defeat the geotag-based USA filter).
+const FOREIGN_GEO: &[(f64, f64)] = &[
+    (51.51, -0.13),   // London
+    (45.50, -73.57),  // Montreal
+    (35.68, 139.69),  // Tokyo
+    (-33.87, 151.21), // Sydney
+    (19.08, 72.88),   // Mumbai
+    (6.52, 3.38),     // Lagos
+    (-23.55, -46.63), // São Paulo
+    (48.86, 2.35),    // Paris
+    (19.43, -99.13),  // Mexico City
+];
+
+/// The fully generated simulation: population + tweet schedule.
+#[derive(Debug)]
+pub struct TwitterSimulation {
+    config: GeneratorConfig,
+    users: Vec<UserProfile>,
+    schedule: Vec<ScheduledTweet>,
+    cities_by_state: HashMap<UsState, Vec<&'static City>>,
+}
+
+impl TwitterSimulation {
+    /// Generates users and the tweet schedule from `config`.
+    pub fn generate(config: GeneratorConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let activity = PowerLawActivity::new(config.activity_exponent, config.activity_max);
+
+        let mut cities_by_state: HashMap<UsState, Vec<&'static City>> = HashMap::new();
+        for c in CITIES {
+            cities_by_state.entry(c.state).or_default().push(c);
+        }
+        let alias_by_state: HashMap<UsState, Vec<&'static str>> = {
+            let mut m: HashMap<UsState, Vec<&'static str>> = HashMap::new();
+            for &(name, state) in ALIASES {
+                m.entry(state).or_default().push(name);
+            }
+            m
+        };
+        let state_populations: Vec<f64> = UsState::ALL
+            .iter()
+            .map(|s| s.population_2015() as f64)
+            .collect();
+
+        let mut users = Vec::with_capacity(config.n_users);
+        let mut schedule = Vec::new();
+        for i in 0..config.n_users {
+            let is_us = rng.gen_bool(config.us_user_fraction);
+            let home = if is_us {
+                HomeLocation::Us(
+                    UsState::from_index(sample_weighted(&mut rng, &state_populations))
+                        .expect("weighted index in range"),
+                )
+            } else {
+                HomeLocation::Foreign
+            };
+            let weights = config.organ_weights_for(match home {
+                HomeLocation::Us(s) => Some(s),
+                HomeLocation::Foreign => None,
+            });
+
+            let (archetype, attention) = sample_archetype(&mut rng, &config, &weights);
+            let on_topic_tweets = activity.sample(&mut rng);
+            let chatter_tweets =
+                sample_poisson(&mut rng, config.chatter_ratio * on_topic_tweets as f64);
+
+            let profile_location = match home {
+                HomeLocation::Us(s) => us_profile_location(
+                    &mut rng,
+                    s,
+                    cities_by_state.get(&s).map(Vec::as_slice).unwrap_or(&[]),
+                    alias_by_state.get(&s).map(Vec::as_slice).unwrap_or(&[]),
+                ),
+                HomeLocation::Foreign => foreign_profile_location(&mut rng),
+            };
+
+            users.push(UserProfile {
+                id: UserId(i as u64),
+                handle: format!("@user_{i}"),
+                profile_location,
+                home,
+                attention,
+                archetype,
+                on_topic_tweets,
+                chatter_tweets,
+            });
+
+            for _ in 0..on_topic_tweets {
+                schedule.push(ScheduledTweet {
+                    at: random_instant(&mut rng),
+                    user_index: i as u32,
+                    on_topic: true,
+                });
+            }
+            for _ in 0..chatter_tweets {
+                schedule.push(ScheduledTweet {
+                    at: random_instant(&mut rng),
+                    user_index: i as u32,
+                    on_topic: false,
+                });
+            }
+        }
+        schedule.sort_by_key(|e| (e.at, e.user_index));
+
+        Ok(Self {
+            config,
+            users,
+            schedule,
+            cities_by_state,
+        })
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// All user profiles (index = `ScheduledTweet::user_index`).
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Number of scheduled firehose tweets (on-topic + chatter).
+    pub fn firehose_len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Number of on-topic tweets (what the collection filter will keep).
+    pub fn on_topic_len(&self) -> usize {
+        self.schedule.iter().filter(|e| e.on_topic).count()
+    }
+
+    /// The raw schedule.
+    pub fn schedule(&self) -> &[ScheduledTweet] {
+        &self.schedule
+    }
+
+    /// Opens a Stream API connection over the full firehose.
+    pub fn stream(&self) -> StreamApi<'_> {
+        StreamApi::new(self)
+    }
+
+    /// Collects the filtered stream in parallel across `threads` worker
+    /// threads (crossbeam scoped threads; chunked by schedule position,
+    /// so the result is identical to — and in the same chronological
+    /// order as — a serial [`TwitterSimulation::stream`] collection).
+    ///
+    /// Tweet realization is pure in `(seed, index)`, which is what makes
+    /// the firehose embarrassingly parallel.
+    pub fn collect_parallel(
+        &self,
+        filter: &(dyn donorpulse_text::TextFilter + Sync),
+        threads: usize,
+    ) -> crate::Corpus {
+        let threads = threads.max(1);
+        let n = self.firehose_len();
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<crate::Tweet>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(scope.spawn(move |_| {
+                    let mut kept = Vec::new();
+                    for i in lo..hi {
+                        let tweet = self.realize(i);
+                        if filter.accepts(&tweet.text) {
+                            kept.push(tweet);
+                        }
+                    }
+                    kept
+                }));
+            }
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("collector thread panicked"))
+                .collect();
+        })
+        .expect("crossbeam scope");
+        crate::Corpus::from_tweets(chunks.into_iter().flatten())
+    }
+
+    /// A user's full timeline, chronological — the REST-API counterpart
+    /// to the streaming endpoint (cf. the paper's references using user
+    /// timelines to identify potential donors). Scans the schedule, so
+    /// it is `O(firehose)` per call; batch consumers should use the
+    /// stream instead.
+    pub fn user_timeline(&self, user: UserId) -> Vec<Tweet> {
+        self.schedule
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.user_index as u64 == user.0)
+            .map(|(i, _)| self.realize(i))
+            .collect()
+    }
+
+    /// Realizes the `idx`-th scheduled tweet (deterministic in the
+    /// simulation seed).
+    pub fn realize(&self, idx: usize) -> Tweet {
+        let event = self.schedule[idx];
+        let user = &self.users[event.user_index as usize];
+        // Event-local rng: independent of consumption order.
+        let mut rng = StdRng::seed_from_u64(splitmix(self.config.seed ^ (idx as u64)));
+
+        let text = if event.on_topic {
+            let mut primary = Organ::from_index(sample_weighted(&mut rng, &user.attention))
+                .expect("organ index");
+            // Awareness events hijack a share of the conversation.
+            for ev in &self.config.events {
+                if ev.active_on(event.at.day()) && rng.gen_bool(ev.intensity) {
+                    primary = ev.organ;
+                    break;
+                }
+            }
+            if rng.gen_bool(self.config.dual_mention_prob) {
+                let mut rest = user.attention;
+                rest[primary.index()] = 0.0;
+                if rest.iter().sum::<f64>() > 0.0 {
+                    let secondary =
+                        Organ::from_index(sample_weighted(&mut rng, &rest)).expect("organ index");
+                    textgen::on_topic(&mut rng, &[primary, secondary])
+                } else {
+                    textgen::on_topic(&mut rng, &[primary])
+                }
+            } else {
+                textgen::on_topic(&mut rng, &[primary])
+            }
+        } else {
+            let organ = Organ::from_index(sample_weighted(&mut rng, &user.attention))
+                .expect("organ index");
+            let kind = match rng.gen_range(0..10) {
+                0..=3 => textgen::ChatterKind::OrganNoContext,
+                4..=6 => textgen::ChatterKind::ContextNoOrgan,
+                _ => textgen::ChatterKind::Generic,
+            };
+            textgen::chatter(&mut rng, kind, organ)
+        };
+
+        let geo = if rng.gen_bool(self.config.geotag_prob) {
+            Some(self.geotag_for(&mut rng, user))
+        } else {
+            None
+        };
+
+        Tweet {
+            id: TweetId(idx as u64),
+            user: user.id,
+            created_at: event.at,
+            text,
+            geo,
+        }
+    }
+
+    fn geotag_for<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserProfile) -> (f64, f64) {
+        match user.home {
+            HomeLocation::Us(state) => {
+                let cities = self
+                    .cities_by_state
+                    .get(&state)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]);
+                let (lat, lon) = if cities.is_empty() {
+                    state.centroid()
+                } else {
+                    let c = cities[rng.gen_range(0..cities.len())];
+                    (c.lat, c.lon)
+                };
+                (
+                    lat + rng.gen_range(-0.05..0.05),
+                    lon + rng.gen_range(-0.05..0.05),
+                )
+            }
+            HomeLocation::Foreign => FOREIGN_GEO[rng.gen_range(0..FOREIGN_GEO.len())],
+        }
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-event seeds.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_instant<R: Rng + ?Sized>(rng: &mut R) -> SimInstant {
+    SimInstant(rng.gen_range(0..COLLECTION_DAYS as u64 * SECONDS_PER_DAY))
+}
+
+fn sample_archetype<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &GeneratorConfig,
+    weights: &[f64; Organ::COUNT],
+) -> (Archetype, [f64; Organ::COUNT]) {
+    let (w_single, w_dual, _) = config.archetype_mix;
+    let roll: f64 = rng.gen();
+    let mut alpha = [0.0f64; Organ::COUNT];
+    let archetype = if roll < w_single {
+        let d = sample_weighted(rng, weights);
+        let coatt = &config.coattention[d];
+        for (j, a) in alpha.iter_mut().enumerate() {
+            *a = (config.single_alpha.1 * coatt[j]).max(1e-3);
+        }
+        alpha[d] = config.single_alpha.0;
+        Archetype::SingleFocus(Organ::from_index(d).expect("organ index"))
+    } else if roll < w_single + w_dual {
+        let d = sample_weighted(rng, weights);
+        let e = sample_weighted(rng, &config.coattention[d]);
+        let coatt = &config.coattention[d];
+        for (j, a) in alpha.iter_mut().enumerate() {
+            *a = (config.dual_alpha.2 * coatt[j]).max(1e-3);
+        }
+        alpha[d] = config.dual_alpha.0;
+        alpha[e] = config.dual_alpha.1;
+        Archetype::DualFocus(
+            Organ::from_index(d).expect("organ index"),
+            Organ::from_index(e).expect("organ index"),
+        )
+    } else {
+        alpha = [config.generalist_alpha; Organ::COUNT];
+        Archetype::Generalist
+    };
+    let att = sample_dirichlet(rng, &alpha);
+    let mut attention = [0.0; Organ::COUNT];
+    attention.copy_from_slice(&att);
+    (archetype, attention)
+}
+
+/// Poisson sampler: Knuth for small λ, normal approximation above 50.
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        let n = crate::genmodel::sample_standard_normal(rng);
+        return (lambda + lambda.sqrt() * n).round().max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut chars = w.chars();
+            match chars.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn us_profile_location<R: Rng + ?Sized>(
+    rng: &mut R,
+    state: UsState,
+    cities: &[&'static City],
+    aliases: &[&'static str],
+) -> String {
+    let city = (!cities.is_empty()).then(|| cities[rng.gen_range(0..cities.len())]);
+    let roll: f64 = rng.gen();
+    match roll {
+        r if r < 0.38 => match city {
+            Some(c) => format!("{}, {}", title_case(c.name), state.abbr()),
+            None => state.name().to_string(),
+        },
+        r if r < 0.53 => match city {
+            Some(c) => title_case(c.name),
+            None => state.name().to_string(),
+        },
+        r if r < 0.58 => match city {
+            Some(c) => format!("{}, {}", title_case(c.name), state.name()),
+            None => state.name().to_string(),
+        },
+        r if r < 0.70 => state.name().to_string(),
+        r if r < 0.75 => {
+            if aliases.is_empty() {
+                state.name().to_string()
+            } else {
+                aliases[rng.gen_range(0..aliases.len())].to_uppercase()
+            }
+        }
+        r if r < 0.80 => state.abbr().to_string(),
+        r if r < 0.92 => JUNK_MARKERS[rng.gen_range(0..JUNK_MARKERS.len())].to_string(),
+        _ => String::new(),
+    }
+}
+
+fn foreign_profile_location<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let roll: f64 = rng.gen();
+    if roll < 0.70 {
+        title_case(NON_US_MARKERS[rng.gen_range(0..NON_US_MARKERS.len())])
+    } else if roll < 0.85 {
+        JUNK_MARKERS[rng.gen_range(0..JUNK_MARKERS.len())].to_string()
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> TwitterSimulation {
+        let mut cfg = GeneratorConfig::paper_scaled(0.004); // ~2k users
+        cfg.seed = 42;
+        TwitterSimulation::generate(cfg).expect("valid config")
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_sim();
+        let b = small_sim();
+        assert_eq!(a.users().len(), b.users().len());
+        assert_eq!(a.firehose_len(), b.firehose_len());
+        assert_eq!(a.users()[7], b.users()[7]);
+        assert_eq!(a.realize(100), b.realize(100));
+    }
+
+    #[test]
+    fn schedule_is_time_ordered() {
+        let sim = small_sim();
+        for pair in sim.schedule().windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn tweets_inside_collection_window() {
+        let sim = small_sim();
+        for e in sim.schedule() {
+            assert!(e.at.in_collection_window());
+        }
+    }
+
+    #[test]
+    fn attention_vectors_are_distributions() {
+        let sim = small_sim();
+        for u in sim.users() {
+            let s: f64 = u.attention.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{s}");
+            assert!(u.attention.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn us_fraction_near_config() {
+        let sim = small_sim();
+        let us = sim
+            .users()
+            .iter()
+            .filter(|u| u.home_state().is_some())
+            .count();
+        let frac = us as f64 / sim.users().len() as f64;
+        let expect = sim.config().us_user_fraction;
+        assert!(
+            (frac - expect).abs() < 0.03,
+            "us fraction {frac} vs configured {expect}"
+        );
+    }
+
+    #[test]
+    fn single_focus_users_dominated_by_their_organ() {
+        let sim = small_sim();
+        let mut checked = 0;
+        for u in sim.users() {
+            if let Archetype::SingleFocus(o) = u.archetype {
+                checked += 1;
+                assert_eq!(
+                    u.dominant_organ(),
+                    o,
+                    "single-focus user {} not dominated by {o}",
+                    u.id
+                );
+            }
+        }
+        assert!(checked > 100, "too few single-focus users: {checked}");
+    }
+
+    #[test]
+    fn mean_on_topic_tweets_near_table_one() {
+        let sim = small_sim();
+        let n = sim.users().len() as f64;
+        let mean: f64 = sim
+            .users()
+            .iter()
+            .map(|u| u.on_topic_tweets as f64)
+            .sum::<f64>()
+            / n;
+        // The truncated power law is heavy-tailed (sd ≈ 6.4), so the
+        // sample mean at ~2k users wanders ±0.14·3; compare against the
+        // analytic mean with a 3σ band rather than a fixed ±0.25.
+        let analytic = PowerLawActivity::new(
+            sim.config().activity_exponent,
+            sim.config().activity_max,
+        )
+        .mean();
+        let tol = 3.0 * 6.4 / n.sqrt();
+        assert!(
+            (mean - analytic).abs() < tol,
+            "mean tweets/user {mean} vs analytic {analytic} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn realized_tweets_match_schedule() {
+        let sim = small_sim();
+        let t = sim.realize(0);
+        assert_eq!(t.created_at, sim.schedule()[0].at);
+        assert_eq!(t.id, TweetId(0));
+        assert!(!t.text.is_empty());
+    }
+
+    #[test]
+    fn geotag_rate_near_config() {
+        let sim = small_sim();
+        let n = sim.firehose_len().min(20_000);
+        let tagged = (0..n).filter(|&i| sim.realize(i).is_geotagged()).count();
+        let rate = tagged as f64 / n as f64;
+        assert!(
+            (rate - sim.config().geotag_prob).abs() < 0.006,
+            "geotag rate {rate}"
+        );
+    }
+
+    #[test]
+    fn on_topic_events_pass_filter_chatter_fails() {
+        let sim = small_sim();
+        let q = donorpulse_text::KeywordQuery::paper();
+        for i in 0..sim.firehose_len().min(3_000) {
+            let expected = sim.schedule()[i].on_topic;
+            let tweet = sim.realize(i);
+            assert_eq!(
+                q.matches(&tweet.text),
+                expected,
+                "event {i}: {:?}",
+                tweet.text
+            );
+        }
+    }
+
+    #[test]
+    fn us_geotags_resolve_to_home_state_mostly() {
+        let sim = small_sim();
+        let geocoder = donorpulse_geo::Geocoder::new();
+        let mut total = 0;
+        let mut agree = 0;
+        for i in 0..sim.firehose_len() {
+            let tweet = sim.realize(i);
+            if let Some((lat, lon)) = tweet.geo {
+                let user = &sim.users()[tweet.user.0 as usize];
+                if let Some(home) = user.home_state() {
+                    total += 1;
+                    if geocoder.resolve_point(lat, lon) == Some(home) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 10, "too few geotagged US tweets: {total}");
+        assert!(
+            agree * 10 >= total * 9,
+            "only {agree}/{total} geotags resolve home"
+        );
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lambda in &[0.5, 4.0, 80.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn title_case_works() {
+        assert_eq!(title_case("new york"), "New York");
+        assert_eq!(title_case("wichita"), "Wichita");
+        assert_eq!(title_case(""), "");
+    }
+
+    #[test]
+    fn user_timeline_matches_stream_subset() {
+        let sim = small_sim();
+        // Pick a user with several tweets.
+        let busy = sim
+            .users()
+            .iter()
+            .max_by_key(|u| u.on_topic_tweets + u.chatter_tweets)
+            .unwrap()
+            .id;
+        let timeline = sim.user_timeline(busy);
+        let expected: Vec<crate::Tweet> =
+            sim.stream().filter(|t| t.user == busy).collect();
+        assert!(!timeline.is_empty());
+        assert_eq!(timeline, expected);
+        for pair in timeline.windows(2) {
+            assert!(pair[0].created_at <= pair[1].created_at);
+        }
+        // Unknown user: empty timeline, no panic.
+        assert!(sim.user_timeline(UserId(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial() {
+        let sim = small_sim();
+        let q = donorpulse_text::KeywordQuery::paper();
+        let serial: Vec<crate::Tweet> = sim
+            .stream()
+            .with_filter(Box::new(donorpulse_text::KeywordQuery::paper()))
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel = sim.collect_parallel(&q, threads);
+            assert_eq!(parallel.tweets(), serial.as_slice(), "{threads} threads");
+        }
+        // Degenerate thread count clamps to 1.
+        let one = sim.collect_parallel(&q, 0);
+        assert_eq!(one.tweets(), serial.as_slice());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.n_users = 0;
+        assert!(TwitterSimulation::generate(cfg).is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! The generative model behind the simulated Twitter population.
+//!
+//! Everything the paper *measured* on its proprietary corpus is planted
+//! here as ground truth, so the characterization pipeline can be
+//! validated against known parameters:
+//!
+//! * **organ popularity** — heart > kidney > liver > lung > pancreas >
+//!   intestine, calibrated so the Spearman correlation against OPTN 2012
+//!   transplant counts lands near the paper's `r = .84` (heart is
+//!   over-popular on Twitter relative to its transplant rank — rank 1 vs
+//!   rank 3 — which is exactly what caps the correlation at ~.83);
+//! * **co-attention structure** — an asymmetric matrix reproducing
+//!   Fig. 3's claims (kidney is the top co-organ for heart, liver and
+//!   pancreas users; heart for kidney, lung and intestine users);
+//! * **state anomalies** — multiplicative boosts planting Fig. 5's
+//!   findings (Kansas as the lone Midwestern kidney anomaly, Louisiana
+//!   kidney, Massachusetts kidney + lung) and Fig. 6's clustering zones;
+//! * **archetypes** — single-focus / dual-focus / generalist Dirichlet
+//!   mixtures that give K-Means its cluster structure (Fig. 7);
+//! * **activity** — a truncated discrete power law on tweets-per-user
+//!   whose mean matches Table I's 1.88.
+
+use donorpulse_geo::UsState;
+use donorpulse_text::Organ;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A user's attention archetype (ground truth for Fig. 7 validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Attention concentrated on a single organ.
+    SingleFocus(Organ),
+    /// Attention split over two organs (ordered: primary, secondary).
+    DualFocus(Organ, Organ),
+    /// Attention spread over all organs.
+    Generalist,
+}
+
+/// Full configuration of the generative model. `Default` is the
+/// paper-calibrated configuration at 5% scale; use
+/// [`GeneratorConfig::paper_full`] for the full 975k-tweet corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Total number of users (US + foreign).
+    pub n_users: usize,
+    /// Fraction of users who truly live in the USA.
+    pub us_user_fraction: f64,
+    /// Base popularity mixture over organs (sums to 1).
+    pub organ_popularity: [f64; Organ::COUNT],
+    /// Asymmetric co-attention: row `i` is the distribution of secondary
+    /// attention for users whose dominant organ is `i` (diagonal 0).
+    pub coattention: [[f64; Organ::COUNT]; Organ::COUNT],
+    /// Planted per-state organ boosts `(state, organ, multiplier)`.
+    pub state_organ_boost: Vec<(UsState, Organ, f64)>,
+    /// Mixture weights (single-focus, dual-focus, generalist); sums to 1.
+    pub archetype_mix: (f64, f64, f64),
+    /// Dirichlet concentration for single-focus users:
+    /// `(dominant_alpha, rest_total_alpha)`.
+    pub single_alpha: (f64, f64),
+    /// Dirichlet concentration for dual-focus users:
+    /// `(primary_alpha, secondary_alpha, rest_total_alpha)`.
+    pub dual_alpha: (f64, f64, f64),
+    /// Uniform Dirichlet concentration for generalists.
+    pub generalist_alpha: f64,
+    /// Exponent of the truncated power law on on-topic tweets per user.
+    pub activity_exponent: f64,
+    /// Upper truncation of tweets per user.
+    pub activity_max: u32,
+    /// Expected chatter (off-topic) tweets per on-topic tweet.
+    pub chatter_ratio: f64,
+    /// Probability an on-topic tweet mentions a second organ
+    /// (Table I: 1.03 organs per tweet).
+    pub dual_mention_prob: f64,
+    /// Probability a tweet carries GPS coordinates (~1.4%).
+    pub geotag_prob: f64,
+    /// Scheduled awareness events (viral stories, campaigns) that bias
+    /// conversation toward one organ during a window — the signal a
+    /// real-time sensor (the paper's conclusion) must pick up.
+    pub events: Vec<AwarenessEvent>,
+}
+
+/// A planted awareness event: during `[start_day, end_day)` each
+/// on-topic tweet switches its primary organ to `organ` with probability
+/// `intensity` (on top of the user's normal attention).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AwarenessEvent {
+    /// The organ the event is about.
+    pub organ: Organ,
+    /// First day of the event (0-based day index).
+    pub start_day: u32,
+    /// One past the last day.
+    pub end_day: u32,
+    /// Probability a tweet in the window is redirected to the organ.
+    pub intensity: f64,
+}
+
+impl AwarenessEvent {
+    /// True when `day` falls inside the event window.
+    pub fn active_on(&self, day: u32) -> bool {
+        (self.start_day..self.end_day).contains(&day)
+    }
+}
+
+impl GeneratorConfig {
+    /// Paper-calibrated configuration at full scale (~975k collected
+    /// tweets, ~519k users). Heavy: use in release builds/benches.
+    pub fn paper_full() -> Self {
+        Self {
+            seed: 0x0D01_07AB,
+            n_users: 519_000,
+            us_user_fraction: 0.175,
+            organ_popularity: [0.44, 0.24, 0.14, 0.10, 0.05, 0.03],
+            coattention: PAPER_COATTENTION,
+            state_organ_boost: paper_anomalies(),
+            archetype_mix: (0.70, 0.20, 0.10),
+            single_alpha: (18.0, 1.5),
+            dual_alpha: (8.0, 6.0, 0.8),
+            generalist_alpha: 2.5,
+            activity_exponent: 2.5,
+            activity_max: 500,
+            chatter_ratio: 4.0,
+            dual_mention_prob: 0.03,
+            geotag_prob: 0.014,
+            events: Vec::new(),
+        }
+    }
+
+    /// Paper configuration scaled down by `scale` (user count only; all
+    /// distributions unchanged). `scale = 0.05` gives a ~49k-tweet corpus
+    /// that runs in well under a second.
+    pub fn paper_scaled(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let mut cfg = Self::paper_full();
+        cfg.n_users = ((cfg.n_users as f64) * scale).round().max(100.0) as usize;
+        cfg
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_users == 0 {
+            return Err("n_users must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.us_user_fraction) {
+            return Err("us_user_fraction must be in [0,1]".into());
+        }
+        let pop_sum: f64 = self.organ_popularity.iter().sum();
+        if (pop_sum - 1.0).abs() > 1e-6 || self.organ_popularity.iter().any(|&w| w < 0.0) {
+            return Err("organ_popularity must be a distribution".into());
+        }
+        for (i, row) in self.coattention.iter().enumerate() {
+            if row[i] != 0.0 {
+                return Err(format!("coattention diagonal must be 0 (row {i})"));
+            }
+            let s: f64 = row.iter().sum();
+            if (s - 1.0).abs() > 1e-6 || row.iter().any(|&w| w < 0.0) {
+                return Err(format!("coattention row {i} must be a distribution"));
+            }
+        }
+        let (a, b, c) = self.archetype_mix;
+        if (a + b + c - 1.0).abs() > 1e-6 || a < 0.0 || b < 0.0 || c < 0.0 {
+            return Err("archetype_mix must be a distribution".into());
+        }
+        for &(_, _, m) in &self.state_organ_boost {
+            if m <= 0.0 {
+                return Err("boost multipliers must be positive".into());
+            }
+        }
+        if self.activity_exponent <= 1.0 {
+            return Err("activity_exponent must exceed 1".into());
+        }
+        if self.activity_max == 0 {
+            return Err("activity_max must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.dual_mention_prob)
+            || !(0.0..=1.0).contains(&self.geotag_prob)
+        {
+            return Err("probabilities must be in [0,1]".into());
+        }
+        if self.chatter_ratio < 0.0 {
+            return Err("chatter_ratio must be nonnegative".into());
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if e.start_day >= e.end_day {
+                return Err(format!("event {i} has an empty window"));
+            }
+            if !(0.0..=1.0).contains(&e.intensity) {
+                return Err(format!("event {i} intensity outside [0,1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// State-adjusted organ mixture for a user living in `state`
+    /// (`None` for foreign users → base mixture).
+    pub fn organ_weights_for(&self, state: Option<UsState>) -> [f64; Organ::COUNT] {
+        let mut w = self.organ_popularity;
+        if let Some(s) = state {
+            for &(bs, organ, mult) in &self.state_organ_boost {
+                if bs == s {
+                    w[organ.index()] *= mult;
+                }
+            }
+        }
+        let total: f64 = w.iter().sum();
+        for v in &mut w {
+            *v /= total;
+        }
+        w
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self::paper_scaled(0.05)
+    }
+}
+
+/// The asymmetric co-attention matrix reproducing Fig. 3's structure.
+/// Row = dominant organ; canonical organ order
+/// (heart, kidney, liver, lung, pancreas, intestine).
+pub const PAPER_COATTENTION: [[f64; 6]; 6] = [
+    // heart: kidney strongest (paper: kidney is most important for heart)
+    [0.00, 0.40, 0.20, 0.25, 0.10, 0.05],
+    // kidney: heart strongest
+    [0.35, 0.00, 0.30, 0.10, 0.20, 0.05],
+    // liver: kidney strongest
+    [0.25, 0.45, 0.00, 0.15, 0.10, 0.05],
+    // lung: heart strongest (paper: lung users lean to heart over kidney)
+    [0.45, 0.25, 0.15, 0.00, 0.10, 0.05],
+    // pancreas: kidney strongest (kidney-pancreas dual transplants)
+    [0.15, 0.50, 0.25, 0.07, 0.00, 0.03],
+    // intestine: heart strongest
+    [0.40, 0.20, 0.25, 0.10, 0.05, 0.00],
+];
+
+/// The planted state anomalies reproducing Fig. 5's highlighted organs
+/// and Fig. 6's clustering zones.
+pub fn paper_anomalies() -> Vec<(UsState, Organ, f64)> {
+    use Organ::*;
+    use UsState::*;
+    // Multipliers are sized so the anomaly is detectable at the state's
+    // population: the paper describes Kansas's kidney conversations as
+    // "highly exceeding the national expectation", and small states
+    // (Delaware, Rhode Island, North Dakota) need strong effects to
+    // clear the log-RR confidence interval at their sample sizes.
+    vec![
+        // Kidney zone — Kansas is the only Midwestern kidney anomaly.
+        (Kansas, Kidney, 2.6),
+        (Louisiana, Kidney, 2.2),
+        (Massachusetts, Kidney, 1.8),
+        (NewYork, Kidney, 1.4),
+        // Lung zone. Lung's base share is small (0.10), so its
+        // multipliers must be larger for the same absolute excess.
+        (Massachusetts, Lung, 2.4),
+        (Oregon, Lung, 2.2),
+        (Georgia, Lung, 1.9),
+        (Virginia, Lung, 1.8),
+        (Wisconsin, Lung, 2.0),
+        // Liver zone.
+        (Delaware, Liver, 2.4),
+        (RhodeIsland, Liver, 2.3),
+        (Colorado, Liver, 2.0),
+        (NorthDakota, Liver, 2.3),
+        (Nebraska, Liver, 2.1),
+        // Heart zone.
+        (Minnesota, Heart, 1.3),
+        (California, Heart, 1.2),
+        (Missouri, Heart, 1.25),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Sampling primitives (rand 0.8 core only: no rand_distr dependency).
+// ---------------------------------------------------------------------
+
+/// Samples a standard normal via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Samples `Gamma(alpha, 1)` via Marsaglia–Tsang (with the `alpha < 1`
+/// boost).
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "gamma shape must be positive");
+    if alpha < 1.0 {
+        // Boosting: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let g = sample_gamma(rng, alpha + 1.0);
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return g * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+            return d * v3;
+        }
+    }
+}
+
+/// Samples a Dirichlet distribution with the given concentration vector.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    assert!(!alpha.is_empty(), "dirichlet needs at least one component");
+    let gammas: Vec<f64> = alpha.iter().map(|&a| sample_gamma(rng, a)).collect();
+    let total: f64 = gammas.iter().sum();
+    if total <= 0.0 {
+        // Numerically possible only for pathologically tiny alphas; fall
+        // back to uniform.
+        return vec![1.0 / alpha.len() as f64; alpha.len()];
+    }
+    gammas.into_iter().map(|g| g / total).collect()
+}
+
+/// Samples an index from unnormalized nonnegative weights.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive sum");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1 // floating-point edge
+}
+
+/// A precomputed truncated discrete power law `P(k) ∝ k^{-alpha}` on
+/// `k ∈ [1, k_max]` — the tweets-per-user activity distribution.
+#[derive(Debug, Clone)]
+pub struct PowerLawActivity {
+    cdf: Vec<f64>,
+}
+
+impl PowerLawActivity {
+    /// Precomputes the CDF.
+    pub fn new(alpha: f64, k_max: u32) -> Self {
+        assert!(alpha > 1.0 && k_max >= 1);
+        let mut cdf = Vec::with_capacity(k_max as usize);
+        let mut acc = 0.0;
+        for k in 1..=k_max {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("nonempty");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a tweet count in `[1, k_max]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => (i as u32 + 1).min(self.cdf.len() as u32),
+        }
+    }
+
+    /// Analytic mean of the truncated distribution.
+    pub fn mean(&self) -> f64 {
+        // Differentiate the CDF back into the pmf.
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i as f64 + 1.0) * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_config_is_valid() {
+        GeneratorConfig::paper_full().validate().unwrap();
+        GeneratorConfig::default().validate().unwrap();
+        GeneratorConfig::paper_scaled(0.01).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = GeneratorConfig::default();
+        c.n_users = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.organ_popularity = [0.5; 6];
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.coattention[0][0] = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.archetype_mix = (0.5, 0.5, 0.5);
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.activity_exponent = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.state_organ_boost.push((UsState::Kansas, Organ::Kidney, -1.0));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn scaled_rejects_zero() {
+        let _ = GeneratorConfig::paper_scaled(0.0);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        // Configs are experiment manifests: they must survive JSON.
+        let cfg = GeneratorConfig::paper_full();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_users, cfg.n_users);
+        assert_eq!(back.organ_popularity, cfg.organ_popularity);
+        assert_eq!(back.state_organ_boost, cfg.state_organ_boost);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn organ_weights_boosted_in_anomalous_states() {
+        let cfg = GeneratorConfig::paper_full();
+        let base = cfg.organ_weights_for(None);
+        let kansas = cfg.organ_weights_for(Some(UsState::Kansas));
+        // Kidney share strictly larger in Kansas.
+        assert!(kansas[Organ::Kidney.index()] > base[Organ::Kidney.index()]);
+        // Both remain distributions.
+        assert!((kansas.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((base.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // A non-anomalous state matches the base mixture.
+        let iowa = cfg.organ_weights_for(Some(UsState::Iowa));
+        for (a, b) in iowa.iter().zip(&base) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn popularity_order_matches_paper() {
+        let w = GeneratorConfig::paper_full().organ_popularity;
+        for pair in [
+            (Organ::Heart, Organ::Kidney),
+            (Organ::Kidney, Organ::Liver),
+            (Organ::Liver, Organ::Lung),
+            (Organ::Lung, Organ::Pancreas),
+            (Organ::Pancreas, Organ::Intestine),
+        ] {
+            assert!(w[pair.0.index()] > w[pair.1.index()]);
+        }
+    }
+
+    #[test]
+    fn gamma_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &alpha in &[0.5, 1.0, 2.0, 9.0] {
+            let n = 40_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, alpha)).sum::<f64>() / n as f64;
+            // Gamma(alpha, 1) has mean alpha.
+            assert!(
+                (mean - alpha).abs() < 0.06 * alpha.max(1.0),
+                "alpha {alpha}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape must be positive")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_gamma(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alpha() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let alpha = [18.0, 0.5, 0.5, 0.5, 0.3, 0.2];
+        let mut mean = [0.0; 6];
+        let n = 5_000;
+        for _ in 0..n {
+            let d = sample_dirichlet(&mut rng, &alpha);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(d.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            for (m, v) in mean.iter_mut().zip(&d) {
+                *m += v / n as f64;
+            }
+        }
+        // E[d_i] = alpha_i / sum(alpha) = 18/20 = 0.9 for the first.
+        assert!((mean[0] - 0.9).abs() < 0.02, "mean {:?}", mean);
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_law_mean_matches_table_one() {
+        // The paper's Table I: 1.88 tweets per user. The calibrated
+        // truncated power law (alpha = 2.5, k_max = 500) must land close.
+        let act = PowerLawActivity::new(2.5, 500);
+        let mean = act.mean();
+        assert!(
+            (mean - 1.88).abs() < 0.12,
+            "analytic mean {mean} too far from 1.88"
+        );
+        // Empirical agreement with the analytic mean.
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 100_000;
+        let emp: f64 = (0..n).map(|_| act.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((emp - mean).abs() < 0.05, "empirical {emp} vs analytic {mean}");
+    }
+
+    #[test]
+    fn power_law_samples_in_range_and_heavy_tailed() {
+        let act = PowerLawActivity::new(2.5, 500);
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut saw_heavy = false;
+        for _ in 0..50_000 {
+            let k = act.sample(&mut rng);
+            assert!((1..=500).contains(&k));
+            if k >= 50 {
+                saw_heavy = true;
+            }
+        }
+        // The tail exists: at least one user with 50+ tweets in 50k draws.
+        assert!(saw_heavy);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

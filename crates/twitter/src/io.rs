@@ -1,0 +1,195 @@
+//! Corpus persistence: JSON-Lines archives.
+//!
+//! A real collection pipeline writes the stream to disk once and
+//! analyzes it many times. This module stores a [`Corpus`] (and user
+//! profiles) as JSONL — one serde-encoded record per line — the de facto
+//! interchange format for tweet archives, so corpora survive process
+//! restarts and can be inspected with standard text tools.
+
+use crate::tweet::Tweet;
+use crate::user::UserProfile;
+use crate::Corpus;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors from corpus archiving.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io: {e}"),
+            IoError::Malformed { line, message } => {
+                write!(f, "malformed record at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a corpus as JSONL (one tweet per line).
+pub fn write_corpus<W: Write>(corpus: &Corpus, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for tweet in corpus.tweets() {
+        let line = serde_json::to_string(tweet).map_err(|e| IoError::Malformed {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a corpus from JSONL. Empty lines are skipped; any other
+/// malformed line aborts with its line number.
+pub fn read_corpus<R: Read>(reader: R) -> Result<Corpus, IoError> {
+    let mut corpus = Corpus::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let tweet: Tweet = serde_json::from_str(&line).map_err(|e| IoError::Malformed {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        corpus.push(tweet);
+    }
+    Ok(corpus)
+}
+
+/// Writes user profiles as JSONL.
+pub fn write_users<W: Write>(users: &[UserProfile], writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    for user in users {
+        let line = serde_json::to_string(user).map_err(|e| IoError::Malformed {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads user profiles from JSONL.
+pub fn read_users<R: Read>(reader: R) -> Result<Vec<UserProfile>, IoError> {
+    let mut users = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let user: UserProfile = serde_json::from_str(&line).map_err(|e| IoError::Malformed {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        users.push(user);
+    }
+    Ok(users)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmodel::GeneratorConfig;
+    use crate::generator::TwitterSimulation;
+    use donorpulse_text::KeywordQuery;
+
+    fn small_corpus() -> (Corpus, Vec<UserProfile>) {
+        let mut cfg = GeneratorConfig::paper_scaled(0.002);
+        cfg.seed = 5;
+        let sim = TwitterSimulation::generate(cfg).expect("sim");
+        let corpus: Corpus = sim
+            .stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .collect();
+        (corpus, sim.users().to_vec())
+    }
+
+    #[test]
+    fn corpus_round_trips() {
+        let (corpus, _) = small_corpus();
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let back = read_corpus(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        assert_eq!(back.tweets(), corpus.tweets());
+    }
+
+    #[test]
+    fn users_round_trip() {
+        let (_, users) = small_corpus();
+        let mut buf = Vec::new();
+        write_users(&users, &mut buf).unwrap();
+        let back = read_users(buf.as_slice()).unwrap();
+        assert_eq!(back, users);
+    }
+
+    #[test]
+    fn one_record_per_line() {
+        let (corpus, _) = small_corpus();
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), corpus.len());
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_lines_tolerated() {
+        let (corpus, _) = small_corpus();
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n");
+        let back = read_corpus(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), corpus.len());
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let data = "{\"not\": \"a tweet\"}\n";
+        match read_corpus(data.as_bytes()) {
+            Err(IoError::Malformed { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_corpus_round_trips() {
+        let mut buf = Vec::new();
+        write_corpus(&Corpus::new(), &mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(read_corpus(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_survive_round_trip() {
+        let (corpus, _) = small_corpus();
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let back = read_corpus(buf.as_slice()).unwrap();
+        assert_eq!(back.stats(), corpus.stats());
+    }
+}

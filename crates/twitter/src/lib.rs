@@ -1,0 +1,47 @@
+//! Simulated Twitter platform for `donorpulse`.
+//!
+//! The paper's dataset is a proprietary 385-day crawl of the Twitter
+//! Stream API (Apr 22 2015 – May 11 2016; 975,021 collected tweets, of
+//! which 134,986 could be attributed to USA users across 71,947 users).
+//! That crawl cannot be replayed, so this crate implements the closest
+//! synthetic equivalent that exercises the *same code paths*:
+//!
+//! * [`time`] — the simulated clock over the paper's exact collection
+//!   window, with real calendar math;
+//! * [`user`] — user profiles with heterogeneous activity, noisy
+//!   self-reported locations, and *planted ground truth* (home state,
+//!   attention archetype) that the real crawl never offered, making the
+//!   characterization pipeline verifiable end to end;
+//! * [`tweet`] — tweets with text, timestamps and rare GPS tags (~1.4%);
+//! * [`textgen`] — template-based tweet text: on-topic organ-donation
+//!   messages plus near-miss chatter the stream filter must reject;
+//! * [`genmodel`] — the generative model: census-weighted state
+//!   assignment, organ popularity, per-state anomaly multipliers
+//!   (Kansas kidney, Massachusetts kidney+lung, …), Dirichlet attention
+//!   archetypes, heavy-tailed tweets-per-user;
+//! * [`generator`] — materializes users and a time-ordered tweet stream;
+//! * [`stream`] — the Stream API endpoint: `track` filtering, optional
+//!   sampling, connection-style iteration;
+//! * [`corpus`] — the collected-corpus container and the Table I
+//!   statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+pub mod io;
+pub mod genmodel;
+pub mod stream;
+pub mod textgen;
+pub mod time;
+pub mod tweet;
+pub mod user;
+
+pub use corpus::{Corpus, CorpusStats};
+pub use generator::TwitterSimulation;
+pub use genmodel::{Archetype, AwarenessEvent, GeneratorConfig};
+pub use stream::StreamApi;
+pub use time::{SimInstant, COLLECTION_DAYS, COLLECTION_START};
+pub use tweet::{Tweet, TweetId};
+pub use user::{UserId, UserProfile};

@@ -1,0 +1,179 @@
+//! The simulated Twitter Stream API endpoint.
+//!
+//! The paper collects through the public Stream API with a `track`
+//! predicate (Fig. 1's `Q`). This module reproduces that endpoint's
+//! observable behaviour over the simulated firehose:
+//!
+//! * `track` filtering with the documented all-terms-of-any-phrase
+//!   semantics ([`donorpulse_text::TrackFilter`]);
+//! * optional random sampling (the real endpoint delivers at most ~1% of
+//!   the firehose; our organ-donation volume is far below the cap, but
+//!   the knob exists and is exercised in tests);
+//! * delivery statistics (delivered / filtered / sampled-out), matching
+//!   the bookkeeping a collection pipeline needs for Table I's
+//!   "134,986 out of 975,021" accounting.
+
+use crate::generator::TwitterSimulation;
+use crate::tweet::Tweet;
+use donorpulse_text::{TextFilter, TrackFilter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Counters describing one stream session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Tweets delivered to the consumer.
+    pub delivered: u64,
+    /// Tweets dropped by the track filter.
+    pub filtered_out: u64,
+    /// Tweets dropped by sampling.
+    pub sampled_out: u64,
+}
+
+/// A streaming connection over the simulated firehose.
+pub struct StreamApi<'a> {
+    sim: &'a TwitterSimulation,
+    pos: usize,
+    track: Option<Box<dyn TextFilter + Send>>,
+    sample_rate: f64,
+    sampling_rng: StdRng,
+    stats: StreamStats,
+}
+
+impl<'a> StreamApi<'a> {
+    /// Opens a connection over the full firehose (no filter).
+    pub fn new(sim: &'a TwitterSimulation) -> Self {
+        Self {
+            sim,
+            pos: 0,
+            track: None,
+            sample_rate: 1.0,
+            sampling_rng: StdRng::seed_from_u64(sim.config().seed ^ 0x57AE_AA11),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Applies a `track` filter (consumes and returns the connection,
+    /// mirroring connection parameters being fixed at connect time).
+    pub fn with_track(self, track: TrackFilter) -> Self {
+        self.with_filter(Box::new(track))
+    }
+
+    /// Applies any [`TextFilter`] — e.g. the fast
+    /// [`donorpulse_text::KeywordQuery`] equivalent of the paper's
+    /// Cartesian track list.
+    pub fn with_filter(mut self, filter: Box<dyn TextFilter + Send>) -> Self {
+        self.track = Some(filter);
+        self
+    }
+
+    /// Applies a delivery sampling rate in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when the rate is outside `(0, 1]`.
+    pub fn with_sample_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "sample rate must be in (0, 1], got {rate}"
+        );
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Session statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+impl Iterator for StreamApi<'_> {
+    type Item = Tweet;
+
+    fn next(&mut self) -> Option<Tweet> {
+        while self.pos < self.sim.firehose_len() {
+            let tweet = self.sim.realize(self.pos);
+            self.pos += 1;
+            if let Some(track) = &self.track {
+                if !track.accepts(&tweet.text) {
+                    self.stats.filtered_out += 1;
+                    continue;
+                }
+            }
+            if self.sample_rate < 1.0 && !self.sampling_rng.gen_bool(self.sample_rate) {
+                self.stats.sampled_out += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            return Some(tweet);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmodel::GeneratorConfig;
+
+    fn sim() -> TwitterSimulation {
+        let mut cfg = GeneratorConfig::paper_scaled(0.002); // ~1k users
+        cfg.seed = 7;
+        TwitterSimulation::generate(cfg).expect("valid")
+    }
+
+    #[test]
+    fn firehose_delivers_everything_in_order() {
+        let s = sim();
+        let tweets: Vec<Tweet> = s.stream().collect();
+        assert_eq!(tweets.len(), s.firehose_len());
+        for pair in tweets.windows(2) {
+            assert!(pair[0].created_at <= pair[1].created_at);
+        }
+    }
+
+    #[test]
+    fn track_filter_keeps_only_on_topic() {
+        let s = sim();
+        let mut conn = s.stream().with_track(TrackFilter::paper_cartesian());
+        let collected: Vec<Tweet> = conn.by_ref().collect();
+        assert_eq!(collected.len(), s.on_topic_len());
+        let stats = conn.stats();
+        assert_eq!(stats.delivered as usize, collected.len());
+        assert_eq!(
+            stats.delivered + stats.filtered_out,
+            s.firehose_len() as u64
+        );
+        assert_eq!(stats.sampled_out, 0);
+    }
+
+    #[test]
+    fn sampling_reduces_delivery() {
+        let s = sim();
+        let mut conn = s.stream().with_sample_rate(0.25);
+        let n = conn.by_ref().count();
+        let expect = s.firehose_len() as f64 * 0.25;
+        assert!(
+            (n as f64 - expect).abs() < expect * 0.2 + 30.0,
+            "sampled {n}, expected ~{expect}"
+        );
+        assert_eq!(
+            conn.stats().delivered + conn.stats().sampled_out,
+            s.firehose_len() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be in (0, 1]")]
+    fn invalid_sample_rate_panics() {
+        let s = sim();
+        let _ = s.stream().with_sample_rate(0.0);
+    }
+
+    #[test]
+    fn stream_is_replayable() {
+        let s = sim();
+        let a: Vec<Tweet> = s.stream().take(50).collect();
+        let b: Vec<Tweet> = s.stream().take(50).collect();
+        assert_eq!(a, b);
+    }
+}

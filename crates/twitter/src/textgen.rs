@@ -1,0 +1,229 @@
+//! Template-based tweet text generation.
+//!
+//! On-topic tweets must pass the paper's filter `Q = Context × Subject`
+//! (contain ≥1 donation-context word and ≥1 organ word); chatter tweets
+//! are realistic near-misses the Stream API filter must reject — organ
+//! words without donation context ("my heart is broken"), donation
+//! context without organs ("donate to our fundraiser"), and generic
+//! noise. The split exercises the real collection code path instead of
+//! assuming pre-filtered input.
+
+use donorpulse_text::Organ;
+use rand::Rng;
+
+/// On-topic templates mentioning exactly one organ. `{o}` is replaced by
+/// an organ surface form.
+const SINGLE_ORGAN_TEMPLATES: &[&str] = &[
+    "just registered as a {o} donor, you should too",
+    "my mom needs a {o} transplant, please keep her in your thoughts",
+    "proud to support {o} donation awareness this month",
+    "22 people die daily waiting, sign up to donate your {o}",
+    "celebrating 5 years since my {o} transplant!",
+    "who knew one {o} donor could save a life? register today",
+    "the {o} transplant waiting list keeps growing, be a donor",
+    "huge thanks to the surgeons, the {o} transplantation went great",
+    "share to honor every {o} donor out there",
+    "spoke at school today about {o} donation, kids asked great questions",
+    "donate life: a single {o} donor can change everything",
+    "waiting for the call... {o} transplant list day 200",
+    "my cousin just became a living {o} donor, so proud",
+    "research on {o} transplants has come so far, donate to support it",
+    "hospital says the donated {o} is a match!!! surgery tomorrow",
+    "april is donate life month, talk to your family about {o} donation",
+    "my license now says {o} donor and i could not be prouder",
+    "one year ago a stranger donated their {o} to my sister",
+    "organ procurement team just flew out with a donor {o}, godspeed",
+    "the {o} donation myths in my mentions are wild, read the facts",
+    "church group signed 40 new {o} donors at the fair today",
+    "living {o} donor surgery is safer than people think, ask me anything",
+    "every {o} transplant starts with someone saying yes to donation",
+    "nurse on the {o} transplant ward here, your donor decision matters",
+    "paired {o} donation matched four families today, science is amazing",
+];
+
+/// On-topic templates mentioning two organs: `{o}` and `{p}`.
+const DUAL_ORGAN_TEMPLATES: &[&str] = &[
+    "dual {o} and {p} transplant scheduled, one brave donor made it possible",
+    "dad needs both a {o} and a {p}, please register as a donor",
+    "amazing: one donor gave a {o} and a {p} and saved two lives",
+    "{o} failure often follows {p} disease, donation awareness matters",
+    "fundraiser for combined {o} and {p} transplantation research, donate below",
+];
+
+/// Hashtag suffixes appended to a share of on-topic tweets.
+const HASHTAGS: &[&str] = &[
+    " #OrganDonation",
+    " #DonateLife",
+    " #BeADonor",
+    " #TransplantStrong",
+    " #GiftOfLife",
+    "",
+    "",
+    "", // most tweets carry no hashtag
+];
+
+/// Chatter: organ word, no donation context — the filter must drop these.
+const ORGAN_CHATTER_TEMPLATES: &[&str] = &[
+    "my {o} is broken after that game",
+    "this song hits me right in the {o}",
+    "ate way too much, my {o} hates me",
+    "cardio day... my {o} and my {o} disagree",
+    "{o} to {o} talk with my best friend tonight",
+    "pouring my {o} out in this thread",
+    "that workout destroyed my {o} capacity",
+    "cold weather and my {o} do not get along",
+    "tattoo over my {o} healed up nicely",
+    "grandma's secret is good for the {o} she says",
+];
+
+/// Chatter: donation context, no organ.
+const DONATION_CHATTER_TEMPLATES: &[&str] = &[
+    "please donate to our school fundraiser",
+    "donated my old clothes today, feels good",
+    "blood donation drive at the gym tomorrow",
+    "every donor to the campaign gets a sticker",
+    "donate retweets please, trying to go viral",
+    "thank you to every donation, we hit our goal",
+    "plasma donor appointment booked for friday",
+    "the library accepts book donations until june",
+    "hair donation day at the salon, 12 inches gone",
+    "monthly donor to three charities and proud of it",
+];
+
+/// Chatter: generic noise.
+const GENERIC_CHATTER_TEMPLATES: &[&str] = &[
+    "good morning everyone, coffee first",
+    "can't believe that ending, no spoilers please",
+    "monday again. how.",
+    "new photo up, link in bio",
+    "traffic on the interstate is unreal today",
+    "happy birthday to my favorite person!!",
+    "this playlist understands me on a cellular level",
+    "why is the wifi always down when deadlines hit",
+    "farmers market haul was unreal this weekend",
+    "three alarms and i still overslept, incredible",
+];
+
+fn organ_surface<R: Rng + ?Sized>(rng: &mut R, organ: Organ) -> &'static str {
+    // Prefer the canonical name; occasionally use another lexicon form so
+    // the extractor's synonym handling is exercised.
+    let lex = organ.lexicon();
+    if rng.gen_bool(0.8) {
+        lex[0]
+    } else {
+        lex[rng.gen_range(0..lex.len())]
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Generates an on-topic tweet mentioning the given organs (1 or 2 used;
+/// extras ignored). Always passes the paper's `Q` filter.
+pub fn on_topic<R: Rng + ?Sized>(rng: &mut R, organs: &[Organ]) -> String {
+    debug_assert!(!organs.is_empty(), "on_topic needs at least one organ");
+    let mut text = if organs.len() >= 2 {
+        let template = pick(rng, DUAL_ORGAN_TEMPLATES);
+        template
+            .replace("{o}", organ_surface(rng, organs[0]))
+            .replace("{p}", organ_surface(rng, organs[1]))
+    } else {
+        let template = pick(rng, SINGLE_ORGAN_TEMPLATES);
+        template.replace("{o}", organ_surface(rng, organs[0]))
+    };
+    text.push_str(pick(rng, HASHTAGS));
+    text
+}
+
+/// The kind of chatter to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChatterKind {
+    /// Organ word without donation context.
+    OrganNoContext,
+    /// Donation context without an organ.
+    ContextNoOrgan,
+    /// Neither.
+    Generic,
+}
+
+/// Generates an off-topic tweet of the given kind. Never passes `Q`.
+pub fn chatter<R: Rng + ?Sized>(rng: &mut R, kind: ChatterKind, organ: Organ) -> String {
+    match kind {
+        ChatterKind::OrganNoContext => {
+            pick(rng, ORGAN_CHATTER_TEMPLATES).replace("{o}", organ.name())
+        }
+        ChatterKind::ContextNoOrgan => pick(rng, DONATION_CHATTER_TEMPLATES).to_string(),
+        ChatterKind::Generic => pick(rng, GENERIC_CHATTER_TEMPLATES).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_text::KeywordQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn on_topic_always_passes_filter() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = KeywordQuery::paper();
+        for organ in Organ::ALL {
+            for _ in 0..200 {
+                let t = on_topic(&mut rng, &[organ]);
+                assert!(q.matches(&t), "filter rejected on-topic tweet: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_organ_tweets_mention_both() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let t = on_topic(&mut rng, &[Organ::Heart, Organ::Kidney]);
+            let mc = donorpulse_text::extract_mentions(&t);
+            assert!(mc.count(Organ::Heart) >= 1, "{t}");
+            assert!(mc.count(Organ::Kidney) >= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn on_topic_mentions_requested_organ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for organ in Organ::ALL {
+            for _ in 0..100 {
+                let t = on_topic(&mut rng, &[organ]);
+                let mc = donorpulse_text::extract_mentions(&t);
+                assert!(mc.count(organ) >= 1, "{organ}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn chatter_never_passes_filter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = KeywordQuery::paper();
+        for kind in [
+            ChatterKind::OrganNoContext,
+            ChatterKind::ContextNoOrgan,
+            ChatterKind::Generic,
+        ] {
+            for organ in Organ::ALL {
+                for _ in 0..100 {
+                    let t = chatter(&mut rng, kind, organ);
+                    assert!(!q.matches(&t), "filter accepted chatter: {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tweets_fit_the_2015_length_limit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let t = on_topic(&mut rng, &[Organ::Pancreas, Organ::Intestine]);
+            assert!(t.chars().count() <= 140, "too long: {t}");
+        }
+    }
+}

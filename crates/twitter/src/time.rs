@@ -1,0 +1,215 @@
+//! Simulated time over the paper's collection window.
+//!
+//! The paper collected from **Apr 22 2015** to **May 11 2016** — 385
+//! days (Table I). Instants are seconds since the collection start;
+//! calendar conversion uses the standard civil-from-days algorithm, so
+//! dates render exactly as in the paper without pulling in a time crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Days in the paper's collection window (Table I).
+pub const COLLECTION_DAYS: u32 = 385;
+
+/// Calendar date of the first collection day.
+pub const COLLECTION_START: CivilDate = CivilDate {
+    year: 2015,
+    month: 4,
+    day: 22,
+};
+
+/// Seconds per simulated day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CivilDate {
+    /// Year (e.g. 2015).
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Days since the civil epoch 1970-01-01 (Howard Hinnant's
+    /// `days_from_civil`).
+    pub fn days_from_epoch(self) -> i64 {
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`CivilDate::days_from_epoch`] (`civil_from_days`).
+    pub fn from_days_from_epoch(z: i64) -> CivilDate {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+        CivilDate {
+            year: (if m <= 2 { y + 1 } else { y }) as i32,
+            month: m,
+            day: d,
+        }
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MONTHS: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        write!(
+            f,
+            "{} {:02} {}",
+            MONTHS[(self.month - 1) as usize],
+            self.day,
+            self.year
+        )
+    }
+}
+
+/// An instant inside the simulation: seconds since collection start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(pub u64);
+
+impl SimInstant {
+    /// The first instant of the collection window.
+    pub const START: SimInstant = SimInstant(0);
+
+    /// Builds an instant from a day index and seconds within the day.
+    pub fn from_day(day: u32, second_of_day: u32) -> Self {
+        SimInstant(day as u64 * SECONDS_PER_DAY + second_of_day as u64)
+    }
+
+    /// Day index since collection start (day 0 = Apr 22 2015).
+    pub fn day(self) -> u32 {
+        (self.0 / SECONDS_PER_DAY) as u32
+    }
+
+    /// Calendar date of this instant.
+    pub fn date(self) -> CivilDate {
+        CivilDate::from_days_from_epoch(
+            COLLECTION_START.days_from_epoch() + self.day() as i64,
+        )
+    }
+
+    /// True when the instant is inside the paper's 385-day window.
+    pub fn in_collection_window(self) -> bool {
+        self.day() < COLLECTION_DAYS
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0 % SECONDS_PER_DAY;
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date(),
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_round_trips() {
+        for &days in &[-1000i64, 0, 1, 365, 16_000, 20_000] {
+            let d = CivilDate::from_days_from_epoch(days);
+            assert_eq!(d.days_from_epoch(), days);
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(
+            CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+            .days_from_epoch(),
+            0
+        );
+        // Leap day 2016 exists (2016-02-29).
+        let feb29 = CivilDate {
+            year: 2016,
+            month: 2,
+            day: 29,
+        };
+        let mar1 = CivilDate {
+            year: 2016,
+            month: 3,
+            day: 1,
+        };
+        assert_eq!(mar1.days_from_epoch() - feb29.days_from_epoch(), 1);
+    }
+
+    #[test]
+    fn collection_window_matches_table_one() {
+        // Day 0 is Apr 22 2015; the last day (384) is May 10 2016, so the
+        // collection *finishes* on May 11 2016 — exactly Table I.
+        assert_eq!(SimInstant::START.date().to_string(), "Apr 22 2015");
+        let last = SimInstant::from_day(COLLECTION_DAYS - 1, 0);
+        assert_eq!(last.date().to_string(), "May 10 2016");
+        let finish = SimInstant::from_day(COLLECTION_DAYS, 0);
+        assert_eq!(finish.date().to_string(), "May 11 2016");
+        assert!(last.in_collection_window());
+        assert!(!finish.in_collection_window());
+    }
+
+    #[test]
+    fn window_spans_a_leap_day() {
+        // Feb 29 2016 falls inside the window — the calendar math must
+        // cross it correctly.
+        let feb29_offset = (CivilDate {
+            year: 2016,
+            month: 2,
+            day: 29,
+        }
+        .days_from_epoch()
+            - COLLECTION_START.days_from_epoch()) as u32;
+        assert!(feb29_offset < COLLECTION_DAYS);
+        assert_eq!(
+            SimInstant::from_day(feb29_offset, 0).date().to_string(),
+            "Feb 29 2016"
+        );
+    }
+
+    #[test]
+    fn instant_accessors() {
+        let t = SimInstant::from_day(3, 3_661);
+        assert_eq!(t.day(), 3);
+        assert_eq!(t.to_string(), "Apr 25 2015 01:01:01");
+        assert!(SimInstant::from_day(0, 0) < t);
+    }
+
+    #[test]
+    fn day_boundary() {
+        assert_eq!(SimInstant(SECONDS_PER_DAY - 1).day(), 0);
+        assert_eq!(SimInstant(SECONDS_PER_DAY).day(), 1);
+    }
+}

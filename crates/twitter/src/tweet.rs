@@ -1,0 +1,67 @@
+//! Simulated tweets.
+
+use crate::time::SimInstant;
+use crate::user::UserId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique tweet identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TweetId(pub u64);
+
+impl fmt::Display for TweetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One tweet as the Stream API would deliver it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Unique id (monotone in emission order).
+    pub id: TweetId,
+    /// Author.
+    pub user: UserId,
+    /// Creation instant.
+    pub created_at: SimInstant,
+    /// Tweet text (≤ 140 chars in the 2015–2016 era).
+    pub text: String,
+    /// Optional GPS tag `(lat, lon)` — present on ~1.4% of tweets.
+    pub geo: Option<(f64, f64)>,
+}
+
+impl Tweet {
+    /// True when the tweet carries GPS coordinates.
+    pub fn is_geotagged(&self) -> bool {
+        self.geo.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geotag_flag() {
+        let t = Tweet {
+            id: TweetId(1),
+            user: UserId(2),
+            created_at: SimInstant(0),
+            text: "kidney donor".into(),
+            geo: None,
+        };
+        assert!(!t.is_geotagged());
+        let g = Tweet {
+            geo: Some((37.69, -97.34)),
+            ..t
+        };
+        assert!(g.is_geotagged());
+    }
+
+    #[test]
+    fn tweet_id_display() {
+        assert_eq!(TweetId(5).to_string(), "t5");
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulated Twitter users.
+//!
+//! Each user carries the observable fields a crawler sees (handle,
+//! free-text profile location) *and* the generative ground truth the
+//! paper never had: the true home state, the attention distribution the
+//! user tweets from, and the archetype that produced it. Ground truth
+//! lets the integration tests check that the characterization pipeline
+//! actually recovers what was planted.
+
+use crate::genmodel::Archetype;
+use donorpulse_geo::UsState;
+use donorpulse_text::Organ;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique user identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Where a simulated user truly lives (generative ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HomeLocation {
+    /// A US state/territory.
+    Us(UsState),
+    /// Outside the USA.
+    Foreign,
+}
+
+/// A simulated user profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Unique id.
+    pub id: UserId,
+    /// Handle, e.g. `@donor_kate_42`.
+    pub handle: String,
+    /// Raw self-reported profile location (what a crawler sees). May be
+    /// empty, junk, a nickname, or a well-formed "City, ST".
+    pub profile_location: String,
+    /// Ground truth home (never visible to the pipeline under test).
+    pub home: HomeLocation,
+    /// Ground-truth attention distribution over the six organs; the
+    /// user's on-topic tweets sample organs from it. Sums to 1.
+    pub attention: [f64; Organ::COUNT],
+    /// The archetype that generated `attention`.
+    pub archetype: Archetype,
+    /// Number of on-topic tweets this user will emit over the window.
+    pub on_topic_tweets: u32,
+    /// Number of off-topic (chatter) tweets, rejected by the filter.
+    pub chatter_tweets: u32,
+}
+
+impl UserProfile {
+    /// Ground-truth home state (`None` for foreign users).
+    pub fn home_state(&self) -> Option<UsState> {
+        match self.home {
+            HomeLocation::Us(s) => Some(s),
+            HomeLocation::Foreign => None,
+        }
+    }
+
+    /// Ground-truth dominant organ (argmax of attention).
+    pub fn dominant_organ(&self) -> Organ {
+        let mut best = 0;
+        for i in 1..Organ::COUNT {
+            if self.attention[i] > self.attention[best] {
+                best = i;
+            }
+        }
+        Organ::from_index(best).expect("index in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(attention: [f64; 6]) -> UserProfile {
+        UserProfile {
+            id: UserId(7),
+            handle: "@x".into(),
+            profile_location: "Wichita, KS".into(),
+            home: HomeLocation::Us(UsState::Kansas),
+            attention,
+            archetype: Archetype::SingleFocus(Organ::Kidney),
+            on_topic_tweets: 2,
+            chatter_tweets: 1,
+        }
+    }
+
+    #[test]
+    fn home_state_accessor() {
+        let p = profile([0.1, 0.5, 0.1, 0.1, 0.1, 0.1]);
+        assert_eq!(p.home_state(), Some(UsState::Kansas));
+        let mut q = p.clone();
+        q.home = HomeLocation::Foreign;
+        assert_eq!(q.home_state(), None);
+    }
+
+    #[test]
+    fn dominant_organ_is_argmax() {
+        let p = profile([0.1, 0.5, 0.1, 0.1, 0.1, 0.1]);
+        assert_eq!(p.dominant_organ(), Organ::Kidney);
+        let q = profile([0.3, 0.3, 0.1, 0.1, 0.1, 0.1]);
+        // Tie: first in canonical order wins (heart).
+        assert_eq!(q.dominant_organ(), Organ::Heart);
+    }
+
+    #[test]
+    fn user_id_display() {
+        assert_eq!(UserId(42).to_string(), "u42");
+    }
+}

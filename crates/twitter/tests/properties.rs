@@ -1,0 +1,113 @@
+//! Property-based tests for the simulated Twitter platform.
+
+use donorpulse_text::KeywordQuery;
+use donorpulse_twitter::genmodel::{
+    sample_dirichlet, sample_weighted, PowerLawActivity,
+};
+use donorpulse_twitter::{AwarenessEvent, GeneratorConfig, TwitterSimulation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_sim(seed: u64) -> TwitterSimulation {
+    let mut cfg = GeneratorConfig::paper_scaled(0.001);
+    cfg.seed = seed;
+    TwitterSimulation::generate(cfg).expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn simulation_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let sim = tiny_sim(seed);
+        // Schedule is sorted and inside the window.
+        for pair in sim.schedule().windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at);
+        }
+        prop_assert!(sim.schedule().iter().all(|e| e.at.in_collection_window()));
+        // Attention rows are distributions.
+        for u in sim.users() {
+            let s: f64 = u.attention.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        // On-topic accounting matches per-user counters.
+        let on_topic: u32 = sim.users().iter().map(|u| u.on_topic_tweets).sum();
+        prop_assert_eq!(sim.on_topic_len(), on_topic as usize);
+    }
+
+    #[test]
+    fn realization_is_pure(seed in 0u64..500, idx_frac in 0.0..1.0f64) {
+        let sim = tiny_sim(seed);
+        let idx = ((sim.firehose_len() - 1) as f64 * idx_frac) as usize;
+        prop_assert_eq!(sim.realize(idx), sim.realize(idx));
+    }
+
+    #[test]
+    fn filter_agrees_with_schedule_flag(seed in 0u64..200) {
+        let sim = tiny_sim(seed);
+        let q = KeywordQuery::paper();
+        for i in (0..sim.firehose_len()).step_by(7) {
+            let tweet = sim.realize(i);
+            prop_assert_eq!(q.matches(&tweet.text), sim.schedule()[i].on_topic,
+                "event {}: {}", i, tweet.text);
+        }
+    }
+
+    #[test]
+    fn dirichlet_output_is_simplex(
+        alphas in prop::collection::vec(0.05..30.0f64, 2..8),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = sample_dirichlet(&mut rng, &alphas);
+        prop_assert_eq!(d.len(), alphas.len());
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn weighted_sampling_never_picks_zero_weight(
+        mut weights in prop::collection::vec(0.0..5.0f64, 2..10),
+        zero_at_frac in 0.0..1.0f64,
+        seed in 0u64..100,
+    ) {
+        let zero_at = ((weights.len() - 1) as f64 * zero_at_frac) as usize;
+        weights[zero_at] = 0.0;
+        if weights.iter().sum::<f64>() <= 0.0 {
+            let fix = (zero_at + 1) % weights.len();
+            weights[fix] = 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let pick = sample_weighted(&mut rng, &weights);
+            prop_assert!(pick < weights.len());
+            prop_assert!(weights[pick] > 0.0, "picked zero-weight index {}", pick);
+        }
+    }
+
+    #[test]
+    fn power_law_in_range(alpha in 1.5..4.0f64, kmax in 2u32..200, seed in 0u64..50) {
+        let act = PowerLawActivity::new(alpha, kmax);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let k = act.sample(&mut rng);
+            prop_assert!((1..=kmax).contains(&k));
+        }
+        let mean = act.mean();
+        prop_assert!(mean >= 1.0 && mean <= kmax as f64);
+    }
+
+    #[test]
+    fn event_windows_validated(start in 0u32..400, len in 0u32..50, intensity in -0.5..1.5f64) {
+        let mut cfg = GeneratorConfig::paper_scaled(0.001);
+        cfg.events.push(AwarenessEvent {
+            organ: donorpulse_text::Organ::Heart,
+            start_day: start,
+            end_day: start + len,
+            intensity,
+        });
+        let valid = len > 0 && (0.0..=1.0).contains(&intensity);
+        prop_assert_eq!(cfg.validate().is_ok(), valid);
+    }
+}

@@ -1,0 +1,58 @@
+//! Archive workflow — collect once, analyze forever. A real collection
+//! pipeline records the filtered stream to disk (JSONL, one tweet per
+//! line, the de-facto tweet-archive format) and runs analyses offline.
+//! This example collects a corpus, writes it to a temporary archive,
+//! reloads it, and verifies the characterization is identical.
+//!
+//! ```sh
+//! cargo run --release --example archive_workflow
+//! ```
+
+use donorpulse::core::AttentionMatrix;
+use donorpulse::prelude::*;
+use donorpulse::twitter::io::{read_corpus, write_corpus};
+use std::fs::File;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = GeneratorConfig::paper_scaled(0.02);
+    config.seed = 31;
+    let sim = TwitterSimulation::generate(config)?;
+
+    // 1. Collect through the tracked stream (as a live crawler would).
+    let corpus: Corpus = sim
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .collect();
+    println!("collected {} tweets from {} users", corpus.len(), corpus.user_count());
+
+    // 2. Archive to JSONL.
+    let path = std::env::temp_dir().join("donorpulse_archive.jsonl");
+    write_corpus(&corpus, File::create(&path)?)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("archived to {} ({} KiB)", path.display(), bytes / 1024);
+
+    // 3. Reload in a "different process" and re-analyze.
+    let reloaded = read_corpus(File::open(&path)?)?;
+    assert_eq!(reloaded.tweets(), corpus.tweets());
+
+    let live = AttentionMatrix::from_corpus(&corpus)?;
+    let replay = AttentionMatrix::from_corpus(&reloaded)?;
+    assert_eq!(live, replay);
+    println!(
+        "reloaded {} tweets; attention matrix identical ({} users x {} organs)",
+        reloaded.len(),
+        replay.user_count(),
+        donorpulse::text::Organ::COUNT
+    );
+
+    // 4. The archive is plain text — peek at the first record.
+    let first_line = std::fs::read_to_string(&path)?
+        .lines()
+        .next()
+        .map(str::to_string)
+        .unwrap_or_default();
+    println!("first record: {first_line}");
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

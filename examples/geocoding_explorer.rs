@@ -1,0 +1,70 @@
+//! Geocoding explorer — shows how the paper's location-augmentation
+//! step (Sec. III-A) resolves the messy self-reported profile strings
+//! real Twitter users type, and how GPS geo-tags override them.
+//!
+//! ```sh
+//! cargo run --example geocoding_explorer                # demo strings
+//! cargo run --example geocoding_explorer -- "NOLA ✈ NYC"  # your own
+//! ```
+
+use donorpulse::geo::{Geocoder, ParseOutcome};
+
+fn main() {
+    let geocoder = Geocoder::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let samples: Vec<&str> = if args.is_empty() {
+        vec![
+            "Wichita, KS",
+            "NYC",
+            "the windy city",
+            "Kansas City",
+            "Kansas City, MO",
+            "NOLA",
+            "Portland",
+            "Portland, ME",
+            "Washington, D.C.",
+            "São Paulo, Brazil",
+            "London",
+            "Paris, Texas",
+            "planet earth",
+            "TX",
+            "hi",
+            "somewhere over the rainbow",
+            "🌴 Miami, FL 🌴",
+            "proud nurse in the Seattle area",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    println!("{:<36} resolution", "profile location");
+    println!("{:-<72}", "");
+    for s in samples {
+        let outcome = geocoder.resolve_profile(s);
+        let desc = match outcome {
+            ParseOutcome::Resolved {
+                state,
+                confidence,
+                method,
+            } => format!(
+                "{} ({:?}, confidence {:.2})",
+                state.name(),
+                method,
+                confidence
+            ),
+            ParseOutcome::NonUs => "outside the USA".to_string(),
+            ParseOutcome::Unknown => "unresolvable".to_string(),
+        };
+        println!("{s:<36} {desc}");
+    }
+
+    // GPS precedence: profile says New York, coordinates say Wichita.
+    println!("\nGPS beats profile (the paper's augmentation order):");
+    let located = geocoder.locate(Some("NYC"), Some((37.69, -97.34)));
+    println!(
+        "profile \"NYC\" + geotag (37.69, -97.34) -> {} via {:?}",
+        located.state.map(|s| s.name()).unwrap_or("?"),
+        located.source
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run the full paper pipeline on a small simulated corpus
+//! and print every table and figure.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! cargo run --release --example quickstart -- 0.25   # bigger corpus
+//! ```
+
+use donorpulse::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    println!("== donorpulse quickstart (scale {scale}) ==\n");
+
+    // 1. Configure the simulated Twitter platform and the pipeline.
+    //    `paper_scaled` keeps every distribution of the paper-calibrated
+    //    generative model and only shrinks the user count.
+    let mut config = PipelineConfig::paper_scaled(scale);
+    config.generator.seed = 42;
+
+    // 2. Run: collect through the Stream API with the Q = Context x
+    //    Subject filter, geolocate users (geo-tag, then profile), keep
+    //    the USA, and characterize.
+    let run = Pipeline::new().run(config).expect("pipeline");
+
+    println!(
+        "firehose {} tweets -> collected {} -> USA {} ({:.1}%), {} located users\n",
+        run.firehose_tweets,
+        run.collected_tweets,
+        run.usa.len(),
+        run.usa_fraction() * 100.0,
+        run.user_states.len(),
+    );
+
+    // 3. Render the paper's tables and figures.
+    let report = PaperReport::from_run(&run).expect("report");
+    println!("{}", report.render());
+}

@@ -1,0 +1,101 @@
+//! Streaming sensor — the deployment shape of the paper's system. A
+//! collector process consumes the tracked stream tweet-by-tweet through
+//! the [`donorpulse::core::incremental::IncrementalSensor`] and publishes
+//! a monthly situation report: located-user coverage, the current
+//! relative-risk hot list, and any active awareness bursts. Snapshots
+//! come from the sensor's live state; nothing is recomputed from scratch.
+//!
+//! ```sh
+//! cargo run --release --example streaming_sensor
+//! ```
+
+use donorpulse::core::incremental::IncrementalSensor;
+use donorpulse::core::temporal::{detect_bursts, BurstConfig};
+use donorpulse::prelude::*;
+use donorpulse::twitter::AwarenessEvent;
+
+const REPORT_EVERY_DAYS: u32 = 30;
+
+fn main() {
+    // Platform with a planted mid-collection liver event to catch.
+    let mut config = GeneratorConfig::paper_scaled(0.08);
+    config.seed = 55;
+    config.events.push(AwarenessEvent {
+        organ: Organ::Liver,
+        start_day: 160,
+        end_day: 170,
+        intensity: 0.45,
+    });
+    let sim = TwitterSimulation::generate(config).expect("sim");
+    let geocoder = Geocoder::new();
+
+    let mut sensor = IncrementalSensor::new(&geocoder, |id| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    });
+
+    println!("== streaming organ-awareness sensor (monthly reports) ==");
+    let mut next_report = REPORT_EVERY_DAYS;
+    for tweet in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+        let day = tweet.created_at.day();
+        if day >= next_report {
+            report(&sensor, next_report);
+            next_report += REPORT_EVERY_DAYS;
+        }
+        sensor.ingest(&tweet);
+    }
+    report(&sensor, 385);
+}
+
+fn report(sensor: &IncrementalSensor<'_>, day: u32) {
+    if sensor.ensure_nonempty().is_err() {
+        println!("\n-- day {day}: no located data yet");
+        return;
+    }
+    println!(
+        "\n-- day {day}: {} collected tweets, {} located users, {} USA tweets",
+        sensor.tweets_seen(),
+        sensor.located_users(),
+        sensor.usa_tweet_count()
+    );
+
+    // Current relative-risk hot list (top 3 by RR among highlighted).
+    if let Ok(risk) = sensor.risk_map(0.05) {
+        let mut hot: Vec<(String, String, f64)> = risk
+            .entries
+            .iter()
+            .filter(|e| e.is_highlighted())
+            .filter_map(|e| {
+                e.risk
+                    .map(|r| (e.state.name().to_string(), e.organ.name().to_string(), r.rr))
+            })
+            .collect();
+        hot.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite RR"));
+        if hot.is_empty() {
+            println!("   no significant state excesses yet");
+        } else {
+            for (state, organ, rr) in hot.into_iter().take(3) {
+                println!("   hot: {state} {organ} (RR {rr:.2})");
+            }
+        }
+    }
+
+    // Active bursts in the accumulated series.
+    let series = sensor.daily_series();
+    if let Ok(bursts) = detect_bursts(&series, BurstConfig::default()) {
+        for b in bursts {
+            // Only surface bursts still near the report horizon.
+            if b.end_day + 30 >= day as usize {
+                println!(
+                    "   burst: {} days {}..{} (peak share {:.0}% vs {:.0}% baseline)",
+                    b.organ.name(),
+                    b.start_day,
+                    b.end_day,
+                    b.peak_share * 100.0,
+                    b.baseline_share * 100.0
+                );
+            }
+        }
+    }
+}

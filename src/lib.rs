@@ -1,0 +1,56 @@
+//! # donorpulse
+//!
+//! A production-quality Rust reproduction of *"Characterizing Organ
+//! Donation Awareness from Social Media"* (Pacheco, Pinheiro, Cadeiras,
+//! Menezes — ICDE 2017): a social sensor that characterizes
+//! organ-donation awareness from Twitter conversations.
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `donorpulse-core` | the paper's method: `Û`, `L`, `K = (LᵀL)⁻¹LᵀÛ`, relative risk, clusterings, pipeline, reports |
+//! | [`twitter`] | `donorpulse-twitter` | simulated Twitter platform (generative model, Stream API, corpus) |
+//! | [`geo`] | `donorpulse-geo` | offline US geocoding (gazetteer, location parser, point-in-state) |
+//! | [`text`] | `donorpulse-text` | tweet tokenizer, Aho–Corasick matcher, keyword model `Q` |
+//! | [`cluster`] | `donorpulse-cluster` | agglomerative clustering, K-Means, silhouette, validation |
+//! | [`stats`] | `donorpulse-stats` | correlation, relative risk, distributions, distances |
+//! | [`linalg`] | `donorpulse-linalg` | dense matrices, LU solves/inverses |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use donorpulse::prelude::*;
+//!
+//! // A small simulated corpus (1% of the paper's scale), end to end.
+//! let mut config = PipelineConfig::paper_scaled(0.01);
+//! config.run_user_clustering = false; // keep the doctest fast
+//! let run = Pipeline::new().run(config).unwrap();
+//!
+//! // Table I statistics of the USA corpus:
+//! let stats = run.usa.stats();
+//! assert!(stats.users > 0);
+//!
+//! // Fig. 3: how heart-focused users attend to other organs.
+//! let heart = run.organ_k.row_for(Organ::Heart).unwrap();
+//! assert!(heart[Organ::Heart.index()] > heart[Organ::Intestine.index()]);
+//! ```
+
+pub use donorpulse_cluster as cluster;
+pub use donorpulse_core as core;
+pub use donorpulse_geo as geo;
+pub use donorpulse_linalg as linalg;
+pub use donorpulse_stats as stats;
+pub use donorpulse_text as text;
+pub use donorpulse_twitter as twitter;
+
+/// The most commonly used items, one `use` away.
+pub mod prelude {
+    pub use donorpulse_cluster::{Linkage, Metric};
+    pub use donorpulse_core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+    pub use donorpulse_core::report::PaperReport;
+    pub use donorpulse_core::AttentionMatrix;
+    pub use donorpulse_geo::{Geocoder, UsState};
+    pub use donorpulse_text::{KeywordQuery, Organ, TrackFilter};
+    pub use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation};
+}

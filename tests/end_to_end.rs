@@ -1,0 +1,293 @@
+//! End-to-end integration tests: the full pipeline must recover what the
+//! generative model planted — a verification the original study (built
+//! on an unlabeled proprietary crawl) could never perform.
+
+use donorpulse::cluster::validation::purity;
+use donorpulse::core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+use donorpulse::core::report::{Fig2a, Fig2b, Fig5, PaperReport};
+use donorpulse::prelude::*;
+use donorpulse::twitter::Archetype;
+use std::sync::OnceLock;
+
+/// One shared 25%-scale run (the statistical assertions need thousands
+/// of located users, like the paper's 71,947).
+fn run() -> &'static PipelineRun {
+    static RUN: OnceLock<PipelineRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut config = PipelineConfig::paper_scaled(0.25);
+        config.generator.seed = 0xE2E;
+        config.user_clustering.k_max = 14;
+        config.user_clustering.silhouette_sample = 800;
+        Pipeline::new().run(config).expect("pipeline")
+    })
+}
+
+/// The simulation behind the shared run, regenerated for ground truth.
+fn sim() -> &'static TwitterSimulation {
+    static SIM: OnceLock<TwitterSimulation> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let mut config = GeneratorConfig::paper_scaled(0.25);
+        config.seed = 0xE2E;
+        TwitterSimulation::generate(config).expect("sim")
+    })
+}
+
+#[test]
+fn table1_shape_matches_paper() {
+    let r = run();
+    let stats = r.usa.stats();
+    // Collection window (Table I).
+    assert_eq!(stats.start.as_deref(), Some("Apr 22 2015"));
+    assert_eq!(stats.finish.as_deref(), Some("May 10 2016"));
+    assert_eq!(stats.days, 385);
+    // Tweets per user 1.88 in the paper.
+    assert!(
+        (stats.avg_tweets_per_user - 1.88).abs() < 0.15,
+        "tweets/user {}",
+        stats.avg_tweets_per_user
+    );
+    // Organs per tweet 1.03, per user 1.13.
+    assert!(
+        (stats.organs_per_tweet - 1.03).abs() < 0.03,
+        "organs/tweet {}",
+        stats.organs_per_tweet
+    );
+    assert!(
+        (stats.organs_per_user - 1.13).abs() < 0.08,
+        "organs/user {}",
+        stats.organs_per_user
+    );
+    // USA share of collected tweets: 134,986 / 975,021 = 13.8%.
+    assert!(
+        (r.usa_fraction() - 0.138).abs() < 0.03,
+        "usa fraction {}",
+        r.usa_fraction()
+    );
+}
+
+#[test]
+fn fig2a_popularity_and_spearman() {
+    let f = Fig2a::from_run(run()).unwrap();
+    // Popularity order heart > kidney > liver > lung > pancreas > intestine.
+    let counts: Vec<u64> = f.users_per_organ.iter().map(|&(_, c)| c).collect();
+    for pair in counts.windows(2) {
+        assert!(pair[0] > pair[1], "popularity order violated: {counts:?}");
+    }
+    // The paper's r = .84: the planted rank pattern (heart 1st on
+    // Twitter, 3rd in transplants, all else aligned) gives exactly
+    // 1 − 6·6/(6·35) = 29/35 when the orders hold.
+    assert!(
+        (f.spearman.r - 29.0 / 35.0).abs() < 1e-9,
+        "spearman r = {}",
+        f.spearman.r
+    );
+    assert!(f.spearman.significant_at(0.05));
+}
+
+#[test]
+fn fig2b_crossover_at_single_mentions() {
+    let f = Fig2b::from_run(run());
+    // Paper: "The number of tweets is greater than the number of users
+    // only for single mentions."
+    assert!(f.tweets[0] > f.users[0]);
+    for k in 1..6 {
+        assert!(
+            f.users[k] >= f.tweets[k],
+            "k = {}: users {} < tweets {}",
+            k + 1,
+            f.users[k],
+            f.tweets[k]
+        );
+    }
+}
+
+#[test]
+fn fig3_coattention_structure_recovered() {
+    let r = run();
+    // Paper: kidney is the most important co-organ for heart, liver and
+    // pancreas users; heart for kidney, lung and intestine users.
+    let second = |organ: Organ| -> Organ {
+        let i = r.organ_k.groups.iter().position(|&o| o == organ).unwrap();
+        r.organ_k.ranked_row(i)[1].0
+    };
+    assert_eq!(second(Organ::Heart), Organ::Kidney);
+    assert_eq!(second(Organ::Liver), Organ::Kidney);
+    assert_eq!(second(Organ::Pancreas), Organ::Kidney);
+    assert_eq!(second(Organ::Kidney), Organ::Heart);
+    assert_eq!(second(Organ::Lung), Organ::Heart);
+    assert_eq!(second(Organ::Intestine), Organ::Heart);
+}
+
+#[test]
+fn fig3_coattention_is_not_reciprocal() {
+    let r = run();
+    // Heart users' attention to kidney differs from kidney users'
+    // attention to heart (the paper stresses non-reciprocity).
+    let heart_row = r.organ_k.row_for(Organ::Heart).unwrap();
+    let kidney_row = r.organ_k.row_for(Organ::Kidney).unwrap();
+    let h_to_k = heart_row[Organ::Kidney.index()];
+    let k_to_h = kidney_row[Organ::Heart.index()];
+    assert!(
+        (h_to_k - k_to_h).abs() > 0.005,
+        "reciprocal: {h_to_k} vs {k_to_h}"
+    );
+}
+
+#[test]
+fn fig5_planted_anomalies_recovered() {
+    let f = Fig5::from_run(run());
+    let has = |state: UsState, organ: Organ| {
+        f.highlighted
+            .iter()
+            .any(|(s, orgs)| *s == state && orgs.contains(&organ))
+    };
+    // The paper's headline findings, planted in the generator:
+    assert!(has(UsState::Kansas, Organ::Kidney), "{:?}", f.highlighted);
+    assert!(has(UsState::Louisiana, Organ::Kidney), "{:?}", f.highlighted);
+    assert!(has(UsState::Massachusetts, Organ::Lung), "{:?}", f.highlighted);
+}
+
+#[test]
+fn fig5_kansas_is_the_only_midwestern_kidney_anomaly() {
+    // The paper: "Kansas is also the only state in the Midwestern USA
+    // for which conversations of kidney is highly exceeding the national
+    // expectation."
+    let f = Fig5::from_run(run());
+    let midwestern_kidney: Vec<UsState> = f
+        .highlighted
+        .iter()
+        .filter(|(s, orgs)| {
+            s.region() == donorpulse::geo::Region::Midwest && orgs.contains(&Organ::Kidney)
+        })
+        .map(|&(s, _)| s)
+        .collect();
+    assert_eq!(midwestern_kidney, vec![UsState::Kansas]);
+}
+
+#[test]
+fn fig5_global_independence_rejected() {
+    // Before reading per-cell highlights: the state x organ table must
+    // deviate from independence globally (the planted anomalies
+    // guarantee it at this scale).
+    let chi = run().risk.global_independence_test().unwrap();
+    assert!(chi.significant_at(0.001), "p = {}", chi.p_value);
+    assert!(chi.n > 10_000);
+}
+
+#[test]
+fn fig6_planted_zones_cluster_together() {
+    let r = run();
+    // States planted with the same organ anomaly should be closer to
+    // each other than to states planted with a different organ.
+    let d = |a: UsState, b: UsState| r.state_clusters.distance_between(a, b).unwrap();
+    // Kidney pair vs kidney–liver cross pair.
+    assert!(
+        d(UsState::Kansas, UsState::Louisiana) < d(UsState::Kansas, UsState::Delaware),
+        "KS-LA {} !< KS-DE {}",
+        d(UsState::Kansas, UsState::Louisiana),
+        d(UsState::Kansas, UsState::Delaware)
+    );
+    // Liver pair vs liver–lung cross pair.
+    assert!(
+        d(UsState::Delaware, UsState::Colorado) < d(UsState::Delaware, UsState::Oregon),
+        "DE-CO {} !< DE-OR {}",
+        d(UsState::Delaware, UsState::Colorado),
+        d(UsState::Delaware, UsState::Oregon)
+    );
+}
+
+#[test]
+fn fig7_clusters_align_with_planted_archetypes() {
+    let r = run();
+    let uc = r.user_clusters.as_ref().expect("clustering enabled");
+    assert!(uc.chosen_k >= 6, "k = {}", uc.chosen_k);
+    // Silhouette is high (paper reports 0.953): attention vectors are
+    // near-one-hot so clusters are compact.
+    let chosen = uc.sweep.iter().find(|c| c.k == uc.chosen_k).unwrap();
+    assert!(chosen.silhouette > 0.55, "silhouette {}", chosen.silhouette);
+
+    // Cluster labels vs planted ground truth (single-focus organ or
+    // "other"): purity should beat chance by a wide margin.
+    let s = sim();
+    let truth: Vec<usize> = r
+        .attention
+        .users()
+        .iter()
+        .map(|id| match s.users()[id.0 as usize].archetype {
+            Archetype::SingleFocus(o) => o.index(),
+            Archetype::DualFocus(..) => 6,
+            Archetype::Generalist => 7,
+        })
+        .collect();
+    let p = purity(&uc.model.labels, &truth).unwrap();
+    assert!(p > 0.6, "purity {p}");
+}
+
+#[test]
+fn dominant_organ_recovery_per_user() {
+    // The argmax of each user's measured attention row should match the
+    // planted dominant organ for single-focus users in the vast
+    // majority of cases (they tweet mostly about it).
+    let r = run();
+    let s = sim();
+    let mut total = 0u64;
+    let mut agree = 0u64;
+    let dominants = r.attention.dominant_organs();
+    for (i, id) in r.attention.users().iter().enumerate() {
+        if let Archetype::SingleFocus(planted) = s.users()[id.0 as usize].archetype {
+            total += 1;
+            if dominants[i] == planted {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total > 1_000, "too few single-focus users: {total}");
+    assert!(
+        agree * 100 >= total * 85,
+        "only {agree}/{total} dominant organs recovered"
+    );
+}
+
+#[test]
+fn geolocation_recovers_home_states() {
+    // Among users the pipeline located, the resolved state should match
+    // the planted home state almost always (errors come from ambiguous
+    // city homonyms — e.g. "Columbus" — by design).
+    let r = run();
+    let s = sim();
+    let mut total = 0u64;
+    let mut agree = 0u64;
+    for (id, &resolved) in &r.user_states {
+        if let Some(home) = s.users()[id.0 as usize].home_state() {
+            total += 1;
+            if resolved == home {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total > 5_000);
+    assert!(
+        agree * 100 >= total * 92,
+        "only {agree}/{total} home states recovered"
+    );
+}
+
+#[test]
+fn full_report_renders_and_serializes() {
+    let report = PaperReport::from_run(run()).unwrap();
+    let text = report.render();
+    for needle in [
+        "TABLE I",
+        "FIG 2(a)",
+        "FIG 2(b)",
+        "FIG 3",
+        "FIG 4",
+        "FIG 5",
+        "FIG 6",
+        "FIG 7",
+    ] {
+        assert!(text.contains(needle), "missing {needle}");
+    }
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.len() > 10_000);
+}

@@ -1,0 +1,86 @@
+//! Null-control integration test: with NO planted anomalies, the
+//! analysis machinery must report (approximately) nothing — the
+//! falsification check that separates real signal detection from
+//! pattern-matching on noise.
+
+use donorpulse::core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+use donorpulse::core::relative_risk::permutation;
+use donorpulse::prelude::*;
+use std::sync::OnceLock;
+
+/// A 10%-scale run with every state anomaly removed (organ popularity,
+/// archetypes and activity untouched). Deterministic in the seed.
+fn null_run() -> &'static PipelineRun {
+    static RUN: OnceLock<PipelineRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut config = PipelineConfig::paper_scaled(0.1);
+        config.generator.seed = 0x0;
+        config.generator.state_organ_boost.clear();
+        config.run_user_clustering = false;
+        Pipeline::new().run(config).expect("pipeline")
+    })
+}
+
+#[test]
+fn global_chi_square_quiet_under_null() {
+    // With geography broken by construction, the state x organ table
+    // should not deviate from independence.
+    let chi = null_run().risk.global_independence_test().unwrap();
+    assert!(
+        !chi.significant_at(0.001),
+        "null corpus flagged dependent: p = {}",
+        chi.p_value
+    );
+    assert!(chi.cramers_v < 0.1, "V = {}", chi.cramers_v);
+}
+
+#[test]
+fn uncorrected_highlights_stay_at_noise_level() {
+    // 52 states x 6 organs at a one-sided ~2.5% rate -> expect ~8 false
+    // highlights; anything far beyond that indicates a biased estimator.
+    let r = null_run();
+    let highlighted: usize = r.risk.highlighted().values().map(Vec::len).sum();
+    assert!(highlighted <= 20, "too many null highlights: {highlighted}");
+}
+
+#[test]
+fn permutation_correction_clears_the_null() {
+    // The family-wise permutation correction should remove essentially
+    // every highlight on a null corpus.
+    let r = null_run();
+    let adjusted =
+        permutation::adjust(&r.attention, &r.user_states, 0.05, 40, 11).unwrap();
+    assert!(
+        adjusted.surviving.len() <= 1,
+        "null survivors: {:?}",
+        adjusted.surviving
+    );
+    // …while at least flagging that the uncorrected rule fired on noise.
+    assert!(
+        adjusted.surviving.len() <= adjusted.dropped.len() + 1,
+        "dropped {:?}",
+        adjusted.dropped
+    );
+}
+
+#[test]
+fn organ_popularity_survives_without_anomalies() {
+    // Removing geographic anomalies must NOT destroy the global organ
+    // popularity order (Fig. 2a's signal is independent of Fig. 5's).
+    let r = null_run();
+    let hist = r.attention.users_per_organ();
+    let counts: Vec<u64> = Organ::ALL.iter().map(|o| hist.count(o.name())).collect();
+    for pair in counts.windows(2) {
+        assert!(pair[0] > pair[1], "popularity order violated: {counts:?}");
+    }
+}
+
+#[test]
+fn state_signatures_become_homogeneous() {
+    // Without anomalies every state's signature is a noisy copy of the
+    // national mixture: the largest pairwise Bhattacharyya distance
+    // should be small compared to the planted-run zones.
+    let r = null_run();
+    let max_d = r.state_clusters.distances.max();
+    assert!(max_d < 0.40, "null corpus still has distant states: {max_d}");
+}

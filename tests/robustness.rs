@@ -1,0 +1,152 @@
+//! Failure-injection and degenerate-input integration tests: the
+//! pipeline must fail loudly (typed errors), never panic, on corpora the
+//! paper's happy path never sees.
+
+use donorpulse::core::membership::{by_dominant_organ, by_region};
+use donorpulse::core::relative_risk::RiskMap;
+use donorpulse::core::user_clusters::{UserClustering, UserClusteringConfig};
+use donorpulse::core::{AttentionMatrix, CoreError};
+use donorpulse::prelude::*;
+use donorpulse::text::extract::MentionCounts;
+use donorpulse::twitter::{SimInstant, Tweet, TweetId, UserId};
+use std::collections::HashMap;
+
+fn tweet(id: u64, user: u64, text: &str) -> Tweet {
+    Tweet {
+        id: TweetId(id),
+        user: UserId(user),
+        created_at: SimInstant(id),
+        text: text.to_string(),
+        geo: None,
+    }
+}
+
+#[test]
+fn empty_corpus_yields_typed_error() {
+    let corpus = Corpus::new();
+    assert!(matches!(
+        AttentionMatrix::from_corpus(&corpus),
+        Err(CoreError::EmptyCorpus { .. })
+    ));
+}
+
+#[test]
+fn corpus_without_organ_mentions_yields_typed_error() {
+    // Tweets that somehow passed collection but mention no organ.
+    let corpus = Corpus::from_tweets([tweet(0, 1, "nothing relevant here")]);
+    assert!(matches!(
+        AttentionMatrix::from_corpus(&corpus),
+        Err(CoreError::EmptyCorpus { .. })
+    ));
+}
+
+#[test]
+fn single_user_corpus_characterizes() {
+    let corpus = Corpus::from_tweets([
+        tweet(0, 1, "kidney donor registered"),
+        tweet(1, 1, "kidney transplant tomorrow"),
+    ]);
+    let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
+    assert_eq!(attention.user_count(), 1);
+    let membership = by_dominant_organ(&attention).unwrap();
+    let k = donorpulse::core::aggregate::Aggregation::compute(&membership, attention.matrix())
+        .unwrap();
+    assert_eq!(k.groups, vec![Organ::Kidney]);
+    assert_eq!(k.row_for(Organ::Kidney).unwrap()[Organ::Kidney.index()], 1.0);
+}
+
+#[test]
+fn region_membership_with_no_locations_errors() {
+    let corpus = Corpus::from_tweets([tweet(0, 1, "heart donor")]);
+    let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
+    let empty: HashMap<UserId, UsState> = HashMap::new();
+    assert!(matches!(
+        by_region(&attention, &empty),
+        Err(CoreError::NoGroups { .. })
+    ));
+}
+
+#[test]
+fn risk_map_with_single_state_defines_nothing() {
+    let corpus = Corpus::from_tweets([
+        tweet(0, 1, "heart donor"),
+        tweet(1, 2, "kidney donor"),
+    ]);
+    let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
+    let mut states = HashMap::new();
+    states.insert(UserId(1), UsState::Kansas);
+    states.insert(UserId(2), UsState::Kansas);
+    let rm = RiskMap::compute(&attention, &states, 0.05).unwrap();
+    // No outside population: every RR undefined, no highlight, no panic.
+    assert!(rm.entries.iter().all(|e| e.risk.is_none()));
+    assert!(rm.highlighted().is_empty());
+}
+
+#[test]
+fn user_clustering_rejects_more_clusters_than_users() {
+    let mut mentions = HashMap::new();
+    for i in 0..5u64 {
+        let mut mc = MentionCounts::new();
+        mc.add(Organ::Heart, 1);
+        mentions.insert(UserId(i), mc);
+    }
+    let attention = AttentionMatrix::from_mentions(&mentions).unwrap();
+    let config = UserClusteringConfig {
+        k_min: 6,
+        k_max: 12,
+        silhouette_sample: 100,
+        seed: 1,
+    };
+    assert!(matches!(
+        UserClustering::fit(&attention, config),
+        Err(CoreError::InvalidParameter(_))
+    ));
+}
+
+#[test]
+fn pipeline_with_no_us_users_fails_loudly() {
+    let mut config = PipelineConfig::paper_scaled(0.002);
+    config.generator.us_user_fraction = 0.0; // nobody in the USA
+    let result = Pipeline::new().run(config);
+    assert!(matches!(result, Err(CoreError::EmptyCorpus { .. })));
+}
+
+#[test]
+fn pipeline_with_all_us_users_works() {
+    let mut config = PipelineConfig::paper_scaled(0.002);
+    config.generator.us_user_fraction = 1.0;
+    config.run_user_clustering = false;
+    let run = Pipeline::new().run(config).unwrap();
+    assert!(run.usa_fraction() > 0.5);
+    assert!(run.non_us_users == 0 || run.non_us_users < run.user_states.len() as u64 / 10);
+}
+
+#[test]
+fn pipeline_without_chatter_collects_everything() {
+    let mut config = PipelineConfig::paper_scaled(0.002);
+    config.generator.chatter_ratio = 0.0;
+    config.run_user_clustering = false;
+    let run = Pipeline::new().run(config).unwrap();
+    assert_eq!(run.collected_tweets, run.firehose_tweets);
+}
+
+#[test]
+fn extreme_activity_distribution_survives() {
+    // Every user tweets exactly once (activity_max = 1).
+    let mut config = PipelineConfig::paper_scaled(0.002);
+    config.generator.activity_max = 1;
+    config.run_user_clustering = false;
+    let run = Pipeline::new().run(config).unwrap();
+    let stats = run.usa.stats();
+    assert!((stats.avg_tweets_per_user - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn invalid_generator_config_is_reported() {
+    let mut config = PipelineConfig::paper_scaled(0.002);
+    config.generator.organ_popularity = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+    assert!(matches!(
+        Pipeline::new().run(config),
+        Err(CoreError::Simulation(_))
+    ));
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the simulated Stream API: filter semantics,
+//! accounting, determinism, and equivalence of the two `Q` filter
+//! implementations.
+
+use donorpulse::prelude::*;
+
+fn sim(seed: u64) -> TwitterSimulation {
+    let mut config = GeneratorConfig::paper_scaled(0.004);
+    config.seed = seed;
+    TwitterSimulation::generate(config).expect("sim")
+}
+
+#[test]
+fn cartesian_track_equals_keyword_query_on_the_stream() {
+    // The paper describes Q as a Cartesian-product track list; we filter
+    // with the equivalent two-automaton conjunction. They must accept
+    // exactly the same tweets.
+    let s = sim(1);
+    let via_track: Vec<_> = s
+        .stream()
+        .with_track(TrackFilter::paper_cartesian())
+        .map(|t| t.id)
+        .collect();
+    let via_query: Vec<_> = s
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .map(|t| t.id)
+        .collect();
+    assert_eq!(via_track, via_query);
+    assert!(!via_track.is_empty());
+}
+
+#[test]
+fn every_collected_tweet_satisfies_q() {
+    let s = sim(2);
+    let q = KeywordQuery::paper();
+    for tweet in s.stream().with_filter(Box::new(KeywordQuery::paper())) {
+        assert!(q.matches(&tweet.text), "filter leaked: {}", tweet.text);
+        // And carries at least one extractable organ mention.
+        let mc = donorpulse::text::extract_mentions(&tweet.text);
+        assert!(!mc.is_empty(), "no organ in: {}", tweet.text);
+    }
+}
+
+#[test]
+fn stream_accounting_is_exact() {
+    let s = sim(3);
+    let mut conn = s.stream().with_track(TrackFilter::paper_cartesian());
+    let delivered = conn.by_ref().count() as u64;
+    let stats = conn.stats();
+    assert_eq!(stats.delivered, delivered);
+    assert_eq!(
+        stats.delivered + stats.filtered_out + stats.sampled_out,
+        s.firehose_len() as u64
+    );
+}
+
+#[test]
+fn collection_rate_matches_calibration() {
+    // Chatter ratio 4.0 -> roughly 1 in 5 firehose tweets is on-topic.
+    let s = sim(4);
+    let collected = s
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .count();
+    let rate = collected as f64 / s.firehose_len() as f64;
+    assert!((rate - 0.2).abs() < 0.04, "collection rate {rate}");
+}
+
+#[test]
+fn corpus_from_stream_preserves_order_and_count() {
+    let s = sim(5);
+    let corpus: Corpus = s.stream().with_filter(Box::new(KeywordQuery::paper())).collect();
+    assert_eq!(corpus.len(), s.on_topic_len());
+    let tweets = corpus.tweets();
+    for pair in tweets.windows(2) {
+        assert!(pair[0].created_at <= pair[1].created_at);
+    }
+}
+
+#[test]
+fn same_seed_same_stream_different_seed_different_stream() {
+    let a: Vec<String> = sim(7).stream().take(200).map(|t| t.text).collect();
+    let b: Vec<String> = sim(7).stream().take(200).map(|t| t.text).collect();
+    let c: Vec<String> = sim(8).stream().take(200).map(|t| t.text).collect();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn sampled_stream_is_a_subset() {
+    let s = sim(9);
+    let full: std::collections::HashSet<_> = s
+        .stream()
+        .with_track(TrackFilter::paper_cartesian())
+        .map(|t| t.id)
+        .collect();
+    let sampled: Vec<_> = s
+        .stream()
+        .with_track(TrackFilter::paper_cartesian())
+        .with_sample_rate(0.3)
+        .map(|t| t.id)
+        .collect();
+    assert!(sampled.len() < full.len());
+    assert!(sampled.iter().all(|id| full.contains(id)));
+}

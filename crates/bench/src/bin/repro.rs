@@ -2,10 +2,11 @@
 //! ablation experiments called out in DESIGN.md.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--json PATH] <command>
+//! repro [--scale S] [--seed N] [--json PATH] [--metrics] <command>
 //!
 //! commands:
 //!   all        every table and figure, in paper order
+//!   metrics    per-stage wall times, throughput, and domain counters
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
 //!   fig2b      Fig 2(b) — multi-organ mentions, users vs tweets
@@ -29,6 +30,13 @@
 //! `--scale 1.0` reproduces the paper's full corpus size (~975k collected
 //! tweets); the default `0.25` keeps every statistical shape while
 //! finishing in seconds.
+//!
+//! `--metrics` attaches an enabled `MetricsRegistry` to any
+//! pipeline-backed command and appends the per-stage metrics table to
+//! the output; the `metrics` command prints only that table, and with
+//! `--json PATH` dumps the same snapshot as JSON (the schema is
+//! documented in docs/OBSERVABILITY.md). Counter and item values are
+//! deterministic in `--seed`; only wall times vary between repeats.
 
 use donorpulse_cluster::validation::adjusted_rand_index;
 use donorpulse_cluster::{Linkage, Metric};
@@ -36,6 +44,7 @@ use donorpulse_core::pipeline::{Pipeline, PipelineRun};
 use donorpulse_core::report::{Fig2a, Fig2b, Fig3, Fig4, Fig5, Fig6, Fig7, PaperReport, Table1};
 use donorpulse_core::state_clusters::StateClustering;
 use donorpulse_geo::Geocoder;
+use donorpulse_obs::MetricsRegistry;
 use donorpulse_text::{extract_mentions, KeywordQuery, Organ};
 use donorpulse_twitter::{Corpus, TwitterSimulation};
 use std::process::ExitCode;
@@ -44,6 +53,7 @@ struct Options {
     scale: f64,
     seed: u64,
     json: Option<String>,
+    metrics: bool,
     command: String,
 }
 
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Options, String> {
     let mut scale = 0.25;
     let mut seed = 0x0D01_07AB;
     let mut json = None;
+    let mut metrics = false;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
                 json = Some(args.next().ok_or("--json needs a path")?);
             }
             "--full" => scale = 1.0,
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -84,6 +96,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         seed,
         json,
+        metrics,
         command: command.unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -97,10 +110,11 @@ fn main() -> ExitCode {
         }
     };
     if opts.command == "help" {
-        eprintln!("usage: repro [--scale S] [--seed N] [--json PATH] [--full] <command>");
+        eprintln!("usage: repro [--scale S] [--seed N] [--json PATH] [--full] [--metrics] <command>");
         eprintln!();
         eprintln!("paper artifacts:");
         eprintln!("  all        every table and figure, in paper order");
+        eprintln!("  metrics    per-stage wall times, tweets/sec, and domain counters");
         eprintln!("  table1     Table I  - dataset statistics");
         eprintln!("  fig2a      Fig 2(a) - users per organ + Spearman vs transplants");
         eprintln!("  fig2b      Fig 2(b) - multi-organ mentions, users vs tweets");
@@ -121,6 +135,9 @@ fn main() -> ExitCode {
         eprintln!("  extension-fwer      permutation family-wise correction of Fig 5");
         eprintln!("  extension-moran     Moran's I spatial autocorrelation per organ");
         eprintln!("  control-null        falsification: remove the planted anomalies");
+        eprintln!();
+        eprintln!("--metrics appends the per-stage metrics table to any pipeline-backed");
+        eprintln!("command; the `metrics` command prints it alone (with --json: as JSON).");
         return ExitCode::SUCCESS;
     }
     match dispatch(&opts) {
@@ -145,9 +162,20 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         _ => {}
     }
 
-    let run = pipeline_run(opts, opts.command == "fig7" || opts.command == "all")?;
+    let run = pipeline_run(
+        opts,
+        matches!(opts.command.as_str(), "fig7" | "all" | "metrics"),
+    )?;
     let mut json_value = None;
     match opts.command.as_str() {
+        "metrics" => {
+            println!("{}", run.metrics.render_table());
+            if let Some(path) = &opts.json {
+                std::fs::write(path, run.metrics.to_json())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("# wrote {path}");
+            }
+        }
         "all" => {
             let report = PaperReport::from_run(&run).map_err(|e| e.to_string())?;
             println!("{}", report.render());
@@ -295,6 +323,10 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}")),
     }
+    if opts.metrics && opts.command != "metrics" {
+        println!();
+        println!("{}", run.metrics.render_table());
+    }
     if let (Some(path), Some(value)) = (&opts.json, json_value) {
         std::fs::write(path, serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?)
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -306,6 +338,9 @@ fn dispatch(opts: &Options) -> Result<(), String> {
 fn pipeline_run(opts: &Options, need_user_clusters: bool) -> Result<PipelineRun, String> {
     let mut config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
     config.run_user_clustering = need_user_clusters;
+    if opts.metrics || opts.command == "metrics" {
+        config.metrics = MetricsRegistry::enabled();
+    }
     Pipeline::new().run(config).map_err(|e| e.to_string())
 }
 

@@ -18,6 +18,15 @@ pub fn run_at_scale(scale: f64, seed: u64) -> PipelineRun {
         .expect("pipeline run")
 }
 
+/// [`run_at_scale`] with an enabled metrics registry, so the returned
+/// run carries a populated [`PipelineRun::metrics`] snapshot — what the
+/// `repro metrics` command and the BENCH trajectories are built on.
+pub fn instrumented_run_at_scale(scale: f64, seed: u64) -> PipelineRun {
+    let mut config = config_at_scale(scale, seed);
+    config.metrics = donorpulse_obs::MetricsRegistry::enabled();
+    Pipeline::new().run(config).expect("pipeline run")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -28,5 +37,27 @@ mod tests {
         c.run_user_clustering = false;
         let run = Pipeline::new().run(c).unwrap();
         assert!(run.collected_tweets > 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_faithful() {
+        // The obs crate is dependency-free, so its JSON writer is
+        // hand-rolled; validate it against a real parser here.
+        let mut c = config_at_scale(0.003, 1);
+        c.run_user_clustering = false;
+        c.metrics = donorpulse_obs::MetricsRegistry::enabled();
+        let run = Pipeline::new().run(c).unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&run.metrics.to_json()).expect("well-formed snapshot JSON");
+        assert_eq!(
+            parsed["counters"]["collected_tweets_total"].as_u64(),
+            Some(run.collected_tweets)
+        );
+        assert_eq!(
+            parsed["stages"][0]["name"].as_str(),
+            Some(run.metrics.stages[0].name.as_str())
+        );
+        let n_stages = parsed["stages"].as_array().map(Vec::len);
+        assert_eq!(n_stages, Some(run.metrics.stages.len()));
     }
 }

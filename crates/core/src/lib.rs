@@ -23,6 +23,13 @@
 //! filter → location augmentation (geo-tag, then profile) → USA filter →
 //! characterizations. [`report`] renders every table and figure of the
 //! paper from a pipeline run.
+//!
+//! Every pipeline stage is instrumented through the dependency-free
+//! `donorpulse-obs` layer: configure the run with an enabled
+//! [`donorpulse_obs::MetricsRegistry`] and [`PipelineRun`] carries a
+//! [`pipeline::RunMetrics`] snapshot of per-stage wall times,
+//! throughputs, and domain counters (`docs/OBSERVABILITY.md` is the
+//! catalog). The default disabled registry makes instrumentation free.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,7 +57,7 @@ pub(crate) mod testsupport;
 pub use aggregate::Aggregation;
 pub use attention::AttentionMatrix;
 pub use error::CoreError;
-pub use pipeline::{Pipeline, PipelineConfig, PipelineRun};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

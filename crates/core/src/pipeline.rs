@@ -1,15 +1,28 @@
 //! The end-to-end pipeline of Sec. III-A:
 //!
 //! ```text
-//! firehose --(Q filter via Stream API)--> collected tweets
-//!          --(augment: geo-tag > profile via geocoder)--> located users
-//!          --(keep USA)--> usa corpus
-//!          --(Û, L, K, RR, clusterings)--> characterizations
+//! firehose --(Q filter via Stream API)--------> collected tweets
+//!          --(augment: geo-tag > profile)-----> located users
+//!          --(keep USA)------------------------> usa corpus
+//!          --(Û per-user attention, Sec. III-B)> attention matrix
+//!          --(L, K = (LᵀL)⁻¹LᵀÛ, Eqs. 1–3)----> organ + state characterizations
+//!          --(relative risk, Eq. 4)------------> highlighted state anomalies
+//!          --(Bhattacharyya agglomerative)-----> state clustering   (Fig. 6)
+//!          --(K-Means sweep + silhouette)------> user clustering    (Fig. 7)
 //! ```
 //!
 //! [`Pipeline::run`] executes everything and returns a [`PipelineRun`]
 //! holding every artifact the paper's tables and figures are derived
 //! from.
+//!
+//! Every stage is instrumented through the [`donorpulse_obs`] layer:
+//! [`PipelineConfig::metrics`] carries a [`MetricsRegistry`], each stage
+//! runs under a named span with an item count, and domain counters
+//! (firehose tweets seen, tweets matched by `Q`, geocoder hits by
+//! source, K-Means iterations, …) accumulate along the way. The
+//! resulting [`RunMetrics`] snapshot is attached to the run. With the
+//! default disabled registry all of this is a no-op; the metric catalog
+//! lives in `docs/OBSERVABILITY.md`.
 
 use crate::aggregate::Aggregation;
 use crate::attention::AttentionMatrix;
@@ -19,8 +32,9 @@ use crate::relative_risk::RiskMap;
 use crate::state_clusters::StateClustering;
 use crate::user_clusters::{UserClustering, UserClusteringConfig};
 use crate::{CoreError, Result};
-use donorpulse_geo::{Geocoder, UsState};
+use donorpulse_geo::{Geocoder, LocationSource, UsState};
 use donorpulse_linalg::Matrix;
+use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
 use donorpulse_text::{KeywordQuery, Organ};
 use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation, UserId};
 use std::collections::HashMap;
@@ -39,6 +53,12 @@ pub struct PipelineConfig {
     /// Worker threads for stream collection (0 = use all available
     /// cores). Collection output is identical regardless of the count.
     pub collection_threads: usize,
+    /// Observability registry threaded through every stage. The default
+    /// is the no-op [`MetricsRegistry::disabled`], which records
+    /// nothing and costs nothing; pass [`MetricsRegistry::enabled`] to
+    /// collect the [`RunMetrics`] snapshot (identical artifacts either
+    /// way — see the equivalence test in this module).
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +69,7 @@ impl Default for PipelineConfig {
             user_clustering: UserClusteringConfig::default(),
             run_user_clustering: true,
             collection_threads: 0,
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }
@@ -69,6 +90,14 @@ impl PipelineConfig {
 pub struct Pipeline {
     geocoder: Geocoder,
 }
+
+/// The per-run observability snapshot attached to every
+/// [`PipelineRun`]: one [`donorpulse_obs::StageSnapshot`] per executed
+/// stage (wall time + items processed, hence tweets/sec) plus the
+/// domain counters and gauges. Empty when the run was configured with
+/// the default disabled registry. Counter, gauge, and item values are
+/// deterministic for a fixed seed; only wall times vary.
+pub type RunMetrics = MetricsSnapshot;
 
 /// Everything a pipeline execution produces.
 #[derive(Debug)]
@@ -103,6 +132,9 @@ pub struct PipelineRun {
     pub state_clusters: StateClustering,
     /// Fig. 7: user clustering (present unless disabled).
     pub user_clusters: Option<UserClustering>,
+    /// Per-stage timings and domain counters (empty unless the run was
+    /// configured with an enabled [`MetricsRegistry`]).
+    pub metrics: RunMetrics,
 }
 
 impl Pipeline {
@@ -120,29 +152,51 @@ impl Pipeline {
 
     /// Generates the platform and runs the full pipeline.
     pub fn run(&self, config: PipelineConfig) -> Result<PipelineRun> {
+        let mut span = config.metrics.stage("generate");
         let sim = TwitterSimulation::generate(config.generator.clone())
             .map_err(CoreError::Simulation)?;
+        span.set_items(sim.firehose_len() as u64);
+        span.finish();
         self.run_on(&sim, config)
     }
 
     /// Runs the pipeline on an existing simulation.
+    ///
+    /// Each stage runs under a span named after itself (`collect`,
+    /// `locate_users`, `usa_filter`, `attention`, `characterize_organ`,
+    /// `characterize_region`, `relative_risk`, `state_clusters`,
+    /// `user_clusters`) in `config.metrics`; the final snapshot rides
+    /// on [`PipelineRun::metrics`].
     pub fn run_on(&self, sim: &TwitterSimulation, config: PipelineConfig) -> Result<PipelineRun> {
+        let metrics = config.metrics.clone();
+        let firehose_tweets = sim.firehose_len() as u64;
+        metrics.counter("firehose_tweets_total").add(firehose_tweets);
+
         // --- Collection: Stream API + Q filter. -----------------------
         // Realization is pure in (seed, index), so collection is
         // parallelized across cores; the result is byte-identical to a
-        // serial stream read.
+        // serial stream read. Each worker reports its matched batch to
+        // the collection counter concurrently.
         let query = KeywordQuery::paper();
         let threads = if config.collection_threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             config.collection_threads
         };
-        let collected: Corpus = sim.collect_parallel(&query, threads);
+        let mut span = metrics.stage("collect");
+        let matched = metrics.counter("collected_tweets_total");
+        let collected: Corpus =
+            sim.collect_parallel_observed(&query, threads, &|batch| matched.add(batch));
+        span.set_items(firehose_tweets);
+        span.finish();
         let collected_tweets = collected.len() as u64;
 
         // --- Augmentation: locate every collecting user. --------------
         // Geo-tag (from any of the user's collected tweets) outranks the
         // profile string, exactly as in Sec. III-A.
+        let mut span = metrics.stage("locate_users");
+        let by_geotag = metrics.counter("geo_source_geotag_total");
+        let by_profile = metrics.counter("geo_source_profile_total");
         let mut first_geo: HashMap<UserId, (f64, f64)> = HashMap::new();
         for t in collected.tweets() {
             if let Some(geo) = t.geo {
@@ -163,14 +217,29 @@ impl Pipeline {
                 .locate(Some(profile), first_geo.get(&t.user).copied());
             match located.state {
                 Some(state) => {
+                    match located.source {
+                        LocationSource::GeoTag => by_geotag.incr(),
+                        LocationSource::Profile => by_profile.incr(),
+                        LocationSource::Unlocated => {}
+                    }
                     user_states.insert(t.user, state);
                 }
                 None if located.non_us => non_us_users += 1,
                 None => unlocated_users += 1,
             }
         }
+        metrics
+            .counter("geo_users_located_total")
+            .add(user_states.len() as u64);
+        metrics.counter("geo_users_non_us_total").add(non_us_users);
+        metrics
+            .counter("geo_users_unlocated_total")
+            .add(unlocated_users);
+        span.set_items(seen.len() as u64);
+        span.finish();
 
         // --- USA filter. -----------------------------------------------
+        let mut span = metrics.stage("usa_filter");
         let mut usa = collected;
         usa.retain(|t| user_states.contains_key(&t.user));
         if usa.is_empty() {
@@ -178,29 +247,79 @@ impl Pipeline {
                 what: "usa corpus",
             });
         }
+        metrics.counter("usa_tweets_total").add(usa.len() as u64);
+        metrics
+            .counter("usa_users_total")
+            .add(user_states.len() as u64);
+        span.set_items(collected_tweets);
+        span.finish();
 
         // --- Characterizations. ----------------------------------------
+        let mut span = metrics.stage("attention");
         let attention = AttentionMatrix::from_corpus(&usa)?;
+        metrics
+            .gauge("attention_users")
+            .set(attention.user_count() as u64);
+        metrics
+            .gauge("attention_organs")
+            .set(attention.matrix().cols() as u64);
+        span.set_items(usa.len() as u64);
+        span.finish();
 
+        let mut span = metrics.stage("characterize_organ");
         let organ_membership = by_dominant_organ(&attention)?;
         let organ_k = Aggregation::compute(&organ_membership, attention.matrix())?;
+        metrics.gauge("organ_groups").set(organ_k.groups.len() as u64);
+        span.set_items(attention.user_count() as u64);
+        span.finish();
 
+        let mut span = metrics.stage("characterize_region");
         let (region_membership, region_rows) = by_region(&attention, &user_states)?;
         let region_u = subset_rows(attention.matrix(), &region_rows)?;
         let region_k = Aggregation::compute(&region_membership, &region_u)?;
         let regions = RegionCharacterization::new(&region_k);
+        metrics
+            .gauge("region_groups")
+            .set(region_k.groups.len() as u64);
+        span.set_items(region_rows.len() as u64);
+        span.finish();
 
+        let mut span = metrics.stage("relative_risk");
         let risk = RiskMap::compute(&attention, &user_states, config.alpha)?;
+        metrics
+            .counter("risk_cells_evaluated_total")
+            .add(risk.entries.len() as u64);
+        metrics
+            .counter("risk_highlighted_total")
+            .add(risk.highlighted().values().map(Vec::len).sum::<usize>() as u64);
+        span.set_items(attention.user_count() as u64);
+        span.finish();
+
+        let mut span = metrics.stage("state_clusters");
         let state_clusters = StateClustering::compute(&region_k)?;
+        span.set_items(region_k.groups.len() as u64);
+        span.finish();
 
         let user_clusters = if config.run_user_clustering {
-            Some(UserClustering::fit(&attention, config.user_clustering)?)
+            let mut span = metrics.stage("user_clusters");
+            let fitted = UserClustering::fit(&attention, config.user_clustering)?;
+            metrics
+                .counter("kmeans_iterations_total")
+                .add(fitted.sweep.iter().map(|c| c.iterations as u64).sum());
+            metrics
+                .counter("silhouette_evaluations_total")
+                .add(fitted.sweep.len() as u64);
+            metrics.gauge("kmeans_chosen_k").set(fitted.chosen_k as u64);
+            span.set_items(attention.user_count() as u64);
+            span.finish();
+            Some(fitted)
         } else {
             None
         };
 
+        let metrics_snapshot = metrics.snapshot();
         Ok(PipelineRun {
-            firehose_tweets: sim.firehose_len() as u64,
+            firehose_tweets,
             collected_tweets,
             usa,
             user_states,
@@ -213,6 +332,7 @@ impl Pipeline {
             risk,
             state_clusters,
             user_clusters,
+            metrics: metrics_snapshot,
             config,
         })
     }
@@ -337,5 +457,108 @@ mod tests {
         config.run_user_clustering = false;
         let r = Pipeline::new().run(config).unwrap();
         assert!(r.user_clusters.is_none());
+        // The default registry is disabled: no metrics recorded.
+        assert!(r.metrics.is_empty());
+    }
+
+    /// A small instrumented configuration with the K-Means stage kept
+    /// cheap enough for a unit test.
+    fn instrumented_config() -> PipelineConfig {
+        let mut config = PipelineConfig::paper_scaled(0.01);
+        config.generator.seed = 77;
+        config.user_clustering.k_min = 2;
+        config.user_clustering.k_max = 4;
+        config.user_clustering.silhouette_sample = 200;
+        config.collection_threads = 4;
+        config.metrics = MetricsRegistry::enabled();
+        config
+    }
+
+    #[test]
+    fn metrics_cover_every_stage_and_account_consistently() {
+        let r = Pipeline::new().run(instrumented_config()).unwrap();
+        let m = &r.metrics;
+        for stage in [
+            "generate",
+            "collect",
+            "locate_users",
+            "usa_filter",
+            "attention",
+            "characterize_organ",
+            "characterize_region",
+            "relative_risk",
+            "state_clusters",
+            "user_clusters",
+        ] {
+            assert!(m.stage(stage).is_some(), "stage {stage} missing");
+        }
+        // Counters agree with the run's own accounting, including the
+        // concurrent batch adds from the parallel collection path.
+        assert_eq!(m.counter("firehose_tweets_total"), Some(r.firehose_tweets));
+        assert_eq!(m.counter("collected_tweets_total"), Some(r.collected_tweets));
+        assert_eq!(m.counter("usa_tweets_total"), Some(r.usa.len() as u64));
+        assert_eq!(
+            m.counter("geo_users_located_total"),
+            Some(r.user_states.len() as u64)
+        );
+        assert_eq!(m.counter("geo_users_non_us_total"), Some(r.non_us_users));
+        assert_eq!(
+            m.counter("geo_users_unlocated_total"),
+            Some(r.unlocated_users)
+        );
+        // Located users split exactly into geo-tag vs profile sources.
+        assert_eq!(
+            m.counter("geo_source_geotag_total").unwrap()
+                + m.counter("geo_source_profile_total").unwrap(),
+            r.user_states.len() as u64
+        );
+        assert_eq!(
+            m.gauge("attention_users"),
+            Some(r.attention.user_count() as u64)
+        );
+        assert_eq!(m.gauge("attention_organs"), Some(6));
+        let uc = r.user_clusters.as_ref().unwrap();
+        assert_eq!(m.gauge("kmeans_chosen_k"), Some(uc.chosen_k as u64));
+        assert_eq!(
+            m.counter("silhouette_evaluations_total"),
+            Some(uc.sweep.len() as u64)
+        );
+        assert_eq!(
+            m.counter("kmeans_iterations_total"),
+            Some(uc.sweep.iter().map(|c| c.iterations as u64).sum())
+        );
+    }
+
+    #[test]
+    fn seeded_runs_produce_identical_counter_values() {
+        let a = Pipeline::new().run(instrumented_config()).unwrap();
+        let b = Pipeline::new().run(instrumented_config()).unwrap();
+        // Everything but wall time is deterministic in the seed.
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.gauges, b.metrics.gauges);
+        assert_eq!(a.metrics.stage_items(), b.metrics.stage_items());
+        assert!(!a.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn disabled_metrics_leave_artifacts_byte_identical() {
+        use crate::report::PaperReport;
+
+        let enabled = Pipeline::new().run(instrumented_config()).unwrap();
+        let mut config = instrumented_config();
+        config.metrics = MetricsRegistry::disabled();
+        let disabled = Pipeline::new().run(config).unwrap();
+
+        assert!(!enabled.metrics.is_empty());
+        assert!(disabled.metrics.is_empty());
+        // The full rendered + serialized paper artifacts must not care
+        // whether observability was on.
+        let ra = PaperReport::from_run(&enabled).unwrap();
+        let rb = PaperReport::from_run(&disabled).unwrap();
+        assert_eq!(ra.render(), rb.render());
+        assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap()
+        );
     }
 }

@@ -25,6 +25,9 @@ pub struct KCandidate {
     pub inertia: f64,
     /// Average cluster size.
     pub avg_cluster_size: f64,
+    /// Lloyd iterations the fit took to converge (feeds the pipeline's
+    /// `kmeans_iterations_total` counter).
+    pub iterations: usize,
 }
 
 /// The fitted Fig. 7 artifact.
@@ -108,6 +111,7 @@ impl UserClustering {
                 silhouette,
                 inertia: model.inertia,
                 avg_cluster_size: model.average_cluster_size(),
+                iterations: model.iterations,
             });
             let better = match &best {
                 None => true,

@@ -1,6 +1,6 @@
 //! State adjacency — the contiguity structure behind spatial analyses.
 //!
-//! The paper motivates "identify[ing] clustering of well-defined borders
+//! The paper motivates "identify\[ing\] clustering of well-defined borders
 //! of adjacent regions and geographic anomalies" (Sec. IV-B.1) and cites
 //! regional patterns like the Stroke Belt. Answering those questions
 //! formally (e.g. with a join-count statistic or Moran's I) requires the

@@ -1,0 +1,64 @@
+//! `donorpulse-obs` — dependency-free observability for the donorpulse
+//! pipeline.
+//!
+//! The ROADMAP's north star is a sensor that is "as fast as the hardware
+//! allows"; that claim is unverifiable while [`Pipeline::run_on`] is a
+//! black box. This crate provides the per-stage accounting layer that
+//! the rest of the workspace threads through its call sites:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free monotonic counts and
+//!   last-write-wins values behind [`std::sync::atomic`] primitives,
+//!   safe to bump from the parallel collection path.
+//! * [`StageTimer`] — a wall-clock stopwatch over [`std::time::Instant`].
+//! * [`Span`] — an RAII stage recording: started from a registry, it
+//!   records its name, wall time, and item count when dropped.
+//! * [`MetricsRegistry`] — the cloneable handle the pipeline carries.
+//!   A registry is either *enabled* (shared storage behind an `Arc`) or
+//!   *disabled* (every operation is a no-op and no storage exists), so
+//!   instrumentation is zero-cost when observability is off.
+//! * [`MetricsSnapshot`] — a stable, ordered, comparable view of
+//!   everything recorded, with plaintext-table and JSON reporters.
+//!
+//! The full metric catalog emitted by the pipeline is documented in
+//! `docs/OBSERVABILITY.md` at the workspace root.
+//!
+//! # Example
+//!
+//! ```
+//! use donorpulse_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::enabled();
+//! let seen = registry.counter("tweets_seen_total");
+//! {
+//!     let mut span = registry.stage("collect");
+//!     for _ in 0..100 {
+//!         seen.incr();
+//!     }
+//!     span.set_items(100);
+//! } // span drops: wall time + items recorded
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("tweets_seen_total"), Some(100));
+//! assert_eq!(snap.stages[0].name, "collect");
+//! assert_eq!(snap.stages[0].items, 100);
+//! ```
+//!
+//! Design constraints, in order: no dependencies (std only), no
+//! unsafety, no overhead when disabled, deterministic snapshots (two
+//! identical seeded pipeline runs produce identical counter, gauge, and
+//! item values — only wall times differ).
+//!
+//! [`Pipeline::run_on`]: ../donorpulse_core/pipeline/struct.Pipeline.html#method.run_on
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod snapshot;
+mod timer;
+
+pub use metric::{Counter, Gauge};
+pub use registry::{CounterHandle, GaugeHandle, MetricsRegistry, Span};
+pub use snapshot::{MetricsSnapshot, StageSnapshot};
+pub use timer::StageTimer;

@@ -1,0 +1,133 @@
+//! The two storage primitives: monotonic [`Counter`]s and
+//! last-write-wins [`Gauge`]s, both plain `AtomicU64`s.
+//!
+//! These are the *storage* types; instrumented code normally goes
+//! through the [`CounterHandle`]/[`GaugeHandle`] wrappers handed out by
+//! a [`MetricsRegistry`], which degrade to no-ops when the registry is
+//! disabled.
+//!
+//! [`CounterHandle`]: crate::CounterHandle
+//! [`GaugeHandle`]: crate::GaugeHandle
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+///
+/// Increments use [`Ordering::Relaxed`]: counters carry no ordering
+/// obligations toward other memory, only their own total, which is
+/// exactly the contract of a statistics counter. Concurrent increments
+/// from many threads never lose updates.
+///
+/// ```
+/// use donorpulse_obs::Counter;
+/// use std::sync::Arc;
+///
+/// let tweets = Arc::new(Counter::new());
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let c = Arc::clone(&tweets);
+///         std::thread::spawn(move || {
+///             for _ in 0..1000 {
+///                 c.incr();
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(tweets.value(), 4000);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one; returns the new total.
+    ///
+    /// ```
+    /// use donorpulse_obs::Counter;
+    /// let c = Counter::new();
+    /// assert_eq!(c.incr(), 1);
+    /// assert_eq!(c.incr(), 2);
+    /// ```
+    pub fn incr(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Adds `n` (a batch observed at once, e.g. one collector chunk);
+    /// returns the new total.
+    pub fn add(&self, n: u64) -> u64 {
+        self.value.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// The current total.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (a dimension, a chosen `k`).
+///
+/// ```
+/// use donorpulse_obs::Gauge;
+/// let g = Gauge::new();
+/// g.set(52);
+/// assert_eq!(g.value(), 52);
+/// g.set(6); // gauges overwrite, they do not accumulate
+/// assert_eq!(g.value(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// The most recently written value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.value(), 3);
+    }
+}

@@ -1,0 +1,345 @@
+//! [`MetricsRegistry`]: the cloneable handle instrumented code carries,
+//! plus the [`CounterHandle`]/[`GaugeHandle`]/[`Span`] wrappers it hands
+//! out.
+
+use crate::metric::{Counter, Gauge};
+use crate::snapshot::{MetricsSnapshot, StageSnapshot};
+use crate::timer::StageTimer;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One finished stage: name, wall time, item count. Stored in arrival
+/// order so the snapshot reads like the pipeline executed.
+#[derive(Debug, Clone)]
+struct StageRecord {
+    name: &'static str,
+    wall_nanos: u64,
+    items: u64,
+}
+
+/// Shared storage behind an enabled registry. Counters and gauges live
+/// in name-keyed maps (`BTreeMap` so snapshots are ordered without a
+/// sort); finished stages append to a vector.
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    stages: Mutex<Vec<StageRecord>>,
+}
+
+/// The registry the pipeline threads through its stages.
+///
+/// A registry is *enabled* (storage behind an `Arc`; clones share it)
+/// or *disabled* (no storage at all). Every operation on a disabled
+/// registry — and on every handle or span it hands out — is a no-op
+/// that touches no atomics and takes no locks, so a pipeline built with
+/// the default disabled registry pays nothing for its instrumentation.
+///
+/// Metric names are `&'static str` by design: the pipeline emits a
+/// fixed catalog (see `docs/OBSERVABILITY.md`), not user-generated
+/// label sets, and static names keep registration allocation-free.
+///
+/// ```
+/// use donorpulse_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::enabled();
+/// registry.counter("collected_tweets_total").add(975_021);
+/// registry.gauge("attention_organs").set(6);
+///
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counter("collected_tweets_total"), Some(975_021));
+/// assert_eq!(snap.gauge("attention_organs"), Some(6));
+///
+/// // A disabled registry records nothing:
+/// let off = MetricsRegistry::disabled();
+/// off.counter("collected_tweets_total").add(1);
+/// assert!(off.snapshot().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl MetricsRegistry {
+    /// A recording registry. Clones share storage.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    /// A no-op registry (also what [`Default`] returns): records
+    /// nothing, allocates nothing, and its snapshot is always empty.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter registered under `name`, creating it at zero on
+    /// first use. All handles for one name share one underlying
+    /// [`Counter`], so concurrent increments through different handles
+    /// accumulate into the same total.
+    pub fn counter(&self, name: &'static str) -> CounterHandle {
+        CounterHandle {
+            counter: self.inner.as_ref().map(|inner| {
+                Arc::clone(
+                    inner
+                        .counters
+                        .lock()
+                        .expect("counter map poisoned")
+                        .entry(name)
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it at zero on first
+    /// use.
+    pub fn gauge(&self, name: &'static str) -> GaugeHandle {
+        GaugeHandle {
+            gauge: self.inner.as_ref().map(|inner| {
+                Arc::clone(
+                    inner
+                        .gauges
+                        .lock()
+                        .expect("gauge map poisoned")
+                        .entry(name)
+                        .or_default(),
+                )
+            }),
+        }
+    }
+
+    /// Starts a named stage. The returned [`Span`] records its wall
+    /// time and item count into this registry when dropped (or when
+    /// [`Span::finish`] is called). On a disabled registry the span
+    /// never reads the clock.
+    pub fn stage(&self, name: &'static str) -> Span {
+        Span {
+            name,
+            items: 0,
+            timer: self.inner.as_ref().map(|_| StageTimer::start()),
+            sink: self.inner.clone(),
+        }
+    }
+
+    /// A stable, ordered snapshot of everything recorded so far.
+    ///
+    /// Stages appear in completion order; counters and gauges in name
+    /// order. Counter, gauge, and item values from a seeded pipeline
+    /// run are deterministic — only `wall_nanos` varies between runs.
+    ///
+    /// ```
+    /// use donorpulse_obs::MetricsRegistry;
+    ///
+    /// let registry = MetricsRegistry::enabled();
+    /// {
+    ///     let mut span = registry.stage("usa_filter");
+    ///     span.set_items(134_986);
+    /// }
+    /// registry.counter("usa_tweets_total").add(134_986);
+    ///
+    /// let snap = registry.snapshot();
+    /// assert_eq!(snap.stages.len(), 1);
+    /// assert_eq!(snap.stages[0].items, 134_986);
+    /// assert_eq!(snap.counters, vec![("usa_tweets_total".to_string(), 134_986)]);
+    /// ```
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let stages = inner
+            .stages
+            .lock()
+            .expect("stage list poisoned")
+            .iter()
+            .map(|r| StageSnapshot {
+                name: r.name.to_string(),
+                wall_nanos: r.wall_nanos,
+                items: r.items,
+            })
+            .collect();
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(&name, c)| (name.to_string(), c.value()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(&name, g)| (name.to_string(), g.value()))
+            .collect();
+        MetricsSnapshot {
+            stages,
+            counters,
+            gauges,
+        }
+    }
+}
+
+/// A cheap handle on one registered [`Counter`]. All operations are
+/// no-ops when the handle came from a disabled registry.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle {
+    counter: Option<Arc<Counter>>,
+}
+
+impl CounterHandle {
+    /// Adds one.
+    pub fn incr(&self) {
+        if let Some(c) = &self.counter {
+            c.incr();
+        }
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.counter {
+            c.add(n);
+        }
+    }
+
+    /// The current total (zero on a disabled registry).
+    pub fn value(&self) -> u64 {
+        self.counter.as_ref().map_or(0, |c| c.value())
+    }
+}
+
+/// A cheap handle on one registered [`Gauge`]. All operations are
+/// no-ops when the handle came from a disabled registry.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle {
+    gauge: Option<Arc<Gauge>>,
+}
+
+impl GaugeHandle {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        if let Some(g) = &self.gauge {
+            g.set(v);
+        }
+    }
+
+    /// The most recently written value (zero on a disabled registry).
+    pub fn value(&self) -> u64 {
+        self.gauge.as_ref().map_or(0, |g| g.value())
+    }
+}
+
+/// An in-flight pipeline stage, created by [`MetricsRegistry::stage`].
+///
+/// The span measures wall time from creation to drop and carries an
+/// item count (tweets, users, rows — whatever the stage processes) so
+/// the snapshot can report per-stage throughput. Dropping the span
+/// records it; [`Span::finish`] does the same explicitly at a point of
+/// your choosing.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    items: u64,
+    timer: Option<StageTimer>,
+    sink: Option<Arc<Inner>>,
+}
+
+impl Span {
+    /// Sets the number of items this stage processed.
+    pub fn set_items(&mut self, n: u64) {
+        self.items = n;
+    }
+
+    /// Adds to the number of items this stage processed.
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+
+    /// Stops the clock and records the stage now.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(timer), Some(sink)) = (&self.timer, self.sink.take()) {
+            sink.stages
+                .lock()
+                .expect("stage list poisoned")
+                .push(StageRecord {
+                    name: self.name,
+                    wall_nanos: timer.elapsed_nanos(),
+                    items: self.items,
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::disabled();
+        r.counter("a").incr();
+        r.gauge("b").set(9);
+        let mut span = r.stage("c");
+        span.set_items(5);
+        span.finish();
+        assert!(!r.is_enabled());
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn handles_share_storage() {
+        let r = MetricsRegistry::enabled();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("x").value(), 5);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let r = MetricsRegistry::enabled();
+        let clone = r.clone();
+        clone.counter("x").incr();
+        assert_eq!(r.snapshot().counter("x"), Some(1));
+    }
+
+    #[test]
+    fn spans_record_in_completion_order() {
+        let r = MetricsRegistry::enabled();
+        {
+            let mut s = r.stage("first");
+            s.set_items(1);
+        }
+        {
+            let mut s = r.stage("second");
+            s.add_items(1);
+            s.add_items(1);
+        }
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["first", "second"]);
+        assert_eq!(snap.stages[1].items, 2);
+    }
+
+    #[test]
+    fn snapshot_orders_counters_by_name() {
+        let r = MetricsRegistry::enabled();
+        r.counter("zebra").incr();
+        r.counter("alpha").incr();
+        let names: Vec<String> = r.snapshot().counters.into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+    }
+}

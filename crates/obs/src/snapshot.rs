@@ -1,0 +1,351 @@
+//! [`MetricsSnapshot`]: the stable view of a registry, plus its
+//! plaintext-table and JSON reporters.
+
+use std::fmt::Write as _;
+
+/// One finished stage as seen by a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageSnapshot {
+    /// Stage name (e.g. `collect`, `attention` — the catalog lives in
+    /// `docs/OBSERVABILITY.md`).
+    pub name: String,
+    /// Wall-clock time the stage took, in nanoseconds. The only field
+    /// that varies between identical seeded runs.
+    pub wall_nanos: u64,
+    /// Items the stage processed (tweets, users, rows — per-stage units
+    /// are documented in the catalog).
+    pub items: u64,
+}
+
+impl StageSnapshot {
+    /// Wall time in seconds.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    /// Items per second, or `None` when the stage recorded no items or
+    /// finished faster than the clock resolution.
+    pub fn throughput(&self) -> Option<f64> {
+        if self.items == 0 || self.wall_nanos == 0 {
+            return None;
+        }
+        Some(self.items as f64 / self.wall_secs())
+    }
+}
+
+/// Everything a registry recorded, in a stable order: stages in
+/// completion order, counters and gauges sorted by name.
+///
+/// Equality compares every field including wall times; for asserting
+/// determinism across seeded runs compare [`MetricsSnapshot::counters`],
+/// [`MetricsSnapshot::gauges`], and the `(name, items)` projection of
+/// [`MetricsSnapshot::stages`] — wall times legitimately differ.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Finished stages, in completion order.
+    pub stages: Vec<StageSnapshot>,
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded (always true for a snapshot of a
+    /// disabled registry).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// The counter registered under `name`, if any.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge registered under `name`, if any.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The stage named `name`, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The `(name, items)` projection of the stages — the part of the
+    /// stage records that is deterministic across seeded runs.
+    pub fn stage_items(&self) -> Vec<(String, u64)> {
+        self.stages
+            .iter()
+            .map(|s| (s.name.clone(), s.items))
+            .collect()
+    }
+
+    /// Renders the per-stage table plus counter/gauge listings:
+    ///
+    /// ```text
+    /// STAGE METRICS
+    /// stage                   wall       items    items/sec
+    /// collect              1.204 s   3,900,084    3,239,272
+    /// ...
+    /// COUNTERS
+    /// collected_tweets_total            243,755
+    /// ...
+    /// ```
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded: registry disabled)\n");
+            return out;
+        }
+        out.push_str("STAGE METRICS\n");
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12} {:>12} {:>12}",
+            "stage", "wall", "items", "items/sec"
+        );
+        for s in &self.stages {
+            let throughput = s
+                .throughput()
+                .map_or_else(|| "-".to_string(), |t| group_digits(t.round() as u64));
+            let _ = writeln!(
+                out,
+                "{:<20} {:>12} {:>12} {:>12}",
+                s.name,
+                format_duration(s.wall_nanos),
+                group_digits(s.items),
+                throughput
+            );
+        }
+        if !self.counters.is_empty() {
+            out.push_str("COUNTERS\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{:<32} {:>12}", name, group_digits(*v));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("GAUGES\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{:<32} {:>12}", name, group_digits(*v));
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot as a self-contained JSON document (this
+    /// crate is dependency-free, so the writer is hand-rolled; names
+    /// are escaped per RFC 8259).
+    ///
+    /// Layout:
+    ///
+    /// ```json
+    /// {
+    ///   "stages": [
+    ///     {"name": "collect", "wall_nanos": 9, "items": 4, "items_per_sec": 4.4e8}
+    ///   ],
+    ///   "counters": {"collected_tweets_total": 4},
+    ///   "gauges": {"attention_organs": 6}
+    /// }
+    /// ```
+    ///
+    /// `items_per_sec` is `null` when [`StageSnapshot::throughput`] is
+    /// undefined.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let throughput = s
+                .throughput()
+                .map_or_else(|| "null".to_string(), |t| format_f64(t));
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"wall_nanos\": {}, \"items\": {}, \"items_per_sec\": {}}}",
+                json_string(&s.name),
+                s.wall_nanos,
+                s.items,
+                throughput
+            );
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        json_map(&mut out, "counters", &self.counters);
+        out.push_str(",\n");
+        json_map(&mut out, "gauges", &self.gauges);
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Writes `"key": {"name": value, ...}` (no trailing newline).
+fn json_map(out: &mut String, key: &str, pairs: &[(String, u64)]) {
+    let _ = write!(out, "  \"{key}\": {{");
+    for (i, (name, v)) in pairs.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    {}: {}", json_string(name), v);
+    }
+    if !pairs.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+/// JSON string literal with RFC 8259 escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite f64 as a JSON number.
+fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `1234567` → `"1,234,567"`.
+fn group_digits(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Nanoseconds as a human-readable duration with a unit that keeps
+/// three significant-ish digits (`1.204 s`, `83.1 ms`, `912 ns`).
+fn format_duration(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n >= 1e9 {
+        format!("{:.3} s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.1} ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1} us", n / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            stages: vec![
+                StageSnapshot {
+                    name: "collect".into(),
+                    wall_nanos: 2_000_000_000,
+                    items: 1_000_000,
+                },
+                StageSnapshot {
+                    name: "attention".into(),
+                    wall_nanos: 0,
+                    items: 0,
+                },
+            ],
+            counters: vec![("collected_tweets_total".into(), 243_755)],
+            gauges: vec![("attention_organs".into(), 6)],
+        }
+    }
+
+    #[test]
+    fn throughput_is_items_over_seconds() {
+        let s = sample();
+        let t = s.stages[0].throughput().unwrap();
+        assert!((t - 500_000.0).abs() < 1e-6);
+        assert_eq!(s.stages[1].throughput(), None);
+    }
+
+    #[test]
+    fn lookups_find_metrics() {
+        let s = sample();
+        assert_eq!(s.counter("collected_tweets_total"), Some(243_755));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("attention_organs"), Some(6));
+        assert_eq!(s.stage("collect").unwrap().items, 1_000_000);
+        assert_eq!(
+            s.stage_items(),
+            vec![("collect".to_string(), 1_000_000), ("attention".to_string(), 0)]
+        );
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let rendered = sample().render_table();
+        assert!(rendered.contains("STAGE METRICS"));
+        assert!(rendered.contains("collect"));
+        assert!(rendered.contains("2.000 s"));
+        assert!(rendered.contains("500,000"));
+        assert!(rendered.contains("COUNTERS"));
+        assert!(rendered.contains("collected_tweets_total"));
+        assert!(rendered.contains("GAUGES"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let s = MetricsSnapshot::default();
+        assert!(s.is_empty());
+        assert!(s.render_table().contains("registry disabled"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_ordered() {
+        let j = sample().to_json();
+        // Cheap structural checks without a JSON parser (this crate is
+        // dependency-free); the bench tests parse it with serde_json.
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"stages\": ["));
+        assert!(j.contains("\"name\": \"collect\""));
+        assert!(j.contains("\"counters\": {"));
+        assert!(j.contains("\"collected_tweets_total\": 243755"));
+        assert!(j.contains("\"items_per_sec\": null"));
+        let collect = j.find("\"collect\"").unwrap();
+        let attention = j.find("\"attention\"").unwrap();
+        assert!(collect < attention, "stage order lost");
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(format_duration(912), "912 ns");
+        assert_eq!(format_duration(83_100), "83.1 us");
+        assert_eq!(format_duration(83_100_000), "83.1 ms");
+        assert_eq!(format_duration(1_204_000_000), "1.204 s");
+    }
+}

@@ -1,0 +1,61 @@
+//! [`StageTimer`]: the wall-clock stopwatch under every [`Span`].
+//!
+//! [`Span`]: crate::Span
+
+use std::time::Instant;
+
+/// A started wall-clock stopwatch.
+///
+/// This is the bare timing primitive; the pipeline normally uses the
+/// RAII [`Span`](crate::Span) from
+/// [`MetricsRegistry::stage`](crate::MetricsRegistry::stage), which
+/// couples a timer to a named stage record.
+///
+/// ```
+/// use donorpulse_obs::StageTimer;
+///
+/// let timer = StageTimer::start();
+/// let n: u64 = (0..10_000).sum(); // the work being timed
+/// assert!(n > 0);
+/// let nanos = timer.elapsed_nanos();
+/// // Elapsed time is monotone: reading again can only grow.
+/// assert!(timer.elapsed_nanos() >= nanos);
+/// assert!(timer.elapsed_secs() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer {
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`StageTimer::start`], saturated at
+    /// `u64::MAX` (≈ 584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`StageTimer::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotone() {
+        let t = StageTimer::start();
+        let a = t.elapsed_nanos();
+        let b = t.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,97 @@
+//! Concurrency and determinism guarantees of the registry: the shapes
+//! the pipeline relies on when it bumps counters from the parallel
+//! collection path.
+
+use donorpulse_obs::{Counter, MetricsRegistry};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn concurrent_increments_never_lose_updates() {
+    let registry = MetricsRegistry::enabled();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let handle = registry.counter("tweets_seen_total");
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    handle.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.snapshot().counter("tweets_seen_total"),
+        Some(THREADS as u64 * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_batch_adds_accumulate() {
+    // The pipeline's collector reports one batch per worker chunk.
+    let counter = Arc::new(Counter::new());
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let c = Arc::clone(&counter);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    c.add(PER_THREAD / 100);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.value(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_registration_of_one_name_shares_storage() {
+    // Handles raced from many threads must all land on the same counter.
+    let registry = MetricsRegistry::enabled();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let r = registry.clone();
+            scope.spawn(move || {
+                r.counter("raced").incr();
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("raced"), Some(THREADS as u64));
+    assert_eq!(snap.counters.len(), 1, "duplicate counter registered");
+}
+
+#[test]
+fn concurrent_spans_all_recorded() {
+    let registry = MetricsRegistry::enabled();
+    std::thread::scope(|scope| {
+        for i in 0..THREADS {
+            let r = registry.clone();
+            scope.spawn(move || {
+                let mut span = r.stage("worker");
+                span.set_items(i as u64);
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    assert_eq!(snap.stages.len(), THREADS);
+    let mut items: Vec<u64> = snap.stages.iter().map(|s| s.items).collect();
+    items.sort_unstable();
+    assert_eq!(items, (0..THREADS as u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn disabled_registry_is_inert_under_concurrency() {
+    let registry = MetricsRegistry::disabled();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let r = registry.clone();
+            scope.spawn(move || {
+                r.counter("noop").add(PER_THREAD);
+                let mut span = r.stage("noop");
+                span.set_items(1);
+            });
+        }
+    });
+    assert!(registry.snapshot().is_empty());
+}

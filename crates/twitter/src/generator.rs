@@ -190,6 +190,24 @@ impl TwitterSimulation {
         filter: &(dyn donorpulse_text::TextFilter + Sync),
         threads: usize,
     ) -> crate::Corpus {
+        self.collect_parallel_observed(filter, threads, &|_| {})
+    }
+
+    /// [`TwitterSimulation::collect_parallel`] with an observation hook:
+    /// each worker thread calls `on_batch(n)` once with the number of
+    /// tweets its chunk matched, concurrently with the other workers.
+    ///
+    /// This is how the pipeline feeds its observability counters from
+    /// the parallel path without this crate depending on the metrics
+    /// layer: the hook is a plain `Fn(u64) + Sync`. The batch sizes are
+    /// a deterministic function of `(seed, filter, threads)`; their sum
+    /// always equals the collected corpus size.
+    pub fn collect_parallel_observed(
+        &self,
+        filter: &(dyn donorpulse_text::TextFilter + Sync),
+        threads: usize,
+        on_batch: &(dyn Fn(u64) + Sync),
+    ) -> crate::Corpus {
         let threads = threads.max(1);
         let n = self.firehose_len();
         let chunk = n.div_ceil(threads);
@@ -210,6 +228,7 @@ impl TwitterSimulation {
                             kept.push(tweet);
                         }
                     }
+                    on_batch(kept.len() as u64);
                     kept
                 }));
             }
@@ -675,6 +694,30 @@ mod tests {
         // Degenerate thread count clamps to 1.
         let one = sim.collect_parallel(&q, 0);
         assert_eq!(one.tweets(), serial.as_slice());
+    }
+
+    #[test]
+    fn observed_batches_sum_to_collected() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let sim = small_sim();
+        let q = donorpulse_text::KeywordQuery::paper();
+        for threads in [1, 3, 4] {
+            let seen = AtomicU64::new(0);
+            let batches = AtomicU64::new(0);
+            let collected = sim.collect_parallel_observed(&q, threads, &|n| {
+                seen.fetch_add(n, Ordering::Relaxed);
+                batches.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(
+                seen.load(Ordering::Relaxed),
+                collected.len() as u64,
+                "{threads} threads"
+            );
+            // One batch per spawned worker (chunking may drop empty tails).
+            assert!(batches.load(Ordering::Relaxed) <= threads as u64);
+            assert!(batches.load(Ordering::Relaxed) >= 1);
+        }
     }
 
     #[test]

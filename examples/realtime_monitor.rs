@@ -7,12 +7,17 @@
 //! ```sh
 //! cargo run --release --example realtime_monitor
 //! ```
+//!
+//! The monitor is instrumented through `donorpulse::obs`: collection,
+//! series building, and burst detection each run under a span, and the
+//! closing metrics table shows where the wall time went.
 
 use donorpulse::core::temporal::{detect_bursts, BurstConfig, DailySeries};
 use donorpulse::prelude::*;
 use donorpulse::twitter::AwarenessEvent;
 
 fn main() {
+    let metrics = MetricsRegistry::enabled();
     // A viral story: kidney donation dominates days 200–213.
     let event = AwarenessEvent {
         organ: Organ::Kidney,
@@ -33,11 +38,21 @@ fn main() {
     );
 
     // Consume the stream as a collector would and build the daily series.
+    let mut span = metrics.stage("collect");
     let corpus: Corpus = sim
         .stream()
         .with_filter(Box::new(KeywordQuery::paper()))
         .collect();
+    span.set_items(corpus.len() as u64);
+    span.finish();
+    metrics
+        .counter("collected_tweets_total")
+        .add(corpus.len() as u64);
+
+    let mut span = metrics.stage("daily_series");
     let series = DailySeries::from_corpus(&corpus);
+    span.set_items(corpus.len() as u64);
+    span.finish();
 
     // Print the kidney share around the event window.
     println!("kidney share (14-day context around the event):");
@@ -53,7 +68,13 @@ fn main() {
     }
 
     // Detect bursts.
+    let mut span = metrics.stage("burst_detect");
     let bursts = detect_bursts(&series, BurstConfig::default()).expect("detector");
+    span.set_items(corpus.len() as u64);
+    span.finish();
+    metrics
+        .counter("bursts_detected_total")
+        .add(bursts.len() as u64);
     println!("\ndetected bursts:");
     if bursts.is_empty() {
         println!("  (none)");
@@ -70,4 +91,7 @@ fn main() {
             b.peak_z
         );
     }
+
+    println!("\n== where the time went ==");
+    println!("{}", metrics.snapshot().render_table());
 }

@@ -8,6 +8,11 @@
 //! ```sh
 //! cargo run --release --example streaming_sensor
 //! ```
+//!
+//! The collector is instrumented through `donorpulse::obs`: the stream
+//! consumption runs under a span, every ingested tweet and published
+//! report bumps a counter, and the run closes with the metrics table —
+//! the same accounting `repro metrics` prints for the batch pipeline.
 
 use donorpulse::core::incremental::IncrementalSensor;
 use donorpulse::core::temporal::{detect_bursts, BurstConfig};
@@ -36,16 +41,28 @@ fn main() {
     });
 
     println!("== streaming organ-awareness sensor (monthly reports) ==");
+    let metrics = MetricsRegistry::enabled();
+    let ingested = metrics.counter("tweets_ingested_total");
+    let reports = metrics.counter("reports_published_total");
+    let mut span = metrics.stage("stream_consume");
     let mut next_report = REPORT_EVERY_DAYS;
     for tweet in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
         let day = tweet.created_at.day();
         if day >= next_report {
             report(&sensor, next_report);
+            reports.incr();
             next_report += REPORT_EVERY_DAYS;
         }
         sensor.ingest(&tweet);
+        ingested.incr();
     }
     report(&sensor, 385);
+    reports.incr();
+    span.set_items(ingested.value());
+    span.finish();
+
+    println!("\n== collector metrics ==");
+    println!("{}", metrics.snapshot().render_table());
 }
 
 fn report(sensor: &IncrementalSensor<'_>, day: u32) {

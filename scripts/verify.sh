@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 (build + tests) plus the strict
+# documentation build. CI and pre-merge checks run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --workspace --release
+
+echo "==> tier-1: tests"
+cargo test --workspace -q
+
+echo "==> docs: rustdoc with warnings denied"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "verify: OK"

@@ -16,6 +16,7 @@
 //! | [`cluster`] | `donorpulse-cluster` | agglomerative clustering, K-Means, silhouette, validation |
 //! | [`stats`] | `donorpulse-stats` | correlation, relative risk, distributions, distances |
 //! | [`linalg`] | `donorpulse-linalg` | dense matrices, LU solves/inverses |
+//! | [`obs`] | `donorpulse-obs` | per-stage metrics: counters, gauges, spans, snapshots |
 //!
 //! # Quickstart
 //!
@@ -35,11 +36,33 @@
 //! let heart = run.organ_k.row_for(Organ::Heart).unwrap();
 //! assert!(heart[Organ::Heart.index()] > heart[Organ::Intestine.index()]);
 //! ```
+//!
+//! # Observability
+//!
+//! Attach an enabled [`MetricsRegistry`](obs::MetricsRegistry) to the
+//! pipeline configuration and the run reports per-stage wall times,
+//! throughput, and domain counters (see `docs/OBSERVABILITY.md`):
+//!
+//! ```
+//! use donorpulse::prelude::*;
+//!
+//! let mut config = PipelineConfig::paper_scaled(0.01);
+//! config.run_user_clustering = false; // keep the doctest fast
+//! config.metrics = MetricsRegistry::enabled();
+//! let run = Pipeline::new().run(config).unwrap();
+//!
+//! assert_eq!(
+//!     run.metrics.counter("collected_tweets_total"),
+//!     Some(run.collected_tweets)
+//! );
+//! println!("{}", run.metrics.render_table());
+//! ```
 
 pub use donorpulse_cluster as cluster;
 pub use donorpulse_core as core;
 pub use donorpulse_geo as geo;
 pub use donorpulse_linalg as linalg;
+pub use donorpulse_obs as obs;
 pub use donorpulse_stats as stats;
 pub use donorpulse_text as text;
 pub use donorpulse_twitter as twitter;
@@ -47,9 +70,10 @@ pub use donorpulse_twitter as twitter;
 /// The most commonly used items, one `use` away.
 pub mod prelude {
     pub use donorpulse_cluster::{Linkage, Metric};
-    pub use donorpulse_core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+    pub use donorpulse_core::pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
     pub use donorpulse_core::report::PaperReport;
     pub use donorpulse_core::AttentionMatrix;
+    pub use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
     pub use donorpulse_geo::{Geocoder, UsState};
     pub use donorpulse_text::{KeywordQuery, Organ, TrackFilter};
     pub use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation};

@@ -2,11 +2,12 @@
 //! ablation experiments called out in DESIGN.md.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--json PATH] [--metrics] <command>
+//! repro [--scale S] [--seed N] [--threads T] [--json PATH] [--metrics] <command>
 //!
 //! commands:
 //!   all        every table and figure, in paper order
 //!   metrics    per-stage wall times, throughput, and domain counters
+//!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
 //!   fig2b      Fig 2(b) — multi-organ mentions, users vs tweets
@@ -37,6 +38,14 @@
 //! `--json PATH` dumps the same snapshot as JSON (the schema is
 //! documented in docs/OBSERVABILITY.md). Counter and item values are
 //! deterministic in `--seed`; only wall times vary between repeats.
+//!
+//! `--threads T` sets `compute_threads` for the analytics back-half
+//! (K-Means sweep, silhouette, state distance matrix); `0` uses every
+//! core. Artifacts are bit-identical for any `T` — see
+//! docs/PERFORMANCE.md. `bench` runs one instrumented pipeline at the
+//! current scale/seed/threads and writes the per-stage wall times (the
+//! obs snapshot plus a knob header) to the first unused `BENCH_<n>.json`
+//! (or to `--json PATH` when given).
 
 use donorpulse_cluster::validation::adjusted_rand_index;
 use donorpulse_cluster::{Linkage, Metric};
@@ -52,6 +61,7 @@ use std::process::ExitCode;
 struct Options {
     scale: f64,
     seed: u64,
+    threads: usize,
     json: Option<String>,
     metrics: bool,
     command: String,
@@ -60,6 +70,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut scale = 0.25;
     let mut seed = 0x0D01_07AB;
+    let mut threads = 0;
     let mut json = None;
     let mut metrics = false;
     let mut command = None;
@@ -80,6 +91,13 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?;
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--json" => {
                 json = Some(args.next().ok_or("--json needs a path")?);
             }
@@ -95,6 +113,7 @@ fn parse_args() -> Result<Options, String> {
     Ok(Options {
         scale,
         seed,
+        threads,
         json,
         metrics,
         command: command.unwrap_or_else(|| "all".to_string()),
@@ -110,11 +129,12 @@ fn main() -> ExitCode {
         }
     };
     if opts.command == "help" {
-        eprintln!("usage: repro [--scale S] [--seed N] [--json PATH] [--full] [--metrics] <command>");
+        eprintln!("usage: repro [--scale S] [--seed N] [--threads T] [--json PATH] [--full] [--metrics] <command>");
         eprintln!();
         eprintln!("paper artifacts:");
         eprintln!("  all        every table and figure, in paper order");
         eprintln!("  metrics    per-stage wall times, tweets/sec, and domain counters");
+        eprintln!("  bench      smoke benchmark: one instrumented run, written to BENCH_<n>.json");
         eprintln!("  table1     Table I  - dataset statistics");
         eprintln!("  fig2a      Fig 2(a) - users per organ + Spearman vs transplants");
         eprintln!("  fig2b      Fig 2(b) - multi-organ mentions, users vs tweets");
@@ -138,6 +158,8 @@ fn main() -> ExitCode {
         eprintln!();
         eprintln!("--metrics appends the per-stage metrics table to any pipeline-backed");
         eprintln!("command; the `metrics` command prints it alone (with --json: as JSON).");
+        eprintln!("--threads sets compute_threads for the analytics back-half (0 = all");
+        eprintln!("cores); artifacts are bit-identical for any value, only wall times move.");
         return ExitCode::SUCCESS;
     }
     match dispatch(&opts) {
@@ -164,7 +186,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
 
     let run = pipeline_run(
         opts,
-        matches!(opts.command.as_str(), "fig7" | "all" | "metrics"),
+        matches!(opts.command.as_str(), "fig7" | "all" | "metrics" | "bench"),
     )?;
     let mut json_value = None;
     match opts.command.as_str() {
@@ -175,6 +197,27 @@ fn dispatch(opts: &Options) -> Result<(), String> {
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 eprintln!("# wrote {path}");
             }
+        }
+        "bench" => {
+            println!("{}", run.metrics.render_table());
+            let total_nanos: u64 = run.metrics.stages.iter().map(|s| s.wall_nanos).sum();
+            // The snapshot's to_json() is already valid JSON; wrap it in
+            // a header recording the knobs so a BENCH file is
+            // self-describing without a schema lookup.
+            let body = format!(
+                "{{\n  \"bench\": {{\"scale\": {}, \"seed\": {}, \"compute_threads\": {}, \"total_wall_nanos\": {}}},\n  \"snapshot\": {}\n}}\n",
+                opts.scale,
+                opts.seed,
+                opts.threads,
+                total_nanos,
+                run.metrics.to_json()
+            );
+            let path = match &opts.json {
+                Some(p) => p.clone(),
+                None => next_bench_path()?,
+            };
+            std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("# wrote {path}");
         }
         "all" => {
             let report = PaperReport::from_run(&run).map_err(|e| e.to_string())?;
@@ -323,7 +366,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         }
         other => return Err(format!("unknown command {other}")),
     }
-    if opts.metrics && opts.command != "metrics" {
+    if opts.metrics && !matches!(opts.command.as_str(), "metrics" | "bench") {
         println!();
         println!("{}", run.metrics.render_table());
     }
@@ -338,10 +381,24 @@ fn dispatch(opts: &Options) -> Result<(), String> {
 fn pipeline_run(opts: &Options, need_user_clusters: bool) -> Result<PipelineRun, String> {
     let mut config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
     config.run_user_clustering = need_user_clusters;
-    if opts.metrics || opts.command == "metrics" {
+    config.compute_threads = opts.threads;
+    if opts.metrics || matches!(opts.command.as_str(), "metrics" | "bench") {
         config.metrics = MetricsRegistry::enabled();
     }
     Pipeline::new().run(config).map_err(|e| e.to_string())
+}
+
+/// First unused `BENCH_<n>.json` in the working directory, so repeated
+/// benchmark runs accumulate a comparable trajectory instead of
+/// overwriting each other.
+fn next_bench_path() -> Result<String, String> {
+    for n in 0..10_000u32 {
+        let path = format!("BENCH_{n}.json");
+        if !std::path::Path::new(&path).exists() {
+            return Ok(path);
+        }
+    }
+    Err("more than 10000 BENCH_<n>.json files present".to_string())
 }
 
 /// Ablation: Bhattacharyya (the paper's affinity) vs Euclidean and

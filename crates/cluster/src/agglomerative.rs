@@ -12,6 +12,7 @@
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::metric::{DistanceMatrix, Metric};
 use crate::{ClusterError, Result};
+use donorpulse_linalg::Rows;
 use serde::{Deserialize, Serialize};
 
 /// Linkage criterion (Lance–Williams family).
@@ -48,6 +49,20 @@ pub fn agglomerative(rows: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Res
     agglomerative_from_distances(&dm, linkage)
 }
 
+/// Clusters a contiguous [`Rows`] buffer, computing the distance matrix
+/// on up to `threads` workers (`0` = all cores). The linkage loop
+/// itself stays serial — it is `O(n²)` per merge on an `n ≤ 52`-state
+/// matrix — so the dendrogram is identical for any thread count.
+pub fn agglomerative_rows(
+    rows: &Rows,
+    metric: Metric,
+    linkage: Linkage,
+    threads: usize,
+) -> Result<Dendrogram> {
+    let dm = DistanceMatrix::compute_rows(rows, metric, threads)?;
+    agglomerative_from_distances(&dm, linkage)
+}
+
 /// Clusters from a precomputed distance matrix.
 pub fn agglomerative_from_distances(
     dm: &DistanceMatrix,
@@ -62,11 +77,11 @@ pub fn agglomerative_from_distances(
         });
     }
 
-    // Working copy of the distance matrix; `active[i]` marks live
-    // clusters, `id[i]` the scipy-style cluster id in slot i, `size[i]`
-    // the member count.
-    let mut dist: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| dm.get(i, j)).collect())
+    // Working copy of the distance matrix (flat row-major, matching the
+    // source); `active[i]` marks live clusters, `id[i]` the scipy-style
+    // cluster id in slot i, `size[i]` the member count.
+    let mut dist: Vec<f64> = (0..n * n)
+        .map(|idx| dm.get(idx / n, idx % n))
         .collect();
     let mut active: Vec<bool> = vec![true; n];
     let mut id: Vec<usize> = (0..n).collect();
@@ -84,7 +99,7 @@ pub fn agglomerative_from_distances(
                 if !active[j] {
                     continue;
                 }
-                let d = dist[i][j];
+                let d = dist[i * n + j];
                 if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
@@ -105,8 +120,8 @@ pub fn agglomerative_from_distances(
             if !active[k] || k == a || k == b {
                 continue;
             }
-            let dka = dist[k][a];
-            let dkb = dist[k][b];
+            let dka = dist[k * n + a];
+            let dkb = dist[k * n + b];
             let nk = size[k];
             let updated = match linkage {
                 Linkage::Single => dka.min(dkb),
@@ -121,8 +136,8 @@ pub fn agglomerative_from_distances(
                         .sqrt()
                 }
             };
-            dist[k][a] = updated;
-            dist[a][k] = updated;
+            dist[k * n + a] = updated;
+            dist[a * n + k] = updated;
         }
         active[b] = false;
         size[a] += size[b];
@@ -229,6 +244,19 @@ mod tests {
     fn too_few_observations_rejected() {
         assert!(agglomerative(&[vec![1.0]], Metric::Euclidean, Linkage::Average).is_err());
         assert!(agglomerative(&[], Metric::Euclidean, Linkage::Average).is_err());
+    }
+
+    #[test]
+    fn rows_path_matches_slice_path_for_any_thread_count() {
+        let vecs = two_pairs();
+        let packed = Rows::from_vecs(&vecs).unwrap();
+        let base = agglomerative(&vecs, Metric::Euclidean, Linkage::Average).unwrap();
+        for threads in [1, 2, 4, 0] {
+            let d =
+                agglomerative_rows(&packed, Metric::Euclidean, Linkage::Average, threads)
+                    .unwrap();
+            assert_eq!(base.merges(), d.merges(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -5,9 +5,15 @@
 //! coefficient (Fig. 7). This implementation is deterministic given the
 //! seed, handles empty clusters by re-seeding them on the farthest
 //! point, and reports inertia per iteration so convergence is testable.
+//!
+//! The hot loop — Lloyd assignment plus centroid accumulation — runs on
+//! a contiguous [`Rows`] buffer and parallelizes through
+//! [`crate::par`]'s fixed-order chunked reduction, so results are
+//! bit-identical for any thread count (see [`KMeans::fit_rows`]).
 
+use crate::par;
 use crate::{ClusterError, Result};
-use donorpulse_linalg::{norm2, sub_vec};
+use donorpulse_linalg::Rows;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -70,19 +76,31 @@ pub struct KMeans {
     pub converged: bool,
 }
 
+/// One chunk's worth of Lloyd work: chunk-local labels, per-cluster
+/// partial sums/counts, and the chunk's inertia contribution.
+struct LloydPartial {
+    labels: Vec<usize>,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    inertia: f64,
+}
+
 impl KMeans {
-    /// Fits K-Means to `rows`.
+    /// Fits K-Means to per-observation vectors.
+    ///
+    /// Compatibility entry point: validates the ragged input, packs it
+    /// into a contiguous [`Rows`] buffer, and runs single-threaded.
+    /// Identical results to [`KMeans::fit_rows`] at any thread count.
     pub fn fit(rows: &[Vec<f64>], config: KMeansConfig) -> Result<KMeans> {
-        let n = rows.len();
         if config.k == 0 {
             return Err(ClusterError::InvalidParameter {
                 reason: "k must be positive".to_string(),
             });
         }
-        if n < config.k {
+        if rows.len() < config.k {
             return Err(ClusterError::TooFewObservations {
                 needed: config.k,
-                got: n,
+                got: rows.len(),
                 what: "kmeans",
             });
         }
@@ -96,55 +114,77 @@ impl KMeans {
                 });
             }
         }
+        let packed = Rows::from_vecs(rows).map_err(|e| ClusterError::InvalidParameter {
+            reason: e.to_string(),
+        })?;
+        Self::fit_rows(&packed, config, 1)
+    }
+
+    /// Fits K-Means to a contiguous [`Rows`] buffer on up to `threads`
+    /// workers (`0` = all cores).
+    ///
+    /// Deterministic and thread-count-invariant: the assignment step
+    /// and the centroid accumulation both reduce through
+    /// [`par::map_chunks`], whose chunk boundaries and merge order
+    /// depend only on `rows.len()`. The model produced is bit-identical
+    /// for `threads` = 1, 2, 4, 0, ….
+    pub fn fit_rows(rows: &Rows, config: KMeansConfig, threads: usize) -> Result<KMeans> {
+        let n = rows.len();
+        if config.k == 0 {
+            return Err(ClusterError::InvalidParameter {
+                reason: "k must be positive".to_string(),
+            });
+        }
+        if n < config.k {
+            return Err(ClusterError::TooFewObservations {
+                needed: config.k,
+                got: n,
+                what: "kmeans",
+            });
+        }
+        let dim = rows.dim();
+        let k = config.k;
 
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut centroids = plus_plus_init(rows, config.k, &mut rng);
+        let mut centroids = plus_plus_init(rows, k, &mut rng);
         let mut labels = vec![0usize; n];
         let mut iterations = 0;
         let mut converged = false;
 
         for iter in 0..config.max_iter {
             iterations = iter + 1;
-            // Assignment step.
-            for (i, row) in rows.iter().enumerate() {
-                let (label, _) = nearest(row, &centroids);
-                labels[i] = label;
-            }
-            // Update step.
-            let mut sums = vec![vec![0.0; dim]; config.k];
-            let mut counts = vec![0usize; config.k];
-            for (row, &label) in rows.iter().zip(&labels) {
-                counts[label] += 1;
-                for (s, v) in sums[label].iter_mut().zip(row) {
-                    *s += v;
-                }
-            }
+            // Fused assignment + accumulation pass over the rows.
+            let (new_labels, sums, counts, _) = lloyd_pass(rows, &centroids, k, threads);
+            labels = new_labels;
+
             let mut movement = 0.0;
-            for c in 0..config.k {
+            for c in 0..k {
                 if counts[c] == 0 {
                     // Re-seed the empty cluster on the point farthest
                     // from its centroid.
-                    let far = rows
-                        .iter()
-                        .enumerate()
-                        .max_by(|(i, a), (j, b)| {
-                            let da = dist2(a, &centroids[labels[*i]]);
-                            let db = dist2(b, &centroids[labels[*j]]);
-                            da.partial_cmp(&db).expect("finite distances")
-                        })
-                        .map(|(i, _)| i)
-                        .expect("nonempty rows");
-                    let new_c = rows[far].clone();
-                    movement += norm2(&sub_vec(&new_c, &centroids[c]));
-                    centroids[c] = new_c;
+                    let mut far = 0;
+                    let mut far_d = f64::NEG_INFINITY;
+                    for i in 0..n {
+                        let d = dist2(rows.row(i), centroid(&centroids, labels[i], dim));
+                        if d > far_d {
+                            far = i;
+                            far_d = d;
+                        }
+                    }
+                    let new_c = rows.row(far);
+                    movement += diff_norm(new_c, centroid(&centroids, c, dim));
+                    centroids[c * dim..(c + 1) * dim].copy_from_slice(new_c);
                     continue;
                 }
-                let new_c: Vec<f64> = sums[c]
-                    .iter()
-                    .map(|s| s / counts[c] as f64)
-                    .collect();
-                movement += norm2(&sub_vec(&new_c, &centroids[c]));
-                centroids[c] = new_c;
+                let inv = 1.0 / counts[c] as f64;
+                let mut m2 = 0.0;
+                for d in 0..dim {
+                    let new_v = sums[c * dim + d] * inv;
+                    let old_v = centroids[c * dim + d];
+                    m2 += (new_v - old_v) * (new_v - old_v);
+                    centroids[c * dim + d] = new_v;
+                }
+                movement += m2.sqrt();
             }
             if movement <= config.tol {
                 converged = true;
@@ -153,15 +193,11 @@ impl KMeans {
         }
 
         // Final assignment against the last centroids.
-        let mut inertia = 0.0;
-        for (i, row) in rows.iter().enumerate() {
-            let (label, d2) = nearest(row, &centroids);
-            labels[i] = label;
-            inertia += d2;
-        }
+        let (final_labels, _, _, inertia) = lloyd_pass(rows, &centroids, k, threads);
+        labels = final_labels;
 
         Ok(KMeans {
-            centroids,
+            centroids: centroids.chunks_exact(dim).map(<[f64]>::to_vec).collect(),
             labels,
             inertia,
             iterations,
@@ -190,18 +226,86 @@ impl KMeans {
 
     /// Predicts the cluster of a new observation.
     pub fn predict(&self, row: &[f64]) -> usize {
-        nearest(row, &self.centroids).0
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let d = dist2(row, centroid);
+            if d < best_d {
+                best = c;
+                best_d = d;
+            }
+        }
+        best
     }
+}
+
+/// One full pass over the rows: nearest-centroid labels, per-cluster
+/// sums and counts, and total inertia — computed per fixed chunk and
+/// merged in chunk order, so every output is thread-count-invariant.
+fn lloyd_pass(
+    rows: &Rows,
+    centroids: &[f64],
+    k: usize,
+    threads: usize,
+) -> (Vec<usize>, Vec<f64>, Vec<usize>, f64) {
+    let n = rows.len();
+    let dim = rows.dim();
+    let partials = par::map_chunks(n, par::ROW_CHUNK, threads, |_, range| {
+        let mut part = LloydPartial {
+            labels: Vec::with_capacity(range.len()),
+            sums: vec![0.0; k * dim],
+            counts: vec![0usize; k],
+            inertia: 0.0,
+        };
+        for i in range {
+            let row = rows.row(i);
+            let (label, d2) = nearest_flat(row, centroids, dim);
+            part.labels.push(label);
+            part.counts[label] += 1;
+            part.inertia += d2;
+            for (s, v) in part.sums[label * dim..(label + 1) * dim].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        part
+    });
+
+    let mut labels = Vec::with_capacity(n);
+    let mut sums = vec![0.0; k * dim];
+    let mut counts = vec![0usize; k];
+    let mut inertia = 0.0;
+    for part in partials {
+        labels.extend_from_slice(&part.labels);
+        for (acc, v) in sums.iter_mut().zip(&part.sums) {
+            *acc += v;
+        }
+        for (acc, v) in counts.iter_mut().zip(&part.counts) {
+            *acc += v;
+        }
+        inertia += part.inertia;
+    }
+    (labels, sums, counts, inertia)
+}
+
+#[inline]
+fn centroid(centroids: &[f64], c: usize, dim: usize) -> &[f64] {
+    &centroids[c * dim..(c + 1) * dim]
 }
 
 fn dist2(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+/// Euclidean distance between two equal-length slices (the centroid
+/// movement contribution).
+fn diff_norm(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+fn nearest_flat(row: &[f64], centroids: &[f64], dim: usize) -> (usize, f64) {
     let mut best = 0;
     let mut best_d = f64::INFINITY;
-    for (c, centroid) in centroids.iter().enumerate() {
+    for (c, centroid) in centroids.chunks_exact(dim).enumerate() {
         let d = dist2(row, centroid);
         if d < best_d {
             best = c;
@@ -213,15 +317,13 @@ fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 
 /// k-means++ seeding: first centroid uniform, each next one sampled with
 /// probability proportional to squared distance from the nearest chosen
-/// centroid.
-fn plus_plus_init<R: Rng + ?Sized>(rows: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
-    let mut centroids = Vec::with_capacity(k);
-    centroids.push(rows[rng.gen_range(0..rows.len())].clone());
-    let mut d2: Vec<f64> = rows
-        .iter()
-        .map(|r| dist2(r, &centroids[0]))
-        .collect();
-    while centroids.len() < k {
+/// centroid. Returns flat `k * dim` storage.
+fn plus_plus_init<R: Rng + ?Sized>(rows: &Rows, k: usize, rng: &mut R) -> Vec<f64> {
+    let dim = rows.dim();
+    let mut centroids = Vec::with_capacity(k * dim);
+    centroids.extend_from_slice(rows.row(rng.gen_range(0..rows.len())));
+    let mut d2: Vec<f64> = rows.iter().map(|r| dist2(r, &centroids[..dim])).collect();
+    while centroids.len() < k * dim {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with chosen centroids; any point works.
@@ -238,9 +340,10 @@ fn plus_plus_init<R: Rng + ?Sized>(rows: &[Vec<f64>], k: usize, rng: &mut R) -> 
             }
             pick
         };
-        centroids.push(rows[next].clone());
+        centroids.extend_from_slice(rows.row(next));
+        let newest = &centroids[centroids.len() - dim..];
         for (i, r) in rows.iter().enumerate() {
-            let d = dist2(r, centroids.last().expect("nonempty"));
+            let d = dist2(r, newest);
             if d < d2[i] {
                 d2[i] = d;
             }
@@ -352,5 +455,44 @@ mod tests {
         let model = KMeans::fit(&blobs(), KMeansConfig::new(3).with_seed(6)).unwrap();
         assert!((model.average_cluster_size() - 20.0).abs() < 1e-12);
         assert_eq!(model.k(), 3);
+    }
+
+    #[test]
+    fn fit_matches_fit_rows() {
+        let vecs = blobs();
+        let rows = Rows::from_vecs(&vecs).unwrap();
+        let a = KMeans::fit(&vecs, KMeansConfig::new(3).with_seed(9)).unwrap();
+        let b = KMeans::fit_rows(&rows, KMeansConfig::new(3).with_seed(9), 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_rows_bit_identical_across_thread_counts() {
+        // Big enough for several ROW_CHUNK chunks so the parallel merge
+        // path is actually exercised.
+        let n = 3 * par::ROW_CHUNK + 123;
+        let mut rows = Rows::new(2);
+        for i in 0..n {
+            let x = ((i * 2654435761) % 997) as f64 * 0.013;
+            let y = ((i * 40503) % 1009) as f64 * 0.007;
+            let shift = (i % 4) as f64 * 25.0;
+            rows.push(&[x + shift, y + shift]).unwrap();
+        }
+        let config = KMeansConfig::new(4).with_seed(11);
+        let base = KMeans::fit_rows(&rows, config, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let model = KMeans::fit_rows(&rows, config, threads).unwrap();
+            assert_eq!(base.labels, model.labels, "threads = {threads}");
+            assert_eq!(
+                base.inertia.to_bits(),
+                model.inertia.to_bits(),
+                "threads = {threads}"
+            );
+            for (a, b) in base.centroids.iter().zip(&model.centroids) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads = {threads}");
+                }
+            }
+        }
     }
 }

@@ -17,6 +17,11 @@
 //! [`validation`] adds adjusted Rand index and purity so integration
 //! tests can score recovered clusters against the simulator's planted
 //! archetypes — a check the original study could never run.
+//!
+//! All heavy kernels operate on the contiguous
+//! [`Rows`](donorpulse_linalg::Rows) layout and parallelize through
+//! [`par`]'s fixed-order chunked reduction, keeping results
+//! bit-identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,18 +30,19 @@ pub mod agglomerative;
 pub mod dendrogram;
 pub mod kmeans;
 pub mod metric;
+pub mod par;
 pub mod render;
 pub mod silhouette;
 pub mod validation;
 
 mod error;
 
-pub use agglomerative::{agglomerative, Linkage};
+pub use agglomerative::{agglomerative, agglomerative_rows, Linkage};
 pub use dendrogram::Dendrogram;
 pub use error::ClusterError;
 pub use kmeans::{KMeans, KMeansConfig};
 pub use metric::{DistanceMatrix, Metric};
-pub use silhouette::silhouette_score;
+pub use silhouette::{silhouette_score, silhouette_score_rows};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, ClusterError>;

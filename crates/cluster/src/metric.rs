@@ -1,6 +1,8 @@
 //! Distance metrics and the pairwise distance matrix.
 
+use crate::par;
 use crate::{ClusterError, Result};
+use donorpulse_linalg::Rows;
 use donorpulse_stats::distance;
 use serde::{Deserialize, Serialize};
 
@@ -86,15 +88,75 @@ impl DistanceMatrix {
                 });
             }
         }
+        let packed = Rows::from_vecs(rows).map_err(|e| ClusterError::InvalidParameter {
+            reason: e.to_string(),
+        })?;
+        Self::compute_rows(&packed, metric, 1)
+    }
+
+    /// Computes all pairwise distances over a contiguous [`Rows`] buffer
+    /// on up to `threads` workers (`0` = all cores).
+    ///
+    /// The upper triangle is chunked over linear pair indices
+    /// ([`par::PAIR_CHUNK`] pairs per chunk); each pair is evaluated
+    /// exactly once and mirrored, so even metrics whose floating-point
+    /// evaluation is not bitwise symmetric (Jensen–Shannon accumulates
+    /// terms in argument order) yield a bitwise-symmetric matrix that is
+    /// identical for any thread count. Infinity capping follows
+    /// [`DistanceMatrix::compute`].
+    pub fn compute_rows(rows: &Rows, metric: Metric, threads: usize) -> Result<Self> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(ClusterError::TooFewObservations {
+                needed: 1,
+                got: 0,
+                what: "distance matrix",
+            });
+        }
+        let total_pairs = n * (n - 1) / 2;
+        let partials = par::map_chunks(
+            total_pairs,
+            par::PAIR_CHUNK,
+            threads,
+            |_, range| -> Result<Vec<f64>> {
+                // Decode the chunk's first linear pair index into (i, j).
+                let mut rem = range.start;
+                let mut i = 0usize;
+                let mut row_pairs = n - 1;
+                while row_pairs > 0 && rem >= row_pairs {
+                    rem -= row_pairs;
+                    i += 1;
+                    row_pairs = n - 1 - i;
+                }
+                let mut j = i + 1 + rem;
+                let mut out = Vec::with_capacity(range.len());
+                for _ in range {
+                    out.push(metric.distance(rows.row(i), rows.row(j))?);
+                    j += 1;
+                    if j == n {
+                        i += 1;
+                        j = i + 1;
+                    }
+                }
+                Ok(out)
+            },
+        );
+
         let mut data = vec![0.0; n * n];
         let mut max_finite = 0.0_f64;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = metric.distance(&rows[i], &rows[j])?;
+        let mut i = 0usize;
+        let mut j = 1usize;
+        for part in partials {
+            for d in part? {
                 data[i * n + j] = d;
                 data[j * n + i] = d;
                 if d.is_finite() {
                     max_finite = max_finite.max(d);
+                }
+                j += 1;
+                if j == n {
+                    i += 1;
+                    j = i + 1;
                 }
             }
         }
@@ -213,5 +275,42 @@ mod tests {
     fn from_full_round_trip() {
         let dm = DistanceMatrix::from_full(2, vec![0.0, 3.0, 3.0, 0.0]).unwrap();
         assert_eq!(dm.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn compute_rows_matches_compute() {
+        let vecs = rows();
+        let packed = Rows::from_vecs(&vecs).unwrap();
+        let a = DistanceMatrix::compute(&vecs, Metric::Bhattacharyya).unwrap();
+        let b = DistanceMatrix::compute_rows(&packed, Metric::Bhattacharyya, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compute_rows_bit_identical_across_thread_counts() {
+        // More pairs than one PAIR_CHUNK so the parallel path divides
+        // the triangle; JS divergence is the metric most sensitive to
+        // evaluation order.
+        let n = 120; // 7140 pairs
+        let mut packed = Rows::new(3);
+        for i in 0..n {
+            let a = 1.0 + ((i * 7) % 13) as f64;
+            let b = 1.0 + ((i * 11) % 17) as f64;
+            let c = 1.0 + ((i * 3) % 5) as f64;
+            let total = a + b + c;
+            packed.push(&[a / total, b / total, c / total]).unwrap();
+        }
+        let base = DistanceMatrix::compute_rows(&packed, Metric::JensenShannon, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let dm =
+                DistanceMatrix::compute_rows(&packed, Metric::JensenShannon, threads).unwrap();
+            assert_eq!(base, dm, "threads = {threads}");
+        }
+        // Mirroring makes the matrix bitwise symmetric by construction.
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(base.get(i, j).to_bits(), base.get(j, i).to_bits());
+            }
+        }
     }
 }

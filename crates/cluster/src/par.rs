@@ -1,0 +1,179 @@
+//! Deterministic, dependency-free parallel primitives.
+//!
+//! Everything here is built on `std::thread::scope` — no external
+//! runtime — and is designed around one invariant: **results are
+//! bit-identical for any thread count, including 1**. The trick is
+//! fixed-order chunked reduction: work is split into chunks whose
+//! boundaries depend only on the input size (never on the thread
+//! count), each chunk produces a partial result, and partials are
+//! merged sequentially in chunk order. Floating-point accumulation
+//! therefore follows one canonical association for every `threads`
+//! value; worker scheduling only decides *who* computes a chunk, never
+//! *what* or *in which merge position*.
+//!
+//! The kernels in [`crate::kmeans`], [`crate::silhouette`], and
+//! [`crate::metric`] all reduce through this module, which is what
+//! makes the pipeline's `compute_threads` knob observationally
+//! invisible in every artifact.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Rows per chunk for row-indexed kernels (Lloyd assignment,
+/// silhouette). Chosen so a chunk's working set stays cache-resident
+/// while still yielding plenty of chunks to balance across workers at
+/// the paper's ~72k-user scale.
+pub const ROW_CHUNK: usize = 2048;
+
+/// Observations per chunk for silhouette kernels, where each
+/// observation already costs `O(n)` distance evaluations — chunks are
+/// finer than [`ROW_CHUNK`] so even a 2 000-point silhouette subsample
+/// splits across workers.
+pub const SIL_CHUNK: usize = 128;
+
+/// Pairs per chunk for pairwise-distance kernels (the agglomerative
+/// distance-matrix build).
+pub const PAIR_CHUNK: usize = 1024;
+
+/// Resolves a thread-count knob: `0` means "all available cores",
+/// anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Number of fixed-size chunks `n` items split into under `chunk`.
+/// This is the value the pipeline reports through its `*_chunks`
+/// gauges; it depends only on `n`, never on the thread count.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk)
+}
+
+/// Maps `f` over fixed chunks of `0..n` and returns the partial results
+/// **in chunk order**, computing chunks on up to `threads` workers
+/// (resolved via [`resolve_threads`]).
+///
+/// `f` receives `(chunk_index, index_range)`. Chunk boundaries are a
+/// pure function of `(n, chunk)`, and the returned `Vec` is ordered by
+/// chunk index, so any fold over it is deterministic and
+/// thread-count-invariant. With one worker (or one chunk) everything
+/// runs inline on the calling thread — same code path, same chunking,
+/// same merge order.
+pub fn map_chunks<T, F>(n: usize, chunk: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    assert!(chunk > 0, "chunk size must be nonzero");
+    let chunks = chunk_count(n, chunk);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let range_of = |c: usize| (c * chunk)..(((c + 1) * chunk).min(n));
+    let workers = resolve_threads(threads).min(chunks);
+    if workers <= 1 {
+        return (0..chunks).map(|c| f(c, range_of(c))).collect();
+    }
+
+    // Work-stealing over an atomic chunk cursor; results flow back over
+    // a channel tagged with their chunk index and are reordered before
+    // returning, so scheduling nondeterminism never leaks out.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                let out = f(c, range_of(c));
+                if tx.send((c, out)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+    for (c, out) in rx {
+        slots[c] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunk_count_depends_only_on_n() {
+        assert_eq!(chunk_count(0, ROW_CHUNK), 0);
+        assert_eq!(chunk_count(1, ROW_CHUNK), 1);
+        assert_eq!(chunk_count(ROW_CHUNK, ROW_CHUNK), 1);
+        assert_eq!(chunk_count(ROW_CHUNK + 1, ROW_CHUNK), 2);
+    }
+
+    #[test]
+    fn map_chunks_returns_partials_in_chunk_order() {
+        for threads in [1, 2, 4, 0] {
+            let partials = map_chunks(10, 3, threads, |c, range| (c, range));
+            assert_eq!(
+                partials,
+                vec![(0, 0..3), (1, 3..6), (2, 6..9), (3, 9..10)],
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_reduction_is_thread_invariant() {
+        // A floating-point sum whose chunked association must be
+        // bit-identical for every thread count.
+        let values: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.731).sin()).collect();
+        let sum_with = |threads: usize| -> f64 {
+            map_chunks(values.len(), 64, threads, |_, range| {
+                range.map(|i| values[i]).sum::<f64>()
+            })
+            .into_iter()
+            .sum()
+        };
+        let base = sum_with(1);
+        for threads in [2, 3, 4, 8, 0] {
+            assert_eq!(base.to_bits(), sum_with(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let partials: Vec<u32> = map_chunks(0, 8, 4, |_, _| 1);
+        assert!(partials.is_empty());
+    }
+
+    #[test]
+    fn map_chunks_propagates_results_from_many_workers() {
+        // More chunks than workers: every chunk must land exactly once.
+        let partials = map_chunks(1000, 7, 5, |c, range| (c, range.len()));
+        assert_eq!(partials.len(), chunk_count(1000, 7));
+        for (i, (c, _)) in partials.iter().enumerate() {
+            assert_eq!(i, *c);
+        }
+        let total: usize = partials.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 1000);
+    }
+}

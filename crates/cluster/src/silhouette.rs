@@ -5,71 +5,65 @@
 //! `s(i) = (b − a) / max(a, b)`; the score is the mean over all
 //! observations. Singleton clusters get `s(i) = 0` (scikit-learn
 //! convention). The paper reports 0.953 at `k = 12`.
+//!
+//! The `O(n²)` pairwise loop runs on a contiguous [`Rows`] buffer and
+//! parallelizes through [`crate::par`]'s fixed-order chunked reduction:
+//! each chunk of observations computes its silhouette values
+//! independently, and chunks are concatenated in index order, so scores
+//! are bit-identical for any thread count.
 
 use crate::metric::Metric;
+use crate::par;
 use crate::{ClusterError, Result};
+use donorpulse_linalg::Rows;
 
 /// Computes the mean silhouette coefficient of a labeling.
 ///
 /// `O(n²)` pairwise distances — use [`sampled_silhouette_score`] for
-/// large corpora.
+/// large corpora. Compatibility wrapper over
+/// [`silhouette_score_rows`]; runs single-threaded.
 pub fn silhouette_score(rows: &[Vec<f64>], labels: &[usize], metric: Metric) -> Result<f64> {
-    validate(rows, labels)?;
-    let n = rows.len();
-    let k = labels.iter().max().map_or(0, |m| m + 1);
-    if k < 2 {
-        return Err(ClusterError::InvalidParameter {
-            reason: "silhouette requires at least 2 clusters".to_string(),
-        });
-    }
-    let sizes = {
-        let mut s = vec![0usize; k];
-        for &l in labels {
-            s[l] += 1;
-        }
-        s
-    };
+    let packed = pack(rows, labels)?;
+    silhouette_score_rows(&packed, labels, metric, 1)
+}
 
-    let mut total = 0.0;
-    for i in 0..n {
-        // Mean distance from i to every cluster.
-        let mut sums = vec![0.0; k];
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            sums[labels[j]] += metric.distance(&rows[i], &rows[j])?;
-        }
-        let own = labels[i];
-        if sizes[own] <= 1 {
-            continue; // singleton: s(i) = 0
-        }
-        let a = sums[own] / (sizes[own] - 1) as f64;
-        let b = (0..k)
-            .filter(|&c| c != own && sizes[c] > 0)
-            .map(|c| sums[c] / sizes[c] as f64)
-            .fold(f64::INFINITY, f64::min);
-        if !b.is_finite() {
-            continue; // only one nonempty cluster overall — guarded above
-        }
-        let denom = a.max(b);
-        if denom > 0.0 {
-            total += (b - a) / denom;
-        }
-    }
-    Ok(total / n as f64)
+/// Mean silhouette over a contiguous [`Rows`] buffer on up to
+/// `threads` workers (`0` = all cores). Thread-count-invariant: the
+/// per-observation values are summed in observation order regardless of
+/// which worker computed them.
+pub fn silhouette_score_rows(
+    rows: &Rows,
+    labels: &[usize],
+    metric: Metric,
+    threads: usize,
+) -> Result<f64> {
+    let samples = silhouette_samples_rows(rows, labels, metric, threads)?;
+    Ok(samples.iter().sum::<f64>() / samples.len() as f64)
 }
 
 /// Per-observation silhouette values (same conventions as
 /// [`silhouette_score`]; singletons get 0). Useful for diagnosing which
 /// clusters are tight and which are smeared (sklearn's
-/// `silhouette_samples`).
+/// `silhouette_samples`). Compatibility wrapper over
+/// [`silhouette_samples_rows`]; runs single-threaded.
 pub fn silhouette_samples(
     rows: &[Vec<f64>],
     labels: &[usize],
     metric: Metric,
 ) -> Result<Vec<f64>> {
-    validate(rows, labels)?;
+    let packed = pack(rows, labels)?;
+    silhouette_samples_rows(&packed, labels, metric, 1)
+}
+
+/// Per-observation silhouette values over a contiguous [`Rows`] buffer
+/// on up to `threads` workers (`0` = all cores).
+pub fn silhouette_samples_rows(
+    rows: &Rows,
+    labels: &[usize],
+    metric: Metric,
+    threads: usize,
+) -> Result<Vec<f64>> {
+    validate_rows(rows, labels)?;
     let n = rows.len();
     let k = labels.iter().max().map_or(0, |m| m + 1);
     if k < 2 {
@@ -84,27 +78,41 @@ pub fn silhouette_samples(
         }
         s
     };
-    let mut out = vec![0.0; n];
-    for i in 0..n {
-        let mut sums = vec![0.0; k];
-        for j in 0..n {
-            if i != j {
-                sums[labels[j]] += metric.distance(&rows[i], &rows[j])?;
+
+    let partials = par::map_chunks(n, par::SIL_CHUNK, threads, |_, range| -> Result<Vec<f64>> {
+        let mut part = Vec::with_capacity(range.len());
+        for i in range {
+            let row_i = rows.row(i);
+            // Mean distance from i to every cluster.
+            let mut sums = vec![0.0; k];
+            for j in 0..n {
+                if i != j {
+                    sums[labels[j]] += metric.distance(row_i, rows.row(j))?;
+                }
+            }
+            let own = labels[i];
+            if sizes[own] <= 1 {
+                part.push(0.0); // singleton: s(i) = 0
+                continue;
+            }
+            let a = sums[own] / (sizes[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && sizes[c] > 0)
+                .map(|c| sums[c] / sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            let denom = a.max(b);
+            if b.is_finite() && denom > 0.0 {
+                part.push((b - a) / denom);
+            } else {
+                part.push(0.0);
             }
         }
-        let own = labels[i];
-        if sizes[own] <= 1 {
-            continue;
-        }
-        let a = sums[own] / (sizes[own] - 1) as f64;
-        let b = (0..k)
-            .filter(|&c| c != own && sizes[c] > 0)
-            .map(|c| sums[c] / sizes[c] as f64)
-            .fold(f64::INFINITY, f64::min);
-        let denom = a.max(b);
-        if b.is_finite() && denom > 0.0 {
-            out[i] = (b - a) / denom;
-        }
+        Ok(part)
+    });
+
+    let mut out = Vec::with_capacity(n);
+    for part in partials {
+        out.extend_from_slice(&part?);
     }
     Ok(out)
 }
@@ -133,25 +141,45 @@ pub fn per_cluster_silhouette(
 
 /// Silhouette over a deterministic subsample of at most `max_n`
 /// observations (stride sampling) — the standard trick for scoring
-/// 72k-user labelings where `O(n²)` is prohibitive.
+/// 72k-user labelings where `O(n²)` is prohibitive. Compatibility
+/// wrapper over [`sampled_silhouette_score_rows`]; runs
+/// single-threaded.
 pub fn sampled_silhouette_score(
     rows: &[Vec<f64>],
     labels: &[usize],
     metric: Metric,
     max_n: usize,
 ) -> Result<f64> {
-    validate(rows, labels)?;
+    let packed = pack(rows, labels)?;
+    sampled_silhouette_score_rows(&packed, labels, metric, max_n, 1)
+}
+
+/// Sampled silhouette over a contiguous [`Rows`] buffer on up to
+/// `threads` workers (`0` = all cores).
+///
+/// The labeling must cover the full buffer: a `labels` slice whose
+/// length differs from `rows.len()` is an error even when the stride
+/// subsample alone could be indexed — scoring a mismatched labeling
+/// silently would hide an upstream bug.
+pub fn sampled_silhouette_score_rows(
+    rows: &Rows,
+    labels: &[usize],
+    metric: Metric,
+    max_n: usize,
+    threads: usize,
+) -> Result<f64> {
+    validate_rows(rows, labels)?;
     if max_n == 0 {
         return Err(ClusterError::InvalidParameter {
             reason: "max_n must be positive".to_string(),
         });
     }
     if rows.len() <= max_n {
-        return silhouette_score(rows, labels, metric);
+        return silhouette_score_rows(rows, labels, metric, threads);
     }
     let stride = rows.len().div_ceil(max_n);
     let idx: Vec<usize> = (0..rows.len()).step_by(stride).collect();
-    let sub_rows: Vec<Vec<f64>> = idx.iter().map(|&i| rows[i].clone()).collect();
+    let sub_rows = rows.subset(&idx);
     let sub_labels_raw: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
     // Compact labels: the subsample may miss some clusters entirely.
     let mut remap = std::collections::HashMap::new();
@@ -162,10 +190,11 @@ pub fn sampled_silhouette_score(
             *remap.entry(l).or_insert(next)
         })
         .collect();
-    silhouette_score(&sub_rows, &sub_labels, metric)
+    silhouette_score_rows(&sub_rows, &sub_labels, metric, threads)
 }
 
-fn validate(rows: &[Vec<f64>], labels: &[usize]) -> Result<()> {
+/// Validates a `(rows, labels)` pairing on the contiguous buffer.
+fn validate_rows(rows: &Rows, labels: &[usize]) -> Result<()> {
     if rows.len() != labels.len() {
         return Err(ClusterError::InvalidParameter {
             reason: format!(
@@ -183,6 +212,40 @@ fn validate(rows: &[Vec<f64>], labels: &[usize]) -> Result<()> {
         });
     }
     Ok(())
+}
+
+/// Validates the legacy `Vec<Vec<f64>>` input and packs it into a
+/// contiguous buffer, preserving the historical error variants.
+fn pack(rows: &[Vec<f64>], labels: &[usize]) -> Result<Rows> {
+    if rows.len() != labels.len() {
+        return Err(ClusterError::InvalidParameter {
+            reason: format!(
+                "rows ({}) and labels ({}) differ in length",
+                rows.len(),
+                labels.len()
+            ),
+        });
+    }
+    if rows.len() < 2 {
+        return Err(ClusterError::TooFewObservations {
+            needed: 2,
+            got: rows.len(),
+            what: "silhouette",
+        });
+    }
+    let dim = rows[0].len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != dim {
+            return Err(ClusterError::DimensionMismatch {
+                expected: dim,
+                got: r.len(),
+                row: i,
+            });
+        }
+    }
+    Rows::from_vecs(rows).map_err(|e| ClusterError::InvalidParameter {
+        reason: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -237,6 +300,18 @@ mod tests {
     }
 
     #[test]
+    fn singleton_sample_is_exactly_zero() {
+        // Regression: the singleton convention is s(i) = 0 exactly, not
+        // merely "small" — the sample must come back as literal 0.0.
+        let rows = vec![vec![0.0], vec![0.1], vec![50.0]];
+        let labels = vec![0, 0, 1];
+        let samples = silhouette_samples(&rows, &labels, Metric::Euclidean).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[2].to_bits(), 0.0_f64.to_bits());
+        assert!(samples[0] > 0.9 && samples[1] > 0.9);
+    }
+
+    #[test]
     fn single_cluster_rejected() {
         let rows = vec![vec![0.0], vec![1.0]];
         assert!(silhouette_score(&rows, &[0, 0], Metric::Euclidean).is_err());
@@ -247,6 +322,24 @@ mod tests {
         let rows = vec![vec![0.0], vec![1.0]];
         assert!(silhouette_score(&rows, &[0], Metric::Euclidean).is_err());
         assert!(silhouette_score(&[], &[], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn sampled_path_rejects_length_mismatch() {
+        // Regression: a labels slice long enough to index the stride
+        // subsample must still be rejected — never silently scored.
+        let mut rows = Vec::new();
+        for i in 0..50 {
+            rows.push(vec![i as f64]);
+        }
+        let short_labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let err = sampled_silhouette_score(&rows, &short_labels, Metric::Euclidean, 10);
+        assert!(matches!(err, Err(ClusterError::InvalidParameter { .. })));
+
+        let packed = Rows::from_vecs(&rows).unwrap();
+        let err =
+            sampled_silhouette_score_rows(&packed, &short_labels, Metric::Euclidean, 10, 1);
+        assert!(matches!(err, Err(ClusterError::InvalidParameter { .. })));
     }
 
     #[test]
@@ -291,5 +384,26 @@ mod tests {
             sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 100).unwrap();
         assert!((full - sampled).abs() < 0.05, "full {full}, sampled {sampled}");
         assert!(sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 0).is_err());
+    }
+
+    #[test]
+    fn score_bit_identical_across_thread_counts() {
+        // Span several SIL_CHUNK chunks so the parallel merge actually
+        // runs, with irregular values so FP association would show.
+        let n = 3 * par::SIL_CHUNK + 17;
+        let mut rows = Rows::new(2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let cluster = i % 3;
+            let x = cluster as f64 * 10.0 + ((i * 37) % 101) as f64 * 0.01;
+            let y = cluster as f64 * 10.0 + ((i * 53) % 97) as f64 * 0.01;
+            rows.push(&[x, y]).unwrap();
+            labels.push(cluster);
+        }
+        let base = silhouette_score_rows(&rows, &labels, Metric::Euclidean, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let s = silhouette_score_rows(&rows, &labels, Metric::Euclidean, threads).unwrap();
+            assert_eq!(base.to_bits(), s.to_bits(), "threads = {threads}");
+        }
     }
 }

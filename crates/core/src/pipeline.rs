@@ -32,6 +32,7 @@ use crate::relative_risk::RiskMap;
 use crate::state_clusters::StateClustering;
 use crate::user_clusters::{UserClustering, UserClusteringConfig};
 use crate::{CoreError, Result};
+use donorpulse_cluster::par;
 use donorpulse_geo::{Geocoder, LocationSource, UsState};
 use donorpulse_linalg::Matrix;
 use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
@@ -53,6 +54,12 @@ pub struct PipelineConfig {
     /// Worker threads for stream collection (0 = use all available
     /// cores). Collection output is identical regardless of the count.
     pub collection_threads: usize,
+    /// Worker threads for the analytics back-half — the K-Means sweep,
+    /// silhouette scoring, and the state distance matrix (0 = use all
+    /// available cores). Every kernel reduces through a fixed-order
+    /// chunked merge, so all clustering artifacts are bit-identical
+    /// regardless of the count.
+    pub compute_threads: usize,
     /// Observability registry threaded through every stage. The default
     /// is the no-op [`MetricsRegistry::disabled`], which records
     /// nothing and costs nothing; pass [`MetricsRegistry::enabled`] to
@@ -69,6 +76,7 @@ impl Default for PipelineConfig {
             user_clustering: UserClusteringConfig::default(),
             run_user_clustering: true,
             collection_threads: 0,
+            compute_threads: 0,
             metrics: MetricsRegistry::disabled(),
         }
     }
@@ -178,11 +186,12 @@ impl Pipeline {
         // serial stream read. Each worker reports its matched batch to
         // the collection counter concurrently.
         let query = KeywordQuery::paper();
-        let threads = if config.collection_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            config.collection_threads
-        };
+        let threads = par::resolve_threads(config.collection_threads);
+        let compute_threads = par::resolve_threads(config.compute_threads);
+        metrics.gauge("collect_threads").set(threads as u64);
+        metrics
+            .gauge("compute_threads")
+            .set(compute_threads as u64);
         let mut span = metrics.stage("collect");
         let matched = metrics.counter("collected_tweets_total");
         let collected: Corpus =
@@ -197,6 +206,7 @@ impl Pipeline {
         let mut span = metrics.stage("locate_users");
         let by_geotag = metrics.counter("geo_source_geotag_total");
         let by_profile = metrics.counter("geo_source_profile_total");
+        let cache_hits_before = self.geocoder.cache_hits();
         let mut first_geo: HashMap<UserId, (f64, f64)> = HashMap::new();
         for t in collected.tweets() {
             if let Some(geo) = t.geo {
@@ -235,6 +245,11 @@ impl Pipeline {
         metrics
             .counter("geo_users_unlocated_total")
             .add(unlocated_users);
+        // Hits the memoized profile parser served during this stage
+        // (delta, so reusing one Pipeline across runs stays per-run).
+        metrics
+            .counter("geo_cache_hits_total")
+            .add(self.geocoder.cache_hits() - cache_hits_before);
         span.set_items(seen.len() as u64);
         span.finish();
 
@@ -296,13 +311,27 @@ impl Pipeline {
         span.finish();
 
         let mut span = metrics.stage("state_clusters");
-        let state_clusters = StateClustering::compute(&region_k)?;
-        span.set_items(region_k.groups.len() as u64);
+        let n_states = region_k.groups.len();
+        metrics.gauge("state_cluster_pair_chunks").set(par::chunk_count(
+            n_states * n_states.saturating_sub(1) / 2,
+            par::PAIR_CHUNK,
+        ) as u64);
+        let state_clusters = StateClustering::compute_threaded(&region_k, compute_threads)?;
+        span.set_items(n_states as u64);
         span.finish();
 
         let user_clusters = if config.run_user_clustering {
             let mut span = metrics.stage("user_clusters");
-            let fitted = UserClustering::fit(&attention, config.user_clustering)?;
+            let users = attention.user_count();
+            metrics
+                .gauge("user_cluster_row_chunks")
+                .set(par::chunk_count(users, par::ROW_CHUNK) as u64);
+            metrics.gauge("silhouette_chunks").set(par::chunk_count(
+                users.min(config.user_clustering.silhouette_sample),
+                par::SIL_CHUNK,
+            ) as u64);
+            let fitted =
+                UserClustering::fit_threaded(&attention, config.user_clustering, compute_threads)?;
             metrics
                 .counter("kmeans_iterations_total")
                 .add(fitted.sweep.iter().map(|c| c.iterations as u64).sum());
@@ -310,7 +339,7 @@ impl Pipeline {
                 .counter("silhouette_evaluations_total")
                 .add(fitted.sweep.len() as u64);
             metrics.gauge("kmeans_chosen_k").set(fitted.chosen_k as u64);
-            span.set_items(attention.user_count() as u64);
+            span.set_items(users as u64);
             span.finish();
             Some(fitted)
         } else {
@@ -527,6 +556,90 @@ mod tests {
             m.counter("kmeans_iterations_total"),
             Some(uc.sweep.iter().map(|c| c.iterations as u64).sum())
         );
+        // Threading gauges: the knobs and the (input-size-only) chunk
+        // counts of the parallel kernels.
+        assert_eq!(m.gauge("collect_threads"), Some(4));
+        assert!(m.gauge("compute_threads").unwrap() >= 1);
+        let users = r.attention.user_count();
+        assert_eq!(
+            m.gauge("user_cluster_row_chunks"),
+            Some(par::chunk_count(users, par::ROW_CHUNK) as u64)
+        );
+        assert_eq!(
+            m.gauge("silhouette_chunks"),
+            Some(par::chunk_count(users.min(200), par::SIL_CHUNK) as u64)
+        );
+        let n_states = r.region_k.groups.len();
+        assert_eq!(
+            m.gauge("state_cluster_pair_chunks"),
+            Some(par::chunk_count(n_states * (n_states - 1) / 2, par::PAIR_CHUNK) as u64)
+        );
+        // The heavy-tailed profile-location distribution makes repeats
+        // certain even at this scale, so the memo cache must have hits,
+        // and there cannot be more hits than profile lookups.
+        let hits = m.counter("geo_cache_hits_total").unwrap();
+        assert!(hits > 0, "no geocoder cache hits");
+        assert!(hits < m.stage("locate_users").unwrap().items);
+    }
+
+    #[test]
+    fn compute_threads_leave_artifacts_byte_identical() {
+        use crate::report::PaperReport;
+
+        let run_with = |threads: usize| {
+            let mut config = instrumented_config();
+            config.compute_threads = threads;
+            Pipeline::new().run(config).unwrap()
+        };
+        let base = run_with(1);
+        let base_report =
+            serde_json::to_string(&PaperReport::from_run(&base).unwrap()).unwrap();
+        let base_users = serde_json::to_string(&base.user_clusters).unwrap();
+        let base_states = serde_json::to_string(&base.state_clusters).unwrap();
+        for threads in [2, 4, 0] {
+            let r = run_with(threads);
+            assert_eq!(
+                base_users,
+                serde_json::to_string(&r.user_clusters).unwrap(),
+                "user clustering diverged at compute_threads = {threads}"
+            );
+            assert_eq!(
+                base_states,
+                serde_json::to_string(&r.state_clusters).unwrap(),
+                "state clustering diverged at compute_threads = {threads}"
+            );
+            assert_eq!(
+                base_report,
+                serde_json::to_string(&PaperReport::from_run(&r).unwrap()).unwrap(),
+                "paper report diverged at compute_threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_invariant_under_compute_threads() {
+        // Mirror of disabled_metrics_leave_artifacts_byte_identical for
+        // the parallel stages: every deterministic metric must ignore
+        // the compute-thread count; only the knob gauge itself moves.
+        let run_with = |threads: usize| {
+            let mut config = instrumented_config();
+            config.compute_threads = threads;
+            Pipeline::new().run(config).unwrap()
+        };
+        let a = run_with(1);
+        let b = run_with(4);
+        assert_eq!(a.metrics.counters, b.metrics.counters);
+        assert_eq!(a.metrics.stage_items(), b.metrics.stage_items());
+        let strip = |m: &RunMetrics| -> Vec<(String, u64)> {
+            m.gauges
+                .iter()
+                .filter(|(name, _)| name != "compute_threads")
+                .cloned()
+                .collect()
+        };
+        assert_eq!(strip(&a.metrics), strip(&b.metrics));
+        assert_eq!(a.metrics.gauge("compute_threads"), Some(1));
+        assert_eq!(b.metrics.gauge("compute_threads"), Some(4));
     }
 
     #[test]

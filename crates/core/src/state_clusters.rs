@@ -9,10 +9,10 @@
 
 use crate::aggregate::Aggregation;
 use crate::Result;
-use donorpulse_cluster::{
-    agglomerative, Dendrogram, DistanceMatrix, Linkage, Metric,
-};
+use donorpulse_cluster::agglomerative::agglomerative_from_distances;
+use donorpulse_cluster::{Dendrogram, DistanceMatrix, Linkage, Metric};
 use donorpulse_geo::UsState;
+use donorpulse_linalg::Rows;
 use serde::Serialize;
 
 /// The Fig. 6 artifact: distances, dendrogram, leaf order, and flat
@@ -35,9 +35,17 @@ pub struct StateClustering {
 
 impl StateClustering {
     /// Clusters the region aggregation with the paper's configuration
-    /// (Bhattacharyya affinity, average linkage).
+    /// (Bhattacharyya affinity, average linkage). Single-threaded; see
+    /// [`StateClustering::compute_threaded`].
     pub fn compute(aggregation: &Aggregation<UsState>) -> Result<Self> {
-        Self::compute_with(aggregation, Metric::Bhattacharyya, Linkage::Average)
+        Self::compute_with_threaded(aggregation, Metric::Bhattacharyya, Linkage::Average, 1)
+    }
+
+    /// Like [`StateClustering::compute`] with the distance-matrix build
+    /// spread over up to `threads` workers (`0` = all cores). The
+    /// artifact is identical for any thread count.
+    pub fn compute_threaded(aggregation: &Aggregation<UsState>, threads: usize) -> Result<Self> {
+        Self::compute_with_threaded(aggregation, Metric::Bhattacharyya, Linkage::Average, threads)
     }
 
     /// Clusters with an explicit metric/linkage (used by the ablation
@@ -47,9 +55,21 @@ impl StateClustering {
         metric: Metric,
         linkage: Linkage,
     ) -> Result<Self> {
-        let rows = aggregation.rows();
-        let distances = DistanceMatrix::compute(&rows, metric)?;
-        let dendrogram = agglomerative(&rows, metric, linkage)?;
+        Self::compute_with_threaded(aggregation, metric, linkage, 1)
+    }
+
+    /// Full-control variant: explicit metric, linkage, and thread
+    /// count. The pairwise distance matrix is computed once (in
+    /// parallel) and shared between the artifact and the linkage loop.
+    pub fn compute_with_threaded(
+        aggregation: &Aggregation<UsState>,
+        metric: Metric,
+        linkage: Linkage,
+        threads: usize,
+    ) -> Result<Self> {
+        let rows = Rows::from_matrix(&aggregation.matrix);
+        let distances = DistanceMatrix::compute_rows(&rows, metric, threads)?;
+        let dendrogram = agglomerative_from_distances(&distances, linkage)?;
         let leaf_order = dendrogram
             .leaf_order()
             .into_iter()
@@ -161,6 +181,21 @@ mod tests {
         let c = sc.cluster_of(UsState::Kansas, 2).unwrap().unwrap();
         assert!(c.contains(&UsState::Kansas));
         assert!(sc.cluster_of(UsState::Ohio, 2).unwrap().is_none());
+    }
+
+    #[test]
+    fn compute_threaded_identical_across_thread_counts() {
+        let base = StateClustering::compute(&aggregation()).unwrap();
+        for threads in [1, 2, 4, 0] {
+            let sc = StateClustering::compute_threaded(&aggregation(), threads).unwrap();
+            assert_eq!(base.distances, sc.distances, "threads = {threads}");
+            assert_eq!(
+                base.dendrogram.merges(),
+                sc.dendrogram.merges(),
+                "threads = {threads}"
+            );
+            assert_eq!(base.leaf_order, sc.leaf_order, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use crate::attention::AttentionMatrix;
 use crate::{CoreError, Result};
-use donorpulse_cluster::silhouette::sampled_silhouette_score;
-use donorpulse_cluster::{KMeans, KMeansConfig, Metric};
+use donorpulse_cluster::silhouette::sampled_silhouette_score_rows;
+use donorpulse_cluster::{par, KMeans, KMeansConfig, Metric};
+use donorpulse_linalg::Rows;
 use donorpulse_text::Organ;
 use serde::Serialize;
 
@@ -68,18 +69,32 @@ impl Default for UserClusteringConfig {
 
 impl UserClustering {
     /// Sweeps `k`, scores each candidate, and keeps the best silhouette.
+    /// Single-threaded; see [`UserClustering::fit_threaded`].
     pub fn fit(attention: &AttentionMatrix, config: UserClusteringConfig) -> Result<Self> {
+        Self::fit_threaded(attention, config, 1)
+    }
+
+    /// Sweeps `k` on up to `threads` workers (`0` = all cores), scores
+    /// each candidate, and keeps the best silhouette.
+    ///
+    /// The thread budget is split two ways: candidates run concurrently
+    /// (at most one worker each), and whatever remains parallelizes each
+    /// candidate's Lloyd iterations and silhouette scoring internally.
+    /// Both levels reduce through `donorpulse_cluster::par`'s
+    /// fixed-order chunked merge, so the fitted artifact is
+    /// bit-identical for any `threads` value.
+    pub fn fit_threaded(
+        attention: &AttentionMatrix,
+        config: UserClusteringConfig,
+        threads: usize,
+    ) -> Result<Self> {
         if config.k_min < 2 || config.k_min > config.k_max {
             return Err(CoreError::InvalidParameter(format!(
                 "invalid k range [{}, {}]",
                 config.k_min, config.k_max
             )));
         }
-        let rows: Vec<Vec<f64>> = attention
-            .matrix()
-            .iter_rows()
-            .map(<[f64]>::to_vec)
-            .collect();
+        let rows = Rows::from_matrix(attention.matrix());
         if rows.len() <= config.k_max {
             return Err(CoreError::InvalidParameter(format!(
                 "need more than k_max = {} users, got {}",
@@ -88,10 +103,16 @@ impl UserClustering {
             )));
         }
 
-        let mut sweep = Vec::new();
-        let mut best: Option<(usize, f64, KMeans)> = None;
-        for k in config.k_min..=config.k_max {
-            let model = KMeans::fit(
+        let candidates: Vec<usize> = (config.k_min..=config.k_max).collect();
+        let total = par::resolve_threads(threads);
+        let outer = total.min(candidates.len()).max(1);
+        let inner = (total / outer).max(1);
+
+        // One chunk per candidate k: the sweep itself is the outer
+        // parallel loop, and results come back in candidate order.
+        let fitted = par::map_chunks(candidates.len(), 1, outer, |c, _| -> Result<_> {
+            let k = candidates[c];
+            let model = KMeans::fit_rows(
                 &rows,
                 KMeansConfig {
                     k,
@@ -99,27 +120,37 @@ impl UserClustering {
                     tol: 1e-7,
                     seed: config.seed,
                 },
+                inner,
             )?;
-            let silhouette = sampled_silhouette_score(
+            let silhouette = sampled_silhouette_score_rows(
                 &rows,
                 &model.labels,
                 Metric::Euclidean,
                 config.silhouette_sample,
+                inner,
             )?;
-            sweep.push(KCandidate {
+            let candidate = KCandidate {
                 k,
                 silhouette,
                 inertia: model.inertia,
                 avg_cluster_size: model.average_cluster_size(),
                 iterations: model.iterations,
-            });
+            };
+            Ok((candidate, model))
+        });
+
+        let mut sweep = Vec::with_capacity(candidates.len());
+        let mut best: Option<(usize, f64, KMeans)> = None;
+        for result in fitted {
+            let (candidate, model) = result?;
             let better = match &best {
                 None => true,
-                Some((_, best_s, _)) => silhouette > *best_s,
+                Some((_, best_s, _)) => candidate.silhouette > *best_s,
             };
             if better {
-                best = Some((k, silhouette, model));
+                best = Some((candidate.k, candidate.silhouette, model));
             }
+            sweep.push(candidate);
         }
         let (chosen_k, _, model) = best.expect("nonempty sweep");
         Ok(Self {
@@ -271,6 +302,32 @@ mod tests {
         tops.sort();
         tops.dedup();
         assert_eq!(tops.len(), 6, "profiles collapsed: {tops:?}");
+    }
+
+    #[test]
+    fn fit_threaded_bit_identical_across_thread_counts() {
+        let am = attention();
+        let base = UserClustering::fit_threaded(&am, config(), 1).unwrap();
+        assert_eq!(
+            serde_json::to_string(&base.sweep).unwrap(),
+            serde_json::to_string(&UserClustering::fit(&am, config()).unwrap().sweep).unwrap()
+        );
+        for threads in [2, 4, 0] {
+            let uc = UserClustering::fit_threaded(&am, config(), threads).unwrap();
+            assert_eq!(base.chosen_k, uc.chosen_k, "threads = {threads}");
+            assert_eq!(base.model.labels, uc.model.labels, "threads = {threads}");
+            assert_eq!(
+                base.model.inertia.to_bits(),
+                uc.model.inertia.to_bits(),
+                "threads = {threads}"
+            );
+            for (a, b) in base.sweep.iter().zip(&uc.sweep) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.silhouette.to_bits(), b.silhouette.to_bits());
+                assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+                assert_eq!(a.iterations, b.iterations);
+            }
+        }
     }
 
     #[test]

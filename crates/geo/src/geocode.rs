@@ -4,12 +4,21 @@
 //! either the tweet geo-tag (precise but rare, ~1.4%) or the self-reported
 //! profile location (abundant but noisy), then filters to USA users.
 //! `Geocoder` implements exactly that precedence and classification.
+//!
+//! Profile-string parsing is memoized: real profile locations follow a
+//! heavy-tailed distribution (thousands of users write "NYC"), so the
+//! geocoder caches each raw string's [`ParseOutcome`] and answers
+//! repeats from the cache. [`Geocoder::cache_hits`] exposes the hit
+//! count for the pipeline's `geo_cache_hits_total` counter.
 
 use crate::gazetteer::Gazetteer;
 use crate::parse::{parse_location, ParseOutcome};
 use crate::point::state_of_point;
 use crate::state::UsState;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Which signal located a user.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,10 +55,19 @@ pub struct Located {
 /// // A geotag outranks the profile:
 /// let l = geocoder.locate(Some("NYC"), Some((37.69, -97.34)));
 /// assert_eq!(l.state, Some(UsState::Kansas));
+/// // Repeats of a raw profile string are answered from the memo cache:
+/// let _ = geocoder.locate(Some("Wichita, KS"), None);
+/// assert!(geocoder.cache_hits() >= 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct Geocoder {
     gazetteer: Gazetteer,
+    /// Memoized parse outcomes per raw profile string. Behind a mutex
+    /// because `locate` takes `&self` (a `Geocoder` is shared freely);
+    /// parsing a string is pure, so memoization never changes results.
+    profile_cache: Mutex<HashMap<String, ParseOutcome>>,
+    /// Lookups answered from `profile_cache`.
+    cache_hits: AtomicU64,
 }
 
 impl Geocoder {
@@ -57,6 +75,8 @@ impl Geocoder {
     pub fn new() -> Self {
         Self {
             gazetteer: Gazetteer::new(),
+            profile_cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
         }
     }
 
@@ -65,9 +85,28 @@ impl Geocoder {
         &self.gazetteer
     }
 
-    /// Resolves a profile location string.
+    /// Resolves a profile location string, answering repeated raw
+    /// strings from the memo cache.
     pub fn resolve_profile(&self, location: &str) -> ParseOutcome {
-        parse_location(&self.gazetteer, location)
+        let mut cache = self.profile_cache.lock().expect("cache lock");
+        if let Some(outcome) = cache.get(location) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return *outcome;
+        }
+        let outcome = parse_location(&self.gazetteer, location);
+        cache.insert(location.to_string(), outcome);
+        outcome
+    }
+
+    /// Profile lookups answered from the memo cache since this geocoder
+    /// was built (feeds the pipeline's `geo_cache_hits_total` counter).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Distinct profile strings currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.profile_cache.lock().expect("cache lock").len()
     }
 
     /// Resolves a GPS coordinate.
@@ -179,5 +218,35 @@ mod tests {
         let l = g.locate(Some("Denver, CO"), Some((f64::NAN, f64::NAN)));
         assert_eq!(l.state, Some(UsState::Colorado));
         assert_eq!(l.source, LocationSource::Profile);
+    }
+
+    #[test]
+    fn repeated_profiles_hit_the_cache_with_identical_outcomes() {
+        let g = Geocoder::new();
+        assert_eq!(g.cache_hits(), 0);
+        let first = g.locate(Some("Wichita, KS"), None);
+        assert_eq!(g.cache_hits(), 0);
+        assert_eq!(g.cache_len(), 1);
+        for _ in 0..3 {
+            assert_eq!(g.locate(Some("Wichita, KS"), None), first);
+        }
+        assert_eq!(g.cache_hits(), 3);
+        assert_eq!(g.cache_len(), 1);
+        // A different string is a miss, not a hit.
+        let other = g.locate(Some("London"), None);
+        assert_eq!(g.cache_hits(), 3);
+        assert_eq!(g.cache_len(), 2);
+        assert!(other.non_us);
+        // Unknown outcomes are memoized too.
+        let _ = g.locate(Some("earth"), None);
+        let _ = g.locate(Some("earth"), None);
+        assert_eq!(g.cache_hits(), 4);
+    }
+
+    #[test]
+    fn geotag_resolution_bypasses_the_cache() {
+        let g = Geocoder::new();
+        let _ = g.locate(Some("NYC"), Some((37.69, -97.34)));
+        assert_eq!(g.cache_len(), 0, "geo-tag path must not touch profiles");
     }
 }

@@ -46,12 +46,14 @@ mod error;
 mod matrix;
 mod ops;
 mod qr;
+mod rows;
 mod vector;
 
 pub use decompose::LuDecomposition;
 pub use qr::QrDecomposition;
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use rows::Rows;
 pub use vector::{dot, norm2, scale as scale_vec, sub as sub_vec};
 
 /// Convenience alias for results in this crate.

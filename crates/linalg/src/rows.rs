@@ -1,0 +1,264 @@
+//! [`Rows`]: a contiguous row-major observation buffer.
+//!
+//! The clustering back-half of the pipeline (K-Means sweep, silhouette,
+//! distance matrices) iterates over tens of thousands of short rows.
+//! Storing them as `Vec<Vec<f64>>` costs one heap allocation and one
+//! pointer chase per row; `Rows` packs the same data into a single flat
+//! `Vec<f64>` with a fixed row dimension, so row access is a bounds
+//! check plus a slice — cache-friendly and trivially shareable across
+//! worker threads (`&Rows` is `Sync`).
+//!
+//! Unlike [`Matrix`](crate::Matrix), `Rows` is allowed to be empty
+//! (zero rows) and is append-friendly, which fits its role as a column
+//! of observations rather than an algebraic operand.
+
+use crate::{LinalgError, Matrix, Result};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous row-major buffer of equal-length `f64` rows.
+///
+/// ```
+/// use donorpulse_linalg::Rows;
+///
+/// let mut rows = Rows::new(2);
+/// rows.push(&[1.0, 2.0]).unwrap();
+/// rows.push(&[3.0, 4.0]).unwrap();
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows.row(1), &[3.0, 4.0]);
+/// assert_eq!(rows.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rows {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Rows {
+    /// Creates an empty buffer whose rows will have length `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero — a zero-width observation carries no
+    /// information and would make every index computation degenerate.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "row dimension must be nonzero");
+        Self {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Like [`Rows::new`] with capacity for `n` rows preallocated.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "row dimension must be nonzero");
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Builds from a flat row-major vector.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self> {
+        if dim == 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: "row dimension must be nonzero".to_string(),
+            });
+        }
+        if data.len() % dim != 0 {
+            return Err(LinalgError::InvalidShape {
+                reason: format!(
+                    "flat length {} is not a multiple of dim {dim}",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Self { dim, data })
+    }
+
+    /// Copies a slice of `Vec<f64>` rows into one contiguous buffer.
+    /// All rows must be nonempty and of equal length.
+    pub fn from_vecs(rows: &[Vec<f64>]) -> Result<Self> {
+        let first = rows.first().ok_or_else(|| LinalgError::InvalidShape {
+            reason: "no rows given".to_string(),
+        })?;
+        if first.is_empty() {
+            return Err(LinalgError::InvalidShape {
+                reason: "rows are empty".to_string(),
+            });
+        }
+        let dim = first.len();
+        let mut data = Vec::with_capacity(dim * rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != dim {
+                return Err(LinalgError::InvalidShape {
+                    reason: format!("row {i} has length {}, expected {dim}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { dim, data })
+    }
+
+    /// Copies a [`Matrix`]'s storage (already row-major and contiguous).
+    ///
+    /// # Panics
+    /// Panics when the matrix has zero columns.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        assert!(m.cols() > 0, "row dimension must be nonzero");
+        Self {
+            dim: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.dim {
+            return Err(LinalgError::InvalidShape {
+                reason: format!(
+                    "pushed row has length {}, expected {}",
+                    row.len(),
+                    self.dim
+                ),
+            });
+        }
+        self.data.extend_from_slice(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row length.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies the selected rows (in the given order) into a new buffer.
+    /// Used by the silhouette stride subsample.
+    ///
+    /// # Panics
+    /// Panics when any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Rows {
+        let mut out = Rows::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Expands back into per-row vectors (compatibility/serialization
+    /// helper — not for hot paths).
+    pub fn to_vecs(&self) -> Vec<Vec<f64>> {
+        self.iter().map(<[f64]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut r = Rows::new(3);
+        assert!(r.is_empty());
+        r.push(&[1.0, 2.0, 3.0]).unwrap();
+        r.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dim(), 3);
+        assert_eq!(r.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(r.row(1), &[4.0, 5.0, 6.0]);
+        assert!(r.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_vecs_round_trip() {
+        let vecs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let r = Rows::from_vecs(&vecs).unwrap();
+        assert_eq!(r.to_vecs(), vecs);
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_vecs_rejects_bad_input() {
+        assert!(Rows::from_vecs(&[]).is_err());
+        assert!(Rows::from_vecs(&[vec![]]).is_err());
+        assert!(Rows::from_vecs(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+    }
+
+    #[test]
+    fn from_flat_checks_divisibility() {
+        assert!(Rows::from_flat(0, vec![]).is_err());
+        assert!(Rows::from_flat(2, vec![1.0; 3]).is_err());
+        let r = Rows::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn from_matrix_copies_storage() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let r = Rows::from_matrix(&m);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn subset_selects_in_order() {
+        let r = Rows::from_vecs(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let s = r.subset(&[3, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[3.0]);
+        assert_eq!(s.row(1), &[1.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_rows() {
+        let r = Rows::from_vecs(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let collected: Vec<&[f64]> = r.iter().collect();
+        assert_eq!(collected, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dim_panics() {
+        let _ = Rows::new(0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = Rows::from_vecs(&[vec![1.5, -2.0], vec![0.0, 4.25]]).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Rows = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

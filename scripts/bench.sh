@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Criterion-free smoke benchmark: one instrumented pipeline run at the
+# paper_scaled configuration with a fixed seed, written to the first
+# unused BENCH_<n>.json in the repo root (schema: docs/PERFORMANCE.md).
+#
+#   scripts/bench.sh                 # scale 0.25, all cores
+#   BENCH_SCALE=1.0 scripts/bench.sh # full paper corpus
+#   BENCH_THREADS=1 scripts/bench.sh # serial baseline for a speedup ratio
+#
+# Repeated runs accumulate BENCH_0.json, BENCH_1.json, ... so wall-time
+# trajectories across commits stay comparable. Everything except the
+# wall times is deterministic in the seed; compare a threads=1 file
+# against a threads=0 file to measure the parallel back-half speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-0.25}"
+SEED="${BENCH_SEED:-218302379}"
+THREADS="${BENCH_THREADS:-0}"
+
+echo "==> bench: building release binary"
+cargo build --release -q -p donorpulse-bench --bin repro
+
+echo "==> bench: scale ${SCALE}, seed ${SEED}, compute threads ${THREADS}"
+./target/release/repro --scale "${SCALE}" --seed "${SEED}" --threads "${THREADS}" bench "$@"

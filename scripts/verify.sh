@@ -10,6 +10,18 @@ cargo build --workspace --release
 echo "==> tier-1: tests"
 cargo test --workspace -q
 
+echo "==> determinism: compute_threads 1 vs 4 artifact diff"
+# The analytics back-half promises bit-identical artifacts for any
+# thread count (docs/PERFORMANCE.md); diff the full serialized report
+# (Table I through Fig 7, including both clustering artifacts) between
+# a serial and a 4-worker run to hold it to that.
+DET_TMP="$(mktemp -d)"
+trap 'rm -rf "${DET_TMP}"' EXIT
+./target/release/repro --scale 0.05 --threads 1 --json "${DET_TMP}/report_t1.json" all > /dev/null
+./target/release/repro --scale 0.05 --threads 4 --json "${DET_TMP}/report_t4.json" all > /dev/null
+diff "${DET_TMP}/report_t1.json" "${DET_TMP}/report_t4.json" \
+  || { echo "verify: artifacts differ between compute_threads=1 and 4" >&2; exit 1; }
+
 echo "==> docs: rustdoc with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 

@@ -20,7 +20,11 @@ fn attention_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
             let mut rest: f64 = 1.0 - main;
             for (j, slot) in row.iter_mut().enumerate() {
                 if j != dominant {
-                    let share = if j == 5 { rest } else { rng.gen_range(0.0..rest) };
+                    let share = if j == 5 {
+                        rest
+                    } else {
+                        rng.gen_range(0.0..rest)
+                    };
                     *slot += share;
                     rest -= share;
                 }

@@ -35,12 +35,22 @@ fn bench_text(c: &mut Criterion) {
 
     let query = KeywordQuery::paper();
     group.bench_function("keyword_query_filter", |b| {
-        b.iter(|| tweets.iter().filter(|t| query.matches(black_box(t))).count())
+        b.iter(|| {
+            tweets
+                .iter()
+                .filter(|t| query.matches(black_box(t)))
+                .count()
+        })
     });
 
     let track = TrackFilter::paper_cartesian();
     group.bench_function("track_filter_cartesian", |b| {
-        b.iter(|| tweets.iter().filter(|t| track.matches(black_box(t))).count())
+        b.iter(|| {
+            tweets
+                .iter()
+                .filter(|t| track.matches(black_box(t)))
+                .count()
+        })
     });
 
     let extractor = OrganExtractor::new();

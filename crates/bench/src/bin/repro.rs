@@ -8,6 +8,7 @@
 //!   all        every table and figure, in paper order
 //!   metrics    per-stage wall times, throughput, and domain counters
 //!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
+//!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|outage)
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
 //!   fig2b      Fig 2(b) — multi-organ mentions, users vs tweets
@@ -64,6 +65,7 @@ struct Options {
     threads: usize,
     json: Option<String>,
     metrics: bool,
+    faults: String,
     command: String,
 }
 
@@ -73,6 +75,7 @@ fn parse_args() -> Result<Options, String> {
     let mut threads = 0;
     let mut json = None;
     let mut metrics = false;
+    let mut faults = "off".to_string();
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,6 +106,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--full" => scale = 1.0,
             "--metrics" => metrics = true,
+            "--faults" => {
+                faults = args.next().ok_or("--faults needs a mode")?;
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -116,6 +122,7 @@ fn parse_args() -> Result<Options, String> {
         threads,
         json,
         metrics,
+        faults,
         command: command.unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -135,6 +142,7 @@ fn main() -> ExitCode {
         eprintln!("  all        every table and figure, in paper order");
         eprintln!("  metrics    per-stage wall times, tweets/sec, and domain counters");
         eprintln!("  bench      smoke benchmark: one instrumented run, written to BENCH_<n>.json");
+        eprintln!("  stream     fault-tolerant streaming front-half; --faults off|recoverable|lossy|outage");
         eprintln!("  table1     Table I  - dataset statistics");
         eprintln!("  fig2a      Fig 2(a) - users per organ + Spearman vs transplants");
         eprintln!("  fig2b      Fig 2(b) - multi-organ mentions, users vs tweets");
@@ -181,6 +189,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "ablation-unit" => return ablation_unit(opts),
         "extension-burst" => return extension_burst(opts),
         "control-null" => return control_null(opts),
+        "stream" => return stream_command(opts),
         _ => {}
     }
 
@@ -270,14 +279,11 @@ fn dispatch(opts: &Options) -> Result<(), String> {
             let sc = &run.state_clusters;
             println!(
                 "{}",
-                donorpulse_cluster::render::render_dendrogram(&sc.dendrogram, |i| sc.states
-                    [i]
+                donorpulse_cluster::render::render_dendrogram(&sc.dendrogram, |i| sc.states[i]
                     .abbr()
                     .to_string())
             );
-            let leaf_indices: Vec<usize> = sc
-                .dendrogram
-                .leaf_order();
+            let leaf_indices: Vec<usize> = sc.dendrogram.leaf_order();
             println!(
                 "{}",
                 donorpulse_cluster::render::render_heatmap(&sc.distances, &leaf_indices, |i| {
@@ -301,18 +307,11 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         }
         "extension-moran" => {
             println!("MORAN'S I: spatial autocorrelation of organ shares over state contiguity");
-            println!(
-                "{:<10} {:>8} {:>10} {:>8}",
-                "organ", "I", "E[I]", "p"
-            );
+            println!("{:<10} {:>8} {:>10} {:>8}", "organ", "I", "E[I]", "p");
             for organ in Organ::ALL {
-                let m = donorpulse_core::spatial::organ_morans_i(
-                    &run.regions,
-                    organ,
-                    200,
-                    opts.seed,
-                )
-                .map_err(|e| e.to_string())?;
+                let m =
+                    donorpulse_core::spatial::organ_morans_i(&run.regions, organ, 200, opts.seed)
+                        .map_err(|e| e.to_string())?;
                 println!(
                     "{:<10} {:>8.3} {:>10.3} {:>8.3}{}",
                     organ.name(),
@@ -360,8 +359,13 @@ fn dispatch(opts: &Options) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             println!("{}", rb.render());
             json_value = Some(
-                serde_json::to_value(rb.counts.iter().map(|(r, c)| (r.name(), c)).collect::<std::collections::BTreeMap<_, _>>())
-                    .map_err(|e| e.to_string())?,
+                serde_json::to_value(
+                    rb.counts
+                        .iter()
+                        .map(|(r, c)| (r.name(), c))
+                        .collect::<std::collections::BTreeMap<_, _>>(),
+                )
+                .map_err(|e| e.to_string())?,
             );
         }
         other => return Err(format!("unknown command {other}")),
@@ -371,8 +375,11 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         println!("{}", run.metrics.render_table());
     }
     if let (Some(path), Some(value)) = (&opts.json, json_value) {
-        std::fs::write(path, serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?)
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&value).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("# wrote {path}");
     }
     Ok(())
@@ -399,6 +406,243 @@ fn next_bench_path() -> Result<String, String> {
         }
     }
     Err("more than 10000 BENCH_<n>.json files present".to_string())
+}
+
+/// FNV-1a over explicit byte feeds — the fingerprint the stream
+/// command prints so two runs' artifacts can be diffed as text without
+/// serializing the full report (and without serde, so it also works in
+/// stub-dependency environments).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// `repro stream`: run the fault-tolerant streaming front-half
+/// (`donorpulse_core::stream_consumer`) under a seeded fault schedule,
+/// print deterministic artifact fingerprints to stdout, and verify the
+/// sensor snapshot against the clean batch pipeline in-process.
+///
+/// With `--faults off` and `--faults recoverable` the stdout is
+/// required to be byte-identical — `scripts/verify.sh` diffs exactly
+/// that. Fault/retry accounting (which legitimately differs between
+/// modes) goes to stderr.
+fn stream_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
+    use donorpulse_geo::service::{FlakyConfig, FlakyGeocoder};
+    use donorpulse_twitter::fault::FaultConfig;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+
+    let (faults, flaky) = match opts.faults.as_str() {
+        "off" => (FaultConfig::none(), None),
+        "recoverable" => (
+            FaultConfig::recoverable(opts.seed),
+            Some(FlakyConfig::flaky(opts.seed)),
+        ),
+        "lossy" => (
+            FaultConfig::lossy(opts.seed),
+            Some(FlakyConfig::flaky(opts.seed)),
+        ),
+        "outage" => (
+            FaultConfig::lossy(opts.seed),
+            Some(FlakyConfig::outage(opts.seed, 64, u64::MAX)),
+        ),
+        other => {
+            return Err(format!(
+                "unknown --faults mode {other} (use off|recoverable|lossy|outage)"
+            ))
+        }
+    };
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        ..StreamPipelineConfig::default()
+    };
+    eprintln!("# stream: faults={}", opts.faults);
+    let run = match flaky {
+        Some(cfg) => {
+            let service = FlakyGeocoder::new(&geocoder, cfg);
+            let r = run_faulted_stream(&sim, &geocoder, &service, faults, stream_config);
+            eprintln!(
+                "# geocoding service: {} calls, {} transient errors, {} timeouts, {} spikes, {} virtual ms",
+                service.calls(),
+                service.transient_errors(),
+                service.timeouts(),
+                service.spikes(),
+                service.virtual_latency_ms()
+            );
+            r
+        }
+        None => run_faulted_stream(&sim, &geocoder, &geocoder, faults, stream_config),
+    };
+    let stats = run.fault_stats;
+    eprintln!(
+        "# stream faults: {} disconnects, {} reconnects ({} failed attempts), {} replayed, {} skipped, {} duplicated, {} reordered, {} corrupted",
+        stats.disconnects,
+        stats.reconnects,
+        stats.reconnect_failures,
+        stats.replayed,
+        stats.skipped,
+        stats.duplicates_injected,
+        stats.reordered,
+        stats.corrupted
+    );
+    if run.source_aborted {
+        eprintln!("# stream: source ABORTED (reconnect budget exhausted)");
+    }
+    if run.parked_at_end > 0 {
+        eprintln!(
+            "# stream: {} tweets still parked at end (geocoding never recovered)",
+            run.parked_at_end
+        );
+    }
+
+    let sensor = &run.sensor;
+    sensor.ensure_nonempty().map_err(|e| e.to_string())?;
+    let corpus = sensor.corpus();
+    let attention = sensor.attention().map_err(|e| e.to_string())?;
+    let risk = sensor.risk_map(0.05).map_err(|e| e.to_string())?;
+    let daily = sensor.daily_series();
+
+    let mut f = Fnv::new();
+    for t in corpus.tweets() {
+        f.u64(t.id.0);
+        f.u64(t.user.0);
+        f.u64(t.created_at.0);
+        f.write(t.text.as_bytes());
+        match t.geo {
+            Some((lat, lon)) => {
+                f.u64(1);
+                f.u64(lat.to_bits());
+                f.u64(lon.to_bits());
+            }
+            None => f.u64(0),
+        }
+    }
+    let corpus_fp = f.0;
+    let mut f = Fnv::new();
+    for &u in attention.users() {
+        f.u64(u.0);
+        for &v in attention.attention_of(u).expect("user row") {
+            f.u64(v.to_bits());
+        }
+    }
+    let attention_fp = f.0;
+    let mut f = Fnv::new();
+    for e in &risk.entries {
+        f.write(e.state.abbr().as_bytes());
+        f.write(e.organ.name().as_bytes());
+        f.u64(e.cases_in);
+        f.u64(e.total_in);
+        match &e.risk {
+            Some(r) => {
+                f.u64(1);
+                f.u64(r.rr.to_bits());
+            }
+            None => f.u64(0),
+        }
+    }
+    let risk_fp = f.0;
+    let mut f = Fnv::new();
+    for day in 0..daily.days() {
+        f.u64(daily.total(day));
+    }
+    let daily_fp = f.0;
+
+    // In-process equivalence check against the clean batch pipeline
+    // over the *same* simulation.
+    let batch_config = donorpulse_core::pipeline::PipelineConfig {
+        generator: sim.config().clone(),
+        run_user_clustering: false,
+        ..Default::default()
+    };
+    let batch = Pipeline::new()
+        .run_on(&sim, batch_config)
+        .map_err(|e| e.to_string())?;
+    let corpus_ok = corpus.tweets() == batch.usa.tweets();
+    let states_ok = sensor.user_states() == batch.user_states;
+    let attention_ok = attention == batch.attention;
+    let risk_ok = risk.entries.len() == batch.risk.entries.len()
+        && risk.entries.iter().zip(&batch.risk.entries).all(|(a, b)| {
+            (a.state, a.organ, a.cases_in, a.total_in) == (b.state, b.organ, b.cases_in, b.total_in)
+                && a.risk.map(|r| r.rr.to_bits()) == b.risk.map(|r| r.rr.to_bits())
+        });
+    let verdict = |ok: bool| if ok { "yes" } else { "NO" };
+
+    let gap = run.metrics.counter("stream_gap_tweets_total").unwrap_or(0);
+    println!("STREAM SENSOR SNAPSHOT");
+    println!("  collected tweets        {}", sensor.tweets_seen());
+    println!("  usa tweets              {}", sensor.usa_tweet_count());
+    println!("  located users           {}", sensor.located_users());
+    println!("  corpus fingerprint      {corpus_fp:016x}");
+    println!("  attention fingerprint   {attention_fp:016x}");
+    println!("  risk fingerprint        {risk_fp:016x}");
+    println!("  daily fingerprint       {daily_fp:016x}");
+    println!(
+        "  coverage                {} / {} delivered, gap counter {}",
+        run.delivered_tweets, run.expected_tweets, gap
+    );
+    println!(
+        "  batch equivalence       corpus={} states={} attention={} risk={}",
+        verdict(corpus_ok),
+        verdict(states_ok),
+        verdict(attention_ok),
+        verdict(risk_ok)
+    );
+    if opts.metrics {
+        eprintln!("{}", run.metrics.render_table());
+    }
+    if let Some(path) = &opts.json {
+        // Hand-rolled JSON so the summary also works where serde_json
+        // is stubbed out (see .claude/skills/verify/SKILL.md).
+        let body = format!(
+            "{{\n  \"faults\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"delivered\": {},\n  \"expected\": {},\n  \"gap\": {},\n  \"parked_at_end\": {},\n  \"source_aborted\": {},\n  \"corpus_fp\": \"{:016x}\",\n  \"attention_fp\": \"{:016x}\",\n  \"risk_fp\": \"{:016x}\",\n  \"daily_fp\": \"{:016x}\",\n  \"matches_batch\": {}\n}}\n",
+            opts.faults,
+            opts.scale,
+            opts.seed,
+            run.delivered_tweets,
+            run.expected_tweets,
+            gap,
+            run.parked_at_end,
+            run.source_aborted,
+            corpus_fp,
+            attention_fp,
+            risk_fp,
+            daily_fp,
+            corpus_ok && states_ok && attention_ok && risk_ok
+        );
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("# wrote {path}");
+    }
+    // Recoverable schedules promise byte-identity; hold them to it so
+    // `repro stream` is a real gate, not a report.
+    let must_match = matches!(opts.faults.as_str(), "off" | "recoverable");
+    if must_match && !(corpus_ok && states_ok && attention_ok && risk_ok) {
+        return Err(format!(
+            "faults={} must reproduce the batch artifacts exactly, but equivalence failed",
+            opts.faults
+        ));
+    }
+    if must_match && gap != 0 {
+        return Err(format!(
+            "faults={} must have zero coverage gap, found {gap}",
+            opts.faults
+        ));
+    }
+    Ok(())
 }
 
 /// Ablation: Bhattacharyya (the paper's affinity) vs Euclidean and
@@ -432,9 +676,16 @@ fn ablation_highlight(run: &PipelineRun) -> Result<(), String> {
     for s in &run.regions.signatures {
         *wta.entry(s.ranked[0].0).or_insert(0usize) += 1;
     }
-    println!("winner-takes-all top organ counts over {} states:", run.regions.signatures.len());
+    println!(
+        "winner-takes-all top organ counts over {} states:",
+        run.regions.signatures.len()
+    );
     for organ in Organ::ALL {
-        println!("  {:<10} {:>3}", organ.name(), wta.get(&organ).copied().unwrap_or(0));
+        println!(
+            "  {:<10} {:>3}",
+            organ.name(),
+            wta.get(&organ).copied().unwrap_or(0)
+        );
     }
     let highlighted = run.risk.highlighted();
     println!(
@@ -541,11 +792,26 @@ fn ablation_geo(opts: &Options) -> Result<(), String> {
             either.insert(u);
         }
     }
-    println!("ABLATION: geolocation source coverage over {} collecting users", users.len());
+    println!(
+        "ABLATION: geolocation source coverage over {} collecting users",
+        users.len()
+    );
     let pct = |n: usize| 100.0 * n as f64 / users.len() as f64;
-    println!("GPS geo-tags only:      {:>7} users ({:>5.1}%)", gps_located.len(), pct(gps_located.len()));
-    println!("profile strings only:   {:>7} users ({:>5.1}%)", profile_located.len(), pct(profile_located.len()));
-    println!("augmented (either):     {:>7} users ({:>5.1}%)", either.len(), pct(either.len()));
+    println!(
+        "GPS geo-tags only:      {:>7} users ({:>5.1}%)",
+        gps_located.len(),
+        pct(gps_located.len())
+    );
+    println!(
+        "profile strings only:   {:>7} users ({:>5.1}%)",
+        profile_located.len(),
+        pct(profile_located.len())
+    );
+    println!(
+        "augmented (either):     {:>7} users ({:>5.1}%)",
+        either.len(),
+        pct(either.len())
+    );
     println!("(the paper's point: GPS alone covers ~1–3%; profile augmentation is what makes state-level sensing possible)");
     Ok(())
 }

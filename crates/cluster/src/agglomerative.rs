@@ -64,10 +64,7 @@ pub fn agglomerative_rows(
 }
 
 /// Clusters from a precomputed distance matrix.
-pub fn agglomerative_from_distances(
-    dm: &DistanceMatrix,
-    linkage: Linkage,
-) -> Result<Dendrogram> {
+pub fn agglomerative_from_distances(dm: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram> {
     let n = dm.len();
     if n < 2 {
         return Err(ClusterError::TooFewObservations {
@@ -80,9 +77,7 @@ pub fn agglomerative_from_distances(
     // Working copy of the distance matrix (flat row-major, matching the
     // source); `active[i]` marks live clusters, `id[i]` the scipy-style
     // cluster id in slot i, `size[i]` the member count.
-    let mut dist: Vec<f64> = (0..n * n)
-        .map(|idx| dm.get(idx / n, idx % n))
-        .collect();
+    let mut dist: Vec<f64> = (0..n * n).map(|idx| dm.get(idx / n, idx % n)).collect();
     let mut active: Vec<bool> = vec![true; n];
     let mut id: Vec<usize> = (0..n).collect();
     let mut size: Vec<f64> = vec![1.0; n];
@@ -100,7 +95,7 @@ pub fn agglomerative_from_distances(
                     continue;
                 }
                 let d = dist[i * n + j];
-                if best.is_none_or(|(_, _, bd)| d < bd) {
+                if best.map_or(true, |(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }
@@ -129,9 +124,7 @@ pub fn agglomerative_from_distances(
                 Linkage::Average => (na * dka + nb * dkb) / (na + nb),
                 Linkage::Ward => {
                     let total = na + nb + nk;
-                    (((na + nk) * dka * dka + (nb + nk) * dkb * dkb
-                        - nk * height * height)
-                        / total)
+                    (((na + nk) * dka * dka + (nb + nk) * dkb * dkb - nk * height * height) / total)
                         .max(0.0)
                         .sqrt()
                 }
@@ -174,8 +167,7 @@ mod tests {
             assert_eq!(m.len(), 3, "{}", linkage.name());
             // First two merges join the tight pairs (order between the
             // two pairs is tie-dependent but both must appear).
-            let first_two: Vec<(usize, usize)> =
-                m[..2].iter().map(|x| (x.left, x.right)).collect();
+            let first_two: Vec<(usize, usize)> = m[..2].iter().map(|x| (x.left, x.right)).collect();
             assert!(first_two.contains(&(0, 1)), "{}", linkage.name());
             assert!(first_two.contains(&(2, 3)), "{}", linkage.name());
             // Final merge joins everything.
@@ -210,7 +202,10 @@ mod tests {
             .map(|m| m.height)
             .fold(0.0_f64, f64::max);
         assert!((single_max - 1.0).abs() < 1e-12, "single max {single_max}");
-        assert!((complete_max - 5.0).abs() < 1e-12, "complete max {complete_max}");
+        assert!(
+            (complete_max - 5.0).abs() < 1e-12,
+            "complete max {complete_max}"
+        );
     }
 
     #[test]
@@ -253,8 +248,7 @@ mod tests {
         let base = agglomerative(&vecs, Metric::Euclidean, Linkage::Average).unwrap();
         for threads in [1, 2, 4, 0] {
             let d =
-                agglomerative_rows(&packed, Metric::Euclidean, Linkage::Average, threads)
-                    .unwrap();
+                agglomerative_rows(&packed, Metric::Euclidean, Linkage::Average, threads).unwrap();
             assert_eq!(base.merges(), d.merges(), "threads = {threads}");
         }
     }

@@ -30,7 +30,11 @@ impl Dendrogram {
     pub fn new(n: usize, merges: Vec<Merge>) -> Result<Self> {
         if merges.len() != n.saturating_sub(1) {
             return Err(ClusterError::InvalidParameter {
-                reason: format!("expected {} merges for {n} leaves, got {}", n - 1, merges.len()),
+                reason: format!(
+                    "expected {} merges for {n} leaves, got {}",
+                    n - 1,
+                    merges.len()
+                ),
             });
         }
         for (i, m) in merges.iter().enumerate() {
@@ -214,9 +218,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { left: 0, right: 1, height: 1.0, size: 2 },
-                Merge { left: 2, right: 3, height: 2.0, size: 2 },
-                Merge { left: 4, right: 5, height: 5.0, size: 4 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    height: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 2,
+                    right: 3,
+                    height: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 4,
+                    right: 5,
+                    height: 5.0,
+                    size: 4,
+                },
             ],
         )
         .unwrap()
@@ -227,12 +246,22 @@ mod tests {
         assert!(Dendrogram::new(3, vec![]).is_err());
         assert!(Dendrogram::new(
             2,
-            vec![Merge { left: 0, right: 5, height: 1.0, size: 2 }]
+            vec![Merge {
+                left: 0,
+                right: 5,
+                height: 1.0,
+                size: 2
+            }]
         )
         .is_err());
         assert!(Dendrogram::new(
             2,
-            vec![Merge { left: 0, right: 0, height: 1.0, size: 2 }]
+            vec![Merge {
+                left: 0,
+                right: 0,
+                height: 1.0,
+                size: 2
+            }]
         )
         .is_err());
     }

@@ -37,10 +37,9 @@ impl fmt::Display for ClusterError {
             ClusterError::TooFewObservations { needed, got, what } => {
                 write!(f, "{what}: needs at least {needed} observations, got {got}")
             }
-            ClusterError::DimensionMismatch { expected, got, row } => write!(
-                f,
-                "row {row} has dimension {got}, expected {expected}"
-            ),
+            ClusterError::DimensionMismatch { expected, got, row } => {
+                write!(f, "row {row} has dimension {got}, expected {expected}")
+            }
             ClusterError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
             ClusterError::Distance(msg) => write!(f, "distance computation failed: {msg}"),
         }

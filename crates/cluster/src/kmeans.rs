@@ -164,8 +164,8 @@ impl KMeans {
                     // from its centroid.
                     let mut far = 0;
                     let mut far_d = f64::NEG_INFINITY;
-                    for i in 0..n {
-                        let d = dist2(rows.row(i), centroid(&centroids, labels[i], dim));
+                    for (i, &lab) in labels.iter().enumerate() {
+                        let d = dist2(rows.row(i), centroid(&centroids, lab, dim));
                         if d > far_d {
                             far = i;
                             far_d = d;
@@ -263,7 +263,10 @@ fn lloyd_pass(
             part.labels.push(label);
             part.counts[label] += 1;
             part.inertia += d2;
-            for (s, v) in part.sums[label * dim..(label + 1) * dim].iter_mut().zip(row) {
+            for (s, v) in part.sums[label * dim..(label + 1) * dim]
+                .iter_mut()
+                .zip(row)
+            {
                 *s += v;
             }
         }
@@ -395,9 +398,15 @@ mod tests {
     #[test]
     fn inertia_decreases_with_k() {
         let rows = blobs();
-        let i2 = KMeans::fit(&rows, KMeansConfig::new(2).with_seed(3)).unwrap().inertia;
-        let i3 = KMeans::fit(&rows, KMeansConfig::new(3).with_seed(3)).unwrap().inertia;
-        let i6 = KMeans::fit(&rows, KMeansConfig::new(6).with_seed(3)).unwrap().inertia;
+        let i2 = KMeans::fit(&rows, KMeansConfig::new(2).with_seed(3))
+            .unwrap()
+            .inertia;
+        let i3 = KMeans::fit(&rows, KMeansConfig::new(3).with_seed(3))
+            .unwrap()
+            .inertia;
+        let i6 = KMeans::fit(&rows, KMeansConfig::new(6).with_seed(3))
+            .unwrap()
+            .inertia;
         assert!(i3 < i2);
         assert!(i6 <= i3);
     }

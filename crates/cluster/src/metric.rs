@@ -160,7 +160,11 @@ impl DistanceMatrix {
                 }
             }
         }
-        let cap = if max_finite > 0.0 { 2.0 * max_finite } else { 1.0 };
+        let cap = if max_finite > 0.0 {
+            2.0 * max_finite
+        } else {
+            1.0
+        };
         for d in &mut data {
             if !d.is_finite() {
                 *d = cap;
@@ -248,11 +252,7 @@ mod tests {
 
     #[test]
     fn infinite_bhattacharyya_capped() {
-        let rows = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.5, 0.5],
-        ];
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
         let dm = DistanceMatrix::compute(&rows, Metric::Bhattacharyya).unwrap();
         assert!(dm.get(0, 1).is_finite());
         // Disjoint pair remains the farthest.
@@ -302,8 +302,7 @@ mod tests {
         }
         let base = DistanceMatrix::compute_rows(&packed, Metric::JensenShannon, 1).unwrap();
         for threads in [2, 4, 0] {
-            let dm =
-                DistanceMatrix::compute_rows(&packed, Metric::JensenShannon, threads).unwrap();
+            let dm = DistanceMatrix::compute_rows(&packed, Metric::JensenShannon, threads).unwrap();
             assert_eq!(base, dm, "threads = {threads}");
         }
         // Mirroring makes the matrix bitwise symmetric by construction.

@@ -46,11 +46,7 @@ pub fn silhouette_score_rows(
 /// clusters are tight and which are smeared (sklearn's
 /// `silhouette_samples`). Compatibility wrapper over
 /// [`silhouette_samples_rows`]; runs single-threaded.
-pub fn silhouette_samples(
-    rows: &[Vec<f64>],
-    labels: &[usize],
-    metric: Metric,
-) -> Result<Vec<f64>> {
+pub fn silhouette_samples(rows: &[Vec<f64>], labels: &[usize], metric: Metric) -> Result<Vec<f64>> {
     let packed = pack(rows, labels)?;
     silhouette_samples_rows(&packed, labels, metric, 1)
 }
@@ -337,8 +333,7 @@ mod tests {
         assert!(matches!(err, Err(ClusterError::InvalidParameter { .. })));
 
         let packed = Rows::from_vecs(&rows).unwrap();
-        let err =
-            sampled_silhouette_score_rows(&packed, &short_labels, Metric::Euclidean, 10, 1);
+        let err = sampled_silhouette_score_rows(&packed, &short_labels, Metric::Euclidean, 10, 1);
         assert!(matches!(err, Err(ClusterError::InvalidParameter { .. })));
     }
 
@@ -364,8 +359,7 @@ mod tests {
     fn sampled_matches_full_on_small_input() {
         let (rows, labels) = two_blobs();
         let full = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
-        let sampled =
-            sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 1000).unwrap();
+        let sampled = sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 1000).unwrap();
         assert_eq!(full, sampled);
     }
 
@@ -380,9 +374,11 @@ mod tests {
             }
         }
         let full = silhouette_score(&rows, &labels, Metric::Euclidean).unwrap();
-        let sampled =
-            sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 100).unwrap();
-        assert!((full - sampled).abs() < 0.05, "full {full}, sampled {sampled}");
+        let sampled = sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 100).unwrap();
+        assert!(
+            (full - sampled).abs() < 0.05,
+            "full {full}, sampled {sampled}"
+        );
         assert!(sampled_silhouette_score(&rows, &labels, Metric::Euclidean, 0).is_err());
     }
 

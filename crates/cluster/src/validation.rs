@@ -20,10 +20,7 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64> {
     }
     let comb2 = |x: u64| -> f64 { (x * x.saturating_sub(1)) as f64 / 2.0 };
     let sum_ij: f64 = table.iter().flatten().map(|&c| comb2(c)).sum();
-    let sum_a: f64 = table
-        .iter()
-        .map(|row| comb2(row.iter().sum::<u64>()))
-        .sum();
+    let sum_a: f64 = table.iter().map(|row| comb2(row.iter().sum::<u64>())).sum();
     let sum_b: f64 = (0..kb)
         .map(|j| comb2(table.iter().map(|row| row[j]).sum::<u64>()))
         .sum();

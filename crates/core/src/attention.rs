@@ -29,10 +29,8 @@ impl AttentionMatrix {
     /// are dropped (they carry no attention signal); the row order is
     /// ascending user id for determinism.
     pub fn from_mentions(mentions: &HashMap<UserId, MentionCounts>) -> Result<Self> {
-        let mut entries: Vec<(&UserId, &MentionCounts)> = mentions
-            .iter()
-            .filter(|(_, mc)| !mc.is_empty())
-            .collect();
+        let mut entries: Vec<(&UserId, &MentionCounts)> =
+            mentions.iter().filter(|(_, mc)| !mc.is_empty()).collect();
         if entries.is_empty() {
             return Err(CoreError::EmptyCorpus {
                 what: "attention matrix",
@@ -200,7 +198,10 @@ mod tests {
         let am = AttentionMatrix::from_mentions(&m).unwrap();
         assert_eq!(am.row_of(UserId(5)), Some(0));
         assert_eq!(am.row_of(UserId(6)), None);
-        assert_eq!(am.attention_of(UserId(5)).unwrap()[Organ::Lung.index()], 1.0);
+        assert_eq!(
+            am.attention_of(UserId(5)).unwrap()[Organ::Lung.index()],
+            1.0
+        );
         assert_eq!(am.attention_of(UserId(9)), None);
         assert_eq!(am.raw_counts(0).count(Organ::Lung), 4);
     }
@@ -266,7 +267,10 @@ mod tests {
                 geo: None,
             },
         ]);
-        assert_eq!(AttentionMatrix::tweets_by_breadth(&corpus), [1, 1, 0, 0, 0, 0]);
+        assert_eq!(
+            AttentionMatrix::tweets_by_breadth(&corpus),
+            [1, 1, 0, 0, 0, 0]
+        );
     }
 
     #[test]

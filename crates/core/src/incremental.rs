@@ -22,8 +22,8 @@ use crate::temporal::DailySeries;
 use crate::{CoreError, Result};
 use donorpulse_geo::{Geocoder, UsState};
 use donorpulse_text::extract::{MentionCounts, OrganExtractor};
-use donorpulse_twitter::{Corpus, Tweet, UserId};
-use std::collections::HashMap;
+use donorpulse_twitter::{Corpus, Tweet, TweetId, UserId};
+use std::collections::{HashMap, HashSet};
 
 /// Per-user streaming state.
 #[derive(Debug, Clone)]
@@ -47,25 +47,44 @@ pub struct IncrementalSensor<'a> {
     profile_of: Box<dyn Fn(UserId) -> Option<String> + 'a>,
     tracks: HashMap<UserId, UserTrack>,
     tweets_seen: u64,
+    /// Every tweet id ever ingested — makes redelivery idempotent.
+    seen: HashSet<TweetId>,
+    duplicates_ignored: u64,
+    /// Highest tweet id ingested (the resume point a reconnecting
+    /// consumer would backfill from).
+    high_water: Option<TweetId>,
 }
 
 impl<'a> IncrementalSensor<'a> {
     /// Creates a sensor around a geocoder and a profile lookup.
-    pub fn new(
-        geocoder: &'a Geocoder,
-        profile_of: impl Fn(UserId) -> Option<String> + 'a,
-    ) -> Self {
+    pub fn new(geocoder: &'a Geocoder, profile_of: impl Fn(UserId) -> Option<String> + 'a) -> Self {
         Self {
             geocoder,
             extractor: OrganExtractor::new(),
             profile_of: Box::new(profile_of),
             tracks: HashMap::new(),
             tweets_seen: 0,
+            seen: HashSet::new(),
+            duplicates_ignored: 0,
+            high_water: None,
         }
     }
 
     /// Ingests one collected (filter-passing) tweet.
-    pub fn ingest(&mut self, tweet: &Tweet) {
+    ///
+    /// Ingestion is **idempotent**: a tweet id already ingested — a
+    /// stream-level duplicate, or the replayed overlap window after a
+    /// reconnect — is counted in [`IncrementalSensor::duplicates_ignored`]
+    /// and otherwise ignored. Returns `true` when the tweet was new.
+    pub fn ingest(&mut self, tweet: &Tweet) -> bool {
+        if !self.seen.insert(tweet.id) {
+            self.duplicates_ignored += 1;
+            return false;
+        }
+        self.high_water = Some(match self.high_water {
+            Some(hw) if hw >= tweet.id => hw,
+            _ => tweet.id,
+        });
         self.tweets_seen += 1;
         let track = self.tracks.entry(tweet.user).or_insert_with(|| {
             let profile = (self.profile_of)(tweet.user);
@@ -88,11 +107,23 @@ impl<'a> IncrementalSensor<'a> {
         }
         track.mentions.merge(&self.extractor.extract(&tweet.text));
         track.tweets.push(tweet.clone());
+        true
     }
 
     /// Collected tweets ingested so far (any location).
     pub fn tweets_seen(&self) -> u64 {
         self.tweets_seen
+    }
+
+    /// Redeliveries dropped by the idempotence guard.
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicates_ignored
+    }
+
+    /// Highest tweet id ingested so far — the resume point a
+    /// reconnecting consumer would request backfill from.
+    pub fn high_water(&self) -> Option<TweetId> {
+        self.high_water
     }
 
     /// Users located to a US state under the current resolution.
@@ -175,10 +206,7 @@ mod tests {
         TwitterSimulation::generate(cfg).expect("sim")
     }
 
-    fn sensor_for<'a>(
-        sim: &'a TwitterSimulation,
-        geocoder: &'a Geocoder,
-    ) -> IncrementalSensor<'a> {
+    fn sensor_for<'a>(sim: &'a TwitterSimulation, geocoder: &'a Geocoder) -> IncrementalSensor<'a> {
         IncrementalSensor::new(geocoder, |id| {
             sim.users()
                 .get(id.0 as usize)
@@ -215,7 +243,10 @@ mod tests {
         let inc_risk = sensor.risk_map(0.05).unwrap();
         assert_eq!(inc_risk.entries.len(), batch.risk.entries.len());
         for (a, b) in inc_risk.entries.iter().zip(&batch.risk.entries) {
-            assert_eq!((a.state, a.organ, a.cases_in), (b.state, b.organ, b.cases_in));
+            assert_eq!(
+                (a.state, a.organ, a.cases_in),
+                (b.state, b.organ, b.cases_in)
+            );
             assert_eq!(a.risk.map(|r| r.rr), b.risk.map(|r| r.rr));
         }
     }
@@ -280,27 +311,27 @@ mod tests {
     #[test]
     fn late_geotag_upgrades_unlocated_user_retroactively() {
         let geocoder = Geocoder::new();
-        let mut sensor =
-            IncrementalSensor::new(&geocoder, |_| Some("somewhere nice".to_string()));
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("somewhere nice".to_string()));
         sensor.ingest(&tweet(0, 1, "kidney donor", None));
         assert_eq!(sensor.located_users(), 0);
-        sensor.ingest(&tweet(1, 1, "kidney transplant tomorrow", Some((37.69, -97.34))));
+        sensor.ingest(&tweet(
+            1,
+            1,
+            "kidney transplant tomorrow",
+            Some((37.69, -97.34)),
+        ));
         assert_eq!(sensor.located_users(), 1);
         assert_eq!(sensor.user_states().get(&UserId(1)), Some(&UsState::Kansas));
         // Both tweets count retroactively, as in the batch pipeline.
         assert_eq!(sensor.usa_tweet_count(), 2);
         let att = sensor.attention().unwrap();
-        assert_eq!(
-            att.raw_counts(0).count(donorpulse_text::Organ::Kidney),
-            2
-        );
+        assert_eq!(att.raw_counts(0).count(donorpulse_text::Organ::Kidney), 2);
     }
 
     #[test]
     fn foreign_geotag_voids_us_profile() {
         let geocoder = Geocoder::new();
-        let mut sensor =
-            IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
         sensor.ingest(&tweet(0, 1, "kidney donor", None));
         assert_eq!(sensor.located_users(), 1);
         // First geotag is London: the user is actually abroad.
@@ -311,5 +342,47 @@ mod tests {
         // matching the batch pipeline's first-geotag semantics).
         sensor.ingest(&tweet(2, 1, "kidney once more", Some((37.69, -97.34))));
         assert_eq!(sensor.located_users(), 0);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let geocoder = Geocoder::new();
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        let t = tweet(0, 1, "kidney donor", None);
+        assert!(sensor.ingest(&t));
+        let att_once = sensor.attention().unwrap();
+        let risk_once = sensor.risk_map(0.05).unwrap();
+        // The stream redelivers the same tweet (duplicate or replay).
+        assert!(!sensor.ingest(&t));
+        assert!(!sensor.ingest(&t));
+        assert_eq!(sensor.tweets_seen(), 1);
+        assert_eq!(sensor.duplicates_ignored(), 2);
+        assert_eq!(sensor.usa_tweet_count(), 1);
+        assert_eq!(sensor.attention().unwrap(), att_once);
+        let risk_again = sensor.risk_map(0.05).unwrap();
+        assert_eq!(risk_again.entries.len(), risk_once.entries.len());
+        for (a, b) in risk_again.entries.iter().zip(&risk_once.entries) {
+            assert_eq!(a.risk.map(|r| r.rr), b.risk.map(|r| r.rr));
+        }
+    }
+
+    #[test]
+    fn foreign_geotag_in_replayed_overlap_still_voids_profile() {
+        let geocoder = Geocoder::new();
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        // Original delivery order before a disconnect.
+        sensor.ingest(&tweet(0, 1, "kidney donor", None));
+        sensor.ingest(&tweet(1, 1, "liver chat", None));
+        assert_eq!(sensor.located_users(), 1);
+        assert_eq!(sensor.high_water(), Some(donorpulse_twitter::TweetId(1)));
+        // Reconnect replays the overlap window: the duplicates are
+        // ignored, but the *new* tweet inside the window carries a
+        // foreign geotag — it must still void the US profile resolution.
+        assert!(!sensor.ingest(&tweet(0, 1, "kidney donor", None)));
+        assert!(!sensor.ingest(&tweet(1, 1, "liver chat", None)));
+        assert!(sensor.ingest(&tweet(2, 1, "kidney from abroad", Some((51.5, -0.1)))));
+        assert_eq!(sensor.located_users(), 0);
+        assert_eq!(sensor.usa_tweet_count(), 0);
+        assert_eq!(sensor.duplicates_ignored(), 2);
     }
 }

@@ -22,7 +22,11 @@
 //! simulated Twitter substrate: stream collection with the `Q` keyword
 //! filter → location augmentation (geo-tag, then profile) → USA filter →
 //! characterizations. [`report`] renders every table and figure of the
-//! paper from a pipeline run.
+//! paper from a pipeline run. [`stream_consumer`] is the fault-tolerant
+//! streaming front-half: the same stages pipelined over bounded
+//! channels with reconnect/retry/park resilience, feeding the
+//! [`incremental`] sensor and provably reproducing the batch artifacts
+//! when every fault is recoverable.
 //!
 //! Every pipeline stage is instrumented through the dependency-free
 //! `donorpulse-obs` layer: configure the run with an enabled
@@ -46,6 +50,7 @@ pub mod report;
 pub mod roles;
 pub mod spatial;
 pub mod state_clusters;
+pub mod stream_consumer;
 pub mod temporal;
 pub mod user_clusters;
 
@@ -58,6 +63,9 @@ pub use aggregate::Aggregation;
 pub use attention::AttentionMatrix;
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
+pub use stream_consumer::{
+    run_faulted_stream, FaultedStreamRun, Resequencer, RetryPolicy, StreamPipelineConfig,
+};
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

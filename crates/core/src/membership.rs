@@ -110,9 +110,7 @@ fn build<G: Copy + PartialEq>(
     group_of: impl Fn(usize) -> Option<G>,
 ) -> Result<Membership<G>> {
     if groups.is_empty() || m == 0 {
-        return Err(CoreError::NoGroups {
-            what: "membership",
-        });
+        return Err(CoreError::NoGroups { what: "membership" });
     }
     let mut matrix = Matrix::zeros(m, groups.len())?;
     let mut sizes = vec![0usize; groups.len()];
@@ -153,11 +151,7 @@ mod tests {
 
     #[test]
     fn dominant_organ_membership() {
-        let am = attention(&[
-            (1, Organ::Heart),
-            (2, Organ::Heart),
-            (3, Organ::Kidney),
-        ]);
+        let am = attention(&[(1, Organ::Heart), (2, Organ::Heart), (3, Organ::Kidney)]);
         let m = by_dominant_organ(&am).unwrap();
         assert_eq!(m.groups, vec![Organ::Heart, Organ::Kidney]);
         assert_eq!(m.sizes, vec![2, 1]);
@@ -171,11 +165,7 @@ mod tests {
 
     #[test]
     fn region_membership_skips_unlocated() {
-        let am = attention(&[
-            (1, Organ::Heart),
-            (2, Organ::Kidney),
-            (3, Organ::Liver),
-        ]);
+        let am = attention(&[(1, Organ::Heart), (2, Organ::Kidney), (3, Organ::Liver)]);
         let mut states = HashMap::new();
         states.insert(UserId(1), UsState::Kansas);
         states.insert(UserId(3), UsState::Kansas);
@@ -212,11 +202,7 @@ mod tests {
 
     #[test]
     fn ltl_is_diagonal_group_sizes() {
-        let am = attention(&[
-            (1, Organ::Heart),
-            (2, Organ::Heart),
-            (3, Organ::Kidney),
-        ]);
+        let am = attention(&[(1, Organ::Heart), (2, Organ::Heart), (3, Organ::Kidney)]);
         let m = by_dominant_organ(&am).unwrap();
         let ltl = m.matrix.transpose().matmul(&m.matrix).unwrap();
         assert_eq!(ltl.get(0, 0), 2.0);

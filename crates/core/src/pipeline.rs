@@ -161,8 +161,8 @@ impl Pipeline {
     /// Generates the platform and runs the full pipeline.
     pub fn run(&self, config: PipelineConfig) -> Result<PipelineRun> {
         let mut span = config.metrics.stage("generate");
-        let sim = TwitterSimulation::generate(config.generator.clone())
-            .map_err(CoreError::Simulation)?;
+        let sim =
+            TwitterSimulation::generate(config.generator.clone()).map_err(CoreError::Simulation)?;
         span.set_items(sim.firehose_len() as u64);
         span.finish();
         self.run_on(&sim, config)
@@ -178,7 +178,9 @@ impl Pipeline {
     pub fn run_on(&self, sim: &TwitterSimulation, config: PipelineConfig) -> Result<PipelineRun> {
         let metrics = config.metrics.clone();
         let firehose_tweets = sim.firehose_len() as u64;
-        metrics.counter("firehose_tweets_total").add(firehose_tweets);
+        metrics
+            .counter("firehose_tweets_total")
+            .add(firehose_tweets);
 
         // --- Collection: Stream API + Q filter. -----------------------
         // Realization is pure in (seed, index), so collection is
@@ -189,9 +191,7 @@ impl Pipeline {
         let threads = par::resolve_threads(config.collection_threads);
         let compute_threads = par::resolve_threads(config.compute_threads);
         metrics.gauge("collect_threads").set(threads as u64);
-        metrics
-            .gauge("compute_threads")
-            .set(compute_threads as u64);
+        metrics.gauge("compute_threads").set(compute_threads as u64);
         let mut span = metrics.stage("collect");
         let matched = metrics.counter("collected_tweets_total");
         let collected: Corpus =
@@ -258,9 +258,7 @@ impl Pipeline {
         let mut usa = collected;
         usa.retain(|t| user_states.contains_key(&t.user));
         if usa.is_empty() {
-            return Err(CoreError::EmptyCorpus {
-                what: "usa corpus",
-            });
+            return Err(CoreError::EmptyCorpus { what: "usa corpus" });
         }
         metrics.counter("usa_tweets_total").add(usa.len() as u64);
         metrics
@@ -284,7 +282,9 @@ impl Pipeline {
         let mut span = metrics.stage("characterize_organ");
         let organ_membership = by_dominant_organ(&attention)?;
         let organ_k = Aggregation::compute(&organ_membership, attention.matrix())?;
-        metrics.gauge("organ_groups").set(organ_k.groups.len() as u64);
+        metrics
+            .gauge("organ_groups")
+            .set(organ_k.groups.len() as u64);
         span.set_items(attention.user_count() as u64);
         span.finish();
 
@@ -312,10 +312,11 @@ impl Pipeline {
 
         let mut span = metrics.stage("state_clusters");
         let n_states = region_k.groups.len();
-        metrics.gauge("state_cluster_pair_chunks").set(par::chunk_count(
-            n_states * n_states.saturating_sub(1) / 2,
-            par::PAIR_CHUNK,
-        ) as u64);
+        metrics
+            .gauge("state_cluster_pair_chunks")
+            .set(
+                par::chunk_count(n_states * n_states.saturating_sub(1) / 2, par::PAIR_CHUNK) as u64,
+            );
         let state_clusters = StateClustering::compute_threaded(&region_k, compute_threads)?;
         span.set_items(n_states as u64);
         span.finish();
@@ -439,10 +440,7 @@ mod tests {
             let self_att = row[organ.index()];
             for (j, &v) in row.iter().enumerate() {
                 if j != organ.index() {
-                    assert!(
-                        self_att > v,
-                        "{organ}: self {self_att} <= other {v}"
-                    );
+                    assert!(self_att > v, "{organ}: self {self_att} <= other {v}");
                 }
             }
         }
@@ -451,7 +449,11 @@ mod tests {
     #[test]
     fn region_characterization_covers_located_states() {
         let r = run();
-        assert!(r.region_k.groups.len() >= 40, "too few states: {}", r.region_k.groups.len());
+        assert!(
+            r.region_k.groups.len() >= 40,
+            "too few states: {}",
+            r.region_k.groups.len()
+        );
         assert_eq!(r.regions.signatures.len(), r.region_k.groups.len());
         // Heart tops nearly every state (the motivation for RR). The
         // least-populous states have few users even at this scale, so
@@ -524,7 +526,10 @@ mod tests {
         // Counters agree with the run's own accounting, including the
         // concurrent batch adds from the parallel collection path.
         assert_eq!(m.counter("firehose_tweets_total"), Some(r.firehose_tweets));
-        assert_eq!(m.counter("collected_tweets_total"), Some(r.collected_tweets));
+        assert_eq!(
+            m.counter("collected_tweets_total"),
+            Some(r.collected_tweets)
+        );
         assert_eq!(m.counter("usa_tweets_total"), Some(r.usa.len() as u64));
         assert_eq!(
             m.counter("geo_users_located_total"),
@@ -592,8 +597,7 @@ mod tests {
             Pipeline::new().run(config).unwrap()
         };
         let base = run_with(1);
-        let base_report =
-            serde_json::to_string(&PaperReport::from_run(&base).unwrap()).unwrap();
+        let base_report = serde_json::to_string(&PaperReport::from_run(&base).unwrap()).unwrap();
         let base_users = serde_json::to_string(&base.user_clusters).unwrap();
         let base_states = serde_json::to_string(&base.state_clusters).unwrap();
         for threads in [2, 4, 0] {

@@ -67,7 +67,9 @@ impl RegionCharacterization {
 
     /// The second most-mentioned organ per state.
     pub fn second_organ(&self, state: UsState) -> Option<Organ> {
-        self.signature(state).and_then(|s| s.ranked.get(1)).map(|&(o, _)| o)
+        self.signature(state)
+            .and_then(|s| s.ranked.get(1))
+            .map(|&(o, _)| o)
     }
 
     /// Splits states by their second most-mentioned organ — the grouping

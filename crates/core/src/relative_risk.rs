@@ -259,8 +259,7 @@ pub mod permutation {
             null_max.push(max_z(&null_map));
         }
         null_max.sort_by(|a, b| a.partial_cmp(b).expect("finite z"));
-        let idx = (((1.0 - alpha) * permutations as f64).ceil() as usize)
-            .min(permutations - 1);
+        let idx = (((1.0 - alpha) * permutations as f64).ceil() as usize).min(permutations - 1);
         let critical_z = null_max[idx];
 
         let mut surviving = Vec::new();
@@ -292,9 +291,7 @@ mod tests {
 
     /// Builds a synthetic located population: `spec` gives, per state,
     /// the number of users dominated by each organ index.
-    fn population(
-        spec: &[(UsState, [u32; 6])],
-    ) -> (AttentionMatrix, HashMap<UserId, UsState>) {
+    fn population(spec: &[(UsState, [u32; 6])]) -> (AttentionMatrix, HashMap<UserId, UsState>) {
         let mut mentions = HashMap::new();
         let mut states = HashMap::new();
         let mut next = 0u64;
@@ -426,8 +423,7 @@ mod tests {
             spec.push((s, [180, 95, 60, 40, 15, 8]));
         }
         let (am, st) = population(&spec);
-        let adjusted =
-            permutation::adjust(&am, &st, 0.05, 60, 7).expect("permutation test");
+        let adjusted = permutation::adjust(&am, &st, 0.05, 60, 7).expect("permutation test");
         assert!(
             adjusted
                 .surviving
@@ -441,7 +437,11 @@ mod tests {
             "too many survivors: {:?}",
             adjusted.surviving
         );
-        assert!(adjusted.critical_z > 1.96, "critical z {}", adjusted.critical_z);
+        assert!(
+            adjusted.critical_z > 1.96,
+            "critical z {}",
+            adjusted.critical_z
+        );
     }
 
     #[test]

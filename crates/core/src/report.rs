@@ -45,14 +45,26 @@ impl Table1 {
             let _ = writeln!(out, "{k:<28} {v:>16}");
         };
         row("Start Data Collection", s.start.clone().unwrap_or_default());
-        row("Finish Data Collection", s.finish.clone().unwrap_or_default());
+        row(
+            "Finish Data Collection",
+            s.finish.clone().unwrap_or_default(),
+        );
         row("Number of Days", s.days.to_string());
         row("Tweets collected", s.tweets.to_string());
         row("Number of Users", s.users.to_string());
         row("Avg. Tweets / Day", format!("{:.0}", s.avg_tweets_per_day));
-        row("Avg. Tweets / User", format!("{:.2}", s.avg_tweets_per_user));
-        row("Organs mentioned / Tweet", format!("{:.2}", s.organs_per_tweet));
-        row("Organs mentioned / User", format!("{:.2}", s.organs_per_user));
+        row(
+            "Avg. Tweets / User",
+            format!("{:.2}", s.avg_tweets_per_user),
+        );
+        row(
+            "Organs mentioned / Tweet",
+            format!("{:.2}", s.organs_per_tweet),
+        );
+        row(
+            "Organs mentioned / User",
+            format!("{:.2}", s.organs_per_user),
+        );
         let _ = writeln!(
             out,
             "* {} out of {} tweets identified as from USA users ({:.1}%)",
@@ -240,7 +252,13 @@ impl Fig4 {
                 .take(3)
                 .map(|(o, v)| format!("{} {:.3}", o.name(), v))
                 .collect();
-            let _ = writeln!(out, "{:<22} ({:>6} users)  {}", p.label, p.size, top.join(" | "));
+            let _ = writeln!(
+                out,
+                "{:<22} ({:>6} users)  {}",
+                p.label,
+                p.size,
+                top.join(" | ")
+            );
         }
         out
     }
@@ -373,14 +391,21 @@ impl Fig7 {
 
     /// Plain-text rendering.
     pub fn render(&self) -> String {
-        let mut out = format!("FIG 7. USER CLUSTERS (K-Means, chosen k = {})\n", self.chosen_k);
+        let mut out = format!(
+            "FIG 7. USER CLUSTERS (K-Means, chosen k = {})\n",
+            self.chosen_k
+        );
         let _ = writeln!(
             out,
             "{:>4} {:>12} {:>14} {:>12}",
             "k", "silhouette", "avg size", "inertia"
         );
         for c in &self.sweep {
-            let marker = if c.k == self.chosen_k { " <- chosen" } else { "" };
+            let marker = if c.k == self.chosen_k {
+                " <- chosen"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "{:>4} {:>12.3} {:>14.2} {:>12.2}{}",
@@ -394,7 +419,13 @@ impl Fig7 {
                 .take(2)
                 .map(|(o, v)| format!("{} {:.2}", o.name(), v))
                 .collect();
-            let _ = writeln!(out, "{:<24} {:>7} users  {}", p.label, p.size, top.join(" | "));
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7} users  {}",
+                p.label,
+                p.size,
+                top.join(" | ")
+            );
         }
         out
     }

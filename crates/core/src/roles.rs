@@ -255,9 +255,7 @@ mod tests {
 
     #[test]
     fn high_volume_single_organ_is_focused_not_advocate() {
-        let tweets: Vec<Tweet> = (0..10)
-            .map(|i| tweet(i, 1, "kidney donor again"))
-            .collect();
+        let tweets: Vec<Tweet> = (0..10).map(|i| tweet(i, 1, "kidney donor again")).collect();
         let rb = classify_corpus(tweets);
         assert_eq!(rb.roles[&UserId(1)], UserRole::Focused);
     }
@@ -293,8 +291,9 @@ mod tests {
             ..Default::default()
         };
         assert!(RoleBreakdown::compute(&corpus, &attention, bad).is_err());
-        assert!(RoleBreakdown::compute(&Corpus::new(), &attention, RoleThresholds::default())
-            .is_err());
+        assert!(
+            RoleBreakdown::compute(&Corpus::new(), &attention, RoleThresholds::default()).is_err()
+        );
     }
 
     #[test]
@@ -302,12 +301,8 @@ mod tests {
         // On the shared simulated corpus: the activity power law makes
         // casual users the majority, advocates a small minority.
         let run = shared_run();
-        let rb = RoleBreakdown::compute(
-            &run.usa,
-            &run.attention,
-            RoleThresholds::default(),
-        )
-        .unwrap();
+        let rb =
+            RoleBreakdown::compute(&run.usa, &run.attention, RoleThresholds::default()).unwrap();
         assert!(rb.fraction(UserRole::Casual) > 0.5, "{:?}", rb.counts);
         assert!(rb.fraction(UserRole::Advocate) < 0.05, "{:?}", rb.counts);
         // Everyone got a role.

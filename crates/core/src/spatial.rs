@@ -56,11 +56,7 @@ impl MoransI {
 /// States whose value is absent, or that have no *included* neighbor
 /// (Alaska, Hawaii, Puerto Rico), drop out — isolated observations carry
 /// no contiguity information.
-pub fn morans_i(
-    values: &[(UsState, f64)],
-    permutations: usize,
-    seed: u64,
-) -> Result<MoransI> {
+pub fn morans_i(values: &[(UsState, f64)], permutations: usize, seed: u64) -> Result<MoransI> {
     if permutations < 10 {
         return Err(CoreError::InvalidParameter(format!(
             "need at least 10 permutations, got {permutations}"
@@ -156,7 +152,11 @@ mod tests {
         UsState::ALL
             .iter()
             .map(|&s| {
-                let x = if s.region() == Region::South { 0.9 } else { 0.1 };
+                let x = if s.region() == Region::South {
+                    0.9
+                } else {
+                    0.1
+                };
                 (s, x)
             })
             .collect()
@@ -197,8 +197,7 @@ mod tests {
         // Color the contiguity graph greedily two ways and assign
         // opposite values — neighbors differ as much as possible.
         let mut values = Vec::new();
-        let mut color: std::collections::HashMap<UsState, bool> =
-            std::collections::HashMap::new();
+        let mut color: std::collections::HashMap<UsState, bool> = std::collections::HashMap::new();
         for &s in UsState::ALL {
             // Greedy: pick the color least used among already-colored
             // neighbors.
@@ -222,8 +221,7 @@ mod tests {
     fn rejects_degenerate_inputs() {
         assert!(morans_i(&southern_pattern(), 5, 1).is_err());
         // Constant attribute.
-        let flat: Vec<(UsState, f64)> =
-            UsState::ALL.iter().map(|&s| (s, 0.5)).collect();
+        let flat: Vec<(UsState, f64)> = UsState::ALL.iter().map(|&s| (s, 0.5)).collect();
         assert!(morans_i(&flat, 50, 1).is_err());
         // Too few connected states.
         let tiny = vec![

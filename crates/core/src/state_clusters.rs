@@ -45,7 +45,12 @@ impl StateClustering {
     /// spread over up to `threads` workers (`0` = all cores). The
     /// artifact is identical for any thread count.
     pub fn compute_threaded(aggregation: &Aggregation<UsState>, threads: usize) -> Result<Self> {
-        Self::compute_with_threaded(aggregation, Metric::Bhattacharyya, Linkage::Average, threads)
+        Self::compute_with_threaded(
+            aggregation,
+            Metric::Bhattacharyya,
+            Linkage::Average,
+            threads,
+        )
     }
 
     /// Clusters with an explicit metric/linkage (used by the ablation
@@ -97,10 +102,7 @@ impl StateClustering {
 
     /// The cluster containing `state` when cut into `k` clusters.
     pub fn cluster_of(&self, state: UsState, k: usize) -> Result<Option<Vec<UsState>>> {
-        Ok(self
-            .clusters(k)?
-            .into_iter()
-            .find(|c| c.contains(&state)))
+        Ok(self.clusters(k)?.into_iter().find(|c| c.contains(&state)))
     }
 
     /// Distance between two states (by label).
@@ -172,7 +174,9 @@ mod tests {
             .distance_between(UsState::Kansas, UsState::Delaware)
             .unwrap();
         assert!(close < far);
-        assert!(sc.distance_between(UsState::Kansas, UsState::Ohio).is_none());
+        assert!(sc
+            .distance_between(UsState::Kansas, UsState::Ohio)
+            .is_none());
     }
 
     #[test]
@@ -200,12 +204,8 @@ mod tests {
 
     #[test]
     fn euclidean_ablation_runs() {
-        let sc = StateClustering::compute_with(
-            &aggregation(),
-            Metric::Euclidean,
-            Linkage::Average,
-        )
-        .unwrap();
+        let sc = StateClustering::compute_with(&aggregation(), Metric::Euclidean, Linkage::Average)
+            .unwrap();
         assert_eq!(sc.metric, Metric::Euclidean);
         // Structure is strong enough that Euclidean agrees here.
         let clusters = sc.clusters(2).unwrap();

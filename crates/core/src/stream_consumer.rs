@@ -1,0 +1,680 @@
+//! The fault-tolerant streaming front-half.
+//!
+//! [`run_faulted_stream`] pipelines **simulator → keyword filter →
+//! geocode admission → sensor** over bounded [`std::sync::mpsc`]
+//! channels, one stage per thread, with backpressure: a slow stage
+//! blocks its upstream sender instead of buffering unboundedly.
+//!
+//! Resilience is layered in front of and behind the channels:
+//!
+//! * the **source** stage drives a
+//!   [`FaultyStreamApi`](donorpulse_twitter::fault::FaultyStreamApi),
+//!   reconnecting with deterministic exponential backoff (on a
+//!   [`VirtualClock`] — no wall-clock sleeping) and pushing deliveries
+//!   through a [`Resequencer`] that restores id order and deduplicates
+//!   both injected duplicates and the replayed overlap window after
+//!   every reconnect;
+//! * **malformed records** trigger a consumer-forced reconnect so the
+//!   backfill window redelivers the intact record; a record that stays
+//!   corrupt past the retry budget is abandoned and counted as
+//!   coverage gap;
+//! * the **geocode admission** stage calls a fallible
+//!   [`LocationService`] with per-call retry/backoff; when the service
+//!   stays down past the budget, tweets **park** in a bounded FIFO side
+//!   queue and are re-resolved — in arrival order, ahead of new
+//!   arrivals — once the service recovers, so delivery order into the
+//!   sensor is never perturbed;
+//! * the **sensor** stage ingests on the caller's thread into an
+//!   [`IncrementalSensor`], whose id-idempotent `ingest` is the final
+//!   dedup backstop.
+//!
+//! Every fault, retry, drop, queue depth and coverage gap is counted
+//! through `donorpulse-obs` (catalog: `docs/OBSERVABILITY.md`). The key
+//! invariant, asserted in `tests/faulted_stream.rs`: with retries
+//! enabled and all faults recoverable, the post-stream snapshot is
+//! **byte-identical** to the clean batch pipeline's artifacts, and
+//! `stream_gap_tweets_total` is zero. Admission control deliberately
+//! gates *delivery*, not *resolution*: the sensor derives locations
+//! from the same [`Geocoder`] as the batch pipeline, so resilience
+//! machinery can never perturb the characterization itself.
+
+use crate::incremental::IncrementalSensor;
+use crate::pipeline::RunMetrics;
+use donorpulse_geo::service::{GeoServiceError, LocationService};
+use donorpulse_geo::Geocoder;
+use donorpulse_obs::MetricsRegistry;
+use donorpulse_text::{KeywordQuery, TextFilter};
+use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi, StreamItem};
+use donorpulse_twitter::time::VirtualClock;
+use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc;
+use std::thread;
+
+/// Deterministic truncated-exponential backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts before giving up on one operation.
+    pub max_attempts: u32,
+    /// Virtual delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on a single backoff delay, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based):
+    /// `min(base · 2^attempt, max)`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_ms)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 10,
+            base_ms: 50,
+            max_ms: 5_000,
+        }
+    }
+}
+
+/// Restores tweet-id order and drops redeliveries.
+///
+/// The stream promises at-least-once delivery with bounded disorder
+/// (adjacent swaps, replayed backfill windows). The resequencer holds
+/// up to `depth` tweets in an ordered pending buffer and releases the
+/// smallest ids first; anything at or below the emission high-water
+/// mark — an injected duplicate or a replayed overlap record — is
+/// dropped and counted.
+///
+/// ```
+/// use donorpulse_core::stream_consumer::Resequencer;
+/// use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+///
+/// let t = |id: u64| Tweet {
+///     id: TweetId(id),
+///     user: UserId(0),
+///     created_at: SimInstant(id),
+///     text: String::new(),
+///     geo: None,
+/// };
+/// let mut seq = Resequencer::new(2);
+/// let mut out = Vec::new();
+/// seq.push(t(1), &mut out); // swapped pair arrives 1, 0
+/// seq.push(t(0), &mut out);
+/// seq.push(t(0), &mut out); // replayed duplicate
+/// seq.flush(&mut out);
+/// let ids: Vec<u64> = out.iter().map(|t| t.id.0).collect();
+/// assert_eq!(ids, vec![0, 1]);
+/// assert_eq!(seq.duplicates_dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Resequencer {
+    depth: usize,
+    pending: BTreeMap<TweetId, Tweet>,
+    last_emitted: Option<TweetId>,
+    duplicates_dropped: u64,
+}
+
+impl Resequencer {
+    /// A resequencer tolerating `depth` tweets of disorder.
+    pub fn new(depth: usize) -> Self {
+        Resequencer {
+            depth: depth.max(1),
+            pending: BTreeMap::new(),
+            last_emitted: None,
+            duplicates_dropped: 0,
+        }
+    }
+
+    /// Offers one delivery; ready tweets are appended to `out` in id
+    /// order.
+    pub fn push(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
+        if self.last_emitted.is_some_and(|hw| tweet.id <= hw)
+            || self.pending.contains_key(&tweet.id)
+        {
+            self.duplicates_dropped += 1;
+            return;
+        }
+        self.pending.insert(tweet.id, tweet);
+        while self.pending.len() > self.depth {
+            let (&id, _) = self.pending.iter().next().expect("pending non-empty");
+            let tweet = self.pending.remove(&id).expect("present");
+            self.last_emitted = Some(id);
+            out.push(tweet);
+        }
+    }
+
+    /// Drains everything still pending (end of stream), in id order.
+    pub fn flush(&mut self, out: &mut Vec<Tweet>) {
+        while let Some((&id, _)) = self.pending.iter().next() {
+            let tweet = self.pending.remove(&id).expect("present");
+            self.last_emitted = Some(id);
+            out.push(tweet);
+        }
+    }
+
+    /// Redeliveries dropped so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Highest id emitted so far.
+    pub fn high_water(&self) -> Option<TweetId> {
+        self.last_emitted
+    }
+}
+
+/// Configuration for [`run_faulted_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamPipelineConfig {
+    /// Capacity of each inter-stage channel (backpressure bound).
+    pub channel_capacity: usize,
+    /// Disorder tolerance of the source [`Resequencer`].
+    pub reorder_depth: usize,
+    /// Retry schedule for reconnects and malformed-record recovery.
+    pub source_retry: RetryPolicy,
+    /// Retry schedule for individual geocoding calls.
+    pub geo_retry: RetryPolicy,
+    /// Capacity of the geocode park queue; arrivals beyond it while the
+    /// service is down are dropped (counted as coverage gap).
+    pub park_capacity: usize,
+    /// Retry budget for the final park-queue drain at end of stream.
+    pub final_drain_attempts: u32,
+    /// Observability registry (pass [`MetricsRegistry::enabled`] to
+    /// collect the fault/retry/gap counters).
+    pub metrics: MetricsRegistry,
+}
+
+impl Default for StreamPipelineConfig {
+    fn default() -> Self {
+        StreamPipelineConfig {
+            channel_capacity: 256,
+            reorder_depth: 8,
+            source_retry: RetryPolicy::default(),
+            geo_retry: RetryPolicy {
+                max_attempts: 6,
+                ..RetryPolicy::default()
+            },
+            park_capacity: 4_096,
+            final_drain_attempts: 64,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+}
+
+/// Everything a faulted streaming run produces.
+pub struct FaultedStreamRun<'a> {
+    /// The sensor after the stream ended — snapshot it for artifacts.
+    pub sensor: IncrementalSensor<'a>,
+    /// Fault counters from the stream adapter.
+    pub fault_stats: FaultStats,
+    /// Observability snapshot (empty with a disabled registry).
+    pub metrics: RunMetrics,
+    /// On-topic tweets the clean stream would have delivered.
+    pub expected_tweets: u64,
+    /// Tweets that reached the sensor.
+    pub delivered_tweets: u64,
+    /// True when the source gave up reconnecting (retry budget
+    /// exhausted) before the stream ended.
+    pub source_aborted: bool,
+    /// Tweets still parked (unresolvable) when the stream ended.
+    pub parked_at_end: u64,
+}
+
+/// What the source stage reports back after its thread joins.
+struct SourceOutcome {
+    stats: FaultStats,
+    aborted: bool,
+}
+
+/// Reconnects with truncated-exponential backoff on a virtual clock.
+/// Returns `false` when the retry budget is exhausted.
+fn reconnect_with_backoff(
+    stream: &mut FaultyStreamApi<'_>,
+    policy: &RetryPolicy,
+    clock: &mut VirtualClock,
+    metrics: &MetricsRegistry,
+) -> bool {
+    let attempts = metrics.counter("stream_reconnect_attempts_total");
+    let backoff = metrics.counter("stream_backoff_virtual_ms_total");
+    for attempt in 0..policy.max_attempts {
+        let delay = policy.backoff_ms(attempt);
+        clock.advance_ms(delay);
+        backoff.add(delay);
+        attempts.incr();
+        if stream.reconnect() {
+            return true;
+        }
+    }
+    false
+}
+
+/// The source stage: drives the faulted stream, reconnects, recovers
+/// malformed records, resequences, and feeds the filter stage.
+fn pump_source(
+    sim: &TwitterSimulation,
+    faults: FaultConfig,
+    config: &StreamPipelineConfig,
+    tx: mpsc::SyncSender<Tweet>,
+) -> SourceOutcome {
+    let metrics = &config.metrics;
+    let mut stream = FaultyStreamApi::connect(sim, Box::new(KeywordQuery::paper()), faults);
+    let mut reseq = Resequencer::new(config.reorder_depth);
+    let mut clock = VirtualClock::new();
+    let mut ready: Vec<Tweet> = Vec::new();
+
+    let delivered = metrics.counter("stream_deliveries_total");
+    let malformed = metrics.counter("stream_malformed_total");
+    let abandoned = metrics.counter("stream_malformed_abandoned_total");
+    let gap = metrics.counter("stream_gap_tweets_total");
+
+    // Budget for re-requesting a record that arrived corrupt. Fresh
+    // stream progress (an id above anything seen) refills it, so a
+    // persistently corrupt record exhausts it and is abandoned rather
+    // than reconnect-looping forever.
+    let corrupt_budget_full = config.source_retry.max_attempts;
+    let mut corrupt_budget = corrupt_budget_full;
+    let mut max_seen: Option<TweetId> = None;
+    let mut aborted = false;
+
+    'pump: loop {
+        match stream.next_delivery() {
+            Delivery::Item(StreamItem::Tweet(tweet)) => {
+                delivered.incr();
+                if max_seen.map_or(true, |m| tweet.id > m) {
+                    max_seen = Some(tweet.id);
+                    corrupt_budget = corrupt_budget_full;
+                }
+                ready.clear();
+                reseq.push(tweet, &mut ready);
+                for t in ready.drain(..) {
+                    if tx.send(t).is_err() {
+                        break 'pump;
+                    }
+                }
+            }
+            Delivery::Item(StreamItem::Corrupt(_)) => {
+                delivered.incr();
+                malformed.incr();
+                if corrupt_budget > 0 {
+                    // Force a reconnect: the replayed backfill window
+                    // redelivers the record, intact if the corruption
+                    // was transient.
+                    corrupt_budget -= 1;
+                    if !reconnect_with_backoff(
+                        &mut stream,
+                        &config.source_retry,
+                        &mut clock,
+                        metrics,
+                    ) {
+                        aborted = true;
+                        break 'pump;
+                    }
+                } else {
+                    // Past the budget: the record is broken at the
+                    // source. Abandon it and move on.
+                    abandoned.incr();
+                    gap.incr();
+                    corrupt_budget = corrupt_budget_full;
+                }
+            }
+            Delivery::Disconnected => {
+                if !reconnect_with_backoff(&mut stream, &config.source_retry, &mut clock, metrics) {
+                    aborted = true;
+                    break 'pump;
+                }
+            }
+            Delivery::End => break 'pump,
+        }
+    }
+    ready.clear();
+    reseq.flush(&mut ready);
+    for t in ready.drain(..) {
+        if tx.send(t).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+
+    let stats = stream.stats();
+    metrics
+        .counter("stream_disconnects_total")
+        .add(stats.disconnects);
+    metrics
+        .counter("stream_reconnects_total")
+        .add(stats.reconnects);
+    metrics
+        .counter("stream_reconnect_failures_total")
+        .add(stats.reconnect_failures);
+    metrics
+        .counter("stream_replayed_tweets_total")
+        .add(stats.replayed);
+    metrics
+        .counter("stream_duplicates_dropped_total")
+        .add(reseq.duplicates_dropped());
+    metrics
+        .counter("stream_reordered_total")
+        .add(stats.reordered);
+    metrics
+        .counter("stream_skipped_tweets_total")
+        .add(stats.skipped);
+    gap.add(stats.skipped);
+    metrics
+        .gauge("stream_source_aborted")
+        .set(u64::from(aborted));
+    SourceOutcome { stats, aborted }
+}
+
+/// The geocode admission stage's state: a fallible service call with
+/// retries in front of a bounded FIFO park queue.
+struct GeoAdmission<'s> {
+    service: &'s (dyn LocationService + Sync),
+    profile_of: Box<dyn Fn(UserId) -> Option<String> + 's>,
+    policy: RetryPolicy,
+    park: VecDeque<Tweet>,
+    park_capacity: usize,
+    peak_depth: usize,
+    clock: VirtualClock,
+    metrics: MetricsRegistry,
+}
+
+impl<'s> GeoAdmission<'s> {
+    /// Attempts to resolve one tweet's author, retrying with backoff.
+    /// `true` means the service answered (whatever the resolution).
+    fn try_locate(&mut self, tweet: &Tweet, attempts: u32) -> bool {
+        let failures = self.metrics.counter("geo_lookup_failures_total");
+        let retries = self.metrics.counter("geo_lookup_retries_total");
+        let backoff = self.metrics.counter("geo_backoff_virtual_ms_total");
+        let latency = self.metrics.counter("geo_latency_virtual_ms_total");
+        let profile = (self.profile_of)(tweet.user);
+        for attempt in 0..attempts {
+            match self.service.locate_user(profile.as_deref(), tweet.geo) {
+                Ok(resp) => {
+                    self.clock.advance_ms(resp.latency_ms);
+                    latency.add(resp.latency_ms);
+                    return true;
+                }
+                Err(err) => {
+                    failures.incr();
+                    if let GeoServiceError::Timeout { waited_ms } = err {
+                        self.clock.advance_ms(waited_ms);
+                        latency.add(waited_ms);
+                    }
+                    let delay = self.policy.backoff_ms(attempt);
+                    self.clock.advance_ms(delay);
+                    backoff.add(delay);
+                    retries.incr();
+                }
+            }
+        }
+        false
+    }
+
+    /// Drains the park queue front-first while the service answers,
+    /// appending admitted tweets to `out`. Stops at the first tweet the
+    /// retry budget cannot resolve — order into the sensor is FIFO.
+    fn drain(&mut self, attempts: u32, out: &mut Vec<Tweet>) {
+        while let Some(front) = self.park.front() {
+            let front = front.clone();
+            if self.try_locate(&front, attempts) {
+                self.park.pop_front();
+                out.push(front);
+            } else {
+                self.metrics.counter("geo_budget_exhausted_total").incr();
+                break;
+            }
+        }
+    }
+
+    /// Admits one arrival through the park queue (FIFO: parked tweets
+    /// re-resolve ahead of it).
+    fn admit(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
+        if self.park.len() >= self.park_capacity {
+            self.metrics.counter("geo_parked_dropped_total").incr();
+            self.metrics.counter("stream_gap_tweets_total").incr();
+            return;
+        }
+        self.park.push_back(tweet);
+        self.peak_depth = self.peak_depth.max(self.park.len());
+        self.drain(self.policy.max_attempts, out);
+    }
+}
+
+/// Runs the full fault-tolerant streaming front-half over a simulated
+/// platform and returns the sensor plus fault accounting.
+///
+/// `geocoder` is what the *sensor* resolves locations with (identical
+/// to the batch pipeline's — this is what makes clean-vs-recovered
+/// byte-identity structural); `service` is the fallible geocoding
+/// dependency the admission stage must survive. Pass the same
+/// [`Geocoder`] as both to run fault-free admission.
+pub fn run_faulted_stream<'a>(
+    sim: &'a TwitterSimulation,
+    geocoder: &'a Geocoder,
+    service: &(dyn LocationService + Sync),
+    faults: FaultConfig,
+    config: StreamPipelineConfig,
+) -> FaultedStreamRun<'a> {
+    let metrics = config.metrics.clone();
+    metrics
+        .gauge("stream_channel_capacity")
+        .set(config.channel_capacity as u64);
+    metrics
+        .gauge("stream_reorder_depth")
+        .set(config.reorder_depth as u64);
+
+    let (src_tx, src_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
+    let (filt_tx, filt_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
+    let (geo_tx, geo_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
+
+    let mut sensor = IncrementalSensor::new(geocoder, |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    });
+
+    let (outcome, parked_at_end, delivered_tweets) = thread::scope(|scope| {
+        let source = scope.spawn({
+            let config = &config;
+            move || {
+                let mut span = config.metrics.stage("stream_source");
+                let outcome = pump_source(sim, faults, config, src_tx);
+                span.set_items(outcome.stats.delivered);
+                span.finish();
+                outcome
+            }
+        });
+
+        let filter = scope.spawn({
+            let metrics = metrics.clone();
+            move || {
+                let mut span = metrics.stage("stream_filter");
+                let query = KeywordQuery::paper();
+                let rejected = metrics.counter("consumer_filter_rejected_total");
+                let passed = metrics.counter("consumer_filter_passed_total");
+                let mut n = 0u64;
+                for tweet in src_rx {
+                    n += 1;
+                    // Defense in depth: the endpoint already track-
+                    // filtered, so rejects here indicate upstream
+                    // corruption slipping through as "intact".
+                    if !query.accepts(&tweet.text) {
+                        rejected.incr();
+                        continue;
+                    }
+                    passed.incr();
+                    if filt_tx.send(tweet).is_err() {
+                        break;
+                    }
+                }
+                span.set_items(n);
+                span.finish();
+            }
+        });
+
+        let geo = scope.spawn({
+            let metrics = metrics.clone();
+            let geo_policy = config.geo_retry;
+            let park_capacity = config.park_capacity;
+            let final_drain_attempts = config.final_drain_attempts;
+            move || {
+                let mut span = metrics.stage("stream_geocode");
+                let mut admission = GeoAdmission {
+                    service,
+                    profile_of: Box::new(|id: UserId| {
+                        sim.users()
+                            .get(id.0 as usize)
+                            .map(|u| u.profile_location.clone())
+                    }),
+                    policy: geo_policy,
+                    park: VecDeque::new(),
+                    park_capacity,
+                    peak_depth: 0,
+                    clock: VirtualClock::new(),
+                    metrics: metrics.clone(),
+                };
+                let mut out: Vec<Tweet> = Vec::new();
+                let mut n = 0u64;
+                'geo: for tweet in filt_rx {
+                    n += 1;
+                    out.clear();
+                    admission.admit(tweet, &mut out);
+                    for t in out.drain(..) {
+                        if geo_tx.send(t).is_err() {
+                            break 'geo;
+                        }
+                    }
+                }
+                // End of stream: give parked tweets a recovery-sized
+                // retry budget before declaring them unresolvable.
+                out.clear();
+                admission.drain(final_drain_attempts, &mut out);
+                for t in out.drain(..) {
+                    if geo_tx.send(t).is_err() {
+                        break;
+                    }
+                }
+                let parked = admission.park.len() as u64;
+                metrics.gauge("geo_parked_depth").set(parked);
+                metrics
+                    .gauge("geo_parked_peak_depth")
+                    .set(admission.peak_depth as u64);
+                metrics.counter("stream_gap_tweets_total").add(parked);
+                span.set_items(n);
+                span.finish();
+                parked
+            }
+        });
+
+        // Sensor stage on the caller thread.
+        let mut span = metrics.stage("stream_sensor");
+        let ingested = metrics.counter("sensor_ingested_total");
+        let mut delivered = 0u64;
+        for tweet in geo_rx {
+            if sensor.ingest(&tweet) {
+                delivered += 1;
+                ingested.incr();
+            }
+        }
+        metrics
+            .counter("sensor_duplicates_ignored_total")
+            .add(sensor.duplicates_ignored());
+        span.set_items(delivered);
+        span.finish();
+
+        let outcome = source.join().expect("source stage panicked");
+        filter.join().expect("filter stage panicked");
+        let parked = geo.join().expect("geocode stage panicked");
+        (outcome, parked, delivered)
+    });
+
+    FaultedStreamRun {
+        sensor,
+        fault_stats: outcome.stats,
+        metrics: metrics.snapshot(),
+        expected_tweets: sim.on_topic_len() as u64,
+        delivered_tweets,
+        source_aborted: outcome.aborted,
+        parked_at_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use donorpulse_twitter::SimInstant;
+
+    fn tweet(id: u64) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(0),
+            created_at: SimInstant(id),
+            text: String::new(),
+            geo: None,
+        }
+    }
+
+    #[test]
+    fn backoff_is_truncated_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_ms: 50,
+            max_ms: 1_000,
+        };
+        let delays: Vec<u64> = (0..6).map(|a| p.backoff_ms(a)).collect();
+        assert_eq!(delays, vec![50, 100, 200, 400, 800, 1_000]);
+        // Huge attempt numbers must not overflow.
+        assert_eq!(p.backoff_ms(u32::MAX), 1_000);
+    }
+
+    #[test]
+    fn resequencer_restores_swapped_order() {
+        let mut seq = Resequencer::new(4);
+        let mut out = Vec::new();
+        for id in [1u64, 0, 2, 4, 3, 5] {
+            seq.push(tweet(id), &mut out);
+        }
+        seq.flush(&mut out);
+        let ids: Vec<u64> = out.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(seq.duplicates_dropped(), 0);
+    }
+
+    #[test]
+    fn resequencer_drops_replayed_window() {
+        let mut seq = Resequencer::new(2);
+        let mut out = Vec::new();
+        for id in 0..10u64 {
+            seq.push(tweet(id), &mut out);
+        }
+        // Reconnect replays 6..10, then fresh ids continue.
+        for id in 6..12u64 {
+            seq.push(tweet(id), &mut out);
+        }
+        seq.flush(&mut out);
+        let ids: Vec<u64> = out.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+        assert_eq!(
+            seq.duplicates_dropped(),
+            4,
+            "replay of 6..10: 8,9 pending, 6,7 emitted — all dropped"
+        );
+    }
+
+    #[test]
+    fn resequencer_emission_is_eager_past_depth() {
+        let mut seq = Resequencer::new(2);
+        let mut out = Vec::new();
+        seq.push(tweet(0), &mut out);
+        seq.push(tweet(1), &mut out);
+        assert!(out.is_empty(), "held back within depth");
+        seq.push(tweet(2), &mut out);
+        assert_eq!(out.len(), 1, "depth exceeded releases the smallest");
+        assert_eq!(out[0].id, TweetId(0));
+    }
+}

@@ -211,7 +211,11 @@ fn z_score(
     }
     let n = baseline.len() as f64;
     let mean = baseline.iter().sum::<f64>() / n;
-    let var = baseline.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+    let var = baseline
+        .iter()
+        .map(|s| (s - mean) * (s - mean))
+        .sum::<f64>()
+        / (n - 1.0);
     let sd = var.sqrt();
     if sd <= 0.0 {
         return None;

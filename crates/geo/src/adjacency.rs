@@ -169,7 +169,12 @@ mod tests {
         let mut seen = HashSet::new();
         for &(a, b) in EDGES {
             assert!(a < b, "{}-{} not in canonical order", a.abbr(), b.abbr());
-            assert!(seen.insert((a, b)), "duplicate edge {}-{}", a.abbr(), b.abbr());
+            assert!(
+                seen.insert((a, b)),
+                "duplicate edge {}-{}",
+                a.abbr(),
+                b.abbr()
+            );
         }
     }
 
@@ -199,7 +204,9 @@ mod tests {
         let ks: HashSet<_> = neighbors(Kansas).into_iter().collect();
         assert_eq!(
             ks,
-            [Colorado, Missouri, Nebraska, Oklahoma].into_iter().collect()
+            [Colorado, Missouri, Nebraska, Oklahoma]
+                .into_iter()
+                .collect()
         );
         // Four Corners touches excluded.
         assert!(!are_adjacent(Arizona, Colorado));

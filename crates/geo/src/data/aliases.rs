@@ -162,31 +162,147 @@ pub const ALIASES: &[(&str, UsState)] = &[
 /// Foreign country/city markers: a location containing one of these (as a
 /// whole segment or token phrase) is classified non-US.
 pub const NON_US_MARKERS: &[&str] = &[
-    "canada", "toronto", "montreal", "ottawa", "quebec", "alberta", "ontario",
-    "uk", "united kingdom", "england", "london", "scotland", "wales",
-    "ireland", "dublin", "france", "paris", "germany", "berlin", "munich",
-    "spain", "madrid", "barcelona", "italy", "rome", "milan",
-    "portugal", "lisbon", "netherlands", "amsterdam", "belgium", "brussels",
-    "sweden", "stockholm", "norway", "oslo", "denmark", "copenhagen",
-    "switzerland", "zurich", "austria", "vienna", "greece", "athens greece",
-    "turkey", "istanbul", "russia", "moscow", "poland", "warsaw",
-    "mexico", "mexico city", "guadalajara", "brazil", "sao paulo",
-    "rio de janeiro", "argentina", "buenos aires", "chile", "santiago",
-    "colombia", "bogota", "peru", "lima", "venezuela", "caracas",
-    "india", "mumbai", "delhi", "new delhi", "bangalore", "chennai",
-    "pakistan", "karachi", "lahore", "bangladesh", "dhaka",
-    "china", "beijing", "shanghai", "hong kong", "taiwan", "taipei",
-    "japan", "tokyo", "osaka", "korea", "seoul", "south korea",
-    "philippines", "manila", "indonesia", "jakarta", "malaysia",
-    "kuala lumpur", "singapore", "thailand", "bangkok", "vietnam", "hanoi",
-    "australia", "sydney", "melbourne", "brisbane", "perth",
-    "new zealand", "auckland", "wellington",
-    "nigeria", "lagos", "abuja", "kenya", "nairobi", "ghana", "accra",
-    "south africa", "johannesburg", "cape town", "egypt", "cairo",
-    "morocco", "ethiopia", "uganda", "tanzania",
-    "uae", "dubai", "abu dhabi", "saudi arabia", "riyadh", "qatar", "doha",
-    "israel", "tel aviv", "jerusalem", "lebanon", "beirut", "jordan",
-    "iran", "tehran", "iraq", "baghdad",
+    "canada",
+    "toronto",
+    "montreal",
+    "ottawa",
+    "quebec",
+    "alberta",
+    "ontario",
+    "uk",
+    "united kingdom",
+    "england",
+    "london",
+    "scotland",
+    "wales",
+    "ireland",
+    "dublin",
+    "france",
+    "paris",
+    "germany",
+    "berlin",
+    "munich",
+    "spain",
+    "madrid",
+    "barcelona",
+    "italy",
+    "rome",
+    "milan",
+    "portugal",
+    "lisbon",
+    "netherlands",
+    "amsterdam",
+    "belgium",
+    "brussels",
+    "sweden",
+    "stockholm",
+    "norway",
+    "oslo",
+    "denmark",
+    "copenhagen",
+    "switzerland",
+    "zurich",
+    "austria",
+    "vienna",
+    "greece",
+    "athens greece",
+    "turkey",
+    "istanbul",
+    "russia",
+    "moscow",
+    "poland",
+    "warsaw",
+    "mexico",
+    "mexico city",
+    "guadalajara",
+    "brazil",
+    "sao paulo",
+    "rio de janeiro",
+    "argentina",
+    "buenos aires",
+    "chile",
+    "santiago",
+    "colombia",
+    "bogota",
+    "peru",
+    "lima",
+    "venezuela",
+    "caracas",
+    "india",
+    "mumbai",
+    "delhi",
+    "new delhi",
+    "bangalore",
+    "chennai",
+    "pakistan",
+    "karachi",
+    "lahore",
+    "bangladesh",
+    "dhaka",
+    "china",
+    "beijing",
+    "shanghai",
+    "hong kong",
+    "taiwan",
+    "taipei",
+    "japan",
+    "tokyo",
+    "osaka",
+    "korea",
+    "seoul",
+    "south korea",
+    "philippines",
+    "manila",
+    "indonesia",
+    "jakarta",
+    "malaysia",
+    "kuala lumpur",
+    "singapore",
+    "thailand",
+    "bangkok",
+    "vietnam",
+    "hanoi",
+    "australia",
+    "sydney",
+    "melbourne",
+    "brisbane",
+    "perth",
+    "new zealand",
+    "auckland",
+    "wellington",
+    "nigeria",
+    "lagos",
+    "abuja",
+    "kenya",
+    "nairobi",
+    "ghana",
+    "accra",
+    "south africa",
+    "johannesburg",
+    "cape town",
+    "egypt",
+    "cairo",
+    "morocco",
+    "ethiopia",
+    "uganda",
+    "tanzania",
+    "uae",
+    "dubai",
+    "abu dhabi",
+    "saudi arabia",
+    "riyadh",
+    "qatar",
+    "doha",
+    "israel",
+    "tel aviv",
+    "jerusalem",
+    "lebanon",
+    "beirut",
+    "jordan",
+    "iran",
+    "tehran",
+    "iraq",
+    "baghdad",
 ];
 
 /// Non-places: strings that mean "no usable location".
@@ -248,7 +364,11 @@ mod tests {
     fn marker_lists_lowercase_and_disjoint() {
         let non_us: HashSet<&str> = NON_US_MARKERS.iter().copied().collect();
         let junk: HashSet<&str> = JUNK_MARKERS.iter().copied().collect();
-        assert_eq!(non_us.len(), NON_US_MARKERS.len(), "dupes in NON_US_MARKERS");
+        assert_eq!(
+            non_us.len(),
+            NON_US_MARKERS.len(),
+            "dupes in NON_US_MARKERS"
+        );
         assert_eq!(junk.len(), JUNK_MARKERS.len(), "dupes in JUNK_MARKERS");
         assert!(non_us.is_disjoint(&junk));
         for m in NON_US_MARKERS.iter().chain(JUNK_MARKERS) {

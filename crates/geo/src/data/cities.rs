@@ -26,13 +26,7 @@ pub struct City {
     pub population: u32,
 }
 
-const fn city(
-    name: &'static str,
-    state: UsState,
-    lat: f64,
-    lon: f64,
-    population: u32,
-) -> City {
+const fn city(name: &'static str, state: UsState, lat: f64, lon: f64, population: u32) -> City {
     City {
         name,
         state,
@@ -67,10 +61,22 @@ pub const CITIES: &[City] = &[
     city("fort smith", UsState::Arkansas, 35.39, -94.40, 88_000),
     city("fayetteville", UsState::Arkansas, 36.08, -94.16, 81_000),
     // California
-    city("los angeles", UsState::California, 34.05, -118.24, 3_972_000),
+    city(
+        "los angeles",
+        UsState::California,
+        34.05,
+        -118.24,
+        3_972_000,
+    ),
     city("san diego", UsState::California, 32.72, -117.16, 1_395_000),
     city("san jose", UsState::California, 37.34, -121.89, 1_027_000),
-    city("san francisco", UsState::California, 37.77, -122.42, 865_000),
+    city(
+        "san francisco",
+        UsState::California,
+        37.77,
+        -122.42,
+        865_000,
+    ),
     city("fresno", UsState::California, 36.75, -119.77, 520_000),
     city("sacramento", UsState::California, 38.58, -121.49, 490_000),
     city("long beach", UsState::California, 33.77, -118.19, 474_000),
@@ -80,7 +86,13 @@ pub const CITIES: &[City] = &[
     city("riverside", UsState::California, 33.95, -117.40, 323_000),
     city("santa ana", UsState::California, 33.75, -117.87, 335_000),
     city("irvine", UsState::California, 33.68, -117.83, 257_000),
-    city("san bernardino", UsState::California, 34.11, -117.29, 216_000),
+    city(
+        "san bernardino",
+        UsState::California,
+        34.11,
+        -117.29,
+        216_000,
+    ),
     city("modesto", UsState::California, 37.64, -120.99, 209_000),
     city("oxnard", UsState::California, 34.20, -119.18, 207_000),
     city("fontana", UsState::California, 34.09, -117.44, 207_000),
@@ -91,7 +103,13 @@ pub const CITIES: &[City] = &[
     city("santa monica", UsState::California, 34.02, -118.49, 93_000),
     // Colorado
     city("denver", UsState::Colorado, 39.74, -104.99, 682_000),
-    city("colorado springs", UsState::Colorado, 38.83, -104.82, 456_000),
+    city(
+        "colorado springs",
+        UsState::Colorado,
+        38.83,
+        -104.82,
+        456_000,
+    ),
     city("aurora", UsState::Colorado, 39.73, -104.83, 359_000),
     city("fort collins", UsState::Colorado, 40.59, -105.08, 161_000),
     city("boulder", UsState::Colorado, 40.01, -105.27, 107_000),
@@ -104,8 +122,20 @@ pub const CITIES: &[City] = &[
     city("wilmington", UsState::Delaware, 39.75, -75.55, 72_000),
     city("dover", UsState::Delaware, 39.16, -75.52, 37_000),
     // District of Columbia
-    city("washington dc", UsState::DistrictOfColumbia, 38.91, -77.04, 672_000),
-    city("georgetown", UsState::DistrictOfColumbia, 38.91, -77.07, 20_000),
+    city(
+        "washington dc",
+        UsState::DistrictOfColumbia,
+        38.91,
+        -77.04,
+        672_000,
+    ),
+    city(
+        "georgetown",
+        UsState::DistrictOfColumbia,
+        38.91,
+        -77.07,
+        20_000,
+    ),
     // Florida
     city("jacksonville", UsState::Florida, 30.33, -81.66, 868_000),
     city("miami", UsState::Florida, 25.76, -80.19, 441_000),
@@ -181,7 +211,13 @@ pub const CITIES: &[City] = &[
     // Massachusetts
     city("boston", UsState::Massachusetts, 42.36, -71.06, 667_000),
     city("worcester", UsState::Massachusetts, 42.26, -71.80, 184_000),
-    city("springfield ma", UsState::Massachusetts, 42.10, -72.59, 154_000),
+    city(
+        "springfield ma",
+        UsState::Massachusetts,
+        42.10,
+        -72.59,
+        154_000,
+    ),
     city("cambridge", UsState::Massachusetts, 42.37, -71.11, 110_000),
     city("lowell", UsState::Massachusetts, 42.63, -71.32, 110_000),
     // Michigan
@@ -240,7 +276,13 @@ pub const CITIES: &[City] = &[
     city("raleigh", UsState::NorthCarolina, 35.78, -78.64, 451_000),
     city("greensboro", UsState::NorthCarolina, 36.07, -79.79, 285_000),
     city("durham", UsState::NorthCarolina, 35.99, -78.90, 257_000),
-    city("winston-salem", UsState::NorthCarolina, 36.10, -80.24, 241_000),
+    city(
+        "winston-salem",
+        UsState::NorthCarolina,
+        36.10,
+        -80.24,
+        241_000,
+    ),
     city("asheville", UsState::NorthCarolina, 35.60, -82.55, 89_000),
     // North Dakota
     city("fargo", UsState::NorthDakota, 46.88, -96.79, 118_000),
@@ -261,7 +303,13 @@ pub const CITIES: &[City] = &[
     city("eugene", UsState::Oregon, 44.05, -123.09, 164_000),
     city("bend", UsState::Oregon, 44.06, -121.31, 87_000),
     // Pennsylvania
-    city("philadelphia", UsState::Pennsylvania, 39.95, -75.17, 1_567_000),
+    city(
+        "philadelphia",
+        UsState::Pennsylvania,
+        39.95,
+        -75.17,
+        1_567_000,
+    ),
     city("pittsburgh", UsState::Pennsylvania, 40.44, -79.99, 304_000),
     city("allentown", UsState::Pennsylvania, 40.60, -75.47, 120_000),
     city("erie", UsState::Pennsylvania, 42.13, -80.09, 99_000),
@@ -274,7 +322,13 @@ pub const CITIES: &[City] = &[
     city("columbia", UsState::SouthCarolina, 34.00, -81.03, 133_000),
     city("charleston", UsState::SouthCarolina, 32.78, -79.93, 133_000),
     city("greenville", UsState::SouthCarolina, 34.85, -82.40, 67_000),
-    city("myrtle beach", UsState::SouthCarolina, 33.69, -78.89, 31_000),
+    city(
+        "myrtle beach",
+        UsState::SouthCarolina,
+        33.69,
+        -78.89,
+        31_000,
+    ),
     // South Dakota
     city("sioux falls", UsState::SouthDakota, 43.54, -96.73, 171_000),
     city("rapid city", UsState::SouthDakota, 44.08, -103.23, 74_000),
@@ -320,7 +374,13 @@ pub const CITIES: &[City] = &[
     city("bellevue", UsState::Washington, 47.61, -122.20, 139_000),
     city("olympia", UsState::Washington, 47.04, -122.90, 51_000),
     // West Virginia
-    city("charleston wv", UsState::WestVirginia, 38.35, -81.63, 49_000),
+    city(
+        "charleston wv",
+        UsState::WestVirginia,
+        38.35,
+        -81.63,
+        49_000,
+    ),
     city("huntington", UsState::WestVirginia, 38.42, -82.45, 48_000),
     city("morgantown", UsState::WestVirginia, 39.63, -79.96, 31_000),
     // Wisconsin
@@ -377,7 +437,13 @@ pub const CITIES: &[City] = &[
     city("new bedford", UsState::Massachusetts, 41.64, -70.93, 95_000),
     city("quincy", UsState::Massachusetts, 42.25, -71.00, 93_000),
     city("salem", UsState::Massachusetts, 42.52, -70.90, 43_000),
-    city("sterling heights", UsState::Michigan, 42.58, -83.03, 132_000),
+    city(
+        "sterling heights",
+        UsState::Michigan,
+        42.58,
+        -83.03,
+        132_000,
+    ),
     city("warren", UsState::Michigan, 42.49, -83.03, 135_000),
     city("kalamazoo", UsState::Michigan, 42.29, -85.59, 76_000),
     city("bloomington mn", UsState::Minnesota, 44.84, -93.30, 85_000),
@@ -398,7 +464,13 @@ pub const CITIES: &[City] = &[
     city("utica", UsState::NewYork, 43.10, -75.23, 61_000),
     city("white plains", UsState::NewYork, 41.03, -73.76, 58_000),
     city("niagara falls", UsState::NewYork, 43.10, -79.04, 49_000),
-    city("fayetteville", UsState::NorthCarolina, 35.05, -78.88, 204_000),
+    city(
+        "fayetteville",
+        UsState::NorthCarolina,
+        35.05,
+        -78.88,
+        204_000,
+    ),
     city("wilmington", UsState::NorthCarolina, 34.23, -77.95, 115_000),
     city("cary", UsState::NorthCarolina, 35.79, -78.78, 160_000),
     city("grand forks", UsState::NorthDakota, 47.93, -97.03, 57_000),
@@ -415,7 +487,13 @@ pub const CITIES: &[City] = &[
     city("lancaster", UsState::Pennsylvania, 40.04, -76.31, 59_000),
     city("cranston", UsState::RhodeIsland, 41.78, -71.44, 81_000),
     city("pawtucket", UsState::RhodeIsland, 41.88, -71.38, 72_000),
-    city("north charleston", UsState::SouthCarolina, 32.85, -79.97, 109_000),
+    city(
+        "north charleston",
+        UsState::SouthCarolina,
+        32.85,
+        -79.97,
+        109_000,
+    ),
     city("rock hill", UsState::SouthCarolina, 34.92, -81.03, 72_000),
     city("aberdeen", UsState::SouthDakota, 45.46, -98.49, 28_000),
     city("clarksville", UsState::Tennessee, 36.53, -87.36, 150_000),
@@ -496,7 +574,11 @@ mod tests {
         }
         for (name, states) in by_name {
             let unique: std::collections::HashSet<_> = states.iter().collect();
-            assert_eq!(unique.len(), states.len(), "{name} duplicated within a state");
+            assert_eq!(
+                unique.len(),
+                states.len(),
+                "{name} duplicated within a state"
+            );
         }
     }
 

@@ -43,8 +43,7 @@ impl Gazetteer {
             list.sort_by_key(|c| std::cmp::Reverse(c.population));
         }
 
-        let alias_by_name: HashMap<&'static str, UsState> =
-            ALIASES.iter().copied().collect();
+        let alias_by_name: HashMap<&'static str, UsState> = ALIASES.iter().copied().collect();
 
         let mut state_patterns = Vec::with_capacity(UsState::COUNT);
         let mut state_of_name_pattern = Vec::with_capacity(UsState::COUNT);
@@ -141,7 +140,10 @@ mod tests {
         assert_eq!(g.city_exact("columbus").unwrap().state, UsState::Ohio);
         assert_eq!(g.city_exact("portland").unwrap().state, UsState::Oregon);
         assert_eq!(g.city_exact("aurora").unwrap().state, UsState::Colorado);
-        assert_eq!(g.city_exact("kansas city").unwrap().state, UsState::Missouri);
+        assert_eq!(
+            g.city_exact("kansas city").unwrap().state,
+            UsState::Missouri
+        );
         assert!(g.city_exact("gotham").is_none());
     }
 

@@ -19,7 +19,10 @@
 //!   with nearest-centroid disambiguation;
 //! * [`geocode`] — the [`geocode::Geocoder`] facade combining
 //!   all of the above with the same precedence the paper uses
-//!   (GPS > profile).
+//!   (GPS > profile);
+//! * [`service`] — geocoding as a fallible, latency-carrying *service*
+//!   call ([`service::LocationService`]), with a seeded flaky wrapper
+//!   for exercising retry/backoff/park machinery deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod gazetteer;
 pub mod geocode;
 pub mod parse;
 pub mod point;
+pub mod service;
 pub mod state;
 
 pub mod data;
@@ -36,4 +40,5 @@ pub mod data;
 pub use data::{City, CITIES};
 pub use geocode::{Geocoder, Located, LocationSource};
 pub use parse::{parse_location, ParseOutcome};
+pub use service::{FlakyConfig, FlakyGeocoder, GeoServiceError, LocationService, ServiceResponse};
 pub use state::{Region, UsState};

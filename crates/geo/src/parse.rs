@@ -90,7 +90,10 @@ fn segments(text: &str) -> Vec<String> {
             ',' | '/' | '|' | ';' | '•' | '·' | '✈' | '➡' | '→' | '~' | '+'
         )
     })
-    .map(|s| s.trim().trim_matches(|c: char| !c.is_alphanumeric() && c != '.'))
+    .map(|s| {
+        s.trim()
+            .trim_matches(|c: char| !c.is_alphanumeric() && c != '.')
+    })
     .filter(|s| !s.is_empty())
     .map(str::to_string)
     .collect()
@@ -180,9 +183,7 @@ pub fn parse_location(gazetteer: &Gazetteer, raw: &str) -> ParseOutcome {
 
     // 7. Whole raw string is an UPPERCASE two-letter abbreviation.
     let raw_trim = raw.trim();
-    if raw_trim.len() == 2
-        && raw_trim.chars().all(|c| c.is_ascii_uppercase())
-    {
+    if raw_trim.len() == 2 && raw_trim.chars().all(|c| c.is_ascii_uppercase()) {
         if let Some(state) = UsState::from_abbr(raw_trim) {
             return ParseOutcome::resolved(state, 0.7, ParseMethod::StateAbbr);
         }
@@ -342,10 +343,7 @@ mod tests {
 
     #[test]
     fn segments_split_on_separators() {
-        assert_eq!(
-            segments("a, b / c | d • e"),
-            vec!["a", "b", "c", "d", "e"]
-        );
+        assert_eq!(segments("a, b / c | d • e"), vec!["a", "b", "c", "d", "e"]);
         assert_eq!(segments("  ,  , "), Vec::<String>::new());
     }
 

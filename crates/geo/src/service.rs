@@ -1,0 +1,355 @@
+//! A fallible, latency-carrying geocoding *service* interface.
+//!
+//! The in-process [`Geocoder`] never fails and answers instantly, but a
+//! production pipeline calls geocoding as an enrichment service —
+//! Twitter-Demographer-style — that times out, throws transient errors,
+//! and goes down for whole windows. [`LocationService`] abstracts both:
+//! the plain [`Geocoder`] implements it infallibly, while
+//! [`FlakyGeocoder`] wraps one with a seeded failure/latency schedule so
+//! the streaming consumer's retry, backoff and park-queue machinery can
+//! be exercised deterministically.
+//!
+//! Latency is *virtual*: responses carry a simulated cost in
+//! milliseconds that the consumer adds to its
+//! [`VirtualClock`](https://docs.rs/donorpulse-twitter) — no real
+//! sleeping happens anywhere.
+
+use crate::geocode::{Geocoder, Located};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a [`LocationService`] call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoServiceError {
+    /// The request timed out after waiting `waited_ms` (virtual).
+    Timeout {
+        /// Virtual milliseconds spent waiting before giving up.
+        waited_ms: u64,
+    },
+    /// The service refused the request (transient 5xx / outage).
+    Unavailable,
+}
+
+impl fmt::Display for GeoServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoServiceError::Timeout { waited_ms } => {
+                write!(f, "geocoding request timed out after {waited_ms}ms")
+            }
+            GeoServiceError::Unavailable => write!(f, "geocoding service unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for GeoServiceError {}
+
+/// A successful service response: the resolution plus its virtual cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceResponse {
+    /// The location resolution.
+    pub located: Located,
+    /// Simulated service latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+/// Geocoding as a remote-service call: fallible and latency-carrying.
+pub trait LocationService {
+    /// Locates a user from an optional profile string and an optional
+    /// tweet geo-tag (the paper's geotag-over-profile precedence).
+    fn locate_user(
+        &self,
+        profile: Option<&str>,
+        geo: Option<(f64, f64)>,
+    ) -> Result<ServiceResponse, GeoServiceError>;
+}
+
+impl LocationService for Geocoder {
+    /// The in-process geocoder: infallible, zero latency.
+    fn locate_user(
+        &self,
+        profile: Option<&str>,
+        geo: Option<(f64, f64)>,
+    ) -> Result<ServiceResponse, GeoServiceError> {
+        Ok(ServiceResponse {
+            located: self.locate(profile, geo),
+            latency_ms: 0,
+        })
+    }
+}
+
+/// Domain tag for transient-error draws.
+const DOMAIN_ERROR: u64 = 0x6e0_5e1f_0000_0001;
+/// Domain tag for timeout draws.
+const DOMAIN_TIMEOUT: u64 = 0x6e0_5e1f_0000_0002;
+/// Domain tag for latency-spike draws.
+const DOMAIN_SPIKE: u64 = 0x6e0_5e1f_0000_0003;
+
+/// SplitMix64 finalizer (local: this crate has no rand dependency).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pure Bernoulli draw on `(seed, domain, call index)`.
+fn chance(seed: u64, domain: u64, index: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let z = splitmix(splitmix(seed ^ domain) ^ index);
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < rate
+}
+
+/// Seeded failure/latency schedule for a [`FlakyGeocoder`].
+///
+/// All decisions are pure in `(seed, kind, call index)`, where the call
+/// index is a monotone counter over `locate_user` invocations — so the
+/// same admission sequence always sees the same failures.
+#[derive(Debug, Clone)]
+pub struct FlakyConfig {
+    /// Seed for the failure schedule.
+    pub seed: u64,
+    /// Probability a call fails with [`GeoServiceError::Unavailable`].
+    pub error_rate: f64,
+    /// Probability a call fails with [`GeoServiceError::Timeout`].
+    pub timeout_rate: f64,
+    /// Virtual wait charged by a timeout, in milliseconds.
+    pub timeout_ms: u64,
+    /// Baseline virtual latency of a successful call.
+    pub base_latency_ms: u64,
+    /// Probability a successful call is a latency spike.
+    pub spike_rate: f64,
+    /// Extra virtual latency of a spike, in milliseconds.
+    pub spike_latency_ms: u64,
+    /// Optional hard outage: every call with index in
+    /// `[start, start + calls)` fails `Unavailable`. `calls` of
+    /// `u64::MAX` models an outage that never ends.
+    pub outage_start: Option<u64>,
+    /// Length of the outage window, in calls.
+    pub outage_calls: u64,
+}
+
+impl FlakyConfig {
+    /// A perfectly reliable service with fixed small latency.
+    pub fn reliable() -> Self {
+        FlakyConfig {
+            seed: 0,
+            error_rate: 0.0,
+            timeout_rate: 0.0,
+            timeout_ms: 1_000,
+            base_latency_ms: 3,
+            spike_rate: 0.0,
+            spike_latency_ms: 400,
+            outage_start: None,
+            outage_calls: 0,
+        }
+    }
+
+    /// Transient errors, timeouts and latency spikes, but no outage —
+    /// every failure is recoverable with enough retries.
+    pub fn flaky(seed: u64) -> Self {
+        FlakyConfig {
+            seed,
+            error_rate: 0.10,
+            timeout_rate: 0.04,
+            spike_rate: 0.02,
+            ..FlakyConfig::reliable()
+        }
+    }
+
+    /// A hard outage window `[start, start + calls)` on top of the
+    /// [`FlakyConfig::flaky`] schedule.
+    pub fn outage(seed: u64, start: u64, calls: u64) -> Self {
+        FlakyConfig {
+            outage_start: Some(start),
+            outage_calls: calls,
+            ..FlakyConfig::flaky(seed)
+        }
+    }
+}
+
+/// A [`LocationService`] wrapping the in-process [`Geocoder`] with a
+/// seeded failure and latency schedule.
+///
+/// ```
+/// use donorpulse_geo::service::{FlakyConfig, FlakyGeocoder, LocationService};
+/// use donorpulse_geo::{Geocoder, UsState};
+///
+/// let geocoder = Geocoder::new();
+/// let service = FlakyGeocoder::new(&geocoder, FlakyConfig::reliable());
+/// let resp = service.locate_user(Some("Wichita, KS"), None).unwrap();
+/// assert_eq!(resp.located.state, Some(UsState::Kansas));
+/// assert_eq!(service.calls(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FlakyGeocoder<'a> {
+    inner: &'a Geocoder,
+    config: FlakyConfig,
+    calls: AtomicU64,
+    transient_errors: AtomicU64,
+    timeouts: AtomicU64,
+    spikes: AtomicU64,
+    latency_ms: AtomicU64,
+}
+
+impl<'a> FlakyGeocoder<'a> {
+    /// Wraps a geocoder with a failure schedule.
+    pub fn new(inner: &'a Geocoder, config: FlakyConfig) -> Self {
+        FlakyGeocoder {
+            inner,
+            config,
+            calls: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            spikes: AtomicU64::new(0),
+            latency_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Total `locate_user` calls received.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Calls failed with [`GeoServiceError::Unavailable`] (including
+    /// the outage window).
+    pub fn transient_errors(&self) -> u64 {
+        self.transient_errors.load(Ordering::Relaxed)
+    }
+
+    /// Calls failed with [`GeoServiceError::Timeout`].
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Successful calls that were latency spikes.
+    pub fn spikes(&self) -> u64 {
+        self.spikes.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated virtual latency across all calls, in milliseconds.
+    pub fn virtual_latency_ms(&self) -> u64 {
+        self.latency_ms.load(Ordering::Relaxed)
+    }
+}
+
+impl LocationService for FlakyGeocoder<'_> {
+    fn locate_user(
+        &self,
+        profile: Option<&str>,
+        geo: Option<(f64, f64)>,
+    ) -> Result<ServiceResponse, GeoServiceError> {
+        let i = self.calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = self.config.outage_start {
+            let in_outage = i >= start && i.saturating_sub(start) < self.config.outage_calls;
+            if in_outage {
+                self.transient_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(GeoServiceError::Unavailable);
+            }
+        }
+        if chance(
+            self.config.seed,
+            DOMAIN_TIMEOUT,
+            i,
+            self.config.timeout_rate,
+        ) {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            self.latency_ms
+                .fetch_add(self.config.timeout_ms, Ordering::Relaxed);
+            return Err(GeoServiceError::Timeout {
+                waited_ms: self.config.timeout_ms,
+            });
+        }
+        if chance(self.config.seed, DOMAIN_ERROR, i, self.config.error_rate) {
+            self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(GeoServiceError::Unavailable);
+        }
+        let mut latency = self.config.base_latency_ms;
+        if chance(self.config.seed, DOMAIN_SPIKE, i, self.config.spike_rate) {
+            self.spikes.fetch_add(1, Ordering::Relaxed);
+            latency += self.config.spike_latency_ms;
+        }
+        self.latency_ms.fetch_add(latency, Ordering::Relaxed);
+        Ok(ServiceResponse {
+            located: self.inner.locate(profile, geo),
+            latency_ms: latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::UsState;
+
+    #[test]
+    fn plain_geocoder_is_infallible_service() {
+        let g = Geocoder::new();
+        let resp = g.locate_user(Some("Wichita, KS"), None).unwrap();
+        assert_eq!(resp.located.state, Some(UsState::Kansas));
+        assert_eq!(resp.latency_ms, 0);
+    }
+
+    #[test]
+    fn flaky_schedule_is_deterministic_and_transient() {
+        let g = Geocoder::new();
+        let run = || {
+            let s = FlakyGeocoder::new(&g, FlakyConfig::flaky(7));
+            let outcomes: Vec<bool> = (0..500)
+                .map(|_| s.locate_user(Some("NYC"), None).is_ok())
+                .collect();
+            (outcomes, s.transient_errors(), s.timeouts(), s.spikes())
+        };
+        let (a, errs, touts, spikes) = run();
+        let (b, ..) = run();
+        assert_eq!(a, b, "failure schedule not deterministic");
+        assert!(errs > 0, "no transient errors in 500 calls");
+        assert!(touts > 0, "no timeouts in 500 calls");
+        assert!(spikes > 0, "no spikes in 500 calls");
+        assert!(a.iter().any(|ok| *ok), "service never succeeded");
+    }
+
+    #[test]
+    fn outage_window_fails_exactly_its_calls() {
+        let g = Geocoder::new();
+        let s = FlakyGeocoder::new(&g, {
+            let mut c = FlakyConfig::reliable();
+            c.outage_start = Some(3);
+            c.outage_calls = 4;
+            c
+        });
+        let outcomes: Vec<bool> = (0..10)
+            .map(|_| s.locate_user(Some("NYC"), None).is_ok())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn endless_outage_never_recovers() {
+        let g = Geocoder::new();
+        let s = FlakyGeocoder::new(&g, FlakyConfig::outage(7, 2, u64::MAX));
+        let ok: Vec<bool> = (0..50)
+            .map(|_| s.locate_user(Some("NYC"), None).is_ok())
+            .collect();
+        assert!(ok[2..].iter().all(|o| !o), "outage ended");
+    }
+
+    #[test]
+    fn timeout_and_latency_accumulate_virtually() {
+        let g = Geocoder::new();
+        let s = FlakyGeocoder::new(&g, FlakyConfig::reliable());
+        for _ in 0..5 {
+            s.locate_user(Some("NYC"), None).unwrap();
+        }
+        assert_eq!(s.virtual_latency_ms(), 5 * 3);
+        assert_eq!(s.calls(), 5);
+    }
+}

@@ -150,7 +150,9 @@ impl Matrix {
     /// for singular matrices instead of an error.
     pub fn determinant(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         match LuDecomposition::new(self) {
             Ok(lu) => Ok(lu.determinant()),

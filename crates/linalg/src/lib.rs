@@ -50,9 +50,9 @@ mod rows;
 mod vector;
 
 pub use decompose::LuDecomposition;
-pub use qr::QrDecomposition;
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use qr::QrDecomposition;
 pub use rows::Rows;
 pub use vector::{dot, norm2, scale as scale_vec, sub as sub_vec};
 

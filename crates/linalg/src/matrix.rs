@@ -63,10 +63,7 @@ impl Matrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != ncols {
                 return Err(LinalgError::InvalidShape {
-                    reason: format!(
-                        "row {i} has length {}, expected {ncols}",
-                        row.len()
-                    ),
+                    reason: format!("row {i} has length {}, expected {ncols}", row.len()),
                 });
             }
             data.extend_from_slice(row);
@@ -87,10 +84,7 @@ impl Matrix {
         }
         if data.len() != rows * cols {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "data length {} does not match {rows}x{cols}",
-                    data.len()
-                ),
+                reason: format!("data length {} does not match {rows}x{cols}", data.len()),
             });
         }
         Ok(Self { rows, cols, data })
@@ -254,11 +248,7 @@ impl Matrix {
 
     /// Approximate equality within `tol` (elementwise absolute).
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
-        self.shape() == other.shape()
-            && self
-                .max_abs_diff(other)
-                .map(|d| d <= tol)
-                .unwrap_or(false)
+        self.shape() == other.shape() && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
     }
 
     /// Index of the maximum entry of row `i` (first one on ties), used by

@@ -154,8 +154,7 @@ mod tests {
         let a = m2x3();
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        let expected =
-            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
+        let expected = Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]).unwrap();
         assert!(c.approx_eq(&expected, 1e-12));
     }
 
@@ -233,12 +232,7 @@ mod tests {
     #[test]
     fn matmul_skips_zero_entries_correctly() {
         // Sparse-ish membership-style matrix: result must equal dense math.
-        let l = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ])
-        .unwrap();
+        let l = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let u = Matrix::from_rows(&[vec![0.2, 0.8], vec![0.5, 0.5], vec![0.6, 0.4]]).unwrap();
         let ltu = l.transpose().matmul(&u).unwrap();
         let expected = Matrix::from_rows(&[vec![0.8, 1.2], vec![0.5, 0.5]]).unwrap();

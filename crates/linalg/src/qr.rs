@@ -170,7 +170,10 @@ mod tests {
         let a = tall();
         let qr = QrDecomposition::new(&a).unwrap();
         let qtq = qr.q().transpose().matmul(qr.q()).unwrap();
-        assert!(qtq.approx_eq(&Matrix::identity(2).unwrap(), 1e-10), "{qtq:?}");
+        assert!(
+            qtq.approx_eq(&Matrix::identity(2).unwrap(), 1e-10),
+            "{qtq:?}"
+        );
     }
 
     #[test]
@@ -215,12 +218,7 @@ mod tests {
 
     #[test]
     fn rank_deficient_rejected() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert!(matches!(
             QrDecomposition::new(&a),
             Err(LinalgError::Singular)
@@ -245,12 +243,7 @@ mod tests {
     fn membership_least_squares_is_group_mean() {
         // The Eq. 3 connection: for a 0/1 disjoint membership, the least
         // squares solution equals the per-group means.
-        let l = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let l = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let u = Matrix::from_rows(&[vec![0.2, 0.8], vec![0.6, 0.4], vec![0.0, 1.0]]).unwrap();
         let k = l.least_squares(&u).unwrap();
         assert!((k.get(0, 0) - 0.4).abs() < 1e-10);

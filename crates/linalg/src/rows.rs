@@ -65,10 +65,7 @@ impl Rows {
         }
         if data.len() % dim != 0 {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "flat length {} is not a multiple of dim {dim}",
-                    data.len()
-                ),
+                reason: format!("flat length {} is not a multiple of dim {dim}", data.len()),
             });
         }
         Ok(Self { dim, data })
@@ -114,11 +111,7 @@ impl Rows {
     pub fn push(&mut self, row: &[f64]) -> Result<()> {
         if row.len() != self.dim {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "pushed row has length {}, expected {}",
-                    row.len(),
-                    self.dim
-                ),
+                reason: format!("pushed row has length {}, expected {}", row.len(), self.dim),
             });
         }
         self.data.extend_from_slice(row);

@@ -159,7 +159,7 @@ impl MetricsSnapshot {
             let sep = if i == 0 { "" } else { "," };
             let throughput = s
                 .throughput()
-                .map_or_else(|| "null".to_string(), |t| format_f64(t));
+                .map_or_else(|| "null".to_string(), format_f64);
             let _ = write!(
                 out,
                 "{sep}\n    {{\"name\": {}, \"wall_nanos\": {}, \"items\": {}, \"items_per_sec\": {}}}",
@@ -289,7 +289,10 @@ mod tests {
         assert_eq!(s.stage("collect").unwrap().items, 1_000_000);
         assert_eq!(
             s.stage_items(),
-            vec![("collect".to_string(), 1_000_000), ("attention".to_string(), 0)]
+            vec![
+                ("collect".to_string(), 1_000_000),
+                ("attention".to_string(), 0)
+            ]
         );
     }
 

@@ -133,7 +133,10 @@ fn validate(n: usize, config: &BootstrapConfig) -> Result<()> {
 /// Percentile interval over bootstrap statistics (NaN-tolerant: NaNs
 /// sort last and are excluded from the interval).
 fn percentile_interval(stats: &mut [f64], confidence: f64) -> (f64, f64) {
-    stats.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| a.is_nan().cmp(&b.is_nan())));
+    stats.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .unwrap_or_else(|| a.is_nan().cmp(&b.is_nan()))
+    });
     let finite = stats.iter().filter(|v| v.is_finite()).count();
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((finite as f64) * alpha).floor() as usize;
@@ -152,7 +155,9 @@ mod tests {
 
     fn sample(n: usize) -> Vec<f64> {
         // Deterministic ∪-ish sample with mean 10.
-        (0..n).map(|i| 10.0 + ((i * 37) % 21) as f64 - 10.0).collect()
+        (0..n)
+            .map(|i| 10.0 + ((i * 37) % 21) as f64 - 10.0)
+            .collect()
     }
 
     #[test]
@@ -165,10 +170,14 @@ mod tests {
 
     #[test]
     fn ci_width_shrinks_with_sample_size() {
-        let small = bootstrap_ci(&sample(30), BootstrapConfig::default(), |d| mean(d).unwrap())
-            .unwrap();
-        let large = bootstrap_ci(&sample(3000), BootstrapConfig::default(), |d| mean(d).unwrap())
-            .unwrap();
+        let small = bootstrap_ci(&sample(30), BootstrapConfig::default(), |d| {
+            mean(d).unwrap()
+        })
+        .unwrap();
+        let large = bootstrap_ci(&sample(3000), BootstrapConfig::default(), |d| {
+            mean(d).unwrap()
+        })
+        .unwrap();
         assert!(
             large.ci_high - large.ci_low < small.ci_high - small.ci_low,
             "large [{}, {}] vs small [{}, {}]",
@@ -232,8 +241,7 @@ mod tests {
 
     #[test]
     fn single_point_sample_degenerates_gracefully() {
-        let est =
-            bootstrap_ci(&[42.0], BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
+        let est = bootstrap_ci(&[42.0], BootstrapConfig::default(), |d| mean(d).unwrap()).unwrap();
         assert_eq!(est.point, 42.0);
         assert_eq!(est.ci_low, 42.0);
         assert_eq!(est.ci_high, 42.0);

@@ -63,7 +63,9 @@ pub fn chi_square_independence(table: &[Vec<u64>]) -> Result<ChiSquareTest> {
         }
     }
     let row_sums: Vec<u64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<u64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<u64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
     let n: u64 = row_sums.iter().sum();
     if n == 0 {
         return Err(StatsError::EmptyInput { what: "chi_square" });

@@ -154,9 +154,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -253,9 +251,7 @@ mod tests {
 
         let all: Vec<f64> = d1.iter().chain(&d2).cloned().collect();
         assert!((a.mean().unwrap() - mean(&all).unwrap()).abs() < TOL);
-        assert!(
-            (a.sample_variance().unwrap() - sample_variance(&all).unwrap()).abs() < TOL
-        );
+        assert!((a.sample_variance().unwrap() - sample_variance(&all).unwrap()).abs() < TOL);
     }
 
     #[test]

@@ -183,9 +183,7 @@ mod tests {
         assert!(kl_divergence(&p, &p).unwrap().abs() < TOL);
         assert!(kl_divergence(&p, &q).unwrap() > 0.0);
         // Asymmetric.
-        assert!(
-            (kl_divergence(&p, &q).unwrap() - kl_divergence(&q, &p).unwrap()).abs() > 1e-3
-        );
+        assert!((kl_divergence(&p, &q).unwrap() - kl_divergence(&q, &p).unwrap()).abs() > 1e-3);
         // Absolutely-continuous violation -> infinity.
         assert_eq!(
             kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).unwrap(),

@@ -163,8 +163,7 @@ pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> Result<f64> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry transformation for faster convergence.
     if x < (a + 1.0) / (a + b + 2.0) {

@@ -44,13 +44,13 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::EmptyInput { what } => write!(f, "{what}: empty input"),
-            StatsError::LengthMismatch { left, right, what } =>
-
-                write!(f, "{what}: paired samples differ in length ({left} vs {right})"),
-            StatsError::InsufficientData { needed, got, what } => write!(
+            StatsError::LengthMismatch { left, right, what } => write!(
                 f,
-                "{what}: needs at least {needed} observations, got {got}"
+                "{what}: paired samples differ in length ({left} vs {right})"
             ),
+            StatsError::InsufficientData { needed, got, what } => {
+                write!(f, "{what}: needs at least {needed} observations, got {got}")
+            }
             StatsError::Undefined { reason } => write!(f, "statistic undefined: {reason}"),
             StatsError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
         }

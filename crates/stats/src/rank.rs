@@ -82,10 +82,7 @@ mod tests {
     #[test]
     fn ties_get_average_rank() {
         // 10 appears at ranks 1 and 2 -> both 1.5.
-        assert_eq!(
-            average_ranks(&[10.0, 10.0, 20.0]),
-            vec![1.5, 1.5, 3.0]
-        );
+        assert_eq!(average_ranks(&[10.0, 10.0, 20.0]), vec![1.5, 1.5, 3.0]);
         // All equal -> all (n+1)/2.
         assert_eq!(average_ranks(&[5.0, 5.0, 5.0, 5.0]), vec![2.5; 4]);
     }

@@ -92,8 +92,7 @@ impl RelativeRisk {
         let rr = p_in / p_out;
         let log_rr = rr.ln();
         // Katz: SE(ln RR) = sqrt(1/a − 1/n1 + 1/c − 1/n2).
-        let se_log_rr = (1.0 / cases_in as f64 - 1.0 / total_in as f64
-            + 1.0 / cases_out as f64
+        let se_log_rr = (1.0 / cases_in as f64 - 1.0 / total_in as f64 + 1.0 / cases_out as f64
             - 1.0 / total_out as f64)
             .sqrt();
         let ci_low = (log_rr - z * se_log_rr).exp();
@@ -182,8 +181,7 @@ mod tests {
             0.05,
         )
         .unwrap();
-        let expected_se =
-            (1.0 / 27.0 - 1.0 / 100.0 + 1.0 / 77.0 - 1.0 / 1000.0f64).sqrt();
+        let expected_se = (1.0 / 27.0 - 1.0 / 100.0 + 1.0 / 77.0 - 1.0 / 1000.0f64).sqrt();
         assert!((rr.se_log_rr - expected_se).abs() < 1e-12);
     }
 
@@ -242,10 +240,38 @@ mod tests {
             cases_out: 1,
             total_out: 10,
         };
-        assert!(RelativeRisk::from_table(RiskTable { total_in: 0, ..base }, 0.05).is_err());
-        assert!(RelativeRisk::from_table(RiskTable { total_out: 0, ..base }, 0.05).is_err());
-        assert!(RelativeRisk::from_table(RiskTable { cases_in: 0, ..base }, 0.05).is_err());
-        assert!(RelativeRisk::from_table(RiskTable { cases_out: 0, ..base }, 0.05).is_err());
+        assert!(RelativeRisk::from_table(
+            RiskTable {
+                total_in: 0,
+                ..base
+            },
+            0.05
+        )
+        .is_err());
+        assert!(RelativeRisk::from_table(
+            RiskTable {
+                total_out: 0,
+                ..base
+            },
+            0.05
+        )
+        .is_err());
+        assert!(RelativeRisk::from_table(
+            RiskTable {
+                cases_in: 0,
+                ..base
+            },
+            0.05
+        )
+        .is_err());
+        assert!(RelativeRisk::from_table(
+            RiskTable {
+                cases_out: 0,
+                ..base
+            },
+            0.05
+        )
+        .is_err());
         assert!(RelativeRisk::from_table(
             RiskTable {
                 cases_in: 20,

@@ -1,5 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
+use donorpulse_stats::bootstrap::{bootstrap_ci, BootstrapConfig};
+use donorpulse_stats::contingency::chi_square_independence;
 use donorpulse_stats::correlation::{pearson, spearman};
 use donorpulse_stats::descriptive::{mean, sample_variance, RunningStats};
 use donorpulse_stats::distance::{
@@ -7,8 +9,6 @@ use donorpulse_stats::distance::{
 };
 use donorpulse_stats::distribution::{normal_cdf, normal_quantile};
 use donorpulse_stats::rank::average_ranks;
-use donorpulse_stats::bootstrap::{bootstrap_ci, BootstrapConfig};
-use donorpulse_stats::contingency::chi_square_independence;
 use donorpulse_stats::risk::{RelativeRisk, RiskTable};
 use proptest::prelude::*;
 

@@ -71,8 +71,7 @@ impl Corpus {
     /// byte-identical text (self-retweets, client double-posts). Returns
     /// how many were removed. Order is preserved.
     pub fn dedup_exact(&mut self) -> usize {
-        let mut seen: std::collections::HashSet<(UserId, u64)> =
-            std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<(UserId, u64)> = std::collections::HashSet::new();
         let before = self.tweets.len();
         self.tweets.retain(|t| {
             use std::hash::{Hash, Hasher};
@@ -106,8 +105,7 @@ impl Corpus {
 
         let n_tweets = self.tweets.len() as u64;
         let n_users = per_user.len() as u64;
-        let organs_per_user_sum: u64 =
-            per_user.values().map(|mc| mc.distinct() as u64).sum();
+        let organs_per_user_sum: u64 = per_user.values().map(|mc| mc.distinct() as u64).sum();
 
         CorpusStats {
             start: first.map(|t| t.date().to_string()),
@@ -217,10 +215,7 @@ mod tests {
         ]);
         assert_eq!(c.user_count(), 1);
         let m = c.mentions_by_user();
-        assert_eq!(
-            m[&UserId(9)].count(donorpulse_text::Organ::Kidney),
-            3
-        );
+        assert_eq!(m[&UserId(9)].count(donorpulse_text::Organ::Kidney), 3);
     }
 
     #[test]
@@ -239,8 +234,8 @@ mod tests {
     fn dedup_removes_same_user_same_text_only() {
         let mut c = Corpus::from_tweets([
             tweet(0, 1, 0, "kidney donor"),
-            tweet(1, 1, 1, "kidney donor"),   // dup: same user, same text
-            tweet(2, 2, 2, "kidney donor"),   // other user: kept
+            tweet(1, 1, 1, "kidney donor"), // dup: same user, same text
+            tweet(2, 2, 2, "kidney donor"), // other user: kept
             tweet(3, 1, 3, "kidney donor!!"), // different text: kept
         ]);
         let removed = c.dedup_exact();

@@ -1,0 +1,671 @@
+//! Seeded fault injection over the simulated Stream API.
+//!
+//! Morstatter & Pfeffer ("When is it Biased?") document the public
+//! Stream API as a lossy, gappy feed: connections drop, records arrive
+//! duplicated or out of order, and payloads occasionally come through
+//! truncated. [`FaultyStreamApi`] reproduces those failure modes on top
+//! of [`StreamApi`](crate::stream::StreamApi)'s clean delivery, behind
+//! the same pull interface, so the consumer loop in `donorpulse-core`
+//! can be exercised — and *verified byte-identical to batch* — under a
+//! deterministic fault schedule.
+//!
+//! # Determinism
+//!
+//! Every fault decision is a pure hash of `(seed, fault kind, delivery
+//! index)`. The delivery index is a monotone counter over the filtered
+//! stream, independent of wall time and thread scheduling, so the same
+//! `FaultConfig` always produces the same fault schedule — disconnects
+//! at the same records, the same duplicates, the same truncations.
+//!
+//! # Replay semantics
+//!
+//! Faults fire only on *fresh* deliveries (indices beyond the furthest
+//! point ever delivered). After a reconnect the adapter rewinds by
+//! [`FaultConfig::replay_window`] deliveries and replays that overlap
+//! — replays arrive clean (no nested faults), modelling a backfilling
+//! endpoint. That makes transient corruption recoverable: a consumer
+//! that forces a reconnect on a malformed record receives the intact
+//! record in the replayed window. Setting
+//! [`FaultConfig::corrupt_persistent`] models a record that is broken
+//! at the source and can never be recovered.
+
+use crate::generator::TwitterSimulation;
+use crate::tweet::Tweet;
+use donorpulse_text::TextFilter;
+use std::collections::VecDeque;
+
+/// Domain tag mixed into disconnect decisions.
+const DOMAIN_DISCONNECT: u64 = 0x5d15_c0de_0000_0001;
+/// Domain tag mixed into duplicate-delivery decisions.
+const DOMAIN_DUPLICATE: u64 = 0x5d15_c0de_0000_0002;
+/// Domain tag mixed into reorder decisions.
+const DOMAIN_REORDER: u64 = 0x5d15_c0de_0000_0003;
+/// Domain tag mixed into corruption decisions.
+const DOMAIN_CORRUPT: u64 = 0x5d15_c0de_0000_0004;
+/// Domain tag mixed into reconnect-attempt failures.
+const DOMAIN_CONNECT: u64 = 0x5d15_c0de_0000_0005;
+
+/// SplitMix64 finalizer — the same mixer the generator uses, kept
+/// local so fault scheduling never perturbs tweet realization.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pure Bernoulli draw: does fault `domain` fire at `index`?
+fn chance(seed: u64, domain: u64, index: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    let z = splitmix(splitmix(seed ^ domain) ^ index);
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < rate
+}
+
+/// Seeded fault schedule for a [`FaultyStreamApi`].
+///
+/// All rates are per fresh delivery; decisions are pure in
+/// `(seed, kind, delivery index)`, so the schedule is reproducible.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule (independent of the tweet seed).
+    pub seed: u64,
+    /// Probability a fresh delivery is preceded by a disconnect.
+    pub disconnect_rate: f64,
+    /// Deliveries replayed after a successful reconnect (backfill
+    /// overlap the consumer must deduplicate).
+    pub replay_window: usize,
+    /// Fresh deliveries permanently lost per reconnect — the coverage
+    /// gap of a non-backfilling endpoint. `0` models full backfill.
+    pub skip_on_reconnect: usize,
+    /// Probability a fresh delivery is immediately delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability a fresh delivery swaps places with its successor.
+    pub reorder_rate: f64,
+    /// Probability a delivery arrives truncated/malformed.
+    pub corrupt_rate: f64,
+    /// When `false`, corruption is transient: the replayed copy after a
+    /// reconnect arrives intact. When `true`, the record is broken at
+    /// the source and every delivery of it is corrupt.
+    pub corrupt_persistent: bool,
+    /// Probability an individual reconnect attempt fails (the consumer
+    /// retries with backoff).
+    pub connect_failure_rate: f64,
+}
+
+impl FaultConfig {
+    /// No faults: the adapter degenerates to the clean stream.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            disconnect_rate: 0.0,
+            replay_window: 0,
+            skip_on_reconnect: 0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_rate: 0.0,
+            corrupt_persistent: false,
+            connect_failure_rate: 0.0,
+        }
+    }
+
+    /// Every fault mode active, all recoverable: full backfill on
+    /// reconnect (`skip_on_reconnect = 0`) and transient corruption.
+    /// A consumer with retries enabled must reconstruct the exact
+    /// clean stream from this schedule.
+    pub fn recoverable(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            disconnect_rate: 0.002,
+            replay_window: 6,
+            skip_on_reconnect: 0,
+            duplicate_rate: 0.01,
+            reorder_rate: 0.01,
+            corrupt_rate: 0.002,
+            corrupt_persistent: false,
+            connect_failure_rate: 0.25,
+        }
+    }
+
+    /// A lossy endpoint: reconnects drop deliveries on the floor and
+    /// corruption is persistent. Consumers surface the coverage gap
+    /// instead of recovering it.
+    pub fn lossy(seed: u64) -> Self {
+        FaultConfig {
+            skip_on_reconnect: 3,
+            corrupt_persistent: true,
+            ..FaultConfig::recoverable(seed)
+        }
+    }
+}
+
+/// Counters the adapter keeps about the faults it injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Items handed to the consumer (tweets + corrupt records,
+    /// including duplicates and replays).
+    pub delivered: u64,
+    /// Disconnects fired.
+    pub disconnects: u64,
+    /// Successful reconnects.
+    pub reconnects: u64,
+    /// Failed reconnect attempts.
+    pub reconnect_failures: u64,
+    /// Deliveries replayed inside post-reconnect overlap windows.
+    pub replayed: u64,
+    /// Fresh deliveries permanently lost to reconnect gaps.
+    pub skipped: u64,
+    /// Duplicate deliveries injected.
+    pub duplicates_injected: u64,
+    /// Adjacent swaps injected.
+    pub reordered: u64,
+    /// Corrupt records handed out.
+    pub corrupted: u64,
+}
+
+/// A record that arrived truncated: the payload is an opaque prefix of
+/// the wire form, unusable as a [`Tweet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptRecord {
+    /// The truncated wire payload.
+    pub payload: String,
+}
+
+/// One item off the faulted stream: an intact tweet or a truncated
+/// record the consumer must decide how to handle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// An intact tweet.
+    Tweet(Tweet),
+    /// A truncated/malformed record.
+    Corrupt(CorruptRecord),
+}
+
+/// Result of one [`FaultyStreamApi::next_delivery`] pull.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// An item was delivered.
+    Item(StreamItem),
+    /// The connection dropped (or was already down); the consumer must
+    /// [`FaultyStreamApi::reconnect`] before pulling again.
+    Disconnected,
+    /// The firehose is exhausted and every deliverable item was sent.
+    End,
+}
+
+/// A filtered stream over the simulated firehose with seeded fault
+/// injection, mirroring [`StreamApi`](crate::stream::StreamApi)'s
+/// track-filtered delivery.
+///
+/// ```
+/// use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultyStreamApi, StreamItem};
+/// use donorpulse_twitter::{GeneratorConfig, TwitterSimulation};
+/// use donorpulse_text::KeywordQuery;
+///
+/// let sim = TwitterSimulation::generate(GeneratorConfig::paper_scaled(0.002)).unwrap();
+/// let mut stream =
+///     FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), FaultConfig::none());
+/// let mut n = 0u64;
+/// loop {
+///     match stream.next_delivery() {
+///         Delivery::Item(StreamItem::Tweet(_)) => n += 1,
+///         Delivery::Item(StreamItem::Corrupt(_)) | Delivery::Disconnected => unreachable!(),
+///         Delivery::End => break,
+///     }
+/// }
+/// assert_eq!(n, sim.on_topic_len() as u64);
+/// ```
+pub struct FaultyStreamApi<'a> {
+    sim: &'a TwitterSimulation,
+    filter: Box<dyn TextFilter + Send>,
+    config: FaultConfig,
+    /// Next firehose position to examine.
+    pos: usize,
+    /// Next delivery slot to produce.
+    next_index: u64,
+    /// Fresh frontier: delivery slots produced so far.
+    max_fresh: u64,
+    /// Recent fresh `(delivery index, firehose position)` pairs — the
+    /// backfill buffer a reconnect rewinds into.
+    ring: VecDeque<(u64, usize)>,
+    /// Held-back item from a duplicate or swap, delivered next pull.
+    stash: Option<StreamItem>,
+    disconnected: bool,
+    /// Delivery-index ranges `[from, until)` lost to reconnect gaps.
+    /// Replays revisiting a lost slot stay lost (no resurrection), so
+    /// the skipped count really is the coverage gap.
+    skip_ranges: Vec<(u64, u64)>,
+    /// Guard so a disconnect fires at most once per delivery slot.
+    last_disconnect_at: Option<u64>,
+    reconnect_attempts: u64,
+    stats: FaultStats,
+}
+
+impl<'a> FaultyStreamApi<'a> {
+    /// Opens a faulted streaming connection with a track filter.
+    pub fn connect(
+        sim: &'a TwitterSimulation,
+        filter: Box<dyn TextFilter + Send>,
+        config: FaultConfig,
+    ) -> Self {
+        let ring_cap = config.replay_window.max(1) + 2;
+        FaultyStreamApi {
+            sim,
+            filter,
+            config,
+            pos: 0,
+            next_index: 0,
+            max_fresh: 0,
+            ring: VecDeque::with_capacity(ring_cap),
+            stash: None,
+            disconnected: false,
+            skip_ranges: Vec::new(),
+            last_disconnect_at: None,
+            reconnect_attempts: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fault counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// True while the connection is down.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
+    }
+
+    /// Walks the firehose to the next record the track filter accepts.
+    fn next_match(&mut self) -> Option<(usize, Tweet)> {
+        while self.pos < self.sim.firehose_len() {
+            let p = self.pos;
+            self.pos += 1;
+            let tweet = self.sim.realize(p);
+            if self.filter.accepts(&tweet.text) {
+                return Some((p, tweet));
+            }
+        }
+        None
+    }
+
+    /// True when delivery slot `index` was lost to a reconnect gap.
+    fn in_skip(&self, index: u64) -> bool {
+        self.skip_ranges
+            .iter()
+            .any(|&(from, until)| index >= from && index < until)
+    }
+
+    /// Records a fresh delivery slot in the backfill ring.
+    fn ring_push(&mut self, index: u64, pos: usize) {
+        let cap = self.config.replay_window.max(1) + 2;
+        if self.ring.len() == cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((index, pos));
+    }
+
+    /// Truncates a tweet's wire form mid-record, on a char boundary.
+    fn truncate_of(tweet: &Tweet) -> CorruptRecord {
+        let wire = format!(
+            "{}|{}|{}|{}",
+            tweet.id, tweet.user, tweet.created_at, tweet.text
+        );
+        let mut cut = wire.len() / 2;
+        while cut > 0 && !wire.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let mut payload = wire;
+        payload.truncate(cut);
+        CorruptRecord { payload }
+    }
+
+    /// Pulls the next delivery off the stream.
+    pub fn next_delivery(&mut self) -> Delivery {
+        if self.disconnected {
+            return Delivery::Disconnected;
+        }
+        if let Some(item) = self.stash.take() {
+            self.stats.delivered += 1;
+            return Delivery::Item(item);
+        }
+        loop {
+            let Some((p, tweet)) = self.next_match() else {
+                return Delivery::End;
+            };
+            let index = self.next_index;
+            let fresh = index >= self.max_fresh;
+            if fresh {
+                // Disconnect *before* delivering this slot; the guard
+                // keeps the same slot from re-firing after replay.
+                if self.last_disconnect_at != Some(index)
+                    && chance(
+                        self.config.seed,
+                        DOMAIN_DISCONNECT,
+                        index,
+                        self.config.disconnect_rate,
+                    )
+                {
+                    self.last_disconnect_at = Some(index);
+                    self.disconnected = true;
+                    self.stats.disconnects += 1;
+                    // Un-consume the record so replay re-finds it.
+                    self.pos = p;
+                    return Delivery::Disconnected;
+                }
+                self.next_index = index + 1;
+                self.ring_push(index, p);
+                self.max_fresh = index + 1;
+            } else {
+                self.next_index = index + 1;
+                self.stats.replayed += 1;
+            }
+            if self.in_skip(index) {
+                // Lost to a reconnect gap — first encounter counts it.
+                if fresh {
+                    self.stats.skipped += 1;
+                }
+                continue;
+            }
+            let corrupt_now = (fresh || self.config.corrupt_persistent)
+                && chance(
+                    self.config.seed,
+                    DOMAIN_CORRUPT,
+                    index,
+                    self.config.corrupt_rate,
+                );
+            let item = if corrupt_now {
+                self.stats.corrupted += 1;
+                StreamItem::Corrupt(Self::truncate_of(&tweet))
+            } else {
+                StreamItem::Tweet(tweet)
+            };
+            if fresh
+                && chance(
+                    self.config.seed,
+                    DOMAIN_DUPLICATE,
+                    index,
+                    self.config.duplicate_rate,
+                )
+            {
+                self.stats.duplicates_injected += 1;
+                self.stash = Some(item.clone());
+            } else if fresh
+                && !self.in_skip(self.next_index)
+                && chance(
+                    self.config.seed,
+                    DOMAIN_REORDER,
+                    index,
+                    self.config.reorder_rate,
+                )
+            {
+                // Adjacent swap: deliver the successor first, stash
+                // this item for the next pull. The swapped-in record is
+                // delivered plain (no nested faults).
+                if let Some((p2, t2)) = self.next_match() {
+                    let j = self.next_index;
+                    debug_assert!(j >= self.max_fresh);
+                    self.next_index = j + 1;
+                    self.ring_push(j, p2);
+                    self.max_fresh = j + 1;
+                    self.stats.reordered += 1;
+                    self.stash = Some(item);
+                    self.stats.delivered += 1;
+                    return Delivery::Item(StreamItem::Tweet(t2));
+                }
+            }
+            self.stats.delivered += 1;
+            return Delivery::Item(item);
+        }
+    }
+
+    /// Attempts to reconnect. Returns `false` when the attempt itself
+    /// fails (per [`FaultConfig::connect_failure_rate`]); the consumer
+    /// should back off and retry.
+    ///
+    /// On success the stream rewinds [`FaultConfig::replay_window`]
+    /// deliveries (backfill overlap the consumer deduplicates) and, in
+    /// lossy configurations, permanently skips the next
+    /// [`FaultConfig::skip_on_reconnect`] fresh deliveries.
+    ///
+    /// Calling this while still connected is allowed — it models a
+    /// consumer-forced reconnect (e.g. to re-request a record that
+    /// arrived corrupt) and follows the same replay semantics.
+    pub fn reconnect(&mut self) -> bool {
+        self.reconnect_attempts += 1;
+        if chance(
+            self.config.seed,
+            DOMAIN_CONNECT,
+            self.reconnect_attempts,
+            self.config.connect_failure_rate,
+        ) {
+            self.stats.reconnect_failures += 1;
+            return false;
+        }
+        self.stats.reconnects += 1;
+        self.disconnected = false;
+        self.stash = None;
+        let rewind_to = self
+            .max_fresh
+            .saturating_sub(self.config.replay_window as u64);
+        if let Some(&(front_idx, _)) = self.ring.front() {
+            let target = rewind_to.max(front_idx);
+            let offset = (target - front_idx) as usize;
+            let (idx, p) = self.ring[offset];
+            self.next_index = idx;
+            self.pos = p;
+        } else {
+            self.next_index = 0;
+            self.pos = 0;
+        }
+        if self.config.skip_on_reconnect > 0 {
+            self.skip_ranges.push((
+                self.max_fresh,
+                self.max_fresh + self.config.skip_on_reconnect as u64,
+            ));
+        }
+        // A replay can only rewind `replay_window` back from the fresh
+        // frontier; ranges entirely behind that horizon can never be
+        // revisited and are pruned.
+        let horizon = self
+            .max_fresh
+            .saturating_sub(self.config.replay_window as u64);
+        self.skip_ranges.retain(|&(_, until)| until > horizon);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genmodel::GeneratorConfig;
+    use crate::tweet::TweetId;
+    use donorpulse_text::KeywordQuery;
+    use std::collections::BTreeSet;
+
+    fn small_sim() -> TwitterSimulation {
+        TwitterSimulation::generate(GeneratorConfig::paper_scaled(0.002)).unwrap()
+    }
+
+    fn clean_ids(sim: &TwitterSimulation) -> Vec<TweetId> {
+        sim.stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Drains a faulted stream, reconnecting (with unbounded retries)
+    /// until the end, returning every delivered item in order.
+    fn drain(stream: &mut FaultyStreamApi<'_>) -> Vec<StreamItem> {
+        let mut out = Vec::new();
+        loop {
+            match stream.next_delivery() {
+                Delivery::Item(item) => out.push(item),
+                Delivery::Disconnected => while !stream.reconnect() {},
+                Delivery::End => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn no_faults_matches_clean_stream() {
+        let sim = small_sim();
+        let mut stream =
+            FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), FaultConfig::none());
+        let delivered: Vec<TweetId> = drain(&mut stream)
+            .into_iter()
+            .map(|item| match item {
+                StreamItem::Tweet(t) => t.id,
+                StreamItem::Corrupt(_) => panic!("corruption with faults off"),
+            })
+            .collect();
+        assert_eq!(delivered, clean_ids(&sim));
+        assert_eq!(
+            stream.stats(),
+            FaultStats {
+                delivered: delivered.len() as u64,
+                ..FaultStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn recoverable_schedule_covers_clean_stream_exactly() {
+        let sim = small_sim();
+        let mut stream = FaultyStreamApi::connect(
+            &sim,
+            Box::new(KeywordQuery::paper()),
+            FaultConfig::recoverable(7),
+        );
+        // Drain with the consumer's corrupt policy: a malformed record
+        // forces a reconnect so the replay window redelivers it intact.
+        let mut items = Vec::new();
+        loop {
+            match stream.next_delivery() {
+                Delivery::Item(item) => {
+                    let corrupt = matches!(item, StreamItem::Corrupt(_));
+                    items.push(item);
+                    if corrupt {
+                        while !stream.reconnect() {}
+                    }
+                }
+                Delivery::Disconnected => while !stream.reconnect() {},
+                Delivery::End => break,
+            }
+        }
+        let stats = stream.stats();
+        // The schedule must actually exercise the fault paths.
+        assert!(stats.disconnects > 0, "no disconnects fired: {stats:?}");
+        assert!(stats.duplicates_injected > 0, "no duplicates: {stats:?}");
+        assert!(stats.reordered > 0, "no reorders: {stats:?}");
+        assert!(stats.replayed > 0, "no replays: {stats:?}");
+        assert_eq!(stats.skipped, 0, "recoverable schedule lost data");
+        // Every clean tweet is delivered at least once, nothing extra,
+        // and (modulo duplicates/reorders) ids cover the clean set.
+        let mut seen = BTreeSet::new();
+        for item in &items {
+            match item {
+                StreamItem::Tweet(t) => {
+                    seen.insert(t.id);
+                }
+                // Transient corruption: the intact copy must also show up.
+                StreamItem::Corrupt(_) => {}
+            }
+        }
+        let clean: BTreeSet<TweetId> = clean_ids(&sim).into_iter().collect();
+        assert_eq!(seen, clean);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let sim = small_sim();
+        let run = |seed| {
+            let mut s = FaultyStreamApi::connect(
+                &sim,
+                Box::new(KeywordQuery::paper()),
+                FaultConfig::recoverable(seed),
+            );
+            (drain(&mut s), s.stats())
+        };
+        let (a_items, a_stats) = run(42);
+        let (b_items, b_stats) = run(42);
+        assert_eq!(a_items, b_items);
+        assert_eq!(a_stats, b_stats);
+        let (c_items, _) = run(43);
+        assert_ne!(a_items, c_items, "different seeds gave identical faults");
+    }
+
+    #[test]
+    fn lossy_schedule_skips_deliveries() {
+        let sim = small_sim();
+        let mut stream =
+            FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), FaultConfig::lossy(7));
+        let items = drain(&mut stream);
+        let stats = stream.stats();
+        assert!(stats.skipped > 0, "lossy schedule lost nothing: {stats:?}");
+        let mut seen = BTreeSet::new();
+        for item in &items {
+            if let StreamItem::Tweet(t) = item {
+                seen.insert(t.id);
+            }
+        }
+        let clean: BTreeSet<TweetId> = clean_ids(&sim).into_iter().collect();
+        assert!(seen.is_subset(&clean));
+        assert!(
+            (seen.len() as u64) < clean.len() as u64,
+            "skips did not reduce coverage"
+        );
+    }
+
+    #[test]
+    fn transient_corruption_recovers_via_forced_reconnect() {
+        let sim = small_sim();
+        let config = FaultConfig {
+            corrupt_rate: 0.05,
+            replay_window: 4,
+            connect_failure_rate: 0.0,
+            ..FaultConfig::none()
+        };
+        let mut stream = FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), config);
+        let mut intact = BTreeSet::new();
+        let mut corrupt_seen = 0u64;
+        loop {
+            match stream.next_delivery() {
+                Delivery::Item(StreamItem::Tweet(t)) => {
+                    intact.insert(t.id);
+                }
+                Delivery::Item(StreamItem::Corrupt(_)) => {
+                    corrupt_seen += 1;
+                    assert!(stream.reconnect(), "forced reconnect failed");
+                }
+                Delivery::Disconnected => while !stream.reconnect() {},
+                Delivery::End => break,
+            }
+        }
+        assert!(corrupt_seen > 0, "corruption never fired");
+        let clean: BTreeSet<TweetId> = clean_ids(&sim).into_iter().collect();
+        assert_eq!(intact, clean, "a corrupt record was never recovered");
+    }
+
+    #[test]
+    fn truncation_is_char_boundary_safe() {
+        let sim = small_sim();
+        let tweet = sim.realize(0);
+        let rec = FaultyStreamApi::truncate_of(&tweet);
+        // Would panic on a bad boundary; also must be a strict prefix.
+        assert!(
+            rec.payload.len()
+                < format!(
+                    "{}|{}|{}|{}",
+                    tweet.id, tweet.user, tweet.created_at, tweet.text
+                )
+                .len()
+        );
+    }
+}

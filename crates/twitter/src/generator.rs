@@ -264,8 +264,8 @@ impl TwitterSimulation {
         let mut rng = StdRng::seed_from_u64(splitmix(self.config.seed ^ (idx as u64)));
 
         let text = if event.on_topic {
-            let mut primary = Organ::from_index(sample_weighted(&mut rng, &user.attention))
-                .expect("organ index");
+            let mut primary =
+                Organ::from_index(sample_weighted(&mut rng, &user.attention)).expect("organ index");
             // Awareness events hijack a share of the conversation.
             for ev in &self.config.events {
                 if ev.active_on(event.at.day()) && rng.gen_bool(ev.intensity) {
@@ -287,8 +287,8 @@ impl TwitterSimulation {
                 textgen::on_topic(&mut rng, &[primary])
             }
         } else {
-            let organ = Organ::from_index(sample_weighted(&mut rng, &user.attention))
-                .expect("organ index");
+            let organ =
+                Organ::from_index(sample_weighted(&mut rng, &user.attention)).expect("organ index");
             let kind = match rng.gen_range(0..10) {
                 0..=3 => textgen::ChatterKind::OrganNoContext,
                 4..=6 => textgen::ChatterKind::ContextNoOrgan,
@@ -561,11 +561,8 @@ mod tests {
         // The truncated power law is heavy-tailed (sd ≈ 6.4), so the
         // sample mean at ~2k users wanders ±0.14·3; compare against the
         // analytic mean with a 3σ band rather than a fixed ±0.25.
-        let analytic = PowerLawActivity::new(
-            sim.config().activity_exponent,
-            sim.config().activity_max,
-        )
-        .mean();
+        let analytic =
+            PowerLawActivity::new(sim.config().activity_exponent, sim.config().activity_max).mean();
         let tol = 3.0 * 6.4 / n.sqrt();
         assert!(
             (mean - analytic).abs() < tol,
@@ -640,8 +637,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for &lambda in &[0.5, 4.0, 80.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| sample_poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             assert!(
                 (mean - lambda).abs() < 0.05 * lambda.max(1.0),
                 "lambda {lambda}: mean {mean}"
@@ -668,8 +667,7 @@ mod tests {
             .unwrap()
             .id;
         let timeline = sim.user_timeline(busy);
-        let expected: Vec<crate::Tweet> =
-            sim.stream().filter(|t| t.user == busy).collect();
+        let expected: Vec<crate::Tweet> = sim.stream().filter(|t| t.user == busy).collect();
         assert!(!timeline.is_empty());
         assert_eq!(timeline, expected);
         for pair in timeline.windows(2) {

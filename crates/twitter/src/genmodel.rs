@@ -426,7 +426,8 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = GeneratorConfig::default();
-        c.state_organ_boost.push((UsState::Kansas, Organ::Kidney, -1.0));
+        c.state_organ_boost
+            .push((UsState::Kansas, Organ::Kidney, -1.0));
         assert!(c.validate().is_err());
     }
 
@@ -545,7 +546,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let n = 100_000;
         let emp: f64 = (0..n).map(|_| act.sample(&mut rng) as f64).sum::<f64>() / n as f64;
-        assert!((emp - mean).abs() < 0.05, "empirical {emp} vs analytic {mean}");
+        assert!(
+            (emp - mean).abs() < 0.05,
+            "empirical {emp} vs analytic {mean}"
+        );
     }
 
     #[test]

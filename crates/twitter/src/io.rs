@@ -112,8 +112,8 @@ pub fn read_users<R: Read>(reader: R) -> Result<Vec<UserProfile>, IoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::genmodel::GeneratorConfig;
     use crate::generator::TwitterSimulation;
+    use crate::genmodel::GeneratorConfig;
     use donorpulse_text::KeywordQuery;
 
     fn small_corpus() -> (Corpus, Vec<UserProfile>) {

@@ -22,6 +22,10 @@
 //! * [`generator`] — materializes users and a time-ordered tweet stream;
 //! * [`stream`] — the Stream API endpoint: `track` filtering, optional
 //!   sampling, connection-style iteration;
+//! * [`fault`] — seeded fault injection over the stream endpoint:
+//!   disconnects with replayed backfill windows, duplicate and
+//!   out-of-order delivery, truncated records — the lossy-feed
+//!   behaviour Morstatter & Pfeffer document for the real Stream API;
 //! * [`corpus`] — the collected-corpus container and the Table I
 //!   statistics.
 
@@ -29,9 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod fault;
 pub mod generator;
-pub mod io;
 pub mod genmodel;
+pub mod io;
 pub mod stream;
 pub mod textgen;
 pub mod time;
@@ -39,6 +44,7 @@ pub mod tweet;
 pub mod user;
 
 pub use corpus::{Corpus, CorpusStats};
+pub use fault::{CorruptRecord, Delivery, FaultConfig, FaultStats, FaultyStreamApi, StreamItem};
 pub use generator::TwitterSimulation;
 pub use genmodel::{Archetype, AwarenessEvent, GeneratorConfig};
 pub use stream::StreamApi;

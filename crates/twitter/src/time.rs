@@ -106,14 +106,52 @@ impl SimInstant {
 
     /// Calendar date of this instant.
     pub fn date(self) -> CivilDate {
-        CivilDate::from_days_from_epoch(
-            COLLECTION_START.days_from_epoch() + self.day() as i64,
-        )
+        CivilDate::from_days_from_epoch(COLLECTION_START.days_from_epoch() + self.day() as i64)
     }
 
     /// True when the instant is inside the paper's 385-day window.
     pub fn in_collection_window(self) -> bool {
         self.day() < COLLECTION_DAYS
+    }
+}
+
+/// A deterministic, manually advanced clock for consumer-side timing:
+/// retry backoff, simulated service latency, reconnect delays.
+///
+/// Production stream consumers sleep on a wall clock between retries;
+/// tests and deterministic replays cannot. `VirtualClock` is the
+/// substitute: every "sleep" becomes an [`VirtualClock::advance_ms`]
+/// call, so two runs with the same fault schedule accumulate exactly
+/// the same virtual time, and backoff policy is testable without a
+/// single real-time wait.
+///
+/// ```
+/// use donorpulse_twitter::time::VirtualClock;
+///
+/// let mut clock = VirtualClock::new();
+/// clock.advance_ms(250); // a backoff "sleep"
+/// clock.advance_ms(500);
+/// assert_eq!(clock.now_ms(), 750);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Milliseconds elapsed on this clock.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the clock by `ms` milliseconds (a virtual sleep).
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
     }
 }
 

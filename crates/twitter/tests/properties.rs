@@ -1,9 +1,7 @@
 //! Property-based tests for the simulated Twitter platform.
 
 use donorpulse_text::KeywordQuery;
-use donorpulse_twitter::genmodel::{
-    sample_dirichlet, sample_weighted, PowerLawActivity,
-};
+use donorpulse_twitter::genmodel::{sample_dirichlet, sample_weighted, PowerLawActivity};
 use donorpulse_twitter::{AwarenessEvent, GeneratorConfig, TwitterSimulation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

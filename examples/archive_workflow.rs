@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .stream()
         .with_filter(Box::new(KeywordQuery::paper()))
         .collect();
-    println!("collected {} tweets from {} users", corpus.len(), corpus.user_count());
+    println!(
+        "collected {} tweets from {} users",
+        corpus.len(),
+        corpus.user_count()
+    );
 
     // 2. Archive to JSONL.
     let path = std::env::temp_dir().join("donorpulse_archive.jsonl");

@@ -64,7 +64,10 @@ fn main() {
         } else {
             " "
         };
-        println!("day {day:>3}{marker} {share:>5.1}% {bar}", share = share * 100.0);
+        println!(
+            "day {day:>3}{marker} {share:>5.1}% {bar}",
+            share = share * 100.0
+        );
     }
 
     // Detect bursts.

@@ -36,10 +36,7 @@ fn main() {
 
     println!("states with significant kidney-conversation excess:");
     for (state, rr) in &hot {
-        let sig = run
-            .regions
-            .signature(*state)
-            .expect("state characterized");
+        let sig = run.regions.signature(*state).expect("state characterized");
         println!(
             "  {:<16} RR = {:.2}  ({} users, kidney share {:.1}%)",
             state.name(),
@@ -56,11 +53,7 @@ fn main() {
     // 2. Which states *talk like* the hottest state? Campaign material
     //    tuned for one should transfer inside its cluster (Fig. 6).
     let anchor = hot[0].0;
-    if let Some(cluster) = run
-        .state_clusters
-        .cluster_of(anchor, 6)
-        .expect("valid cut")
-    {
+    if let Some(cluster) = run.state_clusters.cluster_of(anchor, 6).expect("valid cut") {
         let peers: Vec<&str> = cluster
             .iter()
             .filter(|&&s| s != anchor)

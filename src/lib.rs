@@ -73,8 +73,8 @@ pub mod prelude {
     pub use donorpulse_core::pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
     pub use donorpulse_core::report::PaperReport;
     pub use donorpulse_core::AttentionMatrix;
-    pub use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
     pub use donorpulse_geo::{Geocoder, UsState};
+    pub use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
     pub use donorpulse_text::{KeywordQuery, Organ, TrackFilter};
     pub use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation};
 }

@@ -143,8 +143,16 @@ fn fig5_planted_anomalies_recovered() {
     };
     // The paper's headline findings, planted in the generator:
     assert!(has(UsState::Kansas, Organ::Kidney), "{:?}", f.highlighted);
-    assert!(has(UsState::Louisiana, Organ::Kidney), "{:?}", f.highlighted);
-    assert!(has(UsState::Massachusetts, Organ::Lung), "{:?}", f.highlighted);
+    assert!(
+        has(UsState::Louisiana, Organ::Kidney),
+        "{:?}",
+        f.highlighted
+    );
+    assert!(
+        has(UsState::Massachusetts, Organ::Lung),
+        "{:?}",
+        f.highlighted
+    );
 }
 
 #[test]
@@ -277,14 +285,7 @@ fn full_report_renders_and_serializes() {
     let report = PaperReport::from_run(run()).unwrap();
     let text = report.render();
     for needle in [
-        "TABLE I",
-        "FIG 2(a)",
-        "FIG 2(b)",
-        "FIG 3",
-        "FIG 4",
-        "FIG 5",
-        "FIG 6",
-        "FIG 7",
+        "TABLE I", "FIG 2(a)", "FIG 2(b)", "FIG 3", "FIG 4", "FIG 5", "FIG 6", "FIG 7",
     ] {
         assert!(text.contains(needle), "missing {needle}");
     }

@@ -1,0 +1,222 @@
+//! Integration tests for the fault-tolerant streaming front-half.
+//!
+//! The headline invariant: when every injected fault is recoverable and
+//! retries are enabled, the post-stream sensor snapshot is
+//! **byte-identical** to the clean batch pipeline's artifacts
+//! (`f64::to_bits` equality, not approximate). Degraded modes must
+//! instead *account* for what they lost: a nonzero
+//! `stream_gap_tweets_total`, nonzero park-queue gauges, and a sensor
+//! that still matches the clean semantics on the subset it received.
+
+use donorpulse::core::incremental::IncrementalSensor;
+use donorpulse::core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
+use donorpulse::core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
+use donorpulse::geo::{FlakyConfig, FlakyGeocoder, Geocoder};
+use donorpulse::obs::MetricsRegistry;
+use donorpulse::prelude::*;
+use donorpulse::twitter::fault::FaultConfig;
+
+const SEED: u64 = 0xFA117;
+
+fn sim(scale: f64) -> TwitterSimulation {
+    let mut config = GeneratorConfig::paper_scaled(scale);
+    config.seed = SEED;
+    TwitterSimulation::generate(config).expect("sim")
+}
+
+fn batch_on(sim: &TwitterSimulation) -> PipelineRun {
+    let config = PipelineConfig {
+        generator: sim.config().clone(),
+        run_user_clustering: false,
+        ..Default::default()
+    };
+    Pipeline::new().run_on(sim, config).expect("batch pipeline")
+}
+
+fn stream_config() -> StreamPipelineConfig {
+    StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        ..Default::default()
+    }
+}
+
+/// Bitwise equality for attention matrices: `to_bits`, not `==`, so a
+/// drifted `-0.0` or ulp would fail loudly.
+fn assert_attention_bits_equal(a: &AttentionMatrix, b: &AttentionMatrix) {
+    assert_eq!(a.users(), b.users());
+    for &user in a.users() {
+        let ra = a.attention_of(user).expect("row");
+        let rb = b.attention_of(user).expect("row");
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "attention drifted for {user}");
+        }
+    }
+}
+
+#[test]
+fn recoverable_faults_reproduce_batch_artifacts_bytewise() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    // Disconnects, duplicates, reorders, transient corruption on the
+    // stream; transient errors, timeouts and latency spikes on the
+    // geocoding service. All recoverable within the retry budgets.
+    let service = FlakyGeocoder::new(&geocoder, FlakyConfig::flaky(SEED));
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &service,
+        FaultConfig::recoverable(SEED),
+        stream_config(),
+    );
+
+    // The schedule must actually have exercised the fault machinery.
+    let stats = run.fault_stats;
+    assert!(stats.disconnects > 0, "no disconnects fired: {stats:?}");
+    assert!(stats.duplicates_injected > 0, "no duplicates: {stats:?}");
+    assert!(stats.reordered > 0, "no reorders: {stats:?}");
+    assert!(service.transient_errors() > 0, "service never failed");
+    assert!(!run.source_aborted);
+    assert_eq!(run.parked_at_end, 0);
+    assert_eq!(run.metrics.counter("stream_gap_tweets_total"), Some(0));
+    assert_eq!(run.delivered_tweets, run.expected_tweets);
+
+    // Byte-identity against the clean batch pipeline.
+    let batch = batch_on(&sim);
+    assert_eq!(run.sensor.tweets_seen(), batch.collected_tweets);
+    assert_eq!(run.sensor.corpus().tweets(), batch.usa.tweets());
+    assert_eq!(run.sensor.user_states(), batch.user_states);
+    let attention = run.sensor.attention().expect("attention");
+    assert_attention_bits_equal(&attention, &batch.attention);
+    let risk = run.sensor.risk_map(batch.config.alpha).expect("risk");
+    assert_eq!(risk.entries.len(), batch.risk.entries.len());
+    for (a, b) in risk.entries.iter().zip(&batch.risk.entries) {
+        assert_eq!(
+            (a.state, a.organ, a.cases_in, a.total_in),
+            (b.state, b.organ, b.cases_in, b.total_in)
+        );
+        assert_eq!(
+            a.risk.map(|r| r.rr.to_bits()),
+            b.risk.map(|r| r.rr.to_bits()),
+            "relative risk drifted for {:?}/{:?}",
+            a.state,
+            a.organ
+        );
+    }
+}
+
+#[test]
+fn lossy_faults_surface_nonzero_coverage_gap() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        FaultConfig::lossy(SEED),
+        stream_config(),
+    );
+    // Reconnect gaps skip deliveries; the loss must be *accounted*, not
+    // silent: the gap counter covers exactly the shortfall.
+    assert!(
+        run.fault_stats.skipped > 0,
+        "lossy schedule skipped nothing"
+    );
+    let gap = run
+        .metrics
+        .counter("stream_gap_tweets_total")
+        .expect("gap counter");
+    assert!(gap > 0);
+    assert!(run.delivered_tweets < run.expected_tweets);
+    assert_eq!(run.delivered_tweets + gap, run.expected_tweets);
+}
+
+#[test]
+fn finite_geocoder_outage_parks_then_recovers_bytewise() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    // The service hard-fails every call in a 600-call window: tweets
+    // park, then drain in arrival order once it recovers.
+    let service = FlakyGeocoder::new(&geocoder, FlakyConfig::outage(SEED, 40, 600));
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &service,
+        FaultConfig::none(),
+        stream_config(),
+    );
+    let peak = run
+        .metrics
+        .gauge("geo_parked_peak_depth")
+        .expect("peak gauge");
+    assert!(peak > 0, "outage never parked anything");
+    assert_eq!(run.parked_at_end, 0, "park queue failed to drain");
+    assert_eq!(run.metrics.counter("stream_gap_tweets_total"), Some(0));
+    assert_eq!(run.delivered_tweets, run.expected_tweets);
+
+    // Parking must be invisible in the artifacts.
+    let batch = batch_on(&sim);
+    assert_eq!(run.sensor.corpus().tweets(), batch.usa.tweets());
+    let attention = run.sensor.attention().expect("attention");
+    assert_attention_bits_equal(&attention, &batch.attention);
+}
+
+#[test]
+fn unrecoverable_outage_degrades_gracefully_with_parked_gauges() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    // Service goes down after 120 calls and never comes back.
+    let service = FlakyGeocoder::new(&geocoder, FlakyConfig::outage(SEED, 120, u64::MAX));
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &service,
+        FaultConfig::none(),
+        stream_config(),
+    );
+    assert!(run.parked_at_end > 0, "nothing parked under endless outage");
+    let depth = run.metrics.gauge("geo_parked_depth").expect("depth gauge");
+    assert_eq!(depth, run.parked_at_end);
+    let gap = run
+        .metrics
+        .counter("stream_gap_tweets_total")
+        .expect("gap counter");
+    assert!(gap > 0, "unresolved tweets must count as coverage gap");
+    assert_eq!(run.delivered_tweets + gap, run.expected_tweets);
+}
+
+#[test]
+fn mid_outage_snapshot_matches_clean_sensor_on_delivered_subset() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    let service = FlakyGeocoder::new(&geocoder, FlakyConfig::outage(SEED, 120, u64::MAX));
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &service,
+        FaultConfig::none(),
+        stream_config(),
+    );
+    // Admission is FIFO and order-preserving, so the delivered subset is
+    // exactly the clean stream's prefix. A sensor fed that prefix
+    // directly must agree with the degraded run's snapshot bitwise.
+    assert!(run.delivered_tweets > 0, "outage started too early");
+    let mut clean = IncrementalSensor::new(&geocoder, |id| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    });
+    for tweet in sim
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .take(run.delivered_tweets as usize)
+    {
+        clean.ingest(&tweet);
+    }
+    assert_eq!(run.sensor.tweets_seen(), clean.tweets_seen());
+    assert_eq!(run.sensor.user_states(), clean.user_states());
+    assert_eq!(run.sensor.corpus().tweets(), clean.corpus().tweets());
+    let a = run.sensor.attention().expect("degraded attention");
+    let b = clean.attention().expect("clean attention");
+    assert_attention_bits_equal(&a, &b);
+}

@@ -48,8 +48,7 @@ fn permutation_correction_clears_the_null() {
     // The family-wise permutation correction should remove essentially
     // every highlight on a null corpus.
     let r = null_run();
-    let adjusted =
-        permutation::adjust(&r.attention, &r.user_states, 0.05, 40, 11).unwrap();
+    let adjusted = permutation::adjust(&r.attention, &r.user_states, 0.05, 40, 11).unwrap();
     assert!(
         adjusted.surviving.len() <= 1,
         "null survivors: {:?}",
@@ -82,5 +81,8 @@ fn state_signatures_become_homogeneous() {
     // should be small compared to the planted-run zones.
     let r = null_run();
     let max_d = r.state_clusters.distances.max();
-    assert!(max_d < 0.40, "null corpus still has distant states: {max_d}");
+    assert!(
+        max_d < 0.40,
+        "null corpus still has distant states: {max_d}"
+    );
 }

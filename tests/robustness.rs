@@ -49,10 +49,13 @@ fn single_user_corpus_characterizes() {
     let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
     assert_eq!(attention.user_count(), 1);
     let membership = by_dominant_organ(&attention).unwrap();
-    let k = donorpulse::core::aggregate::Aggregation::compute(&membership, attention.matrix())
-        .unwrap();
+    let k =
+        donorpulse::core::aggregate::Aggregation::compute(&membership, attention.matrix()).unwrap();
     assert_eq!(k.groups, vec![Organ::Kidney]);
-    assert_eq!(k.row_for(Organ::Kidney).unwrap()[Organ::Kidney.index()], 1.0);
+    assert_eq!(
+        k.row_for(Organ::Kidney).unwrap()[Organ::Kidney.index()],
+        1.0
+    );
 }
 
 #[test]
@@ -68,10 +71,7 @@ fn region_membership_with_no_locations_errors() {
 
 #[test]
 fn risk_map_with_single_state_defines_nothing() {
-    let corpus = Corpus::from_tweets([
-        tweet(0, 1, "heart donor"),
-        tweet(1, 2, "kidney donor"),
-    ]);
+    let corpus = Corpus::from_tweets([tweet(0, 1, "heart donor"), tweet(1, 2, "kidney donor")]);
     let attention = AttentionMatrix::from_corpus(&corpus).unwrap();
     let mut states = HashMap::new();
     states.insert(UserId(1), UsState::Kansas);

@@ -70,7 +70,10 @@ fn collection_rate_matches_calibration() {
 #[test]
 fn corpus_from_stream_preserves_order_and_count() {
     let s = sim(5);
-    let corpus: Corpus = s.stream().with_filter(Box::new(KeywordQuery::paper())).collect();
+    let corpus: Corpus = s
+        .stream()
+        .with_filter(Box::new(KeywordQuery::paper()))
+        .collect();
     assert_eq!(corpus.len(), s.on_topic_len());
     let tweets = corpus.tweets();
     for pair in tweets.windows(2) {

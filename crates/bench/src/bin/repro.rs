@@ -8,7 +8,12 @@
 //!   all        every table and figure, in paper order
 //!   metrics    per-stage wall times, throughput, and domain counters
 //!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
-//!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|outage)
+//!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|outage);
+//!              --shards N runs the sharded consumer group (byte-identical artifacts for
+//!              every N), with --checkpoint-dir/--checkpoint-every/--kill-after/--resume
+//!              for per-shard checkpoint/restore and --dead-letter-dir for the
+//!              replayable abandonment log
+//!   bench-shards  shard-scaling smoke bench (N = 1, 2, 4)
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
 //!   fig2b      Fig 2(b) — multi-organ mentions, users vs tweets
@@ -66,6 +71,14 @@ struct Options {
     json: Option<String>,
     metrics: bool,
     faults: String,
+    /// `None` = the single-consumer front-half; `Some(n)` = the
+    /// sharded consumer group (`n` = 0 means auto).
+    shards: Option<usize>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    kill_after: Option<u64>,
+    dead_letter_dir: Option<String>,
     command: String,
 }
 
@@ -76,6 +89,12 @@ fn parse_args() -> Result<Options, String> {
     let mut json = None;
     let mut metrics = false;
     let mut faults = "off".to_string();
+    let mut shards = None;
+    let mut checkpoint_dir = None;
+    let mut checkpoint_every = 512;
+    let mut resume = false;
+    let mut kill_after = None;
+    let mut dead_letter_dir = None;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -109,6 +128,36 @@ fn parse_args() -> Result<Options, String> {
             "--faults" => {
                 faults = args.next().ok_or("--faults needs a mode")?;
             }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .ok_or("--shards needs a count (0 = auto)")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?,
+                );
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(args.next().ok_or("--checkpoint-dir needs a path")?);
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = args
+                    .next()
+                    .ok_or("--checkpoint-every needs a tweet count")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+            }
+            "--resume" => resume = true,
+            "--kill-after" => {
+                kill_after = Some(
+                    args.next()
+                        .ok_or("--kill-after needs a routed-tweet count")?
+                        .parse()
+                        .map_err(|e| format!("bad --kill-after: {e}"))?,
+                );
+            }
+            "--dead-letter-dir" => {
+                dead_letter_dir = Some(args.next().ok_or("--dead-letter-dir needs a path")?);
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -123,6 +172,12 @@ fn parse_args() -> Result<Options, String> {
         json,
         metrics,
         faults,
+        shards,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
+        kill_after,
+        dead_letter_dir,
         command: command.unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -143,6 +198,20 @@ fn main() -> ExitCode {
         eprintln!("  metrics    per-stage wall times, tweets/sec, and domain counters");
         eprintln!("  bench      smoke benchmark: one instrumented run, written to BENCH_<n>.json");
         eprintln!("  stream     fault-tolerant streaming front-half; --faults off|recoverable|lossy|outage");
+        eprintln!(
+            "             --shards N (0=auto) runs the sharded consumer group; byte-identical"
+        );
+        eprintln!("             artifacts for every N. --checkpoint-dir D [--checkpoint-every K]");
+        eprintln!(
+            "             writes per-shard checkpoints; --kill-after M simulates a crash after"
+        );
+        eprintln!(
+            "             M routed tweets; --resume restarts from the newest complete epoch."
+        );
+        eprintln!("             --dead-letter-dir D writes abandoned records to a replayable log.");
+        eprintln!(
+            "  bench-shards  shard-scaling smoke bench (N = 1, 2, 4) over the stream front-half"
+        );
         eprintln!("  table1     Table I  - dataset statistics");
         eprintln!("  fig2a      Fig 2(a) - users per organ + Spearman vs transplants");
         eprintln!("  fig2b      Fig 2(b) - multi-organ mentions, users vs tweets");
@@ -190,6 +259,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "extension-burst" => return extension_burst(opts),
         "control-null" => return control_null(opts),
         "stream" => return stream_command(opts),
+        "bench-shards" => return bench_shards(opts),
         _ => {}
     }
 
@@ -212,13 +282,17 @@ fn dispatch(opts: &Options) -> Result<(), String> {
             let total_nanos: u64 = run.metrics.stages.iter().map(|s| s.wall_nanos).sum();
             // The snapshot's to_json() is already valid JSON; wrap it in
             // a header recording the knobs so a BENCH file is
-            // self-describing without a schema lookup.
+            // self-describing without a schema lookup. calibration_nanos
+            // times a fixed CPU-bound workload on this machine, so
+            // scripts/bench_check.sh can compare runs across machines by
+            // normalizing wall time against it.
             let body = format!(
-                "{{\n  \"bench\": {{\"scale\": {}, \"seed\": {}, \"compute_threads\": {}, \"total_wall_nanos\": {}}},\n  \"snapshot\": {}\n}}\n",
+                "{{\n  \"bench\": {{\"scale\": {}, \"seed\": {}, \"compute_threads\": {}, \"total_wall_nanos\": {}, \"calibration_nanos\": {}}},\n  \"snapshot\": {}\n}}\n",
                 opts.scale,
                 opts.seed,
                 opts.threads,
                 total_nanos,
+                calibration_nanos(),
                 run.metrics.to_json()
             );
             let path = match &opts.json {
@@ -395,6 +469,90 @@ fn pipeline_run(opts: &Options, need_user_clusters: bool) -> Result<PipelineRun,
     Pipeline::new().run(config).map_err(|e| e.to_string())
 }
 
+/// Times a fixed CPU-bound workload (FNV over 32 MiB of generated
+/// bytes) on this machine. Committed baselines record this next to
+/// their wall times; a checker comparing two machines divides each
+/// wall time by its own calibration so a slower CI runner doesn't read
+/// as a code regression.
+fn calibration_nanos() -> u64 {
+    let start = std::time::Instant::now();
+    let mut f = Fnv::new();
+    for i in 0..4_000_000u64 {
+        f.u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    std::hint::black_box(f.0);
+    start.elapsed().as_nanos() as u64
+}
+
+/// `repro bench-shards`: shard-scaling smoke benchmark of the
+/// streaming front-half at N = 1, 2, 4 (clean faults, so the work
+/// measured is routing + admission + sensing, not retry sleeps).
+/// Prints wall time and throughput per shard count; with `--json`,
+/// writes a hand-rolled summary.
+fn bench_shards(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::shard::{run_sharded_stream, ShardConfig};
+    use donorpulse_core::stream_consumer::StreamPipelineConfig;
+    use donorpulse_twitter::fault::FaultConfig;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    println!(
+        "SHARD SCALING BENCH (scale {}, seed {})",
+        opts.scale, opts.seed
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>18}",
+        "shards", "wall ms", "tweets", "tweets/sec"
+    );
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let start = std::time::Instant::now();
+        let run = run_sharded_stream(
+            &sim,
+            &geocoder,
+            &geocoder,
+            FaultConfig::none(),
+            None,
+            ShardConfig {
+                shards,
+                stream: StreamPipelineConfig::default(),
+                ..ShardConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let nanos = start.elapsed().as_nanos() as u64;
+        let tweets = run.delivered_tweets;
+        let per_sec = tweets as f64 / (nanos as f64 / 1e9);
+        println!(
+            "{:<8} {:>12.1} {:>14} {:>18.0}",
+            shards,
+            nanos as f64 / 1e6,
+            tweets,
+            per_sec
+        );
+        rows.push((shards, nanos, tweets));
+    }
+    if let Some(path) = &opts.json {
+        let body_rows: Vec<String> = rows
+            .iter()
+            .map(|(s, n, t)| {
+                format!("    {{\"shards\": {s}, \"wall_nanos\": {n}, \"tweets\": {t}}}")
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"calibration_nanos\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            opts.scale,
+            opts.seed,
+            calibration_nanos(),
+            body_rows.join(",\n")
+        );
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("# wrote {path}");
+    }
+    Ok(())
+}
+
 /// First unused `BENCH_<n>.json` in the working directory, so repeated
 /// benchmark runs accumulate a comparable trajectory instead of
 /// overwriting each other.
@@ -440,33 +598,20 @@ impl Fnv {
 /// modes) goes to stderr.
 fn stream_command(opts: &Options) -> Result<(), String> {
     use donorpulse_core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
-    use donorpulse_geo::service::{FlakyConfig, FlakyGeocoder};
-    use donorpulse_twitter::fault::FaultConfig;
+    use donorpulse_geo::service::FlakyGeocoder;
+
+    if opts.shards.is_some() {
+        return sharded_stream_command(opts);
+    }
+    if opts.resume || opts.kill_after.is_some() {
+        return Err("--resume / --kill-after require --shards (the consumer group)".to_string());
+    }
 
     let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
     let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
     let geocoder = Geocoder::new();
 
-    let (faults, flaky) = match opts.faults.as_str() {
-        "off" => (FaultConfig::none(), None),
-        "recoverable" => (
-            FaultConfig::recoverable(opts.seed),
-            Some(FlakyConfig::flaky(opts.seed)),
-        ),
-        "lossy" => (
-            FaultConfig::lossy(opts.seed),
-            Some(FlakyConfig::flaky(opts.seed)),
-        ),
-        "outage" => (
-            FaultConfig::lossy(opts.seed),
-            Some(FlakyConfig::outage(opts.seed, 64, u64::MAX)),
-        ),
-        other => {
-            return Err(format!(
-                "unknown --faults mode {other} (use off|recoverable|lossy|outage)"
-            ))
-        }
-    };
+    let (faults, flaky) = fault_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         ..StreamPipelineConfig::default()
@@ -488,7 +633,166 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         }
         None => run_faulted_stream(&sim, &geocoder, &geocoder, faults, stream_config),
     };
-    let stats = run.fault_stats;
+    report_fault_accounting(&run.fault_stats, run.source_aborted, run.parked_at_end);
+    write_dead_letters(opts, &run.dead_letters)?;
+
+    let sensor = &run.sensor;
+    snapshot_and_check(
+        opts,
+        &sim,
+        sensor,
+        run.delivered_tweets,
+        run.expected_tweets,
+        &run.metrics,
+        run.parked_at_end,
+        run.source_aborted,
+    )
+}
+
+/// The faulted-stream variant of `repro stream --shards N`: the
+/// consumer-group subsystem, with optional checkpointing, crash
+/// simulation, and resume. Stdout is required to be byte-identical to
+/// the unsharded `repro stream` for every shard count in clean and
+/// recoverable modes — `scripts/verify.sh` diffs exactly that.
+fn sharded_stream_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::{CheckpointStore, DirCheckpointStore};
+    use donorpulse_core::shard::{run_sharded_stream, ShardConfig};
+    use donorpulse_core::stream_consumer::{RetryPolicy, StreamPipelineConfig};
+    use donorpulse_geo::service::FlakyGeocoder;
+
+    let shards = opts.shards.unwrap_or(1);
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (faults, flaky) = fault_setup(opts)?;
+
+    let store: Option<DirCheckpointStore> = match &opts.checkpoint_dir {
+        Some(dir) => Some(DirCheckpointStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+    let store_ref: Option<&dyn CheckpointStore> = store.as_ref().map(|s| s as &dyn CheckpointStore);
+
+    // Reconnect jitter is on for the group (seeded, per-consumer) so N
+    // shards never thundering-herd the endpoint. It moves only the
+    // virtual clock, never the artifacts.
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        geo_retry: RetryPolicy {
+            max_attempts: 6,
+            jitter_permille: 500,
+            jitter_seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        ..StreamPipelineConfig::default()
+    };
+    let shard_config = ShardConfig {
+        shards,
+        checkpoint_every: if store.is_some() {
+            opts.checkpoint_every
+        } else {
+            0
+        },
+        kill_after: opts.kill_after,
+        resume: opts.resume,
+        stream: stream_config,
+    };
+
+    eprintln!(
+        "# stream: faults={} shards={} checkpoint_every={} resume={}",
+        opts.faults, shards, shard_config.checkpoint_every, opts.resume
+    );
+    let run = match flaky {
+        Some(cfg) => {
+            let service = FlakyGeocoder::new(&geocoder, cfg);
+            run_sharded_stream(&sim, &geocoder, &service, faults, store_ref, shard_config)
+        }
+        None => run_sharded_stream(&sim, &geocoder, &geocoder, faults, store_ref, shard_config),
+    }
+    .map_err(|e| e.to_string())?;
+
+    report_fault_accounting(&run.fault_stats, run.source_aborted, run.parked_at_end);
+    if let Some(epoch) = run.resumed_from_epoch {
+        eprintln!(
+            "# stream: resumed from checkpoint epoch {epoch} ({} replayed past the cut)",
+            run.metrics.counter("resume_replayed_total").unwrap_or(0)
+        );
+    }
+    eprintln!(
+        "# shards: {} workers, routed per shard {:?}, imbalance {} permille",
+        run.shards,
+        run.shard_tweets,
+        run.metrics
+            .gauge("shard_imbalance_ratio_permille")
+            .unwrap_or(0)
+    );
+    write_dead_letters(opts, &run.dead_letters)?;
+
+    if run.killed {
+        // The simulated crash: no final artifacts, only checkpoints.
+        println!("STREAM KILLED");
+        println!(
+            "  routed before kill      {}",
+            run.shard_tweets.iter().sum::<u64>()
+        );
+        println!("  checkpoints through     epoch {}", run.last_epoch);
+        eprintln!("# stream: killed by --kill-after; resume with --resume");
+        return Ok(());
+    }
+    let sensor = run
+        .sensor
+        .as_ref()
+        .expect("non-killed sharded run always merges a sensor");
+    snapshot_and_check(
+        opts,
+        &sim,
+        sensor,
+        run.delivered_tweets,
+        run.expected_tweets,
+        &run.metrics,
+        run.parked_at_end,
+        run.source_aborted,
+    )
+}
+
+/// Maps `--faults` to a stream fault schedule plus (for every mode but
+/// `off`) a flaky geocoding-service configuration.
+fn fault_setup(
+    opts: &Options,
+) -> Result<
+    (
+        donorpulse_twitter::fault::FaultConfig,
+        Option<donorpulse_geo::service::FlakyConfig>,
+    ),
+    String,
+> {
+    use donorpulse_geo::service::FlakyConfig;
+    use donorpulse_twitter::fault::FaultConfig;
+    match opts.faults.as_str() {
+        "off" => Ok((FaultConfig::none(), None)),
+        "recoverable" => Ok((
+            FaultConfig::recoverable(opts.seed),
+            Some(FlakyConfig::flaky(opts.seed)),
+        )),
+        "lossy" => Ok((
+            FaultConfig::lossy(opts.seed),
+            Some(FlakyConfig::flaky(opts.seed)),
+        )),
+        "outage" => Ok((
+            FaultConfig::lossy(opts.seed),
+            Some(FlakyConfig::outage(opts.seed, 64, u64::MAX)),
+        )),
+        other => Err(format!(
+            "unknown --faults mode {other} (use off|recoverable|lossy|outage)"
+        )),
+    }
+}
+
+/// Stderr fault accounting, shared by the sharded and unsharded paths.
+fn report_fault_accounting(
+    stats: &donorpulse_twitter::fault::FaultStats,
+    source_aborted: bool,
+    parked_at_end: u64,
+) {
     eprintln!(
         "# stream faults: {} disconnects, {} reconnects ({} failed attempts), {} replayed, {} skipped, {} duplicated, {} reordered, {} corrupted",
         stats.disconnects,
@@ -500,17 +804,50 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         stats.reordered,
         stats.corrupted
     );
-    if run.source_aborted {
+    if source_aborted {
         eprintln!("# stream: source ABORTED (reconnect budget exhausted)");
     }
-    if run.parked_at_end > 0 {
+    if parked_at_end > 0 {
         eprintln!(
-            "# stream: {} tweets still parked at end (geocoding never recovered)",
-            run.parked_at_end
+            "# stream: {parked_at_end} tweets still parked at end (geocoding never recovered)"
         );
     }
+}
 
-    let sensor = &run.sensor;
+/// Writes the run's dead-letter log when `--dead-letter-dir` is given
+/// (always, so an empty log is distinguishable from a missing run).
+fn write_dead_letters(
+    opts: &Options,
+    letters: &donorpulse_core::checkpoint::DeadLetterLog,
+) -> Result<(), String> {
+    let Some(dir) = &opts.dead_letter_dir else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let path = format!("{dir}/dead-letters.dpwf");
+    letters
+        .write_to(&path)
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {} dead letters to {path}", letters.len());
+    Ok(())
+}
+
+/// Fingerprints the sensor's artifacts, prints the snapshot block,
+/// verifies against the clean batch pipeline in-process, and enforces
+/// the byte-identity gates for recoverable modes. Shared by the
+/// sharded and unsharded stream paths — which is what makes "sharded
+/// stdout equals unsharded stdout" a meaningful diff.
+#[allow(clippy::too_many_arguments)]
+fn snapshot_and_check(
+    opts: &Options,
+    sim: &TwitterSimulation,
+    sensor: &donorpulse_core::incremental::IncrementalSensor<'_>,
+    delivered_tweets: u64,
+    expected_tweets: u64,
+    metrics: &donorpulse_core::pipeline::RunMetrics,
+    parked_at_end: u64,
+    source_aborted: bool,
+) -> Result<(), String> {
     sensor.ensure_nonempty().map_err(|e| e.to_string())?;
     let corpus = sensor.corpus();
     let attention = sensor.attention().map_err(|e| e.to_string())?;
@@ -570,7 +907,7 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         ..Default::default()
     };
     let batch = Pipeline::new()
-        .run_on(&sim, batch_config)
+        .run_on(sim, batch_config)
         .map_err(|e| e.to_string())?;
     let corpus_ok = corpus.tweets() == batch.usa.tweets();
     let states_ok = sensor.user_states() == batch.user_states;
@@ -582,7 +919,7 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         });
     let verdict = |ok: bool| if ok { "yes" } else { "NO" };
 
-    let gap = run.metrics.counter("stream_gap_tweets_total").unwrap_or(0);
+    let gap = metrics.counter("stream_gap_tweets_total").unwrap_or(0);
     println!("STREAM SENSOR SNAPSHOT");
     println!("  collected tweets        {}", sensor.tweets_seen());
     println!("  usa tweets              {}", sensor.usa_tweet_count());
@@ -593,7 +930,7 @@ fn stream_command(opts: &Options) -> Result<(), String> {
     println!("  daily fingerprint       {daily_fp:016x}");
     println!(
         "  coverage                {} / {} delivered, gap counter {}",
-        run.delivered_tweets, run.expected_tweets, gap
+        delivered_tweets, expected_tweets, gap
     );
     println!(
         "  batch equivalence       corpus={} states={} attention={} risk={}",
@@ -603,7 +940,7 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         verdict(risk_ok)
     );
     if opts.metrics {
-        eprintln!("{}", run.metrics.render_table());
+        eprintln!("{}", metrics.render_table());
     }
     if let Some(path) = &opts.json {
         // Hand-rolled JSON so the summary also works where serde_json
@@ -613,11 +950,11 @@ fn stream_command(opts: &Options) -> Result<(), String> {
             opts.faults,
             opts.scale,
             opts.seed,
-            run.delivered_tweets,
-            run.expected_tweets,
+            delivered_tweets,
+            expected_tweets,
             gap,
-            run.parked_at_end,
-            run.source_aborted,
+            parked_at_end,
+            source_aborted,
             corpus_fp,
             attention_fp,
             risk_fp,

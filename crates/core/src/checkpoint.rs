@@ -1,0 +1,709 @@
+//! Checkpoint/restore for the streaming sensor: a versioned,
+//! dependency-free wire format plus pluggable storage.
+//!
+//! A [`SensorCheckpoint`] freezes one shard's complete consumer state —
+//! the sensor's per-user tracks ([`SensorExport`]), the high-water mark
+//! of the router cut it was taken at, and the geocode park-queue
+//! residue — so a killed shard can resume without replaying the whole
+//! stream. Checkpoints are taken at **router markers** (one marker per
+//! epoch, broadcast down every shard channel), so the set of epoch-`e`
+//! checkpoints across shards is a consistent cut: every tweet routed
+//! before the marker is either inside a shard's export or inside its
+//! park residue, and every tweet after it has an id above the recorded
+//! high-water mark. `docs/SCALING.md` walks through the argument.
+//!
+//! The wire format is hand-rolled little-endian (no serde: checkpoints
+//! must round-trip in dependency-stubbed environments and stay
+//! parseable by operators with `xxd`): a 7-byte header (`DPWF`, kind,
+//! version) followed by the payload, closed by an FNV-1a checksum of
+//! everything before it. Decoding validates magic, kind, version, and
+//! checksum, and refuses trailing garbage. The version is bumped on
+//! any layout change; decoders reject versions they do not know
+//! instead of guessing (versioning policy: `docs/SCALING.md`).
+//!
+//! The same envelope carries the [`DeadLetterLog`] (kind 2): tweets
+//! abandoned past every park/retry budget are appended there instead of
+//! only being counted, so an operator can replay them after an outage.
+
+use crate::incremental::{SensorExport, TrackExport};
+use crate::{CoreError, Result};
+use donorpulse_geo::UsState;
+use donorpulse_text::extract::MentionCounts;
+use donorpulse_text::Organ;
+use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First bytes of every wire envelope.
+const MAGIC: [u8; 4] = *b"DPWF";
+/// Envelope kind: a sensor checkpoint.
+const KIND_CHECKPOINT: u8 = 1;
+/// Envelope kind: a dead-letter log.
+const KIND_DEAD_LETTER: u8 = 2;
+/// Current layout version, shared by both kinds.
+const VERSION: u16 = 1;
+
+/// FNV-1a over a byte slice — the integrity trailer.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Little-endian encoder for the checkpoint wire format.
+struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    fn new(kind: u8) -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(kind);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        WireWriter { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn tweet(&mut self, t: &Tweet) {
+        self.u64(t.id.0);
+        self.u64(t.user.0);
+        self.u64(t.created_at.0);
+        self.str(&t.text);
+        match t.geo {
+            Some((lat, lon)) => {
+                self.u8(1);
+                self.u64(lat.to_bits());
+                self.u64(lon.to_bits());
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Seals the envelope with the checksum trailer.
+    fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Little-endian decoder; every read is bounds-checked.
+struct WireReader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> WireReader<'b> {
+    /// Validates the envelope (magic, kind, version, checksum) and
+    /// positions the reader at the start of the payload.
+    fn open(bytes: &'b [u8], want_kind: u8) -> Result<Self> {
+        if bytes.len() < MAGIC.len() + 1 + 2 + 8 {
+            return Err(CoreError::Checkpoint("truncated envelope".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv1a(body) != stored {
+            return Err(CoreError::Checkpoint("checksum mismatch".into()));
+        }
+        if body[..MAGIC.len()] != MAGIC {
+            return Err(CoreError::Checkpoint("bad magic".into()));
+        }
+        let kind = body[MAGIC.len()];
+        if kind != want_kind {
+            return Err(CoreError::Checkpoint(format!(
+                "wrong envelope kind {kind} (wanted {want_kind})"
+            )));
+        }
+        let version = u16::from_le_bytes([body[MAGIC.len() + 1], body[MAGIC.len() + 2]]);
+        if version != VERSION {
+            return Err(CoreError::Checkpoint(format!(
+                "unknown wire version {version} (this build reads {VERSION})"
+            )));
+        }
+        Ok(WireReader {
+            buf: body,
+            pos: MAGIC.len() + 3,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(CoreError::Checkpoint("truncated payload".into()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CoreError::Checkpoint("non-UTF-8 string".into()))
+    }
+
+    fn tweet(&mut self) -> Result<Tweet> {
+        let id = TweetId(self.u64()?);
+        let user = UserId(self.u64()?);
+        let created_at = SimInstant(self.u64()?);
+        let text = self.str()?;
+        let geo = match self.u8()? {
+            0 => None,
+            1 => Some((f64::from_bits(self.u64()?), f64::from_bits(self.u64()?))),
+            other => {
+                return Err(CoreError::Checkpoint(format!("bad geo flag {other}")));
+            }
+        };
+        Ok(Tweet {
+            id,
+            user,
+            created_at,
+            text,
+            geo,
+        })
+    }
+
+    /// The payload must be fully consumed — trailing bytes mean a
+    /// layout mismatch the version check failed to catch.
+    fn close(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(CoreError::Checkpoint(format!(
+                "{} unread payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One shard's frozen consumer state at a router marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorCheckpoint {
+    /// Which shard this is (0-based).
+    pub shard_id: u32,
+    /// Total shards in the group — resume refuses a mismatched count,
+    /// because re-routing with a different modulus would split user
+    /// histories across sensors.
+    pub shard_count: u32,
+    /// Router epoch the marker belonged to.
+    pub epoch: u64,
+    /// Last tweet id the router had routed when it broadcast the
+    /// marker — the stream position resume seeks past.
+    pub router_high_water: Option<TweetId>,
+    /// The sensor's exported tracks and counters.
+    pub export: SensorExport,
+    /// Geocode park-queue residue in FIFO order: tweets at or below
+    /// the high-water mark that were admitted but not yet resolved.
+    pub parked: Vec<Tweet>,
+}
+
+impl SensorCheckpoint {
+    /// Serializes to the versioned wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new(KIND_CHECKPOINT);
+        w.u32(self.shard_id);
+        w.u32(self.shard_count);
+        w.u64(self.epoch);
+        match self.router_high_water {
+            Some(id) => {
+                w.u8(1);
+                w.u64(id.0);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.export.tracks.len() as u64);
+        for (user, track) in &self.export.tracks {
+            w.u64(user.0);
+            match track.state {
+                Some(s) => w.u8(s.index() as u8),
+                None => w.u8(u8::MAX),
+            }
+            w.bool(track.geo_locked);
+            for organ in Organ::ALL {
+                w.u32(track.mentions.count(organ));
+            }
+            w.u32(track.tweets.len() as u32);
+            for t in &track.tweets {
+                w.tweet(t);
+            }
+        }
+        w.u64(self.export.duplicates_ignored);
+        match self.export.high_water {
+            Some(id) => {
+                w.u8(1);
+                w.u64(id.0);
+            }
+            None => w.u8(0),
+        }
+        w.u32(self.parked.len() as u32);
+        for t in &self.parked {
+            w.tweet(t);
+        }
+        w.finish()
+    }
+
+    /// Decodes and validates one wire envelope.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::open(bytes, KIND_CHECKPOINT)?;
+        let shard_id = r.u32()?;
+        let shard_count = r.u32()?;
+        let epoch = r.u64()?;
+        let router_high_water = match r.u8()? {
+            0 => None,
+            _ => Some(TweetId(r.u64()?)),
+        };
+        let n_tracks = r.u64()?;
+        let mut tracks = BTreeMap::new();
+        for _ in 0..n_tracks {
+            let user = UserId(r.u64()?);
+            let state = match r.u8()? {
+                u8::MAX => None,
+                i => Some(
+                    UsState::from_index(i as usize)
+                        .ok_or_else(|| CoreError::Checkpoint(format!("bad state index {i}")))?,
+                ),
+            };
+            let geo_locked = r.bool()?;
+            let mut mentions = MentionCounts::new();
+            for organ in Organ::ALL {
+                mentions.add(organ, r.u32()?);
+            }
+            let n_tweets = r.u32()?;
+            let mut tweets = Vec::with_capacity(n_tweets as usize);
+            for _ in 0..n_tweets {
+                tweets.push(r.tweet()?);
+            }
+            tracks.insert(
+                user,
+                TrackExport {
+                    state,
+                    geo_locked,
+                    tweets,
+                    mentions,
+                },
+            );
+        }
+        let duplicates_ignored = r.u64()?;
+        let high_water = match r.u8()? {
+            0 => None,
+            _ => Some(TweetId(r.u64()?)),
+        };
+        let n_parked = r.u32()?;
+        let mut parked = Vec::with_capacity(n_parked as usize);
+        for _ in 0..n_parked {
+            parked.push(r.tweet()?);
+        }
+        r.close()?;
+        Ok(SensorCheckpoint {
+            shard_id,
+            shard_count,
+            epoch,
+            router_high_water,
+            export: SensorExport {
+                tracks,
+                duplicates_ignored,
+                high_water,
+            },
+            parked,
+        })
+    }
+}
+
+/// Where encoded checkpoints live. Implementations must be shareable
+/// across shard threads (`&self` methods, `Send + Sync`).
+pub trait CheckpointStore: Send + Sync {
+    /// Persists one shard's checkpoint for one epoch (overwrites).
+    fn save(&self, shard: u32, epoch: u64, bytes: &[u8]) -> io::Result<()>;
+    /// Loads one shard's checkpoint for one epoch, `None` if absent.
+    fn load(&self, shard: u32, epoch: u64) -> io::Result<Option<Vec<u8>>>;
+    /// Every epoch this shard has a checkpoint for, ascending.
+    fn epochs(&self, shard: u32) -> io::Result<Vec<u64>>;
+}
+
+/// The newest epoch for which **every** shard in `0..shards` has a
+/// checkpoint — the only cut resume may restore from. A shard that
+/// died between a marker and its write leaves that epoch incomplete;
+/// the group falls back to the previous complete one.
+pub fn latest_complete_epoch(store: &dyn CheckpointStore, shards: u32) -> io::Result<Option<u64>> {
+    let mut common: Option<Vec<u64>> = None;
+    for shard in 0..shards {
+        let epochs = store.epochs(shard)?;
+        common = Some(match common {
+            None => epochs,
+            Some(prev) => prev.into_iter().filter(|e| epochs.contains(e)).collect(),
+        });
+    }
+    Ok(common.and_then(|c| c.into_iter().max()))
+}
+
+/// Filesystem-backed [`CheckpointStore`]: one
+/// `shard-<s>-epoch-<e>.ckpt` file per checkpoint, written to a
+/// temporary name and renamed so a crash mid-write never leaves a
+/// half-checkpoint behind a valid name (the checksum trailer catches
+/// anything that slips through).
+#[derive(Debug)]
+pub struct DirCheckpointStore {
+    root: PathBuf,
+}
+
+impl DirCheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(root.as_ref())?;
+        Ok(DirCheckpointStore {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    fn path(&self, shard: u32, epoch: u64) -> PathBuf {
+        self.root.join(format!("shard-{shard}-epoch-{epoch}.ckpt"))
+    }
+}
+
+impl CheckpointStore for DirCheckpointStore {
+    fn save(&self, shard: u32, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.root.join(format!(".shard-{shard}-epoch-{epoch}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.path(shard, epoch))
+    }
+
+    fn load(&self, shard: u32, epoch: u64) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(shard, epoch)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn epochs(&self, shard: u32) -> io::Result<Vec<u64>> {
+        let prefix = format!("shard-{shard}-epoch-");
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(epoch) = rest.strip_suffix(".ckpt") {
+                    if let Ok(e) = epoch.parse() {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+/// In-memory [`CheckpointStore`] for tests and embedding.
+#[derive(Debug, Default)]
+pub struct MemCheckpointStore {
+    slots: Mutex<BTreeMap<(u32, u64), Vec<u8>>>,
+}
+
+impl MemCheckpointStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemCheckpointStore {
+    fn save(&self, shard: u32, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+        self.slots
+            .lock()
+            .expect("store poisoned")
+            .insert((shard, epoch), bytes.to_vec());
+        Ok(())
+    }
+
+    fn load(&self, shard: u32, epoch: u64) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .slots
+            .lock()
+            .expect("store poisoned")
+            .get(&(shard, epoch))
+            .cloned())
+    }
+
+    fn epochs(&self, shard: u32) -> io::Result<Vec<u64>> {
+        Ok(self
+            .slots
+            .lock()
+            .expect("store poisoned")
+            .keys()
+            .filter(|(s, _)| *s == shard)
+            .map(|&(_, e)| e)
+            .collect())
+    }
+}
+
+/// One abandoned record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeadLetter {
+    /// An intact tweet dropped past every park/retry budget (park
+    /// overflow, or unresolvable when the stream ended).
+    Tweet(Tweet),
+    /// A record that stayed corrupt past the reconnect budget; only
+    /// its truncated wire payload survives.
+    Corrupt(String),
+}
+
+/// A replayable log of everything the consumer gave up on.
+///
+/// Shares the checkpoint wire envelope (kind 2), so the same tooling
+/// reads both. Order is preserved: entries append in abandonment
+/// order, which for park-queue leftovers is arrival order — the
+/// property that makes replaying them into a sensor reproduce the
+/// clean run's per-user history (tested in `tests/sharding.rs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeadLetterLog {
+    entries: Vec<DeadLetter>,
+}
+
+impl DeadLetterLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one abandoned record.
+    pub fn push(&mut self, letter: DeadLetter) {
+        self.entries.push(letter);
+    }
+
+    /// Entries in abandonment order.
+    pub fn entries(&self) -> &[DeadLetter] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was abandoned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to the shared wire envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new(KIND_DEAD_LETTER);
+        w.u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            match entry {
+                DeadLetter::Tweet(t) => {
+                    w.u8(0);
+                    w.tweet(t);
+                }
+                DeadLetter::Corrupt(payload) => {
+                    w.u8(1);
+                    w.str(payload);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes and validates one wire envelope.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = WireReader::open(bytes, KIND_DEAD_LETTER)?;
+        let n = r.u64()?;
+        let mut entries = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            entries.push(match r.u8()? {
+                0 => DeadLetter::Tweet(r.tweet()?),
+                1 => DeadLetter::Corrupt(r.str()?),
+                other => {
+                    return Err(CoreError::Checkpoint(format!(
+                        "bad dead-letter tag {other}"
+                    )))
+                }
+            });
+        }
+        r.close()?;
+        Ok(DeadLetterLog { entries })
+    }
+
+    /// Writes the encoded log to a file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Reads and decodes a log file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| CoreError::Checkpoint(format!("reading dead-letter log: {e}")))?;
+        Self::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(id: u64, user: u64, geo: Option<(f64, f64)>) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(user),
+            created_at: SimInstant(id * 3),
+            text: format!("kidney tweet {id} ❤"),
+            geo,
+        }
+    }
+
+    fn sample_checkpoint() -> SensorCheckpoint {
+        let mut mentions = MentionCounts::new();
+        mentions.add(Organ::Kidney, 2);
+        mentions.add(Organ::Heart, 1);
+        let mut tracks = BTreeMap::new();
+        tracks.insert(
+            UserId(7),
+            TrackExport {
+                state: Some(UsState::Kansas),
+                geo_locked: true,
+                tweets: vec![tweet(4, 7, Some((37.69, -97.34))), tweet(9, 7, None)],
+                mentions,
+            },
+        );
+        tracks.insert(
+            UserId(12),
+            TrackExport {
+                state: None,
+                geo_locked: false,
+                tweets: vec![tweet(5, 12, None)],
+                mentions: MentionCounts::new(),
+            },
+        );
+        SensorCheckpoint {
+            shard_id: 1,
+            shard_count: 4,
+            epoch: 3,
+            router_high_water: Some(TweetId(9)),
+            export: SensorExport {
+                tracks,
+                duplicates_ignored: 2,
+                high_water: Some(TweetId(9)),
+            },
+            parked: vec![tweet(8, 3, None)],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bytewise() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.encode();
+        let back = SensorCheckpoint::decode(&bytes).expect("decode");
+        assert_eq!(back, ckpt);
+        // Re-encoding is stable (BTreeMap order is canonical).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_truncation_and_wrong_kind() {
+        let bytes = sample_checkpoint().encode();
+        // Flipped payload byte: checksum catches it.
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0xFF;
+        assert!(SensorCheckpoint::decode(&flipped).is_err());
+        // Truncation.
+        assert!(SensorCheckpoint::decode(&bytes[..bytes.len() - 3]).is_err());
+        // A dead-letter envelope is not a checkpoint.
+        let dl = DeadLetterLog::new().encode();
+        assert!(SensorCheckpoint::decode(&dl).is_err());
+        // Unknown version is refused, not guessed at.
+        let mut vbumped = bytes.clone();
+        vbumped[5] = 0xEE;
+        let body_len = vbumped.len() - 8;
+        let sum = fnv1a(&vbumped[..body_len]);
+        vbumped[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = SensorCheckpoint::decode(&vbumped).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn dead_letter_log_roundtrips() {
+        let mut log = DeadLetterLog::new();
+        log.push(DeadLetter::Tweet(tweet(3, 1, None)));
+        log.push(DeadLetter::Corrupt("t44|u2|17|kid".to_string()));
+        log.push(DeadLetter::Tweet(tweet(6, 2, Some((40.0, -80.0)))));
+        let back = DeadLetterLog::decode(&log.encode()).expect("decode");
+        assert_eq!(back, log);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn mem_store_tracks_epochs_and_latest_complete_cut() {
+        let store = MemCheckpointStore::new();
+        store.save(0, 1, b"a").unwrap();
+        store.save(0, 2, b"b").unwrap();
+        store.save(1, 1, b"c").unwrap();
+        // Epoch 2 is incomplete (shard 1 died before writing it).
+        assert_eq!(store.epochs(0).unwrap(), vec![1, 2]);
+        assert_eq!(latest_complete_epoch(&store, 2).unwrap(), Some(1));
+        assert_eq!(latest_complete_epoch(&store, 3).unwrap(), None);
+        store.save(1, 2, b"d").unwrap();
+        assert_eq!(latest_complete_epoch(&store, 2).unwrap(), Some(2));
+        assert_eq!(store.load(1, 2).unwrap().as_deref(), Some(&b"d"[..]));
+        assert_eq!(store.load(5, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn dir_store_roundtrips_through_the_filesystem() {
+        let root =
+            std::env::temp_dir().join(format!("donorpulse-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = DirCheckpointStore::open(&root).expect("open");
+        let bytes = sample_checkpoint().encode();
+        store.save(2, 7, &bytes).unwrap();
+        store.save(2, 9, &bytes).unwrap();
+        assert_eq!(store.epochs(2).unwrap(), vec![7, 9]);
+        assert_eq!(store.load(2, 7).unwrap(), Some(bytes.clone()));
+        assert_eq!(store.load(2, 8).unwrap(), None);
+        let back = SensorCheckpoint::decode(&store.load(2, 9).unwrap().unwrap()).unwrap();
+        assert_eq!(back, sample_checkpoint());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -23,6 +23,8 @@ pub enum CoreError {
     Simulation(String),
     /// Invalid caller-supplied parameter.
     InvalidParameter(String),
+    /// Checkpoint serialization, storage, or resume consistency failed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::Cluster(e) => write!(f, "clustering: {e}"),
             CoreError::Simulation(msg) => write!(f, "simulation: {msg}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }

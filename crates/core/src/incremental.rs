@@ -23,7 +23,7 @@ use crate::{CoreError, Result};
 use donorpulse_geo::{Geocoder, UsState};
 use donorpulse_text::extract::{MentionCounts, OrganExtractor};
 use donorpulse_twitter::{Corpus, Tweet, TweetId, UserId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Per-user streaming state.
 #[derive(Debug, Clone)]
@@ -36,6 +36,67 @@ struct UserTrack {
     tweets: Vec<Tweet>,
     /// Accumulated organ mentions.
     mentions: MentionCounts,
+}
+
+/// One user's streaming state in portable form — the unit of
+/// [`SensorExport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackExport {
+    /// Current resolution (`None` = unlocated or voided).
+    pub state: Option<UsState>,
+    /// True once a finite geotag has fixed the resolution.
+    pub geo_locked: bool,
+    /// The user's collected tweets, in arrival order.
+    pub tweets: Vec<Tweet>,
+    /// Accumulated organ mentions.
+    pub mentions: MentionCounts,
+}
+
+/// The complete streaming state of a sensor, detached from its
+/// geocoder and profile lookup — what a shard checkpoints to disk and
+/// what [`crate::shard::run_sharded_stream`] merges across shards.
+///
+/// The `seen` id set and `tweets_seen` counter are *derived*, not
+/// stored: every ingested tweet lives in exactly one user track, so
+/// [`IncrementalSensor::restore`] rebuilds both from the tracks. Tracks
+/// are keyed in a `BTreeMap` so folds over an export are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SensorExport {
+    /// Per-user tracks, keyed by user id.
+    pub tracks: BTreeMap<UserId, TrackExport>,
+    /// Redeliveries the idempotence guard dropped.
+    pub duplicates_ignored: u64,
+    /// Highest tweet id ingested.
+    pub high_water: Option<TweetId>,
+}
+
+impl SensorExport {
+    /// Tweets held across all tracks (equals the source sensor's
+    /// [`IncrementalSensor::tweets_seen`]).
+    pub fn tweet_count(&self) -> u64 {
+        self.tracks.values().map(|t| t.tweets.len() as u64).sum()
+    }
+
+    /// Merges another shard's export into this one.
+    ///
+    /// Shards partition the stream by user id, so two exports being
+    /// merged must own **disjoint** user sets — overlap means the
+    /// routing invariant was violated and the merged attention would
+    /// split one user's history across two rows, so it is an error,
+    /// not a best-effort union. Counters add, high-water marks take
+    /// the max.
+    pub fn absorb(&mut self, other: SensorExport) -> Result<()> {
+        for (user, track) in other.tracks {
+            if self.tracks.insert(user, track).is_some() {
+                return Err(CoreError::Checkpoint(format!(
+                    "shard exports overlap on {user}: user-hash routing violated"
+                )));
+            }
+        }
+        self.duplicates_ignored += other.duplicates_ignored;
+        self.high_water = self.high_water.max(other.high_water);
+        Ok(())
+    }
 }
 
 /// Streaming state of the sensor.
@@ -108,6 +169,75 @@ impl<'a> IncrementalSensor<'a> {
         track.mentions.merge(&self.extractor.extract(&tweet.text));
         track.tweets.push(tweet.clone());
         true
+    }
+
+    /// Exports the sensor's complete streaming state in portable form
+    /// (checkpointing, shard merging). The geocoder and profile lookup
+    /// are *not* part of the export; [`IncrementalSensor::restore`]
+    /// reattaches them.
+    pub fn export(&self) -> SensorExport {
+        SensorExport {
+            tracks: self
+                .tracks
+                .iter()
+                .map(|(&user, t)| {
+                    (
+                        user,
+                        TrackExport {
+                            state: t.state,
+                            geo_locked: t.geo_locked,
+                            tweets: t.tweets.clone(),
+                            mentions: t.mentions,
+                        },
+                    )
+                })
+                .collect(),
+            duplicates_ignored: self.duplicates_ignored,
+            high_water: self.high_water,
+        }
+    }
+
+    /// Rebuilds a sensor from an export, reattaching a geocoder and
+    /// profile lookup.
+    ///
+    /// The id-idempotence set and `tweets_seen` counter are rebuilt
+    /// from the exported tracks, so a restored sensor keeps rejecting
+    /// redeliveries of everything it ingested before the export — the
+    /// property checkpoint resume leans on when the source replays an
+    /// overlap window across the restore point.
+    pub fn restore(
+        geocoder: &'a Geocoder,
+        profile_of: impl Fn(UserId) -> Option<String> + 'a,
+        export: SensorExport,
+    ) -> Self {
+        let mut seen = HashSet::new();
+        let mut tweets_seen = 0u64;
+        let mut tracks = HashMap::with_capacity(export.tracks.len());
+        for (user, t) in export.tracks {
+            for tweet in &t.tweets {
+                seen.insert(tweet.id);
+                tweets_seen += 1;
+            }
+            tracks.insert(
+                user,
+                UserTrack {
+                    state: t.state,
+                    geo_locked: t.geo_locked,
+                    tweets: t.tweets,
+                    mentions: t.mentions,
+                },
+            );
+        }
+        Self {
+            geocoder,
+            extractor: OrganExtractor::new(),
+            profile_of: Box::new(profile_of),
+            tracks,
+            tweets_seen,
+            seen,
+            duplicates_ignored: export.duplicates_ignored,
+            high_water: export.high_water,
+        }
     }
 
     /// Collected tweets ingested so far (any location).
@@ -342,6 +472,67 @@ mod tests {
         // matching the batch pipeline's first-geotag semantics).
         sensor.ingest(&tweet(2, 1, "kidney once more", Some((37.69, -97.34))));
         assert_eq!(sensor.located_users(), 0);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_preserves_snapshots_and_idempotence() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut sensor = sensor_for(&sim, &geocoder);
+        let tweets: Vec<_> = sim
+            .stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .collect();
+        let half = tweets.len() / 2;
+        for t in &tweets[..half] {
+            sensor.ingest(t);
+        }
+        let export = sensor.export();
+        assert_eq!(export.tweet_count(), sensor.tweets_seen());
+        let mut restored = IncrementalSensor::restore(
+            &geocoder,
+            |id| {
+                sim.users()
+                    .get(id.0 as usize)
+                    .map(|u| u.profile_location.clone())
+            },
+            export,
+        );
+        assert_eq!(restored.tweets_seen(), sensor.tweets_seen());
+        assert_eq!(restored.high_water(), sensor.high_water());
+        // Redelivering the already-ingested prefix must be rejected by
+        // the rebuilt idempotence set.
+        for t in &tweets[..half] {
+            assert!(!restored.ingest(t), "restored sensor re-ingested {}", t.id);
+        }
+        // Finishing the stream on both sensors converges bitwise.
+        for t in &tweets[half..] {
+            sensor.ingest(t);
+            restored.ingest(t);
+        }
+        assert_eq!(restored.user_states(), sensor.user_states());
+        assert_eq!(restored.corpus().tweets(), sensor.corpus().tweets());
+        assert_eq!(restored.attention().unwrap(), sensor.attention().unwrap());
+    }
+
+    #[test]
+    fn absorb_merges_disjoint_exports_and_rejects_overlap() {
+        let geocoder = Geocoder::new();
+        let mut a = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        a.ingest(&tweet(0, 1, "kidney donor", None));
+        let mut b = IncrementalSensor::new(&geocoder, |_| Some("Wichita, KS".to_string()));
+        b.ingest(&tweet(1, 2, "liver donor", None));
+
+        let mut merged = a.export();
+        merged.absorb(b.export()).expect("disjoint users merge");
+        assert_eq!(merged.tracks.len(), 2);
+        assert_eq!(merged.tweet_count(), 2);
+        assert_eq!(merged.high_water, Some(donorpulse_twitter::TweetId(1)));
+
+        // Same user on both sides: the routing invariant is broken.
+        let mut c = IncrementalSensor::new(&geocoder, |_| None);
+        c.ingest(&tweet(2, 1, "heart talk", None));
+        assert!(merged.absorb(c.export()).is_err());
     }
 
     #[test]

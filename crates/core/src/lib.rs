@@ -40,6 +40,7 @@
 
 pub mod aggregate;
 pub mod attention;
+pub mod checkpoint;
 pub mod cooccurrence;
 pub mod incremental;
 pub mod membership;
@@ -48,6 +49,7 @@ pub mod region_view;
 pub mod relative_risk;
 pub mod report;
 pub mod roles;
+pub mod shard;
 pub mod spatial;
 pub mod state_clusters;
 pub mod stream_consumer;
@@ -61,8 +63,13 @@ pub(crate) mod testsupport;
 
 pub use aggregate::Aggregation;
 pub use attention::AttentionMatrix;
+pub use checkpoint::{
+    CheckpointStore, DeadLetter, DeadLetterLog, DirCheckpointStore, MemCheckpointStore,
+    SensorCheckpoint,
+};
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
+pub use shard::{run_sharded_stream, ShardConfig, ShardedStreamRun};
 pub use stream_consumer::{
     run_faulted_stream, FaultedStreamRun, Resequencer, RetryPolicy, StreamPipelineConfig,
 };

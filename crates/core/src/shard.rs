@@ -1,0 +1,583 @@
+//! The sharded consumer group: scale-out for the streaming front-half.
+//!
+//! [`run_sharded_stream`] partitions the faulted stream **by user id**
+//! across N worker threads, each owning its own
+//! [`IncrementalSensor`] behind a bounded mpsc channel (the same
+//! backpressure-by-construction pattern as
+//! [`crate::stream_consumer::run_faulted_stream`]), and then merges the
+//! per-shard states into artifacts **byte-identical** to the
+//! single-sensor run — for every shard count, because the identity is
+//! structural, not tuned:
+//!
+//! 1. the router hashes the *user* id, so every tweet of a given user
+//!    lands on the same shard, in stream order (the resequenced source
+//!    emits strictly increasing tweet ids, and the per-shard channels
+//!    are FIFO);
+//! 2. the sensor's state is entirely per-user (tracks), so a shard's
+//!    tracks equal exactly the single sensor's tracks for the users it
+//!    owns;
+//! 3. the merge is a disjoint union of track maps
+//!    ([`SensorExport::absorb`] rejects overlap) and every snapshot
+//!    function sorts before emitting — so the merged artifacts cannot
+//!    depend on N. `docs/SCALING.md` gives the full argument.
+//!
+//! **Checkpointing** uses marker messages for a consistent cut: every
+//! `checkpoint_every` routed tweets the router broadcasts a checkpoint
+//! marker down each FIFO channel; a shard's state at
+//! marker receipt reflects precisely the tweets routed before the
+//! marker, so the set of epoch-`e` [`SensorCheckpoint`]s is a
+//! crash-consistent snapshot of the whole group. Resume loads the
+//! newest epoch *complete across all shards*, restores each sensor and
+//! its park residue, and seeks the source past the cut's high-water
+//! mark — no full-stream replay, and the finished run's fingerprint
+//! equals the uninterrupted one (the sensor's id-idempotence plus a
+//! router-side replay guard make any residual overlap harmless).
+
+use crate::checkpoint::{
+    latest_complete_epoch, CheckpointStore, DeadLetter, DeadLetterLog, SensorCheckpoint,
+};
+use crate::incremental::{IncrementalSensor, SensorExport};
+use crate::pipeline::RunMetrics;
+use crate::stream_consumer::{pump_source, GeoAdmission, StreamPipelineConfig};
+use crate::{CoreError, Result};
+use donorpulse_geo::service::LocationService;
+use donorpulse_geo::Geocoder;
+use donorpulse_text::{KeywordQuery, TextFilter};
+use donorpulse_twitter::fault::{FaultConfig, FaultStats};
+use donorpulse_twitter::time::VirtualClock;
+use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread;
+
+/// Hard ceiling on the shard count — bounds the per-shard metric name
+/// table and keeps `--shards 0` (auto) from oversubscribing.
+pub const MAX_SHARDS: usize = 16;
+
+/// Per-shard routed-tweet gauge names (`MetricsRegistry` wants
+/// `&'static str`, so the table is spelled out).
+const SHARD_TWEETS_NAMES: [&str; MAX_SHARDS] = [
+    "shard_0_tweets_total",
+    "shard_1_tweets_total",
+    "shard_2_tweets_total",
+    "shard_3_tweets_total",
+    "shard_4_tweets_total",
+    "shard_5_tweets_total",
+    "shard_6_tweets_total",
+    "shard_7_tweets_total",
+    "shard_8_tweets_total",
+    "shard_9_tweets_total",
+    "shard_10_tweets_total",
+    "shard_11_tweets_total",
+    "shard_12_tweets_total",
+    "shard_13_tweets_total",
+    "shard_14_tweets_total",
+    "shard_15_tweets_total",
+];
+
+/// Resolves a requested shard count: 0 means "auto" (available
+/// parallelism), and everything is clamped to `1..=MAX_SHARDS`.
+pub fn resolve_shards(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    n.clamp(1, MAX_SHARDS)
+}
+
+/// Which shard owns a user: a SplitMix64 hash of the user id, reduced
+/// mod the shard count. Stable across runs and processes — the routing
+/// function is part of the checkpoint contract (resume re-routes with
+/// the same modulus, which is why [`SensorCheckpoint::shard_count`] is
+/// validated).
+pub fn route_shard(user: UserId, shards: usize) -> usize {
+    let mut z = user.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// What the router sends down a shard channel.
+enum ShardMsg {
+    /// One routed tweet, in stream order for this shard.
+    Tweet(Tweet),
+    /// A checkpoint marker: freeze state as of `high_water` and write
+    /// epoch `epoch` to the store.
+    Marker {
+        epoch: u64,
+        high_water: Option<TweetId>,
+    },
+}
+
+/// Configuration for [`run_sharded_stream`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker count; 0 = auto ([`resolve_shards`]).
+    pub shards: usize,
+    /// Routed tweets between checkpoint markers; 0 disables markers.
+    pub checkpoint_every: u64,
+    /// Crash simulation: the router stops routing after this many
+    /// tweets (this run), as if the process died. The run returns with
+    /// no merged sensor; whatever checkpoints were written are the
+    /// run's legacy.
+    pub kill_after: Option<u64>,
+    /// Resume from the newest complete checkpoint epoch instead of
+    /// starting from the head of the stream. Requires a store.
+    pub resume: bool,
+    /// The underlying per-stage streaming configuration (channel
+    /// capacity, retry schedules, park capacity, metrics).
+    pub stream: StreamPipelineConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            checkpoint_every: 0,
+            kill_after: None,
+            resume: false,
+            stream: StreamPipelineConfig::default(),
+        }
+    }
+}
+
+/// Everything a sharded streaming run produces.
+pub struct ShardedStreamRun<'a> {
+    /// The merged sensor — byte-identical snapshots to the
+    /// single-sensor run. `None` when the run was killed
+    /// ([`ShardConfig::kill_after`]): a crashed group has no final
+    /// artifacts, only its checkpoints.
+    pub sensor: Option<IncrementalSensor<'a>>,
+    /// Fault counters from the stream adapter (this run only — a
+    /// resumed run counts from the seek point).
+    pub fault_stats: FaultStats,
+    /// Observability snapshot.
+    pub metrics: RunMetrics,
+    /// On-topic tweets the clean stream would deliver end to end.
+    pub expected_tweets: u64,
+    /// Unique tweets in the merged sensor (prefix restored from
+    /// checkpoints plus everything delivered this run).
+    pub delivered_tweets: u64,
+    /// True when the source gave up reconnecting.
+    pub source_aborted: bool,
+    /// Tweets unresolvable when the stream ended, summed over shards.
+    pub parked_at_end: u64,
+    /// Everything the group abandoned, shard-major order.
+    pub dead_letters: DeadLetterLog,
+    /// Resolved shard count.
+    pub shards: usize,
+    /// Tweets routed to each shard (this run).
+    pub shard_tweets: Vec<u64>,
+    /// The checkpoint epoch this run restored from, if resuming.
+    pub resumed_from_epoch: Option<u64>,
+    /// Highest checkpoint epoch written during this run.
+    pub last_epoch: u64,
+    /// True when the router was killed mid-run.
+    pub killed: bool,
+}
+
+/// The per-run state restored from a checkpoint store.
+#[derive(Debug)]
+struct ResumePoint {
+    epoch: u64,
+    high_water: Option<TweetId>,
+    /// Per-shard restored state, indexed by shard id.
+    exports: Vec<SensorExport>,
+    parked: Vec<Vec<Tweet>>,
+}
+
+/// Loads and validates the newest complete cut from a store.
+fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> Result<ResumePoint> {
+    let io = |e: std::io::Error| CoreError::Checkpoint(format!("checkpoint store: {e}"));
+    let epoch = latest_complete_epoch(store, shards as u32)
+        .map_err(io)?
+        .ok_or_else(|| {
+            CoreError::Checkpoint(format!(
+                "no checkpoint epoch is complete across all {shards} shards"
+            ))
+        })?;
+    let mut exports = Vec::with_capacity(shards);
+    let mut parked = Vec::with_capacity(shards);
+    let mut high_water: Option<Option<TweetId>> = None;
+    for shard in 0..shards as u32 {
+        let bytes = store.load(shard, epoch).map_err(io)?.ok_or_else(|| {
+            CoreError::Checkpoint(format!(
+                "shard {shard} epoch {epoch} vanished from the store"
+            ))
+        })?;
+        let ckpt = SensorCheckpoint::decode(&bytes)?;
+        if ckpt.shard_id != shard || ckpt.epoch != epoch {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint identity mismatch: file for shard {shard} epoch {epoch} \
+                 claims shard {} epoch {}",
+                ckpt.shard_id, ckpt.epoch
+            )));
+        }
+        if ckpt.shard_count != shards as u32 {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint was taken with {} shards but this run has {shards}: \
+                 re-routing would split user histories",
+                ckpt.shard_count
+            )));
+        }
+        match high_water {
+            None => high_water = Some(ckpt.router_high_water),
+            Some(hw) if hw != ckpt.router_high_water => {
+                return Err(CoreError::Checkpoint(format!(
+                    "inconsistent cut: shard {shard} recorded high-water {:?}, \
+                     group recorded {:?}",
+                    ckpt.router_high_water, hw
+                )));
+            }
+            Some(_) => {}
+        }
+        exports.push(ckpt.export);
+        parked.push(ckpt.parked);
+    }
+    Ok(ResumePoint {
+        epoch,
+        high_water: high_water.flatten(),
+        exports,
+        parked,
+    })
+}
+
+/// What one shard worker reports back after its thread joins.
+struct WorkerReport {
+    export: SensorExport,
+    parked_at_end: u64,
+    dead: Vec<DeadLetter>,
+}
+
+/// Runs the consumer group end to end. See the module docs for the
+/// determinism and checkpoint-consistency arguments.
+///
+/// `geocoder`/`service` split exactly as in
+/// [`crate::stream_consumer::run_faulted_stream`]: the sensor resolves
+/// with `geocoder`, the admission stage survives `service`.
+pub fn run_sharded_stream<'a>(
+    sim: &'a TwitterSimulation,
+    geocoder: &'a Geocoder,
+    service: &(dyn LocationService + Sync),
+    faults: FaultConfig,
+    store: Option<&dyn CheckpointStore>,
+    config: ShardConfig,
+) -> Result<ShardedStreamRun<'a>> {
+    let shards = resolve_shards(config.shards);
+    let metrics = config.stream.metrics.clone();
+    metrics.gauge("shard_count").set(shards as u64);
+
+    let resume = if config.resume {
+        let store = store.ok_or_else(|| {
+            CoreError::Checkpoint("resume requires a checkpoint store (--checkpoint-dir)".into())
+        })?;
+        Some(load_resume_point(store, shards)?)
+    } else {
+        None
+    };
+    let resume_hw = resume.as_ref().and_then(|r| r.high_water);
+    let start_epoch = resume.as_ref().map_or(0, |r| r.epoch);
+    let resumed_from_epoch = resume.as_ref().map(|r| r.epoch);
+    let (mut resume_exports, mut resume_parked) = match resume {
+        Some(r) => (r.exports, r.parked),
+        None => (
+            vec![SensorExport::default(); shards],
+            vec![Vec::new(); shards],
+        ),
+    };
+
+    let (src_tx, src_rx) = mpsc::sync_channel::<Tweet>(config.stream.channel_capacity);
+    let mut shard_txs = Vec::with_capacity(shards);
+    let mut shard_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::sync_channel::<ShardMsg>(config.stream.channel_capacity);
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+
+    let profile_of = |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    };
+
+    let (outcome, routed, last_epoch, killed, reports) = thread::scope(|scope| {
+        let source = scope.spawn({
+            let config = &config;
+            move || {
+                let mut span = config.stream.metrics.stage("stream_source");
+                let outcome = pump_source(sim, faults, &config.stream, resume_hw, src_tx);
+                span.set_items(outcome.stats.delivered);
+                span.finish();
+                outcome
+            }
+        });
+
+        // The router: keyword filter (defense in depth, mirroring the
+        // single-consumer filter stage), resume replay guard, user-hash
+        // routing, checkpoint markers, crash simulation.
+        let router = scope.spawn({
+            let metrics = metrics.clone();
+            let checkpoint_every = config.checkpoint_every;
+            let kill_after = config.kill_after;
+            move || {
+                let mut span = metrics.stage("stream_router");
+                let query = KeywordQuery::paper();
+                let rejected = metrics.counter("consumer_filter_rejected_total");
+                let passed = metrics.counter("consumer_filter_passed_total");
+                let routed_total = metrics.counter("shard_tweets_total");
+                let replayed = metrics.counter("resume_replayed_total");
+                let mut per_shard = vec![0u64; shards];
+                let mut routed = 0u64;
+                let mut epoch = start_epoch;
+                let mut high_water: Option<TweetId> = resume_hw;
+                let mut killed = false;
+                let mut n = 0u64;
+                'route: for tweet in src_rx {
+                    n += 1;
+                    if !query.accepts(&tweet.text) {
+                        rejected.incr();
+                        continue;
+                    }
+                    passed.incr();
+                    // Resume guard: anything at or below the restored
+                    // cut is already inside a shard's checkpoint. The
+                    // seek makes this rare; the sensors' idempotence
+                    // would absorb it anyway — this counts it.
+                    if resume_hw.is_some_and(|hw| tweet.id <= hw) {
+                        replayed.incr();
+                        continue;
+                    }
+                    let shard = route_shard(tweet.user, shards);
+                    high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
+                    if shard_txs[shard].send(ShardMsg::Tweet(tweet)).is_err() {
+                        break 'route;
+                    }
+                    per_shard[shard] += 1;
+                    routed += 1;
+                    routed_total.incr();
+                    if checkpoint_every > 0 && routed % checkpoint_every == 0 {
+                        epoch += 1;
+                        for tx in &shard_txs {
+                            if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
+                                break 'route;
+                            }
+                        }
+                    }
+                    if kill_after.is_some_and(|k| routed >= k) {
+                        killed = true;
+                        break 'route;
+                    }
+                }
+                drop(shard_txs);
+                for (i, &count) in per_shard.iter().enumerate() {
+                    metrics.gauge(SHARD_TWEETS_NAMES[i]).set(count);
+                }
+                // Imbalance: busiest shard over the ideal even share,
+                // in permille (1000 = perfectly balanced).
+                let max = per_shard.iter().copied().max().unwrap_or(0);
+                if let Some(ratio) = (max * shards as u64 * 1_000).checked_div(routed) {
+                    metrics.gauge("shard_imbalance_ratio_permille").set(ratio);
+                }
+                span.set_items(n);
+                span.finish();
+                (per_shard, epoch, killed)
+            }
+        });
+
+        // One worker per shard: geocode admission in front of an owned
+        // sensor, checkpoint writes at markers.
+        let mut workers = Vec::with_capacity(shards);
+        for (shard_id, rx) in shard_rxs.into_iter().enumerate() {
+            let export = std::mem::take(&mut resume_exports[shard_id]);
+            let residue = std::mem::take(&mut resume_parked[shard_id]);
+            workers.push(scope.spawn({
+                let metrics = metrics.clone();
+                let geo_policy = config.stream.geo_retry.for_consumer(shard_id as u64);
+                let park_capacity = config.stream.park_capacity;
+                let final_drain_attempts = config.stream.final_drain_attempts;
+                move || -> Result<WorkerReport> {
+                    let mut span = metrics.stage("stream_shard_worker");
+                    let mut sensor = IncrementalSensor::restore(geocoder, profile_of, export);
+                    let mut admission = GeoAdmission {
+                        service,
+                        profile_of: Box::new(profile_of),
+                        policy: geo_policy,
+                        park: VecDeque::from(residue),
+                        park_capacity,
+                        peak_depth: 0,
+                        clock: VirtualClock::new(),
+                        metrics: metrics.clone(),
+                        dead: Vec::new(),
+                    };
+                    let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
+                    let ckpt_written = metrics.counter("checkpoints_written_total");
+                    let ingested = metrics.counter("sensor_ingested_total");
+                    let mut out: Vec<Tweet> = Vec::new();
+                    let mut n = 0u64;
+                    for msg in rx {
+                        match msg {
+                            ShardMsg::Tweet(tweet) => {
+                                n += 1;
+                                out.clear();
+                                admission.admit(tweet, &mut out);
+                                for t in out.drain(..) {
+                                    if sensor.ingest(&t) {
+                                        ingested.incr();
+                                    }
+                                }
+                            }
+                            ShardMsg::Marker { epoch, high_water } => {
+                                let Some(store) = store else { continue };
+                                let ckpt = SensorCheckpoint {
+                                    shard_id: shard_id as u32,
+                                    shard_count: shards as u32,
+                                    epoch,
+                                    router_high_water: high_water,
+                                    export: sensor.export(),
+                                    parked: admission.park.iter().cloned().collect(),
+                                };
+                                let bytes = ckpt.encode();
+                                store.save(shard_id as u32, epoch, &bytes).map_err(|e| {
+                                    CoreError::Checkpoint(format!(
+                                        "saving shard {shard_id} epoch {epoch}: {e}"
+                                    ))
+                                })?;
+                                ckpt_bytes.add(bytes.len() as u64);
+                                ckpt_written.incr();
+                            }
+                        }
+                    }
+                    // End of stream: recovery-sized drain, then abandon.
+                    out.clear();
+                    admission.drain(final_drain_attempts, &mut out);
+                    for t in out.drain(..) {
+                        if sensor.ingest(&t) {
+                            ingested.incr();
+                        }
+                    }
+                    let parked_at_end = admission.abandon_leftovers();
+                    metrics
+                        .counter("stream_gap_tweets_total")
+                        .add(parked_at_end);
+                    metrics
+                        .counter("sensor_duplicates_ignored_total")
+                        .add(sensor.duplicates_ignored());
+                    span.set_items(n);
+                    span.finish();
+                    Ok(WorkerReport {
+                        export: sensor.export(),
+                        parked_at_end,
+                        dead: admission.dead,
+                    })
+                }
+            }));
+        }
+
+        let outcome = source.join().expect("source stage panicked");
+        let (per_shard, last_epoch, killed) = router.join().expect("router panicked");
+        let reports: Vec<Result<WorkerReport>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        (outcome, per_shard, last_epoch, killed, reports)
+    });
+
+    let mut merged = SensorExport::default();
+    let mut dead_letters = DeadLetterLog::new();
+    for d in outcome.dead.iter().cloned() {
+        dead_letters.push(d);
+    }
+    let mut parked_at_end = 0u64;
+    for report in reports {
+        let report = report?;
+        merged.absorb(report.export)?;
+        parked_at_end += report.parked_at_end;
+        for d in report.dead {
+            dead_letters.push(d);
+        }
+    }
+
+    let delivered_tweets = merged.tweet_count();
+    let sensor = if killed {
+        None
+    } else {
+        Some(IncrementalSensor::restore(geocoder, profile_of, merged))
+    };
+
+    Ok(ShardedStreamRun {
+        sensor,
+        fault_stats: outcome.stats,
+        metrics: metrics.snapshot(),
+        expected_tweets: sim.on_topic_len() as u64,
+        delivered_tweets,
+        source_aborted: outcome.aborted,
+        parked_at_end,
+        dead_letters,
+        shards,
+        shard_tweets: routed,
+        resumed_from_epoch,
+        last_epoch,
+        killed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn routing_is_stable_and_covers_all_shards() {
+        // Stability: the same user always routes to the same shard.
+        for user in 0..500u64 {
+            let a = route_shard(UserId(user), 4);
+            let b = route_shard(UserId(user), 4);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        // Coverage: with enough users every shard gets work.
+        let hit: HashSet<usize> = (0..500u64).map(|u| route_shard(UserId(u), 4)).collect();
+        assert_eq!(hit.len(), 4, "500 users must touch all 4 shards");
+        // Degenerate modulus never panics.
+        assert_eq!(route_shard(UserId(7), 1), 0);
+        assert_eq!(route_shard(UserId(7), 0), 0);
+    }
+
+    #[test]
+    fn shard_resolution_clamps() {
+        assert_eq!(resolve_shards(1), 1);
+        assert_eq!(resolve_shards(4), 4);
+        assert_eq!(resolve_shards(MAX_SHARDS + 50), MAX_SHARDS);
+        let auto = resolve_shards(0);
+        assert!((1..=MAX_SHARDS).contains(&auto));
+    }
+
+    #[test]
+    fn resume_point_validation_rejects_mismatched_groups() {
+        use crate::checkpoint::MemCheckpointStore;
+        let store = MemCheckpointStore::new();
+        // Nothing written yet: no complete epoch.
+        let err = load_resume_point(&store, 2).unwrap_err();
+        assert!(err.to_string().contains("complete"));
+        // A cut taken with a different shard count is refused.
+        let ckpt = SensorCheckpoint {
+            shard_id: 0,
+            shard_count: 4,
+            epoch: 1,
+            router_high_water: Some(TweetId(10)),
+            export: SensorExport::default(),
+            parked: Vec::new(),
+        };
+        store.save(0, 1, &ckpt.encode()).unwrap();
+        let mut other = ckpt.clone();
+        other.shard_id = 1;
+        store.save(1, 1, &other.encode()).unwrap();
+        let err = load_resume_point(&store, 2).unwrap_err();
+        assert!(err.to_string().contains("re-routing"), "{err}");
+    }
+}

@@ -7,8 +7,7 @@
 //!
 //! Resilience is layered in front of and behind the channels:
 //!
-//! * the **source** stage drives a
-//!   [`FaultyStreamApi`](donorpulse_twitter::fault::FaultyStreamApi),
+//! * the **source** stage drives a [`FaultyStreamApi`],
 //!   reconnecting with deterministic exponential backoff (on a
 //!   [`VirtualClock`] — no wall-clock sleeping) and pushing deliveries
 //!   through a [`Resequencer`] that restores id order and deduplicates
@@ -38,6 +37,7 @@
 //! from the same [`Geocoder`] as the batch pipeline, so resilience
 //! machinery can never perturb the characterization itself.
 
+use crate::checkpoint::{DeadLetter, DeadLetterLog};
 use crate::incremental::IncrementalSensor;
 use crate::pipeline::RunMetrics;
 use donorpulse_geo::service::{GeoServiceError, LocationService};
@@ -51,7 +51,8 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::thread;
 
-/// Deterministic truncated-exponential backoff schedule.
+/// Deterministic truncated-exponential backoff schedule, with optional
+/// seeded jitter so a consumer group doesn't thundering-herd.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Attempts before giving up on one operation.
@@ -60,15 +61,65 @@ pub struct RetryPolicy {
     pub base_ms: u64,
     /// Ceiling on a single backoff delay, in milliseconds.
     pub max_ms: u64,
+    /// Jitter amplitude as a permille fraction of each delay (0 = no
+    /// jitter, 1000 = up to +100%). The jitter is *not* random at run
+    /// time: it is a hash of `(jitter_seed, consumer_id, attempt)`, so
+    /// a given consumer always retries on the same schedule while
+    /// distinct consumers desynchronize.
+    pub jitter_permille: u64,
+    /// Seed mixed into the jitter hash — pass the run seed so reruns
+    /// reproduce the exact same retry timeline.
+    pub jitter_seed: u64,
+    /// This consumer's identity within the group (shard id). Two
+    /// consumers with identical schedules but different ids land on
+    /// different jittered delays.
+    pub consumer_id: u64,
+}
+
+/// SplitMix64 finalizer — the jitter hash.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
-    /// The delay before retry number `attempt` (0-based):
+    /// The un-jittered delay before retry number `attempt` (0-based):
     /// `min(base · 2^attempt, max)`.
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
         self.base_ms
             .saturating_mul(1u64 << attempt.min(16))
             .min(self.max_ms)
+    }
+
+    /// The delay actually slept: `backoff_ms` plus a deterministic
+    /// jitter in `[0, backoff · jitter_permille / 1000]` derived from
+    /// `(jitter_seed, consumer_id, attempt)`. With `jitter_permille`
+    /// of 0 (the default) this is exactly [`RetryPolicy::backoff_ms`].
+    pub fn jittered_backoff_ms(&self, attempt: u32) -> u64 {
+        let base = self.backoff_ms(attempt);
+        if self.jitter_permille == 0 {
+            return base;
+        }
+        let span = base.saturating_mul(self.jitter_permille) / 1_000;
+        if span == 0 {
+            return base;
+        }
+        let h = splitmix64(
+            self.jitter_seed
+                ^ self.consumer_id.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                ^ ((attempt as u64) << 32),
+        );
+        base.saturating_add(h % (span + 1))
+    }
+
+    /// The same schedule re-keyed for another consumer in the group.
+    pub fn for_consumer(self, consumer_id: u64) -> Self {
+        RetryPolicy {
+            consumer_id,
+            ..self
+        }
     }
 }
 
@@ -78,6 +129,9 @@ impl Default for RetryPolicy {
             max_attempts: 10,
             base_ms: 50,
             max_ms: 5_000,
+            jitter_permille: 0,
+            jitter_seed: 0,
+            consumer_id: 0,
         }
     }
 }
@@ -224,12 +278,20 @@ pub struct FaultedStreamRun<'a> {
     pub source_aborted: bool,
     /// Tweets still parked (unresolvable) when the stream ended.
     pub parked_at_end: u64,
+    /// Everything the run abandoned — persistently corrupt records and
+    /// tweets dropped past every park/retry budget — in a replayable
+    /// log (source abandonments first, then admission-stage ones in
+    /// arrival order). Empty in recoverable runs.
+    pub dead_letters: DeadLetterLog,
 }
 
 /// What the source stage reports back after its thread joins.
-struct SourceOutcome {
-    stats: FaultStats,
-    aborted: bool,
+pub(crate) struct SourceOutcome {
+    pub(crate) stats: FaultStats,
+    pub(crate) aborted: bool,
+    /// Records abandoned at the source (persistently corrupt past the
+    /// reconnect budget), in abandonment order.
+    pub(crate) dead: Vec<DeadLetter>,
 }
 
 /// Reconnects with truncated-exponential backoff on a virtual clock.
@@ -243,7 +305,7 @@ fn reconnect_with_backoff(
     let attempts = metrics.counter("stream_reconnect_attempts_total");
     let backoff = metrics.counter("stream_backoff_virtual_ms_total");
     for attempt in 0..policy.max_attempts {
-        let delay = policy.backoff_ms(attempt);
+        let delay = policy.jittered_backoff_ms(attempt);
         clock.advance_ms(delay);
         backoff.add(delay);
         attempts.incr();
@@ -256,14 +318,22 @@ fn reconnect_with_backoff(
 
 /// The source stage: drives the faulted stream, reconnects, recovers
 /// malformed records, resequences, and feeds the filter stage.
-fn pump_source(
+///
+/// With `resume_after` set, the stream seeks past every tweet at or
+/// below that id before the first delivery — resume does not replay
+/// the already-checkpointed prefix.
+pub(crate) fn pump_source(
     sim: &TwitterSimulation,
     faults: FaultConfig,
     config: &StreamPipelineConfig,
+    resume_after: Option<TweetId>,
     tx: mpsc::SyncSender<Tweet>,
 ) -> SourceOutcome {
     let metrics = &config.metrics;
     let mut stream = FaultyStreamApi::connect(sim, Box::new(KeywordQuery::paper()), faults);
+    if let Some(hw) = resume_after {
+        stream.resume_after(hw);
+    }
     let mut reseq = Resequencer::new(config.reorder_depth);
     let mut clock = VirtualClock::new();
     let mut ready: Vec<Tweet> = Vec::new();
@@ -281,6 +351,8 @@ fn pump_source(
     let mut corrupt_budget = corrupt_budget_full;
     let mut max_seen: Option<TweetId> = None;
     let mut aborted = false;
+    let mut dead: Vec<DeadLetter> = Vec::new();
+    let dead_total = metrics.counter("dead_letter_total");
 
     'pump: loop {
         match stream.next_delivery() {
@@ -298,7 +370,7 @@ fn pump_source(
                     }
                 }
             }
-            Delivery::Item(StreamItem::Corrupt(_)) => {
+            Delivery::Item(StreamItem::Corrupt(payload)) => {
                 delivered.incr();
                 malformed.incr();
                 if corrupt_budget > 0 {
@@ -317,9 +389,12 @@ fn pump_source(
                     }
                 } else {
                     // Past the budget: the record is broken at the
-                    // source. Abandon it and move on.
+                    // source. Abandon it to the dead-letter log and
+                    // move on.
                     abandoned.incr();
                     gap.incr();
+                    dead_total.incr();
+                    dead.push(DeadLetter::Corrupt(payload.payload));
                     corrupt_budget = corrupt_budget_full;
                 }
             }
@@ -367,20 +442,27 @@ fn pump_source(
     metrics
         .gauge("stream_source_aborted")
         .set(u64::from(aborted));
-    SourceOutcome { stats, aborted }
+    SourceOutcome {
+        stats,
+        aborted,
+        dead,
+    }
 }
 
 /// The geocode admission stage's state: a fallible service call with
-/// retries in front of a bounded FIFO park queue.
-struct GeoAdmission<'s> {
-    service: &'s (dyn LocationService + Sync),
-    profile_of: Box<dyn Fn(UserId) -> Option<String> + 's>,
-    policy: RetryPolicy,
-    park: VecDeque<Tweet>,
-    park_capacity: usize,
-    peak_depth: usize,
-    clock: VirtualClock,
-    metrics: MetricsRegistry,
+/// retries in front of a bounded FIFO park queue. Shared with
+/// `core::shard`, where each worker owns one.
+pub(crate) struct GeoAdmission<'s> {
+    pub(crate) service: &'s (dyn LocationService + Sync),
+    pub(crate) profile_of: Box<dyn Fn(UserId) -> Option<String> + 's>,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) park: VecDeque<Tweet>,
+    pub(crate) park_capacity: usize,
+    pub(crate) peak_depth: usize,
+    pub(crate) clock: VirtualClock,
+    pub(crate) metrics: MetricsRegistry,
+    /// Tweets abandoned by this stage (park overflow), in order.
+    pub(crate) dead: Vec<DeadLetter>,
 }
 
 impl<'s> GeoAdmission<'s> {
@@ -405,7 +487,7 @@ impl<'s> GeoAdmission<'s> {
                         self.clock.advance_ms(waited_ms);
                         latency.add(waited_ms);
                     }
-                    let delay = self.policy.backoff_ms(attempt);
+                    let delay = self.policy.jittered_backoff_ms(attempt);
                     self.clock.advance_ms(delay);
                     backoff.add(delay);
                     retries.incr();
@@ -418,7 +500,7 @@ impl<'s> GeoAdmission<'s> {
     /// Drains the park queue front-first while the service answers,
     /// appending admitted tweets to `out`. Stops at the first tweet the
     /// retry budget cannot resolve — order into the sensor is FIFO.
-    fn drain(&mut self, attempts: u32, out: &mut Vec<Tweet>) {
+    pub(crate) fn drain(&mut self, attempts: u32, out: &mut Vec<Tweet>) {
         while let Some(front) = self.park.front() {
             let front = front.clone();
             if self.try_locate(&front, attempts) {
@@ -432,16 +514,33 @@ impl<'s> GeoAdmission<'s> {
     }
 
     /// Admits one arrival through the park queue (FIFO: parked tweets
-    /// re-resolve ahead of it).
-    fn admit(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
+    /// re-resolve ahead of it). An arrival past the park capacity is
+    /// abandoned to the dead-letter log, not silently dropped.
+    pub(crate) fn admit(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
         if self.park.len() >= self.park_capacity {
             self.metrics.counter("geo_parked_dropped_total").incr();
             self.metrics.counter("stream_gap_tweets_total").incr();
+            self.metrics.counter("dead_letter_total").incr();
+            self.dead.push(DeadLetter::Tweet(tweet));
             return;
         }
         self.park.push_back(tweet);
         self.peak_depth = self.peak_depth.max(self.park.len());
         self.drain(self.policy.max_attempts, out);
+    }
+
+    /// End of stream: everything still parked is unresolvable —
+    /// abandon it to the dead-letter log (in arrival order) and return
+    /// how many tweets that was. Never call this at a checkpoint:
+    /// residue there is saved, not abandoned.
+    pub(crate) fn abandon_leftovers(&mut self) -> u64 {
+        let n = self.park.len() as u64;
+        let dead_total = self.metrics.counter("dead_letter_total");
+        for t in self.park.drain(..) {
+            dead_total.incr();
+            self.dead.push(DeadLetter::Tweet(t));
+        }
+        n
     }
 }
 
@@ -478,12 +577,12 @@ pub fn run_faulted_stream<'a>(
             .map(|u| u.profile_location.clone())
     });
 
-    let (outcome, parked_at_end, delivered_tweets) = thread::scope(|scope| {
+    let (outcome, parked_at_end, delivered_tweets, dead_letters) = thread::scope(|scope| {
         let source = scope.spawn({
             let config = &config;
             move || {
                 let mut span = config.metrics.stage("stream_source");
-                let outcome = pump_source(sim, faults, config, src_tx);
+                let outcome = pump_source(sim, faults, config, None, src_tx);
                 span.set_items(outcome.stats.delivered);
                 span.finish();
                 outcome
@@ -537,6 +636,7 @@ pub fn run_faulted_stream<'a>(
                     peak_depth: 0,
                     clock: VirtualClock::new(),
                     metrics: metrics.clone(),
+                    dead: Vec::new(),
                 };
                 let mut out: Vec<Tweet> = Vec::new();
                 let mut n = 0u64;
@@ -559,7 +659,7 @@ pub fn run_faulted_stream<'a>(
                         break;
                     }
                 }
-                let parked = admission.park.len() as u64;
+                let parked = admission.abandon_leftovers();
                 metrics.gauge("geo_parked_depth").set(parked);
                 metrics
                     .gauge("geo_parked_peak_depth")
@@ -567,7 +667,7 @@ pub fn run_faulted_stream<'a>(
                 metrics.counter("stream_gap_tweets_total").add(parked);
                 span.set_items(n);
                 span.finish();
-                parked
+                (parked, admission.dead)
             }
         });
 
@@ -589,8 +689,12 @@ pub fn run_faulted_stream<'a>(
 
         let outcome = source.join().expect("source stage panicked");
         filter.join().expect("filter stage panicked");
-        let parked = geo.join().expect("geocode stage panicked");
-        (outcome, parked, delivered)
+        let (parked, geo_dead) = geo.join().expect("geocode stage panicked");
+        let mut letters = DeadLetterLog::new();
+        for d in outcome.dead.iter().cloned().chain(geo_dead) {
+            letters.push(d);
+        }
+        (outcome, parked, delivered, letters)
     });
 
     FaultedStreamRun {
@@ -601,6 +705,7 @@ pub fn run_faulted_stream<'a>(
         delivered_tweets,
         source_aborted: outcome.aborted,
         parked_at_end,
+        dead_letters,
     }
 }
 
@@ -625,11 +730,52 @@ mod tests {
             max_attempts: 8,
             base_ms: 50,
             max_ms: 1_000,
+            ..RetryPolicy::default()
         };
         let delays: Vec<u64> = (0..6).map(|a| p.backoff_ms(a)).collect();
         assert_eq!(delays, vec![50, 100, 200, 400, 800, 1_000]);
         // Huge attempt numbers must not overflow.
         assert_eq!(p.backoff_ms(u32::MAX), 1_000);
+        // With jitter off, the jittered delay IS the base delay — the
+        // PR 3 single-consumer timeline is unchanged.
+        assert_eq!(p.jittered_backoff_ms(3), p.backoff_ms(3));
+    }
+
+    #[test]
+    fn jittered_backoff_desynchronizes_identical_schedules() {
+        let schedule = RetryPolicy {
+            max_attempts: 8,
+            base_ms: 100,
+            max_ms: 10_000,
+            jitter_permille: 500,
+            jitter_seed: 0xD0_0D,
+            consumer_id: 0,
+        };
+        let a = schedule.for_consumer(0);
+        let b = schedule.for_consumer(1);
+        let delays_a: Vec<u64> = (0..8).map(|at| a.jittered_backoff_ms(at)).collect();
+        let delays_b: Vec<u64> = (0..8).map(|at| b.jittered_backoff_ms(at)).collect();
+        // Same schedule, different consumer: the herd splits up.
+        assert_ne!(delays_a, delays_b, "two shards must not retry in lockstep");
+        // Deterministic: the same consumer always sleeps the same.
+        let replay: Vec<u64> = (0..8).map(|at| a.jittered_backoff_ms(at)).collect();
+        assert_eq!(delays_a, replay);
+        // Bounded: base ≤ jittered ≤ base + base·permille/1000.
+        for (attempt, &d) in delays_a.iter().enumerate() {
+            let base = a.backoff_ms(attempt as u32);
+            assert!(d >= base && d <= base + base / 2, "attempt {attempt}: {d}");
+        }
+        // A different seed re-draws every consumer's jitter.
+        let reseeded = RetryPolicy {
+            jitter_seed: 0xBEEF,
+            ..a
+        };
+        assert_ne!(
+            delays_a,
+            (0..8)
+                .map(|at| reseeded.jittered_backoff_ms(at))
+                .collect::<Vec<u64>>()
+        );
     }
 
     #[test]
@@ -664,6 +810,31 @@ mod tests {
             4,
             "replay of 6..10: 8,9 pending, 6,7 emitted — all dropped"
         );
+    }
+
+    #[test]
+    fn flush_emits_held_tweets_in_id_order_at_shutdown() {
+        // Regression: shard workers shut down mid-disorder, so flush
+        // must sort whatever is still pending — not emit it in arrival
+        // order — and advance the high-water mark past all of it.
+        let mut seq = Resequencer::new(8);
+        let mut out = Vec::new();
+        for id in [7u64, 3, 5, 1, 6, 2] {
+            seq.push(tweet(id), &mut out);
+        }
+        assert!(out.is_empty(), "all pending: disorder within depth");
+        seq.flush(&mut out);
+        let ids: Vec<u64> = out.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 5, 6, 7]);
+        assert_eq!(seq.high_water(), Some(TweetId(7)));
+        // Post-flush, a replay of anything emitted is still a dup.
+        seq.push(tweet(5), &mut out);
+        assert_eq!(seq.duplicates_dropped(), 1);
+        assert_eq!(out.len(), 6, "replayed id 5 was dropped, not re-emitted");
+        // An empty flush is a no-op.
+        let before = out.len();
+        seq.flush(&mut out);
+        assert_eq!(out.len(), before);
     }
 
     #[test]

@@ -240,6 +240,11 @@ pub struct FaultyStreamApi<'a> {
     /// Replays revisiting a lost slot stay lost (no resurrection), so
     /// the skipped count really is the coverage gap.
     skip_ranges: Vec<(u64, u64)>,
+    /// Firehose floor set by [`FaultyStreamApi::resume_after`]: a
+    /// reconnect with an empty backfill ring rewinds here, never to
+    /// position zero, so a resumed consumer cannot be dragged back
+    /// through the part of the stream it already checkpointed past.
+    resume_floor: usize,
     /// Guard so a disconnect fires at most once per delivery slot.
     last_disconnect_at: Option<u64>,
     reconnect_attempts: u64,
@@ -265,6 +270,7 @@ impl<'a> FaultyStreamApi<'a> {
             stash: None,
             disconnected: false,
             skip_ranges: Vec::new(),
+            resume_floor: 0,
             last_disconnect_at: None,
             reconnect_attempts: 0,
             stats: FaultStats::default(),
@@ -274,6 +280,41 @@ impl<'a> FaultyStreamApi<'a> {
     /// Fault counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Fast-forwards a freshly connected stream past `id` without
+    /// realizing the skipped records one by one.
+    ///
+    /// Tweet ids are monotone in firehose position, so the first
+    /// position whose id exceeds `id` is found by binary search —
+    /// `O(log n)` realizations instead of a full replay. This is the
+    /// source half of checkpoint resume: a consumer that restored a
+    /// sensor with high-water mark `id` re-enters the stream at the
+    /// first record it has not ingested. The fault schedule restarts
+    /// its delivery indices at the seek point (a resumed connection is
+    /// a new connection); with recoverable fault configurations that
+    /// cannot change which tweets are ultimately delivered, only when
+    /// the faults fire. Reconnects after the seek never rewind below
+    /// the seek point.
+    pub fn resume_after(&mut self, id: crate::tweet::TweetId) {
+        let mut lo = 0usize;
+        let mut hi = self.sim.firehose_len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.sim.realize(mid).id <= id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        self.pos = lo;
+        self.resume_floor = lo;
+        self.next_index = 0;
+        self.max_fresh = 0;
+        self.ring.clear();
+        self.stash = None;
+        self.skip_ranges.clear();
+        self.last_disconnect_at = None;
     }
 
     /// True while the connection is down.
@@ -461,7 +502,7 @@ impl<'a> FaultyStreamApi<'a> {
             self.pos = p;
         } else {
             self.next_index = 0;
-            self.pos = 0;
+            self.pos = self.resume_floor;
         }
         if self.config.skip_on_reconnect > 0 {
             self.skip_ranges.push((
@@ -651,6 +692,62 @@ mod tests {
         assert!(corrupt_seen > 0, "corruption never fired");
         let clean: BTreeSet<TweetId> = clean_ids(&sim).into_iter().collect();
         assert_eq!(intact, clean, "a corrupt record was never recovered");
+    }
+
+    #[test]
+    fn resume_after_delivers_exactly_the_suffix() {
+        let sim = small_sim();
+        let clean = clean_ids(&sim);
+        let resume_point = clean[clean.len() / 2];
+        let mut stream =
+            FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), FaultConfig::none());
+        stream.resume_after(resume_point);
+        let delivered: Vec<TweetId> = drain(&mut stream)
+            .into_iter()
+            .map(|item| match item {
+                StreamItem::Tweet(t) => t.id,
+                StreamItem::Corrupt(_) => panic!("corruption with faults off"),
+            })
+            .collect();
+        let expected: Vec<TweetId> = clean.into_iter().filter(|&id| id > resume_point).collect();
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn reconnect_after_resume_never_rewinds_below_the_seek_point() {
+        let sim = small_sim();
+        let clean = clean_ids(&sim);
+        let resume_point = clean[clean.len() / 2];
+        // Aggressive disconnects with backfill: without the resume
+        // floor, a disconnect before the first fresh delivery would
+        // rewind the stream to position zero.
+        let config = FaultConfig {
+            disconnect_rate: 0.2,
+            replay_window: 4,
+            connect_failure_rate: 0.0,
+            ..FaultConfig::none()
+        };
+        let mut stream = FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), config);
+        stream.resume_after(resume_point);
+        let mut min_seen: Option<TweetId> = None;
+        loop {
+            match stream.next_delivery() {
+                Delivery::Item(StreamItem::Tweet(t)) => {
+                    min_seen = Some(min_seen.map_or(t.id, |m| m.min(t.id)));
+                }
+                Delivery::Item(StreamItem::Corrupt(_)) => unreachable!("corrupt rate is zero"),
+                Delivery::Disconnected => while !stream.reconnect() {},
+                Delivery::End => break,
+            }
+        }
+        assert!(
+            stream.stats().disconnects > 0,
+            "schedule never disconnected"
+        );
+        assert!(
+            min_seen.expect("suffix non-empty") > resume_point,
+            "a reconnect rewound behind the resume point"
+        );
     }
 
     #[test]

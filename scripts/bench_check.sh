@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Throughput-regression gate against the committed BENCH_BASELINE.json.
+#
+# Re-runs the smoke bench at the baseline's exact (scale, seed,
+# threads), then compares wall time *normalized by the calibration
+# workload* — `calibration_nanos` times a fixed FNV loop on the same
+# machine in the same process, so the ratio total/calibration is a
+# machine-independent cost figure and the gate transfers between a
+# laptop and a CI runner. Fails when the normalized cost regresses by
+# more than BENCH_TOLERANCE (default 0.15 = 15%).
+#
+#   scripts/bench_check.sh                   # gate against BENCH_BASELINE.json
+#   BENCH_TOLERANCE=0.25 scripts/bench_check.sh
+#
+# Also runs the shard-scaling smoke (`repro bench-shards`, N = 1, 2, 4)
+# so the consumer-group path is exercised and its table lands in the CI
+# log. The last line is always "BENCH CHECK: PASS|FAIL (...)" and the
+# exit code matches.
+#
+# Parsing is sed-only on the bench JSON's fixed key layout — no jq, no
+# python, so the gate runs anywhere the repo builds.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${BENCH_BASELINE:-BENCH_BASELINE.json}"
+TOLERANCE="${BENCH_TOLERANCE:-0.15}"
+
+fail() {
+  echo "bench_check: $*" >&2
+  echo "BENCH CHECK: FAIL ($*)"
+  exit 1
+}
+
+field() { # field <name> <file> — first integer/float value of a JSON key
+  sed -n "s/.*\"$1\": \([0-9][0-9.]*\).*/\1/p" "$2" | head -n 1
+}
+
+[ -f "${BASELINE}" ] || fail "missing baseline ${BASELINE}"
+SCALE="$(field scale "${BASELINE}")"
+SEED="$(field seed "${BASELINE}")"
+THREADS="$(field compute_threads "${BASELINE}")"
+BASE_TOTAL="$(field total_wall_nanos "${BASELINE}")"
+BASE_CAL="$(field calibration_nanos "${BASELINE}")"
+[ -n "${SCALE}" ] && [ -n "${BASE_TOTAL}" ] && [ -n "${BASE_CAL}" ] \
+  || fail "baseline ${BASELINE} is missing fields"
+
+echo "==> bench_check: building release binary"
+cargo build --release -q -p donorpulse-bench --bin repro
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "==> bench_check: scale ${SCALE}, seed ${SEED}, threads ${THREADS}"
+./target/release/repro --scale "${SCALE}" --seed "${SEED}" \
+  --threads "${THREADS}" bench --json "${TMP}/bench.json" > /dev/null
+CUR_TOTAL="$(field total_wall_nanos "${TMP}/bench.json")"
+CUR_CAL="$(field calibration_nanos "${TMP}/bench.json")"
+[ -n "${CUR_TOTAL}" ] && [ -n "${CUR_CAL}" ] || fail "bench JSON unparsable"
+
+# ratio > 1 means this run is more expensive per unit of machine speed
+# than the committed baseline.
+read -r RATIO VERDICT <<EOF
+$(awk -v ct="${CUR_TOTAL}" -v cc="${CUR_CAL}" \
+      -v bt="${BASE_TOTAL}" -v bc="${BASE_CAL}" -v tol="${TOLERANCE}" \
+  'BEGIN {
+     cur = ct / cc; base = bt / bc; ratio = cur / base;
+     printf "%.4f %s\n", ratio, (ratio > 1 + tol ? "FAIL" : "PASS");
+   }')
+EOF
+echo "    baseline: ${BASE_TOTAL} ns (cal ${BASE_CAL} ns)"
+echo "    current:  ${CUR_TOTAL} ns (cal ${CUR_CAL} ns)"
+echo "    normalized cost ratio: ${RATIO} (tolerance 1 + ${TOLERANCE})"
+if [ "${VERDICT}" = "FAIL" ]; then
+  fail "normalized cost ratio ${RATIO} exceeds tolerance ${TOLERANCE}"
+fi
+
+echo "==> bench_check: shard-scaling smoke (N = 1, 2, 4)"
+./target/release/repro --scale "${SCALE}" --seed "${SEED}" bench-shards \
+  2> /dev/null \
+  || fail "shard-scaling bench failed"
+
+echo "BENCH CHECK: PASS (normalized cost ratio ${RATIO})"

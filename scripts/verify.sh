@@ -56,6 +56,34 @@ echo "==> resilience: clean vs recovered-faults stream snapshot diff"
 diff "${DET_TMP}/stream_clean.txt" "${DET_TMP}/stream_recovered.txt" \
   || fail "stream snapshot differs between clean and recovered-faults runs"
 
+echo "==> sharding: merged artifacts vs single-consumer stream"
+# The consumer group promises snapshots byte-identical to the
+# single-sensor run for every shard count, including 0 = auto
+# (docs/SCALING.md). The recovered-faults snapshot from the previous
+# gate is the reference.
+for n in 1 2 4 0; do
+  ./target/release/repro --scale 0.05 stream --faults recoverable --shards "${n}" \
+    > "${DET_TMP}/stream_shards_${n}.txt" 2> /dev/null \
+    || fail "sharded stream run (shards=${n}) failed"
+  diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_shards_${n}.txt" \
+    || fail "sharded snapshot (shards=${n}) differs from single-consumer run"
+done
+
+echo "==> sharding: kill + resume reproduces the uninterrupted snapshot"
+# Crash the router mid-run, then resume from the newest complete
+# checkpoint epoch; the finished run must print the exact snapshot the
+# uninterrupted run printed.
+./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
+  --checkpoint-dir "${DET_TMP}/ckpt" --checkpoint-every 512 --kill-after 2000 \
+  > /dev/null 2> /dev/null \
+  || fail "killed sharded run failed"
+./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
+  --checkpoint-dir "${DET_TMP}/ckpt" --resume \
+  > "${DET_TMP}/stream_resumed.txt" 2> /dev/null \
+  || fail "resumed sharded run failed"
+diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_resumed.txt" \
+  || fail "resumed snapshot differs from the uninterrupted run"
+
 echo "==> docs: rustdoc with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps \
   || fail "rustdoc warnings"

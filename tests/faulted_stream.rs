@@ -14,7 +14,8 @@ use donorpulse::core::stream_consumer::{run_faulted_stream, StreamPipelineConfig
 use donorpulse::geo::{FlakyConfig, FlakyGeocoder, Geocoder};
 use donorpulse::obs::MetricsRegistry;
 use donorpulse::prelude::*;
-use donorpulse::twitter::fault::FaultConfig;
+use donorpulse::twitter::fault::{FaultConfig, FaultStats};
+use donorpulse::twitter::UserId;
 
 const SEED: u64 = 0xFA117;
 
@@ -183,6 +184,116 @@ fn unrecoverable_outage_degrades_gracefully_with_parked_gauges() {
         .expect("gap counter");
     assert!(gap > 0, "unresolved tweets must count as coverage gap");
     assert_eq!(run.delivered_tweets + gap, run.expected_tweets);
+}
+
+/// SplitMix64 — the test's own config generator, so the sweep needs no
+/// fuzzing dependency and every failure names a replayable config.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Property-style sweep: 64 seeded fault schedules, every field drawn
+/// from a *recoverable* bound (full backfill, transient corruption,
+/// connect failures far below the retry budget). For each config the
+/// consumer must reconstruct the clean sensor **bytewise** — the
+/// invariant of `recoverable_faults_reproduce_batch_artifacts_bytewise`
+/// holds across the whole config region, not just the one curated
+/// schedule. Failures print the offending `FaultConfig`, which replays
+/// deterministically.
+#[test]
+fn fuzz_recoverable_schedules_reproduce_clean_sensor_bytewise() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+
+    // Clean reference, computed once: the filtered stream fed straight
+    // into a sensor.
+    let mut clean = IncrementalSensor::new(&geocoder, |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    });
+    for tweet in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+        clean.ingest(&tweet);
+    }
+    let clean_attention = clean.attention().expect("clean attention");
+
+    let mut state = 0xD00D1E5EED_u64;
+    let mut draw = |bound: u64| {
+        state = state.wrapping_add(1);
+        splitmix64(state) % bound
+    };
+
+    let mut total = FaultStats::default();
+    for case in 0..64u32 {
+        let config = FaultConfig {
+            seed: splitmix64(u64::from(case) ^ 0xF022_5EED),
+            disconnect_rate: draw(600) as f64 / 100_000.0, // ≤ 0.6%
+            // ≥ 2: an adjacent swap advances the fresh frontier two
+            // slots past the record it displaced, so if that record was
+            // also corrupted, the recovery reconnect can only replay it
+            // when the backfill window reaches back ≥ 2. A 1-slot
+            // window is *not* in the recoverable region — the sweep
+            // found that boundary on its first run.
+            replay_window: 2 + draw(7) as usize, // 2..=8
+            skip_on_reconnect: 0,                // full backfill
+            duplicate_rate: draw(2_500) as f64 / 100_000.0, // ≤ 2.5%
+            reorder_rate: draw(2_500) as f64 / 100_000.0, // ≤ 2.5%
+            corrupt_rate: draw(400) as f64 / 100_000.0, // ≤ 0.4%
+            corrupt_persistent: false,           // transient only
+            connect_failure_rate: draw(300) as f64 / 1_000.0, // ≤ 30%
+        };
+        let run = run_faulted_stream(&sim, &geocoder, &geocoder, config.clone(), stream_config());
+        assert!(!run.source_aborted, "case {case} aborted: {config:?}");
+        assert_eq!(run.parked_at_end, 0, "case {case} parked: {config:?}");
+        assert_eq!(
+            run.metrics.counter("stream_gap_tweets_total"),
+            Some(0),
+            "case {case} left a gap: {config:?}"
+        );
+        assert_eq!(
+            run.delivered_tweets, run.expected_tweets,
+            "case {case} lost deliveries: {config:?}"
+        );
+        assert_eq!(
+            run.sensor.tweets_seen(),
+            clean.tweets_seen(),
+            "case {case} tweet count drifted: {config:?}"
+        );
+        assert_eq!(
+            run.sensor.user_states(),
+            clean.user_states(),
+            "case {case} user states drifted: {config:?}"
+        );
+        assert_eq!(
+            run.sensor.corpus().tweets(),
+            clean.corpus().tweets(),
+            "case {case} corpus drifted: {config:?}"
+        );
+        let attention = run.sensor.attention().expect("attention");
+        assert_attention_bits_equal(&attention, &clean_attention);
+
+        let s = run.fault_stats;
+        total.disconnects += s.disconnects;
+        total.duplicates_injected += s.duplicates_injected;
+        total.reordered += s.reordered;
+        total.corrupted += s.corrupted;
+        total.replayed += s.replayed;
+    }
+
+    // The sweep must have actually wandered the fault space — a
+    // degenerate generator that drew all-zero rates would pass the
+    // identity checks vacuously.
+    assert!(total.disconnects > 0, "sweep never disconnected: {total:?}");
+    assert!(
+        total.duplicates_injected > 0,
+        "sweep never duplicated: {total:?}"
+    );
+    assert!(total.reordered > 0, "sweep never reordered: {total:?}");
+    assert!(total.corrupted > 0, "sweep never corrupted: {total:?}");
+    assert!(total.replayed > 0, "sweep never replayed: {total:?}");
 }
 
 #[test]

@@ -8,11 +8,16 @@
 //!   all        every table and figure, in paper order
 //!   metrics    per-stage wall times, throughput, and domain counters
 //!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
-//!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|outage);
-//!              --shards N runs the sharded consumer group (byte-identical artifacts for
-//!              every N), with --checkpoint-dir/--checkpoint-every/--kill-after/--resume
-//!              for per-shard checkpoint/restore and --dead-letter-dir for the
-//!              replayable abandonment log
+//!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|
+//!              outage|geo-outage); --shards N runs the sharded consumer group
+//!              (byte-identical artifacts for every N), with --checkpoint-dir/
+//!              --checkpoint-every/--kill-after/--resume for per-shard
+//!              checkpoint/restore, --checkpoint-retain K to keep only the newest
+//!              K complete epochs, and --dead-letter-dir for the replayable
+//!              abandonment log
+//!   replay-dead-letters  re-run a degraded stream, then feed its dead-letter
+//!              log (--dead-letter-dir, written by a prior `stream` run) back
+//!              through the sensor and verify coverage is restored
 //!   bench-shards  shard-scaling smoke bench (N = 1, 2, 4)
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
@@ -79,6 +84,8 @@ struct Options {
     resume: bool,
     kill_after: Option<u64>,
     dead_letter_dir: Option<String>,
+    /// Keep only the newest K complete checkpoint epochs (0 = keep all).
+    checkpoint_retain: usize,
     command: String,
 }
 
@@ -95,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
     let mut resume = false;
     let mut kill_after = None;
     let mut dead_letter_dir = None;
+    let mut checkpoint_retain = 0;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -158,6 +166,13 @@ fn parse_args() -> Result<Options, String> {
             "--dead-letter-dir" => {
                 dead_letter_dir = Some(args.next().ok_or("--dead-letter-dir needs a path")?);
             }
+            "--checkpoint-retain" => {
+                checkpoint_retain = args
+                    .next()
+                    .ok_or("--checkpoint-retain needs an epoch count (0 = keep all)")?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-retain: {e}"))?;
+            }
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -178,6 +193,7 @@ fn parse_args() -> Result<Options, String> {
         resume,
         kill_after,
         dead_letter_dir,
+        checkpoint_retain,
         command: command.unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -197,7 +213,8 @@ fn main() -> ExitCode {
         eprintln!("  all        every table and figure, in paper order");
         eprintln!("  metrics    per-stage wall times, tweets/sec, and domain counters");
         eprintln!("  bench      smoke benchmark: one instrumented run, written to BENCH_<n>.json");
-        eprintln!("  stream     fault-tolerant streaming front-half; --faults off|recoverable|lossy|outage");
+        eprintln!("  stream     fault-tolerant streaming front-half;");
+        eprintln!("             --faults off|recoverable|lossy|outage|geo-outage");
         eprintln!(
             "             --shards N (0=auto) runs the sharded consumer group; byte-identical"
         );
@@ -206,9 +223,15 @@ fn main() -> ExitCode {
             "             writes per-shard checkpoints; --kill-after M simulates a crash after"
         );
         eprintln!(
-            "             M routed tweets; --resume restarts from the newest complete epoch."
+            "             M routed tweets; --resume restarts from the newest complete epoch;"
+        );
+        eprintln!(
+            "             --checkpoint-retain K compacts all but the newest K complete epochs."
         );
         eprintln!("             --dead-letter-dir D writes abandoned records to a replayable log.");
+        eprintln!("  replay-dead-letters  re-run the degraded stream (same --scale/--seed/");
+        eprintln!("             --faults), replay --dead-letter-dir D's log through the sensor,");
+        eprintln!("             and verify full coverage is restored (unsharded only)");
         eprintln!(
             "  bench-shards  shard-scaling smoke bench (N = 1, 2, 4) over the stream front-half"
         );
@@ -259,6 +282,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "extension-burst" => return extension_burst(opts),
         "control-null" => return control_null(opts),
         "stream" => return stream_command(opts),
+        "replay-dead-letters" => return replay_command(opts),
         "bench-shards" => return bench_shards(opts),
         _ => {}
     }
@@ -647,6 +671,7 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         run.parked_at_end,
         run.source_aborted,
     )
+    .map(|_| ())
 }
 
 /// The faulted-stream variant of `repro stream --shards N`: the
@@ -694,6 +719,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         },
         kill_after: opts.kill_after,
         resume: opts.resume,
+        checkpoint_retain: opts.checkpoint_retain,
         stream: stream_config,
     };
 
@@ -752,6 +778,105 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         run.parked_at_end,
         run.source_aborted,
     )
+    .map(|_| ())
+}
+
+/// `repro replay-dead-letters`: deterministically reconstruct the
+/// degraded run that produced `--dead-letter-dir`'s log (same scale,
+/// seed, and fault mode), feed the on-disk log back through its
+/// sensor, and verify the combination restores clean coverage.
+///
+/// Unsharded only: the sharded group's shared flaky-geocoder call
+/// ordering depends on thread interleaving, so a reconstructed sharded
+/// run would not abandon the same records. The log itself is
+/// shard-agnostic — entries are verbatim frames or typed tweets either
+/// way.
+fn replay_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::DeadLetterLog;
+    use donorpulse_core::stream_consumer::{
+        replay_dead_letters, run_faulted_stream, StreamPipelineConfig,
+    };
+    use donorpulse_geo::service::FlakyGeocoder;
+
+    if opts.shards.is_some() {
+        return Err(
+            "replay-dead-letters is unsharded only (reconstructing a sharded run's \
+             abandonment set is not deterministic); drop --shards"
+                .to_string(),
+        );
+    }
+    let Some(dir) = &opts.dead_letter_dir else {
+        return Err("replay-dead-letters needs --dead-letter-dir D (from a prior `repro stream --dead-letter-dir D`)".to_string());
+    };
+    let path = format!("{dir}/dead-letters.dpwf");
+    let log = DeadLetterLog::read_from(&path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (faults, flaky) = fault_setup(opts)?;
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        ..StreamPipelineConfig::default()
+    };
+    eprintln!("# replay-dead-letters: faults={} log={path}", opts.faults);
+    let mut run = match flaky {
+        Some(cfg) => {
+            let service = FlakyGeocoder::new(&geocoder, cfg);
+            run_faulted_stream(&sim, &geocoder, &service, faults, stream_config)
+        }
+        None => run_faulted_stream(&sim, &geocoder, &geocoder, faults, stream_config),
+    };
+    report_fault_accounting(&run.fault_stats, run.source_aborted, run.parked_at_end);
+    if run.dead_letters.len() != log.len() {
+        eprintln!(
+            "# warning: reconstructed run abandoned {} records but the log holds {} — \
+             the log was written with different knobs",
+            run.dead_letters.len(),
+            log.len()
+        );
+    }
+
+    let report = replay_dead_letters(&mut run.sensor, &log);
+    println!("DEAD-LETTER REPLAY");
+    println!("  log entries             {}", log.len());
+    println!("  tweets replayed         {}", report.tweets_replayed);
+    println!("  frames recovered        {}", report.frames_recovered);
+    println!("  frames undecodable      {}", report.frames_undecodable);
+    println!("  duplicates              {}", report.duplicates);
+
+    let artifacts_ok = snapshot_and_check(
+        opts,
+        &sim,
+        &run.sensor,
+        run.delivered_tweets,
+        run.expected_tweets,
+        &run.metrics,
+        run.parked_at_end,
+        run.source_aborted,
+    )?;
+    let restored = artifacts_ok && run.sensor.tweets_seen() == run.expected_tweets;
+    println!(
+        "  coverage restored       {}",
+        if restored { "yes" } else { "NO" }
+    );
+    // Modes whose damage is fully represented in (sensor ∪ dead
+    // letters) must come back to clean coverage exactly; lossy/outage
+    // wires genuinely destroyed records, so there replay is best-effort.
+    let must_restore = matches!(opts.faults.as_str(), "off" | "recoverable" | "geo-outage");
+    if must_restore && !restored {
+        return Err(format!(
+            "faults={}: replaying the dead-letter log must restore clean coverage, but it did not",
+            opts.faults
+        ));
+    }
+    if !must_restore && !restored {
+        eprintln!(
+            "# replay: coverage still short of clean (expected: faults={} destroys records)",
+            opts.faults
+        );
+    }
+    Ok(())
 }
 
 /// Maps `--faults` to a stream fault schedule plus (for every mode but
@@ -781,8 +906,15 @@ fn fault_setup(
             FaultConfig::lossy(opts.seed),
             Some(FlakyConfig::outage(opts.seed, 64, u64::MAX)),
         )),
+        // A clean wire but a geocoding service that dies permanently:
+        // every abandoned tweet is intact, so a dead-letter replay can
+        // restore clean coverage exactly.
+        "geo-outage" => Ok((
+            FaultConfig::none(),
+            Some(FlakyConfig::outage(opts.seed, 64, u64::MAX)),
+        )),
         other => Err(format!(
-            "unknown --faults mode {other} (use off|recoverable|lossy|outage)"
+            "unknown --faults mode {other} (use off|recoverable|lossy|outage|geo-outage)"
         )),
     }
 }
@@ -836,7 +968,9 @@ fn write_dead_letters(
 /// verifies against the clean batch pipeline in-process, and enforces
 /// the byte-identity gates for recoverable modes. Shared by the
 /// sharded and unsharded stream paths — which is what makes "sharded
-/// stdout equals unsharded stdout" a meaningful diff.
+/// stdout equals unsharded stdout" a meaningful diff. Returns whether
+/// every artifact matched the batch pipeline (the replay command gates
+/// on it even in modes where a mismatch is not an error here).
 #[allow(clippy::too_many_arguments)]
 fn snapshot_and_check(
     opts: &Options,
@@ -847,7 +981,7 @@ fn snapshot_and_check(
     metrics: &donorpulse_core::pipeline::RunMetrics,
     parked_at_end: u64,
     source_aborted: bool,
-) -> Result<(), String> {
+) -> Result<bool, String> {
     sensor.ensure_nonempty().map_err(|e| e.to_string())?;
     let corpus = sensor.corpus();
     let attention = sensor.attention().map_err(|e| e.to_string())?;
@@ -979,7 +1113,7 @@ fn snapshot_and_check(
             opts.faults
         ));
     }
-    Ok(())
+    Ok(corpus_ok && states_ok && attention_ok && risk_ok)
 }
 
 /// Ablation: Bhattacharyya (the paper's affinity) vs Euclidean and

@@ -23,14 +23,22 @@
 //!
 //! The same envelope carries the [`DeadLetterLog`] (kind 2): tweets
 //! abandoned past every park/retry budget are appended there instead of
-//! only being counted, so an operator can replay them after an outage.
+//! only being counted, so an operator can replay them after an outage
+//! (`repro replay-dead-letters`). Unparseable stream frames are stored
+//! **verbatim** — the damaged bytes, not a lossy rendering — so the
+//! log is also forensic evidence of what the wire actually carried.
+//!
+//! The embedded tweet record is the same byte layout the stream path's
+//! [`TweetFrame`](donorpulse_twitter::wire::TweetFrame) payload uses;
+//! both delegate to `donorpulse_twitter::wire`, so the two formats can
+//! never drift apart.
 
 use crate::incremental::{SensorExport, TrackExport};
 use crate::{CoreError, Result};
 use donorpulse_geo::UsState;
 use donorpulse_text::extract::MentionCounts;
 use donorpulse_text::Organ;
-use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+use donorpulse_twitter::{Tweet, TweetId, UserId};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -42,8 +50,10 @@ const MAGIC: [u8; 4] = *b"DPWF";
 const KIND_CHECKPOINT: u8 = 1;
 /// Envelope kind: a dead-letter log.
 const KIND_DEAD_LETTER: u8 = 2;
-/// Current layout version, shared by both kinds.
-const VERSION: u16 = 1;
+/// Current layout version, shared by both kinds. Version 2: dead-letter
+/// corrupt entries store the verbatim damaged frame bytes (length-
+/// prefixed raw bytes) instead of a UTF-8 rendering.
+const VERSION: u16 = 2;
 
 /// FNV-1a over a byte slice — the integrity trailer.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -85,24 +95,14 @@ impl WireWriter {
         self.buf.push(u8::from(v));
     }
 
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
     }
 
     fn tweet(&mut self, t: &Tweet) {
-        self.u64(t.id.0);
-        self.u64(t.user.0);
-        self.u64(t.created_at.0);
-        self.str(&t.text);
-        match t.geo {
-            Some((lat, lon)) => {
-                self.u8(1);
-                self.u64(lat.to_bits());
-                self.u64(lon.to_bits());
-            }
-            None => self.u8(0),
-        }
+        // Same byte layout as a stream frame payload, by construction.
+        donorpulse_twitter::wire::encode_tweet_payload(&mut self.buf, t);
     }
 
     /// Seals the envelope with the checksum trailer.
@@ -177,32 +177,17 @@ impl<'b> WireReader<'b> {
         Ok(self.u8()? != 0)
     }
 
-    fn str(&mut self) -> Result<String> {
+    fn bytes(&mut self) -> Result<Vec<u8>> {
         let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| CoreError::Checkpoint("non-UTF-8 string".into()))
+        Ok(self.take(len)?.to_vec())
     }
 
     fn tweet(&mut self) -> Result<Tweet> {
-        let id = TweetId(self.u64()?);
-        let user = UserId(self.u64()?);
-        let created_at = SimInstant(self.u64()?);
-        let text = self.str()?;
-        let geo = match self.u8()? {
-            0 => None,
-            1 => Some((f64::from_bits(self.u64()?), f64::from_bits(self.u64()?))),
-            other => {
-                return Err(CoreError::Checkpoint(format!("bad geo flag {other}")));
-            }
-        };
-        Ok(Tweet {
-            id,
-            user,
-            created_at,
-            text,
-            geo,
-        })
+        let (tweet, consumed) =
+            donorpulse_twitter::wire::decode_tweet_payload(&self.buf[self.pos..])
+                .map_err(|e| CoreError::Checkpoint(format!("tweet record: {e}")))?;
+        self.pos += consumed;
+        Ok(tweet)
     }
 
     /// The payload must be fully consumed — trailing bytes mean a
@@ -360,6 +345,9 @@ pub trait CheckpointStore: Send + Sync {
     fn load(&self, shard: u32, epoch: u64) -> io::Result<Option<Vec<u8>>>;
     /// Every epoch this shard has a checkpoint for, ascending.
     fn epochs(&self, shard: u32) -> io::Result<Vec<u64>>;
+    /// Deletes one shard's checkpoint for one epoch. Removing an
+    /// absent checkpoint is not an error (compaction races are benign).
+    fn remove(&self, shard: u32, epoch: u64) -> io::Result<()>;
 }
 
 /// The newest epoch for which **every** shard in `0..shards` has a
@@ -376,6 +364,52 @@ pub fn latest_complete_epoch(store: &dyn CheckpointStore, shards: u32) -> io::Re
         });
     }
     Ok(common.and_then(|c| c.into_iter().max()))
+}
+
+/// Retention: keeps the newest `retain` **complete** epochs and
+/// deletes every older checkpoint, returning how many files were
+/// removed.
+///
+/// Only complete epochs (present on every shard) count toward
+/// `retain` — a partial epoch is not a resumable cut, so keeping it
+/// in the count would silently shrink the real safety margin. Partial
+/// epochs *below* the retention cutoff are swept (they can never
+/// complete: shards write epochs in order); partial epochs above it
+/// are left alone, since their missing shards may still be writing.
+/// With no complete epoch, or `retain == 0` (keep everything),
+/// nothing is deleted.
+pub fn compact_checkpoints(
+    store: &dyn CheckpointStore,
+    shards: u32,
+    retain: usize,
+) -> io::Result<u64> {
+    if retain == 0 {
+        return Ok(0);
+    }
+    let mut complete: Option<Vec<u64>> = None;
+    for shard in 0..shards {
+        let epochs = store.epochs(shard)?;
+        complete = Some(match complete {
+            None => epochs,
+            Some(prev) => prev.into_iter().filter(|e| epochs.contains(e)).collect(),
+        });
+    }
+    let complete = complete.unwrap_or_default();
+    if complete.is_empty() {
+        return Ok(0);
+    }
+    // Oldest epoch we keep: the `retain`-th newest complete one.
+    let cutoff = complete[complete.len().saturating_sub(retain)];
+    let mut removed = 0u64;
+    for shard in 0..shards {
+        for epoch in store.epochs(shard)? {
+            if epoch < cutoff {
+                store.remove(shard, epoch)?;
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
 }
 
 /// Filesystem-backed [`CheckpointStore`]: one
@@ -434,6 +468,14 @@ impl CheckpointStore for DirCheckpointStore {
         out.sort_unstable();
         Ok(out)
     }
+
+    fn remove(&self, shard: u32, epoch: u64) -> io::Result<()> {
+        match std::fs::remove_file(self.path(shard, epoch)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
 }
 
 /// In-memory [`CheckpointStore`] for tests and embedding.
@@ -477,6 +519,14 @@ impl CheckpointStore for MemCheckpointStore {
             .map(|&(_, e)| e)
             .collect())
     }
+
+    fn remove(&self, shard: u32, epoch: u64) -> io::Result<()> {
+        self.slots
+            .lock()
+            .expect("store poisoned")
+            .remove(&(shard, epoch));
+        Ok(())
+    }
 }
 
 /// One abandoned record.
@@ -485,9 +535,10 @@ pub enum DeadLetter {
     /// An intact tweet dropped past every park/retry budget (park
     /// overflow, or unresolvable when the stream ended).
     Tweet(Tweet),
-    /// A record that stayed corrupt past the reconnect budget; only
-    /// its truncated wire payload survives.
-    Corrupt(String),
+    /// A stream frame that stayed unparseable past the reconnect
+    /// budget, stored **verbatim** — the exact damaged bytes the wire
+    /// carried, available for offline inspection or replay.
+    Frame(Vec<u8>),
 }
 
 /// A replayable log of everything the consumer gave up on.
@@ -538,9 +589,9 @@ impl DeadLetterLog {
                     w.u8(0);
                     w.tweet(t);
                 }
-                DeadLetter::Corrupt(payload) => {
+                DeadLetter::Frame(bytes) => {
                     w.u8(1);
-                    w.str(payload);
+                    w.bytes(bytes);
                 }
             }
         }
@@ -555,7 +606,7 @@ impl DeadLetterLog {
         for _ in 0..n {
             entries.push(match r.u8()? {
                 0 => DeadLetter::Tweet(r.tweet()?),
-                1 => DeadLetter::Corrupt(r.str()?),
+                1 => DeadLetter::Frame(r.bytes()?),
                 other => {
                     return Err(CoreError::Checkpoint(format!(
                         "bad dead-letter tag {other}"
@@ -583,6 +634,7 @@ impl DeadLetterLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use donorpulse_twitter::SimInstant;
 
     fn tweet(id: u64, user: u64, geo: Option<(f64, f64)>) -> Tweet {
         Tweet {
@@ -667,7 +719,9 @@ mod tests {
     fn dead_letter_log_roundtrips() {
         let mut log = DeadLetterLog::new();
         log.push(DeadLetter::Tweet(tweet(3, 1, None)));
-        log.push(DeadLetter::Corrupt("t44|u2|17|kid".to_string()));
+        // Damaged frames are stored verbatim — including bytes that
+        // are not valid UTF-8 and bytes that look like an envelope.
+        log.push(DeadLetter::Frame(vec![0x44, 0x50, 0x57, 0x46, 0xFF, 0x00, 0x9A]));
         log.push(DeadLetter::Tweet(tweet(6, 2, Some((40.0, -80.0)))));
         let back = DeadLetterLog::decode(&log.encode()).expect("decode");
         assert_eq!(back, log);
@@ -688,6 +742,75 @@ mod tests {
         assert_eq!(latest_complete_epoch(&store, 2).unwrap(), Some(2));
         assert_eq!(store.load(1, 2).unwrap().as_deref(), Some(&b"d"[..]));
         assert_eq!(store.load(5, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn compaction_keeps_newest_k_complete_epochs() {
+        let store = MemCheckpointStore::new();
+        // Shard 0 has epochs {1, 2, 3}; shard 1 only {1, 2} — epoch 3
+        // is partial and must never count toward K.
+        for e in [1, 2, 3] {
+            store.save(0, e, b"x").unwrap();
+        }
+        for e in [1, 2] {
+            store.save(1, e, b"y").unwrap();
+        }
+        let removed = compact_checkpoints(&store, 2, 1).unwrap();
+        // Complete epochs are {1, 2}; retain 1 keeps epoch 2 and the
+        // still-in-flight partial 3, and deletes epoch 1 on each shard.
+        assert_eq!(removed, 2);
+        assert_eq!(store.epochs(0).unwrap(), vec![2, 3]);
+        assert_eq!(store.epochs(1).unwrap(), vec![2]);
+        assert_eq!(latest_complete_epoch(&store, 2).unwrap(), Some(2));
+        // Idempotent: nothing older than the cutoff remains.
+        assert_eq!(compact_checkpoints(&store, 2, 1).unwrap(), 0);
+        // retain == 0 means keep everything.
+        assert_eq!(compact_checkpoints(&store, 2, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn compaction_sweeps_dead_partials_below_the_cutoff() {
+        let store = MemCheckpointStore::new();
+        // Shard 0 wrote epoch 1 but shard 1 never did (it died);
+        // both wrote epochs 2 and 3.
+        store.save(0, 1, b"x").unwrap();
+        for e in [2, 3] {
+            store.save(0, e, b"x").unwrap();
+            store.save(1, e, b"y").unwrap();
+        }
+        // Complete = {2, 3}; retain 2 keeps both, cutoff = 2, and the
+        // dead partial epoch 1 (which can never complete) is swept.
+        let removed = compact_checkpoints(&store, 2, 2).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(store.epochs(0).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn compaction_without_a_complete_epoch_deletes_nothing() {
+        let store = MemCheckpointStore::new();
+        store.save(0, 1, b"x").unwrap();
+        store.save(0, 2, b"x").unwrap();
+        // Shard 1 has nothing: no epoch is complete.
+        assert_eq!(compact_checkpoints(&store, 2, 1).unwrap(), 0);
+        assert_eq!(store.epochs(0).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn stores_remove_tolerates_absent_checkpoints() {
+        let store = MemCheckpointStore::new();
+        store.save(0, 1, b"x").unwrap();
+        store.remove(0, 1).unwrap();
+        store.remove(0, 1).unwrap(); // second remove is benign
+        assert_eq!(store.epochs(0).unwrap(), Vec::<u64>::new());
+        let root =
+            std::env::temp_dir().join(format!("donorpulse-ckpt-rm-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = DirCheckpointStore::open(&root).expect("open");
+        dir.save(3, 9, b"z").unwrap();
+        dir.remove(3, 9).unwrap();
+        dir.remove(3, 9).unwrap();
+        assert_eq!(dir.epochs(3).unwrap(), Vec::<u64>::new());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -64,14 +64,15 @@ pub(crate) mod testsupport;
 pub use aggregate::Aggregation;
 pub use attention::AttentionMatrix;
 pub use checkpoint::{
-    CheckpointStore, DeadLetter, DeadLetterLog, DirCheckpointStore, MemCheckpointStore,
-    SensorCheckpoint,
+    compact_checkpoints, CheckpointStore, DeadLetter, DeadLetterLog, DirCheckpointStore,
+    MemCheckpointStore, SensorCheckpoint,
 };
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
 pub use shard::{run_sharded_stream, ShardConfig, ShardedStreamRun};
 pub use stream_consumer::{
-    run_faulted_stream, FaultedStreamRun, Resequencer, RetryPolicy, StreamPipelineConfig,
+    replay_dead_letters, run_faulted_stream, FaultedStreamRun, ReplayReport, Resequencer,
+    RetryPolicy, StreamPipelineConfig,
 };
 
 /// Convenience alias for results in this crate.

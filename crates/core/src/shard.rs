@@ -32,9 +32,14 @@
 //! mark — no full-stream replay, and the finished run's fingerprint
 //! equals the uninterrupted one (the sensor's id-idempotence plus a
 //! router-side replay guard make any residual overlap harmless).
+//! With [`ShardConfig::checkpoint_retain`] set, the router compacts
+//! the store as it goes — keeping only the newest K cuts that are
+//! complete across every shard — so a long run's checkpoint directory
+//! stays bounded.
 
 use crate::checkpoint::{
-    latest_complete_epoch, CheckpointStore, DeadLetter, DeadLetterLog, SensorCheckpoint,
+    compact_checkpoints, latest_complete_epoch, CheckpointStore, DeadLetter, DeadLetterLog,
+    SensorCheckpoint,
 };
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::pipeline::RunMetrics;
@@ -128,6 +133,12 @@ pub struct ShardConfig {
     /// Resume from the newest complete checkpoint epoch instead of
     /// starting from the head of the stream. Requires a store.
     pub resume: bool,
+    /// Retention: keep only the newest this-many **complete** epochs
+    /// in the store, compacting older ones away after each marker and
+    /// at the end of the run. `0` (the default) keeps everything.
+    /// Partial epochs never count toward the kept set
+    /// ([`compact_checkpoints`]).
+    pub checkpoint_retain: usize,
     /// The underlying per-stage streaming configuration (channel
     /// capacity, retry schedules, park capacity, metrics).
     pub stream: StreamPipelineConfig,
@@ -140,6 +151,7 @@ impl Default for ShardConfig {
             checkpoint_every: 0,
             kill_after: None,
             resume: false,
+            checkpoint_retain: 0,
             stream: StreamPipelineConfig::default(),
         }
     }
@@ -323,6 +335,7 @@ pub fn run_sharded_stream<'a>(
         let router = scope.spawn({
             let metrics = metrics.clone();
             let checkpoint_every = config.checkpoint_every;
+            let checkpoint_retain = config.checkpoint_retain;
             let kill_after = config.kill_after;
             move || {
                 let mut span = metrics.stage("stream_router");
@@ -331,6 +344,8 @@ pub fn run_sharded_stream<'a>(
                 let passed = metrics.counter("consumer_filter_passed_total");
                 let routed_total = metrics.counter("shard_tweets_total");
                 let replayed = metrics.counter("resume_replayed_total");
+                let compacted = metrics.counter("checkpoints_compacted_total");
+                let compact_errors = metrics.counter("checkpoint_compact_errors_total");
                 let mut per_shard = vec![0u64; shards];
                 let mut routed = 0u64;
                 let mut epoch = start_epoch;
@@ -365,6 +380,25 @@ pub fn run_sharded_stream<'a>(
                         for tx in &shard_txs {
                             if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
                                 break 'route;
+                            }
+                        }
+                        // Retention: sweep epochs behind the newest
+                        // `retain` complete cuts. Safe to run while
+                        // workers write: shards write epochs in
+                        // ascending order, so a pending write can
+                        // never land below a complete cutoff. Errors
+                        // are counted, not fatal — compaction is
+                        // housekeeping, not correctness.
+                        if checkpoint_retain > 0 {
+                            if let Some(store) = store {
+                                match compact_checkpoints(
+                                    store,
+                                    shards as u32,
+                                    checkpoint_retain,
+                                ) {
+                                    Ok(n) => compacted.add(n),
+                                    Err(_) => compact_errors.incr(),
+                                }
                             }
                         }
                     }
@@ -508,6 +542,17 @@ pub fn run_sharded_stream<'a>(
     } else {
         Some(IncrementalSensor::restore(geocoder, profile_of, merged))
     };
+
+    // Final retention pass: every worker has joined, so the last epoch
+    // is as complete as it will ever get. Here an error has a Result
+    // context and is surfaced instead of merely counted.
+    if config.checkpoint_retain > 0 {
+        if let Some(store) = store {
+            let n = compact_checkpoints(store, shards as u32, config.checkpoint_retain)
+                .map_err(|e| CoreError::Checkpoint(format!("compacting checkpoints: {e}")))?;
+            metrics.counter("checkpoints_compacted_total").add(n);
+        }
+    }
 
     Ok(ShardedStreamRun {
         sensor,

@@ -7,16 +7,20 @@
 //!
 //! Resilience is layered in front of and behind the channels:
 //!
-//! * the **source** stage drives a [`FaultyStreamApi`],
-//!   reconnecting with deterministic exponential backoff (on a
-//!   [`VirtualClock`] — no wall-clock sleeping) and pushing deliveries
-//!   through a [`Resequencer`] that restores id order and deduplicates
-//!   both injected duplicates and the replayed overlap window after
-//!   every reconnect;
-//! * **malformed records** trigger a consumer-forced reconnect so the
-//!   backfill window redelivers the intact record; a record that stays
-//!   corrupt past the retry budget is abandoned and counted as
-//!   coverage gap;
+//! * the **source** stage drives a [`FaultyStreamApi`], which hands it
+//!   encoded byte frames; the stage **parses** each frame
+//!   ([`TweetFrame::decode`]), reconnects with deterministic
+//!   exponential backoff (on a [`VirtualClock`] — no wall-clock
+//!   sleeping), and pushes decoded tweets through a [`Resequencer`]
+//!   that restores id order and deduplicates both injected duplicates
+//!   and the replayed overlap window after every reconnect;
+//! * **unparseable frames** (classified by
+//!   [`FrameError`](donorpulse_twitter::wire::FrameError):
+//!   truncated, bad checksum, bad magic, bad payload) trigger a
+//!   consumer-forced reconnect so the backfill window redelivers the
+//!   intact frame; a frame that stays unparseable past the retry
+//!   budget is abandoned — the **verbatim damaged bytes** go to the
+//!   dead-letter log — and counted as coverage gap;
 //! * the **geocode admission** stage calls a fallible
 //!   [`LocationService`] with per-call retry/backoff; when the service
 //!   stays down past the budget, tweets **park** in a bounded FIFO side
@@ -44,8 +48,9 @@ use donorpulse_geo::service::{GeoServiceError, LocationService};
 use donorpulse_geo::Geocoder;
 use donorpulse_obs::MetricsRegistry;
 use donorpulse_text::{KeywordQuery, TextFilter};
-use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi, StreamItem};
+use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi};
 use donorpulse_twitter::time::VirtualClock;
+use donorpulse_twitter::wire::{FrameError, TweetFrame};
 use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
@@ -294,6 +299,17 @@ pub(crate) struct SourceOutcome {
     pub(crate) dead: Vec<DeadLetter>,
 }
 
+/// The per-class decode-failure counter a [`FrameError`] lands in
+/// (catalog: `docs/OBSERVABILITY.md`).
+fn wire_error_metric(err: &FrameError) -> &'static str {
+    match err {
+        FrameError::Truncated { .. } => "wire_truncated_total",
+        FrameError::BadChecksum { .. } => "wire_bad_checksum_total",
+        FrameError::BadMagic => "wire_bad_magic_total",
+        FrameError::BadPayload(_) => "wire_bad_payload_total",
+    }
+}
+
 /// Reconnects with truncated-exponential backoff on a virtual clock.
 /// Returns `false` when the retry budget is exhausted.
 fn reconnect_with_backoff(
@@ -342,6 +358,9 @@ pub(crate) fn pump_source(
     let malformed = metrics.counter("stream_malformed_total");
     let abandoned = metrics.counter("stream_malformed_abandoned_total");
     let gap = metrics.counter("stream_gap_tweets_total");
+    let frames_total = metrics.counter("wire_frames_total");
+    let frames_decoded = metrics.counter("wire_frames_decoded_total");
+    let wire_bytes = metrics.counter("wire_bytes_total");
 
     // Budget for re-requesting a record that arrived corrupt. Fresh
     // stream progress (an id above anything seen) refills it, so a
@@ -356,46 +375,53 @@ pub(crate) fn pump_source(
 
     'pump: loop {
         match stream.next_delivery() {
-            Delivery::Item(StreamItem::Tweet(tweet)) => {
+            Delivery::Frame(bytes) => {
                 delivered.incr();
-                if max_seen.map_or(true, |m| tweet.id > m) {
-                    max_seen = Some(tweet.id);
-                    corrupt_budget = corrupt_budget_full;
-                }
-                ready.clear();
-                reseq.push(tweet, &mut ready);
-                for t in ready.drain(..) {
-                    if tx.send(t).is_err() {
-                        break 'pump;
+                frames_total.incr();
+                wire_bytes.add(bytes.len() as u64);
+                match TweetFrame::decode(&bytes) {
+                    Ok(tweet) => {
+                        frames_decoded.incr();
+                        if max_seen.map_or(true, |m| tweet.id > m) {
+                            max_seen = Some(tweet.id);
+                            corrupt_budget = corrupt_budget_full;
+                        }
+                        ready.clear();
+                        reseq.push(tweet, &mut ready);
+                        for t in ready.drain(..) {
+                            if tx.send(t).is_err() {
+                                break 'pump;
+                            }
+                        }
                     }
-                }
-            }
-            Delivery::Item(StreamItem::Corrupt(payload)) => {
-                delivered.incr();
-                malformed.incr();
-                if corrupt_budget > 0 {
-                    // Force a reconnect: the replayed backfill window
-                    // redelivers the record, intact if the corruption
-                    // was transient.
-                    corrupt_budget -= 1;
-                    if !reconnect_with_backoff(
-                        &mut stream,
-                        &config.source_retry,
-                        &mut clock,
-                        metrics,
-                    ) {
-                        aborted = true;
-                        break 'pump;
+                    Err(err) => {
+                        malformed.incr();
+                        metrics.counter(wire_error_metric(&err)).incr();
+                        if corrupt_budget > 0 {
+                            // Force a reconnect: the replayed backfill
+                            // window redelivers the frame, intact if
+                            // the damage was transient.
+                            corrupt_budget -= 1;
+                            if !reconnect_with_backoff(
+                                &mut stream,
+                                &config.source_retry,
+                                &mut clock,
+                                metrics,
+                            ) {
+                                aborted = true;
+                                break 'pump;
+                            }
+                        } else {
+                            // Past the budget: the frame is broken at
+                            // the source. Abandon the verbatim bytes
+                            // to the dead-letter log and move on.
+                            abandoned.incr();
+                            gap.incr();
+                            dead_total.incr();
+                            dead.push(DeadLetter::Frame(bytes));
+                            corrupt_budget = corrupt_budget_full;
+                        }
                     }
-                } else {
-                    // Past the budget: the record is broken at the
-                    // source. Abandon it to the dead-letter log and
-                    // move on.
-                    abandoned.incr();
-                    gap.incr();
-                    dead_total.incr();
-                    dead.push(DeadLetter::Corrupt(payload.payload));
-                    corrupt_budget = corrupt_budget_full;
                 }
             }
             Delivery::Disconnected => {
@@ -447,6 +473,60 @@ pub(crate) fn pump_source(
         aborted,
         dead,
     }
+}
+
+/// What [`replay_dead_letters`] did with each log entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Tweets the sensor ingested fresh during replay.
+    pub tweets_replayed: u64,
+    /// Dead frames that decoded after all — the damage spared the
+    /// payload-relevant bytes enough for a later tool, or the log was
+    /// written by a version whose budget abandoned intact frames.
+    /// Counted inside `tweets_replayed` when ingested fresh.
+    pub frames_recovered: u64,
+    /// Dead frames that still fail to decode; they stay lost.
+    pub frames_undecodable: u64,
+    /// Entries the sensor had already seen (id-idempotent dedup).
+    pub duplicates: u64,
+}
+
+/// Feeds a dead-letter log back through a sensor, in log order.
+///
+/// Tweet entries ingest directly; frame entries go through
+/// [`TweetFrame::decode`] first, and frames that still fail to decode
+/// are counted, not retried — a damaged frame cannot be repaired
+/// offline. The sensor's id-idempotent `ingest` makes replay safe to
+/// run against a sensor that already absorbed some of the entries.
+/// `tests/sharding.rs` asserts that replaying a degraded run's log
+/// restores clean coverage; `repro replay-dead-letters` is the
+/// operator-facing wrapper.
+pub fn replay_dead_letters(
+    sensor: &mut IncrementalSensor<'_>,
+    log: &DeadLetterLog,
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    for entry in log.entries() {
+        let tweet = match entry {
+            DeadLetter::Tweet(t) => t.clone(),
+            DeadLetter::Frame(bytes) => match TweetFrame::decode(bytes) {
+                Ok(t) => {
+                    report.frames_recovered += 1;
+                    t
+                }
+                Err(_) => {
+                    report.frames_undecodable += 1;
+                    continue;
+                }
+            },
+        };
+        if sensor.ingest(&tweet) {
+            report.tweets_replayed += 1;
+        } else {
+            report.duplicates += 1;
+        }
+    }
+    report
 }
 
 /// The geocode admission stage's state: a fallible service call with

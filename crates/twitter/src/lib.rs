@@ -22,10 +22,15 @@
 //! * [`generator`] — materializes users and a time-ordered tweet stream;
 //! * [`stream`] — the Stream API endpoint: `track` filtering, optional
 //!   sampling, connection-style iteration;
+//! * [`wire`] — the byte-level record framing the stream path speaks:
+//!   a magic/kind/version/length/checksum envelope per tweet, with a
+//!   resynchronizing [`FrameReader`](wire::FrameReader) and a
+//!   classified error taxonomy;
 //! * [`fault`] — seeded fault injection over the stream endpoint:
 //!   disconnects with replayed backfill windows, duplicate and
-//!   out-of-order delivery, truncated records — the lossy-feed
-//!   behaviour Morstatter & Pfeffer document for the real Stream API;
+//!   out-of-order delivery, byte-level frame damage (prefix cuts, bit
+//!   flips) — the lossy-feed behaviour Morstatter & Pfeffer document
+//!   for the real Stream API;
 //! * [`corpus`] — the collected-corpus container and the Table I
 //!   statistics.
 
@@ -42,12 +47,14 @@ pub mod textgen;
 pub mod time;
 pub mod tweet;
 pub mod user;
+pub mod wire;
 
 pub use corpus::{Corpus, CorpusStats};
-pub use fault::{CorruptRecord, Delivery, FaultConfig, FaultStats, FaultyStreamApi, StreamItem};
+pub use fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi};
 pub use generator::TwitterSimulation;
 pub use genmodel::{Archetype, AwarenessEvent, GeneratorConfig};
-pub use stream::StreamApi;
+pub use stream::{FrameStream, StreamApi};
 pub use time::{SimInstant, COLLECTION_DAYS, COLLECTION_START};
 pub use tweet::{Tweet, TweetId};
 pub use user::{UserId, UserProfile};
+pub use wire::{FrameError, FrameReader, TweetFrame};

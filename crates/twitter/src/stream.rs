@@ -84,6 +84,14 @@ impl<'a> StreamApi<'a> {
     pub fn stats(&self) -> StreamStats {
         self.stats
     }
+
+    /// Switches the connection to byte-level delivery: every tweet is
+    /// handed out as an encoded [`TweetFrame`](crate::wire::TweetFrame)
+    /// — what a real endpoint puts on the socket. The fault adapter
+    /// ([`crate::fault::FaultyStreamApi`]) speaks the same framing.
+    pub fn frames(self) -> FrameStream<'a> {
+        FrameStream { inner: self }
+    }
 }
 
 impl Iterator for StreamApi<'_> {
@@ -107,6 +115,29 @@ impl Iterator for StreamApi<'_> {
             return Some(tweet);
         }
         None
+    }
+}
+
+/// A [`StreamApi`] connection delivering encoded wire frames instead
+/// of parsed tweets (see [`StreamApi::frames`]).
+pub struct FrameStream<'a> {
+    inner: StreamApi<'a>,
+}
+
+impl FrameStream<'_> {
+    /// Session statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.inner.stats()
+    }
+}
+
+impl Iterator for FrameStream<'_> {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        self.inner
+            .next()
+            .map(|t| crate::wire::TweetFrame::encode(&t))
     }
 }
 
@@ -175,5 +206,24 @@ mod tests {
         let a: Vec<Tweet> = s.stream().take(50).collect();
         let b: Vec<Tweet> = s.stream().take(50).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frames_decode_back_to_the_typed_stream() {
+        let s = sim();
+        let typed: Vec<Tweet> = s
+            .stream()
+            .with_track(TrackFilter::paper_cartesian())
+            .collect();
+        let mut framed = s
+            .stream()
+            .with_track(TrackFilter::paper_cartesian())
+            .frames();
+        let decoded: Vec<Tweet> = framed
+            .by_ref()
+            .map(|f| crate::wire::TweetFrame::decode(&f).expect("clean stream"))
+            .collect();
+        assert_eq!(decoded, typed);
+        assert_eq!(framed.stats().delivered as usize, typed.len());
     }
 }

@@ -1,0 +1,550 @@
+//! Byte-level record framing for the stream path.
+//!
+//! A real Stream API hands the client length-delimited bytes, not
+//! parsed structs — the wire feed is the untrusted input surface
+//! (Morstatter et al. treat it exactly that way in the Streaming-API
+//! bias study). This module is the codec for that surface: a
+//! [`TweetFrame`] encodes one tweet into a self-delimiting binary
+//! frame, and a [`FrameReader`] walks a byte stream, parsing frames
+//! and resynchronizing on the magic after damage.
+//!
+//! # Frame layout (version 1)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------
+//!      0     4  magic          "DPWF"
+//!      4     1  kind           3 (tweet frame)
+//!      5     2  version        u16 LE, currently 1
+//!      7     4  payload length u32 LE (payload bytes only)
+//!     11     n  payload        tweet record (below)
+//!   11+n     8  checksum       FNV-1a u64 LE over bytes [0, 11+n)
+//! ```
+//!
+//! The payload is the same little-endian tweet record the checkpoint
+//! format uses (`core::checkpoint` delegates here): id, user,
+//! created-at as u64, text as u32-length-prefixed UTF-8, then a geo
+//! flag byte followed by two `f64::to_bits` u64s when present.
+//!
+//! # Error taxonomy
+//!
+//! Decoding classifies every failure as one of four [`FrameError`]s:
+//! [`Truncated`](FrameError::Truncated) (the buffer ends before the
+//! declared frame does), [`BadChecksum`](FrameError::BadChecksum)
+//! (the FNV trailer disagrees), [`BadMagic`](FrameError::BadMagic)
+//! (the bytes at the cursor are not a frame start), and
+//! [`BadPayload`](FrameError::BadPayload) (the envelope is sound but
+//! the record inside is not: unknown kind or version, non-UTF-8 text,
+//! a bad geo flag, trailing bytes).
+//!
+//! # Detection guarantee
+//!
+//! Strict decode ([`TweetFrame::decode`]) checks that the declared
+//! total length equals the buffer length *before* verifying the
+//! checksum. That ordering makes single-bit damage provably
+//! detectable, not just probabilistically: a flip in the length field
+//! changes the declared total and fails the length check, and a flip
+//! anywhere else is caught by the checksum, because the FNV-1a step
+//! `h → (h ^ b) * P` is injective in `h` for fixed-length input (P is
+//! odd), so two buffers of equal length differing in any byte hash
+//! differently. `tests/wire_codec.rs` sweeps every single-bit flip
+//! and every truncation point of a reference frame to pin this down.
+//!
+//! # Resynchronization
+//!
+//! After a bad frame, [`FrameReader`] scans forward from the byte
+//! after the failed frame start for the next `DPWF` magic and resumes
+//! there. A magic-like byte pattern inside a payload can produce
+//! extra classified errors during the scan, but never a wrong tweet:
+//! any candidate start that is not a real frame fails the checksum.
+
+use crate::time::SimInstant;
+use crate::tweet::{Tweet, TweetId};
+use crate::user::UserId;
+use std::fmt;
+
+/// First bytes of every frame — shared with the checkpoint envelope.
+pub const MAGIC: [u8; 4] = *b"DPWF";
+/// Envelope kind: a single tweet frame on the stream path.
+pub const KIND_TWEET: u8 = 3;
+/// Current tweet-frame layout version.
+pub const WIRE_VERSION: u16 = 1;
+/// Bytes before the payload: magic, kind, version, payload length.
+pub const HEADER_LEN: usize = 4 + 1 + 2 + 4;
+/// Bytes after the payload: the FNV-1a checksum.
+pub const TRAILER_LEN: usize = 8;
+/// Upper bound on a declared payload length. Rejecting absurd lengths
+/// up front keeps a damaged length field from dragging the reader a
+/// gigabyte forward before the truncation check fires.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// FNV-1a over a byte slice — the integrity trailer.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a frame failed to decode. See the module docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes available from the frame start.
+        have: usize,
+        /// Bytes the frame needs (total, including header + trailer).
+        need: usize,
+    },
+    /// The FNV-1a trailer disagrees with the frame bytes.
+    BadChecksum {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum computed over the frame body.
+        computed: u64,
+    },
+    /// The bytes at the cursor do not start with the frame magic.
+    BadMagic,
+    /// The envelope is intact but the record inside is not.
+    BadPayload(String),
+}
+
+impl FrameError {
+    /// Stable short label for metrics and logs.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FrameError::Truncated { .. } => "truncated",
+            FrameError::BadChecksum { .. } => "bad-checksum",
+            FrameError::BadMagic => "bad-magic",
+            FrameError::BadPayload(_) => "bad-payload",
+        }
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            FrameError::BadChecksum { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            FrameError::BadMagic => write!(f, "bad magic: not a frame start"),
+            FrameError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends one tweet record (the frame payload, no envelope) to `buf`.
+///
+/// This is the byte layout the checkpoint format embeds for tweets;
+/// `core::checkpoint` delegates to it so the two stay identical.
+pub fn encode_tweet_payload(buf: &mut Vec<u8>, t: &Tweet) {
+    buf.extend_from_slice(&t.id.0.to_le_bytes());
+    buf.extend_from_slice(&t.user.0.to_le_bytes());
+    buf.extend_from_slice(&t.created_at.0.to_le_bytes());
+    buf.extend_from_slice(&(t.text.len() as u32).to_le_bytes());
+    buf.extend_from_slice(t.text.as_bytes());
+    match t.geo {
+        Some((lat, lon)) => {
+            buf.push(1);
+            buf.extend_from_slice(&lat.to_bits().to_le_bytes());
+            buf.extend_from_slice(&lon.to_bits().to_le_bytes());
+        }
+        None => buf.push(0),
+    }
+}
+
+/// Decodes one tweet record from the front of `bytes`, returning the
+/// tweet and the number of payload bytes consumed.
+pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], FrameError> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| FrameError::BadPayload("record ends mid-field".into()))?;
+        let out = &bytes[pos..end];
+        pos = end;
+        Ok(out)
+    };
+    let u64_of = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8 bytes"));
+    let id = TweetId(u64_of(take(8)?));
+    let user = UserId(u64_of(take(8)?));
+    let created_at = SimInstant(u64_of(take(8)?));
+    let text_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+    let text = String::from_utf8(take(text_len)?.to_vec())
+        .map_err(|_| FrameError::BadPayload("non-UTF-8 text".into()))?;
+    let geo = match take(1)?[0] {
+        0 => None,
+        1 => {
+            let lat = f64::from_bits(u64_of(take(8)?));
+            let lon = f64::from_bits(u64_of(take(8)?));
+            Some((lat, lon))
+        }
+        other => {
+            return Err(FrameError::BadPayload(format!("bad geo flag {other}")));
+        }
+    };
+    Ok((
+        Tweet {
+            id,
+            user,
+            created_at,
+            text,
+            geo,
+        },
+        pos,
+    ))
+}
+
+/// The tweet-frame codec: encode one tweet into a self-delimiting
+/// frame, or decode one frame back into a tweet.
+///
+/// ```
+/// use donorpulse_twitter::wire::TweetFrame;
+/// use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+///
+/// let tweet = Tweet {
+///     id: TweetId(42),
+///     user: UserId(7),
+///     created_at: SimInstant(1000),
+///     text: "kidney donor ❤".to_string(),
+///     geo: Some((37.69, -97.34)),
+/// };
+/// let frame = TweetFrame::encode(&tweet);
+/// assert_eq!(TweetFrame::decode(&frame).unwrap(), tweet);
+/// ```
+pub struct TweetFrame;
+
+impl TweetFrame {
+    /// Encodes one tweet as a framed byte record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload would exceed [`MAX_PAYLOAD`] — a frame
+    /// that large could never be decoded, so producing it silently
+    /// would be data loss.
+    pub fn encode(tweet: &Tweet) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64 + tweet.text.len());
+        encode_tweet_payload(&mut payload, tweet);
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "tweet payload {} exceeds MAX_PAYLOAD {MAX_PAYLOAD}",
+            payload.len()
+        );
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(KIND_TWEET);
+        buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let sum = fnv1a(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Strict decode: `bytes` must be exactly one intact frame.
+    ///
+    /// The declared total length is compared with the buffer length
+    /// *before* the checksum check, which is what makes every
+    /// single-bit flip detectable (see the module docs).
+    pub fn decode(bytes: &[u8]) -> Result<Tweet, FrameError> {
+        Self::parse(bytes, true).map(|(t, _)| t)
+    }
+
+    /// Prefix decode for stream scanning: decodes one frame from the
+    /// front of `bytes`, returning the tweet and total frame length.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<(Tweet, usize), FrameError> {
+        // Magic first: a short buffer that cannot even be the start of
+        // a frame is BadMagic, not Truncated.
+        let magic_have = bytes.len().min(MAGIC.len());
+        if bytes[..magic_have] != MAGIC[..magic_have] {
+            return Err(FrameError::BadMagic);
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: HEADER_LEN + TRAILER_LEN,
+            });
+        }
+        let declared =
+            u32::from_le_bytes(bytes[7..HEADER_LEN].try_into().expect("4 bytes")) as usize;
+        if declared > MAX_PAYLOAD {
+            return Err(FrameError::BadPayload(format!(
+                "declared payload length {declared} exceeds cap {MAX_PAYLOAD}"
+            )));
+        }
+        let total = HEADER_LEN + declared + TRAILER_LEN;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: total,
+            });
+        }
+        if strict && bytes.len() != total {
+            return Err(FrameError::BadPayload(format!(
+                "{} trailing bytes after the frame",
+                bytes.len() - total
+            )));
+        }
+        let (body, trailer) = bytes[..total].split_at(total - TRAILER_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(FrameError::BadChecksum { stored, computed });
+        }
+        let kind = bytes[4];
+        if kind != KIND_TWEET {
+            return Err(FrameError::BadPayload(format!(
+                "unexpected frame kind {kind} (wanted {KIND_TWEET})"
+            )));
+        }
+        let version = u16::from_le_bytes([bytes[5], bytes[6]]);
+        if version != WIRE_VERSION {
+            return Err(FrameError::BadPayload(format!(
+                "unknown wire version {version} (this build reads {WIRE_VERSION})"
+            )));
+        }
+        let (tweet, consumed) = decode_tweet_payload(&body[HEADER_LEN..])?;
+        if consumed != declared {
+            return Err(FrameError::BadPayload(format!(
+                "{} unread payload bytes",
+                declared - consumed
+            )));
+        }
+        Ok((tweet, total))
+    }
+}
+
+/// Walks a byte stream of concatenated frames, yielding decoded tweets
+/// and classified errors, resynchronizing on the magic after damage.
+///
+/// ```
+/// use donorpulse_twitter::wire::{FrameReader, TweetFrame};
+/// use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+///
+/// let tweet = Tweet {
+///     id: TweetId(1),
+///     user: UserId(2),
+///     created_at: SimInstant(3),
+///     text: "liver".to_string(),
+///     geo: None,
+/// };
+/// let mut buf = TweetFrame::encode(&tweet);
+/// buf[15] ^= 0x40; // damage the first frame
+/// buf.extend_from_slice(&TweetFrame::encode(&tweet));
+/// let results: Vec<_> = FrameReader::new(&buf).collect();
+/// assert!(results[0].is_err());
+/// assert_eq!(results[1].as_ref().unwrap(), &tweet);
+/// ```
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    resyncs: u64,
+    bytes_skipped: u64,
+}
+
+impl<'a> FrameReader<'a> {
+    /// A reader over a concatenated-frame byte stream.
+    pub fn new(buf: &'a [u8]) -> Self {
+        FrameReader {
+            buf,
+            pos: 0,
+            resyncs: 0,
+            bytes_skipped: 0,
+        }
+    }
+
+    /// How many times the reader had to hunt for the next magic.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Bytes discarded while resynchronizing.
+    pub fn bytes_skipped(&self) -> u64 {
+        self.bytes_skipped
+    }
+
+    /// Advances past a bad frame start to the next magic candidate
+    /// (or the end of the buffer).
+    fn resync(&mut self) {
+        let from = self.pos + 1;
+        let next = self.buf[from.min(self.buf.len())..]
+            .windows(MAGIC.len())
+            .position(|w| w == MAGIC)
+            .map(|off| from + off)
+            .unwrap_or(self.buf.len());
+        self.resyncs += 1;
+        self.bytes_skipped += (next - self.pos) as u64;
+        self.pos = next;
+    }
+}
+
+impl Iterator for FrameReader<'_> {
+    type Item = Result<Tweet, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        match TweetFrame::decode_prefix(&self.buf[self.pos..]) {
+            Ok((tweet, consumed)) => {
+                self.pos += consumed;
+                Some(Ok(tweet))
+            }
+            Err(e) => {
+                self.resync();
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(id: u64, text: &str, geo: Option<(f64, f64)>) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(id ^ 0xABCD),
+            created_at: SimInstant(id.wrapping_mul(17)),
+            text: text.to_string(),
+            geo,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        for t in [
+            tweet(1, "kidney donor ❤", Some((37.69, -97.34))),
+            tweet(u64::MAX, "", None),
+            tweet(7, "DPWF inside the text", Some((0.0, -0.0))),
+        ] {
+            let frame = TweetFrame::encode(&t);
+            let geo_bytes = if t.geo.is_some() { 16 } else { 0 };
+            assert_eq!(
+                frame.len(),
+                HEADER_LEN + TRAILER_LEN + 29 + t.text.len() + geo_bytes
+            );
+            let back = TweetFrame::decode(&frame).expect("decode");
+            assert_eq!(back.id, t.id);
+            assert_eq!(back.text, t.text);
+            assert_eq!(
+                back.geo.map(|(a, b)| (a.to_bits(), b.to_bits())),
+                t.geo.map(|(a, b)| (a.to_bits(), b.to_bits()))
+            );
+        }
+    }
+
+    #[test]
+    fn decode_classifies_each_failure_mode() {
+        let frame = TweetFrame::encode(&tweet(9, "heart", None));
+        // Truncation at several depths.
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, frame.len() - 1] {
+            let err = TweetFrame::decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut {cut} gave {err:?}"
+            );
+        }
+        // A payload bit flip is a checksum failure.
+        let mut flipped = frame.clone();
+        flipped[HEADER_LEN + 2] ^= 0x10;
+        assert!(matches!(
+            TweetFrame::decode(&flipped).unwrap_err(),
+            FrameError::BadChecksum { .. }
+        ));
+        // Wrong first byte is BadMagic.
+        let mut wrong = frame.clone();
+        wrong[0] = b'X';
+        assert_eq!(TweetFrame::decode(&wrong).unwrap_err(), FrameError::BadMagic);
+        // Wrong kind with a repaired checksum is BadPayload.
+        let mut kinded = frame.clone();
+        kinded[4] = KIND_TWEET + 1;
+        let body_len = kinded.len() - TRAILER_LEN;
+        let sum = fnv1a(&kinded[..body_len]);
+        kinded[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            TweetFrame::decode(&kinded).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        // Trailing garbage after a valid frame is rejected by strict
+        // decode but consumed cleanly by prefix decode.
+        let mut trailing = frame.clone();
+        trailing.push(0xEE);
+        assert!(matches!(
+            TweetFrame::decode(&trailing).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        let (t, consumed) = TweetFrame::decode_prefix(&trailing).expect("prefix");
+        assert_eq!(t.id, TweetId(9));
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn absurd_declared_length_is_rejected_before_truncation() {
+        let mut frame = TweetFrame::encode(&tweet(3, "liver", None));
+        frame[7..HEADER_LEN].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            TweetFrame::decode(&frame).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+    }
+
+    #[test]
+    fn reader_resyncs_after_damage() {
+        let a = tweet(1, "kidney", None);
+        let b = tweet(2, "liver DPWF liver", Some((1.0, 2.0)));
+        let c = tweet(3, "heart", None);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TweetFrame::encode(&a));
+        let mid = TweetFrame::encode(&b);
+        buf.extend_from_slice(&mid[..mid.len() / 2]); // truncated frame
+        buf.extend_from_slice(&TweetFrame::encode(&c));
+        let mut reader = FrameReader::new(&buf);
+        let got: Vec<_> = reader.by_ref().collect();
+        let oks: Vec<TweetId> = got
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|t| t.id))
+            .collect();
+        assert_eq!(oks, vec![TweetId(1), TweetId(3)]);
+        assert!(got.iter().any(|r| r.is_err()));
+        assert!(reader.resyncs() > 0);
+        assert!(reader.bytes_skipped() > 0);
+    }
+
+    #[test]
+    fn reader_never_yields_a_wrong_tweet_from_bit_flips() {
+        let tweets = [
+            tweet(10, "pancreas DPWF", None),
+            tweet(11, "kidney ❤", Some((37.0, -97.0))),
+            tweet(12, "bone marrow", None),
+        ];
+        let frames: Vec<Vec<u8>> = tweets.iter().map(TweetFrame::encode).collect();
+        let originals: std::collections::BTreeSet<Vec<u8>> = frames.iter().cloned().collect();
+        let mid_start = frames[0].len();
+        let mid_len = frames[1].len();
+        let mut buf: Vec<u8> = frames.concat();
+        for bit in 0..mid_len * 8 {
+            buf[mid_start + bit / 8] ^= 1 << (bit % 8);
+            for item in FrameReader::new(&buf).flatten() {
+                assert!(
+                    originals.contains(&TweetFrame::encode(&item)),
+                    "bit {bit} decoded a wrong tweet: {item:?}"
+                );
+            }
+            buf[mid_start + bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

@@ -29,6 +29,13 @@ cargo build --workspace --release || fail "release build failed"
 echo "==> tier-1: tests"
 cargo test --workspace -q || fail "tests failed"
 
+echo "==> wire codec: conformance + corruption sweep"
+# Redundant with the workspace test run, but called out as its own
+# gate: every single-bit flip and truncation point of the reference
+# frames must classify, never decode wrong or panic, and the golden
+# vectors must pin the encoder byte for byte (docs/ROBUSTNESS.md).
+cargo test -q --test wire_codec || fail "wire codec conformance suite failed"
+
 DET_TMP="$(mktemp -d)"
 trap 'rm -rf "${DET_TMP}"' EXIT
 
@@ -72,17 +79,39 @@ done
 echo "==> sharding: kill + resume reproduces the uninterrupted snapshot"
 # Crash the router mid-run, then resume from the newest complete
 # checkpoint epoch; the finished run must print the exact snapshot the
-# uninterrupted run printed.
+# uninterrupted run printed. Retention is on (keep 1 complete epoch),
+# so the store must also stay compact through the crash and the resume.
 ./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
   --checkpoint-dir "${DET_TMP}/ckpt" --checkpoint-every 512 --kill-after 2000 \
+  --checkpoint-retain 1 \
   > /dev/null 2> /dev/null \
   || fail "killed sharded run failed"
 ./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
-  --checkpoint-dir "${DET_TMP}/ckpt" --resume \
+  --checkpoint-dir "${DET_TMP}/ckpt" --resume --checkpoint-retain 1 \
   > "${DET_TMP}/stream_resumed.txt" 2> /dev/null \
   || fail "resumed sharded run failed"
 diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_resumed.txt" \
   || fail "resumed snapshot differs from the uninterrupted run"
+CKPT_FILES="$(ls "${DET_TMP}/ckpt" | wc -l)"
+# 2 shards x 1 retained complete epoch, plus at most one in-flight
+# partial epoch per shard.
+[ "${CKPT_FILES}" -le 4 ] \
+  || fail "checkpoint retention left ${CKPT_FILES} files (expected <= 4)"
+
+echo "==> dead letters: geo-outage replay restores clean coverage"
+# A permanent geocoding outage abandons intact tweets into the
+# dead-letter log; replaying that log through the sensor must restore
+# the clean batch artifacts exactly (the verb exits nonzero otherwise).
+./target/release/repro --scale 0.05 stream --faults geo-outage \
+  --dead-letter-dir "${DET_TMP}/dl" \
+  > /dev/null 2> /dev/null \
+  || fail "geo-outage stream run failed"
+./target/release/repro --scale 0.05 replay-dead-letters --faults geo-outage \
+  --dead-letter-dir "${DET_TMP}/dl" \
+  > "${DET_TMP}/replay.txt" 2> /dev/null \
+  || fail "dead-letter replay failed"
+grep -q "coverage restored       yes" "${DET_TMP}/replay.txt" \
+  || fail "dead-letter replay did not restore clean coverage"
 
 echo "==> docs: rustdoc with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps \

@@ -17,7 +17,9 @@
 use donorpulse::core::incremental::IncrementalSensor;
 use donorpulse::core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
 use donorpulse::core::shard::{run_sharded_stream, ShardConfig};
-use donorpulse::core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
+use donorpulse::core::stream_consumer::{
+    replay_dead_letters, run_faulted_stream, StreamPipelineConfig,
+};
 use donorpulse::core::{
     CheckpointStore, DeadLetter, DeadLetterLog, MemCheckpointStore, SensorCheckpoint,
 };
@@ -291,17 +293,21 @@ fn dead_letters_replay_to_full_clean_coverage() {
     // The log must survive its own wire format.
     let log = DeadLetterLog::decode(&run.dead_letters.encode()).expect("log roundtrip");
     assert_eq!(log.len(), run.dead_letters.len());
+    // A geocoding outage abandons intact tweets, never damaged frames.
+    assert!(
+        log.entries()
+            .iter()
+            .all(|l| matches!(l, DeadLetter::Tweet(_))),
+        "outage log must hold typed tweets"
+    );
 
     // Replaying the abandoned tweets restores clean coverage bitwise.
     let mut sensor = run.sensor.expect("merged sensor");
-    for letter in log.entries() {
-        match letter {
-            DeadLetter::Tweet(tweet) => {
-                sensor.ingest(tweet);
-            }
-            DeadLetter::Corrupt(payload) => panic!("unexpected corrupt letter: {payload}"),
-        }
-    }
+    let report = replay_dead_letters(&mut sensor, &log);
+    assert_eq!(report.tweets_replayed, log.len() as u64);
+    assert_eq!(report.frames_recovered, 0);
+    assert_eq!(report.frames_undecodable, 0);
+    assert_eq!(report.duplicates, 0, "abandoned tweets never reached the sensor");
     let mut clean = IncrementalSensor::new(&geocoder, |id: UserId| {
         sim.users()
             .get(id.0 as usize)
@@ -311,6 +317,151 @@ fn dead_letters_replay_to_full_clean_coverage() {
         clean.ingest(&tweet);
     }
     assert_sensors_equal(&sensor, &clean, "replayed vs clean");
+}
+
+#[test]
+fn dead_lettered_frames_stay_verbatim_and_replay_counts_them_undecodable() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    // Persistent corruption: every redelivery of a broken record is the
+    // same damaged bytes, so the consumer's reconnect budget runs out
+    // and the frame lands in the dead-letter log verbatim.
+    let faults = FaultConfig {
+        corrupt_rate: 0.05,
+        corrupt_persistent: true,
+        ..FaultConfig::recoverable(SEED)
+    };
+    let run = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        faults,
+        StreamPipelineConfig {
+            metrics: MetricsRegistry::enabled(),
+            ..Default::default()
+        },
+    );
+    assert!(run.fault_stats.corrupted > 0, "corruption never fired");
+    assert!(!run.dead_letters.is_empty(), "no frame was abandoned");
+    assert!(
+        run.dead_letters
+            .entries()
+            .iter()
+            .all(|l| matches!(l, DeadLetter::Frame(_))),
+        "a clean geocoder abandons only frames"
+    );
+
+    // Damaged frames cannot be repaired offline: replay counts them,
+    // touches nothing, and never panics.
+    let log = DeadLetterLog::decode(&run.dead_letters.encode()).expect("log roundtrip");
+    let mut sensor = run.sensor;
+    let seen_before = sensor.tweets_seen();
+    let report = replay_dead_letters(&mut sensor, &log);
+    assert_eq!(report.frames_undecodable, log.len() as u64);
+    assert_eq!(report.frames_recovered, 0);
+    assert_eq!(report.tweets_replayed, 0);
+    assert_eq!(sensor.tweets_seen(), seen_before);
+}
+
+#[test]
+fn checkpoint_retention_keeps_only_the_newest_complete_epochs() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    let store = MemCheckpointStore::new();
+    let mut config = shard_config(2);
+    config.checkpoint_every = 200;
+    config.checkpoint_retain = 1;
+    let run = run_sharded_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        FaultConfig::none(),
+        Some(&store),
+        config,
+    )
+    .expect("run");
+    assert!(run.last_epoch >= 2, "too few epochs to compact");
+    let compacted = run
+        .metrics
+        .counter("checkpoints_compacted_total")
+        .expect("compaction counter");
+    assert!(compacted > 0, "retention never removed anything");
+    assert_eq!(
+        run.metrics
+            .counter("checkpoint_compact_errors_total")
+            .unwrap_or(0),
+        0
+    );
+
+    // Only the newest complete epoch survives, on every shard.
+    for shard in 0..2u32 {
+        for epoch in 1..run.last_epoch {
+            assert!(
+                store.load(shard, epoch).expect("store io").is_none(),
+                "shard {shard} epoch {epoch} survived compaction"
+            );
+        }
+        assert!(
+            store.load(shard, run.last_epoch).expect("store io").is_some(),
+            "shard {shard} lost its newest epoch"
+        );
+    }
+}
+
+#[test]
+fn resume_after_compaction_reproduces_the_uninterrupted_run() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let faults = FaultConfig::recoverable(SEED);
+
+    // Uninterrupted reference, no retention games.
+    let mut config = shard_config(2);
+    config.checkpoint_every = 200;
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        faults.clone(),
+        Some(&MemCheckpointStore::new()),
+        config.clone(),
+    )
+    .expect("uninterrupted run");
+    let reference = uninterrupted.sensor.expect("reference sensor");
+
+    // Crash mid-run while retaining a single complete epoch: resume
+    // must still find everything it needs, because compaction never
+    // touches the newest complete epoch.
+    let store = MemCheckpointStore::new();
+    let mut killed_config = config.clone();
+    killed_config.kill_after = Some(500);
+    killed_config.checkpoint_retain = 1;
+    let killed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        faults.clone(),
+        Some(&store),
+        killed_config,
+    )
+    .expect("killed run");
+    assert!(killed.killed);
+    assert!(killed.last_epoch >= 1, "crash happened before any epoch");
+
+    let mut resume_config = config;
+    resume_config.resume = true;
+    resume_config.checkpoint_retain = 1;
+    let resumed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        faults,
+        Some(&store),
+        resume_config,
+    )
+    .expect("resumed run");
+    assert!(resumed.resumed_from_epoch.is_some());
+    let sensor = resumed.sensor.expect("resumed sensor");
+    assert_sensors_equal(&sensor, &reference, "resumed-after-compaction vs uninterrupted");
 }
 
 #[test]

@@ -1,0 +1,311 @@
+//! Conformance and corruption-fuzz suite for the byte-level wire codec
+//! (`twitter::wire`).
+//!
+//! Three layers of guarantee, each pinned deterministically (seeded
+//! SplitMix64 streams, no time or RNG state):
+//!
+//! 1. **Round-trip** — thousands of generated tweets (adversarial text
+//!    included: empty, multi-byte UTF-8, the magic string embedded in
+//!    the payload, NaN-patterned geo bits) survive encode → decode
+//!    bit-exactly, alone and concatenated through a [`FrameReader`].
+//! 2. **Corruption sweep** — every single-bit flip and every truncation
+//!    point of reference frames yields a *classified* error or a clean
+//!    resync; no damage ever decodes to a wrong tweet or panics.
+//! 3. **Golden vectors** — `tests/data/wire_v1/*.dpwf` pin the encoder
+//!    byte for byte, so a layout change cannot land silently. Re-run
+//!    with `REGEN_WIRE_FIXTURES=1` to regenerate after an intentional
+//!    (version-bumped) change.
+
+use donorpulse::twitter::wire::{
+    FrameError, FrameReader, TweetFrame, HEADER_LEN, MAGIC, TRAILER_LEN,
+};
+use donorpulse::twitter::{SimInstant, Tweet, TweetId, UserId};
+use std::collections::BTreeSet;
+
+/// SplitMix64 finalizer — the repo-wide seeded stream.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Text fragments chosen to stress the codec: multi-byte UTF-8, the
+/// frame magic inside a payload, and the empty string.
+const FRAGMENTS: &[&str] = &[
+    "kidney",
+    "liver",
+    "heart",
+    "lungs",
+    "pancreas",
+    "intestine",
+    "organ donor",
+    "transplant list",
+    "❤",
+    "DPWF",
+    "register today",
+    "años de espera",
+    "посвящение",
+    "",
+];
+
+/// A deterministic tweet from a seed and an index. Geo coordinates are
+/// raw bit patterns (including NaN payloads) in one arm to prove the
+/// codec is bit-transparent, plausible values in another.
+fn seeded_tweet(seed: u64, i: u64) -> Tweet {
+    let z0 = splitmix(seed ^ i);
+    let z1 = splitmix(z0);
+    let z2 = splitmix(z1);
+    let mut text = String::new();
+    for k in 0..(z0 % 6) {
+        let frag = FRAGMENTS[(splitmix(z0 ^ k) % FRAGMENTS.len() as u64) as usize];
+        if !text.is_empty() && !frag.is_empty() {
+            text.push(' ');
+        }
+        text.push_str(frag);
+    }
+    let geo = match z1 % 4 {
+        0 => None,
+        1 => Some((f64::from_bits(z1), f64::from_bits(z2))),
+        _ => Some((
+            (z1 % 180) as f64 - 90.0 + 0.25,
+            (z2 % 360) as f64 - 180.0 + 0.5,
+        )),
+    };
+    Tweet {
+        id: TweetId(i),
+        user: UserId(z0 % 10_000),
+        created_at: SimInstant(z2),
+        text,
+        geo,
+    }
+}
+
+/// Field-wise equality with geo compared as raw bits (NaN-safe).
+fn assert_tweet_eq(a: &Tweet, b: &Tweet, label: &str) {
+    assert_eq!(a.id, b.id, "{label}: id");
+    assert_eq!(a.user, b.user, "{label}: user");
+    assert_eq!(a.created_at, b.created_at, "{label}: created_at");
+    assert_eq!(a.text, b.text, "{label}: text");
+    assert_eq!(
+        a.geo.map(|(x, y)| (x.to_bits(), y.to_bits())),
+        b.geo.map(|(x, y)| (x.to_bits(), y.to_bits())),
+        "{label}: geo"
+    );
+}
+
+#[test]
+fn thousands_of_seeded_tweets_round_trip() {
+    const N: u64 = 5_000;
+    for i in 0..N {
+        let t = seeded_tweet(0x51EE_D, i);
+        let frame = TweetFrame::encode(&t);
+        let back = TweetFrame::decode(&frame).expect("intact frame must decode");
+        assert_tweet_eq(&back, &t, "strict round-trip");
+    }
+}
+
+#[test]
+fn concatenated_frames_read_back_in_order() {
+    const N: u64 = 2_000;
+    let tweets: Vec<Tweet> = (0..N).map(|i| seeded_tweet(0xCAFE, i)).collect();
+    let mut buf = Vec::new();
+    for t in &tweets {
+        buf.extend_from_slice(&TweetFrame::encode(t));
+    }
+    let mut reader = FrameReader::new(&buf);
+    let mut n = 0usize;
+    for item in reader.by_ref() {
+        let got = item.expect("clean stream has no errors");
+        assert_tweet_eq(&got, &tweets[n], "stream round-trip");
+        n += 1;
+    }
+    assert_eq!(n, tweets.len());
+    assert_eq!(reader.resyncs(), 0);
+    assert_eq!(reader.bytes_skipped(), 0);
+}
+
+/// The reference frames for the corruption sweeps: one of each shape
+/// (no geo, geo, magic-in-text, empty text).
+fn reference_tweets() -> Vec<Tweet> {
+    vec![
+        Tweet {
+            id: TweetId(1),
+            user: UserId(2),
+            created_at: SimInstant(3),
+            text: "organ donor".to_string(),
+            geo: None,
+        },
+        Tweet {
+            id: TweetId(0xDEAD_BEEF),
+            user: UserId(0x0123_4567_89AB_CDEF),
+            created_at: SimInstant(86_400_000),
+            text: "DPWF ❤ liver año".to_string(),
+            geo: Some((37.6872, -97.3301)),
+        },
+        Tweet {
+            id: TweetId(u64::MAX),
+            user: UserId(0),
+            created_at: SimInstant(u64::MAX),
+            text: String::new(),
+            geo: Some((-0.0, 0.0)),
+        },
+    ]
+}
+
+#[test]
+fn every_single_bit_flip_is_a_classified_error() {
+    for t in reference_tweets() {
+        let frame = TweetFrame::encode(&t);
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            let err = TweetFrame::decode(&damaged)
+                .expect_err("a single-bit flip must never decode");
+            // Every failure carries a stable class label.
+            assert!(
+                matches!(
+                    err.class(),
+                    "truncated" | "bad-checksum" | "bad-magic" | "bad-payload"
+                ),
+                "bit {bit}: unclassified error {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_is_a_classified_error() {
+    for t in reference_tweets() {
+        let frame = TweetFrame::encode(&t);
+        for cut in 0..frame.len() {
+            let err = TweetFrame::decode(&frame[..cut])
+                .expect_err("a truncated frame must never decode");
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut {cut} gave {err:?}, not Truncated"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flip_sweep_over_a_stream_never_yields_a_wrong_tweet() {
+    let tweets = reference_tweets();
+    let frames: Vec<Vec<u8>> = tweets.iter().map(TweetFrame::encode).collect();
+    let originals: BTreeSet<Vec<u8>> = frames.iter().cloned().collect();
+    let clean: Vec<u8> = frames.concat();
+    for bit in 0..clean.len() * 8 {
+        let mut buf = clean.clone();
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let mut decoded = 0usize;
+        let mut errors = 0usize;
+        for item in FrameReader::new(&buf) {
+            match item {
+                Ok(tweet) => {
+                    assert!(
+                        originals.contains(&TweetFrame::encode(&tweet)),
+                        "bit {bit} decoded a wrong tweet: {tweet:?}"
+                    );
+                    decoded += 1;
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        // The flip provably kills exactly the frame it lands in; the
+        // reader must resynchronize and recover the other two.
+        assert_eq!(decoded, tweets.len() - 1, "bit {bit}: wrong recovery count");
+        assert!(errors >= 1, "bit {bit}: damage went unreported");
+    }
+}
+
+#[test]
+fn truncation_sweep_over_a_stream_never_yields_a_wrong_tweet() {
+    let tweets = reference_tweets();
+    let frames: Vec<Vec<u8>> = tweets.iter().map(TweetFrame::encode).collect();
+    let originals: BTreeSet<Vec<u8>> = frames.iter().cloned().collect();
+    let clean: Vec<u8> = frames.concat();
+    // Frame end offsets, for counting how many frames a cut preserves.
+    let mut ends = Vec::new();
+    let mut acc = 0usize;
+    for f in &frames {
+        acc += f.len();
+        ends.push(acc);
+    }
+    for cut in 0..clean.len() {
+        let buf = &clean[..cut];
+        let whole = ends.iter().filter(|&&e| e <= cut).count();
+        let mut decoded = 0usize;
+        for item in FrameReader::new(buf) {
+            if let Ok(tweet) = item {
+                assert!(
+                    originals.contains(&TweetFrame::encode(&tweet)),
+                    "cut {cut} decoded a wrong tweet: {tweet:?}"
+                );
+                decoded += 1;
+            }
+        }
+        assert_eq!(
+            decoded, whole,
+            "cut {cut} must decode exactly the frames it wholly contains"
+        );
+    }
+}
+
+#[test]
+fn header_constants_are_the_documented_layout() {
+    // The layout diagram in the module docs and docs/ROBUSTNESS.md is
+    // load-bearing; pin the numbers it quotes.
+    assert_eq!(&MAGIC, b"DPWF");
+    assert_eq!(HEADER_LEN, 11);
+    assert_eq!(TRAILER_LEN, 8);
+    let frame = TweetFrame::encode(&reference_tweets()[0]);
+    assert_eq!(&frame[..4], b"DPWF");
+    assert_eq!(frame[4], 3, "kind byte");
+    assert_eq!(u16::from_le_bytes([frame[5], frame[6]]), 1, "version");
+}
+
+/// Fixture names paired with the reference tweets, in order.
+fn fixture_names() -> [&'static str; 3] {
+    ["plain", "unicode_magic", "empty_text_max_id"]
+}
+
+fn fixture_path(name: &str) -> String {
+    format!(
+        "{}/tests/data/wire_v1/{name}.dpwf",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn golden_vectors_pin_the_encoder_byte_for_byte() {
+    for (name, tweet) in fixture_names().iter().zip(reference_tweets()) {
+        let path = fixture_path(name);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+        });
+        let encoded = TweetFrame::encode(&tweet);
+        assert_eq!(
+            encoded, golden,
+            "{name}: encoder output drifted from the v1 golden vector — \
+             a layout change needs a wire version bump, not a fixture refresh"
+        );
+        let back = TweetFrame::decode(&golden).expect("golden vector must decode");
+        assert_tweet_eq(&back, &tweet, name);
+    }
+}
+
+/// Rewrites the golden vectors from the current encoder. A no-op
+/// unless `REGEN_WIRE_FIXTURES=1` is set — regenerating must be a
+/// deliberate act that accompanies a wire version bump.
+#[test]
+fn regenerate_golden_vectors() {
+    if std::env::var("REGEN_WIRE_FIXTURES").as_deref() != Ok("1") {
+        return;
+    }
+    let dir = format!("{}/tests/data/wire_v1", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for (name, tweet) in fixture_names().iter().zip(reference_tweets()) {
+        std::fs::write(fixture_path(name), TweetFrame::encode(&tweet)).expect("write fixture");
+    }
+}

@@ -19,6 +19,14 @@
 //!              log (--dead-letter-dir, written by a prior `stream` run) back
 //!              through the sensor and verify coverage is restored
 //!   bench-shards  shard-scaling smoke bench (N = 1, 2, 4)
+//!   serve      always-on sensor daemon: sharded checkpointed ingest plus an
+//!              ETag-cached HTTP front-end (--port/--workers; endpoints and
+//!              semantics in docs/SERVING.md); runs until POST /shutdown
+//!   loadgen    seeded closed-loop load generator against a running daemon
+//!              (--addr HOST:PORT --clients N --requests M) -> BENCH_SERVE.json
+//!   http-get   one HTTP exchange against a running daemon (--addr, --path,
+//!              --if-none-match ETAG, --post); body to stdout, status/ETag
+//!              to stderr — the CI smoke gate's curl substitute
 //!   table1     Table I  — dataset statistics
 //!   fig2a      Fig 2(a) — users per organ + Spearman vs transplants
 //!   fig2b      Fig 2(b) — multi-organ mentions, users vs tweets
@@ -86,6 +94,22 @@ struct Options {
     dead_letter_dir: Option<String>,
     /// Keep only the newest K complete checkpoint epochs (0 = keep all).
     checkpoint_retain: usize,
+    /// `serve`: TCP port to bind (0 = ephemeral, reported on stdout).
+    port: u16,
+    /// `serve`: HTTP worker threads.
+    workers: usize,
+    /// `loadgen`: concurrent closed-loop clients.
+    clients: usize,
+    /// `loadgen`: total requests across all clients.
+    requests: u64,
+    /// `loadgen`/`http-get`: daemon address (HOST:PORT).
+    addr: Option<String>,
+    /// `http-get`: request path.
+    path: String,
+    /// `http-get`: conditional request entity tag (sent verbatim).
+    if_none_match: Option<String>,
+    /// `http-get`: POST instead of GET.
+    post: bool,
     command: String,
 }
 
@@ -103,6 +127,14 @@ fn parse_args() -> Result<Options, String> {
     let mut kill_after = None;
     let mut dead_letter_dir = None;
     let mut checkpoint_retain = 0;
+    let mut port = 0u16;
+    let mut workers = 4usize;
+    let mut clients = 4usize;
+    let mut requests = 2000u64;
+    let mut addr = None;
+    let mut path = "/healthz".to_string();
+    let mut if_none_match = None;
+    let mut post = false;
     let mut command = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -173,6 +205,44 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --checkpoint-retain: {e}"))?;
             }
+            "--port" => {
+                port = args
+                    .next()
+                    .ok_or("--port needs a TCP port (0 = ephemeral)")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .ok_or("--workers needs a thread count")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .ok_or("--clients needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+            }
+            "--requests" => {
+                requests = args
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+            }
+            "--addr" => {
+                addr = Some(args.next().ok_or("--addr needs HOST:PORT")?);
+            }
+            "--path" => {
+                path = args.next().ok_or("--path needs a request path")?;
+            }
+            "--if-none-match" => {
+                if_none_match = Some(args.next().ok_or("--if-none-match needs an entity tag")?);
+            }
+            "--post" => post = true,
             "--help" | "-h" => {
                 command = Some("help".to_string());
             }
@@ -194,6 +264,14 @@ fn parse_args() -> Result<Options, String> {
         kill_after,
         dead_letter_dir,
         checkpoint_retain,
+        port,
+        workers,
+        clients,
+        requests,
+        addr,
+        path,
+        if_none_match,
+        post,
         command: command.unwrap_or_else(|| "all".to_string()),
     })
 }
@@ -235,6 +313,15 @@ fn main() -> ExitCode {
         eprintln!(
             "  bench-shards  shard-scaling smoke bench (N = 1, 2, 4) over the stream front-half"
         );
+        eprintln!("  serve      always-on sensor daemon: sharded checkpointed ingest + an");
+        eprintln!("             ETag-cached HTTP front-end. --port P (0=ephemeral, printed as");
+        eprintln!("             `SERVING http://ADDR`), --workers N, plus the stream flags");
+        eprintln!("             (--faults/--shards/--checkpoint-dir/--checkpoint-every/--resume).");
+        eprintln!("             Runs until POST /shutdown; endpoints in docs/SERVING.md.");
+        eprintln!("  loadgen    seeded closed-loop load generator against a running daemon:");
+        eprintln!("             --addr HOST:PORT [--clients N] [--requests M] -> BENCH_SERVE.json");
+        eprintln!("  http-get   one HTTP exchange: --addr HOST:PORT --path P [--if-none-match E]");
+        eprintln!("             [--post]; body to stdout, status/ETag to stderr");
         eprintln!("  table1     Table I  - dataset statistics");
         eprintln!("  fig2a      Fig 2(a) - users per organ + Spearman vs transplants");
         eprintln!("  fig2b      Fig 2(b) - multi-organ mentions, users vs tweets");
@@ -284,6 +371,9 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "stream" => return stream_command(opts),
         "replay-dead-letters" => return replay_command(opts),
         "bench-shards" => return bench_shards(opts),
+        "serve" => return serve_command(opts),
+        "loadgen" => return loadgen_command(opts),
+        "http-get" => return http_get_command(opts),
         _ => {}
     }
 
@@ -720,6 +810,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         kill_after: opts.kill_after,
         resume: opts.resume,
         checkpoint_retain: opts.checkpoint_retain,
+        checkpoint_final: false,
         stream: stream_config,
     };
 
@@ -876,6 +967,243 @@ fn replay_command(opts: &Options) -> Result<(), String> {
             opts.faults
         );
     }
+    Ok(())
+}
+
+/// `repro serve`: the always-on sensor daemon. Sharded, checkpointed
+/// ingest feeds the live sensor; an ETag-cached HTTP front-end answers
+/// `/healthz`, `/metrics`, `/report`, `/risk`, and the attention
+/// endpoints from epoch-consistent snapshots (docs/SERVING.md). The
+/// analytic knobs mirror `repro all` exactly, so a served `/report` is
+/// byte-identical to the batch pipeline's report over the same
+/// artifacts. Runs until `POST /shutdown`; the stream always drains
+/// first and the closing checkpoint cut + fingerprint are reported so
+/// a served run stays resumable and verifiable like a CLI run.
+fn serve_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::{CheckpointStore, DirCheckpointStore, MemCheckpointStore};
+    use donorpulse_core::serve::{run_serve_daemon, ServeConfig};
+    use donorpulse_core::shard::ShardConfig;
+    use donorpulse_core::stream_consumer::{RetryPolicy, StreamPipelineConfig};
+    use donorpulse_geo::service::FlakyGeocoder;
+    use std::io::Write as _;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (faults, flaky) = fault_setup(opts)?;
+
+    // Query-time analytics mirror `repro all` (user clustering on,
+    // same scale/seed config, same compute_threads); metrics stay
+    // disabled so per-epoch analyses don't pollute the live registry.
+    let mut analytics = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    analytics.run_user_clustering = true;
+    analytics.compute_threads = opts.threads;
+    analytics.metrics = MetricsRegistry::disabled();
+
+    let dir_store: Option<DirCheckpointStore> = match &opts.checkpoint_dir {
+        Some(dir) => Some(DirCheckpointStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+    let mem_store = MemCheckpointStore::new();
+    let store: &dyn CheckpointStore = match &dir_store {
+        Some(s) => s,
+        None => &mem_store,
+    };
+
+    let shard_config = ShardConfig {
+        shards: opts.shards.unwrap_or(1),
+        checkpoint_every: opts.checkpoint_every,
+        kill_after: None,
+        resume: opts.resume,
+        checkpoint_retain: opts.checkpoint_retain,
+        // A daemon always flushes the closing cut: a served run must
+        // stay resumable exactly like a checkpointed CLI run.
+        checkpoint_final: true,
+        stream: StreamPipelineConfig {
+            metrics: MetricsRegistry::enabled(),
+            geo_retry: RetryPolicy {
+                max_attempts: 6,
+                jitter_permille: 500,
+                jitter_seed: opts.seed,
+                ..RetryPolicy::default()
+            },
+            ..StreamPipelineConfig::default()
+        },
+    };
+    let serve_config = ServeConfig {
+        addr: format!("127.0.0.1:{}", opts.port),
+        workers: opts.workers,
+        analytics,
+        shard: shard_config,
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "# serve: faults={} shards={} checkpoint_every={} workers={} store={}",
+        opts.faults,
+        serve_config.shard.shards,
+        serve_config.shard.checkpoint_every,
+        serve_config.workers,
+        if dir_store.is_some() { "dir" } else { "mem" }
+    );
+    let on_ready = |addr: std::net::SocketAddr| {
+        // The contract scripts/tests wait on: one flushed line naming
+        // the bound (possibly ephemeral) address.
+        println!("SERVING http://{addr}");
+        let _ = std::io::stdout().flush();
+    };
+    let outcome = match flaky {
+        Some(cfg) => {
+            let service = FlakyGeocoder::new(&geocoder, cfg);
+            run_serve_daemon(
+                &sim,
+                &geocoder,
+                &service,
+                faults,
+                store,
+                serve_config,
+                on_ready,
+            )
+        }
+        None => run_serve_daemon(
+            &sim,
+            &geocoder,
+            &geocoder,
+            faults,
+            store,
+            serve_config,
+            on_ready,
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+
+    report_fault_accounting(
+        &outcome.stream.fault_stats,
+        outcome.stream.source_aborted,
+        outcome.stream.parked_at_end,
+    );
+    let m = &outcome.metrics;
+    println!("SERVE CLOSED");
+    println!(
+        "  requests served         {}",
+        m.counter("http_requests_total").unwrap_or(0)
+    );
+    println!(
+        "  responses 200/304       {} / {}",
+        m.counter("http_responses_200_total").unwrap_or(0),
+        m.counter("http_responses_304_total").unwrap_or(0)
+    );
+    println!(
+        "  snapshots published     {}",
+        m.counter("serve_snapshots_published_total").unwrap_or(0)
+    );
+    println!("  final checkpoint epoch  {}", outcome.final_epoch);
+    match outcome.closing_fingerprint {
+        Some(fp) => println!("  closing fingerprint     {fp:016x}"),
+        None => println!("  closing fingerprint     (none: ingest incomplete)"),
+    }
+    Ok(())
+}
+
+/// `repro loadgen`: the seeded closed-loop load generator. Hammers a
+/// running daemon with the realistic polling mix (report-heavy,
+/// remembered ETags sent back as `If-None-Match`) and writes the
+/// measured QPS, latency percentiles, and 304 hit rate to
+/// `BENCH_SERVE.json` (or `--json PATH`).
+fn loadgen_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::serve::{run_loadgen, LoadgenConfig};
+
+    let Some(addr) = &opts.addr else {
+        return Err(
+            "loadgen needs --addr HOST:PORT (from the SERVING line of `repro serve`)".to_string(),
+        );
+    };
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("bad --addr: {e}"))?;
+    let config = LoadgenConfig {
+        clients: opts.clients,
+        requests: opts.requests,
+        seed: opts.seed,
+        ..LoadgenConfig::default()
+    };
+    eprintln!(
+        "# loadgen: {} clients, {} requests against {addr} (seed {})",
+        config.clients, config.requests, opts.seed
+    );
+    let r = run_loadgen(addr, config);
+    println!("LOADGEN REPORT");
+    println!("  requests                {}", r.requests);
+    println!(
+        "  responses 200/304/other {} / {} / {}",
+        r.responses_200, r.responses_304, r.responses_other
+    );
+    println!("  transport errors        {}", r.errors);
+    println!(
+        "  wall ms                 {:.1}",
+        r.elapsed_nanos as f64 / 1e6
+    );
+    println!(
+        "  latency p50 / p99 us    {:.0} / {:.0}",
+        r.p50_nanos as f64 / 1e3,
+        r.p99_nanos as f64 / 1e3
+    );
+    println!("  qps                     {:.0}", r.qps);
+    println!("  etag 304 hit rate       {:.3}", r.hit_rate);
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
+    // Hand-rolled JSON, like the other bench writers, so the summary
+    // also works where serde_json is stubbed out.
+    let body = format!(
+        "{{\n  \"loadgen\": {{\"clients\": {}, \"requests\": {}, \"seed\": {}}},\n  \"responses\": {{\"ok\": {}, \"not_modified\": {}, \"other\": {}, \"errors\": {}}},\n  \"latency\": {{\"p50_nanos\": {}, \"p99_nanos\": {}}},\n  \"elapsed_nanos\": {},\n  \"qps\": {:.1},\n  \"not_modified_rate\": {:.4},\n  \"calibration_nanos\": {}\n}}\n",
+        opts.clients,
+        opts.requests,
+        opts.seed,
+        r.responses_200,
+        r.responses_304,
+        r.responses_other,
+        r.errors,
+        r.p50_nanos,
+        r.p99_nanos,
+        r.elapsed_nanos,
+        r.qps,
+        r.hit_rate,
+        calibration_nanos()
+    );
+    std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    if r.responses_200 + r.responses_304 == 0 {
+        return Err("loadgen: no successful responses — is the daemon serving?".to_string());
+    }
+    Ok(())
+}
+
+/// `repro http-get`: one HTTP exchange against a running daemon — the
+/// smoke gates' curl substitute (the toolchain is the only dependency
+/// CI gets to assume). Body goes to stdout verbatim (so `/report` can
+/// be diffed against `repro all`); status and ETag go to stderr as
+/// `# status:` / `# etag:` lines.
+fn http_get_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::serve::HttpClient;
+    use std::io::Write as _;
+
+    let Some(addr) = &opts.addr else {
+        return Err("http-get needs --addr HOST:PORT".to_string());
+    };
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("bad --addr: {e}"))?;
+    let mut client = HttpClient::new(addr);
+    let reply = if opts.post {
+        client.post(&opts.path)
+    } else {
+        client.get(&opts.path, opts.if_none_match.as_deref())
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!("# status: {}", reply.status);
+    if let Some(etag) = &reply.etag {
+        eprintln!("# etag: {etag}");
+    }
+    std::io::stdout()
+        .write_all(&reply.body)
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 

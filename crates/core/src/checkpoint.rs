@@ -721,7 +721,9 @@ mod tests {
         log.push(DeadLetter::Tweet(tweet(3, 1, None)));
         // Damaged frames are stored verbatim — including bytes that
         // are not valid UTF-8 and bytes that look like an envelope.
-        log.push(DeadLetter::Frame(vec![0x44, 0x50, 0x57, 0x46, 0xFF, 0x00, 0x9A]));
+        log.push(DeadLetter::Frame(vec![
+            0x44, 0x50, 0x57, 0x46, 0xFF, 0x00, 0x9A,
+        ]));
         log.push(DeadLetter::Tweet(tweet(6, 2, Some((40.0, -80.0)))));
         let back = DeadLetterLog::decode(&log.encode()).expect("decode");
         assert_eq!(back, log);

@@ -25,6 +25,9 @@ pub enum CoreError {
     InvalidParameter(String),
     /// Checkpoint serialization, storage, or resume consistency failed.
     Checkpoint(String),
+    /// Serving-layer failure: socket bind/IO, daemon wiring, or a
+    /// snapshot render that could not complete.
+    Serve(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::Simulation(msg) => write!(f, "simulation: {msg}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            CoreError::Serve(msg) => write!(f, "serve: {msg}"),
         }
     }
 }

@@ -25,6 +25,11 @@ use donorpulse_text::extract::{MentionCounts, OrganExtractor};
 use donorpulse_twitter::{Corpus, Tweet, TweetId, UserId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+/// FNV-1a offset basis (64-bit), shared with the wire-format trailer.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
 /// Per-user streaming state.
 #[derive(Debug, Clone)]
 struct UserTrack {
@@ -75,6 +80,59 @@ impl SensorExport {
     /// [`IncrementalSensor::tweets_seen`]).
     pub fn tweet_count(&self) -> u64 {
         self.tracks.values().map(|t| t.tweets.len() as u64).sum()
+    }
+
+    /// Deterministic FNV-1a fingerprint of the export's track content.
+    ///
+    /// Two exports fingerprint equal iff they hold the same users with
+    /// the same resolutions and the same tweets in the same arrival
+    /// order — i.e. iff every snapshot artifact derived from them
+    /// (corpus, attention, risk, report) is identical. Tracks are
+    /// folded in `BTreeMap` key order, so the value is independent of
+    /// how the export was assembled (single sensor, shard merge,
+    /// checkpoint restore). The serving layer uses this as the
+    /// strong `ETag` for every HTTP response rendered from a snapshot;
+    /// the stream CLI prints it as the closing "sensor fingerprint".
+    /// Delivery counters (`duplicates_ignored`, `high_water`) are
+    /// *excluded*: they describe how the stream arrived, not what the
+    /// sensor knows.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut put = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        put(self.tracks.len() as u64);
+        for (user, t) in &self.tracks {
+            put(user.0);
+            put(match t.state {
+                Some(s) => s.index() as u64,
+                None => u64::MAX,
+            });
+            put(u64::from(t.geo_locked));
+            put(t.tweets.len() as u64);
+            for tw in &t.tweets {
+                put(tw.id.0);
+                put(tw.user.0);
+                put(tw.created_at.0);
+                put(tw.text.len() as u64);
+                for chunk in tw.text.as_bytes().chunks(8) {
+                    let mut word = [0u8; 8];
+                    word[..chunk.len()].copy_from_slice(chunk);
+                    put(u64::from_le_bytes(word));
+                }
+                match tw.geo {
+                    Some((lat, lon)) => {
+                        put(1);
+                        put(lat.to_bits());
+                        put(lon.to_bits());
+                    }
+                    None => put(0),
+                }
+            }
+        }
+        h
     }
 
     /// Merges another shard's export into this one.
@@ -533,6 +591,32 @@ mod tests {
         let mut c = IncrementalSensor::new(&geocoder, |_| None);
         c.ingest(&tweet(2, 1, "heart talk", None));
         assert!(merged.absorb(c.export()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_delivery() {
+        let geocoder = Geocoder::new();
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        let t0 = tweet(0, 1, "kidney donor", None);
+        sensor.ingest(&t0);
+        let fp_one = sensor.export().fingerprint();
+        // A redelivered duplicate changes the duplicate counter but not
+        // the fingerprint: the sensor's knowledge is unchanged.
+        assert!(!sensor.ingest(&t0));
+        assert_eq!(sensor.export().fingerprint(), fp_one);
+        // A genuinely new tweet advances it.
+        sensor.ingest(&tweet(1, 2, "liver donor", None));
+        let fp_two = sensor.export().fingerprint();
+        assert_ne!(fp_two, fp_one);
+        // Assembly path is irrelevant: merging two single-user exports
+        // fingerprints identically to the one sensor that saw both.
+        let mut a = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        a.ingest(&tweet(0, 1, "kidney donor", None));
+        let mut b = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        b.ingest(&tweet(1, 2, "liver donor", None));
+        let mut merged = a.export();
+        merged.absorb(b.export()).unwrap();
+        assert_eq!(merged.fingerprint(), fp_two);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! streaming front-half: the same stages pipelined over bounded
 //! channels with reconnect/retry/park resilience, feeding the
 //! [`incremental`] sensor and provably reproducing the batch artifacts
-//! when every fault is recoverable.
+//! when every fault is recoverable. [`serve`] keeps that sensor
+//! always-on: a dependency-free HTTP daemon answering report, risk,
+//! and attention queries from epoch-consistent snapshots with
+//! fingerprint `ETag`s.
 //!
 //! Every pipeline stage is instrumented through the dependency-free
 //! `donorpulse-obs` layer: configure the run with an enabled
@@ -49,6 +52,7 @@ pub mod region_view;
 pub mod relative_risk;
 pub mod report;
 pub mod roles;
+pub mod serve;
 pub mod shard;
 pub mod spatial;
 pub mod state_clusters;
@@ -69,6 +73,10 @@ pub use checkpoint::{
 };
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
+pub use serve::{
+    run_loadgen, run_serve_daemon, HttpClient, HttpReply, LoadgenConfig, LoadgenReport,
+    ServeConfig, ServeOutcome,
+};
 pub use shard::{run_sharded_stream, ShardConfig, ShardedStreamRun};
 pub use stream_consumer::{
     replay_dead_letters, run_faulted_stream, FaultedStreamRun, ReplayReport, Resequencer,

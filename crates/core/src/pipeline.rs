@@ -267,6 +267,66 @@ impl Pipeline {
         span.set_items(collected_tweets);
         span.finish();
 
+        analyze_located_corpus(
+            LocatedCorpus {
+                firehose_tweets,
+                collected_tweets,
+                usa,
+                user_states,
+                non_us_users,
+                unlocated_users,
+            },
+            config,
+        )
+    }
+}
+
+/// The located corpus plus the accounting counters the analytics
+/// back-half consumes: exactly what the batch front-half produces after
+/// the USA filter, and exactly what an [`crate::incremental`] sensor
+/// snapshot can reconstruct at any stream epoch (the serving layer in
+/// [`crate::serve`] does precisely that to answer `/report` with the
+/// batch pipeline's bytes).
+#[derive(Debug, Clone)]
+pub struct LocatedCorpus {
+    /// Size of the simulated firehose the corpus was collected from.
+    pub firehose_tweets: u64,
+    /// Tweets matched by `Q` before the USA filter.
+    pub collected_tweets: u64,
+    /// The USA-user corpus.
+    pub usa: Corpus,
+    /// Resolved state per located user.
+    pub user_states: HashMap<UserId, UsState>,
+    /// Users confidently outside the USA.
+    pub non_us_users: u64,
+    /// Users that could not be located at all.
+    pub unlocated_users: u64,
+}
+
+/// Runs the analytics back-half — attention, both characterizations,
+/// relative risk, and the clusterings — over an already-located corpus,
+/// producing the same [`PipelineRun`] that [`Pipeline::run_on`] returns
+/// (which delegates here after its collection/location/USA-filter
+/// stages). The artifacts depend only on the input corpus and the
+/// analytic knobs in `config`, never on how the corpus was assembled —
+/// the property the streaming/serving equivalence gates lean on.
+pub fn analyze_located_corpus(input: LocatedCorpus, config: PipelineConfig) -> Result<PipelineRun> {
+    let LocatedCorpus {
+        firehose_tweets,
+        collected_tweets,
+        usa,
+        user_states,
+        non_us_users,
+        unlocated_users,
+    } = input;
+    if usa.is_empty() {
+        return Err(CoreError::EmptyCorpus { what: "usa corpus" });
+    }
+    let metrics = config.metrics.clone();
+    let compute_threads = par::resolve_threads(config.compute_threads);
+    metrics.gauge("compute_threads").set(compute_threads as u64);
+
+    {
         // --- Characterizations. ----------------------------------------
         let mut span = metrics.stage("attention");
         let attention = AttentionMatrix::from_corpus(&usa)?;

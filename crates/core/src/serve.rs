@@ -1,0 +1,1607 @@
+//! `core::serve` — the always-on sensor daemon with an ETag-cached
+//! HTTP query front-end.
+//!
+//! The batch pipeline answers "what did the corpus look like?" once,
+//! after the fact; the ROADMAP's north star is a sensor that answers
+//! "what does it look like *right now*?" for as long as the stream
+//! runs. [`run_serve_daemon`] wires that up from parts that already
+//! exist:
+//!
+//! * **Ingest** is the sharded, checkpointed consumer group
+//!   ([`run_sharded_stream`]) running unmodified on its own threads.
+//! * **Snapshots** are epoch-consistent cuts: a watcher thread polls
+//!   the checkpoint store for the newest epoch complete across every
+//!   shard ([`latest_complete_epoch`]), merges the per-shard
+//!   [`SensorExport`]s, and swaps the result in behind an `Arc`.
+//!   Queries never see a half-ingested state — only marker-aligned
+//!   cuts, exactly what a resumed run would restore.
+//! * **The HTTP layer** is dependency-free HTTP/1.1 over a std
+//!   [`TcpListener`] and a bounded worker pool. Every response
+//!   rendered from a snapshot carries the snapshot's FNV fingerprint
+//!   ([`SensorExport::fingerprint`]) as a strong `ETag`;
+//!   `If-None-Match` hits answer `304 Not Modified` without touching
+//!   the analytics at all, and `200` bodies come from a per-endpoint
+//!   rendered-body cache that is invalidated only when the
+//!   fingerprint advances.
+//! * **Analytics** reuse the batch back-half verbatim:
+//!   [`analyze_located_corpus`] turns a snapshot into the same
+//!   [`PipelineRun`] the batch pipeline produces, so `/report` serves
+//!   the batch pipeline's bytes (memoized per fingerprint — at most
+//!   one full analysis per published snapshot, shared by every
+//!   endpoint).
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `GET /report`,
+//! `GET /risk`, `GET /attention/state/{state}`,
+//! `GET /attention/organ/{organ}`, `POST /shutdown`. The full
+//! reference, including the consistency model and a curl walkthrough,
+//! lives in `docs/SERVING.md`.
+//!
+//! Shutdown drains: ingest always runs to the end of the stream, the
+//! final marker flushes a closing checkpoint cut
+//! ([`crate::shard::ShardConfig::checkpoint_final`]), and the daemon
+//! reports the closing fingerprint — a served run remains resumable
+//! and verifiable exactly like a CLI run.
+//!
+//! [`run_loadgen`] is the matching seeded closed-loop load generator
+//! (`repro loadgen`, `scripts/bench_serve.sh`), so "heavy traffic" is
+//! a gated number rather than a hope.
+
+use crate::checkpoint::{latest_complete_epoch, CheckpointStore, SensorCheckpoint};
+use crate::incremental::{IncrementalSensor, SensorExport};
+use crate::pipeline::{analyze_located_corpus, LocatedCorpus, PipelineConfig, PipelineRun};
+use crate::report::PaperReport;
+use crate::shard::{resolve_shards, run_sharded_stream, ShardConfig, ShardedStreamRun};
+use crate::{CoreError, Result};
+use donorpulse_geo::service::LocationService;
+use donorpulse_geo::{Geocoder, UsState};
+use donorpulse_obs::MetricsRegistry;
+use donorpulse_text::Organ;
+use donorpulse_twitter::fault::FaultConfig;
+use donorpulse_twitter::{TwitterSimulation, UserId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Byte ceiling for the request line; longer lines answer `400`.
+const MAX_REQUEST_LINE: usize = 4096;
+/// Byte ceiling for a single header line.
+const MAX_HEADER_LINE: usize = 8192;
+/// Header-count ceiling per request.
+const MAX_HEADERS: usize = 64;
+/// Request bodies beyond this are refused (no endpoint needs one).
+const MAX_BODY: usize = 64 * 1024;
+/// Pending-connection queue between the acceptor and the worker pool.
+const ACCEPT_QUEUE: usize = 256;
+/// Per-connection socket timeout: an idle keep-alive connection is
+/// closed after this long rather than pinning a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Converts any displayable error into a [`CoreError::Serve`].
+fn serve_err(e: impl std::fmt::Display) -> CoreError {
+    CoreError::Serve(e.to_string())
+}
+
+/// The strong `ETag` value for a snapshot fingerprint (quoted 16-digit
+/// hex, e.g. `"00c0ffee00c0ffee"`).
+fn etag_of(fingerprint: u64) -> String {
+    format!("\"{fingerprint:016x}\"")
+}
+
+// ---------------------------------------------------------------------
+// HTTP request parsing.
+// ---------------------------------------------------------------------
+
+/// One parsed HTTP/1.x request head (bodies are read and discarded —
+/// no endpoint consumes one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HttpRequest {
+    method: String,
+    target: String,
+    if_none_match: Option<String>,
+    keep_alive: bool,
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+enum ParsedRequest {
+    /// A well-formed request head.
+    Complete(HttpRequest),
+    /// Clean EOF before any bytes — the peer closed the connection.
+    Closed,
+    /// A malformed or over-limit request; answer `400` and close.
+    Invalid(&'static str),
+}
+
+/// Reads one line, refusing lines longer than `limit` bytes. `None`
+/// means EOF before any byte; `Err(InvalidData)` (from non-UTF-8
+/// input) is reported as an oversized/invalid line via `Err(())` —
+/// flattened by the caller into a `400`.
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+) -> io::Result<std::result::Result<Option<String>, ()>> {
+    let mut line = String::new();
+    let n = match reader.by_ref().take(limit as u64 + 1).read_line(&mut line) {
+        Ok(n) => n,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Ok(Err(())),
+        Err(e) => return Err(e),
+    };
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if n > limit {
+        return Ok(Err(()));
+    }
+    Ok(Ok(Some(line)))
+}
+
+/// Parses one request head off `reader`, enforcing the size limits.
+/// I/O errors (timeouts, resets) propagate; protocol violations come
+/// back as [`ParsedRequest::Invalid`] so the connection can answer
+/// `400` before closing.
+fn parse_request<R: BufRead>(reader: &mut R) -> io::Result<ParsedRequest> {
+    let line = match read_line_limited(reader, MAX_REQUEST_LINE)? {
+        Err(()) => return Ok(ParsedRequest::Invalid("request line too long")),
+        Ok(None) => return Ok(ParsedRequest::Closed),
+        Ok(Some(line)) => line,
+    };
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Ok(ParsedRequest::Invalid("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ParsedRequest::Invalid("unsupported protocol version"));
+    }
+    if !target.starts_with('/') {
+        return Ok(ParsedRequest::Invalid("target must be an absolute path"));
+    }
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut if_none_match = None;
+    let mut content_length = 0usize;
+    let mut count = 0usize;
+    loop {
+        let header = match read_line_limited(reader, MAX_HEADER_LINE)? {
+            Err(()) => return Ok(ParsedRequest::Invalid("header line too long")),
+            Ok(None) => return Ok(ParsedRequest::Invalid("connection closed mid-headers")),
+            Ok(Some(line)) => line,
+        };
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        count += 1;
+        if count > MAX_HEADERS {
+            return Ok(ParsedRequest::Invalid("too many headers"));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Ok(ParsedRequest::Invalid("malformed header"));
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "if-none-match" => if_none_match = Some(value.to_string()),
+            "content-length" => {
+                let Ok(n) = value.parse::<usize>() else {
+                    return Ok(ParsedRequest::Invalid("bad content-length"));
+                };
+                content_length = n;
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Ok(ParsedRequest::Invalid("request body too large"));
+    }
+    if content_length > 0 {
+        // Drain the body so a keep-alive connection stays framed.
+        io::copy(
+            &mut reader.by_ref().take(content_length as u64),
+            &mut io::sink(),
+        )?;
+    }
+    Ok(ParsedRequest::Complete(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        if_none_match,
+        keep_alive,
+    }))
+}
+
+// ---------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------
+
+/// A resolved endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    Healthz,
+    Metrics,
+    Report,
+    Risk,
+    AttentionState(UsState),
+    AttentionOrgan(Organ),
+    Shutdown,
+}
+
+/// Why a request did not resolve to a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteError {
+    /// No such path (or no such state/organ) — `404`.
+    NotFound,
+    /// Path exists but not for this method — `405`.
+    MethodNotAllowed,
+}
+
+/// Parses a state path segment: two-letter abbreviation (any case) or
+/// full name with `_`/`+` standing in for spaces.
+fn parse_state(segment: &str) -> Option<UsState> {
+    let cleaned = segment.replace(['_', '+'], " ");
+    UsState::from_abbr(&cleaned).or_else(|| UsState::from_name(&cleaned))
+}
+
+/// Parses an organ path segment by canonical name, case-insensitive.
+fn parse_organ(segment: &str) -> Option<Organ> {
+    Organ::ALL
+        .into_iter()
+        .find(|o| o.name().eq_ignore_ascii_case(segment))
+}
+
+/// Maps `(method, target)` to a [`Route`]. Query strings are ignored;
+/// a trailing slash is tolerated.
+fn route(method: &str, target: &str) -> std::result::Result<Route, RouteError> {
+    let path = target.split('?').next().unwrap_or("");
+    let path = if path.len() > 1 {
+        path.trim_end_matches('/')
+    } else {
+        path
+    };
+    let found = if let Some(segment) = path.strip_prefix("/attention/state/") {
+        Route::AttentionState(parse_state(segment).ok_or(RouteError::NotFound)?)
+    } else if let Some(segment) = path.strip_prefix("/attention/organ/") {
+        Route::AttentionOrgan(parse_organ(segment).ok_or(RouteError::NotFound)?)
+    } else {
+        match path {
+            "/healthz" => Route::Healthz,
+            "/metrics" => Route::Metrics,
+            "/report" => Route::Report,
+            "/risk" => Route::Risk,
+            "/shutdown" => Route::Shutdown,
+            _ => return Err(RouteError::NotFound),
+        }
+    };
+    let method_ok = match found {
+        Route::Shutdown => method == "POST",
+        _ => method == "GET",
+    };
+    if !method_ok {
+        return Err(RouteError::MethodNotAllowed);
+    }
+    Ok(found)
+}
+
+// ---------------------------------------------------------------------
+// Snapshots and the hub.
+// ---------------------------------------------------------------------
+
+/// An epoch-consistent, immutable view of the sensor: the merged
+/// per-shard exports at one checkpoint-marker cut, plus the cut's
+/// identity (epoch) and content fingerprint (the `ETag`).
+struct ServeSnapshot {
+    epoch: u64,
+    fingerprint: u64,
+    export: SensorExport,
+}
+
+/// A rendered response body, cached per `(fingerprint, path)`.
+struct RenderedBody {
+    content_type: &'static str,
+    bytes: Vec<u8>,
+}
+
+/// Shared state between the watcher, the ingest thread, and the HTTP
+/// workers: the current snapshot, the rendered-body cache, the
+/// memoized analysis, and the lifecycle flags.
+struct SnapshotHub {
+    metrics: MetricsRegistry,
+    current: RwLock<Option<Arc<ServeSnapshot>>>,
+    bodies: Mutex<HashMap<(u64, String), Arc<RenderedBody>>>,
+    analysis: Mutex<Option<(u64, Arc<PipelineRun>)>>,
+    shutdown: AtomicBool,
+    ingest_done: AtomicBool,
+}
+
+impl SnapshotHub {
+    fn new(metrics: MetricsRegistry) -> Self {
+        Self {
+            metrics,
+            current: RwLock::new(None),
+            bodies: Mutex::new(HashMap::new()),
+            analysis: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            ingest_done: AtomicBool::new(false),
+        }
+    }
+
+    fn current(&self) -> Option<Arc<ServeSnapshot>> {
+        self.current.read().expect("snapshot lock").clone()
+    }
+
+    /// Publishes a snapshot if it advances the current epoch; rendered
+    /// bodies for older fingerprints are dropped (the only
+    /// invalidation path — within one fingerprint, caches live
+    /// forever).
+    fn publish(&self, snap: ServeSnapshot) -> bool {
+        let fingerprint = snap.fingerprint;
+        let epoch = snap.epoch;
+        {
+            let mut cur = self.current.write().expect("snapshot lock");
+            if let Some(existing) = cur.as_ref() {
+                if epoch <= existing.epoch {
+                    return false;
+                }
+            }
+            *cur = Some(Arc::new(snap));
+        }
+        self.bodies
+            .lock()
+            .expect("body cache lock")
+            .retain(|(fp, _), _| *fp == fingerprint);
+        self.metrics
+            .counter("serve_snapshots_published_total")
+            .incr();
+        self.metrics.gauge("serve_epoch").set(epoch);
+        true
+    }
+
+    /// The memoized full analysis for a snapshot — computed at most
+    /// once per fingerprint, shared by every endpoint that needs it.
+    fn analysis(
+        &self,
+        snap: &Arc<ServeSnapshot>,
+        ctx: &AnalysisContext<'_>,
+    ) -> Result<Arc<PipelineRun>> {
+        let mut guard = self.analysis.lock().expect("analysis lock");
+        if let Some((fp, run)) = guard.as_ref() {
+            if *fp == snap.fingerprint {
+                return Ok(Arc::clone(run));
+            }
+        }
+        let run = Arc::new(compute_analysis(snap, ctx)?);
+        self.metrics.counter("serve_analyses_total").incr();
+        *guard = Some((snap.fingerprint, Arc::clone(&run)));
+        Ok(run)
+    }
+
+    fn cached_body(&self, fingerprint: u64, key: &str) -> Option<Arc<RenderedBody>> {
+        self.bodies
+            .lock()
+            .expect("body cache lock")
+            .get(&(fingerprint, key.to_string()))
+            .cloned()
+    }
+
+    fn insert_body(&self, fingerprint: u64, key: String, body: Arc<RenderedBody>) {
+        self.bodies
+            .lock()
+            .expect("body cache lock")
+            .insert((fingerprint, key), body);
+    }
+}
+
+/// Everything needed to reconstruct the batch pipeline's artifacts
+/// from a snapshot: the geocoder and profile lookup the sensor was
+/// running with, the analytic knobs, and the firehose size for the
+/// report's accounting lines.
+struct AnalysisContext<'a> {
+    geocoder: &'a Geocoder,
+    profile_of: &'a (dyn Fn(UserId) -> Option<String> + Sync),
+    analytics: PipelineConfig,
+    firehose_tweets: u64,
+}
+
+/// Rebuilds the batch pipeline's [`PipelineRun`] from a snapshot. The
+/// located corpus, user→state map, and collection counters all come
+/// from a restored sensor (proven byte-identical to the batch
+/// front-half by the incremental-sensor tests); the back-half is the
+/// shared [`analyze_located_corpus`].
+fn compute_analysis(snap: &ServeSnapshot, ctx: &AnalysisContext<'_>) -> Result<PipelineRun> {
+    let profile_of = ctx.profile_of;
+    let sensor = IncrementalSensor::restore(ctx.geocoder, profile_of, snap.export.clone());
+    sensor.ensure_nonempty()?;
+    let usa = sensor.corpus();
+    let user_states = sensor.user_states();
+    let collected_tweets = sensor.tweets_seen();
+    // The batch pipeline's accounting note: users that never resolved,
+    // split into confidently-foreign vs merely unlocatable. A
+    // geo-locked track with no state was voided by a foreign geotag;
+    // otherwise the profile parse decides.
+    let (mut non_us_users, mut unlocated_users) = (0u64, 0u64);
+    for (user, track) in &snap.export.tracks {
+        if track.state.is_none() {
+            if track.geo_locked {
+                non_us_users += 1;
+            } else {
+                let profile = profile_of(*user);
+                if ctx.geocoder.locate(profile.as_deref(), None).non_us {
+                    non_us_users += 1;
+                } else {
+                    unlocated_users += 1;
+                }
+            }
+        }
+    }
+    analyze_located_corpus(
+        LocatedCorpus {
+            firehose_tweets: ctx.firehose_tweets,
+            collected_tweets,
+            usa,
+            user_states,
+            non_us_users,
+            unlocated_users,
+        },
+        ctx.analytics.clone(),
+    )
+}
+
+/// Loads and merges the per-shard checkpoints of one complete epoch.
+/// Parked (not-yet-admitted) tweets are deliberately excluded: at the
+/// cut they had not reached any sensor, and including them would break
+/// the "snapshot = what a resumed run restores" contract.
+fn load_cut(store: &dyn CheckpointStore, shards: usize, epoch: u64) -> Result<SensorExport> {
+    let mut merged = SensorExport::default();
+    for shard in 0..shards as u32 {
+        let bytes = store
+            .load(shard, epoch)
+            .map_err(serve_err)?
+            .ok_or_else(|| serve_err(format!("shard {shard} epoch {epoch} missing")))?;
+        let ckpt = SensorCheckpoint::decode(&bytes)?;
+        merged.absorb(ckpt.export)?;
+    }
+    Ok(merged)
+}
+
+/// The snapshot watcher: polls the store for newer complete epochs and
+/// publishes them until ingest finishes (the final cut is published by
+/// the ingest thread itself, straight from the merged sensor).
+fn watcher_loop(hub: &SnapshotHub, store: &dyn CheckpointStore, shards: usize, poll: Duration) {
+    let mut published: Option<u64> = None;
+    while !hub.ingest_done.load(Ordering::Acquire) {
+        if let Ok(Some(epoch)) = latest_complete_epoch(store, shards as u32) {
+            if published.map_or(true, |p| epoch > p) {
+                // A compaction racing this load just means we retry at
+                // the next tick with a newer epoch.
+                if let Ok(export) = load_cut(store, shards, epoch) {
+                    let fingerprint = export.fingerprint();
+                    hub.publish(ServeSnapshot {
+                        epoch,
+                        fingerprint,
+                        export,
+                    });
+                    published = Some(epoch);
+                }
+            }
+        }
+        thread::sleep(poll);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request handling.
+// ---------------------------------------------------------------------
+
+/// One response, ready to write.
+struct Reply {
+    status: u16,
+    body: Arc<RenderedBody>,
+    etag: Option<String>,
+}
+
+impl Reply {
+    fn text(status: u16, body: impl Into<String>) -> Self {
+        Reply {
+            status,
+            body: Arc::new(RenderedBody {
+                content_type: "text/plain; charset=utf-8",
+                bytes: body.into().into_bytes(),
+            }),
+            etag: None,
+        }
+    }
+
+    fn json(status: u16, body: String) -> Self {
+        Reply {
+            status,
+            body: Arc::new(RenderedBody {
+                content_type: "application/json",
+                bytes: body.into_bytes(),
+            }),
+            etag: None,
+        }
+    }
+
+    fn not_modified(etag: String) -> Self {
+        Reply {
+            status: 304,
+            body: Arc::new(RenderedBody {
+                content_type: "text/plain; charset=utf-8",
+                bytes: Vec::new(),
+            }),
+            etag: Some(etag),
+        }
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// The per-status response counter name.
+fn status_counter(status: u16) -> &'static str {
+    match status {
+        200 => "http_responses_200_total",
+        304 => "http_responses_304_total",
+        400 => "http_responses_400_total",
+        404 => "http_responses_404_total",
+        405 => "http_responses_405_total",
+        503 => "http_responses_503_total",
+        _ => "http_responses_other_total",
+    }
+}
+
+/// Hand-rolled JSON string field helper (values here are ASCII-safe:
+/// state/organ names, hex fingerprints).
+fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `{"heart": 0.41, ...}` over the six organs, canonical order.
+fn attention_object(row: &[f64]) -> String {
+    let mut out = String::from("{");
+    for (i, organ) in Organ::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        push_json_str(&mut out, organ.name());
+        let _ = write!(out, ": {}", row[organ.index()]);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the `/risk` body from an analysis.
+fn render_risk(run: &PipelineRun, snap: &ServeSnapshot) -> String {
+    let mut highlighted: Vec<(UsState, Vec<Organ>)> = run.risk.highlighted().into_iter().collect();
+    highlighted.sort_by_key(|&(s, _)| s);
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"alpha\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"states_analyzed\": {}, \"highlighted\": [",
+        run.risk.alpha,
+        snap.epoch,
+        snap.fingerprint,
+        run.region_k.groups.len()
+    );
+    for (i, (state, organs)) in highlighted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"state\": ");
+        push_json_str(&mut out, state.abbr());
+        out.push_str(", \"name\": ");
+        push_json_str(&mut out, state.name());
+        out.push_str(", \"organs\": [");
+        for (j, organ) in organs.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            push_json_str(&mut out, organ.name());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the `/attention/state/{state}` body, or `None` when the
+/// state has no located users in this snapshot.
+fn render_attention_state(
+    run: &PipelineRun,
+    snap: &ServeSnapshot,
+    state: UsState,
+) -> Option<String> {
+    let i = run.region_k.groups.iter().position(|&g| g == state)?;
+    let mut out = String::from("{\"state\": ");
+    push_json_str(&mut out, state.abbr());
+    out.push_str(", \"name\": ");
+    push_json_str(&mut out, state.name());
+    let _ = write!(
+        out,
+        ", \"users\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"attention\": {}}}",
+        run.region_k.sizes[i],
+        snap.epoch,
+        snap.fingerprint,
+        attention_object(run.region_k.matrix.row(i))
+    );
+    Some(out)
+}
+
+/// Renders the `/attention/organ/{organ}` body, or `None` when no user
+/// in this snapshot is dominated by the organ.
+fn render_attention_organ(run: &PipelineRun, snap: &ServeSnapshot, organ: Organ) -> Option<String> {
+    let i = run.organ_k.groups.iter().position(|&g| g == organ)?;
+    let mut out = String::from("{\"organ\": ");
+    push_json_str(&mut out, organ.name());
+    let _ = write!(
+        out,
+        ", \"users\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"attention\": {}}}",
+        run.organ_k.sizes[i],
+        snap.epoch,
+        snap.fingerprint,
+        attention_object(run.organ_k.matrix.row(i))
+    );
+    Some(out)
+}
+
+/// Handles a routed request against the current snapshot.
+fn handle(route: Route, req: &HttpRequest, hub: &SnapshotHub, ctx: &AnalysisContext<'_>) -> Reply {
+    match route {
+        Route::Healthz => {
+            let mut out = String::from("{\"status\": \"ok\", ");
+            match hub.current() {
+                Some(s) => {
+                    let _ = write!(
+                        out,
+                        "\"epoch\": {}, \"fingerprint\": \"{:016x}\", ",
+                        s.epoch, s.fingerprint
+                    );
+                }
+                None => out.push_str("\"epoch\": null, \"fingerprint\": null, "),
+            }
+            let _ = write!(
+                out,
+                "\"ingest_done\": {}}}",
+                hub.ingest_done.load(Ordering::Acquire)
+            );
+            Reply::json(200, out)
+        }
+        Route::Metrics => Reply::json(200, hub.metrics.snapshot().to_json()),
+        Route::Shutdown => Reply::json(200, "{\"shutting_down\": true}".to_string()),
+        Route::Report | Route::Risk | Route::AttentionState(_) | Route::AttentionOrgan(_) => {
+            let Some(snap) = hub.current() else {
+                return Reply::text(503, "snapshot not ready: no complete epoch yet\n");
+            };
+            let etag = etag_of(snap.fingerprint);
+            if req.if_none_match.as_deref() == Some(etag.as_str()) {
+                return Reply::not_modified(etag);
+            }
+            let key = match route {
+                Route::Report => "/report".to_string(),
+                Route::Risk => "/risk".to_string(),
+                Route::AttentionState(s) => format!("/attention/state/{}", s.abbr()),
+                Route::AttentionOrgan(o) => format!("/attention/organ/{}", o.name()),
+                _ => unreachable!("snapshot routes only"),
+            };
+            if let Some(body) = hub.cached_body(snap.fingerprint, &key) {
+                hub.metrics.counter("serve_render_cache_hits_total").incr();
+                return Reply {
+                    status: 200,
+                    body,
+                    etag: Some(etag),
+                };
+            }
+            hub.metrics
+                .counter("serve_render_cache_misses_total")
+                .incr();
+            let run = match hub.analysis(&snap, ctx) {
+                Ok(run) => run,
+                Err(e) => return Reply::text(503, format!("analysis unavailable: {e}\n")),
+            };
+            let rendered = match route {
+                Route::Report => match PaperReport::from_run(&run) {
+                    Ok(report) => RenderedBody {
+                        content_type: "text/plain; charset=utf-8",
+                        bytes: report.render().into_bytes(),
+                    },
+                    Err(e) => return Reply::text(503, format!("report unavailable: {e}\n")),
+                },
+                Route::Risk => RenderedBody {
+                    content_type: "application/json",
+                    bytes: render_risk(&run, &snap).into_bytes(),
+                },
+                Route::AttentionState(s) => match render_attention_state(&run, &snap, s) {
+                    Some(body) => RenderedBody {
+                        content_type: "application/json",
+                        bytes: body.into_bytes(),
+                    },
+                    None => {
+                        return Reply::text(
+                            404,
+                            format!("state {} has no located users in this snapshot\n", s.abbr()),
+                        )
+                    }
+                },
+                Route::AttentionOrgan(o) => match render_attention_organ(&run, &snap, o) {
+                    Some(body) => RenderedBody {
+                        content_type: "application/json",
+                        bytes: body.into_bytes(),
+                    },
+                    None => {
+                        return Reply::text(
+                            404,
+                            format!("organ {} dominates no user in this snapshot\n", o.name()),
+                        )
+                    }
+                },
+                _ => unreachable!("snapshot routes only"),
+            };
+            let body = Arc::new(rendered);
+            hub.insert_body(snap.fingerprint, key, Arc::clone(&body));
+            Reply {
+                status: 200,
+                body,
+                etag: Some(etag),
+            }
+        }
+    }
+}
+
+/// Writes one response; returns the bytes put on the wire.
+fn write_reply(stream: &mut TcpStream, reply: &Reply, keep_alive: bool) -> io::Result<u64> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", reply.status, reason(reply.status));
+    let body: &[u8] = if reply.status == 304 {
+        &[]
+    } else {
+        &reply.body.bytes
+    };
+    let _ = write!(head, "Content-Type: {}\r\n", reply.body.content_type);
+    let _ = write!(head, "Content-Length: {}\r\n", body.len());
+    if let Some(etag) = &reply.etag {
+        let _ = write!(head, "ETag: {etag}\r\n");
+    }
+    let _ = write!(
+        head,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok((head.len() + body.len()) as u64)
+}
+
+/// Serves one connection: keep-alive request loop with per-request
+/// accounting. Any I/O error just closes the connection.
+fn serve_connection(
+    mut stream: TcpStream,
+    hub: &SnapshotHub,
+    ctx: &AnalysisContext<'_>,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        match parse_request(&mut reader)? {
+            ParsedRequest::Closed => break,
+            ParsedRequest::Invalid(why) => {
+                hub.metrics.counter("http_requests_total").incr();
+                let reply = Reply::text(400, format!("bad request: {why}\n"));
+                let bytes = write_reply(&mut stream, &reply, false)?;
+                hub.metrics.counter(status_counter(400)).incr();
+                hub.metrics.counter("http_bytes_out_total").add(bytes);
+                break;
+            }
+            ParsedRequest::Complete(req) => {
+                hub.metrics.counter("http_requests_total").incr();
+                let routed = route(&req.method, &req.target);
+                let reply = match routed {
+                    Ok(r) => handle(r, &req, hub, ctx),
+                    Err(RouteError::NotFound) => Reply::text(404, "no such endpoint\n"),
+                    Err(RouteError::MethodNotAllowed) => Reply::text(405, "method not allowed\n"),
+                };
+                let shutting_down = matches!(routed, Ok(Route::Shutdown)) && reply.status == 200;
+                let bytes = write_reply(&mut stream, &reply, req.keep_alive)?;
+                hub.metrics.counter(status_counter(reply.status)).incr();
+                hub.metrics.counter("http_bytes_out_total").add(bytes);
+                if shutting_down {
+                    hub.shutdown.store(true, Ordering::Release);
+                    // Wake the acceptor out of its blocking accept.
+                    let _ = TcpStream::connect(addr);
+                }
+                if !req.keep_alive {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One worker: pull connections off the shared queue until it closes.
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    hub: &SnapshotHub,
+    ctx: &AnalysisContext<'_>,
+    addr: SocketAddr,
+) {
+    loop {
+        let conn = {
+            let guard = rx.lock().expect("connection queue lock");
+            guard.recv()
+        };
+        let Ok(conn) = conn else { break };
+        let _ = serve_connection(conn, hub, ctx, addr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The daemon.
+// ---------------------------------------------------------------------
+
+/// Configuration for [`run_serve_daemon`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` for an ephemeral port (the bound
+    /// address is reported through `on_ready`).
+    pub addr: String,
+    /// HTTP worker threads (clamped to `1..=64`).
+    pub workers: usize,
+    /// Snapshot-watcher poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Analytic knobs for query-time analyses — set this to exactly
+    /// the batch pipeline's configuration and `/report` serves the
+    /// batch pipeline's bytes. The registry inside is ignored for
+    /// serving (analyses run against a disabled registry unless the
+    /// caller opts in); live counters ride on the stream registry.
+    pub analytics: PipelineConfig,
+    /// The ingest configuration ([`run_sharded_stream`]). The default
+    /// enables periodic markers and the closing flush
+    /// ([`ShardConfig::checkpoint_final`]) — live snapshots require
+    /// markers, and a daemon should always leave a resumable store.
+    pub shard: ShardConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            poll_ms: 2,
+            analytics: PipelineConfig::default(),
+            shard: ShardConfig {
+                checkpoint_every: 512,
+                checkpoint_final: true,
+                ..ShardConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything a finished daemon run produced.
+pub struct ServeOutcome<'a> {
+    /// The completed ingest run (sensor, fault accounting, epochs) —
+    /// exactly what the CLI stream verbs report.
+    pub stream: ShardedStreamRun<'a>,
+    /// The address the daemon actually bound.
+    pub addr: SocketAddr,
+    /// Fingerprint of the final sensor state — what a `/report` after
+    /// the last publish carried as its `ETag`, and what a resumed run
+    /// must reproduce. `None` when ingest was killed mid-run.
+    pub closing_fingerprint: Option<u64>,
+    /// The last checkpoint epoch written (the closing cut when
+    /// [`ShardConfig::checkpoint_final`] is on).
+    pub final_epoch: u64,
+    /// Final registry snapshot, including the `http_*`/`serve_*`
+    /// counters accumulated while serving.
+    pub metrics: crate::pipeline::RunMetrics,
+}
+
+/// Runs the always-on daemon: sharded checkpointed ingest, the
+/// snapshot watcher, and the HTTP front-end, until a `POST /shutdown`
+/// arrives (ingest always drains first — shutdown never truncates the
+/// stream, and the closing checkpoint cut is flushed before the
+/// daemon exits).
+///
+/// `on_ready` is invoked with the bound address before the first
+/// connection is accepted — the CLI prints its `SERVING` line from
+/// it, tests learn their ephemeral port.
+///
+/// The `geocoder`/`service` split follows
+/// [`crate::stream_consumer::run_faulted_stream`]: ingest admission
+/// survives the (possibly faulty) `service`, while snapshots and
+/// analyses resolve through the infallible `geocoder`.
+pub fn run_serve_daemon<'a>(
+    sim: &'a TwitterSimulation,
+    geocoder: &'a Geocoder,
+    service: &(dyn LocationService + Sync),
+    faults: FaultConfig,
+    store: &dyn CheckpointStore,
+    config: ServeConfig,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<ServeOutcome<'a>> {
+    let shards = resolve_shards(config.shard.shards);
+    let workers = config.workers.clamp(1, 64);
+    let poll = Duration::from_millis(config.poll_ms.max(1));
+    let metrics = config.shard.stream.metrics.clone();
+    let listener = TcpListener::bind(config.addr.as_str()).map_err(serve_err)?;
+    let addr = listener.local_addr().map_err(serve_err)?;
+    metrics.gauge("serve_workers").set(workers as u64);
+
+    let hub = SnapshotHub::new(metrics.clone());
+    let profile_of = |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    };
+    let ctx = AnalysisContext {
+        geocoder,
+        profile_of: &profile_of,
+        analytics: config.analytics.clone(),
+        firehose_tweets: sim.firehose_len() as u64,
+    };
+    let shard_config = config.shard.clone();
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(ACCEPT_QUEUE);
+    let conn_rx = Mutex::new(conn_rx);
+
+    on_ready(addr);
+
+    // Ingest runs on *this* thread inside the scope: the finished
+    // `ShardedStreamRun` carries the merged sensor (whose profile
+    // closure is not `Send`), so it must never cross a thread
+    // boundary. Everything that does cross — the listener, the
+    // connection sender, shared refs — is `Send`.
+    let (stream_run, closing_fingerprint) = thread::scope(|scope| {
+        let hub = &hub;
+        let ctx = &ctx;
+
+        scope.spawn(move || watcher_loop(hub, store, shards, poll));
+
+        let conn_rx = &conn_rx;
+        for _ in 0..workers {
+            scope.spawn(move || worker_loop(conn_rx, hub, ctx, addr));
+        }
+
+        // The acceptor: feed connections to the pool until shutdown,
+        // then close the queue so the workers drain and exit.
+        scope.spawn(move || {
+            for conn in listener.incoming() {
+                if hub.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(conn_tx);
+        });
+
+        let result = run_sharded_stream(sim, geocoder, service, faults, Some(store), shard_config);
+        let out = match result {
+            Ok(run) => {
+                // Publish the end-of-stream state directly: with the
+                // closing marker this equals the final cut; without
+                // markers it is the only snapshot the daemon ever gets.
+                let closing = run.sensor.as_ref().map(|sensor| {
+                    let export = sensor.export();
+                    let fingerprint = export.fingerprint();
+                    let cur = hub.current().map(|c| (c.epoch, c.fingerprint));
+                    if cur.map(|(_, fp)| fp) != Some(fingerprint) {
+                        let epoch = run.last_epoch.max(cur.map_or(0, |(e, _)| e) + 1);
+                        hub.publish(ServeSnapshot {
+                            epoch,
+                            fingerprint,
+                            export,
+                        });
+                    }
+                    fingerprint
+                });
+                Ok((run, closing))
+            }
+            Err(e) => Err(e),
+        };
+        hub.ingest_done.store(true, Ordering::Release);
+        if out.is_err() {
+            // A dead ingest pipeline cannot recover; stop serving.
+            hub.shutdown.store(true, Ordering::Release);
+            let _ = TcpStream::connect(addr);
+        }
+        // The scope's implicit join keeps serving until `/shutdown`
+        // stops the acceptor and the workers drain.
+        out
+    })?;
+
+    Ok(ServeOutcome {
+        final_epoch: stream_run.last_epoch,
+        addr,
+        closing_fingerprint,
+        metrics: metrics.snapshot(),
+        stream: stream_run,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Minimal HTTP client (load generator, smoke gates, tests).
+// ---------------------------------------------------------------------
+
+/// One response as seen by [`HttpClient`].
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// The `ETag` header, verbatim (quotes included), when present.
+    pub etag: Option<String>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+/// A tiny keep-alive HTTP/1.1 client speaking exactly the subset this
+/// server emits — enough for the load generator, the CI smoke gate
+/// (`repro http-get`), and the integration tests, with no external
+/// tooling (`curl`) required.
+pub struct HttpClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr` with the default 10 s socket timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// A client with an explicit socket timeout.
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Self {
+        HttpClient {
+            addr,
+            timeout,
+            conn: None,
+        }
+    }
+
+    /// `GET path`, optionally conditional on an entity tag.
+    pub fn get(&mut self, path: &str, if_none_match: Option<&str>) -> Result<HttpReply> {
+        self.request("GET", path, if_none_match)
+    }
+
+    /// `POST path` with an empty body.
+    pub fn post(&mut self, path: &str) -> Result<HttpReply> {
+        self.request("POST", path, None)
+    }
+
+    /// Issues one request, reconnecting once if the pooled keep-alive
+    /// connection has gone stale.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        if_none_match: Option<&str>,
+    ) -> Result<HttpReply> {
+        for attempt in 0..2 {
+            if self.conn.is_none() {
+                let stream =
+                    TcpStream::connect_timeout(&self.addr, self.timeout).map_err(serve_err)?;
+                stream
+                    .set_read_timeout(Some(self.timeout))
+                    .map_err(serve_err)?;
+                stream
+                    .set_write_timeout(Some(self.timeout))
+                    .map_err(serve_err)?;
+                self.conn = Some(BufReader::new(stream));
+            }
+            match self.try_request(method, path, if_none_match) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt == 1 {
+                        return Err(serve_err(e));
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on success or second failure")
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        if_none_match: Option<&str>,
+    ) -> io::Result<HttpReply> {
+        let reader = self.conn.as_mut().expect("connection established");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: donorpulse\r\n");
+        if let Some(etag) = if_none_match {
+            let _ = write!(head, "If-None-Match: {etag}\r\n");
+        }
+        head.push_str("Connection: keep-alive\r\n\r\n");
+        reader.get_ref().write_all(head.as_bytes())?;
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut etag = None;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                match name.trim().to_ascii_lowercase().as_str() {
+                    "etag" => etag = Some(value.to_string()),
+                    "content-length" => {
+                        content_length = value.parse().map_err(|_| {
+                            io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                        })?;
+                    }
+                    "connection" => close = value.eq_ignore_ascii_case("close"),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok(HttpReply { status, etag, body })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load generator.
+// ---------------------------------------------------------------------
+
+/// Configuration for [`run_loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop clients (clamped to `1..=64`).
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: u64,
+    /// Seed for the per-client endpoint mix — the request *sequence*
+    /// is reproducible; only timings vary.
+    pub seed: u64,
+    /// Per-request socket timeout in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            requests: 2000,
+            seed: 0x0D01_07AB,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// What the load generator measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// `200` responses.
+    pub responses_200: u64,
+    /// `304` responses (conditional hits).
+    pub responses_304: u64,
+    /// Any other status (`404`, `503`, …).
+    pub responses_other: u64,
+    /// Transport-level failures.
+    pub errors: u64,
+    /// Wall time for the whole run.
+    pub elapsed_nanos: u64,
+    /// Median request latency.
+    pub p50_nanos: u64,
+    /// 99th-percentile request latency.
+    pub p99_nanos: u64,
+    /// Completed requests per second.
+    pub qps: f64,
+    /// `304` responses over attempted requests — the ETag cache's hit
+    /// rate as observed from the client side.
+    pub hit_rate: f64,
+}
+
+/// SplitMix64 step — the endpoint-mix RNG.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// States the generator queries (high-population plus the paper's
+/// planted-anomaly Kansas).
+const LOADGEN_STATES: [&str; 8] = ["KS", "TX", "CA", "NY", "OH", "FL", "WA", "PA"];
+
+/// Weighted endpoint pick: report-heavy, with every endpoint family
+/// represented.
+fn pick_endpoint(rng: &mut u64) -> String {
+    match splitmix_next(rng) % 100 {
+        0..=34 => "/report".to_string(),
+        35..=54 => "/risk".to_string(),
+        55..=74 => {
+            let i = (splitmix_next(rng) % LOADGEN_STATES.len() as u64) as usize;
+            format!("/attention/state/{}", LOADGEN_STATES[i])
+        }
+        75..=89 => {
+            let i = (splitmix_next(rng) % Organ::ALL.len() as u64) as usize;
+            format!("/attention/organ/{}", Organ::ALL[i].name())
+        }
+        90..=94 => "/healthz".to_string(),
+        _ => "/metrics".to_string(),
+    }
+}
+
+/// Per-client tallies, merged by [`run_loadgen`].
+#[derive(Default)]
+struct ClientStats {
+    requests: u64,
+    ok: u64,
+    not_modified: u64,
+    other: u64,
+    errors: u64,
+    latencies: Vec<u64>,
+}
+
+/// One closed-loop client: issue `requests` requests back to back,
+/// remembering the last `ETag` per path and sending it back as
+/// `If-None-Match` — the realistic polling-client behaviour the `304`
+/// path exists for.
+fn loadgen_client(addr: SocketAddr, seed: u64, requests: u64, timeout: Duration) -> ClientStats {
+    let mut rng = seed;
+    let mut client = HttpClient::with_timeout(addr, timeout);
+    let mut etags: HashMap<String, String> = HashMap::new();
+    let mut stats = ClientStats {
+        latencies: Vec::with_capacity(requests as usize),
+        ..ClientStats::default()
+    };
+    for _ in 0..requests {
+        let path = pick_endpoint(&mut rng);
+        let inm = etags.get(&path).cloned();
+        stats.requests += 1;
+        let start = Instant::now();
+        match client.get(&path, inm.as_deref()) {
+            Ok(reply) => {
+                stats.latencies.push(start.elapsed().as_nanos() as u64);
+                match reply.status {
+                    200 => stats.ok += 1,
+                    304 => stats.not_modified += 1,
+                    _ => stats.other += 1,
+                }
+                if let Some(etag) = reply.etag {
+                    etags.insert(path, etag);
+                }
+            }
+            Err(_) => stats.errors += 1,
+        }
+    }
+    stats
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the seeded closed-loop load generator against a daemon and
+/// aggregates latency percentiles, throughput, and the observed `304`
+/// hit rate. Transport failures are counted, never fatal.
+pub fn run_loadgen(addr: SocketAddr, config: LoadgenConfig) -> LoadgenReport {
+    let clients = config.clients.clamp(1, 64);
+    let timeout = Duration::from_millis(config.timeout_ms.max(1));
+    let per_client = config.requests / clients as u64;
+    let remainder = config.requests % clients as u64;
+    let start = Instant::now();
+    let stats: Vec<ClientStats> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let n = per_client + u64::from((c as u64) < remainder);
+                let seed = config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15 * (c as u64 + 1));
+                scope.spawn(move || loadgen_client(addr, seed, n, timeout))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let elapsed_nanos = start.elapsed().as_nanos() as u64;
+    let mut merged = ClientStats::default();
+    for s in stats {
+        merged.requests += s.requests;
+        merged.ok += s.ok;
+        merged.not_modified += s.not_modified;
+        merged.other += s.other;
+        merged.errors += s.errors;
+        merged.latencies.extend(s.latencies);
+    }
+    merged.latencies.sort_unstable();
+    let completed = merged.latencies.len() as u64;
+    let qps = if elapsed_nanos > 0 {
+        completed as f64 / (elapsed_nanos as f64 / 1e9)
+    } else {
+        0.0
+    };
+    LoadgenReport {
+        requests: merged.requests,
+        responses_200: merged.ok,
+        responses_304: merged.not_modified,
+        responses_other: merged.other,
+        errors: merged.errors,
+        elapsed_nanos,
+        p50_nanos: percentile(&merged.latencies, 0.50),
+        p99_nanos: percentile(&merged.latencies, 0.99),
+        qps,
+        hit_rate: merged.not_modified as f64 / merged.requests.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> ParsedRequest {
+        parse_request(&mut Cursor::new(raw.as_bytes())).expect("no io error on cursor")
+    }
+
+    #[test]
+    fn parses_minimal_get() {
+        let ParsedRequest::Complete(req) = parse("GET /report HTTP/1.1\r\nHost: x\r\n\r\n") else {
+            panic!("expected complete request");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/report");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.if_none_match, None);
+    }
+
+    #[test]
+    fn captures_if_none_match_and_connection_close() {
+        let raw = "GET /risk HTTP/1.1\r\nIf-None-Match: \"00ff\"\r\nConnection: close\r\n\r\n";
+        let ParsedRequest::Complete(req) = parse(raw) else {
+            panic!("expected complete request");
+        };
+        assert_eq!(req.if_none_match.as_deref(), Some("\"00ff\""));
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let ParsedRequest::Complete(req) = parse("GET / HTTP/1.0\r\n\r\n") else {
+            panic!("expected complete request");
+        };
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_invalid_not_panics() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), ParsedRequest::Invalid(_)),
+                "not rejected: {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed() {
+        assert!(matches!(parse(""), ParsedRequest::Closed));
+    }
+
+    #[test]
+    fn oversized_request_line_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(parse(&raw), ParsedRequest::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE)
+        );
+        assert!(matches!(parse(&raw), ParsedRequest::Invalid(_)));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            let _ = write!(raw, "X-H{i}: v\r\n");
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(parse(&raw), ParsedRequest::Invalid(_)));
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            ParsedRequest::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = format!(
+            "POST /shutdown HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&raw), ParsedRequest::Invalid(_)));
+    }
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("GET", "/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/report"), Ok(Route::Report));
+        assert_eq!(route("GET", "/report/"), Ok(Route::Report));
+        assert_eq!(route("GET", "/risk?x=1"), Ok(Route::Risk));
+        assert_eq!(route("POST", "/shutdown"), Ok(Route::Shutdown));
+        assert_eq!(
+            route("GET", "/attention/state/KS"),
+            Ok(Route::AttentionState(UsState::Kansas))
+        );
+        assert_eq!(
+            route("GET", "/attention/state/kansas"),
+            Ok(Route::AttentionState(UsState::Kansas))
+        );
+        assert_eq!(
+            route("GET", "/attention/organ/Heart"),
+            Ok(Route::AttentionOrgan(Organ::Heart))
+        );
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_rejected() {
+        assert_eq!(route("GET", "/nope"), Err(RouteError::NotFound));
+        assert_eq!(
+            route("GET", "/attention/state/ZZ"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(
+            route("GET", "/attention/organ/spleen"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(route("POST", "/report"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(route("GET", "/shutdown"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(
+            route("DELETE", "/healthz"),
+            Err(RouteError::MethodNotAllowed)
+        );
+    }
+
+    #[test]
+    fn etag_is_quoted_hex() {
+        assert_eq!(etag_of(0xabc), "\"0000000000000abc\"");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn endpoint_mix_is_seeded_and_covers_families() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let seq_a: Vec<String> = (0..200).map(|_| pick_endpoint(&mut a)).collect();
+        let seq_b: Vec<String> = (0..200).map(|_| pick_endpoint(&mut b)).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same request sequence");
+        assert!(seq_a.iter().any(|p| p == "/report"));
+        assert!(seq_a.iter().any(|p| p == "/risk"));
+        assert!(seq_a.iter().any(|p| p.starts_with("/attention/state/")));
+        assert!(seq_a.iter().any(|p| p.starts_with("/attention/organ/")));
+    }
+
+    #[test]
+    fn publish_is_monotone_and_prunes_bodies() {
+        let hub = SnapshotHub::new(MetricsRegistry::enabled());
+        assert!(hub.publish(ServeSnapshot {
+            epoch: 1,
+            fingerprint: 10,
+            export: SensorExport::default(),
+        }));
+        hub.insert_body(
+            10,
+            "/report".to_string(),
+            Arc::new(RenderedBody {
+                content_type: "text/plain; charset=utf-8",
+                bytes: b"old".to_vec(),
+            }),
+        );
+        // Stale epoch refused.
+        assert!(!hub.publish(ServeSnapshot {
+            epoch: 1,
+            fingerprint: 11,
+            export: SensorExport::default(),
+        }));
+        assert!(hub.cached_body(10, "/report").is_some());
+        // Newer epoch accepted; bodies for the old fingerprint vanish.
+        assert!(hub.publish(ServeSnapshot {
+            epoch: 2,
+            fingerprint: 12,
+            export: SensorExport::default(),
+        }));
+        assert!(hub.cached_body(10, "/report").is_none());
+        assert_eq!(hub.current().unwrap().epoch, 2);
+    }
+}

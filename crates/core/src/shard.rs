@@ -139,6 +139,15 @@ pub struct ShardConfig {
     /// Partial epochs never count toward the kept set
     /// ([`compact_checkpoints`]).
     pub checkpoint_retain: usize,
+    /// Flush one final checkpoint marker after the stream drains (and
+    /// the run was not killed), so the store always ends on a cut that
+    /// is complete across every shard at exactly the end of the
+    /// stream. Periodic markers alone leave the tail beyond the last
+    /// full `checkpoint_every` window unrecoverable; with this set, a
+    /// finished run — in particular a serving daemon shutting down —
+    /// is resumable and verifiable from its store alone. No-op without
+    /// a store or with markers disabled (`checkpoint_every == 0`).
+    pub checkpoint_final: bool,
     /// The underlying per-stage streaming configuration (channel
     /// capacity, retry schedules, park capacity, metrics).
     pub stream: StreamPipelineConfig,
@@ -152,6 +161,7 @@ impl Default for ShardConfig {
             kill_after: None,
             resume: false,
             checkpoint_retain: 0,
+            checkpoint_final: false,
             stream: StreamPipelineConfig::default(),
         }
     }
@@ -336,6 +346,7 @@ pub fn run_sharded_stream<'a>(
             let metrics = metrics.clone();
             let checkpoint_every = config.checkpoint_every;
             let checkpoint_retain = config.checkpoint_retain;
+            let checkpoint_final = config.checkpoint_final;
             let kill_after = config.kill_after;
             move || {
                 let mut span = metrics.stage("stream_router");
@@ -405,6 +416,16 @@ pub fn run_sharded_stream<'a>(
                     if kill_after.is_some_and(|k| routed >= k) {
                         killed = true;
                         break 'route;
+                    }
+                }
+                // Closing cut: the stream drained (not a crash), so
+                // freeze the group exactly at end-of-stream. The store
+                // then always holds a complete final epoch — the
+                // property that makes a daemon shutdown resumable.
+                if checkpoint_final && checkpoint_every > 0 && !killed && store.is_some() {
+                    epoch += 1;
+                    for tx in &shard_txs {
+                        let _ = tx.send(ShardMsg::Marker { epoch, high_water });
                     }
                 }
                 drop(shard_txs);

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: start the always-on daemon on an ephemeral
+# port, drive it with the seeded closed-loop load generator, and write
+# the measured QPS, latency percentiles, and conditional-GET (304) hit
+# rate to BENCH_SERVE.json (schema: docs/SERVING.md).
+#
+#   scripts/bench_serve.sh                      # scale 0.05, 4 clients x 2000
+#   SERVE_SCALE=0.25 scripts/bench_serve.sh     # bigger corpus behind the daemon
+#   SERVE_CLIENTS=8 SERVE_REQUESTS=5000 scripts/bench_serve.sh
+#
+# The request mix and per-client seeds are fixed, so everything except
+# the wall times and rates is deterministic; compare BENCH_SERVE.json
+# across commits for serving-path regressions. The daemon is always
+# shut down through its own POST /shutdown endpoint so the run also
+# exercises the closing-checkpoint flush.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SERVE_SCALE:-0.05}"
+CLIENTS="${SERVE_CLIENTS:-4}"
+REQUESTS="${SERVE_REQUESTS:-2000}"
+WORKERS="${SERVE_WORKERS:-4}"
+OUT="${SERVE_JSON:-BENCH_SERVE.json}"
+
+echo "==> bench_serve: building release binary"
+cargo build --release -q -p donorpulse-bench --bin repro
+
+SERVE_LOG="$(mktemp)"
+SERVE_PID=""
+cleanup() {
+  if [ -n "${SERVE_PID}" ] && kill -0 "${SERVE_PID}" 2> /dev/null; then
+    kill "${SERVE_PID}" 2> /dev/null || true
+  fi
+  rm -f "${SERVE_LOG}"
+}
+trap cleanup EXIT
+
+echo "==> bench_serve: starting daemon (scale ${SCALE}, ${WORKERS} workers)"
+./target/release/repro --scale "${SCALE}" serve --port 0 --workers "${WORKERS}" \
+  > "${SERVE_LOG}" 2> /dev/null &
+SERVE_PID="$!"
+
+# The daemon prints one flushed "SERVING http://ADDR" line once bound.
+ADDR=""
+for _ in $(seq 1 600); do
+  ADDR="$(sed -n 's|^SERVING http://||p' "${SERVE_LOG}" | head -n 1)"
+  [ -n "${ADDR}" ] && break
+  if ! kill -0 "${SERVE_PID}" 2> /dev/null; then
+    cat "${SERVE_LOG}" >&2
+    echo "bench_serve: daemon exited before binding" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "${ADDR}" ]; then
+  echo "bench_serve: daemon never printed its SERVING line" >&2
+  exit 1
+fi
+echo "==> bench_serve: daemon at ${ADDR}"
+
+echo "==> bench_serve: ${CLIENTS} clients x ${REQUESTS} requests"
+./target/release/repro loadgen --addr "${ADDR}" \
+  --clients "${CLIENTS}" --requests "${REQUESTS}" --json "${OUT}"
+
+echo "==> bench_serve: shutting the daemon down"
+./target/release/repro http-get --addr "${ADDR}" --path /shutdown --post > /dev/null
+wait "${SERVE_PID}"
+SERVE_PID=""
+
+# Surface the daemon's own accounting next to the loadgen numbers.
+sed -n '/^SERVE CLOSED$/,$p' "${SERVE_LOG}"
+echo "==> bench_serve: wrote ${OUT}"

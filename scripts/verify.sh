@@ -37,7 +37,14 @@ echo "==> wire codec: conformance + corruption sweep"
 cargo test -q --test wire_codec || fail "wire codec conformance suite failed"
 
 DET_TMP="$(mktemp -d)"
-trap 'rm -rf "${DET_TMP}"' EXIT
+SERVE_PID=""
+cleanup() {
+  if [ -n "${SERVE_PID}" ] && kill -0 "${SERVE_PID}" 2> /dev/null; then
+    kill "${SERVE_PID}" 2> /dev/null || true
+  fi
+  rm -rf "${DET_TMP}"
+}
+trap cleanup EXIT
 
 echo "==> determinism: compute_threads 1 vs 4 artifact diff"
 # The analytics back-half promises bit-identical artifacts for any
@@ -112,6 +119,63 @@ echo "==> dead letters: geo-outage replay restores clean coverage"
   || fail "dead-letter replay failed"
 grep -q "coverage restored       yes" "${DET_TMP}/replay.txt" \
   || fail "dead-letter replay did not restore clean coverage"
+
+echo "==> serving: daemon smoke (ETag/304 protocol + batch-identical report)"
+# The always-on daemon must bind, drain ingest, serve /report with an
+# entity tag, answer a repeated conditional GET from the same epoch
+# with 304, serve exactly the batch pipeline's report bytes, and flush
+# its closing checkpoint on POST /shutdown (docs/SERVING.md).
+SERVE_LOG="${DET_TMP}/serve.log"
+./target/release/repro --scale 0.05 serve --port 0 > "${SERVE_LOG}" 2> /dev/null &
+SERVE_PID="$!"
+ADDR=""
+for _ in $(seq 1 600); do
+  ADDR="$(sed -n 's|^SERVING http://||p' "${SERVE_LOG}" | head -n 1)"
+  [ -n "${ADDR}" ] && break
+  kill -0 "${SERVE_PID}" 2> /dev/null || fail "serve daemon exited before binding"
+  sleep 0.1
+done
+[ -n "${ADDR}" ] || fail "serve daemon never printed its SERVING line"
+INGESTED=""
+for _ in $(seq 1 600); do
+  if ./target/release/repro http-get --addr "${ADDR}" --path /healthz 2> /dev/null \
+    | grep -q '"ingest_done": true'; then
+    INGESTED=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "${INGESTED}" ] || fail "serve daemon never finished ingest"
+./target/release/repro http-get --addr "${ADDR}" --path /report \
+  > "${DET_TMP}/served_report.txt" 2> "${DET_TMP}/served_headers.txt" \
+  || fail "GET /report failed"
+grep -q '^# status: 200$' "${DET_TMP}/served_headers.txt" \
+  || fail "GET /report did not answer 200"
+ETAG="$(sed -n 's/^# etag: //p' "${DET_TMP}/served_headers.txt")"
+[ -n "${ETAG}" ] || fail "GET /report carried no ETag"
+./target/release/repro http-get --addr "${ADDR}" --path /report \
+  --if-none-match "${ETAG}" \
+  > "${DET_TMP}/served_304.txt" 2> "${DET_TMP}/cond_headers.txt" \
+  || fail "conditional GET /report failed"
+grep -q '^# status: 304$' "${DET_TMP}/cond_headers.txt" \
+  || fail "repeated conditional GET within the epoch did not answer 304"
+[ ! -s "${DET_TMP}/served_304.txt" ] || fail "304 carried a body"
+# The served report plus the println newline must be the batch verb's
+# stdout, byte for byte.
+./target/release/repro --scale 0.05 all > "${DET_TMP}/batch_report.txt" 2> /dev/null \
+  || fail "batch report run failed"
+printf '\n' >> "${DET_TMP}/served_report.txt"
+diff "${DET_TMP}/batch_report.txt" "${DET_TMP}/served_report.txt" \
+  || fail "served /report differs from the batch report"
+./target/release/repro http-get --addr "${ADDR}" --path /shutdown --post \
+  > /dev/null 2> "${DET_TMP}/shutdown_headers.txt" \
+  || fail "POST /shutdown failed"
+grep -q '^# status: 200$' "${DET_TMP}/shutdown_headers.txt" \
+  || fail "POST /shutdown did not answer 200"
+wait "${SERVE_PID}" || fail "serve daemon exited nonzero"
+SERVE_PID=""
+grep -Eq '^  closing fingerprint     [0-9a-f]{16}$' "${SERVE_LOG}" \
+  || fail "daemon did not report a closing fingerprint"
 
 echo "==> docs: rustdoc with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps \

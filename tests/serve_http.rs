@@ -1,0 +1,353 @@
+//! Integration tests for the always-on HTTP daemon (`core::serve`).
+//!
+//! The headline invariants:
+//!
+//! 1. **Epoch-consistent caching** — within one published epoch the
+//!    `ETag` is stable and a conditional `GET` answers `304 Not
+//!    Modified` with an empty body; once ingest advances to a new
+//!    epoch the tag changes and the full body comes back.
+//! 2. **Served bytes are batch bytes** — after ingest drains, the
+//!    daemon's `/report` body is byte-identical to the batch
+//!    pipeline's rendered paper report for the same simulation and
+//!    analytic configuration.
+//! 3. **Shutdown is a clean cut** — `POST /shutdown` stops the daemon
+//!    only after ingest drains, the closing checkpoint epoch is
+//!    complete in the store, and the reported closing fingerprint is
+//!    exactly the entity tag the last `/report` carried.
+//!
+//! Ingest is throttled deterministically with a gated
+//! [`LocationService`]: the gate grants a fixed allowance of geocode
+//! calls and then parks every later call until the test releases it,
+//! so "within an epoch" and "across epochs" are real program states,
+//! not sleeps.
+
+use std::net::SocketAddr;
+use std::sync::{mpsc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use donorpulse::core::checkpoint::latest_complete_epoch;
+use donorpulse::core::shard::ShardConfig;
+use donorpulse::core::stream_consumer::StreamPipelineConfig;
+use donorpulse::core::{run_serve_daemon, HttpClient, MemCheckpointStore, ServeConfig};
+use donorpulse::geo::{GeoServiceError, Geocoder, LocationService, ServiceResponse};
+use donorpulse::prelude::*;
+use donorpulse::twitter::fault::FaultConfig;
+
+const SEED: u64 = 0x5E12E;
+
+/// Tweets routed per checkpoint epoch in these tests.
+const EPOCH_EVERY: u64 = 48;
+
+/// Geocode calls the gate grants before parking ingest: exactly three
+/// complete epochs (at 48, 96, 144 routed tweets), then the worker
+/// blocks mid-epoch on call 151.
+const ALLOWANCE: u64 = 150;
+
+fn sim(scale: f64) -> TwitterSimulation {
+    let mut config = GeneratorConfig::paper_scaled(scale);
+    config.seed = SEED;
+    TwitterSimulation::generate(config).expect("sim")
+}
+
+fn analytics_for(sim: &TwitterSimulation) -> PipelineConfig {
+    PipelineConfig {
+        generator: sim.config().clone(),
+        run_user_clustering: false,
+        ..Default::default()
+    }
+}
+
+/// A [`LocationService`] over the infallible [`Geocoder`] that answers
+/// a fixed number of calls and then parks every later caller on a
+/// condition variable until [`GatedService::release`].
+struct GatedService<'g> {
+    inner: &'g Geocoder,
+    allowance: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl<'g> GatedService<'g> {
+    fn new(inner: &'g Geocoder, allowance: u64) -> Self {
+        GatedService {
+            inner,
+            allowance: Mutex::new(allowance),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the allowance is spent — after this returns, no
+    /// further tweet can be admitted until [`release`](Self::release),
+    /// so the newest complete checkpoint epoch is pinned.
+    fn wait_exhausted(&self) {
+        let mut left = self.allowance.lock().expect("gate poisoned");
+        while *left > 0 {
+            left = self.changed.wait(left).expect("gate poisoned");
+        }
+    }
+
+    /// Opens the gate permanently and wakes every parked caller.
+    fn release(&self) {
+        let mut left = self.allowance.lock().expect("gate poisoned");
+        *left = u64::MAX;
+        self.changed.notify_all();
+    }
+}
+
+impl LocationService for GatedService<'_> {
+    fn locate_user(
+        &self,
+        profile: Option<&str>,
+        geo: Option<(f64, f64)>,
+    ) -> Result<ServiceResponse, GeoServiceError> {
+        let mut left = self.allowance.lock().expect("gate poisoned");
+        while *left == 0 {
+            left = self.changed.wait(left).expect("gate poisoned");
+        }
+        if *left != u64::MAX {
+            *left -= 1;
+        }
+        self.changed.notify_all();
+        drop(left);
+        self.inner.locate_user(profile, geo)
+    }
+}
+
+/// Polls `f` every few milliseconds until it yields a value or the
+/// deadline passes.
+fn poll_until<T>(deadline: Instant, mut f: impl FnMut() -> Option<T>) -> Option<T> {
+    loop {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// What the querying client observed; asserted on after the daemon has
+/// exited so a failed expectation can never leave it running.
+struct Observed {
+    etag_pinned: String,
+    etag_final: String,
+    report_final: Vec<u8>,
+}
+
+/// Drives the live daemon: wait for the pinned epoch, exercise the
+/// conditional-GET protocol and the error routes, release ingest, and
+/// re-check after the final snapshot. Returns `Err` instead of
+/// panicking so the caller can always shut the daemon down.
+fn exercise(client: &mut HttpClient, gate: &GatedService<'_>) -> Result<Observed, String> {
+    macro_rules! check {
+        ($cond:expr, $($msg:tt)*) => {
+            if !$cond {
+                return Err(format!($($msg)*));
+            }
+        };
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+
+    // Phase 1: the gate has pinned ingest mid-epoch-4, so the newest
+    // complete epoch is 3 and nothing can advance it. Wait for the
+    // watcher to publish it.
+    gate.wait_exhausted();
+    let ready = poll_until(deadline, || {
+        let reply = client.get("/healthz", None).ok()?;
+        let body = String::from_utf8(reply.body).ok()?;
+        (reply.status == 200 && body.contains("\"epoch\": 3,")).then_some(body)
+    });
+    check!(ready.is_some(), "daemon never published the pinned epoch 3");
+
+    // ETag is stable within the pinned epoch: two plain GETs agree,
+    // and a conditional GET is answered 304 with an empty body.
+    let first = client.get("/report", None).map_err(|e| e.to_string())?;
+    check!(first.status == 200, "/report while pinned: {}", first.status);
+    let etag_pinned = first
+        .etag
+        .clone()
+        .ok_or_else(|| "no ETag on /report".to_string())?;
+    let again = client.get("/report", None).map_err(|e| e.to_string())?;
+    check!(
+        again.etag.as_deref() == Some(etag_pinned.as_str()),
+        "ETag drifted within an epoch: {:?} then {:?}",
+        first.etag,
+        again.etag
+    );
+    check!(again.body == first.body, "body drifted within an epoch");
+    let cond = client
+        .get("/report", Some(&etag_pinned))
+        .map_err(|e| e.to_string())?;
+    check!(
+        cond.status == 304,
+        "conditional GET within the epoch: {} (want 304)",
+        cond.status
+    );
+    check!(
+        cond.body.is_empty(),
+        "304 carried {} body bytes",
+        cond.body.len()
+    );
+
+    // The JSON views share the same tag, and the error routes answer
+    // without disturbing the connection.
+    let risk = client.get("/risk", None).map_err(|e| e.to_string())?;
+    check!(risk.status == 200, "/risk: {}", risk.status);
+    check!(
+        risk.etag.as_deref() == Some(etag_pinned.as_str()),
+        "/risk tag {:?} != /report tag {etag_pinned:?}",
+        risk.etag
+    );
+    let missing = client
+        .get("/attention/state/ZZ", None)
+        .map_err(|e| e.to_string())?;
+    check!(missing.status == 404, "unknown state: {}", missing.status);
+    let bad_method = client
+        .request("DELETE", "/report", None)
+        .map_err(|e| e.to_string())?;
+    check!(bad_method.status == 405, "DELETE /report: {}", bad_method.status);
+    let not_found = client.get("/nope", None).map_err(|e| e.to_string())?;
+    check!(not_found.status == 404, "GET /nope: {}", not_found.status);
+
+    // Phase 2: open the gate, let ingest drain, and the tag must move.
+    gate.release();
+    let done = poll_until(deadline, || {
+        let reply = client.get("/healthz", None).ok()?;
+        let body = String::from_utf8(reply.body).ok()?;
+        body.contains("\"ingest_done\": true").then_some(())
+    });
+    check!(done.is_some(), "ingest never finished after release");
+
+    let final_reply = client.get("/report", None).map_err(|e| e.to_string())?;
+    check!(final_reply.status == 200, "final /report: {}", final_reply.status);
+    let etag_final = final_reply
+        .etag
+        .clone()
+        .ok_or_else(|| "no ETag on final /report".to_string())?;
+    check!(
+        etag_final != etag_pinned,
+        "ETag did not change across epochs: {etag_pinned}"
+    );
+    let stale = client
+        .get("/report", Some(&etag_pinned))
+        .map_err(|e| e.to_string())?;
+    check!(
+        stale.status == 200,
+        "stale tag revalidated: {} (want 200)",
+        stale.status
+    );
+    let fresh = client
+        .get("/report", Some(&etag_final))
+        .map_err(|e| e.to_string())?;
+    check!(fresh.status == 304, "fresh tag: {} (want 304)", fresh.status);
+
+    Ok(Observed {
+        etag_pinned,
+        etag_final,
+        report_final: final_reply.body,
+    })
+}
+
+#[test]
+fn daemon_serves_epoch_consistent_etags_and_batch_identical_reports() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let gate = GatedService::new(&geocoder, ALLOWANCE);
+    let store = MemCheckpointStore::new();
+    let analytics = analytics_for(&sim);
+
+    let config = ServeConfig {
+        workers: 2,
+        poll_ms: 1,
+        analytics: analytics.clone(),
+        shard: ShardConfig {
+            shards: 1,
+            checkpoint_every: EPOCH_EVERY,
+            checkpoint_final: true,
+            stream: StreamPipelineConfig {
+                metrics: MetricsRegistry::enabled(),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    // The daemon blocks its calling thread until shutdown, so the
+    // client drives it from a scoped sibling thread; the bound
+    // ephemeral address arrives over a channel from `on_ready`.
+    let (observed, outcome) = thread::scope(|scope| {
+        let (addr_tx, addr_rx) = mpsc::channel::<SocketAddr>();
+        let gate = &gate;
+        let client = scope.spawn(move || {
+            let addr = addr_rx.recv().expect("daemon never reported its address");
+            let mut client = HttpClient::new(addr);
+            let observed = exercise(&mut client, gate);
+            // Always reach shutdown, even when an expectation failed —
+            // a hung daemon would turn one broken assert into a
+            // test-harness timeout.
+            gate.release();
+            let shutdown = client.post("/shutdown").map_err(|e| e.to_string());
+            (observed, shutdown)
+        });
+
+        let outcome = run_serve_daemon(
+            &sim,
+            &geocoder,
+            gate,
+            FaultConfig::none(),
+            &store,
+            config,
+            |addr| {
+                addr_tx.send(addr).expect("test thread gone");
+            },
+        )
+        .expect("daemon run");
+
+        let (observed, shutdown) = client.join().expect("client thread panicked");
+        let shutdown = shutdown.expect("POST /shutdown failed");
+        assert_eq!(shutdown.status, 200, "shutdown status");
+        (observed.expect("client expectations"), outcome)
+    });
+
+    // The served tag is the sensor fingerprint, and the closing
+    // fingerprint the daemon reports is the one the last /report wore.
+    let closing = outcome.closing_fingerprint.expect("ingest completed");
+    assert_eq!(observed.etag_final, format!("\"{closing:016x}\""));
+    assert_ne!(observed.etag_pinned, observed.etag_final);
+
+    // Shutdown flushed the closing cut: the store's newest complete
+    // epoch is the daemon's final epoch, so a resumed run starts from
+    // exactly the state the daemon served last.
+    let newest = latest_complete_epoch(&store, 1)
+        .expect("store readable")
+        .expect("closing checkpoint flushed");
+    assert_eq!(newest, outcome.final_epoch);
+    assert!(outcome.final_epoch > 3, "ingest never advanced past the pin");
+    assert!(!outcome.stream.killed);
+
+    // Served bytes are batch bytes: the daemon's final /report equals
+    // the batch pipeline's rendered report for the same configuration.
+    let batch = Pipeline::new()
+        .run_on(&sim, analytics)
+        .expect("batch pipeline");
+    let report = PaperReport::from_run(&batch).expect("report").render();
+    assert_eq!(
+        observed.report_final,
+        report.into_bytes(),
+        "served /report is not byte-identical to the batch report"
+    );
+
+    // The live HTTP counters rode the stream registry.
+    let served = outcome
+        .metrics
+        .counter("http_requests_total")
+        .expect("http_requests_total");
+    assert!(served > 0, "no requests counted");
+    let not_modified = outcome
+        .metrics
+        .counter("http_responses_304_total")
+        .expect("http_responses_304_total");
+    assert!(not_modified >= 2, "expected at least two 304s, saw {not_modified}");
+}

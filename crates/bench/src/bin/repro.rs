@@ -9,7 +9,9 @@
 //!   metrics    per-stage wall times, throughput, and domain counters
 //!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
 //!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|
-//!              outage|geo-outage); --shards N runs the sharded consumer group
+//!              outage|geo-outage); --wire v1|v2|v2-borrowed selects the frame
+//!              layout the source requests (byte-identical artifacts for every
+//!              mode); --shards N runs the sharded consumer group
 //!              (byte-identical artifacts for every N), with --checkpoint-dir/
 //!              --checkpoint-every/--kill-after/--resume for per-shard
 //!              checkpoint/restore, --checkpoint-retain K to keep only the newest
@@ -19,6 +21,9 @@
 //!              log (--dead-letter-dir, written by a prior `stream` run) back
 //!              through the sensor and verify coverage is restored
 //!   bench-shards  shard-scaling smoke bench (N = 1, 2, 4)
+//!   bench-stream  stream-path decode+admission throughput for the three wire
+//!              paths (v1, v2, v2-borrowed) over identical pre-encoded
+//!              deliveries -> BENCH_STREAM.json (or --json PATH)
 //!   serve      always-on sensor daemon: sharded checkpointed ingest plus an
 //!              ETag-cached HTTP front-end (--port/--workers; endpoints and
 //!              semantics in docs/SERVING.md); runs until POST /shutdown
@@ -84,6 +89,11 @@ struct Options {
     json: Option<String>,
     metrics: bool,
     faults: String,
+    /// Wire frame layout the stream source requests:
+    /// `v1` | `v2` | `v2-borrowed` (v2 frames decoded through borrowed
+    /// views — the zero-copy path). Artifacts are byte-identical for
+    /// every mode.
+    wire: String,
     /// `None` = the single-consumer front-half; `Some(n)` = the
     /// sharded consumer group (`n` = 0 means auto).
     shards: Option<usize>,
@@ -120,6 +130,7 @@ fn parse_args() -> Result<Options, String> {
     let mut json = None;
     let mut metrics = false;
     let mut faults = "off".to_string();
+    let mut wire = "v1".to_string();
     let mut shards = None;
     let mut checkpoint_dir = None;
     let mut checkpoint_every = 512;
@@ -167,6 +178,9 @@ fn parse_args() -> Result<Options, String> {
             "--metrics" => metrics = true,
             "--faults" => {
                 faults = args.next().ok_or("--faults needs a mode")?;
+            }
+            "--wire" => {
+                wire = args.next().ok_or("--wire needs a mode")?;
             }
             "--shards" => {
                 shards = Some(
@@ -257,6 +271,7 @@ fn parse_args() -> Result<Options, String> {
         json,
         metrics,
         faults,
+        wire,
         shards,
         checkpoint_dir,
         checkpoint_every,
@@ -293,6 +308,9 @@ fn main() -> ExitCode {
         eprintln!("  bench      smoke benchmark: one instrumented run, written to BENCH_<n>.json");
         eprintln!("  stream     fault-tolerant streaming front-half;");
         eprintln!("             --faults off|recoverable|lossy|outage|geo-outage");
+        eprintln!("             --wire v1|v2|v2-borrowed selects the frame layout the source");
+        eprintln!("             requests (v2 = batched frames, v2-borrowed = zero-copy decode);");
+        eprintln!("             artifacts are byte-identical for every wire mode.");
         eprintln!(
             "             --shards N (0=auto) runs the sharded consumer group; byte-identical"
         );
@@ -313,6 +331,8 @@ fn main() -> ExitCode {
         eprintln!(
             "  bench-shards  shard-scaling smoke bench (N = 1, 2, 4) over the stream front-half"
         );
+        eprintln!("  bench-stream  decode+admission throughput for v1 / v2 / v2-borrowed over");
+        eprintln!("             identical pre-encoded deliveries -> BENCH_STREAM.json");
         eprintln!("  serve      always-on sensor daemon: sharded checkpointed ingest + an");
         eprintln!("             ETag-cached HTTP front-end. --port P (0=ephemeral, printed as");
         eprintln!("             `SERVING http://ADDR`), --workers N, plus the stream flags");
@@ -371,6 +391,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "stream" => return stream_command(opts),
         "replay-dead-letters" => return replay_command(opts),
         "bench-shards" => return bench_shards(opts),
+        "bench-stream" => return bench_stream(opts),
         "serve" => return serve_command(opts),
         "loadgen" => return loadgen_command(opts),
         "http-get" => return http_get_command(opts),
@@ -667,6 +688,213 @@ fn bench_shards(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro bench-stream`: decode+admission throughput of the stream
+/// consumer's hot path for the three wire paths — v1 (one frame per
+/// tweet), v2 (batched frames, owned decode), and v2-borrowed (batched
+/// frames decoded through borrowed [`donorpulse_twitter::TweetView`]s,
+/// materialized only
+/// past the dedup gate).
+///
+/// The same simulated firehose is pre-encoded once per mode (encoding
+/// is the producer's cost); the timed loop is the consumer's wire
+/// path: decode -> resequence/dedup -> geo admission -> batched
+/// `sync_channel` handoff to a fingerprinting sink thread. Admission
+/// runs against a warmed per-user table because that is the
+/// steady-state shape of `GeoAdmission` (each user geocodes once,
+/// every later tweet is a lookup). The keyword-filter stage is
+/// deliberately *not* in the timed loop: its text normalization cost
+/// is identical for every wire version and runs on its own pipeline
+/// thread, so including it would only dilute the quantity this bench
+/// exists to track. All three paths must produce the same sink
+/// fingerprint — the bench aborts if the fast path changes a byte.
+///
+/// Writes `BENCH_STREAM.json` (or `--json PATH`) with best-of-N wall
+/// times, tweets/sec, and the v2 / v2-borrowed speedups over v1;
+/// `scripts/bench_check.sh` gates on `speedup_v2_borrowed_vs_v1`.
+fn bench_stream(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::stream_consumer::{Resequencer, StreamPipelineConfig};
+    use donorpulse_twitter::wire::{decode_any, BatchFrame};
+    use donorpulse_twitter::{Tweet, WireMode};
+    use std::sync::mpsc;
+
+    const ROUNDS: usize = 5;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let admitted: Vec<bool> = sim
+        .users()
+        .iter()
+        .map(|u| {
+            matches!(
+                geocoder.resolve_profile(&u.profile_location),
+                donorpulse_geo::ParseOutcome::Resolved { .. }
+            )
+        })
+        .collect();
+    let defaults = StreamPipelineConfig::default();
+
+    // One timed pass over pre-encoded frames. Returns (wall nanos,
+    // tweets decoded, sink fingerprint).
+    let run_once = |frames: &[Vec<u8>], borrowed: bool| -> Result<(u64, u64, u64), String> {
+        let (tx, rx) = mpsc::sync_channel::<Vec<Tweet>>(defaults.channel_capacity);
+        let sink = std::thread::spawn(move || {
+            let mut f = Fnv::new();
+            let mut n = 0u64;
+            for batch in rx {
+                for t in batch {
+                    f.u64(t.id.0);
+                    f.u64(t.user.0);
+                    f.u64(t.created_at.0);
+                    f.write(t.text.as_bytes());
+                    match t.geo {
+                        Some((lat, lon)) => {
+                            f.u64(1);
+                            f.u64(lat.to_bits());
+                            f.u64(lon.to_bits());
+                        }
+                        None => f.u64(0),
+                    }
+                    n += 1;
+                }
+            }
+            (f.0, n)
+        });
+
+        let send = |ready: &mut Vec<Tweet>, tx: &mpsc::SyncSender<Vec<Tweet>>| {
+            if ready.is_empty() {
+                return Ok(());
+            }
+            tx.send(std::mem::take(ready))
+                .map_err(|_| "bench sink hung up".to_string())
+        };
+
+        // The admission gate runs *before* the resequencer in every
+        // path, so all three do the same work in the same order — but
+        // only the borrowed path gets to reject a tweet before its
+        // strings exist. v1 and owned v2 have already paid the
+        // allocations at decode time; that difference is the point.
+        let start = std::time::Instant::now();
+        let mut reseq = Resequencer::new(defaults.reorder_depth);
+        let mut ready: Vec<Tweet> = Vec::new();
+        let mut decoded = 0u64;
+        for frame in frames {
+            if borrowed {
+                let views =
+                    BatchFrame::decode_views(frame).map_err(|e| format!("v2 decode: {e}"))?;
+                decoded += views.len() as u64;
+                for view in &views {
+                    if admitted[view.user.0 as usize] {
+                        reseq.push_view(view, &mut ready);
+                    }
+                }
+            } else {
+                let tweets = decode_any(frame).map_err(|e| format!("decode: {e}"))?;
+                decoded += tweets.len() as u64;
+                for tweet in tweets {
+                    if admitted[tweet.user.0 as usize] {
+                        reseq.push(tweet, &mut ready);
+                    }
+                }
+            }
+            send(&mut ready, &tx)?;
+        }
+        reseq.flush(&mut ready);
+        send(&mut ready, &tx)?;
+        drop(tx);
+        let (fp, _sunk) = sink.join().map_err(|_| "bench sink panicked".to_string())?;
+        Ok((start.elapsed().as_nanos() as u64, decoded, fp))
+    };
+
+    let paths: [(&str, WireMode, bool); 3] = [
+        ("v1", WireMode::V1, false),
+        ("v2", WireMode::v2(), false),
+        ("v2-borrowed", WireMode::v2(), true),
+    ];
+    println!(
+        "STREAM DECODE+ADMISSION BENCH (scale {}, seed {}, best of {ROUNDS})",
+        opts.scale, opts.seed
+    );
+    println!(
+        "{:<14} {:>12} {:>14} {:>18} {:>8}",
+        "path", "wall ms", "tweets", "tweets/sec", "vs v1"
+    );
+    // (label, best nanos, tweets decoded, sink fingerprint) per path.
+    let mut results: Vec<(&str, u64, u64, u64)> = Vec::new();
+    for (label, mode, borrowed) in paths {
+        let frames: Vec<Vec<u8>> = sim.stream().frames_with(mode).collect();
+        let mut best: Option<(u64, u64, u64)> = None;
+        for _ in 0..ROUNDS {
+            let (nanos, decoded, fp) = run_once(&frames, borrowed)?;
+            match best {
+                Some((b_nanos, b_decoded, b_fp)) => {
+                    if (decoded, fp) != (b_decoded, b_fp) {
+                        return Err(format!("{label}: results differ between rounds"));
+                    }
+                    if nanos < b_nanos {
+                        best = Some((nanos, decoded, fp));
+                    }
+                }
+                None => best = Some((nanos, decoded, fp)),
+            }
+        }
+        let (nanos, decoded, fp) = best.expect("at least one round");
+        let v1_nanos = results.first().map_or(nanos, |r| r.1);
+        println!(
+            "{:<14} {:>12.1} {:>14} {:>18.0} {:>7.2}x",
+            label,
+            nanos as f64 / 1e6,
+            decoded,
+            decoded as f64 / (nanos as f64 / 1e9),
+            v1_nanos as f64 / nanos as f64
+        );
+        results.push((label, nanos, decoded, fp));
+    }
+    // The fast paths must be invisible to everything downstream.
+    let (_, _, base_decoded, base_fp) = results[0];
+    for &(label, _, decoded, fp) in &results[1..] {
+        if (decoded, fp) != (base_decoded, base_fp) {
+            return Err(format!(
+                "{label} produced different output than v1 (decoded {decoded} vs {base_decoded}, \
+                 fingerprint {fp:016x} vs {base_fp:016x})"
+            ));
+        }
+    }
+    println!("  sink fingerprint        {base_fp:016x} (identical across paths)");
+
+    let speedup = |i: usize| results[0].1 as f64 / results[i].1 as f64;
+    let path = opts
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_STREAM.json".to_string());
+    // Hand-rolled JSON, like the other bench writers, so the summary
+    // also works where serde_json is stubbed out.
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(label, nanos, decoded, _)| {
+            format!(
+                "    {{\"wire\": \"{label}\", \"best_nanos\": {nanos}, \"tweets_per_sec\": {:.0}}}",
+                *decoded as f64 / (*nanos as f64 / 1e9)
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\n  \"bench_stream\": {{\"scale\": {}, \"seed\": {}, \"tweets\": {}, \"rounds\": {}}},\n  \"sink_fingerprint\": \"{:016x}\",\n  \"paths\": [\n{}\n  ],\n  \"speedup_v2_vs_v1\": {:.3},\n  \"speedup_v2_borrowed_vs_v1\": {:.3},\n  \"calibration_nanos\": {}\n}}\n",
+        opts.scale,
+        opts.seed,
+        base_decoded,
+        ROUNDS,
+        base_fp,
+        rows.join(",\n"),
+        speedup(1),
+        speedup(2),
+        calibration_nanos()
+    );
+    std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("# wrote {path}");
+    Ok(())
+}
+
 /// First unused `BENCH_<n>.json` in the working directory, so repeated
 /// benchmark runs accumulate a comparable trajectory instead of
 /// overwriting each other.
@@ -726,11 +954,14 @@ fn stream_command(opts: &Options) -> Result<(), String> {
     let geocoder = Geocoder::new();
 
     let (faults, flaky) = fault_setup(opts)?;
+    let (wire, borrowed_decode) = wire_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
+        wire,
+        borrowed_decode,
         ..StreamPipelineConfig::default()
     };
-    eprintln!("# stream: faults={}", opts.faults);
+    eprintln!("# stream: faults={} wire={}", opts.faults, opts.wire);
     let run = match flaky {
         Some(cfg) => {
             let service = FlakyGeocoder::new(&geocoder, cfg);
@@ -790,6 +1021,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
     // Reconnect jitter is on for the group (seeded, per-consumer) so N
     // shards never thundering-herd the endpoint. It moves only the
     // virtual clock, never the artifacts.
+    let (wire, borrowed_decode) = wire_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         geo_retry: RetryPolicy {
@@ -798,6 +1030,8 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
             jitter_seed: opts.seed,
             ..RetryPolicy::default()
         },
+        wire,
+        borrowed_decode,
         ..StreamPipelineConfig::default()
     };
     let shard_config = ShardConfig {
@@ -815,8 +1049,8 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
     };
 
     eprintln!(
-        "# stream: faults={} shards={} checkpoint_every={} resume={}",
-        opts.faults, shards, shard_config.checkpoint_every, opts.resume
+        "# stream: faults={} wire={} shards={} checkpoint_every={} resume={}",
+        opts.faults, opts.wire, shards, shard_config.checkpoint_every, opts.resume
     );
     let run = match flaky {
         Some(cfg) => {
@@ -906,11 +1140,17 @@ fn replay_command(opts: &Options) -> Result<(), String> {
     let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
     let geocoder = Geocoder::new();
     let (faults, flaky) = fault_setup(opts)?;
+    let (wire, borrowed_decode) = wire_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
+        wire,
+        borrowed_decode,
         ..StreamPipelineConfig::default()
     };
-    eprintln!("# replay-dead-letters: faults={} log={path}", opts.faults);
+    eprintln!(
+        "# replay-dead-letters: faults={} wire={} log={path}",
+        opts.faults, opts.wire
+    );
     let mut run = match flaky {
         Some(cfg) => {
             let service = FlakyGeocoder::new(&geocoder, cfg);
@@ -991,6 +1231,7 @@ fn serve_command(opts: &Options) -> Result<(), String> {
     let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
     let geocoder = Geocoder::new();
     let (faults, flaky) = fault_setup(opts)?;
+    let (serve_wire, serve_borrowed) = wire_setup(opts)?;
 
     // Query-time analytics mirror `repro all` (user clustering on,
     // same scale/seed config, same compute_threads); metrics stay
@@ -1027,6 +1268,8 @@ fn serve_command(opts: &Options) -> Result<(), String> {
                 jitter_seed: opts.seed,
                 ..RetryPolicy::default()
             },
+            wire: serve_wire,
+            borrowed_decode: serve_borrowed,
             ..StreamPipelineConfig::default()
         },
     };
@@ -1038,8 +1281,9 @@ fn serve_command(opts: &Options) -> Result<(), String> {
         ..ServeConfig::default()
     };
     eprintln!(
-        "# serve: faults={} shards={} checkpoint_every={} workers={} store={}",
+        "# serve: faults={} wire={} shards={} checkpoint_every={} workers={} store={}",
         opts.faults,
+        opts.wire,
         serve_config.shard.shards,
         serve_config.shard.checkpoint_every,
         serve_config.workers,
@@ -1243,6 +1487,20 @@ fn fault_setup(
         )),
         other => Err(format!(
             "unknown --faults mode {other} (use off|recoverable|lossy|outage|geo-outage)"
+        )),
+    }
+}
+
+/// Maps `--wire` to the frame layout the stream source requests plus
+/// the borrowed-decode flag (zero-copy v2 views).
+fn wire_setup(opts: &Options) -> Result<(donorpulse_twitter::WireMode, bool), String> {
+    use donorpulse_twitter::WireMode;
+    match opts.wire.as_str() {
+        "v1" => Ok((WireMode::V1, false)),
+        "v2" => Ok((WireMode::v2(), false)),
+        "v2-borrowed" => Ok((WireMode::v2(), true)),
+        other => Err(format!(
+            "unknown --wire mode {other} (use v1|v2|v2-borrowed)"
         )),
     }
 }

@@ -537,7 +537,10 @@ pub enum DeadLetter {
     Tweet(Tweet),
     /// A stream frame that stayed unparseable past the reconnect
     /// budget, stored **verbatim** — the exact damaged bytes the wire
-    /// carried, available for offline inspection or replay.
+    /// carried, available for offline inspection or replay. Both wire
+    /// versions land here unmodified: a v1 tweet frame or a v2
+    /// batched frame, in whatever damaged state it arrived
+    /// (`replay_dead_letters` sniffs the version on the way back).
     Frame(Vec<u8>),
 }
 
@@ -728,6 +731,22 @@ mod tests {
         let back = DeadLetterLog::decode(&log.encode()).expect("decode");
         assert_eq!(back, log);
         assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn damaged_v2_batches_are_preserved_byte_for_byte() {
+        use donorpulse_twitter::wire::BatchFrame;
+        // A v2 batch frame, damaged after encoding exactly as the
+        // fault injector would damage it — the log must return the
+        // identical bytes, not a re-encoding or a repair.
+        let tweets: Vec<Tweet> = (0..5).map(|i| tweet(i, i % 2, None)).collect();
+        let mut damaged = BatchFrame::encode(&tweets);
+        damaged[BatchFrame::encode(&tweets).len() / 2] ^= 0x40;
+        assert!(BatchFrame::decode(&damaged).is_err(), "must be damaged");
+        let mut log = DeadLetterLog::new();
+        log.push(DeadLetter::Frame(damaged.clone()));
+        let back = DeadLetterLog::decode(&log.encode()).expect("decode");
+        assert_eq!(back.entries(), &[DeadLetter::Frame(damaged)]);
     }
 
     #[test]

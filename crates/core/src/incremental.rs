@@ -22,7 +22,7 @@ use crate::temporal::DailySeries;
 use crate::{CoreError, Result};
 use donorpulse_geo::{Geocoder, UsState};
 use donorpulse_text::extract::{MentionCounts, OrganExtractor};
-use donorpulse_twitter::{Corpus, Tweet, TweetId, UserId};
+use donorpulse_twitter::{Corpus, Tweet, TweetId, TweetView, UserId};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// FNV-1a offset basis (64-bit), shared with the wire-format trailer.
@@ -196,17 +196,48 @@ impl<'a> IncrementalSensor<'a> {
     /// reconnect — is counted in [`IncrementalSensor::duplicates_ignored`]
     /// and otherwise ignored. Returns `true` when the tweet was new.
     pub fn ingest(&mut self, tweet: &Tweet) -> bool {
-        if !self.seen.insert(tweet.id) {
+        self.ingest_parts(
+            tweet.id,
+            tweet.user,
+            tweet.created_at,
+            &tweet.text,
+            tweet.geo,
+        )
+    }
+
+    /// Ingests a borrowed [`TweetView`] straight off the wire decoder.
+    ///
+    /// Identical semantics to [`IncrementalSensor::ingest`] — same
+    /// idempotence guard, same location rules — but the text is only
+    /// materialized into an owned `String` when the tweet is actually
+    /// *kept* (stored in its user track). Duplicates are rejected
+    /// without allocating anything, which is what lets the v2
+    /// zero-copy stream path avoid per-tweet allocation entirely on
+    /// the redelivery-heavy segments of a faulty stream.
+    pub fn ingest_view(&mut self, view: &TweetView<'_>) -> bool {
+        self.ingest_parts(view.id, view.user, view.created_at, view.text, view.geo)
+    }
+
+    /// Shared ingestion body: the only place streaming state mutates.
+    fn ingest_parts(
+        &mut self,
+        id: TweetId,
+        user: UserId,
+        created_at: donorpulse_twitter::SimInstant,
+        text: &str,
+        geo: Option<(f64, f64)>,
+    ) -> bool {
+        if !self.seen.insert(id) {
             self.duplicates_ignored += 1;
             return false;
         }
         self.high_water = Some(match self.high_water {
-            Some(hw) if hw >= tweet.id => hw,
-            _ => tweet.id,
+            Some(hw) if hw >= id => hw,
+            _ => id,
         });
         self.tweets_seen += 1;
-        let track = self.tracks.entry(tweet.user).or_insert_with(|| {
-            let profile = (self.profile_of)(tweet.user);
+        let track = self.tracks.entry(user).or_insert_with(|| {
+            let profile = (self.profile_of)(user);
             UserTrack {
                 state: self.geocoder.locate(profile.as_deref(), None).state,
                 geo_locked: false,
@@ -217,15 +248,21 @@ impl<'a> IncrementalSensor<'a> {
         // First finite geotag fixes the resolution permanently — to a
         // state, or to "outside the USA" (None) for foreign coordinates.
         if !track.geo_locked {
-            if let Some((lat, lon)) = tweet.geo {
+            if let Some((lat, lon)) = geo {
                 if lat.is_finite() && lon.is_finite() {
                     track.state = self.geocoder.resolve_point(lat, lon);
                     track.geo_locked = true;
                 }
             }
         }
-        track.mentions.merge(&self.extractor.extract(&tweet.text));
-        track.tweets.push(tweet.clone());
+        track.mentions.merge(&self.extractor.extract(text));
+        track.tweets.push(Tweet {
+            id,
+            user,
+            created_at,
+            text: text.to_owned(),
+            geo,
+        });
         true
     }
 
@@ -639,6 +676,31 @@ mod tests {
         for (a, b) in risk_again.entries.iter().zip(&risk_once.entries) {
             assert_eq!(a.risk.map(|r| r.rr), b.risk.map(|r| r.rr));
         }
+    }
+
+    #[test]
+    fn ingest_view_is_equivalent_to_ingest() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut owned = sensor_for(&sim, &geocoder);
+        let mut viewed = sensor_for(&sim, &geocoder);
+        for t in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+            let view = TweetView {
+                id: t.id,
+                user: t.user,
+                created_at: t.created_at,
+                text: &t.text,
+                geo: t.geo,
+            };
+            assert_eq!(owned.ingest(&t), viewed.ingest_view(&view));
+            // Redelivery through the view path is rejected alloc-free.
+            assert!(!viewed.ingest_view(&view));
+        }
+        // Fingerprints agree (delivery counters are excluded from them,
+        // so the extra duplicates on the view side don't matter).
+        assert_eq!(owned.export().fingerprint(), viewed.export().fingerprint());
+        assert_eq!(owned.corpus().tweets(), viewed.corpus().tweets());
+        assert_eq!(owned.attention().unwrap(), viewed.attention().unwrap());
     }
 
     #[test]

@@ -108,15 +108,24 @@ pub fn route_shard(user: UserId, shards: usize) -> usize {
 
 /// What the router sends down a shard channel.
 enum ShardMsg {
-    /// One routed tweet, in stream order for this shard.
-    Tweet(Tweet),
+    /// A run of routed tweets, in stream order for this shard — one
+    /// channel send covers the whole run, which is what keeps the
+    /// group's per-tweet synchronization cost amortized under wire v2
+    /// batching.
+    Batch(Vec<Tweet>),
     /// A checkpoint marker: freeze state as of `high_water` and write
-    /// epoch `epoch` to the store.
+    /// epoch `epoch` to the store. The router flushes **every**
+    /// shard's buffered batch before broadcasting a marker, so a cut
+    /// still reflects exactly the tweets routed before it.
     Marker {
         epoch: u64,
         high_water: Option<TweetId>,
     },
 }
+
+/// Tweets a router buffers per shard before forcing a batch send —
+/// bounds both latency and the memory held outside the channels.
+const ROUTER_BATCH: usize = 64;
 
 /// Configuration for [`run_sharded_stream`].
 #[derive(Debug, Clone)]
@@ -312,7 +321,7 @@ pub fn run_sharded_stream<'a>(
         ),
     };
 
-    let (src_tx, src_rx) = mpsc::sync_channel::<Tweet>(config.stream.channel_capacity);
+    let (src_tx, src_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.stream.channel_capacity);
     let mut shard_txs = Vec::with_capacity(shards);
     let mut shard_rxs = Vec::with_capacity(shards);
     for _ in 0..shards {
@@ -325,6 +334,12 @@ pub fn run_sharded_stream<'a>(
         sim.users()
             .get(id.0 as usize)
             .map(|u| u.profile_location.clone())
+    };
+    // Borrowed variant for the admission hot loop (no per-tweet clone).
+    let profile_ref = |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.as_str())
     };
 
     let (outcome, routed, last_epoch, killed, reports) = thread::scope(|scope| {
@@ -357,66 +372,102 @@ pub fn run_sharded_stream<'a>(
                 let replayed = metrics.counter("resume_replayed_total");
                 let compacted = metrics.counter("checkpoints_compacted_total");
                 let compact_errors = metrics.counter("checkpoint_compact_errors_total");
+                let batch_sends = metrics.counter("stream_batch_sends_total");
                 let mut per_shard = vec![0u64; shards];
+                let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); shards];
                 let mut routed = 0u64;
                 let mut epoch = start_epoch;
                 let mut high_water: Option<TweetId> = resume_hw;
                 let mut killed = false;
                 let mut n = 0u64;
-                'route: for tweet in src_rx {
-                    n += 1;
-                    if !query.accepts(&tweet.text) {
-                        rejected.incr();
-                        continue;
+                // Sends one shard's buffered run. `false` = channel gone.
+                let flush_one = |txs: &[mpsc::SyncSender<ShardMsg>],
+                                 bufs: &mut Vec<Vec<Tweet>>,
+                                 shard: usize|
+                 -> bool {
+                    if bufs[shard].is_empty() {
+                        return true;
                     }
-                    passed.incr();
-                    // Resume guard: anything at or below the restored
-                    // cut is already inside a shard's checkpoint. The
-                    // seek makes this rare; the sensors' idempotence
-                    // would absorb it anyway — this counts it.
-                    if resume_hw.is_some_and(|hw| tweet.id <= hw) {
-                        replayed.incr();
-                        continue;
-                    }
-                    let shard = route_shard(tweet.user, shards);
-                    high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
-                    if shard_txs[shard].send(ShardMsg::Tweet(tweet)).is_err() {
-                        break 'route;
-                    }
-                    per_shard[shard] += 1;
-                    routed += 1;
-                    routed_total.incr();
-                    if checkpoint_every > 0 && routed % checkpoint_every == 0 {
-                        epoch += 1;
-                        for tx in &shard_txs {
-                            if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
+                    batch_sends.incr();
+                    txs[shard]
+                        .send(ShardMsg::Batch(std::mem::take(&mut bufs[shard])))
+                        .is_ok()
+                };
+                let flush_all =
+                    |txs: &[mpsc::SyncSender<ShardMsg>], bufs: &mut Vec<Vec<Tweet>>| -> bool {
+                        (0..shards).all(|s| flush_one(txs, bufs, s))
+                    };
+                'route: for batch in src_rx {
+                    for tweet in batch {
+                        n += 1;
+                        if !query.accepts(&tweet.text) {
+                            rejected.incr();
+                            continue;
+                        }
+                        passed.incr();
+                        // Resume guard: anything at or below the restored
+                        // cut is already inside a shard's checkpoint. The
+                        // seek makes this rare; the sensors' idempotence
+                        // would absorb it anyway — this counts it.
+                        if resume_hw.is_some_and(|hw| tweet.id <= hw) {
+                            replayed.incr();
+                            continue;
+                        }
+                        let shard = route_shard(tweet.user, shards);
+                        high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
+                        bufs[shard].push(tweet);
+                        if bufs[shard].len() >= ROUTER_BATCH
+                            && !flush_one(&shard_txs, &mut bufs, shard)
+                        {
+                            break 'route;
+                        }
+                        per_shard[shard] += 1;
+                        routed += 1;
+                        routed_total.incr();
+                        if checkpoint_every > 0 && routed % checkpoint_every == 0 {
+                            // A cut must reflect everything routed before
+                            // it, including runs still sitting in buffers.
+                            if !flush_all(&shard_txs, &mut bufs) {
                                 break 'route;
                             }
-                        }
-                        // Retention: sweep epochs behind the newest
-                        // `retain` complete cuts. Safe to run while
-                        // workers write: shards write epochs in
-                        // ascending order, so a pending write can
-                        // never land below a complete cutoff. Errors
-                        // are counted, not fatal — compaction is
-                        // housekeeping, not correctness.
-                        if checkpoint_retain > 0 {
-                            if let Some(store) = store {
-                                match compact_checkpoints(
-                                    store,
-                                    shards as u32,
-                                    checkpoint_retain,
-                                ) {
-                                    Ok(n) => compacted.add(n),
-                                    Err(_) => compact_errors.incr(),
+                            epoch += 1;
+                            for tx in &shard_txs {
+                                if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
+                                    break 'route;
+                                }
+                            }
+                            // Retention: sweep epochs behind the newest
+                            // `retain` complete cuts. Safe to run while
+                            // workers write: shards write epochs in
+                            // ascending order, so a pending write can
+                            // never land below a complete cutoff. Errors
+                            // are counted, not fatal — compaction is
+                            // housekeeping, not correctness.
+                            if checkpoint_retain > 0 {
+                                if let Some(store) = store {
+                                    match compact_checkpoints(
+                                        store,
+                                        shards as u32,
+                                        checkpoint_retain,
+                                    ) {
+                                        Ok(n) => compacted.add(n),
+                                        Err(_) => compact_errors.incr(),
+                                    }
                                 }
                             }
                         }
+                        if kill_after.is_some_and(|k| routed >= k) {
+                            killed = true;
+                            // Everything already counted as routed reaches
+                            // its shard, matching the pre-batching "sent
+                            // then died" semantics.
+                            let _ = flush_all(&shard_txs, &mut bufs);
+                            break 'route;
+                        }
                     }
-                    if kill_after.is_some_and(|k| routed >= k) {
-                        killed = true;
-                        break 'route;
-                    }
+                }
+                if !killed {
+                    let _ = flush_all(&shard_txs, &mut bufs);
                 }
                 // Closing cut: the stream drained (not a crash), so
                 // freeze the group exactly at end-of-stream. The store
@@ -460,7 +511,7 @@ pub fn run_sharded_stream<'a>(
                     let mut sensor = IncrementalSensor::restore(geocoder, profile_of, export);
                     let mut admission = GeoAdmission {
                         service,
-                        profile_of: Box::new(profile_of),
+                        profile_of: Box::new(profile_ref),
                         policy: geo_policy,
                         park: VecDeque::from(residue),
                         park_capacity,
@@ -476,10 +527,12 @@ pub fn run_sharded_stream<'a>(
                     let mut n = 0u64;
                     for msg in rx {
                         match msg {
-                            ShardMsg::Tweet(tweet) => {
-                                n += 1;
+                            ShardMsg::Batch(batch) => {
+                                n += batch.len() as u64;
                                 out.clear();
-                                admission.admit(tweet, &mut out);
+                                for tweet in batch {
+                                    admission.admit(tweet, &mut out);
+                                }
                                 for t in out.drain(..) {
                                     if sensor.ingest(&t) {
                                         ingested.incr();

@@ -8,14 +8,18 @@
 //! Resilience is layered in front of and behind the channels:
 //!
 //! * the **source** stage drives a [`FaultyStreamApi`], which hands it
-//!   encoded byte frames; the stage **parses** each frame
-//!   ([`TweetFrame::decode`]), reconnects with deterministic
+//!   encoded byte frames in either wire version; the stage sniffs the
+//!   version of each frame and **parses** it
+//!   ([`decode_any`], or [`BatchFrame::decode_views`] on the
+//!   zero-copy path), reconnects with deterministic
 //!   exponential backoff (on a [`VirtualClock`] — no wall-clock
 //!   sleeping), and pushes decoded tweets through a [`Resequencer`]
 //!   that restores id order and deduplicates both injected duplicates
-//!   and the replayed overlap window after every reconnect;
+//!   and the replayed overlap window after every reconnect. Tweets
+//!   travel the inter-stage channels in **batches** (`Vec<Tweet>`), so
+//!   a v2 frame carrying 64 tweets costs one channel send, not 64;
 //! * **unparseable frames** (classified by
-//!   [`FrameError`](donorpulse_twitter::wire::FrameError):
+//!   [`FrameError`]:
 //!   truncated, bad checksum, bad magic, bad payload) trigger a
 //!   consumer-forced reconnect so the backfill window redelivers the
 //!   intact frame; a frame that stays unparseable past the retry
@@ -50,8 +54,10 @@ use donorpulse_obs::MetricsRegistry;
 use donorpulse_text::{KeywordQuery, TextFilter};
 use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi};
 use donorpulse_twitter::time::VirtualClock;
-use donorpulse_twitter::wire::{FrameError, TweetFrame};
-use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
+use donorpulse_twitter::wire::{
+    decode_any, frame_version, BatchFrame, FrameError, WireMode, WIRE_VERSION_V2,
+};
+use donorpulse_twitter::{Tweet, TweetId, TweetView, TwitterSimulation, UserId};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::thread;
@@ -190,22 +196,48 @@ impl Resequencer {
         }
     }
 
-    /// Offers one delivery; ready tweets are appended to `out` in id
-    /// order.
-    pub fn push(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
-        if self.last_emitted.is_some_and(|hw| tweet.id <= hw)
-            || self.pending.contains_key(&tweet.id)
-        {
-            self.duplicates_dropped += 1;
-            return;
-        }
-        self.pending.insert(tweet.id, tweet);
+    /// True when a delivery with this id would be accepted (not a
+    /// redelivery of something emitted or already pending).
+    fn accepts(&self, id: TweetId) -> bool {
+        !self.last_emitted.is_some_and(|hw| id <= hw) && !self.pending.contains_key(&id)
+    }
+
+    /// Releases the smallest pending ids into `out` until the buffer
+    /// is back within its disorder depth.
+    fn spill(&mut self, out: &mut Vec<Tweet>) {
         while self.pending.len() > self.depth {
             let (&id, _) = self.pending.iter().next().expect("pending non-empty");
             let tweet = self.pending.remove(&id).expect("present");
             self.last_emitted = Some(id);
             out.push(tweet);
         }
+    }
+
+    /// Offers one delivery; ready tweets are appended to `out` in id
+    /// order.
+    pub fn push(&mut self, tweet: Tweet, out: &mut Vec<Tweet>) {
+        if !self.accepts(tweet.id) {
+            self.duplicates_dropped += 1;
+            return;
+        }
+        self.pending.insert(tweet.id, tweet);
+        self.spill(out);
+    }
+
+    /// Offers one *borrowed* delivery straight off the v2 decoder.
+    ///
+    /// Same semantics as [`Resequencer::push`], but the view is only
+    /// materialized into an owned [`Tweet`] when it is actually
+    /// accepted — an injected duplicate or a replayed overlap record
+    /// is dropped without allocating anything. This is the zero-copy
+    /// stream path's dedup gate.
+    pub fn push_view(&mut self, view: &TweetView<'_>, out: &mut Vec<Tweet>) {
+        if !self.accepts(view.id) {
+            self.duplicates_dropped += 1;
+            return;
+        }
+        self.pending.insert(view.id, view.to_tweet());
+        self.spill(out);
     }
 
     /// Drains everything still pending (end of stream), in id order.
@@ -247,6 +279,15 @@ pub struct StreamPipelineConfig {
     /// Observability registry (pass [`MetricsRegistry::enabled`] to
     /// collect the fault/retry/gap counters).
     pub metrics: MetricsRegistry,
+    /// Wire mode the source requests from the platform adapter:
+    /// [`WireMode::V1`] (one frame per tweet) or [`WireMode::V2`]
+    /// (batched frames). Artifacts are byte-identical either way.
+    pub wire: WireMode,
+    /// On v2 frames, decode through borrowed [`TweetView`]s and only
+    /// materialize owned tweets the resequencer accepts — the
+    /// zero-copy path. Ignored for v1 frames (their decode is a
+    /// single record either way).
+    pub borrowed_decode: bool,
 }
 
 impl Default for StreamPipelineConfig {
@@ -262,6 +303,8 @@ impl Default for StreamPipelineConfig {
             park_capacity: 4_096,
             final_drain_attempts: 64,
             metrics: MetricsRegistry::disabled(),
+            wire: WireMode::V1,
+            borrowed_decode: false,
         }
     }
 }
@@ -343,10 +386,11 @@ pub(crate) fn pump_source(
     faults: FaultConfig,
     config: &StreamPipelineConfig,
     resume_after: Option<TweetId>,
-    tx: mpsc::SyncSender<Tweet>,
+    tx: mpsc::SyncSender<Vec<Tweet>>,
 ) -> SourceOutcome {
     let metrics = &config.metrics;
-    let mut stream = FaultyStreamApi::connect(sim, Box::new(KeywordQuery::paper()), faults);
+    let mut stream = FaultyStreamApi::connect(sim, Box::new(KeywordQuery::paper()), faults)
+        .with_wire(config.wire);
     if let Some(hw) = resume_after {
         stream.resume_after(hw);
     }
@@ -361,6 +405,9 @@ pub(crate) fn pump_source(
     let frames_total = metrics.counter("wire_frames_total");
     let frames_decoded = metrics.counter("wire_frames_decoded_total");
     let wire_bytes = metrics.counter("wire_bytes_total");
+    let v2_frames = metrics.counter("wire_v2_frames_total");
+    let v2_tweets = metrics.counter("wire_v2_batch_tweets_total");
+    let batch_sends = metrics.counter("stream_batch_sends_total");
 
     // Budget for re-requesting a record that arrived corrupt. Fresh
     // stream progress (an id above anything seen) refills it, so a
@@ -379,17 +426,47 @@ pub(crate) fn pump_source(
                 delivered.incr();
                 frames_total.incr();
                 wire_bytes.add(bytes.len() as u64);
-                match TweetFrame::decode(&bytes) {
-                    Ok(tweet) => {
-                        frames_decoded.incr();
-                        if max_seen.map_or(true, |m| tweet.id > m) {
-                            max_seen = Some(tweet.id);
-                            corrupt_budget = corrupt_budget_full;
+                let is_v2 = frame_version(&bytes) == Some(WIRE_VERSION_V2);
+                ready.clear();
+                // Decode, version-sniffed: borrowed views on the
+                // zero-copy path (duplicates die before allocating),
+                // owned tweets otherwise. Either way every decoded
+                // id refills the corrupt budget when it makes fresh
+                // stream progress, exactly as the v1 path did.
+                let parsed: Result<u64, FrameError> = if is_v2 && config.borrowed_decode {
+                    BatchFrame::decode_views(&bytes).map(|views| {
+                        for view in &views {
+                            if max_seen.map_or(true, |m| view.id > m) {
+                                max_seen = Some(view.id);
+                                corrupt_budget = corrupt_budget_full;
+                            }
+                            reseq.push_view(view, &mut ready);
                         }
-                        ready.clear();
-                        reseq.push(tweet, &mut ready);
-                        for t in ready.drain(..) {
-                            if tx.send(t).is_err() {
+                        views.len() as u64
+                    })
+                } else {
+                    decode_any(&bytes).map(|tweets| {
+                        let n = tweets.len() as u64;
+                        for tweet in tweets {
+                            if max_seen.map_or(true, |m| tweet.id > m) {
+                                max_seen = Some(tweet.id);
+                                corrupt_budget = corrupt_budget_full;
+                            }
+                            reseq.push(tweet, &mut ready);
+                        }
+                        n
+                    })
+                };
+                match parsed {
+                    Ok(n) => {
+                        frames_decoded.incr();
+                        if is_v2 {
+                            v2_frames.incr();
+                            v2_tweets.add(n);
+                        }
+                        if !ready.is_empty() {
+                            batch_sends.incr();
+                            if tx.send(std::mem::take(&mut ready)).is_err() {
                                 break 'pump;
                             }
                         }
@@ -435,10 +512,9 @@ pub(crate) fn pump_source(
     }
     ready.clear();
     reseq.flush(&mut ready);
-    for t in ready.drain(..) {
-        if tx.send(t).is_err() {
-            break;
-        }
+    if !ready.is_empty() {
+        batch_sends.incr();
+        let _ = tx.send(std::mem::take(&mut ready));
     }
     drop(tx);
 
@@ -494,36 +570,42 @@ pub struct ReplayReport {
 /// Feeds a dead-letter log back through a sensor, in log order.
 ///
 /// Tweet entries ingest directly; frame entries go through
-/// [`TweetFrame::decode`] first, and frames that still fail to decode
-/// are counted, not retried — a damaged frame cannot be repaired
-/// offline. The sensor's id-idempotent `ingest` makes replay safe to
-/// run against a sensor that already absorbed some of the entries.
-/// `tests/sharding.rs` asserts that replaying a degraded run's log
-/// restores clean coverage; `repro replay-dead-letters` is the
-/// operator-facing wrapper.
+/// [`decode_any`] first — the log preserves damaged bytes verbatim in
+/// whatever wire version they arrived, so replay must sniff just like
+/// the live source does — and frames that still fail to decode are
+/// counted, not retried: a damaged frame cannot be repaired offline.
+/// A recovered v2 batch replays every tweet it carried. The sensor's
+/// id-idempotent `ingest` makes replay safe to run against a sensor
+/// that already absorbed some of the entries. `tests/sharding.rs`
+/// asserts that replaying a degraded run's log restores clean
+/// coverage; `repro replay-dead-letters` is the operator-facing
+/// wrapper.
 pub fn replay_dead_letters(
     sensor: &mut IncrementalSensor<'_>,
     log: &DeadLetterLog,
 ) -> ReplayReport {
     let mut report = ReplayReport::default();
-    for entry in log.entries() {
-        let tweet = match entry {
-            DeadLetter::Tweet(t) => t.clone(),
-            DeadLetter::Frame(bytes) => match TweetFrame::decode(bytes) {
-                Ok(t) => {
-                    report.frames_recovered += 1;
-                    t
-                }
-                Err(_) => {
-                    report.frames_undecodable += 1;
-                    continue;
-                }
-            },
-        };
-        if sensor.ingest(&tweet) {
+    fn ingest(sensor: &mut IncrementalSensor<'_>, tweet: &Tweet, report: &mut ReplayReport) {
+        if sensor.ingest(tweet) {
             report.tweets_replayed += 1;
         } else {
             report.duplicates += 1;
+        }
+    }
+    for entry in log.entries() {
+        match entry {
+            DeadLetter::Tweet(t) => ingest(sensor, t, &mut report),
+            DeadLetter::Frame(bytes) => match decode_any(bytes) {
+                Ok(tweets) => {
+                    report.frames_recovered += 1;
+                    for t in &tweets {
+                        ingest(sensor, t, &mut report);
+                    }
+                }
+                Err(_) => {
+                    report.frames_undecodable += 1;
+                }
+            },
         }
     }
     report
@@ -534,7 +616,10 @@ pub fn replay_dead_letters(
 /// `core::shard`, where each worker owns one.
 pub(crate) struct GeoAdmission<'s> {
     pub(crate) service: &'s (dyn LocationService + Sync),
-    pub(crate) profile_of: Box<dyn Fn(UserId) -> Option<String> + 's>,
+    /// Borrowed profile lookup — returns a `&str` into the platform's
+    /// user table, so the admission hot loop never clones a profile
+    /// string per tweet.
+    pub(crate) profile_of: Box<dyn Fn(UserId) -> Option<&'s str> + 's>,
     pub(crate) policy: RetryPolicy,
     pub(crate) park: VecDeque<Tweet>,
     pub(crate) park_capacity: usize,
@@ -555,7 +640,7 @@ impl<'s> GeoAdmission<'s> {
         let latency = self.metrics.counter("geo_latency_virtual_ms_total");
         let profile = (self.profile_of)(tweet.user);
         for attempt in 0..attempts {
-            match self.service.locate_user(profile.as_deref(), tweet.geo) {
+            match self.service.locate_user(profile, tweet.geo) {
                 Ok(resp) => {
                     self.clock.advance_ms(resp.latency_ms);
                     latency.add(resp.latency_ms);
@@ -647,9 +732,9 @@ pub fn run_faulted_stream<'a>(
         .gauge("stream_reorder_depth")
         .set(config.reorder_depth as u64);
 
-    let (src_tx, src_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
-    let (filt_tx, filt_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
-    let (geo_tx, geo_rx) = mpsc::sync_channel::<Tweet>(config.channel_capacity);
+    let (src_tx, src_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.channel_capacity);
+    let (filt_tx, filt_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.channel_capacity);
+    let (geo_tx, geo_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.channel_capacity);
 
     let mut sensor = IncrementalSensor::new(geocoder, |id: UserId| {
         sim.users()
@@ -676,19 +761,27 @@ pub fn run_faulted_stream<'a>(
                 let query = KeywordQuery::paper();
                 let rejected = metrics.counter("consumer_filter_rejected_total");
                 let passed = metrics.counter("consumer_filter_passed_total");
+                let batch_sends = metrics.counter("stream_batch_sends_total");
                 let mut n = 0u64;
-                for tweet in src_rx {
-                    n += 1;
+                for mut batch in src_rx {
+                    n += batch.len() as u64;
                     // Defense in depth: the endpoint already track-
                     // filtered, so rejects here indicate upstream
                     // corruption slipping through as "intact".
-                    if !query.accepts(&tweet.text) {
-                        rejected.incr();
-                        continue;
-                    }
-                    passed.incr();
-                    if filt_tx.send(tweet).is_err() {
-                        break;
+                    batch.retain(|tweet| {
+                        if query.accepts(&tweet.text) {
+                            passed.incr();
+                            true
+                        } else {
+                            rejected.incr();
+                            false
+                        }
+                    });
+                    if !batch.is_empty() {
+                        batch_sends.incr();
+                        if filt_tx.send(batch).is_err() {
+                            break;
+                        }
                     }
                 }
                 span.set_items(n);
@@ -708,7 +801,7 @@ pub fn run_faulted_stream<'a>(
                     profile_of: Box::new(|id: UserId| {
                         sim.users()
                             .get(id.0 as usize)
-                            .map(|u| u.profile_location.clone())
+                            .map(|u| u.profile_location.as_str())
                     }),
                     policy: geo_policy,
                     park: VecDeque::new(),
@@ -718,14 +811,18 @@ pub fn run_faulted_stream<'a>(
                     metrics: metrics.clone(),
                     dead: Vec::new(),
                 };
+                let batch_sends = metrics.counter("stream_batch_sends_total");
                 let mut out: Vec<Tweet> = Vec::new();
                 let mut n = 0u64;
-                'geo: for tweet in filt_rx {
-                    n += 1;
+                'geo: for batch in filt_rx {
+                    n += batch.len() as u64;
                     out.clear();
-                    admission.admit(tweet, &mut out);
-                    for t in out.drain(..) {
-                        if geo_tx.send(t).is_err() {
+                    for tweet in batch {
+                        admission.admit(tweet, &mut out);
+                    }
+                    if !out.is_empty() {
+                        batch_sends.incr();
+                        if geo_tx.send(std::mem::take(&mut out)).is_err() {
                             break 'geo;
                         }
                     }
@@ -734,10 +831,9 @@ pub fn run_faulted_stream<'a>(
                 // retry budget before declaring them unresolvable.
                 out.clear();
                 admission.drain(final_drain_attempts, &mut out);
-                for t in out.drain(..) {
-                    if geo_tx.send(t).is_err() {
-                        break;
-                    }
+                if !out.is_empty() {
+                    batch_sends.incr();
+                    let _ = geo_tx.send(std::mem::take(&mut out));
                 }
                 let parked = admission.abandon_leftovers();
                 metrics.gauge("geo_parked_depth").set(parked);
@@ -755,10 +851,12 @@ pub fn run_faulted_stream<'a>(
         let mut span = metrics.stage("stream_sensor");
         let ingested = metrics.counter("sensor_ingested_total");
         let mut delivered = 0u64;
-        for tweet in geo_rx {
-            if sensor.ingest(&tweet) {
-                delivered += 1;
-                ingested.incr();
+        for batch in geo_rx {
+            for tweet in batch {
+                if sensor.ingest(&tweet) {
+                    delivered += 1;
+                    ingested.incr();
+                }
             }
         }
         metrics
@@ -915,6 +1013,31 @@ mod tests {
         let before = out.len();
         seq.flush(&mut out);
         assert_eq!(out.len(), before);
+    }
+
+    #[test]
+    fn push_view_has_push_semantics_exactly() {
+        let mut owned = Resequencer::new(2);
+        let mut viewed = Resequencer::new(2);
+        let mut out_owned = Vec::new();
+        let mut out_viewed = Vec::new();
+        for id in [1u64, 0, 0, 2, 4, 3, 3, 5] {
+            let t = tweet(id);
+            let view = TweetView {
+                id: t.id,
+                user: t.user,
+                created_at: t.created_at,
+                text: &t.text,
+                geo: t.geo,
+            };
+            owned.push(t.clone(), &mut out_owned);
+            viewed.push_view(&view, &mut out_viewed);
+        }
+        owned.flush(&mut out_owned);
+        viewed.flush(&mut out_viewed);
+        assert_eq!(out_owned, out_viewed);
+        assert_eq!(owned.duplicates_dropped(), viewed.duplicates_dropped());
+        assert_eq!(owned.high_water(), viewed.high_water());
     }
 
     #[test]

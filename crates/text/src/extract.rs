@@ -8,7 +8,7 @@
 //! the characterization is user-based.
 
 use crate::matcher::AhoCorasick;
-use crate::normalize::normalize;
+use crate::normalize::with_normalized;
 use crate::organ::Organ;
 use serde::{Deserialize, Serialize};
 
@@ -137,13 +137,18 @@ impl OrganExtractor {
 
     /// Counts organ mentions in `raw_text` (every occurrence counts, so a
     /// tweet saying "kidney kidney kidney" records three mentions).
+    ///
+    /// Allocation-free in steady state: normalization reuses a
+    /// thread-local buffer and the automaton walk reports matches
+    /// through a callback instead of a match vector.
     pub fn extract(&self, raw_text: &str) -> MentionCounts {
-        let text = normalize(raw_text);
-        let mut counts = MentionCounts::new();
-        for m in self.automaton.find_words(&text) {
-            counts.add(self.organ_of_pattern[m.pattern], 1);
-        }
-        counts
+        with_normalized(raw_text, |text| {
+            let mut counts = MentionCounts::new();
+            self.automaton.for_each_word_match(text, |pi| {
+                counts.add(self.organ_of_pattern[pi], 1);
+            });
+            counts
+        })
     }
 }
 

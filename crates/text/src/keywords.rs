@@ -10,7 +10,7 @@
 //! is exactly the paper's conjunction.
 
 use crate::matcher::AhoCorasick;
-use crate::normalize::normalize;
+use crate::normalize::{normalize, with_normalized};
 use serde::{Deserialize, Serialize};
 
 /// Anything that can accept/reject a tweet by its text — the interface a
@@ -108,9 +108,15 @@ impl KeywordQuery {
 
     /// True when the tweet text satisfies `Q`: at least one context term
     /// and at least one subject term, whole-word, case-insensitive.
+    ///
+    /// Runs allocation-free in steady state: normalization reuses a
+    /// thread-local buffer and each automaton pass early-exits at its
+    /// first word-aligned hit — this predicate gates every tweet on
+    /// the stream hot path.
     pub fn matches(&self, raw_text: &str) -> bool {
-        let text = normalize(raw_text);
-        self.context.contains_word(&text) && self.subject.contains_word(&text)
+        with_normalized(raw_text, |text| {
+            self.context.contains_word(text) && self.subject.contains_word(text)
+        })
     }
 
     /// Number of `(context, subject)` pairs in the logical Cartesian

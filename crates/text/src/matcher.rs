@@ -28,6 +28,23 @@ pub struct Match {
 
 const ALPHABET: usize = 256;
 
+/// True when `[start, end)` sits on word boundaries in `haystack`:
+/// the character before `start` and the character at `end` must not be
+/// word characters.
+fn word_aligned(haystack: &str, start: usize, end: usize) -> bool {
+    let before_ok = start == 0
+        || haystack[..start]
+            .chars()
+            .next_back()
+            .is_some_and(|c| !is_word_char(c));
+    let after_ok = end >= haystack.len()
+        || haystack[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| !is_word_char(c));
+    before_ok && after_ok
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     /// Dense next-state table over bytes (usize::MAX = no edge yet).
@@ -156,25 +173,45 @@ impl AhoCorasick {
     pub fn find_words(&self, haystack: &str) -> Vec<Match> {
         self.find_all(haystack)
             .into_iter()
-            .filter(|m| {
-                let before_ok = m.start == 0
-                    || haystack[..m.start]
-                        .chars()
-                        .next_back()
-                        .is_some_and(|c| !is_word_char(c));
-                let after_ok = m.end >= haystack.len()
-                    || haystack[m.end..]
-                        .chars()
-                        .next()
-                        .is_some_and(|c| !is_word_char(c));
-                before_ok && after_ok
-            })
+            .filter(|m| word_aligned(haystack, m.start, m.end))
             .collect()
     }
 
-    /// True when any pattern occurs in `haystack` (whole-word matching).
+    /// Calls `f` with the pattern index of every word-aligned match,
+    /// in the order [`AhoCorasick::find_words`] would report them,
+    /// without allocating a match vector. This is the stream hot
+    /// path's extraction primitive.
+    pub fn for_each_word_match<F: FnMut(usize)>(&self, haystack: &str, mut f: F) {
+        let mut state = 0u32;
+        for (i, &b) in haystack.as_bytes().iter().enumerate() {
+            state = self.nodes[state as usize].next[b as usize];
+            let node = &self.nodes[state as usize];
+            for &pi in &node.output {
+                let start = i + 1 - self.patterns[pi as usize].len();
+                if word_aligned(haystack, start, i + 1) {
+                    f(pi as usize);
+                }
+            }
+        }
+    }
+
+    /// True when any pattern occurs in `haystack` (whole-word
+    /// matching). Returns at the first word-aligned hit and allocates
+    /// nothing, so filters over the stream hot path pay only for the
+    /// prefix of the text they need.
     pub fn contains_word(&self, haystack: &str) -> bool {
-        !self.find_words(haystack).is_empty()
+        let mut state = 0u32;
+        for (i, &b) in haystack.as_bytes().iter().enumerate() {
+            state = self.nodes[state as usize].next[b as usize];
+            let node = &self.nodes[state as usize];
+            for &pi in &node.output {
+                let start = i + 1 - self.patterns[pi as usize].len();
+                if word_aligned(haystack, start, i + 1) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Indices of the distinct patterns that occur (whole-word) in
@@ -282,6 +319,23 @@ mod tests {
         // Only "donation" is word-aligned.
         assert_eq!(words.len(), 1);
         assert_eq!(ac.pattern(words[0].pattern), "donation");
+    }
+
+    #[test]
+    fn for_each_word_match_agrees_with_find_words() {
+        let ac = AhoCorasick::new(["heart", "he", "art", "organ donor"]);
+        for text in [
+            "my heart is an organ donor heart",
+            "he said heartless art",
+            "",
+            "❤️ heart ❤️ he-art",
+        ] {
+            let expected: Vec<usize> = ac.find_words(text).iter().map(|m| m.pattern).collect();
+            let mut got = Vec::new();
+            ac.for_each_word_match(text, |pi| got.push(pi));
+            assert_eq!(got, expected, "disagree on: {text}");
+            assert_eq!(ac.contains_word(text), !expected.is_empty());
+        }
     }
 
     #[test]

@@ -31,7 +31,16 @@ pub fn fold_char(c: char) -> char {
 /// (any run of unicode whitespace becomes a single ASCII space, leading
 /// and trailing whitespace removed).
 pub fn normalize(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
+    let mut out = String::new();
+    normalize_into(text, &mut out);
+    out
+}
+
+/// [`normalize`] into a caller-owned buffer (cleared first), so a hot
+/// loop can normalize tweet after tweet without allocating.
+pub fn normalize_into(text: &str, out: &mut String) {
+    out.clear();
+    out.reserve(text.len());
     let mut last_was_space = true; // trims leading whitespace
     for c in text.chars() {
         if c.is_whitespace() {
@@ -47,6 +56,25 @@ pub fn normalize(text: &str) -> String {
     if out.ends_with(' ') {
         out.pop();
     }
+}
+
+thread_local! {
+    /// Reusable normalization buffers for [`with_normalized`]. A small
+    /// stack (not a single slot) so nested calls stay allocation-free
+    /// instead of panicking on a double borrow.
+    static SCRATCH: std::cell::RefCell<Vec<String>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over the normalized form of `text`, reusing a
+/// thread-local buffer — the steady-state cost is the fold pass, with
+/// no per-call allocation. This is what the stream hot path's filter
+/// and extractor normalize through.
+pub fn with_normalized<R>(text: &str, f: impl FnOnce(&str) -> R) -> R {
+    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    normalize_into(text, &mut buf);
+    let out = f(&buf);
+    SCRATCH.with(|s| s.borrow_mut().push(buf));
     out
 }
 
@@ -104,5 +132,19 @@ mod tests {
     fn idempotent() {
         let once = normalize("Liver  TRANSPLANT… très bien");
         assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn scratch_normalization_matches_and_nests() {
+        let outer = "HeArT  Donor";
+        let inner = "José  ❤";
+        let got = with_normalized(outer, |a| {
+            let a = a.to_string();
+            with_normalized(inner, |b| (a.clone(), b.to_string()))
+        });
+        assert_eq!(got.0, normalize(outer));
+        assert_eq!(got.1, normalize(inner));
+        // Reuses the buffer: still correct after the stack warms up.
+        assert_eq!(with_normalized("  x  ", |s| s.to_string()), "x");
     }
 }

@@ -15,6 +15,21 @@
 //! the encoded frame — not a side-channel enum; the consumer discovers
 //! it the only way a real client can, by failing to parse.
 //!
+//! # Wire modes
+//!
+//! The fault schedule itself is defined over *delivery slots* (one
+//! tweet each) and is independent of framing. [`WireMode::V1`] puts
+//! each slot on the wire as its own [`TweetFrame`]; [`WireMode::V2`]
+//! packs runs of intact slots into batched
+//! [`BatchFrame`]s, flushing early at a
+//! damaged slot, a disconnect, or end of stream. A corrupt slot is
+//! emitted as a *single-tweet v2 batch* damaged by the same seeded
+//! `(seed, slot index)` draw that would have damaged its v1 frame —
+//! so the consumer sees the same number of malformed deliveries at
+//! the same slot positions, reconnect/replay/skip semantics are
+//! slot-for-slot identical across modes, and [`FaultStats::delivered`]
+//! counts slots (not frames) in both.
+//!
 //! # Determinism
 //!
 //! Every fault decision is a pure hash of `(seed, fault kind, delivery
@@ -37,7 +52,7 @@
 
 use crate::generator::TwitterSimulation;
 use crate::tweet::Tweet;
-use crate::wire::{TweetFrame, TRAILER_LEN};
+use crate::wire::{BatchFrame, TweetFrame, WireMode, MAX_BATCH, TRAILER_LEN};
 use donorpulse_text::TextFilter;
 use std::collections::VecDeque;
 
@@ -178,11 +193,32 @@ pub struct FaultStats {
     pub corrupted: u64,
 }
 
+/// One deliverable slot resolved by the fault schedule: the tweet it
+/// carries and, when the slot arrived corrupt, the delivery index
+/// whose seeded damage must be applied to the encoded frame.
+#[derive(Debug, Clone)]
+struct SlotItem {
+    tweet: Tweet,
+    damage: Option<u64>,
+}
+
+/// What the slot machine produced for one pull — the framing-free
+/// core [`Delivery`] is rendered from.
+enum SlotEvent {
+    /// One delivery slot (intact or marked for damage).
+    Item(SlotItem),
+    /// The connection dropped.
+    Disconnected,
+    /// The firehose is exhausted.
+    End,
+}
+
 /// Result of one [`FaultyStreamApi::next_delivery`] pull.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Delivery {
-    /// An encoded [`TweetFrame`] was delivered — possibly damaged;
-    /// the consumer must parse it to find out.
+    /// An encoded frame was delivered — a [`TweetFrame`] in v1 mode,
+    /// a [`BatchFrame`] in v2 mode, possibly
+    /// damaged; the consumer must parse it to find out.
     Frame(Vec<u8>),
     /// The connection dropped (or was already down); the consumer must
     /// [`FaultyStreamApi::reconnect`] before pulling again.
@@ -230,8 +266,16 @@ pub struct FaultyStreamApi<'a> {
     /// Recent fresh `(delivery index, firehose position)` pairs — the
     /// backfill buffer a reconnect rewinds into.
     ring: VecDeque<(u64, usize)>,
-    /// Held-back frame from a duplicate or swap, delivered next pull.
-    stash: Option<Vec<u8>>,
+    /// Held-back slot from a duplicate or swap, delivered next pull.
+    stash: Option<SlotItem>,
+    /// Frame layout the adapter puts slots on the wire in.
+    wire: WireMode,
+    /// Intact slots accumulating toward the next v2 batch frame.
+    /// Always empty between `next_delivery` calls.
+    batch_buf: Vec<Tweet>,
+    /// Framed deliveries already rendered but not yet pulled (v2 mode
+    /// flushes a batch *and* a marker in one step).
+    pending: VecDeque<Delivery>,
     disconnected: bool,
     /// Delivery-index ranges `[from, until)` lost to reconnect gaps.
     /// Replays revisiting a lost slot stay lost (no resurrection), so
@@ -265,6 +309,9 @@ impl<'a> FaultyStreamApi<'a> {
             max_fresh: 0,
             ring: VecDeque::with_capacity(ring_cap),
             stash: None,
+            wire: WireMode::V1,
+            batch_buf: Vec::new(),
+            pending: VecDeque::new(),
             disconnected: false,
             skip_ranges: Vec::new(),
             resume_floor: 0,
@@ -277,6 +324,14 @@ impl<'a> FaultyStreamApi<'a> {
     /// Fault counters so far.
     pub fn stats(&self) -> FaultStats {
         self.stats
+    }
+
+    /// Selects the frame layout deliveries are rendered in. The fault
+    /// schedule is defined over slots and does not change with the
+    /// mode (see the module docs).
+    pub fn with_wire(mut self, wire: WireMode) -> Self {
+        self.wire = wire;
+        self
     }
 
     /// Fast-forwards a freshly connected stream past `id` without
@@ -310,6 +365,8 @@ impl<'a> FaultyStreamApi<'a> {
         self.max_fresh = 0;
         self.ring.clear();
         self.stash = None;
+        self.batch_buf.clear();
+        self.pending.clear();
         self.skip_ranges.clear();
         self.last_disconnect_at = None;
     }
@@ -372,18 +429,21 @@ impl<'a> FaultyStreamApi<'a> {
         }
     }
 
-    /// Pulls the next delivery off the stream.
-    pub fn next_delivery(&mut self) -> Delivery {
+    /// Resolves the next delivery slot, applying the fault schedule.
+    /// This is the framing-independent core: every decision here is a
+    /// function of the slot index alone, so v1 and v2 modes see the
+    /// exact same disconnects, duplicates, swaps, skips, and damage.
+    fn next_slot(&mut self) -> SlotEvent {
         if self.disconnected {
-            return Delivery::Disconnected;
+            return SlotEvent::Disconnected;
         }
-        if let Some(frame) = self.stash.take() {
+        if let Some(item) = self.stash.take() {
             self.stats.delivered += 1;
-            return Delivery::Frame(frame);
+            return SlotEvent::Item(item);
         }
         loop {
             let Some((p, tweet)) = self.next_match() else {
-                return Delivery::End;
+                return SlotEvent::End;
             };
             let index = self.next_index;
             let fresh = index >= self.max_fresh;
@@ -403,7 +463,7 @@ impl<'a> FaultyStreamApi<'a> {
                     self.stats.disconnects += 1;
                     // Un-consume the record so replay re-finds it.
                     self.pos = p;
-                    return Delivery::Disconnected;
+                    return SlotEvent::Disconnected;
                 }
                 self.next_index = index + 1;
                 self.ring_push(index, p);
@@ -426,11 +486,13 @@ impl<'a> FaultyStreamApi<'a> {
                     index,
                     self.config.corrupt_rate,
                 );
-            let mut frame = TweetFrame::encode(&tweet);
-            if corrupt_now {
+            let damage = if corrupt_now {
                 self.stats.corrupted += 1;
-                Self::damage_frame(self.config.seed, index, &mut frame);
-            }
+                Some(index)
+            } else {
+                None
+            };
+            let item = SlotItem { tweet, damage };
             if fresh
                 && chance(
                     self.config.seed,
@@ -440,7 +502,7 @@ impl<'a> FaultyStreamApi<'a> {
                 )
             {
                 self.stats.duplicates_injected += 1;
-                self.stash = Some(frame.clone());
+                self.stash = Some(item.clone());
             } else if fresh
                 && !self.in_skip(self.next_index)
                 && chance(
@@ -451,7 +513,7 @@ impl<'a> FaultyStreamApi<'a> {
                 )
             {
                 // Adjacent swap: deliver the successor first, stash
-                // this frame for the next pull. The swapped-in record
+                // this slot for the next pull. The swapped-in record
                 // is delivered intact (no nested faults).
                 if let Some((p2, t2)) = self.next_match() {
                     let j = self.next_index;
@@ -460,13 +522,89 @@ impl<'a> FaultyStreamApi<'a> {
                     self.ring_push(j, p2);
                     self.max_fresh = j + 1;
                     self.stats.reordered += 1;
-                    self.stash = Some(frame);
+                    self.stash = Some(item);
                     self.stats.delivered += 1;
-                    return Delivery::Frame(TweetFrame::encode(&t2));
+                    return SlotEvent::Item(SlotItem {
+                        tweet: t2,
+                        damage: None,
+                    });
                 }
             }
             self.stats.delivered += 1;
-            return Delivery::Frame(frame);
+            return SlotEvent::Item(item);
+        }
+    }
+
+    /// Renders one slot as a v1 frame, applying its seeded damage.
+    fn render_v1(seed: u64, item: &SlotItem) -> Vec<u8> {
+        let mut frame = TweetFrame::encode(&item.tweet);
+        if let Some(at) = item.damage {
+            Self::damage_frame(seed, at, &mut frame);
+        }
+        frame
+    }
+
+    /// Flushes the accumulating v2 batch (if any) into the pending
+    /// delivery queue.
+    fn flush_batch(&mut self) {
+        if !self.batch_buf.is_empty() {
+            let frame = BatchFrame::encode(&self.batch_buf);
+            self.batch_buf.clear();
+            self.pending.push_back(Delivery::Frame(frame));
+        }
+    }
+
+    /// Pulls the next delivery off the stream.
+    pub fn next_delivery(&mut self) -> Delivery {
+        if let Some(d) = self.pending.pop_front() {
+            return d;
+        }
+        let batch = match self.wire {
+            WireMode::V1 => {
+                return match self.next_slot() {
+                    SlotEvent::Item(item) => {
+                        Delivery::Frame(Self::render_v1(self.config.seed, &item))
+                    }
+                    SlotEvent::Disconnected => Delivery::Disconnected,
+                    SlotEvent::End => Delivery::End,
+                };
+            }
+            WireMode::V2 { batch } => batch.clamp(1, MAX_BATCH),
+        };
+        loop {
+            match self.next_slot() {
+                SlotEvent::Item(item) => match item.damage {
+                    Some(at) => {
+                        // A corrupt slot flushes the run before it and
+                        // goes on the wire alone, as a single-tweet v2
+                        // batch carrying the slot's seeded damage — so
+                        // damage can never take intact neighbours down
+                        // with it, and the dead-letter log preserves
+                        // exactly one slot per damaged delivery.
+                        self.flush_batch();
+                        let mut frame = BatchFrame::encode(std::slice::from_ref(&item.tweet));
+                        Self::damage_frame(self.config.seed, at, &mut frame);
+                        self.pending.push_back(Delivery::Frame(frame));
+                    }
+                    None => {
+                        self.batch_buf.push(item.tweet);
+                        if self.batch_buf.len() >= batch {
+                            self.flush_batch();
+                        }
+                    }
+                },
+                SlotEvent::Disconnected => {
+                    self.flush_batch();
+                    self.pending.push_back(Delivery::Disconnected);
+                }
+                SlotEvent::End => {
+                    self.flush_batch();
+                    self.pending.push_back(Delivery::End);
+                }
+            }
+            if let Some(d) = self.pending.pop_front() {
+                return d;
+            }
         }
     }
 
@@ -744,12 +882,100 @@ mod tests {
                 let mut frame = pristine.clone();
                 FaultyStreamApi::damage_frame(seed, index, &mut frame);
                 assert_ne!(frame, pristine, "damage was a no-op at {seed}/{index}");
-                let err = TweetFrame::decode(&frame)
-                    .expect_err("damaged frame decoded to a tweet");
+                let err = TweetFrame::decode(&frame).expect_err("damaged frame decoded to a tweet");
                 // Damage is always classified, never a panic.
                 let _ = err.class();
             }
         }
+    }
+
+    #[test]
+    fn v2_mode_covers_the_clean_stream_in_batches() {
+        let sim = small_sim();
+        let mut stream =
+            FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), FaultConfig::none())
+                .with_wire(WireMode::V2 { batch: 16 });
+        let mut ids = Vec::new();
+        let mut frames = 0usize;
+        loop {
+            match stream.next_delivery() {
+                Delivery::Frame(frame) => {
+                    let batch = BatchFrame::decode(&frame).expect("faults off");
+                    assert!(batch.len() <= 16);
+                    ids.extend(batch.iter().map(|t| t.id));
+                    frames += 1;
+                }
+                Delivery::Disconnected => unreachable!(),
+                Delivery::End => break,
+            }
+        }
+        let clean = clean_ids(&sim);
+        assert_eq!(ids, clean);
+        assert_eq!(frames, clean.len().div_ceil(16));
+        // `delivered` counts slots, not frames, in both modes.
+        assert_eq!(stream.stats().delivered, clean.len() as u64);
+    }
+
+    #[test]
+    fn v2_mode_matches_v1_slot_for_slot() {
+        let sim = small_sim();
+        // Drain both modes with the same reconnect policy and compare
+        // the flattened slot sequence: intact slots must carry the
+        // same ids in the same order, damaged slots must fail decode
+        // at the same positions, and the fault counters must agree.
+        let run = |wire: WireMode| {
+            let mut s = FaultyStreamApi::connect(
+                &sim,
+                Box::new(KeywordQuery::paper()),
+                FaultConfig::recoverable(7),
+            )
+            .with_wire(wire);
+            let mut slots: Vec<Option<TweetId>> = Vec::new();
+            loop {
+                match s.next_delivery() {
+                    Delivery::Frame(frame) => match crate::wire::decode_any(&frame) {
+                        Ok(tweets) => slots.extend(tweets.iter().map(|t| Some(t.id))),
+                        Err(_) => slots.push(None),
+                    },
+                    Delivery::Disconnected => while !s.reconnect() {},
+                    Delivery::End => break,
+                }
+            }
+            (slots, s.stats())
+        };
+        let (v1_slots, v1_stats) = run(WireMode::V1);
+        let (v2_slots, v2_stats) = run(WireMode::v2());
+        assert!(v1_slots.iter().any(Option::is_none), "no damage fired");
+        assert_eq!(v1_slots, v2_slots);
+        assert_eq!(v1_stats, v2_stats);
+    }
+
+    #[test]
+    fn v2_damaged_batches_arrive_alone_and_never_decode() {
+        let sim = small_sim();
+        let config = FaultConfig {
+            corrupt_rate: 0.2,
+            corrupt_persistent: true,
+            ..FaultConfig::none()
+        };
+        let mut stream = FaultyStreamApi::connect(&sim, Box::new(KeywordQuery::paper()), config)
+            .with_wire(WireMode::V2 { batch: 8 });
+        let mut damaged = 0u64;
+        loop {
+            match stream.next_delivery() {
+                Delivery::Frame(frame) => {
+                    if let Err(e) = crate::wire::decode_any(&frame) {
+                        damaged += 1;
+                        // Classified, never a panic or a wrong tweet.
+                        let _ = e.class();
+                    }
+                }
+                Delivery::Disconnected => unreachable!("no disconnects configured"),
+                Delivery::End => break,
+            }
+        }
+        assert_eq!(damaged, stream.stats().corrupted);
+        assert!(damaged > 0, "corruption never fired");
     }
 
     #[test]

@@ -23,8 +23,10 @@
 //! * [`stream`] — the Stream API endpoint: `track` filtering, optional
 //!   sampling, connection-style iteration;
 //! * [`wire`] — the byte-level record framing the stream path speaks:
-//!   a magic/kind/version/length/checksum envelope per tweet, with a
-//!   resynchronizing [`FrameReader`](wire::FrameReader) and a
+//!   a magic/kind/version/length/checksum envelope per tweet (v1) or
+//!   per batch of tweets (v2, varint lengths + zero-copy
+//!   [`TweetView`] decode), with a resynchronizing
+//!   version-sniffing [`FrameReader`] and a
 //!   classified error taxonomy;
 //! * [`fault`] — seeded fault injection over the stream endpoint:
 //!   disconnects with replayed backfill windows, duplicate and
@@ -57,4 +59,4 @@ pub use stream::{FrameStream, StreamApi};
 pub use time::{SimInstant, COLLECTION_DAYS, COLLECTION_START};
 pub use tweet::{Tweet, TweetId};
 pub use user::{UserId, UserProfile};
-pub use wire::{FrameError, FrameReader, TweetFrame};
+pub use wire::{BatchFrame, FrameError, FrameReader, FrameViews, TweetFrame, TweetView, WireMode};

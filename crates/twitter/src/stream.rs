@@ -15,6 +15,7 @@
 
 use crate::generator::TwitterSimulation;
 use crate::tweet::Tweet;
+use crate::wire::WireMode;
 use donorpulse_text::{TextFilter, TrackFilter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -90,7 +91,15 @@ impl<'a> StreamApi<'a> {
     /// — what a real endpoint puts on the socket. The fault adapter
     /// ([`crate::fault::FaultyStreamApi`]) speaks the same framing.
     pub fn frames(self) -> FrameStream<'a> {
-        FrameStream { inner: self }
+        self.frames_with(WireMode::V1)
+    }
+
+    /// Byte-level delivery in an explicit wire mode: v1 emits one
+    /// [`TweetFrame`](crate::wire::TweetFrame) per tweet, v2 packs up
+    /// to `batch` tweets per [`BatchFrame`](crate::wire::BatchFrame)
+    /// (the final frame may be shorter).
+    pub fn frames_with(self, mode: WireMode) -> FrameStream<'a> {
+        FrameStream { inner: self, mode }
     }
 }
 
@@ -119,9 +128,11 @@ impl Iterator for StreamApi<'_> {
 }
 
 /// A [`StreamApi`] connection delivering encoded wire frames instead
-/// of parsed tweets (see [`StreamApi::frames`]).
+/// of parsed tweets (see [`StreamApi::frames`] and
+/// [`StreamApi::frames_with`]).
 pub struct FrameStream<'a> {
     inner: StreamApi<'a>,
+    mode: WireMode,
 }
 
 impl FrameStream<'_> {
@@ -135,9 +146,27 @@ impl Iterator for FrameStream<'_> {
     type Item = Vec<u8>;
 
     fn next(&mut self) -> Option<Vec<u8>> {
-        self.inner
-            .next()
-            .map(|t| crate::wire::TweetFrame::encode(&t))
+        match self.mode {
+            WireMode::V1 => self
+                .inner
+                .next()
+                .map(|t| crate::wire::TweetFrame::encode(&t)),
+            WireMode::V2 { batch } => {
+                let cap = batch.clamp(1, crate::wire::MAX_BATCH);
+                let mut tweets = Vec::with_capacity(cap);
+                while tweets.len() < cap {
+                    match self.inner.next() {
+                        Some(t) => tweets.push(t),
+                        None => break,
+                    }
+                }
+                if tweets.is_empty() {
+                    None
+                } else {
+                    Some(crate::wire::BatchFrame::encode(&tweets))
+                }
+            }
+        }
     }
 }
 
@@ -224,6 +253,31 @@ mod tests {
             .map(|f| crate::wire::TweetFrame::decode(&f).expect("clean stream"))
             .collect();
         assert_eq!(decoded, typed);
+        assert_eq!(framed.stats().delivered as usize, typed.len());
+    }
+
+    #[test]
+    fn v2_batched_frames_decode_back_to_the_typed_stream() {
+        let s = sim();
+        let typed: Vec<Tweet> = s
+            .stream()
+            .with_track(TrackFilter::paper_cartesian())
+            .collect();
+        let mut framed = s
+            .stream()
+            .with_track(TrackFilter::paper_cartesian())
+            .frames_with(WireMode::V2 { batch: 7 });
+        let mut decoded = Vec::new();
+        let mut frames = 0usize;
+        for frame in framed.by_ref() {
+            let batch = crate::wire::BatchFrame::decode(&frame).expect("clean stream");
+            assert!(batch.len() <= 7, "batch of {} exceeds cap", batch.len());
+            decoded.extend(batch);
+            frames += 1;
+        }
+        assert_eq!(decoded, typed);
+        // Full batches plus at most one short tail.
+        assert_eq!(frames, typed.len().div_ceil(7));
         assert_eq!(framed.stats().delivered as usize, typed.len());
     }
 }

@@ -5,8 +5,10 @@
 //! (Morstatter et al. treat it exactly that way in the Streaming-API
 //! bias study). This module is the codec for that surface: a
 //! [`TweetFrame`] encodes one tweet into a self-delimiting binary
-//! frame, and a [`FrameReader`] walks a byte stream, parsing frames
-//! and resynchronizing on the magic after damage.
+//! frame (version 1), a [`BatchFrame`] packs many tweets behind a
+//! single checksum (version 2), and a [`FrameReader`] walks a byte
+//! stream, sniffing the version of each frame, parsing it, and
+//! resynchronizing on the magic after damage.
 //!
 //! # Frame layout (version 1)
 //!
@@ -15,70 +17,122 @@
 //! ------  ----  -----------------------------------------
 //!      0     4  magic          "DPWF"
 //!      4     1  kind           3 (tweet frame)
-//!      5     2  version        u16 LE, currently 1
+//!      5     2  version        u16 LE, 1
 //!      7     4  payload length u32 LE (payload bytes only)
-//!     11     n  payload        tweet record (below)
+//!     11     n  payload        one tweet record (below)
 //!   11+n     8  checksum       FNV-1a u64 LE over bytes [0, 11+n)
 //! ```
 //!
-//! The payload is the same little-endian tweet record the checkpoint
-//! format uses (`core::checkpoint` delegates here): id, user,
-//! created-at as u64, text as u32-length-prefixed UTF-8, then a geo
-//! flag byte followed by two `f64::to_bits` u64s when present.
+//! # Frame layout (version 2)
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------
+//!      0     4  magic          "DPWF"
+//!      4     1  kind           3 (tweet frame)
+//!      5     2  version        u16 LE, 2
+//!      7     p  payload length canonical LEB128 varint (record bytes only)
+//!    7+p     c  tweet count    canonical LEB128 varint, 1..=MAX_BATCH
+//!  7+p+c     n  payload        `count` tweet records back to back
+//!      …     8  checksum       word-FNV u64 LE over all bytes before it
+//! ```
+//!
+//! Version 2 exists for the hot path: one checksum per *batch* instead
+//! of per tweet, varint lengths instead of fixed u32 fields, and a
+//! borrowed decode ([`TweetView`]) that leaves the text bytes in the
+//! receive buffer instead of allocating a `String` per tweet.
+//!
+//! Varints are canonical LEB128: little-endian base-128 with a
+//! continuation bit, at most 10 bytes, and the final byte of a
+//! multi-byte varint must be non-zero (exactly one encoding per
+//! value). The v2 checksum is *word-FNV*: FNV-1a over the buffer read
+//! as little-endian u64 words (final partial word zero-padded), with
+//! the byte length mixed in as a final word. It walks eight bytes per
+//! multiply instead of one, and keeps the property that matters: each
+//! step `h → (h ^ w) * P` is bijective in `h` and injective in `w`
+//! (P is odd), so two equal-length buffers differing anywhere hash
+//! differently.
+//!
+//! The payload is the same little-endian tweet record in both
+//! versions, and it is the layout the checkpoint format embeds
+//! (`core::checkpoint` delegates here): id, user, created-at as u64,
+//! text as u32-length-prefixed UTF-8, then a geo flag byte followed by
+//! two `f64::to_bits` u64s when present.
 //!
 //! # Error taxonomy
 //!
 //! Decoding classifies every failure as one of four [`FrameError`]s:
 //! [`Truncated`](FrameError::Truncated) (the buffer ends before the
 //! declared frame does), [`BadChecksum`](FrameError::BadChecksum)
-//! (the FNV trailer disagrees), [`BadMagic`](FrameError::BadMagic)
+//! (the trailer disagrees), [`BadMagic`](FrameError::BadMagic)
 //! (the bytes at the cursor are not a frame start), and
 //! [`BadPayload`](FrameError::BadPayload) (the envelope is sound but
 //! the record inside is not: unknown kind or version, non-UTF-8 text,
-//! a bad geo flag, trailing bytes).
+//! a bad geo flag, a malformed varint, an absurd count, trailing
+//! bytes).
 //!
 //! # Detection guarantee
 //!
-//! Strict decode ([`TweetFrame::decode`]) checks that the declared
-//! total length equals the buffer length *before* verifying the
-//! checksum. That ordering makes single-bit damage provably
-//! detectable, not just probabilistically: a flip in the length field
-//! changes the declared total and fails the length check, and a flip
-//! anywhere else is caught by the checksum, because the FNV-1a step
-//! `h → (h ^ b) * P` is injective in `h` for fixed-length input (P is
-//! odd), so two buffers of equal length differing in any byte hash
-//! differently. `tests/wire_codec.rs` sweeps every single-bit flip
-//! and every truncation point of a reference frame to pin this down.
+//! Strict decode ([`TweetFrame::decode`], [`BatchFrame::decode`])
+//! checks that the declared total length equals the buffer length
+//! *before* verifying the checksum. That ordering makes single-bit
+//! damage provably detectable, not just probabilistically. For v1: a
+//! flip in the length field changes the declared total and fails the
+//! length check, and a flip anywhere else is caught by the checksum.
+//! For v2 the same case split holds even though the lengths are
+//! varints: if a flip changes the computed total (value or varint
+//! width), the length check fails; if the total happens to come out
+//! equal, the checksum — whose coverage in strict mode is everything
+//! but the final eight bytes — covers the flipped byte and fails by
+//! word-FNV injectivity. A single-bit flip can also never turn one
+//! version into the other: the version words `0x0001` and `0x0002`
+//! differ in two bits. `tests/wire_codec.rs` sweeps every single-bit
+//! flip and every truncation point of reference frames in both
+//! versions to pin this down.
 //!
 //! # Resynchronization
 //!
 //! After a bad frame, [`FrameReader`] scans forward from the byte
 //! after the failed frame start for the next `DPWF` magic and resumes
-//! there. A magic-like byte pattern inside a payload can produce
-//! extra classified errors during the scan, but never a wrong tweet:
-//! any candidate start that is not a real frame fails the checksum.
+//! there. The scan skips directly between candidate `D` bytes rather
+//! than sliding a window one byte at a time, so recovering from a
+//! multi-kilobyte damaged gap costs one cheap pass. A magic-like byte
+//! pattern inside a payload can produce extra classified errors
+//! during the scan, but never a wrong tweet: any candidate start that
+//! is not a real frame fails the checksum.
 
 use crate::time::SimInstant;
 use crate::tweet::{Tweet, TweetId};
 use crate::user::UserId;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// First bytes of every frame — shared with the checkpoint envelope.
 pub const MAGIC: [u8; 4] = *b"DPWF";
-/// Envelope kind: a single tweet frame on the stream path.
+/// Envelope kind: a tweet frame on the stream path (both versions).
 pub const KIND_TWEET: u8 = 3;
-/// Current tweet-frame layout version.
+/// Layout version of single-tweet frames.
 pub const WIRE_VERSION: u16 = 1;
-/// Bytes before the payload: magic, kind, version, payload length.
+/// Layout version of batched multi-tweet frames.
+pub const WIRE_VERSION_V2: u16 = 2;
+/// Bytes before the payload in a v1 frame: magic, kind, version,
+/// fixed u32 payload length.
 pub const HEADER_LEN: usize = 4 + 1 + 2 + 4;
-/// Bytes after the payload: the FNV-1a checksum.
+/// Bytes before the varint lengths in a v2 frame: magic, kind,
+/// version. The payload offset then depends on the varint widths.
+pub const V2_PREFIX_LEN: usize = 4 + 1 + 2;
+/// Bytes after the payload: the checksum trailer (both versions).
 pub const TRAILER_LEN: usize = 8;
 /// Upper bound on a declared payload length. Rejecting absurd lengths
 /// up front keeps a damaged length field from dragging the reader a
 /// gigabyte forward before the truncation check fires.
 pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Upper bound on the tweet count declared by a v2 batch frame.
+pub const MAX_BATCH: usize = 4096;
+/// Default batch size producers use when framing v2 batches.
+pub const DEFAULT_BATCH: usize = 64;
 
-/// FNV-1a over a byte slice — the integrity trailer.
+/// FNV-1a over a byte slice — the v1 integrity trailer.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -86,6 +140,79 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Word-at-a-time FNV-1a — the v2 integrity trailer. Reads the buffer
+/// as little-endian u64 words (final partial word zero-padded) and
+/// mixes the byte length in as a final word, so `[1, 0]` and `[1]`
+/// hash differently despite padding. One multiply per eight bytes
+/// instead of one per byte; same equal-length injectivity guarantee
+/// as byte-serial FNV (see the module docs).
+fn fnv1a_words(bytes: &[u8]) -> u64 {
+    const P: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(P);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(w);
+        h = h.wrapping_mul(P);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(P)
+}
+
+/// Appends `v` as a canonical LEB128 varint.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+/// Why a varint failed to read; mapped onto [`FrameError`] by callers.
+enum VarintError {
+    /// The buffer ended mid-varint.
+    Truncated,
+    /// Over-long, overflowing, or non-canonical encoding.
+    Malformed(&'static str),
+}
+
+/// Reads one canonical LEB128 varint from the front of `bytes`,
+/// returning the value and bytes consumed. Rejects varints longer
+/// than 10 bytes, values overflowing u64, and non-canonical encodings
+/// (a multi-byte varint whose final byte is zero).
+fn read_varint(bytes: &[u8]) -> Result<(u64, usize), VarintError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in bytes.iter().enumerate() {
+        if i == 10 {
+            return Err(VarintError::Malformed("varint longer than 10 bytes"));
+        }
+        let low = (b & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(VarintError::Malformed("varint overflows u64"));
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            if i > 0 && b == 0 {
+                return Err(VarintError::Malformed("non-canonical varint"));
+            }
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(VarintError::Truncated)
 }
 
 /// Why a frame failed to decode. See the module docs for the taxonomy.
@@ -98,7 +225,7 @@ pub enum FrameError {
         /// Bytes the frame needs (total, including header + trailer).
         need: usize,
     },
-    /// The FNV-1a trailer disagrees with the frame bytes.
+    /// The checksum trailer disagrees with the frame bytes.
     BadChecksum {
         /// Checksum stored in the trailer.
         stored: u64,
@@ -130,7 +257,10 @@ impl fmt::Display for FrameError {
                 write!(f, "truncated frame: have {have} bytes, need {need}")
             }
             FrameError::BadChecksum { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
             }
             FrameError::BadMagic => write!(f, "bad magic: not a frame start"),
             FrameError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
@@ -139,6 +269,74 @@ impl fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+/// Which frame layout a producer emits on the stream path.
+///
+/// Consumers never need this — the [`FrameReader`] and the strict
+/// decoders sniff the version of every frame independently, so v1 and
+/// v2 frames can interleave on one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WireMode {
+    /// One tweet per frame, fixed u32 lengths, byte-serial FNV (v1).
+    #[default]
+    V1,
+    /// Batched multi-tweet frames with one word-FNV checksum (v2).
+    V2 {
+        /// Tweets per batch frame, clamped to `1..=MAX_BATCH`.
+        batch: usize,
+    },
+}
+
+impl WireMode {
+    /// Version 2 at the default batch size.
+    pub fn v2() -> Self {
+        WireMode::V2 {
+            batch: DEFAULT_BATCH,
+        }
+    }
+
+    /// Stable short label for metrics and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireMode::V1 => "v1",
+            WireMode::V2 { .. } => "v2",
+        }
+    }
+}
+
+/// A tweet decoded *in place*: the text is a `&str` slice into the
+/// receive buffer, so no allocation happens until (unless) the tweet
+/// is admitted and [`to_tweet`](TweetView::to_tweet) materializes it.
+///
+/// This is the currency of the zero-copy hot path: filter, geocode
+/// lookup, and dedup all run on the view, and only tweets that
+/// survive admission pay for a `String`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TweetView<'a> {
+    /// Unique tweet id.
+    pub id: TweetId,
+    /// Author id.
+    pub user: UserId,
+    /// Simulated posting time.
+    pub created_at: SimInstant,
+    /// Tweet text, borrowed from the frame buffer.
+    pub text: &'a str,
+    /// Geotag as (lat, lon), when present.
+    pub geo: Option<(f64, f64)>,
+}
+
+impl TweetView<'_> {
+    /// Materializes an owned [`Tweet`], allocating the text.
+    pub fn to_tweet(&self) -> Tweet {
+        Tweet {
+            id: self.id,
+            user: self.user,
+            created_at: self.created_at,
+            text: self.text.to_owned(),
+            geo: self.geo,
+        }
+    }
+}
 
 /// Appends one tweet record (the frame payload, no envelope) to `buf`.
 ///
@@ -160,9 +358,10 @@ pub fn encode_tweet_payload(buf: &mut Vec<u8>, t: &Tweet) {
     }
 }
 
-/// Decodes one tweet record from the front of `bytes`, returning the
-/// tweet and the number of payload bytes consumed.
-pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> {
+/// Decodes one tweet record from the front of `bytes` without copying
+/// the text, returning the borrowed view and the number of payload
+/// bytes consumed. [`decode_tweet_payload`] is this plus a `String`.
+pub fn decode_tweet_view(bytes: &[u8]) -> Result<(TweetView<'_>, usize), FrameError> {
     let mut pos = 0usize;
     let mut take = |n: usize| -> Result<&[u8], FrameError> {
         let end = pos
@@ -178,7 +377,7 @@ pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> 
     let user = UserId(u64_of(take(8)?));
     let created_at = SimInstant(u64_of(take(8)?));
     let text_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
-    let text = String::from_utf8(take(text_len)?.to_vec())
+    let text = std::str::from_utf8(take(text_len)?)
         .map_err(|_| FrameError::BadPayload("non-UTF-8 text".into()))?;
     let geo = match take(1)?[0] {
         0 => None,
@@ -192,7 +391,7 @@ pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> 
         }
     };
     Ok((
-        Tweet {
+        TweetView {
             id,
             user,
             created_at,
@@ -203,8 +402,43 @@ pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> 
     ))
 }
 
-/// The tweet-frame codec: encode one tweet into a self-delimiting
-/// frame, or decode one frame back into a tweet.
+/// Decodes one tweet record from the front of `bytes`, returning the
+/// owned tweet and the number of payload bytes consumed.
+pub fn decode_tweet_payload(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> {
+    decode_tweet_view(bytes).map(|(v, n)| (v.to_tweet(), n))
+}
+
+/// Reads the version word of the frame starting at `bytes`, if the
+/// buffer is long enough to carry one and the magic matches. This is
+/// the version sniff readers use to dispatch v1 vs v2 parsing.
+pub fn frame_version(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() >= V2_PREFIX_LEN && bytes[..MAGIC.len()] == MAGIC {
+        Some(u16::from_le_bytes([bytes[5], bytes[6]]))
+    } else {
+        None
+    }
+}
+
+/// Strict version-sniffing decode: `bytes` must be exactly one intact
+/// frame of either version; returns the tweets it carries (one for
+/// v1, the whole batch for v2). This is what dead-letter replay uses,
+/// since the log preserves damaged deliveries verbatim in whichever
+/// version they arrived.
+pub fn decode_any(bytes: &[u8]) -> Result<Vec<Tweet>, FrameError> {
+    match frame_version(bytes) {
+        Some(WIRE_VERSION_V2) => BatchFrame::decode(bytes),
+        Some(WIRE_VERSION) => TweetFrame::decode(bytes).map(|t| vec![t]),
+        Some(v) => Err(FrameError::BadPayload(format!(
+            "unknown wire version {v} (this build reads {WIRE_VERSION} and {WIRE_VERSION_V2})"
+        ))),
+        // Too short to sniff or wrong magic: let the v1 parser produce
+        // the classified error (BadMagic / Truncated).
+        None => TweetFrame::decode(bytes).map(|t| vec![t]),
+    }
+}
+
+/// The single-tweet frame codec (wire version 1): encode one tweet
+/// into a self-delimiting frame, or decode one frame back.
 ///
 /// ```
 /// use donorpulse_twitter::wire::TweetFrame;
@@ -255,16 +489,28 @@ impl TweetFrame {
     /// *before* the checksum check, which is what makes every
     /// single-bit flip detectable (see the module docs).
     pub fn decode(bytes: &[u8]) -> Result<Tweet, FrameError> {
-        Self::parse(bytes, true).map(|(t, _)| t)
+        Self::parse(bytes, true).map(|(v, _)| v.to_tweet())
+    }
+
+    /// Strict borrowed decode: like [`decode`](Self::decode) but the
+    /// text stays a slice into `bytes`.
+    pub fn decode_view(bytes: &[u8]) -> Result<TweetView<'_>, FrameError> {
+        Self::parse(bytes, true).map(|(v, _)| v)
     }
 
     /// Prefix decode for stream scanning: decodes one frame from the
     /// front of `bytes`, returning the tweet and total frame length.
     pub fn decode_prefix(bytes: &[u8]) -> Result<(Tweet, usize), FrameError> {
+        Self::parse(bytes, false).map(|(v, n)| (v.to_tweet(), n))
+    }
+
+    /// Borrowed prefix decode: the zero-copy counterpart of
+    /// [`decode_prefix`](Self::decode_prefix).
+    pub fn view_prefix(bytes: &[u8]) -> Result<(TweetView<'_>, usize), FrameError> {
         Self::parse(bytes, false)
     }
 
-    fn parse(bytes: &[u8], strict: bool) -> Result<(Tweet, usize), FrameError> {
+    fn parse(bytes: &[u8], strict: bool) -> Result<(TweetView<'_>, usize), FrameError> {
         // Magic first: a short buffer that cannot even be the start of
         // a frame is BadMagic, not Truncated.
         let magic_have = bytes.len().min(MAGIC.len());
@@ -315,22 +561,202 @@ impl TweetFrame {
                 "unknown wire version {version} (this build reads {WIRE_VERSION})"
             )));
         }
-        let (tweet, consumed) = decode_tweet_payload(&body[HEADER_LEN..])?;
+        let (view, consumed) = decode_tweet_view(&body[HEADER_LEN..])?;
         if consumed != declared {
             return Err(FrameError::BadPayload(format!(
                 "{} unread payload bytes",
                 declared - consumed
             )));
         }
-        Ok((tweet, total))
+        Ok((view, total))
     }
 }
 
-/// Walks a byte stream of concatenated frames, yielding decoded tweets
-/// and classified errors, resynchronizing on the magic after damage.
+/// The batched frame codec (wire version 2): many tweets behind one
+/// word-FNV checksum, varint lengths, zero-copy decode.
 ///
 /// ```
-/// use donorpulse_twitter::wire::{FrameReader, TweetFrame};
+/// use donorpulse_twitter::wire::BatchFrame;
+/// use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
+///
+/// let tweets: Vec<Tweet> = (0..3)
+///     .map(|i| Tweet {
+///         id: TweetId(i),
+///         user: UserId(i * 10),
+///         created_at: SimInstant(i),
+///         text: format!("kidney {i}"),
+///         geo: None,
+///     })
+///     .collect();
+/// let frame = BatchFrame::encode(&tweets);
+/// assert_eq!(BatchFrame::decode(&frame).unwrap(), tweets);
+/// // Borrowed decode: no per-tweet String allocation.
+/// let views = BatchFrame::decode_views(&frame).unwrap();
+/// assert_eq!(views[2].text, "kidney 2");
+/// ```
+pub struct BatchFrame;
+
+impl BatchFrame {
+    /// Encodes a batch of tweets as one framed byte record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, exceeds [`MAX_BATCH`] tweets, or
+    /// its record bytes exceed [`MAX_PAYLOAD`] — any of those could
+    /// never be decoded, so producing them silently would be data
+    /// loss.
+    pub fn encode(tweets: &[Tweet]) -> Vec<u8> {
+        assert!(!tweets.is_empty(), "empty batch frame");
+        assert!(
+            tweets.len() <= MAX_BATCH,
+            "batch of {} tweets exceeds MAX_BATCH {MAX_BATCH}",
+            tweets.len()
+        );
+        let mut payload = Vec::with_capacity(tweets.iter().map(|t| 45 + t.text.len()).sum());
+        for t in tweets {
+            encode_tweet_payload(&mut payload, t);
+        }
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "batch payload {} exceeds MAX_PAYLOAD {MAX_PAYLOAD}",
+            payload.len()
+        );
+        let mut buf = Vec::with_capacity(V2_PREFIX_LEN + 10 + 2 + payload.len() + TRAILER_LEN);
+        buf.extend_from_slice(&MAGIC);
+        buf.push(KIND_TWEET);
+        buf.extend_from_slice(&WIRE_VERSION_V2.to_le_bytes());
+        put_varint(&mut buf, payload.len() as u64);
+        put_varint(&mut buf, tweets.len() as u64);
+        buf.extend_from_slice(&payload);
+        let sum = fnv1a_words(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Strict decode: `bytes` must be exactly one intact v2 frame.
+    /// Returns the owned tweets in batch order.
+    pub fn decode(bytes: &[u8]) -> Result<Vec<Tweet>, FrameError> {
+        Self::parse(bytes, true).map(|(views, _)| views.iter().map(TweetView::to_tweet).collect())
+    }
+
+    /// Strict borrowed decode: the tweets as views into `bytes`, no
+    /// per-tweet allocation.
+    pub fn decode_views(bytes: &[u8]) -> Result<Vec<TweetView<'_>>, FrameError> {
+        Self::parse(bytes, true).map(|(views, _)| views)
+    }
+
+    /// Borrowed prefix decode for stream scanning: decodes one v2
+    /// frame from the front of `bytes`, returning the views and total
+    /// frame length.
+    pub fn views_prefix(bytes: &[u8]) -> Result<(Vec<TweetView<'_>>, usize), FrameError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<(Vec<TweetView<'_>>, usize), FrameError> {
+        let magic_have = bytes.len().min(MAGIC.len());
+        if bytes[..magic_have] != MAGIC[..magic_have] {
+            return Err(FrameError::BadMagic);
+        }
+        if bytes.len() < V2_PREFIX_LEN + 1 {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: V2_PREFIX_LEN + 2 + TRAILER_LEN,
+            });
+        }
+        let version = u16::from_le_bytes([bytes[5], bytes[6]]);
+        if version != WIRE_VERSION_V2 {
+            return Err(FrameError::BadPayload(format!(
+                "not a v2 batch frame (version {version})"
+            )));
+        }
+        let mut cursor = V2_PREFIX_LEN;
+        let varint_err = |e: VarintError, have: usize| match e {
+            VarintError::Truncated => FrameError::Truncated {
+                have,
+                need: have + 1,
+            },
+            VarintError::Malformed(msg) => FrameError::BadPayload(msg.into()),
+        };
+        let (payload_len, n) =
+            read_varint(&bytes[cursor..]).map_err(|e| varint_err(e, bytes.len()))?;
+        cursor += n;
+        if payload_len > MAX_PAYLOAD as u64 {
+            return Err(FrameError::BadPayload(format!(
+                "declared payload length {payload_len} exceeds cap {MAX_PAYLOAD}"
+            )));
+        }
+        let payload_len = payload_len as usize;
+        let (count, n) = read_varint(&bytes[cursor..]).map_err(|e| varint_err(e, bytes.len()))?;
+        cursor += n;
+        if count == 0 {
+            return Err(FrameError::BadPayload("empty batch".into()));
+        }
+        if count > MAX_BATCH as u64 {
+            return Err(FrameError::BadPayload(format!(
+                "batch count {count} exceeds cap {MAX_BATCH}"
+            )));
+        }
+        let count = count as usize;
+        let total = cursor + payload_len + TRAILER_LEN;
+        if bytes.len() < total {
+            return Err(FrameError::Truncated {
+                have: bytes.len(),
+                need: total,
+            });
+        }
+        if strict && bytes.len() != total {
+            return Err(FrameError::BadPayload(format!(
+                "{} trailing bytes after the frame",
+                bytes.len() - total
+            )));
+        }
+        let (body, trailer) = bytes[..total].split_at(total - TRAILER_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        let computed = fnv1a_words(body);
+        if stored != computed {
+            return Err(FrameError::BadChecksum { stored, computed });
+        }
+        let kind = bytes[4];
+        if kind != KIND_TWEET {
+            return Err(FrameError::BadPayload(format!(
+                "unexpected frame kind {kind} (wanted {KIND_TWEET})"
+            )));
+        }
+        let payload = &body[cursor..];
+        let mut views = Vec::with_capacity(count);
+        let mut consumed = 0usize;
+        for _ in 0..count {
+            let (view, n) = decode_tweet_view(&payload[consumed..])?;
+            consumed += n;
+            views.push(view);
+        }
+        if consumed != payload_len {
+            return Err(FrameError::BadPayload(format!(
+                "{} unread payload bytes",
+                payload_len - consumed
+            )));
+        }
+        Ok((views, total))
+    }
+}
+
+/// One decoded frame from a [`FrameReader`]: which layout version it
+/// arrived in and the tweets it carried as borrowed views (one view
+/// for v1, the whole batch for v2).
+#[derive(Debug)]
+pub struct FrameViews<'a> {
+    /// The wire version of the frame that produced these views.
+    pub version: u16,
+    /// The decoded tweets, borrowing from the reader's buffer.
+    pub views: Vec<TweetView<'a>>,
+}
+
+/// Walks a byte stream of concatenated frames — v1 and v2 may
+/// interleave — yielding decoded tweets and classified errors,
+/// resynchronizing on the magic after damage.
+///
+/// ```
+/// use donorpulse_twitter::wire::{BatchFrame, FrameReader, TweetFrame};
 /// use donorpulse_twitter::{SimInstant, Tweet, TweetId, UserId};
 ///
 /// let tweet = Tweet {
@@ -342,16 +768,18 @@ impl TweetFrame {
 /// };
 /// let mut buf = TweetFrame::encode(&tweet);
 /// buf[15] ^= 0x40; // damage the first frame
-/// buf.extend_from_slice(&TweetFrame::encode(&tweet));
+/// buf.extend_from_slice(&BatchFrame::encode(&[tweet.clone(), tweet.clone()]));
 /// let results: Vec<_> = FrameReader::new(&buf).collect();
 /// assert!(results[0].is_err());
 /// assert_eq!(results[1].as_ref().unwrap(), &tweet);
+/// assert_eq!(results[2].as_ref().unwrap(), &tweet);
 /// ```
 pub struct FrameReader<'a> {
     buf: &'a [u8],
     pos: usize,
     resyncs: u64,
     bytes_skipped: u64,
+    pending: VecDeque<Tweet>,
 }
 
 impl<'a> FrameReader<'a> {
@@ -362,6 +790,7 @@ impl<'a> FrameReader<'a> {
             pos: 0,
             resyncs: 0,
             bytes_skipped: 0,
+            pending: VecDeque::new(),
         }
     }
 
@@ -375,15 +804,70 @@ impl<'a> FrameReader<'a> {
         self.bytes_skipped
     }
 
+    /// Decodes the next frame in place, sniffing its version, and
+    /// returns its tweets as borrowed views (no allocation per
+    /// tweet). `None` at end of buffer; a classified error after
+    /// damage, with the cursor already resynchronized past it.
+    pub fn next_views(&mut self) -> Option<Result<FrameViews<'a>, FrameError>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let at = &self.buf[self.pos..];
+        let parsed = match frame_version(at) {
+            Some(WIRE_VERSION_V2) => BatchFrame::views_prefix(at).map(|(views, consumed)| {
+                (
+                    FrameViews {
+                        version: WIRE_VERSION_V2,
+                        views,
+                    },
+                    consumed,
+                )
+            }),
+            // Version 1 — and anything unrecognized, so the v1 parser
+            // classifies the failure (bad magic, truncation, unknown
+            // version).
+            _ => TweetFrame::view_prefix(at).map(|(view, consumed)| {
+                (
+                    FrameViews {
+                        version: WIRE_VERSION,
+                        views: vec![view],
+                    },
+                    consumed,
+                )
+            }),
+        };
+        match parsed {
+            Ok((frame, consumed)) => {
+                self.pos += consumed;
+                Some(Ok(frame))
+            }
+            Err(e) => {
+                self.resync();
+                Some(Err(e))
+            }
+        }
+    }
+
     /// Advances past a bad frame start to the next magic candidate
-    /// (or the end of the buffer).
+    /// (or the end of the buffer). Skips directly between candidate
+    /// first bytes instead of sliding a 4-byte window, so crossing a
+    /// multi-kilobyte damaged gap is one cheap scan.
     fn resync(&mut self) {
-        let from = self.pos + 1;
-        let next = self.buf[from.min(self.buf.len())..]
-            .windows(MAGIC.len())
-            .position(|w| w == MAGIC)
-            .map(|off| from + off)
-            .unwrap_or(self.buf.len());
+        let mut from = (self.pos + 1).min(self.buf.len());
+        let next = loop {
+            match self.buf[from..].iter().position(|&b| b == MAGIC[0]) {
+                None => break self.buf.len(),
+                Some(off) => {
+                    let cand = from + off;
+                    if cand + MAGIC.len() <= self.buf.len()
+                        && self.buf[cand..cand + MAGIC.len()] == MAGIC
+                    {
+                        break cand;
+                    }
+                    from = cand + 1;
+                }
+            }
+        };
         self.resyncs += 1;
         self.bytes_skipped += (next - self.pos) as u64;
         self.pos = next;
@@ -394,18 +878,20 @@ impl Iterator for FrameReader<'_> {
     type Item = Result<Tweet, FrameError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.buf.len() {
-            return None;
+        if let Some(t) = self.pending.pop_front() {
+            return Some(Ok(t));
         }
-        match TweetFrame::decode_prefix(&self.buf[self.pos..]) {
-            Ok((tweet, consumed)) => {
-                self.pos += consumed;
-                Some(Ok(tweet))
+        match self.next_views()? {
+            Ok(frame) => {
+                let mut it = frame.views.iter();
+                let first = it
+                    .next()
+                    .expect("decoded frames are never empty")
+                    .to_tweet();
+                self.pending.extend(it.map(TweetView::to_tweet));
+                Some(Ok(first))
             }
-            Err(e) => {
-                self.resync();
-                Some(Err(e))
-            }
+            Err(e) => Some(Err(e)),
         }
     }
 }
@@ -468,7 +954,10 @@ mod tests {
         // Wrong first byte is BadMagic.
         let mut wrong = frame.clone();
         wrong[0] = b'X';
-        assert_eq!(TweetFrame::decode(&wrong).unwrap_err(), FrameError::BadMagic);
+        assert_eq!(
+            TweetFrame::decode(&wrong).unwrap_err(),
+            FrameError::BadMagic
+        );
         // Wrong kind with a repaired checksum is BadPayload.
         let mut kinded = frame.clone();
         kinded[4] = KIND_TWEET + 1;
@@ -541,6 +1030,295 @@ mod tests {
             for item in FrameReader::new(&buf).flatten() {
                 assert!(
                     originals.contains(&TweetFrame::encode(&item)),
+                    "bit {bit} decoded a wrong tweet: {item:?}"
+                );
+            }
+            buf[mid_start + bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+
+    // ---- wire v2 ----
+
+    #[test]
+    fn varint_roundtrips_and_rejects_junk() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (back, n) = read_varint(&buf).ok().expect("roundtrip");
+            assert_eq!(back, v, "value");
+            assert_eq!(n, buf.len(), "consumed");
+        }
+        // Truncated mid-varint.
+        assert!(matches!(read_varint(&[0x80]), Err(VarintError::Truncated)));
+        assert!(matches!(read_varint(&[]), Err(VarintError::Truncated)));
+        // Non-canonical: 0x80 0x00 re-encodes zero in two bytes.
+        assert!(matches!(
+            read_varint(&[0x80, 0x00]),
+            Err(VarintError::Malformed(_))
+        ));
+        // Overflow: ten bytes whose top carries past bit 63.
+        let over = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(matches!(read_varint(&over), Err(VarintError::Malformed(_))));
+        // Over-long: eleven continuation bytes.
+        let long = [0x80u8; 11];
+        assert!(matches!(read_varint(&long), Err(VarintError::Malformed(_))));
+    }
+
+    #[test]
+    fn word_fnv_pins_and_distinguishes_padding() {
+        // Pin the algorithm's fixed points: empty input is one
+        // length-mix step from the offset basis, and a single full
+        // word is two multiplies. The committed golden vectors pin
+        // full-frame checksums byte-exactly.
+        const P: u64 = 0x100_0000_01b3;
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        assert_eq!(fnv1a_words(b""), BASIS.wrapping_mul(P));
+        let word = u64::from_le_bytes(*b"DPWFDPWF");
+        assert_eq!(
+            fnv1a_words(b"DPWFDPWF"),
+            ((BASIS ^ word).wrapping_mul(P) ^ 8).wrapping_mul(P)
+        );
+        // Zero-padding must not collide across lengths.
+        assert_ne!(fnv1a_words(&[1]), fnv1a_words(&[1, 0]));
+        assert_ne!(fnv1a_words(&[0; 8]), fnv1a_words(&[0; 16]));
+    }
+
+    #[test]
+    fn batch_frame_roundtrips() {
+        let tweets: Vec<Tweet> = vec![
+            tweet(1, "kidney donor ❤", Some((37.69, -97.34))),
+            tweet(2, "", None),
+            tweet(3, "DPWF inside the text", Some((0.0, -0.0))),
+            tweet(u64::MAX, "liver", None),
+        ];
+        let frame = BatchFrame::encode(&tweets);
+        // Pin the envelope arithmetic: prefix + 2 one-byte varints
+        // (payload < 128 would be 1 byte; compute generically).
+        let payload: usize = tweets
+            .iter()
+            .map(|t| 29 + t.text.len() + if t.geo.is_some() { 16 } else { 0 })
+            .sum();
+        let mut lens = Vec::new();
+        put_varint(&mut lens, payload as u64);
+        put_varint(&mut lens, tweets.len() as u64);
+        assert_eq!(
+            frame.len(),
+            V2_PREFIX_LEN + lens.len() + payload + TRAILER_LEN
+        );
+        assert_eq!(BatchFrame::decode(&frame).expect("decode"), tweets);
+        let views = BatchFrame::decode_views(&frame).expect("views");
+        assert_eq!(views.len(), tweets.len());
+        for (v, t) in views.iter().zip(&tweets) {
+            assert_eq!(v.id, t.id);
+            assert_eq!(v.text, t.text);
+            assert_eq!(
+                v.geo.map(|(a, b)| (a.to_bits(), b.to_bits())),
+                t.geo.map(|(a, b)| (a.to_bits(), b.to_bits()))
+            );
+            assert_eq!(&v.to_tweet(), t);
+        }
+    }
+
+    #[test]
+    fn v2_header_layout_is_pinned() {
+        let frame = BatchFrame::encode(&[tweet(5, "heart", None)]);
+        assert_eq!(&frame[0..4], b"DPWF");
+        assert_eq!(frame[4], KIND_TWEET);
+        assert_eq!(u16::from_le_bytes([frame[5], frame[6]]), 2);
+        // One tweet, 34-byte record: both varints fit in one byte.
+        assert_eq!(frame[7], 34); // payload length varint
+        assert_eq!(frame[8], 1); // count varint
+        assert_eq!(frame.len(), V2_PREFIX_LEN + 2 + 34 + TRAILER_LEN);
+        let body = &frame[..frame.len() - TRAILER_LEN];
+        let stored = u64::from_le_bytes(frame[frame.len() - TRAILER_LEN..].try_into().unwrap());
+        assert_eq!(stored, fnv1a_words(body));
+    }
+
+    #[test]
+    fn v2_decode_classifies_each_failure_mode() {
+        let tweets = vec![
+            tweet(1, "kidney", None),
+            tweet(2, "liver", Some((1.0, 2.0))),
+        ];
+        let frame = BatchFrame::encode(&tweets);
+        // Truncation at several depths.
+        for cut in [1, V2_PREFIX_LEN, V2_PREFIX_LEN + 1, frame.len() - 1] {
+            let err = BatchFrame::decode(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut {cut} gave {err:?}"
+            );
+        }
+        // A payload bit flip is a checksum failure.
+        let mut flipped = frame.clone();
+        flipped[V2_PREFIX_LEN + 4] ^= 0x10;
+        assert!(matches!(
+            BatchFrame::decode(&flipped).unwrap_err(),
+            FrameError::BadChecksum { .. }
+        ));
+        // Wrong first byte is BadMagic.
+        let mut wrong = frame.clone();
+        wrong[0] = b'X';
+        assert_eq!(
+            BatchFrame::decode(&wrong).unwrap_err(),
+            FrameError::BadMagic
+        );
+        // Trailing garbage is strict-rejected but prefix-consumed.
+        let mut trailing = frame.clone();
+        trailing.push(0xEE);
+        assert!(matches!(
+            BatchFrame::decode(&trailing).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        let (views, consumed) = BatchFrame::views_prefix(&trailing).expect("prefix");
+        assert_eq!(views.len(), 2);
+        assert_eq!(consumed, frame.len());
+        // A v1 frame handed to the v2 parser is a classified error,
+        // not a panic or a wrong tweet.
+        let v1 = TweetFrame::encode(&tweets[0]);
+        assert!(matches!(
+            BatchFrame::decode(&v1).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+    }
+
+    #[test]
+    fn v2_rejects_absurd_declared_sizes() {
+        // Hand-build a frame declaring a huge payload: rejected before
+        // any truncation check can drag the reader forward.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(KIND_TWEET);
+        buf.extend_from_slice(&WIRE_VERSION_V2.to_le_bytes());
+        put_varint(&mut buf, (MAX_PAYLOAD as u64) + 1);
+        put_varint(&mut buf, 1);
+        let sum = fnv1a_words(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            BatchFrame::decode(&buf).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        // Zero-count and over-count batches are rejected too.
+        for count in [0u64, (MAX_BATCH as u64) + 1] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MAGIC);
+            buf.push(KIND_TWEET);
+            buf.extend_from_slice(&WIRE_VERSION_V2.to_le_bytes());
+            put_varint(&mut buf, 0);
+            put_varint(&mut buf, count);
+            let sum = fnv1a_words(&buf);
+            buf.extend_from_slice(&sum.to_le_bytes());
+            assert!(
+                matches!(
+                    BatchFrame::decode(&buf).unwrap_err(),
+                    FrameError::BadPayload(_)
+                ),
+                "count {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_any_sniffs_both_versions() {
+        let t = tweet(40, "pancreas", None);
+        let v1 = TweetFrame::encode(&t);
+        assert_eq!(decode_any(&v1).expect("v1"), vec![t.clone()]);
+        let batch = vec![t.clone(), tweet(41, "cornea", Some((3.0, 4.0)))];
+        let v2 = BatchFrame::encode(&batch);
+        assert_eq!(decode_any(&v2).expect("v2"), batch);
+        // Unknown version is a classified error.
+        let mut v9 = v1.clone();
+        v9[5] = 9;
+        assert!(matches!(
+            decode_any(&v9).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        // Garbage falls through to v1 classification.
+        assert_eq!(decode_any(b"XYZ").unwrap_err(), FrameError::BadMagic);
+    }
+
+    #[test]
+    fn reader_interleaves_v1_and_v2_frames() {
+        let a = tweet(1, "kidney", None);
+        let b = tweet(2, "liver", Some((1.0, 2.0)));
+        let c = tweet(3, "heart", None);
+        let d = tweet(4, "cornea", None);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&TweetFrame::encode(&a));
+        buf.extend_from_slice(&BatchFrame::encode(&[b.clone(), c.clone()]));
+        buf.extend_from_slice(&TweetFrame::encode(&d));
+        let got: Vec<Tweet> = FrameReader::new(&buf).map(|r| r.expect("clean")).collect();
+        assert_eq!(got, vec![a.clone(), b.clone(), c.clone(), d.clone()]);
+        // next_views reports the version of each frame.
+        let mut reader = FrameReader::new(&buf);
+        let versions: Vec<u16> = std::iter::from_fn(|| reader.next_views())
+            .map(|r| r.expect("clean").version)
+            .collect();
+        assert_eq!(versions, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn reader_resyncs_across_a_multikib_damaged_gap() {
+        let a = tweet(1, "kidney", None);
+        let z = tweet(99, "heart", None);
+        let mut buf = TweetFrame::encode(&a);
+        // An 8 KiB gap dense with near-misses: candidate 'D' bytes and
+        // partial "DPW" magics, but no full magic.
+        let gap_start = buf.len();
+        for i in 0..2048usize {
+            match i % 3 {
+                0 => buf.extend_from_slice(b"DDDD"),
+                1 => buf.extend_from_slice(b"DPW_"),
+                _ => buf.extend_from_slice(b"DPD_"),
+            }
+        }
+        let gap_len = buf.len() - gap_start;
+        assert!(gap_len >= 8 * 1024);
+        buf.extend_from_slice(&BatchFrame::encode(&[z.clone()]));
+        let mut reader = FrameReader::new(&buf);
+        let got: Vec<_> = reader.by_ref().collect();
+        let oks: Vec<TweetId> = got
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|t| t.id))
+            .collect();
+        assert_eq!(oks, vec![TweetId(1), TweetId(99)]);
+        assert_eq!(reader.resyncs(), 1, "one hunt crosses the whole gap");
+        assert_eq!(reader.bytes_skipped(), gap_len as u64);
+    }
+
+    #[test]
+    fn damaged_batches_never_yield_a_wrong_tweet() {
+        let before = tweet(20, "bone marrow", None);
+        let batch = vec![
+            tweet(21, "kidney DPWF", Some((37.0, -97.0))),
+            tweet(22, "liver ❤", None),
+        ];
+        let after = tweet(23, "pancreas", None);
+        let known: std::collections::BTreeSet<u64> = [20, 21, 22, 23].iter().copied().collect();
+        let pre = TweetFrame::encode(&before);
+        let mid = BatchFrame::encode(&batch);
+        let post = TweetFrame::encode(&after);
+        let mid_start = pre.len();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&pre);
+        buf.extend_from_slice(&mid);
+        buf.extend_from_slice(&post);
+        for bit in 0..mid.len() * 8 {
+            buf[mid_start + bit / 8] ^= 1 << (bit % 8);
+            for item in FrameReader::new(&buf).flatten() {
+                assert!(
+                    known.contains(&item.id.0),
                     "bit {bit} decoded a wrong tweet: {item:?}"
                 );
             }

@@ -79,4 +79,44 @@ echo "==> bench_check: shard-scaling smoke (N = 1, 2, 4)"
   2> /dev/null \
   || fail "shard-scaling bench failed"
 
-echo "BENCH CHECK: PASS (normalized cost ratio ${RATIO})"
+# Stream wire-path gate against the committed BENCH_STREAM_BASELINE.json:
+# the zero-copy v2 decode path must stay >= MIN_SPEEDUP faster than v1
+# (measured fresh, not read from the baseline), and its own normalized
+# cost must not regress against the committed baseline.
+STREAM_BASELINE="${BENCH_STREAM_BASELINE:-BENCH_STREAM_BASELINE.json}"
+MIN_SPEEDUP="${BENCH_STREAM_MIN_SPEEDUP:-2.0}"
+[ -f "${STREAM_BASELINE}" ] || fail "missing stream baseline ${STREAM_BASELINE}"
+S_SCALE="$(field scale "${STREAM_BASELINE}")"
+S_SEED="$(field seed "${STREAM_BASELINE}")"
+BASE_FAST="$(sed -n '/"wire": "v2-borrowed"/s/.*"best_nanos": \([0-9]*\).*/\1/p' "${STREAM_BASELINE}" | head -n 1)"
+BASE_SCAL="$(field calibration_nanos "${STREAM_BASELINE}")"
+[ -n "${S_SCALE}" ] && [ -n "${BASE_FAST}" ] && [ -n "${BASE_SCAL}" ] \
+  || fail "stream baseline ${STREAM_BASELINE} is missing fields"
+
+echo "==> bench_check: stream wire paths (v1 / v2 / v2-borrowed) at scale ${S_SCALE}"
+./target/release/repro --scale "${S_SCALE}" --seed "${S_SEED}" bench-stream \
+  --json "${TMP}/bench_stream.json" > /dev/null 2> /dev/null \
+  || fail "stream wire bench failed"
+CUR_SPEEDUP="$(field speedup_v2_borrowed_vs_v1 "${TMP}/bench_stream.json")"
+CUR_FAST="$(sed -n '/"wire": "v2-borrowed"/s/.*"best_nanos": \([0-9]*\).*/\1/p' "${TMP}/bench_stream.json" | head -n 1)"
+CUR_SCAL="$(field calibration_nanos "${TMP}/bench_stream.json")"
+[ -n "${CUR_SPEEDUP}" ] && [ -n "${CUR_FAST}" ] && [ -n "${CUR_SCAL}" ] \
+  || fail "stream bench JSON unparsable"
+
+read -r S_RATIO S_VERDICT <<EOF
+$(awk -v cf="${CUR_FAST}" -v cc="${CUR_SCAL}" \
+      -v bf="${BASE_FAST}" -v bc="${BASE_SCAL}" -v tol="${TOLERANCE}" \
+      -v sp="${CUR_SPEEDUP}" -v min="${MIN_SPEEDUP}" \
+  'BEGIN {
+     ratio = (cf / cc) / (bf / bc);
+     ok = (ratio <= 1 + tol) && (sp + 0 >= min + 0);
+     printf "%.4f %s\n", ratio, (ok ? "PASS" : "FAIL");
+   }')
+EOF
+echo "    v2-borrowed vs v1 speedup: ${CUR_SPEEDUP} (required >= ${MIN_SPEEDUP})"
+echo "    v2-borrowed normalized cost ratio: ${S_RATIO} (tolerance 1 + ${TOLERANCE})"
+if [ "${S_VERDICT}" = "FAIL" ]; then
+  fail "stream wire gate: speedup ${CUR_SPEEDUP} (need >= ${MIN_SPEEDUP}) or cost ratio ${S_RATIO} out of tolerance"
+fi
+
+echo "BENCH CHECK: PASS (normalized cost ratio ${RATIO}, stream speedup ${CUR_SPEEDUP})"

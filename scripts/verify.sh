@@ -83,6 +83,38 @@ for n in 1 2 4 0; do
     || fail "sharded snapshot (shards=${n}) differs from single-consumer run"
 done
 
+echo "==> wire v2: byte-identical artifacts across wire modes"
+# The v2 batched frames and the zero-copy borrowed decode must be
+# invisible in the artifacts: the stream snapshot on stdout is required
+# to be byte-identical to the v1 wire for every fault preset, and
+# through the consumer group for every shard count
+# (docs/ARCHITECTURE.md). v1 references for the presets the earlier
+# gates did not keep:
+for f in lossy geo-outage; do
+  ./target/release/repro --scale 0.05 stream --faults "${f}" --wire v1 \
+    > "${DET_TMP}/stream_${f}_v1.txt" 2> /dev/null \
+    || fail "stream run (faults=${f}, wire=v1) failed"
+done
+cp "${DET_TMP}/stream_clean.txt" "${DET_TMP}/stream_off_v1.txt"
+cp "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_recoverable_v1.txt"
+for w in v2 v2-borrowed; do
+  for f in off recoverable lossy geo-outage; do
+    ./target/release/repro --scale 0.05 stream --faults "${f}" --wire "${w}" \
+      > "${DET_TMP}/stream_${f}_${w}.txt" 2> /dev/null \
+      || fail "stream run (faults=${f}, wire=${w}) failed"
+    diff "${DET_TMP}/stream_${f}_v1.txt" "${DET_TMP}/stream_${f}_${w}.txt" \
+      || fail "wire=${w} snapshot differs from v1 (faults=${f})"
+  done
+  for n in 1 2 4; do
+    ./target/release/repro --scale 0.05 stream --faults recoverable \
+      --shards "${n}" --wire "${w}" \
+      > "${DET_TMP}/stream_shards_${n}_${w}.txt" 2> /dev/null \
+      || fail "sharded stream run (shards=${n}, wire=${w}) failed"
+    diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_shards_${n}_${w}.txt" \
+      || fail "wire=${w} sharded snapshot (shards=${n}) differs from v1"
+  done
+done
+
 echo "==> sharding: kill + resume reproduces the uninterrupted snapshot"
 # Crash the router mid-run, then resume from the newest complete
 # checkpoint epoch; the finished run must print the exact snapshot the

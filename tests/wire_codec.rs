@@ -11,13 +11,20 @@
 //! 2. **Corruption sweep** — every single-bit flip and every truncation
 //!    point of reference frames yields a *classified* error or a clean
 //!    resync; no damage ever decodes to a wrong tweet or panics.
-//! 3. **Golden vectors** — `tests/data/wire_v1/*.dpwf` pin the encoder
-//!    byte for byte, so a layout change cannot land silently. Re-run
-//!    with `REGEN_WIRE_FIXTURES=1` to regenerate after an intentional
+//! 3. **Golden vectors** — `tests/data/wire_v1/*.dpwf` and
+//!    `tests/data/wire_v2/*.dpwf` pin both encoders byte for byte, so a
+//!    layout change cannot land silently. Re-run with
+//!    `REGEN_WIRE_FIXTURES=1` to regenerate after an intentional
 //!    (version-bumped) change.
+//!
+//! The same three layers cover wire v2 (batched frames): seeded
+//! bit-flip and truncation sweeps over multi-tweet batches, proof that
+//! a damaged batch never yields *any* tweet (all-or-nothing framing),
+//! and cross-version resync — a reader parked on damage between a v1
+//! frame and a v2 batch recovers whichever intact frames follow.
 
 use donorpulse::twitter::wire::{
-    FrameError, FrameReader, TweetFrame, HEADER_LEN, MAGIC, TRAILER_LEN,
+    BatchFrame, FrameError, FrameReader, TweetFrame, HEADER_LEN, MAGIC, TRAILER_LEN,
 };
 use donorpulse::twitter::{SimInstant, Tweet, TweetId, UserId};
 use std::collections::BTreeSet;
@@ -98,7 +105,7 @@ fn assert_tweet_eq(a: &Tweet, b: &Tweet, label: &str) {
 fn thousands_of_seeded_tweets_round_trip() {
     const N: u64 = 5_000;
     for i in 0..N {
-        let t = seeded_tweet(0x51EE_D, i);
+        let t = seeded_tweet(0x0005_1EED, i);
         let frame = TweetFrame::encode(&t);
         let back = TweetFrame::decode(&frame).expect("intact frame must decode");
         assert_tweet_eq(&back, &t, "strict round-trip");
@@ -160,8 +167,8 @@ fn every_single_bit_flip_is_a_classified_error() {
         for bit in 0..frame.len() * 8 {
             let mut damaged = frame.clone();
             damaged[bit / 8] ^= 1 << (bit % 8);
-            let err = TweetFrame::decode(&damaged)
-                .expect_err("a single-bit flip must never decode");
+            let err =
+                TweetFrame::decode(&damaged).expect_err("a single-bit flip must never decode");
             // Every failure carries a stable class label.
             assert!(
                 matches!(
@@ -179,8 +186,8 @@ fn every_truncation_point_is_a_classified_error() {
     for t in reference_tweets() {
         let frame = TweetFrame::encode(&t);
         for cut in 0..frame.len() {
-            let err = TweetFrame::decode(&frame[..cut])
-                .expect_err("a truncated frame must never decode");
+            let err =
+                TweetFrame::decode(&frame[..cut]).expect_err("a truncated frame must never decode");
             assert!(
                 matches!(err, FrameError::Truncated { .. }),
                 "cut {cut} gave {err:?}, not Truncated"
@@ -236,14 +243,12 @@ fn truncation_sweep_over_a_stream_never_yields_a_wrong_tweet() {
         let buf = &clean[..cut];
         let whole = ends.iter().filter(|&&e| e <= cut).count();
         let mut decoded = 0usize;
-        for item in FrameReader::new(buf) {
-            if let Ok(tweet) = item {
-                assert!(
-                    originals.contains(&TweetFrame::encode(&tweet)),
-                    "cut {cut} decoded a wrong tweet: {tweet:?}"
-                );
-                decoded += 1;
-            }
+        for tweet in FrameReader::new(buf).flatten() {
+            assert!(
+                originals.contains(&TweetFrame::encode(&tweet)),
+                "cut {cut} decoded a wrong tweet: {tweet:?}"
+            );
+            decoded += 1;
         }
         assert_eq!(
             decoded, whole,
@@ -307,5 +312,253 @@ fn regenerate_golden_vectors() {
     std::fs::create_dir_all(&dir).expect("create fixture dir");
     for (name, tweet) in fixture_names().iter().zip(reference_tweets()) {
         std::fs::write(fixture_path(name), TweetFrame::encode(&tweet)).expect("write fixture");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire v2: batched frames.
+// ---------------------------------------------------------------------
+
+#[test]
+fn v2_batches_round_trip_at_many_sizes() {
+    for &n in &[1usize, 2, 7, 64, 257] {
+        let tweets: Vec<Tweet> = (0..n as u64)
+            .map(|i| seeded_tweet(0xB47C ^ n as u64, i))
+            .collect();
+        let frame = BatchFrame::encode(&tweets);
+        let back = BatchFrame::decode(&frame).expect("intact batch must decode");
+        assert_eq!(back.len(), n, "batch of {n}: record count");
+        for (a, b) in back.iter().zip(&tweets) {
+            assert_tweet_eq(a, b, "v2 owned round-trip");
+        }
+        // The zero-copy path must see the same records bit for bit.
+        let views = BatchFrame::decode_views(&frame).expect("borrowed decode");
+        assert_eq!(views.len(), n);
+        for (v, b) in views.iter().zip(&tweets) {
+            assert_tweet_eq(&v.to_tweet(), b, "v2 borrowed round-trip");
+        }
+    }
+}
+
+#[test]
+fn mixed_version_stream_reads_back_in_order() {
+    // v1 singles and v2 batches of varying sizes interleaved on one
+    // stream — the version-sniffing reader must not care.
+    let tweets: Vec<Tweet> = (0..300).map(|i| seeded_tweet(0x771C, i)).collect();
+    let mut buf = Vec::new();
+    let mut i = 0usize;
+    let mut chunk = 1usize;
+    while i < tweets.len() {
+        let end = (i + chunk).min(tweets.len());
+        if chunk % 2 == 1 {
+            for t in &tweets[i..end] {
+                buf.extend_from_slice(&TweetFrame::encode(t));
+            }
+        } else {
+            buf.extend_from_slice(&BatchFrame::encode(&tweets[i..end]));
+        }
+        i = end;
+        chunk = chunk % 7 + 1;
+    }
+    let mut reader = FrameReader::new(&buf);
+    let mut n = 0usize;
+    for item in reader.by_ref() {
+        assert_tweet_eq(&item.expect("clean stream"), &tweets[n], "mixed stream");
+        n += 1;
+    }
+    assert_eq!(n, tweets.len());
+    assert_eq!(reader.resyncs(), 0);
+    assert_eq!(reader.bytes_skipped(), 0);
+}
+
+/// Nine seeded tweets in three batches of three — small enough that
+/// exhaustive bit sweeps stay fast, batched enough that the
+/// all-or-nothing batch guarantee is actually exercised.
+fn v2_sweep_stream() -> (Vec<Tweet>, Vec<Vec<u8>>) {
+    let tweets: Vec<Tweet> = (0..9).map(|i| seeded_tweet(0xF11D, i)).collect();
+    let frames: Vec<Vec<u8>> = tweets.chunks(3).map(BatchFrame::encode).collect();
+    (tweets, frames)
+}
+
+#[test]
+fn v2_bit_flip_sweep_never_yields_a_wrong_tweet() {
+    let (tweets, frames) = v2_sweep_stream();
+    let clean: Vec<u8> = frames.concat();
+    for bit in 0..clean.len() * 8 {
+        let mut buf = clean.clone();
+        buf[bit / 8] ^= 1 << (bit % 8);
+        let mut decoded = 0usize;
+        let mut errors = 0usize;
+        for item in FrameReader::new(&buf) {
+            match item {
+                Ok(tweet) => {
+                    let orig = tweets
+                        .get(tweet.id.0 as usize)
+                        .unwrap_or_else(|| panic!("bit {bit} decoded unknown id {:?}", tweet.id));
+                    assert_tweet_eq(&tweet, orig, "v2 flip sweep");
+                    decoded += 1;
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        // A flip kills exactly the batch it lands in — all three of its
+        // tweets, never a partial batch, never a neighbor.
+        assert_eq!(decoded, 6, "bit {bit}: a flip must kill exactly its batch");
+        assert!(errors >= 1, "bit {bit}: damage went unreported");
+    }
+}
+
+#[test]
+fn v2_truncation_sweep_never_yields_a_wrong_tweet() {
+    let (tweets, frames) = v2_sweep_stream();
+    let clean: Vec<u8> = frames.concat();
+    let mut ends = Vec::new();
+    let mut acc = 0usize;
+    for f in &frames {
+        acc += f.len();
+        ends.push(acc);
+    }
+    for cut in 0..clean.len() {
+        let buf = &clean[..cut];
+        let whole_batches = ends.iter().filter(|&&e| e <= cut).count();
+        let mut decoded = 0usize;
+        for tweet in FrameReader::new(buf).flatten() {
+            let orig = tweets
+                .get(tweet.id.0 as usize)
+                .unwrap_or_else(|| panic!("cut {cut} decoded unknown id {:?}", tweet.id));
+            assert_tweet_eq(&tweet, orig, "v2 truncation sweep");
+            decoded += 1;
+        }
+        assert_eq!(
+            decoded,
+            whole_batches * 3,
+            "cut {cut} must decode exactly the batches it wholly contains"
+        );
+    }
+}
+
+#[test]
+fn reader_resyncs_across_a_damaged_v2_batch_between_v1_frames() {
+    // v1 frame | damaged v2 batch | v1 frame: the reader recovers both
+    // v1 frames and none of the damaged batch's four tweets leak.
+    let before = seeded_tweet(0x5EA0, 0);
+    let batch: Vec<Tweet> = (1..=4).map(|i| seeded_tweet(0x5EA0, i)).collect();
+    let after = seeded_tweet(0x5EA0, 9);
+    let mut damaged = BatchFrame::encode(&batch);
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x10;
+    assert!(BatchFrame::decode(&damaged).is_err(), "damage must stick");
+
+    let mut buf = TweetFrame::encode(&before);
+    buf.extend_from_slice(&damaged);
+    buf.extend_from_slice(&TweetFrame::encode(&after));
+
+    let mut reader = FrameReader::new(&buf);
+    let mut got = Vec::new();
+    let mut errors = 0usize;
+    for item in reader.by_ref() {
+        match item {
+            Ok(t) => got.push(t),
+            Err(_) => errors += 1,
+        }
+    }
+    assert_eq!(got.len(), 2, "exactly the two intact v1 frames survive");
+    assert_tweet_eq(&got[0], &before, "v1 before the damage");
+    assert_tweet_eq(&got[1], &after, "v1 after the damage");
+    assert!(errors >= 1, "the damaged batch must be reported");
+    assert!(reader.resyncs() >= 1, "recovery must go through resync");
+    assert!(
+        got.iter().all(|t| (1..=4).all(|i| t.id != TweetId(i))),
+        "no tweet from the damaged batch may leak"
+    );
+}
+
+/// Canonical LEB128 read, mirroring the documented v2 varint layout.
+fn read_varint(buf: &[u8]) -> (u64, usize) {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut n = 0usize;
+    for &b in buf {
+        value |= ((b & 0x7F) as u64) << shift;
+        n += 1;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    (value, n)
+}
+
+#[test]
+fn v2_header_layout_is_the_documented_prefix() {
+    // magic(4) | kind(1) | version u16 LE(2) | payload_len varint |
+    // count varint | records | word-FNV trailer(8). The count varint is
+    // *outside* payload_len; the trailer covers everything before it.
+    let tweets = reference_tweets();
+    let frame = BatchFrame::encode(&tweets);
+    assert_eq!(&frame[..4], b"DPWF");
+    assert_eq!(frame[4], 3, "kind byte");
+    assert_eq!(u16::from_le_bytes([frame[5], frame[6]]), 2, "version");
+    let (payload_len, len_n) = read_varint(&frame[7..]);
+    let (count, count_n) = read_varint(&frame[7 + len_n..]);
+    assert_eq!(count, tweets.len() as u64, "batch count varint");
+    assert_eq!(
+        frame.len(),
+        7 + len_n + count_n + payload_len as usize + TRAILER_LEN,
+        "total layout: prefix + varints + payload + trailer"
+    );
+}
+
+/// v2 fixture names paired with their batch contents, in order.
+fn v2_fixtures() -> Vec<(&'static str, Vec<Tweet>)> {
+    vec![
+        ("single", vec![reference_tweets()[0].clone()]),
+        ("reference_trio", reference_tweets()),
+        (
+            "sixteen_seeded",
+            (0..16).map(|i| seeded_tweet(0x601D, i)).collect(),
+        ),
+    ]
+}
+
+fn v2_fixture_path(name: &str) -> String {
+    format!(
+        "{}/tests/data/wire_v2/{name}.dpwf",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn v2_golden_vectors_pin_the_encoder_byte_for_byte() {
+    for (name, tweets) in v2_fixtures() {
+        let path = v2_fixture_path(name);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+        });
+        let encoded = BatchFrame::encode(&tweets);
+        assert_eq!(
+            encoded, golden,
+            "{name}: encoder output drifted from the v2 golden vector — \
+             a layout change needs a wire version bump, not a fixture refresh"
+        );
+        let back = BatchFrame::decode(&golden).expect("golden vector must decode");
+        assert_eq!(back.len(), tweets.len());
+        for (a, b) in back.iter().zip(&tweets) {
+            assert_tweet_eq(a, b, name);
+        }
+    }
+}
+
+/// v2 counterpart of [`regenerate_golden_vectors`]; same
+/// `REGEN_WIRE_FIXTURES=1` contract.
+#[test]
+fn regenerate_v2_golden_vectors() {
+    if std::env::var("REGEN_WIRE_FIXTURES").as_deref() != Ok("1") {
+        return;
+    }
+    let dir = format!("{}/tests/data/wire_v2", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for (name, tweets) in v2_fixtures() {
+        std::fs::write(v2_fixture_path(name), BatchFrame::encode(&tweets)).expect("write fixture");
     }
 }

@@ -97,6 +97,26 @@ struct Options {
     /// `None` = the single-consumer front-half; `Some(n)` = the
     /// sharded consumer group (`n` = 0 means auto).
     shards: Option<usize>,
+    /// `Some(n)` = the cross-process consumer group: n shard-worker
+    /// *processes* under a supervising router (`core::procgroup`).
+    procs: Option<usize>,
+    /// `shard-worker`: this worker's shard index.
+    shard: Option<usize>,
+    /// `shard-worker`: unix-socket path to dial.
+    connect: Option<String>,
+    /// `shard-worker`: frames ride stdin/stdout instead of a socket.
+    stdio: bool,
+    /// `shard-worker` test hook: crash (exit 17, no checkpoint) after
+    /// admitting this many tweets.
+    die_after: Option<u64>,
+    /// `stream --procs` test hook: `I:M` = worker I's first
+    /// incarnation dies after admitting M tweets (supervisor respawns
+    /// and resumes it).
+    kill_worker: Option<String>,
+    /// `stream --procs`: directory for supervisor + per-worker logs.
+    worker_log_dir: Option<String>,
+    /// `stream --procs`: `socket` (default) or `pipe`.
+    transport: String,
     checkpoint_dir: Option<String>,
     checkpoint_every: u64,
     resume: bool,
@@ -132,6 +152,14 @@ fn parse_args() -> Result<Options, String> {
     let mut faults = "off".to_string();
     let mut wire = "v1".to_string();
     let mut shards = None;
+    let mut procs = None;
+    let mut shard = None;
+    let mut connect = None;
+    let mut stdio = false;
+    let mut die_after = None;
+    let mut kill_worker = None;
+    let mut worker_log_dir = None;
+    let mut transport = "socket".to_string();
     let mut checkpoint_dir = None;
     let mut checkpoint_every = 512;
     let mut resume = false;
@@ -189,6 +217,43 @@ fn parse_args() -> Result<Options, String> {
                         .parse()
                         .map_err(|e| format!("bad --shards: {e}"))?,
                 );
+            }
+            "--procs" => {
+                procs = Some(
+                    args.next()
+                        .ok_or("--procs needs a process count (0 = auto)")?
+                        .parse()
+                        .map_err(|e| format!("bad --procs: {e}"))?,
+                );
+            }
+            "--shard" => {
+                shard = Some(
+                    args.next()
+                        .ok_or("--shard needs a shard index")?
+                        .parse()
+                        .map_err(|e| format!("bad --shard: {e}"))?,
+                );
+            }
+            "--connect" => {
+                connect = Some(args.next().ok_or("--connect needs a socket path")?);
+            }
+            "--stdio" => stdio = true,
+            "--die-after" => {
+                die_after = Some(
+                    args.next()
+                        .ok_or("--die-after needs an admitted-tweet count")?
+                        .parse()
+                        .map_err(|e| format!("bad --die-after: {e}"))?,
+                );
+            }
+            "--kill-worker" => {
+                kill_worker = Some(args.next().ok_or("--kill-worker needs I:M")?);
+            }
+            "--worker-log-dir" => {
+                worker_log_dir = Some(args.next().ok_or("--worker-log-dir needs a path")?);
+            }
+            "--transport" => {
+                transport = args.next().ok_or("--transport needs socket|pipe")?;
             }
             "--checkpoint-dir" => {
                 checkpoint_dir = Some(args.next().ok_or("--checkpoint-dir needs a path")?);
@@ -273,6 +338,14 @@ fn parse_args() -> Result<Options, String> {
         faults,
         wire,
         shards,
+        procs,
+        shard,
+        connect,
+        stdio,
+        die_after,
+        kill_worker,
+        worker_log_dir,
+        transport,
         checkpoint_dir,
         checkpoint_every,
         resume,
@@ -325,9 +398,19 @@ fn main() -> ExitCode {
             "             --checkpoint-retain K compacts all but the newest K complete epochs."
         );
         eprintln!("             --dead-letter-dir D writes abandoned records to a replayable log.");
+        eprintln!(
+            "             --procs N runs the same group as N supervised worker processes over"
+        );
+        eprintln!("             unix sockets (--transport socket|pipe); byte-identical to");
+        eprintln!("             --shards N. --kill-worker I:M kills worker I after M admitted");
+        eprintln!("             tweets (the supervisor respawns and resumes it from its last");
+        eprintln!("             checkpoint); --worker-log-dir D captures per-worker stderr.");
+        eprintln!("  shard-worker  one worker process of the --procs group (spawned by the");
+        eprintln!("             supervisor; needs --shard i --procs n and --connect P|--stdio)");
         eprintln!("  replay-dead-letters  re-run the degraded stream (same --scale/--seed/");
         eprintln!("             --faults), replay --dead-letter-dir D's log through the sensor,");
-        eprintln!("             and verify full coverage is restored (unsharded only)");
+        eprintln!("             and verify full coverage is restored. --shards/--procs N");
+        eprintln!("             reconstructs the consumer-group run (per-shard schedules).");
         eprintln!(
             "  bench-shards  shard-scaling smoke bench (N = 1, 2, 4) over the stream front-half"
         );
@@ -389,6 +472,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "extension-burst" => return extension_burst(opts),
         "control-null" => return control_null(opts),
         "stream" => return stream_command(opts),
+        "shard-worker" => return shard_worker_command(opts),
         "replay-dead-letters" => return replay_command(opts),
         "bench-shards" => return bench_shards(opts),
         "bench-stream" => return bench_stream(opts),
@@ -625,7 +709,7 @@ fn calibration_nanos() -> u64 {
 /// Prints wall time and throughput per shard count; with `--json`,
 /// writes a hand-rolled summary.
 fn bench_shards(opts: &Options) -> Result<(), String> {
-    use donorpulse_core::shard::{run_sharded_stream, ShardConfig};
+    use donorpulse_core::shard::{run_sharded_stream, ShardConfig, ShardServices};
     use donorpulse_core::stream_consumer::StreamPipelineConfig;
     use donorpulse_twitter::fault::FaultConfig;
 
@@ -646,7 +730,7 @@ fn bench_shards(opts: &Options) -> Result<(), String> {
         let run = run_sharded_stream(
             &sim,
             &geocoder,
-            &geocoder,
+            ShardServices::Shared(&geocoder),
             FaultConfig::none(),
             None,
             ShardConfig {
@@ -942,11 +1026,19 @@ fn stream_command(opts: &Options) -> Result<(), String> {
     use donorpulse_core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
     use donorpulse_geo::service::FlakyGeocoder;
 
+    if opts.shards.is_some() && opts.procs.is_some() {
+        return Err("--shards and --procs are mutually exclusive".to_string());
+    }
+    if opts.procs.is_some() {
+        return proc_stream_command(opts);
+    }
     if opts.shards.is_some() {
         return sharded_stream_command(opts);
     }
     if opts.resume || opts.kill_after.is_some() {
-        return Err("--resume / --kill-after require --shards (the consumer group)".to_string());
+        return Err(
+            "--resume / --kill-after require --shards or --procs (a consumer group)".to_string(),
+        );
     }
 
     let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
@@ -1002,9 +1094,9 @@ fn stream_command(opts: &Options) -> Result<(), String> {
 /// recoverable modes — `scripts/verify.sh` diffs exactly that.
 fn sharded_stream_command(opts: &Options) -> Result<(), String> {
     use donorpulse_core::checkpoint::{CheckpointStore, DirCheckpointStore};
-    use donorpulse_core::shard::{run_sharded_stream, ShardConfig};
+    use donorpulse_core::shard::{resolve_shards, run_sharded_stream, ShardConfig, ShardServices};
     use donorpulse_core::stream_consumer::{RetryPolicy, StreamPipelineConfig};
-    use donorpulse_geo::service::FlakyGeocoder;
+    use donorpulse_geo::service::{FlakyGeocoder, LocationService};
 
     let shards = opts.shards.unwrap_or(1);
     let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
@@ -1052,12 +1144,38 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         "# stream: faults={} wire={} shards={} checkpoint_every={} resume={}",
         opts.faults, opts.wire, shards, shard_config.checkpoint_every, opts.resume
     );
+    // Degraded presets get one geocoding service *per shard*, each
+    // with a schedule derived from its shard index — a shard's failure
+    // schedule becomes a function of its own admission sequence alone,
+    // which is what makes a degraded sharded run deterministic (and
+    // its dead-letter log reconstructible by `replay-dead-letters`).
+    let resolved = resolve_shards(shards);
     let run = match flaky {
         Some(cfg) => {
-            let service = FlakyGeocoder::new(&geocoder, cfg);
-            run_sharded_stream(&sim, &geocoder, &service, faults, store_ref, shard_config)
+            let services: Vec<FlakyGeocoder> = (0..resolved)
+                .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, resolved)))
+                .collect();
+            let refs: Vec<&(dyn LocationService + Sync)> = services
+                .iter()
+                .map(|s| s as &(dyn LocationService + Sync))
+                .collect();
+            run_sharded_stream(
+                &sim,
+                &geocoder,
+                ShardServices::PerShard(refs),
+                faults,
+                store_ref,
+                shard_config,
+            )
         }
-        None => run_sharded_stream(&sim, &geocoder, &geocoder, faults, store_ref, shard_config),
+        None => run_sharded_stream(
+            &sim,
+            &geocoder,
+            ShardServices::Shared(&geocoder),
+            faults,
+            store_ref,
+            shard_config,
+        ),
     }
     .map_err(|e| e.to_string())?;
 
@@ -1106,16 +1224,260 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
     .map(|_| ())
 }
 
+/// `repro stream --procs N`: the cross-process consumer group. The
+/// router (this process) spawns N `repro shard-worker` children,
+/// streams framed DPWF batches to them, supervises deaths, and merges
+/// their reports. Stdout is required to be byte-identical to
+/// `--shards N` for every fault preset, and to the unsharded run for
+/// clean/recoverable presets — `scripts/verify.sh` diffs exactly that.
+fn proc_stream_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::{CheckpointStore, DirCheckpointStore};
+    use donorpulse_core::procgroup::{
+        run_proc_group, ProcGroupConfig, ProcTransport, WorkerSpawner, DEFAULT_RESPAWN_LIMIT,
+    };
+    use donorpulse_core::shard::ShardConfig;
+    use donorpulse_core::stream_consumer::{RetryPolicy, StreamPipelineConfig};
+
+    let procs = opts.procs.unwrap_or(1);
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (faults, _flaky) = fault_setup(opts)?; // workers derive their own services
+
+    let store: Option<DirCheckpointStore> = match &opts.checkpoint_dir {
+        Some(dir) => Some(DirCheckpointStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+    let store_ref: Option<&dyn CheckpointStore> = store.as_ref().map(|s| s as &dyn CheckpointStore);
+
+    let (wire, borrowed_decode) = wire_setup(opts)?;
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        geo_retry: RetryPolicy {
+            max_attempts: 6,
+            jitter_permille: 500,
+            jitter_seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        wire,
+        borrowed_decode,
+        ..StreamPipelineConfig::default()
+    };
+    let shard_config = ShardConfig {
+        shards: procs,
+        checkpoint_every: if store.is_some() {
+            opts.checkpoint_every
+        } else {
+            0
+        },
+        kill_after: opts.kill_after,
+        resume: opts.resume,
+        checkpoint_retain: opts.checkpoint_retain,
+        checkpoint_final: false,
+        stream: stream_config,
+    };
+
+    let transport = match opts.transport.as_str() {
+        "socket" => ProcTransport::Socket,
+        "pipe" => ProcTransport::Pipe,
+        other => return Err(format!("unknown --transport {other} (use socket|pipe)")),
+    };
+    let kill_worker = match &opts.kill_worker {
+        Some(spec) => {
+            let (i, m) = spec
+                .split_once(':')
+                .ok_or("--kill-worker wants I:M (worker index : admitted tweets)")?;
+            Some((
+                i.parse()
+                    .map_err(|e| format!("bad --kill-worker index: {e}"))?,
+                m.parse()
+                    .map_err(|e| format!("bad --kill-worker count: {e}"))?,
+            ))
+        }
+        None => None,
+    };
+    // The worker spawn recipe: same binary, same generative and fault
+    // knobs, the shard-worker verb; the supervisor appends the
+    // per-spawn slot and transport arguments itself.
+    let mut args = vec![
+        "--scale".to_string(),
+        opts.scale.to_string(),
+        "--seed".to_string(),
+        opts.seed.to_string(),
+        "--faults".to_string(),
+        opts.faults.clone(),
+        "--wire".to_string(),
+        opts.wire.clone(),
+    ];
+    if let Some(dir) = &opts.checkpoint_dir {
+        args.push("--checkpoint-dir".to_string());
+        args.push(dir.clone());
+    }
+    args.push("shard-worker".to_string());
+    let spawner = WorkerSpawner {
+        program: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+        args,
+        log_dir: opts.worker_log_dir.as_ref().map(std::path::PathBuf::from),
+    };
+
+    eprintln!(
+        "# stream: faults={} wire={} procs={} checkpoint_every={} resume={}",
+        opts.faults, opts.wire, procs, shard_config.checkpoint_every, opts.resume
+    );
+    eprintln!(
+        "# procgroup: transport={}{}",
+        transport.label(),
+        match kill_worker {
+            Some((i, m)) => format!(" kill-worker={i} after {m} admitted"),
+            None => String::new(),
+        }
+    );
+    let run = run_proc_group(
+        &sim,
+        &geocoder,
+        faults,
+        store_ref,
+        &spawner,
+        ProcGroupConfig {
+            shard: shard_config,
+            transport,
+            kill_worker,
+            respawn_limit: DEFAULT_RESPAWN_LIMIT,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    report_fault_accounting(&run.fault_stats, run.source_aborted, run.parked_at_end);
+    if let Some(epoch) = run.resumed_from_epoch {
+        eprintln!(
+            "# stream: resumed from checkpoint epoch {epoch} ({} replayed past the cut)",
+            run.metrics.counter("resume_replayed_total").unwrap_or(0)
+        );
+    }
+    eprintln!(
+        "# shards: {} workers, routed per shard {:?}, imbalance {} permille",
+        run.shards,
+        run.shard_tweets,
+        run.metrics
+            .gauge("shard_imbalance_ratio_permille")
+            .unwrap_or(0)
+    );
+    eprintln!(
+        "# procgroup: {} spawns, {} respawns, {} worker deaths, {} acks, {} replayed frames",
+        run.metrics.counter("procgroup_spawns_total").unwrap_or(0),
+        run.metrics.counter("procgroup_respawns_total").unwrap_or(0),
+        run.metrics
+            .counter("supervisor_worker_deaths_total")
+            .unwrap_or(0),
+        run.metrics.counter("procgroup_acks_total").unwrap_or(0),
+        run.metrics
+            .counter("supervisor_replayed_batches_total")
+            .unwrap_or(0)
+    );
+    write_dead_letters(opts, &run.dead_letters)?;
+
+    if run.killed {
+        println!("STREAM KILLED");
+        println!(
+            "  routed before kill      {}",
+            run.shard_tweets.iter().sum::<u64>()
+        );
+        println!("  checkpoints through     epoch {}", run.last_epoch);
+        eprintln!("# stream: killed by --kill-after; resume with --resume");
+        return Ok(());
+    }
+    let sensor = run
+        .sensor
+        .as_ref()
+        .expect("non-killed procgroup run always merges a sensor");
+    snapshot_and_check(
+        opts,
+        &sim,
+        sensor,
+        run.delivered_tweets,
+        run.expected_tweets,
+        &run.metrics,
+        run.parked_at_end,
+        run.source_aborted,
+    )
+    .map(|_| ())
+}
+
+/// `repro shard-worker --shard i --procs n`: one worker process of the
+/// cross-process consumer group. Spawned by the supervisor, never run
+/// by hand (but harmless if you do: it just waits for a router).
+fn shard_worker_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::{CheckpointStore, DirCheckpointStore};
+    use donorpulse_core::procgroup::{run_shard_worker, ShardWorkerConfig, WorkerConn};
+    use donorpulse_core::stream_consumer::{RetryPolicy, StreamPipelineConfig};
+    use donorpulse_geo::service::FlakyGeocoder;
+
+    let shard = opts.shard.ok_or("shard-worker needs --shard i")?;
+    let procs = opts.procs.ok_or("shard-worker needs --procs n")?;
+    let conn = match (&opts.connect, opts.stdio) {
+        (Some(path), false) => WorkerConn::Socket(std::path::PathBuf::from(path)),
+        (None, true) => WorkerConn::Stdio,
+        _ => return Err("shard-worker needs exactly one of --connect PATH or --stdio".to_string()),
+    };
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (_faults, flaky) = fault_setup(opts)?; // wire faults live router-side
+    let (wire, borrowed_decode) = wire_setup(opts)?;
+
+    let store: Option<DirCheckpointStore> = match &opts.checkpoint_dir {
+        Some(dir) => Some(DirCheckpointStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+    let store_ref: Option<&dyn CheckpointStore> = store.as_ref().map(|s| s as &dyn CheckpointStore);
+
+    // Must mirror the sharded/procgroup stream config exactly: the
+    // per-consumer retry policy derived from it is part of the
+    // deterministic schedule.
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        geo_retry: RetryPolicy {
+            max_attempts: 6,
+            jitter_permille: 500,
+            jitter_seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        wire,
+        borrowed_decode,
+        ..StreamPipelineConfig::default()
+    };
+    let worker_config = ShardWorkerConfig {
+        shard,
+        shards: procs,
+        stream: stream_config,
+        die_after: opts.die_after,
+    };
+    eprintln!(
+        "# shard-worker: slot {shard}/{procs} faults={} die_after={:?}",
+        opts.faults, opts.die_after
+    );
+    match flaky {
+        Some(cfg) => {
+            let service = FlakyGeocoder::new(&geocoder, cfg.for_shard(shard, procs));
+            run_shard_worker(&sim, &geocoder, &service, store_ref, worker_config, conn)
+        }
+        None => run_shard_worker(&sim, &geocoder, &geocoder, store_ref, worker_config, conn),
+    }
+    .map_err(|e| e.to_string())
+}
+
 /// `repro replay-dead-letters`: deterministically reconstruct the
 /// degraded run that produced `--dead-letter-dir`'s log (same scale,
 /// seed, and fault mode), feed the on-disk log back through its
 /// sensor, and verify the combination restores clean coverage.
 ///
-/// Unsharded only: the sharded group's shared flaky-geocoder call
-/// ordering depends on thread interleaving, so a reconstructed sharded
-/// run would not abandon the same records. The log itself is
-/// shard-agnostic — entries are verbatim frames or typed tweets either
-/// way.
+/// Pass `--shards N` (or `--procs N`) to reconstruct a consumer-group
+/// run instead: each shard's flaky geocoder draws from its own
+/// shard-salted schedule, so the reconstructed group abandons exactly
+/// the records the original did regardless of thread interleaving. The
+/// log itself is shard-agnostic — entries are verbatim frames or typed
+/// tweets either way.
 fn replay_command(opts: &Options) -> Result<(), String> {
     use donorpulse_core::checkpoint::DeadLetterLog;
     use donorpulse_core::stream_consumer::{
@@ -1123,12 +1485,8 @@ fn replay_command(opts: &Options) -> Result<(), String> {
     };
     use donorpulse_geo::service::FlakyGeocoder;
 
-    if opts.shards.is_some() {
-        return Err(
-            "replay-dead-letters is unsharded only (reconstructing a sharded run's \
-             abandonment set is not deterministic); drop --shards"
-                .to_string(),
-        );
+    if let Some(group) = opts.shards.or(opts.procs) {
+        return replay_sharded_command(opts, group);
     }
     let Some(dir) = &opts.dead_letter_dir else {
         return Err("replay-dead-letters needs --dead-letter-dir D (from a prior `repro stream --dead-letter-dir D`)".to_string());
@@ -1210,6 +1568,143 @@ fn replay_command(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The consumer-group arm of `repro replay-dead-letters`: rebuild the
+/// degraded sharded run in-process (per-shard flaky schedules make its
+/// abandonment set deterministic), then feed the on-disk log back
+/// through the merged sensor. This is how a degraded `--procs N` run is
+/// made whole after the fact: same knobs + same log → clean coverage.
+fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
+    use donorpulse_core::checkpoint::DeadLetterLog;
+    use donorpulse_core::shard::{resolve_shards, run_sharded_stream, ShardConfig, ShardServices};
+    use donorpulse_core::stream_consumer::{
+        replay_dead_letters, RetryPolicy, StreamPipelineConfig,
+    };
+    use donorpulse_geo::service::{FlakyGeocoder, LocationService};
+
+    let Some(dir) = &opts.dead_letter_dir else {
+        return Err("replay-dead-letters needs --dead-letter-dir D (from a prior `repro stream --dead-letter-dir D`)".to_string());
+    };
+    let path = format!("{dir}/dead-letters.dpwf");
+    let log = DeadLetterLog::read_from(&path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    let config = donorpulse_bench::config_at_scale(opts.scale, opts.seed);
+    let sim = TwitterSimulation::generate(config.generator.clone()).map_err(|e| e.to_string())?;
+    let geocoder = Geocoder::new();
+    let (faults, flaky) = fault_setup(opts)?;
+    let (wire, borrowed_decode) = wire_setup(opts)?;
+    let stream_config = StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        geo_retry: RetryPolicy {
+            max_attempts: 6,
+            jitter_permille: 500,
+            jitter_seed: opts.seed,
+            ..RetryPolicy::default()
+        },
+        wire,
+        borrowed_decode,
+        ..StreamPipelineConfig::default()
+    };
+    let shard_config = ShardConfig {
+        shards: group,
+        checkpoint_every: 0,
+        kill_after: None,
+        resume: false,
+        checkpoint_retain: 0,
+        checkpoint_final: false,
+        stream: stream_config,
+    };
+    eprintln!(
+        "# replay-dead-letters: faults={} wire={} shards={group} log={path}",
+        opts.faults, opts.wire
+    );
+    let resolved = resolve_shards(group);
+    let mut run = match &flaky {
+        Some(cfg) => {
+            let services: Vec<FlakyGeocoder> = (0..resolved)
+                .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, resolved)))
+                .collect();
+            let refs: Vec<&(dyn LocationService + Sync)> = services
+                .iter()
+                .map(|s| s as &(dyn LocationService + Sync))
+                .collect();
+            run_sharded_stream(
+                &sim,
+                &geocoder,
+                ShardServices::PerShard(refs),
+                faults,
+                None,
+                shard_config,
+            )
+        }
+        None => run_sharded_stream(
+            &sim,
+            &geocoder,
+            ShardServices::Shared(&geocoder),
+            faults,
+            None,
+            shard_config,
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+    report_fault_accounting(&run.fault_stats, run.source_aborted, run.parked_at_end);
+    if run.dead_letters.len() != log.len() {
+        eprintln!(
+            "# warning: reconstructed run abandoned {} records but the log holds {} — \
+             the log was written with different knobs",
+            run.dead_letters.len(),
+            log.len()
+        );
+    }
+
+    let sensor = run
+        .sensor
+        .as_mut()
+        .expect("non-killed sharded run always merges a sensor");
+    let report = replay_dead_letters(sensor, &log);
+    println!("DEAD-LETTER REPLAY");
+    println!("  log entries             {}", log.len());
+    println!("  tweets replayed         {}", report.tweets_replayed);
+    println!("  frames recovered        {}", report.frames_recovered);
+    println!("  frames undecodable      {}", report.frames_undecodable);
+    println!("  duplicates              {}", report.duplicates);
+
+    let artifacts_ok = snapshot_and_check(
+        opts,
+        &sim,
+        run.sensor.as_ref().expect("sensor checked above"),
+        run.delivered_tweets,
+        run.expected_tweets,
+        &run.metrics,
+        run.parked_at_end,
+        run.source_aborted,
+    )?;
+    let restored = artifacts_ok
+        && run
+            .sensor
+            .as_ref()
+            .expect("sensor checked above")
+            .tweets_seen()
+            == run.expected_tweets;
+    println!(
+        "  coverage restored       {}",
+        if restored { "yes" } else { "NO" }
+    );
+    let must_restore = matches!(opts.faults.as_str(), "off" | "recoverable" | "geo-outage");
+    if must_restore && !restored {
+        return Err(format!(
+            "faults={}: replaying the dead-letter log must restore clean coverage, but it did not",
+            opts.faults
+        ));
+    }
+    if !must_restore && !restored {
+        eprintln!(
+            "# replay: coverage still short of clean (expected: faults={} destroys records)",
+            opts.faults
+        );
+    }
+    Ok(())
+}
+
 /// `repro serve`: the always-on sensor daemon. Sharded, checkpointed
 /// ingest feeds the live sensor; an ETag-cached HTTP front-end answers
 /// `/healthz`, `/metrics`, `/report`, `/risk`, and the attention
@@ -1250,9 +1745,56 @@ fn serve_command(opts: &Options) -> Result<(), String> {
         Some(s) => s,
         None => &mem_store,
     };
+    if opts.procs.is_some() && dir_store.is_none() {
+        // Worker processes cannot see an in-memory store; the durable
+        // directory is what the consumer group checkpoints into.
+        return Err(
+            "serve --procs needs --checkpoint-dir D (workers are separate processes)".to_string(),
+        );
+    }
+    if opts.shards.is_some() && opts.procs.is_some() {
+        return Err("--shards and --procs are mutually exclusive".to_string());
+    }
+    let procgroup = match opts.procs {
+        Some(_) => {
+            use donorpulse_core::procgroup::{
+                ProcGroupLaunch, ProcTransport, WorkerSpawner, DEFAULT_RESPAWN_LIMIT,
+            };
+            let transport = match opts.transport.as_str() {
+                "socket" => ProcTransport::Socket,
+                "pipe" => ProcTransport::Pipe,
+                other => return Err(format!("unknown --transport {other} (use socket|pipe)")),
+            };
+            let mut args = vec![
+                "--scale".to_string(),
+                opts.scale.to_string(),
+                "--seed".to_string(),
+                opts.seed.to_string(),
+                "--faults".to_string(),
+                opts.faults.clone(),
+                "--wire".to_string(),
+                opts.wire.clone(),
+            ];
+            if let Some(dir) = &opts.checkpoint_dir {
+                args.push("--checkpoint-dir".to_string());
+                args.push(dir.clone());
+            }
+            args.push("shard-worker".to_string());
+            Some(ProcGroupLaunch {
+                spawner: WorkerSpawner {
+                    program: std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?,
+                    args,
+                    log_dir: opts.worker_log_dir.as_ref().map(std::path::PathBuf::from),
+                },
+                transport,
+                respawn_limit: DEFAULT_RESPAWN_LIMIT,
+            })
+        }
+        None => None,
+    };
 
     let shard_config = ShardConfig {
-        shards: opts.shards.unwrap_or(1),
+        shards: opts.shards.or(opts.procs).unwrap_or(1),
         checkpoint_every: opts.checkpoint_every,
         kill_after: None,
         resume: opts.resume,
@@ -1278,13 +1820,19 @@ fn serve_command(opts: &Options) -> Result<(), String> {
         workers: opts.workers,
         analytics,
         shard: shard_config,
+        procgroup,
         ..ServeConfig::default()
     };
     eprintln!(
-        "# serve: faults={} wire={} shards={} checkpoint_every={} workers={} store={}",
+        "# serve: faults={} wire={} shards={}{} checkpoint_every={} workers={} store={}",
         opts.faults,
         opts.wire,
         serve_config.shard.shards,
+        if serve_config.procgroup.is_some() {
+            " (processes)"
+        } else {
+            ""
+        },
         serve_config.shard.checkpoint_every,
         serve_config.workers,
         if dir_store.is_some() { "dir" } else { "mem" }

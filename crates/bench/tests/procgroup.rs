@@ -1,0 +1,137 @@
+//! End-to-end CLI tests for the cross-process consumer group: drive
+//! the real `repro` binary (router + spawned `shard-worker` children)
+//! and hold it to the same artifact-identity bar as the in-process
+//! group.
+//!
+//! 1. **Process identity** — `stream --procs 2` prints a stdout block
+//!    byte-identical to `stream --shards 2` under clean and
+//!    recoverable faults (and to the unsharded run, transitively —
+//!    `tests/sharding.rs` pins that edge).
+//! 2. **Crash-mid-epoch supervision** — kill one worker mid-stream
+//!    with `--kill-worker`; the supervisor respawns it from its last
+//!    complete checkpoint epoch and the finished run is byte-identical
+//!    to the uninterrupted one.
+//! 3. **Honest failure** — a worker death without durable checkpoints
+//!    is a clean, actionable error, not a hang or a wrong answer.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// Scratch directory unique to this test process.
+fn scratch(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dp-procgroup-test-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    repro()
+        .args(["--scale", "0.02", "--seed", "7"])
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "repro failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf8 stdout")
+}
+
+#[test]
+fn two_processes_match_two_threads_byte_for_byte() {
+    for faults in ["off", "recoverable"] {
+        let threads = stdout_of(&run(&["--faults", faults, "stream", "--shards", "2"]));
+        let procs = stdout_of(&run(&["--faults", faults, "stream", "--procs", "2"]));
+        assert_eq!(
+            procs, threads,
+            "faults={faults}: process group diverged from the in-process group"
+        );
+        assert!(procs.contains("STREAM SENSOR SNAPSHOT"));
+        assert!(procs.contains("batch equivalence       corpus=yes"));
+    }
+}
+
+#[test]
+fn killed_worker_respawns_and_reproduces_the_uninterrupted_run() {
+    let ref_dir = scratch("ref");
+    let kill_dir = scratch("kill");
+    let log_dir = scratch("logs");
+
+    let reference = stdout_of(&run(&[
+        "--faults",
+        "recoverable",
+        "stream",
+        "--procs",
+        "2",
+        "--checkpoint-dir",
+        ref_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "512",
+    ]));
+
+    // Worker 1 exits hard mid-epoch after 500 admitted tweets; the
+    // supervisor must respawn it from its last complete cut and the
+    // final artifacts must not move.
+    let out = run(&[
+        "--faults",
+        "recoverable",
+        "stream",
+        "--procs",
+        "2",
+        "--checkpoint-dir",
+        kill_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "512",
+        "--kill-worker",
+        "1:500",
+        "--worker-log-dir",
+        log_dir.to_str().unwrap(),
+    ]);
+    let healed = stdout_of(&out);
+    assert_eq!(healed, reference, "respawned run diverged");
+
+    // The supervisor log records the death and the resume.
+    let sup = std::fs::read_to_string(log_dir.join("supervisor.log")).expect("supervisor log");
+    assert!(sup.contains("DIED"), "no death recorded:\n{sup}");
+    assert!(sup.contains("resuming from epoch"), "no resume:\n{sup}");
+    // Both incarnations of worker 1 left stderr logs behind.
+    assert!(log_dir.join("worker-1-gen1.log").exists());
+    assert!(log_dir.join("worker-1-gen2.log").exists());
+
+    for dir in [ref_dir, kill_dir, log_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn worker_death_without_checkpoints_is_a_clean_error() {
+    let out = run(&[
+        "--faults",
+        "off",
+        "stream",
+        "--procs",
+        "2",
+        "--kill-worker",
+        "1:200",
+    ]);
+    assert!(
+        !out.status.success(),
+        "an unhealable worker death must fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--checkpoint-dir"),
+        "the error must say how to make death survivable:\n{stderr}"
+    );
+}

@@ -28,6 +28,9 @@ pub enum CoreError {
     /// Serving-layer failure: socket bind/IO, daemon wiring, or a
     /// snapshot render that could not complete.
     Serve(String),
+    /// Process-group failure: worker spawn/handshake/supervision, the
+    /// inter-process wire, or an unhealable worker death.
+    Proc(String),
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +45,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
             CoreError::Serve(msg) => write!(f, "serve: {msg}"),
+            CoreError::Proc(msg) => write!(f, "procgroup: {msg}"),
         }
     }
 }

@@ -48,6 +48,7 @@ pub mod cooccurrence;
 pub mod incremental;
 pub mod membership;
 pub mod pipeline;
+pub mod procgroup;
 pub mod region_view;
 pub mod relative_risk;
 pub mod report;
@@ -73,11 +74,15 @@ pub use checkpoint::{
 };
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};
+pub use procgroup::{
+    run_proc_group, run_shard_worker, ProcGroupConfig, ProcGroupLaunch, ProcTransport,
+    ShardWorkerConfig, WorkerConn, WorkerSpawner,
+};
 pub use serve::{
     run_loadgen, run_serve_daemon, HttpClient, HttpReply, LoadgenConfig, LoadgenReport,
     ServeConfig, ServeOutcome,
 };
-pub use shard::{run_sharded_stream, ShardConfig, ShardedStreamRun};
+pub use shard::{run_sharded_stream, ShardConfig, ShardServices, ShardedStreamRun};
 pub use stream_consumer::{
     replay_dead_letters, run_faulted_stream, FaultedStreamRun, ReplayReport, Resequencer,
     RetryPolicy, StreamPipelineConfig,

@@ -1,0 +1,1815 @@
+//! The cross-process consumer group: the sharded front-half of
+//! [`crate::shard`] lifted onto the DPWF wire, with shard workers as
+//! separate OS processes under a supervising router.
+//!
+//! One **router** process owns the faulted source, the keyword filter,
+//! and user-hash routing — exactly the pipeline of
+//! [`crate::shard::run_sharded_stream`], in the same operation order —
+//! but each shard's tweets leave the process as framed DPWF v2 batches
+//! over a unix-domain socket (or the worker's stdin/stdout as a pipe
+//! fallback). Each **worker** process runs the same admission + sensor
+//! loop as an in-process shard worker and writes its checkpoints into
+//! the *shared* [`CheckpointStore`] directory, so the two topologies
+//! are interchangeable on disk.
+//!
+//! Three control frame kinds carry the group protocol
+//! ([`donorpulse_twitter::wire`]):
+//!
+//! * **handshake** — the worker leads with `(shard, shards, none)`;
+//!   the router answers `(shard, shards, resume_epoch)`. Version and
+//!   slot mismatches fail fast, before any tweet crosses the wire.
+//! * **marker** — a Chandy-Lamport cut: the router flushes every
+//!   shard's buffered batch, then broadcasts the marker. A worker's
+//!   state at marker receipt reflects exactly the tweets routed before
+//!   it — the same consistency argument as the in-process group, now
+//!   over FIFO byte streams instead of FIFO channels. Markers share
+//!   the checksummed envelope of every other frame, so a damaged
+//!   marker is a classified decode error that **aborts the connection
+//!   before any checkpoint is written** — a corrupt cut can never
+//!   commit.
+//! * **control** — `Ack` (a checkpoint epoch became durable),
+//!   `Report` (the worker's final state), `EndOfStream`.
+//!
+//! **Supervision.** The router keeps a bounded *retained log* per
+//! worker: every batch/marker frame since the worker's last
+//! acknowledged checkpoint, verbatim bytes. When a worker dies (EOF on
+//! its connection, or an exit noticed at spawn/accept), the supervisor
+//! respawns it with `repro shard-worker --shard i`, offers it its own
+//! newest durable epoch, and replays the retained frames past that
+//! epoch — the surviving workers never notice. An `Ack(e)` trims the
+//! log through `e`; durability before trimming is what makes the
+//! replay window always sufficient. Without a store (or with markers
+//! disabled) there is no durable floor to respawn from, so a worker
+//! death is a hard error pointing at `--checkpoint-dir`.
+//!
+//! **Identity.** A finished N-process run merges per-shard exports
+//! exactly as the in-process group does (disjoint union, sorted
+//! emission), so its artifacts are byte-identical to `--shards N` and
+//! to the single-sensor run — `scripts/verify.sh` diffs all three.
+//! Degraded presets stay deterministic because every worker derives a
+//! *per-shard* flaky-geocoder schedule
+//! ([`donorpulse_geo::service::FlakyConfig::for_shard`]): a shard's
+//! failure schedule is a function of its own admission sequence alone,
+//! whether that shard is a thread or a process.
+
+use crate::checkpoint::{compact_checkpoints, CheckpointStore, DeadLetterLog, SensorCheckpoint};
+use crate::incremental::{IncrementalSensor, SensorExport};
+use crate::shard::{
+    load_resume_point, resolve_shards, route_shard, ShardConfig, ShardedStreamRun, ROUTER_BATCH,
+    SHARD_TWEETS_NAMES,
+};
+use crate::stream_consumer::{pump_source, GeoAdmission};
+use crate::{CoreError, Result};
+use donorpulse_geo::service::LocationService;
+use donorpulse_geo::Geocoder;
+use donorpulse_obs::MetricsRegistry;
+use donorpulse_text::{KeywordQuery, TextFilter};
+use donorpulse_twitter::fault::FaultConfig;
+use donorpulse_twitter::time::VirtualClock;
+use donorpulse_twitter::wire::{
+    frame_extent, BatchFrame, ControlFrame, FrameError, HandshakeFrame, MarkerFrame, KIND_CONTROL,
+    KIND_HANDSHAKE, KIND_MARKER, KIND_TWEET,
+};
+use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long the router waits for a freshly spawned worker to connect
+/// and lead with its handshake before declaring the spawn dead.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long the router waits, after end of stream, for the remaining
+/// workers to drain and report.
+const REPORT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Socket read chunk for the incremental frame reader.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Default respawn budget per worker slot.
+pub const DEFAULT_RESPAWN_LIMIT: u32 = 3;
+
+/// The exit code a worker uses for its simulated crash
+/// (`--die-after`): distinguishable from panics and clean exits in
+/// supervisor logs.
+pub const DIE_EXIT_CODE: i32 = 17;
+
+/// How router and workers are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcTransport {
+    /// One unix-domain socket listener; workers connect to its path.
+    /// The default: full-duplex, and a worker keeps its own
+    /// stdout/stderr for logs.
+    #[default]
+    Socket,
+    /// The worker's stdin/stdout carry the frames (router holds the
+    /// pipe ends). Fallback for filesystems where binding a socket is
+    /// not possible.
+    Pipe,
+}
+
+impl ProcTransport {
+    /// Stable label for logs and the CLI.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcTransport::Socket => "socket",
+            ProcTransport::Pipe => "pipe",
+        }
+    }
+}
+
+/// How the supervisor (re)spawns a shard worker process.
+///
+/// `program` + `args` must form a command that runs the worker verb
+/// with the *same* scale, seed, fault preset, wire mode, and
+/// checkpoint directory as the router — the worker regenerates the
+/// simulation for profile lookups, and determinism depends on the two
+/// sides agreeing. The supervisor appends the per-spawn arguments
+/// itself: `--shard i --procs n`, the transport flag
+/// (`--connect PATH` or `--stdio`), and `--die-after m` for the
+/// kill-one-worker test hook.
+#[derive(Debug, Clone)]
+pub struct WorkerSpawner {
+    /// Binary to execute (typically `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Base arguments, ending in the worker verb (e.g.
+    /// `["--scale", "0.05", "--seed", "7", "--faults", "recoverable",
+    ///   "--checkpoint-dir", "D", "shard-worker"]`).
+    pub args: Vec<String>,
+    /// Directory for per-worker stderr logs
+    /// (`worker-<shard>-gen<g>.log`) and the supervisor log
+    /// (`supervisor.log`). `None` = worker stderr is inherited and
+    /// supervisor lines go to the router's stderr.
+    pub log_dir: Option<PathBuf>,
+}
+
+/// Configuration for [`run_proc_group`].
+#[derive(Debug, Clone)]
+pub struct ProcGroupConfig {
+    /// The group shape and stream knobs — `shard.shards` is the
+    /// **process** count here; everything else means exactly what it
+    /// means in-process ([`ShardConfig`]).
+    pub shard: ShardConfig,
+    /// Socket (default) or pipe transport.
+    pub transport: ProcTransport,
+    /// Test hook: worker `i`'s *first* incarnation exits abruptly
+    /// (`exit(DIE_EXIT_CODE)`, no checkpoint, no report) after
+    /// admitting this many tweets — the kill-one-worker /
+    /// respawn / resume gate.
+    pub kill_worker: Option<(usize, u64)>,
+    /// Respawns allowed per worker slot before the run fails.
+    pub respawn_limit: u32,
+}
+
+impl Default for ProcGroupConfig {
+    fn default() -> Self {
+        ProcGroupConfig {
+            shard: ShardConfig::default(),
+            transport: ProcTransport::Socket,
+            kill_worker: None,
+            respawn_limit: DEFAULT_RESPAWN_LIMIT,
+        }
+    }
+}
+
+/// How a serving daemon fronts a process group instead of in-process
+/// shard threads ([`crate::serve::ServeConfig`]).
+#[derive(Debug, Clone)]
+pub struct ProcGroupLaunch {
+    /// Worker (re)spawn recipe.
+    pub spawner: WorkerSpawner,
+    /// Socket or pipe transport.
+    pub transport: ProcTransport,
+    /// Respawns allowed per worker slot.
+    pub respawn_limit: u32,
+}
+
+fn proc_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Proc(msg.into())
+}
+
+fn io_invalid(e: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {e}"))
+}
+
+/// One decoded frame off the inter-process wire.
+#[derive(Debug)]
+enum ProcFrame {
+    Batch(Vec<Tweet>),
+    Marker(MarkerFrame),
+    Handshake(HandshakeFrame),
+    Control(ControlFrame),
+}
+
+impl ProcFrame {
+    fn label(&self) -> &'static str {
+        match self {
+            ProcFrame::Batch(_) => "batch",
+            ProcFrame::Marker(_) => "marker",
+            ProcFrame::Handshake(_) => "handshake",
+            ProcFrame::Control(_) => "control",
+        }
+    }
+}
+
+/// Writing half of a worker link: whole frames, flushed eagerly (the
+/// peer blocks on frame boundaries, not on buffer luck).
+struct FrameWriter {
+    inner: Box<dyn Write + Send>,
+}
+
+impl FrameWriter {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.inner.write_all(frame)?;
+        self.inner.flush()
+    }
+}
+
+/// Reading half of a worker link: buffers socket bytes, uses
+/// [`frame_extent`] to learn each frame's length, then strict-decodes
+/// the complete frame (checksum and all). The wire is intra-host and
+/// trusted, so corruption here is a fatal connection error, not a
+/// resync — which is precisely what keeps a bit-flipped marker from
+/// ever committing a cut.
+struct FrameReaderHalf {
+    inner: Box<dyn Read + Send>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReaderHalf {
+    fn new(inner: Box<dyn Read + Send>) -> Self {
+        FrameReaderHalf {
+            inner,
+            buf: Vec::with_capacity(READ_CHUNK),
+            pos: 0,
+        }
+    }
+
+    /// Next complete frame; `Ok(None)` on a clean EOF at a frame
+    /// boundary. EOF mid-frame is `UnexpectedEof` — a half-open peer
+    /// is indistinguishable from a crash and is treated as one.
+    fn next_frame(&mut self) -> io::Result<Option<ProcFrame>> {
+        loop {
+            if self.pos > 0 {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+            if !self.buf.is_empty() {
+                match frame_extent(&self.buf) {
+                    Ok(extent) if self.buf.len() >= extent.total => {
+                        let frame = &self.buf[..extent.total];
+                        let parsed = Self::decode(frame, extent.kind)?;
+                        self.pos = extent.total;
+                        return Ok(Some(parsed));
+                    }
+                    Ok(_) | Err(FrameError::Truncated { .. }) => {}
+                    Err(e) => return Err(io_invalid(e)),
+                }
+            }
+            let start = self.buf.len();
+            self.buf.resize(start + READ_CHUNK, 0);
+            let n = self.inner.read(&mut self.buf[start..])?;
+            self.buf.truncate(start + n);
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("peer closed mid-frame ({} bytes buffered)", self.buf.len()),
+                    ))
+                };
+            }
+        }
+    }
+
+    /// Strict decode of one complete frame, dispatched on the kind the
+    /// extent reported.
+    fn decode(frame: &[u8], kind: u8) -> io::Result<ProcFrame> {
+        match kind {
+            KIND_TWEET => donorpulse_twitter::wire::decode_any(frame)
+                .map(ProcFrame::Batch)
+                .map_err(io_invalid),
+            KIND_MARKER => MarkerFrame::decode(frame)
+                .map(ProcFrame::Marker)
+                .map_err(io_invalid),
+            KIND_HANDSHAKE => HandshakeFrame::decode(frame)
+                .map(ProcFrame::Handshake)
+                .map_err(io_invalid),
+            KIND_CONTROL => ControlFrame::decode(frame)
+                .map(ProcFrame::Control)
+                .map_err(io_invalid),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire: unexpected frame kind {other}"),
+            )),
+        }
+    }
+}
+
+/// Everything a worker ships back in its final `Control::Report`
+/// payload. The payload is opaque to the wire crate — this layout is
+/// the process group's own, versioned implicitly by
+/// [`donorpulse_twitter::wire::PROC_WIRE_VERSION`].
+struct WorkerStreamReport {
+    /// Final sensor export riding in a checkpoint record (reusing its
+    /// codec and identity fields; `parked` is empty — leftovers are
+    /// abandoned to dead letters before reporting).
+    ckpt: SensorCheckpoint,
+    /// Everything this worker abandoned, in admission order.
+    dead: DeadLetterLog,
+    /// Tweets still parked when the stream ended.
+    parked_at_end: u64,
+    /// The worker's `stream_gap_tweets_total` (park overflow +
+    /// end-of-stream abandonment).
+    gap_tweets: u64,
+    /// The worker's `sensor_duplicates_ignored_total`.
+    duplicates: u64,
+}
+
+impl WorkerStreamReport {
+    fn encode(&self) -> Vec<u8> {
+        let ckpt = self.ckpt.encode();
+        let dead = self.dead.encode();
+        let mut out = Vec::with_capacity(4 + ckpt.len() + 4 + dead.len() + 24);
+        out.extend_from_slice(&(ckpt.len() as u32).to_le_bytes());
+        out.extend_from_slice(&ckpt);
+        out.extend_from_slice(&(dead.len() as u32).to_le_bytes());
+        out.extend_from_slice(&dead);
+        out.extend_from_slice(&self.parked_at_end.to_le_bytes());
+        out.extend_from_slice(&self.gap_tweets.to_le_bytes());
+        out.extend_from_slice(&self.duplicates.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let bad = |what: &str| proc_err(format!("worker report: {what}"));
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            let end = pos.checked_add(n).ok_or_else(|| bad("length overflow"))?;
+            if end > bytes.len() {
+                return Err(bad("truncated"));
+            }
+            let s = &bytes[pos..end];
+            pos = end;
+            Ok(s)
+        };
+        let ckpt_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let ckpt = SensorCheckpoint::decode(take(ckpt_len)?)?;
+        let dead_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let dead = DeadLetterLog::decode(take(dead_len)?)?;
+        let parked_at_end = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let gap_tweets = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let duplicates = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(WorkerStreamReport {
+            ckpt,
+            dead,
+            parked_at_end,
+            gap_tweets,
+            duplicates,
+        })
+    }
+}
+
+/// A full worker report can outgrow the wire's `MAX_PAYLOAD` sanity
+/// bound (the sensor export scales with distinct users), so it travels
+/// as a *sequence* of `Control::Report` frames: the first chunk opens
+/// with a `u64` little-endian total length, and the router reassembles
+/// until exactly that many bytes have arrived. The chunk size leaves
+/// generous headroom under the frame cap for the envelope + tag.
+const REPORT_CHUNK: usize = donorpulse_twitter::wire::MAX_PAYLOAD - 4096;
+
+/// Splits an encoded report into wire-safe `Control::Report` payloads
+/// (first one carrying the length prefix).
+fn report_chunks(encoded: &[u8]) -> Vec<Vec<u8>> {
+    let mut prefixed = Vec::with_capacity(8 + encoded.len());
+    prefixed.extend_from_slice(&(encoded.len() as u64).to_le_bytes());
+    prefixed.extend_from_slice(encoded);
+    prefixed.chunks(REPORT_CHUNK).map(|c| c.to_vec()).collect()
+}
+
+/// Accumulates report chunks; yields the full report once the declared
+/// length has arrived. Overshoot is a protocol violation.
+#[derive(Default)]
+struct ReportAssembly {
+    buf: Vec<u8>,
+}
+
+impl ReportAssembly {
+    fn push(&mut self, chunk: &[u8]) -> Result<Option<WorkerStreamReport>> {
+        self.buf.extend_from_slice(chunk);
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let total = u64::from_le_bytes(self.buf[..8].try_into().expect("8 bytes")) as usize;
+        match self.buf.len() - 8 {
+            have if have < total => Ok(None),
+            have if have == total => WorkerStreamReport::decode(&self.buf[8..]).map(Some),
+            _ => Err(proc_err("worker report overran its declared length")),
+        }
+    }
+}
+
+/// Uniquifies socket directories within one router process.
+static HUB_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A bound unix-domain listener in a private temp directory, cleaned
+/// up on drop.
+struct SocketHub {
+    dir: PathBuf,
+    path: PathBuf,
+    listener: UnixListener,
+}
+
+impl SocketHub {
+    fn bind() -> io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "dp-procgroup-{}-{}",
+            std::process::id(),
+            HUB_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("group.sock");
+        let listener = UnixListener::bind(&path)?;
+        Ok(SocketHub {
+            dir,
+            path,
+            listener,
+        })
+    }
+}
+
+impl Drop for SocketHub {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+/// The live transport: a hub workers dial into, or per-child pipes.
+enum ActiveTransport {
+    Socket(SocketHub),
+    Pipe,
+}
+
+/// The supervisor's event log: a file under the worker log directory
+/// when one is configured, stderr `# supervisor:` lines otherwise.
+struct SupLog {
+    file: Option<std::fs::File>,
+}
+
+impl SupLog {
+    fn open(log_dir: Option<&PathBuf>) -> Self {
+        let file = log_dir.and_then(|dir| {
+            std::fs::create_dir_all(dir).ok()?;
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("supervisor.log"))
+                .ok()
+        });
+        SupLog { file }
+    }
+
+    fn say(&mut self, msg: &str) {
+        match &mut self.file {
+            Some(f) => {
+                let _ = writeln!(f, "{msg}");
+                let _ = f.flush();
+            }
+            None => eprintln!("# supervisor: {msg}"),
+        }
+    }
+}
+
+/// What a reader thread forwards to the router.
+enum EventKind {
+    Frame(ProcFrame),
+    /// The connection ended: `None` = clean EOF, `Some` = read error.
+    Closed(Option<String>),
+}
+
+struct Event {
+    shard: usize,
+    /// Spawn generation the event belongs to — events from a dead
+    /// incarnation's reader thread are ignored.
+    gen: u32,
+    kind: EventKind,
+}
+
+/// A frame the router must be able to replay to a respawned worker:
+/// the verbatim bytes plus the checkpoint window they commit with.
+/// A batch sent while the current epoch is `e` is covered by the
+/// *next* cut, so its window is `e + 1`; a marker's window is its own
+/// epoch. `Ack(e)` proves everything with `window <= e` durable.
+struct Retained {
+    window: u64,
+    bytes: Vec<u8>,
+}
+
+/// One worker slot as the supervisor sees it.
+struct Link {
+    child: Option<Child>,
+    writer: Option<FrameWriter>,
+    /// Spawn generation (bumped on every respawn).
+    gen: u32,
+    respawns: u32,
+    alive: bool,
+    report: Option<WorkerStreamReport>,
+    /// In-flight report chunks (reset on respawn).
+    assembly: ReportAssembly,
+    /// Why the link died, for the error message if it stays dead.
+    last_error: Option<String>,
+}
+
+/// The supervising router: spawns workers, pumps frames, heals deaths.
+struct GroupRouter<'g> {
+    shards: usize,
+    spawner: &'g WorkerSpawner,
+    transport: ActiveTransport,
+    store: Option<&'g dyn CheckpointStore>,
+    retention_active: bool,
+    respawn_limit: u32,
+    kill_worker: Option<(usize, u64)>,
+    links: Vec<Link>,
+    retained: Vec<VecDeque<Retained>>,
+    events_tx: mpsc::Sender<Event>,
+    events_rx: mpsc::Receiver<Event>,
+    log: SupLog,
+    metrics: MetricsRegistry,
+}
+
+impl<'g> GroupRouter<'g> {
+    /// Spawns one worker incarnation for `shard`, waits for its hello,
+    /// answers with `offer`, and wires up its reader thread.
+    fn spawn_worker(&mut self, shard: usize, offer: Option<u64>, first: bool) -> Result<()> {
+        let gen = self.links[shard].gen + 1;
+        let mut cmd = Command::new(&self.spawner.program);
+        cmd.args(&self.spawner.args);
+        cmd.arg("--shard").arg(shard.to_string());
+        cmd.arg("--procs").arg(self.shards.to_string());
+        if first {
+            if let Some((target, after)) = self.kill_worker {
+                if target == shard {
+                    cmd.arg("--die-after").arg(after.to_string());
+                }
+            }
+        }
+        match &self.transport {
+            ActiveTransport::Socket(hub) => {
+                cmd.arg("--connect").arg(&hub.path);
+                cmd.stdin(Stdio::null());
+                cmd.stdout(Stdio::null());
+            }
+            ActiveTransport::Pipe => {
+                cmd.arg("--stdio");
+                cmd.stdin(Stdio::piped());
+                cmd.stdout(Stdio::piped());
+            }
+        }
+        match &self.spawner.log_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| proc_err(format!("creating {}: {e}", dir.display())))?;
+                let log = std::fs::File::create(dir.join(format!("worker-{shard}-gen{gen}.log")))
+                    .map_err(|e| proc_err(format!("worker log: {e}")))?;
+                cmd.stderr(log);
+            }
+            None => {
+                cmd.stderr(Stdio::inherit());
+            }
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| proc_err(format!("spawning worker {shard}: {e}")))?;
+        self.metrics.counter("procgroup_spawns_total").incr();
+
+        let (writer, mut reader): (FrameWriter, FrameReaderHalf) = match &self.transport {
+            ActiveTransport::Socket(hub) => {
+                let stream = accept_worker(&hub.listener, &mut child, shard)?;
+                let read_half = stream
+                    .try_clone()
+                    .map_err(|e| proc_err(format!("worker {shard}: socket clone: {e}")))?;
+                (
+                    FrameWriter {
+                        inner: Box::new(stream),
+                    },
+                    FrameReaderHalf::new(Box::new(read_half)),
+                )
+            }
+            ActiveTransport::Pipe => {
+                let stdin = child.stdin.take().expect("piped stdin");
+                let stdout = child.stdout.take().expect("piped stdout");
+                (
+                    FrameWriter {
+                        inner: Box::new(stdin),
+                    },
+                    FrameReaderHalf::new(Box::new(stdout)),
+                )
+            }
+        };
+
+        // The worker leads with its hello; validate the slot before
+        // sending anything.
+        let hello = match reader.next_frame() {
+            Ok(Some(ProcFrame::Handshake(h))) => h,
+            Ok(Some(f)) => {
+                let _ = child.kill();
+                return Err(proc_err(format!(
+                    "worker {shard}: expected handshake, got {} frame",
+                    f.label()
+                )));
+            }
+            Ok(None) => {
+                let status = child.wait().ok();
+                return Err(proc_err(format!(
+                    "worker {shard} exited before its handshake (status {status:?})"
+                )));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                return Err(proc_err(format!("worker {shard} handshake: {e}")));
+            }
+        };
+        if hello.shard as usize != shard || hello.shards as usize != self.shards {
+            let _ = child.kill();
+            return Err(proc_err(format!(
+                "worker hello claims slot {}/{} but the supervisor spawned it as {shard}/{}",
+                hello.shard, hello.shards, self.shards
+            )));
+        }
+        let mut writer = writer;
+        writer
+            .send(&HandshakeFrame::new(shard as u32, self.shards as u32, offer).encode())
+            .map_err(|e| proc_err(format!("worker {shard}: sending resume offer: {e}")))?;
+
+        let tx = self.events_tx.clone();
+        thread::spawn(move || loop {
+            match reader.next_frame() {
+                Ok(Some(frame)) => {
+                    if tx
+                        .send(Event {
+                            shard,
+                            gen,
+                            kind: EventKind::Frame(frame),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send(Event {
+                        shard,
+                        gen,
+                        kind: EventKind::Closed(None),
+                    });
+                    break;
+                }
+                Err(e) => {
+                    let _ = tx.send(Event {
+                        shard,
+                        gen,
+                        kind: EventKind::Closed(Some(e.to_string())),
+                    });
+                    break;
+                }
+            }
+        });
+
+        let link = &mut self.links[shard];
+        link.child = Some(child);
+        link.writer = Some(writer);
+        link.gen = gen;
+        link.alive = true;
+        link.last_error = None;
+        // A prior incarnation may have died mid-report; its partial
+        // chunks must never prefix the new incarnation's report.
+        link.assembly = ReportAssembly::default();
+        self.log.say(&format!(
+            "worker {shard} gen {gen} up (offer {offer:?}, transport {})",
+            match self.transport {
+                ActiveTransport::Socket(_) => "socket",
+                ActiveTransport::Pipe => "pipe",
+            }
+        ));
+        Ok(())
+    }
+
+    /// Drains every pending event without blocking.
+    fn drain_events(&mut self) -> Result<()> {
+        while let Ok(ev) = self.events_rx.try_recv() {
+            self.handle_event(ev)?;
+        }
+        Ok(())
+    }
+
+    fn handle_event(&mut self, ev: Event) -> Result<()> {
+        if ev.gen != self.links[ev.shard].gen {
+            return Ok(()); // stale incarnation
+        }
+        match ev.kind {
+            EventKind::Frame(ProcFrame::Control(ControlFrame::Ack { epoch })) => {
+                self.metrics.counter("procgroup_acks_total").incr();
+                let retained = &mut self.retained[ev.shard];
+                while retained.front().is_some_and(|r| r.window <= epoch) {
+                    retained.pop_front();
+                }
+            }
+            EventKind::Frame(ProcFrame::Control(ControlFrame::Report { payload })) => {
+                if let Some(report) = self.links[ev.shard].assembly.push(&payload)? {
+                    self.metrics.counter("procgroup_reports_total").incr();
+                    self.links[ev.shard].report = Some(report);
+                }
+            }
+            EventKind::Frame(f) => {
+                return Err(proc_err(format!(
+                    "worker {} sent an unexpected {} frame",
+                    ev.shard,
+                    f.label()
+                )));
+            }
+            EventKind::Closed(reason) => {
+                self.note_death(ev.shard, reason);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a link dead and reaps the child. Healing happens lazily,
+    /// at the next send (or in the report wait loop).
+    fn note_death(&mut self, shard: usize, reason: Option<String>) {
+        let link = &mut self.links[shard];
+        if !link.alive {
+            return;
+        }
+        link.alive = false;
+        link.writer = None;
+        let status = link.child.take().and_then(|mut c| c.wait().ok());
+        let finished = link.report.is_some();
+        if finished {
+            self.log.say(&format!(
+                "worker {shard} gen {} finished ({status:?})",
+                link.gen
+            ));
+            return;
+        }
+        link.last_error = Some(match &reason {
+            Some(r) => format!("connection error: {r} (exit {status:?})"),
+            None => format!("connection EOF (exit {status:?})"),
+        });
+        self.metrics
+            .counter("supervisor_worker_deaths_total")
+            .incr();
+        self.log.say(&format!(
+            "worker {shard} gen {} DIED: {}",
+            link.gen,
+            link.last_error.as_deref().unwrap_or("?")
+        ));
+    }
+
+    /// Brings a dead worker back: respawn from its newest durable
+    /// epoch and replay the retained window past it.
+    fn heal(&mut self, shard: usize) -> Result<()> {
+        let link = &self.links[shard];
+        if link.report.is_some() {
+            return Ok(()); // finished; nothing to heal
+        }
+        if !self.retention_active {
+            return Err(proc_err(format!(
+                "worker {shard} died ({}) and the group has no durable checkpoints to respawn \
+                 from — run with --checkpoint-dir and --checkpoint-every to make worker death \
+                 survivable",
+                self.links[shard].last_error.as_deref().unwrap_or("?")
+            )));
+        }
+        if link.respawns >= self.respawn_limit {
+            return Err(proc_err(format!(
+                "worker {shard} died ({}) after exhausting its respawn budget of {}",
+                self.links[shard].last_error.as_deref().unwrap_or("?"),
+                self.respawn_limit
+            )));
+        }
+        self.links[shard].respawns += 1;
+        self.metrics.counter("procgroup_respawns_total").incr();
+        let store = self.store.expect("retention_active implies a store");
+        let offer = store
+            .epochs(shard as u32)
+            .map_err(|e| proc_err(format!("worker {shard}: reading resume epochs: {e}")))?
+            .last()
+            .copied();
+        self.spawn_worker(shard, offer, false)?;
+        // Drop retained frames the resumed epoch already covers, then
+        // replay the rest verbatim.
+        let floor = offer.unwrap_or(0);
+        let retained = &mut self.retained[shard];
+        while retained
+            .front()
+            .is_some_and(|r| offer.is_some() && r.window <= floor)
+        {
+            retained.pop_front();
+        }
+        let replayed = self.metrics.counter("supervisor_replayed_batches_total");
+        let frames: Vec<Vec<u8>> = self.retained[shard]
+            .iter()
+            .map(|r| r.bytes.clone())
+            .collect();
+        self.log.say(&format!(
+            "worker {shard} gen {} resuming from epoch {offer:?}, replaying {} retained frames",
+            self.links[shard].gen,
+            frames.len()
+        ));
+        for bytes in frames {
+            replayed.incr();
+            self.write_link(shard, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Raw write to a link that must be alive.
+    fn write_link(&mut self, shard: usize, frame: &[u8]) -> Result<()> {
+        let link = &mut self.links[shard];
+        let Some(writer) = link.writer.as_mut() else {
+            return Err(proc_err(format!("worker {shard}: write to a dead link")));
+        };
+        match writer.send(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_death(shard, Some(format!("write: {e}")));
+                Err(proc_err(format!("worker {shard}: write failed: {e}")))
+            }
+        }
+    }
+
+    /// Supervised send: retains the frame (when retention is active),
+    /// heals a dead link before writing, and heals + retries once if
+    /// the write itself hits a freshly dead pipe.
+    fn send_supervised(&mut self, shard: usize, frame: Vec<u8>, window: u64) -> Result<()> {
+        self.drain_events()?;
+        if self.retention_active {
+            self.retained[shard].push_back(Retained {
+                window,
+                bytes: frame.clone(),
+            });
+        }
+        if !self.links[shard].alive {
+            self.heal(shard)?;
+            return Ok(()); // heal replayed the retained log, frame included
+        }
+        match self.write_link(shard, &frame) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                // The write marked the link dead; one heal replays the
+                // retained window (this frame included) to the respawn.
+                self.heal(shard)
+            }
+        }
+    }
+
+    /// Broadcasts `EndOfStream` to every live link, tolerating dead
+    /// ones (they are healed — or surfaced — by the report wait loop).
+    fn broadcast_eos(&mut self) -> Result<()> {
+        self.drain_events()?;
+        let eos = ControlFrame::EndOfStream.encode();
+        for shard in 0..self.shards {
+            if self.links[shard].alive {
+                let _ = self.write_link(shard, &eos);
+            }
+        }
+        Ok(())
+    }
+
+    /// Waits until every worker has reported, healing deaths as they
+    /// surface (a healed worker gets the retained replay plus a fresh
+    /// `EndOfStream`).
+    fn await_reports(&mut self) -> Result<()> {
+        let deadline = Instant::now() + REPORT_TIMEOUT;
+        loop {
+            self.drain_events()?;
+            // Heal (or fail on) anything dead without a report.
+            for shard in 0..self.shards {
+                if !self.links[shard].alive && self.links[shard].report.is_none() {
+                    self.heal(shard)?;
+                    let eos = ControlFrame::EndOfStream.encode();
+                    self.write_link(shard, &eos)?;
+                }
+            }
+            if (0..self.shards).all(|s| self.links[s].report.is_some()) {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let missing: Vec<usize> = (0..self.shards)
+                    .filter(|&s| self.links[s].report.is_none())
+                    .collect();
+                return Err(proc_err(format!(
+                    "workers {missing:?} never reported within {REPORT_TIMEOUT:?}"
+                )));
+            }
+            match self.events_rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(ev) => self.handle_event(ev)?,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(proc_err("event channel disconnected".to_string()))
+                }
+            }
+        }
+    }
+
+    /// Reaps every child still around (normal exit path: they already
+    /// closed their connections after reporting).
+    fn reap_all(&mut self) {
+        for link in &mut self.links {
+            if let Some(mut child) = link.child.take() {
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for GroupRouter<'_> {
+    fn drop(&mut self) {
+        // Error paths must not leak worker processes.
+        for link in &mut self.links {
+            if let Some(mut child) = link.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Accepts the one pending worker connection, polling the child so a
+/// worker that dies before connecting fails the spawn instead of the
+/// timeout.
+fn accept_worker(listener: &UnixListener, child: &mut Child, shard: usize) -> Result<UnixStream> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| proc_err(format!("listener: {e}")))?;
+    let deadline = Instant::now() + CONNECT_TIMEOUT;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| proc_err(format!("worker {shard}: socket: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(proc_err(format!(
+                        "worker {shard} exited before connecting (status {status})"
+                    )));
+                }
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    return Err(proc_err(format!(
+                        "worker {shard} did not connect within {CONNECT_TIMEOUT:?}"
+                    )));
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(proc_err(format!("accept: {e}"))),
+        }
+    }
+}
+
+/// Runs the multi-process consumer group end to end and merges the
+/// workers' reports into a [`ShardedStreamRun`] shaped exactly like
+/// the in-process one. See the module docs for the identity and
+/// supervision arguments.
+///
+/// The router performs source pumping, keyword filtering, resume
+/// guarding, routing, marker broadcast, and retention compaction in
+/// the *same operation order* as
+/// [`crate::shard::run_sharded_stream`] — that is what makes the two
+/// runs' counters, gauges, and artifacts interchangeable.
+pub fn run_proc_group<'a>(
+    sim: &'a TwitterSimulation,
+    geocoder: &'a Geocoder,
+    faults: FaultConfig,
+    store: Option<&dyn CheckpointStore>,
+    spawner: &WorkerSpawner,
+    config: ProcGroupConfig,
+) -> Result<ShardedStreamRun<'a>> {
+    let shards = resolve_shards(config.shard.shards);
+    let metrics = config.shard.stream.metrics.clone();
+    metrics.gauge("shard_count").set(shards as u64);
+    metrics.gauge("procgroup_workers").set(shards as u64);
+
+    // Resume: validate the newest complete cut up front (exactly the
+    // in-process checks), but ship only its epoch — each worker loads
+    // its own shard's state from the shared store.
+    let (resume_hw, start_epoch, resumed_from_epoch, initial_offer) = if config.shard.resume {
+        let store = store.ok_or_else(|| {
+            CoreError::Checkpoint("resume requires a checkpoint store (--checkpoint-dir)".into())
+        })?;
+        let point = load_resume_point(store, shards)?;
+        (
+            point.high_water,
+            point.epoch,
+            Some(point.epoch),
+            Some(point.epoch),
+        )
+    } else {
+        (None, 0, None, None)
+    };
+
+    let retention_active = store.is_some() && config.shard.checkpoint_every > 0;
+    let transport = match config.transport {
+        ProcTransport::Socket => match SocketHub::bind() {
+            Ok(hub) => ActiveTransport::Socket(hub),
+            Err(e) => {
+                eprintln!("# procgroup: socket bind failed ({e}); falling back to pipes");
+                ActiveTransport::Pipe
+            }
+        },
+        ProcTransport::Pipe => ActiveTransport::Pipe,
+    };
+
+    let (events_tx, events_rx) = mpsc::channel();
+    let mut router = GroupRouter {
+        shards,
+        spawner,
+        transport,
+        store,
+        retention_active,
+        respawn_limit: config.respawn_limit,
+        kill_worker: config.kill_worker,
+        links: (0..shards)
+            .map(|_| Link {
+                child: None,
+                writer: None,
+                gen: 0,
+                respawns: 0,
+                alive: false,
+                report: None,
+                assembly: ReportAssembly::default(),
+                last_error: None,
+            })
+            .collect(),
+        retained: (0..shards).map(|_| VecDeque::new()).collect(),
+        events_tx,
+        events_rx,
+        log: SupLog::open(spawner.log_dir.as_ref()),
+        metrics: metrics.clone(),
+    };
+    for shard in 0..shards {
+        router.spawn_worker(shard, initial_offer, true)?;
+    }
+
+    let (src_tx, src_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.shard.stream.channel_capacity);
+
+    let (outcome, per_shard, last_epoch, killed) = thread::scope(|scope| -> Result<_> {
+        let source = scope.spawn({
+            let config = &config;
+            move || {
+                let mut span = config.shard.stream.metrics.stage("stream_source");
+                let outcome = pump_source(sim, faults, &config.shard.stream, resume_hw, src_tx);
+                span.set_items(outcome.stats.delivered);
+                span.finish();
+                outcome
+            }
+        });
+
+        // The router proper — the same loop as the in-process group,
+        // with channel sends replaced by supervised frame sends.
+        let route = (|| -> Result<(Vec<u64>, u64, bool)> {
+            let mut span = metrics.stage("stream_router");
+            let query = KeywordQuery::paper();
+            let rejected = metrics.counter("consumer_filter_rejected_total");
+            let passed = metrics.counter("consumer_filter_passed_total");
+            let routed_total = metrics.counter("shard_tweets_total");
+            let replayed = metrics.counter("resume_replayed_total");
+            let compacted = metrics.counter("checkpoints_compacted_total");
+            let compact_errors = metrics.counter("checkpoint_compact_errors_total");
+            let batch_sends = metrics.counter("stream_batch_sends_total");
+            let mut per_shard = vec![0u64; shards];
+            let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); shards];
+            let mut routed = 0u64;
+            let mut epoch = start_epoch;
+            let mut high_water: Option<TweetId> = resume_hw;
+            let mut killed = false;
+            let mut n = 0u64;
+            'route: for batch in src_rx {
+                for tweet in batch {
+                    n += 1;
+                    if !query.accepts(&tweet.text) {
+                        rejected.incr();
+                        continue;
+                    }
+                    passed.incr();
+                    if resume_hw.is_some_and(|hw| tweet.id <= hw) {
+                        replayed.incr();
+                        continue;
+                    }
+                    let shard = route_shard(tweet.user, shards);
+                    high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
+                    bufs[shard].push(tweet);
+                    if bufs[shard].len() >= ROUTER_BATCH {
+                        batch_sends.incr();
+                        let frame = BatchFrame::encode(&bufs[shard]);
+                        bufs[shard].clear();
+                        router.send_supervised(shard, frame, epoch + 1)?;
+                    }
+                    per_shard[shard] += 1;
+                    routed += 1;
+                    routed_total.incr();
+                    if config.shard.checkpoint_every > 0
+                        && routed % config.shard.checkpoint_every == 0
+                    {
+                        // A cut reflects everything routed before it,
+                        // including runs still sitting in buffers.
+                        for (s, buf) in bufs.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                batch_sends.incr();
+                                let frame = BatchFrame::encode(buf);
+                                buf.clear();
+                                router.send_supervised(s, frame, epoch + 1)?;
+                            }
+                        }
+                        epoch += 1;
+                        let marker = MarkerFrame {
+                            epoch,
+                            high_water: high_water.map(|h| h.0),
+                        }
+                        .encode();
+                        for s in 0..shards {
+                            router.send_supervised(s, marker.clone(), epoch)?;
+                        }
+                        if config.shard.checkpoint_retain > 0 {
+                            if let Some(store) = store {
+                                match compact_checkpoints(
+                                    store,
+                                    shards as u32,
+                                    config.shard.checkpoint_retain,
+                                ) {
+                                    Ok(n) => compacted.add(n),
+                                    Err(_) => compact_errors.incr(),
+                                }
+                            }
+                        }
+                    }
+                    if config.shard.kill_after.is_some_and(|k| routed >= k) {
+                        killed = true;
+                        for (s, buf) in bufs.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                batch_sends.incr();
+                                let frame = BatchFrame::encode(buf);
+                                buf.clear();
+                                let _ = router.send_supervised(s, frame, epoch + 1);
+                            }
+                        }
+                        break 'route;
+                    }
+                }
+            }
+            if !killed {
+                for (s, buf) in bufs.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        batch_sends.incr();
+                        let frame = BatchFrame::encode(buf);
+                        buf.clear();
+                        router.send_supervised(s, frame, epoch + 1)?;
+                    }
+                }
+            }
+            // Closing cut: freeze the group exactly at end-of-stream.
+            if config.shard.checkpoint_final
+                && config.shard.checkpoint_every > 0
+                && !killed
+                && store.is_some()
+            {
+                epoch += 1;
+                let marker = MarkerFrame {
+                    epoch,
+                    high_water: high_water.map(|h| h.0),
+                }
+                .encode();
+                for s in 0..shards {
+                    router.send_supervised(s, marker.clone(), epoch)?;
+                }
+            }
+            for (i, &count) in per_shard.iter().enumerate() {
+                metrics.gauge(SHARD_TWEETS_NAMES[i]).set(count);
+            }
+            let max = per_shard.iter().copied().max().unwrap_or(0);
+            if let Some(ratio) = (max * shards as u64 * 1_000).checked_div(routed) {
+                metrics.gauge("shard_imbalance_ratio_permille").set(ratio);
+            }
+            span.set_items(n);
+            span.finish();
+            Ok((per_shard, epoch, killed))
+        })();
+
+        let outcome = source.join().expect("source stage panicked");
+        let (per_shard, last_epoch, killed) = route?;
+        Ok((outcome, per_shard, last_epoch, killed))
+    })?;
+
+    // Shut the group down and collect the final reports.
+    router.broadcast_eos()?;
+    router.await_reports()?;
+    router.reap_all();
+
+    let mut merged = SensorExport::default();
+    let mut dead_letters = DeadLetterLog::new();
+    for d in outcome.dead.iter().cloned() {
+        dead_letters.push(d);
+    }
+    let mut parked_at_end = 0u64;
+    let mut gap_total = 0u64;
+    let mut dup_total = 0u64;
+    for shard in 0..shards {
+        let report = router.links[shard]
+            .report
+            .take()
+            .expect("await_reports returned with every report present");
+        if report.ckpt.shard_id != shard as u32 || report.ckpt.shard_count != shards as u32 {
+            return Err(proc_err(format!(
+                "worker {shard} reported as shard {}/{}",
+                report.ckpt.shard_id, report.ckpt.shard_count
+            )));
+        }
+        merged.absorb(report.ckpt.export)?;
+        parked_at_end += report.parked_at_end;
+        gap_total += report.gap_tweets;
+        dup_total += report.duplicates;
+        for d in report.dead.entries().iter().cloned() {
+            dead_letters.push(d);
+        }
+    }
+    // Fold the workers' local accounting into the router registry so
+    // the run's snapshot matches the in-process group counter for
+    // counter (the source side already contributed directly).
+    metrics.counter("stream_gap_tweets_total").add(gap_total);
+    metrics
+        .counter("sensor_duplicates_ignored_total")
+        .add(dup_total);
+
+    let delivered_tweets = merged.tweet_count();
+    let sensor = if killed {
+        None
+    } else {
+        let profile_of = |id: UserId| {
+            sim.users()
+                .get(id.0 as usize)
+                .map(|u| u.profile_location.clone())
+        };
+        Some(IncrementalSensor::restore(geocoder, profile_of, merged))
+    };
+
+    if config.shard.checkpoint_retain > 0 {
+        if let Some(store) = store {
+            let n = compact_checkpoints(store, shards as u32, config.shard.checkpoint_retain)
+                .map_err(|e| CoreError::Checkpoint(format!("compacting checkpoints: {e}")))?;
+            metrics.counter("checkpoints_compacted_total").add(n);
+        }
+    }
+
+    Ok(ShardedStreamRun {
+        sensor,
+        fault_stats: outcome.stats,
+        metrics: metrics.snapshot(),
+        expected_tweets: sim.on_topic_len() as u64,
+        delivered_tweets,
+        source_aborted: outcome.aborted,
+        parked_at_end,
+        dead_letters,
+        shards,
+        shard_tweets: per_shard,
+        resumed_from_epoch,
+        last_epoch,
+        killed,
+    })
+}
+
+/// Configuration for [`run_shard_worker`] — the values the supervisor
+/// passed on the command line.
+#[derive(Debug, Clone)]
+pub struct ShardWorkerConfig {
+    /// This worker's shard index.
+    pub shard: usize,
+    /// The group's process count.
+    pub shards: usize,
+    /// Stream knobs — must match the router's
+    /// ([`ShardConfig::stream`]); in particular `geo_retry`, from
+    /// which the per-shard consumer policy is derived exactly as
+    /// in-process.
+    pub stream: crate::stream_consumer::StreamPipelineConfig,
+    /// Test hook: exit abruptly (`exit(DIE_EXIT_CODE)`, destructors
+    /// skipped — a realistic crash) after admitting this many tweets.
+    pub die_after: Option<u64>,
+}
+
+/// The worker's end of the link.
+pub enum WorkerConn {
+    /// Dial the router's unix-domain socket at this path.
+    Socket(PathBuf),
+    /// Frames ride this process's stdin/stdout (`--stdio`).
+    Stdio,
+}
+
+/// Runs one shard worker process: handshake, optional resume from the
+/// shared store, then the same admission + sensor + checkpoint loop as
+/// an in-process shard worker, frame-driven. Returns after
+/// `EndOfStream` once the final report is on the wire.
+///
+/// `service` is this worker's own geocoding service — for degraded
+/// presets the caller derives it with
+/// [`donorpulse_geo::service::FlakyConfig::for_shard`] so the failure
+/// schedule is per-shard pure.
+pub fn run_shard_worker(
+    sim: &TwitterSimulation,
+    geocoder: &Geocoder,
+    service: &(dyn LocationService + Sync),
+    store: Option<&dyn CheckpointStore>,
+    config: ShardWorkerConfig,
+    conn: WorkerConn,
+) -> Result<()> {
+    let shard_id = config.shard;
+    let shards = config.shards;
+    if shards == 0 || shard_id >= shards {
+        return Err(proc_err(format!(
+            "worker slot {shard_id}/{shards} is out of range"
+        )));
+    }
+    let metrics = config.stream.metrics.clone();
+    let (mut writer, mut reader): (FrameWriter, FrameReaderHalf) = match conn {
+        WorkerConn::Socket(path) => {
+            let stream = UnixStream::connect(&path)
+                .map_err(|e| proc_err(format!("connecting {}: {e}", path.display())))?;
+            let read_half = stream
+                .try_clone()
+                .map_err(|e| proc_err(format!("socket clone: {e}")))?;
+            (
+                FrameWriter {
+                    inner: Box::new(stream),
+                },
+                FrameReaderHalf::new(Box::new(read_half)),
+            )
+        }
+        WorkerConn::Stdio => (
+            FrameWriter {
+                inner: Box::new(io::stdout()),
+            },
+            FrameReaderHalf::new(Box::new(io::stdin())),
+        ),
+    };
+
+    // Lead with the hello; the router answers with the resume offer.
+    writer
+        .send(&HandshakeFrame::new(shard_id as u32, shards as u32, None).encode())
+        .map_err(|e| proc_err(format!("sending hello: {e}")))?;
+    let offer = match reader.next_frame() {
+        Ok(Some(ProcFrame::Handshake(h))) => h,
+        Ok(Some(f)) => {
+            return Err(proc_err(format!(
+                "expected the router's handshake, got {} frame",
+                f.label()
+            )))
+        }
+        Ok(None) => return Err(proc_err("router hung up before the handshake".to_string())),
+        Err(e) => return Err(proc_err(format!("handshake: {e}"))),
+    };
+    if offer.shard as usize != shard_id || offer.shards as usize != shards {
+        return Err(proc_err(format!(
+            "router offer addresses slot {}/{} but this worker is {shard_id}/{shards}",
+            offer.shard, offer.shards
+        )));
+    }
+
+    // Resume: load this shard's state at the offered epoch from the
+    // shared store, with the same identity checks as in-process.
+    let (export, residue) = match offer.resume_epoch {
+        Some(epoch) => {
+            let store = store.ok_or_else(|| {
+                proc_err(format!(
+                    "router offered resume epoch {epoch} but this worker has no store \
+                     (--checkpoint-dir mismatch between router and worker)"
+                ))
+            })?;
+            let bytes = store
+                .load(shard_id as u32, epoch)
+                .map_err(|e| CoreError::Checkpoint(format!("checkpoint store: {e}")))?
+                .ok_or_else(|| {
+                    CoreError::Checkpoint(format!(
+                        "shard {shard_id} epoch {epoch} vanished from the store"
+                    ))
+                })?;
+            let ckpt = SensorCheckpoint::decode(&bytes)?;
+            if ckpt.shard_id != shard_id as u32 || ckpt.epoch != epoch {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint identity mismatch: file for shard {shard_id} epoch {epoch} \
+                     claims shard {} epoch {}",
+                    ckpt.shard_id, ckpt.epoch
+                )));
+            }
+            if ckpt.shard_count != shards as u32 {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint was taken with {} shards but this group has {shards}",
+                    ckpt.shard_count
+                )));
+            }
+            (ckpt.export, ckpt.parked)
+        }
+        None => (SensorExport::default(), Vec::new()),
+    };
+
+    let profile_of = |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    };
+    let profile_ref = |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.as_str())
+    };
+    let mut span = metrics.stage("stream_shard_worker");
+    let mut sensor = IncrementalSensor::restore(geocoder, profile_of, export);
+    let mut admission = GeoAdmission {
+        service,
+        profile_of: Box::new(profile_ref),
+        policy: config.stream.geo_retry.for_consumer(shard_id as u64),
+        park: VecDeque::from(residue),
+        park_capacity: config.stream.park_capacity,
+        peak_depth: 0,
+        clock: VirtualClock::new(),
+        metrics: metrics.clone(),
+        dead: Vec::new(),
+    };
+    let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
+    let ckpt_written = metrics.counter("checkpoints_written_total");
+    let ingested = metrics.counter("sensor_ingested_total");
+    let mut admitted = 0u64;
+    let mut out: Vec<Tweet> = Vec::new();
+    let mut n = 0u64;
+    let mut last_cut: (u64, Option<u64>) = (0, None);
+    loop {
+        match reader.next_frame() {
+            Ok(Some(ProcFrame::Batch(batch))) => {
+                n += batch.len() as u64;
+                out.clear();
+                for tweet in batch {
+                    admission.admit(tweet, &mut out);
+                    admitted += 1;
+                    if config.die_after.is_some_and(|m| admitted >= m) {
+                        // The simulated crash: no checkpoint, no
+                        // report, no destructors — the supervisor sees
+                        // a plain dead process.
+                        std::process::exit(DIE_EXIT_CODE);
+                    }
+                }
+                for t in out.drain(..) {
+                    if sensor.ingest(&t) {
+                        ingested.incr();
+                    }
+                }
+            }
+            Ok(Some(ProcFrame::Marker(marker))) => {
+                last_cut = (marker.epoch, marker.high_water);
+                let Some(store) = store else { continue };
+                let ckpt = SensorCheckpoint {
+                    shard_id: shard_id as u32,
+                    shard_count: shards as u32,
+                    epoch: marker.epoch,
+                    router_high_water: marker.high_water.map(TweetId),
+                    export: sensor.export(),
+                    parked: admission.park.iter().cloned().collect(),
+                };
+                let bytes = ckpt.encode();
+                store
+                    .save(shard_id as u32, marker.epoch, &bytes)
+                    .map_err(|e| {
+                        CoreError::Checkpoint(format!(
+                            "saving shard {shard_id} epoch {}: {e}",
+                            marker.epoch
+                        ))
+                    })?;
+                ckpt_bytes.add(bytes.len() as u64);
+                ckpt_written.incr();
+                // Ack only after the save returned: durability is what
+                // lets the router trim its retained replay log.
+                writer
+                    .send(
+                        &ControlFrame::Ack {
+                            epoch: marker.epoch,
+                        }
+                        .encode(),
+                    )
+                    .map_err(|e| proc_err(format!("sending ack: {e}")))?;
+            }
+            Ok(Some(ProcFrame::Control(ControlFrame::EndOfStream))) => break,
+            Ok(Some(f)) => {
+                return Err(proc_err(format!(
+                    "unexpected {} frame mid-stream",
+                    f.label()
+                )))
+            }
+            Ok(None) => {
+                return Err(proc_err(
+                    "router hung up mid-stream (no EndOfStream)".to_string(),
+                ))
+            }
+            Err(e) => return Err(proc_err(format!("reading stream: {e}"))),
+        }
+    }
+
+    // End of stream: recovery-sized drain, then abandon — exactly the
+    // in-process worker's ending.
+    out.clear();
+    admission.drain(config.stream.final_drain_attempts, &mut out);
+    for t in out.drain(..) {
+        if sensor.ingest(&t) {
+            ingested.incr();
+        }
+    }
+    let parked_at_end = admission.abandon_leftovers();
+    let gap = metrics.counter("stream_gap_tweets_total");
+    gap.add(parked_at_end);
+    metrics
+        .counter("sensor_duplicates_ignored_total")
+        .add(sensor.duplicates_ignored());
+    span.set_items(n);
+    span.finish();
+
+    let mut dead = DeadLetterLog::new();
+    for d in admission.dead.drain(..) {
+        dead.push(d);
+    }
+    let report = WorkerStreamReport {
+        ckpt: SensorCheckpoint {
+            shard_id: shard_id as u32,
+            shard_count: shards as u32,
+            epoch: last_cut.0,
+            router_high_water: last_cut.1.map(TweetId),
+            export: sensor.export(),
+            parked: Vec::new(),
+        },
+        dead,
+        parked_at_end,
+        gap_tweets: gap.value(),
+        duplicates: sensor.duplicates_ignored(),
+    };
+    for chunk in report_chunks(&report.encode()) {
+        writer
+            .send(&ControlFrame::Report { payload: chunk }.encode())
+            .map_err(|e| proc_err(format!("sending final report: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MemCheckpointStore;
+    use crate::stream_consumer::StreamPipelineConfig;
+    use donorpulse_twitter::GeneratorConfig;
+
+    fn sim() -> TwitterSimulation {
+        let mut cfg = GeneratorConfig::paper_scaled(0.01);
+        cfg.seed = 808;
+        TwitterSimulation::generate(cfg).expect("sim")
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let mut dead = DeadLetterLog::new();
+        dead.push(crate::checkpoint::DeadLetter::Frame(vec![1, 2, 3]));
+        let report = WorkerStreamReport {
+            ckpt: SensorCheckpoint {
+                shard_id: 1,
+                shard_count: 4,
+                epoch: 9,
+                router_high_water: Some(TweetId(77)),
+                export: SensorExport::default(),
+                parked: Vec::new(),
+            },
+            dead,
+            parked_at_end: 3,
+            gap_tweets: 5,
+            duplicates: 2,
+        };
+        let bytes = report.encode();
+        let back = WorkerStreamReport::decode(&bytes).expect("roundtrip");
+        assert_eq!(back.ckpt.shard_id, 1);
+        assert_eq!(back.ckpt.epoch, 9);
+        assert_eq!(back.ckpt.router_high_water, Some(TweetId(77)));
+        assert_eq!(back.dead.len(), 1);
+        assert_eq!(
+            (back.parked_at_end, back.gap_tweets, back.duplicates),
+            (3, 5, 2)
+        );
+        // Truncations and trailing garbage are refused, never
+        // misread.
+        for cut in 0..bytes.len() {
+            assert!(
+                WorkerStreamReport::decode(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(WorkerStreamReport::decode(&long).is_err());
+
+        // The chunked transport reassembles to the same report even
+        // when the chunks arrive one byte at a time, and refuses
+        // overruns past the declared length.
+        let mut assembly = ReportAssembly::default();
+        let mut out = None;
+        for b in report_chunks(&bytes).concat() {
+            assert!(out.is_none(), "report completed before the last byte");
+            out = assembly.push(&[b]).expect("chunk");
+        }
+        let back = out.expect("reassembled");
+        assert_eq!(back.ckpt.epoch, 9);
+        assert_eq!(back.dead.len(), 1);
+        let mut over = ReportAssembly::default();
+        let mut prefixed = report_chunks(&bytes).concat();
+        prefixed.push(0);
+        assert!(over.push(&prefixed).is_err(), "overrun must be refused");
+    }
+
+    #[test]
+    fn reader_handles_clean_eof_half_open_and_garbage() {
+        use std::net::Shutdown;
+        // Clean close at a frame boundary -> Ok(None).
+        let (a, b) = UnixStream::pair().expect("pair");
+        let mut reader = FrameReaderHalf::new(Box::new(a));
+        let mut tx = FrameWriter { inner: Box::new(b) };
+        tx.send(
+            &MarkerFrame {
+                epoch: 4,
+                high_water: Some(10),
+            }
+            .encode(),
+        )
+        .unwrap();
+        drop(tx);
+        match reader.next_frame().expect("frame") {
+            Some(ProcFrame::Marker(m)) => assert_eq!((m.epoch, m.high_water), (4, Some(10))),
+            other => panic!("expected marker, got {:?}", other.map(|f| f.label())),
+        }
+        assert!(reader.next_frame().expect("clean eof").is_none());
+
+        // Half-open: the peer dies mid-frame -> UnexpectedEof, never a
+        // partial decode.
+        let (a, b) = UnixStream::pair().expect("pair");
+        let mut reader = FrameReaderHalf::new(Box::new(a));
+        let frame = MarkerFrame {
+            epoch: 5,
+            high_water: None,
+        }
+        .encode();
+        (&b).write_all(&frame[..frame.len() / 2]).unwrap();
+        b.shutdown(Shutdown::Both).unwrap();
+        let err = reader.next_frame().expect_err("mid-frame EOF");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Garbage bytes -> InvalidData (fatal, no resync on the
+        // trusted intra-host wire).
+        let (a, b) = UnixStream::pair().expect("pair");
+        let mut reader = FrameReaderHalf::new(Box::new(a));
+        (&b).write_all(b"not a frame at all").unwrap();
+        drop(b);
+        let err = reader.next_frame().expect_err("garbage");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bit_flipped_marker_never_reaches_the_worker_loop() {
+        // The worker-side guarantee behind "a damaged marker never
+        // commits a cut": every single-bit corruption of a marker
+        // frame is a connection error, so the save-then-ack path is
+        // unreachable.
+        let frame = MarkerFrame {
+            epoch: 12,
+            high_water: Some(99_999),
+        }
+        .encode();
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            let (a, b) = UnixStream::pair().expect("pair");
+            let mut reader = FrameReaderHalf::new(Box::new(a));
+            (&b).write_all(&damaged).unwrap();
+            drop(b);
+            match reader.next_frame() {
+                Ok(Some(ProcFrame::Marker(_))) => {
+                    panic!("bit {bit}: damaged marker decoded as a marker")
+                }
+                Ok(Some(_)) | Ok(None) | Err(_) => {}
+            }
+        }
+    }
+
+    /// Drives `run_shard_worker` in-thread with a hand-rolled router
+    /// side over the socket transport: handshake, a batch, a marker
+    /// (checking the ack and the durable cut), end of stream, report.
+    #[test]
+    fn worker_end_to_end_over_a_socket() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let store = MemCheckpointStore::new();
+        let hub = SocketHub::bind().expect("bind");
+
+        let tweets: Vec<Tweet> = sim
+            .stream()
+            .filter(|t| route_shard(t.user, 2) == 0)
+            .take(40)
+            .collect();
+        assert!(!tweets.is_empty());
+
+        thread::scope(|scope| {
+            let path = hub.path.clone();
+            let worker = scope.spawn({
+                let sim = &sim;
+                let geocoder = &geocoder;
+                let store = &store;
+                move || {
+                    run_shard_worker(
+                        sim,
+                        geocoder,
+                        geocoder,
+                        Some(store as &dyn CheckpointStore),
+                        ShardWorkerConfig {
+                            shard: 0,
+                            shards: 2,
+                            stream: StreamPipelineConfig::default(),
+                            die_after: None,
+                        },
+                        WorkerConn::Socket(path),
+                    )
+                }
+            });
+
+            let (conn, _) = hub.listener.accept().expect("worker dials in");
+            let read_half = conn.try_clone().expect("clone");
+            let mut reader = FrameReaderHalf::new(Box::new(read_half));
+            let mut writer = FrameWriter {
+                inner: Box::new(conn),
+            };
+
+            // Hello, then offer.
+            match reader.next_frame().expect("hello").expect("frame") {
+                ProcFrame::Handshake(h) => {
+                    assert_eq!((h.shard, h.shards, h.resume_epoch), (0, 2, None))
+                }
+                f => panic!("expected hello, got {}", f.label()),
+            }
+            writer
+                .send(&HandshakeFrame::new(0, 2, None).encode())
+                .unwrap();
+
+            // A batch, then a cut.
+            writer.send(&BatchFrame::encode(&tweets)).unwrap();
+            writer
+                .send(
+                    &MarkerFrame {
+                        epoch: 1,
+                        high_water: tweets.last().map(|t| t.id.0),
+                    }
+                    .encode(),
+                )
+                .unwrap();
+            match reader.next_frame().expect("ack").expect("frame") {
+                ProcFrame::Control(ControlFrame::Ack { epoch }) => assert_eq!(epoch, 1),
+                f => panic!("expected ack, got {}", f.label()),
+            }
+            // The ack means the cut is durable *now*.
+            let saved = store.load(0, 1).expect("store").expect("epoch 1 present");
+            let ckpt = SensorCheckpoint::decode(&saved).expect("decodes");
+            assert_eq!((ckpt.shard_id, ckpt.shard_count, ckpt.epoch), (0, 2, 1));
+
+            // End of stream -> final report (chunked: reassemble until
+            // the declared length is complete).
+            writer.send(&ControlFrame::EndOfStream.encode()).unwrap();
+            let mut assembly = ReportAssembly::default();
+            let report = loop {
+                match reader.next_frame().expect("report").expect("frame") {
+                    ProcFrame::Control(ControlFrame::Report { payload }) => {
+                        if let Some(r) = assembly.push(&payload).expect("report decodes") {
+                            break r;
+                        }
+                    }
+                    f => panic!("expected report, got {}", f.label()),
+                }
+            };
+            assert_eq!(report.ckpt.shard_id, 0);
+            assert!(report.ckpt.export.tweet_count() > 0, "sensor saw the batch");
+            assert!(reader.next_frame().expect("clean close").is_none());
+
+            worker.join().expect("worker thread").expect("worker ok");
+        });
+    }
+}

@@ -50,7 +50,9 @@ use crate::checkpoint::{latest_complete_epoch, CheckpointStore, SensorCheckpoint
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::pipeline::{analyze_located_corpus, LocatedCorpus, PipelineConfig, PipelineRun};
 use crate::report::PaperReport;
-use crate::shard::{resolve_shards, run_sharded_stream, ShardConfig, ShardedStreamRun};
+use crate::shard::{
+    resolve_shards, run_sharded_stream, ShardConfig, ShardServices, ShardedStreamRun,
+};
 use crate::{CoreError, Result};
 use donorpulse_geo::service::LocationService;
 use donorpulse_geo::{Geocoder, UsState};
@@ -892,6 +894,11 @@ pub struct ServeConfig {
     /// ([`ShardConfig::checkpoint_final`]) — live snapshots require
     /// markers, and a daemon should always leave a resumable store.
     pub shard: ShardConfig,
+    /// Front a **process group** instead of in-process shard threads:
+    /// ingest goes through [`crate::procgroup::run_proc_group`] with
+    /// this spawn recipe, sharing the same durable store the watcher
+    /// reads. `None` (the default) keeps shard workers in-process.
+    pub procgroup: Option<crate::procgroup::ProcGroupLaunch>,
 }
 
 impl Default for ServeConfig {
@@ -906,6 +913,7 @@ impl Default for ServeConfig {
                 checkpoint_final: true,
                 ..ShardConfig::default()
             },
+            procgroup: None,
         }
     }
 }
@@ -1013,7 +1021,29 @@ pub fn run_serve_daemon<'a>(
             drop(conn_tx);
         });
 
-        let result = run_sharded_stream(sim, geocoder, service, faults, Some(store), shard_config);
+        let result = match &config.procgroup {
+            Some(launch) => crate::procgroup::run_proc_group(
+                sim,
+                geocoder,
+                faults,
+                Some(store),
+                &launch.spawner,
+                crate::procgroup::ProcGroupConfig {
+                    shard: shard_config,
+                    transport: launch.transport,
+                    kill_worker: None,
+                    respawn_limit: launch.respawn_limit,
+                },
+            ),
+            None => run_sharded_stream(
+                sim,
+                geocoder,
+                ShardServices::Shared(service),
+                faults,
+                Some(store),
+                shard_config,
+            ),
+        };
         let out = match result {
             Ok(run) => {
                 // Publish the end-of-stream state directly: with the

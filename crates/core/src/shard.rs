@@ -61,7 +61,7 @@ pub const MAX_SHARDS: usize = 16;
 
 /// Per-shard routed-tweet gauge names (`MetricsRegistry` wants
 /// `&'static str`, so the table is spelled out).
-const SHARD_TWEETS_NAMES: [&str; MAX_SHARDS] = [
+pub(crate) const SHARD_TWEETS_NAMES: [&str; MAX_SHARDS] = [
     "shard_0_tweets_total",
     "shard_1_tweets_total",
     "shard_2_tweets_total",
@@ -125,7 +125,7 @@ enum ShardMsg {
 
 /// Tweets a router buffers per shard before forcing a batch send —
 /// bounds both latency and the memory held outside the channels.
-const ROUTER_BATCH: usize = 64;
+pub(crate) const ROUTER_BATCH: usize = 64;
 
 /// Configuration for [`run_sharded_stream`].
 #[derive(Debug, Clone)]
@@ -211,18 +211,20 @@ pub struct ShardedStreamRun<'a> {
     pub killed: bool,
 }
 
-/// The per-run state restored from a checkpoint store.
+/// The per-run state restored from a checkpoint store. Shared with
+/// [`crate::procgroup`], which resumes a process group from the same
+/// directory layout.
 #[derive(Debug)]
-struct ResumePoint {
-    epoch: u64,
-    high_water: Option<TweetId>,
+pub(crate) struct ResumePoint {
+    pub(crate) epoch: u64,
+    pub(crate) high_water: Option<TweetId>,
     /// Per-shard restored state, indexed by shard id.
-    exports: Vec<SensorExport>,
-    parked: Vec<Vec<Tweet>>,
+    pub(crate) exports: Vec<SensorExport>,
+    pub(crate) parked: Vec<Vec<Tweet>>,
 }
 
 /// Loads and validates the newest complete cut from a store.
-fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> Result<ResumePoint> {
+pub(crate) fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> Result<ResumePoint> {
     let io = |e: std::io::Error| CoreError::Checkpoint(format!("checkpoint store: {e}"));
     let epoch = latest_complete_epoch(store, shards as u32)
         .map_err(io)?
@@ -284,21 +286,61 @@ struct WorkerReport {
     dead: Vec<DeadLetter>,
 }
 
+/// How the group's shards see the geocoding service.
+///
+/// A group sharing one [`LocationService`] shares its internal call
+/// counter too, and the interleaving of that counter across worker
+/// threads (or processes) depends on scheduling — which makes a
+/// degraded run nondeterministic and its dead-letter log
+/// unreconstructible. `PerShard` gives every worker its own service
+/// (callers derive the schedules with
+/// [`donorpulse_geo::service::FlakyConfig::for_shard`]), restoring
+/// purity: each shard's failure schedule is a function of its own
+/// admission sequence alone. `Shared` remains correct for services
+/// with no internal state (e.g. a reliable geocoder).
+pub enum ShardServices<'s> {
+    /// Every shard calls the same service instance.
+    Shared(&'s (dyn LocationService + Sync)),
+    /// Shard `i` calls `services[i]`; the length must cover the
+    /// resolved shard count.
+    PerShard(Vec<&'s (dyn LocationService + Sync)>),
+}
+
+impl<'s> ShardServices<'s> {
+    /// The service shard `shard` must call.
+    fn get(&self, shard: usize) -> Result<&'s (dyn LocationService + Sync)> {
+        match self {
+            ShardServices::Shared(s) => Ok(*s),
+            ShardServices::PerShard(v) => v.get(shard).copied().ok_or_else(|| {
+                CoreError::Checkpoint(format!(
+                    "per-shard service table has {} entries but shard {shard} was requested \
+                     (resolve the shard count with resolve_shards before building the table)",
+                    v.len()
+                ))
+            }),
+        }
+    }
+}
+
 /// Runs the consumer group end to end. See the module docs for the
 /// determinism and checkpoint-consistency arguments.
 ///
-/// `geocoder`/`service` split exactly as in
+/// `geocoder`/`services` split exactly as in
 /// [`crate::stream_consumer::run_faulted_stream`]: the sensor resolves
-/// with `geocoder`, the admission stage survives `service`.
+/// with `geocoder`, the admission stage survives the location service
+/// ([`ShardServices`] says which instance each shard calls).
 pub fn run_sharded_stream<'a>(
     sim: &'a TwitterSimulation,
     geocoder: &'a Geocoder,
-    service: &(dyn LocationService + Sync),
+    services: ShardServices<'_>,
     faults: FaultConfig,
     store: Option<&dyn CheckpointStore>,
     config: ShardConfig,
 ) -> Result<ShardedStreamRun<'a>> {
     let shards = resolve_shards(config.shards);
+    let shard_services: Vec<&(dyn LocationService + Sync)> = (0..shards)
+        .map(|s| services.get(s))
+        .collect::<Result<_>>()?;
     let metrics = config.stream.metrics.clone();
     metrics.gauge("shard_count").set(shards as u64);
 
@@ -503,6 +545,7 @@ pub fn run_sharded_stream<'a>(
             let residue = std::mem::take(&mut resume_parked[shard_id]);
             workers.push(scope.spawn({
                 let metrics = metrics.clone();
+                let service = shard_services[shard_id];
                 let geo_policy = config.stream.geo_retry.for_consumer(shard_id as u64);
                 let park_capacity = config.stream.park_capacity;
                 let final_drain_attempts = config.stream.final_drain_attempts;

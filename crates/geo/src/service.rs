@@ -83,6 +83,8 @@ const DOMAIN_ERROR: u64 = 0x6e0_5e1f_0000_0001;
 const DOMAIN_TIMEOUT: u64 = 0x6e0_5e1f_0000_0002;
 /// Domain tag for latency-spike draws.
 const DOMAIN_SPIKE: u64 = 0x6e0_5e1f_0000_0003;
+/// Domain tag for deriving per-shard schedule seeds.
+const DOMAIN_SHARD: u64 = 0x6e0_5e1f_0000_0004;
 
 /// SplitMix64 finalizer (local: this crate has no rand dependency).
 fn splitmix(mut x: u64) -> u64 {
@@ -169,6 +171,27 @@ impl FlakyConfig {
             outage_start: Some(start),
             outage_calls: calls,
             ..FlakyConfig::flaky(seed)
+        }
+    }
+
+    /// The schedule shard `shard` of a `shards`-way consumer group
+    /// sees: the same rates and outage window, re-seeded per shard so
+    /// each shard's failure schedule is pure in *its own* call counter.
+    ///
+    /// A consumer group sharing one call counter is nondeterministic —
+    /// the counter interleaving depends on thread/process scheduling —
+    /// so sharded runs give every shard an independent schedule keyed
+    /// on `(group seed, shard index)`. A single-shard group keeps the
+    /// group seed untouched, which is what makes `--shards 1` (and a
+    /// 1-process group) byte-identical to the unsharded path in every
+    /// fault mode.
+    pub fn for_shard(&self, shard: usize, shards: usize) -> Self {
+        if shards <= 1 {
+            return self.clone();
+        }
+        FlakyConfig {
+            seed: splitmix(self.seed ^ DOMAIN_SHARD ^ (shard as u64)),
+            ..self.clone()
         }
     }
 }

@@ -59,4 +59,7 @@ pub use stream::{FrameStream, StreamApi};
 pub use time::{SimInstant, COLLECTION_DAYS, COLLECTION_START};
 pub use tweet::{Tweet, TweetId};
 pub use user::{UserId, UserProfile};
-pub use wire::{BatchFrame, FrameError, FrameReader, FrameViews, TweetFrame, TweetView, WireMode};
+pub use wire::{
+    BatchFrame, ControlFrame, FrameError, FrameReader, FrameViews, HandshakeFrame, MarkerFrame,
+    TweetFrame, TweetView, WireMode,
+};

@@ -111,6 +111,19 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"DPWF";
 /// Envelope kind: a tweet frame on the stream path (both versions).
 pub const KIND_TWEET: u8 = 3;
+/// Envelope kind: a process-group handshake (worker hello / router
+/// resume offer).
+pub const KIND_HANDSHAKE: u8 = 4;
+/// Envelope kind: a Chandy-Lamport cut marker on the process-group
+/// wire.
+pub const KIND_MARKER: u8 = 5;
+/// Envelope kind: process-group control traffic (end-of-stream,
+/// checkpoint acks, worker reports).
+pub const KIND_CONTROL: u8 = 6;
+/// Protocol version of the process-group control frames (kinds 4–6).
+/// Bumped whenever a control payload layout changes; both handshake
+/// directions carry it so mismatched binaries fail fast.
+pub const PROC_WIRE_VERSION: u16 = 1;
 /// Layout version of single-tweet frames.
 pub const WIRE_VERSION: u16 = 1;
 /// Layout version of batched multi-tweet frames.
@@ -740,6 +753,472 @@ impl BatchFrame {
     }
 }
 
+/// Encodes a control-plane payload under the fixed-length v1-style
+/// envelope: magic, kind, version, u32 payload length, payload,
+/// byte-serial FNV trailer. All process-group control kinds share this
+/// layout so they inherit the v1 envelope's length-before-checksum
+/// discipline (every single-bit flip detectable).
+fn encode_envelope(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "control payload {} exceeds MAX_PAYLOAD {MAX_PAYLOAD}",
+        payload.len()
+    );
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(kind);
+    buf.extend_from_slice(&PROC_WIRE_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Parses a control-plane envelope, mirroring `TweetFrame::parse`
+/// check order exactly: magic → header length → declared-length cap →
+/// total length → strict trailing bytes → checksum → kind → version.
+/// Returns the payload slice and total frame length.
+fn parse_envelope(bytes: &[u8], want_kind: u8, strict: bool) -> Result<(&[u8], usize), FrameError> {
+    let magic_have = bytes.len().min(MAGIC.len());
+    if bytes[..magic_have] != MAGIC[..magic_have] {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated {
+            have: bytes.len(),
+            need: HEADER_LEN + TRAILER_LEN,
+        });
+    }
+    let declared = u32::from_le_bytes(bytes[7..HEADER_LEN].try_into().expect("4 bytes")) as usize;
+    if declared > MAX_PAYLOAD {
+        return Err(FrameError::BadPayload(format!(
+            "declared payload length {declared} exceeds cap {MAX_PAYLOAD}"
+        )));
+    }
+    let total = HEADER_LEN + declared + TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated {
+            have: bytes.len(),
+            need: total,
+        });
+    }
+    if strict && bytes.len() != total {
+        return Err(FrameError::BadPayload(format!(
+            "{} trailing bytes after the frame",
+            bytes.len() - total
+        )));
+    }
+    let (body, trailer) = bytes[..total].split_at(total - TRAILER_LEN);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(FrameError::BadChecksum { stored, computed });
+    }
+    let kind = bytes[4];
+    if kind != want_kind {
+        return Err(FrameError::BadPayload(format!(
+            "unexpected frame kind {kind} (wanted {want_kind})"
+        )));
+    }
+    let version = u16::from_le_bytes([bytes[5], bytes[6]]);
+    if version != PROC_WIRE_VERSION {
+        return Err(FrameError::BadPayload(format!(
+            "unknown proc wire version {version} (this build speaks {PROC_WIRE_VERSION})"
+        )));
+    }
+    Ok((&body[HEADER_LEN..], total))
+}
+
+/// Fixed-width field cursor for control payloads: every control frame
+/// has an exact byte length, so "ends mid-field" and "unread bytes"
+/// are both classified `BadPayload`.
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| FrameError::BadPayload("control payload ends mid-field".into()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Canonical optional u64: flag byte then the value, which must be
+    /// zero when absent so there is exactly one encoding per value.
+    fn opt_u64(&mut self) -> Result<Option<u64>, FrameError> {
+        let flag = self.u8()?;
+        let v = self.u64()?;
+        match flag {
+            0 if v == 0 => Ok(None),
+            0 => Err(FrameError::BadPayload(
+                "absent optional carries a non-zero value".into(),
+            )),
+            1 => Ok(Some(v)),
+            other => Err(FrameError::BadPayload(format!("bad optional flag {other}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::BadPayload(format!(
+                "{} unread payload bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            buf.push(1);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        None => {
+            buf.push(0);
+            buf.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+}
+
+/// The first frame each side of a process-group connection sends: the
+/// worker announces which shard slot it is filling, the router answers
+/// with the epoch the worker must resume from (`None` for a fresh
+/// start). Both directions carry the protocol version so a mismatched
+/// binary fails the handshake instead of misparsing the stream.
+///
+/// ```
+/// use donorpulse_twitter::wire::HandshakeFrame;
+///
+/// let hello = HandshakeFrame::new(2, 4, Some(17));
+/// let frame = hello.encode();
+/// assert_eq!(HandshakeFrame::decode(&frame).unwrap(), hello);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeFrame {
+    /// Process-group protocol version the sender speaks.
+    pub proc_version: u16,
+    /// Shard slot this connection serves (0-based).
+    pub shard: u32,
+    /// Total shard count of the group.
+    pub shards: u32,
+    /// Epoch whose checkpoint the worker must restore before ingesting,
+    /// `None` for a fresh start.
+    pub resume_epoch: Option<u64>,
+}
+
+impl HandshakeFrame {
+    /// A handshake at the current protocol version.
+    pub fn new(shard: u32, shards: u32, resume_epoch: Option<u64>) -> Self {
+        HandshakeFrame {
+            proc_version: PROC_WIRE_VERSION,
+            shard,
+            shards,
+            resume_epoch,
+        }
+    }
+
+    /// Encodes the handshake as a framed byte record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(19);
+        payload.extend_from_slice(&self.proc_version.to_le_bytes());
+        payload.extend_from_slice(&self.shard.to_le_bytes());
+        payload.extend_from_slice(&self.shards.to_le_bytes());
+        put_opt_u64(&mut payload, self.resume_epoch);
+        encode_envelope(KIND_HANDSHAKE, &payload)
+    }
+
+    /// Strict decode: `bytes` must be exactly one intact handshake.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        Self::parse(bytes, true).map(|(v, _)| v)
+    }
+
+    /// Prefix decode for stream scanning: returns the handshake and
+    /// total frame length.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), FrameError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<(Self, usize), FrameError> {
+        let (payload, total) = parse_envelope(bytes, KIND_HANDSHAKE, strict)?;
+        let mut r = PayloadReader::new(payload);
+        let proc_version = r.u16()?;
+        let shard = r.u32()?;
+        let shards = r.u32()?;
+        let resume_epoch = r.opt_u64()?;
+        r.finish()?;
+        if shards == 0 {
+            return Err(FrameError::BadPayload("handshake with zero shards".into()));
+        }
+        if shard >= shards {
+            return Err(FrameError::BadPayload(format!(
+                "handshake shard {shard} out of range for {shards} shards"
+            )));
+        }
+        Ok((
+            HandshakeFrame {
+                proc_version,
+                shard,
+                shards,
+                resume_epoch,
+            },
+            total,
+        ))
+    }
+}
+
+/// A Chandy-Lamport marker broadcast on the process-group wire: every
+/// tweet routed before it belongs to cut `epoch`, everything after to
+/// `epoch + 1`. A worker checkpoints exactly when the marker arrives,
+/// so a marker that fails to decode must never commit a cut — the
+/// envelope's length-before-checksum discipline guarantees any
+/// single-bit flip is a classified decode error.
+///
+/// ```
+/// use donorpulse_twitter::wire::MarkerFrame;
+///
+/// let mark = MarkerFrame { epoch: 3, high_water: Some(4096) };
+/// assert_eq!(MarkerFrame::decode(&mark.encode()).unwrap(), mark);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerFrame {
+    /// The cut this marker commits.
+    pub epoch: u64,
+    /// Highest tweet id routed before the marker, for resume replay
+    /// suppression.
+    pub high_water: Option<u64>,
+}
+
+impl MarkerFrame {
+    /// Encodes the marker as a framed byte record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(17);
+        payload.extend_from_slice(&self.epoch.to_le_bytes());
+        put_opt_u64(&mut payload, self.high_water);
+        encode_envelope(KIND_MARKER, &payload)
+    }
+
+    /// Strict decode: `bytes` must be exactly one intact marker.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        Self::parse(bytes, true).map(|(v, _)| v)
+    }
+
+    /// Prefix decode for stream scanning: returns the marker and total
+    /// frame length.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), FrameError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<(Self, usize), FrameError> {
+        let (payload, total) = parse_envelope(bytes, KIND_MARKER, strict)?;
+        let mut r = PayloadReader::new(payload);
+        let epoch = r.u64()?;
+        let high_water = r.opt_u64()?;
+        r.finish()?;
+        Ok((MarkerFrame { epoch, high_water }, total))
+    }
+}
+
+/// Control-plane traffic on the process-group wire that is neither
+/// data nor a cut: end-of-stream, checkpoint acknowledgements
+/// (worker → router, lets the router trim its retained replay log),
+/// and the worker's final report (an opaque payload the core layer
+/// encodes — the wire stays ignorant of sensor internals).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// The router has no more data; the worker should drain and report.
+    EndOfStream,
+    /// The worker durably wrote the checkpoint for `epoch`.
+    Ack {
+        /// Epoch whose checkpoint is now durable.
+        epoch: u64,
+    },
+    /// The worker's end-of-stream report (core-encoded bytes).
+    Report {
+        /// Opaque report bytes; the core layer owns the layout.
+        payload: Vec<u8>,
+    },
+}
+
+const CONTROL_OP_EOS: u8 = 1;
+const CONTROL_OP_ACK: u8 = 2;
+const CONTROL_OP_REPORT: u8 = 3;
+
+impl ControlFrame {
+    /// Encodes the control message as a framed byte record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            ControlFrame::EndOfStream => payload.push(CONTROL_OP_EOS),
+            ControlFrame::Ack { epoch } => {
+                payload.push(CONTROL_OP_ACK);
+                payload.extend_from_slice(&epoch.to_le_bytes());
+            }
+            ControlFrame::Report { payload: bytes } => {
+                payload.reserve(1 + bytes.len());
+                payload.push(CONTROL_OP_REPORT);
+                payload.extend_from_slice(bytes);
+            }
+        }
+        encode_envelope(KIND_CONTROL, &payload)
+    }
+
+    /// Strict decode: `bytes` must be exactly one intact control frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        Self::parse(bytes, true).map(|(v, _)| v)
+    }
+
+    /// Prefix decode for stream scanning: returns the message and total
+    /// frame length.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Self, usize), FrameError> {
+        Self::parse(bytes, false)
+    }
+
+    fn parse(bytes: &[u8], strict: bool) -> Result<(Self, usize), FrameError> {
+        let (payload, total) = parse_envelope(bytes, KIND_CONTROL, strict)?;
+        let mut r = PayloadReader::new(payload);
+        let frame = match r.u8()? {
+            CONTROL_OP_EOS => ControlFrame::EndOfStream,
+            CONTROL_OP_ACK => ControlFrame::Ack { epoch: r.u64()? },
+            CONTROL_OP_REPORT => {
+                let rest = payload.len() - 1;
+                ControlFrame::Report {
+                    payload: r.take(rest)?.to_vec(),
+                }
+            }
+            other => {
+                return Err(FrameError::BadPayload(format!(
+                    "unknown control op {other}"
+                )));
+            }
+        };
+        r.finish()?;
+        Ok((frame, total))
+    }
+}
+
+/// Kind, version, and total byte length of the frame starting at the
+/// front of `bytes` — the length discipline incremental socket readers
+/// use to know how many bytes to buffer before running a strict
+/// decode. **No checksum is verified here**: callers must strict-decode
+/// the `total`-byte slice once buffered; a corrupt length field is
+/// bounded by [`MAX_PAYLOAD`] so it can at worst demand one over-sized
+/// read before the checksum check fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameExtent {
+    /// The envelope kind byte.
+    pub kind: u8,
+    /// The envelope version word.
+    pub version: u16,
+    /// Total frame length including header and trailer.
+    pub total: usize,
+}
+
+/// Reads the extent of the frame at the front of `bytes`, dispatching
+/// on kind and version: v2 tweet batches use varint lengths, every
+/// other known kind the fixed u32 header. Returns `Truncated` when
+/// more bytes are needed to even determine the length.
+pub fn frame_extent(bytes: &[u8]) -> Result<FrameExtent, FrameError> {
+    let magic_have = bytes.len().min(MAGIC.len());
+    if bytes[..magic_have] != MAGIC[..magic_have] {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < V2_PREFIX_LEN {
+        return Err(FrameError::Truncated {
+            have: bytes.len(),
+            need: HEADER_LEN + TRAILER_LEN,
+        });
+    }
+    let kind = bytes[4];
+    let version = u16::from_le_bytes([bytes[5], bytes[6]]);
+    match (kind, version) {
+        (KIND_TWEET, WIRE_VERSION_V2) => {
+            let mut cursor = V2_PREFIX_LEN;
+            let varint_err = |e: VarintError| match e {
+                VarintError::Truncated => FrameError::Truncated {
+                    have: bytes.len(),
+                    need: bytes.len() + 1,
+                },
+                VarintError::Malformed(msg) => FrameError::BadPayload(msg.into()),
+            };
+            let (payload_len, n) = read_varint(&bytes[cursor..]).map_err(varint_err)?;
+            cursor += n;
+            if payload_len > MAX_PAYLOAD as u64 {
+                return Err(FrameError::BadPayload(format!(
+                    "declared payload length {payload_len} exceeds cap {MAX_PAYLOAD}"
+                )));
+            }
+            let (_, n) = read_varint(&bytes[cursor..]).map_err(varint_err)?;
+            cursor += n;
+            Ok(FrameExtent {
+                kind,
+                version,
+                total: cursor + payload_len as usize + TRAILER_LEN,
+            })
+        }
+        (KIND_TWEET, WIRE_VERSION)
+        | (KIND_HANDSHAKE, PROC_WIRE_VERSION)
+        | (KIND_MARKER, PROC_WIRE_VERSION)
+        | (KIND_CONTROL, PROC_WIRE_VERSION) => {
+            if bytes.len() < HEADER_LEN {
+                return Err(FrameError::Truncated {
+                    have: bytes.len(),
+                    need: HEADER_LEN + TRAILER_LEN,
+                });
+            }
+            let declared =
+                u32::from_le_bytes(bytes[7..HEADER_LEN].try_into().expect("4 bytes")) as usize;
+            if declared > MAX_PAYLOAD {
+                return Err(FrameError::BadPayload(format!(
+                    "declared payload length {declared} exceeds cap {MAX_PAYLOAD}"
+                )));
+            }
+            Ok(FrameExtent {
+                kind,
+                version,
+                total: HEADER_LEN + declared + TRAILER_LEN,
+            })
+        }
+        (kind, version) => Err(FrameError::BadPayload(format!(
+            "unknown frame kind {kind} / version {version}"
+        ))),
+    }
+}
+
 /// One decoded frame from a [`FrameReader`]: which layout version it
 /// arrived in and the tweets it carried as borrowed views (one view
 /// for v1, the whole batch for v2).
@@ -1324,5 +1803,175 @@ mod tests {
             }
             buf[mid_start + bit / 8] ^= 1 << (bit % 8);
         }
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        let cases = [
+            HandshakeFrame::new(0, 1, None),
+            HandshakeFrame::new(3, 4, Some(0)),
+            HandshakeFrame::new(15, 16, Some(u64::MAX)),
+        ];
+        for hs in cases {
+            let frame = hs.encode();
+            assert_eq!(frame[4], KIND_HANDSHAKE);
+            assert_eq!(HandshakeFrame::decode(&frame).expect("handshake"), hs);
+        }
+        let markers = [
+            MarkerFrame {
+                epoch: 1,
+                high_water: None,
+            },
+            MarkerFrame {
+                epoch: u64::MAX,
+                high_water: Some(12345),
+            },
+        ];
+        for m in markers {
+            let frame = m.encode();
+            assert_eq!(frame[4], KIND_MARKER);
+            assert_eq!(MarkerFrame::decode(&frame).expect("marker"), m);
+        }
+        let controls = [
+            ControlFrame::EndOfStream,
+            ControlFrame::Ack { epoch: 42 },
+            ControlFrame::Report {
+                payload: b"DPWF opaque report bytes".to_vec(),
+            },
+            ControlFrame::Report {
+                payload: Vec::new(),
+            },
+        ];
+        for c in controls {
+            let frame = c.encode();
+            assert_eq!(frame[4], KIND_CONTROL);
+            assert_eq!(ControlFrame::decode(&frame).expect("control"), c);
+        }
+    }
+
+    #[test]
+    fn control_frames_reject_malformed_payloads() {
+        // Shard out of range / zero shards.
+        for (shard, shards) in [(1u32, 1u32), (5, 4), (0, 0)] {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&PROC_WIRE_VERSION.to_le_bytes());
+            payload.extend_from_slice(&shard.to_le_bytes());
+            payload.extend_from_slice(&shards.to_le_bytes());
+            put_opt_u64(&mut payload, None);
+            let frame = encode_envelope(KIND_HANDSHAKE, &payload);
+            assert!(
+                matches!(
+                    HandshakeFrame::decode(&frame).unwrap_err(),
+                    FrameError::BadPayload(_)
+                ),
+                "shard {shard}/{shards}"
+            );
+        }
+        // Non-canonical optional: absent flag with non-zero value.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&9u64.to_le_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        let frame = encode_envelope(KIND_MARKER, &payload);
+        assert!(matches!(
+            MarkerFrame::decode(&frame).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        // Unknown control op.
+        let frame = encode_envelope(KIND_CONTROL, &[9]);
+        assert!(matches!(
+            ControlFrame::decode(&frame).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        // Short payloads classify, never panic.
+        for n in 0..18 {
+            let frame = encode_envelope(KIND_HANDSHAKE, &vec![0u8; n]);
+            assert!(HandshakeFrame::decode(&frame).is_err(), "len {n}");
+        }
+        // Kind mismatch: a marker handed to the handshake decoder.
+        let m = MarkerFrame {
+            epoch: 1,
+            high_water: None,
+        }
+        .encode();
+        assert!(matches!(
+            HandshakeFrame::decode(&m).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+    }
+
+    #[test]
+    fn marker_single_bit_flips_always_classify() {
+        // The cut-commitment guarantee: no single-bit flip of a marker
+        // frame ever decodes as a (different) valid marker. The full
+        // sweep across epochs lives in tests/wire_codec.rs.
+        let frame = MarkerFrame {
+            epoch: 7,
+            high_water: Some(0x0102_0304_0506_0708),
+        }
+        .encode();
+        for bit in 0..frame.len() * 8 {
+            let mut buf = frame.clone();
+            buf[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                MarkerFrame::decode(&buf).is_err(),
+                "bit {bit} decoded a damaged marker"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_extent_reports_all_known_kinds() {
+        let t = tweet(7, "kidney", None);
+        let frames: Vec<(u8, u16, Vec<u8>)> = vec![
+            (KIND_TWEET, WIRE_VERSION, TweetFrame::encode(&t)),
+            (
+                KIND_TWEET,
+                WIRE_VERSION_V2,
+                BatchFrame::encode(&[t.clone(), tweet(8, "liver", None)]),
+            ),
+            (
+                KIND_HANDSHAKE,
+                PROC_WIRE_VERSION,
+                HandshakeFrame::new(0, 2, None).encode(),
+            ),
+            (
+                KIND_MARKER,
+                PROC_WIRE_VERSION,
+                MarkerFrame {
+                    epoch: 3,
+                    high_water: None,
+                }
+                .encode(),
+            ),
+            (
+                KIND_CONTROL,
+                PROC_WIRE_VERSION,
+                ControlFrame::EndOfStream.encode(),
+            ),
+        ];
+        for (kind, version, frame) in &frames {
+            let ext = frame_extent(frame).expect("extent");
+            assert_eq!(ext.kind, *kind);
+            assert_eq!(ext.version, *version);
+            assert_eq!(ext.total, frame.len());
+            // Extent works on a prefix-extended buffer too.
+            let mut longer = frame.clone();
+            longer.extend_from_slice(b"trailing");
+            assert_eq!(frame_extent(&longer).expect("extent").total, frame.len());
+            // And classifies truncation below the length fields.
+            assert!(matches!(
+                frame_extent(&frame[..4]).unwrap_err(),
+                FrameError::Truncated { .. }
+            ));
+        }
+        // Unknown kind/version pairs classify.
+        let mut bogus = frames[0].2.clone();
+        bogus[4] = 77;
+        assert!(matches!(
+            frame_extent(&bogus).unwrap_err(),
+            FrameError::BadPayload(_)
+        ));
+        assert_eq!(frame_extent(b"XYZ").unwrap_err(), FrameError::BadMagic);
     }
 }

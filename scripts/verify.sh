@@ -151,6 +151,59 @@ echo "==> dead letters: geo-outage replay restores clean coverage"
   || fail "dead-letter replay failed"
 grep -q "coverage restored       yes" "${DET_TMP}/replay.txt" \
   || fail "dead-letter replay did not restore clean coverage"
+# The same contract holds for a degraded consumer group: per-shard
+# flaky schedules make the sharded run reconstructible, so its log
+# replays to clean coverage too (docs/ROBUSTNESS.md).
+./target/release/repro --scale 0.05 stream --faults geo-outage --shards 2 \
+  --dead-letter-dir "${DET_TMP}/dl_sharded" \
+  > /dev/null 2> /dev/null \
+  || fail "sharded geo-outage stream run failed"
+./target/release/repro --scale 0.05 replay-dead-letters --faults geo-outage --shards 2 \
+  --dead-letter-dir "${DET_TMP}/dl_sharded" \
+  > "${DET_TMP}/replay_sharded.txt" 2> /dev/null \
+  || fail "sharded dead-letter replay failed"
+grep -q "coverage restored       yes" "${DET_TMP}/replay_sharded.txt" \
+  || fail "sharded dead-letter replay did not restore clean coverage"
+
+echo "==> procgroup: N processes byte-identical to N threads (and to 1 sensor)"
+# The cross-process consumer group (router + supervised shard-worker
+# processes over unix sockets) promises stdout byte-identical to the
+# in-process group for every fault preset, and to the single-sensor
+# run for clean/recoverable presets (docs/SCALING.md). The last line
+# of this gate is its own machine-readable verdict so CI can report it
+# independently of the overall verify result.
+for n in 2 4; do
+  ./target/release/repro --scale 0.05 stream --faults recoverable --procs "${n}" \
+    > "${DET_TMP}/stream_procs_${n}.txt" 2> /dev/null \
+    || { echo "PROCGROUP RESULT: FAIL (procs=${n} run failed)"; fail "process-group run (procs=${n}) failed"; }
+  diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_procs_${n}.txt" \
+    || { echo "PROCGROUP RESULT: FAIL (procs=${n} diverged)"; fail "process-group snapshot (procs=${n}) differs from single-consumer run"; }
+done
+for f in lossy outage geo-outage; do
+  ./target/release/repro --scale 0.05 stream --faults "${f}" --shards 2 \
+    > "${DET_TMP}/stream_shards2_${f}.txt" 2> /dev/null \
+    || { echo "PROCGROUP RESULT: FAIL (shards=2 ${f} run failed)"; fail "sharded reference run (faults=${f}) failed"; }
+  ./target/release/repro --scale 0.05 stream --faults "${f}" --procs 2 \
+    > "${DET_TMP}/stream_procs2_${f}.txt" 2> /dev/null \
+    || { echo "PROCGROUP RESULT: FAIL (procs=2 ${f} run failed)"; fail "process-group run (faults=${f}) failed"; }
+  diff "${DET_TMP}/stream_shards2_${f}.txt" "${DET_TMP}/stream_procs2_${f}.txt" \
+    || { echo "PROCGROUP RESULT: FAIL (${f} diverged)"; fail "process-group snapshot (faults=${f}) differs from in-process group"; }
+done
+
+echo "==> procgroup: kill one worker, respawn, resume — byte-identical"
+# Kill worker 1 mid-epoch; the supervisor must respawn it from its
+# last complete checkpoint, replay the retained window, and finish
+# with the exact uninterrupted snapshot (docs/SCALING.md).
+./target/release/repro --scale 0.05 stream --faults recoverable --procs 2 \
+  --checkpoint-dir "${DET_TMP}/pg_ckpt" --checkpoint-every 512 \
+  --kill-worker 1:1500 --worker-log-dir "${DET_TMP}/pg_logs" \
+  > "${DET_TMP}/stream_killworker.txt" 2> /dev/null \
+  || { echo "PROCGROUP RESULT: FAIL (kill-worker run failed)"; fail "kill-worker run failed"; }
+diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_killworker.txt" \
+  || { echo "PROCGROUP RESULT: FAIL (kill-worker diverged)"; fail "respawned-worker snapshot differs from the uninterrupted run"; }
+grep -q "resuming from epoch" "${DET_TMP}/pg_logs/supervisor.log" \
+  || { echo "PROCGROUP RESULT: FAIL (no resume recorded)"; fail "supervisor log records no worker resume"; }
+echo "PROCGROUP RESULT: PASS"
 
 echo "==> serving: daemon smoke (ETag/304 protocol + batch-identical report)"
 # The always-on daemon must bind, drain ingest, serve /report with an

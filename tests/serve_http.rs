@@ -163,7 +163,11 @@ fn exercise(client: &mut HttpClient, gate: &GatedService<'_>) -> Result<Observed
     // ETag is stable within the pinned epoch: two plain GETs agree,
     // and a conditional GET is answered 304 with an empty body.
     let first = client.get("/report", None).map_err(|e| e.to_string())?;
-    check!(first.status == 200, "/report while pinned: {}", first.status);
+    check!(
+        first.status == 200,
+        "/report while pinned: {}",
+        first.status
+    );
     let etag_pinned = first
         .etag
         .clone()
@@ -206,7 +210,11 @@ fn exercise(client: &mut HttpClient, gate: &GatedService<'_>) -> Result<Observed
     let bad_method = client
         .request("DELETE", "/report", None)
         .map_err(|e| e.to_string())?;
-    check!(bad_method.status == 405, "DELETE /report: {}", bad_method.status);
+    check!(
+        bad_method.status == 405,
+        "DELETE /report: {}",
+        bad_method.status
+    );
     let not_found = client.get("/nope", None).map_err(|e| e.to_string())?;
     check!(not_found.status == 404, "GET /nope: {}", not_found.status);
 
@@ -220,7 +228,11 @@ fn exercise(client: &mut HttpClient, gate: &GatedService<'_>) -> Result<Observed
     check!(done.is_some(), "ingest never finished after release");
 
     let final_reply = client.get("/report", None).map_err(|e| e.to_string())?;
-    check!(final_reply.status == 200, "final /report: {}", final_reply.status);
+    check!(
+        final_reply.status == 200,
+        "final /report: {}",
+        final_reply.status
+    );
     let etag_final = final_reply
         .etag
         .clone()
@@ -240,7 +252,11 @@ fn exercise(client: &mut HttpClient, gate: &GatedService<'_>) -> Result<Observed
     let fresh = client
         .get("/report", Some(&etag_final))
         .map_err(|e| e.to_string())?;
-    check!(fresh.status == 304, "fresh tag: {} (want 304)", fresh.status);
+    check!(
+        fresh.status == 304,
+        "fresh tag: {} (want 304)",
+        fresh.status
+    );
 
     Ok(Observed {
         etag_pinned,
@@ -324,7 +340,10 @@ fn daemon_serves_epoch_consistent_etags_and_batch_identical_reports() {
         .expect("store readable")
         .expect("closing checkpoint flushed");
     assert_eq!(newest, outcome.final_epoch);
-    assert!(outcome.final_epoch > 3, "ingest never advanced past the pin");
+    assert!(
+        outcome.final_epoch > 3,
+        "ingest never advanced past the pin"
+    );
     assert!(!outcome.stream.killed);
 
     // Served bytes are batch bytes: the daemon's final /report equals
@@ -349,5 +368,8 @@ fn daemon_serves_epoch_consistent_etags_and_batch_identical_reports() {
         .metrics
         .counter("http_responses_304_total")
         .expect("http_responses_304_total");
-    assert!(not_modified >= 2, "expected at least two 304s, saw {not_modified}");
+    assert!(
+        not_modified >= 2,
+        "expected at least two 304s, saw {not_modified}"
+    );
 }

@@ -16,7 +16,7 @@
 
 use donorpulse::core::incremental::IncrementalSensor;
 use donorpulse::core::pipeline::{Pipeline, PipelineConfig, PipelineRun};
-use donorpulse::core::shard::{run_sharded_stream, ShardConfig};
+use donorpulse::core::shard::{run_sharded_stream, ShardConfig, ShardServices};
 use donorpulse::core::stream_consumer::{
     replay_dead_letters, run_faulted_stream, StreamPipelineConfig,
 };
@@ -88,7 +88,7 @@ fn merge_is_byte_identical_to_batch_for_every_shard_count() {
         let run = run_sharded_stream(
             &sim,
             &geocoder,
-            &geocoder,
+            ShardServices::Shared(&geocoder),
             FaultConfig::none(),
             None,
             shard_config(shards),
@@ -145,7 +145,7 @@ fn sharded_run_matches_single_consumer_under_recoverable_faults() {
     let run = run_sharded_stream(
         &sim,
         &geocoder,
-        &service2,
+        ShardServices::Shared(&service2),
         FaultConfig::recoverable(SEED),
         None,
         shard_config(4),
@@ -171,7 +171,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     let uninterrupted = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults.clone(),
         Some(&ref_store),
         config.clone(),
@@ -188,7 +188,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     let killed = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults.clone(),
         Some(&store),
         killed_config,
@@ -204,7 +204,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_run() {
     let resumed = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults,
         Some(&store),
         resume_config,
@@ -238,7 +238,7 @@ fn resume_with_wrong_shard_count_is_refused() {
     run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         FaultConfig::none(),
         Some(&store),
         config,
@@ -254,7 +254,7 @@ fn resume_with_wrong_shard_count_is_refused() {
     let err = match run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         FaultConfig::none(),
         Some(&store),
         wrong,
@@ -276,7 +276,7 @@ fn dead_letters_replay_to_full_clean_coverage() {
     let run = run_sharded_stream(
         &sim,
         &geocoder,
-        &service,
+        ShardServices::Shared(&service),
         FaultConfig::none(),
         None,
         shard_config(2),
@@ -307,7 +307,10 @@ fn dead_letters_replay_to_full_clean_coverage() {
     assert_eq!(report.tweets_replayed, log.len() as u64);
     assert_eq!(report.frames_recovered, 0);
     assert_eq!(report.frames_undecodable, 0);
-    assert_eq!(report.duplicates, 0, "abandoned tweets never reached the sensor");
+    assert_eq!(
+        report.duplicates, 0,
+        "abandoned tweets never reached the sensor"
+    );
     let mut clean = IncrementalSensor::new(&geocoder, |id: UserId| {
         sim.users()
             .get(id.0 as usize)
@@ -374,7 +377,7 @@ fn checkpoint_retention_keeps_only_the_newest_complete_epochs() {
     let run = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         FaultConfig::none(),
         Some(&store),
         config,
@@ -402,7 +405,10 @@ fn checkpoint_retention_keeps_only_the_newest_complete_epochs() {
             );
         }
         assert!(
-            store.load(shard, run.last_epoch).expect("store io").is_some(),
+            store
+                .load(shard, run.last_epoch)
+                .expect("store io")
+                .is_some(),
             "shard {shard} lost its newest epoch"
         );
     }
@@ -420,7 +426,7 @@ fn resume_after_compaction_reproduces_the_uninterrupted_run() {
     let uninterrupted = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults.clone(),
         Some(&MemCheckpointStore::new()),
         config.clone(),
@@ -438,7 +444,7 @@ fn resume_after_compaction_reproduces_the_uninterrupted_run() {
     let killed = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults.clone(),
         Some(&store),
         killed_config,
@@ -453,7 +459,7 @@ fn resume_after_compaction_reproduces_the_uninterrupted_run() {
     let resumed = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         faults,
         Some(&store),
         resume_config,
@@ -461,7 +467,11 @@ fn resume_after_compaction_reproduces_the_uninterrupted_run() {
     .expect("resumed run");
     assert!(resumed.resumed_from_epoch.is_some());
     let sensor = resumed.sensor.expect("resumed sensor");
-    assert_sensors_equal(&sensor, &reference, "resumed-after-compaction vs uninterrupted");
+    assert_sensors_equal(
+        &sensor,
+        &reference,
+        "resumed-after-compaction vs uninterrupted",
+    );
 }
 
 #[test]
@@ -474,7 +484,7 @@ fn checkpoints_written_by_a_run_decode_standalone() {
     let run = run_sharded_stream(
         &sim,
         &geocoder,
-        &geocoder,
+        ShardServices::Shared(&geocoder),
         FaultConfig::none(),
         Some(&store),
         config,

@@ -562,3 +562,187 @@ fn regenerate_v2_golden_vectors() {
         std::fs::write(v2_fixture_path(name), BatchFrame::encode(&tweets)).expect("write fixture");
     }
 }
+
+// ---------------------------------------------------------------------
+// Process-group frames (handshake / marker / control) — the supervisor
+// wire. Same three layers as the tweet codec: golden vectors pin the
+// layouts, full bit-flip sweeps prove damage is always a classified
+// error, and the marker sweep carries the checkpoint-safety argument:
+// a cut commits only when an *intact* marker decodes, so no damaged
+// marker can ever commit one.
+// ---------------------------------------------------------------------
+
+use donorpulse::twitter::wire::{ControlFrame, HandshakeFrame, MarkerFrame};
+
+/// Process-group fixture names paired with their frame bytes.
+fn proc_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("handshake_fresh", HandshakeFrame::new(0, 4, None).encode()),
+        (
+            "handshake_resume",
+            HandshakeFrame::new(3, 4, Some(17)).encode(),
+        ),
+        (
+            "marker_cut",
+            MarkerFrame {
+                epoch: 9,
+                high_water: Some(123_456),
+            }
+            .encode(),
+        ),
+        (
+            "marker_empty",
+            MarkerFrame {
+                epoch: 1,
+                high_water: None,
+            }
+            .encode(),
+        ),
+        ("control_eos", ControlFrame::EndOfStream.encode()),
+        ("control_ack", ControlFrame::Ack { epoch: 9 }.encode()),
+        (
+            "control_report",
+            ControlFrame::Report {
+                payload: vec![0xD0, 0x9F, 0x57, 0x00, 0x01],
+            }
+            .encode(),
+        ),
+    ]
+}
+
+#[test]
+fn proc_golden_vectors_pin_the_supervisor_wire_byte_for_byte() {
+    for (name, encoded) in proc_fixtures() {
+        let path = v2_fixture_path(name);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+        });
+        assert_eq!(
+            encoded, golden,
+            "{name}: encoder output drifted from the golden vector — \
+             a layout change needs a PROC_WIRE_VERSION bump, not a fixture refresh"
+        );
+    }
+    // And the golden bytes decode back to themselves.
+    let h = HandshakeFrame::decode(&std::fs::read(v2_fixture_path("handshake_resume")).unwrap())
+        .expect("golden handshake decodes");
+    assert_eq!((h.shard, h.shards, h.resume_epoch), (3, 4, Some(17)));
+    let m = MarkerFrame::decode(&std::fs::read(v2_fixture_path("marker_cut")).unwrap())
+        .expect("golden marker decodes");
+    assert_eq!((m.epoch, m.high_water), (9, Some(123_456)));
+    let c = ControlFrame::decode(&std::fs::read(v2_fixture_path("control_ack")).unwrap())
+        .expect("golden control decodes");
+    assert_eq!(c, ControlFrame::Ack { epoch: 9 });
+}
+
+/// Same `REGEN_WIRE_FIXTURES=1` contract as the tweet fixtures.
+#[test]
+fn regenerate_proc_golden_vectors() {
+    if std::env::var("REGEN_WIRE_FIXTURES").as_deref() != Ok("1") {
+        return;
+    }
+    let dir = format!("{}/tests/data/wire_v2", env!("CARGO_MANIFEST_DIR"));
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    for (name, encoded) in proc_fixtures() {
+        std::fs::write(v2_fixture_path(name), encoded).expect("write fixture");
+    }
+}
+
+#[test]
+fn every_proc_frame_bit_flip_is_a_classified_error() {
+    for (name, frame) in proc_fixtures() {
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            let err = match name {
+                n if n.starts_with("handshake") => HandshakeFrame::decode(&damaged).err(),
+                n if n.starts_with("marker") => MarkerFrame::decode(&damaged).err(),
+                _ => ControlFrame::decode(&damaged).err(),
+            };
+            let err = err.unwrap_or_else(|| panic!("{name} bit {bit}: single-bit flip decoded"));
+            assert!(
+                matches!(
+                    err.class(),
+                    "truncated" | "bad-checksum" | "bad-magic" | "bad-payload"
+                ),
+                "{name} bit {bit}: unclassified error {err:?}"
+            );
+        }
+    }
+}
+
+/// The checkpoint-safety sweep: a worker commits a cut (durable save +
+/// ack) only after `MarkerFrame::decode` returns `Ok`. Flip every bit
+/// of a marker frame — including the epoch and high-water fields the
+/// cut would be keyed by — and decode must refuse every time. No
+/// damaged marker ever commits a cut, at any offset.
+#[test]
+fn a_damaged_marker_never_commits_a_cut() {
+    let frames = [
+        MarkerFrame {
+            epoch: 9,
+            high_water: Some(123_456),
+        },
+        MarkerFrame {
+            epoch: u64::MAX,
+            high_water: Some(u64::MAX),
+        },
+        MarkerFrame {
+            epoch: 0,
+            high_water: None,
+        },
+    ];
+    for marker in frames {
+        let frame = marker.encode();
+        for bit in 0..frame.len() * 8 {
+            let mut damaged = frame.clone();
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                MarkerFrame::decode(&damaged).is_err(),
+                "epoch {} bit {bit}: a damaged marker decoded — this could commit a wrong cut",
+                marker.epoch
+            );
+        }
+        for cut in 0..frame.len() {
+            assert!(
+                MarkerFrame::decode(&frame[..cut]).is_err(),
+                "epoch {} cut {cut}: a truncated marker decoded",
+                marker.epoch
+            );
+        }
+    }
+}
+
+/// Seeded multi-bit corruption fuzz over all process-group frames.
+/// `WIRE_FUZZ_BUDGET` scales the iteration count (the nightly sweep
+/// sets it to run far longer than the default PR-gate budget).
+#[test]
+fn multi_bit_fuzz_over_proc_frames_never_misdecodes() {
+    let budget: u64 = std::env::var("WIRE_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let fixtures = proc_fixtures();
+    for round in 0..budget {
+        let (name, frame) = &fixtures[(splitmix(round) % fixtures.len() as u64) as usize];
+        let mut damaged = frame.clone();
+        let flips = 1 + splitmix(round ^ 0xF1) % 8;
+        for f in 0..flips {
+            let bit = (splitmix(round ^ (f << 32)) % (frame.len() as u64 * 8)) as usize;
+            damaged[bit / 8] ^= 1 << (bit % 8);
+        }
+        if damaged == *frame {
+            continue; // flips cancelled out
+        }
+        // Damage must surface as an error. (A checksum collision that
+        // decoded would re-encode to the damaged bytes, never to the
+        // original frame — but with the envelope checksum none of
+        // these seeded corruptions may decode at all.)
+        let decoded = match *name {
+            n if n.starts_with("handshake") => HandshakeFrame::decode(&damaged).is_ok(),
+            n if n.starts_with("marker") => MarkerFrame::decode(&damaged).is_ok(),
+            _ => ControlFrame::decode(&damaged).is_ok(),
+        };
+        assert!(!decoded, "{name} round {round}: corrupted frame decoded");
+    }
+}

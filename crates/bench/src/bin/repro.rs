@@ -10,8 +10,10 @@
 //!   bench      criterion-free smoke benchmark -> BENCH_<n>.json
 //!   stream     fault-tolerant streaming front-half (--faults off|recoverable|lossy|
 //!              outage|geo-outage); --wire v1|v2|v2-borrowed selects the frame
-//!              layout the source requests (byte-identical artifacts for every
-//!              mode); --shards N runs the sharded consumer group
+//!              layout the source requests (v2 batched frames are the default;
+//!              byte-identical artifacts for every mode); --campaigns FILE
+//!              senses every campaign in the manifest over one firehose pass
+//!              (docs/CAMPAIGNS.md); --shards N runs the sharded consumer group
 //!              (byte-identical artifacts for every N), with --checkpoint-dir/
 //!              --checkpoint-every/--kill-after/--resume for per-shard
 //!              checkpoint/restore, --checkpoint-retain K to keep only the newest
@@ -90,10 +92,14 @@ struct Options {
     metrics: bool,
     faults: String,
     /// Wire frame layout the stream source requests:
-    /// `v1` | `v2` | `v2-borrowed` (v2 frames decoded through borrowed
-    /// views — the zero-copy path). Artifacts are byte-identical for
-    /// every mode.
+    /// `v1` | `v2` (the default) | `v2-borrowed` (v2 frames decoded
+    /// through borrowed views — the zero-copy path). Artifacts are
+    /// byte-identical for every mode; `--wire v1` is the compatibility
+    /// flag for the legacy one-record-per-frame layout.
     wire: String,
+    /// Campaign manifest path (`--campaigns`); `None` senses only the
+    /// built-in organ-donation campaign.
+    campaigns: Option<String>,
     /// `None` = the single-consumer front-half; `Some(n)` = the
     /// sharded consumer group (`n` = 0 means auto).
     shards: Option<usize>,
@@ -150,7 +156,8 @@ fn parse_args() -> Result<Options, String> {
     let mut json = None;
     let mut metrics = false;
     let mut faults = "off".to_string();
-    let mut wire = "v1".to_string();
+    let mut wire = "v2".to_string();
+    let mut campaigns = None;
     let mut shards = None;
     let mut procs = None;
     let mut shard = None;
@@ -209,6 +216,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--wire" => {
                 wire = args.next().ok_or("--wire needs a mode")?;
+            }
+            "--campaigns" => {
+                campaigns = Some(args.next().ok_or("--campaigns needs a manifest path")?);
             }
             "--shards" => {
                 shards = Some(
@@ -337,6 +347,7 @@ fn parse_args() -> Result<Options, String> {
         metrics,
         faults,
         wire,
+        campaigns,
         shards,
         procs,
         shard,
@@ -382,8 +393,13 @@ fn main() -> ExitCode {
         eprintln!("  stream     fault-tolerant streaming front-half;");
         eprintln!("             --faults off|recoverable|lossy|outage|geo-outage");
         eprintln!("             --wire v1|v2|v2-borrowed selects the frame layout the source");
-        eprintln!("             requests (v2 = batched frames, v2-borrowed = zero-copy decode);");
+        eprintln!("             requests (v2 = batched frames, the default; v2-borrowed =");
+        eprintln!("             zero-copy decode; v1 = the legacy one-record-per-frame layout);");
         eprintln!("             artifacts are byte-identical for every wire mode.");
+        eprintln!("             --campaigns FILE senses every campaign in the manifest over one");
+        eprintln!("             firehose pass (multi-tenant; see docs/CAMPAIGNS.md). The primary");
+        eprintln!("             (first) campaign's artifacts stay byte-identical to a");
+        eprintln!("             single-campaign run; extra campaigns add CAMPAIGN lines.");
         eprintln!(
             "             --shards N (0=auto) runs the sharded consumer group; byte-identical"
         );
@@ -946,6 +962,84 @@ fn bench_stream(opts: &Options) -> Result<(), String> {
     }
     println!("  sink fingerprint        {base_fp:016x} (identical across paths)");
 
+    // Ingest-side microbench: the same decoded batches fed to an
+    // IncrementalSensor per tweet vs through ingest_batch, which
+    // touches each user's track-map entry once per run of consecutive
+    // same-user tweets. Both paths must land on the same export
+    // fingerprint — the batch path is an amortization, not a semantic
+    // change (incremental.rs carries the equivalence test).
+    let batches: Vec<Vec<Tweet>> = sim
+        .stream()
+        .frames_with(WireMode::v2())
+        .map(|frame| decode_any(&frame).map_err(|e| format!("decode: {e}")))
+        .collect::<Result<_, _>>()?;
+    let ingest_total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let users = sim.users();
+    let run_ingest = |batched: bool| -> (u64, u64) {
+        let profile_of = |id: donorpulse_twitter::UserId| {
+            users.get(id.0 as usize).map(|u| u.profile_location.clone())
+        };
+        let mut sensor =
+            donorpulse_core::incremental::IncrementalSensor::new(&geocoder, profile_of);
+        let start = std::time::Instant::now();
+        for batch in &batches {
+            if batched {
+                sensor.ingest_batch(batch);
+            } else {
+                for tweet in batch {
+                    sensor.ingest(tweet);
+                }
+            }
+        }
+        let nanos = start.elapsed().as_nanos() as u64;
+        (nanos, sensor.export().fingerprint())
+    };
+    println!("INGEST BENCH (same batches, per-tweet vs batched, best of {ROUNDS})");
+    println!(
+        "{:<14} {:>12} {:>14} {:>18} {:>10}",
+        "path", "wall ms", "tweets", "tweets/sec", "vs ingest"
+    );
+    let mut ingest_results: Vec<(&str, u64, u64)> = Vec::new();
+    for (label, batched) in [("ingest", false), ("ingest-batch", true)] {
+        let mut best: Option<(u64, u64)> = None;
+        for _ in 0..ROUNDS {
+            let (nanos, fp) = run_ingest(batched);
+            match best {
+                Some((b_nanos, b_fp)) => {
+                    if fp != b_fp {
+                        return Err(format!("{label}: exports differ between rounds"));
+                    }
+                    if nanos < b_nanos {
+                        best = Some((nanos, fp));
+                    }
+                }
+                None => best = Some((nanos, fp)),
+            }
+        }
+        let (nanos, fp) = best.expect("at least one round");
+        let base_nanos = ingest_results.first().map_or(nanos, |r| r.1);
+        println!(
+            "{:<14} {:>12.1} {:>14} {:>18.0} {:>9.2}x",
+            label,
+            nanos as f64 / 1e6,
+            ingest_total,
+            ingest_total as f64 / (nanos as f64 / 1e9),
+            base_nanos as f64 / nanos as f64
+        );
+        ingest_results.push((label, nanos, fp));
+    }
+    if ingest_results[0].2 != ingest_results[1].2 {
+        return Err(format!(
+            "ingest_batch produced a different export than per-tweet ingest \
+             ({:016x} vs {:016x})",
+            ingest_results[1].2, ingest_results[0].2
+        ));
+    }
+    println!(
+        "  export fingerprint      {:016x} (identical across paths)",
+        ingest_results[0].2
+    );
+
     let speedup = |i: usize| results[0].1 as f64 / results[i].1 as f64;
     let path = opts
         .json
@@ -962,8 +1056,17 @@ fn bench_stream(opts: &Options) -> Result<(), String> {
             )
         })
         .collect();
+    let ingest_rows: Vec<String> = ingest_results
+        .iter()
+        .map(|(label, nanos, _)| {
+            format!(
+                "    {{\"path\": \"{label}\", \"best_nanos\": {nanos}, \"tweets_per_sec\": {:.0}}}",
+                ingest_total as f64 / (*nanos as f64 / 1e9)
+            )
+        })
+        .collect();
     let body = format!(
-        "{{\n  \"bench_stream\": {{\"scale\": {}, \"seed\": {}, \"tweets\": {}, \"rounds\": {}}},\n  \"sink_fingerprint\": \"{:016x}\",\n  \"paths\": [\n{}\n  ],\n  \"speedup_v2_vs_v1\": {:.3},\n  \"speedup_v2_borrowed_vs_v1\": {:.3},\n  \"calibration_nanos\": {}\n}}\n",
+        "{{\n  \"bench_stream\": {{\"scale\": {}, \"seed\": {}, \"tweets\": {}, \"rounds\": {}}},\n  \"sink_fingerprint\": \"{:016x}\",\n  \"paths\": [\n{}\n  ],\n  \"speedup_v2_vs_v1\": {:.3},\n  \"speedup_v2_borrowed_vs_v1\": {:.3},\n  \"ingest_paths\": [\n{}\n  ],\n  \"speedup_ingest_batch\": {:.3},\n  \"calibration_nanos\": {}\n}}\n",
         opts.scale,
         opts.seed,
         base_decoded,
@@ -972,6 +1075,8 @@ fn bench_stream(opts: &Options) -> Result<(), String> {
         rows.join(",\n"),
         speedup(1),
         speedup(2),
+        ingest_rows.join(",\n"),
+        ingest_results[0].1 as f64 / ingest_results[1].1 as f64,
         calibration_nanos()
     );
     std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
@@ -1047,10 +1152,12 @@ fn stream_command(opts: &Options) -> Result<(), String> {
 
     let (faults, flaky) = fault_setup(opts)?;
     let (wire, borrowed_decode) = wire_setup(opts)?;
+    let campaigns = campaign_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         wire,
         borrowed_decode,
+        campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
     eprintln!("# stream: faults={} wire={}", opts.faults, opts.wire);
@@ -1083,8 +1190,8 @@ fn stream_command(opts: &Options) -> Result<(), String> {
         &run.metrics,
         run.parked_at_end,
         run.source_aborted,
-    )
-    .map(|_| ())
+    )?;
+    print_campaign_lines(&campaigns, sensor, &run.extra_sensors)
 }
 
 /// The faulted-stream variant of `repro stream --shards N`: the
@@ -1114,6 +1221,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
     // shards never thundering-herd the endpoint. It moves only the
     // virtual clock, never the artifacts.
     let (wire, borrowed_decode) = wire_setup(opts)?;
+    let campaigns = campaign_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         geo_retry: RetryPolicy {
@@ -1124,6 +1232,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         },
         wire,
         borrowed_decode,
+        campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
     let shard_config = ShardConfig {
@@ -1220,8 +1329,8 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         &run.metrics,
         run.parked_at_end,
         run.source_aborted,
-    )
-    .map(|_| ())
+    )?;
+    print_campaign_lines(&campaigns, sensor, &run.extra_sensors)
 }
 
 /// `repro stream --procs N`: the cross-process consumer group. The
@@ -1251,6 +1360,7 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
     let store_ref: Option<&dyn CheckpointStore> = store.as_ref().map(|s| s as &dyn CheckpointStore);
 
     let (wire, borrowed_decode) = wire_setup(opts)?;
+    let campaigns = campaign_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         geo_retry: RetryPolicy {
@@ -1261,6 +1371,7 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
         },
         wire,
         borrowed_decode,
+        campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
     let shard_config = ShardConfig {
@@ -1309,6 +1420,10 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
         "--wire".to_string(),
         opts.wire.clone(),
     ];
+    if let Some(manifest) = &opts.campaigns {
+        args.push("--campaigns".to_string());
+        args.push(manifest.clone());
+    }
     if let Some(dir) = &opts.checkpoint_dir {
         args.push("--checkpoint-dir".to_string());
         args.push(dir.clone());
@@ -1399,8 +1514,8 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
         &run.metrics,
         run.parked_at_end,
         run.source_aborted,
-    )
-    .map(|_| ())
+    )?;
+    print_campaign_lines(&campaigns, sensor, &run.extra_sensors)
 }
 
 /// `repro shard-worker --shard i --procs n`: one worker process of the
@@ -1445,6 +1560,7 @@ fn shard_worker_command(opts: &Options) -> Result<(), String> {
         },
         wire,
         borrowed_decode,
+        campaigns: campaign_setup(opts)?,
         ..StreamPipelineConfig::default()
     };
     let worker_config = ShardWorkerConfig {
@@ -1481,7 +1597,7 @@ fn shard_worker_command(opts: &Options) -> Result<(), String> {
 fn replay_command(opts: &Options) -> Result<(), String> {
     use donorpulse_core::checkpoint::DeadLetterLog;
     use donorpulse_core::stream_consumer::{
-        replay_dead_letters, run_faulted_stream, StreamPipelineConfig,
+        replay_dead_letters, replay_dead_letters_matching, run_faulted_stream, StreamPipelineConfig,
     };
     use donorpulse_geo::service::FlakyGeocoder;
 
@@ -1499,10 +1615,12 @@ fn replay_command(opts: &Options) -> Result<(), String> {
     let geocoder = Geocoder::new();
     let (faults, flaky) = fault_setup(opts)?;
     let (wire, borrowed_decode) = wire_setup(opts)?;
+    let campaigns = campaign_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         wire,
         borrowed_decode,
+        campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
     eprintln!(
@@ -1526,13 +1644,30 @@ fn replay_command(opts: &Options) -> Result<(), String> {
         );
     }
 
-    let report = replay_dead_letters(&mut run.sensor, &log);
+    // A multi-campaign log holds the union of every campaign's
+    // abandonments; each sensor takes back exactly its own share.
+    let report = if campaigns.len() == 1 {
+        replay_dead_letters(&mut run.sensor, &log)
+    } else {
+        replay_dead_letters_matching(&mut run.sensor, &log, |text| {
+            campaigns.primary().matches(text)
+        })
+    };
     println!("DEAD-LETTER REPLAY");
     println!("  log entries             {}", log.len());
     println!("  tweets replayed         {}", report.tweets_replayed);
     println!("  frames recovered        {}", report.frames_recovered);
     println!("  frames undecodable      {}", report.frames_undecodable);
     println!("  duplicates              {}", report.duplicates);
+    for (campaign, sensor) in campaigns.extras().iter().zip(run.extra_sensors.iter_mut()) {
+        let r = replay_dead_letters_matching(sensor, &log, |text| campaign.matches(text));
+        println!(
+            "  campaign {}: replayed {}, duplicates {}",
+            campaign.name(),
+            r.tweets_replayed,
+            r.duplicates
+        );
+    }
 
     let artifacts_ok = snapshot_and_check(
         opts,
@@ -1544,6 +1679,7 @@ fn replay_command(opts: &Options) -> Result<(), String> {
         run.parked_at_end,
         run.source_aborted,
     )?;
+    print_campaign_lines(&campaigns, &run.sensor, &run.extra_sensors)?;
     let restored = artifacts_ok && run.sensor.tweets_seen() == run.expected_tweets;
     println!(
         "  coverage restored       {}",
@@ -1577,7 +1713,7 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
     use donorpulse_core::checkpoint::DeadLetterLog;
     use donorpulse_core::shard::{resolve_shards, run_sharded_stream, ShardConfig, ShardServices};
     use donorpulse_core::stream_consumer::{
-        replay_dead_letters, RetryPolicy, StreamPipelineConfig,
+        replay_dead_letters, replay_dead_letters_matching, RetryPolicy, StreamPipelineConfig,
     };
     use donorpulse_geo::service::{FlakyGeocoder, LocationService};
 
@@ -1592,6 +1728,7 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
     let geocoder = Geocoder::new();
     let (faults, flaky) = fault_setup(opts)?;
     let (wire, borrowed_decode) = wire_setup(opts)?;
+    let campaigns = campaign_setup(opts)?;
     let stream_config = StreamPipelineConfig {
         metrics: MetricsRegistry::enabled(),
         geo_retry: RetryPolicy {
@@ -1602,6 +1739,7 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
         },
         wire,
         borrowed_decode,
+        campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
     let shard_config = ShardConfig {
@@ -1660,13 +1798,26 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
         .sensor
         .as_mut()
         .expect("non-killed sharded run always merges a sensor");
-    let report = replay_dead_letters(sensor, &log);
+    let report = if campaigns.len() == 1 {
+        replay_dead_letters(sensor, &log)
+    } else {
+        replay_dead_letters_matching(sensor, &log, |text| campaigns.primary().matches(text))
+    };
     println!("DEAD-LETTER REPLAY");
     println!("  log entries             {}", log.len());
     println!("  tweets replayed         {}", report.tweets_replayed);
     println!("  frames recovered        {}", report.frames_recovered);
     println!("  frames undecodable      {}", report.frames_undecodable);
     println!("  duplicates              {}", report.duplicates);
+    for (campaign, sensor) in campaigns.extras().iter().zip(run.extra_sensors.iter_mut()) {
+        let r = replay_dead_letters_matching(sensor, &log, |text| campaign.matches(text));
+        println!(
+            "  campaign {}: replayed {}, duplicates {}",
+            campaign.name(),
+            r.tweets_replayed,
+            r.duplicates
+        );
+    }
 
     let artifacts_ok = snapshot_and_check(
         opts,
@@ -1677,6 +1828,11 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
         &run.metrics,
         run.parked_at_end,
         run.source_aborted,
+    )?;
+    print_campaign_lines(
+        &campaigns,
+        run.sensor.as_ref().expect("sensor checked above"),
+        &run.extra_sensors,
     )?;
     let restored = artifacts_ok
         && run
@@ -1775,6 +1931,10 @@ fn serve_command(opts: &Options) -> Result<(), String> {
                 "--wire".to_string(),
                 opts.wire.clone(),
             ];
+            if let Some(manifest) = &opts.campaigns {
+                args.push("--campaigns".to_string());
+                args.push(manifest.clone());
+            }
             if let Some(dir) = &opts.checkpoint_dir {
                 args.push("--checkpoint-dir".to_string());
                 args.push(dir.clone());
@@ -1812,6 +1972,7 @@ fn serve_command(opts: &Options) -> Result<(), String> {
             },
             wire: serve_wire,
             borrowed_decode: serve_borrowed,
+            campaigns: campaign_setup(opts)?,
             ..StreamPipelineConfig::default()
         },
     };
@@ -2053,6 +2214,24 @@ fn wire_setup(opts: &Options) -> Result<(donorpulse_twitter::WireMode, bool), St
     }
 }
 
+/// Maps `--campaigns` to the compiled campaign registry: the built-in
+/// organ-donation campaign alone when absent, the manifest's set when
+/// given (primary = first manifest entry).
+fn campaign_setup(
+    opts: &Options,
+) -> Result<std::sync::Arc<donorpulse_core::campaign::CampaignSet>, String> {
+    use donorpulse_core::campaign::CampaignSet;
+    let set = match &opts.campaigns {
+        Some(path) => CampaignSet::load(path).map_err(|e| e.to_string())?,
+        None => CampaignSet::default_single(),
+    };
+    if set.len() > 1 {
+        let names: Vec<&str> = set.names();
+        eprintln!("# campaigns: {} ({})", set.len(), names.join(", "));
+    }
+    Ok(std::sync::Arc::new(set))
+}
+
 /// Stderr fault accounting, shared by the sharded and unsharded paths.
 fn report_fault_accounting(
     stats: &donorpulse_twitter::fault::FaultStats,
@@ -2098,25 +2277,14 @@ fn write_dead_letters(
     Ok(())
 }
 
-/// Fingerprints the sensor's artifacts, prints the snapshot block,
-/// verifies against the clean batch pipeline in-process, and enforces
-/// the byte-identity gates for recoverable modes. Shared by the
-/// sharded and unsharded stream paths — which is what makes "sharded
-/// stdout equals unsharded stdout" a meaningful diff. Returns whether
-/// every artifact matched the batch pipeline (the replay command gates
-/// on it even in modes where a mismatch is not an error here).
-#[allow(clippy::too_many_arguments)]
-fn snapshot_and_check(
-    opts: &Options,
-    sim: &TwitterSimulation,
+/// The four artifact fingerprints of one sensor's state —
+/// `[corpus, attention, risk, daily]` — exactly the values the
+/// `STREAM SENSOR SNAPSHOT` block prints. Shared with the per-campaign
+/// `CAMPAIGN` lines so a campaign's fingerprints are comparable across
+/// runs the same way the primary's are.
+fn artifact_fingerprints(
     sensor: &donorpulse_core::incremental::IncrementalSensor<'_>,
-    delivered_tweets: u64,
-    expected_tweets: u64,
-    metrics: &donorpulse_core::pipeline::RunMetrics,
-    parked_at_end: u64,
-    source_aborted: bool,
-) -> Result<bool, String> {
-    sensor.ensure_nonempty().map_err(|e| e.to_string())?;
+) -> Result<[u64; 4], String> {
     let corpus = sensor.corpus();
     let attention = sensor.attention().map_err(|e| e.to_string())?;
     let risk = sensor.risk_map(0.05).map_err(|e| e.to_string())?;
@@ -2166,6 +2334,60 @@ fn snapshot_and_check(
         f.u64(daily.total(day));
     }
     let daily_fp = f.0;
+    Ok([corpus_fp, attention_fp, risk_fp, daily_fp])
+}
+
+/// One `CAMPAIGN <name> ...` stdout line per campaign for
+/// multi-campaign runs: the per-tenant artifact fingerprints at the
+/// same cut. Single-campaign runs print nothing here, so their stdout
+/// keeps the pre-campaign format — and a multi-campaign run's stdout
+/// minus its `CAMPAIGN ` lines is required to be byte-identical to the
+/// single-campaign run's (`scripts/verify.sh` diffs exactly that).
+fn print_campaign_lines(
+    campaigns: &donorpulse_core::campaign::CampaignSet,
+    primary: &donorpulse_core::incremental::IncrementalSensor<'_>,
+    extras: &[donorpulse_core::incremental::IncrementalSensor<'_>],
+) -> Result<(), String> {
+    if campaigns.len() < 2 {
+        return Ok(());
+    }
+    let sensors = std::iter::once(primary).chain(extras.iter());
+    for (campaign, sensor) in campaigns.campaigns().iter().zip(sensors) {
+        let [corpus_fp, attention_fp, risk_fp, daily_fp] = artifact_fingerprints(sensor)?;
+        println!(
+            "CAMPAIGN {} tweets={} usa={} users={} corpus={corpus_fp:016x} attention={attention_fp:016x} risk={risk_fp:016x} daily={daily_fp:016x}",
+            campaign.name(),
+            sensor.tweets_seen(),
+            sensor.usa_tweet_count(),
+            sensor.located_users(),
+        );
+    }
+    Ok(())
+}
+
+/// Fingerprints the sensor's artifacts, prints the snapshot block,
+/// verifies against the clean batch pipeline in-process, and enforces
+/// the byte-identity gates for recoverable modes. Shared by the
+/// sharded and unsharded stream paths — which is what makes "sharded
+/// stdout equals unsharded stdout" a meaningful diff. Returns whether
+/// every artifact matched the batch pipeline (the replay command gates
+/// on it even in modes where a mismatch is not an error here).
+#[allow(clippy::too_many_arguments)]
+fn snapshot_and_check(
+    opts: &Options,
+    sim: &TwitterSimulation,
+    sensor: &donorpulse_core::incremental::IncrementalSensor<'_>,
+    delivered_tweets: u64,
+    expected_tweets: u64,
+    metrics: &donorpulse_core::pipeline::RunMetrics,
+    parked_at_end: u64,
+    source_aborted: bool,
+) -> Result<bool, String> {
+    sensor.ensure_nonempty().map_err(|e| e.to_string())?;
+    let corpus = sensor.corpus();
+    let attention = sensor.attention().map_err(|e| e.to_string())?;
+    let risk = sensor.risk_map(0.05).map_err(|e| e.to_string())?;
+    let [corpus_fp, attention_fp, risk_fp, daily_fp] = artifact_fingerprints(sensor)?;
 
     // In-process equivalence check against the clean batch pipeline
     // over the *same* simulation.

@@ -1,0 +1,747 @@
+//! Multi-campaign sensing: the campaign registry that makes the whole
+//! pipeline multi-tenant over a **single firehose pass**.
+//!
+//! The paper hardwires one query `Q = Context × Subject` (organ donation
+//! terms × organ lexicon), but its method — keyword sensing → location
+//! augmentation → per-user attention → characterization — never looks at
+//! *which* keywords fired. A [`CampaignSpec`] captures exactly the three
+//! campaign-specific inputs: a name, the Context term list, and a set of
+//! named categories whose term lists play the role the organ lexicons
+//! play for the paper's campaign. Everything downstream (mention counts,
+//! attention matrix, risk map, report) is reused unchanged by mapping
+//! category `i` onto canonical slot `i` of the six-slot
+//! [`Organ`](donorpulse_text::Organ) axis.
+//!
+//! A [`CampaignSet`] is the compiled registry one run senses for. All
+//! campaigns share one stream connection: the endpoint filters the
+//! firehose by the **union** of the campaign matchers, and each
+//! consumer re-evaluates the per-campaign matchers on admitted text to
+//! decide which campaign sensors ingest a tweet. Because membership is
+//! a pure function of tweet text, nothing about campaign routing needs
+//! to ride the wire — batch frames, markers, park queues, and dead
+//! letters stay campaign-agnostic, and a resumed or healed worker
+//! recomputes the same memberships from the same bytes.
+//!
+//! **Isolation guarantee** (`docs/CAMPAIGNS.md`): adding campaigns to a
+//! run never changes another campaign's artifacts. The organ-donation
+//! campaign in a multi-campaign run produces byte-identical snapshots,
+//! fingerprints, checkpointed exports, and served bodies to today's
+//! single-campaign run — the invariant `scripts/verify.sh` enforces as
+//! the CAMPAIGN RESULT gate.
+
+use crate::{CoreError, Result};
+use donorpulse_text::extract::OrganExtractor;
+use donorpulse_text::keywords::CONTEXT_TERMS;
+use donorpulse_text::{KeywordQuery, Organ, TextFilter};
+use std::path::Path;
+
+/// Name of the built-in default campaign — the paper's query.
+pub const DEFAULT_CAMPAIGN: &str = "organ-donation";
+
+/// Upper bound on campaigns per run: memberships travel as a `u32`
+/// bitmask inside the process, and per-campaign sensors are cloned
+/// into every shard, so the registry refuses silly cardinalities.
+pub const MAX_CAMPAIGNS: usize = 32;
+
+/// Categories per campaign are capped by the canonical six-slot
+/// subject axis the analytics layer is built around.
+pub const MAX_CATEGORIES: usize = Organ::COUNT;
+
+/// One campaign's declaration: the three inputs the paper's method
+/// actually depends on. Loaded from a manifest ([`CampaignSet::load`])
+/// or built in ([`CampaignSpec::builtin`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Registry key, URL segment, and metric-name stem. Lowercase
+    /// `[a-z0-9-]`, unique within a set.
+    pub name: String,
+    /// Context terms (left side of the paper's Fig. 1 for this
+    /// campaign). Empty only for the built-in reference entry.
+    pub context: Vec<String>,
+    /// Named categories and their surface-form lexicons (right side of
+    /// Fig. 1). Category `i` occupies canonical subject slot `i`; at
+    /// most [`MAX_CATEGORIES`].
+    pub categories: Vec<(String, Vec<String>)>,
+}
+
+impl CampaignSpec {
+    /// The built-in organ-donation campaign: the paper's context
+    /// vocabulary crossed with the six organ lexicons.
+    pub fn builtin() -> Self {
+        CampaignSpec {
+            name: DEFAULT_CAMPAIGN.to_string(),
+            context: CONTEXT_TERMS.iter().map(|t| t.to_string()).collect(),
+            categories: Organ::ALL
+                .into_iter()
+                .map(|o| {
+                    (
+                        o.name().to_lowercase(),
+                        o.lexicon().iter().map(|t| t.to_string()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// True when this spec *is* the built-in campaign (by name). The
+    /// built-in may be referenced from a manifest by bare name; its
+    /// vocabulary cannot be redefined there, which keeps the
+    /// byte-identity guarantee unambiguous.
+    pub fn is_builtin(&self) -> bool {
+        self.name == DEFAULT_CAMPAIGN
+    }
+}
+
+/// A compiled campaign: its spec plus the two automata the hot path
+/// runs — the admission matcher and the category-mention extractor.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    matcher: KeywordQuery,
+    extractor: OrganExtractor,
+}
+
+impl Campaign {
+    /// Validates and compiles one spec.
+    fn compile(spec: CampaignSpec) -> Result<Self> {
+        validate_slug("campaign name", &spec.name)?;
+        if spec.is_builtin() {
+            let builtin = CampaignSpec::builtin();
+            if !spec.context.is_empty() || !spec.categories.is_empty() {
+                return Err(CoreError::Campaign(format!(
+                    "campaign {DEFAULT_CAMPAIGN:?} is built in and cannot be redefined; \
+                     reference it by bare name"
+                )));
+            }
+            // Compile through the exact constructors the single-tenant
+            // pipeline has always used, not the generic path — the
+            // byte-identity guarantee should not hinge on the generic
+            // compiler being equivalent.
+            return Ok(Campaign {
+                spec: builtin,
+                matcher: KeywordQuery::paper(),
+                extractor: OrganExtractor::new(),
+            });
+        }
+        if spec.context.is_empty() {
+            return Err(CoreError::Campaign(format!(
+                "campaign {:?}: at least one context term required",
+                spec.name
+            )));
+        }
+        if spec.categories.is_empty() {
+            return Err(CoreError::Campaign(format!(
+                "campaign {:?}: at least one category required",
+                spec.name
+            )));
+        }
+        if spec.categories.len() > MAX_CATEGORIES {
+            return Err(CoreError::Campaign(format!(
+                "campaign {:?}: {} categories exceed the {MAX_CATEGORIES}-slot subject axis",
+                spec.name,
+                spec.categories.len()
+            )));
+        }
+        for term in &spec.context {
+            validate_term(&spec.name, "context", term)?;
+        }
+        let mut subject = Vec::new();
+        for (cat, terms) in &spec.categories {
+            validate_slug("category name", cat)?;
+            if terms.is_empty() {
+                return Err(CoreError::Campaign(format!(
+                    "campaign {:?}: category {cat:?} has no terms",
+                    spec.name
+                )));
+            }
+            for term in terms {
+                validate_term(&spec.name, cat, term)?;
+                subject.push(term.clone());
+            }
+        }
+        if spec
+            .categories
+            .iter()
+            .enumerate()
+            .any(|(i, (cat, _))| spec.categories[..i].iter().any(|(c, _)| c == cat))
+        {
+            return Err(CoreError::Campaign(format!(
+                "campaign {:?}: duplicate category name",
+                spec.name
+            )));
+        }
+        let matcher = KeywordQuery::new(spec.context.iter().cloned(), subject);
+        let extractor = OrganExtractor::with_lexicons(
+            spec.categories
+                .iter()
+                .map(|(_, terms)| terms.iter().map(String::as_str).collect::<Vec<_>>()),
+        );
+        Ok(Campaign {
+            spec,
+            matcher,
+            extractor,
+        })
+    }
+
+    /// Registry key / URL segment / metric stem.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The declared spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// True when this is the built-in organ-donation campaign.
+    pub fn is_builtin(&self) -> bool {
+        self.spec.is_builtin()
+    }
+
+    /// The admission matcher `Q = Context × Subject` for this campaign.
+    pub fn matcher(&self) -> &KeywordQuery {
+        &self.matcher
+    }
+
+    /// The category-mention extractor (category `i` → subject slot `i`).
+    pub fn extractor(&self) -> &OrganExtractor {
+        &self.extractor
+    }
+
+    /// Category display names in slot order.
+    pub fn category_names(&self) -> Vec<&str> {
+        self.spec
+            .categories
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// True when this campaign's query admits the tweet text.
+    pub fn matches(&self, text: &str) -> bool {
+        self.matcher.matches(text)
+    }
+
+    /// The campaign name with `-` folded to `_` — the stem of this
+    /// campaign's `campaign_<name>_*` metric names.
+    pub fn metric_stem(&self) -> String {
+        self.spec.name.replace('-', "_")
+    }
+
+    /// `campaign_<stem>_<suffix>`, interned to the `&'static str` the
+    /// metrics registry requires. Campaign names arrive at runtime from
+    /// the manifest, so the name must be leaked once; the intern cache
+    /// bounds that to one leak per distinct metric name per process,
+    /// however many runs reuse it.
+    pub fn metric_name(&self, suffix: &str) -> &'static str {
+        intern_metric_name(format!("campaign_{}_{suffix}", self.metric_stem()))
+    }
+}
+
+/// Interns a runtime-built metric name, returning a `&'static str`.
+/// The obs registry keys counters and gauges by `&'static str`; static
+/// catalog names satisfy that for free, but per-campaign names are
+/// manifest-derived. Leaks each distinct name exactly once per process
+/// (a `Box::leak` guarded by a dedup map), which is bounded by
+/// `MAX_CAMPAIGNS` × the handful of per-campaign metric suffixes.
+fn intern_metric_name(name: String) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static CACHE: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut cache = CACHE.lock().expect("metric name intern cache poisoned");
+    if let Some(&interned) = cache.get(&name) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(name.clone().into_boxed_str());
+    cache.insert(name, interned);
+    interned
+}
+
+/// A campaign name or category name: nonempty lowercase `[a-z0-9-]`,
+/// at most 64 bytes — safe as a URL path segment, a checkpoint string
+/// field, and (with `-` → `_`) a metric name stem.
+fn validate_slug(what: &str, name: &str) -> Result<()> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(CoreError::Campaign(format!(
+            "{what} {name:?}: must be 1..=64 bytes"
+        )));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+    {
+        return Err(CoreError::Campaign(format!(
+            "{what} {name:?}: only lowercase letters, digits, and '-' allowed"
+        )));
+    }
+    Ok(())
+}
+
+/// A matcher/lexicon term must survive normalization with at least one
+/// word character, or the compiled automaton would reject it (empty
+/// patterns match everywhere).
+fn validate_term(campaign: &str, field: &str, term: &str) -> Result<()> {
+    if donorpulse_text::normalize::normalize(term)
+        .trim()
+        .is_empty()
+    {
+        return Err(CoreError::Campaign(format!(
+            "campaign {campaign:?}: {field} term {term:?} normalizes to nothing"
+        )));
+    }
+    Ok(())
+}
+
+/// The union of every campaign matcher in a set — what the (single,
+/// shared) stream endpoint filters the firehose by. A tweet is
+/// delivered when **any** campaign wants it; per-campaign membership is
+/// re-derived downstream from the text.
+#[derive(Debug, Clone)]
+pub struct UnionFilter {
+    matchers: Vec<KeywordQuery>,
+}
+
+impl TextFilter for UnionFilter {
+    fn accepts(&self, text: &str) -> bool {
+        self.matchers.iter().any(|m| m.matches(text))
+    }
+}
+
+/// The compiled, validated campaign registry one run senses for.
+///
+/// Campaign order is manifest order and is load-bearing: index 0 is
+/// the **primary** campaign (its export rides in the legacy slot of
+/// [`crate::SensorCheckpoint`]), and snapshot blocks, report sections,
+/// and metric registrations all iterate in set order so output stays
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct CampaignSet {
+    campaigns: Vec<Campaign>,
+}
+
+impl Default for CampaignSet {
+    fn default() -> Self {
+        Self::default_single()
+    }
+}
+
+impl CampaignSet {
+    /// The registry every pre-campaign entry point implies: just the
+    /// built-in organ-donation campaign.
+    pub fn default_single() -> Self {
+        // A bare-name spec, exactly as a manifest would reference the
+        // built-in; `compile` resolves it to the full vocabulary.
+        let bare = CampaignSpec {
+            name: DEFAULT_CAMPAIGN.to_string(),
+            context: Vec::new(),
+            categories: Vec::new(),
+        };
+        CampaignSet {
+            campaigns: vec![Campaign::compile(bare).expect("builtin spec compiles")],
+        }
+    }
+
+    /// Compiles and validates a set of specs (manifest order kept).
+    pub fn from_specs(specs: Vec<CampaignSpec>) -> Result<Self> {
+        if specs.is_empty() {
+            return Err(CoreError::Campaign(
+                "a campaign set needs at least one campaign".into(),
+            ));
+        }
+        if specs.len() > MAX_CAMPAIGNS {
+            return Err(CoreError::Campaign(format!(
+                "{} campaigns exceed the {MAX_CAMPAIGNS}-campaign limit",
+                specs.len()
+            )));
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            if specs[..i].iter().any(|s| s.name == spec.name) {
+                return Err(CoreError::Campaign(format!(
+                    "duplicate campaign name {:?}",
+                    spec.name
+                )));
+            }
+        }
+        let campaigns = specs
+            .into_iter()
+            .map(Campaign::compile)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CampaignSet { campaigns })
+    }
+
+    /// Parses a manifest (see `docs/CAMPAIGNS.md`) and compiles it.
+    pub fn parse_manifest(text: &str) -> Result<Self> {
+        Self::from_specs(parse_manifest_specs(text)?)
+    }
+
+    /// Reads and parses a manifest file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            CoreError::Campaign(format!("reading manifest {}: {e}", path.display()))
+        })?;
+        Self::parse_manifest(&text).map_err(|e| match e {
+            CoreError::Campaign(msg) => CoreError::Campaign(format!("{}: {msg}", path.display())),
+            other => other,
+        })
+    }
+
+    /// Number of campaigns (≥ 1).
+    pub fn len(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// A set is never empty; this exists for clippy's sake.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All campaigns in set order.
+    pub fn campaigns(&self) -> &[Campaign] {
+        &self.campaigns
+    }
+
+    /// The primary campaign (index 0).
+    pub fn primary(&self) -> &Campaign {
+        &self.campaigns[0]
+    }
+
+    /// The non-primary campaigns, in set order.
+    pub fn extras(&self) -> &[Campaign] {
+        &self.campaigns[1..]
+    }
+
+    /// Looks a campaign up by name.
+    pub fn get(&self, name: &str) -> Option<(usize, &Campaign)> {
+        self.campaigns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name() == name)
+    }
+
+    /// Campaign names in set order.
+    pub fn names(&self) -> Vec<&str> {
+        self.campaigns.iter().map(Campaign::name).collect()
+    }
+
+    /// True when this is exactly the implied pre-campaign registry:
+    /// one campaign, the built-in default. Single-tenant fast paths
+    /// (and the legacy checkpoint layout) key off this.
+    pub fn is_default_single(&self) -> bool {
+        self.campaigns.len() == 1 && self.campaigns[0].name() == DEFAULT_CAMPAIGN
+    }
+
+    /// The stream-endpoint filter: the single campaign's own matcher
+    /// when the set is a singleton (bit-for-bit the pre-campaign
+    /// behaviour), the union matcher otherwise.
+    pub fn endpoint_filter(&self) -> Box<dyn TextFilter + Send> {
+        if self.campaigns.len() == 1 {
+            Box::new(self.campaigns[0].matcher().clone())
+        } else {
+            Box::new(UnionFilter {
+                matchers: self.campaigns.iter().map(|c| c.matcher.clone()).collect(),
+            })
+        }
+    }
+
+    /// Campaign-membership bitmask for a tweet text: bit `i` set when
+    /// campaign `i`'s matcher admits it. `0` can only reach a consumer
+    /// through fault-injected duplicates of corrupt frames; such
+    /// tweets are ingested by no sensor.
+    pub fn mask_of(&self, text: &str) -> u32 {
+        let mut mask = 0u32;
+        for (i, c) in self.campaigns.iter().enumerate() {
+            if c.matches(text) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
+/// Parses the dependency-free campaign manifest: a strict subset of
+/// TOML chosen so operators can hand-write it and `grep` can audit it.
+///
+/// ```toml
+/// [[campaign]]
+/// name = "organ-donation"        # bare name references the built-in
+///
+/// [[campaign]]
+/// name = "blood-drive"
+/// context = ["donate", "donor"]
+/// category.blood = ["blood"]
+/// category.plasma = ["plasma"]
+/// ```
+///
+/// Supported grammar: `[[campaign]]` table headers, `name = "…"`,
+/// `context = ["…", …]`, and dotted `category.<slug> = ["…", …]` keys,
+/// one per line, with `#` comments. Anything else is an error with a
+/// line number — silent tolerance here would mean silently dropping a
+/// tenant's vocabulary.
+fn parse_manifest_specs(text: &str) -> Result<Vec<CampaignSpec>> {
+    let mut specs: Vec<CampaignSpec> = Vec::new();
+    let mut current: Option<CampaignSpec> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| CoreError::Campaign(format!("line {}: {msg}", lineno + 1));
+        if line == "[[campaign]]" {
+            if let Some(spec) = current.take() {
+                finish_spec(&mut specs, spec, lineno)?;
+            }
+            current = Some(CampaignSpec {
+                name: String::new(),
+                context: Vec::new(),
+                categories: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(format!(
+                "unsupported table header {line:?} (only [[campaign]] is recognized)"
+            )));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(format!("expected `key = value`, got {line:?}")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(spec) = current.as_mut() else {
+            return Err(err(format!(
+                "key {key:?} appears before the first [[campaign]] header"
+            )));
+        };
+        match key {
+            "name" => {
+                if !spec.name.is_empty() {
+                    return Err(err("duplicate `name` key".into()));
+                }
+                spec.name = parse_toml_string(value).map_err(err)?;
+            }
+            "context" => {
+                if !spec.context.is_empty() {
+                    return Err(err("duplicate `context` key".into()));
+                }
+                spec.context = parse_toml_string_array(value).map_err(err)?;
+            }
+            _ => {
+                if let Some(cat) = key.strip_prefix("category.") {
+                    let terms = parse_toml_string_array(value).map_err(err)?;
+                    if spec.categories.iter().any(|(c, _)| c == cat) {
+                        return Err(err(format!("duplicate category {cat:?}")));
+                    }
+                    spec.categories.push((cat.to_string(), terms));
+                } else {
+                    return Err(err(format!(
+                        "unknown key {key:?} (expected name, context, or category.<slug>)"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(spec) = current.take() {
+        finish_spec(&mut specs, spec, text.lines().count())?;
+    }
+    if specs.is_empty() {
+        return Err(CoreError::Campaign(
+            "manifest declares no [[campaign]] entries".into(),
+        ));
+    }
+    Ok(specs)
+}
+
+/// Closes one `[[campaign]]` block: the name is mandatory.
+fn finish_spec(specs: &mut Vec<CampaignSpec>, spec: CampaignSpec, lineno: usize) -> Result<()> {
+    if spec.name.is_empty() {
+        return Err(CoreError::Campaign(format!(
+            "campaign block ending at line {lineno} has no `name`"
+        )));
+    }
+    specs.push(spec);
+    Ok(())
+}
+
+/// Removes a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted string. Escapes are deliberately not
+/// supported: every slug and keyword this manifest can need is plain
+/// ASCII, and rejecting `\` keeps the grammar auditable.
+fn parse_toml_string(value: &str) -> std::result::Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a double-quoted string, got {value:?}"))?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(format!(
+            "quotes and backslashes are not supported in {value:?}"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parses a single-line array of double-quoted strings.
+fn parse_toml_string_array(value: &str) -> std::result::Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [\"…\", …] array, got {value:?}"))?;
+    let inner = inner.trim();
+    let mut out = Vec::new();
+    if inner.is_empty() {
+        return Ok(out);
+    }
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            // Tolerate one trailing comma, a TOML-ism hands write.
+            continue;
+        }
+        out.push(parse_toml_string(part)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"
+# Two tenants over one firehose pass.
+[[campaign]]
+name = "organ-donation"
+
+[[campaign]]
+name = "blood-drive"
+context = ["donate", "donated", "donation", "donations", "donor", "donors"]
+category.blood = ["blood"]        # whole blood
+category.plasma = ["plasma"]
+"#;
+
+    #[test]
+    fn builtin_compiles_to_the_paper_query() {
+        let set = CampaignSet::default_single();
+        assert!(set.is_default_single());
+        assert_eq!(set.names(), vec![DEFAULT_CAMPAIGN]);
+        let c = set.primary();
+        assert!(c.matches("be a kidney donor today"));
+        assert!(!c.matches("my heart is broken"));
+        assert_eq!(
+            c.extractor().extract("kidney kidney heart").as_array(),
+            OrganExtractor::new()
+                .extract("kidney kidney heart")
+                .as_array()
+        );
+        assert_eq!(c.category_names().len(), Organ::COUNT);
+        assert_eq!(c.metric_stem(), "organ_donation");
+    }
+
+    #[test]
+    fn manifest_parses_and_masks_members() {
+        let set = CampaignSet::parse_manifest(MANIFEST).expect("parse");
+        assert_eq!(set.names(), vec!["organ-donation", "blood-drive"]);
+        assert!(!set.is_default_single());
+        // Organ-donation only.
+        assert_eq!(set.mask_of("be a kidney donor today"), 0b01);
+        // Blood-drive only: context word + blood, no organ.
+        assert_eq!(
+            set.mask_of("blood donation drive at the gym tomorrow"),
+            0b10
+        );
+        assert_eq!(
+            set.mask_of("plasma donor appointment booked for friday"),
+            0b10
+        );
+        // Both: context + organ + blood.
+        assert_eq!(
+            set.mask_of("donate blood and register as a kidney donor"),
+            0b11
+        );
+        // Neither.
+        assert_eq!(set.mask_of("good morning everyone"), 0b00);
+    }
+
+    #[test]
+    fn union_filter_accepts_any_member() {
+        let set = CampaignSet::parse_manifest(MANIFEST).expect("parse");
+        let f = set.endpoint_filter();
+        assert!(f.accepts("be a kidney donor today"));
+        assert!(f.accepts("blood donation drive at the gym tomorrow"));
+        assert!(!f.accepts("good morning everyone"));
+        // Singleton sets filter with the campaign's own matcher.
+        let single = CampaignSet::default_single().endpoint_filter();
+        assert!(single.accepts("kidney donor"));
+        assert!(!single.accepts("blood donation drive at the gym tomorrow"));
+    }
+
+    #[test]
+    fn custom_extractor_counts_category_slots() {
+        let set = CampaignSet::parse_manifest(MANIFEST).expect("parse");
+        let (_, bd) = set.get("blood-drive").expect("present");
+        let counts = bd.extractor().extract("blood blood plasma");
+        assert_eq!(counts.count(Organ::from_index(0).unwrap()), 2); // blood
+        assert_eq!(counts.count(Organ::from_index(1).unwrap()), 1); // plasma
+        assert_eq!(counts.total(), 3);
+        assert_eq!(bd.category_names(), vec!["blood", "plasma"]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_manifests() {
+        // Redefining the builtin.
+        let err = CampaignSet::parse_manifest(
+            "[[campaign]]\nname = \"organ-donation\"\ncontext = [\"donate\"]\ncategory.x = [\"y\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("built in"), "{err}");
+        // Duplicate names.
+        assert!(CampaignSet::parse_manifest(
+            "[[campaign]]\nname = \"organ-donation\"\n[[campaign]]\nname = \"organ-donation\"\n"
+        )
+        .is_err());
+        // Custom campaign without categories.
+        assert!(
+            CampaignSet::parse_manifest("[[campaign]]\nname = \"x\"\ncontext = [\"give\"]\n")
+                .is_err()
+        );
+        // Bad slug.
+        assert!(CampaignSet::parse_manifest(
+            "[[campaign]]\nname = \"Bad Name\"\ncontext = [\"give\"]\ncategory.a = [\"b\"]\n"
+        )
+        .is_err());
+        // Seven categories overflow the subject axis.
+        let mut m = String::from("[[campaign]]\nname = \"x\"\ncontext = [\"give\"]\n");
+        for i in 0..7 {
+            m.push_str(&format!("category.c{i} = [\"t{i}\"]\n"));
+        }
+        assert!(CampaignSet::parse_manifest(&m).is_err());
+        // Unknown key carries a line number.
+        let err =
+            CampaignSet::parse_manifest("[[campaign]]\nname = \"x\"\nbogus = \"y\"\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        // Empty manifest.
+        assert!(CampaignSet::parse_manifest("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let set = CampaignSet::parse_manifest(
+            "  [[campaign]]  \n  name = \"organ-donation\"  # builtin\n",
+        )
+        .expect("parse");
+        assert!(set.is_default_single());
+        // '#' inside a string is content, not a comment.
+        let err = CampaignSet::parse_manifest("[[campaign]]\nname = \"a#b\"\n").unwrap_err();
+        assert!(err.to_string().contains("only lowercase"), "{err}");
+    }
+}

@@ -54,6 +54,13 @@ const KIND_DEAD_LETTER: u8 = 2;
 /// corrupt entries store the verbatim damaged frame bytes (length-
 /// prefixed raw bytes) instead of a UTF-8 rendering.
 const VERSION: u16 = 2;
+/// Checkpoint layout version 3: appends the primary campaign name and
+/// per-campaign export sections after the version-2 body. Only written
+/// when a run is multi-tenant (or single-tenant under a non-default
+/// campaign); the default organ-donation run keeps emitting version-2
+/// bytes so existing checkpoints, golden vectors, and operators' `xxd`
+/// muscle memory stay valid.
+const VERSION_CAMPAIGNS: u16 = 3;
 
 /// FNV-1a over a byte slice — the integrity trailer.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -72,10 +79,14 @@ struct WireWriter {
 
 impl WireWriter {
     fn new(kind: u8) -> Self {
+        Self::with_version(kind, VERSION)
+    }
+
+    fn with_version(kind: u8, version: u16) -> Self {
         let mut buf = Vec::with_capacity(256);
         buf.extend_from_slice(&MAGIC);
         buf.push(kind);
-        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&version.to_le_bytes());
         WireWriter { buf }
     }
 
@@ -121,8 +132,10 @@ struct WireReader<'b> {
 
 impl<'b> WireReader<'b> {
     /// Validates the envelope (magic, kind, version, checksum) and
-    /// positions the reader at the start of the payload.
-    fn open(bytes: &'b [u8], want_kind: u8) -> Result<Self> {
+    /// positions the reader at the start of the payload. `accept` lists
+    /// the layout versions the caller knows how to read; the one found
+    /// on the wire is returned so the caller can branch on layout.
+    fn open(bytes: &'b [u8], want_kind: u8, accept: &[u16]) -> Result<(Self, u16)> {
         if bytes.len() < MAGIC.len() + 1 + 2 + 8 {
             return Err(CoreError::Checkpoint("truncated envelope".into()));
         }
@@ -141,15 +154,18 @@ impl<'b> WireReader<'b> {
             )));
         }
         let version = u16::from_le_bytes([body[MAGIC.len() + 1], body[MAGIC.len() + 2]]);
-        if version != VERSION {
+        if !accept.contains(&version) {
             return Err(CoreError::Checkpoint(format!(
-                "unknown wire version {version} (this build reads {VERSION})"
+                "unknown wire version {version} (this build reads {accept:?})"
             )));
         }
-        Ok(WireReader {
-            buf: body,
-            pos: MAGIC.len() + 3,
-        })
+        Ok((
+            WireReader {
+                buf: body,
+                pos: MAGIC.len() + 3,
+            },
+            version,
+        ))
     }
 
     fn take(&mut self, n: usize) -> Result<&'b [u8]> {
@@ -182,6 +198,11 @@ impl<'b> WireReader<'b> {
         Ok(self.take(len)?.to_vec())
     }
 
+    fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| CoreError::Checkpoint("non-UTF-8 string field".into()))
+    }
+
     fn tweet(&mut self) -> Result<Tweet> {
         let (tweet, consumed) =
             donorpulse_twitter::wire::decode_tweet_payload(&self.buf[self.pos..])
@@ -203,6 +224,95 @@ impl<'b> WireReader<'b> {
     }
 }
 
+/// Writes a [`SensorExport`] section: track map, duplicate counter,
+/// high-water mark. This is byte-for-byte the export portion of the
+/// version-2 checkpoint body, reused verbatim for the per-campaign
+/// sections of version 3 so the two layouts can never drift apart.
+fn write_export(w: &mut WireWriter, export: &SensorExport) {
+    w.u64(export.tracks.len() as u64);
+    for (user, track) in &export.tracks {
+        w.u64(user.0);
+        match track.state {
+            Some(s) => w.u8(s.index() as u8),
+            None => w.u8(u8::MAX),
+        }
+        w.bool(track.geo_locked);
+        for organ in Organ::ALL {
+            w.u32(track.mentions.count(organ));
+        }
+        w.u32(track.tweets.len() as u32);
+        for t in &track.tweets {
+            w.tweet(t);
+        }
+    }
+    w.u64(export.duplicates_ignored);
+    match export.high_water {
+        Some(id) => {
+            w.u8(1);
+            w.u64(id.0);
+        }
+        None => w.u8(0),
+    }
+}
+
+/// Reads one [`SensorExport`] section (inverse of [`write_export`]).
+fn read_export(r: &mut WireReader<'_>) -> Result<SensorExport> {
+    let n_tracks = r.u64()?;
+    let mut tracks = BTreeMap::new();
+    for _ in 0..n_tracks {
+        let user = UserId(r.u64()?);
+        let state = match r.u8()? {
+            u8::MAX => None,
+            i => Some(
+                UsState::from_index(i as usize)
+                    .ok_or_else(|| CoreError::Checkpoint(format!("bad state index {i}")))?,
+            ),
+        };
+        let geo_locked = r.bool()?;
+        let mut mentions = MentionCounts::new();
+        for organ in Organ::ALL {
+            mentions.add(organ, r.u32()?);
+        }
+        let n_tweets = r.u32()?;
+        let mut tweets = Vec::with_capacity(n_tweets as usize);
+        for _ in 0..n_tweets {
+            tweets.push(r.tweet()?);
+        }
+        tracks.insert(
+            user,
+            TrackExport {
+                state,
+                geo_locked,
+                tweets,
+                mentions,
+            },
+        );
+    }
+    let duplicates_ignored = r.u64()?;
+    let high_water = match r.u8()? {
+        0 => None,
+        _ => Some(TweetId(r.u64()?)),
+    };
+    Ok(SensorExport {
+        tracks,
+        duplicates_ignored,
+        high_water,
+    })
+}
+
+/// One extra campaign's section inside a multi-tenant checkpoint: the
+/// campaign name and its sensor export at the same marker cut. The
+/// primary campaign's export lives in [`SensorCheckpoint::export`]; a
+/// single-campaign run has no sections at all (and encodes the legacy
+/// version-2 layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSection {
+    /// Campaign name, as declared in the manifest.
+    pub name: String,
+    /// That campaign's sensor export at this cut.
+    pub export: SensorExport,
+}
+
 /// One shard's frozen consumer state at a router marker.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensorCheckpoint {
@@ -217,17 +327,37 @@ pub struct SensorCheckpoint {
     /// Last tweet id the router had routed when it broadcast the
     /// marker — the stream position resume seeks past.
     pub router_high_water: Option<TweetId>,
-    /// The sensor's exported tracks and counters.
+    /// The primary campaign's exported tracks and counters.
     pub export: SensorExport,
     /// Geocode park-queue residue in FIFO order: tweets at or below
     /// the high-water mark that were admitted but not yet resolved.
+    /// Admission is shared across campaigns (one firehose pass), so
+    /// the residue is per-shard, not per-campaign.
     pub parked: Vec<Tweet>,
+    /// Name of the primary campaign [`Self::export`] belongs to.
+    /// `"organ-donation"` for the built-in default.
+    pub campaign: String,
+    /// Extra campaigns' sections, in run order after the primary.
+    /// Empty for a single-campaign run.
+    pub extra_campaigns: Vec<CampaignSection>,
 }
 
 impl SensorCheckpoint {
+    /// The wire version this checkpoint will encode as: the legacy
+    /// version for a default single-campaign run (bytes identical to
+    /// pre-campaign builds), the campaign-extended version otherwise.
+    fn wire_version(&self) -> u16 {
+        if self.campaign == crate::campaign::DEFAULT_CAMPAIGN && self.extra_campaigns.is_empty() {
+            VERSION
+        } else {
+            VERSION_CAMPAIGNS
+        }
+    }
+
     /// Serializes to the versioned wire format.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = WireWriter::new(KIND_CHECKPOINT);
+        let version = self.wire_version();
+        let mut w = WireWriter::with_version(KIND_CHECKPOINT, version);
         w.u32(self.shard_id);
         w.u32(self.shard_count);
         w.u64(self.epoch);
@@ -238,40 +368,30 @@ impl SensorCheckpoint {
             }
             None => w.u8(0),
         }
-        w.u64(self.export.tracks.len() as u64);
-        for (user, track) in &self.export.tracks {
-            w.u64(user.0);
-            match track.state {
-                Some(s) => w.u8(s.index() as u8),
-                None => w.u8(u8::MAX),
-            }
-            w.bool(track.geo_locked);
-            for organ in Organ::ALL {
-                w.u32(track.mentions.count(organ));
-            }
-            w.u32(track.tweets.len() as u32);
-            for t in &track.tweets {
-                w.tweet(t);
-            }
-        }
-        w.u64(self.export.duplicates_ignored);
-        match self.export.high_water {
-            Some(id) => {
-                w.u8(1);
-                w.u64(id.0);
-            }
-            None => w.u8(0),
-        }
+        write_export(&mut w, &self.export);
         w.u32(self.parked.len() as u32);
         for t in &self.parked {
             w.tweet(t);
         }
+        if version == VERSION_CAMPAIGNS {
+            w.bytes(self.campaign.as_bytes());
+            w.u32(self.extra_campaigns.len() as u32);
+            for section in &self.extra_campaigns {
+                w.bytes(section.name.as_bytes());
+                write_export(&mut w, &section.export);
+            }
+        }
         w.finish()
     }
 
-    /// Decodes and validates one wire envelope.
+    /// Decodes and validates one wire envelope. Both the legacy
+    /// single-campaign layout (version 2) and the campaign-extended
+    /// layout (version 3) are accepted; a version-2 checkpoint decodes
+    /// with the built-in default campaign name and no extra sections,
+    /// so pre-campaign checkpoints still resume.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
-        let mut r = WireReader::open(bytes, KIND_CHECKPOINT)?;
+        let (mut r, version) =
+            WireReader::open(bytes, KIND_CHECKPOINT, &[VERSION, VERSION_CAMPAIGNS])?;
         let shard_id = r.u32()?;
         let shard_count = r.u32()?;
         let epoch = r.u64()?;
@@ -279,60 +399,45 @@ impl SensorCheckpoint {
             0 => None,
             _ => Some(TweetId(r.u64()?)),
         };
-        let n_tracks = r.u64()?;
-        let mut tracks = BTreeMap::new();
-        for _ in 0..n_tracks {
-            let user = UserId(r.u64()?);
-            let state = match r.u8()? {
-                u8::MAX => None,
-                i => Some(
-                    UsState::from_index(i as usize)
-                        .ok_or_else(|| CoreError::Checkpoint(format!("bad state index {i}")))?,
-                ),
-            };
-            let geo_locked = r.bool()?;
-            let mut mentions = MentionCounts::new();
-            for organ in Organ::ALL {
-                mentions.add(organ, r.u32()?);
-            }
-            let n_tweets = r.u32()?;
-            let mut tweets = Vec::with_capacity(n_tweets as usize);
-            for _ in 0..n_tweets {
-                tweets.push(r.tweet()?);
-            }
-            tracks.insert(
-                user,
-                TrackExport {
-                    state,
-                    geo_locked,
-                    tweets,
-                    mentions,
-                },
-            );
-        }
-        let duplicates_ignored = r.u64()?;
-        let high_water = match r.u8()? {
-            0 => None,
-            _ => Some(TweetId(r.u64()?)),
-        };
+        let export = read_export(&mut r)?;
         let n_parked = r.u32()?;
         let mut parked = Vec::with_capacity(n_parked as usize);
         for _ in 0..n_parked {
             parked.push(r.tweet()?);
         }
+        let (campaign, extra_campaigns) = if version == VERSION_CAMPAIGNS {
+            let campaign = r.string()?;
+            let n_extra = r.u32()?;
+            let mut extra = Vec::with_capacity(n_extra as usize);
+            for _ in 0..n_extra {
+                let name = r.string()?;
+                let export = read_export(&mut r)?;
+                extra.push(CampaignSection { name, export });
+            }
+            (campaign, extra)
+        } else {
+            (crate::campaign::DEFAULT_CAMPAIGN.to_string(), Vec::new())
+        };
         r.close()?;
         Ok(SensorCheckpoint {
             shard_id,
             shard_count,
             epoch,
             router_high_water,
-            export: SensorExport {
-                tracks,
-                duplicates_ignored,
-                high_water,
-            },
+            export,
             parked,
+            campaign,
+            extra_campaigns,
         })
+    }
+
+    /// The campaign names this checkpoint carries, primary first — what
+    /// resume validates against the running set.
+    pub fn campaign_names(&self) -> Vec<&str> {
+        let mut names = Vec::with_capacity(1 + self.extra_campaigns.len());
+        names.push(self.campaign.as_str());
+        names.extend(self.extra_campaigns.iter().map(|s| s.name.as_str()));
+        names
     }
 }
 
@@ -603,7 +708,7 @@ impl DeadLetterLog {
 
     /// Decodes and validates one wire envelope.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
-        let mut r = WireReader::open(bytes, KIND_DEAD_LETTER)?;
+        let (mut r, _) = WireReader::open(bytes, KIND_DEAD_LETTER, &[VERSION])?;
         let n = r.u64()?;
         let mut entries = Vec::with_capacity(n as usize);
         for _ in 0..n {
@@ -683,6 +788,8 @@ mod tests {
                 high_water: Some(TweetId(9)),
             },
             parked: vec![tweet(8, 3, None)],
+            campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: Vec::new(),
         }
     }
 
@@ -694,6 +801,66 @@ mod tests {
         assert_eq!(back, ckpt);
         // Re-encoding is stable (BTreeMap order is canonical).
         assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn default_campaign_checkpoint_still_encodes_version_2() {
+        // The isolation guarantee includes on-disk bytes: a default
+        // single-campaign run must keep producing checkpoints that
+        // pre-campaign builds (and golden fixtures) can read.
+        let bytes = sample_checkpoint().encode();
+        assert_eq!(u16::from_le_bytes([bytes[5], bytes[6]]), VERSION);
+    }
+
+    #[test]
+    fn multi_campaign_checkpoint_roundtrips_as_version_3() {
+        let mut ckpt = sample_checkpoint();
+        let mut extra_tracks = BTreeMap::new();
+        extra_tracks.insert(
+            UserId(42),
+            TrackExport {
+                state: Some(UsState::Ohio),
+                geo_locked: false,
+                tweets: vec![tweet(11, 42, None)],
+                mentions: MentionCounts::new(),
+            },
+        );
+        ckpt.extra_campaigns.push(CampaignSection {
+            name: "blood-drive".to_string(),
+            export: SensorExport {
+                tracks: extra_tracks,
+                duplicates_ignored: 1,
+                high_water: Some(TweetId(11)),
+            },
+        });
+        let bytes = ckpt.encode();
+        assert_eq!(u16::from_le_bytes([bytes[5], bytes[6]]), VERSION_CAMPAIGNS);
+        let back = SensorCheckpoint::decode(&bytes).expect("decode");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.campaign_names(), vec!["organ-donation", "blood-drive"]);
+        // A primary rename alone also forces the extended layout.
+        let mut renamed = sample_checkpoint();
+        renamed.campaign = "blood-drive".to_string();
+        let rbytes = renamed.encode();
+        assert_eq!(
+            u16::from_le_bytes([rbytes[5], rbytes[6]]),
+            VERSION_CAMPAIGNS
+        );
+        assert_eq!(SensorCheckpoint::decode(&rbytes).unwrap(), renamed);
+    }
+
+    #[test]
+    fn version_2_bytes_decode_with_default_campaign_identity() {
+        // Simulate a checkpoint written by a pre-campaign build: same
+        // body, version stamped 2, no campaign trailer. Decode must
+        // attribute it to the built-in default campaign.
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.encode();
+        assert_eq!(u16::from_le_bytes([bytes[5], bytes[6]]), VERSION);
+        let back = SensorCheckpoint::decode(&bytes).expect("decode");
+        assert_eq!(back.campaign, crate::campaign::DEFAULT_CAMPAIGN);
+        assert!(back.extra_campaigns.is_empty());
     }
 
     #[test]

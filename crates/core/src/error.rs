@@ -25,6 +25,8 @@ pub enum CoreError {
     InvalidParameter(String),
     /// Checkpoint serialization, storage, or resume consistency failed.
     Checkpoint(String),
+    /// Campaign manifest parsing or registry validation failed.
+    Campaign(String),
     /// Serving-layer failure: socket bind/IO, daemon wiring, or a
     /// snapshot render that could not complete.
     Serve(String),
@@ -44,6 +46,7 @@ impl fmt::Display for CoreError {
             CoreError::Simulation(msg) => write!(f, "simulation: {msg}"),
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            CoreError::Campaign(msg) => write!(f, "campaign: {msg}"),
             CoreError::Serve(msg) => write!(f, "serve: {msg}"),
             CoreError::Proc(msg) => write!(f, "procgroup: {msg}"),
         }

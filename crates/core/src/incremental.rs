@@ -175,11 +175,24 @@ pub struct IncrementalSensor<'a> {
 }
 
 impl<'a> IncrementalSensor<'a> {
-    /// Creates a sensor around a geocoder and a profile lookup.
+    /// Creates a sensor around a geocoder and a profile lookup, using
+    /// the paper's organ extractor.
     pub fn new(geocoder: &'a Geocoder, profile_of: impl Fn(UserId) -> Option<String> + 'a) -> Self {
+        Self::with_extractor(geocoder, profile_of, OrganExtractor::new())
+    }
+
+    /// Creates a sensor with a custom mention extractor — how a
+    /// non-default [`crate::campaign::Campaign`] maps its category
+    /// lexicons onto the six-slot subject axis. Everything else
+    /// (location semantics, idempotence, export format) is identical.
+    pub fn with_extractor(
+        geocoder: &'a Geocoder,
+        profile_of: impl Fn(UserId) -> Option<String> + 'a,
+        extractor: OrganExtractor,
+    ) -> Self {
         Self {
             geocoder,
-            extractor: OrganExtractor::new(),
+            extractor,
             profile_of: Box::new(profile_of),
             tracks: HashMap::new(),
             tweets_seen: 0,
@@ -266,6 +279,76 @@ impl<'a> IncrementalSensor<'a> {
         true
     }
 
+    /// Ingests a whole batch, touching each user's track entry once per
+    /// **run** of consecutive same-user tweets instead of once per
+    /// tweet. Returns how many tweets were newly ingested.
+    ///
+    /// Semantically identical to calling [`IncrementalSensor::ingest`]
+    /// on each tweet in order (tested): the idempotence guard, the
+    /// high-water mark, and every location rule observe the same
+    /// per-tweet sequence. What's amortized is purely the track-map
+    /// hash lookup, which the v2 batched wire path otherwise pays per
+    /// tweet even though batch frames arrive heavily run-grouped
+    /// (users tweet in bursts and the router batches per shard).
+    /// `repro bench-stream` carries the microbenchmark.
+    pub fn ingest_batch(&mut self, tweets: &[Tweet]) -> u64 {
+        let mut newly = 0u64;
+        let mut fresh: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < tweets.len() {
+            let user = tweets[i].user;
+            let mut j = i + 1;
+            while j < tweets.len() && tweets[j].user == user {
+                j += 1;
+            }
+            // Pass 1 — delivery accounting, per tweet and in order.
+            fresh.clear();
+            for (k, t) in tweets[i..j].iter().enumerate() {
+                if !self.seen.insert(t.id) {
+                    self.duplicates_ignored += 1;
+                    continue;
+                }
+                self.high_water = Some(match self.high_water {
+                    Some(hw) if hw >= t.id => hw,
+                    _ => t.id,
+                });
+                self.tweets_seen += 1;
+                fresh.push(i + k);
+            }
+            // Pass 2 — one track lookup for the whole run. A run of
+            // pure duplicates never creates an empty track (a seen id
+            // implies the user's track already exists, but an absent
+            // track must stay absent for export/fingerprint parity).
+            if !fresh.is_empty() {
+                let track = self.tracks.entry(user).or_insert_with(|| {
+                    let profile = (self.profile_of)(user);
+                    UserTrack {
+                        state: self.geocoder.locate(profile.as_deref(), None).state,
+                        geo_locked: false,
+                        tweets: Vec::new(),
+                        mentions: MentionCounts::new(),
+                    }
+                });
+                for &k in &fresh {
+                    let t = &tweets[k];
+                    if !track.geo_locked {
+                        if let Some((lat, lon)) = t.geo {
+                            if lat.is_finite() && lon.is_finite() {
+                                track.state = self.geocoder.resolve_point(lat, lon);
+                                track.geo_locked = true;
+                            }
+                        }
+                    }
+                    track.mentions.merge(&self.extractor.extract(&t.text));
+                    track.tweets.push(t.clone());
+                }
+                newly += fresh.len() as u64;
+            }
+            i = j;
+        }
+        newly
+    }
+
     /// Exports the sensor's complete streaming state in portable form
     /// (checkpointing, shard merging). The geocoder and profile lookup
     /// are *not* part of the export; [`IncrementalSensor::restore`]
@@ -305,6 +388,19 @@ impl<'a> IncrementalSensor<'a> {
         profile_of: impl Fn(UserId) -> Option<String> + 'a,
         export: SensorExport,
     ) -> Self {
+        Self::restore_with_extractor(geocoder, profile_of, export, OrganExtractor::new())
+    }
+
+    /// [`IncrementalSensor::restore`] with a campaign-specific mention
+    /// extractor (the accumulated mentions in the export were produced
+    /// by the same extractor, so restore never re-extracts; the
+    /// extractor only matters for tweets ingested *after* the restore).
+    pub fn restore_with_extractor(
+        geocoder: &'a Geocoder,
+        profile_of: impl Fn(UserId) -> Option<String> + 'a,
+        export: SensorExport,
+        extractor: OrganExtractor,
+    ) -> Self {
         let mut seen = HashSet::new();
         let mut tweets_seen = 0u64;
         let mut tracks = HashMap::with_capacity(export.tracks.len());
@@ -325,7 +421,7 @@ impl<'a> IncrementalSensor<'a> {
         }
         Self {
             geocoder,
-            extractor: OrganExtractor::new(),
+            extractor,
             profile_of: Box::new(profile_of),
             tracks,
             tweets_seen,
@@ -701,6 +797,70 @@ mod tests {
         assert_eq!(owned.export().fingerprint(), viewed.export().fingerprint());
         assert_eq!(owned.corpus().tweets(), viewed.corpus().tweets());
         assert_eq!(owned.attention().unwrap(), viewed.attention().unwrap());
+    }
+
+    #[test]
+    fn ingest_batch_is_equivalent_to_per_tweet_ingest() {
+        let sim = sim();
+        let geocoder = Geocoder::new();
+        let mut per_tweet = sensor_for(&sim, &geocoder);
+        let mut batched = sensor_for(&sim, &geocoder);
+        let tweets: Vec<_> = sim
+            .stream()
+            .with_filter(Box::new(KeywordQuery::paper()))
+            .collect();
+        // Batch boundaries chosen to split user runs mid-way, plus a
+        // redelivered window straddling two batches.
+        let mut with_dups = tweets.clone();
+        let overlap = tweets.len().min(7);
+        with_dups.extend(tweets[..overlap].iter().cloned());
+        for chunk in with_dups.chunks(13) {
+            let expect: u64 = chunk.iter().map(|t| u64::from(per_tweet.ingest(t))).sum();
+            assert_eq!(batched.ingest_batch(chunk), expect);
+        }
+        assert_eq!(batched.tweets_seen(), per_tweet.tweets_seen());
+        assert_eq!(batched.duplicates_ignored(), per_tweet.duplicates_ignored());
+        assert_eq!(batched.high_water(), per_tweet.high_water());
+        assert_eq!(batched.export(), per_tweet.export());
+        assert_eq!(
+            batched.export().fingerprint(),
+            per_tweet.export().fingerprint()
+        );
+    }
+
+    #[test]
+    fn ingest_batch_of_pure_duplicates_creates_no_track() {
+        let geocoder = Geocoder::new();
+        let mut sensor = IncrementalSensor::new(&geocoder, |_| Some("Boston, MA".to_string()));
+        let t = tweet(0, 1, "kidney donor", None);
+        sensor.ingest(&t);
+        let fp = sensor.export().fingerprint();
+        // Redelivering the same tweet as a batch must not create or
+        // touch any track (fingerprint parity with the scalar path).
+        assert_eq!(sensor.ingest_batch(&[t.clone(), t.clone()]), 0);
+        assert_eq!(sensor.duplicates_ignored(), 2);
+        assert_eq!(sensor.export().fingerprint(), fp);
+        assert_eq!(sensor.export().tracks.len(), 1);
+    }
+
+    #[test]
+    fn custom_extractor_threads_through_restore() {
+        use donorpulse_text::extract::OrganExtractor;
+        let geocoder = Geocoder::new();
+        let ex = || OrganExtractor::with_lexicons([vec!["blood"], vec!["plasma"]]);
+        let mut sensor =
+            IncrementalSensor::with_extractor(&geocoder, |_| Some("Boston, MA".into()), ex());
+        sensor.ingest(&tweet(0, 1, "blood blood plasma donation", None));
+        let slot0 = donorpulse_text::Organ::from_index(0).unwrap();
+        let att = sensor.attention().unwrap();
+        assert_eq!(att.raw_counts(0).count(slot0), 2);
+        let restored = IncrementalSensor::restore_with_extractor(
+            &geocoder,
+            |_| Some("Boston, MA".into()),
+            sensor.export(),
+            ex(),
+        );
+        assert_eq!(restored.attention().unwrap(), att);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod aggregate;
 pub mod attention;
+pub mod campaign;
 pub mod checkpoint;
 pub mod cooccurrence;
 pub mod incremental;
@@ -68,9 +69,10 @@ pub(crate) mod testsupport;
 
 pub use aggregate::Aggregation;
 pub use attention::AttentionMatrix;
+pub use campaign::{Campaign, CampaignSet, CampaignSpec, DEFAULT_CAMPAIGN};
 pub use checkpoint::{
-    compact_checkpoints, CheckpointStore, DeadLetter, DeadLetterLog, DirCheckpointStore,
-    MemCheckpointStore, SensorCheckpoint,
+    compact_checkpoints, CampaignSection, CheckpointStore, DeadLetter, DeadLetterLog,
+    DirCheckpointStore, MemCheckpointStore, SensorCheckpoint,
 };
 pub use error::CoreError;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineRun, RunMetrics};

@@ -36,7 +36,7 @@ use donorpulse_cluster::par;
 use donorpulse_geo::{Geocoder, LocationSource, UsState};
 use donorpulse_linalg::Matrix;
 use donorpulse_obs::{MetricsRegistry, MetricsSnapshot};
-use donorpulse_text::{KeywordQuery, Organ};
+use donorpulse_text::{KeywordQuery, MentionCounts, Organ};
 use donorpulse_twitter::{Corpus, GeneratorConfig, TwitterSimulation, UserId};
 use std::collections::HashMap;
 
@@ -275,6 +275,7 @@ impl Pipeline {
                 user_states,
                 non_us_users,
                 unlocated_users,
+                mentions: None,
             },
             config,
         )
@@ -301,6 +302,13 @@ pub struct LocatedCorpus {
     pub non_us_users: u64,
     /// Users that could not be located at all.
     pub unlocated_users: u64,
+    /// Pre-accumulated per-user mention counts, for a corpus collected
+    /// under a non-default campaign lexicon (the subject terms are not
+    /// the paper's organ words, so they cannot be re-extracted from the
+    /// text here). `None` means re-extract with the paper's organ
+    /// extractor — the batch path, proven byte-identical for the
+    /// built-in campaign.
+    pub mentions: Option<HashMap<UserId, MentionCounts>>,
 }
 
 /// Runs the analytics back-half — attention, both characterizations,
@@ -318,6 +326,7 @@ pub fn analyze_located_corpus(input: LocatedCorpus, config: PipelineConfig) -> R
         user_states,
         non_us_users,
         unlocated_users,
+        mentions,
     } = input;
     if usa.is_empty() {
         return Err(CoreError::EmptyCorpus { what: "usa corpus" });
@@ -329,7 +338,10 @@ pub fn analyze_located_corpus(input: LocatedCorpus, config: PipelineConfig) -> R
     {
         // --- Characterizations. ----------------------------------------
         let mut span = metrics.stage("attention");
-        let attention = AttentionMatrix::from_corpus(&usa)?;
+        let attention = match &mentions {
+            Some(m) => AttentionMatrix::from_mentions(m)?,
+            None => AttentionMatrix::from_corpus(&usa)?,
+        };
         metrics
             .gauge("attention_users")
             .set(attention.user_count() as u64);

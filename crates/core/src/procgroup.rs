@@ -52,7 +52,9 @@
 //! failure schedule is a function of its own admission sequence alone,
 //! whether that shard is a thread or a process.
 
-use crate::checkpoint::{compact_checkpoints, CheckpointStore, DeadLetterLog, SensorCheckpoint};
+use crate::checkpoint::{
+    compact_checkpoints, CampaignSection, CheckpointStore, DeadLetterLog, SensorCheckpoint,
+};
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::shard::{
     load_resume_point, resolve_shards, route_shard, ShardConfig, ShardedStreamRun, ROUTER_BATCH,
@@ -63,7 +65,6 @@ use crate::{CoreError, Result};
 use donorpulse_geo::service::LocationService;
 use donorpulse_geo::Geocoder;
 use donorpulse_obs::MetricsRegistry;
-use donorpulse_text::{KeywordQuery, TextFilter};
 use donorpulse_twitter::fault::FaultConfig;
 use donorpulse_twitter::time::VirtualClock;
 use donorpulse_twitter::wire::{
@@ -1013,7 +1014,7 @@ pub fn run_proc_group<'a>(
         let store = store.ok_or_else(|| {
             CoreError::Checkpoint("resume requires a checkpoint store (--checkpoint-dir)".into())
         })?;
-        let point = load_resume_point(store, shards)?;
+        let point = load_resume_point(store, shards, &config.shard.stream.campaigns)?;
         (
             point.high_water,
             point.epoch,
@@ -1085,9 +1086,16 @@ pub fn run_proc_group<'a>(
         // with channel sends replaced by supervised frame sends.
         let route = (|| -> Result<(Vec<u64>, u64, bool)> {
             let mut span = metrics.stage("stream_router");
-            let query = KeywordQuery::paper();
+            let campaigns = &config.shard.stream.campaigns;
             let rejected = metrics.counter("consumer_filter_rejected_total");
             let passed = metrics.counter("consumer_filter_passed_total");
+            let matched: Option<Vec<_>> = (!campaigns.is_default_single()).then(|| {
+                campaigns
+                    .campaigns()
+                    .iter()
+                    .map(|c| metrics.counter(c.metric_name("matched_total")))
+                    .collect()
+            });
             let routed_total = metrics.counter("shard_tweets_total");
             let replayed = metrics.counter("resume_replayed_total");
             let compacted = metrics.counter("checkpoints_compacted_total");
@@ -1103,11 +1111,19 @@ pub fn run_proc_group<'a>(
             'route: for batch in src_rx {
                 for tweet in batch {
                     n += 1;
-                    if !query.accepts(&tweet.text) {
+                    let mask = campaigns.mask_of(&tweet.text);
+                    if mask == 0 {
                         rejected.incr();
                         continue;
                     }
                     passed.incr();
+                    if let Some(matched) = &matched {
+                        for (i, handle) in matched.iter().enumerate() {
+                            if mask & (1 << i) != 0 {
+                                handle.incr();
+                            }
+                        }
+                    }
                     if resume_hw.is_some_and(|hw| tweet.id <= hw) {
                         replayed.incr();
                         continue;
@@ -1221,7 +1237,8 @@ pub fn run_proc_group<'a>(
     router.await_reports()?;
     router.reap_all();
 
-    let mut merged = SensorExport::default();
+    let campaigns = &config.shard.stream.campaigns;
+    let mut merged: Vec<SensorExport> = vec![SensorExport::default(); campaigns.len()];
     let mut dead_letters = DeadLetterLog::new();
     for d in outcome.dead.iter().cloned() {
         dead_letters.push(d);
@@ -1240,7 +1257,18 @@ pub fn run_proc_group<'a>(
                 report.ckpt.shard_id, report.ckpt.shard_count
             )));
         }
-        merged.absorb(report.ckpt.export)?;
+        if report.ckpt.campaign_names() != campaigns.names() {
+            return Err(proc_err(format!(
+                "worker {shard} reported campaigns {:?} but the router senses {:?} \
+                 (--campaigns mismatch between router and worker)",
+                report.ckpt.campaign_names(),
+                campaigns.names()
+            )));
+        }
+        merged[0].absorb(report.ckpt.export)?;
+        for (m, section) in merged[1..].iter_mut().zip(report.ckpt.extra_campaigns) {
+            m.absorb(section.export)?;
+        }
         parked_at_end += report.parked_at_end;
         gap_total += report.gap_tweets;
         dup_total += report.duplicates;
@@ -1256,16 +1284,38 @@ pub fn run_proc_group<'a>(
         .counter("sensor_duplicates_ignored_total")
         .add(dup_total);
 
-    let delivered_tweets = merged.tweet_count();
-    let sensor = if killed {
-        None
+    let delivered_tweets = merged[0].tweet_count();
+    let mut merged = merged.into_iter();
+    let primary_export = merged.next().expect("registry has a primary campaign");
+    let (sensor, extra_sensors) = if killed {
+        (None, Vec::new())
     } else {
         let profile_of = |id: UserId| {
             sim.users()
                 .get(id.0 as usize)
                 .map(|u| u.profile_location.clone())
         };
-        Some(IncrementalSensor::restore(geocoder, profile_of, merged))
+        (
+            Some(IncrementalSensor::restore_with_extractor(
+                geocoder,
+                profile_of,
+                primary_export,
+                campaigns.primary().extractor().clone(),
+            )),
+            campaigns
+                .extras()
+                .iter()
+                .zip(merged)
+                .map(|(c, export)| {
+                    IncrementalSensor::restore_with_extractor(
+                        geocoder,
+                        profile_of,
+                        export,
+                        c.extractor().clone(),
+                    )
+                })
+                .collect(),
+        )
     };
 
     if config.shard.checkpoint_retain > 0 {
@@ -1278,6 +1328,7 @@ pub fn run_proc_group<'a>(
 
     Ok(ShardedStreamRun {
         sensor,
+        extra_sensors,
         fault_stats: outcome.stats,
         metrics: metrics.snapshot(),
         expected_tweets: sim.on_topic_len() as u64,
@@ -1390,7 +1441,8 @@ pub fn run_shard_worker(
 
     // Resume: load this shard's state at the offered epoch from the
     // shared store, with the same identity checks as in-process.
-    let (export, residue) = match offer.resume_epoch {
+    let campaigns = std::sync::Arc::clone(&config.stream.campaigns);
+    let (exports, residue) = match offer.resume_epoch {
         Some(epoch) => {
             let store = store.ok_or_else(|| {
                 proc_err(format!(
@@ -1420,9 +1472,20 @@ pub fn run_shard_worker(
                     ckpt.shard_count
                 )));
             }
-            (ckpt.export, ckpt.parked)
+            if ckpt.campaign_names() != campaigns.names() {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint was taken for campaigns {:?} but this worker senses {:?} \
+                     (--campaigns mismatch between router and worker)",
+                    ckpt.campaign_names(),
+                    campaigns.names()
+                )));
+            }
+            let mut exports = Vec::with_capacity(1 + ckpt.extra_campaigns.len());
+            exports.push(ckpt.export);
+            exports.extend(ckpt.extra_campaigns.into_iter().map(|c| c.export));
+            (exports, ckpt.parked)
         }
-        None => (SensorExport::default(), Vec::new()),
+        None => (vec![SensorExport::default(); campaigns.len()], Vec::new()),
     };
 
     let profile_of = |id: UserId| {
@@ -1436,7 +1499,21 @@ pub fn run_shard_worker(
             .map(|u| u.profile_location.as_str())
     };
     let mut span = metrics.stage("stream_shard_worker");
-    let mut sensor = IncrementalSensor::restore(geocoder, profile_of, export);
+    // Sensor `i` owns campaign `i` (primary first), mirroring the
+    // in-process shard worker.
+    let mut sensors: Vec<IncrementalSensor<'_>> = campaigns
+        .campaigns()
+        .iter()
+        .zip(exports)
+        .map(|(c, export)| {
+            IncrementalSensor::restore_with_extractor(
+                geocoder,
+                profile_of,
+                export,
+                c.extractor().clone(),
+            )
+        })
+        .collect();
     let mut admission = GeoAdmission {
         service,
         profile_of: Box::new(profile_ref),
@@ -1451,8 +1528,34 @@ pub fn run_shard_worker(
     let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
     let ckpt_written = metrics.counter("checkpoints_written_total");
     let ingested = metrics.counter("sensor_ingested_total");
+    let single = campaigns.len() == 1;
     let mut admitted = 0u64;
     let mut out: Vec<Tweet> = Vec::new();
+    let mut routed: Vec<Vec<Tweet>> = vec![Vec::new(); campaigns.len()];
+    // Admitted tweets go to every campaign whose matcher accepts them;
+    // membership is recomputed from the text, never shipped.
+    let mut ingest_admitted = |out: &mut Vec<Tweet>, sensors: &mut Vec<IncrementalSensor<'_>>| {
+        if single {
+            ingested.add(sensors[0].ingest_batch(out));
+            out.clear();
+            return;
+        }
+        for buf in &mut routed {
+            buf.clear();
+        }
+        for tweet in out.drain(..) {
+            let mask = campaigns.mask_of(&tweet.text);
+            for (i, buf) in routed.iter_mut().enumerate() {
+                if mask & (1 << i) != 0 {
+                    buf.push(tweet.clone());
+                }
+            }
+        }
+        ingested.add(sensors[0].ingest_batch(&routed[0]));
+        for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
+            s.ingest_batch(buf);
+        }
+    };
     let mut n = 0u64;
     let mut last_cut: (u64, Option<u64>) = (0, None);
     loop {
@@ -1461,7 +1564,15 @@ pub fn run_shard_worker(
                 n += batch.len() as u64;
                 out.clear();
                 for tweet in batch {
-                    admission.admit(tweet, &mut out);
+                    // Primary-class traffic only through the fallible
+                    // gate — extra tenants must not shift the service's
+                    // call schedule or displace parked primary tweets
+                    // (see stream_consumer's geo stage / docs/CAMPAIGNS.md).
+                    if single || campaigns.primary().matches(&tweet.text) {
+                        admission.admit(tweet, &mut out);
+                    } else {
+                        out.push(tweet);
+                    }
                     admitted += 1;
                     if config.die_after.is_some_and(|m| admitted >= m) {
                         // The simulated crash: no checkpoint, no
@@ -1470,11 +1581,7 @@ pub fn run_shard_worker(
                         std::process::exit(DIE_EXIT_CODE);
                     }
                 }
-                for t in out.drain(..) {
-                    if sensor.ingest(&t) {
-                        ingested.incr();
-                    }
-                }
+                ingest_admitted(&mut out, &mut sensors);
             }
             Ok(Some(ProcFrame::Marker(marker))) => {
                 last_cut = (marker.epoch, marker.high_water);
@@ -1484,8 +1591,18 @@ pub fn run_shard_worker(
                     shard_count: shards as u32,
                     epoch: marker.epoch,
                     router_high_water: marker.high_water.map(TweetId),
-                    export: sensor.export(),
+                    export: sensors[0].export(),
                     parked: admission.park.iter().cloned().collect(),
+                    campaign: campaigns.primary().name().to_string(),
+                    extra_campaigns: campaigns
+                        .extras()
+                        .iter()
+                        .zip(&sensors[1..])
+                        .map(|(c, s)| CampaignSection {
+                            name: c.name().to_string(),
+                            export: s.export(),
+                        })
+                        .collect(),
                 };
                 let bytes = ckpt.encode();
                 store
@@ -1529,17 +1646,13 @@ pub fn run_shard_worker(
     // in-process worker's ending.
     out.clear();
     admission.drain(config.stream.final_drain_attempts, &mut out);
-    for t in out.drain(..) {
-        if sensor.ingest(&t) {
-            ingested.incr();
-        }
-    }
+    ingest_admitted(&mut out, &mut sensors);
     let parked_at_end = admission.abandon_leftovers();
     let gap = metrics.counter("stream_gap_tweets_total");
     gap.add(parked_at_end);
     metrics
         .counter("sensor_duplicates_ignored_total")
-        .add(sensor.duplicates_ignored());
+        .add(sensors[0].duplicates_ignored());
     span.set_items(n);
     span.finish();
 
@@ -1553,13 +1666,23 @@ pub fn run_shard_worker(
             shard_count: shards as u32,
             epoch: last_cut.0,
             router_high_water: last_cut.1.map(TweetId),
-            export: sensor.export(),
+            export: sensors[0].export(),
             parked: Vec::new(),
+            campaign: campaigns.primary().name().to_string(),
+            extra_campaigns: campaigns
+                .extras()
+                .iter()
+                .zip(&sensors[1..])
+                .map(|(c, s)| CampaignSection {
+                    name: c.name().to_string(),
+                    export: s.export(),
+                })
+                .collect(),
         },
         dead,
         parked_at_end,
         gap_tweets: gap.value(),
-        duplicates: sensor.duplicates_ignored(),
+        duplicates: sensors[0].duplicates_ignored(),
     };
     for chunk in report_chunks(&report.encode()) {
         writer
@@ -1594,6 +1717,11 @@ mod tests {
                 router_high_water: Some(TweetId(77)),
                 export: SensorExport::default(),
                 parked: Vec::new(),
+                campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+                extra_campaigns: vec![CampaignSection {
+                    name: "blood-drive".into(),
+                    export: SensorExport::default(),
+                }],
             },
             dead,
             parked_at_end: 3,
@@ -1605,6 +1733,12 @@ mod tests {
         assert_eq!(back.ckpt.shard_id, 1);
         assert_eq!(back.ckpt.epoch, 9);
         assert_eq!(back.ckpt.router_high_water, Some(TweetId(77)));
+        // The embedded checkpoint carries the campaign roster, so the
+        // report codec is multi-tenant for free.
+        assert_eq!(
+            back.ckpt.campaign_names(),
+            vec![crate::campaign::DEFAULT_CAMPAIGN, "blood-drive"]
+        );
         assert_eq!(back.dead.len(), 1);
         assert_eq!(
             (back.parked_at_end, back.gap_tweets, back.duplicates),

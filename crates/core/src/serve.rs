@@ -46,6 +46,7 @@
 //! (`repro loadgen`, `scripts/bench_serve.sh`), so "heavy traffic" is
 //! a gated number rather than a hope.
 
+use crate::campaign::CampaignSet;
 use crate::checkpoint::{latest_complete_epoch, CheckpointStore, SensorCheckpoint};
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::pipeline::{analyze_located_corpus, LocatedCorpus, PipelineConfig, PipelineRun};
@@ -227,7 +228,7 @@ fn parse_request<R: BufRead>(reader: &mut R) -> io::Result<ParsedRequest> {
 // ---------------------------------------------------------------------
 
 /// A resolved endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Route {
     Healthz,
     Metrics,
@@ -235,7 +236,28 @@ enum Route {
     Risk,
     AttentionState(UsState),
     AttentionOrgan(Organ),
+    /// `GET /campaigns` — the tenant roster with live fingerprints.
+    Campaigns,
+    /// `GET /campaigns/{name}/...` — a campaign-scoped query. The name
+    /// is resolved against the registry at handling time (routing is
+    /// static, the roster is not), as is the category segment of
+    /// `attention/organ/{category}`.
+    Campaign {
+        name: String,
+        endpoint: CampaignEndpoint,
+    },
     Shutdown,
+}
+
+/// The query family inside `/campaigns/{name}/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CampaignEndpoint {
+    Report,
+    Risk,
+    AttentionState(UsState),
+    /// The raw category segment; matched against the campaign's
+    /// category names (builtin campaigns: the organ names).
+    AttentionCategory(String),
 }
 
 /// Why a request did not resolve to a route.
@@ -274,12 +296,36 @@ fn route(method: &str, target: &str) -> std::result::Result<Route, RouteError> {
         Route::AttentionState(parse_state(segment).ok_or(RouteError::NotFound)?)
     } else if let Some(segment) = path.strip_prefix("/attention/organ/") {
         Route::AttentionOrgan(parse_organ(segment).ok_or(RouteError::NotFound)?)
+    } else if let Some(rest) = path.strip_prefix("/campaigns/") {
+        let (name, endpoint) = rest.split_once('/').ok_or(RouteError::NotFound)?;
+        if name.is_empty() {
+            return Err(RouteError::NotFound);
+        }
+        let endpoint = if let Some(segment) = endpoint.strip_prefix("attention/state/") {
+            CampaignEndpoint::AttentionState(parse_state(segment).ok_or(RouteError::NotFound)?)
+        } else if let Some(segment) = endpoint.strip_prefix("attention/organ/") {
+            if segment.is_empty() {
+                return Err(RouteError::NotFound);
+            }
+            CampaignEndpoint::AttentionCategory(segment.to_string())
+        } else {
+            match endpoint {
+                "report" => CampaignEndpoint::Report,
+                "risk" => CampaignEndpoint::Risk,
+                _ => return Err(RouteError::NotFound),
+            }
+        };
+        Route::Campaign {
+            name: name.to_string(),
+            endpoint,
+        }
     } else {
         match path {
             "/healthz" => Route::Healthz,
             "/metrics" => Route::Metrics,
             "/report" => Route::Report,
             "/risk" => Route::Risk,
+            "/campaigns" => Route::Campaigns,
             "/shutdown" => Route::Shutdown,
             _ => return Err(RouteError::NotFound),
         }
@@ -301,10 +347,38 @@ fn route(method: &str, target: &str) -> std::result::Result<Route, RouteError> {
 /// An epoch-consistent, immutable view of the sensor: the merged
 /// per-shard exports at one checkpoint-marker cut, plus the cut's
 /// identity (epoch) and content fingerprint (the `ETag`).
+///
+/// A multi-campaign daemon holds one export (and one fingerprint) per
+/// campaign from the *same* cut, so every tenant's answers are mutually
+/// consistent: they describe the same moment of the shared stream.
 struct ServeSnapshot {
     epoch: u64,
+    /// Primary campaign fingerprint — the `ETag` of the legacy
+    /// single-tenant endpoints.
     fingerprint: u64,
+    /// Primary campaign export.
     export: SensorExport,
+    /// Non-primary campaigns' `(export, fingerprint)` pairs in
+    /// [`CampaignSet::extras`] order. Empty for a single-tenant daemon.
+    extras: Vec<(SensorExport, u64)>,
+}
+
+impl ServeSnapshot {
+    /// Campaign `idx`'s view of this cut (0 = primary).
+    fn campaign(&self, idx: usize) -> Option<(&SensorExport, u64)> {
+        if idx == 0 {
+            Some((&self.export, self.fingerprint))
+        } else {
+            self.extras.get(idx - 1).map(|(e, f)| (e, *f))
+        }
+    }
+
+    /// Every campaign fingerprint, primary first.
+    fn fingerprints(&self) -> Vec<u64> {
+        std::iter::once(self.fingerprint)
+            .chain(self.extras.iter().map(|(_, f)| *f))
+            .collect()
+    }
 }
 
 /// A rendered response body, cached per `(fingerprint, path)`.
@@ -320,7 +394,10 @@ struct SnapshotHub {
     metrics: MetricsRegistry,
     current: RwLock<Option<Arc<ServeSnapshot>>>,
     bodies: Mutex<HashMap<(u64, String), Arc<RenderedBody>>>,
-    analysis: Mutex<Option<(u64, Arc<PipelineRun>)>>,
+    /// Memoized analyses keyed by campaign index; each entry remembers
+    /// the fingerprint it was computed for, so the memo is at most one
+    /// analysis per campaign per published snapshot.
+    analysis: Mutex<HashMap<usize, (u64, Arc<PipelineRun>)>>,
     shutdown: AtomicBool,
     ingest_done: AtomicBool,
 }
@@ -331,7 +408,7 @@ impl SnapshotHub {
             metrics,
             current: RwLock::new(None),
             bodies: Mutex::new(HashMap::new()),
-            analysis: Mutex::new(None),
+            analysis: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             ingest_done: AtomicBool::new(false),
         }
@@ -342,11 +419,11 @@ impl SnapshotHub {
     }
 
     /// Publishes a snapshot if it advances the current epoch; rendered
-    /// bodies for older fingerprints are dropped (the only
-    /// invalidation path — within one fingerprint, caches live
-    /// forever).
+    /// bodies for fingerprints no campaign currently carries are
+    /// dropped (the only invalidation path — within one fingerprint,
+    /// caches live forever).
     fn publish(&self, snap: ServeSnapshot) -> bool {
-        let fingerprint = snap.fingerprint;
+        let fingerprints = snap.fingerprints();
         let epoch = snap.epoch;
         {
             let mut cur = self.current.write().expect("snapshot lock");
@@ -360,7 +437,7 @@ impl SnapshotHub {
         self.bodies
             .lock()
             .expect("body cache lock")
-            .retain(|(fp, _), _| *fp == fingerprint);
+            .retain(|(fp, _), _| fingerprints.contains(fp));
         self.metrics
             .counter("serve_snapshots_published_total")
             .incr();
@@ -368,22 +445,27 @@ impl SnapshotHub {
         true
     }
 
-    /// The memoized full analysis for a snapshot — computed at most
-    /// once per fingerprint, shared by every endpoint that needs it.
+    /// The memoized full analysis for one campaign's view of a
+    /// snapshot — computed at most once per (campaign, fingerprint),
+    /// shared by every endpoint that needs it.
     fn analysis(
         &self,
         snap: &Arc<ServeSnapshot>,
+        campaign_idx: usize,
         ctx: &AnalysisContext<'_>,
     ) -> Result<Arc<PipelineRun>> {
+        let (export, fingerprint) = snap
+            .campaign(campaign_idx)
+            .ok_or_else(|| serve_err(format!("campaign index {campaign_idx} out of range")))?;
         let mut guard = self.analysis.lock().expect("analysis lock");
-        if let Some((fp, run)) = guard.as_ref() {
-            if *fp == snap.fingerprint {
+        if let Some((fp, run)) = guard.get(&campaign_idx) {
+            if *fp == fingerprint {
                 return Ok(Arc::clone(run));
             }
         }
-        let run = Arc::new(compute_analysis(snap, ctx)?);
+        let run = Arc::new(compute_analysis(export, campaign_idx, ctx)?);
         self.metrics.counter("serve_analyses_total").incr();
-        *guard = Some((snap.fingerprint, Arc::clone(&run)));
+        guard.insert(campaign_idx, (fingerprint, Arc::clone(&run)));
         Ok(run)
     }
 
@@ -412,16 +494,39 @@ struct AnalysisContext<'a> {
     profile_of: &'a (dyn Fn(UserId) -> Option<String> + Sync),
     analytics: PipelineConfig,
     firehose_tweets: u64,
+    /// The tenant roster this daemon senses (primary first).
+    campaigns: Arc<CampaignSet>,
 }
 
-/// Rebuilds the batch pipeline's [`PipelineRun`] from a snapshot. The
-/// located corpus, user→state map, and collection counters all come
-/// from a restored sensor (proven byte-identical to the batch
+/// Rebuilds the batch pipeline's [`PipelineRun`] from one campaign's
+/// export. The located corpus, user→state map, and collection counters
+/// all come from a restored sensor (proven byte-identical to the batch
 /// front-half by the incremental-sensor tests); the back-half is the
-/// shared [`analyze_located_corpus`].
-fn compute_analysis(snap: &ServeSnapshot, ctx: &AnalysisContext<'_>) -> Result<PipelineRun> {
+/// shared [`analyze_located_corpus`]. Mentions were extracted at
+/// ingest, so no extractor runs here — but a non-built-in campaign's
+/// accumulated counts must ride along explicitly, because the analysis
+/// back-half would otherwise re-extract from the text with the paper's
+/// organ lexicon and see nothing.
+fn compute_analysis(
+    export: &SensorExport,
+    campaign_idx: usize,
+    ctx: &AnalysisContext<'_>,
+) -> Result<PipelineRun> {
     let profile_of = ctx.profile_of;
-    let sensor = IncrementalSensor::restore(ctx.geocoder, profile_of, snap.export.clone());
+    let campaign = ctx
+        .campaigns
+        .campaigns()
+        .get(campaign_idx)
+        .ok_or_else(|| serve_err(format!("campaign index {campaign_idx} out of range")))?;
+    let mentions = (!campaign.is_builtin()).then(|| {
+        export
+            .tracks
+            .iter()
+            .filter(|(_, t)| t.state.is_some())
+            .map(|(&id, t)| (id, t.mentions))
+            .collect()
+    });
+    let sensor = IncrementalSensor::restore(ctx.geocoder, profile_of, export.clone());
     sensor.ensure_nonempty()?;
     let usa = sensor.corpus();
     let user_states = sensor.user_states();
@@ -431,7 +536,7 @@ fn compute_analysis(snap: &ServeSnapshot, ctx: &AnalysisContext<'_>) -> Result<P
     // geo-locked track with no state was voided by a foreign geotag;
     // otherwise the profile parse decides.
     let (mut non_us_users, mut unlocated_users) = (0u64, 0u64);
-    for (user, track) in &snap.export.tracks {
+    for (user, track) in &export.tracks {
         if track.state.is_none() {
             if track.geo_locked {
                 non_us_users += 1;
@@ -453,45 +558,80 @@ fn compute_analysis(snap: &ServeSnapshot, ctx: &AnalysisContext<'_>) -> Result<P
             user_states,
             non_us_users,
             unlocated_users,
+            mentions,
         },
         ctx.analytics.clone(),
     )
 }
 
-/// Loads and merges the per-shard checkpoints of one complete epoch.
-/// Parked (not-yet-admitted) tweets are deliberately excluded: at the
-/// cut they had not reached any sensor, and including them would break
+/// Loads and merges the per-shard checkpoints of one complete epoch,
+/// one merged export per campaign (primary first). Parked
+/// (not-yet-admitted) tweets are deliberately excluded: at the cut
+/// they had not reached any sensor, and including them would break
 /// the "snapshot = what a resumed run restores" contract.
-fn load_cut(store: &dyn CheckpointStore, shards: usize, epoch: u64) -> Result<SensorExport> {
-    let mut merged = SensorExport::default();
+fn load_cut(
+    store: &dyn CheckpointStore,
+    shards: usize,
+    epoch: u64,
+    campaigns: &CampaignSet,
+) -> Result<Vec<SensorExport>> {
+    let mut merged: Vec<SensorExport> = vec![SensorExport::default(); campaigns.len()];
     for shard in 0..shards as u32 {
         let bytes = store
             .load(shard, epoch)
             .map_err(serve_err)?
             .ok_or_else(|| serve_err(format!("shard {shard} epoch {epoch} missing")))?;
         let ckpt = SensorCheckpoint::decode(&bytes)?;
-        merged.absorb(ckpt.export)?;
+        if ckpt.campaign_names() != campaigns.names() {
+            return Err(serve_err(format!(
+                "cut for campaigns {:?} but this daemon senses {:?}",
+                ckpt.campaign_names(),
+                campaigns.names()
+            )));
+        }
+        merged[0].absorb(ckpt.export)?;
+        for (m, section) in merged[1..].iter_mut().zip(ckpt.extra_campaigns) {
+            m.absorb(section.export)?;
+        }
     }
     Ok(merged)
 }
 
+/// Builds the published snapshot from per-campaign merged exports.
+fn snapshot_of(epoch: u64, exports: Vec<SensorExport>) -> ServeSnapshot {
+    let mut exports = exports.into_iter();
+    let export = exports.next().expect("registry has a primary campaign");
+    ServeSnapshot {
+        epoch,
+        fingerprint: export.fingerprint(),
+        export,
+        extras: exports
+            .map(|e| {
+                let fp = e.fingerprint();
+                (e, fp)
+            })
+            .collect(),
+    }
+}
+
 /// The snapshot watcher: polls the store for newer complete epochs and
 /// publishes them until ingest finishes (the final cut is published by
-/// the ingest thread itself, straight from the merged sensor).
-fn watcher_loop(hub: &SnapshotHub, store: &dyn CheckpointStore, shards: usize, poll: Duration) {
+/// the ingest thread itself, straight from the merged sensors).
+fn watcher_loop(
+    hub: &SnapshotHub,
+    store: &dyn CheckpointStore,
+    shards: usize,
+    poll: Duration,
+    campaigns: &CampaignSet,
+) {
     let mut published: Option<u64> = None;
     while !hub.ingest_done.load(Ordering::Acquire) {
         if let Ok(Some(epoch)) = latest_complete_epoch(store, shards as u32) {
             if published.map_or(true, |p| epoch > p) {
                 // A compaction racing this load just means we retry at
                 // the next tick with a newer epoch.
-                if let Ok(export) = load_cut(store, shards, epoch) {
-                    let fingerprint = export.fingerprint();
-                    hub.publish(ServeSnapshot {
-                        epoch,
-                        fingerprint,
-                        export,
-                    });
+                if let Ok(exports) = load_cut(store, shards, epoch, campaigns) {
+                    hub.publish(snapshot_of(epoch, exports));
                     published = Some(epoch);
                 }
             }
@@ -589,22 +729,31 @@ fn push_json_str(out: &mut String, value: &str) {
     out.push('"');
 }
 
-/// `{"heart": 0.41, ...}` over the six organs, canonical order.
-fn attention_object(row: &[f64]) -> String {
+/// `{"heart": 0.41, ...}` over the campaign's category slots in slot
+/// order. For the builtin campaign the labels are exactly the organ
+/// names in canonical order, so the legacy endpoints' bytes are
+/// unchanged; custom campaigns print only their declared categories.
+fn attention_object(row: &[f64], labels: &[&str]) -> String {
     let mut out = String::from("{");
-    for (i, organ) in Organ::ALL.into_iter().enumerate() {
+    for (i, label) in labels.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        push_json_str(&mut out, organ.name());
-        let _ = write!(out, ": {}", row[organ.index()]);
+        push_json_str(&mut out, label);
+        let _ = write!(out, ": {}", row[i]);
     }
     out.push('}');
     out
 }
 
+/// The display label for a category slot: the campaign's declared name
+/// when the slot is declared, the organ's canonical name otherwise.
+fn slot_label<'l>(labels: &[&'l str], organ: Organ) -> &'l str {
+    labels.get(organ.index()).copied().unwrap_or(organ.name())
+}
+
 /// Renders the `/risk` body from an analysis.
-fn render_risk(run: &PipelineRun, snap: &ServeSnapshot) -> String {
+fn render_risk(run: &PipelineRun, epoch: u64, fingerprint: u64, labels: &[&str]) -> String {
     let mut highlighted: Vec<(UsState, Vec<Organ>)> = run.risk.highlighted().into_iter().collect();
     highlighted.sort_by_key(|&(s, _)| s);
     let mut out = String::from("{");
@@ -612,8 +761,8 @@ fn render_risk(run: &PipelineRun, snap: &ServeSnapshot) -> String {
         out,
         "\"alpha\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"states_analyzed\": {}, \"highlighted\": [",
         run.risk.alpha,
-        snap.epoch,
-        snap.fingerprint,
+        epoch,
+        fingerprint,
         run.region_k.groups.len()
     );
     for (i, (state, organs)) in highlighted.iter().enumerate() {
@@ -629,7 +778,7 @@ fn render_risk(run: &PipelineRun, snap: &ServeSnapshot) -> String {
             if j > 0 {
                 out.push_str(", ");
             }
-            push_json_str(&mut out, organ.name());
+            push_json_str(&mut out, slot_label(labels, *organ));
         }
         out.push_str("]}");
     }
@@ -641,8 +790,10 @@ fn render_risk(run: &PipelineRun, snap: &ServeSnapshot) -> String {
 /// state has no located users in this snapshot.
 fn render_attention_state(
     run: &PipelineRun,
-    snap: &ServeSnapshot,
+    epoch: u64,
+    fingerprint: u64,
     state: UsState,
+    labels: &[&str],
 ) -> Option<String> {
     let i = run.region_k.groups.iter().position(|&g| g == state)?;
     let mut out = String::from("{\"state\": ");
@@ -653,26 +804,33 @@ fn render_attention_state(
         out,
         ", \"users\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"attention\": {}}}",
         run.region_k.sizes[i],
-        snap.epoch,
-        snap.fingerprint,
-        attention_object(run.region_k.matrix.row(i))
+        epoch,
+        fingerprint,
+        attention_object(run.region_k.matrix.row(i), labels)
     );
     Some(out)
 }
 
-/// Renders the `/attention/organ/{organ}` body, or `None` when no user
-/// in this snapshot is dominated by the organ.
-fn render_attention_organ(run: &PipelineRun, snap: &ServeSnapshot, organ: Organ) -> Option<String> {
+/// Renders the `/attention/organ/{organ}` body (and its
+/// campaign-scoped twin, where the "organ" is a category slot), or
+/// `None` when no user in this snapshot is dominated by the slot.
+fn render_attention_organ(
+    run: &PipelineRun,
+    epoch: u64,
+    fingerprint: u64,
+    organ: Organ,
+    labels: &[&str],
+) -> Option<String> {
     let i = run.organ_k.groups.iter().position(|&g| g == organ)?;
     let mut out = String::from("{\"organ\": ");
-    push_json_str(&mut out, organ.name());
+    push_json_str(&mut out, slot_label(labels, organ));
     let _ = write!(
         out,
         ", \"users\": {}, \"epoch\": {}, \"fingerprint\": \"{:016x}\", \"attention\": {}}}",
         run.organ_k.sizes[i],
-        snap.epoch,
-        snap.fingerprint,
-        attention_object(run.organ_k.matrix.row(i))
+        epoch,
+        fingerprint,
+        attention_object(run.organ_k.matrix.row(i), labels)
     );
     Some(out)
 }
@@ -701,22 +859,97 @@ fn handle(route: Route, req: &HttpRequest, hub: &SnapshotHub, ctx: &AnalysisCont
         }
         Route::Metrics => Reply::json(200, hub.metrics.snapshot().to_json()),
         Route::Shutdown => Reply::json(200, "{\"shutting_down\": true}".to_string()),
-        Route::Report | Route::Risk | Route::AttentionState(_) | Route::AttentionOrgan(_) => {
+        Route::Campaigns => {
+            let snap = hub.current();
+            let mut out = String::from("{\"campaigns\": [");
+            for (i, campaign) in ctx.campaigns.campaigns().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"name\": ");
+                push_json_str(&mut out, campaign.name());
+                out.push_str(", \"categories\": [");
+                for (j, label) in campaign.category_names().iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    push_json_str(&mut out, label);
+                }
+                out.push(']');
+                match snap.as_ref().and_then(|s| s.campaign(i)) {
+                    Some((_, fp)) => {
+                        let _ = write!(out, ", \"fingerprint\": \"{fp:016x}\"");
+                    }
+                    None => out.push_str(", \"fingerprint\": null"),
+                }
+                out.push('}');
+            }
+            match snap {
+                Some(s) => {
+                    let _ = write!(out, "], \"epoch\": {}}}", s.epoch);
+                }
+                None => out.push_str("], \"epoch\": null}"),
+            }
+            Reply::json(200, out)
+        }
+        Route::Report
+        | Route::Risk
+        | Route::AttentionState(_)
+        | Route::AttentionOrgan(_)
+        | Route::Campaign { .. } => {
+            // Every snapshot-backed route resolves to a (campaign
+            // slot, endpoint, cache key) triple; the legacy endpoints
+            // are exactly the primary campaign's.
+            let (idx, endpoint, key) = match route {
+                Route::Report => (0, CampaignEndpoint::Report, "/report".to_string()),
+                Route::Risk => (0, CampaignEndpoint::Risk, "/risk".to_string()),
+                Route::AttentionState(s) => (
+                    0,
+                    CampaignEndpoint::AttentionState(s),
+                    format!("/attention/state/{}", s.abbr()),
+                ),
+                Route::AttentionOrgan(o) => (
+                    0,
+                    CampaignEndpoint::AttentionCategory(o.name().to_string()),
+                    format!("/attention/organ/{}", o.name()),
+                ),
+                Route::Campaign { name, endpoint } => {
+                    let Some(idx) = ctx
+                        .campaigns
+                        .campaigns()
+                        .iter()
+                        .position(|c| c.name() == name)
+                    else {
+                        return Reply::text(404, format!("no campaign named {name:?}\n"));
+                    };
+                    let key = match &endpoint {
+                        CampaignEndpoint::Report => format!("/campaigns/{name}/report"),
+                        CampaignEndpoint::Risk => format!("/campaigns/{name}/risk"),
+                        CampaignEndpoint::AttentionState(s) => {
+                            format!("/campaigns/{name}/attention/state/{}", s.abbr())
+                        }
+                        CampaignEndpoint::AttentionCategory(c) => format!(
+                            "/campaigns/{name}/attention/organ/{}",
+                            c.to_ascii_lowercase()
+                        ),
+                    };
+                    (idx, endpoint, key)
+                }
+                _ => unreachable!("snapshot routes only"),
+            };
+            let campaign = &ctx.campaigns.campaigns()[idx];
+            let labels = campaign.category_names();
             let Some(snap) = hub.current() else {
                 return Reply::text(503, "snapshot not ready: no complete epoch yet\n");
             };
-            let etag = etag_of(snap.fingerprint);
+            let Some((_, fingerprint)) = snap.campaign(idx) else {
+                return Reply::text(503, "snapshot not ready: campaign section missing\n");
+            };
+            let etag = etag_of(fingerprint);
             if req.if_none_match.as_deref() == Some(etag.as_str()) {
                 return Reply::not_modified(etag);
             }
-            let key = match route {
-                Route::Report => "/report".to_string(),
-                Route::Risk => "/risk".to_string(),
-                Route::AttentionState(s) => format!("/attention/state/{}", s.abbr()),
-                Route::AttentionOrgan(o) => format!("/attention/organ/{}", o.name()),
-                _ => unreachable!("snapshot routes only"),
-            };
-            if let Some(body) = hub.cached_body(snap.fingerprint, &key) {
+            if let Some(body) = hub.cached_body(fingerprint, &key) {
                 hub.metrics.counter("serve_render_cache_hits_total").incr();
                 return Reply {
                     status: 200,
@@ -727,50 +960,70 @@ fn handle(route: Route, req: &HttpRequest, hub: &SnapshotHub, ctx: &AnalysisCont
             hub.metrics
                 .counter("serve_render_cache_misses_total")
                 .incr();
-            let run = match hub.analysis(&snap, ctx) {
+            let run = match hub.analysis(&snap, idx, ctx) {
                 Ok(run) => run,
                 Err(e) => return Reply::text(503, format!("analysis unavailable: {e}\n")),
             };
-            let rendered = match route {
-                Route::Report => match PaperReport::from_run(&run) {
+            let rendered = match endpoint {
+                CampaignEndpoint::Report => match PaperReport::from_run(&run) {
                     Ok(report) => RenderedBody {
                         content_type: "text/plain; charset=utf-8",
                         bytes: report.render().into_bytes(),
                     },
                     Err(e) => return Reply::text(503, format!("report unavailable: {e}\n")),
                 },
-                Route::Risk => RenderedBody {
+                CampaignEndpoint::Risk => RenderedBody {
                     content_type: "application/json",
-                    bytes: render_risk(&run, &snap).into_bytes(),
+                    bytes: render_risk(&run, snap.epoch, fingerprint, &labels).into_bytes(),
                 },
-                Route::AttentionState(s) => match render_attention_state(&run, &snap, s) {
-                    Some(body) => RenderedBody {
-                        content_type: "application/json",
-                        bytes: body.into_bytes(),
-                    },
-                    None => {
+                CampaignEndpoint::AttentionState(s) => {
+                    match render_attention_state(&run, snap.epoch, fingerprint, s, &labels) {
+                        Some(body) => RenderedBody {
+                            content_type: "application/json",
+                            bytes: body.into_bytes(),
+                        },
+                        None => {
+                            return Reply::text(
+                                404,
+                                format!(
+                                    "state {} has no located users in this snapshot\n",
+                                    s.abbr()
+                                ),
+                            )
+                        }
+                    }
+                }
+                CampaignEndpoint::AttentionCategory(segment) => {
+                    let Some(slot) = labels.iter().position(|l| l.eq_ignore_ascii_case(&segment))
+                    else {
                         return Reply::text(
                             404,
-                            format!("state {} has no located users in this snapshot\n", s.abbr()),
-                        )
+                            format!(
+                                "campaign {:?} has no category named {segment:?}\n",
+                                campaign.name()
+                            ),
+                        );
+                    };
+                    let organ = Organ::from_index(slot).expect("category slot within organ range");
+                    match render_attention_organ(&run, snap.epoch, fingerprint, organ, &labels) {
+                        Some(body) => RenderedBody {
+                            content_type: "application/json",
+                            bytes: body.into_bytes(),
+                        },
+                        None => {
+                            return Reply::text(
+                                404,
+                                format!(
+                                    "organ {} dominates no user in this snapshot\n",
+                                    labels[slot]
+                                ),
+                            )
+                        }
                     }
-                },
-                Route::AttentionOrgan(o) => match render_attention_organ(&run, &snap, o) {
-                    Some(body) => RenderedBody {
-                        content_type: "application/json",
-                        bytes: body.into_bytes(),
-                    },
-                    None => {
-                        return Reply::text(
-                            404,
-                            format!("organ {} dominates no user in this snapshot\n", o.name()),
-                        )
-                    }
-                },
-                _ => unreachable!("snapshot routes only"),
+                }
             };
             let body = Arc::new(rendered);
-            hub.insert_body(snap.fingerprint, key, Arc::clone(&body));
+            hub.insert_body(fingerprint, key, Arc::clone(&body));
             Reply {
                 status: 200,
                 body,
@@ -829,12 +1082,13 @@ fn serve_connection(
             ParsedRequest::Complete(req) => {
                 hub.metrics.counter("http_requests_total").incr();
                 let routed = route(&req.method, &req.target);
+                let is_shutdown = matches!(routed, Ok(Route::Shutdown));
                 let reply = match routed {
                     Ok(r) => handle(r, &req, hub, ctx),
                     Err(RouteError::NotFound) => Reply::text(404, "no such endpoint\n"),
                     Err(RouteError::MethodNotAllowed) => Reply::text(405, "method not allowed\n"),
                 };
-                let shutting_down = matches!(routed, Ok(Route::Shutdown)) && reply.status == 200;
+                let shutting_down = is_shutdown && reply.status == 200;
                 let bytes = write_reply(&mut stream, &reply, req.keep_alive)?;
                 hub.metrics.counter(status_counter(reply.status)).incr();
                 hub.metrics.counter("http_bytes_out_total").add(bytes);
@@ -974,11 +1228,13 @@ pub fn run_serve_daemon<'a>(
             .get(id.0 as usize)
             .map(|u| u.profile_location.clone())
     };
+    let campaigns = Arc::clone(&config.shard.stream.campaigns);
     let ctx = AnalysisContext {
         geocoder,
         profile_of: &profile_of,
         analytics: config.analytics.clone(),
         firehose_tweets: sim.firehose_len() as u64,
+        campaigns: Arc::clone(&campaigns),
     };
     let shard_config = config.shard.clone();
     let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(ACCEPT_QUEUE);
@@ -995,7 +1251,8 @@ pub fn run_serve_daemon<'a>(
         let hub = &hub;
         let ctx = &ctx;
 
-        scope.spawn(move || watcher_loop(hub, store, shards, poll));
+        let watcher_campaigns = &campaigns;
+        scope.spawn(move || watcher_loop(hub, store, shards, poll, watcher_campaigns));
 
         let conn_rx = &conn_rx;
         for _ in 0..workers {
@@ -1050,16 +1307,13 @@ pub fn run_serve_daemon<'a>(
                 // closing marker this equals the final cut; without
                 // markers it is the only snapshot the daemon ever gets.
                 let closing = run.sensor.as_ref().map(|sensor| {
-                    let export = sensor.export();
-                    let fingerprint = export.fingerprint();
+                    let mut exports = vec![sensor.export()];
+                    exports.extend(run.extra_sensors.iter().map(|s| s.export()));
+                    let fingerprint = exports[0].fingerprint();
                     let cur = hub.current().map(|c| (c.epoch, c.fingerprint));
                     if cur.map(|(_, fp)| fp) != Some(fingerprint) {
                         let epoch = run.last_epoch.max(cur.map_or(0, |(e, _)| e) + 1);
-                        hub.publish(ServeSnapshot {
-                            epoch,
-                            fingerprint,
-                            export,
-                        });
+                        hub.publish(snapshot_of(epoch, exports));
                     }
                     fingerprint
                 });
@@ -1609,6 +1863,7 @@ mod tests {
             epoch: 1,
             fingerprint: 10,
             export: SensorExport::default(),
+            extras: Vec::new(),
         }));
         hub.insert_body(
             10,
@@ -1618,20 +1873,79 @@ mod tests {
                 bytes: b"old".to_vec(),
             }),
         );
+        hub.insert_body(
+            20,
+            "/campaigns/blood-drive/report".to_string(),
+            Arc::new(RenderedBody {
+                content_type: "text/plain; charset=utf-8",
+                bytes: b"extra".to_vec(),
+            }),
+        );
         // Stale epoch refused.
         assert!(!hub.publish(ServeSnapshot {
             epoch: 1,
             fingerprint: 11,
             export: SensorExport::default(),
+            extras: Vec::new(),
         }));
         assert!(hub.cached_body(10, "/report").is_some());
-        // Newer epoch accepted; bodies for the old fingerprint vanish.
+        // Newer epoch accepted; bodies for fingerprints no campaign
+        // still carries vanish, while a surviving extra's body stays.
         assert!(hub.publish(ServeSnapshot {
             epoch: 2,
             fingerprint: 12,
             export: SensorExport::default(),
+            extras: vec![(SensorExport::default(), 20)],
         }));
         assert!(hub.cached_body(10, "/report").is_none());
+        assert!(hub
+            .cached_body(20, "/campaigns/blood-drive/report")
+            .is_some());
         assert_eq!(hub.current().unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn campaign_routes_resolve() {
+        assert_eq!(route("GET", "/campaigns"), Ok(Route::Campaigns));
+        assert_eq!(
+            route("GET", "/campaigns/blood-drive/report"),
+            Ok(Route::Campaign {
+                name: "blood-drive".to_string(),
+                endpoint: CampaignEndpoint::Report,
+            })
+        );
+        assert_eq!(
+            route("GET", "/campaigns/blood-drive/risk/"),
+            Ok(Route::Campaign {
+                name: "blood-drive".to_string(),
+                endpoint: CampaignEndpoint::Risk,
+            })
+        );
+        assert_eq!(
+            route("GET", "/campaigns/organ-donation/attention/state/KS"),
+            Ok(Route::Campaign {
+                name: "organ-donation".to_string(),
+                endpoint: CampaignEndpoint::AttentionState(UsState::Kansas),
+            })
+        );
+        // Category segments resolve at handle time, against the
+        // campaign's declared categories — not against Organ names.
+        assert_eq!(
+            route("GET", "/campaigns/blood-drive/attention/organ/plasma"),
+            Ok(Route::Campaign {
+                name: "blood-drive".to_string(),
+                endpoint: CampaignEndpoint::AttentionCategory("plasma".to_string()),
+            })
+        );
+        assert_eq!(route("GET", "/campaigns/x"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/campaigns/x/nope"), Err(RouteError::NotFound));
+        assert_eq!(
+            route("POST", "/campaigns/x/report"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("POST", "/campaigns"),
+            Err(RouteError::MethodNotAllowed)
+        );
     }
 }

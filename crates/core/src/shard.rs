@@ -37,9 +37,10 @@
 //! complete across every shard — so a long run's checkpoint directory
 //! stays bounded.
 
+use crate::campaign::CampaignSet;
 use crate::checkpoint::{
-    compact_checkpoints, latest_complete_epoch, CheckpointStore, DeadLetter, DeadLetterLog,
-    SensorCheckpoint,
+    compact_checkpoints, latest_complete_epoch, CampaignSection, CheckpointStore, DeadLetter,
+    DeadLetterLog, SensorCheckpoint,
 };
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::pipeline::RunMetrics;
@@ -47,7 +48,6 @@ use crate::stream_consumer::{pump_source, GeoAdmission, StreamPipelineConfig};
 use crate::{CoreError, Result};
 use donorpulse_geo::service::LocationService;
 use donorpulse_geo::Geocoder;
-use donorpulse_text::{KeywordQuery, TextFilter};
 use donorpulse_twitter::fault::{FaultConfig, FaultStats};
 use donorpulse_twitter::time::VirtualClock;
 use donorpulse_twitter::{Tweet, TweetId, TwitterSimulation, UserId};
@@ -178,11 +178,15 @@ impl Default for ShardConfig {
 
 /// Everything a sharded streaming run produces.
 pub struct ShardedStreamRun<'a> {
-    /// The merged sensor — byte-identical snapshots to the
-    /// single-sensor run. `None` when the run was killed
-    /// ([`ShardConfig::kill_after`]): a crashed group has no final
-    /// artifacts, only its checkpoints.
+    /// The merged **primary-campaign** sensor — byte-identical
+    /// snapshots to the single-sensor run. `None` when the run was
+    /// killed ([`ShardConfig::kill_after`]): a crashed group has no
+    /// final artifacts, only its checkpoints.
     pub sensor: Option<IncrementalSensor<'a>>,
+    /// Merged sensors for the non-primary campaigns, in
+    /// [`CampaignSet::extras`] order. Empty for a single-campaign run
+    /// and for a killed run.
+    pub extra_sensors: Vec<IncrementalSensor<'a>>,
     /// Fault counters from the stream adapter (this run only — a
     /// resumed run counts from the seek point).
     pub fault_stats: FaultStats,
@@ -218,13 +222,26 @@ pub struct ShardedStreamRun<'a> {
 pub(crate) struct ResumePoint {
     pub(crate) epoch: u64,
     pub(crate) high_water: Option<TweetId>,
-    /// Per-shard restored state, indexed by shard id.
-    pub(crate) exports: Vec<SensorExport>,
+    /// Per-shard restored state, indexed by shard id, then by campaign
+    /// in registry order (primary first). Single-campaign cuts — and
+    /// every pre-campaign v2 checkpoint — restore as one-element inner
+    /// vectors.
+    pub(crate) exports: Vec<Vec<SensorExport>>,
     pub(crate) parked: Vec<Vec<Tweet>>,
 }
 
 /// Loads and validates the newest complete cut from a store.
-pub(crate) fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> Result<ResumePoint> {
+///
+/// Besides the identity/shape checks, the cut's campaign roster must
+/// equal this run's registry exactly (names, order): resuming a
+/// two-campaign cut into a one-campaign run would silently drop a
+/// tenant's state, and the reverse would fabricate an empty history
+/// for a campaign the cut never sensed.
+pub(crate) fn load_resume_point(
+    store: &dyn CheckpointStore,
+    shards: usize,
+    campaigns: &CampaignSet,
+) -> Result<ResumePoint> {
     let io = |e: std::io::Error| CoreError::Checkpoint(format!("checkpoint store: {e}"));
     let epoch = latest_complete_epoch(store, shards as u32)
         .map_err(io)?
@@ -257,6 +274,14 @@ pub(crate) fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> R
                 ckpt.shard_count
             )));
         }
+        if ckpt.campaign_names() != campaigns.names() {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint was taken for campaigns {:?} but this run senses {:?}: \
+                 resuming across rosters would drop or fabricate tenant state",
+                ckpt.campaign_names(),
+                campaigns.names()
+            )));
+        }
         match high_water {
             None => high_water = Some(ckpt.router_high_water),
             Some(hw) if hw != ckpt.router_high_water => {
@@ -268,7 +293,10 @@ pub(crate) fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> R
             }
             Some(_) => {}
         }
-        exports.push(ckpt.export);
+        let mut shard_exports = Vec::with_capacity(1 + ckpt.extra_campaigns.len());
+        shard_exports.push(ckpt.export);
+        shard_exports.extend(ckpt.extra_campaigns.into_iter().map(|c| c.export));
+        exports.push(shard_exports);
         parked.push(ckpt.parked);
     }
     Ok(ResumePoint {
@@ -281,7 +309,8 @@ pub(crate) fn load_resume_point(store: &dyn CheckpointStore, shards: usize) -> R
 
 /// What one shard worker reports back after its thread joins.
 struct WorkerReport {
-    export: SensorExport,
+    /// Per-campaign exports in registry order (primary first).
+    exports: Vec<SensorExport>,
     parked_at_end: u64,
     dead: Vec<DeadLetter>,
 }
@@ -343,12 +372,14 @@ pub fn run_sharded_stream<'a>(
         .collect::<Result<_>>()?;
     let metrics = config.stream.metrics.clone();
     metrics.gauge("shard_count").set(shards as u64);
+    let campaigns = std::sync::Arc::clone(&config.stream.campaigns);
+    let n_campaigns = campaigns.len();
 
     let resume = if config.resume {
         let store = store.ok_or_else(|| {
             CoreError::Checkpoint("resume requires a checkpoint store (--checkpoint-dir)".into())
         })?;
-        Some(load_resume_point(store, shards)?)
+        Some(load_resume_point(store, shards, &campaigns)?)
     } else {
         None
     };
@@ -358,7 +389,7 @@ pub fn run_sharded_stream<'a>(
     let (mut resume_exports, mut resume_parked) = match resume {
         Some(r) => (r.exports, r.parked),
         None => (
-            vec![SensorExport::default(); shards],
+            vec![vec![SensorExport::default(); n_campaigns]; shards],
             vec![Vec::new(); shards],
         ),
     };
@@ -405,11 +436,18 @@ pub fn run_sharded_stream<'a>(
             let checkpoint_retain = config.checkpoint_retain;
             let checkpoint_final = config.checkpoint_final;
             let kill_after = config.kill_after;
+            let campaigns = std::sync::Arc::clone(&campaigns);
             move || {
                 let mut span = metrics.stage("stream_router");
-                let query = KeywordQuery::paper();
                 let rejected = metrics.counter("consumer_filter_rejected_total");
                 let passed = metrics.counter("consumer_filter_passed_total");
+                let matched: Option<Vec<_>> = (!campaigns.is_default_single()).then(|| {
+                    campaigns
+                        .campaigns()
+                        .iter()
+                        .map(|c| metrics.counter(c.metric_name("matched_total")))
+                        .collect()
+                });
                 let routed_total = metrics.counter("shard_tweets_total");
                 let replayed = metrics.counter("resume_replayed_total");
                 let compacted = metrics.counter("checkpoints_compacted_total");
@@ -442,11 +480,19 @@ pub fn run_sharded_stream<'a>(
                 'route: for batch in src_rx {
                     for tweet in batch {
                         n += 1;
-                        if !query.accepts(&tweet.text) {
+                        let mask = campaigns.mask_of(&tweet.text);
+                        if mask == 0 {
                             rejected.incr();
                             continue;
                         }
                         passed.incr();
+                        if let Some(matched) = &matched {
+                            for (i, handle) in matched.iter().enumerate() {
+                                if mask & (1 << i) != 0 {
+                                    handle.incr();
+                                }
+                            }
+                        }
                         // Resume guard: anything at or below the restored
                         // cut is already inside a shard's checkpoint. The
                         // seek makes this rare; the sensors' idempotence
@@ -537,21 +583,37 @@ pub fn run_sharded_stream<'a>(
             }
         });
 
-        // One worker per shard: geocode admission in front of an owned
-        // sensor, checkpoint writes at markers.
+        // One worker per shard: geocode admission in front of one owned
+        // sensor per campaign, checkpoint writes at markers.
         let mut workers = Vec::with_capacity(shards);
         for (shard_id, rx) in shard_rxs.into_iter().enumerate() {
-            let export = std::mem::take(&mut resume_exports[shard_id]);
+            let exports = std::mem::take(&mut resume_exports[shard_id]);
             let residue = std::mem::take(&mut resume_parked[shard_id]);
             workers.push(scope.spawn({
                 let metrics = metrics.clone();
+                let campaigns = std::sync::Arc::clone(&campaigns);
                 let service = shard_services[shard_id];
                 let geo_policy = config.stream.geo_retry.for_consumer(shard_id as u64);
                 let park_capacity = config.stream.park_capacity;
                 let final_drain_attempts = config.stream.final_drain_attempts;
                 move || -> Result<WorkerReport> {
                     let mut span = metrics.stage("stream_shard_worker");
-                    let mut sensor = IncrementalSensor::restore(geocoder, profile_of, export);
+                    // Sensor `i` owns campaign `i` (primary first); the
+                    // admitted batch is re-matched against each campaign
+                    // because membership is a pure function of the text.
+                    let mut sensors: Vec<IncrementalSensor<'_>> = campaigns
+                        .campaigns()
+                        .iter()
+                        .zip(exports)
+                        .map(|(c, export)| {
+                            IncrementalSensor::restore_with_extractor(
+                                geocoder,
+                                profile_of,
+                                export,
+                                c.extractor().clone(),
+                            )
+                        })
+                        .collect();
                     let mut admission = GeoAdmission {
                         service,
                         profile_of: Box::new(profile_ref),
@@ -566,7 +628,9 @@ pub fn run_sharded_stream<'a>(
                     let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
                     let ckpt_written = metrics.counter("checkpoints_written_total");
                     let ingested = metrics.counter("sensor_ingested_total");
+                    let single = campaigns.len() == 1;
                     let mut out: Vec<Tweet> = Vec::new();
+                    let mut routed: Vec<Vec<Tweet>> = vec![Vec::new(); campaigns.len()];
                     let mut n = 0u64;
                     for msg in rx {
                         match msg {
@@ -574,11 +638,35 @@ pub fn run_sharded_stream<'a>(
                                 n += batch.len() as u64;
                                 out.clear();
                                 for tweet in batch {
-                                    admission.admit(tweet, &mut out);
+                                    // Primary-class traffic only through
+                                    // the fallible gate — extra tenants
+                                    // must not shift the service's call
+                                    // schedule or displace parked primary
+                                    // tweets (see stream_consumer's geo
+                                    // stage / docs/CAMPAIGNS.md).
+                                    if single || campaigns.primary().matches(&tweet.text) {
+                                        admission.admit(tweet, &mut out);
+                                    } else {
+                                        out.push(tweet);
+                                    }
                                 }
-                                for t in out.drain(..) {
-                                    if sensor.ingest(&t) {
-                                        ingested.incr();
+                                if single {
+                                    ingested.add(sensors[0].ingest_batch(&out));
+                                } else {
+                                    for buf in &mut routed {
+                                        buf.clear();
+                                    }
+                                    for tweet in out.drain(..) {
+                                        let mask = campaigns.mask_of(&tweet.text);
+                                        for (i, buf) in routed.iter_mut().enumerate() {
+                                            if mask & (1 << i) != 0 {
+                                                buf.push(tweet.clone());
+                                            }
+                                        }
+                                    }
+                                    ingested.add(sensors[0].ingest_batch(&routed[0]));
+                                    for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
+                                        s.ingest_batch(buf);
                                     }
                                 }
                             }
@@ -589,8 +677,18 @@ pub fn run_sharded_stream<'a>(
                                     shard_count: shards as u32,
                                     epoch,
                                     router_high_water: high_water,
-                                    export: sensor.export(),
+                                    export: sensors[0].export(),
                                     parked: admission.park.iter().cloned().collect(),
+                                    campaign: campaigns.primary().name().to_string(),
+                                    extra_campaigns: campaigns
+                                        .extras()
+                                        .iter()
+                                        .zip(&sensors[1..])
+                                        .map(|(c, s)| CampaignSection {
+                                            name: c.name().to_string(),
+                                            export: s.export(),
+                                        })
+                                        .collect(),
                                 };
                                 let bytes = ckpt.encode();
                                 store.save(shard_id as u32, epoch, &bytes).map_err(|e| {
@@ -606,9 +704,23 @@ pub fn run_sharded_stream<'a>(
                     // End of stream: recovery-sized drain, then abandon.
                     out.clear();
                     admission.drain(final_drain_attempts, &mut out);
-                    for t in out.drain(..) {
-                        if sensor.ingest(&t) {
-                            ingested.incr();
+                    if single {
+                        ingested.add(sensors[0].ingest_batch(&out));
+                    } else {
+                        for buf in &mut routed {
+                            buf.clear();
+                        }
+                        for tweet in out.drain(..) {
+                            let mask = campaigns.mask_of(&tweet.text);
+                            for (i, buf) in routed.iter_mut().enumerate() {
+                                if mask & (1 << i) != 0 {
+                                    buf.push(tweet.clone());
+                                }
+                            }
+                        }
+                        ingested.add(sensors[0].ingest_batch(&routed[0]));
+                        for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
+                            s.ingest_batch(buf);
                         }
                     }
                     let parked_at_end = admission.abandon_leftovers();
@@ -617,11 +729,11 @@ pub fn run_sharded_stream<'a>(
                         .add(parked_at_end);
                     metrics
                         .counter("sensor_duplicates_ignored_total")
-                        .add(sensor.duplicates_ignored());
+                        .add(sensors[0].duplicates_ignored());
                     span.set_items(n);
                     span.finish();
                     Ok(WorkerReport {
-                        export: sensor.export(),
+                        exports: sensors.iter().map(|s| s.export()).collect(),
                         parked_at_end,
                         dead: admission.dead,
                     })
@@ -638,7 +750,10 @@ pub fn run_sharded_stream<'a>(
         (outcome, per_shard, last_epoch, killed, reports)
     });
 
-    let mut merged = SensorExport::default();
+    // Merge per campaign: shard exports are user-disjoint within each
+    // campaign, so each campaign's union is exactly its single-sensor
+    // state.
+    let mut merged: Vec<SensorExport> = vec![SensorExport::default(); n_campaigns];
     let mut dead_letters = DeadLetterLog::new();
     for d in outcome.dead.iter().cloned() {
         dead_letters.push(d);
@@ -646,18 +761,42 @@ pub fn run_sharded_stream<'a>(
     let mut parked_at_end = 0u64;
     for report in reports {
         let report = report?;
-        merged.absorb(report.export)?;
+        for (m, e) in merged.iter_mut().zip(report.exports) {
+            m.absorb(e)?;
+        }
         parked_at_end += report.parked_at_end;
         for d in report.dead {
             dead_letters.push(d);
         }
     }
 
-    let delivered_tweets = merged.tweet_count();
-    let sensor = if killed {
-        None
+    let delivered_tweets = merged[0].tweet_count();
+    let mut merged = merged.into_iter();
+    let primary_export = merged.next().expect("registry has a primary campaign");
+    let (sensor, extra_sensors) = if killed {
+        (None, Vec::new())
     } else {
-        Some(IncrementalSensor::restore(geocoder, profile_of, merged))
+        (
+            Some(IncrementalSensor::restore_with_extractor(
+                geocoder,
+                profile_of,
+                primary_export,
+                campaigns.primary().extractor().clone(),
+            )),
+            campaigns
+                .extras()
+                .iter()
+                .zip(merged)
+                .map(|(c, export)| {
+                    IncrementalSensor::restore_with_extractor(
+                        geocoder,
+                        profile_of,
+                        export,
+                        c.extractor().clone(),
+                    )
+                })
+                .collect(),
+        )
     };
 
     // Final retention pass: every worker has joined, so the last epoch
@@ -673,6 +812,7 @@ pub fn run_sharded_stream<'a>(
 
     Ok(ShardedStreamRun {
         sensor,
+        extra_sensors,
         fault_stats: outcome.stats,
         metrics: metrics.snapshot(),
         expected_tweets: sim.on_topic_len() as u64,
@@ -722,9 +862,10 @@ mod tests {
     #[test]
     fn resume_point_validation_rejects_mismatched_groups() {
         use crate::checkpoint::MemCheckpointStore;
+        let campaigns = CampaignSet::default_single();
         let store = MemCheckpointStore::new();
         // Nothing written yet: no complete epoch.
-        let err = load_resume_point(&store, 2).unwrap_err();
+        let err = load_resume_point(&store, 2, &campaigns).unwrap_err();
         assert!(err.to_string().contains("complete"));
         // A cut taken with a different shard count is refused.
         let ckpt = SensorCheckpoint {
@@ -734,12 +875,37 @@ mod tests {
             router_high_water: Some(TweetId(10)),
             export: SensorExport::default(),
             parked: Vec::new(),
+            campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: Vec::new(),
         };
         store.save(0, 1, &ckpt.encode()).unwrap();
         let mut other = ckpt.clone();
         other.shard_id = 1;
         store.save(1, 1, &other.encode()).unwrap();
-        let err = load_resume_point(&store, 2).unwrap_err();
+        let err = load_resume_point(&store, 2, &campaigns).unwrap_err();
         assert!(err.to_string().contains("re-routing"), "{err}");
+    }
+
+    #[test]
+    fn resume_point_validation_rejects_campaign_roster_changes() {
+        use crate::checkpoint::{CampaignSection, MemCheckpointStore};
+        let store = MemCheckpointStore::new();
+        let ckpt = SensorCheckpoint {
+            shard_id: 0,
+            shard_count: 1,
+            epoch: 1,
+            router_high_water: Some(TweetId(10)),
+            export: SensorExport::default(),
+            parked: Vec::new(),
+            campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: vec![CampaignSection {
+                name: "blood-drive".into(),
+                export: SensorExport::default(),
+            }],
+        };
+        store.save(0, 1, &ckpt.encode()).unwrap();
+        // A two-campaign cut cannot feed a single-campaign run.
+        let err = load_resume_point(&store, 1, &CampaignSet::default_single()).unwrap_err();
+        assert!(err.to_string().contains("rosters"), "{err}");
     }
 }

@@ -45,13 +45,13 @@
 //! from the same [`Geocoder`] as the batch pipeline, so resilience
 //! machinery can never perturb the characterization itself.
 
+use crate::campaign::CampaignSet;
 use crate::checkpoint::{DeadLetter, DeadLetterLog};
 use crate::incremental::IncrementalSensor;
 use crate::pipeline::RunMetrics;
 use donorpulse_geo::service::{GeoServiceError, LocationService};
 use donorpulse_geo::Geocoder;
 use donorpulse_obs::MetricsRegistry;
-use donorpulse_text::{KeywordQuery, TextFilter};
 use donorpulse_twitter::fault::{Delivery, FaultConfig, FaultStats, FaultyStreamApi};
 use donorpulse_twitter::time::VirtualClock;
 use donorpulse_twitter::wire::{
@@ -59,7 +59,7 @@ use donorpulse_twitter::wire::{
 };
 use donorpulse_twitter::{Tweet, TweetId, TweetView, TwitterSimulation, UserId};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 /// Deterministic truncated-exponential backoff schedule, with optional
@@ -288,6 +288,12 @@ pub struct StreamPipelineConfig {
     /// zero-copy path. Ignored for v1 frames (their decode is a
     /// single record either way).
     pub borrowed_decode: bool,
+    /// The campaigns this run senses for. The endpoint filters the
+    /// firehose by their union; each consumer re-matches admitted text
+    /// per campaign and feeds one sensor per campaign. Defaults to the
+    /// built-in organ-donation singleton, which reproduces the
+    /// pre-campaign pipeline exactly.
+    pub campaigns: Arc<CampaignSet>,
 }
 
 impl Default for StreamPipelineConfig {
@@ -303,16 +309,24 @@ impl Default for StreamPipelineConfig {
             park_capacity: 4_096,
             final_drain_attempts: 64,
             metrics: MetricsRegistry::disabled(),
-            wire: WireMode::V1,
+            // Batched frames have been the soak default since PR 7/8;
+            // v1 remains available as the compatibility mode.
+            wire: WireMode::v2(),
             borrowed_decode: false,
+            campaigns: Arc::new(CampaignSet::default_single()),
         }
     }
 }
 
 /// Everything a faulted streaming run produces.
 pub struct FaultedStreamRun<'a> {
-    /// The sensor after the stream ended — snapshot it for artifacts.
+    /// The primary campaign's sensor after the stream ended — snapshot
+    /// it for artifacts. For the default run this is the organ-donation
+    /// sensor, exactly as before campaigns existed.
     pub sensor: IncrementalSensor<'a>,
+    /// One sensor per non-primary campaign, in campaign-set order
+    /// (`campaigns.extras()`). Empty for a single-campaign run.
+    pub extra_sensors: Vec<IncrementalSensor<'a>>,
     /// Fault counters from the stream adapter.
     pub fault_stats: FaultStats,
     /// Observability snapshot (empty with a disabled registry).
@@ -389,7 +403,7 @@ pub(crate) fn pump_source(
     tx: mpsc::SyncSender<Vec<Tweet>>,
 ) -> SourceOutcome {
     let metrics = &config.metrics;
-    let mut stream = FaultyStreamApi::connect(sim, Box::new(KeywordQuery::paper()), faults)
+    let mut stream = FaultyStreamApi::connect(sim, config.campaigns.endpoint_filter(), faults)
         .with_wire(config.wire);
     if let Some(hw) = resume_after {
         stream.resume_after(hw);
@@ -584,14 +598,34 @@ pub fn replay_dead_letters(
     sensor: &mut IncrementalSensor<'_>,
     log: &DeadLetterLog,
 ) -> ReplayReport {
+    replay_dead_letters_matching(sensor, log, |_| true)
+}
+
+/// [`replay_dead_letters`], restricted to tweets a campaign matcher
+/// accepts — the per-campaign replay a multi-tenant run needs, since
+/// one shared dead-letter log holds the union of every campaign's
+/// abandonments. Entries the predicate rejects are other campaigns'
+/// business and are neither ingested nor counted (a recovered frame
+/// still counts as recovered even when none of its tweets belong to
+/// this campaign). With an always-true predicate this *is*
+/// `replay_dead_letters`, because a single-campaign log only ever
+/// holds that campaign's tweets.
+pub fn replay_dead_letters_matching(
+    sensor: &mut IncrementalSensor<'_>,
+    log: &DeadLetterLog,
+    accepts: impl Fn(&str) -> bool,
+) -> ReplayReport {
     let mut report = ReplayReport::default();
-    fn ingest(sensor: &mut IncrementalSensor<'_>, tweet: &Tweet, report: &mut ReplayReport) {
+    let ingest = |sensor: &mut IncrementalSensor<'_>, tweet: &Tweet, report: &mut ReplayReport| {
+        if !accepts(&tweet.text) {
+            return;
+        }
         if sensor.ingest(tweet) {
             report.tweets_replayed += 1;
         } else {
             report.duplicates += 1;
         }
-    }
+    };
     for entry in log.entries() {
         match entry {
             DeadLetter::Tweet(t) => ingest(sensor, t, &mut report),
@@ -736,11 +770,22 @@ pub fn run_faulted_stream<'a>(
     let (filt_tx, filt_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.channel_capacity);
     let (geo_tx, geo_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.channel_capacity);
 
-    let mut sensor = IncrementalSensor::new(geocoder, |id: UserId| {
+    let campaigns = Arc::clone(&config.campaigns);
+    let profile_of = |id: UserId| {
         sim.users()
             .get(id.0 as usize)
             .map(|u| u.profile_location.clone())
-    });
+    };
+    let mut sensor = IncrementalSensor::with_extractor(
+        geocoder,
+        profile_of,
+        campaigns.primary().extractor().clone(),
+    );
+    let mut extra_sensors: Vec<IncrementalSensor<'a>> = campaigns
+        .extras()
+        .iter()
+        .map(|c| IncrementalSensor::with_extractor(geocoder, profile_of, c.extractor().clone()))
+        .collect();
 
     let (outcome, parked_at_end, delivered_tweets, dead_letters) = thread::scope(|scope| {
         let source = scope.spawn({
@@ -756,21 +801,39 @@ pub fn run_faulted_stream<'a>(
 
         let filter = scope.spawn({
             let metrics = metrics.clone();
+            let campaigns = Arc::clone(&campaigns);
             move || {
                 let mut span = metrics.stage("stream_filter");
-                let query = KeywordQuery::paper();
                 let rejected = metrics.counter("consumer_filter_rejected_total");
                 let passed = metrics.counter("consumer_filter_passed_total");
                 let batch_sends = metrics.counter("stream_batch_sends_total");
+                // Per-campaign admission counters exist only once a
+                // manifest is in play, so the default single-tenant
+                // run's metric snapshot stays byte-identical.
+                let matched: Option<Vec<_>> = (!campaigns.is_default_single()).then(|| {
+                    campaigns
+                        .campaigns()
+                        .iter()
+                        .map(|c| metrics.counter(c.metric_name("matched_total")))
+                        .collect()
+                });
                 let mut n = 0u64;
                 for mut batch in src_rx {
                     n += batch.len() as u64;
-                    // Defense in depth: the endpoint already track-
+                    // Defense in depth: the endpoint already union-
                     // filtered, so rejects here indicate upstream
                     // corruption slipping through as "intact".
                     batch.retain(|tweet| {
-                        if query.accepts(&tweet.text) {
+                        let mask = campaigns.mask_of(&tweet.text);
+                        if mask != 0 {
                             passed.incr();
+                            if let Some(matched) = &matched {
+                                for (i, handle) in matched.iter().enumerate() {
+                                    if mask & (1 << i) != 0 {
+                                        handle.incr();
+                                    }
+                                }
+                            }
                             true
                         } else {
                             rejected.incr();
@@ -791,6 +854,7 @@ pub fn run_faulted_stream<'a>(
 
         let geo = scope.spawn({
             let metrics = metrics.clone();
+            let campaigns = Arc::clone(&campaigns);
             let geo_policy = config.geo_retry;
             let park_capacity = config.park_capacity;
             let final_drain_attempts = config.final_drain_attempts;
@@ -812,13 +876,28 @@ pub fn run_faulted_stream<'a>(
                     dead: Vec::new(),
                 };
                 let batch_sends = metrics.counter("stream_batch_sends_total");
+                let single = campaigns.len() == 1;
                 let mut out: Vec<Tweet> = Vec::new();
                 let mut n = 0u64;
                 'geo: for batch in filt_rx {
                     n += batch.len() as u64;
                     out.clear();
                     for tweet in batch {
-                        admission.admit(tweet, &mut out);
+                        // Only primary-class traffic rides the fallible
+                        // enrichment gate: the service's failure schedule
+                        // is pure in its call index, and the park queue
+                        // is bounded, so letting extra tenants' tweets
+                        // through it would shift the primary's schedule
+                        // and displace its parked tweets — breaking the
+                        // byte-identity guarantee (docs/CAMPAIGNS.md).
+                        // Extra-only tweets are admitted directly; their
+                        // sensors resolve locations with the same
+                        // infallible sensor-side geocoder either way.
+                        if single || campaigns.primary().matches(&tweet.text) {
+                            admission.admit(tweet, &mut out);
+                        } else {
+                            out.push(tweet);
+                        }
                     }
                     if !out.is_empty() {
                         batch_sends.incr();
@@ -847,15 +926,48 @@ pub fn run_faulted_stream<'a>(
             }
         });
 
-        // Sensor stage on the caller thread.
+        // Sensor stage on the caller thread. Throughput counters keep
+        // their single-tenant meaning by tracking the primary campaign;
+        // extra campaigns get their own `campaign_<name>_*` series.
         let mut span = metrics.stage("stream_sensor");
         let ingested = metrics.counter("sensor_ingested_total");
         let mut delivered = 0u64;
-        for batch in geo_rx {
-            for tweet in batch {
-                if sensor.ingest(&tweet) {
-                    delivered += 1;
-                    ingested.incr();
+        if campaigns.len() == 1 {
+            // Single-tenant fast path: every admitted tweet belongs to
+            // the one campaign, so batches go straight down without
+            // re-matching.
+            for batch in geo_rx {
+                let fresh = sensor.ingest_batch(&batch);
+                delivered += fresh;
+                ingested.add(fresh);
+            }
+        } else {
+            let camp_ingested: Vec<_> = campaigns
+                .campaigns()
+                .iter()
+                .map(|c| metrics.counter(c.metric_name("ingested_total")))
+                .collect();
+            let mut routed: Vec<Vec<Tweet>> = vec![Vec::new(); campaigns.len()];
+            for batch in geo_rx {
+                for buf in &mut routed {
+                    buf.clear();
+                }
+                // Membership is a pure function of the text, so it is
+                // re-derived here instead of riding the wire.
+                for tweet in batch {
+                    let mask = campaigns.mask_of(&tweet.text);
+                    for (i, buf) in routed.iter_mut().enumerate() {
+                        if mask & (1 << i) != 0 {
+                            buf.push(tweet.clone());
+                        }
+                    }
+                }
+                let fresh = sensor.ingest_batch(&routed[0]);
+                delivered += fresh;
+                ingested.add(fresh);
+                camp_ingested[0].add(fresh);
+                for (i, extra) in extra_sensors.iter_mut().enumerate() {
+                    camp_ingested[i + 1].add(extra.ingest_batch(&routed[i + 1]));
                 }
             }
         }
@@ -875,8 +987,31 @@ pub fn run_faulted_stream<'a>(
         (outcome, parked, delivered, letters)
     });
 
+    // Tenant-imbalance gauges: how unevenly the shared firehose pass
+    // splits across campaigns (permille of total per-campaign ingests).
+    if !campaigns.is_default_single() {
+        let totals: Vec<u64> = std::iter::once(sensor.tweets_seen())
+            .chain(extra_sensors.iter().map(|s| s.tweets_seen()))
+            .collect();
+        let sum: u64 = totals.iter().sum();
+        if sum > 0 {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for (campaign, total) in campaigns.campaigns().iter().zip(&totals) {
+                let share = total * 1000 / sum;
+                metrics
+                    .gauge(campaign.metric_name("share_permille"))
+                    .set(share);
+                lo = lo.min(share);
+                hi = hi.max(share);
+            }
+            metrics.gauge("campaign_imbalance_permille").set(hi - lo);
+        }
+    }
+
     FaultedStreamRun {
         sensor,
+        extra_sensors,
         fault_stats: outcome.stats,
         metrics: metrics.snapshot(),
         expected_tweets: sim.on_topic_len() as u64,

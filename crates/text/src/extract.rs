@@ -135,6 +135,32 @@ impl OrganExtractor {
         }
     }
 
+    /// Builds an extractor over custom per-slot lexicons — the campaign
+    /// registry maps each named category onto one of the six canonical
+    /// [`Organ`] slots and supplies its surface forms here. Terms are
+    /// normalized the same way scanned text is, so manifest authors may
+    /// write them in any case. Slots beyond `Organ::COUNT` are ignored;
+    /// an empty term list leaves its slot permanently zero.
+    pub fn with_lexicons<'a, I, T>(lexicons: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: IntoIterator<Item = &'a str>,
+    {
+        let mut patterns = Vec::new();
+        let mut organ_of_pattern = Vec::new();
+        for (slot, terms) in lexicons.into_iter().take(Organ::COUNT).enumerate() {
+            let organ = Organ::from_index(slot).expect("slot bounded by take()");
+            for term in terms {
+                patterns.push(crate::normalize::normalize(term));
+                organ_of_pattern.push(organ);
+            }
+        }
+        Self {
+            automaton: AhoCorasick::new(patterns),
+            organ_of_pattern,
+        }
+    }
+
     /// Counts organ mentions in `raw_text` (every occurrence counts, so a
     /// tweet saying "kidney kidney kidney" records three mentions).
     ///

@@ -262,6 +262,95 @@ SERVE_PID=""
 grep -Eq '^  closing fingerprint     [0-9a-f]{16}$' "${SERVE_LOG}" \
   || fail "daemon did not report a closing fingerprint"
 
+echo "==> campaigns: extra tenants leave the primary byte-identical"
+# A two-campaign run (examples/campaigns.toml) must reproduce the
+# single-campaign stdout exactly once the added CAMPAIGN lines are
+# filtered out — through the single consumer, the sharded group, and
+# the process group — and the CAMPAIGN fingerprint lines themselves
+# must agree across topologies (docs/CAMPAIGNS.md). The last line of
+# this gate is its own machine-readable verdict so CI can report it
+# independently of the overall verify result.
+for n in 1 2; do
+  ./target/release/repro --scale 0.05 stream --faults recoverable --shards "${n}" \
+    --campaigns examples/campaigns.toml \
+    > "${DET_TMP}/campaign_shards_${n}.txt" 2> /dev/null \
+    || { echo "CAMPAIGN RESULT: FAIL (shards=${n} run failed)"; fail "two-campaign run (shards=${n}) failed"; }
+  diff "${DET_TMP}/stream_recovered.txt" \
+    <(grep -v '^CAMPAIGN ' "${DET_TMP}/campaign_shards_${n}.txt") \
+    || { echo "CAMPAIGN RESULT: FAIL (shards=${n} diverged)"; fail "two-campaign primary artifacts (shards=${n}) differ from the single-campaign run"; }
+done
+./target/release/repro --scale 0.05 stream --faults recoverable --procs 2 \
+  --campaigns examples/campaigns.toml \
+  > "${DET_TMP}/campaign_procs_2.txt" 2> /dev/null \
+  || { echo "CAMPAIGN RESULT: FAIL (procs=2 run failed)"; fail "two-campaign run (procs=2) failed"; }
+diff "${DET_TMP}/stream_recovered.txt" \
+  <(grep -v '^CAMPAIGN ' "${DET_TMP}/campaign_procs_2.txt") \
+  || { echo "CAMPAIGN RESULT: FAIL (procs=2 diverged)"; fail "two-campaign primary artifacts (procs=2) differ from the single-campaign run"; }
+grep -q '^CAMPAIGN blood-drive ' "${DET_TMP}/campaign_shards_1.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (no blood-drive line)"; fail "two-campaign run printed no blood-drive CAMPAIGN line"; }
+diff <(grep '^CAMPAIGN ' "${DET_TMP}/campaign_shards_1.txt") \
+  <(grep '^CAMPAIGN ' "${DET_TMP}/campaign_procs_2.txt") \
+  || { echo "CAMPAIGN RESULT: FAIL (CAMPAIGN lines diverged)"; fail "CAMPAIGN fingerprint lines differ across topologies"; }
+
+echo "==> campaigns: daemon serves per-tenant routes with per-campaign ETags"
+# A multi-tenant daemon must list the roster at /campaigns, serve the
+# extra tenant's report with its own strong entity tag (304 on the
+# repeated conditional GET), and keep the legacy /report the primary's
+# batch-identical bytes (docs/CAMPAIGNS.md, docs/SERVING.md).
+CSERVE_LOG="${DET_TMP}/campaign_serve.log"
+./target/release/repro --scale 0.05 serve --port 0 \
+  --campaigns examples/campaigns.toml > "${CSERVE_LOG}" 2> /dev/null &
+SERVE_PID="$!"
+ADDR=""
+for _ in $(seq 1 600); do
+  ADDR="$(sed -n 's|^SERVING http://||p' "${CSERVE_LOG}" | head -n 1)"
+  [ -n "${ADDR}" ] && break
+  kill -0 "${SERVE_PID}" 2> /dev/null \
+    || { echo "CAMPAIGN RESULT: FAIL (daemon died)"; fail "campaign serve daemon exited before binding"; }
+  sleep 0.1
+done
+[ -n "${ADDR}" ] || { echo "CAMPAIGN RESULT: FAIL (no SERVING line)"; fail "campaign serve daemon never printed its SERVING line"; }
+INGESTED=""
+for _ in $(seq 1 600); do
+  if ./target/release/repro http-get --addr "${ADDR}" --path /healthz 2> /dev/null \
+    | grep -q '"ingest_done": true'; then
+    INGESTED=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "${INGESTED}" ] || { echo "CAMPAIGN RESULT: FAIL (ingest never finished)"; fail "campaign serve daemon never finished ingest"; }
+./target/release/repro http-get --addr "${ADDR}" --path /campaigns \
+  > "${DET_TMP}/campaign_roster.json" 2> /dev/null \
+  || { echo "CAMPAIGN RESULT: FAIL (GET /campaigns failed)"; fail "GET /campaigns failed"; }
+grep -q '"blood-drive"' "${DET_TMP}/campaign_roster.json" \
+  || { echo "CAMPAIGN RESULT: FAIL (roster missing tenant)"; fail "/campaigns roster does not list blood-drive"; }
+./target/release/repro http-get --addr "${ADDR}" --path /campaigns/blood-drive/report \
+  > "${DET_TMP}/campaign_report.txt" 2> "${DET_TMP}/campaign_headers.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (tenant report failed)"; fail "GET /campaigns/blood-drive/report failed"; }
+grep -q '^# status: 200$' "${DET_TMP}/campaign_headers.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (tenant report not 200)"; fail "GET /campaigns/blood-drive/report did not answer 200"; }
+CETAG="$(sed -n 's/^# etag: //p' "${DET_TMP}/campaign_headers.txt")"
+[ -n "${CETAG}" ] || { echo "CAMPAIGN RESULT: FAIL (no tenant ETag)"; fail "tenant report carried no ETag"; }
+./target/release/repro http-get --addr "${ADDR}" --path /campaigns/blood-drive/report \
+  --if-none-match "${CETAG}" \
+  > /dev/null 2> "${DET_TMP}/campaign_cond_headers.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (conditional GET failed)"; fail "conditional tenant GET failed"; }
+grep -q '^# status: 304$' "${DET_TMP}/campaign_cond_headers.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (no 304)"; fail "repeated conditional tenant GET did not answer 304"; }
+./target/release/repro http-get --addr "${ADDR}" --path /report \
+  > "${DET_TMP}/campaign_primary_report.txt" 2> /dev/null \
+  || { echo "CAMPAIGN RESULT: FAIL (legacy /report failed)"; fail "legacy /report on the campaign daemon failed"; }
+printf '\n' >> "${DET_TMP}/campaign_primary_report.txt"
+diff "${DET_TMP}/batch_report.txt" "${DET_TMP}/campaign_primary_report.txt" \
+  || { echo "CAMPAIGN RESULT: FAIL (primary report diverged)"; fail "legacy /report on the campaign daemon differs from the batch report"; }
+./target/release/repro http-get --addr "${ADDR}" --path /shutdown --post \
+  > /dev/null 2> /dev/null \
+  || { echo "CAMPAIGN RESULT: FAIL (shutdown failed)"; fail "campaign daemon POST /shutdown failed"; }
+wait "${SERVE_PID}" || { echo "CAMPAIGN RESULT: FAIL (daemon exited nonzero)"; fail "campaign serve daemon exited nonzero"; }
+SERVE_PID=""
+echo "CAMPAIGN RESULT: PASS"
+
 echo "==> docs: rustdoc with warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps \
   || fail "rustdoc warnings"

@@ -1,0 +1,485 @@
+//! Integration tests for multi-campaign sensing (`core::campaign`).
+//!
+//! The headline invariant, the same currency `scripts/verify.sh` trades
+//! in: adding extra campaigns to a run must leave the primary
+//! campaign's artifacts **byte-identical** to the single-campaign run —
+//! clean, under recoverable faults, and across a kill/resume cycle.
+//! Extra campaigns are additive tenants, never perturbations.
+//!
+//! The wire side is pinned the same way as the tweet codec: the
+//! campaign-extended checkpoint layout (version 3) round-trips its
+//! per-campaign sections, degrades to the legacy version-2 bytes for a
+//! default single-campaign run, and is held byte-for-byte by golden
+//! vectors under `tests/data/checkpoint_v3/` (regenerate deliberately
+//! with `REGEN_WIRE_FIXTURES=1`, alongside a version bump).
+
+use std::sync::Arc;
+
+use donorpulse::core::campaign::CampaignSet;
+use donorpulse::core::incremental::{IncrementalSensor, SensorExport};
+use donorpulse::core::shard::{run_sharded_stream, ShardConfig, ShardServices};
+use donorpulse::core::stream_consumer::{run_faulted_stream, StreamPipelineConfig};
+use donorpulse::core::{CampaignSection, MemCheckpointStore, SensorCheckpoint};
+use donorpulse::geo::{FlakyConfig, FlakyGeocoder, Geocoder};
+use donorpulse::obs::MetricsRegistry;
+use donorpulse::prelude::*;
+use donorpulse::twitter::fault::FaultConfig;
+use donorpulse::twitter::{SimInstant, Tweet, TweetId, UserId};
+
+const SEED: u64 = 0x5AA4D;
+
+/// The same second tenant `examples/campaigns.toml` ships: real traffic
+/// exists for it in the simulated chatter ("blood donation drive…",
+/// "plasma donor appointment…"), so its sensor is never trivially
+/// empty.
+const MANIFEST: &str = r#"
+[[campaign]]
+name = "organ-donation"
+
+[[campaign]]
+name = "blood-drive"
+context = ["donate", "donated", "donation", "donations", "donor", "donors"]
+category.blood = ["blood"]
+category.plasma = ["plasma"]
+"#;
+
+fn two_campaigns() -> Arc<CampaignSet> {
+    Arc::new(CampaignSet::parse_manifest(MANIFEST).expect("manifest parses"))
+}
+
+fn sim(scale: f64) -> TwitterSimulation {
+    let mut config = GeneratorConfig::paper_scaled(scale);
+    config.seed = SEED;
+    TwitterSimulation::generate(config).expect("sim")
+}
+
+fn stream_config(campaigns: Arc<CampaignSet>) -> StreamPipelineConfig {
+    StreamPipelineConfig {
+        metrics: MetricsRegistry::enabled(),
+        campaigns,
+        ..Default::default()
+    }
+}
+
+fn shard_config(shards: usize, campaigns: Arc<CampaignSet>) -> ShardConfig {
+    ShardConfig {
+        shards,
+        stream: stream_config(campaigns),
+        ..Default::default()
+    }
+}
+
+/// Bitwise snapshot equality between two sensors, plus the export
+/// fingerprint — the exact value the serving layer uses as its ETag.
+fn assert_sensors_equal(a: &IncrementalSensor<'_>, b: &IncrementalSensor<'_>, label: &str) {
+    assert_eq!(a.tweets_seen(), b.tweets_seen(), "{label}: tweet count");
+    assert_eq!(a.user_states(), b.user_states(), "{label}: user states");
+    assert_eq!(a.corpus().tweets(), b.corpus().tweets(), "{label}: corpus");
+    assert_eq!(
+        a.export().fingerprint(),
+        b.export().fingerprint(),
+        "{label}: export fingerprint"
+    );
+}
+
+#[test]
+fn extra_campaign_leaves_the_primary_byte_identical_clean() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let single = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        FaultConfig::none(),
+        stream_config(Arc::new(CampaignSet::default_single())),
+    );
+    assert!(single.extra_sensors.is_empty());
+
+    let campaigns = two_campaigns();
+    let multi = run_faulted_stream(
+        &sim,
+        &geocoder,
+        &geocoder,
+        FaultConfig::none(),
+        stream_config(Arc::clone(&campaigns)),
+    );
+    assert_sensors_equal(&multi.sensor, &single.sensor, "multi primary vs single");
+
+    // The second tenant saw real traffic and its sensor holds exactly
+    // the tweets its own matcher accepts from the full stream.
+    assert_eq!(multi.extra_sensors.len(), 1);
+    let blood = &multi.extra_sensors[0];
+    assert!(blood.tweets_seen() > 0, "blood-drive sensor saw nothing");
+    let matcher = campaigns.extras()[0].clone();
+    let mut reference = IncrementalSensor::with_extractor(
+        &geocoder,
+        |id: UserId| {
+            sim.users()
+                .get(id.0 as usize)
+                .map(|u| u.profile_location.clone())
+        },
+        matcher.extractor().clone(),
+    );
+    for tweet in sim.stream() {
+        if matcher.matches(&tweet.text) {
+            reference.ingest(&tweet);
+        }
+    }
+    assert_sensors_equal(blood, &reference, "blood-drive vs direct scan");
+}
+
+#[test]
+fn extra_campaign_leaves_the_primary_byte_identical_under_recoverable_faults() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    // Both sides face the same fault schedule and the same flaky
+    // geocoding service; the campaign-class admission gate keeps the
+    // service's call index schedule aligned between them.
+    let service = FlakyGeocoder::new(&geocoder, FlakyConfig::flaky(SEED));
+    let single = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&service),
+        FaultConfig::recoverable(SEED),
+        None,
+        shard_config(2, Arc::new(CampaignSet::default_single())),
+    )
+    .expect("single-campaign run");
+    assert!(single.fault_stats.disconnects > 0, "faults never fired");
+    let single_sensor = single.sensor.expect("merged sensor");
+
+    let service2 = FlakyGeocoder::new(&geocoder, FlakyConfig::flaky(SEED));
+    let multi = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&service2),
+        FaultConfig::recoverable(SEED),
+        None,
+        shard_config(2, two_campaigns()),
+    )
+    .expect("two-campaign run");
+    let multi_sensor = multi.sensor.expect("merged sensor");
+    assert_sensors_equal(
+        &multi_sensor,
+        &single_sensor,
+        "faulted multi primary vs single",
+    );
+    assert_eq!(multi.extra_sensors.len(), 1);
+    assert!(multi.extra_sensors[0].tweets_seen() > 0);
+}
+
+#[test]
+fn killed_multi_campaign_group_resumes_to_the_uninterrupted_artifacts() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let faults = FaultConfig::recoverable(SEED);
+    let campaigns = two_campaigns();
+
+    // Uninterrupted references: the single-campaign run (the byte
+    // identity currency) and the multi-campaign run (for the extra
+    // tenant's state).
+    let single = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults.clone(),
+        None,
+        shard_config(2, Arc::new(CampaignSet::default_single())),
+    )
+    .expect("single run");
+    let single_sensor = single.sensor.expect("single sensor");
+
+    let mut config = shard_config(2, Arc::clone(&campaigns));
+    config.checkpoint_every = 200;
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults.clone(),
+        Some(&MemCheckpointStore::new()),
+        config.clone(),
+    )
+    .expect("uninterrupted run");
+    let uninterrupted_extra = &uninterrupted.extra_sensors[0];
+
+    // Crash mid-run; the per-campaign checkpoint sections are all the
+    // extra tenant leaves behind.
+    let store = MemCheckpointStore::new();
+    let mut killed_config = config.clone();
+    killed_config.kill_after = Some(500);
+    let killed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults.clone(),
+        Some(&store),
+        killed_config,
+    )
+    .expect("killed run");
+    assert!(killed.killed);
+    assert!(killed.last_epoch >= 1, "crash happened before any epoch");
+
+    let mut resume_config = config;
+    resume_config.resume = true;
+    let resumed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults,
+        Some(&store),
+        resume_config,
+    )
+    .expect("resumed run");
+    assert!(resumed.resumed_from_epoch.is_some());
+    let sensor = resumed.sensor.expect("resumed sensor");
+    assert_sensors_equal(&sensor, &single_sensor, "resumed primary vs single");
+    assert_eq!(resumed.extra_sensors.len(), 1);
+    assert_sensors_equal(
+        &resumed.extra_sensors[0],
+        uninterrupted_extra,
+        "resumed extra vs uninterrupted",
+    );
+}
+
+#[test]
+fn resume_across_campaign_rosters_is_refused() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    let store = MemCheckpointStore::new();
+    let mut config = shard_config(2, two_campaigns());
+    config.checkpoint_every = 200;
+    config.kill_after = Some(400);
+    run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        config,
+    )
+    .expect("killed run");
+
+    // Same store, default single-campaign roster: resuming would
+    // silently drop the blood-drive tenant's state.
+    let mut wrong = shard_config(2, Arc::new(CampaignSet::default_single()));
+    wrong.resume = true;
+    let err = match run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        wrong,
+    ) {
+        Ok(_) => panic!("resume must refuse a roster change"),
+        Err(err) => err,
+    };
+    assert!(err.to_string().contains("campaigns"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint wire format: per-campaign sections.
+// ---------------------------------------------------------------------
+
+/// A small deterministic sensor: fixed tweets, fixed profile strings,
+/// the repo's deterministic geocoder — every field of the resulting
+/// export is a pure function of this source, so checkpoints built from
+/// it can be pinned as golden vectors.
+fn deterministic_export(geocoder: &Geocoder, texts: &[(u64, u64, &str)]) -> SensorExport {
+    let mut sensor = IncrementalSensor::new(geocoder, |id: UserId| {
+        Some(match id.0 % 3 {
+            0 => "Boston, MA".to_string(),
+            1 => "Seattle, WA".to_string(),
+            _ => "Springfield".to_string(),
+        })
+    });
+    for &(id, user, text) in texts {
+        sensor.ingest(&Tweet {
+            id: TweetId(id),
+            user: UserId(user),
+            created_at: SimInstant(id * 1000),
+            text: text.to_string(),
+            geo: None,
+        });
+    }
+    sensor.export()
+}
+
+fn reference_checkpoint(geocoder: &Geocoder) -> SensorCheckpoint {
+    let primary = deterministic_export(
+        geocoder,
+        &[
+            (1, 0, "register as an organ donor today"),
+            (2, 1, "kidney transplant waitlist keeps growing"),
+            (3, 0, "signed up to donate my liver, heart and lungs"),
+        ],
+    );
+    let blood = deterministic_export(
+        geocoder,
+        &[
+            (4, 2, "blood donation drive at the gym tomorrow"),
+            (5, 1, "plasma donor appointment booked for friday"),
+        ],
+    );
+    SensorCheckpoint {
+        shard_id: 1,
+        shard_count: 2,
+        epoch: 7,
+        router_high_water: Some(TweetId(5)),
+        export: primary,
+        parked: vec![Tweet {
+            id: TweetId(9),
+            user: UserId(3),
+            created_at: SimInstant(9000),
+            text: "organ donor registration pending geocode".to_string(),
+            geo: Some((42.36, -71.06)),
+        }],
+        campaign: "organ-donation".to_string(),
+        extra_campaigns: vec![CampaignSection {
+            name: "blood-drive".to_string(),
+            export: blood,
+        }],
+    }
+}
+
+#[test]
+fn per_campaign_checkpoint_sections_round_trip() {
+    let geocoder = Geocoder::new();
+    let ckpt = reference_checkpoint(&geocoder);
+    let bytes = ckpt.encode();
+    // A checkpoint with extra campaigns must carry the extended layout.
+    assert_eq!(
+        u16::from_le_bytes([bytes[5], bytes[6]]),
+        3,
+        "campaign checkpoint must encode as version 3"
+    );
+    let back = SensorCheckpoint::decode(&bytes).expect("decode");
+    assert_eq!(back.shard_id, ckpt.shard_id);
+    assert_eq!(back.shard_count, ckpt.shard_count);
+    assert_eq!(back.epoch, ckpt.epoch);
+    assert_eq!(back.router_high_water, ckpt.router_high_water);
+    assert_eq!(back.campaign, "organ-donation");
+    assert_eq!(back.campaign_names(), vec!["organ-donation", "blood-drive"]);
+    assert_eq!(back.extra_campaigns.len(), 1);
+    assert_eq!(back.extra_campaigns[0].name, "blood-drive");
+    assert_eq!(
+        back.export.fingerprint(),
+        ckpt.export.fingerprint(),
+        "primary section"
+    );
+    assert_eq!(
+        back.extra_campaigns[0].export.fingerprint(),
+        ckpt.extra_campaigns[0].export.fingerprint(),
+        "blood-drive section"
+    );
+    assert_eq!(back.parked.len(), 1);
+    // Re-encoding is canonical.
+    assert_eq!(back.encode(), bytes);
+}
+
+#[test]
+fn default_campaign_checkpoints_keep_the_legacy_version_2_bytes() {
+    let geocoder = Geocoder::new();
+    let mut ckpt = reference_checkpoint(&geocoder);
+    ckpt.campaign = donorpulse::core::DEFAULT_CAMPAIGN.to_string();
+    ckpt.extra_campaigns.clear();
+    let bytes = ckpt.encode();
+    assert_eq!(
+        u16::from_le_bytes([bytes[5], bytes[6]]),
+        2,
+        "a default single-campaign checkpoint must stay version 2 — \
+         byte-identical to pre-campaign builds"
+    );
+    let back = SensorCheckpoint::decode(&bytes).expect("decode v2");
+    assert_eq!(back.campaign, donorpulse::core::DEFAULT_CAMPAIGN);
+    assert!(back.extra_campaigns.is_empty());
+    assert_eq!(back.export.fingerprint(), ckpt.export.fingerprint());
+}
+
+// ---------------------------------------------------------------------
+// Golden vectors: the extended checkpoint frame, byte for byte.
+// ---------------------------------------------------------------------
+
+fn fixture_path(name: &str) -> String {
+    format!(
+        "{}/tests/data/checkpoint_v3/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn checkpoint_fixture_path() -> String {
+    fixture_path("two_campaign.ckpt")
+}
+
+/// The supervisor wire's worker-report frame carrying the extended
+/// checkpoint: campaign sections ride the process group inside
+/// `ControlFrame::Report`'s payload, so the composed frame is pinned
+/// alongside the bare checkpoint.
+fn report_frame_fixture_path() -> String {
+    fixture_path("report_frame.dpwf")
+}
+
+fn reference_report_frame(geocoder: &Geocoder) -> Vec<u8> {
+    donorpulse::twitter::wire::ControlFrame::Report {
+        payload: reference_checkpoint(geocoder).encode(),
+    }
+    .encode()
+}
+
+#[test]
+fn golden_vector_pins_the_campaign_checkpoint_byte_for_byte() {
+    let geocoder = Geocoder::new();
+    let path = checkpoint_fixture_path();
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+    });
+    let encoded = reference_checkpoint(&geocoder).encode();
+    assert_eq!(
+        encoded, golden,
+        "campaign checkpoint output drifted from the version-3 golden \
+         vector — a layout change needs a wire version bump, not a \
+         fixture refresh"
+    );
+    let back = SensorCheckpoint::decode(&golden).expect("golden vector must decode");
+    assert_eq!(back.campaign_names(), vec!["organ-donation", "blood-drive"]);
+}
+
+#[test]
+fn golden_vector_pins_the_campaign_report_frame_byte_for_byte() {
+    use donorpulse::twitter::wire::ControlFrame;
+    let geocoder = Geocoder::new();
+    let path = report_frame_fixture_path();
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+    });
+    assert_eq!(
+        reference_report_frame(&geocoder),
+        golden,
+        "worker-report frame with campaign sections drifted from the \
+         golden vector — a layout change needs a version bump, not a \
+         fixture refresh"
+    );
+    let frame = ControlFrame::decode(&golden).expect("golden report frame decodes");
+    let ControlFrame::Report { payload } = frame else {
+        panic!("fixture is not a report frame");
+    };
+    let ckpt = SensorCheckpoint::decode(&payload).expect("embedded checkpoint decodes");
+    assert_eq!(ckpt.campaign_names(), vec!["organ-donation", "blood-drive"]);
+}
+
+/// Rewrites the golden vector from the current encoder. A no-op unless
+/// `REGEN_WIRE_FIXTURES=1` is set — regenerating must be a deliberate
+/// act that accompanies a wire version bump.
+#[test]
+fn regenerate_checkpoint_golden_vectors() {
+    if std::env::var("REGEN_WIRE_FIXTURES").as_deref() != Ok("1") {
+        return;
+    }
+    let geocoder = Geocoder::new();
+    let path = checkpoint_fixture_path();
+    let dir = std::path::Path::new(&path).parent().expect("fixture dir");
+    std::fs::create_dir_all(dir).expect("create fixture dir");
+    std::fs::write(&path, reference_checkpoint(&geocoder).encode()).expect("write fixture");
+    std::fs::write(report_frame_fixture_path(), reference_report_frame(&geocoder))
+        .expect("write report frame fixture");
+}

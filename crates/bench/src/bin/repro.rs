@@ -130,6 +130,11 @@ struct Options {
     dead_letter_dir: Option<String>,
     /// Keep only the newest K complete checkpoint epochs (0 = keep all).
     checkpoint_retain: usize,
+    /// `reshard`: target shard count for the offline repartition.
+    to_shards: Option<usize>,
+    /// `stream --shards/--procs`: `K:M` = online re-shard drill — swap
+    /// the running group to M shards after K routed tweets.
+    reshard_at: Option<String>,
     /// `serve`: TCP port to bind (0 = ephemeral, reported on stdout).
     port: u16,
     /// `serve`: HTTP worker threads.
@@ -173,6 +178,8 @@ fn parse_args() -> Result<Options, String> {
     let mut kill_after = None;
     let mut dead_letter_dir = None;
     let mut checkpoint_retain = 0;
+    let mut to_shards = None;
+    let mut reshard_at = None;
     let mut port = 0u16;
     let mut workers = 4usize;
     let mut clients = 4usize;
@@ -294,6 +301,17 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --checkpoint-retain: {e}"))?;
             }
+            "--to-shards" => {
+                to_shards = Some(
+                    args.next()
+                        .ok_or("--to-shards needs a target shard count")?
+                        .parse()
+                        .map_err(|e| format!("bad --to-shards: {e}"))?,
+                );
+            }
+            "--reshard-at" => {
+                reshard_at = Some(args.next().ok_or("--reshard-at needs K:M")?);
+            }
             "--port" => {
                 port = args
                     .next()
@@ -363,6 +381,8 @@ fn parse_args() -> Result<Options, String> {
         kill_after,
         dead_letter_dir,
         checkpoint_retain,
+        to_shards,
+        reshard_at,
         port,
         workers,
         clients,
@@ -421,6 +441,13 @@ fn main() -> ExitCode {
         eprintln!("             --shards N. --kill-worker I:M kills worker I after M admitted");
         eprintln!("             tweets (the supervisor respawns and resumes it from its last");
         eprintln!("             checkpoint); --worker-log-dir D captures per-worker stderr.");
+        eprintln!("             --reshard-at K:M re-shards the running group online: after K");
+        eprintln!("             routed tweets the group drains at a consistent cut and swaps to");
+        eprintln!("             M shards in-process (threads) or M respawned workers (--procs;");
+        eprintln!("             needs --checkpoint-dir) without restarting the stream.");
+        eprintln!("  reshard    offline checkpoint repartition: --checkpoint-dir D --to-shards M");
+        eprintln!("             rewrites the newest complete epoch for M shards so");
+        eprintln!("             `stream --shards M --resume` accepts it (docs/SCALING.md).");
         eprintln!("  shard-worker  one worker process of the --procs group (spawned by the");
         eprintln!("             supervisor; needs --shard i --procs n and --connect P|--stdio)");
         eprintln!("  replay-dead-letters  re-run the degraded stream (same --scale/--seed/");
@@ -489,6 +516,7 @@ fn dispatch(opts: &Options) -> Result<(), String> {
         "control-null" => return control_null(opts),
         "stream" => return stream_command(opts),
         "shard-worker" => return shard_worker_command(opts),
+        "reshard" => return reshard_command(opts),
         "replay-dead-letters" => return replay_command(opts),
         "bench-shards" => return bench_shards(opts),
         "bench-stream" => return bench_stream(opts),
@@ -1235,6 +1263,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
+    let reshard_at = parse_reshard_at(opts)?;
     let shard_config = ShardConfig {
         shards,
         checkpoint_every: if store.is_some() {
@@ -1246,6 +1275,7 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         resume: opts.resume,
         checkpoint_retain: opts.checkpoint_retain,
         checkpoint_final: false,
+        reshard_at,
         stream: stream_config,
     };
 
@@ -1268,14 +1298,39 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
                 .iter()
                 .map(|s| s as &(dyn LocationService + Sync))
                 .collect();
-            run_sharded_stream(
-                &sim,
-                &geocoder,
-                ShardServices::PerShard(refs),
-                faults,
-                store_ref,
-                shard_config,
-            )
+            match reshard_at {
+                // An online swap needs the post-swap schedule table
+                // too: each new slot derives its schedule from (slot,
+                // M), exactly what an uninterrupted M-shard run uses.
+                Some((_, to)) => {
+                    let after: Vec<FlakyGeocoder> = (0..to)
+                        .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, to)))
+                        .collect();
+                    let after_refs: Vec<&(dyn LocationService + Sync)> = after
+                        .iter()
+                        .map(|s| s as &(dyn LocationService + Sync))
+                        .collect();
+                    run_sharded_stream(
+                        &sim,
+                        &geocoder,
+                        ShardServices::Phased {
+                            before: refs,
+                            after: after_refs,
+                        },
+                        faults,
+                        store_ref,
+                        shard_config,
+                    )
+                }
+                None => run_sharded_stream(
+                    &sim,
+                    &geocoder,
+                    ShardServices::PerShard(refs),
+                    faults,
+                    store_ref,
+                    shard_config,
+                ),
+            }
         }
         None => run_sharded_stream(
             &sim,
@@ -1293,6 +1348,17 @@ fn sharded_stream_command(opts: &Options) -> Result<(), String> {
         eprintln!(
             "# stream: resumed from checkpoint epoch {epoch} ({} replayed past the cut)",
             run.metrics.counter("resume_replayed_total").unwrap_or(0)
+        );
+    }
+    if let Some((epoch, to)) = run.resharded {
+        eprintln!(
+            "# reshard: swapped to {to} shards at epoch {epoch} ({} tracks moved, {} parked moved)",
+            run.metrics
+                .counter("reshard_tracks_moved_total")
+                .unwrap_or(0),
+            run.metrics
+                .counter("reshard_parked_moved_total")
+                .unwrap_or(0)
         );
     }
     eprintln!(
@@ -1385,6 +1451,7 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
         resume: opts.resume,
         checkpoint_retain: opts.checkpoint_retain,
         checkpoint_final: false,
+        reshard_at: parse_reshard_at(opts)?,
         stream: stream_config,
     };
 
@@ -1477,6 +1544,17 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
             .gauge("shard_imbalance_ratio_permille")
             .unwrap_or(0)
     );
+    if let Some((epoch, to)) = run.resharded {
+        eprintln!(
+            "# reshard: swapped to {to} worker processes at epoch {epoch} ({} tracks moved, {} parked moved)",
+            run.metrics
+                .counter("reshard_tracks_moved_total")
+                .unwrap_or(0),
+            run.metrics
+                .counter("reshard_parked_moved_total")
+                .unwrap_or(0)
+        );
+    }
     eprintln!(
         "# procgroup: {} spawns, {} respawns, {} worker deaths, {} acks, {} replayed frames",
         run.metrics.counter("procgroup_spawns_total").unwrap_or(0),
@@ -1516,6 +1594,74 @@ fn proc_stream_command(opts: &Options) -> Result<(), String> {
         run.source_aborted,
     )?;
     print_campaign_lines(&campaigns, sensor, &run.extra_sensors)
+}
+
+/// Parses `--reshard-at K:M`: swap the running group to M shards
+/// after K routed tweets.
+fn parse_reshard_at(opts: &Options) -> Result<Option<(u64, usize)>, String> {
+    match &opts.reshard_at {
+        Some(spec) => {
+            let (k, m) = spec
+                .split_once(':')
+                .ok_or("--reshard-at wants K:M (routed tweets : new shard count)")?;
+            Ok(Some((
+                k.parse()
+                    .map_err(|e| format!("bad --reshard-at point: {e}"))?,
+                m.parse()
+                    .map_err(|e| format!("bad --reshard-at count: {e}"))?,
+            )))
+        }
+        None => Ok(None),
+    }
+}
+
+/// `repro reshard`: offline checkpoint repartition. Loads the newest
+/// complete epoch from `--checkpoint-dir`, re-keys every campaign's
+/// exports (plus park residue) by the `--to-shards` user-hash modulus,
+/// and rewrites the store as a valid layout that
+/// `stream --shards M --resume` accepts. The resumed artifacts are
+/// byte-identical to an uninterrupted run at M for the
+/// shard-count-invariant fault presets — `scripts/verify.sh` diffs
+/// exactly that.
+fn reshard_command(opts: &Options) -> Result<(), String> {
+    use donorpulse_core::checkpoint::DirCheckpointStore;
+    use donorpulse_core::reshard_checkpoints;
+
+    let Some(dir) = &opts.checkpoint_dir else {
+        return Err(
+            "reshard needs --checkpoint-dir D (an existing checkpoint layout)".to_string(),
+        );
+    };
+    let to = opts.to_shards.ok_or("reshard needs --to-shards M")?;
+    let store = DirCheckpointStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let metrics = MetricsRegistry::enabled();
+    let report = reshard_checkpoints(&store, to, &metrics).map_err(|e| e.to_string())?;
+    println!("RESHARD OK");
+    println!(
+        "  shards                  {} -> {}",
+        report.from_shards, report.to_shards
+    );
+    println!("  epoch                   {}", report.epoch);
+    match report.high_water {
+        Some(hw) => println!("  router high water       {}", hw.0),
+        None => println!("  router high water       (none)"),
+    }
+    println!("  campaigns               {}", report.campaigns.join(", "));
+    println!(
+        "  tracks                  {} ({} moved)",
+        report.tracks_total, report.tracks_moved
+    );
+    println!(
+        "  parked residue          {} ({} moved)",
+        report.parked_total, report.parked_moved
+    );
+    println!("  files removed           {}", report.files_removed);
+    println!("  bytes written           {}", report.bytes_written);
+    eprintln!(
+        "# reshard: resume with `repro stream --shards {} --resume --checkpoint-dir {dir}`",
+        report.to_shards
+    );
+    Ok(())
 }
 
 /// `repro shard-worker --shard i --procs n`: one worker process of the
@@ -1742,6 +1888,12 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
         campaigns: std::sync::Arc::clone(&campaigns),
         ..StreamPipelineConfig::default()
     };
+    // A run that re-sharded online must be reconstructed with the
+    // same swap: the abandonment set depends on which schedule table
+    // each tweet was admitted under. No store is attached, so the
+    // swap's checkpoint rewrite is skipped — the topology change
+    // alone is replayed.
+    let reshard_at = parse_reshard_at(opts)?;
     let shard_config = ShardConfig {
         shards: group,
         checkpoint_every: 0,
@@ -1749,6 +1901,7 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
         resume: false,
         checkpoint_retain: 0,
         checkpoint_final: false,
+        reshard_at,
         stream: stream_config,
     };
     eprintln!(
@@ -1765,14 +1918,36 @@ fn replay_sharded_command(opts: &Options, group: usize) -> Result<(), String> {
                 .iter()
                 .map(|s| s as &(dyn LocationService + Sync))
                 .collect();
-            run_sharded_stream(
-                &sim,
-                &geocoder,
-                ShardServices::PerShard(refs),
-                faults,
-                None,
-                shard_config,
-            )
+            match reshard_at {
+                Some((_, to)) => {
+                    let after: Vec<FlakyGeocoder> = (0..to)
+                        .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, to)))
+                        .collect();
+                    let after_refs: Vec<&(dyn LocationService + Sync)> = after
+                        .iter()
+                        .map(|s| s as &(dyn LocationService + Sync))
+                        .collect();
+                    run_sharded_stream(
+                        &sim,
+                        &geocoder,
+                        ShardServices::Phased {
+                            before: refs,
+                            after: after_refs,
+                        },
+                        faults,
+                        None,
+                        shard_config,
+                    )
+                }
+                None => run_sharded_stream(
+                    &sim,
+                    &geocoder,
+                    ShardServices::PerShard(refs),
+                    faults,
+                    None,
+                    shard_config,
+                ),
+            }
         }
         None => run_sharded_stream(
             &sim,
@@ -1962,6 +2137,7 @@ fn serve_command(opts: &Options) -> Result<(), String> {
         // A daemon always flushes the closing cut: a served run must
         // stay resumable exactly like a checkpointed CLI run.
         checkpoint_final: true,
+        reshard_at: parse_reshard_at(opts)?,
         stream: StreamPipelineConfig {
             metrics: MetricsRegistry::enabled(),
             geo_retry: RetryPolicy {

@@ -10,7 +10,7 @@
 //! play for the paper's campaign. Everything downstream (mention counts,
 //! attention matrix, risk map, report) is reused unchanged by mapping
 //! category `i` onto canonical slot `i` of the six-slot
-//! [`Organ`](donorpulse_text::Organ) axis.
+//! [`Organ`] axis.
 //!
 //! A [`CampaignSet`] is the compiled registry one run senses for. All
 //! campaigns share one stream connection: the endpoint filters the

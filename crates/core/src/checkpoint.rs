@@ -320,7 +320,9 @@ pub struct SensorCheckpoint {
     pub shard_id: u32,
     /// Total shards in the group — resume refuses a mismatched count,
     /// because re-routing with a different modulus would split user
-    /// histories across sensors.
+    /// histories across sensors. `repro reshard` (or an online
+    /// `--reshard-at` swap) repartitions a cut onto a new modulus;
+    /// see [`crate::reshard`].
     pub shard_count: u32,
     /// Router epoch the marker belonged to.
     pub epoch: u64,

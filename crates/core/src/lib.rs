@@ -53,6 +53,7 @@ pub mod procgroup;
 pub mod region_view;
 pub mod relative_risk;
 pub mod report;
+pub mod reshard;
 pub mod roles;
 pub mod serve;
 pub mod shard;
@@ -80,6 +81,7 @@ pub use procgroup::{
     run_proc_group, run_shard_worker, ProcGroupConfig, ProcGroupLaunch, ProcTransport,
     ShardWorkerConfig, WorkerConn, WorkerSpawner,
 };
+pub use reshard::{reshard_checkpoints, ReshardReport};
 pub use serve::{
     run_loadgen, run_serve_daemon, HttpClient, HttpReply, LoadgenConfig, LoadgenReport,
     ServeConfig, ServeOutcome,

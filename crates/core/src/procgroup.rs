@@ -56,6 +56,7 @@ use crate::checkpoint::{
     compact_checkpoints, CampaignSection, CheckpointStore, DeadLetterLog, SensorCheckpoint,
 };
 use crate::incremental::{IncrementalSensor, SensorExport};
+use crate::reshard;
 use crate::shard::{
     load_resume_point, resolve_shards, route_shard, ShardConfig, ShardedStreamRun, ROUTER_BATCH,
     SHARD_TWEETS_NAMES,
@@ -716,6 +717,9 @@ impl<'g> GroupRouter<'g> {
     }
 
     fn handle_event(&mut self, ev: Event) -> Result<()> {
+        if ev.shard >= self.links.len() {
+            return Ok(()); // straggler from a slot removed by a re-shard
+        }
         if ev.gen != self.links[ev.shard].gen {
             return Ok(()); // stale incarnation
         }
@@ -935,6 +939,60 @@ impl<'g> GroupRouter<'g> {
             }
         }
     }
+
+    /// Online elastic re-shard drill. The route loop has already
+    /// frozen the group at a dedicated marker `epoch` and collected
+    /// every worker's final report; those reports are superseded by
+    /// the epoch cut and discarded here. The store is repartitioned
+    /// to `to` shards with the offline repartitioner, then a fresh
+    /// set of `to` children comes up resuming from the resharded cut.
+    ///
+    /// Boundary (docs/SCALING.md): state the old workers accumulated
+    /// *after* the marker — their end-of-stream park drain and any
+    /// dead letters they were carrying — dies with the reports. The
+    /// epoch cut is the single source of truth across the swap,
+    /// exactly as in a crash-resume.
+    fn retopologize(&mut self, to: usize, epoch: u64) -> Result<()> {
+        let from = self.shards;
+        self.drain_events()?;
+        self.reap_all();
+        // Old readers may still be flushing Closed events; absorb
+        // what has arrived (handle_event drops stragglers for slots a
+        // shrink removes, and generation counters below outlive the
+        // swap so a pre-swap event can never claim a post-swap link).
+        self.drain_events()?;
+        let store = self.store.expect("a proc-group re-shard requires a store");
+        let report = reshard::reshard_checkpoints(store, to, &self.metrics)?;
+        self.metrics.counter("reshard_swaps_total").incr();
+        self.links = (0..to)
+            .map(|shard| Link {
+                child: None,
+                writer: None,
+                gen: self.links.get(shard).map_or(0, |l| l.gen),
+                respawns: 0,
+                alive: false,
+                report: None,
+                assembly: ReportAssembly::default(),
+                last_error: None,
+            })
+            .collect();
+        // Retained windows are superseded too: everything routed
+        // before the marker sits inside the epoch cut every new
+        // worker resumes from.
+        self.retained = (0..to).map(|_| VecDeque::new()).collect();
+        self.shards = to;
+        self.metrics.gauge("shard_count").set(to as u64);
+        self.metrics.gauge("procgroup_workers").set(to as u64);
+        self.log.say(&format!(
+            "group resharded {from} -> {to} at epoch {epoch}: {} tracks ({} moved), \
+             {} parked ({} moved)",
+            report.tracks_total, report.tracks_moved, report.parked_total, report.parked_moved
+        ));
+        for shard in 0..to {
+            self.spawn_worker(shard, Some(epoch), false)?;
+        }
+        Ok(())
+    }
 }
 
 impl Drop for GroupRouter<'_> {
@@ -1007,6 +1065,20 @@ pub fn run_proc_group<'a>(
     metrics.gauge("shard_count").set(shards as u64);
     metrics.gauge("procgroup_workers").set(shards as u64);
 
+    // Online re-shard: a process group moves the cut through the
+    // checkpoint store (no shared memory to hand state over in), so
+    // the drill needs durable cuts to exist at all.
+    if let Some((_, to)) = config.shard.reshard_at {
+        reshard::validate_target(to)?;
+        if store.is_none() || config.shard.checkpoint_every == 0 {
+            return Err(CoreError::Checkpoint(
+                "an online re-shard of a process group moves state through the checkpoint \
+                 store — run with --checkpoint-dir and --checkpoint-every"
+                    .into(),
+            ));
+        }
+    }
+
     // Resume: validate the newest complete cut up front (exactly the
     // in-process checks), but ship only its epoch — each worker loads
     // its own shard's state from the shared store.
@@ -1070,7 +1142,8 @@ pub fn run_proc_group<'a>(
 
     let (src_tx, src_rx) = mpsc::sync_channel::<Vec<Tweet>>(config.shard.stream.channel_capacity);
 
-    let (outcome, per_shard, last_epoch, killed) = thread::scope(|scope| -> Result<_> {
+    let (outcome, per_shard, last_epoch, killed, resharded) =
+        thread::scope(|scope| -> Result<_> {
         let source = scope.spawn({
             let config = &config;
             move || {
@@ -1084,7 +1157,7 @@ pub fn run_proc_group<'a>(
 
         // The router proper — the same loop as the in-process group,
         // with channel sends replaced by supervised frame sends.
-        let route = (|| -> Result<(Vec<u64>, u64, bool)> {
+        let route = (|| -> Result<(Vec<u64>, u64, bool, Option<(u64, usize)>)> {
             let mut span = metrics.stage("stream_router");
             let campaigns = &config.shard.stream.campaigns;
             let rejected = metrics.counter("consumer_filter_rejected_total");
@@ -1101,13 +1174,17 @@ pub fn run_proc_group<'a>(
             let compacted = metrics.counter("checkpoints_compacted_total");
             let compact_errors = metrics.counter("checkpoint_compact_errors_total");
             let batch_sends = metrics.counter("stream_batch_sends_total");
-            let mut per_shard = vec![0u64; shards];
-            let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); shards];
+            let mut group = shards;
+            let mut per_shard = vec![0u64; group];
+            let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); group];
             let mut routed = 0u64;
+            let mut routed_at_swap = 0u64;
             let mut epoch = start_epoch;
             let mut high_water: Option<TweetId> = resume_hw;
             let mut killed = false;
             let mut n = 0u64;
+            let mut pending_reshard = config.shard.reshard_at;
+            let mut resharded: Option<(u64, usize)> = None;
             'route: for batch in src_rx {
                 for tweet in batch {
                     n += 1;
@@ -1128,7 +1205,7 @@ pub fn run_proc_group<'a>(
                         replayed.incr();
                         continue;
                     }
-                    let shard = route_shard(tweet.user, shards);
+                    let shard = route_shard(tweet.user, group);
                     high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
                     bufs[shard].push(tweet);
                     if bufs[shard].len() >= ROUTER_BATCH {
@@ -1159,14 +1236,14 @@ pub fn run_proc_group<'a>(
                             high_water: high_water.map(|h| h.0),
                         }
                         .encode();
-                        for s in 0..shards {
+                        for s in 0..group {
                             router.send_supervised(s, marker.clone(), epoch)?;
                         }
                         if config.shard.checkpoint_retain > 0 {
                             if let Some(store) = store {
                                 match compact_checkpoints(
                                     store,
-                                    shards as u32,
+                                    group as u32,
                                     config.shard.checkpoint_retain,
                                 ) {
                                     Ok(n) => compacted.add(n),
@@ -1174,6 +1251,38 @@ pub fn run_proc_group<'a>(
                                 }
                             }
                         }
+                    }
+                    // Online elastic re-shard: freeze the group at a
+                    // dedicated cut epoch, retire the old children,
+                    // repartition the store, and bring up M new ones —
+                    // the source never stops pumping.
+                    if pending_reshard.is_some_and(|(k, _)| routed >= k) {
+                        let (_, to) = pending_reshard.take().expect("swap point just matched");
+                        for (s, buf) in bufs.iter_mut().enumerate() {
+                            if !buf.is_empty() {
+                                batch_sends.incr();
+                                let frame = BatchFrame::encode(buf);
+                                buf.clear();
+                                router.send_supervised(s, frame, epoch + 1)?;
+                            }
+                        }
+                        epoch += 1;
+                        let marker = MarkerFrame {
+                            epoch,
+                            high_water: high_water.map(|h| h.0),
+                        }
+                        .encode();
+                        for s in 0..group {
+                            router.send_supervised(s, marker.clone(), epoch)?;
+                        }
+                        router.broadcast_eos()?;
+                        router.await_reports()?;
+                        router.retopologize(to, epoch)?;
+                        group = to;
+                        per_shard = vec![0; group];
+                        bufs = vec![Vec::new(); group];
+                        routed_at_swap = routed;
+                        resharded = Some((epoch, to));
                     }
                     if config.shard.kill_after.is_some_and(|k| routed >= k) {
                         killed = true;
@@ -1211,25 +1320,30 @@ pub fn run_proc_group<'a>(
                     high_water: high_water.map(|h| h.0),
                 }
                 .encode();
-                for s in 0..shards {
+                for s in 0..group {
                     router.send_supervised(s, marker.clone(), epoch)?;
                 }
             }
             for (i, &count) in per_shard.iter().enumerate() {
                 metrics.gauge(SHARD_TWEETS_NAMES[i]).set(count);
             }
+            // Imbalance over the current topology's share of the
+            // stream — counts before a re-shard swap were earned
+            // under a different modulus.
             let max = per_shard.iter().copied().max().unwrap_or(0);
-            if let Some(ratio) = (max * shards as u64 * 1_000).checked_div(routed) {
+            if let Some(ratio) =
+                (max * group as u64 * 1_000).checked_div(routed - routed_at_swap)
+            {
                 metrics.gauge("shard_imbalance_ratio_permille").set(ratio);
             }
             span.set_items(n);
             span.finish();
-            Ok((per_shard, epoch, killed))
+            Ok((per_shard, epoch, killed, resharded))
         })();
 
         let outcome = source.join().expect("source stage panicked");
-        let (per_shard, last_epoch, killed) = route?;
-        Ok((outcome, per_shard, last_epoch, killed))
+        let (per_shard, last_epoch, killed, resharded) = route?;
+        Ok((outcome, per_shard, last_epoch, killed, resharded))
     })?;
 
     // Shut the group down and collect the final reports.
@@ -1237,6 +1351,7 @@ pub fn run_proc_group<'a>(
     router.await_reports()?;
     router.reap_all();
 
+    let final_shards = resharded.map_or(shards, |(_, m)| m);
     let campaigns = &config.shard.stream.campaigns;
     let mut merged: Vec<SensorExport> = vec![SensorExport::default(); campaigns.len()];
     let mut dead_letters = DeadLetterLog::new();
@@ -1246,12 +1361,13 @@ pub fn run_proc_group<'a>(
     let mut parked_at_end = 0u64;
     let mut gap_total = 0u64;
     let mut dup_total = 0u64;
-    for shard in 0..shards {
+    for shard in 0..final_shards {
         let report = router.links[shard]
             .report
             .take()
             .expect("await_reports returned with every report present");
-        if report.ckpt.shard_id != shard as u32 || report.ckpt.shard_count != shards as u32 {
+        if report.ckpt.shard_id != shard as u32 || report.ckpt.shard_count != final_shards as u32
+        {
             return Err(proc_err(format!(
                 "worker {shard} reported as shard {}/{}",
                 report.ckpt.shard_id, report.ckpt.shard_count
@@ -1320,7 +1436,7 @@ pub fn run_proc_group<'a>(
 
     if config.shard.checkpoint_retain > 0 {
         if let Some(store) = store {
-            let n = compact_checkpoints(store, shards as u32, config.shard.checkpoint_retain)
+            let n = compact_checkpoints(store, final_shards as u32, config.shard.checkpoint_retain)
                 .map_err(|e| CoreError::Checkpoint(format!("compacting checkpoints: {e}")))?;
             metrics.counter("checkpoints_compacted_total").add(n);
         }
@@ -1336,11 +1452,12 @@ pub fn run_proc_group<'a>(
         source_aborted: outcome.aborted,
         parked_at_end,
         dead_letters,
-        shards,
+        shards: final_shards,
         shard_tweets: per_shard,
         resumed_from_epoch,
         last_epoch,
         killed,
+        resharded,
     })
 }
 
@@ -1468,7 +1585,9 @@ pub fn run_shard_worker(
             }
             if ckpt.shard_count != shards as u32 {
                 return Err(CoreError::Checkpoint(format!(
-                    "checkpoint was taken with {} shards but this group has {shards}",
+                    "checkpoint was taken with {} shards but this group has {shards}: run \
+                     `repro reshard --checkpoint-dir <dir> --to-shards {shards}` to \
+                     repartition the cut first",
                     ckpt.shard_count
                 )));
             }

@@ -1,0 +1,569 @@
+//! Elastic re-sharding: repartition a consistent checkpoint cut onto a
+//! new shard count.
+//!
+//! Resume refuses a shard-count mismatch because re-routing with a
+//! different modulus would split user histories across sensors
+//! ([`SensorCheckpoint::shard_count`]). This module is the sanctioned
+//! way around that refusal: [`reshard_checkpoints`] loads the newest
+//! epoch that is complete across the stored layout, re-keys every
+//! campaign's per-user tracks (and the park residue) by
+//! [`route_shard`] under the new modulus, and rewrites the store as a
+//! valid cut at the target count — which `--resume --shards M` then
+//! accepts.
+//!
+//! The correctness argument is the same structural one as the merge
+//! identity (`docs/SCALING.md`): sensor state is entirely per-user, a
+//! user's track is identical no matter which shard owns it, and every
+//! snapshot function sorts before emitting. Moving whole tracks
+//! between shards therefore reproduces exactly the per-shard state an
+//! uninterrupted run at the new count would have had at the same cut:
+//!
+//! * **tracks** — shard `j` of an uninterrupted run at `M` owns
+//!   precisely the users with `route_shard(u, M) == j`; the split
+//!   moves each track to that owner, and [`SensorExport::absorb`]'s
+//!   overlap check still holds because the destination is a function
+//!   of the user id alone;
+//! * **high-water marks** — the per-export informational high water is
+//!   recomputed as the maximum tweet id over the owned tracks, which
+//!   is what the new owner would have recorded itself (dedup does not
+//!   read it: the sensor rebuilds its seen-set from the tracks);
+//! * **park residue** — the per-shard queues are re-interleaved into
+//!   global stream order (the resequenced source emits ascending
+//!   tweet ids) and dealt to the new owners, giving each new queue
+//!   the arrival order an uninterrupted run at `M` would have parked
+//!   in;
+//! * **the idempotence counter** — `duplicates_ignored` is not
+//!   per-user state; it is parked on new shard 0. It is excluded from
+//!   fingerprints and only its merged sum is observable, which the
+//!   convention preserves.
+//!
+//! The rewrite holds the whole cut in memory, prunes **everything**
+//! in the store (stale partial epochs above the cut would otherwise
+//! shadow it at resume time), then writes the `M` new checkpoints at
+//! the cut's epoch — v2 or v3 bytes as the campaign roster dictates,
+//! exactly like a live worker ([`SensorCheckpoint::encode`]).
+//!
+//! The online swaps reuse the same primitives: `run_sharded_stream
+//! --reshard-at K:M` drains its workers and feeds their exports
+//! through the same split in memory, and the process-group drill lets
+//! its children persist the cut and then calls [`reshard_checkpoints`]
+//! on the store they wrote.
+
+use crate::checkpoint::{
+    latest_complete_epoch, CampaignSection, CheckpointStore, SensorCheckpoint,
+};
+use crate::incremental::SensorExport;
+use crate::shard::{route_shard, MAX_SHARDS};
+use crate::{CoreError, Result};
+use donorpulse_obs::MetricsRegistry;
+use donorpulse_twitter::{Tweet, TweetId};
+
+fn io_err(e: std::io::Error) -> CoreError {
+    CoreError::Checkpoint(format!("checkpoint store: {e}"))
+}
+
+/// Rejects impossible target shard counts with operator-readable
+/// errors. Shared by the offline verb and the online `--reshard-at`
+/// validation.
+pub(crate) fn validate_target(to: usize) -> Result<()> {
+    if to == 0 {
+        return Err(CoreError::Checkpoint(
+            "re-shard target must be at least 1 shard (got 0)".into(),
+        ));
+    }
+    if to > MAX_SHARDS {
+        return Err(CoreError::Checkpoint(format!(
+            "re-shard target {to} exceeds the {MAX_SHARDS}-shard ceiling"
+        )));
+    }
+    Ok(())
+}
+
+/// A consistent cut re-keyed to a new modulus, still in memory.
+pub(crate) struct SplitCut {
+    /// Per-new-shard, per-campaign exports (primary first).
+    pub(crate) exports: Vec<Vec<SensorExport>>,
+    /// Per-new-shard park residue, ascending tweet id.
+    pub(crate) parked: Vec<Vec<Tweet>>,
+    /// User tracks in the cut, total and changed-owner counts.
+    pub(crate) tracks_total: u64,
+    /// Tracks whose owning shard changed under the new modulus.
+    pub(crate) tracks_moved: u64,
+    /// Parked tweets in the cut.
+    pub(crate) parked_total: u64,
+    /// Parked tweets whose owning shard changed.
+    pub(crate) parked_moved: u64,
+}
+
+/// Re-keys a cut's per-shard state (outer index = old shard, inner =
+/// campaign in roster order) to `to` shards. Pure: the result is a
+/// function of the cut and the modulus alone.
+pub(crate) fn split_cut(
+    exports: Vec<Vec<SensorExport>>,
+    parked: Vec<Vec<Tweet>>,
+    to: usize,
+) -> SplitCut {
+    let n_campaigns = exports.first().map_or(1, Vec::len);
+    let mut out = vec![vec![SensorExport::default(); n_campaigns]; to];
+    let mut tracks_total = 0u64;
+    let mut tracks_moved = 0u64;
+    for (old_shard, shard_exports) in exports.into_iter().enumerate() {
+        for (c, export) in shard_exports.into_iter().enumerate() {
+            // Not per-user state: park the counter on new shard 0
+            // (fingerprints exclude it; only the merged sum is
+            // observable, and that is preserved).
+            out[0][c].duplicates_ignored += export.duplicates_ignored;
+            for (user, track) in export.tracks {
+                let dest = route_shard(user, to);
+                tracks_total += 1;
+                if dest != old_shard {
+                    tracks_moved += 1;
+                }
+                let slot = &mut out[dest][c];
+                for t in &track.tweets {
+                    slot.high_water = slot.high_water.max(Some(t.id));
+                }
+                slot.tracks.insert(user, track);
+            }
+        }
+    }
+    let mut tagged: Vec<(usize, Tweet)> = parked
+        .into_iter()
+        .enumerate()
+        .flat_map(|(s, q)| q.into_iter().map(move |t| (s, t)))
+        .collect();
+    // Global stream order: tweet ids are the resequenced stream's
+    // arrival order, so the new owner's queue comes out in the order
+    // it would itself have parked in.
+    tagged.sort_by_key(|(_, t)| t.id);
+    let parked_total = tagged.len() as u64;
+    let mut parked_moved = 0u64;
+    let mut out_park = vec![Vec::new(); to];
+    for (old_shard, tweet) in tagged {
+        let dest = route_shard(tweet.user, to);
+        if dest != old_shard {
+            parked_moved += 1;
+        }
+        out_park[dest].push(tweet);
+    }
+    SplitCut {
+        exports: out,
+        parked: out_park,
+        tracks_total,
+        tracks_moved,
+        parked_total,
+        parked_moved,
+    }
+}
+
+/// Removes every checkpoint file in the store, across all possible
+/// shard ids. Stale partial epochs above the re-shard cut would
+/// otherwise out-sort it in `latest_complete_epoch` at the new count.
+fn prune_all(store: &dyn CheckpointStore) -> Result<u64> {
+    let mut removed = 0u64;
+    for shard in 0..MAX_SHARDS as u32 {
+        for epoch in store.epochs(shard).map_err(io_err)? {
+            store.remove(shard, epoch).map_err(io_err)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+/// Writes a split cut as the store's checkpoint layout at `epoch`,
+/// one [`SensorCheckpoint`] per new shard with the given campaign
+/// roster (primary first). Returns the bytes written.
+fn write_layout(
+    store: &dyn CheckpointStore,
+    epoch: u64,
+    high_water: Option<TweetId>,
+    names: &[String],
+    cut: &SplitCut,
+) -> Result<u64> {
+    let to = cut.exports.len();
+    let mut bytes_written = 0u64;
+    for (shard, (exports, parked)) in cut.exports.iter().zip(&cut.parked).enumerate() {
+        let mut per_campaign = exports.iter().cloned();
+        let primary = per_campaign.next().unwrap_or_default();
+        let ckpt = SensorCheckpoint {
+            shard_id: shard as u32,
+            shard_count: to as u32,
+            epoch,
+            router_high_water: high_water,
+            export: primary,
+            parked: parked.clone(),
+            campaign: names.first().cloned().unwrap_or_default(),
+            extra_campaigns: names
+                .iter()
+                .skip(1)
+                .zip(per_campaign)
+                .map(|(name, export)| CampaignSection {
+                    name: name.clone(),
+                    export,
+                })
+                .collect(),
+        };
+        let bytes = ckpt.encode();
+        store
+            .save(shard as u32, epoch, &bytes)
+            .map_err(|e| CoreError::Checkpoint(format!("saving shard {shard} epoch {epoch}: {e}")))?;
+        bytes_written += bytes.len() as u64;
+    }
+    Ok(bytes_written)
+}
+
+/// Prunes the store and writes the split as its sole cut at `epoch`.
+/// Returns `(files_removed, bytes_written)`. The cut lives in memory
+/// for the duration, so the store is never left without the state it
+/// holds.
+pub(crate) fn rewrite_store(
+    store: &dyn CheckpointStore,
+    epoch: u64,
+    high_water: Option<TweetId>,
+    names: &[String],
+    cut: &SplitCut,
+) -> Result<(u64, u64)> {
+    let removed = prune_all(store)?;
+    let written = write_layout(store, epoch, high_water, names, cut)?;
+    Ok((removed, written))
+}
+
+/// What [`reshard_checkpoints`] did, for operator output.
+#[derive(Debug, Clone)]
+pub struct ReshardReport {
+    /// Shard count the cut was taken with.
+    pub from_shards: usize,
+    /// Shard count the store now holds.
+    pub to_shards: usize,
+    /// The cut's epoch (preserved across the rewrite).
+    pub epoch: u64,
+    /// The cut's router high-water mark (preserved).
+    pub high_water: Option<TweetId>,
+    /// Campaign roster, primary first (preserved).
+    pub campaigns: Vec<String>,
+    /// User tracks in the cut.
+    pub tracks_total: u64,
+    /// Tracks whose owning shard changed under the new modulus.
+    pub tracks_moved: u64,
+    /// Parked tweets in the cut.
+    pub parked_total: u64,
+    /// Parked tweets whose owning shard changed.
+    pub parked_moved: u64,
+    /// Old checkpoint files removed (the whole store is compacted to
+    /// the re-sharded cut).
+    pub files_removed: u64,
+    /// Bytes in the new layout.
+    pub bytes_written: u64,
+}
+
+/// Re-partitions a checkpoint store's newest complete cut onto
+/// `to_shards` shards. See the module docs for the identity argument.
+///
+/// The stored shard count is discovered from the checkpoints
+/// themselves; the cut is validated exactly as resume validates it
+/// (identity, uniform shard count, uniform high water, uniform
+/// campaign roster) before anything is touched. `to_shards` may equal
+/// the stored count — the rewrite is then a compaction to the newest
+/// complete cut.
+pub fn reshard_checkpoints(
+    store: &dyn CheckpointStore,
+    to_shards: usize,
+    metrics: &MetricsRegistry,
+) -> Result<ReshardReport> {
+    validate_target(to_shards)?;
+    // Discover the stored layout from shard 0's newest checkpoint
+    // (every layout has a shard 0).
+    let newest0 = store
+        .epochs(0)
+        .map_err(io_err)?
+        .into_iter()
+        .next_back()
+        .ok_or_else(|| {
+            CoreError::Checkpoint(
+                "checkpoint store holds nothing for shard 0 — no cut to re-shard".into(),
+            )
+        })?;
+    let probe_bytes = store.load(0, newest0).map_err(io_err)?.ok_or_else(|| {
+        CoreError::Checkpoint(format!("shard 0 epoch {newest0} vanished from the store"))
+    })?;
+    let probe = SensorCheckpoint::decode(&probe_bytes)?;
+    let from = probe.shard_count as usize;
+    if !(1..=MAX_SHARDS).contains(&from) {
+        return Err(CoreError::Checkpoint(format!(
+            "stored checkpoint claims an impossible shard count {from}"
+        )));
+    }
+    let epoch = latest_complete_epoch(store, from as u32)
+        .map_err(io_err)?
+        .ok_or_else(|| {
+            CoreError::Checkpoint(format!(
+                "no checkpoint epoch is complete across all {from} shards — \
+                 re-sharding needs a consistent cut"
+            ))
+        })?;
+    let mut names: Vec<String> = Vec::new();
+    let mut high_water: Option<Option<TweetId>> = None;
+    let mut exports = Vec::with_capacity(from);
+    let mut parked = Vec::with_capacity(from);
+    for shard in 0..from as u32 {
+        let bytes = store.load(shard, epoch).map_err(io_err)?.ok_or_else(|| {
+            CoreError::Checkpoint(format!(
+                "shard {shard} epoch {epoch} vanished from the store"
+            ))
+        })?;
+        let ckpt = SensorCheckpoint::decode(&bytes)?;
+        if ckpt.shard_id != shard || ckpt.epoch != epoch {
+            return Err(CoreError::Checkpoint(format!(
+                "checkpoint identity mismatch: file for shard {shard} epoch {epoch} \
+                 claims shard {} epoch {}",
+                ckpt.shard_id, ckpt.epoch
+            )));
+        }
+        if ckpt.shard_count != from as u32 {
+            return Err(CoreError::Checkpoint(format!(
+                "mixed shard counts in the cut: shard 0 was taken at {from} shards \
+                 but shard {shard} claims {}",
+                ckpt.shard_count
+            )));
+        }
+        let shard_names: Vec<String> = ckpt
+            .campaign_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if shard == 0 {
+            names = shard_names;
+        } else if names != shard_names {
+            return Err(CoreError::Checkpoint(format!(
+                "campaign rosters differ across the cut: shard 0 sensed {names:?} but \
+                 shard {shard} sensed {shard_names:?} — a consistent cut never mixes rosters"
+            )));
+        }
+        match high_water {
+            None => high_water = Some(ckpt.router_high_water),
+            Some(hw) if hw != ckpt.router_high_water => {
+                return Err(CoreError::Checkpoint(format!(
+                    "inconsistent cut: shard {shard} recorded high-water {:?}, \
+                     group recorded {:?}",
+                    ckpt.router_high_water, hw
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut shard_exports = Vec::with_capacity(1 + ckpt.extra_campaigns.len());
+        shard_exports.push(ckpt.export);
+        shard_exports.extend(ckpt.extra_campaigns.into_iter().map(|c| c.export));
+        exports.push(shard_exports);
+        parked.push(ckpt.parked);
+    }
+    let high_water = high_water.flatten();
+    let cut = split_cut(exports, parked, to_shards);
+    let (files_removed, bytes_written) = rewrite_store(store, epoch, high_water, &names, &cut)?;
+    metrics.counter("reshard_runs_total").incr();
+    metrics.counter("reshard_tracks_moved_total").add(cut.tracks_moved);
+    metrics.counter("reshard_parked_moved_total").add(cut.parked_moved);
+    metrics.counter("reshard_files_removed_total").add(files_removed);
+    metrics.gauge("reshard_from_shards").set(from as u64);
+    metrics.gauge("reshard_to_shards").set(to_shards as u64);
+    metrics.gauge("reshard_epoch").set(epoch);
+    Ok(ReshardReport {
+        from_shards: from,
+        to_shards,
+        epoch,
+        high_water,
+        campaigns: names,
+        tracks_total: cut.tracks_total,
+        tracks_moved: cut.tracks_moved,
+        parked_total: cut.parked_total,
+        parked_moved: cut.parked_moved,
+        files_removed,
+        bytes_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MemCheckpointStore;
+    use crate::incremental::TrackExport;
+    use donorpulse_text::extract::MentionCounts;
+    use donorpulse_twitter::{SimInstant, UserId};
+    use std::collections::BTreeMap;
+
+    fn tweet(id: u64, user: u64) -> Tweet {
+        Tweet {
+            id: TweetId(id),
+            user: UserId(user),
+            created_at: SimInstant(id),
+            text: format!("kidney tweet {id}"),
+            geo: None,
+        }
+    }
+
+    fn export_for(users: &[u64], shard: usize, shards: usize) -> SensorExport {
+        let mut tracks = BTreeMap::new();
+        let mut high_water = None;
+        for &u in users {
+            if route_shard(UserId(u), shards) != shard {
+                continue;
+            }
+            let t = tweet(u * 10, u);
+            high_water = std::cmp::max(high_water, Some(t.id));
+            tracks.insert(
+                UserId(u),
+                TrackExport {
+                    state: None,
+                    geo_locked: false,
+                    tweets: vec![t],
+                    mentions: MentionCounts::new(),
+                },
+            );
+        }
+        SensorExport {
+            tracks,
+            duplicates_ignored: shard as u64,
+            high_water,
+        }
+    }
+
+    fn seed_store(store: &MemCheckpointStore, shards: usize, epoch: u64, users: &[u64]) {
+        for shard in 0..shards {
+            let ckpt = SensorCheckpoint {
+                shard_id: shard as u32,
+                shard_count: shards as u32,
+                epoch,
+                router_high_water: Some(TweetId(users.iter().max().copied().unwrap_or(0) * 10)),
+                export: export_for(users, shard, shards),
+                parked: Vec::new(),
+                campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+                extra_campaigns: Vec::new(),
+            };
+            store.save(shard as u32, epoch, &ckpt.encode()).unwrap();
+        }
+    }
+
+    #[test]
+    fn target_validation_rejects_zero_and_over_max() {
+        let store = MemCheckpointStore::new();
+        let metrics = MetricsRegistry::disabled();
+        let err = reshard_checkpoints(&store, 0, &metrics).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = reshard_checkpoints(&store, MAX_SHARDS + 1, &metrics).unwrap_err();
+        assert!(err.to_string().contains("ceiling"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_incomplete_stores_are_refused() {
+        let store = MemCheckpointStore::new();
+        let metrics = MetricsRegistry::disabled();
+        let err = reshard_checkpoints(&store, 2, &metrics).unwrap_err();
+        assert!(err.to_string().contains("no cut"), "{err}");
+        // Shard 0 alone of a 2-shard layout: no complete epoch.
+        let ckpt = SensorCheckpoint {
+            shard_id: 0,
+            shard_count: 2,
+            epoch: 1,
+            router_high_water: None,
+            export: SensorExport::default(),
+            parked: Vec::new(),
+            campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: Vec::new(),
+        };
+        store.save(0, 1, &ckpt.encode()).unwrap();
+        let err = reshard_checkpoints(&store, 3, &metrics).unwrap_err();
+        assert!(err.to_string().contains("complete"), "{err}");
+    }
+
+    #[test]
+    fn roster_mismatch_across_the_cut_is_refused() {
+        let store = MemCheckpointStore::new();
+        let metrics = MetricsRegistry::disabled();
+        let base = SensorCheckpoint {
+            shard_id: 0,
+            shard_count: 2,
+            epoch: 1,
+            router_high_water: None,
+            export: SensorExport::default(),
+            parked: Vec::new(),
+            campaign: crate::campaign::DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: Vec::new(),
+        };
+        store.save(0, 1, &base.encode()).unwrap();
+        let mut other = base.clone();
+        other.shard_id = 1;
+        other.extra_campaigns = vec![CampaignSection {
+            name: "blood-drive".into(),
+            export: SensorExport::default(),
+        }];
+        store.save(1, 1, &other.encode()).unwrap();
+        let err = reshard_checkpoints(&store, 3, &metrics).unwrap_err();
+        assert!(err.to_string().contains("rosters"), "{err}");
+    }
+
+    #[test]
+    fn split_moves_every_track_to_its_new_owner() {
+        let users: Vec<u64> = (0..200).collect();
+        let store = MemCheckpointStore::new();
+        seed_store(&store, 2, 7, &users);
+        let metrics = MetricsRegistry::enabled();
+        let report = reshard_checkpoints(&store, 3, &metrics).unwrap();
+        assert_eq!(report.from_shards, 2);
+        assert_eq!(report.to_shards, 3);
+        assert_eq!(report.epoch, 7);
+        assert_eq!(report.tracks_total, 200);
+        assert_eq!(report.files_removed, 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("reshard_runs_total"), Some(1));
+        assert_eq!(snap.gauge("reshard_to_shards"), Some(3));
+        // The rewritten layout: 3 shards, each owning exactly its
+        // users under the new modulus, duplicates summed onto shard 0.
+        let mut seen = 0u64;
+        let mut dup_sum = 0u64;
+        for shard in 0..3u32 {
+            let bytes = store.load(shard, 7).unwrap().expect("new layout file");
+            let ckpt = SensorCheckpoint::decode(&bytes).unwrap();
+            assert_eq!(ckpt.shard_count, 3);
+            assert_eq!(ckpt.epoch, 7);
+            dup_sum += ckpt.export.duplicates_ignored;
+            for (&user, track) in &ckpt.export.tracks {
+                assert_eq!(route_shard(user, 3), shard as usize, "misrouted {user:?}");
+                assert!(
+                    ckpt.export.high_water >= track.tweets.iter().map(|t| t.id).max(),
+                    "high water below an owned tweet"
+                );
+                seen += 1;
+            }
+            // Pruned everything else.
+            assert_eq!(store.epochs(shard).unwrap(), vec![7]);
+        }
+        assert_eq!(seen, 200, "tracks lost or duplicated by the split");
+        assert_eq!(dup_sum, 0 + 1, "merged duplicates sum must be preserved");
+    }
+
+    #[test]
+    fn reshard_to_same_count_is_a_compaction() {
+        let users: Vec<u64> = (0..50).collect();
+        let store = MemCheckpointStore::new();
+        seed_store(&store, 2, 3, &users);
+        seed_store(&store, 2, 9, &users);
+        let report =
+            reshard_checkpoints(&store, 2, &MetricsRegistry::disabled()).unwrap();
+        assert_eq!(report.epoch, 9);
+        assert_eq!(report.tracks_moved, 0, "same modulus moves nothing");
+        for shard in 0..2u32 {
+            assert_eq!(store.epochs(shard).unwrap(), vec![9]);
+        }
+    }
+
+    #[test]
+    fn parked_residue_is_dealt_in_stream_order() {
+        let parked = vec![
+            vec![tweet(5, 1), tweet(9, 3)],
+            vec![tweet(2, 2), tweet(7, 4)],
+        ];
+        let cut = split_cut(vec![vec![SensorExport::default()]; 2], parked, 1);
+        let ids: Vec<u64> = cut.parked[0].iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![2, 5, 7, 9], "park must re-interleave by tweet id");
+        assert_eq!(cut.parked_total, 4);
+    }
+}

@@ -582,6 +582,16 @@ fn load_cut(
             .map_err(serve_err)?
             .ok_or_else(|| serve_err(format!("shard {shard} epoch {epoch} missing")))?;
         let ckpt = SensorCheckpoint::decode(&bytes)?;
+        // An online re-shard rewrites the layout in place; a probe
+        // racing the rewrite can see files from both moduli. Refusing
+        // the mix here means the watcher simply retries next tick,
+        // after the swap has settled.
+        if ckpt.shard_count != shards as u32 {
+            return Err(serve_err(format!(
+                "cut for shard {shard} was taken with {} shards, expected {shards}",
+                ckpt.shard_count
+            )));
+        }
         if ckpt.campaign_names() != campaigns.names() {
             return Err(serve_err(format!(
                 "cut for campaigns {:?} but this daemon senses {:?}",
@@ -623,14 +633,23 @@ fn watcher_loop(
     shards: usize,
     poll: Duration,
     campaigns: &CampaignSet,
+    metrics: &MetricsRegistry,
 ) {
     let mut published: Option<u64> = None;
     while !hub.ingest_done.load(Ordering::Acquire) {
-        if let Ok(Some(epoch)) = latest_complete_epoch(store, shards as u32) {
+        // An online re-shard (`--reshard-at`) changes the group's
+        // modulus mid-run; the ingest side publishes the live count
+        // through the `shard_count` gauge *after* the store holds the
+        // new layout, so probing at the gauge's value keeps the
+        // daemon answering across the swap. Zero (disabled registry)
+        // falls back to the configured count.
+        let live = metrics.gauge("shard_count").value();
+        let shards_now = if live == 0 { shards } else { live as usize };
+        if let Ok(Some(epoch)) = latest_complete_epoch(store, shards_now as u32) {
             if published.map_or(true, |p| epoch > p) {
                 // A compaction racing this load just means we retry at
                 // the next tick with a newer epoch.
-                if let Ok(exports) = load_cut(store, shards, epoch, campaigns) {
+                if let Ok(exports) = load_cut(store, shards_now, epoch, campaigns) {
                     hub.publish(snapshot_of(epoch, exports));
                     published = Some(epoch);
                 }
@@ -1252,7 +1271,10 @@ pub fn run_serve_daemon<'a>(
         let ctx = &ctx;
 
         let watcher_campaigns = &campaigns;
-        scope.spawn(move || watcher_loop(hub, store, shards, poll, watcher_campaigns));
+        let watcher_metrics = shard_config.stream.metrics.clone();
+        scope.spawn(move || {
+            watcher_loop(hub, store, shards, poll, watcher_campaigns, &watcher_metrics)
+        });
 
         let conn_rx = &conn_rx;
         for _ in 0..workers {

@@ -36,6 +36,19 @@
 //! the store as it goes — keeping only the newest K cuts that are
 //! complete across every shard — so a long run's checkpoint directory
 //! stays bounded.
+//!
+//! **Elastic re-sharding** ([`ShardConfig::reshard_at`]): after K
+//! routed tweets the router freezes the group at a dedicated cut
+//! epoch by sending each worker a drain message, collects the workers'
+//! in-memory state, re-keys every track and parked tweet by the new
+//! user-hash modulus (the same split the offline `repro reshard` verb
+//! — [`crate::reshard`] — applies to a stored cut), rewrites
+//! the checkpoint store to the new layout when one is attached, and
+//! respawns the worker topology at M shards — all without stopping
+//! the source. The identity argument above is what makes the swap
+//! artifact-invariant: tracks are per-user and the merge is a sorted
+//! disjoint union, so *where* a user's track lives between the swap
+//! point and the end of the stream cannot be observed in the output.
 
 use crate::campaign::CampaignSet;
 use crate::checkpoint::{
@@ -44,7 +57,8 @@ use crate::checkpoint::{
 };
 use crate::incremental::{IncrementalSensor, SensorExport};
 use crate::pipeline::RunMetrics;
-use crate::stream_consumer::{pump_source, GeoAdmission, StreamPipelineConfig};
+use crate::reshard;
+use crate::stream_consumer::{pump_source, GeoAdmission, SourceOutcome, StreamPipelineConfig};
 use crate::{CoreError, Result};
 use donorpulse_geo::service::LocationService;
 use donorpulse_geo::Geocoder;
@@ -121,6 +135,12 @@ enum ShardMsg {
         epoch: u64,
         high_water: Option<TweetId>,
     },
+    /// Online re-shard drain: stop consuming, skip the end-of-stream
+    /// drain/abandon path, and hand the complete in-memory state
+    /// (exports and park residue) back to the router so it can re-key
+    /// the group to a new modulus. Always the last message on a
+    /// channel.
+    Drain,
 }
 
 /// Tweets a router buffers per shard before forcing a batch send —
@@ -157,6 +177,14 @@ pub struct ShardConfig {
     /// is resumable and verifiable from its store alone. No-op without
     /// a store or with markers disabled (`checkpoint_every == 0`).
     pub checkpoint_final: bool,
+    /// Online elastic re-shard: after this many routed tweets (first
+    /// element), drain the group at a consistent cut and swap the
+    /// worker topology to the target shard count (second element)
+    /// in-process — the CLI's `--reshard-at K:M`. The services must be
+    /// [`ShardServices::Shared`] or [`ShardServices::Phased`] (a
+    /// per-shard table is specific to one modulus). With a store, the
+    /// cut is persisted in the new layout before routing resumes.
+    pub reshard_at: Option<(u64, usize)>,
     /// The underlying per-stage streaming configuration (channel
     /// capacity, retry schedules, park capacity, metrics).
     pub stream: StreamPipelineConfig,
@@ -171,6 +199,7 @@ impl Default for ShardConfig {
             resume: false,
             checkpoint_retain: 0,
             checkpoint_final: false,
+            reshard_at: None,
             stream: StreamPipelineConfig::default(),
         }
     }
@@ -213,6 +242,12 @@ pub struct ShardedStreamRun<'a> {
     pub last_epoch: u64,
     /// True when the router was killed mid-run.
     pub killed: bool,
+    /// `(cut_epoch, new_shard_count)` when an online re-shard swap
+    /// ([`ShardConfig::reshard_at`]) completed during the run.
+    /// [`ShardedStreamRun::shards`] and
+    /// [`ShardedStreamRun::shard_tweets`] then describe the post-swap
+    /// topology.
+    pub resharded: Option<(u64, usize)>,
 }
 
 /// The per-run state restored from a checkpoint store. Shared with
@@ -270,7 +305,9 @@ pub(crate) fn load_resume_point(
         if ckpt.shard_count != shards as u32 {
             return Err(CoreError::Checkpoint(format!(
                 "checkpoint was taken with {} shards but this run has {shards}: \
-                 re-routing would split user histories",
+                 re-routing would split user histories — run `repro reshard \
+                 --checkpoint-dir <dir> --to-shards {shards}` to repartition \
+                 the cut first",
                 ckpt.shard_count
             )));
         }
@@ -313,6 +350,10 @@ struct WorkerReport {
     exports: Vec<SensorExport>,
     parked_at_end: u64,
     dead: Vec<DeadLetter>,
+    /// Park contents at a re-shard drain, in queue order — the state
+    /// the router re-keys to the new topology. Empty at end-of-stream
+    /// (the final drain/abandon path consumed the park instead).
+    residue: Vec<Tweet>,
 }
 
 /// How the group's shards see the geocoding service.
@@ -333,23 +374,72 @@ pub enum ShardServices<'s> {
     /// Shard `i` calls `services[i]`; the length must cover the
     /// resolved shard count.
     PerShard(Vec<&'s (dyn LocationService + Sync)>),
+    /// An online re-shard run ([`ShardConfig::reshard_at`]) with
+    /// per-shard services: `before[i]` serves shard `i` under the
+    /// starting modulus, `after[j]` serves shard `j` once the group
+    /// has swapped to the target modulus (callers derive the two
+    /// tables with `FlakyConfig::for_shard` at each count).
+    Phased {
+        /// Services for the starting topology.
+        before: Vec<&'s (dyn LocationService + Sync)>,
+        /// Services for the post-swap topology.
+        after: Vec<&'s (dyn LocationService + Sync)>,
+    },
 }
 
 impl<'s> ShardServices<'s> {
     /// The service shard `shard` must call.
     fn get(&self, shard: usize) -> Result<&'s (dyn LocationService + Sync)> {
+        let table = match self {
+            ShardServices::Shared(s) => return Ok(*s),
+            ShardServices::PerShard(v) => v,
+            ShardServices::Phased { before, .. } => before,
+        };
+        table.get(shard).copied().ok_or_else(|| {
+            CoreError::Checkpoint(format!(
+                "per-shard service table has {} entries but shard {shard} was requested \
+                 (resolve the shard count with resolve_shards before building the table)",
+                table.len()
+            ))
+        })
+    }
+
+    /// The service shard `shard` must call after an online re-shard
+    /// swap. `PerShard` is refused: its table is specific to one
+    /// modulus, and silently reusing it would change a degraded run's
+    /// failure schedules mid-stream.
+    fn get_after(&self, shard: usize) -> Result<&'s (dyn LocationService + Sync)> {
         match self {
             ShardServices::Shared(s) => Ok(*s),
-            ShardServices::PerShard(v) => v.get(shard).copied().ok_or_else(|| {
+            ShardServices::PerShard(_) => Err(CoreError::Checkpoint(
+                "an online re-shard needs ShardServices::Shared or ShardServices::Phased: \
+                 a per-shard service table is specific to one modulus"
+                    .into(),
+            )),
+            ShardServices::Phased { after, .. } => after.get(shard).copied().ok_or_else(|| {
                 CoreError::Checkpoint(format!(
-                    "per-shard service table has {} entries but shard {shard} was requested \
-                     (resolve the shard count with resolve_shards before building the table)",
-                    v.len()
+                    "post-swap service table has {} entries but shard {shard} was requested \
+                     (it must cover the re-shard target count)",
+                    after.len()
                 ))
             }),
         }
     }
 }
+
+/// What the routing scope hands back to the merge phase: source
+/// outcome, per-shard routed counts, last epoch, killed flag, worker
+/// reports, dead letters carried over a re-shard drain, and the swap
+/// that happened (if any).
+type ScopeOut = (
+    SourceOutcome,
+    Vec<u64>,
+    u64,
+    bool,
+    Vec<Result<WorkerReport>>,
+    Vec<DeadLetter>,
+    Option<(u64, usize)>,
+);
 
 /// Runs the consumer group end to end. See the module docs for the
 /// determinism and checkpoint-consistency arguments.
@@ -367,9 +457,22 @@ pub fn run_sharded_stream<'a>(
     config: ShardConfig,
 ) -> Result<ShardedStreamRun<'a>> {
     let shards = resolve_shards(config.shards);
-    let shard_services: Vec<&(dyn LocationService + Sync)> = (0..shards)
+    let before_services: Vec<&(dyn LocationService + Sync)> = (0..shards)
         .map(|s| services.get(s))
         .collect::<Result<_>>()?;
+    // An online re-shard resolves its post-swap service table up
+    // front, so a bad target or an unusable service shape fails before
+    // any thread spawns.
+    let reshard_at = config.reshard_at;
+    let after_services: Vec<&(dyn LocationService + Sync)> = match reshard_at {
+        None => Vec::new(),
+        Some((_, to)) => {
+            reshard::validate_target(to)?;
+            (0..to)
+                .map(|s| services.get_after(s))
+                .collect::<Result<_>>()?
+        }
+    };
     let metrics = config.stream.metrics.clone();
     metrics.gauge("shard_count").set(shards as u64);
     let campaigns = std::sync::Arc::clone(&config.stream.campaigns);
@@ -415,340 +518,453 @@ pub fn run_sharded_stream<'a>(
             .map(|u| u.profile_location.as_str())
     };
 
-    let (outcome, routed, last_epoch, killed, reports) = thread::scope(|scope| {
-        let source = scope.spawn({
-            let config = &config;
-            move || {
-                let mut span = config.stream.metrics.stage("stream_source");
-                let outcome = pump_source(sim, faults, &config.stream, resume_hw, src_tx);
-                span.set_items(outcome.stats.delivered);
-                span.finish();
-                outcome
-            }
-        });
+    let (outcome, routed, last_epoch, killed, reports, carried_dead, resharded) =
+        thread::scope(|scope| -> Result<ScopeOut> {
+            let source = scope.spawn({
+                let config = &config;
+                move || {
+                    let mut span = config.stream.metrics.stage("stream_source");
+                    let outcome = pump_source(sim, faults, &config.stream, resume_hw, src_tx);
+                    span.set_items(outcome.stats.delivered);
+                    span.finish();
+                    outcome
+                }
+            });
 
-        // The router: keyword filter (defense in depth, mirroring the
-        // single-consumer filter stage), resume replay guard, user-hash
-        // routing, checkpoint markers, crash simulation.
-        let router = scope.spawn({
-            let metrics = metrics.clone();
+            // Worker factory — used for the starting topology and again
+            // after an online re-shard swap. One worker per shard:
+            // geocode admission in front of one owned sensor per
+            // campaign, checkpoint writes at markers, state handoff at
+            // a drain. `group` is the modulus the worker checkpoints
+            // under; `after` selects the post-swap service table.
+            let spawn_worker = {
+                let metrics = metrics.clone();
+                let campaigns = std::sync::Arc::clone(&campaigns);
+                let config = &config;
+                move |shard_id: usize,
+                      group: usize,
+                      rx: mpsc::Receiver<ShardMsg>,
+                      exports: Vec<SensorExport>,
+                      residue: Vec<Tweet>,
+                      after: bool| {
+                    let service = if after {
+                        after_services[shard_id]
+                    } else {
+                        before_services[shard_id]
+                    };
+                    let metrics = metrics.clone();
+                    let campaigns = std::sync::Arc::clone(&campaigns);
+                    let geo_policy = config.stream.geo_retry.for_consumer(shard_id as u64);
+                    let park_capacity = config.stream.park_capacity;
+                    let final_drain_attempts = config.stream.final_drain_attempts;
+                    scope.spawn(move || -> Result<WorkerReport> {
+                        let mut span = metrics.stage("stream_shard_worker");
+                        // Sensor `i` owns campaign `i` (primary first); the
+                        // admitted batch is re-matched against each campaign
+                        // because membership is a pure function of the text.
+                        let mut sensors: Vec<IncrementalSensor<'_>> = campaigns
+                            .campaigns()
+                            .iter()
+                            .zip(exports)
+                            .map(|(c, export)| {
+                                IncrementalSensor::restore_with_extractor(
+                                    geocoder,
+                                    profile_of,
+                                    export,
+                                    c.extractor().clone(),
+                                )
+                            })
+                            .collect();
+                        let mut admission = GeoAdmission {
+                            service,
+                            profile_of: Box::new(profile_ref),
+                            policy: geo_policy,
+                            park: VecDeque::from(residue),
+                            park_capacity,
+                            peak_depth: 0,
+                            clock: VirtualClock::new(),
+                            metrics: metrics.clone(),
+                            dead: Vec::new(),
+                        };
+                        let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
+                        let ckpt_written = metrics.counter("checkpoints_written_total");
+                        let ingested = metrics.counter("sensor_ingested_total");
+                        let single = campaigns.len() == 1;
+                        let mut out: Vec<Tweet> = Vec::new();
+                        let mut routed: Vec<Vec<Tweet>> = vec![Vec::new(); campaigns.len()];
+                        let mut n = 0u64;
+                        let mut drained = false;
+                        for msg in rx {
+                            match msg {
+                                ShardMsg::Batch(batch) => {
+                                    n += batch.len() as u64;
+                                    out.clear();
+                                    for tweet in batch {
+                                        // Primary-class traffic only through
+                                        // the fallible gate — extra tenants
+                                        // must not shift the service's call
+                                        // schedule or displace parked primary
+                                        // tweets (see stream_consumer's geo
+                                        // stage / docs/CAMPAIGNS.md).
+                                        if single || campaigns.primary().matches(&tweet.text) {
+                                            admission.admit(tweet, &mut out);
+                                        } else {
+                                            out.push(tweet);
+                                        }
+                                    }
+                                    if single {
+                                        ingested.add(sensors[0].ingest_batch(&out));
+                                    } else {
+                                        for buf in &mut routed {
+                                            buf.clear();
+                                        }
+                                        for tweet in out.drain(..) {
+                                            let mask = campaigns.mask_of(&tweet.text);
+                                            for (i, buf) in routed.iter_mut().enumerate() {
+                                                if mask & (1 << i) != 0 {
+                                                    buf.push(tweet.clone());
+                                                }
+                                            }
+                                        }
+                                        ingested.add(sensors[0].ingest_batch(&routed[0]));
+                                        for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
+                                            s.ingest_batch(buf);
+                                        }
+                                    }
+                                }
+                                ShardMsg::Marker { epoch, high_water } => {
+                                    let Some(store) = store else { continue };
+                                    let ckpt = SensorCheckpoint {
+                                        shard_id: shard_id as u32,
+                                        shard_count: group as u32,
+                                        epoch,
+                                        router_high_water: high_water,
+                                        export: sensors[0].export(),
+                                        parked: admission.park.iter().cloned().collect(),
+                                        campaign: campaigns.primary().name().to_string(),
+                                        extra_campaigns: campaigns
+                                            .extras()
+                                            .iter()
+                                            .zip(&sensors[1..])
+                                            .map(|(c, s)| CampaignSection {
+                                                name: c.name().to_string(),
+                                                export: s.export(),
+                                            })
+                                            .collect(),
+                                    };
+                                    let bytes = ckpt.encode();
+                                    store.save(shard_id as u32, epoch, &bytes).map_err(|e| {
+                                        CoreError::Checkpoint(format!(
+                                            "saving shard {shard_id} epoch {epoch}: {e}"
+                                        ))
+                                    })?;
+                                    ckpt_bytes.add(bytes.len() as u64);
+                                    ckpt_written.incr();
+                                }
+                                ShardMsg::Drain => {
+                                    drained = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if drained {
+                            // Re-shard handoff: the router re-keys this
+                            // state onto the new topology. Gap and
+                            // duplicate accounting waits for the final
+                            // owners at end of stream — the park travels
+                            // as residue instead of being abandoned.
+                            span.set_items(n);
+                            span.finish();
+                            return Ok(WorkerReport {
+                                exports: sensors.iter().map(|s| s.export()).collect(),
+                                parked_at_end: 0,
+                                dead: admission.dead,
+                                residue: Vec::from(admission.park),
+                            });
+                        }
+                        // End of stream: recovery-sized drain, then abandon.
+                        out.clear();
+                        admission.drain(final_drain_attempts, &mut out);
+                        if single {
+                            ingested.add(sensors[0].ingest_batch(&out));
+                        } else {
+                            for buf in &mut routed {
+                                buf.clear();
+                            }
+                            for tweet in out.drain(..) {
+                                let mask = campaigns.mask_of(&tweet.text);
+                                for (i, buf) in routed.iter_mut().enumerate() {
+                                    if mask & (1 << i) != 0 {
+                                        buf.push(tweet.clone());
+                                    }
+                                }
+                            }
+                            ingested.add(sensors[0].ingest_batch(&routed[0]));
+                            for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
+                                s.ingest_batch(buf);
+                            }
+                        }
+                        let parked_at_end = admission.abandon_leftovers();
+                        metrics
+                            .counter("stream_gap_tweets_total")
+                            .add(parked_at_end);
+                        metrics
+                            .counter("sensor_duplicates_ignored_total")
+                            .add(sensors[0].duplicates_ignored());
+                        span.set_items(n);
+                        span.finish();
+                        Ok(WorkerReport {
+                            exports: sensors.iter().map(|s| s.export()).collect(),
+                            parked_at_end,
+                            dead: admission.dead,
+                            residue: Vec::new(),
+                        })
+                    })
+                }
+            };
+
+            let mut workers = Vec::with_capacity(shards);
+            for (shard_id, rx) in shard_rxs.into_iter().enumerate() {
+                let exports = std::mem::take(&mut resume_exports[shard_id]);
+                let residue = std::mem::take(&mut resume_parked[shard_id]);
+                workers.push(spawn_worker(shard_id, shards, rx, exports, residue, false));
+            }
+
+            // The router, inline on the scope's own thread so it can
+            // join, re-key, and respawn the worker topology mid-run:
+            // keyword filter (defense in depth, mirroring the
+            // single-consumer filter stage), resume replay guard,
+            // user-hash routing, checkpoint markers, crash simulation,
+            // online re-shard swap.
+            let mut span = metrics.stage("stream_router");
+            let rejected = metrics.counter("consumer_filter_rejected_total");
+            let passed = metrics.counter("consumer_filter_passed_total");
+            let matched: Option<Vec<_>> = (!campaigns.is_default_single()).then(|| {
+                campaigns
+                    .campaigns()
+                    .iter()
+                    .map(|c| metrics.counter(c.metric_name("matched_total")))
+                    .collect()
+            });
+            let routed_total = metrics.counter("shard_tweets_total");
+            let replayed = metrics.counter("resume_replayed_total");
+            let compacted = metrics.counter("checkpoints_compacted_total");
+            let compact_errors = metrics.counter("checkpoint_compact_errors_total");
+            let batch_sends = metrics.counter("stream_batch_sends_total");
             let checkpoint_every = config.checkpoint_every;
             let checkpoint_retain = config.checkpoint_retain;
             let checkpoint_final = config.checkpoint_final;
             let kill_after = config.kill_after;
-            let campaigns = std::sync::Arc::clone(&campaigns);
-            move || {
-                let mut span = metrics.stage("stream_router");
-                let rejected = metrics.counter("consumer_filter_rejected_total");
-                let passed = metrics.counter("consumer_filter_passed_total");
-                let matched: Option<Vec<_>> = (!campaigns.is_default_single()).then(|| {
-                    campaigns
-                        .campaigns()
-                        .iter()
-                        .map(|c| metrics.counter(c.metric_name("matched_total")))
-                        .collect()
-                });
-                let routed_total = metrics.counter("shard_tweets_total");
-                let replayed = metrics.counter("resume_replayed_total");
-                let compacted = metrics.counter("checkpoints_compacted_total");
-                let compact_errors = metrics.counter("checkpoint_compact_errors_total");
-                let batch_sends = metrics.counter("stream_batch_sends_total");
-                let mut per_shard = vec![0u64; shards];
-                let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); shards];
-                let mut routed = 0u64;
-                let mut epoch = start_epoch;
-                let mut high_water: Option<TweetId> = resume_hw;
-                let mut killed = false;
-                let mut n = 0u64;
-                // Sends one shard's buffered run. `false` = channel gone.
-                let flush_one = |txs: &[mpsc::SyncSender<ShardMsg>],
-                                 bufs: &mut Vec<Vec<Tweet>>,
-                                 shard: usize|
-                 -> bool {
-                    if bufs[shard].is_empty() {
-                        return true;
-                    }
-                    batch_sends.incr();
-                    txs[shard]
-                        .send(ShardMsg::Batch(std::mem::take(&mut bufs[shard])))
-                        .is_ok()
+            let mut group = shards;
+            let mut per_shard = vec![0u64; group];
+            let mut bufs: Vec<Vec<Tweet>> = vec![Vec::new(); group];
+            let mut routed = 0u64;
+            let mut routed_at_swap = 0u64;
+            let mut epoch = start_epoch;
+            let mut high_water: Option<TweetId> = resume_hw;
+            let mut killed = false;
+            let mut n = 0u64;
+            let mut carried_dead: Vec<DeadLetter> = Vec::new();
+            let mut resharded: Option<(u64, usize)> = None;
+            let mut pending_reshard = reshard_at;
+            // Sends one shard's buffered run. `false` = channel gone.
+            let flush_one = |txs: &[mpsc::SyncSender<ShardMsg>],
+                             bufs: &mut Vec<Vec<Tweet>>,
+                             shard: usize|
+             -> bool {
+                if bufs[shard].is_empty() {
+                    return true;
+                }
+                batch_sends.incr();
+                txs[shard]
+                    .send(ShardMsg::Batch(std::mem::take(&mut bufs[shard])))
+                    .is_ok()
+            };
+            let flush_all =
+                |txs: &[mpsc::SyncSender<ShardMsg>], bufs: &mut Vec<Vec<Tweet>>| -> bool {
+                    (0..txs.len()).all(|s| flush_one(txs, bufs, s))
                 };
-                let flush_all =
-                    |txs: &[mpsc::SyncSender<ShardMsg>], bufs: &mut Vec<Vec<Tweet>>| -> bool {
-                        (0..shards).all(|s| flush_one(txs, bufs, s))
-                    };
-                'route: for batch in src_rx {
-                    for tweet in batch {
-                        n += 1;
-                        let mask = campaigns.mask_of(&tweet.text);
-                        if mask == 0 {
-                            rejected.incr();
-                            continue;
-                        }
-                        passed.incr();
-                        if let Some(matched) = &matched {
-                            for (i, handle) in matched.iter().enumerate() {
-                                if mask & (1 << i) != 0 {
-                                    handle.incr();
-                                }
+            'route: for batch in src_rx {
+                for tweet in batch {
+                    n += 1;
+                    let mask = campaigns.mask_of(&tweet.text);
+                    if mask == 0 {
+                        rejected.incr();
+                        continue;
+                    }
+                    passed.incr();
+                    if let Some(matched) = &matched {
+                        for (i, handle) in matched.iter().enumerate() {
+                            if mask & (1 << i) != 0 {
+                                handle.incr();
                             }
                         }
-                        // Resume guard: anything at or below the restored
-                        // cut is already inside a shard's checkpoint. The
-                        // seek makes this rare; the sensors' idempotence
-                        // would absorb it anyway — this counts it.
-                        if resume_hw.is_some_and(|hw| tweet.id <= hw) {
-                            replayed.incr();
-                            continue;
-                        }
-                        let shard = route_shard(tweet.user, shards);
-                        high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
-                        bufs[shard].push(tweet);
-                        if bufs[shard].len() >= ROUTER_BATCH
-                            && !flush_one(&shard_txs, &mut bufs, shard)
-                        {
+                    }
+                    // Resume guard: anything at or below the restored
+                    // cut is already inside a shard's checkpoint. The
+                    // seek makes this rare; the sensors' idempotence
+                    // would absorb it anyway — this counts it.
+                    if resume_hw.is_some_and(|hw| tweet.id <= hw) {
+                        replayed.incr();
+                        continue;
+                    }
+                    let shard = route_shard(tweet.user, group);
+                    high_water = Some(high_water.map_or(tweet.id, |hw| hw.max(tweet.id)));
+                    bufs[shard].push(tweet);
+                    if bufs[shard].len() >= ROUTER_BATCH
+                        && !flush_one(&shard_txs, &mut bufs, shard)
+                    {
+                        break 'route;
+                    }
+                    per_shard[shard] += 1;
+                    routed += 1;
+                    routed_total.incr();
+                    if checkpoint_every > 0 && routed % checkpoint_every == 0 {
+                        // A cut must reflect everything routed before
+                        // it, including runs still sitting in buffers.
+                        if !flush_all(&shard_txs, &mut bufs) {
                             break 'route;
                         }
-                        per_shard[shard] += 1;
-                        routed += 1;
-                        routed_total.incr();
-                        if checkpoint_every > 0 && routed % checkpoint_every == 0 {
-                            // A cut must reflect everything routed before
-                            // it, including runs still sitting in buffers.
-                            if !flush_all(&shard_txs, &mut bufs) {
+                        epoch += 1;
+                        for tx in &shard_txs {
+                            if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
                                 break 'route;
                             }
-                            epoch += 1;
-                            for tx in &shard_txs {
-                                if tx.send(ShardMsg::Marker { epoch, high_water }).is_err() {
-                                    break 'route;
-                                }
-                            }
-                            // Retention: sweep epochs behind the newest
-                            // `retain` complete cuts. Safe to run while
-                            // workers write: shards write epochs in
-                            // ascending order, so a pending write can
-                            // never land below a complete cutoff. Errors
-                            // are counted, not fatal — compaction is
-                            // housekeeping, not correctness.
-                            if checkpoint_retain > 0 {
-                                if let Some(store) = store {
-                                    match compact_checkpoints(
-                                        store,
-                                        shards as u32,
-                                        checkpoint_retain,
-                                    ) {
-                                        Ok(n) => compacted.add(n),
-                                        Err(_) => compact_errors.incr(),
-                                    }
+                        }
+                        // Retention: sweep epochs behind the newest
+                        // `retain` complete cuts. Safe to run while
+                        // workers write: shards write epochs in
+                        // ascending order, so a pending write can
+                        // never land below a complete cutoff. Errors
+                        // are counted, not fatal — compaction is
+                        // housekeeping, not correctness.
+                        if checkpoint_retain > 0 {
+                            if let Some(store) = store {
+                                match compact_checkpoints(store, group as u32, checkpoint_retain)
+                                {
+                                    Ok(n) => compacted.add(n),
+                                    Err(_) => compact_errors.incr(),
                                 }
                             }
                         }
-                        if kill_after.is_some_and(|k| routed >= k) {
-                            killed = true;
-                            // Everything already counted as routed reaches
-                            // its shard, matching the pre-batching "sent
-                            // then died" semantics.
-                            let _ = flush_all(&shard_txs, &mut bufs);
+                    }
+                    // Online elastic re-shard: drain the group at a
+                    // consistent cut, re-key its state by the target
+                    // modulus, and respawn the topology — the stream
+                    // never stops, the process never restarts.
+                    if pending_reshard.is_some_and(|(k, _)| routed >= k) {
+                        let (_, to) = pending_reshard.take().expect("swap point just matched");
+                        if !flush_all(&shard_txs, &mut bufs) {
                             break 'route;
                         }
+                        // The swap cut gets its own epoch: a drain is a
+                        // consistent cut exactly like a marker — the
+                        // state just travels in memory instead of
+                        // through the store.
+                        epoch += 1;
+                        for tx in shard_txs.drain(..) {
+                            let _ = tx.send(ShardMsg::Drain);
+                        }
+                        let mut cut_exports = Vec::with_capacity(group);
+                        let mut cut_parked = Vec::with_capacity(group);
+                        for worker in workers.drain(..) {
+                            let report = worker.join().expect("shard worker panicked")?;
+                            cut_exports.push(report.exports);
+                            cut_parked.push(report.residue);
+                            carried_dead.extend(report.dead);
+                        }
+                        let cut = reshard::split_cut(cut_exports, cut_parked, to);
+                        if let Some(store) = store {
+                            // Persist the cut in the new layout before
+                            // the shard_count gauge flips: the serving
+                            // watcher keys its probes off that gauge
+                            // and must never see the new count without
+                            // the new layout.
+                            let names: Vec<String> =
+                                campaigns.names().iter().map(|s| s.to_string()).collect();
+                            let (removed, bytes) =
+                                reshard::rewrite_store(store, epoch, high_water, &names, &cut)?;
+                            metrics.counter("reshard_runs_total").incr();
+                            metrics.counter("reshard_files_removed_total").add(removed);
+                            metrics.counter("checkpoint_bytes_total").add(bytes);
+                        }
+                        metrics.counter("reshard_swaps_total").incr();
+                        metrics
+                            .counter("reshard_tracks_moved_total")
+                            .add(cut.tracks_moved);
+                        metrics
+                            .counter("reshard_parked_moved_total")
+                            .add(cut.parked_moved);
+                        metrics.gauge("reshard_from_shards").set(group as u64);
+                        metrics.gauge("reshard_to_shards").set(to as u64);
+                        metrics.gauge("reshard_epoch").set(epoch);
+                        let mut new_rxs = Vec::with_capacity(to);
+                        for _ in 0..to {
+                            let (tx, rx) =
+                                mpsc::sync_channel::<ShardMsg>(config.stream.channel_capacity);
+                            shard_txs.push(tx);
+                            new_rxs.push(rx);
+                        }
+                        for (shard_id, (rx, (exports, residue))) in new_rxs
+                            .into_iter()
+                            .zip(cut.exports.into_iter().zip(cut.parked))
+                            .enumerate()
+                        {
+                            workers.push(spawn_worker(shard_id, to, rx, exports, residue, true));
+                        }
+                        group = to;
+                        per_shard = vec![0; group];
+                        bufs = vec![Vec::new(); group];
+                        routed_at_swap = routed;
+                        resharded = Some((epoch, to));
+                        metrics.gauge("shard_count").set(group as u64);
+                    }
+                    if kill_after.is_some_and(|k| routed >= k) {
+                        killed = true;
+                        // Everything already counted as routed reaches
+                        // its shard, matching the pre-batching "sent
+                        // then died" semantics.
+                        let _ = flush_all(&shard_txs, &mut bufs);
+                        break 'route;
                     }
                 }
-                if !killed {
-                    let _ = flush_all(&shard_txs, &mut bufs);
-                }
-                // Closing cut: the stream drained (not a crash), so
-                // freeze the group exactly at end-of-stream. The store
-                // then always holds a complete final epoch — the
-                // property that makes a daemon shutdown resumable.
-                if checkpoint_final && checkpoint_every > 0 && !killed && store.is_some() {
-                    epoch += 1;
-                    for tx in &shard_txs {
-                        let _ = tx.send(ShardMsg::Marker { epoch, high_water });
-                    }
-                }
-                drop(shard_txs);
-                for (i, &count) in per_shard.iter().enumerate() {
-                    metrics.gauge(SHARD_TWEETS_NAMES[i]).set(count);
-                }
-                // Imbalance: busiest shard over the ideal even share,
-                // in permille (1000 = perfectly balanced).
-                let max = per_shard.iter().copied().max().unwrap_or(0);
-                if let Some(ratio) = (max * shards as u64 * 1_000).checked_div(routed) {
-                    metrics.gauge("shard_imbalance_ratio_permille").set(ratio);
-                }
-                span.set_items(n);
-                span.finish();
-                (per_shard, epoch, killed)
             }
-        });
-
-        // One worker per shard: geocode admission in front of one owned
-        // sensor per campaign, checkpoint writes at markers.
-        let mut workers = Vec::with_capacity(shards);
-        for (shard_id, rx) in shard_rxs.into_iter().enumerate() {
-            let exports = std::mem::take(&mut resume_exports[shard_id]);
-            let residue = std::mem::take(&mut resume_parked[shard_id]);
-            workers.push(scope.spawn({
-                let metrics = metrics.clone();
-                let campaigns = std::sync::Arc::clone(&campaigns);
-                let service = shard_services[shard_id];
-                let geo_policy = config.stream.geo_retry.for_consumer(shard_id as u64);
-                let park_capacity = config.stream.park_capacity;
-                let final_drain_attempts = config.stream.final_drain_attempts;
-                move || -> Result<WorkerReport> {
-                    let mut span = metrics.stage("stream_shard_worker");
-                    // Sensor `i` owns campaign `i` (primary first); the
-                    // admitted batch is re-matched against each campaign
-                    // because membership is a pure function of the text.
-                    let mut sensors: Vec<IncrementalSensor<'_>> = campaigns
-                        .campaigns()
-                        .iter()
-                        .zip(exports)
-                        .map(|(c, export)| {
-                            IncrementalSensor::restore_with_extractor(
-                                geocoder,
-                                profile_of,
-                                export,
-                                c.extractor().clone(),
-                            )
-                        })
-                        .collect();
-                    let mut admission = GeoAdmission {
-                        service,
-                        profile_of: Box::new(profile_ref),
-                        policy: geo_policy,
-                        park: VecDeque::from(residue),
-                        park_capacity,
-                        peak_depth: 0,
-                        clock: VirtualClock::new(),
-                        metrics: metrics.clone(),
-                        dead: Vec::new(),
-                    };
-                    let ckpt_bytes = metrics.counter("checkpoint_bytes_total");
-                    let ckpt_written = metrics.counter("checkpoints_written_total");
-                    let ingested = metrics.counter("sensor_ingested_total");
-                    let single = campaigns.len() == 1;
-                    let mut out: Vec<Tweet> = Vec::new();
-                    let mut routed: Vec<Vec<Tweet>> = vec![Vec::new(); campaigns.len()];
-                    let mut n = 0u64;
-                    for msg in rx {
-                        match msg {
-                            ShardMsg::Batch(batch) => {
-                                n += batch.len() as u64;
-                                out.clear();
-                                for tweet in batch {
-                                    // Primary-class traffic only through
-                                    // the fallible gate — extra tenants
-                                    // must not shift the service's call
-                                    // schedule or displace parked primary
-                                    // tweets (see stream_consumer's geo
-                                    // stage / docs/CAMPAIGNS.md).
-                                    if single || campaigns.primary().matches(&tweet.text) {
-                                        admission.admit(tweet, &mut out);
-                                    } else {
-                                        out.push(tweet);
-                                    }
-                                }
-                                if single {
-                                    ingested.add(sensors[0].ingest_batch(&out));
-                                } else {
-                                    for buf in &mut routed {
-                                        buf.clear();
-                                    }
-                                    for tweet in out.drain(..) {
-                                        let mask = campaigns.mask_of(&tweet.text);
-                                        for (i, buf) in routed.iter_mut().enumerate() {
-                                            if mask & (1 << i) != 0 {
-                                                buf.push(tweet.clone());
-                                            }
-                                        }
-                                    }
-                                    ingested.add(sensors[0].ingest_batch(&routed[0]));
-                                    for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
-                                        s.ingest_batch(buf);
-                                    }
-                                }
-                            }
-                            ShardMsg::Marker { epoch, high_water } => {
-                                let Some(store) = store else { continue };
-                                let ckpt = SensorCheckpoint {
-                                    shard_id: shard_id as u32,
-                                    shard_count: shards as u32,
-                                    epoch,
-                                    router_high_water: high_water,
-                                    export: sensors[0].export(),
-                                    parked: admission.park.iter().cloned().collect(),
-                                    campaign: campaigns.primary().name().to_string(),
-                                    extra_campaigns: campaigns
-                                        .extras()
-                                        .iter()
-                                        .zip(&sensors[1..])
-                                        .map(|(c, s)| CampaignSection {
-                                            name: c.name().to_string(),
-                                            export: s.export(),
-                                        })
-                                        .collect(),
-                                };
-                                let bytes = ckpt.encode();
-                                store.save(shard_id as u32, epoch, &bytes).map_err(|e| {
-                                    CoreError::Checkpoint(format!(
-                                        "saving shard {shard_id} epoch {epoch}: {e}"
-                                    ))
-                                })?;
-                                ckpt_bytes.add(bytes.len() as u64);
-                                ckpt_written.incr();
-                            }
-                        }
-                    }
-                    // End of stream: recovery-sized drain, then abandon.
-                    out.clear();
-                    admission.drain(final_drain_attempts, &mut out);
-                    if single {
-                        ingested.add(sensors[0].ingest_batch(&out));
-                    } else {
-                        for buf in &mut routed {
-                            buf.clear();
-                        }
-                        for tweet in out.drain(..) {
-                            let mask = campaigns.mask_of(&tweet.text);
-                            for (i, buf) in routed.iter_mut().enumerate() {
-                                if mask & (1 << i) != 0 {
-                                    buf.push(tweet.clone());
-                                }
-                            }
-                        }
-                        ingested.add(sensors[0].ingest_batch(&routed[0]));
-                        for (s, buf) in sensors[1..].iter_mut().zip(&routed[1..]) {
-                            s.ingest_batch(buf);
-                        }
-                    }
-                    let parked_at_end = admission.abandon_leftovers();
-                    metrics
-                        .counter("stream_gap_tweets_total")
-                        .add(parked_at_end);
-                    metrics
-                        .counter("sensor_duplicates_ignored_total")
-                        .add(sensors[0].duplicates_ignored());
-                    span.set_items(n);
-                    span.finish();
-                    Ok(WorkerReport {
-                        exports: sensors.iter().map(|s| s.export()).collect(),
-                        parked_at_end,
-                        dead: admission.dead,
-                    })
+            if !killed {
+                let _ = flush_all(&shard_txs, &mut bufs);
+            }
+            // Closing cut: the stream drained (not a crash), so
+            // freeze the group exactly at end-of-stream. The store
+            // then always holds a complete final epoch — the
+            // property that makes a daemon shutdown resumable.
+            if checkpoint_final && checkpoint_every > 0 && !killed && store.is_some() {
+                epoch += 1;
+                for tx in &shard_txs {
+                    let _ = tx.send(ShardMsg::Marker { epoch, high_water });
                 }
-            }));
-        }
+            }
+            drop(shard_txs);
+            for (i, &count) in per_shard.iter().enumerate() {
+                metrics.gauge(SHARD_TWEETS_NAMES[i]).set(count);
+            }
+            // Imbalance: busiest shard over the ideal even share, in
+            // permille (1000 = perfectly balanced) — measured over the
+            // current topology's share of the stream.
+            let max = per_shard.iter().copied().max().unwrap_or(0);
+            if let Some(ratio) =
+                (max * group as u64 * 1_000).checked_div(routed - routed_at_swap)
+            {
+                metrics.gauge("shard_imbalance_ratio_permille").set(ratio);
+            }
+            span.set_items(n);
+            span.finish();
 
-        let outcome = source.join().expect("source stage panicked");
-        let (per_shard, last_epoch, killed) = router.join().expect("router panicked");
-        let reports: Vec<Result<WorkerReport>> = workers
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
-            .collect();
-        (outcome, per_shard, last_epoch, killed, reports)
-    });
+            let outcome = source.join().expect("source stage panicked");
+            let reports: Vec<Result<WorkerReport>> = workers
+                .into_iter()
+                .map(|w| w.join().expect("shard worker panicked"))
+                .collect();
+            Ok((outcome, per_shard, epoch, killed, reports, carried_dead, resharded))
+        })?;
 
     // Merge per campaign: shard exports are user-disjoint within each
     // campaign, so each campaign's union is exactly its single-sensor
@@ -756,6 +972,11 @@ pub fn run_sharded_stream<'a>(
     let mut merged: Vec<SensorExport> = vec![SensorExport::default(); n_campaigns];
     let mut dead_letters = DeadLetterLog::new();
     for d in outcome.dead.iter().cloned() {
+        dead_letters.push(d);
+    }
+    // Dead letters surrendered by pre-swap workers at the re-shard
+    // drain — they belong between the source's and the final owners'.
+    for d in carried_dead {
         dead_letters.push(d);
     }
     let mut parked_at_end = 0u64;
@@ -802,9 +1023,10 @@ pub fn run_sharded_stream<'a>(
     // Final retention pass: every worker has joined, so the last epoch
     // is as complete as it will ever get. Here an error has a Result
     // context and is surfaced instead of merely counted.
+    let final_shards = resharded.map_or(shards, |(_, m)| m);
     if config.checkpoint_retain > 0 {
         if let Some(store) = store {
-            let n = compact_checkpoints(store, shards as u32, config.checkpoint_retain)
+            let n = compact_checkpoints(store, final_shards as u32, config.checkpoint_retain)
                 .map_err(|e| CoreError::Checkpoint(format!("compacting checkpoints: {e}")))?;
             metrics.counter("checkpoints_compacted_total").add(n);
         }
@@ -820,11 +1042,12 @@ pub fn run_sharded_stream<'a>(
         source_aborted: outcome.aborted,
         parked_at_end,
         dead_letters,
-        shards,
+        shards: final_shards,
         shard_tweets: routed,
         resumed_from_epoch,
         last_epoch,
         killed,
+        resharded,
     })
 }
 
@@ -884,6 +1107,9 @@ mod tests {
         store.save(1, 1, &other.encode()).unwrap();
         let err = load_resume_point(&store, 2, &campaigns).unwrap_err();
         assert!(err.to_string().contains("re-routing"), "{err}");
+        // The refusal names the remedy: the message is part of the
+        // operator contract (tests/reshard.rs pins the CLI side).
+        assert!(err.to_string().contains("repro reshard"), "{err}");
     }
 
     #[test]

@@ -205,6 +205,86 @@ grep -q "resuming from epoch" "${DET_TMP}/pg_logs/supervisor.log" \
   || { echo "PROCGROUP RESULT: FAIL (no resume recorded)"; fail "supervisor log records no worker resume"; }
 echo "PROCGROUP RESULT: PASS"
 
+echo "==> reshard: offline repartition + resume reproduces the target-count run"
+# Elastic re-sharding (docs/SCALING.md): repartition a crashed store
+# onto a new modulus with `repro reshard`, resume at the new count,
+# and the finished snapshot must be the uninterrupted run's, byte for
+# byte — growing 2->4 under recoverable faults and shrinking 4->2
+# clean. The last line of this gate is its own machine-readable
+# verdict so CI can report it independently.
+./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
+  --checkpoint-dir "${DET_TMP}/rs_grow" --checkpoint-every 512 --kill-after 2000 \
+  > /dev/null 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (grow: killed run failed)"; fail "re-shard grow: killed 2-shard run failed"; }
+./target/release/repro reshard --checkpoint-dir "${DET_TMP}/rs_grow" --to-shards 4 \
+  > "${DET_TMP}/reshard_grow.txt" 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (grow: reshard verb failed)"; fail "re-shard grow: repro reshard failed"; }
+grep -q '^RESHARD OK' "${DET_TMP}/reshard_grow.txt" \
+  || { echo "RESHARD RESULT: FAIL (grow: no RESHARD OK)"; fail "re-shard grow: verb printed no RESHARD OK block"; }
+./target/release/repro --scale 0.05 stream --faults recoverable --shards 4 \
+  --checkpoint-dir "${DET_TMP}/rs_grow" --resume \
+  > "${DET_TMP}/stream_reshard_grow.txt" 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (grow: resume failed)"; fail "re-shard grow: resume at 4 shards failed"; }
+diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_reshard_grow.txt" \
+  || { echo "RESHARD RESULT: FAIL (grow diverged)"; fail "re-shard grow: resumed 2->4 snapshot differs from the uninterrupted run"; }
+./target/release/repro --scale 0.05 stream --faults off --shards 4 \
+  --checkpoint-dir "${DET_TMP}/rs_shrink" --checkpoint-every 512 --kill-after 2000 \
+  > /dev/null 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (shrink: killed run failed)"; fail "re-shard shrink: killed 4-shard run failed"; }
+./target/release/repro reshard --checkpoint-dir "${DET_TMP}/rs_shrink" --to-shards 2 \
+  > /dev/null 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (shrink: reshard verb failed)"; fail "re-shard shrink: repro reshard failed"; }
+./target/release/repro --scale 0.05 stream --faults off --shards 2 \
+  --checkpoint-dir "${DET_TMP}/rs_shrink" --resume \
+  > "${DET_TMP}/stream_reshard_shrink.txt" 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (shrink: resume failed)"; fail "re-shard shrink: resume at 2 shards failed"; }
+diff "${DET_TMP}/stream_clean.txt" "${DET_TMP}/stream_reshard_shrink.txt" \
+  || { echo "RESHARD RESULT: FAIL (shrink diverged)"; fail "re-shard shrink: resumed 4->2 snapshot differs from the clean run"; }
+# An impossible target must be refused, not absorbed.
+if ./target/release/repro reshard --checkpoint-dir "${DET_TMP}/rs_shrink" --to-shards 0 \
+  > /dev/null 2> "${DET_TMP}/reshard_zero.txt"; then
+  echo "RESHARD RESULT: FAIL (to-shards 0 accepted)"
+  fail "re-shard accepted --to-shards 0"
+fi
+grep -q "at least 1" "${DET_TMP}/reshard_zero.txt" \
+  || { echo "RESHARD RESULT: FAIL (wrong refusal message)"; fail "re-shard --to-shards 0 refusal lacks the pinned message"; }
+
+echo "==> reshard: online --reshard-at swap, threads and processes"
+# The online drill drains the group at a consistent cut mid-stream and
+# swaps the topology in-process; stdout must stay byte-identical to
+# the uninterrupted run at the target count (docs/SCALING.md).
+./target/release/repro --scale 0.05 stream --faults recoverable --shards 2 \
+  --reshard-at 2000:4 \
+  > "${DET_TMP}/stream_swap_threads.txt" 2> "${DET_TMP}/swap_threads.err" \
+  || { echo "RESHARD RESULT: FAIL (thread swap run failed)"; fail "online re-shard (threads) failed"; }
+grep -q "swapped to 4 shards" "${DET_TMP}/swap_threads.err" \
+  || { echo "RESHARD RESULT: FAIL (thread swap never fired)"; fail "online re-shard (threads) never swapped"; }
+diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_swap_threads.txt" \
+  || { echo "RESHARD RESULT: FAIL (thread swap diverged)"; fail "online re-shard (threads) snapshot differs from the uninterrupted run"; }
+./target/release/repro --scale 0.05 stream --faults recoverable --procs 2 \
+  --checkpoint-dir "${DET_TMP}/rs_procs" --checkpoint-every 512 \
+  --reshard-at 2000:4 --worker-log-dir "${DET_TMP}/rs_logs" \
+  > "${DET_TMP}/stream_swap_procs.txt" 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (procgroup swap run failed)"; fail "online re-shard (procs) failed"; }
+diff "${DET_TMP}/stream_recovered.txt" "${DET_TMP}/stream_swap_procs.txt" \
+  || { echo "RESHARD RESULT: FAIL (procgroup swap diverged)"; fail "online re-shard (procs) snapshot differs from the uninterrupted run"; }
+grep -q "group resharded 2 -> 4" "${DET_TMP}/rs_logs/supervisor.log" \
+  || { echo "RESHARD RESULT: FAIL (no procgroup swap recorded)"; fail "supervisor log records no re-shard"; }
+# Geo-outage across a swap is not raw-identical (call-count keyed
+# schedules restart with the new topology); the sanctioned gate is
+# dead-letter replay back to full clean coverage.
+./target/release/repro --scale 0.05 stream --faults geo-outage --shards 2 \
+  --reshard-at 2000:4 --dead-letter-dir "${DET_TMP}/rs_dl" \
+  > /dev/null 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (geo-outage swap run failed)"; fail "online re-shard under geo-outage failed"; }
+./target/release/repro --scale 0.05 replay-dead-letters --faults geo-outage --shards 2 \
+  --reshard-at 2000:4 --dead-letter-dir "${DET_TMP}/rs_dl" \
+  > "${DET_TMP}/rs_replay.txt" 2> /dev/null \
+  || { echo "RESHARD RESULT: FAIL (geo-outage replay failed)"; fail "re-shard dead-letter replay failed"; }
+grep -q "coverage restored       yes" "${DET_TMP}/rs_replay.txt" \
+  || { echo "RESHARD RESULT: FAIL (coverage not restored)"; fail "re-shard dead-letter replay did not restore clean coverage"; }
+echo "RESHARD RESULT: PASS"
+
 echo "==> serving: daemon smoke (ETag/304 protocol + batch-identical report)"
 # The always-on daemon must bind, drain ingest, serve /report with an
 # entity tag, answer a repeated conditional GET from the same epoch

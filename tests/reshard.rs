@@ -1,0 +1,862 @@
+//! Integration tests for elastic re-sharding (`core::reshard`).
+//!
+//! The headline invariant, the same currency the merge and resume
+//! tests trade in: repartitioning a consistent checkpoint cut onto a
+//! new shard count — offline with `repro reshard`, online with
+//! `--reshard-at K:M` — must leave the finished run's artifacts
+//! **byte-identical** to an uninterrupted run at the target count.
+//!
+//! Three layers:
+//!
+//! 1. **Deterministic identity drills** — grow (2→3) across a
+//!    kill/reshard/resume cycle, shrink (4→2), and the in-process
+//!    online topology swap, each diffed against the uninterrupted
+//!    reference at the target count.
+//! 2. **A seeded fuzz sweep** — random `(old N, new M, cut point,
+//!    fault preset, wire mode, offline|online)` configurations, budget
+//!    set by `RESHARD_FUZZ_BUDGET` (nightly runs an extended budget).
+//!    Discovered boundaries, encoded below:
+//!
+//!    * a permanent geocoding outage is **not** raw-snapshot
+//!      invariant across a re-shard — outage schedules are call-count
+//!      keyed, and the post-swap (or post-resume) services start
+//!      fresh counters, so *which* tweets are abandoned shifts. The
+//!      sanctioned gate for that preset is dead-letter replay to full
+//!      clean coverage, which is scheduling-independent.
+//!    * replayed coverage is **content**-equal, not export-byte-equal:
+//!      a track's tweet vector records arrival order, and a replayed
+//!      tweet arrives after tweets that outrank it in stream order.
+//!      The replay gate therefore compares the order-insensitive
+//!      artifacts (counts, user states, corpus, attention bits) —
+//!      the same equivalence `replay-dead-letters` certifies with
+//!      "coverage restored yes".
+//! 3. **Golden vectors** — a deterministic two-campaign 2→3 re-shard
+//!    pinned byte-for-byte under `tests/data/reshard/`, on the same
+//!    `REGEN_WIRE_FIXTURES=1` contract as the wire codecs.
+
+use std::collections::BTreeMap;
+
+use donorpulse::core::incremental::{IncrementalSensor, SensorExport, TrackExport};
+use donorpulse::core::shard::{route_shard, run_sharded_stream, ShardConfig, ShardServices, MAX_SHARDS};
+use donorpulse::core::stream_consumer::{replay_dead_letters, StreamPipelineConfig};
+use donorpulse::core::{
+    reshard_checkpoints, CampaignSection, CheckpointStore, MemCheckpointStore, SensorCheckpoint,
+    DEFAULT_CAMPAIGN,
+};
+use donorpulse::geo::{FlakyConfig, FlakyGeocoder, Geocoder, LocationService};
+use donorpulse::obs::MetricsRegistry;
+use donorpulse::prelude::*;
+use donorpulse::text::extract::MentionCounts;
+use donorpulse::twitter::fault::FaultConfig;
+use donorpulse::twitter::wire::WireMode;
+use donorpulse::twitter::{SimInstant, Tweet, TweetId, UserId};
+
+const SEED: u64 = 0x5AA4D;
+
+fn sim(scale: f64) -> TwitterSimulation {
+    let mut config = GeneratorConfig::paper_scaled(scale);
+    config.seed = SEED;
+    TwitterSimulation::generate(config).expect("sim")
+}
+
+fn shard_config(shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        stream: StreamPipelineConfig {
+            metrics: MetricsRegistry::enabled(),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Bitwise snapshot equality between two sensors, plus the export
+/// fingerprint — the exact value the serving layer uses as its ETag.
+fn assert_sensors_equal(a: &IncrementalSensor<'_>, b: &IncrementalSensor<'_>, label: &str) {
+    assert_eq!(a.tweets_seen(), b.tweets_seen(), "{label}: tweet count");
+    assert_eq!(a.user_states(), b.user_states(), "{label}: user states");
+    assert_eq!(a.corpus().tweets(), b.corpus().tweets(), "{label}: corpus");
+    assert_eq!(
+        a.export().fingerprint(),
+        b.export().fingerprint(),
+        "{label}: export fingerprint"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Deterministic identity drills.
+// ---------------------------------------------------------------------
+
+/// Grow: kill a 2-shard run, `reshard_checkpoints` the store to 3,
+/// resume at 3 — artifacts must match the uninterrupted 3-shard run.
+#[test]
+fn offline_reshard_then_resume_matches_uninterrupted_run_at_target() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let faults = FaultConfig::recoverable(SEED);
+
+    let mut target_config = shard_config(3);
+    target_config.checkpoint_every = 200;
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults.clone(),
+        None,
+        target_config.clone(),
+    )
+    .expect("uninterrupted run at target");
+    let reference = uninterrupted.sensor.expect("reference sensor");
+
+    let store = MemCheckpointStore::new();
+    let mut killed_config = shard_config(2);
+    killed_config.checkpoint_every = 200;
+    killed_config.kill_after = Some(500);
+    let killed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults.clone(),
+        Some(&store),
+        killed_config,
+    )
+    .expect("killed run");
+    assert!(killed.killed);
+    assert!(killed.last_epoch >= 1, "crash happened before any epoch");
+
+    let metrics = MetricsRegistry::enabled();
+    let report = reshard_checkpoints(&store, 3, &metrics).expect("reshard");
+    assert_eq!(report.from_shards, 2);
+    assert_eq!(report.to_shards, 3);
+    assert!(report.tracks_total > 0, "the cut held no user tracks");
+    assert!(
+        report.tracks_moved > 0,
+        "a modulus change that moves nothing is suspicious at this scale"
+    );
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("reshard_runs_total"), Some(1));
+    assert_eq!(snap.gauge("reshard_from_shards"), Some(2));
+    assert_eq!(snap.gauge("reshard_to_shards"), Some(3));
+    assert_eq!(snap.gauge("reshard_epoch"), Some(report.epoch));
+
+    // The rewritten store is a valid 3-shard cut that resume accepts.
+    let mut resume_config = target_config;
+    resume_config.resume = true;
+    let resumed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        faults,
+        Some(&store),
+        resume_config,
+    )
+    .expect("resumed run at the new count");
+    assert_eq!(resumed.resumed_from_epoch, Some(report.epoch));
+    assert_eq!(resumed.delivered_tweets, uninterrupted.delivered_tweets);
+    let sensor = resumed.sensor.expect("resumed sensor");
+    assert_sensors_equal(&sensor, &reference, "resharded 2->3 vs uninterrupted 3");
+}
+
+/// Shrink: the same drill in the other direction, 4 shards down to 2.
+#[test]
+fn offline_shrink_then_resume_matches_uninterrupted_run_at_target() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+
+    let mut target_config = shard_config(2);
+    target_config.checkpoint_every = 200;
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        None,
+        target_config.clone(),
+    )
+    .expect("uninterrupted run at target");
+    let reference = uninterrupted.sensor.expect("reference sensor");
+
+    let store = MemCheckpointStore::new();
+    let mut killed_config = shard_config(4);
+    killed_config.checkpoint_every = 200;
+    killed_config.kill_after = Some(500);
+    run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        killed_config,
+    )
+    .expect("killed run");
+
+    let report =
+        reshard_checkpoints(&store, 2, &MetricsRegistry::disabled()).expect("shrink reshard");
+    assert_eq!((report.from_shards, report.to_shards), (4, 2));
+
+    let mut resume_config = target_config;
+    resume_config.resume = true;
+    let resumed = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        resume_config,
+    )
+    .expect("resumed run at the new count");
+    let sensor = resumed.sensor.expect("resumed sensor");
+    assert_sensors_equal(&sensor, &reference, "resharded 4->2 vs uninterrupted 2");
+}
+
+/// Online: `--reshard-at K:M` drains the group mid-stream and swaps
+/// the topology in-process; the finished artifacts match the
+/// uninterrupted run at the target count, and the store comes out in
+/// the new layout.
+#[test]
+fn online_thread_swap_matches_uninterrupted_run_at_target() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        None,
+        shard_config(4),
+    )
+    .expect("uninterrupted run at target");
+    let reference = uninterrupted.sensor.expect("reference sensor");
+
+    let store = MemCheckpointStore::new();
+    let mut swap_config = shard_config(2);
+    swap_config.checkpoint_every = 200;
+    swap_config.reshard_at = Some((700, 4));
+    let run = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        swap_config,
+    )
+    .expect("swap run");
+    let (swap_epoch, swapped_to) = run.resharded.expect("the swap never fired");
+    assert_eq!(swapped_to, 4);
+    assert_eq!(run.shards, 4, "the run must finish on the new topology");
+    assert_eq!(run.shard_tweets.len(), 4);
+    assert_eq!(
+        run.metrics.counter("reshard_swaps_total"),
+        Some(1),
+        "swap counter"
+    );
+
+    // The persisted cut was rewritten at the swap: everything at or
+    // before the swap epoch is in the 4-shard layout.
+    for shard in 0..4u32 {
+        let bytes = store
+            .load(shard, swap_epoch)
+            .expect("store io")
+            .expect("swap-epoch checkpoint");
+        let ckpt = SensorCheckpoint::decode(&bytes).expect("decode");
+        assert_eq!(ckpt.shard_count, 4);
+    }
+
+    let sensor = run.sensor.expect("swap-run sensor");
+    assert_sensors_equal(&sensor, &reference, "online swap 2->4 vs uninterrupted 4");
+}
+
+/// Online swap with per-shard flaky services under recoverable stream
+/// faults: `ShardServices::Phased` carries one service table per
+/// topology, exactly as the CLI wires `--flaky` with `--reshard-at`.
+#[test]
+fn online_swap_with_phased_flaky_services_stays_identical() {
+    let sim = sim(0.01);
+    let geocoder = Geocoder::new();
+    let faults = FaultConfig::recoverable(SEED);
+    let cfg = FlakyConfig::flaky(SEED);
+
+    // Reference: uninterrupted at 4 with the post-swap service table.
+    let target_services: Vec<FlakyGeocoder> = (0..4)
+        .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, 4)))
+        .collect();
+    let target_refs: Vec<&(dyn LocationService + Sync)> = target_services
+        .iter()
+        .map(|s| s as &(dyn LocationService + Sync))
+        .collect();
+    let uninterrupted = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::PerShard(target_refs),
+        faults.clone(),
+        None,
+        shard_config(4),
+    )
+    .expect("uninterrupted run at target");
+    let reference = uninterrupted.sensor.expect("reference sensor");
+
+    let before: Vec<FlakyGeocoder> = (0..2)
+        .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, 2)))
+        .collect();
+    let after: Vec<FlakyGeocoder> = (0..4)
+        .map(|s| FlakyGeocoder::new(&geocoder, cfg.for_shard(s, 4)))
+        .collect();
+    let mut swap_config = shard_config(2);
+    swap_config.reshard_at = Some((700, 4));
+    let run = run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Phased {
+            before: before
+                .iter()
+                .map(|s| s as &(dyn LocationService + Sync))
+                .collect(),
+            after: after
+                .iter()
+                .map(|s| s as &(dyn LocationService + Sync))
+                .collect(),
+        },
+        faults,
+        None,
+        swap_config,
+    )
+    .expect("phased swap run");
+    assert!(run.resharded.is_some(), "the swap never fired");
+    assert!(run.fault_stats.disconnects > 0, "faults never fired");
+    let sensor = run.sensor.expect("swap-run sensor");
+    assert_sensors_equal(&sensor, &reference, "phased flaky swap vs uninterrupted");
+}
+
+// ---------------------------------------------------------------------
+// Seeded fuzz sweep.
+// ---------------------------------------------------------------------
+
+/// Tiny deterministic generator (SplitMix64) so the sweep needs no RNG
+/// crate in the fuzz loop and a failing config is reproducible from
+/// the printed label alone.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish pick in `lo..=hi` (tiny ranges; bias is irrelevant).
+    fn pick(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Preset {
+    Off,
+    Recoverable,
+    GeoOutage,
+}
+
+impl Preset {
+    fn faults(self) -> FaultConfig {
+        match self {
+            Preset::Off | Preset::GeoOutage => FaultConfig::none(),
+            Preset::Recoverable => FaultConfig::recoverable(SEED),
+        }
+    }
+
+    /// A fresh service instance for one run. Outage schedules are
+    /// call-count keyed, so each run (reference, killed, resumed)
+    /// gets its own counters — which is exactly why the outage preset
+    /// is gated by replay instead of raw snapshot identity.
+    fn service<'g>(self, geocoder: &'g Geocoder) -> Box<dyn LocationService + Sync + 'g> {
+        match self {
+            Preset::Off => Box::new(FlakyGeocoder::new(geocoder, FlakyConfig::reliable())),
+            Preset::Recoverable => Box::new(FlakyGeocoder::new(geocoder, FlakyConfig::flaky(SEED))),
+            Preset::GeoOutage => Box::new(FlakyGeocoder::new(
+                geocoder,
+                FlakyConfig::outage(SEED, 120, u64::MAX),
+            )),
+        }
+    }
+}
+
+/// Full clean coverage of the simulated stream, the outage preset's
+/// comparison anchor.
+fn ingest_clean<'a>(
+    sim: &'a TwitterSimulation,
+    geocoder: &'a Geocoder,
+) -> IncrementalSensor<'a> {
+    let mut clean = IncrementalSensor::new(geocoder, |id: UserId| {
+        sim.users()
+            .get(id.0 as usize)
+            .map(|u| u.profile_location.clone())
+    });
+    for tweet in sim.stream().with_filter(Box::new(KeywordQuery::paper())) {
+        clean.ingest(&tweet);
+    }
+    clean
+}
+
+/// Order-insensitive content equality: what dead-letter replay is
+/// able to restore. Per-track tweet order is *not* compared — replay
+/// appends abandoned tweets after their stream-order successors (see
+/// the module docs), which moves export bytes without moving any
+/// derived artifact.
+fn assert_sensors_equivalent(a: &IncrementalSensor<'_>, b: &IncrementalSensor<'_>, label: &str) {
+    assert_eq!(a.tweets_seen(), b.tweets_seen(), "{label}: tweet count");
+    assert_eq!(a.user_states(), b.user_states(), "{label}: user states");
+    assert_eq!(a.corpus().tweets(), b.corpus().tweets(), "{label}: corpus");
+    let aa = a.attention().expect("attention a");
+    let ab = b.attention().expect("attention b");
+    assert_eq!(aa.users(), ab.users(), "{label}: attention users");
+    for &user in aa.users() {
+        let ra = aa.attention_of(user).expect("row");
+        let rb = ab.attention_of(user).expect("row");
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: attention drifted for {user}");
+        }
+    }
+}
+
+/// Either strict snapshot identity (off/recoverable) or replay-to-
+/// clean-coverage (geo-outage; see the module docs for the boundary).
+fn assert_run_matches(
+    run: donorpulse::core::ShardedStreamRun<'_>,
+    reference: &IncrementalSensor<'_>,
+    preset: Preset,
+    clean: &IncrementalSensor<'_>,
+    label: &str,
+) {
+    let mut sensor = run.sensor.expect("finished run must carry a sensor");
+    if preset == Preset::GeoOutage {
+        replay_dead_letters(&mut sensor, &run.dead_letters);
+        assert_sensors_equivalent(&sensor, clean, &format!("{label}: replayed vs clean"));
+    } else {
+        assert_eq!(run.parked_at_end, 0, "{label}: parked at end");
+        assert_sensors_equal(&sensor, reference, label);
+    }
+}
+
+/// The sweep proper. `RESHARD_FUZZ_BUDGET` sets the number of random
+/// configurations (default 3 to keep tier-1 fast; nightly runs more);
+/// `RESHARD_FUZZ_SEED` re-seeds the generator to reproduce a failure.
+#[test]
+fn seeded_reshard_fuzz_sweep() {
+    let budget: u64 = std::env::var("RESHARD_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let seed: u64 = std::env::var("RESHARD_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SEED);
+    let sim = sim(0.006);
+    let geocoder = Geocoder::new();
+    let clean = ingest_clean(&sim, &geocoder);
+    let total = clean.tweets_seen();
+    assert!(total >= 400, "sim too small to place a mid-stream cut");
+
+    let mut mix = Mix(seed);
+    for round in 0..budget {
+        let from = mix.pick(1, 4) as usize;
+        let to = mix.pick(1, 5) as usize;
+        let cut_at = mix.pick(total / 4, total * 3 / 4);
+        let preset = match mix.pick(0, 2) {
+            0 => Preset::Off,
+            1 => Preset::Recoverable,
+            _ => Preset::GeoOutage,
+        };
+        let wire = if mix.pick(0, 1) == 0 {
+            WireMode::V1
+        } else {
+            WireMode::v2()
+        };
+        let online = mix.pick(0, 1) == 1;
+        let label = format!(
+            "round {round} (seed {seed}): {from}->{to} cut {cut_at} {preset:?} {wire:?} {}",
+            if online { "online" } else { "offline" }
+        );
+
+        let config_for = |shards: usize| {
+            let mut c = shard_config(shards);
+            c.stream.wire = wire;
+            c.checkpoint_every = 100;
+            c
+        };
+
+        // Uninterrupted reference at the target count.
+        let ref_service = preset.service(&geocoder);
+        let reference = run_sharded_stream(
+            &sim,
+            &geocoder,
+            ShardServices::Shared(&*ref_service),
+            preset.faults(),
+            None,
+            config_for(to),
+        )
+        .unwrap_or_else(|e| panic!("{label}: reference run: {e}"));
+        let reference_sensor = reference.sensor.expect("reference sensor");
+
+        if online {
+            let store = MemCheckpointStore::new();
+            let mut config = config_for(from);
+            config.reshard_at = Some((cut_at, to));
+            let service = preset.service(&geocoder);
+            let run = run_sharded_stream(
+                &sim,
+                &geocoder,
+                ShardServices::Shared(&*service),
+                preset.faults(),
+                Some(&store),
+                config,
+            )
+            .unwrap_or_else(|e| panic!("{label}: swap run: {e}"));
+            assert!(run.resharded.is_some(), "{label}: swap never fired");
+            assert_eq!(run.shards, to, "{label}: final topology");
+            assert_run_matches(run, &reference_sensor, preset, &clean, &label);
+        } else {
+            let store = MemCheckpointStore::new();
+            let mut killed_config = config_for(from);
+            killed_config.kill_after = Some(cut_at);
+            let kill_service = preset.service(&geocoder);
+            let killed = run_sharded_stream(
+                &sim,
+                &geocoder,
+                ShardServices::Shared(&*kill_service),
+                preset.faults(),
+                Some(&store),
+                killed_config,
+            )
+            .unwrap_or_else(|e| panic!("{label}: killed run: {e}"));
+            assert!(killed.last_epoch >= 1, "{label}: no complete epoch to cut");
+
+            let report = reshard_checkpoints(&store, to, &MetricsRegistry::disabled())
+                .unwrap_or_else(|e| panic!("{label}: reshard: {e}"));
+            assert_eq!(report.from_shards, from, "{label}: discovered count");
+
+            let mut resume_config = config_for(to);
+            resume_config.resume = true;
+            let resume_service = preset.service(&geocoder);
+            let resumed = run_sharded_stream(
+                &sim,
+                &geocoder,
+                ShardServices::Shared(&*resume_service),
+                preset.faults(),
+                Some(&store),
+                resume_config,
+            )
+            .unwrap_or_else(|e| panic!("{label}: resumed run: {e}"));
+            assert_eq!(
+                resumed.resumed_from_epoch,
+                Some(report.epoch),
+                "{label}: resume must restore the resharded cut"
+            );
+            assert_run_matches(resumed, &reference_sensor, preset, &clean, &label);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative paths: every refusal is an operator-readable error.
+// ---------------------------------------------------------------------
+
+fn bare_checkpoint(shard_id: u32, shard_count: u32, epoch: u64) -> SensorCheckpoint {
+    SensorCheckpoint {
+        shard_id,
+        shard_count,
+        epoch,
+        router_high_water: None,
+        export: SensorExport::default(),
+        parked: Vec::new(),
+        campaign: DEFAULT_CAMPAIGN.to_string(),
+        extra_campaigns: Vec::new(),
+    }
+}
+
+#[test]
+fn reshard_refuses_impossible_targets() {
+    let store = MemCheckpointStore::new();
+    let metrics = MetricsRegistry::disabled();
+    let err = reshard_checkpoints(&store, 0, &metrics).unwrap_err();
+    assert!(err.to_string().contains("at least 1"), "{err}");
+    let err = reshard_checkpoints(&store, MAX_SHARDS + 1, &metrics).unwrap_err();
+    assert!(err.to_string().contains("ceiling"), "{err}");
+}
+
+#[test]
+fn reshard_refuses_an_empty_store_and_an_incomplete_epoch() {
+    let store = MemCheckpointStore::new();
+    let metrics = MetricsRegistry::disabled();
+    let err = reshard_checkpoints(&store, 2, &metrics).unwrap_err();
+    assert!(err.to_string().contains("no cut"), "{err}");
+
+    // Shard 0 alone of a 2-shard layout: no epoch is complete.
+    store
+        .save(0, 1, &bare_checkpoint(0, 2, 1).encode())
+        .expect("seed store");
+    let err = reshard_checkpoints(&store, 3, &metrics).unwrap_err();
+    assert!(err.to_string().contains("complete"), "{err}");
+}
+
+#[test]
+fn reshard_refuses_mixed_campaign_rosters() {
+    let store = MemCheckpointStore::new();
+    store
+        .save(0, 1, &bare_checkpoint(0, 2, 1).encode())
+        .expect("seed shard 0");
+    let mut other = bare_checkpoint(1, 2, 1);
+    other.extra_campaigns = vec![CampaignSection {
+        name: "blood-drive".into(),
+        export: SensorExport::default(),
+    }];
+    store.save(1, 1, &other.encode()).expect("seed shard 1");
+    let err = reshard_checkpoints(&store, 3, &MetricsRegistry::disabled()).unwrap_err();
+    assert!(err.to_string().contains("rosters"), "{err}");
+}
+
+/// Resume still refuses a raw shard-count mismatch — and the message
+/// is pinned to name the sanctioned remedy, so an operator staring at
+/// the refusal knows the next command to type.
+#[test]
+fn resume_mismatch_error_names_the_reshard_verb() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    let store = MemCheckpointStore::new();
+    let mut config = shard_config(2);
+    config.checkpoint_every = 200;
+    config.kill_after = Some(400);
+    run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        config,
+    )
+    .expect("killed run");
+
+    let mut wrong = shard_config(1);
+    wrong.resume = true;
+    let err = match run_sharded_stream(
+        &sim,
+        &geocoder,
+        ShardServices::Shared(&geocoder),
+        FaultConfig::none(),
+        Some(&store),
+        wrong,
+    ) {
+        Ok(_) => panic!("resume must refuse a silent re-shard"),
+        Err(err) => err,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("re-routing"), "{msg}");
+    assert!(
+        msg.contains("repro reshard"),
+        "the refusal must name the remedy verb: {msg}"
+    );
+}
+
+#[test]
+fn online_swap_refuses_impossible_targets_up_front() {
+    let sim = sim(0.004);
+    let geocoder = Geocoder::new();
+    for (to, needle) in [(0usize, "at least 1"), (MAX_SHARDS + 1, "ceiling")] {
+        let mut config = shard_config(2);
+        config.reshard_at = Some((400, to));
+        let err = match run_sharded_stream(
+            &sim,
+            &geocoder,
+            ShardServices::Shared(&geocoder),
+            FaultConfig::none(),
+            None,
+            config,
+        ) {
+            Ok(_) => panic!("an impossible swap target must be refused before routing"),
+            Err(err) => err,
+        };
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden vectors: the resharded layout, byte for byte.
+// ---------------------------------------------------------------------
+
+fn fixture_path(shard: u32) -> String {
+    format!(
+        "{}/tests/data/reshard/resharded_shard_{shard}.ckpt",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+const GOLDEN_EPOCH: u64 = 5;
+const GOLDEN_HIGH_WATER: u64 = 2000;
+
+fn golden_export(users: std::ops::Range<u64>, shard: usize, shards: usize, offset: u64) -> SensorExport {
+    let mut tracks = BTreeMap::new();
+    let mut high_water = None;
+    for u in users {
+        if route_shard(UserId(u), shards) != shard {
+            continue;
+        }
+        let id = TweetId(offset + u * 10);
+        high_water = high_water.max(Some(id));
+        tracks.insert(
+            UserId(u),
+            TrackExport {
+                state: None,
+                geo_locked: false,
+                tweets: vec![Tweet {
+                    id,
+                    user: UserId(u),
+                    created_at: SimInstant(id.0),
+                    text: format!("kidney donor tweet {u}"),
+                    geo: None,
+                }],
+                mentions: MentionCounts::new(),
+            },
+        );
+    }
+    SensorExport {
+        tracks,
+        duplicates_ignored: shard as u64,
+        high_water,
+    }
+}
+
+/// A deterministic two-campaign 2-shard cut: the re-shard input every
+/// fixture derives from. Changing this is a fixture-breaking act.
+fn golden_source_store() -> MemCheckpointStore {
+    let store = MemCheckpointStore::new();
+    for shard in 0..2usize {
+        let parked: Vec<Tweet> = (0..8u64)
+            .filter(|&u| route_shard(UserId(u), 2) == shard)
+            .map(|u| Tweet {
+                id: TweetId(1900 + u),
+                user: UserId(u),
+                created_at: SimInstant(1900 + u),
+                text: format!("parked liver tweet {u}"),
+                geo: None,
+            })
+            .collect();
+        let ckpt = SensorCheckpoint {
+            shard_id: shard as u32,
+            shard_count: 2,
+            epoch: GOLDEN_EPOCH,
+            router_high_water: Some(TweetId(GOLDEN_HIGH_WATER)),
+            export: golden_export(0..40, shard, 2, 0),
+            parked,
+            campaign: DEFAULT_CAMPAIGN.to_string(),
+            extra_campaigns: vec![CampaignSection {
+                name: "blood-drive".into(),
+                export: golden_export(40..60, shard, 2, 1000),
+            }],
+        };
+        store
+            .save(shard as u32, GOLDEN_EPOCH, &ckpt.encode())
+            .expect("seed golden store");
+    }
+    store
+}
+
+fn golden_resharded_bytes() -> Vec<Vec<u8>> {
+    let store = golden_source_store();
+    let report = reshard_checkpoints(&store, 3, &MetricsRegistry::disabled())
+        .expect("golden reshard");
+    assert_eq!(report.epoch, GOLDEN_EPOCH);
+    (0..3u32)
+        .map(|shard| {
+            store
+                .load(shard, GOLDEN_EPOCH)
+                .expect("store io")
+                .expect("resharded layout file")
+        })
+        .collect()
+}
+
+#[test]
+fn golden_vectors_pin_the_resharded_layout_byte_for_byte() {
+    for (shard, bytes) in golden_resharded_bytes().into_iter().enumerate() {
+        let path = fixture_path(shard as u32);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+        });
+        assert_eq!(
+            bytes, golden,
+            "resharded shard {shard} drifted from the golden vector — a \
+             layout change needs a wire version bump, not a fixture refresh"
+        );
+    }
+}
+
+/// The fixtures must stand on their own: decode without the source
+/// store and exhibit every re-shard invariant (new modulus, preserved
+/// epoch and high water, preserved roster, correctly re-keyed owners).
+#[test]
+fn golden_fixtures_decode_standalone_with_the_pinned_layout() {
+    let mut tracks = 0u64;
+    let mut dup_sum = 0u64;
+    for shard in 0..3u32 {
+        let path = fixture_path(shard);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!("missing golden vector {path}: {e} (REGEN_WIRE_FIXTURES=1 regenerates)")
+        });
+        let ckpt = SensorCheckpoint::decode(&golden).expect("fixture decodes");
+        assert_eq!(ckpt.shard_id, shard);
+        assert_eq!(ckpt.shard_count, 3, "fixtures pin the 2->3 re-shard");
+        assert_eq!(ckpt.epoch, GOLDEN_EPOCH, "the cut's epoch is preserved");
+        assert_eq!(ckpt.router_high_water, Some(TweetId(GOLDEN_HIGH_WATER)));
+        assert_eq!(
+            ckpt.campaign_names(),
+            vec![DEFAULT_CAMPAIGN, "blood-drive"],
+            "the roster survives the rewrite"
+        );
+        dup_sum += ckpt.export.duplicates_ignored;
+        for export in std::iter::once(&ckpt.export)
+            .chain(ckpt.extra_campaigns.iter().map(|c| &c.export))
+        {
+            for (&user, track) in &export.tracks {
+                assert_eq!(
+                    route_shard(user, 3),
+                    shard as usize,
+                    "track for {user:?} landed on the wrong shard"
+                );
+                assert!(
+                    export.high_water >= track.tweets.iter().map(|t| t.id).max(),
+                    "per-export high water below an owned tweet"
+                );
+                tracks += 1;
+            }
+        }
+        for tweet in &ckpt.parked {
+            assert_eq!(
+                route_shard(tweet.user, 3),
+                shard as usize,
+                "parked tweet for {:?} landed on the wrong shard",
+                tweet.user
+            );
+        }
+    }
+    assert_eq!(tracks, 60, "tracks lost or duplicated by the split");
+    assert_eq!(dup_sum, 1, "merged duplicates sum (0 + 1) must survive");
+}
+
+/// Rewrites the golden vectors from the current re-shard output. A
+/// no-op unless `REGEN_WIRE_FIXTURES=1` — regenerating must be a
+/// deliberate act that accompanies a wire version bump.
+#[test]
+fn regenerate_reshard_golden_vectors() {
+    if std::env::var("REGEN_WIRE_FIXTURES").as_deref() != Ok("1") {
+        return;
+    }
+    for (shard, bytes) in golden_resharded_bytes().into_iter().enumerate() {
+        let path = fixture_path(shard as u32);
+        let dir = std::path::Path::new(&path).parent().expect("fixture dir");
+        std::fs::create_dir_all(dir).expect("create fixture dir");
+        std::fs::write(&path, bytes).expect("write fixture");
+    }
+}
